@@ -1,0 +1,166 @@
+//! Criterion micro-benchmarks for every substrate on the critical path:
+//! parsing, interpretation, encoders (forward and backward), pair
+//! sampling and t-SNE. These are the per-component performance numbers
+//! behind the experiment binaries' wall-clock times, and double as
+//! regression guards for the hot paths.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use ccsa_corpus::dataset::{CorpusConfig, ProblemDataset};
+use ccsa_corpus::gen::Style;
+use ccsa_corpus::interp::{run_program, CostModel, Limits};
+use ccsa_corpus::spec::{ProblemSpec, ProblemTag};
+use ccsa_cppast::{parse_program, print_program, AstGraph};
+use ccsa_model::comparator::{Comparator, EncoderConfig};
+use ccsa_model::pair::{sample_pairs, PairConfig};
+use ccsa_model::tsne::{tsne, TsneConfig};
+use ccsa_nn::gcn::{Activation, GcnConfig};
+use ccsa_nn::param::{Ctx, Params};
+use ccsa_nn::treelstm::{Direction, TreeLstmConfig};
+use ccsa_tensor::Tape;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sample_source() -> String {
+    let spec = ProblemSpec::curated(ProblemTag::E);
+    let program = ccsa_corpus::problems::build(ProblemTag::E, 1, &Style::plain(), &spec.input);
+    print_program(&program)
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let src = sample_source();
+    c.bench_function("parse_program", |b| {
+        b.iter(|| parse_program(black_box(&src)).unwrap());
+    });
+    let program = parse_program(&src).unwrap();
+    c.bench_function("ast_graph_flatten", |b| {
+        b.iter(|| AstGraph::from_program(black_box(&program)));
+    });
+    c.bench_function("print_program", |b| {
+        b.iter(|| print_program(black_box(&program)));
+    });
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let spec = ProblemSpec::curated(ProblemTag::E);
+    let program = ccsa_corpus::problems::build(ProblemTag::E, 1, &Style::plain(), &spec.input);
+    let mut rng = StdRng::seed_from_u64(1);
+    let input = spec.generate_input(&mut rng);
+    c.bench_function("interpret_problem_e", |b| {
+        b.iter(|| {
+            run_program(
+                black_box(&program),
+                black_box(&input),
+                &CostModel::default(),
+                &Limits::default(),
+            )
+            .unwrap()
+        });
+    });
+}
+
+#[allow(clippy::type_complexity)]
+fn encoders() -> (Params, Comparator, Params, Comparator, AstGraph, AstGraph) {
+    let tree_cfg = EncoderConfig::TreeLstm(TreeLstmConfig {
+        embed_dim: 16,
+        hidden: 16,
+        layers: 3,
+        direction: Direction::Alternating,
+        sigmoid_candidate: false,
+    });
+    let gcn_cfg = EncoderConfig::Gcn(GcnConfig {
+        embed_dim: 16,
+        hidden: 16,
+        layers: 6,
+        activation: Activation::Relu,
+    });
+    let mut tree_params = Params::new();
+    let tree = Comparator::new(&tree_cfg, &mut tree_params, &mut StdRng::seed_from_u64(2));
+    let mut gcn_params = Params::new();
+    let gcn = Comparator::new(&gcn_cfg, &mut gcn_params, &mut StdRng::seed_from_u64(2));
+    let a = AstGraph::from_program(&parse_program(&sample_source()).unwrap());
+    let spec = ProblemSpec::curated(ProblemTag::E);
+    let slow = ccsa_corpus::problems::build(ProblemTag::E, 2, &Style::plain(), &spec.input);
+    let b = AstGraph::from_program(&parse_program(&print_program(&slow)).unwrap());
+    (tree_params, tree, gcn_params, gcn, a, b)
+}
+
+fn bench_encoders(c: &mut Criterion) {
+    let (tree_params, tree, gcn_params, gcn, a, b) = encoders();
+    c.bench_function("treelstm_pair_forward", |b2| {
+        b2.iter(|| tree.predict(&tree_params, black_box(&a), black_box(&b)));
+    });
+    c.bench_function("treelstm_pair_forward_backward", |b2| {
+        b2.iter(|| {
+            let tape = Tape::new();
+            let ctx = Ctx::new(&tape, &tree_params);
+            let loss = tree.loss(&ctx, &a, &b, 1.0);
+            let grads = tape.backward(loss);
+            black_box(ctx.grads(&grads))
+        });
+    });
+    c.bench_function("gcn_pair_forward", |b2| {
+        b2.iter(|| gcn.predict(&gcn_params, black_box(&a), black_box(&b)));
+    });
+    c.bench_function("gcn_pair_forward_backward", |b2| {
+        b2.iter(|| {
+            let tape = Tape::new();
+            let ctx = Ctx::new(&tape, &gcn_params);
+            let loss = gcn.loss(&ctx, &a, &b, 0.0);
+            let grads = tape.backward(loss);
+            black_box(ctx.grads(&grads))
+        });
+    });
+}
+
+fn bench_pairs_and_tsne(c: &mut Criterion) {
+    let ds = ProblemDataset::generate(
+        ProblemSpec::curated(ProblemTag::H),
+        &CorpusConfig::tiny(3),
+    )
+    .unwrap();
+    let indices: Vec<usize> = (0..ds.submissions.len()).collect();
+    c.bench_function("sample_pairs_2000", |b| {
+        b.iter(|| {
+            sample_pairs(
+                black_box(&ds.submissions),
+                &indices,
+                &PairConfig::default(),
+                7,
+            )
+        });
+    });
+
+    let data: Vec<Vec<f32>> = (0..60)
+        .map(|i| (0..16).map(|j| ((i * j) % 13) as f32 / 13.0).collect())
+        .collect();
+    c.bench_function("tsne_60pts_100iters", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |d| {
+                tsne(
+                    &d,
+                    &TsneConfig { iterations: 100, perplexity: 10.0, ..TsneConfig::default() },
+                )
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_judging(c: &mut Criterion) {
+    let spec = ProblemSpec::curated(ProblemTag::H);
+    let program = ccsa_corpus::problems::build(ProblemTag::H, 0, &Style::plain(), &spec.input);
+    let cfg = ccsa_corpus::judge::JudgeConfig { test_cases: 2, ..Default::default() };
+    c.bench_function("judge_problem_h", |b| {
+        b.iter(|| ccsa_corpus::judge::judge(black_box(&program), &spec, 5, &cfg).unwrap());
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_frontend, bench_interpreter, bench_encoders, bench_pairs_and_tsne, bench_judging
+);
+criterion_main!(benches);

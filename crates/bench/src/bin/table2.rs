@@ -1,0 +1,58 @@
+//! Table II — cross-problem accuracy within the DFS/graph algorithm group.
+//!
+//! Trains on each of F, G, I and evaluates on all three. The paper's
+//! reading: F and G share their full algorithmic class (DFS, graphs,
+//! trees) and transfer best; I overlaps only partially (DFS, DP, graphs)
+//! and transfers less.
+//!
+//! Paper matrix:            F     G     I
+//!                    F   .80   .72   .67
+//!                    G   .82   .76   .68
+//!                    I   .76   .67   .77
+
+use ccsa_bench::{fmt_acc, header, rule, Cli, DatasetCache};
+use ccsa_corpus::ProblemTag;
+use ccsa_model::comparator::EncoderConfig;
+
+fn main() {
+    let cli = Cli::parse();
+    header("Table II — DFS-group transfer matrix (rows = train, cols = test)", &cli);
+    let corpus = cli.corpus_config();
+    let mut cache = DatasetCache::new();
+    let group = [ProblemTag::F, ProblemTag::G, ProblemTag::I];
+    let datasets: Vec<_> = group.iter().map(|&t| cache.curated(t, &corpus).clone()).collect();
+
+    let pipeline = cli.pipeline(EncoderConfig::TreeLstm(cli.treelstm_config()));
+    let paper = [[0.80, 0.72, 0.67], [0.82, 0.76, 0.68], [0.76, 0.67, 0.77]];
+
+    println!("{:<7} {:>8} {:>8} {:>8}", "train\\test", "F", "G", "I");
+    rule(42);
+    for (r, train_ds) in datasets.iter().enumerate() {
+        let outcome = pipeline.run_on_dataset(train_ds.clone());
+        let mut row = Vec::new();
+        for (c, test_ds) in datasets.iter().enumerate() {
+            let acc = if r == c {
+                outcome.test_accuracy
+            } else {
+                pipeline.evaluate_cross(&outcome.model, test_ds).accuracy
+            };
+            row.push(acc);
+        }
+        println!(
+            "{:<7} {:>8} {:>8} {:>8}",
+            group[r].to_string(),
+            fmt_acc(row[0]),
+            fmt_acc(row[1]),
+            fmt_acc(row[2]),
+        );
+        println!(
+            "{:<7} {:>8} {:>8} {:>8}   (paper)",
+            "",
+            fmt_acc(paper[r][0]),
+            fmt_acc(paper[r][1]),
+            fmt_acc(paper[r][2]),
+        );
+    }
+    rule(42);
+    println!("expected shape: within-class (F↔G) transfer ≥ partial-overlap transfer (→I).");
+}

@@ -1,0 +1,197 @@
+//! The comparative model: shared encoder F + concatenation + classifier C
+//! (§III-A of the paper).
+//!
+//! Both programs of a pair run through the *same* deep feature extractor
+//! `F : P → Z`; their latent codes are concatenated (`z̄ᵢⱼ = [zᵢ, zⱼ]`,
+//! dimension 2d) and a single fully connected layer with sigmoid produces
+//! the probability that the first program is the slower one.
+
+use rand::rngs::StdRng;
+
+use ccsa_cppast::AstGraph;
+use ccsa_nn::gcn::{GcnConfig, GcnEncoder};
+use ccsa_nn::layers::Linear;
+use ccsa_nn::param::{Ctx, Params};
+use ccsa_nn::treelstm::{TreeLstmConfig, TreeLstmEncoder};
+use ccsa_tensor::{Tape, Var};
+
+/// Which representation learner backs the comparator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncoderConfig {
+    /// Child-sum tree-LSTM (the paper's proposal).
+    TreeLstm(TreeLstmConfig),
+    /// Graph-convolution baseline.
+    Gcn(GcnConfig),
+}
+
+impl EncoderConfig {
+    /// A human-readable name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EncoderConfig::TreeLstm(_) => "tree-LSTM",
+            EncoderConfig::Gcn(_) => "GCN",
+        }
+    }
+}
+
+/// The instantiated encoder.
+#[derive(Debug, Clone)]
+pub enum Encoder {
+    /// Tree-LSTM instance.
+    TreeLstm(TreeLstmEncoder),
+    /// GCN instance.
+    Gcn(GcnEncoder),
+}
+
+impl Encoder {
+    /// Encodes one AST into its latent code vector.
+    pub fn encode<'t>(&self, ctx: &Ctx<'t, '_>, graph: &AstGraph) -> Var<'t> {
+        match self {
+            Encoder::TreeLstm(e) => e.encode(ctx, graph),
+            Encoder::Gcn(e) => e.encode(ctx, graph),
+        }
+    }
+
+    /// Latent dimensionality d.
+    pub fn output_dim(&self) -> usize {
+        match self {
+            Encoder::TreeLstm(e) => e.output_dim(),
+            Encoder::Gcn(e) => e.output_dim(),
+        }
+    }
+}
+
+/// Encoder + pairwise classifier.
+#[derive(Debug, Clone)]
+pub struct Comparator {
+    /// The shared feature extractor.
+    pub encoder: Encoder,
+    classifier: Linear,
+    config: EncoderConfig,
+}
+
+impl Comparator {
+    /// Builds the model and registers all parameters.
+    pub fn new(config: &EncoderConfig, params: &mut Params, rng: &mut StdRng) -> Comparator {
+        let encoder = match config {
+            EncoderConfig::TreeLstm(c) => Encoder::TreeLstm(TreeLstmEncoder::new(c, params, rng)),
+            EncoderConfig::Gcn(c) => Encoder::Gcn(GcnEncoder::new(c, params, rng)),
+        };
+        let d = encoder.output_dim();
+        // "This classifier's number of parameters is 2·d": a single
+        // fully connected sigmoid unit over the concatenated codes.
+        let classifier = Linear::new("cls", 2 * d, 1, params, rng);
+        Comparator { encoder, classifier, config: config.clone() }
+    }
+
+    /// The configuration this model was built from.
+    pub fn config(&self) -> &EncoderConfig {
+        &self.config
+    }
+
+    /// The raw logit that program `a` is slower than program `b`.
+    pub fn logit<'t>(&self, ctx: &Ctx<'t, '_>, a: &AstGraph, b: &AstGraph) -> Var<'t> {
+        let za = self.encoder.encode(ctx, a);
+        let zb = self.encoder.encode(ctx, b);
+        let zab = ctx.tape.concat(&[za, zb]);
+        self.classifier.forward(ctx, zab)
+    }
+
+    /// Scalar BCE training loss for one labelled pair.
+    pub fn loss<'t>(&self, ctx: &Ctx<'t, '_>, a: &AstGraph, b: &AstGraph, label: f32) -> Var<'t> {
+        self.logit(ctx, a, b).sum().bce_with_logits(label)
+    }
+
+    /// Inference: probability that `a` is the slower program.
+    pub fn predict(&self, params: &Params, a: &AstGraph, b: &AstGraph) -> f32 {
+        let tape = Tape::new();
+        let ctx = Ctx::new(&tape, params);
+        let z = self.logit(&ctx, a, b).value().item();
+        1.0 / (1.0 + (-z).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsa_cppast::parse_program;
+    use ccsa_nn::treelstm::Direction;
+    use rand::SeedableRng;
+
+    fn graph(src: &str) -> AstGraph {
+        AstGraph::from_program(&parse_program(src).unwrap())
+    }
+
+    fn tiny_tree_config() -> EncoderConfig {
+        EncoderConfig::TreeLstm(TreeLstmConfig {
+            embed_dim: 6,
+            hidden: 6,
+            layers: 1,
+            direction: Direction::Uni,
+            sigmoid_candidate: false,
+        })
+    }
+
+    #[test]
+    fn prediction_is_probability() {
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = Comparator::new(&tiny_tree_config(), &mut params, &mut rng);
+        let a = graph("int main() { return 0; }");
+        let b = graph("int main() { for (int i = 0; i < 5; i++) { } return 0; }");
+        let p = model.predict(&params, &a, &b);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn loss_decreases_under_gradient_steps() {
+        // One pair, repeated Adam steps: the BCE loss must fall — the whole
+        // model is differentiable end to end.
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = Comparator::new(&tiny_tree_config(), &mut params, &mut rng);
+        let a = graph("int main() { return 0; }");
+        let b = graph("int main() { while (true) { break; } return 0; }");
+        let mut opt = ccsa_nn::optim::Adam::new(0.02);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..25 {
+            let tape = Tape::new();
+            let ctx = Ctx::new(&tape, &params);
+            let loss = model.loss(&ctx, &a, &b, 1.0);
+            last = loss.value().item() as f64;
+            first.get_or_insert(last);
+            let grads = tape.backward(loss);
+            let store = ctx.grads(&grads);
+            opt.step(&mut params, &store);
+        }
+        let first = first.unwrap();
+        assert!(last < first * 0.5, "loss did not fall: {first} → {last}");
+    }
+
+    #[test]
+    fn gcn_variant_works_end_to_end() {
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let config = EncoderConfig::Gcn(GcnConfig::small(5));
+        let model = Comparator::new(&config, &mut params, &mut rng);
+        let a = graph("int main() { return 1; }");
+        let b = graph("int main() { return 2 * 3; }");
+        let tape = Tape::new();
+        let ctx = Ctx::new(&tape, &params);
+        let loss = model.loss(&ctx, &a, &b, 0.0);
+        assert!(loss.value().item().is_finite());
+        let grads = tape.backward(loss);
+        assert!(!ctx.grads(&grads).is_empty());
+    }
+
+    #[test]
+    fn classifier_dimension_matches_paper() {
+        // d = 6 → classifier weight [1, 12] = 2·d parameters (+1 bias).
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let _model = Comparator::new(&tiny_tree_config(), &mut params, &mut rng);
+        assert_eq!(params.get("cls.w").shape().dims(), &[1, 12]);
+        assert_eq!(params.get("cls.b").shape().dims(), &[1]);
+    }
+}

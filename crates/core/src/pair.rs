@@ -1,0 +1,237 @@
+//! Code-pair generation, labelling and sampling (§II-B of the paper).
+//!
+//! For `N` submissions there are `N²` ordered pairs; the paper argues a
+//! random subset suffices and studies how many are needed (Figure 5).
+//! Labels follow Eq. (1): a pair `(i, j)` is labelled `1` when
+//! `tᵢ ≥ tⱼ` — "the second program is faster or equivalent" — and `0`
+//! otherwise.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+use ccsa_corpus::Submission;
+
+/// An ordered pair of submission indices with its Eq.-(1) label.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pair {
+    /// Index of the first submission (pᵢ).
+    pub a: usize,
+    /// Index of the second submission (pⱼ).
+    pub b: usize,
+    /// `1.0` when submission `a` is slower or equivalent (`tₐ ≥ t_b`).
+    pub label: f32,
+}
+
+/// Computes the Eq.-(1) label for `(a, b)`.
+pub fn label_of(subs: &[Submission], a: usize, b: usize) -> f32 {
+    if subs[a].runtime_ms >= subs[b].runtime_ms {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Pair-sampling strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairConfig {
+    /// Maximum number of pairs to draw (caps quadratic growth).
+    pub max_pairs: usize,
+    /// Also include the mirrored ordering `(b, a)` for every sampled
+    /// `(a, b)` (§VI-D finds this worth up to 2 %).
+    pub symmetric: bool,
+    /// Exclude self-pairs `(i, i)` (always-label-1 noise).
+    pub exclude_self: bool,
+}
+
+impl Default for PairConfig {
+    fn default() -> PairConfig {
+        PairConfig { max_pairs: 2_000, symmetric: true, exclude_self: true }
+    }
+}
+
+/// Samples labelled pairs among `indices` (submission positions within
+/// `subs`), uniformly without replacement up to `config.max_pairs`.
+///
+/// With `symmetric`, mirrored copies are added *within* the same budget
+/// (each draw contributes the pair and its mirror), matching the paper's
+/// equal-total-pairs comparison.
+pub fn sample_pairs(
+    subs: &[Submission],
+    indices: &[usize],
+    config: &PairConfig,
+    seed: u64,
+) -> Vec<Pair> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = indices.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    // Enumerate unordered index pairs lazily via shuffled reservoir when the
+    // full cross product is small, otherwise rejection-sample.
+    let total_unordered = n * (n - 1) / 2;
+    let budget = if config.symmetric { config.max_pairs / 2 } else { config.max_pairs };
+    let budget = budget.max(1);
+
+    let mut chosen: Vec<(usize, usize)> = if total_unordered <= budget {
+        let mut all = Vec::with_capacity(total_unordered);
+        for x in 0..n {
+            for y in (x + 1)..n {
+                all.push((x, y));
+            }
+        }
+        all
+    } else if total_unordered <= 4 * budget {
+        let mut all = Vec::with_capacity(total_unordered);
+        for x in 0..n {
+            for y in (x + 1)..n {
+                all.push((x, y));
+            }
+        }
+        all.shuffle(&mut rng);
+        all.truncate(budget);
+        all
+    } else {
+        let mut seen = std::collections::HashSet::with_capacity(budget * 2);
+        let mut picked = Vec::with_capacity(budget);
+        while picked.len() < budget {
+            let x = rng.random_range(0..n);
+            let y = rng.random_range(0..n);
+            if x == y {
+                continue;
+            }
+            let key = (x.min(y), x.max(y));
+            if seen.insert(key) {
+                picked.push(key);
+            }
+        }
+        picked
+    };
+    chosen.shuffle(&mut rng);
+
+    let mut pairs = Vec::with_capacity(chosen.len() * 2);
+    for (x, y) in chosen {
+        let (a, b) = (indices[x], indices[y]);
+        if config.exclude_self && a == b {
+            continue;
+        }
+        // Randomise which ordering is "first" so labels stay balanced even
+        // without symmetric augmentation.
+        let (a, b) = if rng.random_bool(0.5) { (a, b) } else { (b, a) };
+        pairs.push(Pair { a, b, label: label_of(subs, a, b) });
+        if config.symmetric {
+            pairs.push(Pair { a: b, b: a, label: label_of(subs, b, a) });
+        }
+    }
+    pairs
+}
+
+/// Splits `n` submissions into disjoint train/test index sets (the paper
+/// always evaluates on submissions disjoint from training).
+pub fn split_indices(n: usize, test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5117);
+    let mut all: Vec<usize> = (0..n).collect();
+    all.shuffle(&mut rng);
+    let test_n = ((n as f64 * test_fraction).round() as usize).clamp(1, n.saturating_sub(1).max(1));
+    let test = all[..test_n].to_vec();
+    let train = all[test_n..].to_vec();
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsa_corpus::{CorpusConfig, ProblemDataset, ProblemSpec, ProblemTag};
+
+    fn dataset() -> ProblemDataset {
+        ProblemDataset::generate(
+            ProblemSpec::curated(ProblemTag::H),
+            &CorpusConfig::tiny(77),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn labels_follow_equation_1() {
+        let ds = dataset();
+        let subs = &ds.submissions;
+        for (a, b) in [(0usize, 1usize), (3, 7), (5, 2)] {
+            let l = label_of(subs, a, b);
+            let expected = (subs[a].runtime_ms >= subs[b].runtime_ms) as i32 as f32;
+            assert_eq!(l, expected);
+        }
+    }
+
+    #[test]
+    fn label_antisymmetry_for_distinct_runtimes() {
+        let ds = dataset();
+        let subs = &ds.submissions;
+        for a in 0..subs.len() {
+            for b in 0..subs.len() {
+                if (subs[a].runtime_ms - subs[b].runtime_ms).abs() > 1e-12 {
+                    assert_ne!(
+                        label_of(subs, a, b),
+                        label_of(subs, b, a),
+                        "antisymmetric labels required for distinct runtimes"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_respects_budget_and_determinism() {
+        let ds = dataset();
+        let indices: Vec<usize> = (0..ds.submissions.len()).collect();
+        let config = PairConfig { max_pairs: 30, symmetric: false, exclude_self: true };
+        let p1 = sample_pairs(&ds.submissions, &indices, &config, 5);
+        let p2 = sample_pairs(&ds.submissions, &indices, &config, 5);
+        assert_eq!(p1, p2);
+        assert!(p1.len() <= 30);
+        assert!(!p1.is_empty());
+        for p in &p1 {
+            assert_ne!(p.a, p.b);
+        }
+    }
+
+    #[test]
+    fn symmetric_adds_mirrors_within_budget() {
+        let ds = dataset();
+        let indices: Vec<usize> = (0..ds.submissions.len()).collect();
+        let config = PairConfig { max_pairs: 40, symmetric: true, exclude_self: true };
+        let pairs = sample_pairs(&ds.submissions, &indices, &config, 9);
+        assert!(pairs.len() <= 40);
+        // Every even position is mirrored by the following odd position.
+        for chunk in pairs.chunks(2) {
+            assert_eq!(chunk[0].a, chunk[1].b);
+            assert_eq!(chunk[0].b, chunk[1].a);
+        }
+    }
+
+    #[test]
+    fn labels_reasonably_balanced() {
+        let ds = dataset();
+        let indices: Vec<usize> = (0..ds.submissions.len()).collect();
+        let pairs = sample_pairs(&ds.submissions, &indices, &PairConfig::default(), 3);
+        let positives = pairs.iter().filter(|p| p.label == 1.0).count();
+        let ratio = positives as f64 / pairs.len() as f64;
+        assert!((0.3..=0.7).contains(&ratio), "label ratio {ratio}");
+    }
+
+    #[test]
+    fn split_is_disjoint_and_total() {
+        let (train, test) = split_indices(50, 0.25, 4);
+        assert_eq!(train.len() + test.len(), 50);
+        let t: std::collections::HashSet<_> = test.iter().collect();
+        assert!(train.iter().all(|i| !t.contains(i)));
+        assert!((test.len() as f64 - 12.5).abs() <= 1.0);
+    }
+
+    #[test]
+    fn tiny_inputs_dont_panic() {
+        let (train, test) = split_indices(2, 0.5, 1);
+        assert_eq!(train.len() + test.len(), 2);
+        let ds = dataset();
+        assert!(sample_pairs(&ds.submissions, &[0], &PairConfig::default(), 1).is_empty());
+    }
+}

@@ -1,0 +1,198 @@
+//! Model persistence: a small, versioned binary format for [`Params`].
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   b"CCSA"
+//! version u32 (currently 1)
+//! count   u32
+//! per parameter:
+//!   name_len u32, name bytes (UTF-8)
+//!   rank     u8, dims (u32 × rank)
+//!   data     f32 × len
+//! ```
+//!
+//! Hand-rolled rather than serde: the format is trivial, stable, and keeps
+//! serialisation out of the public dependency set (DESIGN.md §3).
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use ccsa_nn::param::Params;
+use ccsa_tensor::{Shape, Tensor};
+
+const MAGIC: &[u8; 4] = b"CCSA";
+const VERSION: u32 = 1;
+
+/// Why loading failed.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Not a CCSA parameter file.
+    BadMagic,
+    /// File version unsupported by this build.
+    BadVersion(u32),
+    /// Structurally invalid content.
+    Corrupt(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::BadMagic => write!(f, "not a CCSA parameter file"),
+            PersistError::BadVersion(v) => write!(f, "unsupported file version {v}"),
+            PersistError::Corrupt(msg) => write!(f, "corrupt parameter file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> PersistError {
+        PersistError::Io(e)
+    }
+}
+
+/// Serialises parameters to a writer.
+///
+/// # Errors
+///
+/// Propagates writer I/O errors.
+pub fn save_params<W: Write>(params: &Params, mut w: W) -> Result<(), PersistError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    for (name, tensor) in params.iter() {
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name.as_bytes())?;
+        let shape = tensor.shape();
+        let dims = shape.dims();
+        w.write_all(&[dims.len() as u8])?;
+        for &d in dims {
+            w.write_all(&(d as u32).to_le_bytes())?;
+        }
+        for &v in tensor.as_slice() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserialises parameters from a reader.
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on I/O failure or malformed content.
+pub fn load_params<R: Read>(mut r: R) -> Result<Params, PersistError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(PersistError::BadVersion(version));
+    }
+    let count = read_u32(&mut r)? as usize;
+    if count > 1_000_000 {
+        return Err(PersistError::Corrupt(format!("implausible parameter count {count}")));
+    }
+    let mut params = Params::new();
+    for _ in 0..count {
+        let name_len = read_u32(&mut r)? as usize;
+        if name_len > 4096 {
+            return Err(PersistError::Corrupt(format!("implausible name length {name_len}")));
+        }
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|_| PersistError::Corrupt("non-UTF-8 parameter name".into()))?;
+        let mut rank = [0u8; 1];
+        r.read_exact(&mut rank)?;
+        let rank = rank[0] as usize;
+        if rank > 2 {
+            return Err(PersistError::Corrupt(format!("rank {rank} exceeds 2")));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(read_u32(&mut r)? as usize);
+        }
+        let shape = match rank {
+            0 => Shape::SCALAR,
+            1 => Shape::vector(dims[0]),
+            _ => Shape::matrix(dims[0], dims[1]),
+        };
+        if shape.len() > 100_000_000 {
+            return Err(PersistError::Corrupt(format!("implausible tensor size {}", shape.len())));
+        }
+        let mut data = vec![0.0f32; shape.len()];
+        let mut buf = [0u8; 4];
+        for v in &mut data {
+            r.read_exact(&mut buf)?;
+            *v = f32::from_le_bytes(buf);
+        }
+        params.insert(name, Tensor::from_vec(data, shape));
+    }
+    Ok(params)
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, PersistError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_params() -> Params {
+        let mut p = Params::new();
+        p.insert("emb", Tensor::from_vec((0..12).map(|x| x as f32 * 0.5).collect(), [3, 4]));
+        p.insert("bias", Tensor::from_vec(vec![-1.0, 2.5], [2]));
+        p.insert("scalar", Tensor::scalar(3.75));
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let p = sample_params();
+        let mut buf = Vec::new();
+        save_params(&p, &mut buf).unwrap();
+        let q = load_params(buf.as_slice()).unwrap();
+        assert_eq!(p.len(), q.len());
+        for ((n1, t1), (n2, t2)) in p.iter().zip(q.iter()) {
+            assert_eq!(n1, n2, "order must be preserved");
+            assert_eq!(t1.shape(), t2.shape());
+            assert_eq!(t1.as_slice(), t2.as_slice());
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(load_params(&b"NOPE"[..]), Err(PersistError::BadMagic)));
+        assert!(load_params(&b"CC"[..]).is_err());
+        let mut buf = Vec::new();
+        save_params(&sample_params(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(load_params(buf.as_slice()).is_err(), "truncated file must fail");
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut buf = Vec::new();
+        save_params(&sample_params(), &mut buf).unwrap();
+        buf[4] = 99;
+        assert!(matches!(load_params(buf.as_slice()), Err(PersistError::BadVersion(99))));
+    }
+}

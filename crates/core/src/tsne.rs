@@ -1,0 +1,284 @@
+//! Exact t-SNE for visualising learned representations (Figure 7).
+//!
+//! Standard van der Maaten & Hinton formulation: per-point Gaussian
+//! bandwidths calibrated to a target perplexity by bisection, symmetrised
+//! affinities, Student-t low-dimensional kernel, gradient descent with
+//! momentum and early exaggeration. Exact (O(n²)) — the paper projects a
+//! few hundred embeddings, where Barnes–Hut brings nothing.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// t-SNE hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TsneConfig {
+    /// Target perplexity (effective neighbour count).
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate η.
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied for the first quarter of the run.
+    pub exaggeration: f64,
+    /// Seed for the initial layout.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> TsneConfig {
+        TsneConfig {
+            perplexity: 20.0,
+            iterations: 400,
+            learning_rate: 100.0,
+            exaggeration: 8.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Embeds `data` (n points, any dimension) into 2-D.
+///
+/// Returns one `[x, y]` per input point. Deterministic for a fixed config.
+///
+/// # Panics
+///
+/// Panics if fewer than 3 points are supplied or dimensions are ragged.
+pub fn tsne(data: &[Vec<f32>], config: &TsneConfig) -> Vec<[f64; 2]> {
+    let n = data.len();
+    assert!(n >= 3, "t-SNE needs at least 3 points, got {n}");
+    let dim = data[0].len();
+    assert!(data.iter().all(|p| p.len() == dim), "ragged input dimensions");
+
+    // Pairwise squared Euclidean distances.
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist: f64 = data[i]
+                .iter()
+                .zip(&data[j])
+                .map(|(&a, &b)| {
+                    let d = (a - b) as f64;
+                    d * d
+                })
+                .sum();
+            d2[i * n + j] = dist;
+            d2[j * n + i] = dist;
+        }
+    }
+
+    // Per-point bandwidth by bisection on perplexity.
+    let target_entropy = config.perplexity.max(2.0).ln();
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        let row = &d2[i * n..(i + 1) * n];
+        let (mut beta, mut beta_lo, mut beta_hi) = (1.0f64, 0.0f64, f64::INFINITY);
+        for _ in 0..50 {
+            // Compute entropy at current beta.
+            let mut sum = 0.0;
+            let mut sum_dp = 0.0;
+            for (j, &dist) in row.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                let pij = (-beta * dist).exp();
+                sum += pij;
+                sum_dp += pij * dist;
+            }
+            if sum <= f64::MIN_POSITIVE {
+                beta /= 2.0;
+                continue;
+            }
+            let entropy = beta * sum_dp / sum + sum.ln();
+            if (entropy - target_entropy).abs() < 1e-5 {
+                break;
+            }
+            if entropy > target_entropy {
+                beta_lo = beta;
+                beta = if beta_hi.is_finite() { (beta + beta_hi) / 2.0 } else { beta * 2.0 };
+            } else {
+                beta_hi = beta;
+                beta = (beta + beta_lo) / 2.0;
+            }
+        }
+        let mut sum = 0.0;
+        for (j, &dist) in row.iter().enumerate() {
+            if j != i {
+                let v = (-beta * dist).exp();
+                p[i * n + j] = v;
+                sum += v;
+            }
+        }
+        if sum > 0.0 {
+            for j in 0..n {
+                p[i * n + j] /= sum;
+            }
+        }
+    }
+
+    // Symmetrise; floor for numerical stability.
+    let mut pij = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            pij[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f64)).max(1e-12);
+        }
+    }
+
+    // Initial layout: small Gaussian.
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x75e3);
+    let mut y: Vec<[f64; 2]> = (0..n)
+        .map(|_| {
+            [
+                0.0001 * gaussian(&mut rng),
+                0.0001 * gaussian(&mut rng),
+            ]
+        })
+        .collect();
+    let mut velocity = vec![[0.0f64; 2]; n];
+    let mut gains = vec![[1.0f64; 2]; n];
+
+    let exaggeration_until = config.iterations / 4;
+    for iter in 0..config.iterations {
+        let exaggeration = if iter < exaggeration_until { config.exaggeration } else { 1.0 };
+        let momentum = if iter < exaggeration_until { 0.5 } else { 0.8 };
+
+        // Student-t affinities in the embedding.
+        let mut q_num = vec![0.0f64; n * n];
+        let mut q_sum = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = y[i][0] - y[j][0];
+                let dy = y[i][1] - y[j][1];
+                let q = 1.0 / (1.0 + dx * dx + dy * dy);
+                q_num[i * n + j] = q;
+                q_num[j * n + i] = q;
+                q_sum += 2.0 * q;
+            }
+        }
+        let q_sum = q_sum.max(1e-12);
+
+        for i in 0..n {
+            let mut grad = [0.0f64; 2];
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let qn = q_num[i * n + j];
+                let qij = (qn / q_sum).max(1e-12);
+                let coeff = 4.0 * (exaggeration * pij[i * n + j] - qij) * qn;
+                grad[0] += coeff * (y[i][0] - y[j][0]);
+                grad[1] += coeff * (y[i][1] - y[j][1]);
+            }
+            for k in 0..2 {
+                // Adaptive gains (Jacobs rule) as in the reference code.
+                gains[i][k] = if grad[k].signum() != velocity[i][k].signum() {
+                    (gains[i][k] + 0.2).min(10.0)
+                } else {
+                    (gains[i][k] * 0.8).max(0.01)
+                };
+                velocity[i][k] =
+                    momentum * velocity[i][k] - config.learning_rate * gains[i][k] * grad[k];
+            }
+        }
+        let mut mean = [0.0f64; 2];
+        for i in 0..n {
+            y[i][0] += velocity[i][0];
+            y[i][1] += velocity[i][1];
+            mean[0] += y[i][0];
+            mean[1] += y[i][1];
+        }
+        // Keep the layout centred.
+        mean[0] /= n as f64;
+        mean[1] /= n as f64;
+        for point in &mut y {
+            point[0] -= mean[0];
+            point[1] -= mean[1];
+        }
+    }
+    y
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated clusters in 10-D must stay separated in 2-D.
+    #[test]
+    fn clusters_remain_separated() {
+        let mut data = Vec::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for c in 0..3 {
+            for _ in 0..15 {
+                let mut p = vec![0.0f32; 10];
+                for (k, v) in p.iter_mut().enumerate() {
+                    *v = if k == c { 10.0 } else { 0.0 };
+                    *v += 0.1 * gaussian(&mut rng) as f32;
+                }
+                data.push(p);
+            }
+        }
+        let config = TsneConfig { iterations: 250, perplexity: 10.0, ..TsneConfig::default() };
+        let y = tsne(&data, &config);
+        assert_eq!(y.len(), 45);
+        // Mean intra-cluster distance must be well below inter-cluster.
+        let centroid = |c: usize| -> [f64; 2] {
+            let pts = &y[c * 15..(c + 1) * 15];
+            let mut m = [0.0; 2];
+            for p in pts {
+                m[0] += p[0] / 15.0;
+                m[1] += p[1] / 15.0;
+            }
+            m
+        };
+        let dist = |a: [f64; 2], b: [f64; 2]| ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt();
+        let mut intra: f64 = 0.0;
+        for c in 0..3 {
+            let m = centroid(c);
+            for p in &y[c * 15..(c + 1) * 15] {
+                intra += dist(*p, m) / 45.0;
+            }
+        }
+        let inter = (dist(centroid(0), centroid(1))
+            + dist(centroid(1), centroid(2))
+            + dist(centroid(0), centroid(2)))
+            / 3.0;
+        assert!(
+            inter > 2.0 * intra,
+            "clusters not separated: intra {intra:.3} vs inter {inter:.3}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let data: Vec<Vec<f32>> =
+            (0..12).map(|i| vec![(i % 4) as f32, (i / 4) as f32, 0.5]).collect();
+        let config = TsneConfig { iterations: 50, perplexity: 5.0, ..TsneConfig::default() };
+        let a = tsne(&data, &config);
+        let b = tsne(&data, &config);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn output_is_finite_and_centred() {
+        let data: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32, (i * i % 7) as f32]).collect();
+        let y = tsne(&data, &TsneConfig { iterations: 80, ..TsneConfig::default() });
+        let mut mean = [0.0f64; 2];
+        for p in &y {
+            assert!(p[0].is_finite() && p[1].is_finite());
+            mean[0] += p[0] / 20.0;
+            mean[1] += p[1] / 20.0;
+        }
+        assert!(mean[0].abs() < 1e-6 && mean[1].abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 points")]
+    fn too_few_points_panics() {
+        let _ = tsne(&[vec![1.0], vec![2.0]], &TsneConfig::default());
+    }
+}

@@ -1,0 +1,400 @@
+//! Ergonomic constructors for building mini-C++ programs in Rust.
+//!
+//! Problem templates (see [`problems`](crate::problems)) compose typed ASTs
+//! with these helpers, keeping each algorithmic strategy readable:
+//!
+//! ```
+//! use ccsa_corpus::builder as b;
+//! use ccsa_cppast::{print_program, Type};
+//!
+//! // int main() { int n; cin >> n; long long s = 0;
+//! //              for (…) s += i; cout << s; return 0; }
+//! let main = b::func(Type::Int, "main", vec![], vec![
+//!     b::decl(Type::Int, "n", None),
+//!     b::cin(vec![b::var("n")]),
+//!     b::decl(Type::Int, "s", Some(b::int(0))),
+//!     b::for_i("i", b::int(0), b::var("n"), vec![
+//!         b::expr(b::add_assign(b::var("s"), b::var("i"))),
+//!     ]),
+//!     b::cout(vec![b::var("s")]),
+//!     b::ret(Some(b::int(0))),
+//! ]);
+//! let program = b::program(vec![main]);
+//! assert!(print_program(&program).contains("for ("));
+//! ```
+
+use ccsa_cppast::ast::*;
+
+/// Integer literal.
+pub fn int(v: i64) -> Expr {
+    Expr::Int(v)
+}
+
+/// Float literal.
+pub fn float(v: f64) -> Expr {
+    Expr::Float(v)
+}
+
+/// String literal.
+pub fn str_lit(s: &str) -> Expr {
+    Expr::Str(s.to_string())
+}
+
+/// Char literal.
+pub fn char_lit(c: char) -> Expr {
+    Expr::Char(c)
+}
+
+/// Variable reference.
+pub fn var(name: &str) -> Expr {
+    Expr::Var(name.to_string())
+}
+
+/// Binary operation.
+pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+    Expr::Binary(op, Box::new(lhs), Box::new(rhs))
+}
+
+/// `lhs + rhs`.
+pub fn add(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Add, lhs, rhs)
+}
+
+/// `lhs - rhs`.
+pub fn sub(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Sub, lhs, rhs)
+}
+
+/// `lhs * rhs`.
+pub fn mul(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Mul, lhs, rhs)
+}
+
+/// `lhs / rhs`.
+pub fn div(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Div, lhs, rhs)
+}
+
+/// `lhs % rhs`.
+pub fn rem(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Mod, lhs, rhs)
+}
+
+/// `lhs < rhs`.
+pub fn lt(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Lt, lhs, rhs)
+}
+
+/// `lhs <= rhs`.
+pub fn le(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Le, lhs, rhs)
+}
+
+/// `lhs > rhs`.
+pub fn gt(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Gt, lhs, rhs)
+}
+
+/// `lhs >= rhs`.
+pub fn ge(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Ge, lhs, rhs)
+}
+
+/// `lhs == rhs`.
+pub fn eq(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Eq, lhs, rhs)
+}
+
+/// `lhs != rhs`.
+pub fn ne(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Ne, lhs, rhs)
+}
+
+/// `lhs && rhs`.
+pub fn and(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::And, lhs, rhs)
+}
+
+/// `lhs || rhs`.
+pub fn or(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Or, lhs, rhs)
+}
+
+/// `!e`.
+pub fn not(e: Expr) -> Expr {
+    Expr::Unary(UnOp::Not, Box::new(e))
+}
+
+/// `-e`. Negated literals fold into negative literals — the canonical
+/// form the parser produces, keeping print → parse the identity.
+pub fn neg(e: Expr) -> Expr {
+    match e {
+        Expr::Int(v) => Expr::Int(-v),
+        Expr::Float(v) => Expr::Float(-v),
+        other => Expr::Unary(UnOp::Neg, Box::new(other)),
+    }
+}
+
+/// `target = value`.
+pub fn assign(target: Expr, value: Expr) -> Expr {
+    Expr::Assign(Box::new(target), Box::new(value))
+}
+
+/// `target += value`.
+pub fn add_assign(target: Expr, value: Expr) -> Expr {
+    Expr::CompoundAssign(BinOp::Add, Box::new(target), Box::new(value))
+}
+
+/// `target -= value`.
+pub fn sub_assign(target: Expr, value: Expr) -> Expr {
+    Expr::CompoundAssign(BinOp::Sub, Box::new(target), Box::new(value))
+}
+
+/// `target *= value`.
+pub fn mul_assign(target: Expr, value: Expr) -> Expr {
+    Expr::CompoundAssign(BinOp::Mul, Box::new(target), Box::new(value))
+}
+
+/// `target++`.
+pub fn post_inc(target: Expr) -> Expr {
+    Expr::IncDec { pre: false, inc: true, target: Box::new(target) }
+}
+
+/// `base[index]`.
+pub fn idx(base: Expr, index: Expr) -> Expr {
+    Expr::Index(Box::new(base), Box::new(index))
+}
+
+/// `base[i][j]`.
+pub fn idx2(base: Expr, i: Expr, j: Expr) -> Expr {
+    idx(idx(base, i), j)
+}
+
+/// Free-function call.
+pub fn call(name: &str, args: Vec<Expr>) -> Expr {
+    Expr::Call(name.to_string(), args)
+}
+
+/// Method call.
+pub fn method(recv: Expr, name: &str, args: Vec<Expr>) -> Expr {
+    Expr::MethodCall(Box::new(recv), name.to_string(), args)
+}
+
+/// `v.size()`.
+pub fn size_of(recv: Expr) -> Expr {
+    method(recv, "size", vec![])
+}
+
+/// `v.push_back(value)`.
+pub fn push_back(recv: Expr, value: Expr) -> Expr {
+    method(recv, "push_back", vec![value])
+}
+
+/// `sort(v.begin(), v.end())`.
+pub fn sort_call(v: &str) -> Expr {
+    call("sort", vec![method(var(v), "begin", vec![]), method(var(v), "end", vec![])])
+}
+
+/// `cond ? a : b`.
+pub fn ternary(cond: Expr, a: Expr, b: Expr) -> Expr {
+    Expr::Ternary(Box::new(cond), Box::new(a), Box::new(b))
+}
+
+/// `(ty)e`.
+pub fn cast(ty: Type, e: Expr) -> Expr {
+    Expr::Cast(ty, Box::new(e))
+}
+
+/// Declaration statement with optional `=` initialiser.
+pub fn decl(ty: Type, name: &str, init: Option<Expr>) -> Stmt {
+    Stmt::Decl(Decl {
+        ty,
+        declarators: vec![Declarator { name: name.to_string(), init: init.map(Init::Expr) }],
+    })
+}
+
+/// Declaration with constructor syntax: `vector<long long> v(n, 0);`.
+pub fn decl_ctor(ty: Type, name: &str, args: Vec<Expr>) -> Stmt {
+    Stmt::Decl(Decl {
+        ty,
+        declarators: vec![Declarator { name: name.to_string(), init: Some(Init::Ctor(args)) }],
+    })
+}
+
+/// Expression statement.
+pub fn expr(e: Expr) -> Stmt {
+    Stmt::Expr(e)
+}
+
+/// `cin >> t0 >> t1 …`.
+pub fn cin(targets: Vec<Expr>) -> Stmt {
+    Stmt::Expr(Expr::StreamIn(targets))
+}
+
+/// `cout << v0 << v1 …`.
+pub fn cout(values: Vec<Expr>) -> Stmt {
+    Stmt::Expr(Expr::StreamOut(values))
+}
+
+/// `cout << v << endl`.
+pub fn coutln(value: Expr) -> Stmt {
+    cout(vec![value, var("endl")])
+}
+
+/// Canonical counting loop `for (long long i = from; i < to; i++) { body }`.
+pub fn for_i(i: &str, from: Expr, to: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::For {
+        init: Some(ForInit::Decl(Decl {
+            ty: Type::Int,
+            declarators: vec![Declarator { name: i.to_string(), init: Some(Init::Expr(from)) }],
+        })),
+        cond: Some(lt(var(i), to)),
+        step: Some(post_inc(var(i))),
+        body: Box::new(Stmt::Block(body)),
+    }
+}
+
+/// Inclusive loop `for (long long i = from; i <= to; i++) { body }`.
+pub fn for_i_incl(i: &str, from: Expr, to: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::For {
+        init: Some(ForInit::Decl(Decl {
+            ty: Type::Int,
+            declarators: vec![Declarator { name: i.to_string(), init: Some(Init::Expr(from)) }],
+        })),
+        cond: Some(le(var(i), to)),
+        step: Some(post_inc(var(i))),
+        body: Box::new(Stmt::Block(body)),
+    }
+}
+
+/// `target--`.
+pub fn post_dec(target: Expr) -> Expr {
+    Expr::IncDec { pre: false, inc: false, target: Box::new(target) }
+}
+
+/// Descending inclusive loop `for (long long i = from; i >= down_to; i--)`.
+pub fn for_desc(i: &str, from: Expr, down_to: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::For {
+        init: Some(ForInit::Decl(Decl {
+            ty: Type::Int,
+            declarators: vec![Declarator { name: i.to_string(), init: Some(Init::Expr(from)) }],
+        })),
+        cond: Some(ge(var(i), down_to)),
+        step: Some(post_dec(var(i))),
+        body: Box::new(Stmt::Block(body)),
+    }
+}
+
+/// Fully custom counting loop `for (long long i = init; cond; step)`.
+pub fn for_custom(i: &str, init: Expr, cond: Expr, step: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::For {
+        init: Some(ForInit::Decl(Decl {
+            ty: Type::Int,
+            declarators: vec![Declarator { name: i.to_string(), init: Some(Init::Expr(init)) }],
+        })),
+        cond: Some(cond),
+        step: Some(step),
+        body: Box::new(Stmt::Block(body)),
+    }
+}
+
+/// `while (cond) { body }`.
+pub fn while_loop(cond: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::While { cond, body: Box::new(Stmt::Block(body)) }
+}
+
+/// `if (cond) { then }`.
+pub fn if_then(cond: Expr, then: Vec<Stmt>) -> Stmt {
+    Stmt::If { cond, then: Box::new(Stmt::Block(then)), els: None }
+}
+
+/// `if (cond) { then } else { els }`.
+pub fn if_else(cond: Expr, then: Vec<Stmt>, els: Vec<Stmt>) -> Stmt {
+    Stmt::If {
+        cond,
+        then: Box::new(Stmt::Block(then)),
+        els: Some(Box::new(Stmt::Block(els))),
+    }
+}
+
+/// `return e?;`.
+pub fn ret(e: Option<Expr>) -> Stmt {
+    Stmt::Return(e)
+}
+
+/// `break;`.
+pub fn brk() -> Stmt {
+    Stmt::Break
+}
+
+/// `continue;`.
+pub fn cont() -> Stmt {
+    Stmt::Continue
+}
+
+/// A block statement.
+pub fn block(stmts: Vec<Stmt>) -> Stmt {
+    Stmt::Block(stmts)
+}
+
+/// A function definition.
+pub fn func(ret: Type, name: &str, params: Vec<(Type, &str)>, body: Vec<Stmt>) -> Function {
+    Function {
+        ret,
+        name: name.to_string(),
+        params: params.into_iter().map(|(t, n)| (t, n.to_string())).collect(),
+        body,
+    }
+}
+
+/// A program from functions (standard preamble added).
+pub fn program(functions: Vec<Function>) -> Program {
+    Program {
+        preprocessor: vec!["include <bits/stdc++.h>".to_string()],
+        globals: Vec::new(),
+        functions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_program, CostModel, InputTok, Limits};
+    use ccsa_cppast::{parse_program, print_program};
+
+    #[test]
+    fn built_program_roundtrips_and_runs() {
+        let main = func(
+            Type::Int,
+            "main",
+            vec![],
+            vec![
+                decl(Type::Int, "n", None),
+                cin(vec![var("n")]),
+                decl(Type::Int, "s", Some(int(0))),
+                for_i("i", int(0), var("n"), vec![expr(add_assign(var("s"), var("i")))]),
+                coutln(var("s")),
+                ret(Some(int(0))),
+            ],
+        );
+        let p = program(vec![main]);
+        let printed = print_program(&p);
+        let reparsed = parse_program(&printed).expect("builder output must parse");
+        assert_eq!(p.functions, reparsed.functions);
+        let out = run_program(
+            &reparsed,
+            &[InputTok::Int(10)],
+            &CostModel::default(),
+            &Limits::default(),
+        )
+        .expect("run");
+        assert_eq!(out.output.trim(), "45");
+    }
+
+    #[test]
+    fn helpers_compose() {
+        // ternary(1) + and(1) + lt(3) + not(1) + eq(3) + two branch literals.
+        let e = ternary(and(lt(int(1), int(2)), not(eq(int(3), int(4)))), int(1), int(0));
+        assert_eq!(e.node_count(), 11);
+    }
+}

@@ -1,0 +1,366 @@
+//! Submission generation: style sampling and structural mutation.
+//!
+//! Real Codeforces problems attract thousands of *structurally different*
+//! correct solutions. We reproduce that diversity along two axes:
+//!
+//! * **strategy** — which algorithm the author chose (sampled by popularity
+//!   weight; determines asymptotic cost, see [`problems`](crate::problems));
+//! * **style** — how the author wrote it (loop forms, helper functions,
+//!   redundant passes, temporaries, dead locals…). Some style choices add
+//!   real cost (an extra scan), most only perturb the AST shape.
+//!
+//! Style-only variation is what keeps the learning task honest: the model
+//! must separate structure that *matters* for runtime from structure that
+//! doesn't, rather than memorising one canonical tree per strategy.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use ccsa_cppast::ast::*;
+
+use crate::spec::ProblemSpec;
+
+/// Authoring-style knobs for one submission.
+///
+/// Flags in the first group are consulted by the family templates while
+/// building the program (they change emitted code, sometimes its cost);
+/// the second group drives the post-hoc AST mutators in [`mutate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Style {
+    /// Extract the inner computation into a helper function (adds call
+    /// overhead per element — a real, if small, cost).
+    pub helper_fn: bool,
+    /// Add a harmless extra O(n) bookkeeping pass (real cost).
+    pub extra_scan: bool,
+    /// Add a second bookkeeping pass (more real cost).
+    pub second_extra_scan: bool,
+    /// Re-evaluate `v.size()` in loop conditions instead of caching it
+    /// (small real cost per iteration).
+    pub recompute_size: bool,
+    /// Print with `endl`.
+    pub use_endl: bool,
+    /// Introduce temporaries for intermediate expressions (no cost).
+    pub temp_var: bool,
+
+    /// Probability of converting a `for` loop into `while` form.
+    pub while_prob: f32,
+    /// Number of dead local declarations to sprinkle in.
+    pub dead_decls: u8,
+    /// Number of dead loops (`for (k = 0; k < 0; k++) …`) to insert.
+    ///
+    /// These contribute full loop subtrees to the AST at (almost) zero
+    /// runtime cost, so loop-*count* histograms stop predicting runtime;
+    /// a model must attend to the loop *bound structure* (literal-zero
+    /// versus variable bound) — exactly the hierarchical signal the paper
+    /// credits the tree-LSTM with capturing.
+    pub dead_loops: u8,
+    /// Probability of flipping comparison operands (`i < n` → `n > i`).
+    pub cond_flip_prob: f32,
+    /// Use pre-increment in loop steps.
+    pub pre_inc: bool,
+}
+
+impl Style {
+    /// Samples a style. Probabilities are tuned so most submissions carry a
+    /// couple of idiosyncrasies, as real contest code does.
+    pub fn sample(rng: &mut StdRng) -> Style {
+        Style {
+            helper_fn: rng.random_bool(0.3),
+            extra_scan: rng.random_bool(0.35),
+            second_extra_scan: rng.random_bool(0.15),
+            recompute_size: rng.random_bool(0.3),
+            use_endl: rng.random_bool(0.5),
+            temp_var: rng.random_bool(0.4),
+            while_prob: if rng.random_bool(0.35) { rng.random_range(0.3..1.0) } else { 0.0 },
+            dead_decls: if rng.random_bool(0.3) { rng.random_range(1..4) } else { 0 },
+            dead_loops: if rng.random_bool(0.35) { rng.random_range(1..3) } else { 0 },
+            cond_flip_prob: if rng.random_bool(0.25) { 1.0 } else { 0.0 },
+            pre_inc: rng.random_bool(0.3),
+        }
+    }
+
+    /// The canonical style: every knob off. Useful for tests that need a
+    /// deterministic program for a strategy.
+    pub fn plain() -> Style {
+        Style {
+            helper_fn: false,
+            extra_scan: false,
+            second_extra_scan: false,
+            recompute_size: false,
+            use_endl: false,
+            temp_var: false,
+            while_prob: 0.0,
+            dead_decls: 0,
+            dead_loops: 0,
+            cond_flip_prob: 0.0,
+            pre_inc: false,
+        }
+    }
+}
+
+/// Builds one submission program for `spec` using `strategy` and a sampled
+/// style, then applies the structural mutators.
+pub fn generate_program(spec: &ProblemSpec, strategy: usize, rng: &mut StdRng) -> Program {
+    let style = Style::sample(rng);
+    generate_program_with(spec, strategy, &style, rng)
+}
+
+/// Like [`generate_program`] but with a caller-chosen style.
+pub fn generate_program_with(
+    spec: &ProblemSpec,
+    strategy: usize,
+    style: &Style,
+    rng: &mut StdRng,
+) -> Program {
+    let mut program = crate::problems::build(spec.family, strategy, style, &spec.input);
+    mutate(&mut program, style, rng);
+    program
+}
+
+/// Applies the semantics-preserving structural mutations of `style`.
+pub fn mutate(program: &mut Program, style: &Style, rng: &mut StdRng) {
+    for func in &mut program.functions {
+        let body = std::mem::take(&mut func.body);
+        func.body = body.into_iter().map(|s| mutate_stmt(s, style, rng)).collect();
+        for k in 0..style.dead_decls {
+            let name = format!("_unused{k}");
+            let value = rng.random_range(0..100);
+            func.body.insert(
+                0,
+                Stmt::Decl(Decl {
+                    ty: Type::Int,
+                    declarators: vec![Declarator {
+                        name,
+                        init: Some(Init::Expr(Expr::Int(value))),
+                    }],
+                }),
+            );
+        }
+        for k in 0..style.dead_loops {
+            let pos = rng.random_range(0..=func.body.len());
+            func.body.insert(pos, dead_loop(k, rng));
+        }
+    }
+}
+
+/// A loop whose bound is a literal zero: a full `ForStmt` subtree (decl,
+/// comparison, increment, body with an accumulation) that never executes.
+fn dead_loop(k: u8, rng: &mut StdRng) -> Stmt {
+    let i = format!("_dz{k}");
+    let acc = format!("_dacc{k}");
+    let body = vec![
+        Stmt::Decl(Decl {
+            ty: Type::Int,
+            declarators: vec![Declarator {
+                name: acc.clone(),
+                init: Some(Init::Expr(Expr::Int(rng.random_range(0..50)))),
+            }],
+        }),
+        Stmt::Expr(Expr::CompoundAssign(
+            BinOp::Add,
+            Box::new(Expr::var(&acc)),
+            Box::new(Expr::var(&i)),
+        )),
+    ];
+    Stmt::For {
+        init: Some(ForInit::Decl(Decl {
+            ty: Type::Int,
+            declarators: vec![Declarator { name: i.clone(), init: Some(Init::Expr(Expr::Int(0))) }],
+        })),
+        cond: Some(Expr::bin(BinOp::Lt, Expr::var(&i), Expr::Int(0))),
+        step: Some(Expr::IncDec { pre: false, inc: true, target: Box::new(Expr::var(&i)) }),
+        body: Box::new(Stmt::Block(body)),
+    }
+}
+
+fn mutate_stmt(stmt: Stmt, style: &Style, rng: &mut StdRng) -> Stmt {
+    match stmt {
+        Stmt::For { init, cond, step, body } => {
+            let body = Box::new(mutate_stmt(*body, style, rng));
+            let cond = cond.map(|c| maybe_flip(c, style, rng));
+            let step = step.map(|s| maybe_pre_inc(s, style));
+            // `for` → `{ init; while (cond) { body; step; } }`, valid only
+            // when the loop body has no top-level `continue` (which would
+            // skip the step after conversion).
+            if style.while_prob > 0.0
+                && rng.random_bool(style.while_prob as f64)
+                && !has_direct_continue(&body)
+            {
+                let mut while_body = match *body {
+                    Stmt::Block(stmts) => stmts,
+                    other => vec![other],
+                };
+                if let Some(step) = step {
+                    while_body.push(Stmt::Expr(step));
+                }
+                let while_stmt = Stmt::While {
+                    cond: cond.unwrap_or(Expr::Bool(true)),
+                    body: Box::new(Stmt::Block(while_body)),
+                };
+                let mut outer = Vec::new();
+                match init {
+                    Some(ForInit::Decl(d)) => outer.push(Stmt::Decl(d)),
+                    Some(ForInit::Expr(e)) => outer.push(Stmt::Expr(e)),
+                    None => {}
+                }
+                outer.push(while_stmt);
+                Stmt::Block(outer)
+            } else {
+                Stmt::For { init, cond, step, body }
+            }
+        }
+        Stmt::While { cond, body } => Stmt::While {
+            cond: maybe_flip(cond, style, rng),
+            body: Box::new(mutate_stmt(*body, style, rng)),
+        },
+        Stmt::If { cond, then, els } => Stmt::If {
+            cond,
+            then: Box::new(mutate_stmt(*then, style, rng)),
+            els: els.map(|e| Box::new(mutate_stmt(*e, style, rng))),
+        },
+        Stmt::Block(stmts) => {
+            Stmt::Block(stmts.into_iter().map(|s| mutate_stmt(s, style, rng)).collect())
+        }
+        other => other,
+    }
+}
+
+/// Flips comparison operands: `a < b` → `b > a` etc.
+fn maybe_flip(cond: Expr, style: &Style, rng: &mut StdRng) -> Expr {
+    if style.cond_flip_prob == 0.0 || !rng.random_bool(style.cond_flip_prob as f64) {
+        return cond;
+    }
+    match cond {
+        Expr::Binary(op, a, b) => {
+            let flipped = match op {
+                BinOp::Lt => Some(BinOp::Gt),
+                BinOp::Gt => Some(BinOp::Lt),
+                BinOp::Le => Some(BinOp::Ge),
+                BinOp::Ge => Some(BinOp::Le),
+                _ => None,
+            };
+            match flipped {
+                Some(f) => Expr::Binary(f, b, a),
+                None => Expr::Binary(op, a, b),
+            }
+        }
+        other => other,
+    }
+}
+
+fn maybe_pre_inc(step: Expr, style: &Style) -> Expr {
+    if !style.pre_inc {
+        return step;
+    }
+    match step {
+        Expr::IncDec { pre: false, inc, target } => Expr::IncDec { pre: true, inc, target },
+        other => other,
+    }
+}
+
+/// `true` if a `continue` occurs in this statement *without* an intervening
+/// loop (i.e. it would bind to the loop whose body this is).
+fn has_direct_continue(stmt: &Stmt) -> bool {
+    match stmt {
+        Stmt::Continue => true,
+        Stmt::Block(stmts) => stmts.iter().any(has_direct_continue),
+        Stmt::If { then, els, .. } => {
+            has_direct_continue(then) || els.as_deref().is_some_and(has_direct_continue)
+        }
+        // continue inside a nested loop binds to that loop.
+        Stmt::For { .. } | Stmt::While { .. } => false,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_program, CostModel, InputTok, Limits};
+    use crate::spec::{ProblemSpec, ProblemTag};
+    use ccsa_cppast::{parse_program, print_program};
+    use rand::SeedableRng;
+
+    /// Every mutation must preserve program output on the same input.
+    #[test]
+    fn mutations_preserve_semantics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for tag in ProblemTag::ALL {
+            let spec = ProblemSpec::curated(tag);
+            let input = spec.generate_input(&mut rng);
+            for strategy in 0..spec.strategies.len() {
+                let plain =
+                    crate::problems::build(tag, strategy, &Style::plain(), &spec.input);
+                let base = run_program(&plain, &input, &CostModel::default(), &Limits::default())
+                    .unwrap_or_else(|e| panic!("{tag} s{strategy} plain run failed: {e}"));
+                // Aggressive structural mutation, zero cost-affecting flags
+                // (dead loops cost only their single failed condition check,
+                // which does not alter program output).
+                let style = Style {
+                    while_prob: 1.0,
+                    dead_decls: 3,
+                    dead_loops: 2,
+                    cond_flip_prob: 1.0,
+                    pre_inc: true,
+                    ..Style::plain()
+                };
+                let mut mutated = plain.clone();
+                mutate(&mut mutated, &style, &mut rng);
+                let got =
+                    run_program(&mutated, &input, &CostModel::default(), &Limits::default())
+                        .unwrap_or_else(|e| panic!("{tag} s{strategy} mutated run failed: {e}"));
+                assert_eq!(
+                    base.output, got.output,
+                    "{tag} strategy {strategy}: mutation changed output"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generated_programs_print_and_reparse() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for tag in ProblemTag::ALL {
+            let spec = ProblemSpec::curated(tag);
+            for _ in 0..5 {
+                let strategy = spec.sample_strategy(&mut rng);
+                let p = generate_program(&spec, strategy, &mut rng);
+                let printed = print_program(&p);
+                let reparsed = parse_program(&printed)
+                    .unwrap_or_else(|e| panic!("{tag} reparse failed: {e}\n{printed}"));
+                assert_eq!(p.functions, reparsed.functions, "{tag} round-trip mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn style_sampling_is_deterministic() {
+        let a = Style::sample(&mut StdRng::seed_from_u64(5));
+        let b = Style::sample(&mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn while_conversion_skips_continue_bodies() {
+        let body = Stmt::Block(vec![Stmt::If {
+            cond: Expr::Bool(true),
+            then: Box::new(Stmt::Continue),
+            els: None,
+        }]);
+        assert!(has_direct_continue(&body));
+        let nested = Stmt::Block(vec![Stmt::While {
+            cond: Expr::Bool(false),
+            body: Box::new(Stmt::Continue),
+        }]);
+        assert!(!has_direct_continue(&nested));
+    }
+
+    #[test]
+    fn input_generation_is_seeded() {
+        let spec = ProblemSpec::curated(ProblemTag::B);
+        let a = spec.generate_input(&mut StdRng::seed_from_u64(9));
+        let b = spec.generate_input(&mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        assert!(matches!(a[0], InputTok::Int(_)));
+    }
+}

@@ -1,0 +1,273 @@
+//! Family A — "Registration" (Codeforces 4 C): online deduplication of a
+//! stream of names. Algorithm group: **hashing**.
+//!
+//! Strategies (fastest → slowest):
+//! 0. `buckets` — hash each name, chain into 97 buckets, scan one bucket.
+//! 1. `sorted-insert` — hash, binary-search a sorted vector, bubble-insert.
+//! 2. `linear-strings` — no hashing; linearly compare full strings.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use ccsa_cppast::ast::{Expr, Program, Stmt, Type};
+
+use crate::builder as b;
+use crate::gen::Style;
+use crate::interp::InputTok;
+use crate::spec::{InputSpec, Strategy};
+
+use super::out;
+
+pub(crate) fn strategies() -> Vec<Strategy> {
+    vec![
+        Strategy { name: "buckets", weight: 0.40, cost_rank: 0 },
+        Strategy { name: "sorted-insert", weight: 0.35, cost_rank: 1 },
+        Strategy { name: "linear-strings", weight: 0.25, cost_rank: 2 },
+    ]
+}
+
+pub(crate) fn generate_input(input: &InputSpec, rng: &mut StdRng) -> Vec<InputTok> {
+    let n = input.n;
+    let pool: Vec<String> = (0..(n * 3 / 5).max(1))
+        .map(|_| {
+            (0..input.word_len)
+                .map(|_| (b'a' + rng.random_range(0..26u8)) as char)
+                .collect()
+        })
+        .collect();
+    let mut toks = vec![InputTok::Int(n as i64)];
+    for _ in 0..n {
+        let w = pool[rng.random_range(0..pool.len())].clone();
+        toks.push(InputTok::Str(w));
+    }
+    toks
+}
+
+/// The inline rolling-hash loop `for (i …) h = h * 131 + s[i];`.
+fn hash_loop(src: &str, dst: &str) -> Vec<Stmt> {
+    vec![
+        b::decl(Type::Int, dst, Some(b::int(0))),
+        b::for_i(
+            "hi",
+            b::int(0),
+            b::method(b::var(src), "length", vec![]),
+            vec![b::expr(b::assign(
+                b::var(dst),
+                b::add(b::mul(b::var(dst), b::int(131)), b::idx(b::var(src), b::var("hi"))),
+            ))],
+        ),
+    ]
+}
+
+/// Hash via helper function when the style asks for one.
+fn hash_of(style: &Style, word_stmts: &mut Vec<Stmt>) -> Expr {
+    if style.helper_fn {
+        word_stmts.push(b::decl(Type::Int, "h", Some(b::call("hashWord", vec![b::var("s")]))));
+    } else {
+        word_stmts.extend(hash_loop("s", "h"));
+    }
+    b::var("h")
+}
+
+fn helper_function() -> ccsa_cppast::ast::Function {
+    let mut body = hash_loop("w", "acc");
+    body.push(b::ret(Some(b::var("acc"))));
+    b::func(Type::Int, "hashWord", vec![(Type::Str, "w")], body)
+}
+
+pub(crate) fn build(strategy: usize, style: &Style, _input: &InputSpec) -> Program {
+    let mut main_body: Vec<Stmt> = vec![
+        b::decl(Type::Int, "n", None),
+        b::cin(vec![b::var("n")]),
+        b::decl(Type::Int, "dups", Some(b::int(0))),
+    ];
+
+    let mut per_word: Vec<Stmt> = vec![
+        b::decl(Type::Str, "s", None),
+        b::cin(vec![b::var("s")]),
+    ];
+
+    match strategy {
+        0 => {
+            main_body.insert(
+                0,
+                b::decl_ctor(Type::vec_vec_int(), "buckets", vec![b::int(97)]),
+            );
+            let h = hash_of(style, &mut per_word);
+            per_word.extend([
+                b::decl(Type::Int, "bk", Some(b::rem(h, b::int(97)))),
+                b::decl(Type::Int, "found", Some(b::int(0))),
+                b::for_i(
+                    "j",
+                    b::int(0),
+                    b::size_of(b::idx(b::var("buckets"), b::var("bk"))),
+                    vec![b::if_then(
+                        b::eq(b::idx2(b::var("buckets"), b::var("bk"), b::var("j")), b::var("h")),
+                        vec![b::expr(b::assign(b::var("found"), b::int(1)))],
+                    )],
+                ),
+                b::if_else(
+                    b::eq(b::var("found"), b::int(1)),
+                    vec![b::expr(b::post_inc(b::var("dups")))],
+                    vec![b::expr(b::push_back(
+                        b::idx(b::var("buckets"), b::var("bk")),
+                        b::var("h"),
+                    ))],
+                ),
+            ]);
+        }
+        1 => {
+            main_body.insert(0, b::decl(Type::vec_int(), "seen", None));
+            let h = hash_of(style, &mut per_word);
+            per_word.extend([
+                b::decl(Type::Int, "lo", Some(b::int(0))),
+                b::decl(Type::Int, "hi", Some(b::size_of(b::var("seen")))),
+                b::while_loop(
+                    b::lt(b::var("lo"), b::var("hi")),
+                    vec![
+                        b::decl(
+                            Type::Int,
+                            "mid",
+                            Some(b::div(b::add(b::var("lo"), b::var("hi")), b::int(2))),
+                        ),
+                        b::if_else(
+                            b::lt(b::idx(b::var("seen"), b::var("mid")), h.clone()),
+                            vec![b::expr(b::assign(b::var("lo"), b::add(b::var("mid"), b::int(1))))],
+                            vec![b::expr(b::assign(b::var("hi"), b::var("mid")))],
+                        ),
+                    ],
+                ),
+                b::decl(Type::Int, "found", Some(b::int(0))),
+                b::if_then(
+                    b::lt(b::var("lo"), b::size_of(b::var("seen"))),
+                    vec![b::if_then(
+                        b::eq(b::idx(b::var("seen"), b::var("lo")), b::var("h")),
+                        vec![b::expr(b::assign(b::var("found"), b::int(1)))],
+                    )],
+                ),
+                b::if_else(
+                    b::eq(b::var("found"), b::int(1)),
+                    vec![b::expr(b::post_inc(b::var("dups")))],
+                    vec![
+                        b::expr(b::push_back(b::var("seen"), b::var("h"))),
+                        b::decl(
+                            Type::Int,
+                            "j",
+                            Some(b::sub(b::size_of(b::var("seen")), b::int(1))),
+                        ),
+                        b::while_loop(
+                            b::and(
+                                b::gt(b::var("j"), b::int(0)),
+                                b::gt(
+                                    b::idx(b::var("seen"), b::sub(b::var("j"), b::int(1))),
+                                    b::idx(b::var("seen"), b::var("j")),
+                                ),
+                            ),
+                            vec![
+                                b::decl(
+                                    Type::Int,
+                                    "t",
+                                    Some(b::idx(b::var("seen"), b::sub(b::var("j"), b::int(1)))),
+                                ),
+                                b::expr(b::assign(
+                                    b::idx(b::var("seen"), b::sub(b::var("j"), b::int(1))),
+                                    b::idx(b::var("seen"), b::var("j")),
+                                )),
+                                b::expr(b::assign(b::idx(b::var("seen"), b::var("j")), b::var("t"))),
+                                b::expr(b::post_dec(b::var("j"))),
+                            ],
+                        ),
+                    ],
+                ),
+            ]);
+        }
+        2 => {
+            main_body.insert(0, b::decl(Type::Vec(Box::new(Type::Str)), "names", None));
+            per_word.extend([
+                b::decl(Type::Int, "found", Some(b::int(0))),
+                b::for_i(
+                    "j",
+                    b::int(0),
+                    b::size_of(b::var("names")),
+                    vec![b::if_then(
+                        b::eq(b::idx(b::var("names"), b::var("j")), b::var("s")),
+                        vec![b::expr(b::assign(b::var("found"), b::int(1)))],
+                    )],
+                ),
+                b::if_else(
+                    b::eq(b::var("found"), b::int(1)),
+                    vec![b::expr(b::post_inc(b::var("dups")))],
+                    vec![b::expr(b::push_back(b::var("names"), b::var("s")))],
+                ),
+            ]);
+        }
+        other => panic!("family A has no strategy {other}"),
+    }
+
+    main_body.push(b::for_i("q", b::int(0), b::var("n"), per_word));
+    if style.extra_scan && strategy != 2 {
+        // Bookkeeping pass over whatever integer store the strategy keeps.
+        let store = if strategy == 0 { "dupsAudit" } else { "seen" };
+        if strategy == 1 {
+            main_body.push(b::decl(Type::Int, "audit", Some(b::int(0))));
+            main_body.push(b::for_i(
+                "sx",
+                b::int(0),
+                b::size_of(b::var(store)),
+                vec![b::expr(b::add_assign(b::var("audit"), b::idx(b::var(store), b::var("sx"))))],
+            ));
+            main_body.push(b::if_then(
+                b::lt(b::var("audit"), b::int(0)),
+                vec![b::cout(vec![b::str_lit("")])],
+            ));
+        }
+    }
+    main_body.push(out(b::var("dups"), style));
+    main_body.push(b::ret(Some(b::int(0))));
+
+    let mut functions = Vec::new();
+    if style.helper_fn {
+        functions.push(helper_function());
+    }
+    functions.push(b::func(Type::Int, "main", vec![], main_body));
+    b::program(functions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_program, CostModel, Limits};
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_strategies_agree_on_duplicate_count() {
+        let input_spec = InputSpec { n: 30, m: 0, max_value: 0, word_len: 5 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let toks = generate_input(&input_spec, &mut rng);
+        // Ground truth duplicate count.
+        let mut seen = std::collections::HashSet::new();
+        let mut dups = 0;
+        for t in &toks[1..] {
+            if let InputTok::Str(s) = t {
+                if !seen.insert(s.clone()) {
+                    dups += 1;
+                }
+            }
+        }
+        for s in 0..3 {
+            let p = build(s, &Style::plain(), &input_spec);
+            let outp =
+                run_program(&p, &toks, &CostModel::default(), &Limits::default()).unwrap();
+            assert_eq!(outp.output.trim(), dups.to_string(), "strategy {s} wrong answer");
+        }
+    }
+
+    #[test]
+    fn helper_fn_style_emits_function() {
+        let style = Style { helper_fn: true, ..Style::plain() };
+        let input = InputSpec { n: 10, m: 0, max_value: 0, word_len: 4 };
+        let p = build(0, &style, &input);
+        assert!(p.function("hashWord").is_some());
+        assert_eq!(p.functions.len(), 2);
+    }
+}

@@ -1,0 +1,269 @@
+//! Family B — "T-Prime" (Codeforces 230 B): decide for each query number
+//! whether it is the square of a prime. Algorithm group: **binary search
+//! and number theory**.
+//!
+//! Strategies (fastest → slowest):
+//! 0. `sieve+table` — sieve primes once, mark their squares in a direct
+//!    lookup table, O(1) per query.
+//! 1. `sqrt-trial` — integer square root, then trial division of the root.
+//! 2. `incremental` — find the root by counting up, then naive primality.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use ccsa_cppast::ast::{Program, Stmt, Type};
+
+use crate::builder as b;
+use crate::gen::Style;
+use crate::interp::InputTok;
+use crate::spec::{InputSpec, Strategy};
+
+use super::out;
+
+pub(crate) fn strategies() -> Vec<Strategy> {
+    vec![
+        Strategy { name: "sieve+table", weight: 0.30, cost_rank: 0 },
+        Strategy { name: "sqrt-trial", weight: 0.45, cost_rank: 1 },
+        Strategy { name: "incremental", weight: 0.25, cost_rank: 2 },
+    ]
+}
+
+fn isqrt(v: i64) -> i64 {
+    (v as f64).sqrt() as i64
+}
+
+pub(crate) fn generate_input(input: &InputSpec, rng: &mut StdRng) -> Vec<InputTok> {
+    let n = input.n;
+    let max = input.max_value.max(100);
+    let root_max = isqrt(max).max(10);
+    // Small primes up to root_max for planting true t-primes.
+    let primes: Vec<i64> = (2..=root_max).filter(|&p| (2..p).all(|d| p % d != 0)).collect();
+    let mut toks = vec![InputTok::Int(n as i64)];
+    for _ in 0..n {
+        let x = if rng.random_bool(0.4) && !primes.is_empty() {
+            let p = primes[rng.random_range(0..primes.len())];
+            p * p
+        } else {
+            rng.random_range(1..=max)
+        };
+        toks.push(InputTok::Int(x));
+    }
+    toks
+}
+
+pub(crate) fn build(strategy: usize, style: &Style, input: &InputSpec) -> Program {
+    let lim = isqrt(input.max_value.max(100)).max(10);
+    let mut body: Vec<Stmt> = vec![
+        b::decl(Type::Int, "n", None),
+        b::cin(vec![b::var("n")]),
+        b::decl(Type::Int, "cnt", Some(b::int(0))),
+    ];
+
+    let mut per_query: Vec<Stmt> = vec![
+        b::decl(Type::Int, "x", None),
+        b::cin(vec![b::var("x")]),
+    ];
+
+    match strategy {
+        0 => {
+            // Sieve of Eratosthenes up to √max, squares of primes, then a
+            // binary search per query.
+            body.splice(
+                2..2,
+                [
+                    b::decl(Type::Int, "LIM", Some(b::int(lim))),
+                    b::decl_ctor(
+                        Type::vec_int(),
+                        "pr",
+                        vec![b::add(b::var("LIM"), b::int(1)), b::int(1)],
+                    ),
+                    b::expr(b::assign(b::idx(b::var("pr"), b::int(0)), b::int(0))),
+                    b::expr(b::assign(b::idx(b::var("pr"), b::int(1)), b::int(0))),
+                    b::for_custom(
+                        "i",
+                        b::int(2),
+                        b::le(b::mul(b::var("i"), b::var("i")), b::var("LIM")),
+                        b::post_inc(b::var("i")),
+                        vec![b::if_then(
+                            b::eq(b::idx(b::var("pr"), b::var("i")), b::int(1)),
+                            vec![b::for_custom(
+                                "j",
+                                b::mul(b::var("i"), b::var("i")),
+                                b::le(b::var("j"), b::var("LIM")),
+                                b::assign(b::var("j"), b::add(b::var("j"), b::var("i"))),
+                                vec![b::expr(b::assign(
+                                    b::idx(b::var("pr"), b::var("j")),
+                                    b::int(0),
+                                ))],
+                            )],
+                        )],
+                    ),
+                    b::decl(Type::Int, "MAXV", Some(b::int(input.max_value.max(100)))),
+                    b::decl_ctor(
+                        Type::vec_int(),
+                        "isTp",
+                        vec![b::add(b::var("MAXV"), b::int(1)), b::int(0)],
+                    ),
+                    b::for_i_incl(
+                        "i",
+                        b::int(2),
+                        b::var("LIM"),
+                        vec![b::if_then(
+                            b::eq(b::idx(b::var("pr"), b::var("i")), b::int(1)),
+                            vec![b::expr(b::assign(
+                                b::idx(b::var("isTp"), b::mul(b::var("i"), b::var("i"))),
+                                b::int(1),
+                            ))],
+                        )],
+                    ),
+                ],
+            );
+            per_query.push(b::expr(b::add_assign(
+                b::var("cnt"),
+                b::idx(b::var("isTp"), b::var("x")),
+            )));
+        }
+        1 => {
+            // r = (long long)sqrt((double)x), adjust, then trial-divide r.
+            per_query.extend([
+                b::decl(
+                    Type::Int,
+                    "r",
+                    Some(b::cast(
+                        Type::Int,
+                        b::call("sqrt", vec![b::cast(Type::Double, b::var("x"))]),
+                    )),
+                ),
+                b::while_loop(
+                    b::gt(b::mul(b::var("r"), b::var("r")), b::var("x")),
+                    vec![b::expr(b::post_dec(b::var("r")))],
+                ),
+                b::while_loop(
+                    b::le(
+                        b::mul(b::add(b::var("r"), b::int(1)), b::add(b::var("r"), b::int(1))),
+                        b::var("x"),
+                    ),
+                    vec![b::expr(b::post_inc(b::var("r")))],
+                ),
+                b::decl(Type::Int, "ok", Some(b::int(0))),
+                b::if_then(
+                    b::and(
+                        b::eq(b::mul(b::var("r"), b::var("r")), b::var("x")),
+                        b::ge(b::var("r"), b::int(2)),
+                    ),
+                    vec![
+                        b::expr(b::assign(b::var("ok"), b::int(1))),
+                        b::for_custom(
+                            "d",
+                            b::int(2),
+                            b::le(b::mul(b::var("d"), b::var("d")), b::var("r")),
+                            b::post_inc(b::var("d")),
+                            vec![b::if_then(
+                                b::eq(b::rem(b::var("r"), b::var("d")), b::int(0)),
+                                vec![b::expr(b::assign(b::var("ok"), b::int(0)))],
+                            )],
+                        ),
+                    ],
+                ),
+                b::expr(b::add_assign(b::var("cnt"), b::var("ok"))),
+            ]);
+        }
+        2 => {
+            // Find the root by incrementing, then check primality with a
+            // full scan of divisors below r.
+            per_query.extend([
+                b::decl(Type::Int, "r", Some(b::int(0))),
+                b::while_loop(
+                    b::lt(b::mul(b::var("r"), b::var("r")), b::var("x")),
+                    vec![b::expr(b::post_inc(b::var("r")))],
+                ),
+                b::decl(Type::Int, "ok", Some(b::int(0))),
+                b::if_then(
+                    b::and(
+                        b::eq(b::mul(b::var("r"), b::var("r")), b::var("x")),
+                        b::ge(b::var("r"), b::int(2)),
+                    ),
+                    vec![
+                        b::expr(b::assign(b::var("ok"), b::int(1))),
+                        b::for_i(
+                            "d",
+                            b::int(2),
+                            b::var("r"),
+                            vec![b::if_then(
+                                b::eq(b::rem(b::var("r"), b::var("d")), b::int(0)),
+                                vec![b::expr(b::assign(b::var("ok"), b::int(0)))],
+                            )],
+                        ),
+                    ],
+                ),
+                b::expr(b::add_assign(b::var("cnt"), b::var("ok"))),
+            ]);
+        }
+        other => panic!("family B has no strategy {other}"),
+    }
+
+    if style.temp_var {
+        per_query.push(b::decl(Type::Int, "snapshot", Some(b::var("cnt"))));
+        per_query.push(b::if_then(
+            b::lt(b::var("snapshot"), b::int(0)),
+            vec![b::cout(vec![b::str_lit("")])],
+        ));
+    }
+
+    body.push(b::for_i("q", b::int(0), b::var("n"), per_query));
+    body.push(out(b::var("cnt"), style));
+    body.push(b::ret(Some(b::int(0))));
+    b::program(vec![b::func(Type::Int, "main", vec![], body)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_program, CostModel, Limits};
+    use rand::SeedableRng;
+
+    fn tprime_count(toks: &[InputTok]) -> i64 {
+        toks[1..]
+            .iter()
+            .filter(|t| {
+                let InputTok::Int(x) = t else { return false };
+                let r = isqrt(*x);
+                r >= 2 && r * r == *x && (2..r).all(|d| r % d != 0)
+            })
+            .count() as i64
+    }
+
+    #[test]
+    fn strategies_agree_with_ground_truth() {
+        let spec = InputSpec { n: 25, m: 0, max_value: 10_000, word_len: 0 };
+        let mut rng = StdRng::seed_from_u64(5);
+        let toks = generate_input(&spec, &mut rng);
+        let truth = tprime_count(&toks);
+        assert!(truth > 0, "test input should contain t-primes");
+        for s in 0..3 {
+            let p = build(s, &Style::plain(), &spec);
+            let got = run_program(&p, &toks, &CostModel::default(), &Limits::default())
+                .unwrap_or_else(|e| panic!("strategy {s}: {e}"));
+            assert_eq!(got.output.trim(), truth.to_string(), "strategy {s} wrong");
+        }
+    }
+
+    #[test]
+    fn edge_values_handled() {
+        // x = 1 (not a t-prime), x = 4 (t-prime), x = 9 (t-prime),
+        // x = 16 (square of composite).
+        let toks = vec![
+            InputTok::Int(4),
+            InputTok::Int(1),
+            InputTok::Int(4),
+            InputTok::Int(9),
+            InputTok::Int(16),
+        ];
+        let spec = InputSpec { n: 4, m: 0, max_value: 100, word_len: 0 };
+        for s in 0..3 {
+            let p = build(s, &Style::plain(), &spec);
+            let got = run_program(&p, &toks, &CostModel::default(), &Limits::default()).unwrap();
+            assert_eq!(got.output.trim(), "2", "strategy {s}");
+        }
+    }
+}

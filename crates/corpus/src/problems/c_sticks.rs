@@ -1,0 +1,209 @@
+//! Family C — "Minimum Value Rectangle" flavour (Codeforces 1027 C): pair
+//! up equal-length sticks. Algorithm group: **greedy**.
+//!
+//! Strategies (fastest → slowest):
+//! 0. `bucket-count` — count occurrences per length, one pass over lengths.
+//! 1. `sort-scan` — sort the sticks, pair adjacent equals.
+//! 2. `nested-match` — for each stick scan for an unused partner.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use ccsa_cppast::ast::{Program, Stmt, Type};
+
+use crate::builder as b;
+use crate::gen::Style;
+use crate::interp::InputTok;
+use crate::spec::{InputSpec, Strategy};
+
+use super::{bound, out, read_int_array};
+
+pub(crate) fn strategies() -> Vec<Strategy> {
+    vec![
+        Strategy { name: "bucket-count", weight: 0.35, cost_rank: 0 },
+        Strategy { name: "sort-scan", weight: 0.40, cost_rank: 1 },
+        Strategy { name: "nested-match", weight: 0.25, cost_rank: 2 },
+    ]
+}
+
+pub(crate) fn generate_input(input: &InputSpec, rng: &mut StdRng) -> Vec<InputTok> {
+    let n = input.n;
+    let max = input.max_value.max(4);
+    let mut toks = vec![InputTok::Int(n as i64)];
+    for _ in 0..n {
+        toks.push(InputTok::Int(rng.random_range(1..=max)));
+    }
+    toks
+}
+
+pub(crate) fn build(strategy: usize, style: &Style, input: &InputSpec) -> Program {
+    let vmax = input.max_value.max(4);
+    let mut body: Vec<Stmt> = read_int_array(style);
+
+    match strategy {
+        0 => {
+            body.extend([
+                b::decl(Type::Int, "V", Some(b::int(vmax))),
+                b::decl_ctor(
+                    Type::vec_int(),
+                    "cnt",
+                    vec![b::add(b::var("V"), b::int(1)), b::int(0)],
+                ),
+                b::for_i(
+                    "i",
+                    b::int(0),
+                    bound("a", style),
+                    vec![b::expr(b::post_inc(b::idx(
+                        b::var("cnt"),
+                        b::idx(b::var("a"), b::var("i")),
+                    )))],
+                ),
+                b::decl(Type::Int, "pairs", Some(b::int(0))),
+                b::decl(Type::Int, "total", Some(b::int(0))),
+                b::for_i_incl(
+                    "v",
+                    b::int(1),
+                    b::var("V"),
+                    vec![
+                        b::decl(
+                            Type::Int,
+                            "p",
+                            Some(b::div(b::idx(b::var("cnt"), b::var("v")), b::int(2))),
+                        ),
+                        b::expr(b::add_assign(b::var("pairs"), b::var("p"))),
+                        b::expr(b::add_assign(b::var("total"), b::mul(b::var("p"), b::var("v")))),
+                    ],
+                ),
+            ]);
+        }
+        1 => {
+            body.extend([
+                b::expr(b::sort_call("a")),
+                b::decl(Type::Int, "pairs", Some(b::int(0))),
+                b::decl(Type::Int, "total", Some(b::int(0))),
+                b::decl(Type::Int, "i", Some(b::int(0))),
+                b::while_loop(
+                    b::lt(b::add(b::var("i"), b::int(1)), bound("a", style)),
+                    vec![b::if_else(
+                        b::eq(
+                            b::idx(b::var("a"), b::var("i")),
+                            b::idx(b::var("a"), b::add(b::var("i"), b::int(1))),
+                        ),
+                        vec![
+                            b::expr(b::post_inc(b::var("pairs"))),
+                            b::expr(b::add_assign(
+                                b::var("total"),
+                                b::idx(b::var("a"), b::var("i")),
+                            )),
+                            b::expr(b::add_assign(b::var("i"), b::int(2))),
+                        ],
+                        vec![b::expr(b::post_inc(b::var("i")))],
+                    )],
+                ),
+            ]);
+        }
+        2 => {
+            body.extend([
+                b::decl_ctor(Type::vec_int(), "used", vec![b::var("n"), b::int(0)]),
+                b::decl(Type::Int, "pairs", Some(b::int(0))),
+                b::decl(Type::Int, "total", Some(b::int(0))),
+                b::for_i(
+                    "i",
+                    b::int(0),
+                    bound("a", style),
+                    vec![b::if_then(
+                        b::eq(b::idx(b::var("used"), b::var("i")), b::int(0)),
+                        vec![b::for_custom(
+                            "j",
+                            b::add(b::var("i"), b::int(1)),
+                            b::lt(b::var("j"), bound("a", style)),
+                            b::post_inc(b::var("j")),
+                            vec![b::if_then(
+                                b::and(
+                                    b::eq(b::idx(b::var("used"), b::var("j")), b::int(0)),
+                                    b::eq(
+                                        b::idx(b::var("a"), b::var("j")),
+                                        b::idx(b::var("a"), b::var("i")),
+                                    ),
+                                ),
+                                vec![
+                                    b::expr(b::assign(b::idx(b::var("used"), b::var("i")), b::int(1))),
+                                    b::expr(b::assign(b::idx(b::var("used"), b::var("j")), b::int(1))),
+                                    b::expr(b::post_inc(b::var("pairs"))),
+                                    b::expr(b::add_assign(
+                                        b::var("total"),
+                                        b::idx(b::var("a"), b::var("i")),
+                                    )),
+                                    b::brk(),
+                                ],
+                            )],
+                        )],
+                    )],
+                ),
+            ]);
+        }
+        other => panic!("family C has no strategy {other}"),
+    }
+
+    body.push(out(
+        b::add(b::mul(b::var("pairs"), b::int(1000)), b::var("total")),
+        style,
+    ));
+    body.push(b::ret(Some(b::int(0))));
+    b::program(vec![b::func(Type::Int, "main", vec![], body)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_program, CostModel, Limits};
+    use rand::SeedableRng;
+
+    fn ground_truth(toks: &[InputTok]) -> (i64, i64) {
+        let mut counts = std::collections::HashMap::new();
+        for t in &toks[1..] {
+            if let InputTok::Int(v) = t {
+                *counts.entry(*v).or_insert(0i64) += 1;
+            }
+        }
+        let mut pairs = 0;
+        let mut total = 0;
+        for (v, c) in counts {
+            pairs += c / 2;
+            total += (c / 2) * v;
+        }
+        (pairs, total)
+    }
+
+    #[test]
+    fn strategies_agree_on_pairing() {
+        let spec = InputSpec { n: 40, m: 0, max_value: 12, word_len: 0 };
+        let mut rng = StdRng::seed_from_u64(9);
+        let toks = generate_input(&spec, &mut rng);
+        let (pairs, total) = ground_truth(&toks);
+        assert!(pairs > 0, "input should contain pairs");
+        let expected = (pairs * 1000 + total).to_string();
+        for s in 0..3 {
+            let p = build(s, &Style::plain(), &spec);
+            let got = run_program(&p, &toks, &CostModel::default(), &Limits::default())
+                .unwrap_or_else(|e| panic!("strategy {s}: {e}"));
+            assert_eq!(got.output.trim(), expected, "strategy {s} wrong");
+        }
+    }
+
+    #[test]
+    fn no_pairs_case() {
+        let toks = vec![
+            InputTok::Int(3),
+            InputTok::Int(1),
+            InputTok::Int(2),
+            InputTok::Int(3),
+        ];
+        let spec = InputSpec { n: 3, m: 0, max_value: 3, word_len: 0 };
+        for s in 0..3 {
+            let p = build(s, &Style::plain(), &spec);
+            let got = run_program(&p, &toks, &CostModel::default(), &Limits::default()).unwrap();
+            assert_eq!(got.output.trim(), "0", "strategy {s}");
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Family E — prefix/suffix distinct counting ("Sonya and Robots",
+//! Codeforces 1004 C flavour): count pairs (first occurrence on the left,
+//! distinct value on the right). Algorithm group: **constructive**.
+//!
+//! Strategies (fastest → slowest):
+//! 0. `bucket-two-pass` — seen-arrays, O(n + V).
+//! 1. `scan-two-pass` — replace the seen-arrays by backward scans, O(n²).
+//! 2. `recount-per-first` — recount the suffix for every first occurrence.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use ccsa_cppast::ast::{Program, Stmt, Type};
+
+use crate::builder as b;
+use crate::gen::Style;
+use crate::interp::InputTok;
+use crate::spec::{InputSpec, Strategy};
+
+use super::{out, read_int_array};
+
+pub(crate) fn strategies() -> Vec<Strategy> {
+    vec![
+        Strategy { name: "bucket-two-pass", weight: 0.35, cost_rank: 0 },
+        Strategy { name: "scan-two-pass", weight: 0.40, cost_rank: 1 },
+        Strategy { name: "recount-per-first", weight: 0.25, cost_rank: 2 },
+    ]
+}
+
+pub(crate) fn generate_input(input: &InputSpec, rng: &mut StdRng) -> Vec<InputTok> {
+    let n = input.n;
+    let max = input.max_value.max(4);
+    let mut toks = vec![InputTok::Int(n as i64)];
+    for _ in 0..n {
+        toks.push(InputTok::Int(rng.random_range(1..=max)));
+    }
+    toks
+}
+
+pub(crate) fn build(strategy: usize, style: &Style, input: &InputSpec) -> Program {
+    let vmax = input.max_value.max(4);
+    let mut body: Vec<Stmt> = read_int_array(style);
+    body.push(b::decl(Type::Int, "ans", Some(b::int(0))));
+    // sufCnt[i] = number of distinct values in a[i..n); sufCnt[n] = 0.
+    body.push(b::decl_ctor(
+        Type::vec_int(),
+        "sufCnt",
+        vec![b::add(b::var("n"), b::int(1)), b::int(0)],
+    ));
+
+    match strategy {
+        0 => {
+            body.extend([
+                b::decl_ctor(Type::vec_int(), "seenSuf", vec![b::int(vmax + 1), b::int(0)]),
+                b::for_desc(
+                    "i",
+                    b::sub(b::var("n"), b::int(1)),
+                    b::int(0),
+                    vec![
+                        b::expr(b::assign(
+                            b::idx(b::var("sufCnt"), b::var("i")),
+                            b::add(
+                                b::idx(b::var("sufCnt"), b::add(b::var("i"), b::int(1))),
+                                b::ternary(
+                                    b::eq(
+                                        b::idx(b::var("seenSuf"), b::idx(b::var("a"), b::var("i"))),
+                                        b::int(0),
+                                    ),
+                                    b::int(1),
+                                    b::int(0),
+                                ),
+                            ),
+                        )),
+                        b::expr(b::assign(
+                            b::idx(b::var("seenSuf"), b::idx(b::var("a"), b::var("i"))),
+                            b::int(1),
+                        )),
+                    ],
+                ),
+                b::decl_ctor(Type::vec_int(), "seenPre", vec![b::int(vmax + 1), b::int(0)]),
+                b::for_i(
+                    "i",
+                    b::int(0),
+                    b::var("n"),
+                    vec![b::if_then(
+                        b::eq(
+                            b::idx(b::var("seenPre"), b::idx(b::var("a"), b::var("i"))),
+                            b::int(0),
+                        ),
+                        vec![
+                            b::expr(b::assign(
+                                b::idx(b::var("seenPre"), b::idx(b::var("a"), b::var("i"))),
+                                b::int(1),
+                            )),
+                            b::expr(b::add_assign(
+                                b::var("ans"),
+                                b::idx(b::var("sufCnt"), b::add(b::var("i"), b::int(1))),
+                            )),
+                        ],
+                    )],
+                ),
+            ]);
+        }
+        1 => {
+            body.extend([
+                // sufCnt via backward duplicate scan.
+                b::for_desc(
+                    "i",
+                    b::sub(b::var("n"), b::int(1)),
+                    b::int(0),
+                    vec![
+                        b::decl(Type::Int, "dup", Some(b::int(0))),
+                        b::for_custom(
+                            "j",
+                            b::add(b::var("i"), b::int(1)),
+                            b::lt(b::var("j"), b::var("n")),
+                            b::post_inc(b::var("j")),
+                            vec![b::if_then(
+                                b::eq(
+                                    b::idx(b::var("a"), b::var("j")),
+                                    b::idx(b::var("a"), b::var("i")),
+                                ),
+                                vec![b::expr(b::assign(b::var("dup"), b::int(1)))],
+                            )],
+                        ),
+                        b::expr(b::assign(
+                            b::idx(b::var("sufCnt"), b::var("i")),
+                            b::add(
+                                b::idx(b::var("sufCnt"), b::add(b::var("i"), b::int(1))),
+                                b::ternary(b::eq(b::var("dup"), b::int(0)), b::int(1), b::int(0)),
+                            ),
+                        )),
+                    ],
+                ),
+                // First-occurrence check via backward scan.
+                b::for_i(
+                    "i",
+                    b::int(0),
+                    b::var("n"),
+                    vec![
+                        b::decl(Type::Int, "first", Some(b::int(1))),
+                        b::for_i(
+                            "j",
+                            b::int(0),
+                            b::var("i"),
+                            vec![b::if_then(
+                                b::eq(
+                                    b::idx(b::var("a"), b::var("j")),
+                                    b::idx(b::var("a"), b::var("i")),
+                                ),
+                                vec![b::expr(b::assign(b::var("first"), b::int(0)))],
+                            )],
+                        ),
+                        b::if_then(
+                            b::eq(b::var("first"), b::int(1)),
+                            vec![b::expr(b::add_assign(
+                                b::var("ans"),
+                                b::idx(b::var("sufCnt"), b::add(b::var("i"), b::int(1))),
+                            ))],
+                        ),
+                    ],
+                ),
+            ]);
+        }
+        2 => {
+            body.extend([
+                // For every first occurrence, recount the distinct suffix
+                // from scratch with a quadratic duplicate test.
+                b::for_i(
+                    "i",
+                    b::int(0),
+                    b::var("n"),
+                    vec![
+                        b::decl(Type::Int, "first", Some(b::int(1))),
+                        b::for_i(
+                            "j",
+                            b::int(0),
+                            b::var("i"),
+                            vec![b::if_then(
+                                b::eq(
+                                    b::idx(b::var("a"), b::var("j")),
+                                    b::idx(b::var("a"), b::var("i")),
+                                ),
+                                vec![b::expr(b::assign(b::var("first"), b::int(0)))],
+                            )],
+                        ),
+                        b::if_then(
+                            b::eq(b::var("first"), b::int(1)),
+                            vec![
+                                b::decl(Type::Int, "cnt", Some(b::int(0))),
+                                b::for_custom(
+                                    "j",
+                                    b::add(b::var("i"), b::int(1)),
+                                    b::lt(b::var("j"), b::var("n")),
+                                    b::post_inc(b::var("j")),
+                                    vec![
+                                        b::decl(Type::Int, "dup", Some(b::int(0))),
+                                        b::for_custom(
+                                            "k",
+                                            b::add(b::var("i"), b::int(1)),
+                                            b::lt(b::var("k"), b::var("j")),
+                                            b::post_inc(b::var("k")),
+                                            vec![b::if_then(
+                                                b::eq(
+                                                    b::idx(b::var("a"), b::var("k")),
+                                                    b::idx(b::var("a"), b::var("j")),
+                                                ),
+                                                vec![b::expr(b::assign(b::var("dup"), b::int(1)))],
+                                            )],
+                                        ),
+                                        b::if_then(
+                                            b::eq(b::var("dup"), b::int(0)),
+                                            vec![b::expr(b::post_inc(b::var("cnt")))],
+                                        ),
+                                    ],
+                                ),
+                                b::expr(b::add_assign(b::var("ans"), b::var("cnt"))),
+                            ],
+                        ),
+                    ],
+                ),
+            ]);
+        }
+        other => panic!("family E has no strategy {other}"),
+    }
+
+    body.push(out(b::var("ans"), style));
+    body.push(b::ret(Some(b::int(0))));
+    b::program(vec![b::func(Type::Int, "main", vec![], body)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_program, CostModel, Limits};
+    use rand::SeedableRng;
+
+    fn ground_truth(toks: &[InputTok]) -> i64 {
+        let a: Vec<i64> = toks[1..]
+            .iter()
+            .map(|t| match t {
+                InputTok::Int(v) => *v,
+                InputTok::Str(_) => panic!(),
+            })
+            .collect();
+        let n = a.len();
+        let mut ans = 0i64;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..n {
+            if seen.insert(a[i]) {
+                let distinct: std::collections::HashSet<i64> =
+                    a[i + 1..].iter().copied().collect();
+                ans += distinct.len() as i64;
+            }
+        }
+        ans
+    }
+
+    #[test]
+    fn strategies_agree() {
+        let spec = InputSpec { n: 25, m: 0, max_value: 9, word_len: 0 };
+        let mut rng = StdRng::seed_from_u64(4);
+        let toks = generate_input(&spec, &mut rng);
+        let expected = ground_truth(&toks).to_string();
+        for s in 0..3 {
+            let p = build(s, &Style::plain(), &spec);
+            let got = run_program(&p, &toks, &CostModel::default(), &Limits::default())
+                .unwrap_or_else(|e| panic!("strategy {s}: {e}"));
+            assert_eq!(got.output.trim(), expected, "strategy {s} wrong");
+        }
+    }
+
+    #[test]
+    fn all_equal_input() {
+        let toks = vec![InputTok::Int(4), InputTok::Int(7), InputTok::Int(7), InputTok::Int(7), InputTok::Int(7)];
+        let spec = InputSpec { n: 4, m: 0, max_value: 8, word_len: 0 };
+        for s in 0..3 {
+            let p = build(s, &Style::plain(), &spec);
+            let got = run_program(&p, &toks, &CostModel::default(), &Limits::default()).unwrap();
+            // Only index 0 is a first occurrence; suffix has 1 distinct value.
+            assert_eq!(got.output.trim(), "1", "strategy {s}");
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Family F — subtree-size queries ("Military Problem", Codeforces 1006 E
+//! flavour): given a rooted tree and queries `u`, report subtree sizes.
+//! Algorithm group: **DFS, graphs, and trees**.
+//!
+//! Strategies (fastest → slowest):
+//! 0. `parent-accumulate` — children have larger indices, so one reverse
+//!    sweep accumulates sizes; O(n + q).
+//! 1. `recursive-dfs` — classic recursive size computation; same
+//!    asymptotics, heavier constants (call frames).
+//! 2. `per-query-walk` — explicit-stack traversal from `u` for each query;
+//!    O(q·n).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use ccsa_cppast::ast::{Function, Program, Stmt, Type};
+
+use crate::builder as b;
+use crate::gen::Style;
+use crate::interp::InputTok;
+use crate::spec::{InputSpec, Strategy};
+
+use super::out;
+
+pub(crate) fn strategies() -> Vec<Strategy> {
+    vec![
+        Strategy { name: "parent-accumulate", weight: 0.30, cost_rank: 0 },
+        Strategy { name: "recursive-dfs", weight: 0.40, cost_rank: 1 },
+        Strategy { name: "per-query-walk", weight: 0.30, cost_rank: 2 },
+    ]
+}
+
+pub(crate) fn generate_input(input: &InputSpec, rng: &mut StdRng) -> Vec<InputTok> {
+    let n = input.n.max(2);
+    let q = input.m.max(1);
+    let mut toks = vec![InputTok::Int(n as i64)];
+    // Random recursive tree: parent of i ∈ [1, i-1] (1-indexed nodes).
+    for i in 2..=n {
+        toks.push(InputTok::Int(rng.random_range(1..i as i64)));
+    }
+    toks.push(InputTok::Int(q as i64));
+    for _ in 0..q {
+        toks.push(InputTok::Int(rng.random_range(1..=n as i64)));
+    }
+    toks
+}
+
+/// Shared prologue: read n, parent array `par` (1-indexed), adjacency `g`.
+fn read_tree() -> Vec<Stmt> {
+    vec![
+        b::decl(Type::Int, "n", None),
+        b::cin(vec![b::var("n")]),
+        b::decl_ctor(
+            Type::vec_int(),
+            "par",
+            vec![b::add(b::var("n"), b::int(1)), b::int(0)],
+        ),
+        b::decl_ctor(Type::vec_vec_int(), "g", vec![b::add(b::var("n"), b::int(1))]),
+        b::for_i_incl(
+            "i",
+            b::int(2),
+            b::var("n"),
+            vec![
+                b::cin(vec![b::idx(b::var("par"), b::var("i"))]),
+                b::expr(b::push_back(
+                    b::idx(b::var("g"), b::idx(b::var("par"), b::var("i"))),
+                    b::var("i"),
+                )),
+            ],
+        ),
+    ]
+}
+
+fn dfs_function() -> Function {
+    b::func(
+        Type::Int,
+        "dfs",
+        vec![(Type::vec_vec_int(), "g"), (Type::vec_int(), "sz"), (Type::Int, "u")],
+        vec![
+            b::decl(Type::Int, "s", Some(b::int(1))),
+            b::for_i(
+                "k",
+                b::int(0),
+                b::size_of(b::idx(b::var("g"), b::var("u"))),
+                vec![b::expr(b::add_assign(
+                    b::var("s"),
+                    b::call(
+                        "dfs",
+                        vec![b::var("g"), b::var("sz"), b::idx2(b::var("g"), b::var("u"), b::var("k"))],
+                    ),
+                ))],
+            ),
+            b::expr(b::assign(b::idx(b::var("sz"), b::var("u")), b::var("s"))),
+            b::ret(Some(b::var("s"))),
+        ],
+    )
+}
+
+pub(crate) fn build(strategy: usize, style: &Style, _input: &InputSpec) -> Program {
+    let mut body = read_tree();
+    body.push(b::decl(Type::Int, "q", None));
+    body.push(b::cin(vec![b::var("q")]));
+    body.push(b::decl(Type::Int, "ans", Some(b::int(0))));
+
+    let mut functions: Vec<Function> = Vec::new();
+
+    let mut per_query: Vec<Stmt> = vec![
+        b::decl(Type::Int, "u", None),
+        b::cin(vec![b::var("u")]),
+    ];
+
+    match strategy {
+        0 => {
+            body.push(b::decl_ctor(
+                Type::vec_int(),
+                "sz",
+                vec![b::add(b::var("n"), b::int(1)), b::int(1)],
+            ));
+            body.push(b::for_desc(
+                "i",
+                b::var("n"),
+                b::int(2),
+                vec![b::expr(b::add_assign(
+                    b::idx(b::var("sz"), b::idx(b::var("par"), b::var("i"))),
+                    b::idx(b::var("sz"), b::var("i")),
+                ))],
+            ));
+            per_query.push(b::expr(b::add_assign(
+                b::var("ans"),
+                b::idx(b::var("sz"), b::var("u")),
+            )));
+        }
+        1 => {
+            functions.push(dfs_function());
+            body.push(b::decl_ctor(
+                Type::vec_int(),
+                "sz",
+                vec![b::add(b::var("n"), b::int(1)), b::int(0)],
+            ));
+            body.push(b::expr(b::call(
+                "dfs",
+                vec![b::var("g"), b::var("sz"), b::int(1)],
+            )));
+            per_query.push(b::expr(b::add_assign(
+                b::var("ans"),
+                b::idx(b::var("sz"), b::var("u")),
+            )));
+        }
+        2 => {
+            per_query.extend([
+                b::decl(Type::vec_int(), "stk", None),
+                b::expr(b::push_back(b::var("stk"), b::var("u"))),
+                b::decl(Type::Int, "cnt", Some(b::int(0))),
+                b::while_loop(
+                    b::gt(b::size_of(b::var("stk")), b::int(0)),
+                    vec![
+                        b::decl(Type::Int, "v", Some(b::method(b::var("stk"), "back", vec![]))),
+                        b::expr(b::method(b::var("stk"), "pop_back", vec![])),
+                        b::expr(b::post_inc(b::var("cnt"))),
+                        b::for_i(
+                            "k",
+                            b::int(0),
+                            b::size_of(b::idx(b::var("g"), b::var("v"))),
+                            vec![b::expr(b::push_back(
+                                b::var("stk"),
+                                b::idx2(b::var("g"), b::var("v"), b::var("k")),
+                            ))],
+                        ),
+                    ],
+                ),
+                b::expr(b::add_assign(b::var("ans"), b::var("cnt"))),
+            ]);
+        }
+        other => panic!("family F has no strategy {other}"),
+    }
+
+    body.push(b::for_i("qq", b::int(0), b::var("q"), per_query));
+    body.push(out(b::var("ans"), style));
+    body.push(b::ret(Some(b::int(0))));
+
+    functions.push(b::func(Type::Int, "main", vec![], body));
+    b::program(functions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_program, CostModel, Limits};
+    use rand::SeedableRng;
+
+    fn ground_truth(toks: &[InputTok]) -> i64 {
+        let ints: Vec<i64> = toks
+            .iter()
+            .map(|t| match t {
+                InputTok::Int(v) => *v,
+                InputTok::Str(_) => panic!(),
+            })
+            .collect();
+        let n = ints[0] as usize;
+        let mut size = vec![1i64; n + 1];
+        let parents = &ints[1..n]; // parent of node i+2 at index i
+        for i in (2..=n).rev() {
+            let p = parents[i - 2] as usize;
+            size[p] += size[i];
+        }
+        let q = ints[n] as usize;
+        ints[n + 1..n + 1 + q].iter().map(|&u| size[u as usize]).sum()
+    }
+
+    #[test]
+    fn strategies_agree_on_subtree_sizes() {
+        let spec = InputSpec { n: 20, m: 8, max_value: 0, word_len: 0 };
+        let mut rng = StdRng::seed_from_u64(6);
+        let toks = generate_input(&spec, &mut rng);
+        let expected = ground_truth(&toks).to_string();
+        for s in 0..3 {
+            let p = build(s, &Style::plain(), &spec);
+            let got = run_program(&p, &toks, &CostModel::default(), &Limits::default())
+                .unwrap_or_else(|e| panic!("strategy {s}: {e}"));
+            assert_eq!(got.output.trim(), expected, "strategy {s} wrong");
+        }
+    }
+
+    #[test]
+    fn root_query_counts_whole_tree() {
+        // Star: 1 is the root, 2..=4 its children; query root.
+        let toks = vec![
+            InputTok::Int(4),
+            InputTok::Int(1),
+            InputTok::Int(1),
+            InputTok::Int(1),
+            InputTok::Int(1),
+            InputTok::Int(1),
+        ];
+        let spec = InputSpec { n: 4, m: 1, max_value: 0, word_len: 0 };
+        for s in 0..3 {
+            let p = build(s, &Style::plain(), &spec);
+            let got = run_program(&p, &toks, &CostModel::default(), &Limits::default()).unwrap();
+            assert_eq!(got.output.trim(), "4", "strategy {s}");
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! Family G — BFS-order validation ("Valid BFS?", Codeforces 1037 D
+//! flavour): is a given vertex sequence a breadth-first order of a tree?
+//! Algorithm group: **DFS, graphs, and trees**.
+//!
+//! Strategies (fastest → slowest):
+//! 0. `position-check` — positions + depths validated in two O(n) passes.
+//! 1. `level-rescan` — recompute each depth level by scanning the whole
+//!    sequence once per level; O(n · depth).
+//! 2. `pairwise` — quadratic pairwise ordering validation.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use ccsa_cppast::ast::{Program, Stmt, Type};
+
+use crate::builder as b;
+use crate::gen::Style;
+use crate::interp::InputTok;
+use crate::spec::{InputSpec, Strategy};
+
+use super::out;
+
+pub(crate) fn strategies() -> Vec<Strategy> {
+    vec![
+        Strategy { name: "position-check", weight: 0.30, cost_rank: 0 },
+        Strategy { name: "level-rescan", weight: 0.40, cost_rank: 1 },
+        Strategy { name: "pairwise", weight: 0.30, cost_rank: 2 },
+    ]
+}
+
+pub(crate) fn generate_input(input: &InputSpec, rng: &mut StdRng) -> Vec<InputTok> {
+    let n = input.n.max(2);
+    let mut toks = vec![InputTok::Int(n as i64)];
+    let mut parent = vec![0usize; n + 1];
+    for i in 2..=n {
+        parent[i] = rng.random_range(1..i);
+        toks.push(InputTok::Int(parent[i] as i64));
+    }
+    // Half the time emit a genuine BFS order, otherwise a random
+    // permutation starting at the root (usually invalid).
+    if rng.random_bool(0.5) {
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        for i in 2..=n {
+            children[parent[i]].push(i);
+        }
+        let mut queue = std::collections::VecDeque::from([1usize]);
+        while let Some(u) = queue.pop_front() {
+            toks.push(InputTok::Int(u as i64));
+            let mut kids = children[u].clone();
+            // BFS visits children in any order; shuffle for realism.
+            for k in (1..kids.len()).rev() {
+                kids.swap(k, rng.random_range(0..=k));
+            }
+            queue.extend(kids);
+        }
+    } else {
+        let mut perm: Vec<usize> = (2..=n).collect();
+        for k in (1..perm.len()).rev() {
+            perm.swap(k, rng.random_range(0..=k));
+        }
+        toks.push(InputTok::Int(1));
+        toks.extend(perm.into_iter().map(|v| InputTok::Int(v as i64)));
+    }
+    toks
+}
+
+/// Prologue: read n, parents into `par`, sequence into `seq`, and compute
+/// node depths `dep` (root = 0).
+fn read_all() -> Vec<Stmt> {
+    vec![
+        b::decl(Type::Int, "n", None),
+        b::cin(vec![b::var("n")]),
+        b::decl_ctor(
+            Type::vec_int(),
+            "par",
+            vec![b::add(b::var("n"), b::int(1)), b::int(0)],
+        ),
+        b::for_i_incl(
+            "i",
+            b::int(2),
+            b::var("n"),
+            vec![b::cin(vec![b::idx(b::var("par"), b::var("i"))])],
+        ),
+        b::decl_ctor(Type::vec_int(), "seq", vec![b::var("n"), b::int(0)]),
+        b::for_i(
+            "i",
+            b::int(0),
+            b::var("n"),
+            vec![b::cin(vec![b::idx(b::var("seq"), b::var("i"))])],
+        ),
+        b::decl_ctor(
+            Type::vec_int(),
+            "dep",
+            vec![b::add(b::var("n"), b::int(1)), b::int(0)],
+        ),
+        b::for_i_incl(
+            "i",
+            b::int(2),
+            b::var("n"),
+            vec![b::expr(b::assign(
+                b::idx(b::var("dep"), b::var("i")),
+                b::add(b::idx(b::var("dep"), b::idx(b::var("par"), b::var("i"))), b::int(1)),
+            ))],
+        ),
+    ]
+}
+
+pub(crate) fn build(strategy: usize, style: &Style, _input: &InputSpec) -> Program {
+    let mut body = read_all();
+    body.push(b::decl(Type::Int, "ok", Some(b::int(1))));
+    body.push(b::if_then(
+        b::ne(b::idx(b::var("seq"), b::int(0)), b::int(1)),
+        vec![b::expr(b::assign(b::var("ok"), b::int(0)))],
+    ));
+
+    match strategy {
+        0 => {
+            body.extend([
+                b::decl_ctor(
+                    Type::vec_int(),
+                    "pos",
+                    vec![b::add(b::var("n"), b::int(1)), b::int(0)],
+                ),
+                b::for_i(
+                    "i",
+                    b::int(0),
+                    b::var("n"),
+                    vec![b::expr(b::assign(
+                        b::idx(b::var("pos"), b::idx(b::var("seq"), b::var("i"))),
+                        b::var("i"),
+                    ))],
+                ),
+                // Parents appear before children.
+                b::for_i_incl(
+                    "v",
+                    b::int(2),
+                    b::var("n"),
+                    vec![b::if_then(
+                        b::ge(
+                            b::idx(b::var("pos"), b::idx(b::var("par"), b::var("v"))),
+                            b::idx(b::var("pos"), b::var("v")),
+                        ),
+                        vec![b::expr(b::assign(b::var("ok"), b::int(0)))],
+                    )],
+                ),
+                // Depths are non-decreasing along the sequence.
+                b::for_i(
+                    "i",
+                    b::int(1),
+                    b::var("n"),
+                    vec![b::if_then(
+                        b::lt(
+                            b::idx(b::var("dep"), b::idx(b::var("seq"), b::var("i"))),
+                            b::idx(b::var("dep"), b::idx(b::var("seq"), b::sub(b::var("i"), b::int(1)))),
+                        ),
+                        vec![b::expr(b::assign(b::var("ok"), b::int(0)))],
+                    )],
+                ),
+            ]);
+        }
+        1 => {
+            body.extend([
+                // Maximum depth.
+                b::decl(Type::Int, "maxd", Some(b::int(0))),
+                b::for_i_incl(
+                    "v",
+                    b::int(1),
+                    b::var("n"),
+                    vec![b::expr(b::assign(
+                        b::var("maxd"),
+                        b::call("max", vec![b::var("maxd"), b::idx(b::var("dep"), b::var("v"))]),
+                    ))],
+                ),
+                // For each level, the sequence positions of that level must
+                // form one contiguous block after all shallower levels;
+                // rescan the whole sequence per level.
+                b::decl(Type::Int, "cursor", Some(b::int(0))),
+                b::for_i_incl(
+                    "d",
+                    b::int(0),
+                    b::var("maxd"),
+                    vec![
+                        b::decl(Type::Int, "levelCount", Some(b::int(0))),
+                        b::for_i_incl(
+                            "v",
+                            b::int(1),
+                            b::var("n"),
+                            vec![b::if_then(
+                                b::eq(b::idx(b::var("dep"), b::var("v")), b::var("d")),
+                                vec![b::expr(b::post_inc(b::var("levelCount")))],
+                            )],
+                        ),
+                        b::for_custom(
+                            "i",
+                            b::var("cursor"),
+                            b::lt(b::var("i"), b::add(b::var("cursor"), b::var("levelCount"))),
+                            b::post_inc(b::var("i")),
+                            vec![b::if_then(
+                                b::ne(
+                                    b::idx(b::var("dep"), b::idx(b::var("seq"), b::var("i"))),
+                                    b::var("d"),
+                                ),
+                                vec![b::expr(b::assign(b::var("ok"), b::int(0)))],
+                            )],
+                        ),
+                        b::expr(b::add_assign(b::var("cursor"), b::var("levelCount"))),
+                    ],
+                ),
+                // Parents before children (still required).
+                b::decl_ctor(
+                    Type::vec_int(),
+                    "pos",
+                    vec![b::add(b::var("n"), b::int(1)), b::int(0)],
+                ),
+                b::for_i(
+                    "i",
+                    b::int(0),
+                    b::var("n"),
+                    vec![b::expr(b::assign(
+                        b::idx(b::var("pos"), b::idx(b::var("seq"), b::var("i"))),
+                        b::var("i"),
+                    ))],
+                ),
+                b::for_i_incl(
+                    "v",
+                    b::int(2),
+                    b::var("n"),
+                    vec![b::if_then(
+                        b::ge(
+                            b::idx(b::var("pos"), b::idx(b::var("par"), b::var("v"))),
+                            b::idx(b::var("pos"), b::var("v")),
+                        ),
+                        vec![b::expr(b::assign(b::var("ok"), b::int(0)))],
+                    )],
+                ),
+            ]);
+        }
+        2 => {
+            body.extend([
+                // Quadratic: every pair (i < j) must satisfy depth
+                // monotonicity, and each vertex must appear after its
+                // parent — found by scanning the sequence for the parent.
+                b::for_i(
+                    "i",
+                    b::int(0),
+                    b::var("n"),
+                    vec![b::for_custom(
+                        "j",
+                        b::add(b::var("i"), b::int(1)),
+                        b::lt(b::var("j"), b::var("n")),
+                        b::post_inc(b::var("j")),
+                        vec![b::if_then(
+                            b::gt(
+                                b::idx(b::var("dep"), b::idx(b::var("seq"), b::var("i"))),
+                                b::idx(b::var("dep"), b::idx(b::var("seq"), b::var("j"))),
+                            ),
+                            vec![b::expr(b::assign(b::var("ok"), b::int(0)))],
+                        )],
+                    )],
+                ),
+                b::for_i(
+                    "i",
+                    b::int(1),
+                    b::var("n"),
+                    vec![
+                        b::decl(Type::Int, "sawParent", Some(b::int(0))),
+                        b::for_i(
+                            "j",
+                            b::int(0),
+                            b::var("i"),
+                            vec![b::if_then(
+                                b::eq(
+                                    b::idx(b::var("seq"), b::var("j")),
+                                    b::idx(b::var("par"), b::idx(b::var("seq"), b::var("i"))),
+                                ),
+                                vec![b::expr(b::assign(b::var("sawParent"), b::int(1)))],
+                            )],
+                        ),
+                        b::if_then(
+                            b::eq(b::var("sawParent"), b::int(0)),
+                            vec![b::expr(b::assign(b::var("ok"), b::int(0)))],
+                        ),
+                    ],
+                ),
+            ]);
+        }
+        other => panic!("family G has no strategy {other}"),
+    }
+
+    body.push(out(b::var("ok"), style));
+    body.push(b::ret(Some(b::int(0))));
+    b::program(vec![b::func(Type::Int, "main", vec![], body)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_program, CostModel, Limits};
+    use rand::SeedableRng;
+
+    /// The three strategies implement the same *necessary-condition* check
+    /// (root first, parents before children, depths monotone), so they
+    /// must agree on every input.
+    #[test]
+    fn strategies_agree() {
+        let spec = InputSpec { n: 18, m: 0, max_value: 0, word_len: 0 };
+        for seed in 0..6 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let toks = generate_input(&spec, &mut rng);
+            let mut outputs = Vec::new();
+            for s in 0..3 {
+                let p = build(s, &Style::plain(), &spec);
+                let got = run_program(&p, &toks, &CostModel::default(), &Limits::default())
+                    .unwrap_or_else(|e| panic!("seed {seed} strategy {s}: {e}"));
+                outputs.push(got.output.trim().to_string());
+            }
+            assert_eq!(outputs[0], outputs[1], "seed {seed}: s0 vs s1");
+            assert_eq!(outputs[0], outputs[2], "seed {seed}: s0 vs s2");
+        }
+    }
+
+    #[test]
+    fn genuine_bfs_accepted_and_garbage_rejected() {
+        // Path 1-2-3: parents [1, 2]; BFS order 1 2 3 valid.
+        let valid = vec![
+            InputTok::Int(3),
+            InputTok::Int(1),
+            InputTok::Int(2),
+            InputTok::Int(1),
+            InputTok::Int(2),
+            InputTok::Int(3),
+        ];
+        // Order 1 3 2 violates depth monotonicity.
+        let invalid = vec![
+            InputTok::Int(3),
+            InputTok::Int(1),
+            InputTok::Int(2),
+            InputTok::Int(1),
+            InputTok::Int(3),
+            InputTok::Int(2),
+        ];
+        let spec = InputSpec { n: 3, m: 0, max_value: 0, word_len: 0 };
+        for s in 0..3 {
+            let p = build(s, &Style::plain(), &spec);
+            let ok = run_program(&p, &valid, &CostModel::default(), &Limits::default()).unwrap();
+            assert_eq!(ok.output.trim(), "1", "strategy {s} rejected a valid BFS");
+            let bad =
+                run_program(&p, &invalid, &CostModel::default(), &Limits::default()).unwrap();
+            assert_eq!(bad.output.trim(), "0", "strategy {s} accepted an invalid BFS");
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! Family H — "Given Length and Sum of Digits" (Codeforces 489 C): find
+//! the largest m-digit number with digit sum s. Algorithm group:
+//! **dynamic programming**.
+//!
+//! Strategies (fastest → slowest):
+//! 0. `greedy` — place the largest feasible digit at each position; O(m).
+//! 1. `memo-recursion` — top-down reachability with memoisation.
+//! 2. `dp-table` — full bottom-up table over (position, remaining sum).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use ccsa_cppast::ast::{Function, Program, Stmt, Type};
+
+use crate::builder as b;
+use crate::gen::Style;
+use crate::interp::InputTok;
+use crate::spec::{InputSpec, Strategy};
+
+use super::out;
+
+pub(crate) fn strategies() -> Vec<Strategy> {
+    vec![
+        // Under the interpreter's honest call-frame costs the memoised
+        // recursion is the slowest approach: every state pays ~10 call
+        // dispatches, where the bottom-up table pays plain loop iterations.
+        Strategy { name: "greedy", weight: 0.45, cost_rank: 0 },
+        Strategy { name: "memo-recursion", weight: 0.30, cost_rank: 2 },
+        Strategy { name: "dp-table", weight: 0.25, cost_rank: 1 },
+    ]
+}
+
+pub(crate) fn generate_input(input: &InputSpec, rng: &mut StdRng) -> Vec<InputTok> {
+    let m_max = input.n.clamp(4, 14) as i64;
+    let s_cap = input.m.clamp(16, 60) as i64;
+    let m = rng.random_range(4..=m_max);
+    // Keep the digit sum in the dense regime (s ≥ 4m): tiny sums make the
+    // memoised recursion's `left < 0` prune dominate and the strategy
+    // ordering input-dependent.
+    let s = rng.random_range((4 * m).min(s_cap - 1)..=(9 * m).min(s_cap));
+    vec![InputTok::Int(m), InputTok::Int(s)]
+}
+
+/// Emit the digits of the greedy maximal number and a checksum.
+///
+/// All strategies print `sum of digit·(index+1)` so outputs are comparable
+/// across approaches without printing m-digit numbers.
+fn checksum_output(style: &Style) -> Vec<Stmt> {
+    vec![
+        b::decl(Type::Int, "chk", Some(b::int(0))),
+        b::for_i(
+            "i",
+            b::int(0),
+            b::size_of(b::var("digits")),
+            vec![b::expr(b::add_assign(
+                b::var("chk"),
+                b::mul(b::idx(b::var("digits"), b::var("i")), b::add(b::var("i"), b::int(1))),
+            ))],
+        ),
+        out(b::var("chk"), style),
+    ]
+}
+
+/// `long long best(long long pos, long long left)` — memoised feasibility:
+/// can `pos` remaining digits sum to `left`? Memo table flattened to
+/// `memo[pos * (S + 1) + left]` with 0 = unknown, 1 = yes, 2 = no.
+fn memo_function() -> Function {
+    b::func(
+        Type::Int,
+        "feasible",
+        vec![
+            (Type::vec_int(), "memo"),
+            (Type::Int, "S"),
+            (Type::Int, "pos"),
+            (Type::Int, "left"),
+        ],
+        vec![
+            // No 9·pos upper-bound prune: the textbook memo explores every
+            // (pos, left) state, paying full call-dispatch costs — which is
+            // what makes this approach measurably slower than the table.
+            b::if_then(
+                b::lt(b::var("left"), b::int(0)),
+                vec![b::ret(Some(b::int(0)))],
+            ),
+            b::if_then(
+                b::eq(b::var("pos"), b::int(0)),
+                vec![b::ret(Some(b::ternary(
+                    b::eq(b::var("left"), b::int(0)),
+                    b::int(1),
+                    b::int(0),
+                )))],
+            ),
+            b::decl(
+                Type::Int,
+                "key",
+                Some(b::add(
+                    b::mul(b::var("pos"), b::add(b::var("S"), b::int(1))),
+                    b::var("left"),
+                )),
+            ),
+            b::if_then(
+                b::ne(b::idx(b::var("memo"), b::var("key")), b::int(0)),
+                vec![b::ret(Some(b::sub(b::idx(b::var("memo"), b::var("key")), b::int(1))))],
+            ),
+            b::decl(Type::Int, "found", Some(b::int(0))),
+            b::for_i_incl(
+                "d",
+                b::int(0),
+                b::int(9),
+                vec![b::if_then(
+                    b::eq(
+                        b::call(
+                            "feasible",
+                            vec![
+                                b::var("memo"),
+                                b::var("S"),
+                                b::sub(b::var("pos"), b::int(1)),
+                                b::sub(b::var("left"), b::var("d")),
+                            ],
+                        ),
+                        b::int(1),
+                    ),
+                    vec![b::expr(b::assign(b::var("found"), b::int(1)))],
+                )],
+            ),
+            b::expr(b::assign(
+                b::idx(b::var("memo"), b::var("key")),
+                b::add(b::var("found"), b::int(1)),
+            )),
+            b::ret(Some(b::var("found"))),
+        ],
+    )
+}
+
+pub(crate) fn build(strategy: usize, style: &Style, _input: &InputSpec) -> Program {
+    let mut body: Vec<Stmt> = vec![
+        b::decl(Type::Int, "m", None),
+        b::decl(Type::Int, "s", None),
+        b::cin(vec![b::var("m"), b::var("s")]),
+        b::decl(Type::vec_int(), "digits", None),
+    ];
+
+    let mut functions: Vec<Function> = Vec::new();
+
+    match strategy {
+        0 => {
+            // Greedy: digit = min(9, left), but keep enough for the rest
+            // (each remaining position contributes ≥ 0, so no constraint
+            // for the maximal number).
+            body.extend([
+                b::decl(Type::Int, "left", Some(b::var("s"))),
+                b::for_i(
+                    "i",
+                    b::int(0),
+                    b::var("m"),
+                    vec![
+                        b::decl(Type::Int, "d", Some(b::call("min", vec![b::int(9), b::var("left")]))),
+                        b::expr(b::push_back(b::var("digits"), b::var("d"))),
+                        b::expr(b::sub_assign(b::var("left"), b::var("d"))),
+                    ],
+                ),
+            ]);
+        }
+        1 => {
+            functions.push(memo_function());
+            body.extend([
+                b::decl_ctor(
+                    Type::vec_int(),
+                    "memo",
+                    vec![
+                        b::mul(b::add(b::var("m"), b::int(1)), b::add(b::var("s"), b::int(1))),
+                        b::int(0),
+                    ],
+                ),
+                b::decl(Type::Int, "left", Some(b::var("s"))),
+                b::for_i(
+                    "i",
+                    b::int(0),
+                    b::var("m"),
+                    vec![
+                        b::decl(Type::Int, "chosen", Some(b::int(0))),
+                        b::for_desc(
+                            "d",
+                            b::int(9),
+                            b::int(0),
+                            vec![b::if_then(
+                                b::and(
+                                    b::eq(b::var("chosen"), b::int(0)),
+                                    b::and(
+                                        b::ge(b::sub(b::var("left"), b::var("d")), b::int(0)),
+                                        b::eq(
+                                            b::call(
+                                                "feasible",
+                                                vec![
+                                                    b::var("memo"),
+                                                    b::var("s"),
+                                                    b::sub(b::sub(b::var("m"), b::var("i")), b::int(1)),
+                                                    b::sub(b::var("left"), b::var("d")),
+                                                ],
+                                            ),
+                                            b::int(1),
+                                        ),
+                                    ),
+                                ),
+                                vec![
+                                    b::expr(b::push_back(b::var("digits"), b::var("d"))),
+                                    b::expr(b::sub_assign(b::var("left"), b::var("d"))),
+                                    b::expr(b::assign(b::var("chosen"), b::int(1))),
+                                ],
+                            )],
+                        ),
+                    ],
+                ),
+            ]);
+        }
+        2 => {
+            // Bottom-up reachability table dp[pos][sum] then reconstruct.
+            body.extend([
+                b::decl_ctor(
+                    Type::vec_vec_int(),
+                    "dp",
+                    vec![b::add(b::var("m"), b::int(1))],
+                ),
+                b::for_i_incl(
+                    "i",
+                    b::int(0),
+                    b::var("m"),
+                    vec![b::expr(b::method(
+                        b::idx(b::var("dp"), b::var("i")),
+                        "resize",
+                        vec![b::add(b::var("s"), b::int(1))],
+                    ))],
+                ),
+                b::expr(b::assign(b::idx2(b::var("dp"), b::int(0), b::int(0)), b::int(1))),
+                b::for_i_incl(
+                    "i",
+                    b::int(1),
+                    b::var("m"),
+                    vec![b::for_i_incl(
+                        "t",
+                        b::int(0),
+                        b::var("s"),
+                        vec![b::for_i_incl(
+                            "d",
+                            b::int(0),
+                            b::int(9),
+                            vec![b::if_then(
+                                b::and(
+                                    b::ge(b::sub(b::var("t"), b::var("d")), b::int(0)),
+                                    b::eq(
+                                        b::idx2(
+                                            b::var("dp"),
+                                            b::sub(b::var("i"), b::int(1)),
+                                            b::sub(b::var("t"), b::var("d")),
+                                        ),
+                                        b::int(1),
+                                    ),
+                                ),
+                                vec![b::expr(b::assign(
+                                    b::idx2(b::var("dp"), b::var("i"), b::var("t")),
+                                    b::int(1),
+                                ))],
+                            )],
+                        )],
+                    )],
+                ),
+                b::decl(Type::Int, "left", Some(b::var("s"))),
+                b::for_i(
+                    "i",
+                    b::int(0),
+                    b::var("m"),
+                    vec![
+                        b::decl(Type::Int, "chosen", Some(b::int(0))),
+                        b::for_desc(
+                            "d",
+                            b::int(9),
+                            b::int(0),
+                            vec![b::if_then(
+                                b::and(
+                                    b::eq(b::var("chosen"), b::int(0)),
+                                    b::and(
+                                        b::ge(b::sub(b::var("left"), b::var("d")), b::int(0)),
+                                        b::eq(
+                                            b::idx2(
+                                                b::var("dp"),
+                                                b::sub(b::sub(b::var("m"), b::var("i")), b::int(1)),
+                                                b::sub(b::var("left"), b::var("d")),
+                                            ),
+                                            b::int(1),
+                                        ),
+                                    ),
+                                ),
+                                vec![
+                                    b::expr(b::push_back(b::var("digits"), b::var("d"))),
+                                    b::expr(b::sub_assign(b::var("left"), b::var("d"))),
+                                    b::expr(b::assign(b::var("chosen"), b::int(1))),
+                                ],
+                            )],
+                        ),
+                    ],
+                ),
+            ]);
+        }
+        other => panic!("family H has no strategy {other}"),
+    }
+
+    body.extend(checksum_output(style));
+    body.push(b::ret(Some(b::int(0))));
+
+    functions.push(b::func(Type::Int, "main", vec![], body));
+    b::program(functions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_program, CostModel, Limits};
+
+    fn greedy_checksum(m: i64, s: i64) -> i64 {
+        let mut left = s;
+        let mut chk = 0;
+        for i in 0..m {
+            let d = left.min(9);
+            left -= d;
+            chk += d * (i + 1);
+        }
+        chk
+    }
+
+    #[test]
+    fn strategies_agree_with_greedy_construction() {
+        for (m, s) in [(2, 11), (5, 1), (6, 54), (9, 30), (3, 27)] {
+            let toks = vec![InputTok::Int(m), InputTok::Int(s)];
+            let spec = InputSpec { n: 14, m: 60, max_value: 0, word_len: 0 };
+            let expected = greedy_checksum(m, s).to_string();
+            for strat in 0..3 {
+                let p = build(strat, &Style::plain(), &spec);
+                let got = run_program(&p, &toks, &CostModel::default(), &Limits::default())
+                    .unwrap_or_else(|e| panic!("m={m} s={s} strategy {strat}: {e}"));
+                assert_eq!(got.output.trim(), expected, "m={m} s={s} strategy {strat}");
+            }
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Family I — "Substring" (Codeforces 919 D flavour): maximize the count
+//! of a tracked letter along any path of a DAG. Algorithm group:
+//! **DFS, DP, graphs**.
+//!
+//! Edges always go from a smaller to a larger node index, so index order is
+//! a topological order (and the graph is acyclic by construction).
+//!
+//! Strategies (fastest → slowest):
+//! 0. `topo-dp` — one pass over nodes in index order relaxing in-edges.
+//! 1. `memo-dfs` — memoised recursion over predecessors.
+//! 2. `edge-sweep` — for every node rescan the entire edge list; O(n·m).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use ccsa_cppast::ast::{Function, Program, Stmt, Type};
+
+use crate::builder as b;
+use crate::gen::Style;
+use crate::interp::InputTok;
+use crate::spec::{InputSpec, Strategy};
+
+use super::out;
+
+pub(crate) fn strategies() -> Vec<Strategy> {
+    vec![
+        Strategy { name: "topo-dp", weight: 0.35, cost_rank: 0 },
+        Strategy { name: "memo-dfs", weight: 0.35, cost_rank: 1 },
+        Strategy { name: "edge-sweep", weight: 0.30, cost_rank: 2 },
+    ]
+}
+
+pub(crate) fn generate_input(input: &InputSpec, rng: &mut StdRng) -> Vec<InputTok> {
+    let n = input.n.max(3);
+    let m = input.m.max(1);
+    let mut toks = vec![InputTok::Int(n as i64)];
+    let word: String =
+        (0..n).map(|_| (b'a' + rng.random_range(0..3u8)) as char).collect();
+    toks.push(InputTok::Str(word));
+    toks.push(InputTok::Int(m as i64));
+    for _ in 0..m {
+        let u = rng.random_range(0..n as i64 - 1);
+        let v = rng.random_range(u + 1..n as i64);
+        toks.push(InputTok::Int(u));
+        toks.push(InputTok::Int(v));
+    }
+    toks
+}
+
+/// Prologue: read n, the letter word, m, and edges into `eu`/`ev`; compute
+/// per-node value `val[i] = (word[i] == 'a')`.
+fn read_graph() -> Vec<Stmt> {
+    vec![
+        b::decl(Type::Int, "n", None),
+        b::cin(vec![b::var("n")]),
+        b::decl(Type::Str, "w", None),
+        b::cin(vec![b::var("w")]),
+        b::decl_ctor(Type::vec_int(), "val", vec![b::var("n"), b::int(0)]),
+        b::for_i(
+            "i",
+            b::int(0),
+            b::var("n"),
+            vec![b::if_then(
+                b::eq(b::idx(b::var("w"), b::var("i")), b::char_lit('a')),
+                vec![b::expr(b::assign(b::idx(b::var("val"), b::var("i")), b::int(1)))],
+            )],
+        ),
+        b::decl(Type::Int, "m", None),
+        b::cin(vec![b::var("m")]),
+        b::decl(Type::vec_int(), "eu", None),
+        b::decl(Type::vec_int(), "ev", None),
+        b::for_i(
+            "j",
+            b::int(0),
+            b::var("m"),
+            vec![
+                b::decl(Type::Int, "u", None),
+                b::decl(Type::Int, "v", None),
+                b::cin(vec![b::var("u"), b::var("v")]),
+                b::expr(b::push_back(b::var("eu"), b::var("u"))),
+                b::expr(b::push_back(b::var("ev"), b::var("v"))),
+            ],
+        ),
+    ]
+}
+
+/// `long long go(...)` — memoised best count ending at node `u`.
+fn memo_dfs_function() -> Function {
+    b::func(
+        Type::Int,
+        "go",
+        vec![
+            (Type::vec_vec_int(), "pred"),
+            (Type::vec_int(), "val"),
+            (Type::vec_int(), "memo"),
+            (Type::Int, "u"),
+        ],
+        vec![
+            b::if_then(
+                b::ge(b::idx(b::var("memo"), b::var("u")), b::int(0)),
+                vec![b::ret(Some(b::idx(b::var("memo"), b::var("u"))))],
+            ),
+            b::decl(Type::Int, "best", Some(b::int(0))),
+            b::for_i(
+                "k",
+                b::int(0),
+                b::size_of(b::idx(b::var("pred"), b::var("u"))),
+                vec![
+                    b::decl(
+                        Type::Int,
+                        "c",
+                        Some(b::call(
+                            "go",
+                            vec![
+                                b::var("pred"),
+                                b::var("val"),
+                                b::var("memo"),
+                                b::idx2(b::var("pred"), b::var("u"), b::var("k")),
+                            ],
+                        )),
+                    ),
+                    b::expr(b::assign(b::var("best"), b::call("max", vec![b::var("best"), b::var("c")]))),
+                ],
+            ),
+            b::expr(b::assign(
+                b::idx(b::var("memo"), b::var("u")),
+                b::add(b::var("best"), b::idx(b::var("val"), b::var("u"))),
+            )),
+            b::ret(Some(b::idx(b::var("memo"), b::var("u")))),
+        ],
+    )
+}
+
+pub(crate) fn build(strategy: usize, style: &Style, _input: &InputSpec) -> Program {
+    let mut body = read_graph();
+    let mut functions: Vec<Function> = Vec::new();
+
+    match strategy {
+        0 => {
+            body.extend([
+                // In-lists, then one index-order pass.
+                b::decl_ctor(Type::vec_vec_int(), "pred", vec![b::var("n")]),
+                b::for_i(
+                    "j",
+                    b::int(0),
+                    b::var("m"),
+                    vec![b::expr(b::push_back(
+                        b::idx(b::var("pred"), b::idx(b::var("ev"), b::var("j"))),
+                        b::idx(b::var("eu"), b::var("j")),
+                    ))],
+                ),
+                b::decl_ctor(Type::vec_int(), "dp", vec![b::var("n"), b::int(0)]),
+                b::for_i(
+                    "v",
+                    b::int(0),
+                    b::var("n"),
+                    vec![
+                        b::decl(Type::Int, "best", Some(b::int(0))),
+                        b::for_i(
+                            "k",
+                            b::int(0),
+                            b::size_of(b::idx(b::var("pred"), b::var("v"))),
+                            vec![b::expr(b::assign(
+                                b::var("best"),
+                                b::call(
+                                    "max",
+                                    vec![
+                                        b::var("best"),
+                                        b::idx(b::var("dp"), b::idx2(b::var("pred"), b::var("v"), b::var("k"))),
+                                    ],
+                                ),
+                            ))],
+                        ),
+                        b::expr(b::assign(
+                            b::idx(b::var("dp"), b::var("v")),
+                            b::add(b::var("best"), b::idx(b::var("val"), b::var("v"))),
+                        )),
+                    ],
+                ),
+            ]);
+        }
+        1 => {
+            functions.push(memo_dfs_function());
+            body.extend([
+                b::decl_ctor(Type::vec_vec_int(), "pred", vec![b::var("n")]),
+                b::for_i(
+                    "j",
+                    b::int(0),
+                    b::var("m"),
+                    vec![b::expr(b::push_back(
+                        b::idx(b::var("pred"), b::idx(b::var("ev"), b::var("j"))),
+                        b::idx(b::var("eu"), b::var("j")),
+                    ))],
+                ),
+                b::decl_ctor(Type::vec_int(), "memo", vec![b::var("n"), b::neg(b::int(1))]),
+                b::decl_ctor(Type::vec_int(), "dp", vec![b::var("n"), b::int(0)]),
+                b::for_i(
+                    "v",
+                    b::int(0),
+                    b::var("n"),
+                    vec![b::expr(b::assign(
+                        b::idx(b::var("dp"), b::var("v")),
+                        b::call(
+                            "go",
+                            vec![b::var("pred"), b::var("val"), b::var("memo"), b::var("v")],
+                        ),
+                    ))],
+                ),
+            ]);
+        }
+        2 => {
+            body.extend([
+                // No adjacency structure at all: for each node in order,
+                // rescan every edge to find its predecessors.
+                b::decl_ctor(Type::vec_int(), "dp", vec![b::var("n"), b::int(0)]),
+                b::for_i(
+                    "v",
+                    b::int(0),
+                    b::var("n"),
+                    vec![
+                        b::decl(Type::Int, "best", Some(b::int(0))),
+                        b::for_i(
+                            "j",
+                            b::int(0),
+                            b::var("m"),
+                            vec![b::if_then(
+                                b::eq(b::idx(b::var("ev"), b::var("j")), b::var("v")),
+                                vec![b::expr(b::assign(
+                                    b::var("best"),
+                                    b::call(
+                                        "max",
+                                        vec![
+                                            b::var("best"),
+                                            b::idx(b::var("dp"), b::idx(b::var("eu"), b::var("j"))),
+                                        ],
+                                    ),
+                                ))],
+                            )],
+                        ),
+                        b::expr(b::assign(
+                            b::idx(b::var("dp"), b::var("v")),
+                            b::add(b::var("best"), b::idx(b::var("val"), b::var("v"))),
+                        )),
+                    ],
+                ),
+            ]);
+        }
+        other => panic!("family I has no strategy {other}"),
+    }
+
+    body.extend([
+        b::decl(Type::Int, "ans", Some(b::int(0))),
+        b::for_i(
+            "v",
+            b::int(0),
+            b::var("n"),
+            vec![b::expr(b::assign(
+                b::var("ans"),
+                b::call("max", vec![b::var("ans"), b::idx(b::var("dp"), b::var("v"))]),
+            ))],
+        ),
+        out(b::var("ans"), style),
+        b::ret(Some(b::int(0))),
+    ]);
+
+    functions.push(b::func(Type::Int, "main", vec![], body));
+    b::program(functions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_program, CostModel, Limits};
+    use rand::SeedableRng;
+
+    fn ground_truth(toks: &[InputTok]) -> i64 {
+        let InputTok::Int(n) = toks[0] else { panic!() };
+        let InputTok::Str(w) = &toks[1] else { panic!() };
+        let n = n as usize;
+        let val: Vec<i64> = w.bytes().map(|b| (b == b'a') as i64).collect();
+        let InputTok::Int(m) = toks[2] else { panic!() };
+        let mut pred: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for k in 0..m as usize {
+            let InputTok::Int(u) = toks[3 + 2 * k] else { panic!() };
+            let InputTok::Int(v) = toks[4 + 2 * k] else { panic!() };
+            pred[v as usize].push(u as usize);
+        }
+        let mut dp = vec![0i64; n];
+        for v in 0..n {
+            let best = pred[v].iter().map(|&u| dp[u]).max().unwrap_or(0);
+            dp[v] = best + val[v];
+        }
+        dp.into_iter().max().unwrap_or(0)
+    }
+
+    #[test]
+    fn strategies_agree_on_best_path() {
+        let spec = InputSpec { n: 18, m: 30, max_value: 0, word_len: 0 };
+        let mut rng = StdRng::seed_from_u64(21);
+        let toks = generate_input(&spec, &mut rng);
+        let expected = ground_truth(&toks).to_string();
+        for s in 0..3 {
+            let p = build(s, &Style::plain(), &spec);
+            let got = run_program(&p, &toks, &CostModel::default(), &Limits::default())
+                .unwrap_or_else(|e| panic!("strategy {s}: {e}"));
+            assert_eq!(got.output.trim(), expected, "strategy {s} wrong");
+        }
+    }
+
+    #[test]
+    fn no_edges_counts_single_best_node() {
+        let toks = vec![
+            InputTok::Int(3),
+            InputTok::Str("aba".into()),
+            InputTok::Int(1),
+            InputTok::Int(0),
+            InputTok::Int(2),
+        ];
+        let spec = InputSpec { n: 3, m: 1, max_value: 0, word_len: 0 };
+        for s in 0..3 {
+            let p = build(s, &Style::plain(), &spec);
+            let got = run_program(&p, &toks, &CostModel::default(), &Limits::default()).unwrap();
+            // Path 0→2 collects 'a' at 0 and 'a' at 2 → 2.
+            assert_eq!(got.output.trim(), "2", "strategy {s}");
+        }
+    }
+}

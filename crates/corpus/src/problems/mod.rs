@@ -1,0 +1,260 @@
+//! The nine solution-template families of Table I.
+//!
+//! Each family module provides the strategies (algorithmic approaches with
+//! distinct asymptotic cost) that real submissions to that problem used,
+//! expressed as mini-C++ program templates, plus a judge input generator.
+//! Templates consult [`Style`](crate::gen::Style) flags to emit
+//! author-style variation (helper functions, redundant scans, temporaries).
+
+mod a_registration;
+mod b_tprime;
+mod c_sticks;
+mod d_range_gcd;
+mod e_prefix_distinct;
+mod f_subtree;
+mod g_bfs_check;
+mod h_digit_sum;
+mod i_dag_letters;
+
+use rand::rngs::StdRng;
+
+use ccsa_cppast::ast::Program;
+
+use crate::gen::Style;
+use crate::interp::InputTok;
+use crate::spec::{InputSpec, ProblemTag, Strategy};
+
+/// The strategies available for a family, with popularity weights and
+/// coarse cost ranks (0 = asymptotically fastest).
+pub fn strategies(family: ProblemTag) -> Vec<Strategy> {
+    match family {
+        ProblemTag::A => a_registration::strategies(),
+        ProblemTag::B => b_tprime::strategies(),
+        ProblemTag::C => c_sticks::strategies(),
+        ProblemTag::D => d_range_gcd::strategies(),
+        ProblemTag::E => e_prefix_distinct::strategies(),
+        ProblemTag::F => f_subtree::strategies(),
+        ProblemTag::G => g_bfs_check::strategies(),
+        ProblemTag::H => h_digit_sum::strategies(),
+        ProblemTag::I => i_dag_letters::strategies(),
+    }
+}
+
+/// Builds the solution program for `family` strategy `strategy` in the
+/// given authoring style.
+///
+/// # Panics
+///
+/// Panics if `strategy` is out of range for the family.
+pub fn build(family: ProblemTag, strategy: usize, style: &Style, input: &InputSpec) -> Program {
+    match family {
+        ProblemTag::A => a_registration::build(strategy, style, input),
+        ProblemTag::B => b_tprime::build(strategy, style, input),
+        ProblemTag::C => c_sticks::build(strategy, style, input),
+        ProblemTag::D => d_range_gcd::build(strategy, style, input),
+        ProblemTag::E => e_prefix_distinct::build(strategy, style, input),
+        ProblemTag::F => f_subtree::build(strategy, style, input),
+        ProblemTag::G => g_bfs_check::build(strategy, style, input),
+        ProblemTag::H => h_digit_sum::build(strategy, style, input),
+        ProblemTag::I => i_dag_letters::build(strategy, style, input),
+    }
+}
+
+/// Samples one judge test case for `family` with the given sizes.
+pub fn generate_input(family: ProblemTag, input: &InputSpec, rng: &mut StdRng) -> Vec<InputTok> {
+    match family {
+        ProblemTag::A => a_registration::generate_input(input, rng),
+        ProblemTag::B => b_tprime::generate_input(input, rng),
+        ProblemTag::C => c_sticks::generate_input(input, rng),
+        ProblemTag::D => d_range_gcd::generate_input(input, rng),
+        ProblemTag::E => e_prefix_distinct::generate_input(input, rng),
+        ProblemTag::F => f_subtree::generate_input(input, rng),
+        ProblemTag::G => g_bfs_check::generate_input(input, rng),
+        ProblemTag::H => h_digit_sum::generate_input(input, rng),
+        ProblemTag::I => i_dag_letters::generate_input(input, rng),
+    }
+}
+
+/// Shared template fragment: the opening `int n; cin >> n;` and a read loop
+/// filling `vector<long long> a(n)`.
+pub(crate) fn read_int_array(style: &Style) -> Vec<ccsa_cppast::ast::Stmt> {
+    use crate::builder as b;
+    use ccsa_cppast::ast::Type;
+    let mut stmts = vec![
+        b::decl(Type::Int, "n", None),
+        b::cin(vec![b::var("n")]),
+        b::decl_ctor(Type::vec_int(), "a", vec![b::var("n")]),
+        b::for_i(
+            "i",
+            b::int(0),
+            bound("a", style),
+            vec![b::cin(vec![b::idx(b::var("a"), b::var("i"))])],
+        ),
+    ];
+    if style.extra_scan {
+        stmts.extend(extra_scan_pass("a", "chk", style));
+    }
+    if style.second_extra_scan {
+        stmts.extend(extra_scan_pass("a", "chk2", style));
+    }
+    stmts
+}
+
+/// Loop bound: `n` (cached) or `v.size()` (recomputed per iteration).
+pub(crate) fn bound(vec_name: &str, style: &Style) -> ccsa_cppast::ast::Expr {
+    use crate::builder as b;
+    if style.recompute_size {
+        b::size_of(b::var(vec_name))
+    } else {
+        b::var("n")
+    }
+}
+
+/// A harmless O(n) bookkeeping pass over `vec_name` accumulating into a
+/// fresh variable — real cost, no effect on the answer.
+pub(crate) fn extra_scan_pass(
+    vec_name: &str,
+    acc: &str,
+    style: &Style,
+) -> Vec<ccsa_cppast::ast::Stmt> {
+    use crate::builder as b;
+    use ccsa_cppast::ast::Type;
+    vec![
+        b::decl(Type::Int, acc, Some(b::int(0))),
+        b::for_i(
+            "sx",
+            b::int(0),
+            bound(vec_name, style),
+            vec![b::expr(b::add_assign(
+                b::var(acc),
+                b::idx(b::var(vec_name), b::var("sx")),
+            ))],
+        ),
+        b::if_then(
+            b::lt(b::var(acc), b::int(0)),
+            vec![b::cout(vec![b::str_lit("")])],
+        ),
+    ]
+}
+
+/// Final output statement honouring the `use_endl` style flag.
+pub(crate) fn out(value: ccsa_cppast::ast::Expr, style: &Style) -> ccsa_cppast::ast::Stmt {
+    use crate::builder as b;
+    if style.use_endl {
+        b::coutln(value)
+    } else {
+        b::cout(vec![value])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_program, CostModel, Limits};
+    use rand::SeedableRng;
+
+    /// Every (family, strategy) pair must parse, print, re-parse and run to
+    /// completion on generated inputs — and strategies must be ordered by
+    /// their declared cost rank.
+    #[test]
+    fn all_strategies_run_and_rank_costs() {
+        for tag in ProblemTag::ALL {
+            let spec = crate::spec::ProblemSpec::curated(tag);
+            let mut rng = StdRng::seed_from_u64(tag as u64 + 100);
+            let input = spec.generate_input(&mut rng);
+            let mut costs = Vec::new();
+            for (s, strat) in spec.strategies.iter().enumerate() {
+                let program = build(tag, s, &Style::plain(), &spec.input);
+                let printed = ccsa_cppast::print_program(&program);
+                let reparsed = ccsa_cppast::parse_program(&printed)
+                    .unwrap_or_else(|e| panic!("{tag} s{s} reparse: {e}\n{printed}"));
+                let out = run_program(&reparsed, &input, &CostModel::default(), &Limits::default())
+                    .unwrap_or_else(|e| panic!("{tag} s{s} ({}) run failed: {e}\n{printed}", strat.name));
+                costs.push((strat.cost_rank, out.cost, strat.name));
+            }
+            let mut sorted = costs.clone();
+            sorted.sort_by_key(|&(rank, _, _)| rank);
+            for w in sorted.windows(2) {
+                assert!(
+                    w[0].1 < w[1].1,
+                    "{tag}: strategy '{}' (rank {}) cost {} not below '{}' (rank {}) cost {}",
+                    w[0].2,
+                    w[0].0,
+                    w[0].1,
+                    w[1].2,
+                    w[1].0,
+                    w[1].1
+                );
+            }
+        }
+    }
+
+    /// Style flags that claim to add cost must actually add cost.
+    #[test]
+    fn extra_scan_costs_more() {
+        for tag in [ProblemTag::C, ProblemTag::E] {
+            let spec = crate::spec::ProblemSpec::curated(tag);
+            let mut rng = StdRng::seed_from_u64(7);
+            let input = spec.generate_input(&mut rng);
+            let plain = build(tag, 0, &Style::plain(), &spec.input);
+            let scan_style = Style { extra_scan: true, ..Style::plain() };
+            let scanned = build(tag, 0, &scan_style, &spec.input);
+            let c0 = run_program(&plain, &input, &CostModel::default(), &Limits::default())
+                .unwrap()
+                .cost;
+            let c1 = run_program(&scanned, &input, &CostModel::default(), &Limits::default())
+                .unwrap()
+                .cost;
+            assert!(c1 > c0, "{tag}: extra_scan did not increase cost ({c0} vs {c1})");
+        }
+    }
+}
+
+#[cfg(test)]
+mod robustness_tests {
+    use super::*;
+    use crate::interp::{run_program, CostModel, Limits};
+    use rand::SeedableRng;
+
+    /// Strategy cost ordering must hold across many judge seeds — the
+    /// Strategy cost ordering must hold in the mean across many judge
+    /// inputs and on the large majority of individual inputs. (Individual
+    /// draws may invert marginally-separated strategies — e.g. problem H
+    /// at its smallest digit sums — which the judge's multi-test averaging
+    /// smooths out; the corpus labels depend on the mean.)
+    #[test]
+    fn strategy_ranks_are_stable_across_seeds() {
+        let trials = 8u64;
+        for tag in ProblemTag::ALL {
+            let spec = crate::spec::ProblemSpec::curated(tag);
+            let mut wins = 0u64;
+            let mut mean_by_rank: std::collections::BTreeMap<u8, f64> = Default::default();
+            for seed in 0..trials {
+                let mut rng = StdRng::seed_from_u64(1000 + seed);
+                let input = spec.generate_input(&mut rng);
+                let mut costs: Vec<(u8, u64)> = Vec::new();
+                for (s, strat) in spec.strategies.iter().enumerate() {
+                    let program = build(tag, s, &Style::plain(), &spec.input);
+                    let out =
+                        run_program(&program, &input, &CostModel::default(), &Limits::default())
+                            .unwrap_or_else(|e| panic!("{tag} s{s} seed {seed}: {e}"));
+                    costs.push((strat.cost_rank, out.cost));
+                    *mean_by_rank.entry(strat.cost_rank).or_default() +=
+                        out.cost as f64 / trials as f64;
+                }
+                costs.sort_by_key(|&(rank, _)| rank);
+                if costs.windows(2).all(|w| w[0].1 < w[1].1) {
+                    wins += 1;
+                }
+            }
+            let means: Vec<f64> = mean_by_rank.values().copied().collect();
+            for w in means.windows(2) {
+                assert!(w[0] < w[1], "{tag}: mean costs not rank-ordered: {means:?}");
+            }
+            assert!(
+                wins * 4 >= trials * 3,
+                "{tag}: rank ordering held on only {wins}/{trials} individual inputs"
+            );
+        }
+    }
+}

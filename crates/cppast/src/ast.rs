@@ -1,0 +1,427 @@
+//! The typed abstract syntax tree for mini-C++.
+//!
+//! The typed AST keeps identifiers and literal values, which the corpus
+//! interpreter needs to execute programs. The models never see these: they
+//! consume the flattened node-kind tree produced by
+//! [`AstGraph::from_program`](crate::tree::AstGraph::from_program).
+
+use std::fmt;
+
+/// A mini-C++ type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// Any integer type (`int`, `long`, `long long` all widen to `i64`).
+    Int,
+    /// `double`.
+    Double,
+    /// `bool`.
+    Bool,
+    /// `char`.
+    Char,
+    /// `std::string`.
+    Str,
+    /// `void` (function returns only).
+    Void,
+    /// `std::vector<T>`.
+    Vec(Box<Type>),
+}
+
+impl Type {
+    /// `vector<long long>` — the workhorse container of the corpus.
+    pub fn vec_int() -> Type {
+        Type::Vec(Box::new(Type::Int))
+    }
+
+    /// `vector<vector<long long>>` — adjacency lists and DP tables.
+    pub fn vec_vec_int() -> Type {
+        Type::Vec(Box::new(Type::vec_int()))
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => write!(f, "long long"),
+            Type::Double => write!(f, "double"),
+            Type::Bool => write!(f, "bool"),
+            Type::Char => write!(f, "char"),
+            Type::Str => write!(f, "string"),
+            Type::Void => write!(f, "void"),
+            Type::Vec(inner) => write!(f, "vector<{inner}>"),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    And,
+    Or,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+}
+
+impl BinOp {
+    /// The C++ spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Gt => ">",
+            BinOp::Le => "<=",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+        }
+    }
+
+    /// Binding strength for the printer/parser (higher binds tighter),
+    /// mirroring C++ precedence.
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::BitOr => 3,
+            BinOp::BitXor => 4,
+            BinOp::BitAnd => 5,
+            BinOp::Eq | BinOp::Ne => 6,
+            BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge => 7,
+            BinOp::Shl | BinOp::Shr => 8,
+            BinOp::Add | BinOp::Sub => 9,
+            BinOp::Mul | BinOp::Div | BinOp::Mod => 10,
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation `-x`.
+    Neg,
+    /// Logical not `!x`.
+    Not,
+    /// Bitwise complement `~x`.
+    BitNot,
+}
+
+impl UnOp {
+    /// The C++ spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+            UnOp::BitNot => "~",
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Character literal.
+    Char(char),
+    /// String literal.
+    Str(String),
+    /// Variable reference.
+    Var(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Assignment `lhs = rhs` (lhs must be an lvalue).
+    Assign(Box<Expr>, Box<Expr>),
+    /// Compound assignment `lhs op= rhs`.
+    CompoundAssign(BinOp, Box<Expr>, Box<Expr>),
+    /// `++x` / `--x` / `x++` / `x--`.
+    IncDec {
+        /// Prefix (`++x`) if true, postfix (`x++`) otherwise.
+        pre: bool,
+        /// Increment if true, decrement otherwise.
+        inc: bool,
+        /// The lvalue being modified.
+        target: Box<Expr>,
+    },
+    /// Subscript `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Free-function (or builtin) call `name(args…)`.
+    Call(String, Vec<Expr>),
+    /// Method call `recv.name(args…)` — e.g. `v.push_back(x)`, `v.size()`.
+    MethodCall(Box<Expr>, String, Vec<Expr>),
+    /// Conditional `cond ? a : b`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// C-style cast `(type)expr`.
+    Cast(Type, Box<Expr>),
+    /// `cin >> a >> b …` — targets must be lvalues.
+    StreamIn(Vec<Expr>),
+    /// `cout << a << b …` (the identifier `endl` prints a newline).
+    StreamOut(Vec<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for binary nodes.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience constructor for variable references.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Total number of expression nodes in this subtree (for tests and
+    /// corpus statistics).
+    pub fn node_count(&self) -> usize {
+        1 + match self {
+            Expr::Unary(_, a) => a.node_count(),
+            Expr::Binary(_, a, b)
+            | Expr::Assign(a, b)
+            | Expr::CompoundAssign(_, a, b)
+            | Expr::Index(a, b) => a.node_count() + b.node_count(),
+            Expr::IncDec { target, .. } => target.node_count(),
+            Expr::Call(_, args) => args.iter().map(Expr::node_count).sum(),
+            Expr::MethodCall(recv, _, args) => {
+                recv.node_count() + args.iter().map(Expr::node_count).sum::<usize>()
+            }
+            Expr::Ternary(c, a, b) => c.node_count() + a.node_count() + b.node_count(),
+            Expr::Cast(_, a) => a.node_count(),
+            Expr::StreamIn(args) | Expr::StreamOut(args) => {
+                args.iter().map(Expr::node_count).sum()
+            }
+            _ => 0,
+        }
+    }
+}
+
+/// How a declared variable is initialised.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Init {
+    /// `= expr`.
+    Expr(Expr),
+    /// Constructor syntax `name(args…)` — e.g. `vector<long long> v(n, 0);`.
+    Ctor(Vec<Expr>),
+}
+
+/// One declarator within a declaration (`int a = 1, b;` has two).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Declarator {
+    /// Variable name.
+    pub name: String,
+    /// Optional initialiser.
+    pub init: Option<Init>,
+}
+
+/// A variable declaration statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decl {
+    /// Declared type (shared by all declarators).
+    pub ty: Type,
+    /// The declared variables.
+    pub declarators: Vec<Declarator>,
+}
+
+/// The init clause of a `for` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ForInit {
+    /// `for (int i = 0; …)`.
+    Decl(Decl),
+    /// `for (i = 0; …)`.
+    Expr(Expr),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Variable declaration.
+    Decl(Decl),
+    /// Expression statement.
+    Expr(Expr),
+    /// `if (cond) then else els`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Box<Stmt>,
+        /// Optional else branch.
+        els: Option<Box<Stmt>>,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `for (init; cond; step) body`.
+    For {
+        /// Optional init clause.
+        init: Option<ForInit>,
+        /// Optional condition (infinite loop when `None`).
+        cond: Option<Expr>,
+        /// Optional step expression.
+        step: Option<Expr>,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `return expr?;`.
+    Return(Option<Expr>),
+    /// `break;`.
+    Break,
+    /// `continue;`.
+    Continue,
+    /// `{ … }`.
+    Block(Vec<Stmt>),
+    /// `;`.
+    Empty,
+}
+
+impl Stmt {
+    /// Total number of statement + expression nodes in this subtree.
+    pub fn node_count(&self) -> usize {
+        1 + match self {
+            Stmt::Decl(d) => d
+                .declarators
+                .iter()
+                .map(|dr| match &dr.init {
+                    Some(Init::Expr(e)) => e.node_count(),
+                    Some(Init::Ctor(args)) => args.iter().map(Expr::node_count).sum(),
+                    None => 0,
+                })
+                .sum(),
+            Stmt::Expr(e) => e.node_count(),
+            Stmt::If { cond, then, els } => {
+                cond.node_count()
+                    + then.node_count()
+                    + els.as_ref().map_or(0, |e| e.node_count())
+            }
+            Stmt::While { cond, body } => cond.node_count() + body.node_count(),
+            Stmt::For { init, cond, step, body } => {
+                let i = match init {
+                    Some(ForInit::Decl(d)) => Stmt::Decl(d.clone()).node_count(),
+                    Some(ForInit::Expr(e)) => e.node_count(),
+                    None => 0,
+                };
+                i + cond.as_ref().map_or(0, Expr::node_count)
+                    + step.as_ref().map_or(0, Expr::node_count)
+                    + body.node_count()
+            }
+            Stmt::Return(e) => e.as_ref().map_or(0, Expr::node_count),
+            Stmt::Block(stmts) => stmts.iter().map(Stmt::node_count).sum(),
+            _ => 0,
+        }
+    }
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Return type.
+    pub ret: Type,
+    /// Function name.
+    pub name: String,
+    /// Parameters as `(type, name)` pairs.
+    pub params: Vec<(Type, String)>,
+    /// Body statements (the braces of the definition).
+    pub body: Vec<Stmt>,
+}
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Preprocessor lines, verbatim (semantically ignored).
+    pub preprocessor: Vec<String>,
+    /// Global declarations (arrays, constants).
+    pub globals: Vec<Decl>,
+    /// Function definitions in source order.
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Finds a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Total number of statement + expression nodes across all functions.
+    pub fn node_count(&self) -> usize {
+        self.functions.iter().map(|f| f.body.iter().map(Stmt::node_count).sum::<usize>()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_display() {
+        assert_eq!(Type::vec_int().to_string(), "vector<long long>");
+        assert_eq!(Type::vec_vec_int().to_string(), "vector<vector<long long>>");
+        assert_eq!(Type::Str.to_string(), "string");
+    }
+
+    #[test]
+    fn precedence_ordering_matches_cpp() {
+        assert!(BinOp::Mul.precedence() > BinOp::Add.precedence());
+        assert!(BinOp::Add.precedence() > BinOp::Shl.precedence());
+        assert!(BinOp::Shl.precedence() > BinOp::Lt.precedence());
+        assert!(BinOp::Lt.precedence() > BinOp::Eq.precedence());
+        assert!(BinOp::Eq.precedence() > BinOp::And.precedence());
+        assert!(BinOp::And.precedence() > BinOp::Or.precedence());
+    }
+
+    #[test]
+    fn node_count_counts_subtrees() {
+        // s += i  →  CompoundAssign(Var, Var) = 3 nodes
+        let e = Expr::CompoundAssign(
+            BinOp::Add,
+            Box::new(Expr::var("s")),
+            Box::new(Expr::var("i")),
+        );
+        assert_eq!(e.node_count(), 3);
+        let s = Stmt::Expr(e);
+        assert_eq!(s.node_count(), 4);
+    }
+
+    #[test]
+    fn program_function_lookup() {
+        let mut p = Program::default();
+        p.functions.push(Function {
+            ret: Type::Int,
+            name: "main".into(),
+            params: vec![],
+            body: vec![],
+        });
+        assert!(p.function("main").is_some());
+        assert!(p.function("missing").is_none());
+    }
+}

@@ -1,0 +1,480 @@
+//! Tokenizer for mini-C++.
+
+use std::fmt;
+
+/// A lexical error with byte position and a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset in the source where the error was detected.
+    pub pos: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// The kind (and payload) of a [`Token`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are distinguished by the parser).
+    Ident(String),
+    /// Integer literal; `LL`/`L`/`U` suffixes are accepted and dropped.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Character literal with escapes resolved.
+    Char(char),
+    /// String literal with escapes resolved.
+    Str(String),
+    /// A preprocessor line (e.g. `#include <vector>`), captured verbatim
+    /// without the leading `#`.
+    Preprocessor(String),
+
+    // Punctuation / operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Colon,
+    ColonColon,
+    Question,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    PlusPlus,
+    MinusMinus,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    PercentEq,
+    Assign,
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Shl,
+    Shr,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// `true` for identifier tokens whose text equals `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s == word)
+    }
+}
+
+/// A token with its starting byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub pos: usize,
+}
+
+/// A whole-input tokenizer.
+///
+/// # Example
+///
+/// ```
+/// use ccsa_cppast::lexer::{Lexer, TokenKind};
+///
+/// let tokens = Lexer::tokenize("int x = 42;")?;
+/// assert!(matches!(tokens[2].kind, TokenKind::Assign));
+/// assert!(matches!(tokens[3].kind, TokenKind::Int(42)));
+/// # Ok::<(), ccsa_cppast::lexer::LexError>(())
+/// ```
+#[derive(Debug)]
+pub struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+}
+
+impl<'s> Lexer<'s> {
+    /// Tokenizes an entire source string, appending a trailing
+    /// [`TokenKind::Eof`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LexError`] on unterminated literals/comments or
+    /// unexpected characters.
+    pub fn tokenize(src: &'s str) -> Result<Vec<Token>, LexError> {
+        let mut lexer = Lexer { src: src.as_bytes(), pos: 0 };
+        let mut out = Vec::new();
+        loop {
+            let tok = lexer.next_token()?;
+            let done = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.src.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        c
+    }
+
+    fn error(&self, message: impl Into<String>) -> LexError {
+        LexError { pos: self.pos, message: message.into() }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.pos += 1;
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.pos < self.src.len() && self.peek() != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        if self.pos + 1 >= self.src.len() {
+                            return Err(LexError {
+                                pos: start,
+                                message: "unterminated block comment".into(),
+                            });
+                        }
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.pos += 2;
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, LexError> {
+        self.skip_trivia()?;
+        let pos = self.pos;
+        let kind = match self.peek() {
+            0 => TokenKind::Eof,
+            b'#' => {
+                self.pos += 1;
+                let start = self.pos;
+                while self.pos < self.src.len() && self.peek() != b'\n' {
+                    self.pos += 1;
+                }
+                let line = std::str::from_utf8(&self.src[start..self.pos])
+                    .map_err(|_| self.error("invalid utf-8 in preprocessor line"))?
+                    .trim()
+                    .to_string();
+                TokenKind::Preprocessor(line)
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = self.pos;
+                while self.peek().is_ascii_alphanumeric() || self.peek() == b'_' {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_string();
+                TokenKind::Ident(text)
+            }
+            c if c.is_ascii_digit() => return self.lex_number(pos),
+            b'\'' => {
+                self.pos += 1;
+                let c = self.lex_escaped_char(b'\'')?;
+                if self.bump() != b'\'' {
+                    return Err(self.error("unterminated char literal"));
+                }
+                TokenKind::Char(c)
+            }
+            b'"' => {
+                self.pos += 1;
+                let mut s = String::new();
+                while self.peek() != b'"' {
+                    if self.pos >= self.src.len() {
+                        return Err(self.error("unterminated string literal"));
+                    }
+                    s.push(self.lex_escaped_char(b'"')?);
+                }
+                self.pos += 1;
+                TokenKind::Str(s)
+            }
+            _ => return self.lex_operator(pos),
+        };
+        Ok(Token { kind, pos })
+    }
+
+    fn lex_escaped_char(&mut self, _quote: u8) -> Result<char, LexError> {
+        let c = self.bump();
+        if c == b'\\' {
+            let e = self.bump();
+            Ok(match e {
+                b'n' => '\n',
+                b't' => '\t',
+                b'r' => '\r',
+                b'0' => '\0',
+                b'\\' => '\\',
+                b'\'' => '\'',
+                b'"' => '"',
+                other => return Err(self.error(format!("unknown escape '\\{}'", other as char))),
+            })
+        } else if c == 0 {
+            Err(self.error("unexpected end of input in literal"))
+        } else {
+            Ok(c as char)
+        }
+    }
+
+    fn lex_number(&mut self, pos: usize) -> Result<Token, LexError> {
+        let start = self.pos;
+        while self.peek().is_ascii_digit() {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == b'.' && self.peek2().is_ascii_digit() {
+            is_float = true;
+            self.pos += 1;
+            while self.peek().is_ascii_digit() {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), b'e' | b'E')
+            && (self.peek2().is_ascii_digit()
+                || (matches!(self.peek2(), b'+' | b'-')
+                    && self.src.get(self.pos + 2).is_some_and(u8::is_ascii_digit)))
+        {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), b'+' | b'-') {
+                self.pos += 1;
+            }
+            while self.peek().is_ascii_digit() {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        // Swallow integer suffixes (LL, L, U, ULL …).
+        while matches!(self.peek(), b'l' | b'L' | b'u' | b'U') {
+            self.pos += 1;
+        }
+        let kind = if is_float {
+            TokenKind::Float(text.parse().map_err(|_| self.error("invalid float literal"))?)
+        } else {
+            TokenKind::Int(text.parse().map_err(|_| self.error("integer literal out of range"))?)
+        };
+        Ok(Token { kind, pos })
+    }
+
+    fn lex_operator(&mut self, pos: usize) -> Result<Token, LexError> {
+        use TokenKind::*;
+        let c = self.bump();
+        let two = |lexer: &mut Self, second: u8, long: TokenKind, short: TokenKind| {
+            if lexer.peek() == second {
+                lexer.pos += 1;
+                long
+            } else {
+                short
+            }
+        };
+        let kind = match c {
+            b'(' => LParen,
+            b')' => RParen,
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b'[' => LBracket,
+            b']' => RBracket,
+            b';' => Semi,
+            b',' => Comma,
+            b'.' => Dot,
+            b'?' => Question,
+            b'~' => Tilde,
+            b':' => two(self, b':', ColonColon, Colon),
+            b'+' => match self.peek() {
+                b'+' => {
+                    self.pos += 1;
+                    PlusPlus
+                }
+                b'=' => {
+                    self.pos += 1;
+                    PlusEq
+                }
+                _ => Plus,
+            },
+            b'-' => match self.peek() {
+                b'-' => {
+                    self.pos += 1;
+                    MinusMinus
+                }
+                b'=' => {
+                    self.pos += 1;
+                    MinusEq
+                }
+                _ => Minus,
+            },
+            b'*' => two(self, b'=', StarEq, Star),
+            b'/' => two(self, b'=', SlashEq, Slash),
+            b'%' => two(self, b'=', PercentEq, Percent),
+            b'=' => two(self, b'=', Eq, Assign),
+            b'!' => two(self, b'=', Ne, Not),
+            b'<' => match self.peek() {
+                b'=' => {
+                    self.pos += 1;
+                    Le
+                }
+                b'<' => {
+                    self.pos += 1;
+                    Shl
+                }
+                _ => Lt,
+            },
+            b'>' => match self.peek() {
+                b'=' => {
+                    self.pos += 1;
+                    Ge
+                }
+                b'>' => {
+                    self.pos += 1;
+                    Shr
+                }
+                _ => Gt,
+            },
+            b'&' => two(self, b'&', AndAnd, Amp),
+            b'|' => two(self, b'|', OrOr, Pipe),
+            b'^' => Caret,
+            other => {
+                return Err(LexError {
+                    pos,
+                    message: format!("unexpected character '{}'", other as char),
+                })
+            }
+        };
+        Ok(Token { kind, pos })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::TokenKind::*;
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("int foo _bar x9"),
+            vec![
+                Ident("int".into()),
+                Ident("foo".into()),
+                Ident("_bar".into()),
+                Ident("x9".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn integer_literals_with_suffixes() {
+        assert_eq!(kinds("42 1000000007LL 5u"), vec![Int(42), Int(1000000007), Int(5), Eof]);
+    }
+
+    #[test]
+    fn float_literals() {
+        assert_eq!(kinds("3.5 1e9 2.5e-3"), vec![Float(3.5), Float(1e9), Float(2.5e-3), Eof]);
+    }
+
+    #[test]
+    fn member_access_is_not_float() {
+        assert_eq!(
+            kinds("v.size"),
+            vec![Ident("v".into()), Dot, Ident("size".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn char_and_string_literals() {
+        assert_eq!(
+            kinds(r#"'a' '\n' "hi\tthere""#),
+            vec![Char('a'), Char('\n'), Str("hi\tthere".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        assert_eq!(
+            kinds("<< >> <= >= == != && || ++ -- += -="),
+            vec![Shl, Shr, Le, Ge, Eq, Ne, AndAnd, OrOr, PlusPlus, MinusMinus, PlusEq, MinusEq, Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(kinds("a // line\n b /* block\nmore */ c"), kinds("a b c"));
+    }
+
+    #[test]
+    fn preprocessor_lines() {
+        let toks = kinds("#include <vector>\nint");
+        assert_eq!(toks[0], Preprocessor("include <vector>".into()));
+        assert_eq!(toks[1], Ident("int".into()));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(Lexer::tokenize("\"oops").is_err());
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(Lexer::tokenize("/* forever").is_err());
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        let err = Lexer::tokenize("int $x;").unwrap_err();
+        assert!(err.message.contains('$'));
+    }
+
+    #[test]
+    fn positions_are_byte_offsets() {
+        let toks = Lexer::tokenize("ab cd").unwrap();
+        assert_eq!(toks[0].pos, 0);
+        assert_eq!(toks[1].pos, 3);
+    }
+}

@@ -1,0 +1,54 @@
+//! Mini-C++ frontend: lexer, parser, typed AST and model-facing AST graphs.
+//!
+//! The original paper generates abstract syntax trees with the ROSE
+//! source-to-source compiler and keeps, per translation unit, only the
+//! subtrees of function definitions, hung beneath a synthetic root node.
+//! This crate reproduces that interface for a realistic subset of C++
+//! ("mini-C++"): the control flow, integer/floating arithmetic, `vector`,
+//! `string` and stream-I/O constructs that dominate competitive-programming
+//! submissions.
+//!
+//! Pipeline:
+//!
+//! 1. [`lexer::Lexer`] turns source text into tokens;
+//! 2. [`parser::parse_program`] builds a typed [`ast::Program`];
+//! 3. [`tree::AstGraph::from_program`] flattens it into the node-kind tree
+//!    the models consume (kind IDs from [`vocab::NodeKind`], parent/child
+//!    edges, ROSE-style pruning to function definitions);
+//! 4. [`printer::print_program`] renders a program back to source text
+//!    (used by the corpus generator and round-trip tests).
+//!
+//! # Example
+//!
+//! ```
+//! use ccsa_cppast::{parse_program, AstGraph};
+//!
+//! let src = r#"
+//!     int main() {
+//!         int n;
+//!         cin >> n;
+//!         long long s = 0;
+//!         for (int i = 0; i < n; i++) { s += i; }
+//!         cout << s;
+//!         return 0;
+//!     }
+//! "#;
+//! let program = parse_program(src)?;
+//! let graph = AstGraph::from_program(&program);
+//! assert!(graph.node_count() > 10);
+//! # Ok::<(), ccsa_cppast::ParseError>(())
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod tree;
+pub mod vocab;
+
+pub use ast::{BinOp, Decl, Expr, ForInit, Function, Init, Program, Stmt, Type, UnOp};
+pub use lexer::{LexError, Lexer, Token, TokenKind};
+pub use parser::{parse_program, ParseError};
+pub use printer::print_program;
+pub use tree::AstGraph;
+pub use vocab::{NodeCategory, NodeKind, VOCAB_SIZE};

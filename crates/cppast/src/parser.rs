@@ -1,0 +1,845 @@
+//! Recursive-descent parser for mini-C++.
+
+use std::fmt;
+
+use crate::ast::*;
+use crate::lexer::{LexError, Lexer, Token, TokenKind};
+
+/// A syntax error with byte position and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where the error was detected.
+    pub pos: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(err: LexError) -> ParseError {
+        ParseError { pos: err.pos, message: err.message }
+    }
+}
+
+/// Parses a complete mini-C++ translation unit.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input (including lexical errors).
+///
+/// # Example
+///
+/// ```
+/// use ccsa_cppast::parse_program;
+///
+/// let program = parse_program("int add(int a, int b) { return a + b; }")?;
+/// assert_eq!(program.functions[0].name, "add");
+/// assert_eq!(program.functions[0].params.len(), 2);
+/// # Ok::<(), ccsa_cppast::ParseError>(())
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let tokens = Lexer::tokenize(src)?;
+    let mut parser = Parser { tokens, ix: 0, pending_gt: 0 };
+    parser.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    ix: usize,
+    /// `vector<vector<T>>` ends in a `>>` token; when the type parser
+    /// consumes half of one it records the other half here.
+    pending_gt: u8,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.ix].kind
+    }
+
+    fn peek_at(&self, offset: usize) -> &TokenKind {
+        let ix = (self.ix + offset).min(self.tokens.len() - 1);
+        &self.tokens[ix].kind
+    }
+
+    fn pos(&self) -> usize {
+        self.tokens[self.ix].pos
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.ix].kind.clone();
+        if self.ix + 1 < self.tokens.len() {
+            self.ix += 1;
+        }
+        kind
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError { pos: self.pos(), message: message.into() }
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<(), ParseError> {
+        if self.peek() == &kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(self.error(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    // ── Types ──────────────────────────────────────────────────────────
+
+    /// `true` if the current token starts a type.
+    fn at_type(&self) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if matches!(
+            s.as_str(),
+            "int" | "long" | "double" | "bool" | "char" | "string" | "void" | "vector" | "unsigned"
+        ))
+    }
+
+    fn parse_type(&mut self) -> Result<Type, ParseError> {
+        let name = self.ident("type name")?;
+        match name.as_str() {
+            "unsigned" => {
+                // `unsigned`, `unsigned int`, `unsigned long long` → Int.
+                while matches!(self.peek(), TokenKind::Ident(s) if s == "int" || s == "long") {
+                    self.bump();
+                }
+                Ok(Type::Int)
+            }
+            "int" => Ok(Type::Int),
+            "long" => {
+                // `long`, `long long`, `long double`.
+                if matches!(self.peek(), TokenKind::Ident(s) if s == "long") {
+                    self.bump();
+                    Ok(Type::Int)
+                } else if matches!(self.peek(), TokenKind::Ident(s) if s == "double") {
+                    self.bump();
+                    Ok(Type::Double)
+                } else {
+                    Ok(Type::Int)
+                }
+            }
+            "double" => Ok(Type::Double),
+            "bool" => Ok(Type::Bool),
+            "char" => Ok(Type::Char),
+            "string" => Ok(Type::Str),
+            "void" => Ok(Type::Void),
+            "vector" => {
+                self.expect(TokenKind::Lt, "'<' after vector")?;
+                let inner = self.parse_type()?;
+                self.expect_close_angle()?;
+                Ok(Type::Vec(Box::new(inner)))
+            }
+            other => Err(self.error(format!("unknown type '{other}'"))),
+        }
+    }
+
+    /// Consumes a closing `>` in a template argument, splitting `>>` when
+    /// necessary (`vector<vector<long long>>`).
+    fn expect_close_angle(&mut self) -> Result<(), ParseError> {
+        if self.pending_gt > 0 {
+            self.pending_gt -= 1;
+            return Ok(());
+        }
+        match self.peek() {
+            TokenKind::Gt => {
+                self.bump();
+                Ok(())
+            }
+            TokenKind::Shr => {
+                self.bump();
+                self.pending_gt += 1;
+                Ok(())
+            }
+            other => Err(self.error(format!("expected '>' closing template, found {other:?}"))),
+        }
+    }
+
+    // ── Top level ──────────────────────────────────────────────────────
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut program = Program::default();
+        loop {
+            match self.peek().clone() {
+                TokenKind::Eof => break,
+                TokenKind::Preprocessor(line) => {
+                    self.bump();
+                    program.preprocessor.push(line);
+                }
+                TokenKind::Ident(s) if s == "using" => {
+                    // `using namespace std;`
+                    self.bump();
+                    while !self.eat(&TokenKind::Semi) {
+                        if self.peek() == &TokenKind::Eof {
+                            return Err(self.error("unterminated using declaration"));
+                        }
+                        self.bump();
+                    }
+                }
+                _ if self.at_type() => {
+                    let ty = self.parse_type()?;
+                    let name = self.ident("declaration name")?;
+                    // `T name(` is a function definition when the parenthesis
+                    // opens a parameter list (type keyword or `)`), and a
+                    // constructor-initialised global otherwise — the classic
+                    // "most vexing parse", resolved with one token of
+                    // lookahead just like a human reader would.
+                    let is_function = self.peek() == &TokenKind::LParen
+                        && (self.peek_at(1) == &TokenKind::RParen
+                            || matches!(self.peek_at(1), TokenKind::Ident(s) if matches!(
+                                s.as_str(),
+                                "int" | "long" | "double" | "bool" | "char" | "string"
+                                    | "void" | "vector" | "unsigned"
+                            )));
+                    if is_function {
+                        program.functions.push(self.function(ty, name)?);
+                    } else {
+                        let decl = self.finish_decl(ty, name)?;
+                        program.globals.push(decl);
+                    }
+                }
+                other => return Err(self.error(format!("expected declaration, found {other:?}"))),
+            }
+        }
+        if program.functions.is_empty() {
+            return Err(ParseError { pos: 0, message: "program has no functions".into() });
+        }
+        Ok(program)
+    }
+
+    fn function(&mut self, ret: Type, name: String) -> Result<Function, ParseError> {
+        self.expect(TokenKind::LParen, "'('")?;
+        let mut params = Vec::new();
+        if self.peek() != &TokenKind::RParen {
+            loop {
+                let ty = self.parse_type()?;
+                // Pass-by-reference is semantically transparent for the
+                // interpreter's value model of scalars; vectors are handled
+                // by reference naturally. Accept and drop '&'.
+                self.eat(&TokenKind::Amp);
+                let pname = self.ident("parameter name")?;
+                params.push((ty, pname));
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen, "')'")?;
+        self.expect(TokenKind::LBrace, "'{' starting function body")?;
+        let mut body = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            if self.peek() == &TokenKind::Eof {
+                return Err(self.error("unterminated function body"));
+            }
+            body.push(self.statement()?);
+        }
+        Ok(Function { ret, name, params, body })
+    }
+
+    // ── Statements ─────────────────────────────────────────────────────
+
+    fn statement(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            TokenKind::LBrace => {
+                self.bump();
+                let mut stmts = Vec::new();
+                while !self.eat(&TokenKind::RBrace) {
+                    if self.peek() == &TokenKind::Eof {
+                        return Err(self.error("unterminated block"));
+                    }
+                    stmts.push(self.statement()?);
+                }
+                Ok(Stmt::Block(stmts))
+            }
+            TokenKind::Semi => {
+                self.bump();
+                Ok(Stmt::Empty)
+            }
+            TokenKind::Ident(s) => match s.as_str() {
+                "if" => self.if_stmt(),
+                "while" => self.while_stmt(),
+                "for" => self.for_stmt(),
+                "return" => {
+                    self.bump();
+                    let value = if self.peek() == &TokenKind::Semi {
+                        None
+                    } else {
+                        Some(self.expression()?)
+                    };
+                    self.expect(TokenKind::Semi, "';' after return")?;
+                    Ok(Stmt::Return(value))
+                }
+                "break" => {
+                    self.bump();
+                    self.expect(TokenKind::Semi, "';' after break")?;
+                    Ok(Stmt::Break)
+                }
+                "continue" => {
+                    self.bump();
+                    self.expect(TokenKind::Semi, "';' after continue")?;
+                    Ok(Stmt::Continue)
+                }
+                _ if self.at_type() => {
+                    let decl = self.decl_stmt()?;
+                    Ok(Stmt::Decl(decl))
+                }
+                _ => {
+                    let expr = self.expression()?;
+                    self.expect(TokenKind::Semi, "';' after expression")?;
+                    Ok(Stmt::Expr(expr))
+                }
+            },
+            _ => {
+                let expr = self.expression()?;
+                self.expect(TokenKind::Semi, "';' after expression")?;
+                Ok(Stmt::Expr(expr))
+            }
+        }
+    }
+
+    fn decl_stmt(&mut self) -> Result<Decl, ParseError> {
+        let ty = self.parse_type()?;
+        let name = self.ident("variable name")?;
+        self.finish_decl(ty, name)
+    }
+
+    fn finish_decl(&mut self, ty: Type, first_name: String) -> Result<Decl, ParseError> {
+        let mut declarators = vec![self.declarator(first_name)?];
+        while self.eat(&TokenKind::Comma) {
+            let name = self.ident("variable name")?;
+            declarators.push(self.declarator(name)?);
+        }
+        self.expect(TokenKind::Semi, "';' after declaration")?;
+        Ok(Decl { ty, declarators })
+    }
+
+    fn declarator(&mut self, name: String) -> Result<Declarator, ParseError> {
+        let init = if self.eat(&TokenKind::Assign) {
+            Some(Init::Expr(self.assignment()?))
+        } else if self.peek() == &TokenKind::LParen {
+            self.bump();
+            let mut args = Vec::new();
+            if self.peek() != &TokenKind::RParen {
+                loop {
+                    args.push(self.assignment()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(TokenKind::RParen, "')' closing constructor")?;
+            Some(Init::Ctor(args))
+        } else {
+            None
+        };
+        Ok(Declarator { name, init })
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.bump(); // if
+        self.expect(TokenKind::LParen, "'(' after if")?;
+        let cond = self.expression()?;
+        self.expect(TokenKind::RParen, "')' closing if condition")?;
+        let then = Box::new(self.statement()?);
+        let els = if matches!(self.peek(), TokenKind::Ident(s) if s == "else") {
+            self.bump();
+            Some(Box::new(self.statement()?))
+        } else {
+            None
+        };
+        Ok(Stmt::If { cond, then, els })
+    }
+
+    fn while_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.bump(); // while
+        self.expect(TokenKind::LParen, "'(' after while")?;
+        let cond = self.expression()?;
+        self.expect(TokenKind::RParen, "')' closing while condition")?;
+        let body = Box::new(self.statement()?);
+        Ok(Stmt::While { cond, body })
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.bump(); // for
+        self.expect(TokenKind::LParen, "'(' after for")?;
+        let init = if self.eat(&TokenKind::Semi) {
+            None
+        } else if self.at_type() {
+            let decl = self.decl_stmt()?; // consumes the ';'
+            Some(ForInit::Decl(decl))
+        } else {
+            let e = self.expression()?;
+            self.expect(TokenKind::Semi, "';' after for-init")?;
+            Some(ForInit::Expr(e))
+        };
+        let cond = if self.peek() == &TokenKind::Semi { None } else { Some(self.expression()?) };
+        self.expect(TokenKind::Semi, "';' after for-condition")?;
+        let step = if self.peek() == &TokenKind::RParen { None } else { Some(self.expression()?) };
+        self.expect(TokenKind::RParen, "')' closing for header")?;
+        let body = Box::new(self.statement()?);
+        Ok(Stmt::For { init, cond, step, body })
+    }
+
+    // ── Expressions ────────────────────────────────────────────────────
+
+    fn expression(&mut self) -> Result<Expr, ParseError> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.ternary()?;
+        let op = match self.peek() {
+            TokenKind::Assign => None,
+            TokenKind::PlusEq => Some(BinOp::Add),
+            TokenKind::MinusEq => Some(BinOp::Sub),
+            TokenKind::StarEq => Some(BinOp::Mul),
+            TokenKind::SlashEq => Some(BinOp::Div),
+            TokenKind::PercentEq => Some(BinOp::Mod),
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.assignment()?; // right associative
+        Ok(match op {
+            None => Expr::Assign(Box::new(lhs), Box::new(rhs)),
+            Some(op) => Expr::CompoundAssign(op, Box::new(lhs), Box::new(rhs)),
+        })
+    }
+
+    fn ternary(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.binary(0)?;
+        if self.eat(&TokenKind::Question) {
+            let then = self.assignment()?;
+            self.expect(TokenKind::Colon, "':' in conditional expression")?;
+            let els = self.assignment()?;
+            Ok(Expr::Ternary(Box::new(cond), Box::new(then), Box::new(els)))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn binop_at(&self) -> Option<BinOp> {
+        Some(match self.peek() {
+            TokenKind::OrOr => BinOp::Or,
+            TokenKind::AndAnd => BinOp::And,
+            TokenKind::Pipe => BinOp::BitOr,
+            TokenKind::Caret => BinOp::BitXor,
+            TokenKind::Amp => BinOp::BitAnd,
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Ge => BinOp::Ge,
+            TokenKind::Shl => BinOp::Shl,
+            TokenKind::Shr => BinOp::Shr,
+            TokenKind::Plus => BinOp::Add,
+            TokenKind::Minus => BinOp::Sub,
+            TokenKind::Star => BinOp::Mul,
+            TokenKind::Slash => BinOp::Div,
+            TokenKind::Percent => BinOp::Mod,
+            _ => return None,
+        })
+    }
+
+    /// Precedence climbing over the [`BinOp::precedence`] table.
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        while let Some(op) = self.binop_at() {
+            let prec = op.precedence();
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(prec + 1)?; // all our binops left-assoc
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Minus => {
+                self.bump();
+                // Canonical form: a negated integer literal *is* a negative
+                // literal (C++ has no negative literals; folding here makes
+                // print → parse the identity for negative constants).
+                match self.unary()? {
+                    Expr::Int(v) => Ok(Expr::Int(-v)),
+                    Expr::Float(v) => Ok(Expr::Float(-v)),
+                    other => Ok(Expr::Unary(UnOp::Neg, Box::new(other))),
+                }
+            }
+            TokenKind::Not => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.unary()?)))
+            }
+            TokenKind::Tilde => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::BitNot, Box::new(self.unary()?)))
+            }
+            TokenKind::PlusPlus => {
+                self.bump();
+                let target = self.unary()?;
+                Ok(Expr::IncDec { pre: true, inc: true, target: Box::new(target) })
+            }
+            TokenKind::MinusMinus => {
+                self.bump();
+                let target = self.unary()?;
+                Ok(Expr::IncDec { pre: true, inc: false, target: Box::new(target) })
+            }
+            // C-style cast: '(' type ')' unary
+            TokenKind::LParen if self.cast_ahead() => {
+                self.bump();
+                let ty = self.parse_type()?;
+                self.expect(TokenKind::RParen, "')' closing cast")?;
+                Ok(Expr::Cast(ty, Box::new(self.unary()?)))
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    /// Lookahead: does `(` start a cast like `(long long)` / `(double)`?
+    fn cast_ahead(&self) -> bool {
+        let TokenKind::Ident(name) = self.peek_at(1) else { return false };
+        matches!(name.as_str(), "int" | "long" | "double" | "bool" | "char" | "unsigned")
+            && matches!(
+                self.peek_at(2),
+                TokenKind::RParen
+                    | TokenKind::Ident(_) // long long) / unsigned int)
+            )
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut expr = self.primary()?;
+        loop {
+            match self.peek() {
+                TokenKind::LBracket => {
+                    self.bump();
+                    let ix = self.expression()?;
+                    self.expect(TokenKind::RBracket, "']' closing subscript")?;
+                    expr = Expr::Index(Box::new(expr), Box::new(ix));
+                }
+                TokenKind::Dot => {
+                    self.bump();
+                    let method = self.ident("method name")?;
+                    self.expect(TokenKind::LParen, "'(' after method name")?;
+                    let args = self.call_args()?;
+                    expr = Expr::MethodCall(Box::new(expr), method, args);
+                }
+                TokenKind::PlusPlus => {
+                    self.bump();
+                    expr = Expr::IncDec { pre: false, inc: true, target: Box::new(expr) };
+                }
+                TokenKind::MinusMinus => {
+                    self.bump();
+                    expr = Expr::IncDec { pre: false, inc: false, target: Box::new(expr) };
+                }
+                _ => return Ok(expr),
+            }
+        }
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        let mut args = Vec::new();
+        if self.peek() != &TokenKind::RParen {
+            loop {
+                args.push(self.assignment()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen, "')' closing call")?;
+        Ok(args)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(Expr::Float(v))
+            }
+            TokenKind::Char(c) => {
+                self.bump();
+                Ok(Expr::Char(c))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expression()?;
+                self.expect(TokenKind::RParen, "')' closing parenthesis")?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                match name.as_str() {
+                    "true" => Ok(Expr::Bool(true)),
+                    "false" => Ok(Expr::Bool(false)),
+                    "cin" => self.stream_in(),
+                    "cout" => self.stream_out(),
+                    _ => {
+                        if self.peek() == &TokenKind::LParen {
+                            self.bump();
+                            let args = self.call_args()?;
+                            Ok(Expr::Call(name, args))
+                        } else {
+                            Ok(Expr::Var(name))
+                        }
+                    }
+                }
+            }
+            other => Err(self.error(format!("expected expression, found {other:?}"))),
+        }
+    }
+
+    fn stream_in(&mut self) -> Result<Expr, ParseError> {
+        let mut targets = Vec::new();
+        while self.eat(&TokenKind::Shr) {
+            // Targets are postfix expressions (x, v[i]) — never full binary
+            // expressions, so `cin >> a >> b` chains correctly.
+            targets.push(self.postfix()?);
+        }
+        if targets.is_empty() {
+            return Err(self.error("expected '>>' after cin"));
+        }
+        Ok(Expr::StreamIn(targets))
+    }
+
+    fn stream_out(&mut self) -> Result<Expr, ParseError> {
+        let mut values = Vec::new();
+        while self.eat(&TokenKind::Shl) {
+            // Allow arithmetic but not comparisons inside `cout <<` chains,
+            // matching how the corpus emits output; precedence 9 = Add.
+            values.push(self.binary(BinOp::Add.precedence())?);
+        }
+        if values.is_empty() {
+            return Err(self.error("expected '<<' after cout"));
+        }
+        Ok(Expr::StreamOut(values))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Program {
+        parse_program(src).expect("parse failed")
+    }
+
+    #[test]
+    fn minimal_main() {
+        let p = parse("int main() { return 0; }");
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].name, "main");
+        assert_eq!(p.functions[0].body, vec![Stmt::Return(Some(Expr::Int(0)))]);
+    }
+
+    #[test]
+    fn preprocessor_and_using() {
+        let p = parse("#include <bits/stdc++.h>\nusing namespace std;\nint main() { return 0; }");
+        assert_eq!(p.preprocessor, vec!["include <bits/stdc++.h>".to_string()]);
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse("int main() { int x = 1 + 2 * 3; return x; }");
+        let Stmt::Decl(d) = &p.functions[0].body[0] else { panic!() };
+        let Some(Init::Expr(e)) = &d.declarators[0].init else { panic!() };
+        assert_eq!(
+            *e,
+            Expr::bin(BinOp::Add, Expr::Int(1), Expr::bin(BinOp::Mul, Expr::Int(2), Expr::Int(3)))
+        );
+    }
+
+    #[test]
+    fn left_associativity() {
+        let p = parse("int main() { int x = 10 - 4 - 3; return x; }");
+        let Stmt::Decl(d) = &p.functions[0].body[0] else { panic!() };
+        let Some(Init::Expr(e)) = &d.declarators[0].init else { panic!() };
+        assert_eq!(
+            *e,
+            Expr::bin(BinOp::Sub, Expr::bin(BinOp::Sub, Expr::Int(10), Expr::Int(4)), Expr::Int(3))
+        );
+    }
+
+    #[test]
+    fn nested_vector_shr_split() {
+        let p = parse("int main() { vector<vector<long long>> g(10); return 0; }");
+        let Stmt::Decl(d) = &p.functions[0].body[0] else { panic!() };
+        assert_eq!(d.ty, Type::vec_vec_int());
+        assert_eq!(d.declarators[0].init, Some(Init::Ctor(vec![Expr::Int(10)])));
+    }
+
+    #[test]
+    fn for_loop_full_header() {
+        let p = parse("int main() { for (int i = 0; i < 10; i++) { } return 0; }");
+        let Stmt::For { init, cond, step, .. } = &p.functions[0].body[0] else { panic!() };
+        assert!(matches!(init, Some(ForInit::Decl(_))));
+        assert!(matches!(cond, Some(Expr::Binary(BinOp::Lt, _, _))));
+        assert!(matches!(step, Some(Expr::IncDec { pre: false, inc: true, .. })));
+    }
+
+    #[test]
+    fn while_and_if_else() {
+        let p = parse(
+            "int main() { int i = 0; while (i < 5) { if (i % 2 == 0) i++; else i += 2; } return i; }",
+        );
+        let Stmt::While { body, .. } = &p.functions[0].body[1] else { panic!() };
+        let Stmt::Block(stmts) = body.as_ref() else { panic!() };
+        assert!(matches!(&stmts[0], Stmt::If { els: Some(_), .. }));
+    }
+
+    #[test]
+    fn stream_io() {
+        let p = parse("int main() { int n; cin >> n; cout << n << endl; return 0; }");
+        let Stmt::Expr(Expr::StreamIn(targets)) = &p.functions[0].body[1] else { panic!() };
+        assert_eq!(targets, &vec![Expr::var("n")]);
+        let Stmt::Expr(Expr::StreamOut(values)) = &p.functions[0].body[2] else { panic!() };
+        assert_eq!(values.len(), 2);
+    }
+
+    #[test]
+    fn stream_in_indexed_target() {
+        let p = parse("int main() { vector<long long> a(5); int i = 0; cin >> a[i]; return 0; }");
+        let Stmt::Expr(Expr::StreamIn(targets)) = &p.functions[0].body[2] else { panic!() };
+        assert!(matches!(&targets[0], Expr::Index(_, _)));
+    }
+
+    #[test]
+    fn method_calls() {
+        let p = parse("int main() { vector<long long> v; v.push_back(3); long long n = v.size(); return n; }");
+        let Stmt::Expr(Expr::MethodCall(recv, name, args)) = &p.functions[0].body[1] else {
+            panic!()
+        };
+        assert_eq!(**recv, Expr::var("v"));
+        assert_eq!(name, "push_back");
+        assert_eq!(args, &vec![Expr::Int(3)]);
+    }
+
+    #[test]
+    fn function_with_params_and_call() {
+        let p = parse(
+            "long long add(long long a, long long b) { return a + b; }\n\
+             int main() { return add(1, 2); }",
+        );
+        assert_eq!(p.functions.len(), 2);
+        let Stmt::Return(Some(Expr::Call(name, args))) = &p.functions[1].body[0] else { panic!() };
+        assert_eq!(name, "add");
+        assert_eq!(args.len(), 2);
+    }
+
+    #[test]
+    fn reference_params_accepted() {
+        let p = parse("void dfs(vector<long long>& a, long long u) { } int main() { return 0; }");
+        assert_eq!(p.functions[0].params.len(), 2);
+    }
+
+    #[test]
+    fn ternary_expression() {
+        let p = parse("int main() { int a = 1 < 2 ? 10 : 20; return a; }");
+        let Stmt::Decl(d) = &p.functions[0].body[0] else { panic!() };
+        assert!(matches!(d.declarators[0].init, Some(Init::Expr(Expr::Ternary(_, _, _)))));
+    }
+
+    #[test]
+    fn cast_expression() {
+        let p = parse("int main() { double x = 2.0; long long y = (long long)x; return y; }");
+        let Stmt::Decl(d) = &p.functions[0].body[1] else { panic!() };
+        assert!(matches!(d.declarators[0].init, Some(Init::Expr(Expr::Cast(Type::Int, _)))));
+    }
+
+    #[test]
+    fn parenthesized_call_vs_cast() {
+        // `(f)(x)` is not supported but `f(x)` and `(a + b) * c` must work.
+        let p = parse("int main() { int a = (1 + 2) * 3; return a; }");
+        let Stmt::Decl(d) = &p.functions[0].body[0] else { panic!() };
+        let Some(Init::Expr(Expr::Binary(BinOp::Mul, _, _))) = &d.declarators[0].init else {
+            panic!()
+        };
+    }
+
+    #[test]
+    fn multi_declarator() {
+        let p = parse("int main() { int a = 1, b, c = 3; return b; }");
+        let Stmt::Decl(d) = &p.functions[0].body[0] else { panic!() };
+        assert_eq!(d.declarators.len(), 3);
+        assert!(d.declarators[1].init.is_none());
+    }
+
+    #[test]
+    fn globals() {
+        let p = parse("long long memo(100); int main() { return 0; }");
+        assert_eq!(p.globals.len(), 1);
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(parse_program("int main() { int x = ; }").is_err());
+        assert!(parse_program("int main() {").is_err());
+        assert!(parse_program("").is_err());
+        assert!(parse_program("int main() { unknown_type x; }").is_err());
+    }
+
+    #[test]
+    fn error_positions_point_into_source() {
+        let src = "int main() { int x = @; }";
+        let err = parse_program(src).unwrap_err();
+        assert!(err.pos <= src.len());
+    }
+
+    #[test]
+    fn recursion_parses() {
+        let p = parse(
+            "long long fib(long long n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }\n\
+             int main() { cout << fib(10); return 0; }",
+        );
+        assert_eq!(p.functions[0].name, "fib");
+    }
+
+    #[test]
+    fn compound_assignment_kinds() {
+        let p = parse("int main() { int x = 0; x += 1; x -= 2; x *= 3; x /= 4; x %= 5; return x; }");
+        let ops: Vec<BinOp> = p.functions[0].body[1..6]
+            .iter()
+            .map(|s| match s {
+                Stmt::Expr(Expr::CompoundAssign(op, _, _)) => *op,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(ops, vec![BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div, BinOp::Mod]);
+    }
+}

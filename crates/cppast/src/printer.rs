@@ -1,0 +1,472 @@
+//! Source emission for mini-C++ programs.
+//!
+//! The corpus generator composes programs as typed ASTs and uses this
+//! printer to materialise "submissions" as source text, which then flows
+//! through the lexer/parser exactly like real user code would. The
+//! printer/parser pair round-trips: `parse(print(p)) == p` up to the
+//! normalisations noted on [`print_program`].
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Renders a program as compilable-looking C++ source.
+///
+/// Normalisations (deliberate; they make round-trip equality exact):
+/// all integer types print as `long long`, parentheses follow the
+/// precedence table rather than the original token stream, and blocks are
+/// re-indented.
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    for line in &program.preprocessor {
+        let _ = writeln!(out, "#{line}");
+    }
+    if program.preprocessor.is_empty() {
+        out.push_str("#include <bits/stdc++.h>\n");
+    }
+    out.push_str("using namespace std;\n\n");
+    for decl in &program.globals {
+        print_decl(&mut out, decl, 0);
+    }
+    if !program.globals.is_empty() {
+        out.push('\n');
+    }
+    for (i, func) in program.functions.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        print_function(&mut out, func);
+    }
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_function(out: &mut String, func: &Function) {
+    // `int main()` by convention; all other integer returns widen to
+    // `long long` like every other integer in the corpus.
+    if func.name == "main" && func.ret == Type::Int {
+        let _ = write!(out, "int {}(", func.name);
+    } else {
+        let _ = write!(out, "{} {}(", func.ret, func.name);
+    }
+    for (i, (ty, name)) in func.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        // Vectors pass by reference: matches both common contest style and
+        // the interpreter's aliasing semantics for containers.
+        match ty {
+            Type::Vec(_) => {
+                let _ = write!(out, "{ty}& {name}");
+            }
+            _ => {
+                let _ = write!(out, "{ty} {name}");
+            }
+        }
+    }
+    out.push_str(") {\n");
+    for stmt in &func.body {
+        print_stmt(out, stmt, 1);
+    }
+    out.push_str("}\n");
+}
+
+fn print_decl(out: &mut String, decl: &Decl, level: usize) {
+    indent(out, level);
+    let _ = write!(out, "{} ", decl.ty);
+    for (i, d) in decl.declarators.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&d.name);
+        match &d.init {
+            None => {}
+            Some(Init::Expr(e)) => {
+                out.push_str(" = ");
+                print_expr(out, e, 0);
+            }
+            Some(Init::Ctor(args)) => {
+                out.push('(');
+                for (j, a) in args.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    print_expr(out, a, 0);
+                }
+                out.push(')');
+            }
+        }
+    }
+    out.push_str(";\n");
+}
+
+fn print_stmt(out: &mut String, stmt: &Stmt, level: usize) {
+    match stmt {
+        Stmt::Decl(d) => print_decl(out, d, level),
+        Stmt::Expr(e) => {
+            indent(out, level);
+            print_expr(out, e, 0);
+            out.push_str(";\n");
+        }
+        Stmt::If { cond, then, els } => {
+            indent(out, level);
+            out.push_str("if (");
+            print_expr(out, cond, 0);
+            out.push_str(")");
+            print_branch(out, then, level);
+            if let Some(els) = els {
+                indent(out, level);
+                out.push_str("else");
+                print_branch(out, els, level);
+            }
+        }
+        Stmt::While { cond, body } => {
+            indent(out, level);
+            out.push_str("while (");
+            print_expr(out, cond, 0);
+            out.push_str(")");
+            print_branch(out, body, level);
+        }
+        Stmt::For { init, cond, step, body } => {
+            indent(out, level);
+            out.push_str("for (");
+            match init {
+                Some(ForInit::Decl(d)) => {
+                    let mut tmp = String::new();
+                    print_decl(&mut tmp, d, 0);
+                    // Strip trailing newline; keep the ';'.
+                    out.push_str(tmp.trim_end());
+                }
+                Some(ForInit::Expr(e)) => {
+                    print_expr(out, e, 0);
+                    out.push(';');
+                }
+                None => out.push(';'),
+            }
+            out.push(' ');
+            if let Some(c) = cond {
+                print_expr(out, c, 0);
+            }
+            out.push_str("; ");
+            if let Some(s) = step {
+                print_expr(out, s, 0);
+            }
+            out.push(')');
+            print_branch(out, body, level);
+        }
+        Stmt::Return(e) => {
+            indent(out, level);
+            out.push_str("return");
+            if let Some(e) = e {
+                out.push(' ');
+                print_expr(out, e, 0);
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Break => {
+            indent(out, level);
+            out.push_str("break;\n");
+        }
+        Stmt::Continue => {
+            indent(out, level);
+            out.push_str("continue;\n");
+        }
+        Stmt::Block(stmts) => {
+            indent(out, level);
+            out.push_str("{\n");
+            for s in stmts {
+                print_stmt(out, s, level + 1);
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        Stmt::Empty => {
+            indent(out, level);
+            out.push_str(";\n");
+        }
+    }
+}
+
+fn print_branch(out: &mut String, body: &Stmt, level: usize) {
+    match body {
+        Stmt::Block(stmts) => {
+            out.push_str(" {\n");
+            for s in stmts {
+                print_stmt(out, s, level + 1);
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        other => {
+            out.push('\n');
+            print_stmt(out, other, level + 1);
+        }
+    }
+}
+
+/// Prints `expr`, parenthesising when the context binds tighter than
+/// `min_prec` (the same precedence table the parser climbs).
+fn print_expr(out: &mut String, expr: &Expr, min_prec: u8) {
+    match expr {
+        Expr::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Expr::Float(v) => {
+            if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                let _ = write!(out, "{v:.1}");
+            } else {
+                let _ = write!(out, "{v}");
+            }
+        }
+        Expr::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Expr::Char(c) => {
+            let escaped = match c {
+                '\n' => "\\n".to_string(),
+                '\t' => "\\t".to_string(),
+                '\r' => "\\r".to_string(),
+                '\\' => "\\\\".to_string(),
+                '\'' => "\\'".to_string(),
+                other => other.to_string(),
+            };
+            let _ = write!(out, "'{escaped}'");
+        }
+        Expr::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    '\\' => out.push_str("\\\\"),
+                    '"' => out.push_str("\\\""),
+                    other => out.push(other),
+                }
+            }
+            out.push('"');
+        }
+        Expr::Var(name) => out.push_str(name),
+        Expr::Unary(op, inner) => {
+            out.push_str(op.symbol());
+            print_expr_paren(out, inner, 11);
+        }
+        Expr::Binary(op, lhs, rhs) => {
+            let prec = op.precedence();
+            let need = prec < min_prec;
+            if need {
+                out.push('(');
+            }
+            print_expr(out, lhs, prec);
+            let _ = write!(out, " {} ", op.symbol());
+            print_expr(out, rhs, prec + 1);
+            if need {
+                out.push(')');
+            }
+        }
+        Expr::Assign(lhs, rhs) => {
+            if min_prec > 0 {
+                out.push('(');
+            }
+            print_expr(out, lhs, 11);
+            out.push_str(" = ");
+            print_expr(out, rhs, 0);
+            if min_prec > 0 {
+                out.push(')');
+            }
+        }
+        Expr::CompoundAssign(op, lhs, rhs) => {
+            if min_prec > 0 {
+                out.push('(');
+            }
+            print_expr(out, lhs, 11);
+            let _ = write!(out, " {}= ", op.symbol());
+            print_expr(out, rhs, 0);
+            if min_prec > 0 {
+                out.push(')');
+            }
+        }
+        Expr::IncDec { pre, inc, target } => {
+            let sym = if *inc { "++" } else { "--" };
+            if *pre {
+                out.push_str(sym);
+                print_expr_paren(out, target, 11);
+            } else {
+                print_expr_paren(out, target, 11);
+                out.push_str(sym);
+            }
+        }
+        Expr::Index(base, ix) => {
+            print_expr_paren(out, base, 11);
+            out.push('[');
+            print_expr(out, ix, 0);
+            out.push(']');
+        }
+        Expr::Call(name, args) => {
+            out.push_str(name);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_expr(out, a, 0);
+            }
+            out.push(')');
+        }
+        Expr::MethodCall(recv, name, args) => {
+            print_expr_paren(out, recv, 11);
+            let _ = write!(out, ".{name}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_expr(out, a, 0);
+            }
+            out.push(')');
+        }
+        Expr::Ternary(c, a, b) => {
+            if min_prec > 0 {
+                out.push('(');
+            }
+            print_expr(out, c, 1);
+            out.push_str(" ? ");
+            print_expr(out, a, 0);
+            out.push_str(" : ");
+            print_expr(out, b, 0);
+            if min_prec > 0 {
+                out.push(')');
+            }
+        }
+        Expr::Cast(ty, inner) => {
+            let _ = write!(out, "({ty})");
+            print_expr_paren(out, inner, 11);
+        }
+        Expr::StreamIn(targets) => {
+            out.push_str("cin");
+            for t in targets {
+                out.push_str(" >> ");
+                print_expr_paren(out, t, 11);
+            }
+        }
+        Expr::StreamOut(values) => {
+            out.push_str("cout");
+            for v in values {
+                out.push_str(" << ");
+                print_expr(out, v, BinOp::Add.precedence());
+            }
+        }
+    }
+}
+
+/// Prints with parentheses unless the node is atomic (primary/postfix).
+fn print_expr_paren(out: &mut String, expr: &Expr, min_prec: u8) {
+    let atomic = matches!(
+        expr,
+        Expr::Int(_)
+            | Expr::Float(_)
+            | Expr::Bool(_)
+            | Expr::Char(_)
+            | Expr::Str(_)
+            | Expr::Var(_)
+            | Expr::Call(_, _)
+            | Expr::MethodCall(_, _, _)
+            | Expr::Index(_, _)
+    );
+    let _ = min_prec; // parenthesised sub-expressions restart at precedence 0
+    if atomic {
+        print_expr(out, expr, 0);
+    } else {
+        out.push('(');
+        print_expr(out, expr, 0);
+        out.push(')');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn roundtrip(src: &str) -> Program {
+        let p1 = parse_program(src).expect("first parse");
+        let printed = print_program(&p1);
+        let p2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- printed ---\n{printed}"));
+        assert_eq!(p1.functions, p2.functions, "round-trip mismatch:\n{printed}");
+        p1
+    }
+
+    #[test]
+    fn roundtrip_quickstart() {
+        roundtrip(
+            "int main() { int n; cin >> n; long long s = 0; \
+             for (int i = 0; i < n; i++) { s += i; } cout << s; return 0; }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_precedence_preserved() {
+        roundtrip("int main() { int x = (1 + 2) * (3 - 4) / 5 % 6; return x; }");
+        roundtrip("int main() { bool b = 1 < 2 && 3 >= 4 || !(5 == 6); return b; }");
+        roundtrip("int main() { int x = 1 + 2 * 3 - 4 / 2; return x; }");
+    }
+
+    #[test]
+    fn roundtrip_control_flow() {
+        roundtrip(
+            "int main() { int i = 0; while (i < 10) { if (i % 2) i++; else { i += 3; } } \
+             for (;;) { break; } return i; }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_vectors_and_methods() {
+        roundtrip(
+            "int main() { vector<long long> v(10, 0); v.push_back(1); \
+             vector<vector<long long>> g(5); long long n = v.size(); return n; }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_functions_recursion() {
+        roundtrip(
+            "long long f(long long n) { if (n < 2) return n; return f(n - 1) + f(n - 2); } \
+             int main() { cout << f(20) << endl; return 0; }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_ternary_cast_unary() {
+        roundtrip(
+            "int main() { double d = 3.5; long long x = (long long)d; \
+             long long y = x > 0 ? x : -x; return (y + 1) % 7; }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_strings_chars() {
+        roundtrip(
+            "int main() { string s = \"ab\\ncd\"; char c = '\\t'; \
+             long long n = s.length(); cout << s << c; return n; }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_globals() {
+        roundtrip("long long memo(128, 0); int main() { return 0; }");
+    }
+
+    #[test]
+    fn printed_source_is_plausible_cpp() {
+        let p = parse_program("int main() { int n; cin >> n; cout << n * 2; return 0; }").unwrap();
+        let s = print_program(&p);
+        assert!(s.contains("#include"));
+        assert!(s.contains("using namespace std;"));
+        assert!(s.contains("long long") || s.contains("int"));
+    }
+}

@@ -1,0 +1,514 @@
+//! Flattened, model-facing AST graphs.
+//!
+//! [`AstGraph`] is the exact interface the paper's pipeline hands to the
+//! deep-learning models: "a list of the node IDs and a list of links
+//! between nodes". Identifiers and literal *values* are erased — only node
+//! *kinds* remain — and, following the paper's ROSE post-processing, only
+//! the function-definition subtrees survive, hung as children of a
+//! synthetic [`NodeKind::Root`].
+
+use crate::ast::*;
+use crate::vocab::NodeKind;
+
+/// An AST flattened to parallel arrays: per-node kind IDs, children lists
+/// and parent links. Node `0` is always the synthetic root.
+///
+/// # Example
+///
+/// ```
+/// use ccsa_cppast::{parse_program, AstGraph, NodeKind};
+///
+/// let p = parse_program("int main() { return 0; }")?;
+/// let g = AstGraph::from_program(&p);
+/// assert_eq!(g.kind(g.root()), NodeKind::Root);
+/// assert_eq!(g.kind(g.children(g.root())[0]), NodeKind::FunctionDef);
+/// # Ok::<(), ccsa_cppast::ParseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AstGraph {
+    kinds: Vec<u16>,
+    children: Vec<Vec<u32>>,
+    parent: Vec<u32>, // parent[root] == root
+}
+
+impl AstGraph {
+    /// Flattens a parsed program, keeping only function-definition subtrees
+    /// under a synthetic root (the paper's ROSE pruning step).
+    pub fn from_program(program: &Program) -> AstGraph {
+        let mut b = Builder { g: AstGraph { kinds: Vec::new(), children: Vec::new(), parent: Vec::new() } };
+        let root = b.push(NodeKind::Root, u32::MAX);
+        for func in &program.functions {
+            b.function(func, root);
+        }
+        b.g.parent[root as usize] = root;
+        b.g
+    }
+
+    /// The synthetic root node (always index 0).
+    #[inline]
+    pub fn root(&self) -> u32 {
+        0
+    }
+
+    /// Number of nodes in the graph.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// The kind of node `ix`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ix` is out of bounds.
+    #[inline]
+    pub fn kind(&self, ix: u32) -> NodeKind {
+        NodeKind::from_id(self.kinds[ix as usize])
+    }
+
+    /// The embedding-table ID of node `ix` — what the models actually read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ix` is out of bounds.
+    #[inline]
+    pub fn kind_id(&self, ix: u32) -> u16 {
+        self.kinds[ix as usize]
+    }
+
+    /// Children of node `ix` in source order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ix` is out of bounds.
+    #[inline]
+    pub fn children(&self, ix: u32) -> &[u32] {
+        &self.children[ix as usize]
+    }
+
+    /// Parent of node `ix`; the root is its own parent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ix` is out of bounds.
+    #[inline]
+    pub fn parent(&self, ix: u32) -> u32 {
+        self.parent[ix as usize]
+    }
+
+    /// `true` if the node has no children.
+    #[inline]
+    pub fn is_leaf(&self, ix: u32) -> bool {
+        self.children[ix as usize].is_empty()
+    }
+
+    /// Node indices in post-order (every node appears after all of its
+    /// children) — the evaluation order of the upward tree-LSTM pass.
+    ///
+    /// Because [`AstGraph`] construction appends parents before their
+    /// children, the reverse index order is a valid post-order; this method
+    /// returns exactly that, making the order deterministic and O(n).
+    pub fn post_order(&self) -> Vec<u32> {
+        (0..self.node_count() as u32).rev().collect()
+    }
+
+    /// Node indices in pre-order (every node appears before its children) —
+    /// the evaluation order of the downward tree-LSTM pass.
+    pub fn pre_order(&self) -> Vec<u32> {
+        (0..self.node_count() as u32).collect()
+    }
+
+    /// Undirected edges `(parent, child)` — input to GCN adjacency
+    /// construction.
+    pub fn edges(&self) -> Vec<(u32, u32)> {
+        let mut edges = Vec::with_capacity(self.node_count().saturating_sub(1));
+        for (p, kids) in self.children.iter().enumerate() {
+            for &c in kids {
+                edges.push((p as u32, c));
+            }
+        }
+        edges
+    }
+
+    /// Maximum depth of the tree (root = 0).
+    pub fn depth(&self) -> usize {
+        let mut depth = vec![0usize; self.node_count()];
+        let mut max = 0;
+        // Parents precede children in index order (construction invariant).
+        for ix in 1..self.node_count() {
+            depth[ix] = depth[self.parent[ix] as usize] + 1;
+            max = max.max(depth[ix]);
+        }
+        max
+    }
+
+    /// Per-kind occurrence counts (histogram over the vocabulary).
+    pub fn kind_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; crate::vocab::VOCAB_SIZE];
+        for &k in &self.kinds {
+            hist[k as usize] += 1;
+        }
+        hist
+    }
+}
+
+struct Builder {
+    g: AstGraph,
+}
+
+impl Builder {
+    fn push(&mut self, kind: NodeKind, parent: u32) -> u32 {
+        let ix = self.g.kinds.len() as u32;
+        self.g.kinds.push(kind.id());
+        self.g.children.push(Vec::new());
+        self.g.parent.push(parent);
+        if parent != u32::MAX {
+            self.g.children[parent as usize].push(ix);
+        }
+        ix
+    }
+
+    fn ty(&mut self, t: &Type, parent: u32) {
+        let kind = match t {
+            Type::Int => NodeKind::TypeInt,
+            Type::Double => NodeKind::TypeDouble,
+            Type::Bool => NodeKind::TypeBool,
+            Type::Char => NodeKind::TypeChar,
+            Type::Str => NodeKind::TypeString,
+            Type::Void => NodeKind::TypeVoid,
+            Type::Vec(inner) => {
+                let ix = self.push(NodeKind::TypeVector, parent);
+                self.ty(inner, ix);
+                return;
+            }
+        };
+        self.push(kind, parent);
+    }
+
+    fn function(&mut self, func: &Function, parent: u32) {
+        let f = self.push(NodeKind::FunctionDef, parent);
+        self.ty(&func.ret, f);
+        let params = self.push(NodeKind::ParamList, f);
+        for (ty, _name) in &func.params {
+            let p = self.push(NodeKind::Param, params);
+            self.ty(ty, p);
+        }
+        let body = self.push(NodeKind::Block, f);
+        for stmt in &func.body {
+            self.stmt(stmt, body);
+        }
+    }
+
+    fn decl(&mut self, d: &Decl, parent: u32) {
+        let ix = self.push(NodeKind::DeclStmt, parent);
+        self.ty(&d.ty, ix);
+        for declarator in &d.declarators {
+            let dn = self.push(NodeKind::Declarator, ix);
+            match &declarator.init {
+                None => {}
+                Some(Init::Expr(e)) => self.expr(e, dn),
+                Some(Init::Ctor(args)) => {
+                    let c = self.push(NodeKind::CtorInit, dn);
+                    for a in args {
+                        self.expr(a, c);
+                    }
+                }
+            }
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt, parent: u32) {
+        match s {
+            Stmt::Decl(d) => self.decl(d, parent),
+            Stmt::Expr(e) => {
+                let ix = self.push(NodeKind::ExprStmt, parent);
+                self.expr(e, ix);
+            }
+            Stmt::If { cond, then, els } => {
+                let ix = self.push(NodeKind::IfStmt, parent);
+                self.expr(cond, ix);
+                self.stmt(then, ix);
+                if let Some(els) = els {
+                    self.stmt(els, ix);
+                }
+            }
+            Stmt::While { cond, body } => {
+                let ix = self.push(NodeKind::WhileStmt, parent);
+                self.expr(cond, ix);
+                self.stmt(body, ix);
+            }
+            Stmt::For { init, cond, step, body } => {
+                let ix = self.push(NodeKind::ForStmt, parent);
+                match init {
+                    Some(ForInit::Decl(d)) => self.decl(d, ix),
+                    Some(ForInit::Expr(e)) => self.expr(e, ix),
+                    None => {}
+                }
+                if let Some(c) = cond {
+                    self.expr(c, ix);
+                }
+                if let Some(st) = step {
+                    self.expr(st, ix);
+                }
+                self.stmt(body, ix);
+            }
+            Stmt::Return(e) => {
+                let ix = self.push(NodeKind::ReturnStmt, parent);
+                if let Some(e) = e {
+                    self.expr(e, ix);
+                }
+            }
+            Stmt::Break => {
+                self.push(NodeKind::BreakStmt, parent);
+            }
+            Stmt::Continue => {
+                self.push(NodeKind::ContinueStmt, parent);
+            }
+            Stmt::Block(stmts) => {
+                let ix = self.push(NodeKind::Block, parent);
+                for s in stmts {
+                    self.stmt(s, ix);
+                }
+            }
+            Stmt::Empty => {
+                self.push(NodeKind::EmptyStmt, parent);
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr, parent: u32) {
+        match e {
+            Expr::Int(_) => {
+                self.push(NodeKind::IntLit, parent);
+            }
+            Expr::Float(_) => {
+                self.push(NodeKind::FloatLit, parent);
+            }
+            Expr::Bool(_) => {
+                self.push(NodeKind::BoolLit, parent);
+            }
+            Expr::Char(_) => {
+                self.push(NodeKind::CharLit, parent);
+            }
+            Expr::Str(_) => {
+                self.push(NodeKind::StrLit, parent);
+            }
+            Expr::Var(_) => {
+                self.push(NodeKind::VarRef, parent);
+            }
+            Expr::Unary(op, inner) => {
+                let kind = match op {
+                    UnOp::Neg => NodeKind::NegOp,
+                    UnOp::Not => NodeKind::NotOp,
+                    UnOp::BitNot => NodeKind::BitNotOp,
+                };
+                let ix = self.push(kind, parent);
+                self.expr(inner, ix);
+            }
+            Expr::Binary(op, lhs, rhs) => {
+                let ix = self.push(binop_kind(*op), parent);
+                self.expr(lhs, ix);
+                self.expr(rhs, ix);
+            }
+            Expr::Assign(lhs, rhs) => {
+                let ix = self.push(NodeKind::AssignExpr, parent);
+                self.expr(lhs, ix);
+                self.expr(rhs, ix);
+            }
+            Expr::CompoundAssign(op, lhs, rhs) => {
+                let kind = match op {
+                    BinOp::Add => NodeKind::PlusAssignOp,
+                    BinOp::Sub => NodeKind::MinusAssignOp,
+                    BinOp::Mul => NodeKind::TimesAssignOp,
+                    BinOp::Div => NodeKind::DivAssignOp,
+                    _ => NodeKind::ModAssignOp,
+                };
+                let ix = self.push(kind, parent);
+                self.expr(lhs, ix);
+                self.expr(rhs, ix);
+            }
+            Expr::IncDec { pre, inc, target } => {
+                let kind = match (pre, inc) {
+                    (true, true) => NodeKind::PreIncOp,
+                    (true, false) => NodeKind::PreDecOp,
+                    (false, true) => NodeKind::PostIncOp,
+                    (false, false) => NodeKind::PostDecOp,
+                };
+                let ix = self.push(kind, parent);
+                self.expr(target, ix);
+            }
+            Expr::Index(base, index) => {
+                let ix = self.push(NodeKind::IndexExpr, parent);
+                self.expr(base, ix);
+                self.expr(index, ix);
+            }
+            Expr::Call(_, args) => {
+                let ix = self.push(NodeKind::CallExpr, parent);
+                for a in args {
+                    self.expr(a, ix);
+                }
+            }
+            Expr::MethodCall(recv, _, args) => {
+                let ix = self.push(NodeKind::MethodCallExpr, parent);
+                self.expr(recv, ix);
+                for a in args {
+                    self.expr(a, ix);
+                }
+            }
+            Expr::Ternary(c, a, b) => {
+                let ix = self.push(NodeKind::TernaryExpr, parent);
+                self.expr(c, ix);
+                self.expr(a, ix);
+                self.expr(b, ix);
+            }
+            Expr::Cast(ty, inner) => {
+                let ix = self.push(NodeKind::CastExpr, parent);
+                self.ty(ty, ix);
+                self.expr(inner, ix);
+            }
+            Expr::StreamIn(targets) => {
+                let ix = self.push(NodeKind::StreamInExpr, parent);
+                for t in targets {
+                    self.expr(t, ix);
+                }
+            }
+            Expr::StreamOut(values) => {
+                let ix = self.push(NodeKind::StreamOutExpr, parent);
+                for v in values {
+                    self.expr(v, ix);
+                }
+            }
+        }
+    }
+}
+
+fn binop_kind(op: BinOp) -> NodeKind {
+    match op {
+        BinOp::Add => NodeKind::AddOp,
+        BinOp::Sub => NodeKind::SubOp,
+        BinOp::Mul => NodeKind::MulOp,
+        BinOp::Div => NodeKind::DivOp,
+        BinOp::Mod => NodeKind::ModOp,
+        BinOp::Eq => NodeKind::EqOp,
+        BinOp::Ne => NodeKind::NeOp,
+        BinOp::Lt => NodeKind::LtOp,
+        BinOp::Gt => NodeKind::GtOp,
+        BinOp::Le => NodeKind::LeOp,
+        BinOp::Ge => NodeKind::GeOp,
+        BinOp::And => NodeKind::AndOp,
+        BinOp::Or => NodeKind::OrOp,
+        BinOp::BitAnd => NodeKind::BitAndOp,
+        BinOp::BitOr => NodeKind::BitOrOp,
+        BinOp::BitXor => NodeKind::BitXorOp,
+        BinOp::Shl => NodeKind::ShlOp,
+        BinOp::Shr => NodeKind::ShrOp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::vocab::NodeKind;
+
+    fn graph(src: &str) -> AstGraph {
+        AstGraph::from_program(&parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn root_holds_function_defs() {
+        let g = graph("int f() { return 1; } int main() { return 0; }");
+        assert_eq!(g.kind(0), NodeKind::Root);
+        let kids = g.children(0);
+        assert_eq!(kids.len(), 2);
+        for &k in kids {
+            assert_eq!(g.kind(k), NodeKind::FunctionDef);
+        }
+    }
+
+    #[test]
+    fn globals_are_pruned() {
+        // ROSE-style pruning: only function definitions survive.
+        let with_global = graph("long long big(100, 0); int main() { return 0; }");
+        let without = graph("int main() { return 0; }");
+        assert_eq!(with_global.node_count(), without.node_count());
+    }
+
+    #[test]
+    fn parents_and_children_are_consistent() {
+        let g = graph("int main() { int x = 1 + 2; if (x > 1) { x++; } return x; }");
+        for ix in 1..g.node_count() as u32 {
+            let p = g.parent(ix);
+            assert!(g.children(p).contains(&ix), "node {ix} missing from parent {p}");
+        }
+        assert_eq!(g.parent(g.root()), g.root());
+    }
+
+    #[test]
+    fn post_order_is_children_first() {
+        let g = graph("int main() { int x = (1 + 2) * 3; return x; }");
+        let order = g.post_order();
+        let mut seen = vec![false; g.node_count()];
+        for &ix in &order {
+            for &c in g.children(ix) {
+                assert!(seen[c as usize], "child {c} not visited before parent {ix}");
+            }
+            seen[ix as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn pre_order_is_parents_first() {
+        let g = graph("int main() { while (true) { break; } return 0; }");
+        let mut seen = vec![false; g.node_count()];
+        for &ix in &g.pre_order() {
+            if ix != g.root() {
+                assert!(seen[g.parent(ix) as usize]);
+            }
+            seen[ix as usize] = true;
+        }
+    }
+
+    #[test]
+    fn edges_form_a_tree() {
+        let g = graph("int main() { for (int i = 0; i < 3; i++) { cout << i; } return 0; }");
+        let edges = g.edges();
+        assert_eq!(edges.len(), g.node_count() - 1, "tree must have n-1 edges");
+    }
+
+    #[test]
+    fn loop_nodes_present() {
+        let g = graph("int main() { for (int i = 0; i < 3; i++) { while (false) {} } return 0; }");
+        let hist = g.kind_histogram();
+        assert_eq!(hist[NodeKind::ForStmt.id() as usize], 1);
+        assert_eq!(hist[NodeKind::WhileStmt.id() as usize], 1);
+    }
+
+    #[test]
+    fn identifiers_are_erased() {
+        // Two programs differing only in names flatten identically.
+        let a = graph("int main() { int alpha = 3; return alpha; }");
+        let b = graph("int main() { int beta = 7; return beta; }");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn structure_differences_are_visible() {
+        let flat = graph("int main() { int s = 0; for (int i = 0; i < 9; i++) s += i; return s; }");
+        let nested = graph(
+            "int main() { int s = 0; for (int i = 0; i < 9; i++) \
+             for (int j = 0; j < 9; j++) s += j; return s; }",
+        );
+        assert_ne!(flat, nested);
+        assert!(nested.node_count() > flat.node_count());
+        assert!(nested.depth() > flat.depth());
+    }
+
+    #[test]
+    fn depth_of_trivial_program() {
+        let g = graph("int main() { return 0; }");
+        // Root → FunctionDef → Block → ReturnStmt → IntLit.
+        assert_eq!(g.depth(), 4);
+    }
+}

@@ -1,0 +1,204 @@
+//! The node-kind vocabulary shared by every AST in the corpus.
+//!
+//! The paper assigns "a unique ID to each type of internal node (e.g. `for`,
+//! `while`), consistent across all trees in the database"; the embedding
+//! table is indexed by these IDs. [`NodeKind`] is that vocabulary. Each kind
+//! also carries a [`NodeCategory`] matching the colour classes of the
+//! paper's Figure 7 (operations, other expressions, statements, literals,
+//! support nodes).
+
+use std::fmt;
+
+macro_rules! node_kinds {
+    ($( $variant:ident => $category:ident ),+ $(,)?) => {
+        /// The kind of an AST node — the unit of the learned embedding
+        /// vocabulary.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        #[repr(u16)]
+        pub enum NodeKind {
+            $( #[allow(missing_docs)] $variant ),+
+        }
+
+        /// Number of distinct node kinds (the embedding-table height `D`).
+        pub const VOCAB_SIZE: usize = [$( NodeKind::$variant ),+].len();
+
+        impl NodeKind {
+            /// All node kinds in ID order.
+            pub const ALL: [NodeKind; VOCAB_SIZE] = [$( NodeKind::$variant ),+];
+
+            /// The stable integer ID used to index embedding tables.
+            #[inline]
+            pub fn id(self) -> u16 {
+                self as u16
+            }
+
+            /// Recovers a kind from its ID.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `id >= VOCAB_SIZE`.
+            pub fn from_id(id: u16) -> NodeKind {
+                Self::ALL[id as usize]
+            }
+
+            /// The Figure-7 colour category of this kind.
+            pub fn category(self) -> NodeCategory {
+                match self {
+                    $( NodeKind::$variant => NodeCategory::$category ),+
+                }
+            }
+        }
+    };
+}
+
+node_kinds! {
+    // ── Support nodes (black in Fig. 7) ────────────────────────────────
+    Root => Support,
+    FunctionDef => Support,
+    ParamList => Support,
+    Param => Support,
+    TypeInt => Support,
+    TypeDouble => Support,
+    TypeBool => Support,
+    TypeChar => Support,
+    TypeString => Support,
+    TypeVoid => Support,
+    TypeVector => Support,
+    Declarator => Support,
+    CtorInit => Support,
+
+    // ── Statements (blue) ──────────────────────────────────────────────
+    Block => Statement,
+    DeclStmt => Statement,
+    ExprStmt => Statement,
+    IfStmt => Statement,
+    WhileStmt => Statement,
+    ForStmt => Statement,
+    ReturnStmt => Statement,
+    BreakStmt => Statement,
+    ContinueStmt => Statement,
+    EmptyStmt => Statement,
+
+    // ── Other expressions (red) ────────────────────────────────────────
+    VarRef => Expression,
+    CallExpr => Expression,
+    MethodCallExpr => Expression,
+    IndexExpr => Expression,
+    AssignExpr => Expression,
+    TernaryExpr => Expression,
+    CastExpr => Expression,
+    StreamInExpr => Expression,
+    StreamOutExpr => Expression,
+
+    // ── Operations (green) ─────────────────────────────────────────────
+    AddOp => Operation,
+    SubOp => Operation,
+    MulOp => Operation,
+    DivOp => Operation,
+    ModOp => Operation,
+    EqOp => Operation,
+    NeOp => Operation,
+    LtOp => Operation,
+    GtOp => Operation,
+    LeOp => Operation,
+    GeOp => Operation,
+    AndOp => Operation,
+    OrOp => Operation,
+    NotOp => Operation,
+    NegOp => Operation,
+    BitNotOp => Operation,
+    BitAndOp => Operation,
+    BitOrOp => Operation,
+    BitXorOp => Operation,
+    ShlOp => Operation,
+    ShrOp => Operation,
+    PlusAssignOp => Operation,
+    MinusAssignOp => Operation,
+    TimesAssignOp => Operation,
+    DivAssignOp => Operation,
+    ModAssignOp => Operation,
+    PreIncOp => Operation,
+    PreDecOp => Operation,
+    PostIncOp => Operation,
+    PostDecOp => Operation,
+
+    // ── Literals (yellow) ──────────────────────────────────────────────
+    IntLit => Literal,
+    FloatLit => Literal,
+    BoolLit => Literal,
+    CharLit => Literal,
+    StrLit => Literal,
+}
+
+/// The coarse family of a node kind — the colour classes the paper uses
+/// when visualising learned node embeddings (Figure 7a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeCategory {
+    /// Arithmetic / logical / assignment operators (green).
+    Operation,
+    /// Non-operator expressions (red).
+    Expression,
+    /// Statements (blue).
+    Statement,
+    /// Literal values (yellow).
+    Literal,
+    /// Structural support nodes: root, functions, types (black).
+    Support,
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl fmt::Display for NodeCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip() {
+        for kind in NodeKind::ALL {
+            assert_eq!(NodeKind::from_id(kind.id()), kind);
+        }
+    }
+
+    #[test]
+    fn ids_are_dense_and_unique() {
+        for (i, kind) in NodeKind::ALL.iter().enumerate() {
+            assert_eq!(kind.id() as usize, i);
+        }
+    }
+
+    #[test]
+    fn vocab_has_all_five_categories() {
+        use NodeCategory::*;
+        for cat in [Operation, Expression, Statement, Literal, Support] {
+            assert!(
+                NodeKind::ALL.iter().any(|k| k.category() == cat),
+                "no node kind in category {cat}"
+            );
+        }
+    }
+
+    #[test]
+    fn spot_check_categories() {
+        assert_eq!(NodeKind::ForStmt.category(), NodeCategory::Statement);
+        assert_eq!(NodeKind::AddOp.category(), NodeCategory::Operation);
+        assert_eq!(NodeKind::IntLit.category(), NodeCategory::Literal);
+        assert_eq!(NodeKind::VarRef.category(), NodeCategory::Expression);
+        assert_eq!(NodeKind::Root.category(), NodeCategory::Support);
+    }
+
+    #[test]
+    fn vocab_size_is_stable() {
+        // The embedding table height; bump intentionally when adding kinds.
+        assert_eq!(VOCAB_SIZE, 67);
+    }
+}

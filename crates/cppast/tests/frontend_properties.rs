@@ -1,0 +1,144 @@
+//! Property-based tests of the mini-C++ frontend: expression round-trips
+//! through print→parse, lexer totality on printable input, and AST-graph
+//! structural invariants on generated expression trees.
+
+use proptest::prelude::*;
+
+use ccsa_cppast::{
+    ast::{BinOp, Expr, Function, Program, Stmt, Type, UnOp},
+    parse_program, print_program, AstGraph, Lexer,
+};
+
+/// Arbitrary expressions over integer literals and two fixed variables —
+/// every operator the language supports, nested to a bounded depth.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-1000i64..1000).prop_map(Expr::Int),
+        Just(Expr::var("x")),
+        Just(Expr::var("y")),
+        prop::bool::ANY.prop_map(Expr::Bool),
+    ];
+    leaf.prop_recursive(4, 64, 3, |inner| {
+        prop_oneof![
+            (
+                prop::sample::select(vec![
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                    BinOp::Div,
+                    BinOp::Mod,
+                    BinOp::Lt,
+                    BinOp::Gt,
+                    BinOp::Le,
+                    BinOp::Ge,
+                    BinOp::Eq,
+                    BinOp::Ne,
+                    BinOp::And,
+                    BinOp::Or,
+                    BinOp::BitAnd,
+                    BinOp::BitOr,
+                    BinOp::BitXor,
+                    BinOp::Shl,
+                    BinOp::Shr,
+                ]),
+                inner.clone(),
+                inner.clone(),
+            )
+                .prop_map(|(op, a, b)| Expr::bin(op, a, b)),
+            (
+                prop::sample::select(vec![UnOp::Neg, UnOp::Not, UnOp::BitNot]),
+                inner.clone(),
+            )
+                .prop_map(|(op, a)| match (op, a) {
+                    // Canonical form (matches the parser): negation of an
+                    // integer literal folds into the literal.
+                    (UnOp::Neg, Expr::Int(v)) => Expr::Int(-v),
+                    (op, a) => Expr::Unary(op, Box::new(a)),
+                }),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| Expr::Ternary(
+                Box::new(c),
+                Box::new(a),
+                Box::new(b)
+            )),
+        ]
+    })
+}
+
+fn wrap(expr: Expr) -> Program {
+    Program {
+        preprocessor: vec!["include <bits/stdc++.h>".into()],
+        globals: vec![],
+        functions: vec![Function {
+            ret: Type::Int,
+            name: "main".into(),
+            params: vec![
+                // x and y come in as parameters so Var references are valid.
+            ],
+            body: vec![
+                Stmt::Decl(ccsa_cppast::ast::Decl {
+                    ty: Type::Int,
+                    declarators: vec![
+                        ccsa_cppast::ast::Declarator {
+                            name: "x".into(),
+                            init: Some(ccsa_cppast::ast::Init::Expr(Expr::Int(3))),
+                        },
+                        ccsa_cppast::ast::Declarator {
+                            name: "y".into(),
+                            init: Some(ccsa_cppast::ast::Init::Expr(Expr::Int(5))),
+                        },
+                    ],
+                }),
+                Stmt::Return(Some(expr)),
+            ],
+        }],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// print → parse is the identity on arbitrary expression trees: the
+    /// printer's parenthesisation must encode exactly the parser's
+    /// precedence and associativity.
+    #[test]
+    fn expression_roundtrip(expr in arb_expr()) {
+        let program = wrap(expr);
+        let printed = print_program(&program);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("printed source failed to parse: {e}\n{printed}"));
+        prop_assert_eq!(&program.functions, &reparsed.functions, "\n{}", printed);
+    }
+
+    /// The lexer never panics and always terminates on arbitrary ASCII
+    /// input (it may return Err, never hang or crash).
+    #[test]
+    fn lexer_total_on_ascii(src in "[ -~\\n\\t]{0,200}") {
+        let _ = Lexer::tokenize(&src);
+    }
+
+    /// The parser never panics on arbitrary token soup.
+    #[test]
+    fn parser_total_on_ascii(src in "[ -~\\n\\t]{0,200}") {
+        let _ = parse_program(&src);
+    }
+
+    /// Flattened graphs of arbitrary expressions are well-formed trees
+    /// with consistent parent/child links and a valid post-order.
+    #[test]
+    fn graph_invariants(expr in arb_expr()) {
+        let program = wrap(expr);
+        let graph = AstGraph::from_program(&program);
+        prop_assert_eq!(graph.edges().len(), graph.node_count() - 1);
+        let order = graph.post_order();
+        prop_assert_eq!(order.len(), graph.node_count());
+        let mut seen = vec![false; graph.node_count()];
+        for &ix in &order {
+            for &c in graph.children(ix) {
+                prop_assert!(seen[c as usize], "post-order violated");
+            }
+            seen[ix as usize] = true;
+        }
+        // Depth is bounded by node count.
+        prop_assert!(graph.depth() < graph.node_count());
+    }
+}

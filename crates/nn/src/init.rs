@@ -1,0 +1,48 @@
+//! Weight initialisation.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use ccsa_tensor::Tensor;
+
+/// Xavier/Glorot-uniform initialisation for a `[rows, cols]` weight matrix:
+/// `U(−√(6/(rows+cols)), +√(6/(rows+cols)))`.
+pub fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Tensor {
+    let bound = (6.0 / (rows + cols) as f32).sqrt();
+    uniform([rows, cols].into(), bound, rng)
+}
+
+/// Uniform initialisation in `(−bound, +bound)` — the paper initialises
+/// node embeddings randomly and lets training tune them.
+pub fn uniform(shape: ccsa_tensor::Shape, bound: f32, rng: &mut StdRng) -> Tensor {
+    let data = (0..shape.len()).map(|_| rng.random_range(-bound..bound)).collect();
+    Tensor::from_vec(data, shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_is_bounded_and_seeded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = xavier(50, 70, &mut rng);
+        let bound = (6.0f32 / 120.0).sqrt();
+        for &x in w.as_slice() {
+            assert!(x.abs() <= bound);
+        }
+        let w2 = xavier(50, 70, &mut StdRng::seed_from_u64(1));
+        assert_eq!(w.as_slice(), w2.as_slice());
+    }
+
+    #[test]
+    fn uniform_not_degenerate() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = uniform([100].into(), 0.5, &mut rng);
+        let mean: f32 = t.as_slice().iter().sum::<f32>() / 100.0;
+        assert!(mean.abs() < 0.2, "mean {mean} suspiciously far from 0");
+        assert!(t.as_slice().iter().any(|&x| x > 0.0));
+        assert!(t.as_slice().iter().any(|&x| x < 0.0));
+    }
+}

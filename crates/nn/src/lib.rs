@@ -1,0 +1,51 @@
+//! Neural-network building blocks for CCSA.
+//!
+//! Implements, on top of [`ccsa_tensor`]'s autograd, every architecture the
+//! paper evaluates:
+//!
+//! * [`layers`] — learnable node-kind [`layers::Embedding`] (§IV-B) and
+//!   [`layers::Linear`] maps;
+//! * [`treelstm`] — the child-sum tree-LSTM (§III-B, Eq. 4) with the
+//!   paper's three multi-layer variants: uni-directional, bi-directional
+//!   and alternating (§IV-C, Figure 2);
+//! * [`gcn`] — the graph-convolutional baseline (§V-B);
+//! * [`optim`] — SGD and Adam with gradient clipping;
+//! * [`parallel`] — crossbeam-based data-parallel gradient accumulation
+//!   (the CPU stand-in for the paper's P100).
+//!
+//! # Example
+//!
+//! ```
+//! use ccsa_nn::param::{Ctx, Params};
+//! use ccsa_nn::treelstm::{Direction, TreeLstmConfig, TreeLstmEncoder};
+//! use ccsa_tensor::Tape;
+//! use ccsa_cppast::{parse_program, AstGraph};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let graph = AstGraph::from_program(
+//!     &parse_program("int main() { return 2 + 2; }").unwrap(),
+//! );
+//! let config = TreeLstmConfig { embed_dim: 8, hidden: 8, layers: 1,
+//!     direction: Direction::Uni, sigmoid_candidate: false };
+//! let mut params = Params::new();
+//! let encoder = TreeLstmEncoder::new(&config, &mut params, &mut StdRng::seed_from_u64(0));
+//! let tape = Tape::new();
+//! let ctx = Ctx::new(&tape, &params);
+//! let code_vec = encoder.encode(&ctx, &graph);
+//! assert_eq!(code_vec.value().len(), 8);
+//! ```
+
+pub mod gcn;
+pub mod init;
+pub mod layers;
+pub mod optim;
+pub mod parallel;
+pub mod param;
+pub mod treelstm;
+
+pub use gcn::{Activation, GcnConfig, GcnEncoder};
+pub use layers::{Embedding, Linear};
+pub use optim::{Adam, GradClip, Sgd};
+pub use param::{Ctx, GradStore, Params};
+pub use treelstm::{Direction, TreeLstmConfig, TreeLstmEncoder};

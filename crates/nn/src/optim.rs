@@ -1,0 +1,174 @@
+//! Optimizers: SGD and Adam, with global-norm gradient clipping.
+
+use std::collections::HashMap;
+
+use ccsa_tensor::Tensor;
+
+use crate::param::{GradStore, Params};
+
+/// Global-norm gradient clipping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradClip {
+    /// Maximum allowed global L2 norm.
+    pub max_norm: f32,
+}
+
+impl GradClip {
+    /// Scales all gradients down when their global norm exceeds the limit.
+    pub fn apply(&self, grads: &mut GradStore) {
+        let norm = grads.global_norm();
+        if norm > self.max_norm && norm > 0.0 {
+            grads.scale(self.max_norm / norm);
+        }
+    }
+}
+
+/// Plain stochastic gradient descent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// Applies one step: `θ ← θ − lr · g`.
+    pub fn step(&mut self, params: &mut Params, grads: &GradStore) {
+        params.for_each_mut(|name, tensor| {
+            if let Some(g) = grads.get(name) {
+                tensor.axpy(-self.lr, g);
+            }
+        });
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate (paper-era default 1e-3).
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    t: u64,
+    m: HashMap<String, Tensor>,
+    v: HashMap<String, Tensor>,
+}
+
+impl Adam {
+    /// Adam with standard hyper-parameters and the given learning rate.
+    pub fn new(lr: f32) -> Adam {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: HashMap::new(), v: HashMap::new() }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one update step.
+    pub fn step(&mut self, params: &mut Params, grads: &GradStore) {
+        self.t += 1;
+        let t = self.t as f32;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        let (beta1, beta2, lr, eps) = (self.beta1, self.beta2, self.lr, self.eps);
+        let m_map = &mut self.m;
+        let v_map = &mut self.v;
+        params.for_each_mut(|name, tensor| {
+            let Some(g) = grads.get(name) else { return };
+            let m = m_map.entry(name.to_string()).or_insert_with(|| Tensor::zeros(g.shape()));
+            let v = v_map.entry(name.to_string()).or_insert_with(|| Tensor::zeros(g.shape()));
+            let mm = m.make_mut();
+            let gs = g.as_slice();
+            for (mi, &gi) in mm.iter_mut().zip(gs) {
+                *mi = beta1 * *mi + (1.0 - beta1) * gi;
+            }
+            let vv = v.make_mut();
+            for (vi, &gi) in vv.iter_mut().zip(gs) {
+                *vi = beta2 * *vi + (1.0 - beta2) * gi * gi;
+            }
+            let dst = tensor.make_mut();
+            for ((di, &mi), &vi) in dst.iter_mut().zip(mm.iter()).zip(vv.iter()) {
+                let m_hat = mi / bc1;
+                let v_hat = vi / bc2;
+                *di -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_params(x0: f32) -> Params {
+        let mut p = Params::new();
+        p.insert("x", Tensor::from_vec(vec![x0], [1]));
+        p
+    }
+
+    fn quadratic_grad(p: &Params) -> GradStore {
+        // f(x) = (x − 3)², ∇ = 2(x − 3).
+        let x = p.get("x").as_slice()[0];
+        let mut g = GradStore::new();
+        g.accumulate("x", &Tensor::from_vec(vec![2.0 * (x - 3.0)], [1]));
+        g
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut p = quadratic_params(0.0);
+        let mut opt = Sgd { lr: 0.1 };
+        for _ in 0..100 {
+            let g = quadratic_grad(&p);
+            opt.step(&mut p, &g);
+        }
+        assert!((p.get("x").as_slice()[0] - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut p = quadratic_params(-5.0);
+        let mut opt = Adam::new(0.3);
+        for _ in 0..300 {
+            let g = quadratic_grad(&p);
+            opt.step(&mut p, &g);
+        }
+        assert!((p.get("x").as_slice()[0] - 3.0).abs() < 1e-2, "x = {:?}", p.get("x"));
+        assert_eq!(opt.steps(), 300);
+    }
+
+    #[test]
+    fn clip_rescales_large_gradients() {
+        let mut g = GradStore::new();
+        g.accumulate("a", &Tensor::from_vec(vec![30.0, 40.0], [2]));
+        GradClip { max_norm: 5.0 }.apply(&mut g);
+        assert!((g.global_norm() - 5.0).abs() < 1e-4);
+        // Direction preserved.
+        let a = g.get("a").unwrap();
+        assert!((a.as_slice()[0] / a.as_slice()[1] - 0.75).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_leaves_small_gradients_alone() {
+        let mut g = GradStore::new();
+        g.accumulate("a", &Tensor::from_vec(vec![0.3], [1]));
+        GradClip { max_norm: 5.0 }.apply(&mut g);
+        assert_eq!(g.get("a").unwrap().as_slice(), &[0.3]);
+    }
+
+    #[test]
+    fn untouched_params_stay_fixed() {
+        let mut p = Params::new();
+        p.insert("used", Tensor::from_vec(vec![1.0], [1]));
+        p.insert("frozen", Tensor::from_vec(vec![9.0], [1]));
+        let mut g = GradStore::new();
+        g.accumulate("used", &Tensor::from_vec(vec![1.0], [1]));
+        Sgd { lr: 0.5 }.step(&mut p, &g);
+        assert_eq!(p.get("used").as_slice(), &[0.5]);
+        assert_eq!(p.get("frozen").as_slice(), &[9.0]);
+    }
+}

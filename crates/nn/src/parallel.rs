@@ -1,0 +1,148 @@
+//! Data-parallel gradient accumulation over CPU threads.
+//!
+//! The paper trained on a Tesla P100; our CPU stand-in shards each
+//! mini-batch across threads with crossbeam's scoped threads. Every worker
+//! builds its own tapes against the *shared, read-only* parameters
+//! ([`Tensor`](ccsa_tensor::Tensor) is `Arc`-backed, so this is cheap) and
+//! returns a [`GradStore`]; the shards are summed on the caller's thread.
+//! This is synchronous data parallelism — gradients are mathematically
+//! identical to a sequential pass, so results stay deterministic for a
+//! fixed batch order.
+
+use crate::param::GradStore;
+
+/// Aggregate result of a sharded batch: summed gradients plus summed
+/// scalar metrics (loss, #correct, …).
+#[derive(Debug, Clone, Default)]
+pub struct BatchResult {
+    /// Sum of per-example gradients.
+    pub grads: GradStore,
+    /// Sum of per-example losses.
+    pub loss: f64,
+    /// Number of correctly classified examples.
+    pub correct: usize,
+    /// Number of examples processed.
+    pub count: usize,
+}
+
+impl BatchResult {
+    /// Merges another shard into this one.
+    pub fn merge(&mut self, other: BatchResult) {
+        self.grads.merge(other.grads);
+        self.loss += other.loss;
+        self.correct += other.correct;
+        self.count += other.count;
+    }
+
+    /// Mean loss per example (0 when empty).
+    pub fn mean_loss(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.loss / self.count as f64
+        }
+    }
+
+    /// Fraction of examples classified correctly (0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.count as f64
+        }
+    }
+}
+
+/// Processes `items` with `f` across up to `threads` worker threads,
+/// merging the per-shard [`BatchResult`]s.
+///
+/// `f` must be a pure function of the item (plus captured read-only
+/// state): it is called concurrently. With `threads <= 1` everything runs
+/// on the caller's thread — handy for debugging.
+pub fn parallel_batch<T: Sync>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> BatchResult + Sync,
+) -> BatchResult {
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 {
+        let mut total = BatchResult::default();
+        for item in items {
+            total.merge(f(item));
+        }
+        return total;
+    }
+
+    let chunk = items.len().div_ceil(threads);
+    let f = &f;
+    let shards: Vec<BatchResult> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|shard| {
+                scope.spawn(move |_| {
+                    let mut acc = BatchResult::default();
+                    for item in shard {
+                        acc.merge(f(item));
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("crossbeam scope failed");
+
+    let mut total = BatchResult::default();
+    for shard in shards {
+        total.merge(shard);
+    }
+    total
+}
+
+/// A reasonable worker count for this machine (logical CPUs, capped at 8 —
+/// gradient summation becomes the bottleneck beyond that).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsa_tensor::Tensor;
+
+    fn item_result(x: &f64) -> BatchResult {
+        let mut grads = GradStore::new();
+        grads.accumulate("w", &Tensor::from_vec(vec![*x as f32], [1]));
+        BatchResult { grads, loss: *x, correct: (*x > 0.0) as usize, count: 1 }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let items: Vec<f64> = (0..100).map(|i| (i as f64) / 10.0 - 3.0).collect();
+        let seq = parallel_batch(&items, 1, item_result);
+        let par = parallel_batch(&items, 4, item_result);
+        assert_eq!(seq.count, par.count);
+        assert_eq!(seq.correct, par.correct);
+        assert!((seq.loss - par.loss).abs() < 1e-9);
+        let gs = seq.grads.get("w").unwrap().as_slice()[0];
+        let gp = par.grads.get("w").unwrap().as_slice()[0];
+        assert!((gs - gp).abs() < 1e-3, "{gs} vs {gp}");
+    }
+
+    #[test]
+    fn empty_batch() {
+        let items: Vec<f64> = Vec::new();
+        let r = parallel_batch(&items, 4, item_result);
+        assert_eq!(r.count, 0);
+        assert_eq!(r.mean_loss(), 0.0);
+        assert_eq!(r.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let items = vec![1.0, 2.0];
+        let r = parallel_batch(&items, 16, item_result);
+        assert_eq!(r.count, 2);
+        assert!((r.loss - 3.0).abs() < 1e-9);
+    }
+}

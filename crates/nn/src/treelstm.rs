@@ -1,0 +1,514 @@
+//! Child-sum tree-LSTM encoders for ASTs (§III-B of the paper).
+//!
+//! The upward cell implements Eq. (4): per node `j` with children `C(j)`,
+//!
+//! ```text
+//! h̃ = Σ_k h_k
+//! i  = σ(W_i x_j + U_i h̃ + b_i)
+//! f_k = σ(W_f x_j + U_f h_k + b_f)      (one forget gate per child)
+//! o  = σ(W_o x_j + U_o h̃ + b_o)
+//! u  = tanh(W_u x_j + U_u h̃ + b_u)
+//! c  = i ⊙ u + Σ_k f_k ⊙ c_k
+//! h  = o ⊙ tanh(c)
+//! ```
+//!
+//! Three stacked-layer variants follow §IV-C / Figure 2:
+//!
+//! * [`Direction::Uni`] — upward passes only; layer *l* feeds its per-node
+//!   hidden states to layer *l+1*.
+//! * [`Direction::Bi`] — each layer runs an independent upward and
+//!   downward pass and concatenates the two hidden states per node. The
+//!   final layer runs upward only ("the downward pass in the final layer
+//!   is not required" — the classifier consumes the root state).
+//! * [`Direction::Alternating`] — layers alternate upward, downward,
+//!   upward… with half the parameters of `Bi`; the paper's best performer.
+//!
+//! The downward pass treats the parent as the single "child": the root
+//! starts from zero state and every node receives its parent's (h, c) —
+//! "the parent node copies its representation to all its children".
+//!
+//! Note on Eq. (3)/(4): the paper's text writes `u = σ(…)`, while the
+//! original Tai et al. formulation uses `tanh`. [`TreeLstmConfig::sigmoid_candidate`]
+//! selects the paper-literal variant; the default follows Tai et al.
+
+use rand::rngs::StdRng;
+
+use ccsa_cppast::AstGraph;
+use ccsa_tensor::Var;
+
+use crate::init;
+use crate::param::{Ctx, Params};
+
+/// Stacking scheme for multi-layer tree-LSTMs (paper Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Leaf-to-root passes only.
+    Uni,
+    /// Independent up + down passes per layer, concatenated.
+    Bi,
+    /// Alternating up/down/up… passes.
+    Alternating,
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Direction::Uni => write!(f, "uni-directional"),
+            Direction::Bi => write!(f, "bi-directional"),
+            Direction::Alternating => write!(f, "alternating"),
+        }
+    }
+}
+
+/// Hyper-parameters of a tree-LSTM encoder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeLstmConfig {
+    /// Node-embedding dimensionality λ (paper: 120).
+    pub embed_dim: usize,
+    /// Hidden-state size d (paper: 100).
+    pub hidden: usize,
+    /// Number of stacked layers (paper explores 1–3).
+    pub layers: usize,
+    /// Stacking scheme.
+    pub direction: Direction,
+    /// Use the paper-literal `σ` candidate activation instead of Tai
+    /// et al.'s `tanh`.
+    pub sigmoid_candidate: bool,
+}
+
+impl TreeLstmConfig {
+    /// The paper's best configuration: 3-layer alternating, d=100, λ=120.
+    pub fn paper() -> TreeLstmConfig {
+        TreeLstmConfig {
+            embed_dim: 120,
+            hidden: 100,
+            layers: 3,
+            direction: Direction::Alternating,
+            sigmoid_candidate: false,
+        }
+    }
+
+    /// A small configuration for tests and quick experiments.
+    pub fn small(hidden: usize) -> TreeLstmConfig {
+        TreeLstmConfig {
+            embed_dim: hidden,
+            hidden,
+            layers: 1,
+            direction: Direction::Uni,
+            sigmoid_candidate: false,
+        }
+    }
+}
+
+/// One direction's gate parameters for one layer.
+#[derive(Debug, Clone)]
+struct CellParams {
+    w_i: String,
+    u_i: String,
+    b_i: String,
+    w_f: String,
+    u_f: String,
+    b_f: String,
+    w_o: String,
+    u_o: String,
+    b_o: String,
+    w_u: String,
+    u_u: String,
+    b_u: String,
+}
+
+impl CellParams {
+    fn new(prefix: &str, x_dim: usize, hidden: usize, params: &mut Params, rng: &mut StdRng) -> CellParams {
+        let mut reg = |gate: &str, rows: usize, cols: usize, rng: &mut StdRng| {
+            let name = format!("{prefix}.{gate}");
+            params.insert(&name, init::xavier(rows, cols, rng));
+            name
+        };
+        let w_i = reg("w_i", hidden, x_dim, rng);
+        let u_i = reg("u_i", hidden, hidden, rng);
+        let w_f = reg("w_f", hidden, x_dim, rng);
+        let u_f = reg("u_f", hidden, hidden, rng);
+        let w_o = reg("w_o", hidden, x_dim, rng);
+        let u_o = reg("u_o", hidden, hidden, rng);
+        let w_u = reg("w_u", hidden, x_dim, rng);
+        let u_u = reg("u_u", hidden, hidden, rng);
+        let mut bias = |gate: &str, value: f32| {
+            let name = format!("{prefix}.{gate}");
+            params.insert(&name, ccsa_tensor::Tensor::full([hidden], value));
+            name
+        };
+        let b_i = bias("b_i", 0.0);
+        // Positive forget bias: standard LSTM practice, keeps early
+        // training from zeroing child states.
+        let b_f = bias("b_f", 1.0);
+        let b_o = bias("b_o", 0.0);
+        let b_u = bias("b_u", 0.0);
+        CellParams { w_i, u_i, b_i, w_f, u_f, b_f, w_o, u_o, b_o, w_u, u_u, b_u }
+    }
+
+    /// Applies the child-sum cell to one node. `children` supplies the
+    /// (h, c) pairs being aggregated — actual children for the upward
+    /// pass, the single parent for the downward pass.
+    fn step<'t>(
+        &self,
+        ctx: &Ctx<'t, '_>,
+        x: Var<'t>,
+        children: &[(Var<'t>, Var<'t>)],
+        sigmoid_candidate: bool,
+        hidden: usize,
+    ) -> (Var<'t>, Var<'t>) {
+        let h_sum = if children.is_empty() {
+            ctx.tape.zeros([hidden])
+        } else {
+            let hs: Vec<Var<'t>> = children.iter().map(|&(h, _)| h).collect();
+            ctx.tape.add_n(&hs)
+        };
+
+        let gate = |w: &str, u: &str, b: &str, against: Var<'t>| {
+            ctx.param(w).affine(x, ctx.param(b)).add(ctx.param(u).matvec(against))
+        };
+
+        let i = gate(&self.w_i, &self.u_i, &self.b_i, h_sum).sigmoid();
+        let o = gate(&self.w_o, &self.u_o, &self.b_o, h_sum).sigmoid();
+        let u_pre = gate(&self.w_u, &self.u_u, &self.b_u, h_sum);
+        let u = if sigmoid_candidate { u_pre.sigmoid() } else { u_pre.tanh() };
+
+        let mut c = i.mul(u);
+        for &(h_k, c_k) in children {
+            let f_k = gate(&self.w_f, &self.u_f, &self.b_f, h_k).sigmoid();
+            c = c.add(f_k.mul(c_k));
+        }
+        let h = o.mul(c.tanh());
+        (h, c)
+    }
+}
+
+/// A pass within one layer.
+#[derive(Debug, Clone)]
+enum LayerKind {
+    Up(CellParams),
+    Down(CellParams),
+    UpDown(CellParams, CellParams),
+}
+
+/// A multi-layer child-sum tree-LSTM encoder: AST → code vector.
+#[derive(Debug, Clone)]
+pub struct TreeLstmEncoder {
+    config: TreeLstmConfig,
+    embedding: crate::layers::Embedding,
+    layers: Vec<LayerKind>,
+}
+
+impl TreeLstmEncoder {
+    /// Registers all parameters for the configured stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.layers == 0`.
+    pub fn new(config: &TreeLstmConfig, params: &mut Params, rng: &mut StdRng) -> TreeLstmEncoder {
+        assert!(config.layers > 0, "encoder needs at least one layer");
+        let embedding = crate::layers::Embedding::new(
+            "tree.emb",
+            ccsa_cppast::VOCAB_SIZE,
+            config.embed_dim,
+            params,
+            rng,
+        );
+        let h = config.hidden;
+        let mut layers = Vec::with_capacity(config.layers);
+        let mut x_dim = config.embed_dim;
+        for l in 0..config.layers {
+            let is_last = l + 1 == config.layers;
+            let kind = match config.direction {
+                Direction::Uni => {
+                    let cell = CellParams::new(&format!("tree.l{l}.up"), x_dim, h, params, rng);
+                    x_dim = h;
+                    LayerKind::Up(cell)
+                }
+                Direction::Bi => {
+                    if is_last {
+                        // Final layer: upward only (classifier reads the root).
+                        let cell =
+                            CellParams::new(&format!("tree.l{l}.up"), x_dim, h, params, rng);
+                        x_dim = h;
+                        LayerKind::Up(cell)
+                    } else {
+                        let up = CellParams::new(&format!("tree.l{l}.up"), x_dim, h, params, rng);
+                        let down =
+                            CellParams::new(&format!("tree.l{l}.down"), x_dim, h, params, rng);
+                        x_dim = 2 * h;
+                        LayerKind::UpDown(up, down)
+                    }
+                }
+                Direction::Alternating => {
+                    if l % 2 == 0 {
+                        let cell = CellParams::new(&format!("tree.l{l}.up"), x_dim, h, params, rng);
+                        x_dim = h;
+                        LayerKind::Up(cell)
+                    } else {
+                        let cell =
+                            CellParams::new(&format!("tree.l{l}.down"), x_dim, h, params, rng);
+                        x_dim = h;
+                        LayerKind::Down(cell)
+                    }
+                }
+            };
+            layers.push(kind);
+        }
+        TreeLstmEncoder { config: config.clone(), embedding, layers }
+    }
+
+    /// The dimensionality of the produced code vector.
+    pub fn output_dim(&self) -> usize {
+        self.config.hidden
+    }
+
+    /// The configuration this encoder was built with.
+    pub fn config(&self) -> &TreeLstmConfig {
+        &self.config
+    }
+
+    /// Encodes an AST into its code vector (the root hidden state of the
+    /// final upward pass; for a stack ending in a downward pass, the mean
+    /// of leaf-ward states would discard the aggregation the paper relies
+    /// on, so the root state of that pass is used as well).
+    pub fn encode<'t>(&self, ctx: &Ctx<'t, '_>, graph: &AstGraph) -> Var<'t> {
+        let n = graph.node_count();
+        let ids: Vec<u16> = (0..n as u32).map(|ix| graph.kind_id(ix)).collect();
+        let emb_rows = self.embedding.lookup(ctx, &ids);
+        let mut inputs: Vec<Var<'t>> = (0..n).map(|i| emb_rows.row(i)).collect();
+
+        let mut root_h = None;
+        for layer in &self.layers {
+            match layer {
+                LayerKind::Up(cell) => {
+                    let (hs, _cs) = self.upward(ctx, graph, cell, &inputs);
+                    root_h = Some(hs[graph.root() as usize]);
+                    inputs = hs;
+                }
+                LayerKind::Down(cell) => {
+                    let hs = self.downward(ctx, graph, cell, &inputs);
+                    root_h = Some(hs[graph.root() as usize]);
+                    inputs = hs;
+                }
+                LayerKind::UpDown(up, down) => {
+                    let (up_hs, _) = self.upward(ctx, graph, up, &inputs);
+                    let down_hs = self.downward(ctx, graph, down, &inputs);
+                    root_h = Some(up_hs[graph.root() as usize]);
+                    inputs = up_hs
+                        .iter()
+                        .zip(&down_hs)
+                        .map(|(&u, &d)| ctx.tape.concat(&[u, d]))
+                        .collect();
+                }
+            }
+        }
+        root_h.expect("at least one layer")
+    }
+
+    /// Leaf-to-root pass: children processed before parents.
+    fn upward<'t>(
+        &self,
+        ctx: &Ctx<'t, '_>,
+        graph: &AstGraph,
+        cell: &CellParams,
+        inputs: &[Var<'t>],
+    ) -> (Vec<Var<'t>>, Vec<Var<'t>>) {
+        let n = graph.node_count();
+        let mut hs: Vec<Option<Var<'t>>> = vec![None; n];
+        let mut cs: Vec<Option<Var<'t>>> = vec![None; n];
+        for ix in graph.post_order() {
+            let children: Vec<(Var<'t>, Var<'t>)> = graph
+                .children(ix)
+                .iter()
+                .map(|&c| (hs[c as usize].unwrap(), cs[c as usize].unwrap()))
+                .collect();
+            let (h, c) = cell.step(
+                ctx,
+                inputs[ix as usize],
+                &children,
+                self.config.sigmoid_candidate,
+                self.config.hidden,
+            );
+            hs[ix as usize] = Some(h);
+            cs[ix as usize] = Some(c);
+        }
+        (hs.into_iter().map(Option::unwrap).collect(), cs.into_iter().map(Option::unwrap).collect())
+    }
+
+    /// Root-to-leaf pass: each node aggregates its parent's state.
+    fn downward<'t>(
+        &self,
+        ctx: &Ctx<'t, '_>,
+        graph: &AstGraph,
+        cell: &CellParams,
+        inputs: &[Var<'t>],
+    ) -> Vec<Var<'t>> {
+        let n = graph.node_count();
+        let mut hs: Vec<Option<Var<'t>>> = vec![None; n];
+        let mut cs: Vec<Option<Var<'t>>> = vec![None; n];
+        for ix in graph.pre_order() {
+            let parents: Vec<(Var<'t>, Var<'t>)> = if ix == graph.root() {
+                Vec::new()
+            } else {
+                let p = graph.parent(ix) as usize;
+                vec![(hs[p].unwrap(), cs[p].unwrap())]
+            };
+            let (h, c) = cell.step(
+                ctx,
+                inputs[ix as usize],
+                &parents,
+                self.config.sigmoid_candidate,
+                self.config.hidden,
+            );
+            hs[ix as usize] = Some(h);
+            cs[ix as usize] = Some(c);
+        }
+        hs.into_iter().map(Option::unwrap).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsa_cppast::parse_program;
+    use ccsa_tensor::Tape;
+    use rand::SeedableRng;
+
+    fn graph(src: &str) -> AstGraph {
+        AstGraph::from_program(&parse_program(src).unwrap())
+    }
+
+    fn encode_with(config: &TreeLstmConfig, src: &str, seed: u64) -> Vec<f32> {
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let enc = TreeLstmEncoder::new(config, &mut params, &mut rng);
+        let tape = Tape::new();
+        let ctx = Ctx::new(&tape, &params);
+        enc.encode(&ctx, &graph(src)).value().as_slice().to_vec()
+    }
+
+    #[test]
+    fn all_variants_produce_finite_vectors() {
+        for direction in [Direction::Uni, Direction::Bi, Direction::Alternating] {
+            for layers in 1..=3 {
+                let config = TreeLstmConfig {
+                    embed_dim: 6,
+                    hidden: 5,
+                    layers,
+                    direction,
+                    sigmoid_candidate: false,
+                };
+                let v = encode_with(&config, "int main() { return 1 + 2 * 3; }", 7);
+                assert_eq!(v.len(), 5, "{direction} {layers}-layer");
+                assert!(v.iter().all(|x| x.is_finite()), "{direction} {layers}-layer: {v:?}");
+                assert!(v.iter().any(|&x| x != 0.0), "{direction} {layers}-layer all-zero");
+            }
+        }
+    }
+
+    #[test]
+    fn different_programs_different_codes() {
+        let config = TreeLstmConfig::small(8);
+        let a = encode_with(&config, "int main() { return 0; }", 3);
+        let b = encode_with(
+            &config,
+            "int main() { for (int i = 0; i < 9; i++) { } return 0; }",
+            3,
+        );
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn child_order_permutation_invariance() {
+        // The child-sum cell aggregates children by sum, so sibling order
+        // must not change the root representation. Two functions in
+        // different order produce mirrored root children.
+        let config = TreeLstmConfig::small(6);
+        let a = encode_with(
+            &config,
+            "int f() { return 1; } int g() { return 2 + 3; } int main() { return 0; }",
+            5,
+        );
+        // Note: same multiset of subtrees under the root, different order.
+        let b = encode_with(
+            &config,
+            "int g() { return 2 + 3; } int f() { return 1; } int main() { return 0; }",
+            5,
+        );
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-5, "child-sum must be order invariant: {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn gradients_flow_to_all_parameters() {
+        let config = TreeLstmConfig {
+            embed_dim: 4,
+            hidden: 4,
+            layers: 3,
+            direction: Direction::Alternating,
+            sigmoid_candidate: false,
+        };
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let enc = TreeLstmEncoder::new(&config, &mut params, &mut rng);
+        let tape = Tape::new();
+        let ctx = Ctx::new(&tape, &params);
+        let g = graph("int main() { int x = 1; while (x < 5) x++; return x; }");
+        let loss = enc.encode(&ctx, &g).sum();
+        let grads = tape.backward(loss);
+        let store = ctx.grads(&grads);
+        for name in params.names() {
+            assert!(
+                store.get(name).is_some(),
+                "parameter {name} received no gradient"
+            );
+        }
+    }
+
+    #[test]
+    fn gradcheck_whole_encoder() {
+        // End-to-end finite-difference check of the full 1-layer encoder —
+        // embedding table, all eight gate matrices and four biases — on a
+        // real (tiny) AST.
+        let g = graph("int main() { return 1; }");
+        let config = TreeLstmConfig::small(3);
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let enc = TreeLstmEncoder::new(&config, &mut params, &mut rng);
+        let tensors: Vec<ccsa_tensor::Tensor> = params.iter().map(|(_, t)| t.clone()).collect();
+        let report = ccsa_tensor::grad_check(&tensors, 1e-2, |tape, vars| {
+            let ctx = Ctx::with_bound(tape, &params, vars);
+            ccsa_tensor::TapeScalar(enc.encode(&ctx, &g).tanh().sum())
+        });
+        assert!(report.passes(3e-2), "tree-LSTM gradient check failed: {report:?}");
+    }
+
+    #[test]
+    fn downward_pass_sees_ancestors() {
+        // In an alternating 2-layer stack the second (downward) pass must
+        // propagate root information to the leaves: two trees differing
+        // only at the root's *other* child produce different per-node
+        // states, observable at the root of the down pass.
+        let config = TreeLstmConfig {
+            embed_dim: 5,
+            hidden: 5,
+            layers: 2,
+            direction: Direction::Alternating,
+            sigmoid_candidate: false,
+        };
+        let a = encode_with(&config, "int main() { return 1; } int f() { return 2; }", 9);
+        let b = encode_with(&config, "int main() { return 1; } int f() { return 2 + 3; }", 9);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sigmoid_candidate_variant_differs() {
+        let mut config = TreeLstmConfig::small(4);
+        let a = encode_with(&config, "int main() { return 7; }", 4);
+        config.sigmoid_candidate = true;
+        let b = encode_with(&config, "int main() { return 7; }", 4);
+        assert_ne!(a, b, "candidate activation must change the encoding");
+    }
+}

@@ -1,0 +1,117 @@
+//! Finite-difference gradient verification.
+
+use crate::{Tape, Tensor, Var};
+
+/// Outcome of a [`grad_check`] run: the worst relative error observed and
+/// where it occurred.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradCheckReport {
+    /// Largest relative error across all checked coordinates.
+    pub max_rel_error: f32,
+    /// Index of the input tensor where the worst error occurred.
+    pub worst_input: usize,
+    /// Flat element index within that input.
+    pub worst_coord: usize,
+}
+
+impl GradCheckReport {
+    /// `true` when the worst relative error is below `tol`.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_rel_error < tol
+    }
+}
+
+/// Verifies analytic gradients against central finite differences.
+///
+/// `f` must build a scalar loss on the provided tape from leaf variables
+/// created from `inputs` (in order). The analytic gradient of every input is
+/// compared against `(f(x+h) − f(x−h)) / 2h` coordinate by coordinate.
+///
+/// Relative error uses the standard symmetric denominator
+/// `max(1e-3, |analytic| + |numeric|)` so that near-zero gradients do not
+/// produce spurious failures in `f32`.
+///
+/// # Panics
+///
+/// Panics if `f` returns a non-scalar.
+pub fn grad_check(
+    inputs: &[Tensor],
+    epsilon: f32,
+    f: impl for<'a> Fn(&'a Tape, &'a [Var<'a>]) -> TapeScalar<'a>,
+) -> GradCheckReport {
+    // It is awkward to return a Var tied to a local tape from a closure, so
+    // `f` receives the tape and returns the loss var bundled with it.
+    let analytic: Vec<Tensor> = {
+        let tape = Tape::new();
+        let vars: Vec<Var<'_>> = inputs.iter().map(|t| tape.leaf(t.clone())).collect();
+        let loss = f(&tape, &vars).0;
+        let grads = tape.backward(loss);
+        vars.iter().map(|v| grads.get_or_zeros(*v)).collect()
+    };
+
+    let eval = |perturbed: &[Tensor]| -> f32 {
+        let tape = Tape::new();
+        let vars: Vec<Var<'_>> = perturbed.iter().map(|t| tape.leaf(t.clone())).collect();
+        f(&tape, &vars).0.value().item()
+    };
+
+    let mut report = GradCheckReport { max_rel_error: 0.0, worst_input: 0, worst_coord: 0 };
+    for (i, input) in inputs.iter().enumerate() {
+        for c in 0..input.len() {
+            let mut plus: Vec<Tensor> = inputs.to_vec();
+            plus[i].make_mut()[c] += epsilon;
+            let mut minus: Vec<Tensor> = inputs.to_vec();
+            minus[i].make_mut()[c] -= epsilon;
+            let numeric = (eval(&plus) - eval(&minus)) / (2.0 * epsilon);
+            let a = analytic[i].as_slice()[c];
+            let denom = (a.abs() + numeric.abs()).max(1e-3);
+            let rel = (a - numeric).abs() / denom;
+            if rel > report.max_rel_error {
+                report = GradCheckReport { max_rel_error: rel, worst_input: i, worst_coord: c };
+            }
+        }
+    }
+    report
+}
+
+/// A scalar loss variable returned from a [`grad_check`] closure.
+///
+/// Wrapping the [`Var`] lets the closure signature express "a var borrowed
+/// from the tape you handed me" without naming the lifetime at the call
+/// site.
+pub struct TapeScalar<'t>(pub Var<'t>);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_chain_passes() {
+        let w = Tensor::from_vec(vec![0.3, -0.2, 0.7, 0.1, 0.5, -0.4], [2, 3]);
+        let x = Tensor::from_vec(vec![1.0, -2.0, 0.5], [3]);
+        let b = Tensor::from_vec(vec![0.1, -0.1], [2]);
+        let report = grad_check(&[w, x, b], 1e-2, |_tape, vars| {
+            TapeScalar(vars[0].affine(vars[1], vars[2]).tanh().sum())
+        });
+        assert!(report.passes(1e-2), "gradient check failed: {report:?}");
+    }
+
+    #[test]
+    fn sigmoid_mul_passes() {
+        let a = Tensor::from_vec(vec![0.5, -1.5, 2.0], [3]);
+        let b = Tensor::from_vec(vec![-0.3, 0.8, 0.2], [3]);
+        let report = grad_check(&[a, b], 1e-2, |_tape, vars| {
+            TapeScalar(vars[0].sigmoid().mul(vars[1].tanh()).sum())
+        });
+        assert!(report.passes(1e-2), "gradient check failed: {report:?}");
+    }
+
+    #[test]
+    fn bce_with_logits_passes() {
+        let z = Tensor::from_vec(vec![0.37], [1]);
+        let report = grad_check(&[z], 1e-3, |_tape, vars| {
+            TapeScalar(vars[0].sum().bce_with_logits(1.0))
+        });
+        assert!(report.passes(1e-2), "gradient check failed: {report:?}");
+    }
+}

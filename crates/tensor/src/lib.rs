@@ -1,0 +1,39 @@
+//! Dense `f32` tensors and tape-based reverse-mode automatic differentiation.
+//!
+//! This crate is the numerical substrate of the CCSA workspace. The paper's
+//! models (child-sum tree-LSTMs, GCNs, linear classifiers) were originally
+//! built on PyTorch; here we provide the minimal but complete set of
+//! differentiable operations those architectures need, implemented from
+//! scratch:
+//!
+//! * [`Tensor`] — an immutable, cheaply cloneable (`Arc`-backed), row-major
+//!   `f32` tensor of rank 0, 1 or 2.
+//! * [`Tape`] / [`Var`] — a dynamic computation graph ("tape") recording
+//!   every operation, with [`Tape::backward`] producing gradients for every
+//!   recorded variable. Dynamic graphs are essential here because every AST
+//!   has a different shape, so the tree-LSTM circuit differs per example.
+//! * [`grad_check`] — central-finite-difference gradient verification used
+//!   throughout the test suite.
+//!
+//! # Example
+//!
+//! ```
+//! use ccsa_tensor::{Tape, Tensor};
+//!
+//! let tape = Tape::new();
+//! let w = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]));
+//! let x = tape.leaf(Tensor::from_vec(vec![0.5, -1.0], [2]));
+//! let y = w.matvec(x).tanh().sum();
+//! let grads = tape.backward(y);
+//! assert_eq!(grads.get(w).shape().dims(), &[2, 2]);
+//! ```
+
+mod shape;
+mod tensor;
+mod tape;
+mod grad_check;
+
+pub use grad_check::{grad_check, GradCheckReport, TapeScalar};
+pub use shape::Shape;
+pub use tape::{Adjacency, Gradients, Tape, Var};
+pub use tensor::Tensor;

@@ -1,0 +1,169 @@
+//! Tensor shapes of rank 0, 1 or 2.
+
+use std::fmt;
+
+/// The shape of a [`Tensor`](crate::Tensor): rank 0 (scalar), 1 (vector) or
+/// 2 (matrix).
+///
+/// Rank ≤ 2 covers everything the CCSA models need (per-node vectors,
+/// weight matrices, stacked node features) while keeping indexing and
+/// broadcasting rules trivial and fast.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: [usize; 2],
+    rank: u8,
+}
+
+impl Shape {
+    /// A scalar shape (rank 0, one element).
+    pub const SCALAR: Shape = Shape { dims: [1, 1], rank: 0 };
+
+    /// Creates a vector shape of length `n`.
+    #[inline]
+    pub fn vector(n: usize) -> Shape {
+        Shape { dims: [n, 1], rank: 1 }
+    }
+
+    /// Creates a matrix shape with `rows` rows and `cols` columns.
+    #[inline]
+    pub fn matrix(rows: usize, cols: usize) -> Shape {
+        Shape { dims: [rows, cols], rank: 2 }
+    }
+
+    /// The rank of the shape: 0, 1 or 2.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank as usize
+    }
+
+    /// The dimensions as a slice (`&[]` for scalars, `&[n]` for vectors,
+    /// `&[r, c]` for matrices).
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims[..self.rank as usize]
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self.rank {
+            0 => 1,
+            1 => self.dims[0],
+            _ => self.dims[0] * self.dims[1],
+        }
+    }
+
+    /// `true` when the shape holds zero elements (possible only for empty
+    /// vectors/matrices).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of rows: 1 for scalars and vectors-as-rows are not a concept
+    /// here; vectors report their length as rows so `rows × cols`
+    /// always equals [`Shape::len`].
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.dims[0]
+    }
+
+    /// Number of columns (1 for scalars and vectors).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        match self.rank {
+            2 => self.dims[1],
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.rank {
+            0 => write!(f, "[]"),
+            1 => write!(f, "[{}]", self.dims[0]),
+            _ => write!(f, "[{}, {}]", self.dims[0], self.dims[1]),
+        }
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<[usize; 0]> for Shape {
+    fn from(_: [usize; 0]) -> Shape {
+        Shape::SCALAR
+    }
+}
+
+impl From<[usize; 1]> for Shape {
+    fn from(d: [usize; 1]) -> Shape {
+        Shape::vector(d[0])
+    }
+}
+
+impl From<[usize; 2]> for Shape {
+    fn from(d: [usize; 2]) -> Shape {
+        Shape::matrix(d[0], d[1])
+    }
+}
+
+impl From<usize> for Shape {
+    fn from(n: usize) -> Shape {
+        Shape::vector(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::SCALAR;
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.dims(), &[] as &[usize]);
+        assert_eq!(format!("{s}"), "[]");
+    }
+
+    #[test]
+    fn vector_shape() {
+        let s = Shape::vector(7);
+        assert_eq!(s.rank(), 1);
+        assert_eq!(s.len(), 7);
+        assert_eq!(s.dims(), &[7]);
+        assert_eq!(s.rows(), 7);
+        assert_eq!(s.cols(), 1);
+    }
+
+    #[test]
+    fn matrix_shape() {
+        let s = Shape::matrix(3, 4);
+        assert_eq!(s.rank(), 2);
+        assert_eq!(s.len(), 12);
+        assert_eq!(s.dims(), &[3, 4]);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.cols(), 4);
+        assert_eq!(format!("{s}"), "[3, 4]");
+    }
+
+    #[test]
+    fn from_array_conversions() {
+        assert_eq!(Shape::from([]), Shape::SCALAR);
+        assert_eq!(Shape::from([5]), Shape::vector(5));
+        assert_eq!(Shape::from([2, 3]), Shape::matrix(2, 3));
+        assert_eq!(Shape::from(4usize), Shape::vector(4));
+    }
+
+    #[test]
+    fn empty_shapes() {
+        assert!(Shape::vector(0).is_empty());
+        assert!(Shape::matrix(0, 5).is_empty());
+        assert!(!Shape::SCALAR.is_empty());
+    }
+}

@@ -1,0 +1,915 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records a dynamic computation graph: every operation appends a
+//! node holding the operation kind, its input node ids and the computed
+//! value. Because nodes are appended in execution order the tape is already
+//! topologically sorted, so [`Tape::backward`] is a single reverse sweep.
+//!
+//! Dynamic graphs are required by tree-structured models: every AST induces
+//! a different circuit, so the graph is rebuilt per example (define-by-run,
+//! as in PyTorch which the original paper used).
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{Shape, Tensor};
+
+/// A row-normalised sparse adjacency operator for graph convolutions.
+///
+/// Holds `Â = D^{-1/2} (A + I) D^{-1/2}` for an undirected graph in a
+/// row-list sparse format, together with its transpose (needed by the
+/// backward pass of [`Var::spmm`]).
+#[derive(Clone, Debug)]
+pub struct Adjacency {
+    n: usize,
+    rows: Vec<Vec<(u32, f32)>>,
+    rows_t: Vec<Vec<(u32, f32)>>,
+}
+
+impl Adjacency {
+    /// Builds the symmetric-normalised adjacency `Â` from undirected edges
+    /// over `n` nodes, adding self-loops (the standard GCN preprocessing of
+    /// Kipf & Welling).
+    ///
+    /// Duplicate and self edges in the input are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= n`.
+    pub fn normalized_from_edges(n: usize, edges: &[(u32, u32)]) -> Adjacency {
+        let mut neigh: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            let (a, b) = (a as usize, b as usize);
+            assert!(a < n && b < n, "edge ({a},{b}) out of bounds for {n} nodes");
+            if a == b {
+                continue;
+            }
+            if !neigh[a].contains(&(b as u32)) {
+                neigh[a].push(b as u32);
+                neigh[b].push(a as u32);
+            }
+        }
+        // Self-loops: degree = |neighbours| + 1.
+        let deg: Vec<f32> = neigh.iter().map(|ns| (ns.len() + 1) as f32).collect();
+        let mut rows: Vec<Vec<(u32, f32)>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut row = Vec::with_capacity(neigh[i].len() + 1);
+            row.push((i as u32, 1.0 / deg[i]));
+            for &j in &neigh[i] {
+                row.push((j, 1.0 / (deg[i] * deg[j as usize]).sqrt()));
+            }
+            row.sort_unstable_by_key(|&(j, _)| j);
+            rows.push(row);
+        }
+        // Â is symmetric by construction, so the transpose equals Â.
+        let rows_t = rows.clone();
+        Adjacency { n, rows, rows_t }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn apply(rows: &[Vec<(u32, f32)>], h: &Tensor) -> Tensor {
+        let n = rows.len();
+        let d = h.shape().cols();
+        assert_eq!(h.shape().rows(), n, "spmm: H has {} rows, adjacency has {n}", h.shape().rows());
+        let src = h.as_slice();
+        let mut out = vec![0.0f32; n * d];
+        for (i, row) in rows.iter().enumerate() {
+            let dst = &mut out[i * d..(i + 1) * d];
+            for &(j, w) in row {
+                let s = &src[j as usize * d..(j as usize + 1) * d];
+                for (o, &v) in dst.iter_mut().zip(s.iter()) {
+                    *o += w * v;
+                }
+            }
+        }
+        Tensor::from_vec(out, [n, d])
+    }
+
+    /// Dense product `Â · H` where `H` is `[n, d]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `H` does not have `n` rows.
+    pub fn matmul(&self, h: &Tensor) -> Tensor {
+        Adjacency::apply(&self.rows, h)
+    }
+
+    /// Dense product `Âᵀ · H`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `H` does not have `n` rows.
+    pub fn matmul_t(&self, h: &Tensor) -> Tensor {
+        Adjacency::apply(&self.rows_t, h)
+    }
+}
+
+/// The operation recorded at a tape node. Input operands are node ids.
+enum Op {
+    Leaf,
+    Add(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    Scale(usize, f32),
+    MatMul(usize, usize),
+    /// `A · Bᵀ` without materialising the transpose (batched linear).
+    MatMulNt(usize, usize),
+    /// Fused `W·x (+ b)` — the hot path of every LSTM gate.
+    Linear { w: usize, x: usize, b: Option<usize> },
+    Sigmoid(usize),
+    Tanh(usize),
+    Relu(usize),
+    Sum(usize),
+    Mean(usize),
+    Dot(usize, usize),
+    Concat(Vec<usize>),
+    AddN(Vec<usize>),
+    Stack(Vec<usize>),
+    Row(usize, usize),
+    Gather { table: usize, indices: Arc<Vec<usize>> },
+    SpMm { adj: Arc<Adjacency>, h: usize },
+    MeanRows(usize),
+    AddRowBroadcast { m: usize, v: usize },
+    BceWithLogits { logit: usize, target: f32 },
+}
+
+struct Node {
+    op: Op,
+    value: Tensor,
+}
+
+/// A recording tape for reverse-mode automatic differentiation.
+///
+/// Create variables with [`Tape::leaf`], combine them with the methods on
+/// [`Var`], then call [`Tape::backward`] on a scalar result.
+///
+/// A tape is intended to be built and consumed for a single example (or
+/// mini-batch member); build a fresh tape per forward pass.
+#[derive(Default)]
+pub struct Tape {
+    nodes: RefCell<Vec<Node>>,
+}
+
+impl fmt::Debug for Tape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tape({} nodes)", self.nodes.borrow().len())
+    }
+}
+
+/// A handle to a value recorded on a [`Tape`].
+///
+/// `Var` is `Copy`; all arithmetic methods append a new node to the
+/// originating tape and return a handle to it.
+#[derive(Clone, Copy)]
+pub struct Var<'t> {
+    tape: &'t Tape,
+    id: usize,
+}
+
+impl fmt::Debug for Var<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Var(#{}, {:?})", self.id, self.value())
+    }
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Tape {
+        Tape::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// `true` when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn push(&self, op: Op, value: Tensor) -> Var<'_> {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(Node { op, value });
+        Var { tape: self, id: nodes.len() - 1 }
+    }
+
+    fn value_of(&self, id: usize) -> Tensor {
+        self.nodes.borrow()[id].value.clone()
+    }
+
+    /// Records an input or parameter leaf.
+    pub fn leaf(&self, value: Tensor) -> Var<'_> {
+        self.push(Op::Leaf, value)
+    }
+
+    /// A leaf of zeros of the given shape (used e.g. for the initial hidden
+    /// state at AST leaves).
+    pub fn zeros(&self, shape: impl Into<Shape>) -> Var<'_> {
+        self.leaf(Tensor::zeros(shape))
+    }
+
+    /// Concatenates vectors into one vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or any part is not rank ≤ 1.
+    pub fn concat(&self, parts: &[Var<'_>]) -> Var<'_> {
+        assert!(!parts.is_empty(), "concat of zero parts");
+        let mut data = Vec::new();
+        for p in parts {
+            let v = self.value_of(p.id);
+            assert!(v.shape().rank() <= 1, "concat expects vectors, got {}", v.shape());
+            data.extend_from_slice(v.as_slice());
+        }
+        let n = data.len();
+        self.push(Op::Concat(parts.iter().map(|p| p.id).collect()), Tensor::from_vec(data, [n]))
+    }
+
+    /// Sums any number of same-shape variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or shapes differ.
+    pub fn add_n(&self, parts: &[Var<'_>]) -> Var<'_> {
+        assert!(!parts.is_empty(), "add_n of zero parts");
+        let first = self.value_of(parts[0].id);
+        let mut acc = first.as_slice().to_vec();
+        for p in &parts[1..] {
+            let v = self.value_of(p.id);
+            assert_eq!(v.shape(), first.shape(), "add_n shape mismatch");
+            for (a, &b) in acc.iter_mut().zip(v.as_slice()) {
+                *a += b;
+            }
+        }
+        let value = Tensor::from_vec(acc, first.shape());
+        self.push(Op::AddN(parts.iter().map(|p| p.id).collect()), value)
+    }
+
+    /// Stacks `k` vectors of length `d` into a `[k, d]` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or the vectors disagree in length.
+    pub fn stack(&self, parts: &[Var<'_>]) -> Var<'_> {
+        assert!(!parts.is_empty(), "stack of zero parts");
+        let d = self.value_of(parts[0].id).len();
+        let mut data = Vec::with_capacity(parts.len() * d);
+        for p in parts {
+            let v = self.value_of(p.id);
+            assert_eq!(v.len(), d, "stack length mismatch");
+            data.extend_from_slice(v.as_slice());
+        }
+        let k = parts.len();
+        self.push(Op::Stack(parts.iter().map(|p| p.id).collect()), Tensor::from_vec(data, [k, d]))
+    }
+
+    /// Gathers rows of an embedding `table` (`[v, d]`): output is `[k, d]`
+    /// for `k` indices.
+    ///
+    /// The backward pass scatter-adds into the table gradient, which is how
+    /// the paper's learnable node-kind embeddings receive updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` is not rank 2 or an index is out of range.
+    pub fn gather<'t>(&'t self, table: Var<'t>, indices: impl Into<Arc<Vec<usize>>>) -> Var<'t> {
+        let indices = indices.into();
+        let t = self.value_of(table.id);
+        assert_eq!(t.shape().rank(), 2, "gather table must be rank 2, got {}", t.shape());
+        let (v, d) = (t.shape().rows(), t.shape().cols());
+        let mut data = Vec::with_capacity(indices.len() * d);
+        for &ix in indices.iter() {
+            assert!(ix < v, "gather index {ix} out of range for table with {v} rows");
+            data.extend_from_slice(&t.as_slice()[ix * d..(ix + 1) * d]);
+        }
+        let k = indices.len();
+        self.push(Op::Gather { table: table.id, indices }, Tensor::from_vec(data, [k, d]))
+    }
+
+    /// Sparse-dense product `Â · H` for graph convolutions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` row count differs from the adjacency node count.
+    pub fn spmm<'t>(&'t self, adj: Arc<Adjacency>, h: Var<'t>) -> Var<'t> {
+        let hv = self.value_of(h.id);
+        let value = adj.matmul(&hv);
+        self.push(Op::SpMm { adj, h: h.id }, value)
+    }
+
+    /// Runs the reverse sweep from a scalar `root`, returning gradients for
+    /// every recorded variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` does not hold exactly one element or belongs to a
+    /// different tape.
+    pub fn backward(&self, root: Var<'_>) -> Gradients {
+        assert!(std::ptr::eq(root.tape, self), "backward: var from another tape");
+        let nodes = self.nodes.borrow();
+        assert_eq!(nodes[root.id].value.len(), 1, "backward root must be scalar");
+        let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
+        grads[root.id] = Some(Tensor::ones(nodes[root.id].value.shape()));
+
+        for id in (0..=root.id).rev() {
+            let Some(g) = grads[id].take() else { continue };
+            let node = &nodes[id];
+            match &node.op {
+                Op::Leaf => {
+                    grads[id] = Some(g);
+                    continue;
+                }
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, *a, g.clone(), &nodes);
+                    accumulate(&mut grads, *b, g.clone(), &nodes);
+                }
+                Op::Sub(a, b) => {
+                    accumulate(&mut grads, *a, g.clone(), &nodes);
+                    accumulate(&mut grads, *b, g.scale(-1.0), &nodes);
+                }
+                Op::Mul(a, b) => {
+                    let av = nodes[*a].value.clone();
+                    let bv = nodes[*b].value.clone();
+                    accumulate(&mut grads, *a, g.mul(&bv), &nodes);
+                    accumulate(&mut grads, *b, g.mul(&av), &nodes);
+                }
+                Op::Scale(a, s) => {
+                    accumulate(&mut grads, *a, g.scale(*s), &nodes);
+                }
+                Op::MatMul(a, b) => {
+                    let av = &nodes[*a].value;
+                    let bv = &nodes[*b].value;
+                    accumulate(&mut grads, *a, g.matmul(&bv.t()), &nodes);
+                    accumulate(&mut grads, *b, av.t().matmul(&g), &nodes);
+                }
+                Op::MatMulNt(a, b) => {
+                    // y = A·Bᵀ ⇒ dA += G·B, dB += Gᵀ·A.
+                    let av = &nodes[*a].value;
+                    let bv = &nodes[*b].value;
+                    accumulate(&mut grads, *a, g.matmul(bv), &nodes);
+                    accumulate(&mut grads, *b, g.t().matmul(av), &nodes);
+                }
+                Op::Linear { w, x, b } => {
+                    let wv = &nodes[*w].value;
+                    let xv = &nodes[*x].value;
+                    accumulate(&mut grads, *w, g.outer(xv), &nodes);
+                    accumulate(&mut grads, *x, wv.t().matvec(&g), &nodes);
+                    if let Some(b) = b {
+                        accumulate(&mut grads, *b, g.clone(), &nodes);
+                    }
+                }
+                Op::Sigmoid(a) => {
+                    let y = &node.value;
+                    let dg = g.zip(y, |gi, yi| gi * yi * (1.0 - yi));
+                    accumulate(&mut grads, *a, dg, &nodes);
+                }
+                Op::Tanh(a) => {
+                    let y = &node.value;
+                    let dg = g.zip(y, |gi, yi| gi * (1.0 - yi * yi));
+                    accumulate(&mut grads, *a, dg, &nodes);
+                }
+                Op::Relu(a) => {
+                    let xv = &nodes[*a].value;
+                    let dg = g.zip(xv, |gi, xi| if xi > 0.0 { gi } else { 0.0 });
+                    accumulate(&mut grads, *a, dg, &nodes);
+                }
+                Op::Sum(a) => {
+                    let gi = g.item();
+                    accumulate(&mut grads, *a, Tensor::full(nodes[*a].value.shape(), gi), &nodes);
+                }
+                Op::Mean(a) => {
+                    let n = nodes[*a].value.len().max(1) as f32;
+                    let gi = g.item() / n;
+                    accumulate(&mut grads, *a, Tensor::full(nodes[*a].value.shape(), gi), &nodes);
+                }
+                Op::Dot(a, b) => {
+                    let gi = g.item();
+                    let av = nodes[*a].value.clone();
+                    let bv = nodes[*b].value.clone();
+                    accumulate(&mut grads, *a, bv.scale(gi), &nodes);
+                    accumulate(&mut grads, *b, av.scale(gi), &nodes);
+                }
+                Op::Concat(parts) => {
+                    let gs = g.as_slice();
+                    let mut off = 0;
+                    for &p in parts {
+                        let len = nodes[p].value.len();
+                        let shape = nodes[p].value.shape();
+                        let part = Tensor::from_vec(gs[off..off + len].to_vec(), shape);
+                        accumulate(&mut grads, p, part, &nodes);
+                        off += len;
+                    }
+                }
+                Op::AddN(parts) => {
+                    for &p in parts {
+                        accumulate(&mut grads, p, g.clone(), &nodes);
+                    }
+                }
+                Op::Stack(parts) => {
+                    let d = nodes[parts[0]].value.len();
+                    let gs = g.as_slice();
+                    for (k, &p) in parts.iter().enumerate() {
+                        let shape = nodes[p].value.shape();
+                        let part = Tensor::from_vec(gs[k * d..(k + 1) * d].to_vec(), shape);
+                        accumulate(&mut grads, p, part, &nodes);
+                    }
+                }
+                Op::Row(a, r) => {
+                    let shape = nodes[*a].value.shape();
+                    let cols = shape.cols();
+                    let mut scatter = Tensor::zeros(shape);
+                    scatter.make_mut()[r * cols..(r + 1) * cols].copy_from_slice(g.as_slice());
+                    accumulate(&mut grads, *a, scatter, &nodes);
+                }
+                Op::Gather { table, indices } => {
+                    let shape = nodes[*table].value.shape();
+                    let d = shape.cols();
+                    let mut scatter = Tensor::zeros(shape);
+                    {
+                        let dst = scatter.make_mut();
+                        let gs = g.as_slice();
+                        for (k, &ix) in indices.iter().enumerate() {
+                            let row = &mut dst[ix * d..(ix + 1) * d];
+                            for (o, &v) in row.iter_mut().zip(&gs[k * d..(k + 1) * d]) {
+                                *o += v;
+                            }
+                        }
+                    }
+                    accumulate(&mut grads, *table, scatter, &nodes);
+                }
+                Op::SpMm { adj, h } => {
+                    accumulate(&mut grads, *h, adj.matmul_t(&g), &nodes);
+                }
+                Op::AddRowBroadcast { m, v } => {
+                    accumulate(&mut grads, *m, g.clone(), &nodes);
+                    // dv = column sums of g.
+                    let shape = nodes[*m].value.shape();
+                    let (n, d) = (shape.rows(), shape.cols());
+                    let gs = g.as_slice();
+                    let mut dv = vec![0.0f32; d];
+                    for i in 0..n {
+                        for j in 0..d {
+                            dv[j] += gs[i * d + j];
+                        }
+                    }
+                    accumulate(&mut grads, *v, Tensor::from_vec(dv, [d]), &nodes);
+                }
+                Op::MeanRows(a) => {
+                    let shape = nodes[*a].value.shape();
+                    let (n, d) = (shape.rows(), shape.cols());
+                    let gs = g.as_slice();
+                    let mut out = vec![0.0f32; n * d];
+                    let inv = 1.0 / n.max(1) as f32;
+                    for i in 0..n {
+                        for j in 0..d {
+                            out[i * d + j] = gs[j] * inv;
+                        }
+                    }
+                    accumulate(&mut grads, *a, Tensor::from_vec(out, shape), &nodes);
+                }
+                Op::BceWithLogits { logit, target } => {
+                    let z = nodes[*logit].value.item();
+                    let sig = 1.0 / (1.0 + (-z).exp());
+                    let d = (sig - target) * g.item();
+                    accumulate(&mut grads, *logit, Tensor::scalar(d), &nodes);
+                }
+            }
+        }
+
+        Gradients { grads }
+    }
+}
+
+fn accumulate(grads: &mut [Option<Tensor>], id: usize, delta: Tensor, nodes: &[Node]) {
+    debug_assert_eq!(
+        delta.shape(),
+        nodes[id].value.shape(),
+        "gradient shape mismatch at node {id}"
+    );
+    match &mut grads[id] {
+        Some(g) => g.axpy(1.0, &delta),
+        slot @ None => *slot = Some(delta),
+    }
+}
+
+impl<'t> Var<'t> {
+    /// The identifier of this variable on its tape (stable for the lifetime
+    /// of the tape; used to look gradients up in [`Gradients`]).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The current value of this variable (cheap `Arc` clone).
+    pub fn value(&self) -> Tensor {
+        self.tape.value_of(self.id)
+    }
+
+    fn same_tape(&self, other: &Var<'t>) {
+        assert!(std::ptr::eq(self.tape, other.tape), "vars from different tapes");
+    }
+
+    /// Elementwise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ or the variables come from different tapes.
+    pub fn add(self, other: Var<'t>) -> Var<'t> {
+        self.same_tape(&other);
+        let v = self.value().add(&other.value());
+        self.tape.push(Op::Add(self.id, other.id), v)
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ or the variables come from different tapes.
+    pub fn sub(self, other: Var<'t>) -> Var<'t> {
+        self.same_tape(&other);
+        let v = self.value().sub(&other.value());
+        self.tape.push(Op::Sub(self.id, other.id), v)
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ or the variables come from different tapes.
+    pub fn mul(self, other: Var<'t>) -> Var<'t> {
+        self.same_tape(&other);
+        let v = self.value().mul(&other.value());
+        self.tape.push(Op::Mul(self.id, other.id), v)
+    }
+
+    /// Multiplication by a constant.
+    pub fn scale(self, s: f32) -> Var<'t> {
+        let v = self.value().scale(s);
+        self.tape.push(Op::Scale(self.id, s), v)
+    }
+
+    /// Matrix product `self · other` (`[m,k] · [k,n]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/dimension mismatch.
+    pub fn matmul(self, other: Var<'t>) -> Var<'t> {
+        self.same_tape(&other);
+        let v = self.value().matmul(&other.value());
+        self.tape.push(Op::MatMul(self.id, other.id), v)
+    }
+
+    /// Matrix product with transposed right operand: `self · otherᵀ`
+    /// (`[n, k] · [m, k]ᵀ → [n, m]`) — the batched-linear layout where
+    /// weights are stored `[out, in]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/dimension mismatch.
+    pub fn matmul_nt(self, other: Var<'t>) -> Var<'t> {
+        self.same_tape(&other);
+        let v = self.value().matmul(&other.value().t());
+        self.tape.push(Op::MatMulNt(self.id, other.id), v)
+    }
+
+    /// Matrix–vector product `self · x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/dimension mismatch.
+    pub fn matvec(self, x: Var<'t>) -> Var<'t> {
+        self.same_tape(&x);
+        let v = self.value().matvec(&x.value());
+        self.tape.push(Op::Linear { w: self.id, x: x.id, b: None }, v)
+    }
+
+    /// Fused affine map `self · x + b` — one node instead of two, the hot
+    /// path of every LSTM gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/dimension mismatch.
+    pub fn affine(self, x: Var<'t>, b: Var<'t>) -> Var<'t> {
+        self.same_tape(&x);
+        self.same_tape(&b);
+        let v = self.value().matvec(&x.value()).add(&b.value());
+        self.tape.push(Op::Linear { w: self.id, x: x.id, b: Some(b.id) }, v)
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(self) -> Var<'t> {
+        let v = self.value().map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.tape.push(Op::Sigmoid(self.id), v)
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(self) -> Var<'t> {
+        let v = self.value().map(f32::tanh);
+        self.tape.push(Op::Tanh(self.id), v)
+    }
+
+    /// Elementwise rectified linear unit.
+    pub fn relu(self) -> Var<'t> {
+        let v = self.value().map(|x| x.max(0.0));
+        self.tape.push(Op::Relu(self.id), v)
+    }
+
+    /// Sum of all elements (scalar result).
+    pub fn sum(self) -> Var<'t> {
+        let v = Tensor::scalar(self.value().sum());
+        self.tape.push(Op::Sum(self.id), v)
+    }
+
+    /// Mean of all elements (scalar result).
+    pub fn mean(self) -> Var<'t> {
+        let v = Tensor::scalar(self.value().mean());
+        self.tape.push(Op::Mean(self.id), v)
+    }
+
+    /// Dot product with another variable of the same length (scalar).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn dot(self, other: Var<'t>) -> Var<'t> {
+        self.same_tape(&other);
+        let v = Tensor::scalar(self.value().dot(&other.value()));
+        self.tape.push(Op::Dot(self.id, other.id), v)
+    }
+
+    /// Extracts row `r` of a matrix as a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not rank 2 or `r` out of bounds.
+    pub fn row(self, r: usize) -> Var<'t> {
+        let v = self.value().row(r);
+        self.tape.push(Op::Row(self.id, r), v)
+    }
+
+    /// Adds a `[d]` vector to every row of a `[n, d]` matrix — the bias
+    /// term of a batched linear layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` is rank 2 and `v` a vector of matching width.
+    pub fn add_row_broadcast(self, v: Var<'t>) -> Var<'t> {
+        self.same_tape(&v);
+        let m = self.value();
+        let b = v.value();
+        assert_eq!(m.shape().rank(), 2, "add_row_broadcast lhs must be rank 2, got {}", m.shape());
+        assert_eq!(
+            m.shape().cols(),
+            b.len(),
+            "add_row_broadcast width mismatch: {} vs {}",
+            m.shape(),
+            b.shape()
+        );
+        let (n, d) = (m.shape().rows(), m.shape().cols());
+        let mut out = m.as_slice().to_vec();
+        for i in 0..n {
+            for (o, &bv) in out[i * d..(i + 1) * d].iter_mut().zip(b.as_slice()) {
+                *o += bv;
+            }
+        }
+        self.tape.push(
+            Op::AddRowBroadcast { m: self.id, v: v.id },
+            Tensor::from_vec(out, [n, d]),
+        )
+    }
+
+    /// Mean over the rows of a `[n, d]` matrix, producing a `[d]` vector —
+    /// the GCN readout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not rank 2.
+    pub fn mean_rows(self) -> Var<'t> {
+        let v = self.value();
+        assert_eq!(v.shape().rank(), 2, "mean_rows on {}", v.shape());
+        let (n, d) = (v.shape().rows(), v.shape().cols());
+        let mut out = vec![0.0f32; d];
+        for i in 0..n {
+            for j in 0..d {
+                out[j] += v.as_slice()[i * d + j];
+            }
+        }
+        let inv = 1.0 / n.max(1) as f32;
+        for o in &mut out {
+            *o *= inv;
+        }
+        self.tape.push(Op::MeanRows(self.id), Tensor::from_vec(out, [d]))
+    }
+
+    /// Numerically stable binary cross-entropy between `sigmoid(self)` and a
+    /// constant `target ∈ {0, 1}` (scalar logit → scalar loss).
+    ///
+    /// Uses `max(z,0) − z·y + ln(1 + e^{−|z|})`, never materialising the
+    /// sigmoid in the forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not a single-element tensor.
+    pub fn bce_with_logits(self, target: f32) -> Var<'t> {
+        let z = self.value().item();
+        let loss = z.max(0.0) - z * target + (1.0 + (-z.abs()).exp()).ln();
+        self.tape.push(Op::BceWithLogits { logit: self.id, target }, Tensor::scalar(loss))
+    }
+}
+
+/// Gradients produced by [`Tape::backward`], indexed by [`Var`].
+#[derive(Debug)]
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// The gradient of the backward root with respect to `var`, or a zero
+    /// tensor of no particular shape if the variable did not influence the
+    /// root. Prefer [`Gradients::get_or_zeros`] when a correctly shaped
+    /// zero gradient is needed.
+    pub fn get(&self, var: Var<'_>) -> Tensor {
+        self.grads[var.id].clone().unwrap_or_default()
+    }
+
+    /// Like [`Gradients::get`] but returns zeros shaped like the variable's
+    /// value when it received no gradient.
+    pub fn get_or_zeros(&self, var: Var<'_>) -> Tensor {
+        self.grads[var.id].clone().unwrap_or_else(|| Tensor::zeros(var.value().shape()))
+    }
+
+    /// Whether the variable received any gradient.
+    pub fn contains(&self, var: Var<'_>) -> bool {
+        self.grads[var.id].is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_backward() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], [2]));
+        let b = tape.leaf(Tensor::from_vec(vec![3.0, 4.0], [2]));
+        let loss = a.add(b).sum();
+        assert_eq!(loss.value().item(), 10.0);
+        let g = tape.backward(loss);
+        assert_eq!(g.get(a).as_slice(), &[1.0, 1.0]);
+        assert_eq!(g.get(b).as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn mul_backward() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![2.0, 3.0], [2]));
+        let b = tape.leaf(Tensor::from_vec(vec![5.0, 7.0], [2]));
+        let loss = a.mul(b).sum();
+        let g = tape.backward(loss);
+        assert_eq!(g.get(a).as_slice(), &[5.0, 7.0]);
+        assert_eq!(g.get(b).as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn matvec_backward_hand_checked() {
+        let tape = Tape::new();
+        let w = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]));
+        let x = tape.leaf(Tensor::from_vec(vec![5.0, 6.0], [2]));
+        let y = w.matvec(x); // [17, 39]
+        assert_eq!(y.value().as_slice(), &[17.0, 39.0]);
+        let loss = y.sum();
+        let g = tape.backward(loss);
+        // dW = [1,1]ᵀ ⊗ x = [[5,6],[5,6]]; dx = Wᵀ·[1,1] = [4, 6]
+        assert_eq!(g.get(w).as_slice(), &[5.0, 6.0, 5.0, 6.0]);
+        assert_eq!(g.get(x).as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn sigmoid_at_zero() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::scalar(0.0));
+        let y = x.sigmoid();
+        assert!((y.value().item() - 0.5).abs() < 1e-7);
+        let g = tape.backward(y.sum());
+        assert!((g.get(x).item() - 0.25).abs() < 1e-7);
+    }
+
+    #[test]
+    fn reused_variable_accumulates_gradient() {
+        // loss = (x + x).sum() → dx = 2
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0], [1]));
+        let loss = x.add(x).sum();
+        let g = tape.backward(loss);
+        assert_eq!(g.get(x).as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn concat_split_gradient() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], [2]));
+        let b = tape.leaf(Tensor::from_vec(vec![3.0], [1]));
+        let c = tape.concat(&[a, b]);
+        assert_eq!(c.value().as_slice(), &[1.0, 2.0, 3.0]);
+        let w = tape.leaf(Tensor::from_vec(vec![1.0, 10.0, 100.0], [3]));
+        let loss = c.mul(w).sum();
+        let g = tape.backward(loss);
+        assert_eq!(g.get(a).as_slice(), &[1.0, 10.0]);
+        assert_eq!(g.get(b).as_slice(), &[100.0]);
+    }
+
+    #[test]
+    fn gather_scatters_gradient() {
+        let tape = Tape::new();
+        let table = tape.leaf(Tensor::from_vec((0..6).map(|x| x as f32).collect(), [3, 2]));
+        let g = tape.gather(table, vec![2usize, 0, 2]);
+        assert_eq!(g.value().as_slice(), &[4.0, 5.0, 0.0, 1.0, 4.0, 5.0]);
+        let loss = g.sum();
+        let grads = tape.backward(loss);
+        // Row 2 hit twice, row 0 once, row 1 never.
+        assert_eq!(grads.get(table).as_slice(), &[1.0, 1.0, 0.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn bce_loss_matches_closed_form() {
+        let tape = Tape::new();
+        let z = tape.leaf(Tensor::scalar(0.7));
+        let loss = z.bce_with_logits(1.0);
+        let expected = (1.0f32 + (-0.7f32).exp()).ln();
+        assert!((loss.value().item() - expected).abs() < 1e-6);
+        let g = tape.backward(loss);
+        let sig = 1.0 / (1.0 + (-0.7f32).exp());
+        assert!((g.get(z).item() - (sig - 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spmm_forward_and_backward_shapes() {
+        let adj = Arc::new(Adjacency::normalized_from_edges(3, &[(0, 1), (1, 2)]));
+        let tape = Tape::new();
+        let h = tape.leaf(Tensor::from_vec((0..6).map(|x| x as f32).collect(), [3, 2]));
+        let out = tape.spmm(Arc::clone(&adj), h);
+        assert_eq!(out.value().shape().dims(), &[3, 2]);
+        let g = tape.backward(out.sum());
+        assert_eq!(g.get(h).shape().dims(), &[3, 2]);
+    }
+
+    #[test]
+    fn adjacency_rows_sum_reasonably() {
+        // Row sums of Â = D^{-1/2}(A+I)D^{-1/2} are positive and bounded by
+        // a small constant (they equal 1 exactly on regular graphs).
+        let adj = Adjacency::normalized_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let h = Tensor::ones([4, 1]);
+        let out = adj.matmul(&h);
+        for &v in out.as_slice() {
+            assert!(v > 0.0 && v <= 1.5, "row sum {v} out of range");
+        }
+        // Complete graph K3 is regular: every row sum is exactly 1.
+        let k3 = Adjacency::normalized_from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let out = k3.matmul(&Tensor::ones([3, 1]));
+        for &v in out.as_slice() {
+            assert!((v - 1.0).abs() < 1e-6, "regular graph row sum {v} != 1");
+        }
+    }
+
+    #[test]
+    fn mean_rows_backward() {
+        let tape = Tape::new();
+        let h = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]));
+        let m = h.mean_rows();
+        assert_eq!(m.value().as_slice(), &[2.0, 3.0]);
+        let g = tape.backward(m.sum());
+        assert_eq!(g.get(h).as_slice(), &[0.5, 0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn stack_and_row_roundtrip_gradient() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], [2]));
+        let b = tape.leaf(Tensor::from_vec(vec![3.0, 4.0], [2]));
+        let s = tape.stack(&[a, b]);
+        let r = s.row(1);
+        assert_eq!(r.value().as_slice(), &[3.0, 4.0]);
+        let g = tape.backward(r.sum());
+        assert_eq!(g.get(a).as_slice(), &[0.0, 0.0]);
+        assert_eq!(g.get(b).as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward root must be scalar")]
+    fn backward_requires_scalar() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], [2]));
+        let _ = tape.backward(a);
+    }
+}

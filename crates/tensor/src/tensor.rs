@@ -1,0 +1,488 @@
+//! The dense `f32` tensor type.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::Shape;
+
+/// A dense, row-major, immutable-by-default `f32` tensor of rank ≤ 2.
+///
+/// `Tensor` is backed by an [`Arc`], so cloning is O(1); mutation goes
+/// through [`Tensor::make_mut`] which copies only when the buffer is shared
+/// (copy-on-write). This makes it cheap to inject shared model parameters
+/// into many per-example computation graphs, which is the dominant pattern
+/// in tree-structured model training.
+///
+/// # Example
+///
+/// ```
+/// use ccsa_tensor::Tensor;
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+/// let b = Tensor::eye(2);
+/// let c = a.matmul(&b);
+/// assert_eq!(c.as_slice(), a.as_slice());
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Arc<Vec<f32>>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the number of elements implied
+    /// by `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "tensor data length {} does not match shape {shape}",
+            data.len()
+        );
+        Tensor { shape, data: Arc::new(data) }
+    }
+
+    /// Creates a rank-0 tensor holding a single value.
+    pub fn scalar(value: f32) -> Tensor {
+        Tensor { shape: Shape::SCALAR, data: Arc::new(vec![value]) }
+    }
+
+    /// Creates a tensor of zeros.
+    pub fn zeros(shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        Tensor { shape, data: Arc::new(vec![0.0; shape.len()]) }
+    }
+
+    /// Creates a tensor of ones.
+    pub fn ones(shape: impl Into<Shape>) -> Tensor {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Tensor {
+        let shape = shape.into();
+        Tensor { shape, data: Arc::new(vec![value; shape.len()]) }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn eye(n: usize) -> Tensor {
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            data[i * n + i] = 1.0;
+        }
+        Tensor::from_vec(data, [n, n])
+    }
+
+    /// The shape of the tensor.
+    #[inline]
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// `true` if the tensor holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.shape.is_empty()
+    }
+
+    /// The underlying elements in row-major order.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the elements, copying the buffer first if it is
+    /// shared (copy-on-write).
+    pub fn make_mut(&mut self) -> &mut [f32] {
+        Arc::make_mut(&mut self.data).as_mut_slice()
+    }
+
+    /// The single value of a rank-0 or one-element tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.len(), 1, "item() on tensor of shape {}", self.shape);
+        self.data[0]
+    }
+
+    /// Element at `(row, col)` of a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or indices are out of bounds.
+    #[inline]
+    pub fn at(&self, row: usize, col: usize) -> f32 {
+        assert_eq!(self.shape.rank(), 2, "at() on tensor of shape {}", self.shape);
+        let cols = self.shape.cols();
+        assert!(row < self.shape.rows() && col < cols, "index ({row},{col}) out of bounds for {}", self.shape);
+        self.data[row * cols + col]
+    }
+
+    /// A copy of row `r` of a matrix as a vector tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or `r` is out of bounds.
+    pub fn row(&self, r: usize) -> Tensor {
+        assert_eq!(self.shape.rank(), 2, "row() on tensor of shape {}", self.shape);
+        let cols = self.shape.cols();
+        assert!(r < self.shape.rows(), "row {r} out of bounds for {}", self.shape);
+        Tensor::from_vec(self.data[r * cols..(r + 1) * cols].to_vec(), [cols])
+    }
+
+    /// Reshapes without copying element data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape has a different number of elements.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        assert_eq!(shape.len(), self.len(), "cannot reshape {} into {shape}", self.shape);
+        Tensor { shape, data: Arc::clone(&self.data) }
+    }
+
+    /// Applies `f` elementwise, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape,
+            data: Arc::new(self.data.iter().map(|&x| f(x)).collect()),
+        }
+    }
+
+    /// Elementwise binary combination of two same-shape tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, other.shape, "shape mismatch: {} vs {}", self.shape, other.shape);
+        Tensor {
+            shape: self.shape,
+            data: Arc::new(self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect()),
+        }
+    }
+
+    /// Elementwise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// In-place `self += alpha * other` (copy-on-write if shared).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch: {} vs {}", self.shape, other.shape);
+        let dst = Arc::make_mut(&mut self.data);
+        for (d, &s) in dst.iter_mut().zip(other.data.iter()) {
+            *d += alpha * s;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (0.0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Dot product of two equally sized tensors viewed as flat vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.len(), other.len(), "dot length mismatch: {} vs {}", self.shape, other.shape);
+        self.data.iter().zip(other.data.iter()).map(|(&a, &b)| a * b).sum()
+    }
+
+    /// Euclidean (L2) norm of the flattened tensor.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Matrix transpose (copies).
+    ///
+    /// Vectors are interpreted as column vectors, so their transpose is a
+    /// `1 × n` matrix.
+    pub fn t(&self) -> Tensor {
+        match self.shape.rank() {
+            0 => self.clone(),
+            1 => self.reshape([1, self.len()]),
+            _ => {
+                let (r, c) = (self.shape.rows(), self.shape.cols());
+                let mut out = vec![0.0; r * c];
+                for i in 0..r {
+                    for j in 0..c {
+                        out[j * r + i] = self.data[i * c + j];
+                    }
+                }
+                Tensor::from_vec(out, [c, r])
+            }
+        }
+    }
+
+    /// Matrix–matrix product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` is `[m, k]` and `other` is `[k, n]`.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.rank(), 2, "matmul lhs must be rank 2, got {}", self.shape);
+        assert_eq!(other.shape.rank(), 2, "matmul rhs must be rank 2, got {}", other.shape);
+        let (m, k) = (self.shape.rows(), self.shape.cols());
+        let (k2, n) = (other.shape.rows(), other.shape.cols());
+        assert_eq!(k, k2, "matmul inner dimension mismatch: {} vs {}", self.shape, other.shape);
+        let a = &self.data;
+        let b = &other.data;
+        let mut out = vec![0.0f32; m * n];
+        // i-k-j loop order: streams through `b` rows, good cache behaviour.
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (kk, &aik) in arow.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..(kk + 1) * n];
+                for (o, &bkj) in orow.iter_mut().zip(brow.iter()) {
+                    *o += aik * bkj;
+                }
+            }
+        }
+        Tensor::from_vec(out, [m, n])
+    }
+
+    /// Matrix–vector product `self · x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` is `[m, k]` and `x` is a vector of length `k`.
+    pub fn matvec(&self, x: &Tensor) -> Tensor {
+        assert_eq!(self.shape.rank(), 2, "matvec lhs must be rank 2, got {}", self.shape);
+        assert_eq!(x.shape.rank(), 1, "matvec rhs must be rank 1, got {}", x.shape);
+        let (m, k) = (self.shape.rows(), self.shape.cols());
+        assert_eq!(k, x.len(), "matvec dimension mismatch: {} vs {}", self.shape, x.shape);
+        let mut out = vec![0.0f32; m];
+        for i in 0..m {
+            let row = &self.data[i * k..(i + 1) * k];
+            out[i] = row.iter().zip(x.data.iter()).map(|(&a, &b)| a * b).sum();
+        }
+        Tensor::from_vec(out, [m])
+    }
+
+    /// Outer product of two vectors: `[m] ⊗ [n] → [m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both tensors are rank 1.
+    pub fn outer(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.rank(), 1, "outer lhs must be rank 1, got {}", self.shape);
+        assert_eq!(other.shape.rank(), 1, "outer rhs must be rank 1, got {}", other.shape);
+        let (m, n) = (self.len(), other.len());
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a = self.data[i];
+            if a == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                out[i * n + j] = a * other.data[j];
+            }
+        }
+        Tensor::from_vec(out, [m, n])
+    }
+
+    /// Maximum absolute difference to another tensor of identical shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape, "shape mismatch: {} vs {}", self.shape, other.shape);
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+impl Default for Tensor {
+    /// A rank-0 zero tensor.
+    fn default() -> Tensor {
+        Tensor::scalar(0.0)
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} ", self.shape)?;
+        if self.len() <= 16 {
+            write!(f, "{:?}", self.as_slice())
+        } else {
+            write!(
+                f,
+                "[{}, … ; {} elems]",
+                self.data[..4].iter().map(|x| format!("{x:.4}")).collect::<Vec<_>>().join(", "),
+                self.len()
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        assert_eq!(t.at(0, 0), 1.0);
+        assert_eq!(t.at(1, 2), 6.0);
+        assert_eq!(t.row(1).as_slice(), &[4.0, 5.0, 6.0]);
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn bad_construction_panics() {
+        let _ = Tensor::from_vec(vec![1.0, 2.0], [3]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        let b = Tensor::from_vec(vec![3.0, 5.0], [2]);
+        assert_eq!(a.add(&b).as_slice(), &[4.0, 7.0]);
+        assert_eq!(b.sub(&a).as_slice(), &[2.0, 3.0]);
+        assert_eq!(a.mul(&b).as_slice(), &[3.0, 10.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0]);
+        assert_eq!(a.dot(&b), 13.0);
+    }
+
+    #[test]
+    fn matmul_against_hand_computed() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], [2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), [3, 4]);
+        assert_eq!(a.matmul(&Tensor::eye(4)).as_slice(), a.as_slice());
+        assert_eq!(Tensor::eye(3).matmul(&a).as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0, 0.0, 1.0], [2, 3]);
+        let x = Tensor::from_vec(vec![2.0, 1.0, -1.0], [3]);
+        let mv = a.matvec(&x);
+        let mm = a.matmul(&x.reshape([3, 1]));
+        assert_eq!(mv.as_slice(), mm.as_slice());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), [2, 3]);
+        let att = a.t().t();
+        assert_eq!(att.shape(), a.shape());
+        assert_eq!(att.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn outer_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0, 5.0], [3]);
+        let o = a.outer(&b);
+        assert_eq!(o.shape().dims(), &[2, 3]);
+        assert_eq!(o.as_slice(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn copy_on_write_isolation() {
+        let a = Tensor::zeros([3]);
+        let mut b = a.clone();
+        b.make_mut()[0] = 9.0;
+        assert_eq!(a.as_slice(), &[0.0, 0.0, 0.0]);
+        assert_eq!(b.as_slice(), &[9.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::ones([2]);
+        let b = Tensor::from_vec(vec![2.0, 3.0], [2]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.as_slice(), &[2.0, 2.5]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [4]);
+        assert_eq!(t.sum(), 10.0);
+        assert_eq!(t.mean(), 2.5);
+        assert!((t.norm() - 30.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scalar_item() {
+        assert_eq!(Tensor::scalar(3.5).item(), 3.5);
+    }
+
+    #[test]
+    fn debug_never_empty() {
+        assert!(!format!("{:?}", Tensor::zeros([0])).is_empty());
+        assert!(!format!("{:?}", Tensor::zeros([100])).is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! Inspect the synthetic corpus: print a couple of generated submissions
+//! for one problem with their judged runtimes and AST statistics — useful
+//! for understanding what the models actually see.
+//!
+//! ```sh
+//! cargo run --release --example inspect_corpus
+//! ```
+
+use ccsa::corpus::dataset::{CorpusConfig, ProblemDataset};
+use ccsa::corpus::spec::{ProblemSpec, ProblemTag};
+
+fn main() {
+    let spec = ProblemSpec::curated(ProblemTag::C);
+    println!(
+        "problem C ({}; {}), strategies:",
+        spec.family.contest(),
+        spec.family.algorithms()
+    );
+    for s in &spec.strategies {
+        println!("  - {:<14} weight {:.2}  cost rank {}", s.name, s.weight, s.cost_rank);
+    }
+
+    let config = CorpusConfig { submissions_per_problem: 12, ..CorpusConfig::tiny(99) };
+    let ds = ProblemDataset::generate(spec, &config).expect("corpus generation");
+
+    // The fastest and slowest submission of this small batch.
+    let fastest = ds
+        .submissions
+        .iter()
+        .min_by(|a, b| a.runtime_ms.partial_cmp(&b.runtime_ms).unwrap())
+        .unwrap();
+    let slowest = ds
+        .submissions
+        .iter()
+        .max_by(|a, b| a.runtime_ms.partial_cmp(&b.runtime_ms).unwrap())
+        .unwrap();
+
+    for (title, sub) in [("fastest", fastest), ("slowest", slowest)] {
+        println!(
+            "\n=== {title}: submission #{} — {:.0} ms, strategy '{}', {} AST nodes, depth {} ===",
+            sub.id,
+            sub.runtime_ms,
+            ds.spec.strategies[sub.strategy].name,
+            sub.graph.node_count(),
+            sub.graph.depth(),
+        );
+        println!("{}", sub.source);
+    }
+
+    let stats = ds.stats();
+    println!(
+        "batch stats: min {:.0} ms | median {:.0} ms | max {:.0} ms | σ {:.0} ms",
+        stats.min_ms, stats.median_ms, stats.max_ms, stats.stddev_ms
+    );
+}

@@ -1,0 +1,56 @@
+//! # CCSA — Comparative Code Structure Analysis
+//!
+//! A Rust reproduction of *"Comparative Code Structure Analysis using Deep
+//! Learning for Performance Prediction"* (Ramadan, Islam, Phelps, Pinnow,
+//! Thiagarajan — ISPASS 2021, arXiv:2102.07660).
+//!
+//! Given two versions of a program, CCSA predicts **from the abstract
+//! syntax trees alone** whether the second will run faster or slower than
+//! the first on the same machine and inputs. The system comprises:
+//!
+//! * [`tensor`] — dense tensors + reverse-mode autograd (PyTorch substitute)
+//! * [`cppast`] — mini-C++ frontend producing ASTs (ROSE compiler substitute)
+//! * [`corpus`] — synthetic Codeforces-style corpus: program generator, a
+//!   cost-model interpreter and a judge producing runtime labels
+//! * [`nn`] — embeddings, child-sum tree-LSTM variants (uni-/bi-directional,
+//!   alternating), GCN baseline, optimizers
+//! * [`model`] — pair generation, training, evaluation (accuracy/ROC/AUC),
+//!   sensitivity analysis, t-SNE and hyper-parameter search
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ccsa::model::pipeline::{Pipeline, PipelineConfig};
+//! use ccsa::corpus::spec::ProblemTag;
+//!
+//! // Train a tiny comparative model on problem H (dynamic programming) and
+//! // ask it which of two fresh solutions is faster.
+//! let config = PipelineConfig::tiny(7);
+//! let outcome = Pipeline::new(config).run_single(ProblemTag::H).unwrap();
+//! assert!(outcome.test_accuracy >= 0.0 && outcome.test_accuracy <= 1.0);
+//! ```
+
+/// Dense tensors and autograd. See [`ccsa_tensor`].
+pub mod tensor {
+    pub use ccsa_tensor::*;
+}
+
+/// Mini-C++ lexer, parser and ASTs. See [`ccsa_cppast`].
+pub mod cppast {
+    pub use ccsa_cppast::*;
+}
+
+/// Synthetic corpus generation and runtime measurement. See [`ccsa_corpus`].
+pub mod corpus {
+    pub use ccsa_corpus::*;
+}
+
+/// Neural network layers and optimizers. See [`ccsa_nn`].
+pub mod nn {
+    pub use ccsa_nn::*;
+}
+
+/// The comparative performance-prediction pipeline. See [`ccsa_model`].
+pub mod model {
+    pub use ccsa_model::*;
+}

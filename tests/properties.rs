@@ -1,0 +1,187 @@
+//! Property-based tests over the cross-crate invariants the system relies
+//! on: frontend round-trips, interpreter determinism, autograd
+//! correctness on random graphs, label antisymmetry and metric bounds.
+
+use proptest::prelude::*;
+
+use ccsa::corpus::gen::{generate_program_with, Style};
+use ccsa::corpus::interp::{run_program, CostModel, InputTok, Limits};
+use ccsa::corpus::spec::{ProblemSpec, ProblemTag};
+use ccsa::cppast::{parse_program, print_program, AstGraph};
+use ccsa::model::metrics::{accuracy_at, roc};
+use ccsa::tensor::{grad_check, TapeScalar, Tensor};
+
+fn arb_tag() -> impl Strategy<Value = ProblemTag> {
+    prop::sample::select(ProblemTag::ALL.to_vec())
+}
+
+fn arb_style() -> impl Strategy<Value = Style> {
+    (
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        0.0f32..1.0,
+        0u8..3,
+        0u8..3,
+        (prop::bool::ANY, any::<bool>()),
+    )
+        .prop_map(
+            |(helper, extra, second, recompute, endl, temp, while_p, dead, dead_loops, (flip, pre))| Style {
+                helper_fn: helper,
+                extra_scan: extra,
+                second_extra_scan: second,
+                recompute_size: recompute,
+                use_endl: endl,
+                temp_var: temp,
+                while_prob: while_p,
+                dead_decls: dead,
+                dead_loops,
+                cond_flip_prob: if flip { 1.0 } else { 0.0 },
+                pre_inc: pre,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Any generated submission, in any style, for any family and
+    /// strategy: prints → parses → prints identically (fixed point), and
+    /// the flattened graph is a well-formed tree.
+    #[test]
+    fn generated_programs_roundtrip(
+        tag in arb_tag(),
+        strategy in 0usize..3,
+        style in arb_style(),
+        seed in 0u64..1000,
+    ) {
+        let spec = ProblemSpec::curated(tag);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let program = generate_program_with(&spec, strategy, &style, &mut rng);
+        let printed = print_program(&program);
+        let reparsed = parse_program(&printed).expect("generated source must parse");
+        prop_assert_eq!(&program.functions, &reparsed.functions);
+        // Printing is a fixed point after one normalisation pass.
+        prop_assert_eq!(print_program(&reparsed), printed);
+
+        let graph = AstGraph::from_program(&reparsed);
+        prop_assert!(graph.node_count() > 5);
+        prop_assert_eq!(graph.edges().len(), graph.node_count() - 1);
+        // Parent/child agreement.
+        for ix in 1..graph.node_count() as u32 {
+            prop_assert!(graph.children(graph.parent(ix)).contains(&ix));
+        }
+    }
+
+    /// The interpreter is deterministic and its cost is monotone in the
+    /// fuel-irrelevant sense: same program + same input = same cost and
+    /// output, across repeated runs.
+    #[test]
+    fn interpreter_is_deterministic(
+        tag in arb_tag(),
+        strategy in 0usize..3,
+        seed in 0u64..500,
+    ) {
+        let spec = ProblemSpec::curated(tag);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let program = ccsa::corpus::problems::build(tag, strategy, &Style::plain(), &spec.input);
+        let input = spec.generate_input(&mut rng);
+        let a = run_program(&program, &input, &CostModel::default(), &Limits::default()).unwrap();
+        let b = run_program(&program, &input, &CostModel::default(), &Limits::default()).unwrap();
+        prop_assert_eq!(a.cost, b.cost);
+        prop_assert_eq!(a.output, b.output);
+    }
+
+    /// Random small computation graphs pass a finite-difference gradient
+    /// check (autograd correctness beyond the hand-written unit tests).
+    #[test]
+    fn autograd_random_graphs_gradcheck(
+        seed in 0u64..200,
+        rows in 2usize..4,
+        cols in 2usize..4,
+    ) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        use rand::RngExt;
+        let mk = |rng: &mut rand::rngs::StdRng, n: usize| -> Tensor {
+            Tensor::from_vec((0..n).map(|_| rng.random_range(-1.0f32..1.0)).collect(), [n])
+        };
+        let w = Tensor::from_vec(
+            (0..rows * cols).map(|_| rng.random_range(-1.0f32..1.0)).collect(),
+            [rows, cols],
+        );
+        let x = mk(&mut rng, cols);
+        let b = mk(&mut rng, rows);
+        let report = grad_check(&[w, x, b], 1e-2, |tape, vars| {
+            let y = vars[0].affine(vars[1], vars[2]).tanh();
+            let z = y.sigmoid().mul(y);
+            let cat = tape.concat(&[z, y]);
+            TapeScalar(cat.sum().bce_with_logits(1.0))
+        });
+        prop_assert!(report.passes(3e-2), "gradcheck failed: {:?}", report);
+    }
+
+    /// Accuracy is bounded and ROC AUC stays within [0, 1] for arbitrary
+    /// score/label sets.
+    #[test]
+    fn metric_bounds(
+        scores in prop::collection::vec((0.0f32..1.0, prop::bool::ANY), 1..200),
+    ) {
+        let scored: Vec<(f32, f32)> =
+            scores.into_iter().map(|(s, l)| (s, l as i32 as f32)).collect();
+        let acc = accuracy_at(&scored, 0.5);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        let curve = roc(&scored);
+        prop_assert!((0.0..=1.0).contains(&curve.auc));
+    }
+
+    /// Pair labels are antisymmetric whenever runtimes differ.
+    #[test]
+    fn pair_label_antisymmetry(ra in 1.0f64..1000.0, rb in 1.0f64..1000.0) {
+        prop_assume!((ra - rb).abs() > 1e-9);
+        // Construct two fake submissions through the corpus API.
+        let ds = ccsa::corpus::dataset::ProblemDataset::generate(
+            ProblemSpec::curated(ProblemTag::H),
+            &ccsa::corpus::dataset::CorpusConfig {
+                submissions_per_problem: 2,
+                ..ccsa::corpus::dataset::CorpusConfig::tiny(1)
+            },
+        )
+        .unwrap();
+        let mut subs = ds.submissions;
+        subs[0].runtime_ms = ra;
+        subs[1].runtime_ms = rb;
+        let l_ab = ccsa::model::pair::label_of(&subs, 0, 1);
+        let l_ba = ccsa::model::pair::label_of(&subs, 1, 0);
+        prop_assert_ne!(l_ab, l_ba);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Interpreter cost strictly increases when input size grows for
+    /// data-dependent strategies (sanity of the cost model itself).
+    #[test]
+    fn cost_grows_with_input_size(seed in 0u64..50) {
+        let spec = ProblemSpec::curated(ProblemTag::E);
+        let program =
+            ccsa::corpus::problems::build(ProblemTag::E, 1, &Style::plain(), &spec.input);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let small: Vec<InputTok> = {
+            let mut spec_small = spec.clone();
+            spec_small.input.n = 20;
+            spec_small.generate_input(&mut rng)
+        };
+        let big: Vec<InputTok> = {
+            let mut spec_big = spec.clone();
+            spec_big.input.n = 60;
+            spec_big.generate_input(&mut rng)
+        };
+        let a = run_program(&program, &small, &CostModel::default(), &Limits::default()).unwrap();
+        let b = run_program(&program, &big, &CostModel::default(), &Limits::default()).unwrap();
+        prop_assert!(b.cost > a.cost, "bigger input must cost more: {} vs {}", a.cost, b.cost);
+    }
+}
