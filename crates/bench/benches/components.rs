@@ -115,11 +115,8 @@ fn bench_encoders(c: &mut Criterion) {
 }
 
 fn bench_pairs_and_tsne(c: &mut Criterion) {
-    let ds = ProblemDataset::generate(
-        ProblemSpec::curated(ProblemTag::H),
-        &CorpusConfig::tiny(3),
-    )
-    .unwrap();
+    let ds = ProblemDataset::generate(ProblemSpec::curated(ProblemTag::H), &CorpusConfig::tiny(3))
+        .unwrap();
     let indices: Vec<usize> = (0..ds.submissions.len()).collect();
     c.bench_function("sample_pairs_2000", |b| {
         b.iter(|| {
@@ -141,7 +138,11 @@ fn bench_pairs_and_tsne(c: &mut Criterion) {
             |d| {
                 tsne(
                     &d,
-                    &TsneConfig { iterations: 100, perplexity: 10.0, ..TsneConfig::default() },
+                    &TsneConfig {
+                        iterations: 100,
+                        perplexity: 10.0,
+                        ..TsneConfig::default()
+                    },
                 )
             },
             BatchSize::SmallInput,
@@ -152,7 +153,10 @@ fn bench_pairs_and_tsne(c: &mut Criterion) {
 fn bench_judging(c: &mut Criterion) {
     let spec = ProblemSpec::curated(ProblemTag::H);
     let program = ccsa_corpus::problems::build(ProblemTag::H, 0, &Style::plain(), &spec.input);
-    let cfg = ccsa_corpus::judge::JudgeConfig { test_cases: 2, ..Default::default() };
+    let cfg = ccsa_corpus::judge::JudgeConfig {
+        test_cases: 2,
+        ..Default::default()
+    };
     c.bench_function("judge_problem_h", |b| {
         b.iter(|| ccsa_corpus::judge::judge(black_box(&program), &spec, 5, &cfg).unwrap());
     });

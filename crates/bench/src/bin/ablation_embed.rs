@@ -13,7 +13,10 @@ use ccsa_nn::treelstm::{Direction, TreeLstmConfig};
 
 fn main() {
     let cli = Cli::parse();
-    header("Ablation — embedding dimensionality λ (problem E, alternating 3-layer)", &cli);
+    header(
+        "Ablation — embedding dimensionality λ (problem E, alternating 3-layer)",
+        &cli,
+    );
     let corpus = cli.corpus_config();
     let mut cache = DatasetCache::new();
     let ds = cache.curated(ProblemTag::E, &corpus).clone();

@@ -16,11 +16,17 @@ use rand::SeedableRng;
 
 fn main() {
     let cli = Cli::parse();
-    header("§VI-D — one-way vs symmetric pair ordering (equal pair budgets)", &cli);
+    header(
+        "§VI-D — one-way vs symmetric pair ordering (equal pair budgets)",
+        &cli,
+    );
     let corpus = cli.corpus_config();
     let mut cache = DatasetCache::new();
 
-    println!("{:<8} {:>10} {:>10} {:>8}", "problem", "one-way", "symmetric", "Δ");
+    println!(
+        "{:<8} {:>10} {:>10} {:>8}",
+        "problem", "one-way", "symmetric", "Δ"
+    );
     rule(42);
     let mut deltas = Vec::new();
     for tag in [ProblemTag::A, ProblemTag::C, ProblemTag::E] {
@@ -31,15 +37,23 @@ fn main() {
         let test_pairs = sample_pairs(
             subs,
             &test_ix,
-            &PairConfig { max_pairs: 600, symmetric: false, exclude_self: true },
+            &PairConfig {
+                max_pairs: 600,
+                symmetric: false,
+                exclude_self: true,
+            },
             cli.seed ^ 0xab1,
         );
 
-        let mut accuracy_for = |symmetric: bool| -> f64 {
+        let accuracy_for = |symmetric: bool| -> f64 {
             let pairs = sample_pairs(
                 subs,
                 &train_ix,
-                &PairConfig { max_pairs: budget, symmetric, exclude_self: true },
+                &PairConfig {
+                    max_pairs: budget,
+                    symmetric,
+                    exclude_self: true,
+                },
                 cli.seed ^ 0xab2,
             );
             let encoder = EncoderConfig::TreeLstm(cli.treelstm_config());

@@ -18,13 +18,18 @@ use ccsa_model::metrics::BoxStats;
 
 fn main() {
     let cli = Cli::parse();
-    header("Figure 3 — generalisation of tree-LSTM vs GCN (lines + box plots)", &cli);
+    header(
+        "Figure 3 — generalisation of tree-LSTM vs GCN (lines + box plots)",
+        &cli,
+    );
     let corpus = cli.corpus_config();
     let mut cache = DatasetCache::new();
 
     // Materialise every curated dataset once.
-    let datasets: Vec<ProblemDataset> =
-        ProblemTag::ALL.iter().map(|&t| cache.curated(t, &corpus).clone()).collect();
+    let datasets: Vec<ProblemDataset> = ProblemTag::ALL
+        .iter()
+        .map(|&t| cache.curated(t, &corpus).clone())
+        .collect();
     // MP pool: scaled-down version of the paper's 100×100.
     let (mp_problems, mp_per) = match cli.scale {
         ccsa_bench::Scale::Quick => (6u16, 16usize),
@@ -84,8 +89,10 @@ fn main() {
             cli.threads,
         )
         .accuracy;
-        let cross: Vec<f64> =
-            datasets.iter().map(|ds| pipeline.evaluate_cross(&model, ds).accuracy).collect();
+        let cross: Vec<f64> = datasets
+            .iter()
+            .map(|ds| pipeline.evaluate_cross(&model, ds).accuracy)
+            .collect();
         let b = BoxStats::of(&cross);
         println!(
             "{:<6} {:>7}   {:>7} {:>7} {:>7} {:>7} {:>7}",

@@ -10,7 +10,10 @@ use ccsa_model::comparator::EncoderConfig;
 
 fn main() {
     let cli = Cli::parse();
-    header("Figure 4 — ROC on problem A (3-layer alternating tree-LSTM)", &cli);
+    header(
+        "Figure 4 — ROC on problem A (3-layer alternating tree-LSTM)",
+        &cli,
+    );
     let corpus = cli.corpus_config();
     let mut cache = DatasetCache::new();
     let ds = cache.curated(ProblemTag::A, &corpus).clone();

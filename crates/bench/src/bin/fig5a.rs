@@ -16,7 +16,10 @@ use rand::SeedableRng;
 
 fn main() {
     let cli = Cli::parse();
-    header("Figure 5(a) — accuracy vs training submissions (problem A)", &cli);
+    header(
+        "Figure 5(a) — accuracy vs training submissions (problem A)",
+        &cli,
+    );
 
     let max_subs = match cli.scale {
         Scale::Quick => 128usize,
@@ -29,7 +32,10 @@ fn main() {
         submissions_per_problem: max_subs + test_subs,
         ..cli.corpus_config()
     };
-    eprintln!("[corpus] generating {} submissions for A …", corpus.submissions_per_problem);
+    eprintln!(
+        "[corpus] generating {} submissions for A …",
+        corpus.submissions_per_problem
+    );
     let ds = ProblemDataset::generate(ProblemSpec::curated(ProblemTag::A), &corpus)
         .expect("corpus generation");
     let subs = &ds.submissions;
@@ -37,7 +43,11 @@ fn main() {
     let test_pairs = sample_pairs(
         subs,
         &test_ix,
-        &PairConfig { max_pairs: 600, symmetric: false, exclude_self: true },
+        &PairConfig {
+            max_pairs: 600,
+            symmetric: false,
+            exclude_self: true,
+        },
         cli.seed ^ 0xf1,
     );
 
@@ -48,11 +58,15 @@ fn main() {
         let train_ix: Vec<usize> = (0..n).collect();
         // 75 % of all unordered pairs, capped to keep full-scale tractable.
         let budget = ((n * (n - 1) / 2) as f64 * 0.75) as usize;
-        let budget = budget.min(6000).max(8);
+        let budget = budget.clamp(8, 6000);
         let pairs = sample_pairs(
             subs,
             &train_ix,
-            &PairConfig { max_pairs: budget, symmetric: true, exclude_self: true },
+            &PairConfig {
+                max_pairs: budget,
+                symmetric: true,
+                exclude_self: true,
+            },
             cli.seed ^ n as u64,
         );
         let mut params = Params::new();

@@ -16,7 +16,10 @@ use rand::SeedableRng;
 
 fn main() {
     let cli = Cli::parse();
-    header("Figure 5(b) — accuracy vs % of training pairs (problem A)", &cli);
+    header(
+        "Figure 5(b) — accuracy vs % of training pairs (problem A)",
+        &cli,
+    );
 
     let train_subs = match cli.scale {
         Scale::Quick => 64usize,
@@ -28,7 +31,10 @@ fn main() {
         submissions_per_problem: train_subs + test_subs,
         ..cli.corpus_config()
     };
-    eprintln!("[corpus] generating {} submissions for A …", corpus.submissions_per_problem);
+    eprintln!(
+        "[corpus] generating {} submissions for A …",
+        corpus.submissions_per_problem
+    );
     let ds = ProblemDataset::generate(ProblemSpec::curated(ProblemTag::A), &corpus)
         .expect("corpus generation");
     let subs = &ds.submissions;
@@ -37,7 +43,11 @@ fn main() {
     let test_pairs = sample_pairs(
         subs,
         &test_ix,
-        &PairConfig { max_pairs: 600, symmetric: false, exclude_self: true },
+        &PairConfig {
+            max_pairs: 600,
+            symmetric: false,
+            exclude_self: true,
+        },
         cli.seed ^ 0xf2,
     );
     let all_pairs = train_subs * (train_subs - 1) / 2;
@@ -49,7 +59,11 @@ fn main() {
         let pairs = sample_pairs(
             subs,
             &train_ix,
-            &PairConfig { max_pairs: budget, symmetric: true, exclude_self: true },
+            &PairConfig {
+                max_pairs: budget,
+                symmetric: true,
+                exclude_self: true,
+            },
             cli.seed ^ pct as u64,
         );
         let mut params = Params::new();
@@ -59,7 +73,11 @@ fn main() {
         let pipeline = cli.pipeline(encoder);
         train(&model, &mut params, subs, &pairs, &pipeline.config().train);
         let eval = evaluate(&model, &params, subs, &test_pairs, cli.threads);
-        println!("{pct:>5}% {:>10} {:>10}", pairs.len(), fmt_acc(eval.accuracy));
+        println!(
+            "{pct:>5}% {:>10} {:>10}",
+            pairs.len(),
+            fmt_acc(eval.accuracy)
+        );
     }
     rule(30);
     println!(

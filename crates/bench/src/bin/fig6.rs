@@ -15,7 +15,10 @@ use ccsa_model::trainer::evaluate;
 
 fn main() {
     let cli = Cli::parse();
-    header("Figure 6 — accuracy vs minimum runtime difference (A, B, C)", &cli);
+    header(
+        "Figure 6 — accuracy vs minimum runtime difference (A, B, C)",
+        &cli,
+    );
     let corpus = cli.corpus_config();
     let mut cache = DatasetCache::new();
 
@@ -37,8 +40,13 @@ fn main() {
             },
             cli.seed ^ 0x6f16,
         );
-        let eval =
-            evaluate(&outcome.model.comparator, &outcome.model.params, subs, &pairs, cli.threads);
+        let eval = evaluate(
+            &outcome.model.comparator,
+            &outcome.model.params,
+            subs,
+            &pairs,
+            cli.threads,
+        );
         let curve = sensitivity_curve(subs, &pairs, &eval.scored, 8);
 
         println!("\nproblem {tag}:");

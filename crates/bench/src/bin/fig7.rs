@@ -36,13 +36,23 @@ fn main() {
         .collect();
     let layout = tsne(
         &rows,
-        &TsneConfig { perplexity: 8.0, iterations: 300, seed: cli.seed, ..TsneConfig::default() },
+        &TsneConfig {
+            perplexity: 8.0,
+            iterations: 300,
+            seed: cli.seed,
+            ..TsneConfig::default()
+        },
     );
     println!("\n(a) node embeddings — x<TAB>y<TAB>kind<TAB>category");
     rule(60);
     for (k, point) in layout.iter().enumerate() {
         let kind = NodeKind::from_id(k as u16);
-        println!("{:.3}\t{:.3}\t{kind}\t{}", point[0], point[1], kind.category());
+        println!(
+            "{:.3}\t{:.3}\t{kind}\t{}",
+            point[0],
+            point[1],
+            kind.category()
+        );
     }
 
     // (b) Code embeddings for three problems, 30 submissions each.
@@ -64,7 +74,12 @@ fn main() {
     }
     let layout = tsne(
         &codes,
-        &TsneConfig { perplexity: 12.0, iterations: 300, seed: cli.seed, ..TsneConfig::default() },
+        &TsneConfig {
+            perplexity: 12.0,
+            iterations: 300,
+            seed: cli.seed,
+            ..TsneConfig::default()
+        },
     );
     println!("\n(b) code embeddings — x<TAB>y<TAB>problem");
     rule(60);
@@ -81,7 +96,10 @@ fn main() {
             .map(|(p, _)| p)
             .collect();
         let n = pts.len() as f64;
-        [pts.iter().map(|p| p[0]).sum::<f64>() / n, pts.iter().map(|p| p[1]).sum::<f64>() / n]
+        [
+            pts.iter().map(|p| p[0]).sum::<f64>() / n,
+            pts.iter().map(|p| p[1]).sum::<f64>() / n,
+        ]
     };
     let dist = |a: [f64; 2], b: [f64; 2]| ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt();
     let mut intra = 0.0;

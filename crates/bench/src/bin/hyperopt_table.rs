@@ -13,7 +13,10 @@ use ccsa_nn::gcn::{Activation, GcnConfig};
 
 fn main() {
     let cli = Cli::parse();
-    header("§V-C — random search over the GCN space (layers 1–16, hidden 8–256)", &cli);
+    header(
+        "§V-C — random search over the GCN space (layers 1–16, hidden 8–256)",
+        &cli,
+    );
     let corpus = cli.corpus_config();
     let mut cache = DatasetCache::new();
     let ds = cache.curated(ProblemTag::C, &corpus).clone();

@@ -1,0 +1,221 @@
+//! Serving throughput benchmark: batched vs. unbatched, cache-warm vs.
+//! cold, against the naive one-at-a-time baseline — on one workload.
+//!
+//! The workload replays a realistic serving mix: a corpus of generated
+//! submissions compared pairwise, with heavy source repetition (the same
+//! implementations keep getting re-scored against new rivals), which is
+//! exactly what the embedding cache exploits.
+//!
+//! Reports pairs/sec per mode and writes `BENCH_serve.json` so future
+//! changes have a perf trajectory to compare against.
+//!
+//! ```sh
+//! cargo run --release --bin serve_throughput -- --scale quick
+//! ```
+
+use std::time::Instant;
+
+use ccsa_bench::{header, rule, Cli, Scale};
+use ccsa_model::pipeline::{Pipeline, PipelineConfig, TrainedModel};
+use ccsa_serve::json::Json;
+use ccsa_serve::{BatchConfig, ModelSelector, ServeConfig, ServeEngine};
+
+struct ModeResult {
+    name: &'static str,
+    pairs_per_sec: f64,
+    total_ms: f64,
+    cache_hit_rate: f64,
+    mean_batch: f64,
+}
+
+fn run_engine_mode(
+    name: &'static str,
+    model: &TrainedModel,
+    pairs: &[(String, String)],
+    chunk: usize,
+    max_batch: usize,
+    warm: bool,
+) -> ModeResult {
+    let engine = ServeEngine::with_model(
+        model.clone(),
+        &ServeConfig {
+            cache_capacity: 4096,
+            batch: BatchConfig {
+                workers: ccsa_nn::parallel::default_threads(),
+                max_batch,
+            },
+        },
+    );
+    let sel = ModelSelector::default();
+    let run = |engine: &ServeEngine| {
+        for block in pairs.chunks(chunk) {
+            let refs: Vec<(&str, &str)> = block
+                .iter()
+                .map(|(a, b)| (a.as_str(), b.as_str()))
+                .collect();
+            engine.compare_batch(&sel, &refs).expect("serving failed");
+        }
+    };
+    if warm {
+        run(&engine); // populate the cache, untimed
+    } else {
+        engine.clear_cache();
+    }
+    let before = engine.stats();
+    let start = Instant::now();
+    run(&engine);
+    let elapsed = start.elapsed();
+    let after = engine.stats();
+
+    let lookups =
+        (after.cache.hits - before.cache.hits) + (after.cache.misses - before.cache.misses);
+    let hit_rate = if lookups == 0 {
+        0.0
+    } else {
+        (after.cache.hits - before.cache.hits) as f64 / lookups as f64
+    };
+    let batches = after.batch.batches - before.batch.batches;
+    let jobs = after.batch.jobs - before.batch.jobs;
+    ModeResult {
+        name,
+        pairs_per_sec: pairs.len() as f64 / elapsed.as_secs_f64(),
+        total_ms: elapsed.as_secs_f64() * 1e3,
+        cache_hit_rate: hit_rate,
+        mean_batch: if batches == 0 {
+            0.0
+        } else {
+            jobs as f64 / batches as f64
+        },
+    }
+}
+
+fn main() {
+    let cli = Cli::parse();
+    header(
+        "serve_throughput — serving engine vs. naive inference",
+        &cli,
+    );
+
+    // A tiny trained model: throughput characteristics do not depend on
+    // accuracy, and this keeps the bench in CI-friendly time.
+    let outcome = Pipeline::new(PipelineConfig::tiny(cli.seed))
+        .run_single(ccsa_corpus::ProblemTag::E)
+        .expect("corpus generation");
+    let model = outcome.model;
+    let sources: Vec<String> = outcome
+        .dataset
+        .submissions
+        .iter()
+        .map(|s| s.source.clone())
+        .collect();
+
+    let n_pairs = match cli.scale {
+        Scale::Quick => 150,
+        Scale::Default => 400,
+        Scale::Full => 1500,
+    };
+    let pairs: Vec<(String, String)> = (0..n_pairs)
+        .map(|m| {
+            let a = &sources[m % sources.len()];
+            let b = &sources[(m * 7 + 3) % sources.len()];
+            (a.clone(), b.clone())
+        })
+        .collect();
+    println!(
+        "workload: {} pairs over {} distinct submissions (heavy repetition)\n",
+        pairs.len(),
+        sources.len()
+    );
+
+    // Baseline: parse + full encoder forward per pair, one at a time.
+    let start = Instant::now();
+    for (a, b) in &pairs {
+        model
+            .compare_sources(a, b)
+            .expect("baseline inference failed");
+    }
+    let naive_elapsed = start.elapsed();
+    let naive = ModeResult {
+        name: "naive_direct",
+        pairs_per_sec: pairs.len() as f64 / naive_elapsed.as_secs_f64(),
+        total_ms: naive_elapsed.as_secs_f64() * 1e3,
+        cache_hit_rate: 0.0,
+        mean_batch: 1.0,
+    };
+
+    let modes = vec![
+        naive,
+        run_engine_mode("engine_unbatched_cold", &model, &pairs, 1, 1, false),
+        run_engine_mode("engine_batched_cold", &model, &pairs, 16, 16, false),
+        run_engine_mode("engine_unbatched_warm", &model, &pairs, 1, 1, true),
+        run_engine_mode("engine_batched_warm", &model, &pairs, 16, 16, true),
+    ];
+
+    println!(
+        "{:<24} {:>12} {:>10} {:>10} {:>11}",
+        "mode", "pairs/sec", "total ms", "hit rate", "mean batch"
+    );
+    rule(72);
+    for m in &modes {
+        println!(
+            "{:<24} {:>12.1} {:>10.1} {:>9.0}% {:>11.1}",
+            m.name,
+            m.pairs_per_sec,
+            m.total_ms,
+            100.0 * m.cache_hit_rate,
+            m.mean_batch
+        );
+    }
+    rule(72);
+
+    let naive_pps = modes[0].pairs_per_sec;
+    let batched_cold = modes
+        .iter()
+        .find(|m| m.name == "engine_batched_cold")
+        .unwrap();
+    let batched_warm = modes
+        .iter()
+        .find(|m| m.name == "engine_batched_warm")
+        .unwrap();
+    let cold_speedup = batched_cold.pairs_per_sec / naive_pps;
+    let warm_speedup = batched_warm.pairs_per_sec / naive_pps;
+    println!("batched cold vs naive: {cold_speedup:.1}×");
+    println!("batched warm vs naive: {warm_speedup:.1}×");
+    println!(
+        "acceptance (batched+warm ≥ 2× naive): {}",
+        if warm_speedup >= 2.0 { "PASS" } else { "FAIL" }
+    );
+
+    let mode_json: Vec<Json> = modes
+        .iter()
+        .map(|m| {
+            Json::obj(vec![
+                ("mode", Json::str(m.name)),
+                ("pairs_per_sec", Json::num(m.pairs_per_sec)),
+                ("total_ms", Json::num(m.total_ms)),
+                ("cache_hit_rate", Json::num(m.cache_hit_rate)),
+                ("mean_batch_size", Json::num(m.mean_batch)),
+            ])
+        })
+        .collect();
+    let doc = Json::obj(vec![
+        ("bench", Json::str("serve_throughput")),
+        (
+            "scale",
+            Json::str(format!("{:?}", cli.scale).to_lowercase()),
+        ),
+        ("seed", Json::num(cli.seed as f64)),
+        ("pairs", Json::num(pairs.len() as f64)),
+        ("distinct_sources", Json::num(sources.len() as f64)),
+        (
+            "threads",
+            Json::num(ccsa_nn::parallel::default_threads() as f64),
+        ),
+        ("modes", Json::Arr(mode_json)),
+        ("speedup_batched_cold_vs_naive", Json::num(cold_speedup)),
+        ("speedup_batched_warm_vs_naive", Json::num(warm_speedup)),
+    ]);
+    let path = "BENCH_serve.json";
+    std::fs::write(path, format!("{doc}\n")).expect("writing BENCH_serve.json");
+    println!("\nwrote {path}");
+}

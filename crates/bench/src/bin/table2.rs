@@ -16,11 +16,17 @@ use ccsa_model::comparator::EncoderConfig;
 
 fn main() {
     let cli = Cli::parse();
-    header("Table II — DFS-group transfer matrix (rows = train, cols = test)", &cli);
+    header(
+        "Table II — DFS-group transfer matrix (rows = train, cols = test)",
+        &cli,
+    );
     let corpus = cli.corpus_config();
     let mut cache = DatasetCache::new();
     let group = [ProblemTag::F, ProblemTag::G, ProblemTag::I];
-    let datasets: Vec<_> = group.iter().map(|&t| cache.curated(t, &corpus).clone()).collect();
+    let datasets: Vec<_> = group
+        .iter()
+        .map(|&t| cache.curated(t, &corpus).clone())
+        .collect();
 
     let pipeline = cli.pipeline(EncoderConfig::TreeLstm(cli.treelstm_config()));
     let paper = [[0.80, 0.72, 0.67], [0.82, 0.76, 0.68], [0.76, 0.67, 0.77]];

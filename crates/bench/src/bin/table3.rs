@@ -12,7 +12,10 @@ use ccsa_nn::treelstm::{Direction, TreeLstmConfig};
 
 fn main() {
     let cli = Cli::parse();
-    header("Table III — tree-LSTM architecture sweep on problems A and C", &cli);
+    header(
+        "Table III — tree-LSTM architecture sweep on problems A and C",
+        &cli,
+    );
     let corpus = cli.corpus_config();
     let mut cache = DatasetCache::new();
     let ds_a = cache.curated(ProblemTag::A, &corpus).clone();
@@ -32,25 +35,64 @@ fn main() {
         (a, c)
     };
 
-    println!("{:<22} {:>6} {:>9} {:>9}", "architecture", "layers", "acc(A)", "acc(C)");
+    println!(
+        "{:<22} {:>6} {:>9} {:>9}",
+        "architecture", "layers", "acc(A)", "acc(C)"
+    );
     rule(52);
     let paper_uni = [(1, 0.773, 0.780), (2, 0.765, 0.789), (3, 0.766, 0.783)];
     let paper_bi = [(1, 0.769, 0.780), (2, 0.767, 0.786), (3, 0.770, 0.767)];
     for layers in 1..=3usize {
         let (a, c) = run(Direction::Uni, layers);
-        println!("{:<22} {:>6} {:>9} {:>9}", "uni-directional", layers, fmt_acc(a), fmt_acc(c));
+        println!(
+            "{:<22} {:>6} {:>9} {:>9}",
+            "uni-directional",
+            layers,
+            fmt_acc(a),
+            fmt_acc(c)
+        );
         let p = paper_uni[layers - 1];
-        println!("{:<22} {:>6} {:>9} {:>9}   (paper)", "", "", fmt_acc(p.1), fmt_acc(p.2));
+        println!(
+            "{:<22} {:>6} {:>9} {:>9}   (paper)",
+            "",
+            "",
+            fmt_acc(p.1),
+            fmt_acc(p.2)
+        );
     }
     for layers in 1..=3usize {
         let (a, c) = run(Direction::Bi, layers);
-        println!("{:<22} {:>6} {:>9} {:>9}", "bi-directional", layers, fmt_acc(a), fmt_acc(c));
+        println!(
+            "{:<22} {:>6} {:>9} {:>9}",
+            "bi-directional",
+            layers,
+            fmt_acc(a),
+            fmt_acc(c)
+        );
         let p = paper_bi[layers - 1];
-        println!("{:<22} {:>6} {:>9} {:>9}   (paper)", "", "", fmt_acc(p.1), fmt_acc(p.2));
+        println!(
+            "{:<22} {:>6} {:>9} {:>9}   (paper)",
+            "",
+            "",
+            fmt_acc(p.1),
+            fmt_acc(p.2)
+        );
     }
     let (a, c) = run(Direction::Alternating, 3);
-    println!("{:<22} {:>6} {:>9} {:>9}", "alternating", 3, fmt_acc(a), fmt_acc(c));
-    println!("{:<22} {:>6} {:>9} {:>9}   (paper)", "", "", fmt_acc(0.77), fmt_acc(0.804));
+    println!(
+        "{:<22} {:>6} {:>9} {:>9}",
+        "alternating",
+        3,
+        fmt_acc(a),
+        fmt_acc(c)
+    );
+    println!(
+        "{:<22} {:>6} {:>9} {:>9}   (paper)",
+        "",
+        "",
+        fmt_acc(0.77),
+        fmt_acc(0.804)
+    );
     rule(52);
     println!(
         "expected shape: differences across architectures are small (±0.02);\n\

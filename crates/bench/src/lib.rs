@@ -13,9 +13,7 @@
 
 use std::collections::HashMap;
 
-use ccsa_corpus::{
-    CorpusConfig, JudgeConfig, ProblemDataset, ProblemSpec, ProblemTag,
-};
+use ccsa_corpus::{CorpusConfig, JudgeConfig, ProblemDataset, ProblemSpec, ProblemTag};
 use ccsa_model::comparator::EncoderConfig;
 use ccsa_model::pair::PairConfig;
 use ccsa_model::pipeline::{Pipeline, PipelineConfig};
@@ -104,7 +102,11 @@ pub struct Cli {
 impl Cli {
     /// Parses `std::env::args`. Unknown flags abort with usage help.
     pub fn parse() -> Cli {
-        let mut cli = Cli { scale: Scale::Default, seed: 42, threads: 0 };
+        let mut cli = Cli {
+            scale: Scale::Default,
+            seed: 42,
+            threads: 0,
+        };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -224,7 +226,10 @@ impl DatasetCache {
     pub fn curated(&mut self, tag: ProblemTag, config: &CorpusConfig) -> &ProblemDataset {
         let key = format!("{tag}-{}-{}", config.submissions_per_problem, config.seed);
         self.map.entry(key).or_insert_with(|| {
-            eprintln!("[corpus] generating problem {tag} ({} submissions)", config.submissions_per_problem);
+            eprintln!(
+                "[corpus] generating problem {tag} ({} submissions)",
+                config.submissions_per_problem
+            );
             ProblemDataset::generate(ProblemSpec::curated(tag), config)
                 .unwrap_or_else(|e| panic!("corpus generation failed for {tag}: {e}"))
         })
@@ -248,9 +253,8 @@ impl DatasetCache {
                             submissions_per_problem: per_problem,
                             ..config.clone()
                         };
-                        ProblemDataset::generate(spec, &cfg).unwrap_or_else(|e| {
-                            panic!("corpus generation failed for MP{i}: {e}")
-                        })
+                        ProblemDataset::generate(spec, &cfg)
+                            .unwrap_or_else(|e| panic!("corpus generation failed for MP{i}: {e}"))
                     })
                     .clone()
             })
@@ -276,7 +280,11 @@ pub fn header(title: &str, cli: &Cli) {
         "scale={:?}  seed={}  threads={}",
         cli.scale,
         cli.seed,
-        if cli.threads == 0 { "auto".to_string() } else { cli.threads.to_string() }
+        if cli.threads == 0 {
+            "auto".to_string()
+        } else {
+            cli.threads.to_string()
+        }
     );
     rule(78);
 }

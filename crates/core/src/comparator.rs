@@ -13,7 +13,7 @@ use ccsa_nn::gcn::{GcnConfig, GcnEncoder};
 use ccsa_nn::layers::Linear;
 use ccsa_nn::param::{Ctx, Params};
 use ccsa_nn::treelstm::{TreeLstmConfig, TreeLstmEncoder};
-use ccsa_tensor::{Tape, Var};
+use ccsa_tensor::{Tape, Tensor, Var};
 
 /// Which representation learner backs the comparator.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,6 +52,15 @@ impl Encoder {
         }
     }
 
+    /// Batched forward entry point: encodes every graph on the same
+    /// tape/context so parameter binding is paid once per batch.
+    pub fn encode_batch<'t>(&self, ctx: &Ctx<'t, '_>, graphs: &[&AstGraph]) -> Vec<Var<'t>> {
+        match self {
+            Encoder::TreeLstm(e) => e.encode_batch(ctx, graphs),
+            Encoder::Gcn(e) => e.encode_batch(ctx, graphs),
+        }
+    }
+
     /// Latent dimensionality d.
     pub fn output_dim(&self) -> usize {
         match self {
@@ -81,7 +90,11 @@ impl Comparator {
         // "This classifier's number of parameters is 2·d": a single
         // fully connected sigmoid unit over the concatenated codes.
         let classifier = Linear::new("cls", 2 * d, 1, params, rng);
-        Comparator { encoder, classifier, config: config.clone() }
+        Comparator {
+            encoder,
+            classifier,
+            config: config.clone(),
+        }
     }
 
     /// The configuration this model was built from.
@@ -107,8 +120,47 @@ impl Comparator {
         let tape = Tape::new();
         let ctx = Ctx::new(&tape, params);
         let z = self.logit(&ctx, a, b).value().item();
-        1.0 / (1.0 + (-z).exp())
+        sigmoid(z)
     }
+
+    /// Encodes a batch of graphs into concrete latent-code tensors on one
+    /// shared tape (inference only — no gradients). The serving engine
+    /// caches these codes by canonical AST hash and feeds them back
+    /// through [`Comparator::predict_from_codes`], skipping the encoder
+    /// entirely on cache hits.
+    pub fn encode_codes(&self, params: &Params, graphs: &[&AstGraph]) -> Vec<Tensor> {
+        let tape = Tape::new();
+        let ctx = Ctx::new(&tape, params);
+        self.encoder
+            .encode_batch(&ctx, graphs)
+            .into_iter()
+            .map(|v| v.value())
+            .collect()
+    }
+
+    /// Inference from precomputed latent codes: runs only the classifier
+    /// head (2·d weights — orders of magnitude cheaper than the encoder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a code's length differs from the encoder's output
+    /// dimensionality.
+    pub fn predict_from_codes(&self, params: &Params, za: &Tensor, zb: &Tensor) -> f32 {
+        let d = self.encoder.output_dim();
+        assert_eq!(za.len(), d, "first latent code has wrong dimensionality");
+        assert_eq!(zb.len(), d, "second latent code has wrong dimensionality");
+        let tape = Tape::new();
+        let ctx = Ctx::new(&tape, params);
+        let va = tape.leaf(za.clone());
+        let vb = tape.leaf(zb.clone());
+        let zab = tape.concat(&[va, vb]);
+        let z = self.classifier.forward(&ctx, zab).value().item();
+        sigmoid(z)
+    }
+}
+
+fn sigmoid(z: f32) -> f32 {
+    1.0 / (1.0 + (-z).exp())
 }
 
 #[cfg(test)]
@@ -183,6 +235,32 @@ mod tests {
         assert!(loss.value().item().is_finite());
         let grads = tape.backward(loss);
         assert!(!ctx.grads(&grads).is_empty());
+    }
+
+    #[test]
+    fn predict_from_cached_codes_matches_direct_prediction() {
+        // The serving cache depends on this identity: encode once, reuse
+        // the codes, and the classifier head must produce the exact same
+        // probability as a full forward pass.
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let model = Comparator::new(&tiny_tree_config(), &mut params, &mut rng);
+        let a = graph("int main() { int s = 0; for (int i = 0; i < 9; i++) s += i; return s; }");
+        let b = graph("int main() { return 42; }");
+        let direct_ab = model.predict(&params, &a, &b);
+        let direct_ba = model.predict(&params, &b, &a);
+        let codes = model.encode_codes(&params, &[&a, &b]);
+        assert_eq!(codes.len(), 2);
+        let cached_ab = model.predict_from_codes(&params, &codes[0], &codes[1]);
+        let cached_ba = model.predict_from_codes(&params, &codes[1], &codes[0]);
+        assert!(
+            (direct_ab - cached_ab).abs() < 1e-6,
+            "{direct_ab} vs {cached_ab}"
+        );
+        assert!(
+            (direct_ba - cached_ba).abs() < 1e-6,
+            "{direct_ba} vs {cached_ba}"
+        );
     }
 
     #[test]

@@ -57,7 +57,10 @@ pub struct SearchSpace {
 impl SearchSpace {
     /// The paper's GCN space.
     pub fn paper_gcn() -> SearchSpace {
-        SearchSpace { layers: Range { lo: 1, hi: 16 }, hidden: Range { lo: 8, hi: 256 } }
+        SearchSpace {
+            layers: Range { lo: 1, hi: 16 },
+            hidden: Range { lo: 8, hi: 256 },
+        }
     }
 }
 
@@ -75,13 +78,18 @@ pub fn random_search(
     let mut attempts = 0;
     while results.len() < trials && attempts < trials * 20 {
         attempts += 1;
-        let candidate =
-            Candidate { layers: space.layers.sample(&mut rng), hidden: space.hidden.sample(&mut rng) };
+        let candidate = Candidate {
+            layers: space.layers.sample(&mut rng),
+            hidden: space.hidden.sample(&mut rng),
+        };
         if !seen.insert(candidate) {
             continue;
         }
         let accuracy = evaluate(candidate);
-        results.push(Trial { candidate, accuracy });
+        results.push(Trial {
+            candidate,
+            accuracy,
+        });
     }
     results.sort_by(|a, b| b.accuracy.partial_cmp(&a.accuracy).expect("NaN accuracy"));
     results
@@ -118,7 +126,10 @@ mod tests {
 
     #[test]
     fn deterministic_and_duplicate_free() {
-        let space = SearchSpace { layers: Range { lo: 1, hi: 3 }, hidden: Range { lo: 8, hi: 16 } };
+        let space = SearchSpace {
+            layers: Range { lo: 1, hi: 3 },
+            hidden: Range { lo: 8, hi: 16 },
+        };
         let run = || random_search(&space, 10, 5, |c| (c.layers * c.hidden) as f64);
         let a = run();
         let b = run();
@@ -130,7 +141,10 @@ mod tests {
     #[test]
     fn small_space_saturates_gracefully() {
         let space = Range { lo: 1, hi: 2 };
-        let space = SearchSpace { layers: space, hidden: Range { lo: 1, hi: 2 } };
+        let space = SearchSpace {
+            layers: space,
+            hidden: Range { lo: 1, hi: 2 },
+        };
         let trials = random_search(&space, 100, 1, |_| 0.5);
         assert!(trials.len() <= 4, "only 4 distinct candidates exist");
     }

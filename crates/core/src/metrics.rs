@@ -44,7 +44,10 @@ pub fn roc(scored: &[Scored]) -> RocCurve {
     let pos = scored.iter().filter(|&&(_, l)| l >= 0.5).count() as f64;
     let neg = scored.len() as f64 - pos;
     if pos == 0.0 || neg == 0.0 {
-        return RocCurve { points: vec![(0.0, 0.0), (1.0, 1.0)], auc: 0.5 };
+        return RocCurve {
+            points: vec![(0.0, 0.0), (1.0, 1.0)],
+            auc: 0.5,
+        };
     }
     let mut sorted: Vec<Scored> = scored.to_vec();
     sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN score"));
@@ -132,7 +135,13 @@ impl BoxStats {
             let frac = pos - lo as f64;
             v[lo] * (1.0 - frac) + v[hi] * frac
         };
-        BoxStats { min: v[0], q1: q(0.25), median: q(0.5), q3: q(0.75), max: *v.last().expect("nonempty") }
+        BoxStats {
+            min: v[0],
+            q1: q(0.25),
+            median: q(0.5),
+            q3: q(0.75),
+            max: *v.last().expect("nonempty"),
+        }
     }
 }
 
@@ -167,8 +176,9 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::{RngExt, SeedableRng};
         let mut rng = StdRng::seed_from_u64(1);
-        let scored: Vec<Scored> =
-            (0..4000).map(|_| (rng.random::<f32>(), rng.random_bool(0.5) as i32 as f32)).collect();
+        let scored: Vec<Scored> = (0..4000)
+            .map(|_| (rng.random::<f32>(), rng.random_bool(0.5) as i32 as f32))
+            .collect();
         let curve = roc(&scored);
         assert!((curve.auc - 0.5).abs() < 0.05, "auc {}", curve.auc);
     }
@@ -216,9 +226,14 @@ mod tests {
 
     #[test]
     fn auc_invariant_to_monotone_score_transform() {
-        let scored = vec![(0.9f32, 1.0f32), (0.5, 0.0), (0.3, 1.0), (0.8, 1.0), (0.2, 0.0)];
-        let transformed: Vec<Scored> =
-            scored.iter().map(|&(s, l)| (s * s * 10.0, l)).collect();
+        let scored = vec![
+            (0.9f32, 1.0f32),
+            (0.5, 0.0),
+            (0.3, 1.0),
+            (0.8, 1.0),
+            (0.2, 0.0),
+        ];
+        let transformed: Vec<Scored> = scored.iter().map(|&(s, l)| (s * s * 10.0, l)).collect();
         assert!((roc(&scored).auc - roc(&transformed).auc).abs() < 1e-12);
     }
 }

@@ -46,7 +46,11 @@ pub struct PairConfig {
 
 impl Default for PairConfig {
     fn default() -> PairConfig {
-        PairConfig { max_pairs: 2_000, symmetric: true, exclude_self: true }
+        PairConfig {
+            max_pairs: 2_000,
+            symmetric: true,
+            exclude_self: true,
+        }
     }
 }
 
@@ -70,7 +74,11 @@ pub fn sample_pairs(
     // Enumerate unordered index pairs lazily via shuffled reservoir when the
     // full cross product is small, otherwise rejection-sample.
     let total_unordered = n * (n - 1) / 2;
-    let budget = if config.symmetric { config.max_pairs / 2 } else { config.max_pairs };
+    let budget = if config.symmetric {
+        config.max_pairs / 2
+    } else {
+        config.max_pairs
+    };
     let budget = budget.max(1);
 
     let mut chosen: Vec<(usize, usize)> = if total_unordered <= budget {
@@ -118,9 +126,17 @@ pub fn sample_pairs(
         // Randomise which ordering is "first" so labels stay balanced even
         // without symmetric augmentation.
         let (a, b) = if rng.random_bool(0.5) { (a, b) } else { (b, a) };
-        pairs.push(Pair { a, b, label: label_of(subs, a, b) });
+        pairs.push(Pair {
+            a,
+            b,
+            label: label_of(subs, a, b),
+        });
         if config.symmetric {
-            pairs.push(Pair { a: b, b: a, label: label_of(subs, b, a) });
+            pairs.push(Pair {
+                a: b,
+                b: a,
+                label: label_of(subs, b, a),
+            });
         }
     }
     pairs
@@ -144,11 +160,8 @@ mod tests {
     use ccsa_corpus::{CorpusConfig, ProblemDataset, ProblemSpec, ProblemTag};
 
     fn dataset() -> ProblemDataset {
-        ProblemDataset::generate(
-            ProblemSpec::curated(ProblemTag::H),
-            &CorpusConfig::tiny(77),
-        )
-        .unwrap()
+        ProblemDataset::generate(ProblemSpec::curated(ProblemTag::H), &CorpusConfig::tiny(77))
+            .unwrap()
     }
 
     #[test]
@@ -183,7 +196,11 @@ mod tests {
     fn sampling_respects_budget_and_determinism() {
         let ds = dataset();
         let indices: Vec<usize> = (0..ds.submissions.len()).collect();
-        let config = PairConfig { max_pairs: 30, symmetric: false, exclude_self: true };
+        let config = PairConfig {
+            max_pairs: 30,
+            symmetric: false,
+            exclude_self: true,
+        };
         let p1 = sample_pairs(&ds.submissions, &indices, &config, 5);
         let p2 = sample_pairs(&ds.submissions, &indices, &config, 5);
         assert_eq!(p1, p2);
@@ -198,7 +215,11 @@ mod tests {
     fn symmetric_adds_mirrors_within_budget() {
         let ds = dataset();
         let indices: Vec<usize> = (0..ds.submissions.len()).collect();
-        let config = PairConfig { max_pairs: 40, symmetric: true, exclude_self: true };
+        let config = PairConfig {
+            max_pairs: 40,
+            symmetric: true,
+            exclude_self: true,
+        };
         let pairs = sample_pairs(&ds.submissions, &indices, &config, 9);
         assert!(pairs.len() <= 40);
         // Every even position is mirrored by the following odd position.

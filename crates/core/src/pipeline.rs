@@ -40,7 +40,10 @@ impl PipelineConfig {
     /// tree-LSTM. The experiment binaries start from this and scale up.
     pub fn default_experiment(seed: u64) -> PipelineConfig {
         PipelineConfig {
-            corpus: CorpusConfig { seed, ..CorpusConfig::default() },
+            corpus: CorpusConfig {
+                seed,
+                ..CorpusConfig::default()
+            },
             encoder: EncoderConfig::TreeLstm(TreeLstmConfig {
                 embed_dim: 24,
                 hidden: 24,
@@ -48,8 +51,19 @@ impl PipelineConfig {
                 direction: Direction::Alternating,
                 sigmoid_candidate: false,
             }),
-            pairs: PairConfig { max_pairs: 1200, symmetric: true, exclude_self: true },
-            train: TrainConfig { epochs: 6, batch_size: 32, lr: 0.01, clip: 5.0, threads: 0, seed },
+            pairs: PairConfig {
+                max_pairs: 1200,
+                symmetric: true,
+                exclude_self: true,
+            },
+            train: TrainConfig {
+                epochs: 6,
+                batch_size: 32,
+                lr: 0.01,
+                clip: 5.0,
+                threads: 0,
+                seed,
+            },
             test_fraction: 0.3,
             seed,
         }
@@ -66,7 +80,11 @@ impl PipelineConfig {
                 direction: Direction::Uni,
                 sigmoid_candidate: false,
             }),
-            pairs: PairConfig { max_pairs: 120, symmetric: true, exclude_self: true },
+            pairs: PairConfig {
+                max_pairs: 120,
+                symmetric: true,
+                exclude_self: true,
+            },
             train: TrainConfig::tiny(seed),
             test_fraction: 0.3,
             seed,
@@ -111,7 +129,9 @@ impl TrainedModel {
 
     /// Compares two already-parsed ASTs.
     pub fn compare_graphs(&self, first: &AstGraph, second: &AstGraph) -> Comparison {
-        Comparison { prob_first_slower: self.comparator.predict(&self.params, first, second) }
+        Comparison {
+            prob_first_slower: self.comparator.predict(&self.params, first, second),
+        }
     }
 }
 
@@ -155,23 +175,45 @@ impl Pipeline {
     ///
     /// Propagates corpus-generation failures.
     pub fn run_single(&self, tag: ProblemTag) -> Result<SingleOutcome, InterpError> {
-        let dataset =
-            ProblemDataset::generate(ProblemSpec::curated(tag), &self.config.corpus)?;
+        let dataset = ProblemDataset::generate(ProblemSpec::curated(tag), &self.config.corpus)?;
         Ok(self.run_on_dataset(dataset))
     }
 
     /// Trains and evaluates on an already-generated dataset.
     pub fn run_on_dataset(&self, dataset: ProblemDataset) -> SingleOutcome {
         let subs = &dataset.submissions;
-        let (train_ix, test_ix) = split_indices(subs.len(), self.config.test_fraction, self.config.seed);
-        let train_pairs = sample_pairs(subs, &train_ix, &self.config.pairs, self.config.seed ^ 0xaaaa);
-        let test_pairs = sample_pairs(subs, &test_ix, &self.config.pairs, self.config.seed ^ 0xbbbb);
+        let (train_ix, test_ix) =
+            split_indices(subs.len(), self.config.test_fraction, self.config.seed);
+        let train_pairs = sample_pairs(
+            subs,
+            &train_ix,
+            &self.config.pairs,
+            self.config.seed ^ 0xaaaa,
+        );
+        let test_pairs = sample_pairs(
+            subs,
+            &test_ix,
+            &self.config.pairs,
+            self.config.seed ^ 0xbbbb,
+        );
 
         let mut params = Params::new();
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x0de1);
         let comparator = Comparator::new(&self.config.encoder, &mut params, &mut rng);
-        let report = train(&comparator, &mut params, subs, &train_pairs, &self.config.train);
-        let eval = evaluate(&comparator, &params, subs, &test_pairs, self.config.train.threads);
+        let report = train(
+            &comparator,
+            &mut params,
+            subs,
+            &train_pairs,
+            &self.config.train,
+        );
+        let eval = evaluate(
+            &comparator,
+            &params,
+            subs,
+            &test_pairs,
+            self.config.train.threads,
+        );
 
         SingleOutcome {
             test_accuracy: eval.accuracy,
@@ -198,15 +240,28 @@ impl Pipeline {
         for (k, ds) in datasets.iter().enumerate() {
             let base = all_subs.len();
             let subs = &ds.submissions;
-            let (train_ix, test_ix) =
-                split_indices(subs.len(), self.config.test_fraction, self.config.seed ^ k as u64);
+            let (train_ix, test_ix) = split_indices(
+                subs.len(),
+                self.config.test_fraction,
+                self.config.seed ^ k as u64,
+            );
             // Budget pairs per problem so the pool total matches config.
             let per_problem = PairConfig {
                 max_pairs: (self.config.pairs.max_pairs / datasets.len().max(1)).max(2),
                 ..self.config.pairs.clone()
             };
-            let tp = sample_pairs(subs, &train_ix, &per_problem, self.config.seed ^ (k as u64) << 8);
-            let ep = sample_pairs(subs, &test_ix, &per_problem, self.config.seed ^ (k as u64) << 9);
+            let tp = sample_pairs(
+                subs,
+                &train_ix,
+                &per_problem,
+                self.config.seed ^ (k as u64) << 8,
+            );
+            let ep = sample_pairs(
+                subs,
+                &test_ix,
+                &per_problem,
+                self.config.seed ^ (k as u64) << 9,
+            );
             train_pairs.extend(tp.into_iter().map(|p| crate::pair::Pair {
                 a: p.a + base,
                 b: p.b + base,
@@ -214,7 +269,11 @@ impl Pipeline {
             }));
             test_pairs_per_ds.push(
                 ep.into_iter()
-                    .map(|p| crate::pair::Pair { a: p.a + base, b: p.b + base, label: p.label })
+                    .map(|p| crate::pair::Pair {
+                        a: p.a + base,
+                        b: p.b + base,
+                        label: p.label,
+                    })
                     .collect::<Vec<_>>(),
             );
             all_subs.extend(subs.iter().cloned());
@@ -223,8 +282,18 @@ impl Pipeline {
         let mut params = Params::new();
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x0de1);
         let comparator = Comparator::new(&self.config.encoder, &mut params, &mut rng);
-        let report = train(&comparator, &mut params, &all_subs, &train_pairs, &self.config.train);
-        (TrainedModel { comparator, params }, test_pairs_per_ds, report)
+        let report = train(
+            &comparator,
+            &mut params,
+            &all_subs,
+            &train_pairs,
+            &self.config.train,
+        );
+        (
+            TrainedModel { comparator, params },
+            test_pairs_per_ds,
+            report,
+        )
     }
 
     /// Evaluates a trained model on a different problem's dataset —
@@ -233,7 +302,13 @@ impl Pipeline {
         let subs = &dataset.submissions;
         let indices: Vec<usize> = (0..subs.len()).collect();
         let pairs = sample_pairs(subs, &indices, &self.config.pairs, self.config.seed ^ 0xcc);
-        evaluate(&model.comparator, &model.params, subs, &pairs, self.config.train.threads)
+        evaluate(
+            &model.comparator,
+            &model.params,
+            subs,
+            &pairs,
+            self.config.train.threads,
+        )
     }
 }
 
@@ -243,7 +318,9 @@ mod tests {
 
     #[test]
     fn tiny_single_problem_run_beats_chance() {
-        let outcome = Pipeline::new(PipelineConfig::tiny(3)).run_single(ProblemTag::E).unwrap();
+        let outcome = Pipeline::new(PipelineConfig::tiny(3))
+            .run_single(ProblemTag::E)
+            .unwrap();
         assert!(
             outcome.test_accuracy > 0.5,
             "tiny run should beat chance, got {}",
@@ -254,7 +331,9 @@ mod tests {
 
     #[test]
     fn trained_model_compares_sources() {
-        let outcome = Pipeline::new(PipelineConfig::tiny(4)).run_single(ProblemTag::H).unwrap();
+        let outcome = Pipeline::new(PipelineConfig::tiny(4))
+            .run_single(ProblemTag::H)
+            .unwrap();
         let fast = "int main() { int n; cin >> n; cout << n * (n + 1) / 2; return 0; }";
         let slow = "int main() { int n; cin >> n; long long s = 0; \
                     for (int i = 0; i <= n; i++) for (int j = 0; j < i; j++) s++; \
@@ -297,13 +376,8 @@ mod tests {
             all_subs.extend(ds.submissions.iter().cloned());
         }
         for pairs in &test_pairs {
-            let eval = crate::trainer::evaluate(
-                &model.comparator,
-                &model.params,
-                &all_subs,
-                pairs,
-                0,
-            );
+            let eval =
+                crate::trainer::evaluate(&model.comparator, &model.params, &all_subs, pairs, 0);
             assert!((0.0..=1.0).contains(&eval.accuracy));
         }
     }

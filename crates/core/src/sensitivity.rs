@@ -76,17 +76,19 @@ mod tests {
     /// must rise with the threshold because close pairs are noise-labelled.
     #[test]
     fn accuracy_rises_with_threshold_for_noisy_scores() {
-        let ds = ProblemDataset::generate(
-            ProblemSpec::curated(ProblemTag::E),
-            &CorpusConfig::tiny(31),
-        )
-        .unwrap();
+        let ds =
+            ProblemDataset::generate(ProblemSpec::curated(ProblemTag::E), &CorpusConfig::tiny(31))
+                .unwrap();
         let subs = &ds.submissions;
         let indices: Vec<usize> = (0..subs.len()).collect();
         let pairs = crate::pair::sample_pairs(
             subs,
             &indices,
-            &crate::pair::PairConfig { max_pairs: 400, symmetric: false, exclude_self: true },
+            &crate::pair::PairConfig {
+                max_pairs: 400,
+                symmetric: false,
+                exclude_self: true,
+            },
             1,
         );
         // Oracle on the *true* cost ordering before noise: emulate by
@@ -98,7 +100,11 @@ mod tests {
             .map(|(k, p)| {
                 let gap = subs[p.a].runtime_ms - subs[p.b].runtime_ms;
                 let noise = ((k * 2654435761) % 1000) as f64 / 1000.0 - 0.5;
-                let pred = if gap + noise * 20.0 >= 0.0 { 0.9f32 } else { 0.1 };
+                let pred = if gap + noise * 20.0 >= 0.0 {
+                    0.9f32
+                } else {
+                    0.1
+                };
                 (pred, p.label)
             })
             .collect();
@@ -117,11 +123,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "must align")]
     fn mismatched_lengths_panic() {
-        let ds = ProblemDataset::generate(
-            ProblemSpec::curated(ProblemTag::H),
-            &CorpusConfig::tiny(1),
-        )
-        .unwrap();
+        let ds =
+            ProblemDataset::generate(ProblemSpec::curated(ProblemTag::H), &CorpusConfig::tiny(1))
+                .unwrap();
         let pairs = crate::pair::sample_pairs(
             &ds.submissions,
             &[0, 1, 2],

@@ -38,14 +38,28 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> TrainConfig {
-        TrainConfig { epochs: 6, batch_size: 32, lr: 0.01, clip: 5.0, threads: 0, seed: 0 }
+        TrainConfig {
+            epochs: 6,
+            batch_size: 32,
+            lr: 0.01,
+            clip: 5.0,
+            threads: 0,
+            seed: 0,
+        }
     }
 }
 
 impl TrainConfig {
     /// A minimal configuration for tests and doc examples.
     pub fn tiny(seed: u64) -> TrainConfig {
-        TrainConfig { epochs: 2, batch_size: 16, lr: 0.02, clip: 5.0, threads: 0, seed }
+        TrainConfig {
+            epochs: 2,
+            batch_size: 16,
+            lr: 0.02,
+            clip: 5.0,
+            threads: 0,
+            seed,
+        }
     }
 }
 
@@ -67,13 +81,21 @@ pub fn train(
     pairs: &[Pair],
     config: &TrainConfig,
 ) -> TrainReport {
-    let threads =
-        if config.threads == 0 { ccsa_nn::parallel::default_threads() } else { config.threads };
+    let threads = if config.threads == 0 {
+        ccsa_nn::parallel::default_threads()
+    } else {
+        config.threads
+    };
     let mut optimizer = Adam::new(config.lr);
-    let clip = GradClip { max_norm: config.clip };
+    let clip = GradClip {
+        max_norm: config.clip,
+    };
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x7ea1);
     let mut order: Vec<usize> = (0..pairs.len()).collect();
-    let mut report = TrainReport { epoch_loss: Vec::new(), epoch_accuracy: Vec::new() };
+    let mut report = TrainReport {
+        epoch_loss: Vec::new(),
+        epoch_accuracy: Vec::new(),
+    };
 
     for _epoch in 0..config.epochs {
         order.shuffle(&mut rng);
@@ -108,8 +130,12 @@ pub fn train(
             clip.apply(&mut result.grads);
             optimizer.step(params, &result.grads);
         }
-        report.epoch_loss.push(epoch_loss / epoch_count.max(1) as f64);
-        report.epoch_accuracy.push(epoch_correct as f64 / epoch_count.max(1) as f64);
+        report
+            .epoch_loss
+            .push(epoch_loss / epoch_count.max(1) as f64);
+        report
+            .epoch_accuracy
+            .push(epoch_correct as f64 / epoch_count.max(1) as f64);
     }
     report
 }
@@ -126,14 +152,21 @@ pub fn evaluate(
     pairs: &[Pair],
     threads: usize,
 ) -> EvalResult {
-    let threads = if threads == 0 { ccsa_nn::parallel::default_threads() } else { threads };
+    let threads = if threads == 0 {
+        ccsa_nn::parallel::default_threads()
+    } else {
+        threads
+    };
     // Score in parallel, preserving order via index tagging.
     let indexed: Vec<(usize, Pair)> = pairs.iter().copied().enumerate().collect();
     let scores = std::sync::Mutex::new(vec![(0.0f32, 0.0f32); pairs.len()]);
     parallel_batch(&indexed, threads, |&(ix, pair)| {
         let p = model.predict(params, &subs[pair.a].graph, &subs[pair.b].graph);
         scores.lock().expect("poisoned")[ix] = (p, pair.label);
-        BatchResult { count: 1, ..BatchResult::default() }
+        BatchResult {
+            count: 1,
+            ..BatchResult::default()
+        }
     });
     let scored = scores.into_inner().expect("poisoned");
     EvalResult::from_scored(scored)
@@ -159,14 +192,16 @@ mod tests {
 
     #[test]
     fn training_learns_above_chance_and_is_deterministic() {
-        let ds = ProblemDataset::generate(
-            ProblemSpec::curated(ProblemTag::E),
-            &CorpusConfig::tiny(21),
-        )
-        .unwrap();
+        let ds =
+            ProblemDataset::generate(ProblemSpec::curated(ProblemTag::E), &CorpusConfig::tiny(21))
+                .unwrap();
         let subs = &ds.submissions;
         let (train_ix, test_ix) = split_indices(subs.len(), 0.3, 1);
-        let pair_cfg = PairConfig { max_pairs: 280, symmetric: true, exclude_self: true };
+        let pair_cfg = PairConfig {
+            max_pairs: 280,
+            symmetric: true,
+            exclude_self: true,
+        };
         let train_pairs = sample_pairs(subs, &train_ix, &pair_cfg, 2);
         let test_pairs = sample_pairs(subs, &test_ix, &pair_cfg, 3);
 
@@ -174,7 +209,14 @@ mod tests {
             let mut params = Params::new();
             let mut rng = StdRng::seed_from_u64(seed);
             let model = Comparator::new(&tiny_encoder(), &mut params, &mut rng);
-            let cfg = TrainConfig { epochs: 8, batch_size: 16, lr: 0.02, clip: 5.0, threads: 2, seed };
+            let cfg = TrainConfig {
+                epochs: 8,
+                batch_size: 16,
+                lr: 0.02,
+                clip: 5.0,
+                threads: 2,
+                seed,
+            };
             let report = train(&model, &mut params, subs, &train_pairs, &cfg);
             let eval = evaluate(&model, &params, subs, &test_pairs, 2);
             (report, eval)
@@ -198,20 +240,25 @@ mod tests {
 
     #[test]
     fn evaluate_preserves_pair_order() {
-        let ds = ProblemDataset::generate(
-            ProblemSpec::curated(ProblemTag::H),
-            &CorpusConfig::tiny(5),
-        )
-        .unwrap();
+        let ds =
+            ProblemDataset::generate(ProblemSpec::curated(ProblemTag::H), &CorpusConfig::tiny(5))
+                .unwrap();
         let subs = &ds.submissions;
         let mut params = Params::new();
         let mut rng = StdRng::seed_from_u64(1);
         let model = Comparator::new(&tiny_encoder(), &mut params, &mut rng);
-        let pairs =
-            sample_pairs(subs, &(0..subs.len()).collect::<Vec<_>>(), &PairConfig::default(), 1);
+        let pairs = sample_pairs(
+            subs,
+            &(0..subs.len()).collect::<Vec<_>>(),
+            &PairConfig::default(),
+            1,
+        );
         let seq = evaluate(&model, &params, subs, &pairs[..10], 1);
         let par = evaluate(&model, &params, subs, &pairs[..10], 4);
-        assert_eq!(seq.scored, par.scored, "thread count must not change results");
+        assert_eq!(
+            seq.scored, par.scored,
+            "thread count must not change results"
+        );
         for ((_, label), pair) in seq.scored.iter().zip(&pairs[..10]) {
             assert_eq!(*label, pair.label);
         }

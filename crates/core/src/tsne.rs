@@ -47,7 +47,10 @@ pub fn tsne(data: &[Vec<f32>], config: &TsneConfig) -> Vec<[f64; 2]> {
     let n = data.len();
     assert!(n >= 3, "t-SNE needs at least 3 points, got {n}");
     let dim = data[0].len();
-    assert!(data.iter().all(|p| p.len() == dim), "ragged input dimensions");
+    assert!(
+        data.iter().all(|p| p.len() == dim),
+        "ragged input dimensions"
+    );
 
     // Pairwise squared Euclidean distances.
     let mut d2 = vec![0.0f64; n * n];
@@ -94,7 +97,11 @@ pub fn tsne(data: &[Vec<f32>], config: &TsneConfig) -> Vec<[f64; 2]> {
             }
             if entropy > target_entropy {
                 beta_lo = beta;
-                beta = if beta_hi.is_finite() { (beta + beta_hi) / 2.0 } else { beta * 2.0 };
+                beta = if beta_hi.is_finite() {
+                    (beta + beta_hi) / 2.0
+                } else {
+                    beta * 2.0
+                };
             } else {
                 beta_hi = beta;
                 beta = (beta + beta_lo) / 2.0;
@@ -126,19 +133,18 @@ pub fn tsne(data: &[Vec<f32>], config: &TsneConfig) -> Vec<[f64; 2]> {
     // Initial layout: small Gaussian.
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x75e3);
     let mut y: Vec<[f64; 2]> = (0..n)
-        .map(|_| {
-            [
-                0.0001 * gaussian(&mut rng),
-                0.0001 * gaussian(&mut rng),
-            ]
-        })
+        .map(|_| [0.0001 * gaussian(&mut rng), 0.0001 * gaussian(&mut rng)])
         .collect();
     let mut velocity = vec![[0.0f64; 2]; n];
     let mut gains = vec![[1.0f64; 2]; n];
 
     let exaggeration_until = config.iterations / 4;
     for iter in 0..config.iterations {
-        let exaggeration = if iter < exaggeration_until { config.exaggeration } else { 1.0 };
+        let exaggeration = if iter < exaggeration_until {
+            config.exaggeration
+        } else {
+            1.0
+        };
         let momentum = if iter < exaggeration_until { 0.5 } else { 0.8 };
 
         // Student-t affinities in the embedding.
@@ -222,7 +228,11 @@ mod tests {
                 data.push(p);
             }
         }
-        let config = TsneConfig { iterations: 250, perplexity: 10.0, ..TsneConfig::default() };
+        let config = TsneConfig {
+            iterations: 250,
+            perplexity: 10.0,
+            ..TsneConfig::default()
+        };
         let y = tsne(&data, &config);
         assert_eq!(y.len(), 45);
         // Mean intra-cluster distance must be well below inter-cluster.
@@ -235,7 +245,8 @@ mod tests {
             }
             m
         };
-        let dist = |a: [f64; 2], b: [f64; 2]| ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt();
+        let dist =
+            |a: [f64; 2], b: [f64; 2]| ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt();
         let mut intra: f64 = 0.0;
         for c in 0..3 {
             let m = centroid(c);
@@ -255,9 +266,14 @@ mod tests {
 
     #[test]
     fn deterministic_for_fixed_seed() {
-        let data: Vec<Vec<f32>> =
-            (0..12).map(|i| vec![(i % 4) as f32, (i / 4) as f32, 0.5]).collect();
-        let config = TsneConfig { iterations: 50, perplexity: 5.0, ..TsneConfig::default() };
+        let data: Vec<Vec<f32>> = (0..12)
+            .map(|i| vec![(i % 4) as f32, (i / 4) as f32, 0.5])
+            .collect();
+        let config = TsneConfig {
+            iterations: 50,
+            perplexity: 5.0,
+            ..TsneConfig::default()
+        };
         let a = tsne(&data, &config);
         let b = tsne(&data, &config);
         assert_eq!(a, b);
@@ -265,8 +281,16 @@ mod tests {
 
     #[test]
     fn output_is_finite_and_centred() {
-        let data: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32, (i * i % 7) as f32]).collect();
-        let y = tsne(&data, &TsneConfig { iterations: 80, ..TsneConfig::default() });
+        let data: Vec<Vec<f32>> = (0..20)
+            .map(|i| vec![i as f32, (i * i % 7) as f32])
+            .collect();
+        let y = tsne(
+            &data,
+            &TsneConfig {
+                iterations: 80,
+                ..TsneConfig::default()
+            },
+        );
         let mut mean = [0.0f64; 2];
         for p in &y {
             assert!(p[0].is_finite() && p[1].is_finite());

@@ -157,7 +157,11 @@ pub fn mul_assign(target: Expr, value: Expr) -> Expr {
 
 /// `target++`.
 pub fn post_inc(target: Expr) -> Expr {
-    Expr::IncDec { pre: false, inc: true, target: Box::new(target) }
+    Expr::IncDec {
+        pre: false,
+        inc: true,
+        target: Box::new(target),
+    }
 }
 
 /// `base[index]`.
@@ -192,7 +196,13 @@ pub fn push_back(recv: Expr, value: Expr) -> Expr {
 
 /// `sort(v.begin(), v.end())`.
 pub fn sort_call(v: &str) -> Expr {
-    call("sort", vec![method(var(v), "begin", vec![]), method(var(v), "end", vec![])])
+    call(
+        "sort",
+        vec![
+            method(var(v), "begin", vec![]),
+            method(var(v), "end", vec![]),
+        ],
+    )
 }
 
 /// `cond ? a : b`.
@@ -209,7 +219,10 @@ pub fn cast(ty: Type, e: Expr) -> Expr {
 pub fn decl(ty: Type, name: &str, init: Option<Expr>) -> Stmt {
     Stmt::Decl(Decl {
         ty,
-        declarators: vec![Declarator { name: name.to_string(), init: init.map(Init::Expr) }],
+        declarators: vec![Declarator {
+            name: name.to_string(),
+            init: init.map(Init::Expr),
+        }],
     })
 }
 
@@ -217,7 +230,10 @@ pub fn decl(ty: Type, name: &str, init: Option<Expr>) -> Stmt {
 pub fn decl_ctor(ty: Type, name: &str, args: Vec<Expr>) -> Stmt {
     Stmt::Decl(Decl {
         ty,
-        declarators: vec![Declarator { name: name.to_string(), init: Some(Init::Ctor(args)) }],
+        declarators: vec![Declarator {
+            name: name.to_string(),
+            init: Some(Init::Ctor(args)),
+        }],
     })
 }
 
@@ -246,7 +262,10 @@ pub fn for_i(i: &str, from: Expr, to: Expr, body: Vec<Stmt>) -> Stmt {
     Stmt::For {
         init: Some(ForInit::Decl(Decl {
             ty: Type::Int,
-            declarators: vec![Declarator { name: i.to_string(), init: Some(Init::Expr(from)) }],
+            declarators: vec![Declarator {
+                name: i.to_string(),
+                init: Some(Init::Expr(from)),
+            }],
         })),
         cond: Some(lt(var(i), to)),
         step: Some(post_inc(var(i))),
@@ -259,7 +278,10 @@ pub fn for_i_incl(i: &str, from: Expr, to: Expr, body: Vec<Stmt>) -> Stmt {
     Stmt::For {
         init: Some(ForInit::Decl(Decl {
             ty: Type::Int,
-            declarators: vec![Declarator { name: i.to_string(), init: Some(Init::Expr(from)) }],
+            declarators: vec![Declarator {
+                name: i.to_string(),
+                init: Some(Init::Expr(from)),
+            }],
         })),
         cond: Some(le(var(i), to)),
         step: Some(post_inc(var(i))),
@@ -269,7 +291,11 @@ pub fn for_i_incl(i: &str, from: Expr, to: Expr, body: Vec<Stmt>) -> Stmt {
 
 /// `target--`.
 pub fn post_dec(target: Expr) -> Expr {
-    Expr::IncDec { pre: false, inc: false, target: Box::new(target) }
+    Expr::IncDec {
+        pre: false,
+        inc: false,
+        target: Box::new(target),
+    }
 }
 
 /// Descending inclusive loop `for (long long i = from; i >= down_to; i--)`.
@@ -277,7 +303,10 @@ pub fn for_desc(i: &str, from: Expr, down_to: Expr, body: Vec<Stmt>) -> Stmt {
     Stmt::For {
         init: Some(ForInit::Decl(Decl {
             ty: Type::Int,
-            declarators: vec![Declarator { name: i.to_string(), init: Some(Init::Expr(from)) }],
+            declarators: vec![Declarator {
+                name: i.to_string(),
+                init: Some(Init::Expr(from)),
+            }],
         })),
         cond: Some(ge(var(i), down_to)),
         step: Some(post_dec(var(i))),
@@ -290,7 +319,10 @@ pub fn for_custom(i: &str, init: Expr, cond: Expr, step: Expr, body: Vec<Stmt>) 
     Stmt::For {
         init: Some(ForInit::Decl(Decl {
             ty: Type::Int,
-            declarators: vec![Declarator { name: i.to_string(), init: Some(Init::Expr(init)) }],
+            declarators: vec![Declarator {
+                name: i.to_string(),
+                init: Some(Init::Expr(init)),
+            }],
         })),
         cond: Some(cond),
         step: Some(step),
@@ -300,12 +332,19 @@ pub fn for_custom(i: &str, init: Expr, cond: Expr, step: Expr, body: Vec<Stmt>) 
 
 /// `while (cond) { body }`.
 pub fn while_loop(cond: Expr, body: Vec<Stmt>) -> Stmt {
-    Stmt::While { cond, body: Box::new(Stmt::Block(body)) }
+    Stmt::While {
+        cond,
+        body: Box::new(Stmt::Block(body)),
+    }
 }
 
 /// `if (cond) { then }`.
 pub fn if_then(cond: Expr, then: Vec<Stmt>) -> Stmt {
-    Stmt::If { cond, then: Box::new(Stmt::Block(then)), els: None }
+    Stmt::If {
+        cond,
+        then: Box::new(Stmt::Block(then)),
+        els: None,
+    }
 }
 
 /// `if (cond) { then } else { els }`.
@@ -342,7 +381,10 @@ pub fn func(ret: Type, name: &str, params: Vec<(Type, &str)>, body: Vec<Stmt>) -
     Function {
         ret,
         name: name.to_string(),
-        params: params.into_iter().map(|(t, n)| (t, n.to_string())).collect(),
+        params: params
+            .into_iter()
+            .map(|(t, n)| (t, n.to_string()))
+            .collect(),
         body,
     }
 }
@@ -372,7 +414,12 @@ mod tests {
                 decl(Type::Int, "n", None),
                 cin(vec![var("n")]),
                 decl(Type::Int, "s", Some(int(0))),
-                for_i("i", int(0), var("n"), vec![expr(add_assign(var("s"), var("i")))]),
+                for_i(
+                    "i",
+                    int(0),
+                    var("n"),
+                    vec![expr(add_assign(var("s"), var("i")))],
+                ),
                 coutln(var("s")),
                 ret(Some(int(0))),
             ],
@@ -394,7 +441,11 @@ mod tests {
     #[test]
     fn helpers_compose() {
         // ternary(1) + and(1) + lt(3) + not(1) + eq(3) + two branch literals.
-        let e = ternary(and(lt(int(1), int(2)), not(eq(int(3), int(4)))), int(1), int(0));
+        let e = ternary(
+            and(lt(int(1), int(2)), not(eq(int(3), int(4)))),
+            int(1),
+            int(0),
+        );
         assert_eq!(e.node_count(), 11);
     }
 }

@@ -76,7 +76,10 @@ mod tests {
     #[test]
     fn scale_is_positive_and_deterministic() {
         let spec = ProblemSpec::curated(ProblemTag::H);
-        let cfg = JudgeConfig { test_cases: 2, ..JudgeConfig::default() };
+        let cfg = JudgeConfig {
+            test_cases: 2,
+            ..JudgeConfig::default()
+        };
         let a = calibration_scale(&spec, &cfg, 8, 5).unwrap();
         let b = calibration_scale(&spec, &cfg, 8, 5).unwrap();
         assert!(a > 0.0);
@@ -86,7 +89,10 @@ mod tests {
     #[test]
     fn scale_maps_median_cost_to_paper_median() {
         let spec = ProblemSpec::curated(ProblemTag::E);
-        let cfg = JudgeConfig { test_cases: 2, ..JudgeConfig::default() };
+        let cfg = JudgeConfig {
+            test_cases: 2,
+            ..JudgeConfig::default()
+        };
         let scale = calibration_scale(&spec, &cfg, 10, 3).unwrap();
         // Re-create the calibration batch and check the median lands near
         // the paper's 80 ms.

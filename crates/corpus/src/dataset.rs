@@ -59,7 +59,10 @@ impl CorpusConfig {
     pub fn tiny(seed: u64) -> CorpusConfig {
         CorpusConfig {
             submissions_per_problem: 24,
-            judge: JudgeConfig { test_cases: 2, ..JudgeConfig::default() },
+            judge: JudgeConfig {
+                test_cases: 2,
+                ..JudgeConfig::default()
+            },
             calibration_sample: 6,
             seed,
         }
@@ -103,8 +106,12 @@ impl ProblemDataset {
     ///
     /// Propagates interpreter failures (a correct corpus never produces
     /// them — they indicate a template bug).
-    pub fn generate(spec: ProblemSpec, config: &CorpusConfig) -> Result<ProblemDataset, InterpError> {
-        let scale = calibration_scale(&spec, &config.judge, config.calibration_sample, config.seed)?;
+    pub fn generate(
+        spec: ProblemSpec,
+        config: &CorpusConfig,
+    ) -> Result<ProblemDataset, InterpError> {
+        let scale =
+            calibration_scale(&spec, &config.judge, config.calibration_sample, config.seed)?;
         let mut submissions = Vec::with_capacity(config.submissions_per_problem);
         let problem_salt = problem_salt(spec.key);
         for i in 0..config.submissions_per_problem {
@@ -114,7 +121,10 @@ impl ProblemDataset {
             let program = generate_program(&spec, strategy, &mut rng);
             let source = print_program(&program);
             let reparsed = parse_program(&source).unwrap_or_else(|e| {
-                panic!("generated source failed to parse ({}): {e}\n{source}", spec.key)
+                panic!(
+                    "generated source failed to parse ({}): {e}\n{source}",
+                    spec.key
+                )
             });
             let graph = AstGraph::from_program(&reparsed);
             let verdict = judge(&reparsed, &spec, config.seed ^ problem_salt, &config.judge)?;
@@ -133,7 +143,11 @@ impl ProblemDataset {
                 runtime_ms,
             });
         }
-        Ok(ProblemDataset { spec, scale, submissions })
+        Ok(ProblemDataset {
+            spec,
+            scale,
+            submissions,
+        })
     }
 
     /// Runtime statistics of this dataset (a measured Table I row).
@@ -196,7 +210,10 @@ pub fn mp_corpus(
     (0..problems)
         .map(|i| {
             let spec = ProblemSpec::mp(i, config.seed);
-            let cfg = CorpusConfig { submissions_per_problem: per_problem, ..config.clone() };
+            let cfg = CorpusConfig {
+                submissions_per_problem: per_problem,
+                ..config.clone()
+            };
             ProblemDataset::generate(spec, &cfg)
         })
         .collect()
@@ -224,7 +241,10 @@ mod tests {
         let spec = ProblemSpec::curated(ProblemTag::E);
         let ds = ProblemDataset::generate(spec, &CorpusConfig::tiny(11)).unwrap();
         let stats = ds.stats();
-        assert!(stats.max_ms > 2.0 * stats.min_ms, "runtimes too uniform: {stats:?}");
+        assert!(
+            stats.max_ms > 2.0 * stats.min_ms,
+            "runtimes too uniform: {stats:?}"
+        );
         // Group mean runtime must increase with declared cost rank.
         let mut by_rank: std::collections::BTreeMap<u8, Vec<f64>> = Default::default();
         for s in &ds.submissions {

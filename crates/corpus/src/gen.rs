@@ -71,9 +71,21 @@ impl Style {
             recompute_size: rng.random_bool(0.3),
             use_endl: rng.random_bool(0.5),
             temp_var: rng.random_bool(0.4),
-            while_prob: if rng.random_bool(0.35) { rng.random_range(0.3..1.0) } else { 0.0 },
-            dead_decls: if rng.random_bool(0.3) { rng.random_range(1..4) } else { 0 },
-            dead_loops: if rng.random_bool(0.35) { rng.random_range(1..3) } else { 0 },
+            while_prob: if rng.random_bool(0.35) {
+                rng.random_range(0.3..1.0)
+            } else {
+                0.0
+            },
+            dead_decls: if rng.random_bool(0.3) {
+                rng.random_range(1..4)
+            } else {
+                0
+            },
+            dead_loops: if rng.random_bool(0.35) {
+                rng.random_range(1..3)
+            } else {
+                0
+            },
             cond_flip_prob: if rng.random_bool(0.25) { 1.0 } else { 0.0 },
             pre_inc: rng.random_bool(0.3),
         }
@@ -121,7 +133,10 @@ pub fn generate_program_with(
 pub fn mutate(program: &mut Program, style: &Style, rng: &mut StdRng) {
     for func in &mut program.functions {
         let body = std::mem::take(&mut func.body);
-        func.body = body.into_iter().map(|s| mutate_stmt(s, style, rng)).collect();
+        func.body = body
+            .into_iter()
+            .map(|s| mutate_stmt(s, style, rng))
+            .collect();
         for k in 0..style.dead_decls {
             let name = format!("_unused{k}");
             let value = rng.random_range(0..100);
@@ -165,17 +180,29 @@ fn dead_loop(k: u8, rng: &mut StdRng) -> Stmt {
     Stmt::For {
         init: Some(ForInit::Decl(Decl {
             ty: Type::Int,
-            declarators: vec![Declarator { name: i.clone(), init: Some(Init::Expr(Expr::Int(0))) }],
+            declarators: vec![Declarator {
+                name: i.clone(),
+                init: Some(Init::Expr(Expr::Int(0))),
+            }],
         })),
         cond: Some(Expr::bin(BinOp::Lt, Expr::var(&i), Expr::Int(0))),
-        step: Some(Expr::IncDec { pre: false, inc: true, target: Box::new(Expr::var(&i)) }),
+        step: Some(Expr::IncDec {
+            pre: false,
+            inc: true,
+            target: Box::new(Expr::var(&i)),
+        }),
         body: Box::new(Stmt::Block(body)),
     }
 }
 
 fn mutate_stmt(stmt: Stmt, style: &Style, rng: &mut StdRng) -> Stmt {
     match stmt {
-        Stmt::For { init, cond, step, body } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             let body = Box::new(mutate_stmt(*body, style, rng));
             let cond = cond.map(|c| maybe_flip(c, style, rng));
             let step = step.map(|s| maybe_pre_inc(s, style));
@@ -206,7 +233,12 @@ fn mutate_stmt(stmt: Stmt, style: &Style, rng: &mut StdRng) -> Stmt {
                 outer.push(while_stmt);
                 Stmt::Block(outer)
             } else {
-                Stmt::For { init, cond, step, body }
+                Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                }
             }
         }
         Stmt::While { cond, body } => Stmt::While {
@@ -218,9 +250,12 @@ fn mutate_stmt(stmt: Stmt, style: &Style, rng: &mut StdRng) -> Stmt {
             then: Box::new(mutate_stmt(*then, style, rng)),
             els: els.map(|e| Box::new(mutate_stmt(*e, style, rng))),
         },
-        Stmt::Block(stmts) => {
-            Stmt::Block(stmts.into_iter().map(|s| mutate_stmt(s, style, rng)).collect())
-        }
+        Stmt::Block(stmts) => Stmt::Block(
+            stmts
+                .into_iter()
+                .map(|s| mutate_stmt(s, style, rng))
+                .collect(),
+        ),
         other => other,
     }
 }
@@ -253,7 +288,15 @@ fn maybe_pre_inc(step: Expr, style: &Style) -> Expr {
         return step;
     }
     match step {
-        Expr::IncDec { pre: false, inc, target } => Expr::IncDec { pre: true, inc, target },
+        Expr::IncDec {
+            pre: false,
+            inc,
+            target,
+        } => Expr::IncDec {
+            pre: true,
+            inc,
+            target,
+        },
         other => other,
     }
 }
@@ -289,8 +332,7 @@ mod tests {
             let spec = ProblemSpec::curated(tag);
             let input = spec.generate_input(&mut rng);
             for strategy in 0..spec.strategies.len() {
-                let plain =
-                    crate::problems::build(tag, strategy, &Style::plain(), &spec.input);
+                let plain = crate::problems::build(tag, strategy, &Style::plain(), &spec.input);
                 let base = run_program(&plain, &input, &CostModel::default(), &Limits::default())
                     .unwrap_or_else(|e| panic!("{tag} s{strategy} plain run failed: {e}"));
                 // Aggressive structural mutation, zero cost-affecting flags
@@ -306,9 +348,8 @@ mod tests {
                 };
                 let mut mutated = plain.clone();
                 mutate(&mut mutated, &style, &mut rng);
-                let got =
-                    run_program(&mutated, &input, &CostModel::default(), &Limits::default())
-                        .unwrap_or_else(|e| panic!("{tag} s{strategy} mutated run failed: {e}"));
+                let got = run_program(&mutated, &input, &CostModel::default(), &Limits::default())
+                    .unwrap_or_else(|e| panic!("{tag} s{strategy} mutated run failed: {e}"));
                 assert_eq!(
                     base.output, got.output,
                     "{tag} strategy {strategy}: mutation changed output"

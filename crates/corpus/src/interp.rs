@@ -137,7 +137,11 @@ impl Value {
             Value::Bool(b) => *b,
             Value::Double(d) => *d != 0.0,
             Value::Char(c) => *c != '\0',
-            other => return Err(InterpError::type_error(format!("{other:?} used as condition"))),
+            other => {
+                return Err(InterpError::type_error(format!(
+                    "{other:?} used as condition"
+                )))
+            }
         })
     }
 
@@ -147,7 +151,11 @@ impl Value {
             Value::Bool(b) => *b as i64,
             Value::Char(c) => *c as i64,
             Value::Double(d) => *d as i64,
-            other => return Err(InterpError::type_error(format!("{other:?} used as integer"))),
+            other => {
+                return Err(InterpError::type_error(format!(
+                    "{other:?} used as integer"
+                )))
+            }
         })
     }
 
@@ -255,7 +263,11 @@ pub struct Limits {
 
 impl Default for Limits {
     fn default() -> Limits {
-        Limits { fuel: 200_000_000, recursion: 20_000, container: 8_000_000 }
+        Limits {
+            fuel: 200_000_000,
+            recursion: 20_000,
+            container: 8_000_000,
+        }
     }
 }
 
@@ -315,19 +327,27 @@ pub fn run_program(
         cost: 0,
     };
     // Globals are initialised before main, in declaration order.
-    interp.frames.push(Frame { scopes: vec![HashMap::new()] });
+    interp.frames.push(Frame {
+        scopes: vec![HashMap::new()],
+    });
     for decl in &program.globals {
         interp.exec_decl(decl, true)?;
     }
     interp.frames.pop();
 
-    interp.frames.push(Frame { scopes: vec![HashMap::new()] });
+    interp.frames.push(Frame {
+        scopes: vec![HashMap::new()],
+    });
     let flow = interp.exec_block(&main.body)?;
     let exit_code = match flow {
         Flow::Return(v) => v.as_int().unwrap_or(0),
         _ => 0,
     };
-    Ok(RunOutcome { cost: interp.cost, output: interp.output, exit_code })
+    Ok(RunOutcome {
+        cost: interp.cost,
+        output: interp.output,
+        exit_code,
+    })
 }
 
 struct Frame {
@@ -351,7 +371,9 @@ impl<'p> Interp<'p> {
     fn charge(&mut self, units: u64) -> Result<(), InterpError> {
         self.cost += units;
         if self.cost > self.limits.fuel {
-            Err(InterpError::Timeout { fuel: self.limits.fuel })
+            Err(InterpError::Timeout {
+                fuel: self.limits.fuel,
+            })
         } else {
             Ok(())
         }
@@ -367,7 +389,11 @@ impl<'p> Interp<'p> {
         if global {
             self.globals.insert(name.to_string(), value);
         } else {
-            self.frame().scopes.last_mut().expect("no scope").insert(name.to_string(), value);
+            self.frame()
+                .scopes
+                .last_mut()
+                .expect("no scope")
+                .insert(name.to_string(), value);
         }
     }
 
@@ -435,7 +461,10 @@ impl<'p> Interp<'p> {
     }
 
     fn construct(&mut self, ty: &Type, args: &[Expr]) -> Result<Value, InterpError> {
-        let vals: Vec<Value> = args.iter().map(|a| self.eval(a)).collect::<Result<_, _>>()?;
+        let vals: Vec<Value> = args
+            .iter()
+            .map(|a| self.eval(a))
+            .collect::<Result<_, _>>()?;
         match ty {
             Type::Vec(inner) => {
                 let n = vals.first().map_or(Ok(0), Value::as_int)?;
@@ -446,9 +475,7 @@ impl<'p> Interp<'p> {
                 self.charge(self.cost_model.assign * n as u64 / 4 + 1)?;
                 Ok(match inner.as_ref() {
                     Type::Vec(_) => Value::VecVec(Rc::new(RefCell::new(vec![Vec::new(); n]))),
-                    Type::Str => {
-                        Value::VecStr(Rc::new(RefCell::new(vec![String::new(); n])))
-                    }
+                    Type::Str => Value::VecStr(Rc::new(RefCell::new(vec![String::new(); n]))),
                     _ => {
                         let fill = vals.get(1).map_or(Ok(0), Value::as_int)?;
                         Value::VecInt(Rc::new(RefCell::new(vec![fill; n])))
@@ -457,7 +484,10 @@ impl<'p> Interp<'p> {
             }
             other => {
                 // Scalar "constructor": T x(expr).
-                let v = vals.into_iter().next().unwrap_or_else(|| Value::default_of(other));
+                let v = vals
+                    .into_iter()
+                    .next()
+                    .unwrap_or_else(|| Value::default_of(other));
                 self.coerce_to(other, v)
             }
         }
@@ -510,7 +540,12 @@ impl<'p> Interp<'p> {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.frame().scopes.push(HashMap::new());
                 let result = (|| {
                     match init {
@@ -664,10 +699,11 @@ impl<'p> Interp<'p> {
                         }
                         (Value::Double(_), InputTok::Int(v)) => Value::Double(v as f64),
                         (_, InputTok::Int(v)) => Value::Int(v),
-                        (_, InputTok::Str(s)) => s
-                            .parse::<i64>()
-                            .map(Value::Int)
-                            .map_err(|_| InterpError::type_error(format!("cannot read '{s}' as integer")))?,
+                        (_, InputTok::Str(s)) => {
+                            s.parse::<i64>().map(Value::Int).map_err(|_| {
+                                InterpError::type_error(format!("cannot read '{s}' as integer"))
+                            })?
+                        }
                     };
                     self.write_place(&place, v)?;
                 }
@@ -872,9 +908,9 @@ impl<'p> Interp<'p> {
                             let i = check_index(ix, v.borrow().len())?;
                             Ok(Place::VecStrElem(v, i))
                         }
-                        other => {
-                            Err(InterpError::type_error(format!("cannot index into {other:?}")))
-                        }
+                        other => Err(InterpError::type_error(format!(
+                            "cannot index into {other:?}"
+                        ))),
                     },
                     Expr::Index(_, _) => {
                         // g[u][k] — resolve the row place first.
@@ -889,9 +925,9 @@ impl<'p> Interp<'p> {
                             )),
                         }
                     }
-                    other => {
-                        Err(InterpError::type_error(format!("unsupported lvalue base {other:?}")))
-                    }
+                    other => Err(InterpError::type_error(format!(
+                        "unsupported lvalue base {other:?}"
+                    ))),
                 }
             }
             other => Err(InterpError::type_error(format!("not an lvalue: {other:?}"))),
@@ -902,7 +938,9 @@ impl<'p> Interp<'p> {
         match place {
             Place::Var(name) => self.lookup(name),
             Place::VecIntElem(v, i) => Ok(Value::Int(v.borrow()[*i])),
-            Place::VecVecRow(v, i) => Ok(Value::VecInt(Rc::new(RefCell::new(v.borrow()[*i].clone())))),
+            Place::VecVecRow(v, i) => {
+                Ok(Value::VecInt(Rc::new(RefCell::new(v.borrow()[*i].clone()))))
+            }
             Place::VecVecElem(v, r, i) => Ok(Value::Int(v.borrow()[*r][*i])),
             Place::VecStrElem(v, i) => Ok(Value::Str(v.borrow()[*i].clone())),
         }
@@ -920,7 +958,9 @@ impl<'p> Interp<'p> {
                     v.borrow_mut()[*i] = row.borrow().clone();
                     Ok(())
                 }
-                other => Err(InterpError::type_error(format!("cannot store {other:?} as row"))),
+                other => Err(InterpError::type_error(format!(
+                    "cannot store {other:?} as row"
+                ))),
             },
             Place::VecVecElem(v, r, i) => {
                 v.borrow_mut()[*r][*i] = value.as_int()?;
@@ -931,7 +971,9 @@ impl<'p> Interp<'p> {
                     v.borrow_mut()[*i] = s;
                     Ok(())
                 }
-                other => Err(InterpError::type_error(format!("cannot store {other:?} as string"))),
+                other => Err(InterpError::type_error(format!(
+                    "cannot store {other:?} as string"
+                ))),
             },
         }
     }
@@ -973,7 +1015,9 @@ impl<'p> Interp<'p> {
                 args.len()
             )));
         }
-        self.frames.push(Frame { scopes: vec![scope] });
+        self.frames.push(Frame {
+            scopes: vec![scope],
+        });
         let mut flow = Flow::Normal;
         for stmt in &func.body {
             flow = self.exec_stmt(stmt)?;
@@ -996,7 +1040,11 @@ impl<'p> Interp<'p> {
                 let b = self.eval(&args[1])?;
                 if matches!(a, Value::Double(_)) || matches!(b, Value::Double(_)) {
                     let (x, y) = (a.as_double()?, b.as_double()?);
-                    Ok(Value::Double(if name == "min" { x.min(y) } else { x.max(y) }))
+                    Ok(Value::Double(if name == "min" {
+                        x.min(y)
+                    } else {
+                        x.max(y)
+                    }))
                 } else {
                     let (x, y) = (a.as_int()?, b.as_int()?);
                     Ok(Value::Int(if name == "min" { x.min(y) } else { x.max(y) }))
@@ -1038,10 +1086,11 @@ impl<'p> Interp<'p> {
             "sort" | "reverse" => {
                 // Recognise the idiom f(v.begin(), v.end()).
                 let target = match (&args[0], &args[1]) {
-                    (
-                        Expr::MethodCall(recv_a, begin, _),
-                        Expr::MethodCall(recv_b, end, _),
-                    ) if begin == "begin" && end == "end" && recv_a == recv_b => recv_a,
+                    (Expr::MethodCall(recv_a, begin, _), Expr::MethodCall(recv_b, end, _))
+                        if begin == "begin" && end == "end" && recv_a == recv_b =>
+                    {
+                        recv_a
+                    }
                     _ => {
                         return Err(InterpError::type_error(format!(
                             "{name} expects (v.begin(), v.end())"
@@ -1065,8 +1114,7 @@ impl<'p> Interp<'p> {
                         let mut v = v.borrow_mut();
                         let n = v.len() as u64;
                         let log = 64 - n.max(2).leading_zeros() as u64;
-                        let avg: u64 =
-                            v.iter().map(|s| s.len() as u64).sum::<u64>() / n.max(1) + 1;
+                        let avg: u64 = v.iter().map(|s| s.len() as u64).sum::<u64>() / n.max(1) + 1;
                         self.charge(self.cost_model.sort_factor * n * log * avg)?;
                         if name == "sort" {
                             v.sort_unstable();
@@ -1075,9 +1123,7 @@ impl<'p> Interp<'p> {
                         }
                         Ok(Value::Int(0))
                     }
-                    other => {
-                        Err(InterpError::type_error(format!("cannot {name} {other:?}")))
-                    }
+                    other => Err(InterpError::type_error(format!("cannot {name} {other:?}"))),
                 }
             }
             other => Err(InterpError::UndefinedFunction(other.to_string())),
@@ -1100,9 +1146,7 @@ impl<'p> Interp<'p> {
                     Value::VecVec(v) => v.borrow().len() as i64,
                     Value::VecStr(v) => v.borrow().len() as i64,
                     Value::Str(s) => s.len() as i64,
-                    other => {
-                        return Err(InterpError::type_error(format!("{name} on {other:?}")))
-                    }
+                    other => return Err(InterpError::type_error(format!("{name} on {other:?}"))),
                 }))
             }
             "empty" => {
@@ -1112,9 +1156,7 @@ impl<'p> Interp<'p> {
                     Value::VecVec(v) => v.borrow().is_empty(),
                     Value::VecStr(v) => v.borrow().is_empty(),
                     Value::Str(s) => s.is_empty(),
-                    other => {
-                        return Err(InterpError::type_error(format!("empty on {other:?}")))
-                    }
+                    other => return Err(InterpError::type_error(format!("empty on {other:?}"))),
                 }))
             }
             "back" => {
@@ -1158,9 +1200,7 @@ impl<'p> Interp<'p> {
                                 v.borrow_mut()[r].push(arg.as_int()?);
                                 Ok(Value::Int(0))
                             }
-                            _ => Err(InterpError::type_error(
-                                "push_back on non-vector element",
-                            )),
+                            _ => Err(InterpError::type_error("push_back on non-vector element")),
                         }
                     }
                     _ => match self.eval(recv)? {
@@ -1180,9 +1220,7 @@ impl<'p> Interp<'p> {
                         Value::VecVec(v) => {
                             self.guard_len(v.borrow().len() + 1)?;
                             match arg {
-                                Value::VecInt(row) => {
-                                    v.borrow_mut().push(row.borrow().clone())
-                                }
+                                Value::VecInt(row) => v.borrow_mut().push(row.borrow().clone()),
                                 _ => v.borrow_mut().push(Vec::new()),
                             }
                             Ok(Value::Int(0))
@@ -1200,9 +1238,7 @@ impl<'p> Interp<'p> {
                             self.write_place(&place, Value::Str(s))?;
                             Ok(Value::Int(0))
                         }
-                        other => {
-                            Err(InterpError::type_error(format!("push_back on {other:?}")))
-                        }
+                        other => Err(InterpError::type_error(format!("push_back on {other:?}"))),
                     },
                 }
             }
@@ -1433,8 +1469,7 @@ mod tests {
             InputTok::Str("ab".into()),
             InputTok::Str("c".into()),
         ];
-        let out =
-            run_program(&p, &input, &CostModel::default(), &Limits::default()).unwrap();
+        let out = run_program(&p, &input, &CostModel::default(), &Limits::default()).unwrap();
         // h = ((0*31+97)*31+98)*31+99 = 97*961 + 98*31 + 99
         assert_eq!(out.output, (97 * 961 + 98 * 31 + 99).to_string());
     }
@@ -1482,25 +1517,40 @@ mod tests {
     #[test]
     fn timeout_on_infinite_loop() {
         let p = parse_program("int main() { while (true) { } return 0; }").unwrap();
-        let limits = Limits { fuel: 10_000, ..Limits::default() };
+        let limits = Limits {
+            fuel: 10_000,
+            ..Limits::default()
+        };
         let err = run_program(&p, &[], &CostModel::default(), &limits).unwrap_err();
         assert!(matches!(err, InterpError::Timeout { .. }));
     }
 
     #[test]
     fn division_by_zero_detected() {
-        assert_eq!(run_err("int main() { int x = 0; cout << 5 / x; return 0; }", &[]), InterpError::DivideByZero);
+        assert_eq!(
+            run_err("int main() { int x = 0; cout << 5 / x; return 0; }", &[]),
+            InterpError::DivideByZero
+        );
     }
 
     #[test]
     fn out_of_bounds_detected() {
-        let err = run_err("int main() { vector<long long> v(2); cout << v[5]; return 0; }", &[]);
-        assert!(matches!(err, InterpError::IndexOutOfBounds { len: 2, index: 5 }));
+        let err = run_err(
+            "int main() { vector<long long> v(2); cout << v[5]; return 0; }",
+            &[],
+        );
+        assert!(matches!(
+            err,
+            InterpError::IndexOutOfBounds { len: 2, index: 5 }
+        ));
     }
 
     #[test]
     fn input_exhausted_detected() {
-        assert_eq!(run_err("int main() { int x; cin >> x; return 0; }", &[]), InterpError::InputExhausted);
+        assert_eq!(
+            run_err("int main() { int x; cin >> x; return 0; }", &[]),
+            InterpError::InputExhausted
+        );
     }
 
     #[test]
@@ -1517,9 +1567,15 @@ mod tests {
             "long long f(long long n) { return f(n + 1); } int main() { return f(0); }",
         )
         .unwrap();
-        let limits = Limits { recursion: 64, ..Limits::default() };
+        let limits = Limits {
+            recursion: 64,
+            ..Limits::default()
+        };
         let err = run_program(&p, &[], &CostModel::default(), &limits).unwrap_err();
-        assert!(matches!(err, InterpError::RecursionLimit(64) | InterpError::Timeout { .. }));
+        assert!(matches!(
+            err,
+            InterpError::RecursionLimit(64) | InterpError::Timeout { .. }
+        ));
     }
 
     #[test]
@@ -1678,7 +1734,10 @@ mod edge_case_tests {
 
     #[test]
     fn bool_prints_as_integer() {
-        let out = run("int main() { bool b = true; cout << b << false; return 0; }", &[]);
+        let out = run(
+            "int main() { bool b = true; cout << b << false; return 0; }",
+            &[],
+        );
         assert_eq!(out.output, "10");
     }
 
@@ -1698,7 +1757,11 @@ mod edge_case_tests {
              while (i < 100000000) { v.push_back(i); i++; } return 0; }",
         )
         .unwrap();
-        let limits = Limits { container: 10_000, fuel: u64::MAX / 2, ..Limits::default() };
+        let limits = Limits {
+            container: 10_000,
+            fuel: u64::MAX / 2,
+            ..Limits::default()
+        };
         let err = run_program(&p, &[], &CostModel::default(), &limits).unwrap_err();
         assert!(matches!(err, InterpError::MemoryLimit(_)));
     }

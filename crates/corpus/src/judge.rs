@@ -75,7 +75,10 @@ pub fn judge(
         test_costs.push(outcome.cost);
     }
     let mean_cost = test_costs.iter().sum::<u64>() as f64 / test_costs.len().max(1) as f64;
-    Ok(Verdict { mean_cost, test_costs })
+    Ok(Verdict {
+        mean_cost,
+        test_costs,
+    })
 }
 
 #[cfg(test)]
@@ -103,7 +106,10 @@ mod tests {
         let cfg = JudgeConfig::default();
         let a = judge(&p, &spec, 42, &cfg).unwrap();
         let c = judge(&p, &spec, 43, &cfg).unwrap();
-        assert_ne!(a.test_costs, c.test_costs, "different seeds → different tests");
+        assert_ne!(
+            a.test_costs, c.test_costs,
+            "different seeds → different tests"
+        );
     }
 
     #[test]
@@ -126,7 +132,10 @@ mod tests {
     fn test_case_count_is_respected() {
         let spec = ProblemSpec::curated(ProblemTag::H);
         let p = crate::problems::build(ProblemTag::H, 0, &Style::plain(), &spec.input);
-        let cfg = JudgeConfig { test_cases: 7, ..JudgeConfig::default() };
+        let cfg = JudgeConfig {
+            test_cases: 7,
+            ..JudgeConfig::default()
+        };
         let v = judge(&p, &spec, 1, &cfg).unwrap();
         assert_eq!(v.test_costs.len(), 7);
     }

@@ -37,7 +37,9 @@ pub mod judge;
 pub mod problems;
 pub mod spec;
 
-pub use dataset::{curated_corpus, mp_corpus, CorpusConfig, ProblemDataset, RuntimeStats, Submission};
+pub use dataset::{
+    curated_corpus, mp_corpus, CorpusConfig, ProblemDataset, RuntimeStats, Submission,
+};
 pub use gen::{generate_program, Style};
 pub use interp::{run_program, CostModel, InputTok, InterpError, Limits, RunOutcome, Value};
 pub use judge::{judge, JudgeConfig, Verdict};

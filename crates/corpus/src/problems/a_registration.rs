@@ -20,9 +20,21 @@ use super::out;
 
 pub(crate) fn strategies() -> Vec<Strategy> {
     vec![
-        Strategy { name: "buckets", weight: 0.40, cost_rank: 0 },
-        Strategy { name: "sorted-insert", weight: 0.35, cost_rank: 1 },
-        Strategy { name: "linear-strings", weight: 0.25, cost_rank: 2 },
+        Strategy {
+            name: "buckets",
+            weight: 0.40,
+            cost_rank: 0,
+        },
+        Strategy {
+            name: "sorted-insert",
+            weight: 0.35,
+            cost_rank: 1,
+        },
+        Strategy {
+            name: "linear-strings",
+            weight: 0.25,
+            cost_rank: 2,
+        },
     ]
 }
 
@@ -53,7 +65,10 @@ fn hash_loop(src: &str, dst: &str) -> Vec<Stmt> {
             b::method(b::var(src), "length", vec![]),
             vec![b::expr(b::assign(
                 b::var(dst),
-                b::add(b::mul(b::var(dst), b::int(131)), b::idx(b::var(src), b::var("hi"))),
+                b::add(
+                    b::mul(b::var(dst), b::int(131)),
+                    b::idx(b::var(src), b::var("hi")),
+                ),
             ))],
         ),
     ]
@@ -62,7 +77,11 @@ fn hash_loop(src: &str, dst: &str) -> Vec<Stmt> {
 /// Hash via helper function when the style asks for one.
 fn hash_of(style: &Style, word_stmts: &mut Vec<Stmt>) -> Expr {
     if style.helper_fn {
-        word_stmts.push(b::decl(Type::Int, "h", Some(b::call("hashWord", vec![b::var("s")]))));
+        word_stmts.push(b::decl(
+            Type::Int,
+            "h",
+            Some(b::call("hashWord", vec![b::var("s")])),
+        ));
     } else {
         word_stmts.extend(hash_loop("s", "h"));
     }
@@ -82,10 +101,7 @@ pub(crate) fn build(strategy: usize, style: &Style, _input: &InputSpec) -> Progr
         b::decl(Type::Int, "dups", Some(b::int(0))),
     ];
 
-    let mut per_word: Vec<Stmt> = vec![
-        b::decl(Type::Str, "s", None),
-        b::cin(vec![b::var("s")]),
-    ];
+    let mut per_word: Vec<Stmt> = vec![b::decl(Type::Str, "s", None), b::cin(vec![b::var("s")])];
 
     match strategy {
         0 => {
@@ -102,7 +118,10 @@ pub(crate) fn build(strategy: usize, style: &Style, _input: &InputSpec) -> Progr
                     b::int(0),
                     b::size_of(b::idx(b::var("buckets"), b::var("bk"))),
                     vec![b::if_then(
-                        b::eq(b::idx2(b::var("buckets"), b::var("bk"), b::var("j")), b::var("h")),
+                        b::eq(
+                            b::idx2(b::var("buckets"), b::var("bk"), b::var("j")),
+                            b::var("h"),
+                        ),
                         vec![b::expr(b::assign(b::var("found"), b::int(1)))],
                     )],
                 ),
@@ -132,7 +151,10 @@ pub(crate) fn build(strategy: usize, style: &Style, _input: &InputSpec) -> Progr
                         ),
                         b::if_else(
                             b::lt(b::idx(b::var("seen"), b::var("mid")), h.clone()),
-                            vec![b::expr(b::assign(b::var("lo"), b::add(b::var("mid"), b::int(1))))],
+                            vec![b::expr(b::assign(
+                                b::var("lo"),
+                                b::add(b::var("mid"), b::int(1)),
+                            ))],
                             vec![b::expr(b::assign(b::var("hi"), b::var("mid")))],
                         ),
                     ],
@@ -173,7 +195,10 @@ pub(crate) fn build(strategy: usize, style: &Style, _input: &InputSpec) -> Progr
                                     b::idx(b::var("seen"), b::sub(b::var("j"), b::int(1))),
                                     b::idx(b::var("seen"), b::var("j")),
                                 )),
-                                b::expr(b::assign(b::idx(b::var("seen"), b::var("j")), b::var("t"))),
+                                b::expr(b::assign(
+                                    b::idx(b::var("seen"), b::var("j")),
+                                    b::var("t"),
+                                )),
                                 b::expr(b::post_dec(b::var("j"))),
                             ],
                         ),
@@ -214,7 +239,10 @@ pub(crate) fn build(strategy: usize, style: &Style, _input: &InputSpec) -> Progr
                 "sx",
                 b::int(0),
                 b::size_of(b::var(store)),
-                vec![b::expr(b::add_assign(b::var("audit"), b::idx(b::var(store), b::var("sx"))))],
+                vec![b::expr(b::add_assign(
+                    b::var("audit"),
+                    b::idx(b::var(store), b::var("sx")),
+                ))],
             ));
             main_body.push(b::if_then(
                 b::lt(b::var("audit"), b::int(0)),
@@ -241,7 +269,12 @@ mod tests {
 
     #[test]
     fn all_strategies_agree_on_duplicate_count() {
-        let input_spec = InputSpec { n: 30, m: 0, max_value: 0, word_len: 5 };
+        let input_spec = InputSpec {
+            n: 30,
+            m: 0,
+            max_value: 0,
+            word_len: 5,
+        };
         let mut rng = StdRng::seed_from_u64(2);
         let toks = generate_input(&input_spec, &mut rng);
         // Ground truth duplicate count.
@@ -256,16 +289,27 @@ mod tests {
         }
         for s in 0..3 {
             let p = build(s, &Style::plain(), &input_spec);
-            let outp =
-                run_program(&p, &toks, &CostModel::default(), &Limits::default()).unwrap();
-            assert_eq!(outp.output.trim(), dups.to_string(), "strategy {s} wrong answer");
+            let outp = run_program(&p, &toks, &CostModel::default(), &Limits::default()).unwrap();
+            assert_eq!(
+                outp.output.trim(),
+                dups.to_string(),
+                "strategy {s} wrong answer"
+            );
         }
     }
 
     #[test]
     fn helper_fn_style_emits_function() {
-        let style = Style { helper_fn: true, ..Style::plain() };
-        let input = InputSpec { n: 10, m: 0, max_value: 0, word_len: 4 };
+        let style = Style {
+            helper_fn: true,
+            ..Style::plain()
+        };
+        let input = InputSpec {
+            n: 10,
+            m: 0,
+            max_value: 0,
+            word_len: 4,
+        };
         let p = build(0, &style, &input);
         assert!(p.function("hashWord").is_some());
         assert_eq!(p.functions.len(), 2);

@@ -22,9 +22,21 @@ use super::out;
 
 pub(crate) fn strategies() -> Vec<Strategy> {
     vec![
-        Strategy { name: "sieve+table", weight: 0.30, cost_rank: 0 },
-        Strategy { name: "sqrt-trial", weight: 0.45, cost_rank: 1 },
-        Strategy { name: "incremental", weight: 0.25, cost_rank: 2 },
+        Strategy {
+            name: "sieve+table",
+            weight: 0.30,
+            cost_rank: 0,
+        },
+        Strategy {
+            name: "sqrt-trial",
+            weight: 0.45,
+            cost_rank: 1,
+        },
+        Strategy {
+            name: "incremental",
+            weight: 0.25,
+            cost_rank: 2,
+        },
     ]
 }
 
@@ -37,7 +49,9 @@ pub(crate) fn generate_input(input: &InputSpec, rng: &mut StdRng) -> Vec<InputTo
     let max = input.max_value.max(100);
     let root_max = isqrt(max).max(10);
     // Small primes up to root_max for planting true t-primes.
-    let primes: Vec<i64> = (2..=root_max).filter(|&p| (2..p).all(|d| p % d != 0)).collect();
+    let primes: Vec<i64> = (2..=root_max)
+        .filter(|&p| (2..p).all(|d| p % d != 0))
+        .collect();
     let mut toks = vec![InputTok::Int(n as i64)];
     for _ in 0..n {
         let x = if rng.random_bool(0.4) && !primes.is_empty() {
@@ -59,10 +73,7 @@ pub(crate) fn build(strategy: usize, style: &Style, input: &InputSpec) -> Progra
         b::decl(Type::Int, "cnt", Some(b::int(0))),
     ];
 
-    let mut per_query: Vec<Stmt> = vec![
-        b::decl(Type::Int, "x", None),
-        b::cin(vec![b::var("x")]),
-    ];
+    let mut per_query: Vec<Stmt> = vec![b::decl(Type::Int, "x", None), b::cin(vec![b::var("x")])];
 
     match strategy {
         0 => {
@@ -140,7 +151,10 @@ pub(crate) fn build(strategy: usize, style: &Style, input: &InputSpec) -> Progra
                 ),
                 b::while_loop(
                     b::le(
-                        b::mul(b::add(b::var("r"), b::int(1)), b::add(b::var("r"), b::int(1))),
+                        b::mul(
+                            b::add(b::var("r"), b::int(1)),
+                            b::add(b::var("r"), b::int(1)),
+                        ),
                         b::var("x"),
                     ),
                     vec![b::expr(b::post_inc(b::var("r")))],
@@ -235,7 +249,12 @@ mod tests {
 
     #[test]
     fn strategies_agree_with_ground_truth() {
-        let spec = InputSpec { n: 25, m: 0, max_value: 10_000, word_len: 0 };
+        let spec = InputSpec {
+            n: 25,
+            m: 0,
+            max_value: 10_000,
+            word_len: 0,
+        };
         let mut rng = StdRng::seed_from_u64(5);
         let toks = generate_input(&spec, &mut rng);
         let truth = tprime_count(&toks);
@@ -259,7 +278,12 @@ mod tests {
             InputTok::Int(9),
             InputTok::Int(16),
         ];
-        let spec = InputSpec { n: 4, m: 0, max_value: 100, word_len: 0 };
+        let spec = InputSpec {
+            n: 4,
+            m: 0,
+            max_value: 100,
+            word_len: 0,
+        };
         for s in 0..3 {
             let p = build(s, &Style::plain(), &spec);
             let got = run_program(&p, &toks, &CostModel::default(), &Limits::default()).unwrap();

@@ -20,9 +20,21 @@ use super::{bound, out, read_int_array};
 
 pub(crate) fn strategies() -> Vec<Strategy> {
     vec![
-        Strategy { name: "bucket-count", weight: 0.35, cost_rank: 0 },
-        Strategy { name: "sort-scan", weight: 0.40, cost_rank: 1 },
-        Strategy { name: "nested-match", weight: 0.25, cost_rank: 2 },
+        Strategy {
+            name: "bucket-count",
+            weight: 0.35,
+            cost_rank: 0,
+        },
+        Strategy {
+            name: "sort-scan",
+            weight: 0.40,
+            cost_rank: 1,
+        },
+        Strategy {
+            name: "nested-match",
+            weight: 0.25,
+            cost_rank: 2,
+        },
     ]
 }
 
@@ -71,7 +83,10 @@ pub(crate) fn build(strategy: usize, style: &Style, input: &InputSpec) -> Progra
                             Some(b::div(b::idx(b::var("cnt"), b::var("v")), b::int(2))),
                         ),
                         b::expr(b::add_assign(b::var("pairs"), b::var("p"))),
-                        b::expr(b::add_assign(b::var("total"), b::mul(b::var("p"), b::var("v")))),
+                        b::expr(b::add_assign(
+                            b::var("total"),
+                            b::mul(b::var("p"), b::var("v")),
+                        )),
                     ],
                 ),
             ]);
@@ -127,8 +142,14 @@ pub(crate) fn build(strategy: usize, style: &Style, input: &InputSpec) -> Progra
                                     ),
                                 ),
                                 vec![
-                                    b::expr(b::assign(b::idx(b::var("used"), b::var("i")), b::int(1))),
-                                    b::expr(b::assign(b::idx(b::var("used"), b::var("j")), b::int(1))),
+                                    b::expr(b::assign(
+                                        b::idx(b::var("used"), b::var("i")),
+                                        b::int(1),
+                                    )),
+                                    b::expr(b::assign(
+                                        b::idx(b::var("used"), b::var("j")),
+                                        b::int(1),
+                                    )),
                                     b::expr(b::post_inc(b::var("pairs"))),
                                     b::expr(b::add_assign(
                                         b::var("total"),
@@ -177,7 +198,12 @@ mod tests {
 
     #[test]
     fn strategies_agree_on_pairing() {
-        let spec = InputSpec { n: 40, m: 0, max_value: 12, word_len: 0 };
+        let spec = InputSpec {
+            n: 40,
+            m: 0,
+            max_value: 12,
+            word_len: 0,
+        };
         let mut rng = StdRng::seed_from_u64(9);
         let toks = generate_input(&spec, &mut rng);
         let (pairs, total) = ground_truth(&toks);
@@ -199,7 +225,12 @@ mod tests {
             InputTok::Int(2),
             InputTok::Int(3),
         ];
-        let spec = InputSpec { n: 3, m: 0, max_value: 3, word_len: 0 };
+        let spec = InputSpec {
+            n: 3,
+            m: 0,
+            max_value: 3,
+            word_len: 0,
+        };
         for s in 0..3 {
             let p = build(s, &Style::plain(), &spec);
             let got = run_program(&p, &toks, &CostModel::default(), &Limits::default()).unwrap();

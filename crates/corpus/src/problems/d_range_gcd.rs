@@ -24,9 +24,21 @@ use super::{out, read_int_array};
 
 pub(crate) fn strategies() -> Vec<Strategy> {
     vec![
-        Strategy { name: "segment-tree", weight: 0.35, cost_rank: 1 },
-        Strategy { name: "sqrt-blocks", weight: 0.35, cost_rank: 0 },
-        Strategy { name: "naive-scan", weight: 0.30, cost_rank: 2 },
+        Strategy {
+            name: "segment-tree",
+            weight: 0.35,
+            cost_rank: 1,
+        },
+        Strategy {
+            name: "sqrt-blocks",
+            weight: 0.35,
+            cost_rank: 0,
+        },
+        Strategy {
+            name: "naive-scan",
+            weight: 0.30,
+            cost_rank: 2,
+        },
     ]
 }
 
@@ -65,7 +77,11 @@ fn gcd_function() -> Function {
                     b::expr(b::assign(b::var("y"), b::var("t"))),
                 ],
             ),
-            b::ret(Some(b::ternary(b::lt(b::var("x"), b::int(0)), b::neg(b::var("x")), b::var("x")))),
+            b::ret(Some(b::ternary(
+                b::lt(b::var("x"), b::int(0)),
+                b::neg(b::var("x")),
+                b::var("x"),
+            ))),
         ],
     )
 }
@@ -92,7 +108,11 @@ fn segment_tree_functions() -> Vec<Function> {
                     b::ret(None),
                 ],
             ),
-            b::decl(Type::Int, "m", Some(b::div(b::add(b::var("l"), b::var("r")), b::int(2)))),
+            b::decl(
+                Type::Int,
+                "m",
+                Some(b::div(b::add(b::var("l"), b::var("r")), b::int(2))),
+            ),
             b::expr(b::call(
                 "buildTree",
                 vec![
@@ -119,7 +139,10 @@ fn segment_tree_functions() -> Vec<Function> {
                     "g",
                     vec![
                         b::idx(b::var("t"), b::mul(b::var("node"), b::int(2))),
-                        b::idx(b::var("t"), b::add(b::mul(b::var("node"), b::int(2)), b::int(1))),
+                        b::idx(
+                            b::var("t"),
+                            b::add(b::mul(b::var("node"), b::int(2)), b::int(1)),
+                        ),
                     ],
                 ),
             )),
@@ -138,14 +161,24 @@ fn segment_tree_functions() -> Vec<Function> {
         ],
         vec![
             b::if_then(
-                b::or(b::lt(b::var("qr"), b::var("l")), b::lt(b::var("r"), b::var("ql"))),
+                b::or(
+                    b::lt(b::var("qr"), b::var("l")),
+                    b::lt(b::var("r"), b::var("ql")),
+                ),
                 vec![b::ret(Some(b::int(0)))],
             ),
             b::if_then(
-                b::and(b::le(b::var("ql"), b::var("l")), b::le(b::var("r"), b::var("qr"))),
+                b::and(
+                    b::le(b::var("ql"), b::var("l")),
+                    b::le(b::var("r"), b::var("qr")),
+                ),
                 vec![b::ret(Some(b::idx(b::var("t"), b::var("node"))))],
             ),
-            b::decl(Type::Int, "m", Some(b::div(b::add(b::var("l"), b::var("r")), b::int(2)))),
+            b::decl(
+                Type::Int,
+                "m",
+                Some(b::div(b::add(b::var("l"), b::var("r")), b::int(2))),
+            ),
             b::ret(Some(b::call(
                 "g",
                 vec![
@@ -202,7 +235,13 @@ pub(crate) fn build(strategy: usize, style: &Style, _input: &InputSpec) -> Progr
             ));
             body.push(b::expr(b::call(
                 "buildTree",
-                vec![b::var("t"), b::var("a"), b::int(1), b::int(0), b::sub(b::var("n"), b::int(1))],
+                vec![
+                    b::var("t"),
+                    b::var("a"),
+                    b::int(1),
+                    b::int(0),
+                    b::sub(b::var("n"), b::int(1)),
+                ],
             )));
             per_query.push(b::expr(b::add_assign(
                 b::var("ans"),
@@ -255,7 +294,10 @@ pub(crate) fn build(strategy: usize, style: &Style, _input: &InputSpec) -> Progr
                     vec![b::if_else(
                         b::and(
                             b::eq(b::rem(b::var("i"), b::var("B")), b::int(0)),
-                            b::le(b::sub(b::add(b::var("i"), b::var("B")), b::int(1)), b::var("r")),
+                            b::le(
+                                b::sub(b::add(b::var("i"), b::var("B")), b::int(1)),
+                                b::var("r"),
+                            ),
                         ),
                         vec![
                             b::expr(b::assign(
@@ -349,7 +391,12 @@ mod tests {
 
     #[test]
     fn strategies_agree_on_gcd_sums() {
-        let spec = InputSpec { n: 30, m: 12, max_value: 40, word_len: 0 };
+        let spec = InputSpec {
+            n: 30,
+            m: 12,
+            max_value: 40,
+            word_len: 0,
+        };
         let mut rng = StdRng::seed_from_u64(12);
         let toks = generate_input(&spec, &mut rng);
         let expected = ground_truth(&toks).to_string();
@@ -374,7 +421,12 @@ mod tests {
             InputTok::Int(0),
             InputTok::Int(2),
         ];
-        let spec = InputSpec { n: 3, m: 2, max_value: 20, word_len: 0 };
+        let spec = InputSpec {
+            n: 3,
+            m: 2,
+            max_value: 20,
+            word_len: 0,
+        };
         for s in 0..3 {
             let p = build(s, &Style::plain(), &spec);
             let got = run_program(&p, &toks, &CostModel::default(), &Limits::default()).unwrap();

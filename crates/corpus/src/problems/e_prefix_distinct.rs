@@ -21,9 +21,21 @@ use super::{out, read_int_array};
 
 pub(crate) fn strategies() -> Vec<Strategy> {
     vec![
-        Strategy { name: "bucket-two-pass", weight: 0.35, cost_rank: 0 },
-        Strategy { name: "scan-two-pass", weight: 0.40, cost_rank: 1 },
-        Strategy { name: "recount-per-first", weight: 0.25, cost_rank: 2 },
+        Strategy {
+            name: "bucket-two-pass",
+            weight: 0.35,
+            cost_rank: 0,
+        },
+        Strategy {
+            name: "scan-two-pass",
+            weight: 0.40,
+            cost_rank: 1,
+        },
+        Strategy {
+            name: "recount-per-first",
+            weight: 0.25,
+            cost_rank: 2,
+        },
     ]
 }
 
@@ -51,7 +63,11 @@ pub(crate) fn build(strategy: usize, style: &Style, input: &InputSpec) -> Progra
     match strategy {
         0 => {
             body.extend([
-                b::decl_ctor(Type::vec_int(), "seenSuf", vec![b::int(vmax + 1), b::int(0)]),
+                b::decl_ctor(
+                    Type::vec_int(),
+                    "seenSuf",
+                    vec![b::int(vmax + 1), b::int(0)],
+                ),
                 b::for_desc(
                     "i",
                     b::sub(b::var("n"), b::int(1)),
@@ -77,7 +93,11 @@ pub(crate) fn build(strategy: usize, style: &Style, input: &InputSpec) -> Progra
                         )),
                     ],
                 ),
-                b::decl_ctor(Type::vec_int(), "seenPre", vec![b::int(vmax + 1), b::int(0)]),
+                b::decl_ctor(
+                    Type::vec_int(),
+                    "seenPre",
+                    vec![b::int(vmax + 1), b::int(0)],
+                ),
                 b::for_i(
                     "i",
                     b::int(0),
@@ -248,8 +268,7 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for i in 0..n {
             if seen.insert(a[i]) {
-                let distinct: std::collections::HashSet<i64> =
-                    a[i + 1..].iter().copied().collect();
+                let distinct: std::collections::HashSet<i64> = a[i + 1..].iter().copied().collect();
                 ans += distinct.len() as i64;
             }
         }
@@ -258,7 +277,12 @@ mod tests {
 
     #[test]
     fn strategies_agree() {
-        let spec = InputSpec { n: 25, m: 0, max_value: 9, word_len: 0 };
+        let spec = InputSpec {
+            n: 25,
+            m: 0,
+            max_value: 9,
+            word_len: 0,
+        };
         let mut rng = StdRng::seed_from_u64(4);
         let toks = generate_input(&spec, &mut rng);
         let expected = ground_truth(&toks).to_string();
@@ -272,8 +296,19 @@ mod tests {
 
     #[test]
     fn all_equal_input() {
-        let toks = vec![InputTok::Int(4), InputTok::Int(7), InputTok::Int(7), InputTok::Int(7), InputTok::Int(7)];
-        let spec = InputSpec { n: 4, m: 0, max_value: 8, word_len: 0 };
+        let toks = vec![
+            InputTok::Int(4),
+            InputTok::Int(7),
+            InputTok::Int(7),
+            InputTok::Int(7),
+            InputTok::Int(7),
+        ];
+        let spec = InputSpec {
+            n: 4,
+            m: 0,
+            max_value: 8,
+            word_len: 0,
+        };
         for s in 0..3 {
             let p = build(s, &Style::plain(), &spec);
             let got = run_program(&p, &toks, &CostModel::default(), &Limits::default()).unwrap();

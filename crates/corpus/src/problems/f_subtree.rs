@@ -24,9 +24,21 @@ use super::out;
 
 pub(crate) fn strategies() -> Vec<Strategy> {
     vec![
-        Strategy { name: "parent-accumulate", weight: 0.30, cost_rank: 0 },
-        Strategy { name: "recursive-dfs", weight: 0.40, cost_rank: 1 },
-        Strategy { name: "per-query-walk", weight: 0.30, cost_rank: 2 },
+        Strategy {
+            name: "parent-accumulate",
+            weight: 0.30,
+            cost_rank: 0,
+        },
+        Strategy {
+            name: "recursive-dfs",
+            weight: 0.40,
+            cost_rank: 1,
+        },
+        Strategy {
+            name: "per-query-walk",
+            weight: 0.30,
+            cost_rank: 2,
+        },
     ]
 }
 
@@ -55,7 +67,11 @@ fn read_tree() -> Vec<Stmt> {
             "par",
             vec![b::add(b::var("n"), b::int(1)), b::int(0)],
         ),
-        b::decl_ctor(Type::vec_vec_int(), "g", vec![b::add(b::var("n"), b::int(1))]),
+        b::decl_ctor(
+            Type::vec_vec_int(),
+            "g",
+            vec![b::add(b::var("n"), b::int(1))],
+        ),
         b::for_i_incl(
             "i",
             b::int(2),
@@ -75,7 +91,11 @@ fn dfs_function() -> Function {
     b::func(
         Type::Int,
         "dfs",
-        vec![(Type::vec_vec_int(), "g"), (Type::vec_int(), "sz"), (Type::Int, "u")],
+        vec![
+            (Type::vec_vec_int(), "g"),
+            (Type::vec_int(), "sz"),
+            (Type::Int, "u"),
+        ],
         vec![
             b::decl(Type::Int, "s", Some(b::int(1))),
             b::for_i(
@@ -86,7 +106,11 @@ fn dfs_function() -> Function {
                     b::var("s"),
                     b::call(
                         "dfs",
-                        vec![b::var("g"), b::var("sz"), b::idx2(b::var("g"), b::var("u"), b::var("k"))],
+                        vec![
+                            b::var("g"),
+                            b::var("sz"),
+                            b::idx2(b::var("g"), b::var("u"), b::var("k")),
+                        ],
                     ),
                 ))],
             ),
@@ -104,10 +128,7 @@ pub(crate) fn build(strategy: usize, style: &Style, _input: &InputSpec) -> Progr
 
     let mut functions: Vec<Function> = Vec::new();
 
-    let mut per_query: Vec<Stmt> = vec![
-        b::decl(Type::Int, "u", None),
-        b::cin(vec![b::var("u")]),
-    ];
+    let mut per_query: Vec<Stmt> = vec![b::decl(Type::Int, "u", None), b::cin(vec![b::var("u")])];
 
     match strategy {
         0 => {
@@ -154,7 +175,11 @@ pub(crate) fn build(strategy: usize, style: &Style, _input: &InputSpec) -> Progr
                 b::while_loop(
                     b::gt(b::size_of(b::var("stk")), b::int(0)),
                     vec![
-                        b::decl(Type::Int, "v", Some(b::method(b::var("stk"), "back", vec![]))),
+                        b::decl(
+                            Type::Int,
+                            "v",
+                            Some(b::method(b::var("stk"), "back", vec![])),
+                        ),
                         b::expr(b::method(b::var("stk"), "pop_back", vec![])),
                         b::expr(b::post_inc(b::var("cnt"))),
                         b::for_i(
@@ -204,12 +229,20 @@ mod tests {
             size[p] += size[i];
         }
         let q = ints[n] as usize;
-        ints[n + 1..n + 1 + q].iter().map(|&u| size[u as usize]).sum()
+        ints[n + 1..n + 1 + q]
+            .iter()
+            .map(|&u| size[u as usize])
+            .sum()
     }
 
     #[test]
     fn strategies_agree_on_subtree_sizes() {
-        let spec = InputSpec { n: 20, m: 8, max_value: 0, word_len: 0 };
+        let spec = InputSpec {
+            n: 20,
+            m: 8,
+            max_value: 0,
+            word_len: 0,
+        };
         let mut rng = StdRng::seed_from_u64(6);
         let toks = generate_input(&spec, &mut rng);
         let expected = ground_truth(&toks).to_string();
@@ -232,7 +265,12 @@ mod tests {
             InputTok::Int(1),
             InputTok::Int(1),
         ];
-        let spec = InputSpec { n: 4, m: 1, max_value: 0, word_len: 0 };
+        let spec = InputSpec {
+            n: 4,
+            m: 1,
+            max_value: 0,
+            word_len: 0,
+        };
         for s in 0..3 {
             let p = build(s, &Style::plain(), &spec);
             let got = run_program(&p, &toks, &CostModel::default(), &Limits::default()).unwrap();

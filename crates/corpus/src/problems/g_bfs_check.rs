@@ -22,9 +22,21 @@ use super::out;
 
 pub(crate) fn strategies() -> Vec<Strategy> {
     vec![
-        Strategy { name: "position-check", weight: 0.30, cost_rank: 0 },
-        Strategy { name: "level-rescan", weight: 0.40, cost_rank: 1 },
-        Strategy { name: "pairwise", weight: 0.30, cost_rank: 2 },
+        Strategy {
+            name: "position-check",
+            weight: 0.30,
+            cost_rank: 0,
+        },
+        Strategy {
+            name: "level-rescan",
+            weight: 0.40,
+            cost_rank: 1,
+        },
+        Strategy {
+            name: "pairwise",
+            weight: 0.30,
+            cost_rank: 2,
+        },
     ]
 }
 
@@ -32,9 +44,9 @@ pub(crate) fn generate_input(input: &InputSpec, rng: &mut StdRng) -> Vec<InputTo
     let n = input.n.max(2);
     let mut toks = vec![InputTok::Int(n as i64)];
     let mut parent = vec![0usize; n + 1];
-    for i in 2..=n {
-        parent[i] = rng.random_range(1..i);
-        toks.push(InputTok::Int(parent[i] as i64));
+    for (i, p) in parent.iter_mut().enumerate().skip(2) {
+        *p = rng.random_range(1..i);
+        toks.push(InputTok::Int(*p as i64));
     }
     // Half the time emit a genuine BFS order, otherwise a random
     // permutation starting at the root (usually invalid).
@@ -99,7 +111,10 @@ fn read_all() -> Vec<Stmt> {
             b::var("n"),
             vec![b::expr(b::assign(
                 b::idx(b::var("dep"), b::var("i")),
-                b::add(b::idx(b::var("dep"), b::idx(b::var("par"), b::var("i"))), b::int(1)),
+                b::add(
+                    b::idx(b::var("dep"), b::idx(b::var("par"), b::var("i"))),
+                    b::int(1),
+                ),
             ))],
         ),
     ]
@@ -151,7 +166,10 @@ pub(crate) fn build(strategy: usize, style: &Style, _input: &InputSpec) -> Progr
                     vec![b::if_then(
                         b::lt(
                             b::idx(b::var("dep"), b::idx(b::var("seq"), b::var("i"))),
-                            b::idx(b::var("dep"), b::idx(b::var("seq"), b::sub(b::var("i"), b::int(1)))),
+                            b::idx(
+                                b::var("dep"),
+                                b::idx(b::var("seq"), b::sub(b::var("i"), b::int(1))),
+                            ),
                         ),
                         vec![b::expr(b::assign(b::var("ok"), b::int(0)))],
                     )],
@@ -168,7 +186,10 @@ pub(crate) fn build(strategy: usize, style: &Style, _input: &InputSpec) -> Progr
                     b::var("n"),
                     vec![b::expr(b::assign(
                         b::var("maxd"),
-                        b::call("max", vec![b::var("maxd"), b::idx(b::var("dep"), b::var("v"))]),
+                        b::call(
+                            "max",
+                            vec![b::var("maxd"), b::idx(b::var("dep"), b::var("v"))],
+                        ),
                     ))],
                 ),
                 // For each level, the sequence positions of that level must
@@ -303,7 +324,12 @@ mod tests {
     /// must agree on every input.
     #[test]
     fn strategies_agree() {
-        let spec = InputSpec { n: 18, m: 0, max_value: 0, word_len: 0 };
+        let spec = InputSpec {
+            n: 18,
+            m: 0,
+            max_value: 0,
+            word_len: 0,
+        };
         for seed in 0..6 {
             let mut rng = StdRng::seed_from_u64(seed);
             let toks = generate_input(&spec, &mut rng);
@@ -339,14 +365,22 @@ mod tests {
             InputTok::Int(3),
             InputTok::Int(2),
         ];
-        let spec = InputSpec { n: 3, m: 0, max_value: 0, word_len: 0 };
+        let spec = InputSpec {
+            n: 3,
+            m: 0,
+            max_value: 0,
+            word_len: 0,
+        };
         for s in 0..3 {
             let p = build(s, &Style::plain(), &spec);
             let ok = run_program(&p, &valid, &CostModel::default(), &Limits::default()).unwrap();
             assert_eq!(ok.output.trim(), "1", "strategy {s} rejected a valid BFS");
-            let bad =
-                run_program(&p, &invalid, &CostModel::default(), &Limits::default()).unwrap();
-            assert_eq!(bad.output.trim(), "0", "strategy {s} accepted an invalid BFS");
+            let bad = run_program(&p, &invalid, &CostModel::default(), &Limits::default()).unwrap();
+            assert_eq!(
+                bad.output.trim(),
+                "0",
+                "strategy {s} accepted an invalid BFS"
+            );
         }
     }
 }

@@ -24,9 +24,21 @@ pub(crate) fn strategies() -> Vec<Strategy> {
         // Under the interpreter's honest call-frame costs the memoised
         // recursion is the slowest approach: every state pays ~10 call
         // dispatches, where the bottom-up table pays plain loop iterations.
-        Strategy { name: "greedy", weight: 0.45, cost_rank: 0 },
-        Strategy { name: "memo-recursion", weight: 0.30, cost_rank: 2 },
-        Strategy { name: "dp-table", weight: 0.25, cost_rank: 1 },
+        Strategy {
+            name: "greedy",
+            weight: 0.45,
+            cost_rank: 0,
+        },
+        Strategy {
+            name: "memo-recursion",
+            weight: 0.30,
+            cost_rank: 2,
+        },
+        Strategy {
+            name: "dp-table",
+            weight: 0.25,
+            cost_rank: 1,
+        },
     ]
 }
 
@@ -54,7 +66,10 @@ fn checksum_output(style: &Style) -> Vec<Stmt> {
             b::size_of(b::var("digits")),
             vec![b::expr(b::add_assign(
                 b::var("chk"),
-                b::mul(b::idx(b::var("digits"), b::var("i")), b::add(b::var("i"), b::int(1))),
+                b::mul(
+                    b::idx(b::var("digits"), b::var("i")),
+                    b::add(b::var("i"), b::int(1)),
+                ),
             ))],
         ),
         out(b::var("chk"), style),
@@ -100,7 +115,10 @@ fn memo_function() -> Function {
             ),
             b::if_then(
                 b::ne(b::idx(b::var("memo"), b::var("key")), b::int(0)),
-                vec![b::ret(Some(b::sub(b::idx(b::var("memo"), b::var("key")), b::int(1))))],
+                vec![b::ret(Some(b::sub(
+                    b::idx(b::var("memo"), b::var("key")),
+                    b::int(1),
+                )))],
             ),
             b::decl(Type::Int, "found", Some(b::int(0))),
             b::for_i_incl(
@@ -154,7 +172,11 @@ pub(crate) fn build(strategy: usize, style: &Style, _input: &InputSpec) -> Progr
                     b::int(0),
                     b::var("m"),
                     vec![
-                        b::decl(Type::Int, "d", Some(b::call("min", vec![b::int(9), b::var("left")]))),
+                        b::decl(
+                            Type::Int,
+                            "d",
+                            Some(b::call("min", vec![b::int(9), b::var("left")])),
+                        ),
                         b::expr(b::push_back(b::var("digits"), b::var("d"))),
                         b::expr(b::sub_assign(b::var("left"), b::var("d"))),
                     ],
@@ -168,7 +190,10 @@ pub(crate) fn build(strategy: usize, style: &Style, _input: &InputSpec) -> Progr
                     Type::vec_int(),
                     "memo",
                     vec![
-                        b::mul(b::add(b::var("m"), b::int(1)), b::add(b::var("s"), b::int(1))),
+                        b::mul(
+                            b::add(b::var("m"), b::int(1)),
+                            b::add(b::var("s"), b::int(1)),
+                        ),
                         b::int(0),
                     ],
                 ),
@@ -194,7 +219,10 @@ pub(crate) fn build(strategy: usize, style: &Style, _input: &InputSpec) -> Progr
                                                 vec![
                                                     b::var("memo"),
                                                     b::var("s"),
-                                                    b::sub(b::sub(b::var("m"), b::var("i")), b::int(1)),
+                                                    b::sub(
+                                                        b::sub(b::var("m"), b::var("i")),
+                                                        b::int(1),
+                                                    ),
                                                     b::sub(b::var("left"), b::var("d")),
                                                 ],
                                             ),
@@ -231,7 +259,10 @@ pub(crate) fn build(strategy: usize, style: &Style, _input: &InputSpec) -> Progr
                         vec![b::add(b::var("s"), b::int(1))],
                     ))],
                 ),
-                b::expr(b::assign(b::idx2(b::var("dp"), b::int(0), b::int(0)), b::int(1))),
+                b::expr(b::assign(
+                    b::idx2(b::var("dp"), b::int(0), b::int(0)),
+                    b::int(1),
+                )),
                 b::for_i_incl(
                     "i",
                     b::int(1),
@@ -331,7 +362,12 @@ mod tests {
     fn strategies_agree_with_greedy_construction() {
         for (m, s) in [(2, 11), (5, 1), (6, 54), (9, 30), (3, 27)] {
             let toks = vec![InputTok::Int(m), InputTok::Int(s)];
-            let spec = InputSpec { n: 14, m: 60, max_value: 0, word_len: 0 };
+            let spec = InputSpec {
+                n: 14,
+                m: 60,
+                max_value: 0,
+                word_len: 0,
+            };
             let expected = greedy_checksum(m, s).to_string();
             for strat in 0..3 {
                 let p = build(strat, &Style::plain(), &spec);

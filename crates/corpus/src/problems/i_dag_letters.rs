@@ -24,9 +24,21 @@ use super::out;
 
 pub(crate) fn strategies() -> Vec<Strategy> {
     vec![
-        Strategy { name: "topo-dp", weight: 0.35, cost_rank: 0 },
-        Strategy { name: "memo-dfs", weight: 0.35, cost_rank: 1 },
-        Strategy { name: "edge-sweep", weight: 0.30, cost_rank: 2 },
+        Strategy {
+            name: "topo-dp",
+            weight: 0.35,
+            cost_rank: 0,
+        },
+        Strategy {
+            name: "memo-dfs",
+            weight: 0.35,
+            cost_rank: 1,
+        },
+        Strategy {
+            name: "edge-sweep",
+            weight: 0.30,
+            cost_rank: 2,
+        },
     ]
 }
 
@@ -34,8 +46,9 @@ pub(crate) fn generate_input(input: &InputSpec, rng: &mut StdRng) -> Vec<InputTo
     let n = input.n.max(3);
     let m = input.m.max(1);
     let mut toks = vec![InputTok::Int(n as i64)];
-    let word: String =
-        (0..n).map(|_| (b'a' + rng.random_range(0..3u8)) as char).collect();
+    let word: String = (0..n)
+        .map(|_| (b'a' + rng.random_range(0..3u8)) as char)
+        .collect();
     toks.push(InputTok::Str(word));
     toks.push(InputTok::Int(m as i64));
     for _ in 0..m {
@@ -62,7 +75,10 @@ fn read_graph() -> Vec<Stmt> {
             b::var("n"),
             vec![b::if_then(
                 b::eq(b::idx(b::var("w"), b::var("i")), b::char_lit('a')),
-                vec![b::expr(b::assign(b::idx(b::var("val"), b::var("i")), b::int(1)))],
+                vec![b::expr(b::assign(
+                    b::idx(b::var("val"), b::var("i")),
+                    b::int(1),
+                ))],
             )],
         ),
         b::decl(Type::Int, "m", None),
@@ -119,7 +135,10 @@ fn memo_dfs_function() -> Function {
                             ],
                         )),
                     ),
-                    b::expr(b::assign(b::var("best"), b::call("max", vec![b::var("best"), b::var("c")]))),
+                    b::expr(b::assign(
+                        b::var("best"),
+                        b::call("max", vec![b::var("best"), b::var("c")]),
+                    )),
                 ],
             ),
             b::expr(b::assign(
@@ -166,7 +185,10 @@ pub(crate) fn build(strategy: usize, style: &Style, _input: &InputSpec) -> Progr
                                     "max",
                                     vec![
                                         b::var("best"),
-                                        b::idx(b::var("dp"), b::idx2(b::var("pred"), b::var("v"), b::var("k"))),
+                                        b::idx(
+                                            b::var("dp"),
+                                            b::idx2(b::var("pred"), b::var("v"), b::var("k")),
+                                        ),
                                     ],
                                 ),
                             ))],
@@ -192,7 +214,11 @@ pub(crate) fn build(strategy: usize, style: &Style, _input: &InputSpec) -> Progr
                         b::idx(b::var("eu"), b::var("j")),
                     ))],
                 ),
-                b::decl_ctor(Type::vec_int(), "memo", vec![b::var("n"), b::neg(b::int(1))]),
+                b::decl_ctor(
+                    Type::vec_int(),
+                    "memo",
+                    vec![b::var("n"), b::neg(b::int(1))],
+                ),
                 b::decl_ctor(Type::vec_int(), "dp", vec![b::var("n"), b::int(0)]),
                 b::for_i(
                     "v",
@@ -256,7 +282,10 @@ pub(crate) fn build(strategy: usize, style: &Style, _input: &InputSpec) -> Progr
             b::var("n"),
             vec![b::expr(b::assign(
                 b::var("ans"),
-                b::call("max", vec![b::var("ans"), b::idx(b::var("dp"), b::var("v"))]),
+                b::call(
+                    "max",
+                    vec![b::var("ans"), b::idx(b::var("dp"), b::var("v"))],
+                ),
             ))],
         ),
         out(b::var("ans"), style),
@@ -281,8 +310,12 @@ mod tests {
         let InputTok::Int(m) = toks[2] else { panic!() };
         let mut pred: Vec<Vec<usize>> = vec![Vec::new(); n];
         for k in 0..m as usize {
-            let InputTok::Int(u) = toks[3 + 2 * k] else { panic!() };
-            let InputTok::Int(v) = toks[4 + 2 * k] else { panic!() };
+            let InputTok::Int(u) = toks[3 + 2 * k] else {
+                panic!()
+            };
+            let InputTok::Int(v) = toks[4 + 2 * k] else {
+                panic!()
+            };
             pred[v as usize].push(u as usize);
         }
         let mut dp = vec![0i64; n];
@@ -295,7 +328,12 @@ mod tests {
 
     #[test]
     fn strategies_agree_on_best_path() {
-        let spec = InputSpec { n: 18, m: 30, max_value: 0, word_len: 0 };
+        let spec = InputSpec {
+            n: 18,
+            m: 30,
+            max_value: 0,
+            word_len: 0,
+        };
         let mut rng = StdRng::seed_from_u64(21);
         let toks = generate_input(&spec, &mut rng);
         let expected = ground_truth(&toks).to_string();
@@ -316,7 +354,12 @@ mod tests {
             InputTok::Int(0),
             InputTok::Int(2),
         ];
-        let spec = InputSpec { n: 3, m: 1, max_value: 0, word_len: 0 };
+        let spec = InputSpec {
+            n: 3,
+            m: 1,
+            max_value: 0,
+            word_len: 0,
+        };
         for s in 0..3 {
             let p = build(s, &Style::plain(), &spec);
             let got = run_program(&p, &toks, &CostModel::default(), &Limits::default()).unwrap();

@@ -114,7 +114,13 @@ impl ProblemTag {
             ProblemTag::H => (5192, 2.0, 9.0, 29.0, 15.0),
             ProblemTag::I => (475, 2.0, 285.0, 800.0, 202.0),
         };
-        PaperStats { count, min_ms: min, median_ms: med, max_ms: max, stddev_ms: sd }
+        PaperStats {
+            count,
+            min_ms: min,
+            median_ms: med,
+            max_ms: max,
+            stddev_ms: sd,
+        }
     }
 }
 
@@ -184,15 +190,60 @@ impl ProblemSpec {
     /// runtime distribution has the same *shape* as its Table I row.
     pub fn curated(tag: ProblemTag) -> ProblemSpec {
         let input = match tag {
-            ProblemTag::A => InputSpec { n: 70, m: 0, max_value: 0, word_len: 8 },
-            ProblemTag::B => InputSpec { n: 120, m: 0, max_value: 10_000, word_len: 0 },
-            ProblemTag::C => InputSpec { n: 90, m: 0, max_value: 150, word_len: 0 },
-            ProblemTag::D => InputSpec { n: 110, m: 50, max_value: 1_000, word_len: 0 },
-            ProblemTag::E => InputSpec { n: 70, m: 0, max_value: 90, word_len: 0 },
-            ProblemTag::F => InputSpec { n: 130, m: 60, max_value: 0, word_len: 0 },
-            ProblemTag::G => InputSpec { n: 160, m: 0, max_value: 0, word_len: 0 },
-            ProblemTag::H => InputSpec { n: 24, m: 90, max_value: 0, word_len: 0 },
-            ProblemTag::I => InputSpec { n: 90, m: 200, max_value: 0, word_len: 4 },
+            ProblemTag::A => InputSpec {
+                n: 70,
+                m: 0,
+                max_value: 0,
+                word_len: 8,
+            },
+            ProblemTag::B => InputSpec {
+                n: 120,
+                m: 0,
+                max_value: 10_000,
+                word_len: 0,
+            },
+            ProblemTag::C => InputSpec {
+                n: 90,
+                m: 0,
+                max_value: 150,
+                word_len: 0,
+            },
+            ProblemTag::D => InputSpec {
+                n: 110,
+                m: 50,
+                max_value: 1_000,
+                word_len: 0,
+            },
+            ProblemTag::E => InputSpec {
+                n: 70,
+                m: 0,
+                max_value: 90,
+                word_len: 0,
+            },
+            ProblemTag::F => InputSpec {
+                n: 130,
+                m: 60,
+                max_value: 0,
+                word_len: 0,
+            },
+            ProblemTag::G => InputSpec {
+                n: 160,
+                m: 0,
+                max_value: 0,
+                word_len: 0,
+            },
+            ProblemTag::H => InputSpec {
+                n: 24,
+                m: 90,
+                max_value: 0,
+                word_len: 0,
+            },
+            ProblemTag::I => InputSpec {
+                n: 90,
+                m: 200,
+                max_value: 0,
+                word_len: 4,
+            },
         };
         ProblemSpec {
             key: ProblemKey::Curated(tag),
@@ -215,7 +266,11 @@ impl ProblemSpec {
         };
         let input = InputSpec {
             n: jitter(base.input.n, &mut rng),
-            m: if base.input.m > 0 { jitter(base.input.m, &mut rng) } else { 0 },
+            m: if base.input.m > 0 {
+                jitter(base.input.m, &mut rng)
+            } else {
+                0
+            },
             max_value: if base.input.max_value > 0 {
                 (base.input.max_value as f64 * rng.random_range(0.5..2.0)) as i64
             } else {
@@ -227,7 +282,12 @@ impl ProblemSpec {
         for s in &mut strategies {
             s.weight *= rng.random_range(0.5..2.0);
         }
-        ProblemSpec { key: ProblemKey::Mp(index), family, input, strategies }
+        ProblemSpec {
+            key: ProblemKey::Mp(index),
+            family,
+            input,
+            strategies,
+        }
     }
 
     /// Samples a strategy index according to the popularity weights.

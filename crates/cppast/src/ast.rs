@@ -215,9 +215,7 @@ impl Expr {
             }
             Expr::Ternary(c, a, b) => c.node_count() + a.node_count() + b.node_count(),
             Expr::Cast(_, a) => a.node_count(),
-            Expr::StreamIn(args) | Expr::StreamOut(args) => {
-                args.iter().map(Expr::node_count).sum()
-            }
+            Expr::StreamIn(args) | Expr::StreamOut(args) => args.iter().map(Expr::node_count).sum(),
             _ => 0,
         }
     }
@@ -320,12 +318,15 @@ impl Stmt {
                 .sum(),
             Stmt::Expr(e) => e.node_count(),
             Stmt::If { cond, then, els } => {
-                cond.node_count()
-                    + then.node_count()
-                    + els.as_ref().map_or(0, |e| e.node_count())
+                cond.node_count() + then.node_count() + els.as_ref().map_or(0, |e| e.node_count())
             }
             Stmt::While { cond, body } => cond.node_count() + body.node_count(),
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 let i = match init {
                     Some(ForInit::Decl(d)) => Stmt::Decl(d.clone()).node_count(),
                     Some(ForInit::Expr(e)) => e.node_count(),
@@ -374,7 +375,10 @@ impl Program {
 
     /// Total number of statement + expression nodes across all functions.
     pub fn node_count(&self) -> usize {
-        self.functions.iter().map(|f| f.body.iter().map(Stmt::node_count).sum::<usize>()).sum()
+        self.functions
+            .iter()
+            .map(|f| f.body.iter().map(Stmt::node_count).sum::<usize>())
+            .sum()
     }
 }
 

@@ -124,7 +124,10 @@ impl<'s> Lexer<'s> {
     /// Returns a [`LexError`] on unterminated literals/comments or
     /// unexpected characters.
     pub fn tokenize(src: &'s str) -> Result<Vec<Token>, LexError> {
-        let mut lexer = Lexer { src: src.as_bytes(), pos: 0 };
+        let mut lexer = Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        };
         let mut out = Vec::new();
         loop {
             let tok = lexer.next_token()?;
@@ -151,7 +154,10 @@ impl<'s> Lexer<'s> {
     }
 
     fn error(&self, message: impl Into<String>) -> LexError {
-        LexError { pos: self.pos, message: message.into() }
+        LexError {
+            pos: self.pos,
+            message: message.into(),
+        }
     }
 
     fn skip_trivia(&mut self) -> Result<(), LexError> {
@@ -209,7 +215,9 @@ impl<'s> Lexer<'s> {
                 while self.peek().is_ascii_alphanumeric() || self.peek() == b'_' {
                     self.pos += 1;
                 }
-                let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_string();
+                let text = std::str::from_utf8(&self.src[start..self.pos])
+                    .unwrap()
+                    .to_string();
                 TokenKind::Ident(text)
             }
             c if c.is_ascii_digit() => return self.lex_number(pos),
@@ -292,9 +300,15 @@ impl<'s> Lexer<'s> {
             self.pos += 1;
         }
         let kind = if is_float {
-            TokenKind::Float(text.parse().map_err(|_| self.error("invalid float literal"))?)
+            TokenKind::Float(
+                text.parse()
+                    .map_err(|_| self.error("invalid float literal"))?,
+            )
         } else {
-            TokenKind::Int(text.parse().map_err(|_| self.error("integer literal out of range"))?)
+            TokenKind::Int(
+                text.parse()
+                    .map_err(|_| self.error("integer literal out of range"))?,
+            )
         };
         Ok(Token { kind, pos })
     }
@@ -392,7 +406,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        Lexer::tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+        Lexer::tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -411,12 +429,18 @@ mod tests {
 
     #[test]
     fn integer_literals_with_suffixes() {
-        assert_eq!(kinds("42 1000000007LL 5u"), vec![Int(42), Int(1000000007), Int(5), Eof]);
+        assert_eq!(
+            kinds("42 1000000007LL 5u"),
+            vec![Int(42), Int(1000000007), Int(5), Eof]
+        );
     }
 
     #[test]
     fn float_literals() {
-        assert_eq!(kinds("3.5 1e9 2.5e-3"), vec![Float(3.5), Float(1e9), Float(2.5e-3), Eof]);
+        assert_eq!(
+            kinds("3.5 1e9 2.5e-3"),
+            vec![Float(3.5), Float(1e9), Float(2.5e-3), Eof]
+        );
     }
 
     #[test]
@@ -439,7 +463,9 @@ mod tests {
     fn operators_longest_match() {
         assert_eq!(
             kinds("<< >> <= >= == != && || ++ -- += -="),
-            vec![Shl, Shr, Le, Ge, Eq, Ne, AndAnd, OrOr, PlusPlus, MinusMinus, PlusEq, MinusEq, Eof]
+            vec![
+                Shl, Shr, Le, Ge, Eq, Ne, AndAnd, OrOr, PlusPlus, MinusMinus, PlusEq, MinusEq, Eof
+            ]
         );
     }
 

@@ -24,7 +24,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(err: LexError) -> ParseError {
-        ParseError { pos: err.pos, message: err.message }
+        ParseError {
+            pos: err.pos,
+            message: err.message,
+        }
     }
 }
 
@@ -46,9 +49,27 @@ impl From<LexError> for ParseError {
 /// ```
 pub fn parse_program(src: &str) -> Result<Program, ParseError> {
     let tokens = Lexer::tokenize(src)?;
-    let mut parser = Parser { tokens, ix: 0, pending_gt: 0 };
+    let mut parser = Parser {
+        tokens,
+        ix: 0,
+        pending_gt: 0,
+        depth: 0,
+    };
     parser.program()
 }
+
+/// Maximum combined statement/expression nesting the parser accepts.
+/// Real submissions nest a few dozen levels at most; the cap exists so
+/// hostile input fed to a serving process (50k parentheses on one line)
+/// yields a [`ParseError`] instead of overflowing the recursion stack —
+/// both here and in every downstream tree walk (flattening, printing).
+///
+/// Sizing: a parenthesis level costs two descents (assignment + unary)
+/// and, measured empirically, a debug build on a 2 MiB test-thread stack
+/// overflows near 170 parenthesis levels (counter ≈ 340). 128 keeps a
+/// ≥2.5× stack margin on the worst construct while being 3–4× deeper
+/// than anything the corpus generator emits.
+const MAX_NESTING: u32 = 128;
 
 struct Parser {
     tokens: Vec<Token>,
@@ -56,6 +77,8 @@ struct Parser {
     /// `vector<vector<T>>` ends in a `>>` token; when the type parser
     /// consumes half of one it records the other half here.
     pending_gt: u8,
+    /// Current statement/expression nesting, bounded by [`MAX_NESTING`].
+    depth: u32,
 }
 
 impl Parser {
@@ -81,7 +104,10 @@ impl Parser {
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
-        ParseError { pos: self.pos(), message: message.into() }
+        ParseError {
+            pos: self.pos(),
+            message: message.into(),
+        }
     }
 
     fn expect(&mut self, kind: TokenKind, what: &str) -> Result<(), ParseError> {
@@ -228,7 +254,10 @@ impl Parser {
             }
         }
         if program.functions.is_empty() {
-            return Err(ParseError { pos: 0, message: "program has no functions".into() });
+            return Err(ParseError {
+                pos: 0,
+                message: "program has no functions".into(),
+            });
         }
         Ok(program)
     }
@@ -259,12 +288,34 @@ impl Parser {
             }
             body.push(self.statement()?);
         }
-        Ok(Function { ret, name, params, body })
+        Ok(Function {
+            ret,
+            name,
+            params,
+            body,
+        })
     }
 
     // ── Statements ─────────────────────────────────────────────────────
 
+    /// Guards every recursive descent through statements and expressions:
+    /// errors out once nesting exceeds [`MAX_NESTING`].
+    fn descend(&mut self) -> Result<(), ParseError> {
+        if self.depth >= MAX_NESTING {
+            return Err(self.error(format!("nesting deeper than {MAX_NESTING} levels")));
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
     fn statement(&mut self) -> Result<Stmt, ParseError> {
+        self.descend()?;
+        let result = self.statement_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn statement_inner(&mut self) -> Result<Stmt, ParseError> {
         match self.peek().clone() {
             TokenKind::LBrace => {
                 self.bump();
@@ -398,12 +449,25 @@ impl Parser {
             self.expect(TokenKind::Semi, "';' after for-init")?;
             Some(ForInit::Expr(e))
         };
-        let cond = if self.peek() == &TokenKind::Semi { None } else { Some(self.expression()?) };
+        let cond = if self.peek() == &TokenKind::Semi {
+            None
+        } else {
+            Some(self.expression()?)
+        };
         self.expect(TokenKind::Semi, "';' after for-condition")?;
-        let step = if self.peek() == &TokenKind::RParen { None } else { Some(self.expression()?) };
+        let step = if self.peek() == &TokenKind::RParen {
+            None
+        } else {
+            Some(self.expression()?)
+        };
         self.expect(TokenKind::RParen, "')' closing for header")?;
         let body = Box::new(self.statement()?);
-        Ok(Stmt::For { init, cond, step, body })
+        Ok(Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        })
     }
 
     // ── Expressions ────────────────────────────────────────────────────
@@ -413,6 +477,13 @@ impl Parser {
     }
 
     fn assignment(&mut self) -> Result<Expr, ParseError> {
+        self.descend()?;
+        let result = self.assignment_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn assignment_inner(&mut self) -> Result<Expr, ParseError> {
         let lhs = self.ternary()?;
         let op = match self.peek() {
             TokenKind::Assign => None,
@@ -483,6 +554,13 @@ impl Parser {
     }
 
     fn unary(&mut self) -> Result<Expr, ParseError> {
+        self.descend()?;
+        let result = self.unary_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn unary_inner(&mut self) -> Result<Expr, ParseError> {
         match self.peek().clone() {
             TokenKind::Minus => {
                 self.bump();
@@ -506,12 +584,20 @@ impl Parser {
             TokenKind::PlusPlus => {
                 self.bump();
                 let target = self.unary()?;
-                Ok(Expr::IncDec { pre: true, inc: true, target: Box::new(target) })
+                Ok(Expr::IncDec {
+                    pre: true,
+                    inc: true,
+                    target: Box::new(target),
+                })
             }
             TokenKind::MinusMinus => {
                 self.bump();
                 let target = self.unary()?;
-                Ok(Expr::IncDec { pre: true, inc: false, target: Box::new(target) })
+                Ok(Expr::IncDec {
+                    pre: true,
+                    inc: false,
+                    target: Box::new(target),
+                })
             }
             // C-style cast: '(' type ')' unary
             TokenKind::LParen if self.cast_ahead() => {
@@ -526,13 +612,16 @@ impl Parser {
 
     /// Lookahead: does `(` start a cast like `(long long)` / `(double)`?
     fn cast_ahead(&self) -> bool {
-        let TokenKind::Ident(name) = self.peek_at(1) else { return false };
-        matches!(name.as_str(), "int" | "long" | "double" | "bool" | "char" | "unsigned")
-            && matches!(
-                self.peek_at(2),
-                TokenKind::RParen
-                    | TokenKind::Ident(_) // long long) / unsigned int)
-            )
+        let TokenKind::Ident(name) = self.peek_at(1) else {
+            return false;
+        };
+        matches!(
+            name.as_str(),
+            "int" | "long" | "double" | "bool" | "char" | "unsigned"
+        ) && matches!(
+            self.peek_at(2),
+            TokenKind::RParen | TokenKind::Ident(_) // long long) / unsigned int)
+        )
     }
 
     fn postfix(&mut self) -> Result<Expr, ParseError> {
@@ -554,11 +643,19 @@ impl Parser {
                 }
                 TokenKind::PlusPlus => {
                     self.bump();
-                    expr = Expr::IncDec { pre: false, inc: true, target: Box::new(expr) };
+                    expr = Expr::IncDec {
+                        pre: false,
+                        inc: true,
+                        target: Box::new(expr),
+                    };
                 }
                 TokenKind::MinusMinus => {
                     self.bump();
-                    expr = Expr::IncDec { pre: false, inc: false, target: Box::new(expr) };
+                    expr = Expr::IncDec {
+                        pre: false,
+                        inc: false,
+                        target: Box::new(expr),
+                    };
                 }
                 _ => return Ok(expr),
             }
@@ -661,6 +758,42 @@ mod tests {
     }
 
     #[test]
+    fn hostile_nesting_errors_instead_of_overflowing() {
+        // Serving feeds untrusted source into this parser: pathological
+        // nesting must surface as ParseError, never a stack overflow.
+        for src in [
+            format!(
+                "int main() {{ return {}1{}; }}",
+                "(".repeat(50_000),
+                ")".repeat(50_000)
+            ),
+            format!("int main() {{ return {}1; }}", "!".repeat(50_000)),
+            format!(
+                "int main() {} return 0; {}",
+                "{".repeat(50_000),
+                "}".repeat(50_000)
+            ),
+        ] {
+            let err = parse_program(&src).expect_err("hostile nesting accepted");
+            assert!(err.message.contains("nesting"), "{}", err.message);
+        }
+    }
+
+    #[test]
+    fn deep_but_reasonable_nesting_still_parses() {
+        // 30 levels of parentheses inside 30 nested blocks: several times
+        // deeper than any real submission, comfortably inside the cap
+        // (parens count twice — see MAX_NESTING).
+        let expr = format!("{}7{}", "(".repeat(30), ")".repeat(30));
+        let blocks = format!(
+            "int main() {} return {expr}; {}",
+            "{".repeat(30),
+            "}".repeat(30)
+        );
+        assert!(parse_program(&blocks).is_ok());
+    }
+
+    #[test]
     fn minimal_main() {
         let p = parse("int main() { return 0; }");
         assert_eq!(p.functions.len(), 1);
@@ -677,29 +810,47 @@ mod tests {
     #[test]
     fn precedence_mul_over_add() {
         let p = parse("int main() { int x = 1 + 2 * 3; return x; }");
-        let Stmt::Decl(d) = &p.functions[0].body[0] else { panic!() };
-        let Some(Init::Expr(e)) = &d.declarators[0].init else { panic!() };
+        let Stmt::Decl(d) = &p.functions[0].body[0] else {
+            panic!()
+        };
+        let Some(Init::Expr(e)) = &d.declarators[0].init else {
+            panic!()
+        };
         assert_eq!(
             *e,
-            Expr::bin(BinOp::Add, Expr::Int(1), Expr::bin(BinOp::Mul, Expr::Int(2), Expr::Int(3)))
+            Expr::bin(
+                BinOp::Add,
+                Expr::Int(1),
+                Expr::bin(BinOp::Mul, Expr::Int(2), Expr::Int(3))
+            )
         );
     }
 
     #[test]
     fn left_associativity() {
         let p = parse("int main() { int x = 10 - 4 - 3; return x; }");
-        let Stmt::Decl(d) = &p.functions[0].body[0] else { panic!() };
-        let Some(Init::Expr(e)) = &d.declarators[0].init else { panic!() };
+        let Stmt::Decl(d) = &p.functions[0].body[0] else {
+            panic!()
+        };
+        let Some(Init::Expr(e)) = &d.declarators[0].init else {
+            panic!()
+        };
         assert_eq!(
             *e,
-            Expr::bin(BinOp::Sub, Expr::bin(BinOp::Sub, Expr::Int(10), Expr::Int(4)), Expr::Int(3))
+            Expr::bin(
+                BinOp::Sub,
+                Expr::bin(BinOp::Sub, Expr::Int(10), Expr::Int(4)),
+                Expr::Int(3)
+            )
         );
     }
 
     #[test]
     fn nested_vector_shr_split() {
         let p = parse("int main() { vector<vector<long long>> g(10); return 0; }");
-        let Stmt::Decl(d) = &p.functions[0].body[0] else { panic!() };
+        let Stmt::Decl(d) = &p.functions[0].body[0] else {
+            panic!()
+        };
         assert_eq!(d.ty, Type::vec_vec_int());
         assert_eq!(d.declarators[0].init, Some(Init::Ctor(vec![Expr::Int(10)])));
     }
@@ -707,10 +858,22 @@ mod tests {
     #[test]
     fn for_loop_full_header() {
         let p = parse("int main() { for (int i = 0; i < 10; i++) { } return 0; }");
-        let Stmt::For { init, cond, step, .. } = &p.functions[0].body[0] else { panic!() };
+        let Stmt::For {
+            init, cond, step, ..
+        } = &p.functions[0].body[0]
+        else {
+            panic!()
+        };
         assert!(matches!(init, Some(ForInit::Decl(_))));
         assert!(matches!(cond, Some(Expr::Binary(BinOp::Lt, _, _))));
-        assert!(matches!(step, Some(Expr::IncDec { pre: false, inc: true, .. })));
+        assert!(matches!(
+            step,
+            Some(Expr::IncDec {
+                pre: false,
+                inc: true,
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -718,30 +881,42 @@ mod tests {
         let p = parse(
             "int main() { int i = 0; while (i < 5) { if (i % 2 == 0) i++; else i += 2; } return i; }",
         );
-        let Stmt::While { body, .. } = &p.functions[0].body[1] else { panic!() };
-        let Stmt::Block(stmts) = body.as_ref() else { panic!() };
+        let Stmt::While { body, .. } = &p.functions[0].body[1] else {
+            panic!()
+        };
+        let Stmt::Block(stmts) = body.as_ref() else {
+            panic!()
+        };
         assert!(matches!(&stmts[0], Stmt::If { els: Some(_), .. }));
     }
 
     #[test]
     fn stream_io() {
         let p = parse("int main() { int n; cin >> n; cout << n << endl; return 0; }");
-        let Stmt::Expr(Expr::StreamIn(targets)) = &p.functions[0].body[1] else { panic!() };
+        let Stmt::Expr(Expr::StreamIn(targets)) = &p.functions[0].body[1] else {
+            panic!()
+        };
         assert_eq!(targets, &vec![Expr::var("n")]);
-        let Stmt::Expr(Expr::StreamOut(values)) = &p.functions[0].body[2] else { panic!() };
+        let Stmt::Expr(Expr::StreamOut(values)) = &p.functions[0].body[2] else {
+            panic!()
+        };
         assert_eq!(values.len(), 2);
     }
 
     #[test]
     fn stream_in_indexed_target() {
         let p = parse("int main() { vector<long long> a(5); int i = 0; cin >> a[i]; return 0; }");
-        let Stmt::Expr(Expr::StreamIn(targets)) = &p.functions[0].body[2] else { panic!() };
+        let Stmt::Expr(Expr::StreamIn(targets)) = &p.functions[0].body[2] else {
+            panic!()
+        };
         assert!(matches!(&targets[0], Expr::Index(_, _)));
     }
 
     #[test]
     fn method_calls() {
-        let p = parse("int main() { vector<long long> v; v.push_back(3); long long n = v.size(); return n; }");
+        let p = parse(
+            "int main() { vector<long long> v; v.push_back(3); long long n = v.size(); return n; }",
+        );
         let Stmt::Expr(Expr::MethodCall(recv, name, args)) = &p.functions[0].body[1] else {
             panic!()
         };
@@ -757,7 +932,9 @@ mod tests {
              int main() { return add(1, 2); }",
         );
         assert_eq!(p.functions.len(), 2);
-        let Stmt::Return(Some(Expr::Call(name, args))) = &p.functions[1].body[0] else { panic!() };
+        let Stmt::Return(Some(Expr::Call(name, args))) = &p.functions[1].body[0] else {
+            panic!()
+        };
         assert_eq!(name, "add");
         assert_eq!(args.len(), 2);
     }
@@ -771,22 +948,34 @@ mod tests {
     #[test]
     fn ternary_expression() {
         let p = parse("int main() { int a = 1 < 2 ? 10 : 20; return a; }");
-        let Stmt::Decl(d) = &p.functions[0].body[0] else { panic!() };
-        assert!(matches!(d.declarators[0].init, Some(Init::Expr(Expr::Ternary(_, _, _)))));
+        let Stmt::Decl(d) = &p.functions[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            d.declarators[0].init,
+            Some(Init::Expr(Expr::Ternary(_, _, _)))
+        ));
     }
 
     #[test]
     fn cast_expression() {
         let p = parse("int main() { double x = 2.0; long long y = (long long)x; return y; }");
-        let Stmt::Decl(d) = &p.functions[0].body[1] else { panic!() };
-        assert!(matches!(d.declarators[0].init, Some(Init::Expr(Expr::Cast(Type::Int, _)))));
+        let Stmt::Decl(d) = &p.functions[0].body[1] else {
+            panic!()
+        };
+        assert!(matches!(
+            d.declarators[0].init,
+            Some(Init::Expr(Expr::Cast(Type::Int, _)))
+        ));
     }
 
     #[test]
     fn parenthesized_call_vs_cast() {
         // `(f)(x)` is not supported but `f(x)` and `(a + b) * c` must work.
         let p = parse("int main() { int a = (1 + 2) * 3; return a; }");
-        let Stmt::Decl(d) = &p.functions[0].body[0] else { panic!() };
+        let Stmt::Decl(d) = &p.functions[0].body[0] else {
+            panic!()
+        };
         let Some(Init::Expr(Expr::Binary(BinOp::Mul, _, _))) = &d.declarators[0].init else {
             panic!()
         };
@@ -795,7 +984,9 @@ mod tests {
     #[test]
     fn multi_declarator() {
         let p = parse("int main() { int a = 1, b, c = 3; return b; }");
-        let Stmt::Decl(d) = &p.functions[0].body[0] else { panic!() };
+        let Stmt::Decl(d) = &p.functions[0].body[0] else {
+            panic!()
+        };
         assert_eq!(d.declarators.len(), 3);
         assert!(d.declarators[1].init.is_none());
     }
@@ -832,7 +1023,8 @@ mod tests {
 
     #[test]
     fn compound_assignment_kinds() {
-        let p = parse("int main() { int x = 0; x += 1; x -= 2; x *= 3; x /= 4; x %= 5; return x; }");
+        let p =
+            parse("int main() { int x = 0; x += 1; x -= 2; x *= 3; x /= 4; x %= 5; return x; }");
         let ops: Vec<BinOp> = p.functions[0].body[1..6]
             .iter()
             .map(|s| match s {
@@ -840,6 +1032,9 @@ mod tests {
                 other => panic!("unexpected {other:?}"),
             })
             .collect();
-        assert_eq!(ops, vec![BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div, BinOp::Mod]);
+        assert_eq!(
+            ops,
+            vec![BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div, BinOp::Mod]
+        );
     }
 }

@@ -117,7 +117,7 @@ fn print_stmt(out: &mut String, stmt: &Stmt, level: usize) {
             indent(out, level);
             out.push_str("if (");
             print_expr(out, cond, 0);
-            out.push_str(")");
+            out.push(')');
             print_branch(out, then, level);
             if let Some(els) = els {
                 indent(out, level);
@@ -129,10 +129,15 @@ fn print_stmt(out: &mut String, stmt: &Stmt, level: usize) {
             indent(out, level);
             out.push_str("while (");
             print_expr(out, cond, 0);
-            out.push_str(")");
+            out.push(')');
             print_branch(out, body, level);
         }
-        Stmt::For { init, cond, step, body } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             indent(out, level);
             out.push_str("for (");
             match init {
@@ -397,7 +402,10 @@ mod tests {
         let printed = print_program(&p1);
         let p2 = parse_program(&printed)
             .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- printed ---\n{printed}"));
-        assert_eq!(p1.functions, p2.functions, "round-trip mismatch:\n{printed}");
+        assert_eq!(
+            p1.functions, p2.functions,
+            "round-trip mismatch:\n{printed}"
+        );
         p1
     }
 

@@ -35,7 +35,13 @@ impl AstGraph {
     /// Flattens a parsed program, keeping only function-definition subtrees
     /// under a synthetic root (the paper's ROSE pruning step).
     pub fn from_program(program: &Program) -> AstGraph {
-        let mut b = Builder { g: AstGraph { kinds: Vec::new(), children: Vec::new(), parent: Vec::new() } };
+        let mut b = Builder {
+            g: AstGraph {
+                kinds: Vec::new(),
+                children: Vec::new(),
+                parent: Vec::new(),
+            },
+        };
         let root = b.push(NodeKind::Root, u32::MAX);
         for func in &program.functions {
             b.function(func, root);
@@ -142,6 +148,42 @@ impl AstGraph {
         max
     }
 
+    /// A canonical structural hash of the tree: a pure function of node
+    /// kinds and parent/child topology, independent of how the graph was
+    /// built. Two sources that flatten to the same [`AstGraph`] (e.g.
+    /// differing only in identifier names or literal values) hash equal;
+    /// any structural difference changes the hash with overwhelming
+    /// probability.
+    ///
+    /// This is the cache key used by the serving engine's embedding cache:
+    /// encoders are pure functions of the graph, so equal hashes mean the
+    /// latent code can be reused.
+    pub fn canonical_hash(&self) -> u64 {
+        // Bottom-up Merkle-style combine (children before parents, which
+        // index order guarantees): hash(node) folds the node's kind over
+        // its children's hashes in source order.
+        const SEED: u64 = 0x9ae1_6a3b_2f90_404f;
+        fn mix(mut h: u64, v: u64) -> u64 {
+            // SplitMix64-style avalanche of the running state with `v`.
+            h ^= v
+                .wrapping_add(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(h << 6)
+                .wrapping_add(h >> 2);
+            h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            h ^ (h >> 27)
+        }
+        let n = self.node_count();
+        let mut hashes = vec![0u64; n];
+        for ix in (0..n).rev() {
+            let mut h = mix(SEED, self.kinds[ix] as u64 + 1);
+            for &c in &self.children[ix] {
+                h = mix(h, hashes[c as usize]);
+            }
+            hashes[ix] = h;
+        }
+        hashes.first().copied().unwrap_or(SEED)
+    }
+
     /// Per-kind occurrence counts (histogram over the vocabulary).
     pub fn kind_histogram(&self) -> Vec<usize> {
         let mut hist = vec![0usize; crate::vocab::VOCAB_SIZE];
@@ -237,7 +279,12 @@ impl Builder {
                 self.expr(cond, ix);
                 self.stmt(body, ix);
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 let ix = self.push(NodeKind::ForStmt, parent);
                 match init {
                     Some(ForInit::Decl(d)) => self.decl(d, ix),
@@ -439,7 +486,10 @@ mod tests {
         let g = graph("int main() { int x = 1 + 2; if (x > 1) { x++; } return x; }");
         for ix in 1..g.node_count() as u32 {
             let p = g.parent(ix);
-            assert!(g.children(p).contains(&ix), "node {ix} missing from parent {p}");
+            assert!(
+                g.children(p).contains(&ix),
+                "node {ix} missing from parent {p}"
+            );
         }
         assert_eq!(g.parent(g.root()), g.root());
     }
@@ -503,6 +553,37 @@ mod tests {
         assert_ne!(flat, nested);
         assert!(nested.node_count() > flat.node_count());
         assert!(nested.depth() > flat.depth());
+    }
+
+    #[test]
+    fn canonical_hash_ignores_names_and_values_but_sees_structure() {
+        // Same structure, different identifiers/literals → same graph,
+        // same hash.
+        let a = graph("int main() { int alpha = 3; return alpha; }");
+        let b = graph("int main() { int beta = 7; return beta; }");
+        assert_eq!(a.canonical_hash(), b.canonical_hash());
+
+        // Structural changes move the hash.
+        let c = graph("int main() { int alpha = 3; return alpha + 1; }");
+        assert_ne!(a.canonical_hash(), c.canonical_hash());
+
+        // Child order matters (it changes evaluation order).
+        let d = graph("int main() { return 1 / 2; }");
+        let e = graph("int main() { return 2 / 1; }");
+        // Literal *values* are erased, so these hash equal…
+        assert_eq!(d.canonical_hash(), e.canonical_hash());
+        // …but operator asymmetry is visible.
+        let f = graph("int main() { return 1 - (2 / 3); }");
+        let g = graph("int main() { return (1 - 2) / 3; }");
+        assert_ne!(f.canonical_hash(), g.canonical_hash());
+    }
+
+    #[test]
+    fn canonical_hash_is_stable_across_reparses() {
+        let src = "int main() { int s = 0; for (int i = 0; i < 9; i++) s += i; return s; }";
+        let h1 = graph(src).canonical_hash();
+        let h2 = graph(src).canonical_hash();
+        assert_eq!(h1, h2);
     }
 
     #[test]

@@ -49,12 +49,22 @@ pub struct GcnConfig {
 impl GcnConfig {
     /// The paper's tuned configuration: 6 layers, hidden size 117.
     pub fn paper() -> GcnConfig {
-        GcnConfig { embed_dim: 120, hidden: 117, layers: 6, activation: Activation::Relu }
+        GcnConfig {
+            embed_dim: 120,
+            hidden: 117,
+            layers: 6,
+            activation: Activation::Relu,
+        }
     }
 
     /// A small configuration for tests.
     pub fn small(hidden: usize) -> GcnConfig {
-        GcnConfig { embed_dim: hidden, hidden, layers: 2, activation: Activation::Relu }
+        GcnConfig {
+            embed_dim: hidden,
+            hidden,
+            layers: 2,
+            activation: Activation::Relu,
+        }
     }
 }
 
@@ -74,15 +84,30 @@ impl GcnEncoder {
     /// Panics if `config.layers == 0`.
     pub fn new(config: &GcnConfig, params: &mut Params, rng: &mut StdRng) -> GcnEncoder {
         assert!(config.layers > 0, "encoder needs at least one layer");
-        let embedding =
-            Embedding::new("gcn.emb", ccsa_cppast::VOCAB_SIZE, config.embed_dim, params, rng);
+        let embedding = Embedding::new(
+            "gcn.emb",
+            ccsa_cppast::VOCAB_SIZE,
+            config.embed_dim,
+            params,
+            rng,
+        );
         let mut convs = Vec::with_capacity(config.layers);
         let mut in_dim = config.embed_dim;
         for l in 0..config.layers {
-            convs.push(Linear::new(&format!("gcn.l{l}"), in_dim, config.hidden, params, rng));
+            convs.push(Linear::new(
+                &format!("gcn.l{l}"),
+                in_dim,
+                config.hidden,
+                params,
+                rng,
+            ));
             in_dim = config.hidden;
         }
-        GcnEncoder { config: config.clone(), embedding, convs }
+        GcnEncoder {
+            config: config.clone(),
+            embedding,
+            convs,
+        }
     }
 
     /// The dimensionality of the produced code vector.
@@ -97,12 +122,22 @@ impl GcnEncoder {
 
     /// Builds the normalised adjacency for an AST (cacheable per tree).
     pub fn adjacency(graph: &AstGraph) -> Arc<Adjacency> {
-        Arc::new(Adjacency::normalized_from_edges(graph.node_count(), &graph.edges()))
+        Arc::new(Adjacency::normalized_from_edges(
+            graph.node_count(),
+            &graph.edges(),
+        ))
     }
 
     /// Encodes an AST into its code vector.
     pub fn encode<'t>(&self, ctx: &Ctx<'t, '_>, graph: &AstGraph) -> Var<'t> {
         self.encode_with_adjacency(ctx, graph, GcnEncoder::adjacency(graph))
+    }
+
+    /// Batched forward entry point: encodes every graph on the same
+    /// tape/context (parameters bound once). See
+    /// [`TreeLstmEncoder::encode_batch`](crate::treelstm::TreeLstmEncoder::encode_batch).
+    pub fn encode_batch<'t>(&self, ctx: &Ctx<'t, '_>, graphs: &[&AstGraph]) -> Vec<Var<'t>> {
+        graphs.iter().map(|g| self.encode(ctx, g)).collect()
     }
 
     /// Like [`GcnEncoder::encode`] with a precomputed adjacency (avoids
@@ -113,7 +148,9 @@ impl GcnEncoder {
         graph: &AstGraph,
         adj: Arc<Adjacency>,
     ) -> Var<'t> {
-        let ids: Vec<u16> = (0..graph.node_count() as u32).map(|ix| graph.kind_id(ix)).collect();
+        let ids: Vec<u16> = (0..graph.node_count() as u32)
+            .map(|ix| graph.kind_id(ix))
+            .collect();
         let mut h = self.embedding.lookup(ctx, &ids);
         for conv in &self.convs {
             let mixed = ctx.tape.spmm(Arc::clone(&adj), h);
@@ -150,8 +187,12 @@ mod tests {
     #[test]
     fn output_is_finite_and_sized() {
         for layers in [1, 2, 6] {
-            let config =
-                GcnConfig { embed_dim: 7, hidden: 5, layers, activation: Activation::Relu };
+            let config = GcnConfig {
+                embed_dim: 7,
+                hidden: 5,
+                layers,
+                activation: Activation::Relu,
+            };
             let v = encode(&config, "int main() { return 1 + 2; }", 3);
             assert_eq!(v.len(), 5);
             assert!(v.iter().all(|x| x.is_finite()));
@@ -162,14 +203,22 @@ mod tests {
     fn distinguishes_structures() {
         let config = GcnConfig::small(6);
         let a = encode(&config, "int main() { return 0; }", 1);
-        let b = encode(&config, "int main() { while (true) { break; } return 0; }", 1);
+        let b = encode(
+            &config,
+            "int main() { while (true) { break; } return 0; }",
+            1,
+        );
         assert_ne!(a, b);
     }
 
     #[test]
     fn gradients_reach_embedding_and_all_layers() {
-        let config =
-            GcnConfig { embed_dim: 4, hidden: 4, layers: 3, activation: Activation::Relu };
+        let config = GcnConfig {
+            embed_dim: 4,
+            hidden: 4,
+            layers: 3,
+            activation: Activation::Relu,
+        };
         let mut params = Params::new();
         let mut rng = StdRng::seed_from_u64(5);
         let enc = GcnEncoder::new(&config, &mut params, &mut rng);
@@ -192,8 +241,12 @@ mod tests {
         // central differences unreliable at f32 precision for the many
         // near-zero pre-activations a freshly initialised net produces.
         let g = graph("int main() { return 1; }");
-        let config =
-            GcnConfig { embed_dim: 3, hidden: 3, layers: 2, activation: Activation::Tanh };
+        let config = GcnConfig {
+            embed_dim: 3,
+            hidden: 3,
+            layers: 2,
+            activation: Activation::Tanh,
+        };
         let mut params = Params::new();
         let mut rng = StdRng::seed_from_u64(8);
         let enc = GcnEncoder::new(&config, &mut params, &mut rng);

@@ -15,7 +15,9 @@ pub fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Tensor {
 /// Uniform initialisation in `(−bound, +bound)` — the paper initialises
 /// node embeddings randomly and lets training tune them.
 pub fn uniform(shape: ccsa_tensor::Shape, bound: f32, rng: &mut StdRng) -> Tensor {
-    let data = (0..shape.len()).map(|_| rng.random_range(-bound..bound)).collect();
+    let data = (0..shape.len())
+        .map(|_| rng.random_range(-bound..bound))
+        .collect();
     Tensor::from_vec(data, shape)
 }
 

@@ -78,7 +78,12 @@ impl Linear {
         let b = format!("{name}.b");
         params.insert(&w, init::xavier(out_dim, in_dim, rng));
         params.insert(&b, ccsa_tensor::Tensor::zeros([out_dim]));
-        Linear { w, b, in_dim, out_dim }
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Input dimensionality.
@@ -99,7 +104,8 @@ impl Linear {
     /// Applies to a batch of row vectors: `[n, in] → [n, out]`, computed as
     /// `X·Wᵀ + b` with weights stored `[out, in]`.
     pub fn forward_rows<'t>(&self, ctx: &Ctx<'t, '_>, x: Var<'t>) -> Var<'t> {
-        x.matmul_nt(ctx.param(&self.w)).add_row_broadcast(ctx.param(&self.b))
+        x.matmul_nt(ctx.param(&self.w))
+            .add_row_broadcast(ctx.param(&self.b))
     }
 }
 
@@ -154,7 +160,11 @@ mod tests {
         let x = crate::init::uniform([2, 4].into(), 1.0, &mut rng);
         let report = ccsa_tensor::grad_check(&[w, b, x], 1e-2, |_tape, vars| {
             ccsa_tensor::TapeScalar(
-                vars[2].matmul_nt(vars[0]).add_row_broadcast(vars[1]).tanh().sum(),
+                vars[2]
+                    .matmul_nt(vars[0])
+                    .add_row_broadcast(vars[1])
+                    .tanh()
+                    .sum(),
             )
         });
         assert!(report.passes(2e-2), "{report:?}");

@@ -10,7 +10,7 @@
 //!   and alternating (§IV-C, Figure 2);
 //! * [`gcn`] — the graph-convolutional baseline (§V-B);
 //! * [`optim`] — SGD and Adam with gradient clipping;
-//! * [`parallel`] — crossbeam-based data-parallel gradient accumulation
+//! * [`parallel`] — scoped-thread data-parallel gradient accumulation
 //!   (the CPU stand-in for the paper's P100).
 //!
 //! # Example

@@ -60,7 +60,15 @@ pub struct Adam {
 impl Adam {
     /// Adam with standard hyper-parameters and the given learning rate.
     pub fn new(lr: f32) -> Adam {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: HashMap::new(), v: HashMap::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: HashMap::new(),
+            v: HashMap::new(),
+        }
     }
 
     /// Number of steps taken so far.
@@ -79,8 +87,12 @@ impl Adam {
         let v_map = &mut self.v;
         params.for_each_mut(|name, tensor| {
             let Some(g) = grads.get(name) else { return };
-            let m = m_map.entry(name.to_string()).or_insert_with(|| Tensor::zeros(g.shape()));
-            let v = v_map.entry(name.to_string()).or_insert_with(|| Tensor::zeros(g.shape()));
+            let m = m_map
+                .entry(name.to_string())
+                .or_insert_with(|| Tensor::zeros(g.shape()));
+            let v = v_map
+                .entry(name.to_string())
+                .or_insert_with(|| Tensor::zeros(g.shape()));
             let mm = m.make_mut();
             let gs = g.as_slice();
             for (mi, &gi) in mm.iter_mut().zip(gs) {
@@ -137,7 +149,11 @@ mod tests {
             let g = quadratic_grad(&p);
             opt.step(&mut p, &g);
         }
-        assert!((p.get("x").as_slice()[0] - 3.0).abs() < 1e-2, "x = {:?}", p.get("x"));
+        assert!(
+            (p.get("x").as_slice()[0] - 3.0).abs() < 1e-2,
+            "x = {:?}",
+            p.get("x")
+        );
         assert_eq!(opt.steps(), 300);
     }
 

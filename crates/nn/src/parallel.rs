@@ -1,8 +1,8 @@
 //! Data-parallel gradient accumulation over CPU threads.
 //!
 //! The paper trained on a Tesla P100; our CPU stand-in shards each
-//! mini-batch across threads with crossbeam's scoped threads. Every worker
-//! builds its own tapes against the *shared, read-only* parameters
+//! mini-batch across `std::thread::scope` workers. Every worker builds its
+//! own tapes against the *shared, read-only* parameters
 //! ([`Tensor`](ccsa_tensor::Tensor) is `Arc`-backed, so this is cheap) and
 //! returns a [`GradStore`]; the shards are summed on the caller's thread.
 //! This is synchronous data parallelism — gradients are mathematically
@@ -75,11 +75,11 @@ pub fn parallel_batch<T: Sync>(
 
     let chunk = items.len().div_ceil(threads);
     let f = &f;
-    let shards: Vec<BatchResult> = crossbeam::thread::scope(|scope| {
+    let shards: Vec<BatchResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(chunk)
             .map(|shard| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut acc = BatchResult::default();
                     for item in shard {
                         acc.merge(f(item));
@@ -88,9 +88,11 @@ pub fn parallel_batch<T: Sync>(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("crossbeam scope failed");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
 
     let mut total = BatchResult::default();
     for shard in shards {
@@ -99,10 +101,40 @@ pub fn parallel_batch<T: Sync>(
     total
 }
 
+/// Order-preserving parallel map over `items` with up to `threads`
+/// workers: the inference-side sibling of [`parallel_batch`]. `f` must be
+/// a pure function of the item plus captured read-only state. With
+/// `threads <= 1` everything runs on the caller's thread.
+pub fn parallel_map<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|shard| scope.spawn(move || shard.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+}
+
 /// A reasonable worker count for this machine (logical CPUs, capped at 8 —
 /// gradient summation becomes the bottleneck beyond that).
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
 }
 
 #[cfg(test)]
@@ -113,7 +145,12 @@ mod tests {
     fn item_result(x: &f64) -> BatchResult {
         let mut grads = GradStore::new();
         grads.accumulate("w", &Tensor::from_vec(vec![*x as f32], [1]));
-        BatchResult { grads, loss: *x, correct: (*x > 0.0) as usize, count: 1 }
+        BatchResult {
+            grads,
+            loss: *x,
+            correct: (*x > 0.0) as usize,
+            count: 1,
+        }
     }
 
     #[test]
@@ -136,6 +173,17 @@ mod tests {
         assert_eq!(r.count, 0);
         assert_eq!(r.mean_loss(), 0.0);
         assert_eq!(r.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..103).collect();
+        let seq = parallel_map(&items, 1, |x| x * 3 + 1);
+        let par = parallel_map(&items, 5, |x| x * 3 + 1);
+        assert_eq!(seq, par);
+        assert_eq!(par[10], 31);
+        let empty: Vec<u64> = Vec::new();
+        assert!(parallel_map(&empty, 4, |x| *x).is_empty());
     }
 
     #[test]

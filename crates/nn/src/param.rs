@@ -84,7 +84,10 @@ impl Params {
 
     /// Iterates `(name, tensor)` pairs in registration order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Tensor)> {
-        self.names.iter().map(String::as_str).zip(self.tensors.iter())
+        self.names
+            .iter()
+            .map(String::as_str)
+            .zip(self.tensors.iter())
     }
 
     /// Parameter names in registration order.
@@ -153,10 +156,14 @@ impl GradStore {
 
     /// Global L2 norm across all gradients.
     pub fn global_norm(&self) -> f32 {
-        self.grads.values().map(|g| {
-            let n = g.norm();
-            n * n
-        }).sum::<f32>().sqrt()
+        self.grads
+            .values()
+            .map(|g| {
+                let n = g.norm();
+                n * n
+            })
+            .sum::<f32>()
+            .sqrt()
     }
 }
 
@@ -175,7 +182,11 @@ pub struct Ctx<'t, 'p> {
 impl<'t, 'p> Ctx<'t, 'p> {
     /// Creates a binding context for a forward pass.
     pub fn new(tape: &'t Tape, params: &'p Params) -> Ctx<'t, 'p> {
-        Ctx { tape, params, bound: RefCell::new(vec![None; params.len()]) }
+        Ctx {
+            tape,
+            params,
+            bound: RefCell::new(vec![None; params.len()]),
+        }
     }
 
     /// Creates a context whose parameters are *pre-bound* to the given
@@ -187,7 +198,11 @@ impl<'t, 'p> Ctx<'t, 'p> {
     /// Panics if `vars.len()` differs from the parameter count.
     pub fn with_bound(tape: &'t Tape, params: &'p Params, vars: &[Var<'t>]) -> Ctx<'t, 'p> {
         assert_eq!(vars.len(), params.len(), "one var per parameter required");
-        Ctx { tape, params, bound: RefCell::new(vars.iter().copied().map(Some).collect()) }
+        Ctx {
+            tape,
+            params,
+            bound: RefCell::new(vars.iter().copied().map(Some).collect()),
+        }
     }
 
     /// The leaf variable for parameter `name` (created on first use).

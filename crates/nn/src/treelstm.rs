@@ -118,7 +118,13 @@ struct CellParams {
 }
 
 impl CellParams {
-    fn new(prefix: &str, x_dim: usize, hidden: usize, params: &mut Params, rng: &mut StdRng) -> CellParams {
+    fn new(
+        prefix: &str,
+        x_dim: usize,
+        hidden: usize,
+        params: &mut Params,
+        rng: &mut StdRng,
+    ) -> CellParams {
         let mut reg = |gate: &str, rows: usize, cols: usize, rng: &mut StdRng| {
             let name = format!("{prefix}.{gate}");
             params.insert(&name, init::xavier(rows, cols, rng));
@@ -143,7 +149,20 @@ impl CellParams {
         let b_f = bias("b_f", 1.0);
         let b_o = bias("b_o", 0.0);
         let b_u = bias("b_u", 0.0);
-        CellParams { w_i, u_i, b_i, w_f, u_f, b_f, w_o, u_o, b_o, w_u, u_u, b_u }
+        CellParams {
+            w_i,
+            u_i,
+            b_i,
+            w_f,
+            u_f,
+            b_f,
+            w_o,
+            u_o,
+            b_o,
+            w_u,
+            u_u,
+            b_u,
+        }
     }
 
     /// Applies the child-sum cell to one node. `children` supplies the
@@ -165,13 +184,19 @@ impl CellParams {
         };
 
         let gate = |w: &str, u: &str, b: &str, against: Var<'t>| {
-            ctx.param(w).affine(x, ctx.param(b)).add(ctx.param(u).matvec(against))
+            ctx.param(w)
+                .affine(x, ctx.param(b))
+                .add(ctx.param(u).matvec(against))
         };
 
         let i = gate(&self.w_i, &self.u_i, &self.b_i, h_sum).sigmoid();
         let o = gate(&self.w_o, &self.u_o, &self.b_o, h_sum).sigmoid();
         let u_pre = gate(&self.w_u, &self.u_u, &self.b_u, h_sum);
-        let u = if sigmoid_candidate { u_pre.sigmoid() } else { u_pre.tanh() };
+        let u = if sigmoid_candidate {
+            u_pre.sigmoid()
+        } else {
+            u_pre.tanh()
+        };
 
         let mut c = i.mul(u);
         for &(h_k, c_k) in children {
@@ -184,6 +209,10 @@ impl CellParams {
 }
 
 /// A pass within one layer.
+// The variant payloads are name bundles of very different sizes; only a
+// handful of LayerKind values exist per encoder, so boxing the large
+// variant would add indirection for no measurable win.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 enum LayerKind {
     Up(CellParams),
@@ -228,8 +257,7 @@ impl TreeLstmEncoder {
                 Direction::Bi => {
                     if is_last {
                         // Final layer: upward only (classifier reads the root).
-                        let cell =
-                            CellParams::new(&format!("tree.l{l}.up"), x_dim, h, params, rng);
+                        let cell = CellParams::new(&format!("tree.l{l}.up"), x_dim, h, params, rng);
                         x_dim = h;
                         LayerKind::Up(cell)
                     } else {
@@ -255,7 +283,11 @@ impl TreeLstmEncoder {
             };
             layers.push(kind);
         }
-        TreeLstmEncoder { config: config.clone(), embedding, layers }
+        TreeLstmEncoder {
+            config: config.clone(),
+            embedding,
+            layers,
+        }
     }
 
     /// The dimensionality of the produced code vector.
@@ -266,6 +298,15 @@ impl TreeLstmEncoder {
     /// The configuration this encoder was built with.
     pub fn config(&self) -> &TreeLstmConfig {
         &self.config
+    }
+
+    /// Batched forward entry point: encodes every graph on the *same*
+    /// tape/context, so parameters are bound once and downstream consumers
+    /// (classifier heads, serving engines) can combine the resulting codes
+    /// without re-binding. This is the serving hot path — per-call tape
+    /// and binding overhead is amortised over the whole mini-batch.
+    pub fn encode_batch<'t>(&self, ctx: &Ctx<'t, '_>, graphs: &[&AstGraph]) -> Vec<Var<'t>> {
+        graphs.iter().map(|g| self.encode(ctx, g)).collect()
     }
 
     /// Encodes an AST into its code vector (the root hidden state of the
@@ -333,7 +374,10 @@ impl TreeLstmEncoder {
             hs[ix as usize] = Some(h);
             cs[ix as usize] = Some(c);
         }
-        (hs.into_iter().map(Option::unwrap).collect(), cs.into_iter().map(Option::unwrap).collect())
+        (
+            hs.into_iter().map(Option::unwrap).collect(),
+            cs.into_iter().map(Option::unwrap).collect(),
+        )
     }
 
     /// Root-to-leaf pass: each node aggregates its parent's state.
@@ -401,8 +445,14 @@ mod tests {
                 };
                 let v = encode_with(&config, "int main() { return 1 + 2 * 3; }", 7);
                 assert_eq!(v.len(), 5, "{direction} {layers}-layer");
-                assert!(v.iter().all(|x| x.is_finite()), "{direction} {layers}-layer: {v:?}");
-                assert!(v.iter().any(|&x| x != 0.0), "{direction} {layers}-layer all-zero");
+                assert!(
+                    v.iter().all(|x| x.is_finite()),
+                    "{direction} {layers}-layer: {v:?}"
+                );
+                assert!(
+                    v.iter().any(|&x| x != 0.0),
+                    "{direction} {layers}-layer all-zero"
+                );
             }
         }
     }
@@ -437,7 +487,10 @@ mod tests {
             5,
         );
         for (x, y) in a.iter().zip(&b) {
-            assert!((x - y).abs() < 1e-5, "child-sum must be order invariant: {a:?} vs {b:?}");
+            assert!(
+                (x - y).abs() < 1e-5,
+                "child-sum must be order invariant: {a:?} vs {b:?}"
+            );
         }
     }
 
@@ -482,7 +535,10 @@ mod tests {
             let ctx = Ctx::with_bound(tape, &params, vars);
             ccsa_tensor::TapeScalar(enc.encode(&ctx, &g).tanh().sum())
         });
-        assert!(report.passes(3e-2), "tree-LSTM gradient check failed: {report:?}");
+        assert!(
+            report.passes(3e-2),
+            "tree-LSTM gradient check failed: {report:?}"
+        );
     }
 
     #[test]
@@ -499,7 +555,11 @@ mod tests {
             sigmoid_candidate: false,
         };
         let a = encode_with(&config, "int main() { return 1; } int f() { return 2; }", 9);
-        let b = encode_with(&config, "int main() { return 1; } int f() { return 2 + 3; }", 9);
+        let b = encode_with(
+            &config,
+            "int main() { return 1; } int f() { return 2 + 3; }",
+            9,
+        );
         assert_ne!(a, b);
     }
 

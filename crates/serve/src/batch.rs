@@ -1,0 +1,513 @@
+//! Micro-batching encode queue over a persistent worker pool.
+//!
+//! Serving's hot cost is the encoder forward pass. Rather than encoding
+//! each request's trees ad hoc on the caller's thread, every pending tree
+//! becomes a job in a shared queue; workers drain the queue in *batches*
+//! (up to [`BatchConfig::max_batch`] consecutive jobs for the same model)
+//! and run one batched forward pass per batch via
+//! [`Comparator::encode_codes`](ccsa_model::comparator::Comparator::encode_codes),
+//! which binds model parameters to a single tape for the whole batch.
+//!
+//! The effect: per-pass setup cost is amortised across the batch, trees
+//! from *different* concurrent requests coalesce into shared passes, and
+//! a K-candidate ranking request fans its K encodes out across the pool
+//! instead of encoding serially.
+//!
+//! Results return to callers over per-request channels, so a caller
+//! blocks only on its own trees, never on the whole queue.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use ccsa_cppast::AstGraph;
+use ccsa_tensor::Tensor;
+
+use crate::registry::ServeModel;
+
+/// Worker-pool shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Encoder worker threads.
+    pub workers: usize,
+    /// Maximum trees fused into one forward pass.
+    pub max_batch: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig {
+            workers: ccsa_nn::parallel::default_threads(),
+            max_batch: 16,
+        }
+    }
+}
+
+/// Pool observability counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Forward passes executed.
+    pub batches: u64,
+    /// Trees encoded.
+    pub jobs: u64,
+}
+
+impl BatchStats {
+    /// Mean trees per forward pass (0 when idle).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.jobs as f64 / self.batches as f64
+        }
+    }
+}
+
+struct Job {
+    model: Arc<ServeModel>,
+    graph: Arc<AstGraph>,
+    index: usize,
+    tx: mpsc::Sender<(usize, Result<Tensor, String>)>,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    available: Condvar,
+    batches: AtomicU64,
+    jobs: AtomicU64,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// The persistent encoder worker pool.
+pub struct EncodePool {
+    shared: Arc<Shared>,
+    max_batch: usize,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl EncodePool {
+    /// Spawns `config.workers` threads (at least one).
+    pub fn new(config: &BatchConfig) -> EncodePool {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            batches: AtomicU64::new(0),
+            jobs: AtomicU64::new(0),
+        });
+        let max_batch = config.max_batch.max(1);
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ccsa-encode-{i}"))
+                    .spawn(move || worker_loop(&shared, max_batch))
+                    .expect("failed to spawn encode worker")
+            })
+            .collect();
+        EncodePool {
+            shared,
+            max_batch,
+            workers,
+        }
+    }
+
+    /// Worker count.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The batch-size cap.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> BatchStats {
+        BatchStats {
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            jobs: self.shared.jobs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Encodes `graphs` under `model`, blocking until every latent code is
+    /// ready. Results come back in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError`] when the encoder panicked on this batch
+    /// (e.g. a corrupt model whose parameter shapes do not match its
+    /// architecture). The pool survives: the panic is caught in the
+    /// worker, every affected caller gets the error, and subsequent
+    /// requests are served normally.
+    pub fn encode(
+        &self,
+        model: &Arc<ServeModel>,
+        graphs: &[Arc<AstGraph>],
+    ) -> Result<Vec<Tensor>, EncodeError> {
+        if graphs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut state = self.shared.queue.lock().expect("encode queue poisoned");
+            assert!(!state.shutdown, "encode pool already shut down");
+            for (index, graph) in graphs.iter().enumerate() {
+                state.jobs.push_back(Job {
+                    model: Arc::clone(model),
+                    graph: Arc::clone(graph),
+                    index,
+                    tx: tx.clone(),
+                });
+            }
+        }
+        self.shared.available.notify_all();
+        drop(tx); // workers hold the only remaining senders
+
+        let mut codes: Vec<Option<Tensor>> = vec![None; graphs.len()];
+        let mut received = 0;
+        while received < graphs.len() {
+            let (index, code) = rx.recv().map_err(|_| {
+                EncodeError("encode worker exited before delivering results".into())
+            })?;
+            let code = code.map_err(EncodeError)?;
+            debug_assert!(codes[index].is_none(), "duplicate result for job {index}");
+            codes[index] = Some(code);
+            received += 1;
+        }
+        Ok(codes
+            .into_iter()
+            .map(|c| c.expect("missing result slot"))
+            .collect())
+    }
+}
+
+/// An encoder forward pass failed (panicked) in the worker pool.
+#[derive(Debug, Clone)]
+pub struct EncodeError(pub String);
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "encoder failure: {}", self.0)
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+impl Drop for EncodePool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.queue.lock().expect("encode queue poisoned");
+            state.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, max_batch: usize) {
+    loop {
+        let batch = {
+            let mut state = shared.queue.lock().expect("encode queue poisoned");
+            loop {
+                if !state.jobs.is_empty() {
+                    break;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.available.wait(state).expect("encode queue poisoned");
+            }
+            // Micro-batch: the front job plus consecutive jobs for the
+            // *same* model instance (one parameter set per forward pass).
+            let first = state.jobs.pop_front().expect("checked non-empty");
+            let mut batch = vec![first];
+            while batch.len() < max_batch {
+                let same_model = state
+                    .jobs
+                    .front()
+                    .is_some_and(|next| Arc::ptr_eq(&next.model, &batch[0].model));
+                if !same_model {
+                    break;
+                }
+                batch.push(state.jobs.pop_front().expect("checked non-empty"));
+            }
+            batch
+        };
+
+        let model = &batch[0].model.model;
+        let graphs: Vec<&AstGraph> = batch.iter().map(|job| job.graph.as_ref()).collect();
+        // A panicking forward pass (corrupt model, shape mismatch) must
+        // not kill the worker: catch it, fail this batch's callers with a
+        // message, keep serving. Encoders are pure functions of
+        // (params, graph), so no shared state can be left inconsistent.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            model.comparator.encode_codes(&model.params, &graphs)
+        }));
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        shared.jobs.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        match outcome {
+            Ok(codes) => {
+                for (job, code) in batch.into_iter().zip(codes) {
+                    // A disappeared caller is not an error; drop its result.
+                    let _ = job.tx.send((job.index, Ok(code)));
+                }
+            }
+            Err(panic) => {
+                // `&*panic`: downcast the payload, not the Box around it.
+                let message = panic_message(&*panic);
+                for job in batch {
+                    let _ = job.tx.send((job.index, Err(message.clone())));
+                }
+            }
+        }
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "encoder panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ModelRegistry;
+    use ccsa_cppast::parse_program;
+    use ccsa_model::comparator::{Comparator, EncoderConfig};
+    use ccsa_model::pipeline::TrainedModel;
+    use ccsa_nn::param::Params;
+    use ccsa_nn::treelstm::{Direction, TreeLstmConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_serve_model(seed: u64) -> Arc<ServeModel> {
+        let config = EncoderConfig::TreeLstm(TreeLstmConfig {
+            embed_dim: 6,
+            hidden: 6,
+            layers: 1,
+            direction: Direction::Uni,
+            sigmoid_candidate: false,
+        });
+        let mut params = Params::new();
+        let comparator = Comparator::new(&config, &mut params, &mut StdRng::seed_from_u64(seed));
+        let mut reg = ModelRegistry::new();
+        reg.register("t", 1, TrainedModel { comparator, params });
+        reg.resolve(&crate::registry::ModelSelector {
+            name: Some("t".into()),
+            version: None,
+        })
+        .unwrap()
+    }
+
+    fn graph(src: &str) -> Arc<AstGraph> {
+        Arc::new(AstGraph::from_program(&parse_program(src).unwrap()))
+    }
+
+    fn sample_graphs(n: usize) -> Vec<Arc<AstGraph>> {
+        (0..n)
+            .map(|i| {
+                let mut body = String::from("int s = 0;");
+                for k in 0..(i % 4) {
+                    body.push_str(&format!(
+                        " for (int i{k} = 0; i{k} < {}; i{k}++) s += i{k};",
+                        k + 2
+                    ));
+                }
+                graph(&format!("int main() {{ {body} return s; }}"))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pool_matches_direct_encoding_in_order() {
+        let model = tiny_serve_model(1);
+        let graphs = sample_graphs(9);
+        let pool = EncodePool::new(&BatchConfig {
+            workers: 3,
+            max_batch: 4,
+        });
+        let pooled = pool.encode(&model, &graphs).unwrap();
+
+        let refs: Vec<&AstGraph> = graphs.iter().map(|g| g.as_ref()).collect();
+        let direct = model
+            .model
+            .comparator
+            .encode_codes(&model.model.params, &refs);
+        assert_eq!(pooled.len(), direct.len());
+        for (p, d) in pooled.iter().zip(&direct) {
+            assert_eq!(
+                p.as_slice(),
+                d.as_slice(),
+                "pooled encode diverged from direct"
+            );
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.jobs, 9);
+        assert!(
+            stats.batches >= 1,
+            "at least one forward pass must have run"
+        );
+        assert!(stats.mean_batch_size() >= 1.0);
+    }
+
+    #[test]
+    fn concurrent_callers_share_the_pool() {
+        let model = tiny_serve_model(2);
+        let pool = Arc::new(EncodePool::new(&BatchConfig {
+            workers: 2,
+            max_batch: 8,
+        }));
+        let graphs = sample_graphs(6);
+        let refs: Vec<&AstGraph> = graphs.iter().map(|g| g.as_ref()).collect();
+        let direct = model
+            .model
+            .comparator
+            .encode_codes(&model.model.params, &refs);
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let pool = Arc::clone(&pool);
+                    let model = Arc::clone(&model);
+                    let graphs = graphs.clone();
+                    scope.spawn(move || pool.encode(&model, &graphs).unwrap())
+                })
+                .collect();
+            for handle in handles {
+                let got = handle.join().unwrap();
+                for (g, d) in got.iter().zip(&direct) {
+                    assert_eq!(g.as_slice(), d.as_slice());
+                }
+            }
+        });
+        assert_eq!(pool.stats().jobs, 24);
+    }
+
+    #[test]
+    fn batches_never_mix_models() {
+        // Two distinct models queued interleaved: every result must match
+        // its own model's direct encoding.
+        let m1 = tiny_serve_model(3);
+        let m2 = tiny_serve_model(4);
+        let graphs = sample_graphs(5);
+        let refs: Vec<&AstGraph> = graphs.iter().map(|g| g.as_ref()).collect();
+        let d1 = m1.model.comparator.encode_codes(&m1.model.params, &refs);
+        let d2 = m2.model.comparator.encode_codes(&m2.model.params, &refs);
+        // Sanity: the two models disagree, otherwise the test is vacuous.
+        assert_ne!(d1[0].as_slice(), d2[0].as_slice());
+
+        let pool = Arc::new(EncodePool::new(&BatchConfig {
+            workers: 2,
+            max_batch: 16,
+        }));
+        std::thread::scope(|scope| {
+            let p1 = Arc::clone(&pool);
+            let g1 = graphs.clone();
+            let h1 = scope.spawn(move || p1.encode(&m1, &g1).unwrap());
+            let p2 = Arc::clone(&pool);
+            let g2 = graphs.clone();
+            let h2 = scope.spawn(move || p2.encode(&m2, &g2).unwrap());
+            let r1 = h1.join().unwrap();
+            let r2 = h2.join().unwrap();
+            for (g, d) in r1.iter().zip(&d1) {
+                assert_eq!(g.as_slice(), d.as_slice());
+            }
+            for (g, d) in r2.iter().zip(&d2) {
+                assert_eq!(g.as_slice(), d.as_slice());
+            }
+        });
+    }
+
+    #[test]
+    fn empty_request_returns_immediately() {
+        let model = tiny_serve_model(5);
+        let pool = EncodePool::new(&BatchConfig {
+            workers: 1,
+            max_batch: 4,
+        });
+        assert!(pool.encode(&model, &[]).unwrap().is_empty());
+        assert_eq!(pool.stats().jobs, 0);
+    }
+
+    #[test]
+    fn max_batch_caps_forward_pass_size() {
+        let model = tiny_serve_model(6);
+        let graphs = sample_graphs(10);
+        // One worker, cap 3 → at least ceil(10/3) = 4 passes.
+        let pool = EncodePool::new(&BatchConfig {
+            workers: 1,
+            max_batch: 3,
+        });
+        let _ = pool.encode(&model, &graphs).unwrap();
+        let stats = pool.stats();
+        assert_eq!(stats.jobs, 10);
+        assert!(
+            stats.batches >= 4,
+            "batches {} under a cap of 3",
+            stats.batches
+        );
+        assert!(stats.mean_batch_size() <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn encoder_panic_fails_the_request_but_not_the_pool() {
+        // A model whose weights do not match its architecture makes the
+        // forward pass panic. With a single worker this must surface as
+        // EncodeError on the calling side — not hang the caller, and not
+        // leave the pool dead for subsequent well-formed requests.
+        let config = EncoderConfig::TreeLstm(TreeLstmConfig {
+            embed_dim: 6,
+            hidden: 6,
+            layers: 1,
+            direction: Direction::Uni,
+            sigmoid_candidate: false,
+        });
+        let mut scratch = Params::new();
+        let comparator = Comparator::new(&config, &mut scratch, &mut StdRng::seed_from_u64(1));
+        // Pair the comparator with an EMPTY parameter store: every
+        // ctx.param() lookup panics inside the encoder.
+        let corrupt = TrainedModel {
+            comparator,
+            params: Params::new(),
+        };
+        let mut reg = ModelRegistry::new();
+        reg.register("corrupt", 1, corrupt);
+        let corrupt = reg
+            .resolve(&crate::registry::ModelSelector {
+                name: Some("corrupt".into()),
+                version: None,
+            })
+            .unwrap();
+
+        let pool = EncodePool::new(&BatchConfig {
+            workers: 1,
+            max_batch: 2,
+        });
+        let graphs = sample_graphs(5);
+        let err = pool.encode(&corrupt, &graphs).unwrap_err();
+        assert!(
+            err.0.contains("unknown parameter"),
+            "panic payload should surface: {err}"
+        );
+
+        // The single worker survived: a healthy model still encodes.
+        let healthy = tiny_serve_model(9);
+        let codes = pool.encode(&healthy, &graphs).unwrap();
+        assert_eq!(codes.len(), 5);
+    }
+}

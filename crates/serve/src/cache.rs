@@ -1,0 +1,298 @@
+//! The embedding cache: an O(1) LRU keyed by canonical AST hash.
+//!
+//! Encoders are pure functions of the [`AstGraph`](ccsa_cppast::AstGraph),
+//! and [`AstGraph::canonical_hash`](ccsa_cppast::AstGraph::canonical_hash)
+//! is a pure function of the graph — so a cached latent code can be
+//! reused for *any* resubmission of structurally identical source (same
+//! code re-scored against a new candidate, identifier renames, literal
+//! tweaks). On a hit, serving skips the tree-LSTM/GCN encoder entirely
+//! and only the 2·d-weight classifier head runs.
+//!
+//! Implementation: a slab of entries threaded onto an intrusive
+//! doubly-linked recency list, plus a `HashMap` from key to slab index.
+//! `get`, `insert` and eviction are all O(1).
+
+use std::collections::HashMap;
+
+use ccsa_tensor::Tensor;
+
+const NIL: usize = usize::MAX;
+
+struct Entry {
+    key: u64,
+    code: Tensor,
+    prev: usize,
+    next: usize,
+}
+
+/// Cache observability counters (monotonic; snapshot via
+/// [`EmbeddingCache::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a code.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A least-recently-used map from canonical AST hash to latent code.
+pub struct EmbeddingCache {
+    capacity: usize,
+    map: HashMap<u64, usize>,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    stats: CacheStats,
+}
+
+impl EmbeddingCache {
+    /// A cache holding at most `capacity` codes. Capacity 0 disables
+    /// caching (every lookup misses, nothing is stored).
+    pub fn new(capacity: usize) -> EmbeddingCache {
+        EmbeddingCache {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of cached codes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drops every entry (counters are preserved — they are monotonic
+    /// telemetry, not contents).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Looks a code up, promoting the entry to most-recently-used.
+    pub fn get(&mut self, key: u64) -> Option<Tensor> {
+        match self.map.get(&key).copied() {
+            Some(ix) => {
+                self.stats.hits += 1;
+                self.detach(ix);
+                self.attach_front(ix);
+                Some(self.slab[ix].code.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peeks without touching recency or counters (used by tests and
+    /// diagnostics).
+    pub fn peek(&self, key: u64) -> Option<&Tensor> {
+        self.map.get(&key).map(|&ix| &self.slab[ix].code)
+    }
+
+    /// Inserts (or refreshes) a code, evicting the least-recently-used
+    /// entry if the cache is at capacity.
+    pub fn insert(&mut self, key: u64, code: Tensor) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&ix) = self.map.get(&key) {
+            // Refresh: replace payload, promote.
+            self.slab[ix].code = code;
+            self.detach(ix);
+            self.attach_front(ix);
+            return;
+        }
+        if self.map.len() == self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.detach(lru);
+            self.map.remove(&self.slab[lru].key);
+            self.free.push(lru);
+            self.stats.evictions += 1;
+        }
+        let ix = match self.free.pop() {
+            Some(ix) => {
+                self.slab[ix] = Entry {
+                    key,
+                    code,
+                    prev: NIL,
+                    next: NIL,
+                };
+                ix
+            }
+            None => {
+                self.slab.push(Entry {
+                    key,
+                    code,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, ix);
+        self.attach_front(ix);
+        self.stats.insertions += 1;
+    }
+
+    /// Keys from most- to least-recently used (diagnostics).
+    pub fn recency_keys(&self) -> Vec<u64> {
+        let mut keys = Vec::with_capacity(self.map.len());
+        let mut ix = self.head;
+        while ix != NIL {
+            keys.push(self.slab[ix].key);
+            ix = self.slab[ix].next;
+        }
+        keys
+    }
+
+    fn detach(&mut self, ix: usize) {
+        let (prev, next) = (self.slab[ix].prev, self.slab[ix].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else if self.head == ix {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else if self.tail == ix {
+            self.tail = prev;
+        }
+        self.slab[ix].prev = NIL;
+        self.slab[ix].next = NIL;
+    }
+
+    fn attach_front(&mut self, ix: usize) {
+        self.slab[ix].prev = NIL;
+        self.slab[ix].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = ix;
+        }
+        self.head = ix;
+        if self.tail == NIL {
+            self.tail = ix;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(v: f32) -> Tensor {
+        Tensor::from_vec(vec![v, v + 1.0], [2])
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let mut c = EmbeddingCache::new(4);
+        assert!(c.get(1).is_none());
+        c.insert(1, code(1.0));
+        assert_eq!(c.get(1).unwrap().as_slice(), &[1.0, 2.0]);
+        assert!(c.get(2).is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions, s.evictions), (1, 2, 1, 0));
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_at_capacity() {
+        let mut c = EmbeddingCache::new(3);
+        c.insert(1, code(1.0));
+        c.insert(2, code(2.0));
+        c.insert(3, code(3.0));
+        assert_eq!(c.len(), 3);
+        // Touch 1 so 2 becomes the LRU.
+        assert!(c.get(1).is_some());
+        c.insert(4, code(4.0));
+        assert_eq!(c.len(), 3, "capacity must hold");
+        assert!(c.peek(2).is_none(), "LRU entry 2 should have been evicted");
+        assert!(c.peek(1).is_some() && c.peek(3).is_some() && c.peek(4).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.recency_keys(), vec![4, 1, 3]);
+    }
+
+    #[test]
+    fn sustained_pressure_keeps_len_at_capacity() {
+        let mut c = EmbeddingCache::new(8);
+        for k in 0..1000u64 {
+            c.insert(k, code(k as f32));
+            assert!(c.len() <= 8);
+        }
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.stats().evictions, 992);
+        // The survivors are exactly the 8 most recent keys.
+        for k in 992..1000 {
+            assert!(c.peek(k).is_some());
+        }
+    }
+
+    #[test]
+    fn refresh_updates_payload_without_growth() {
+        let mut c = EmbeddingCache::new(2);
+        c.insert(7, code(1.0));
+        c.insert(7, code(9.0));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(7).unwrap().as_slice(), &[9.0, 10.0]);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let mut c = EmbeddingCache::new(0);
+        c.insert(1, code(1.0));
+        assert!(c.is_empty());
+        assert!(c.get(1).is_none());
+    }
+
+    #[test]
+    fn clear_preserves_telemetry() {
+        let mut c = EmbeddingCache::new(2);
+        c.insert(1, code(1.0));
+        let _ = c.get(1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().hits, 1);
+        c.insert(2, code(2.0));
+        assert_eq!(c.get(2).unwrap().as_slice(), &[2.0, 3.0]);
+    }
+}

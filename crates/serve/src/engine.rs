@@ -1,0 +1,761 @@
+//! The serving engine: parse → cache → micro-batch encode → classify.
+//!
+//! [`ServeEngine`] is the in-process front door. One request travels:
+//!
+//! 1. **Parse** each mini-C++ source through [`ccsa_cppast`] and flatten
+//!    to an [`AstGraph`]; structurally identical sources (by
+//!    [`AstGraph::canonical_hash`]) collapse into one unit of work.
+//! 2. **Cache** lookup in the LRU embedding cache, keyed by
+//!    `(model, canonical hash)`. Hits skip the encoder entirely.
+//! 3. **Encode** the misses through the shared [`EncodePool`] — pending
+//!    trees from all in-flight requests coalesce into batched forward
+//!    passes.
+//! 4. **Classify** on the caller's thread: the 2·d classifier head over
+//!    cached/fresh latent codes produces the slower-probability for every
+//!    requested pair, or the full round-robin matrix for a ranking.
+//!
+//! Concurrency: the cache lock is held only around lookups/inserts, never
+//! across encoding. Two racing requests may both encode the same fresh
+//! tree — duplicated work, never wrong results (encoders are pure).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ccsa_cppast::{parse_program, AstGraph, ParseError};
+use ccsa_tensor::Tensor;
+
+use crate::batch::{BatchConfig, BatchStats, EncodeError, EncodePool};
+use crate::cache::{CacheStats, EmbeddingCache};
+use crate::rank::{rank_from_matrix, RankedCandidate};
+use crate::registry::{ModelRegistry, ModelSelector, RegistryError, ServeModel, DEFAULT_MODEL};
+
+/// Engine construction settings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// LRU capacity in latent codes (0 disables caching).
+    pub cache_capacity: usize,
+    /// Worker-pool shape.
+    pub batch: BatchConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            cache_capacity: 4096,
+            batch: BatchConfig::default(),
+        }
+    }
+}
+
+/// The most candidates one ranking request may carry. Ranking is
+/// O(K²) in classifier passes and matrix memory, and the request line
+/// arrives from untrusted input — the cap keeps one request bounded the
+/// same way the JSON/parser nesting caps do. 256 candidates is ~32k head
+/// passes, far beyond any realistic "which of my solutions is fastest"
+/// call.
+pub const MAX_RANK_CANDIDATES: usize = 256;
+
+/// Serving failures.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A submitted source failed to parse; the index identifies which
+    /// input (0-based; for compare, 0 = first, 1 = second).
+    Parse(usize, ParseError),
+    /// Model resolution failed.
+    Registry(RegistryError),
+    /// A ranking request needs at least two candidates.
+    TooFewCandidates(usize),
+    /// A ranking request exceeded [`MAX_RANK_CANDIDATES`].
+    TooManyCandidates(usize),
+    /// The encoder failed (panicked) in the worker pool — typically a
+    /// corrupt model artefact.
+    Encode(EncodeError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Parse(ix, e) => write!(f, "candidate {ix} failed to parse: {e}"),
+            ServeError::Registry(e) => write!(f, "{e}"),
+            ServeError::TooFewCandidates(n) => {
+                write!(f, "ranking needs at least 2 candidates, got {n}")
+            }
+            ServeError::TooManyCandidates(n) => {
+                write!(
+                    f,
+                    "ranking accepts at most {MAX_RANK_CANDIDATES} candidates, got {n}"
+                )
+            }
+            ServeError::Encode(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<RegistryError> for ServeError {
+    fn from(e: RegistryError) -> ServeError {
+        ServeError::Registry(e)
+    }
+}
+
+impl From<EncodeError> for ServeError {
+    fn from(e: EncodeError) -> ServeError {
+        ServeError::Encode(e)
+    }
+}
+
+/// The verdict for one compared pair.
+#[derive(Debug, Clone)]
+pub struct CompareOutcome {
+    /// Model probability that the *first* program is the slower one.
+    pub prob_first_slower: f32,
+    /// Resolved model name.
+    pub model: String,
+    /// Resolved model version.
+    pub version: u32,
+    /// How many of the pair's trees came from the embedding cache (0–2).
+    pub cache_hits: usize,
+}
+
+impl CompareOutcome {
+    /// `true` when the model believes the first program is the slower one.
+    pub fn first_is_slower(&self) -> bool {
+        self.prob_first_slower >= 0.5
+    }
+}
+
+/// The result of ranking K candidates.
+#[derive(Debug, Clone)]
+pub struct RankOutcome {
+    /// Candidates ordered fastest-first.
+    pub ranking: Vec<RankedCandidate>,
+    /// Resolved model name.
+    pub model: String,
+    /// Resolved model version.
+    pub version: u32,
+    /// Candidates served from the embedding cache.
+    pub cache_hits: usize,
+    /// Distinct trees encoded fresh for this request (duplicated
+    /// candidates collapse into one encode).
+    pub encoded: usize,
+}
+
+/// Engine-level counters plus component snapshots.
+#[derive(Debug, Clone)]
+pub struct EngineStats {
+    /// Compare pairs scored (each pair counts once).
+    pub compares: u64,
+    /// Ranking requests served.
+    pub rankings: u64,
+    /// Sources parsed.
+    pub parses: u64,
+    /// Sources rejected by the parser.
+    pub parse_failures: u64,
+    /// Embedding-cache counters.
+    pub cache: CacheStats,
+    /// Cached codes currently held.
+    pub cache_len: usize,
+    /// Worker-pool counters.
+    pub batch: BatchStats,
+    /// Registered models: `(name, versions)`.
+    pub models: Vec<(String, Vec<u32>)>,
+}
+
+/// The in-process serving engine.
+pub struct ServeEngine {
+    registry: Mutex<ModelRegistry>,
+    cache: Mutex<EmbeddingCache>,
+    pool: EncodePool,
+    compares: AtomicU64,
+    rankings: AtomicU64,
+    parses: AtomicU64,
+    parse_failures: AtomicU64,
+}
+
+impl ServeEngine {
+    /// Builds an engine around an existing registry.
+    pub fn new(registry: ModelRegistry, config: &ServeConfig) -> ServeEngine {
+        ServeEngine {
+            registry: Mutex::new(registry),
+            cache: Mutex::new(EmbeddingCache::new(config.cache_capacity)),
+            pool: EncodePool::new(&config.batch),
+            compares: AtomicU64::new(0),
+            rankings: AtomicU64::new(0),
+            parses: AtomicU64::new(0),
+            parse_failures: AtomicU64::new(0),
+        }
+    }
+
+    /// Convenience: an engine serving one trained model as
+    /// `default` v1.
+    pub fn with_model(
+        model: ccsa_model::pipeline::TrainedModel,
+        config: &ServeConfig,
+    ) -> ServeEngine {
+        let mut registry = ModelRegistry::new();
+        registry.register(DEFAULT_MODEL, 1, model);
+        ServeEngine::new(registry, config)
+    }
+
+    /// Registers another model at runtime (A/B serving, reloads).
+    /// Replacing a (name, version) coordinate is safe against in-flight
+    /// requests: cache keys are salted by the registration's
+    /// process-unique [`ServeModel::uid`], so codes encoded under the old
+    /// weights can never be served for the new ones (stale entries simply
+    /// age out of the LRU).
+    pub fn register(&self, name: &str, version: u32, model: ccsa_model::pipeline::TrainedModel) {
+        self.registry
+            .lock()
+            .expect("registry poisoned")
+            .register(name, version, model);
+    }
+
+    /// Scores one pair of sources: is the first slower than the second?
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] on parse or model-resolution failure.
+    pub fn compare(
+        &self,
+        selector: &ModelSelector,
+        first: &str,
+        second: &str,
+    ) -> Result<CompareOutcome, ServeError> {
+        let mut outcomes = self.compare_batch(selector, &[(first, second)])?;
+        Ok(outcomes.pop().expect("one pair in, one outcome out"))
+    }
+
+    /// Scores a batch of pairs in one pass: all distinct trees across the
+    /// whole batch are deduplicated, cache-checked and encoded together.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] on the first parse failure (index = pair
+    /// index × 2 + side) or on model-resolution failure.
+    pub fn compare_batch(
+        &self,
+        selector: &ModelSelector,
+        pairs: &[(&str, &str)],
+    ) -> Result<Vec<CompareOutcome>, ServeError> {
+        let model = self.resolve(selector)?;
+        let mut sources = Vec::with_capacity(pairs.len() * 2);
+        for (a, b) in pairs {
+            sources.push(*a);
+            sources.push(*b);
+        }
+        let parsed = self.parse_all(&sources)?;
+        let (codes, per_source_hit, _encoded) = self.codes_for(&model, &parsed)?;
+
+        self.compares
+            .fetch_add(pairs.len() as u64, Ordering::Relaxed);
+        let trained = &model.model;
+        Ok((0..pairs.len())
+            .map(|p| {
+                let (ia, ib) = (2 * p, 2 * p + 1);
+                CompareOutcome {
+                    prob_first_slower: trained.comparator.predict_from_codes(
+                        &trained.params,
+                        &codes[ia],
+                        &codes[ib],
+                    ),
+                    model: model.name.clone(),
+                    version: model.version,
+                    cache_hits: per_source_hit[ia] as usize + per_source_hit[ib] as usize,
+                }
+            })
+            .collect())
+    }
+
+    /// Ranks K candidate sources fastest-first by full round-robin
+    /// comparison (see [`crate::rank`]). Each candidate is encoded at most
+    /// once regardless of the K−1 comparisons it participates in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] on parse failure, model-resolution failure,
+    /// fewer than two candidates, or more than [`MAX_RANK_CANDIDATES`].
+    pub fn rank(
+        &self,
+        selector: &ModelSelector,
+        candidates: &[&str],
+    ) -> Result<RankOutcome, ServeError> {
+        if candidates.len() < 2 {
+            return Err(ServeError::TooFewCandidates(candidates.len()));
+        }
+        if candidates.len() > MAX_RANK_CANDIDATES {
+            return Err(ServeError::TooManyCandidates(candidates.len()));
+        }
+        let model = self.resolve(selector)?;
+        let parsed = self.parse_all(candidates)?;
+        let (codes, per_source_hit, encoded) = self.codes_for(&model, &parsed)?;
+
+        let k = candidates.len();
+        let trained = &model.model;
+        // Symmetrised round-robin: both orderings of every unordered pair,
+        // since the learned classifier is not exactly antisymmetric.
+        let mut p_slower = vec![vec![0.5f64; k]; k];
+        for i in 0..k {
+            for j in (i + 1)..k {
+                let pij =
+                    trained
+                        .comparator
+                        .predict_from_codes(&trained.params, &codes[i], &codes[j]);
+                let pji =
+                    trained
+                        .comparator
+                        .predict_from_codes(&trained.params, &codes[j], &codes[i]);
+                let sym = 0.5 * (pij as f64 + (1.0 - pji as f64));
+                p_slower[i][j] = sym;
+                p_slower[j][i] = 1.0 - sym;
+            }
+        }
+        self.rankings.fetch_add(1, Ordering::Relaxed);
+        self.compares
+            .fetch_add((k * (k - 1) / 2) as u64, Ordering::Relaxed);
+        let hits = per_source_hit.iter().filter(|&&h| h).count();
+        Ok(RankOutcome {
+            ranking: rank_from_matrix(&p_slower),
+            model: model.name.clone(),
+            version: model.version,
+            cache_hits: hits,
+            encoded,
+        })
+    }
+
+    /// Counter and component snapshot.
+    pub fn stats(&self) -> EngineStats {
+        let cache = self.cache.lock().expect("cache poisoned");
+        EngineStats {
+            compares: self.compares.load(Ordering::Relaxed),
+            rankings: self.rankings.load(Ordering::Relaxed),
+            parses: self.parses.load(Ordering::Relaxed),
+            parse_failures: self.parse_failures.load(Ordering::Relaxed),
+            cache: cache.stats(),
+            cache_len: cache.len(),
+            batch: self.pool.stats(),
+            models: self.registry.lock().expect("registry poisoned").list(),
+        }
+    }
+
+    /// Drops all cached embeddings (telemetry counters survive).
+    pub fn clear_cache(&self) {
+        self.cache.lock().expect("cache poisoned").clear();
+    }
+
+    fn resolve(&self, selector: &ModelSelector) -> Result<Arc<ServeModel>, RegistryError> {
+        self.registry
+            .lock()
+            .expect("registry poisoned")
+            .resolve(selector)
+    }
+
+    fn parse_all(&self, sources: &[&str]) -> Result<Vec<Arc<AstGraph>>, ServeError> {
+        sources
+            .iter()
+            .enumerate()
+            .map(|(ix, src)| {
+                self.parses.fetch_add(1, Ordering::Relaxed);
+                match parse_program(src) {
+                    Ok(program) => Ok(Arc::new(AstGraph::from_program(&program))),
+                    Err(e) => {
+                        self.parse_failures.fetch_add(1, Ordering::Relaxed);
+                        Err(ServeError::Parse(ix, e))
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Resolves one latent code per input graph: cache hits first, one
+    /// deduplicated batched encode for the misses, then cache fill.
+    /// Returns the codes (input order), a per-input hit flag, and the
+    /// number of distinct trees encoded fresh.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoder failures from the worker pool.
+    fn codes_for(
+        &self,
+        model: &Arc<ServeModel>,
+        graphs: &[Arc<AstGraph>],
+    ) -> Result<(Vec<Tensor>, Vec<bool>, usize), ServeError> {
+        let salt = model_salt(model);
+        let keys: Vec<u64> = graphs.iter().map(|g| g.canonical_hash() ^ salt).collect();
+
+        let mut codes: Vec<Option<Tensor>> = vec![None; graphs.len()];
+        let mut hit = vec![false; graphs.len()];
+        // Distinct missing keys, first occurrence wins (dedup within the
+        // request: K identical candidates encode once). The map gives
+        // O(1) dedup and fill on the serving hot path.
+        let mut miss_slots: HashMap<u64, usize> = HashMap::new();
+        let mut miss_graphs: Vec<Arc<AstGraph>> = Vec::new();
+        {
+            let mut cache = self.cache.lock().expect("cache poisoned");
+            for (ix, &key) in keys.iter().enumerate() {
+                if let Some(code) = cache.get(key) {
+                    codes[ix] = Some(code);
+                    hit[ix] = true;
+                } else if let std::collections::hash_map::Entry::Vacant(slot) =
+                    miss_slots.entry(key)
+                {
+                    slot.insert(miss_graphs.len());
+                    miss_graphs.push(Arc::clone(&graphs[ix]));
+                }
+            }
+        }
+
+        let encoded = miss_graphs.len();
+        if !miss_graphs.is_empty() {
+            let fresh = self.pool.encode(model, &miss_graphs)?;
+            let mut cache = self.cache.lock().expect("cache poisoned");
+            for (&key, &slot) in &miss_slots {
+                cache.insert(key, fresh[slot].clone());
+            }
+            drop(cache);
+            for (ix, &key) in keys.iter().enumerate() {
+                if codes[ix].is_none() {
+                    let slot = *miss_slots.get(&key).expect("miss was queued");
+                    codes[ix] = Some(fresh[slot].clone());
+                }
+            }
+        }
+        Ok((
+            codes
+                .into_iter()
+                .map(|c| c.expect("every input resolved"))
+                .collect(),
+            hit,
+            encoded,
+        ))
+    }
+}
+
+/// A per-registration salt folded into cache keys so no two model
+/// instances ever share embedding slots — not different (name, version)
+/// coordinates, and not two registrations replacing each other at the
+/// same coordinate (the [`ServeModel::uid`] is process-unique).
+fn model_salt(model: &ServeModel) -> u64 {
+    // SplitMix64 avalanche of the registration uid.
+    let mut z = model.uid().wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsa_model::comparator::{Comparator, EncoderConfig};
+    use ccsa_model::pipeline::TrainedModel;
+    use ccsa_nn::param::Params;
+    use ccsa_nn::treelstm::{Direction, TreeLstmConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_model(seed: u64) -> TrainedModel {
+        let config = EncoderConfig::TreeLstm(TreeLstmConfig {
+            embed_dim: 6,
+            hidden: 6,
+            layers: 1,
+            direction: Direction::Uni,
+            sigmoid_candidate: false,
+        });
+        let mut params = Params::new();
+        let comparator = Comparator::new(&config, &mut params, &mut StdRng::seed_from_u64(seed));
+        TrainedModel { comparator, params }
+    }
+
+    fn engine(cache_capacity: usize) -> ServeEngine {
+        ServeEngine::with_model(
+            tiny_model(1),
+            &ServeConfig {
+                cache_capacity,
+                batch: BatchConfig {
+                    workers: 2,
+                    max_batch: 8,
+                },
+            },
+        )
+    }
+
+    const FAST: &str = "int main() { int n; cin >> n; cout << n * (n + 1) / 2; return 0; }";
+    const SLOW: &str = "int main() { int n; cin >> n; long long s = 0; \
+                        for (int i = 0; i <= n; i++) for (int j = 0; j < i; j++) s++; \
+                        cout << s; return 0; }";
+    const MID: &str = "int main() { int n; cin >> n; long long s = 0; \
+                       for (int i = 0; i < n; i++) s += i; cout << s; return 0; }";
+
+    #[test]
+    fn cached_and_uncached_scores_are_identical() {
+        let with_cache = engine(64);
+        let without_cache = engine(0);
+        let direct = tiny_model(1);
+        let a = Arc::new(AstGraph::from_program(
+            &ccsa_cppast::parse_program(SLOW).unwrap(),
+        ));
+        let b = Arc::new(AstGraph::from_program(
+            &ccsa_cppast::parse_program(FAST).unwrap(),
+        ));
+        let reference = direct.compare_graphs(&a, &b).prob_first_slower;
+
+        let sel = ModelSelector::default();
+        // Twice through the cached engine: miss pass, then hit pass.
+        let cold = with_cache.compare(&sel, SLOW, FAST).unwrap();
+        let warm = with_cache.compare(&sel, SLOW, FAST).unwrap();
+        let uncached = without_cache.compare(&sel, SLOW, FAST).unwrap();
+
+        assert_eq!(cold.prob_first_slower, reference);
+        assert_eq!(warm.prob_first_slower, reference);
+        assert_eq!(uncached.prob_first_slower, reference);
+        assert_eq!(cold.cache_hits, 0);
+        assert_eq!(warm.cache_hits, 2);
+        assert_eq!(uncached.cache_hits, 0);
+    }
+
+    #[test]
+    fn cache_counters_track_hits_and_misses() {
+        let e = engine(64);
+        let sel = ModelSelector::default();
+        e.compare(&sel, SLOW, FAST).unwrap(); // 2 misses
+        e.compare(&sel, SLOW, FAST).unwrap(); // 2 hits
+        let third = e.compare(&sel, SLOW, MID).unwrap(); // 1 hit, 1 miss
+        assert_eq!(third.cache_hits, 1);
+        let stats = e.stats();
+        assert_eq!(stats.cache.hits, 3);
+        assert_eq!(stats.cache.misses, 3);
+        assert_eq!(stats.cache_len, 3);
+        assert_eq!(stats.compares, 3);
+        assert_eq!(stats.parses, 6);
+    }
+
+    #[test]
+    fn structural_identity_shares_cache_slots() {
+        // Identifier renames and literal changes flatten to the same
+        // graph, so the second compare is served fully from cache.
+        let e = engine(64);
+        let sel = ModelSelector::default();
+        e.compare(
+            &sel,
+            "int main() { int alpha = 3; return alpha; }",
+            "int main() { for (int i = 0; i < 5; i++) { } return 0; }",
+        )
+        .unwrap();
+        let renamed = e
+            .compare(
+                &sel,
+                "int main() { int beta = 7; return beta; }",
+                "int main() { for (int j = 0; j < 9; j++) { } return 1; }",
+            )
+            .unwrap();
+        assert_eq!(renamed.cache_hits, 2);
+    }
+
+    #[test]
+    fn rank_deduplicates_and_orders() {
+        let e = engine(64);
+        let sel = ModelSelector::default();
+        let candidates = [FAST, SLOW, MID, FAST]; // duplicate of FAST
+        let outcome = e.rank(&sel, &candidates).unwrap();
+        assert_eq!(outcome.ranking.len(), 4);
+        // 4 candidates, but only 3 distinct trees were encoded and the
+        // cold cache served none of them.
+        assert_eq!(outcome.encoded, 3, "duplicate candidate must not re-encode");
+        assert_eq!(outcome.cache_hits, 0);
+        // Re-ranking the same candidates is served fully from cache.
+        let warm = e.rank(&sel, &candidates).unwrap();
+        assert_eq!(warm.encoded, 0);
+        assert_eq!(warm.cache_hits, 4);
+        let stats = e.stats();
+        assert_eq!(stats.rankings, 2);
+        assert_eq!(stats.compares, 12); // C(4,2) round robin, twice
+                                        // Ranks are 1..=4 over all input indices.
+        let mut ranks: Vec<usize> = outcome.ranking.iter().map(|r| r.rank).collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, vec![1, 2, 3, 4]);
+        let mut indices: Vec<usize> = outcome.ranking.iter().map(|r| r.index).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, vec![0, 1, 2, 3]);
+        // The duplicated sources must tie exactly in expected wins.
+        let dup0 = outcome.ranking.iter().find(|r| r.index == 0).unwrap();
+        let dup3 = outcome.ranking.iter().find(|r| r.index == 3).unwrap();
+        assert!((dup0.expected_wins - dup3.expected_wins).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_matches_pairwise_compares() {
+        // The ranking's pairwise probabilities must agree with compare():
+        // same model, same codes, same classifier.
+        let e = engine(64);
+        let sel = ModelSelector::default();
+        let outcome = e.rank(&sel, &[FAST, SLOW]).unwrap();
+        let direct = e.compare(&sel, FAST, SLOW).unwrap();
+        let fast_entry = outcome.ranking.iter().find(|r| r.index == 0).unwrap();
+        // expected_wins of FAST = P(SLOW slower) = 1 - sym(FAST slower).
+        let back = e.compare(&sel, SLOW, FAST).unwrap();
+        let sym = 0.5 * (direct.prob_first_slower as f64 + (1.0 - back.prob_first_slower as f64));
+        assert!((fast_entry.expected_wins - (1.0 - sym)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_failures_are_typed_and_counted() {
+        let e = engine(8);
+        let sel = ModelSelector::default();
+        let err = e.compare(&sel, "int main() {", FAST).unwrap_err();
+        assert!(matches!(err, ServeError::Parse(0, _)));
+        let err = e.rank(&sel, &[FAST, "while (", MID]).unwrap_err();
+        assert!(matches!(err, ServeError::Parse(1, _)));
+        assert!(matches!(
+            e.rank(&sel, &[FAST]),
+            Err(ServeError::TooFewCandidates(1))
+        ));
+        assert_eq!(e.stats().parse_failures, 2);
+    }
+
+    #[test]
+    fn rank_rejects_oversized_candidate_lists() {
+        // The K² tournament is bounded: an untrusted request with huge K
+        // must be refused up front, before any parsing or allocation.
+        let e = engine(8);
+        let sel = ModelSelector::default();
+        let many: Vec<&str> = (0..MAX_RANK_CANDIDATES + 1).map(|_| FAST).collect();
+        assert!(matches!(
+            e.rank(&sel, &many),
+            Err(ServeError::TooManyCandidates(n)) if n == MAX_RANK_CANDIDATES + 1
+        ));
+        assert_eq!(e.stats().parses, 0, "no parsing before the cap check");
+    }
+
+    #[test]
+    fn corrupt_model_fails_requests_without_killing_the_engine() {
+        // A model whose weights are inconsistent with its architecture
+        // panics in the encoder; the engine must turn that into a typed
+        // error and keep serving healthy models.
+        let e = engine(16);
+        let config = EncoderConfig::TreeLstm(TreeLstmConfig {
+            embed_dim: 6,
+            hidden: 6,
+            layers: 1,
+            direction: Direction::Uni,
+            sigmoid_candidate: false,
+        });
+        let mut scratch = Params::new();
+        let comparator = Comparator::new(&config, &mut scratch, &mut StdRng::seed_from_u64(2));
+        e.register(
+            "corrupt",
+            1,
+            TrainedModel {
+                comparator,
+                params: Params::new(),
+            },
+        );
+        let bad_sel = ModelSelector {
+            name: Some("corrupt".into()),
+            version: None,
+        };
+        assert!(matches!(
+            e.compare(&bad_sel, SLOW, FAST),
+            Err(ServeError::Encode(_))
+        ));
+        // The default model still works on the same engine/pool.
+        let p = e
+            .compare(&ModelSelector::default(), SLOW, FAST)
+            .unwrap()
+            .prob_first_slower;
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn unknown_model_is_a_registry_error() {
+        let e = engine(8);
+        let sel = ModelSelector {
+            name: Some("missing".into()),
+            version: None,
+        };
+        assert!(matches!(
+            e.compare(&sel, FAST, SLOW),
+            Err(ServeError::Registry(RegistryError::UnknownModel(_)))
+        ));
+    }
+
+    #[test]
+    fn hot_swapping_a_version_never_serves_stale_codes() {
+        // Fill the cache under (default, v1), then replace that exact
+        // coordinate with different weights: the next compare must match
+        // the *new* model's direct prediction, not a cached embedding
+        // from the old one (cache keys are salted by registration uid).
+        let e = engine(64);
+        let sel = ModelSelector::default();
+        let old_p = e.compare(&sel, SLOW, FAST).unwrap().prob_first_slower;
+        let _warm = e.compare(&sel, SLOW, FAST).unwrap(); // cached under old uid
+
+        e.register(crate::registry::DEFAULT_MODEL, 1, tiny_model(7));
+        let swapped = e.compare(&sel, SLOW, FAST).unwrap();
+        let direct_new = tiny_model(7);
+        let a = Arc::new(AstGraph::from_program(
+            &ccsa_cppast::parse_program(SLOW).unwrap(),
+        ));
+        let b = Arc::new(AstGraph::from_program(
+            &ccsa_cppast::parse_program(FAST).unwrap(),
+        ));
+        let expected = direct_new.compare_graphs(&a, &b).prob_first_slower;
+        assert_eq!(swapped.prob_first_slower, expected);
+        assert_ne!(
+            swapped.prob_first_slower, old_p,
+            "stale weights were served"
+        );
+        assert_eq!(
+            swapped.cache_hits, 0,
+            "old registration's codes must not hit"
+        );
+    }
+
+    #[test]
+    fn models_do_not_share_cache_entries() {
+        // Same source under two models must produce each model's own
+        // probability even with the cache shared between them.
+        let e = engine(64);
+        e.register("other", 1, tiny_model(2));
+        let sel_default = ModelSelector::default();
+        let sel_other = ModelSelector {
+            name: Some("other".into()),
+            version: None,
+        };
+        let p_default = e
+            .compare(&sel_default, SLOW, FAST)
+            .unwrap()
+            .prob_first_slower;
+        let p_other = e.compare(&sel_other, SLOW, FAST).unwrap().prob_first_slower;
+        let direct_other = tiny_model(2);
+        let a = Arc::new(AstGraph::from_program(
+            &ccsa_cppast::parse_program(SLOW).unwrap(),
+        ));
+        let b = Arc::new(AstGraph::from_program(
+            &ccsa_cppast::parse_program(FAST).unwrap(),
+        ));
+        assert_eq!(
+            p_other,
+            direct_other.compare_graphs(&a, &b).prob_first_slower
+        );
+        assert_ne!(
+            p_default, p_other,
+            "different weights must score differently"
+        );
+    }
+
+    #[test]
+    fn batch_compare_scores_all_pairs() {
+        let e = engine(64);
+        let sel = ModelSelector::default();
+        let outcomes = e
+            .compare_batch(&sel, &[(SLOW, FAST), (FAST, SLOW), (MID, MID)])
+            .unwrap();
+        assert_eq!(outcomes.len(), 3);
+        // Antisymmetric inputs give complementary-ish outputs from the
+        // same codes; identical inputs give a well-defined probability.
+        let direct = e.compare(&sel, SLOW, FAST).unwrap().prob_first_slower;
+        assert_eq!(outcomes[0].prob_first_slower, direct);
+        assert!((0.0..=1.0).contains(&outcomes[2].prob_first_slower));
+    }
+}

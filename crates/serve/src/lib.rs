@@ -1,0 +1,90 @@
+//! ccsa-serve — batched, cache-backed inference serving for CCSA models.
+//!
+//! Training and evaluation answer "can the model predict?"; this crate
+//! answers "can it *serve*?": given trained comparators persisted by
+//! [`ccsa_model::persist`], it exposes an in-process engine (and a
+//! JSON-lines binary) that scores compare and ranking requests at
+//! throughput, not one forward pass at a time.
+//!
+//! # Architecture
+//!
+//! ```text
+//!            requests (compare / rank / stats)
+//!                          │
+//!                    ┌─────▼──────┐
+//!                    │ ServeEngine│  parse → canonical AST hash
+//!                    └─┬───────┬──┘
+//!        cache hit ┌───▼───┐ ┌─▼──────────┐ cache miss
+//!                  │  LRU  │ │ EncodePool │  micro-batched encoder
+//!                  │ cache │ │  (workers) │  forward passes
+//!                  └───┬───┘ └─▲────┬─────┘
+//!                      │  fill │    │
+//!                      └───────┘    │ latent codes
+//!                    ┌──────────────▼─┐
+//!                    │ classifier head│  2·d weights — cheap
+//!                    └──────┬─────────┘
+//!                           │ probabilities → ranking tournament
+//! ```
+//!
+//! * [`registry`] — named, versioned models ([`ModelRegistry`]), loaded
+//!   from `model-v<N>.ccsm` directories or registered in-process;
+//! * [`cache`] — an O(1) LRU from canonical AST hash to latent code
+//!   ([`EmbeddingCache`]): structurally identical resubmissions skip the
+//!   encoder and pay only the classifier head;
+//! * [`batch`] — the micro-batching queue and persistent worker pool
+//!   ([`EncodePool`]): pending trees across all in-flight requests fuse
+//!   into batched encoder forward passes;
+//! * [`rank`] — K-candidate round-robin tournaments with
+//!   transitivity-aware tie-breaking and cycle flagging;
+//! * [`engine`] — the [`ServeEngine`] front door tying the above together;
+//! * [`proto`] + [`json`] — the JSON-lines wire protocol of the `serve`
+//!   binary.
+//!
+//! # Example
+//!
+//! ```
+//! use ccsa_serve::{ModelSelector, ServeConfig, ServeEngine};
+//! use ccsa_model::comparator::{Comparator, EncoderConfig};
+//! use ccsa_model::pipeline::TrainedModel;
+//! use ccsa_nn::param::Params;
+//! use ccsa_nn::treelstm::{Direction, TreeLstmConfig};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // Serve a (here: untrained) comparator as `default` v1.
+//! let config = EncoderConfig::TreeLstm(TreeLstmConfig {
+//!     embed_dim: 6, hidden: 6, layers: 1,
+//!     direction: Direction::Uni, sigmoid_candidate: false,
+//! });
+//! let mut params = Params::new();
+//! let comparator = Comparator::new(&config, &mut params, &mut StdRng::seed_from_u64(0));
+//! let engine = ServeEngine::with_model(
+//!     TrainedModel { comparator, params },
+//!     &ServeConfig::default(),
+//! );
+//!
+//! let outcome = engine.compare(
+//!     &ModelSelector::default(),
+//!     "int main() { for (int i = 0; i < 9; i++) { } return 0; }",
+//!     "int main() { return 0; }",
+//! )?;
+//! assert!((0.0..=1.0).contains(&outcome.prob_first_slower));
+//! # Ok::<(), ccsa_serve::ServeError>(())
+//! ```
+
+pub mod batch;
+pub mod cache;
+pub mod engine;
+pub mod json;
+pub mod proto;
+pub mod rank;
+pub mod registry;
+
+pub use batch::{BatchConfig, BatchStats, EncodeError, EncodePool};
+pub use cache::{CacheStats, EmbeddingCache};
+pub use engine::{
+    CompareOutcome, EngineStats, RankOutcome, ServeConfig, ServeEngine, ServeError,
+    MAX_RANK_CANDIDATES,
+};
+pub use rank::{rank_from_matrix, RankedCandidate};
+pub use registry::{ModelRegistry, ModelSelector, RegistryError, ServeModel, DEFAULT_MODEL};

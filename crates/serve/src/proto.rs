@@ -1,0 +1,360 @@
+//! The JSON-lines wire protocol: one request object per line in, one
+//! response object per line out.
+//!
+//! Requests (`model` / `version` optional everywhere):
+//!
+//! ```text
+//! {"op":"compare","first":"<src>","second":"<src>"}
+//! {"op":"rank","candidates":["<src>", ...]}
+//! {"op":"stats"}
+//! {"op":"ping"}
+//! ```
+//!
+//! Responses always carry `"ok"`: `true` with op-specific fields, or
+//! `false` with an `"error"` string. Protocol errors (bad JSON, unknown
+//! op) are also `ok:false` responses — the connection stays usable.
+
+use crate::engine::{CompareOutcome, EngineStats, RankOutcome, ServeEngine};
+use crate::json::{self, Json};
+use crate::registry::ModelSelector;
+
+/// A decoded request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Score one pair.
+    Compare {
+        /// Model selection.
+        selector: ModelSelector,
+        /// First source (the "is this slower?" subject).
+        first: String,
+        /// Second source.
+        second: String,
+    },
+    /// Rank K candidates fastest-first.
+    Rank {
+        /// Model selection.
+        selector: ModelSelector,
+        /// Candidate sources.
+        candidates: Vec<String>,
+    },
+    /// Engine counters.
+    Stats,
+    /// Liveness probe.
+    Ping,
+}
+
+/// Decodes one request line.
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed JSON, a missing/unknown
+/// `op`, or missing operands.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = json::parse(line).map_err(|e| e.to_string())?;
+    let op = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing string field 'op'".to_string())?;
+    // A present-but-invalid selector field is an error, never a silent
+    // fallback: "version": 2^32+1 must not truncate onto a real version,
+    // and "version": "two" must not quietly mean "latest".
+    let name = match v.get("model") {
+        None => None,
+        Some(m) => Some(
+            m.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| "'model' must be a string".to_string())?,
+        ),
+    };
+    let version = match v.get("version") {
+        None => None,
+        Some(n) => Some(
+            n.as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| "'version' must be an integer within u32 range".to_string())?,
+        ),
+    };
+    let selector = ModelSelector { name, version };
+    match op {
+        "compare" => {
+            let field = |name: &str| {
+                v.get(name)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("compare needs string field '{name}'"))
+            };
+            Ok(Request::Compare {
+                selector,
+                first: field("first")?,
+                second: field("second")?,
+            })
+        }
+        "rank" => {
+            let arr = v
+                .get("candidates")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| "rank needs array field 'candidates'".to_string())?;
+            let candidates = arr
+                .iter()
+                .map(|c| {
+                    c.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "candidates must be strings".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Request::Rank {
+                selector,
+                candidates,
+            })
+        }
+        "stats" => Ok(Request::Stats),
+        "ping" => Ok(Request::Ping),
+        other => Err(format!("unknown op '{other}'")),
+    }
+}
+
+/// Encodes a compare outcome.
+pub fn compare_response(outcome: &CompareOutcome) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("op", Json::str("compare")),
+        (
+            "prob_first_slower",
+            Json::num(outcome.prob_first_slower as f64),
+        ),
+        ("first_is_slower", Json::Bool(outcome.first_is_slower())),
+        ("model", Json::str(outcome.model.clone())),
+        ("version", Json::num(outcome.version as f64)),
+        ("cache_hits", Json::num(outcome.cache_hits as f64)),
+    ])
+}
+
+/// Encodes a ranking outcome (entries fastest-first).
+pub fn rank_response(outcome: &RankOutcome) -> Json {
+    let entries: Vec<Json> = outcome
+        .ranking
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("rank", Json::num(r.rank as f64)),
+                ("candidate", Json::num(r.index as f64)),
+                ("wins", Json::num(r.wins as f64)),
+                ("expected_wins", Json::num(r.expected_wins)),
+                ("in_cycle", Json::Bool(r.in_cycle)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("op", Json::str("rank")),
+        ("ranking", Json::Arr(entries)),
+        ("model", Json::str(outcome.model.clone())),
+        ("version", Json::num(outcome.version as f64)),
+        ("cache_hits", Json::num(outcome.cache_hits as f64)),
+        ("encoded", Json::num(outcome.encoded as f64)),
+    ])
+}
+
+/// Encodes an engine-stats snapshot.
+pub fn stats_response(stats: &EngineStats) -> Json {
+    let models: Vec<Json> = stats
+        .models
+        .iter()
+        .map(|(name, versions)| {
+            Json::obj(vec![
+                ("name", Json::str(name.clone())),
+                (
+                    "versions",
+                    Json::Arr(versions.iter().map(|&v| Json::num(v as f64)).collect()),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("op", Json::str("stats")),
+        ("compares", Json::num(stats.compares as f64)),
+        ("rankings", Json::num(stats.rankings as f64)),
+        ("parses", Json::num(stats.parses as f64)),
+        ("parse_failures", Json::num(stats.parse_failures as f64)),
+        ("cache_hits", Json::num(stats.cache.hits as f64)),
+        ("cache_misses", Json::num(stats.cache.misses as f64)),
+        ("cache_evictions", Json::num(stats.cache.evictions as f64)),
+        ("cache_hit_rate", Json::num(stats.cache.hit_rate())),
+        ("cache_len", Json::num(stats.cache_len as f64)),
+        ("encode_batches", Json::num(stats.batch.batches as f64)),
+        ("encode_jobs", Json::num(stats.batch.jobs as f64)),
+        ("mean_batch_size", Json::num(stats.batch.mean_batch_size())),
+        ("models", Json::Arr(models)),
+    ])
+}
+
+/// Encodes a failure.
+pub fn error_response(message: &str) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::str(message)),
+    ])
+}
+
+/// Runs one decoded request against the engine, producing the response
+/// value (errors become `ok:false` responses, never panics).
+pub fn dispatch(engine: &ServeEngine, request: Request) -> Json {
+    match request {
+        Request::Compare {
+            selector,
+            first,
+            second,
+        } => match engine.compare(&selector, &first, &second) {
+            Ok(outcome) => compare_response(&outcome),
+            Err(e) => error_response(&e.to_string()),
+        },
+        Request::Rank {
+            selector,
+            candidates,
+        } => {
+            let refs: Vec<&str> = candidates.iter().map(String::as_str).collect();
+            match engine.rank(&selector, &refs) {
+                Ok(outcome) => rank_response(&outcome),
+                Err(e) => error_response(&e.to_string()),
+            }
+        }
+        Request::Stats => stats_response(&engine.stats()),
+        Request::Ping => Json::obj(vec![("ok", Json::Bool(true)), ("op", Json::str("ping"))]),
+    }
+}
+
+/// Decodes, dispatches and encodes one protocol line.
+pub fn handle_line(engine: &ServeEngine, line: &str) -> String {
+    let response = match parse_request(line) {
+        Ok(request) => dispatch(engine, request),
+        Err(message) => error_response(&message),
+    };
+    response.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServeConfig;
+    use ccsa_model::comparator::{Comparator, EncoderConfig};
+    use ccsa_model::pipeline::TrainedModel;
+    use ccsa_nn::param::Params;
+    use ccsa_nn::treelstm::{Direction, TreeLstmConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_engine() -> ServeEngine {
+        let config = EncoderConfig::TreeLstm(TreeLstmConfig {
+            embed_dim: 6,
+            hidden: 6,
+            layers: 1,
+            direction: Direction::Uni,
+            sigmoid_candidate: false,
+        });
+        let mut params = Params::new();
+        let comparator = Comparator::new(&config, &mut params, &mut StdRng::seed_from_u64(1));
+        ServeEngine::with_model(TrainedModel { comparator, params }, &ServeConfig::default())
+    }
+
+    #[test]
+    fn parses_requests_with_and_without_selector() {
+        let r = parse_request(r#"{"op":"compare","first":"a","second":"b"}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Compare {
+                selector: ModelSelector::default(),
+                first: "a".into(),
+                second: "b".into()
+            }
+        );
+        let r = parse_request(r#"{"op":"rank","model":"m","version":3,"candidates":["x","y"]}"#)
+            .unwrap();
+        assert_eq!(
+            r,
+            Request::Rank {
+                selector: ModelSelector {
+                    name: Some("m".into()),
+                    version: Some(3)
+                },
+                candidates: vec!["x".into(), "y".into()],
+            }
+        );
+        assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
+    }
+
+    #[test]
+    fn rejects_malformed_requests_gracefully() {
+        for bad in [
+            "not json",
+            r#"{"noop":1}"#,
+            r#"{"op":"teleport"}"#,
+            r#"{"op":"compare","first":"a"}"#,
+            r#"{"op":"rank","candidates":[1,2]}"#,
+            // Selector fields must be valid when present — no silent
+            // truncation (2^32 + 1) or fallback-to-latest ("two", -3).
+            r#"{"op":"stats","version":4294967297}"#,
+            r#"{"op":"stats","version":"two"}"#,
+            r#"{"op":"stats","version":-3}"#,
+            r#"{"op":"stats","model":7}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "accepted {bad:?}");
+        }
+        // Boundary: u32::MAX itself is representable.
+        assert!(parse_request(r#"{"op":"stats","version":4294967295}"#).is_ok());
+    }
+
+    #[test]
+    fn end_to_end_compare_line() {
+        let engine = test_engine();
+        let line = r#"{"op":"compare","first":"int main() { return 0; }","second":"int main() { for (int i = 0; i < 9; i++) { } return 0; }"}"#;
+        let out = handle_line(&engine, line);
+        let v = crate::json::parse(&out).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        let p = v.get("prob_first_slower").unwrap().as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn end_to_end_rank_line() {
+        let engine = test_engine();
+        let line = r#"{"op":"rank","candidates":["int main() { return 0; }","int main() { for (int i = 0; i < 9; i++) { } return 0; }","int main() { return 5; }"]}"#;
+        let v = crate::json::parse(&handle_line(&engine, line)).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        let ranking = v.get("ranking").unwrap().as_arr().unwrap();
+        assert_eq!(ranking.len(), 3);
+        assert_eq!(ranking[0].get("rank").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn errors_keep_the_connection_alive() {
+        let engine = test_engine();
+        let v = crate::json::parse(&handle_line(&engine, "garbage")).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(false)));
+        let v = crate::json::parse(&handle_line(
+            &engine,
+            r#"{"op":"compare","first":"int main() {","second":"int main() { return 0; }"}"#,
+        ))
+        .unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(false)));
+        assert!(v.get("error").unwrap().as_str().unwrap().contains("parse"));
+        // The engine still answers after errors.
+        let v = crate::json::parse(&handle_line(&engine, r#"{"op":"ping"}"#)).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn stats_line_reports_counters() {
+        let engine = test_engine();
+        let _ = handle_line(
+            &engine,
+            r#"{"op":"compare","first":"int main() { return 0; }","second":"int main() { return 1; }"}"#,
+        );
+        let v = crate::json::parse(&handle_line(&engine, r#"{"op":"stats"}"#)).unwrap();
+        assert_eq!(v.get("compares").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("parses").unwrap().as_u64(), Some(2));
+        let models = v.get("models").unwrap().as_arr().unwrap();
+        assert_eq!(models[0].get("name").unwrap().as_str(), Some("default"));
+    }
+}

@@ -1,0 +1,267 @@
+//! Ranking K candidates by round-robin pairwise comparison.
+//!
+//! The comparator answers one question — "is A slower than B?" — so
+//! ordering K candidate solutions is a tournament: every unordered pair
+//! is scored (both orderings, symmetrised), and candidates are ranked by
+//! Copeland win count. Tie-breaking is *transitivity-aware*: candidates
+//! tied on global wins are re-ranked by their head-to-head results within
+//! the tied group, falling back to expected wins (the sum of "faster
+//! than" probabilities, a Borda-style margin) when the group's local
+//! tournament is cyclic — and cyclic groups are flagged, since a cycle
+//! means the model's pairwise answers are not mutually consistent there.
+
+/// One candidate's position in the final ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedCandidate {
+    /// Index into the caller's candidate list.
+    pub index: usize,
+    /// 1-based rank (1 = predicted fastest).
+    pub rank: usize,
+    /// Round-robin wins (opponent judged slower with p > ½).
+    pub wins: usize,
+    /// Sum over opponents of P(opponent slower) — the expected win count;
+    /// finer-grained than `wins` and used for tie-breaking.
+    pub expected_wins: f64,
+    /// `true` when this candidate sits in a tied group whose head-to-head
+    /// results are cyclic (A beats B beats C beats A): the order within
+    /// that group is margin-based, not transitive.
+    pub in_cycle: bool,
+}
+
+/// Ranks candidates given the symmetrised slower-probability matrix:
+/// `p_slower[i][j]` = P(candidate *i* is slower than candidate *j*), for
+/// `i != j` (diagonal entries are ignored).
+///
+/// Returns candidates ordered fastest first.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square.
+pub fn rank_from_matrix(p_slower: &[Vec<f64>]) -> Vec<RankedCandidate> {
+    let k = p_slower.len();
+    for row in p_slower {
+        assert_eq!(row.len(), k, "probability matrix must be square");
+    }
+
+    // Global round-robin tallies.
+    let mut wins = vec![0usize; k];
+    let mut expected = vec![0.0f64; k];
+    for (i, row) in p_slower.iter().enumerate() {
+        for (j, &p_i_slower) in row.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            expected[i] += 1.0 - p_i_slower;
+            if p_i_slower < 0.5 {
+                wins[i] += 1;
+            }
+        }
+    }
+
+    // Group candidates by win count (descending): ties within a group are
+    // resolved by the group's own sub-tournament.
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&a, &b| wins[b].cmp(&wins[a]).then(a.cmp(&b)));
+
+    let mut ranked: Vec<RankedCandidate> = Vec::with_capacity(k);
+    let mut start = 0;
+    while start < order.len() {
+        let mut end = start + 1;
+        while end < order.len() && wins[order[end]] == wins[order[start]] {
+            end += 1;
+        }
+        let group = &order[start..end];
+        let (resolved, cyclic) = resolve_tie(group, p_slower, &expected);
+        for index in resolved {
+            ranked.push(RankedCandidate {
+                index,
+                rank: ranked.len() + 1,
+                wins: wins[index],
+                expected_wins: expected[index],
+                in_cycle: cyclic,
+            });
+        }
+        start = end;
+    }
+    ranked
+}
+
+/// Orders a group of candidates tied on global wins.
+///
+/// Head-to-head (local Copeland) wins within the group come first —
+/// when the group's strict "beats" digraph is acyclic, that order is the
+/// transitive closure of the direct matchups. A cyclic group (A beats B
+/// beats C beats A) has no such order; it falls back to the expected-wins
+/// margin and is flagged.
+fn resolve_tie(group: &[usize], p_slower: &[Vec<f64>], expected: &[f64]) -> (Vec<usize>, bool) {
+    if group.len() <= 1 {
+        return (group.to_vec(), false);
+    }
+    let mut local_wins = vec![0usize; group.len()];
+    for (gi, &i) in group.iter().enumerate() {
+        for &j in group {
+            if i != j && p_slower[i][j] < 0.5 {
+                local_wins[gi] += 1;
+            }
+        }
+    }
+    let cyclic = has_beat_cycle(group, p_slower);
+
+    let mut order: Vec<(usize, usize)> = group.iter().copied().enumerate().collect();
+    order.sort_by(|&(ga, a), &(gb, b)| {
+        local_wins[gb]
+            .cmp(&local_wins[ga])
+            .then_with(|| {
+                expected[b]
+                    .partial_cmp(&expected[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .then(a.cmp(&b))
+    });
+    (order.into_iter().map(|(_, ix)| ix).collect(), cyclic)
+}
+
+/// Detects a directed cycle in the strict "beats" relation restricted to
+/// `group` (exact-½ comparisons are draws and contribute no edge).
+fn has_beat_cycle(group: &[usize], p_slower: &[Vec<f64>]) -> bool {
+    // Colors: 0 = unvisited, 1 = on the current DFS path, 2 = done.
+    let mut color = vec![0u8; group.len()];
+    fn dfs(at: usize, group: &[usize], p: &[Vec<f64>], color: &mut [u8]) -> bool {
+        color[at] = 1;
+        for (next, &j) in group.iter().enumerate() {
+            if group[at] != j
+                && p[group[at]][j] < 0.5
+                && (color[next] == 1 || (color[next] == 0 && dfs(next, group, p, color)))
+            {
+                return true;
+            }
+        }
+        color[at] = 2;
+        false
+    }
+    (0..group.len()).any(|start| color[start] == 0 && dfs(start, group, p_slower, &mut color))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Matrix builder: `faster[i] < faster[j]` ⇒ i beats j with margin
+    /// proportional to the gap.
+    fn matrix_from_speeds(speeds: &[f64]) -> Vec<Vec<f64>> {
+        let k = speeds.len();
+        (0..k)
+            .map(|i| {
+                (0..k)
+                    .map(|j| {
+                        if i == j {
+                            0.5
+                        } else {
+                            // P(i slower than j): sigmoid of the speed gap.
+                            1.0 / (1.0 + (-(speeds[i] - speeds[j])).exp())
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn transitive_tournament_orders_by_speed() {
+        // Candidate runtimes: index 2 fastest, then 0, 3, 1.
+        let m = matrix_from_speeds(&[2.0, 9.0, 1.0, 5.0]);
+        let ranked = rank_from_matrix(&m);
+        let order: Vec<usize> = ranked.iter().map(|r| r.index).collect();
+        assert_eq!(order, vec![2, 0, 3, 1]);
+        assert_eq!(ranked[0].rank, 1);
+        assert_eq!(ranked[0].wins, 3);
+        assert!(ranked.iter().all(|r| !r.in_cycle));
+        // Expected wins decrease down the ranking.
+        for w in ranked.windows(2) {
+            assert!(w[0].expected_wins > w[1].expected_wins);
+        }
+    }
+
+    #[test]
+    fn head_to_head_breaks_ties_transitively() {
+        // Five players; global wins: D=3, {A,B,C}=2 each, E=1. The tied
+        // group {A,B,C} is internally transitive (A > B > C), so the
+        // tie-break must follow those head-to-head results — even though
+        // C's wins came from upsets elsewhere (C beats D!).
+        let (a, b, c, d, e) = (0, 1, 2, 3, 4);
+        let mut m = vec![vec![0.5; 5]; 5];
+        let mut beats = |x: usize, y: usize| {
+            m[x][y] = 0.2; // x slower than y with 0.2 ⇒ x beats y
+            m[y][x] = 0.8;
+        };
+        beats(a, b);
+        beats(a, c);
+        beats(b, c);
+        beats(b, e);
+        beats(c, d);
+        beats(c, e);
+        beats(d, a);
+        beats(d, b);
+        beats(d, e);
+        beats(e, a);
+        let ranked = rank_from_matrix(&m);
+        let order: Vec<usize> = ranked.iter().map(|r| r.index).collect();
+        assert_eq!(order, vec![d, a, b, c, e]);
+        let tied: Vec<&RankedCandidate> = ranked
+            .iter()
+            .filter(|r| [a, b, c].contains(&r.index))
+            .collect();
+        assert!(
+            tied.iter().all(|r| r.wins == 2),
+            "premise: A, B, C tied on global wins"
+        );
+        assert!(
+            tied.iter().all(|r| !r.in_cycle),
+            "transitive tied group must not be flagged cyclic"
+        );
+    }
+
+    #[test]
+    fn cyclic_group_is_flagged_and_margin_ordered() {
+        // Rock-paper-scissors among 0, 1, 2 (all wins = 1), with margins
+        // making 1 the strongest on expected wins; 3 loses to everyone.
+        let mut m = vec![vec![0.5; 4]; 4];
+        let beats = |m: &mut Vec<Vec<f64>>, a: usize, b: usize, p: f64| {
+            m[a][b] = 1.0 - p; // a slower than b with 1-p  ⇒ a beats b with p
+            m[b][a] = p;
+        };
+        beats(&mut m, 0, 1, 0.55);
+        beats(&mut m, 1, 2, 0.95);
+        beats(&mut m, 2, 0, 0.60);
+        for i in 0..3 {
+            beats(&mut m, i, 3, 0.9);
+        }
+        let ranked = rank_from_matrix(&m);
+        let order: Vec<usize> = ranked.iter().map(|r| r.index).collect();
+        // 1 has the largest expected-wins margin in the cycle.
+        assert_eq!(order[0], 1);
+        assert_eq!(order[3], 3, "the universal loser ranks last");
+        for r in &ranked[..3] {
+            assert!(r.in_cycle, "cycle members must be flagged: {r:?}");
+            assert_eq!(r.wins, 2); // one cycle win + a win over 3
+        }
+        assert!(!ranked[3].in_cycle);
+    }
+
+    #[test]
+    fn single_candidate_and_empty_input() {
+        assert!(rank_from_matrix(&[]).is_empty());
+        let one = rank_from_matrix(&[vec![0.5]]);
+        assert_eq!(one.len(), 1);
+        assert_eq!((one[0].index, one[0].rank, one[0].wins), (0, 1, 0));
+    }
+
+    #[test]
+    fn ranking_is_deterministic_under_exact_ties() {
+        // Fully indifferent matrix: everything 0.5 → stable index order.
+        let m = vec![vec![0.5; 3]; 3];
+        let ranked = rank_from_matrix(&m);
+        let order: Vec<usize> = ranked.iter().map(|r| r.index).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+}

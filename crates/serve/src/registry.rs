@@ -1,0 +1,292 @@
+//! The model registry: named, versioned trained comparators.
+//!
+//! Serving decouples *which* model answers a request from *how* requests
+//! are batched and cached: every request names (implicitly or explicitly)
+//! a registry entry, and the engine resolves it to an immutable
+//! [`ServeModel`] shared across worker threads via `Arc`. Versions load
+//! from [`ccsa_model::persist`]'s `model-v<N>.ccsm` directory layout or
+//! register directly from an in-process training run.
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ccsa_model::persist::{self, PersistError};
+use ccsa_model::pipeline::TrainedModel;
+
+/// The registry's default model name, used when requests omit one.
+pub const DEFAULT_MODEL: &str = "default";
+
+/// Process-wide registration counter backing [`ServeModel::uid`].
+static NEXT_UID: AtomicU64 = AtomicU64::new(1);
+
+/// An immutable, serving-ready model: what worker threads share.
+#[derive(Debug)]
+pub struct ServeModel {
+    /// Registry name.
+    pub name: String,
+    /// Version within the name.
+    pub version: u32,
+    /// The trained comparator and its weights.
+    pub model: TrainedModel,
+    /// Process-unique registration id. Unlike `(name, version)`, this can
+    /// never alias across re-registrations, so cache keys derived from it
+    /// stay correct even when a coordinate is hot-swapped while requests
+    /// against the old weights are still in flight.
+    uid: u64,
+}
+
+impl ServeModel {
+    /// The process-unique registration id.
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+}
+
+/// Selects a model for one request.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ModelSelector {
+    /// Registry name (`None` → [`DEFAULT_MODEL`]).
+    pub name: Option<String>,
+    /// Version (`None` → latest registered).
+    pub version: Option<u32>,
+}
+
+/// Registry lookup failures.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// No entry under the requested name.
+    UnknownModel(String),
+    /// The name exists but not the requested version.
+    UnknownVersion(String, u32),
+    /// Loading an artefact from disk failed.
+    Persist(PersistError),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownModel(name) => write!(f, "unknown model '{name}'"),
+            RegistryError::UnknownVersion(name, v) => {
+                write!(f, "model '{name}' has no version {v}")
+            }
+            RegistryError::Persist(e) => write!(f, "model load failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<PersistError> for RegistryError {
+    fn from(e: PersistError) -> RegistryError {
+        RegistryError::Persist(e)
+    }
+}
+
+/// Named, versioned model storage.
+#[derive(Default)]
+pub struct ModelRegistry {
+    models: HashMap<String, BTreeMap<u32, Arc<ServeModel>>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> ModelRegistry {
+        ModelRegistry::default()
+    }
+
+    /// Registers a trained model under `name` with an explicit `version`,
+    /// replacing any previous entry at that coordinate. Returns the shared
+    /// handle.
+    pub fn register(&mut self, name: &str, version: u32, model: TrainedModel) -> Arc<ServeModel> {
+        let entry = Arc::new(ServeModel {
+            name: name.to_string(),
+            version,
+            model,
+            uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
+        });
+        self.models
+            .entry(name.to_string())
+            .or_default()
+            .insert(version, Arc::clone(&entry));
+        entry
+    }
+
+    /// Registers a model as the next version under `name`.
+    pub fn register_next(&mut self, name: &str, model: TrainedModel) -> Arc<ServeModel> {
+        let next = self
+            .models
+            .get(name)
+            .and_then(|m| m.keys().next_back().copied())
+            .unwrap_or(0)
+            + 1;
+        self.register(name, next, model)
+    }
+
+    /// Loads every `model-v<N>.ccsm` artefact in `dir` under `name`.
+    /// Returns the number of versions loaded (0 for an empty directory).
+    ///
+    /// # Errors
+    ///
+    /// Propagates artefact-load failures.
+    pub fn load_dir(&mut self, name: &str, dir: &Path) -> Result<usize, RegistryError> {
+        let versions = persist::list_versions(dir)?;
+        for &v in &versions {
+            let (_, model) = persist::load_version(dir, Some(v))?;
+            self.register(name, v, model);
+        }
+        Ok(versions.len())
+    }
+
+    /// Resolves a selector to a concrete model handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::UnknownModel`] / `UnknownVersion` when the
+    /// selector matches nothing.
+    pub fn resolve(&self, selector: &ModelSelector) -> Result<Arc<ServeModel>, RegistryError> {
+        let name = selector.name.as_deref().unwrap_or(DEFAULT_MODEL);
+        let versions = self
+            .models
+            .get(name)
+            .ok_or_else(|| RegistryError::UnknownModel(name.to_string()))?;
+        match selector.version {
+            Some(v) => versions
+                .get(&v)
+                .cloned()
+                .ok_or_else(|| RegistryError::UnknownVersion(name.to_string(), v)),
+            None => Ok(versions
+                .values()
+                .next_back()
+                .cloned()
+                .expect("registry never stores an empty version map")),
+        }
+    }
+
+    /// `(name, versions)` pairs, names sorted, versions ascending.
+    pub fn list(&self) -> Vec<(String, Vec<u32>)> {
+        let mut out: Vec<(String, Vec<u32>)> = self
+            .models
+            .iter()
+            .map(|(name, versions)| (name.clone(), versions.keys().copied().collect()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Total number of registered (name, version) entries.
+    pub fn entry_count(&self) -> usize {
+        self.models.values().map(BTreeMap::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsa_model::comparator::{Comparator, EncoderConfig};
+    use ccsa_nn::param::Params;
+    use ccsa_nn::treelstm::{Direction, TreeLstmConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_model(seed: u64) -> TrainedModel {
+        let config = EncoderConfig::TreeLstm(TreeLstmConfig {
+            embed_dim: 4,
+            hidden: 4,
+            layers: 1,
+            direction: Direction::Uni,
+            sigmoid_candidate: false,
+        });
+        let mut params = Params::new();
+        let comparator = Comparator::new(&config, &mut params, &mut StdRng::seed_from_u64(seed));
+        TrainedModel { comparator, params }
+    }
+
+    #[test]
+    fn register_and_resolve_by_name_and_version() {
+        let mut reg = ModelRegistry::new();
+        reg.register(DEFAULT_MODEL, 1, tiny_model(1));
+        reg.register(DEFAULT_MODEL, 2, tiny_model(2));
+        reg.register("gcn-ab", 1, tiny_model(3));
+
+        // Default selector → default name, latest version.
+        let latest = reg.resolve(&ModelSelector::default()).unwrap();
+        assert_eq!((latest.name.as_str(), latest.version), ("default", 2));
+
+        let pinned = reg
+            .resolve(&ModelSelector {
+                name: None,
+                version: Some(1),
+            })
+            .unwrap();
+        assert_eq!(pinned.version, 1);
+
+        let named = reg
+            .resolve(&ModelSelector {
+                name: Some("gcn-ab".into()),
+                version: None,
+            })
+            .unwrap();
+        assert_eq!(named.name, "gcn-ab");
+
+        assert!(matches!(
+            reg.resolve(&ModelSelector {
+                name: Some("nope".into()),
+                version: None
+            }),
+            Err(RegistryError::UnknownModel(_))
+        ));
+        assert!(matches!(
+            reg.resolve(&ModelSelector {
+                name: None,
+                version: Some(9)
+            }),
+            Err(RegistryError::UnknownVersion(_, 9))
+        ));
+    }
+
+    #[test]
+    fn register_next_assigns_sequential_versions() {
+        let mut reg = ModelRegistry::new();
+        assert_eq!(reg.register_next("m", tiny_model(1)).version, 1);
+        assert_eq!(reg.register_next("m", tiny_model(2)).version, 2);
+        assert_eq!(reg.entry_count(), 2);
+        assert_eq!(reg.list(), vec![("m".to_string(), vec![1, 2])]);
+    }
+
+    #[test]
+    fn load_dir_roundtrips_versions_from_disk() {
+        let dir = std::env::temp_dir().join(format!(
+            "ccsa-registry-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let m1 = tiny_model(10);
+        let m2 = tiny_model(11);
+        persist::save_version(&dir, &m1).unwrap();
+        persist::save_version(&dir, &m2).unwrap();
+
+        let mut reg = ModelRegistry::new();
+        assert_eq!(reg.load_dir(DEFAULT_MODEL, &dir).unwrap(), 2);
+        let latest = reg.resolve(&ModelSelector::default()).unwrap();
+        assert_eq!(latest.version, 2);
+        // Loaded weights match what was saved (spot-check one tensor).
+        assert_eq!(
+            latest.model.params.get("cls.w").as_slice(),
+            m2.params.get("cls.w").as_slice()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_dir_of_missing_directory_is_empty() {
+        let mut reg = ModelRegistry::new();
+        let n = reg
+            .load_dir(DEFAULT_MODEL, Path::new("/nonexistent/ccsa-models"))
+            .unwrap();
+        assert_eq!(n, 0);
+        assert!(reg.resolve(&ModelSelector::default()).is_err());
+    }
+}

@@ -1,0 +1,695 @@
+//! Minimal, hermetic stand-in for the `proptest` crate.
+//!
+//! Implements the slice of the proptest API this workspace's property
+//! tests use — strategies (ranges, tuples, collections, `prop_oneof!`,
+//! `prop_recursive`, sample/select, a small regex-class string strategy),
+//! the `proptest!` macro and the `prop_assert*` family — on top of the
+//! vendored [`rand`] shim.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its case index and the
+//!   deterministic seed, which is enough to replay it under a debugger.
+//! * **Deterministic cases.** Each test function derives its RNG stream
+//!   from a hash of its own name, so failures are reproducible across
+//!   runs and machines (real proptest defaults to OS entropy).
+//! * **String strategies** support only the character-class pattern shape
+//!   actually used in-tree: `[class]{min,max}` with ranges and escapes.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, RngExt, SeedableRng};
+
+/// Test-case level error: a failed assertion or a rejected (assumed-away)
+/// input.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the runner panics with this message.
+    Fail(String),
+    /// The input was rejected by `prop_assume!`; the case is skipped.
+    Reject(String),
+}
+
+/// Runner configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test function.
+    pub cases: u32,
+    /// Abort the test once this many inputs were rejected by
+    /// `prop_assume!` (guards against assumptions that filter everything
+    /// out).
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// The RNG handed to strategies (a thin wrapper so the public surface
+/// matches proptest's `TestRng` naming).
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministic per-test stream: seed derived from the test name.
+    pub fn for_test(test_name: &str, case: u32) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(
+            h ^ ((case as u64) << 32 | case as u64),
+        ))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A generator of random values of one type.
+///
+/// Unlike real proptest there is no value tree: `generate` produces the
+/// final value directly and failures are never shrunk.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy behind an `Arc` (cloneable, object-safe).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(move |rng: &mut TestRng| self.generate(rng)))
+    }
+
+    /// Recursive strategies: `f` receives a strategy for the recursive
+    /// positions (a mix of leaves and the previous level) and returns the
+    /// next level. `depth` bounds the recursion tower; `_desired_size` and
+    /// `_expected_branch` are accepted for API compatibility and ignored.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf = self.boxed();
+        let mut level = leaf.clone();
+        for _ in 0..depth {
+            // Bias towards leaves so expected tree size stays finite.
+            let inner = Union::new(vec![leaf.clone(), leaf.clone(), level]).boxed();
+            level = f(inner).boxed();
+        }
+        level
+    }
+}
+
+/// A cloneable, type-erased strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> BoxedStrategy<T> {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between same-typed strategies (`prop_oneof!` backend).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A uniform union over `arms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let ix = rng.random_range(0..self.arms.len());
+        self.arms[ix].generate(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+/// Types with a canonical strategy, for [`any`].
+pub trait Arbitrary {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+impl Arbitrary for bool {
+    type Strategy = crate::bool::Any;
+
+    fn arbitrary() -> crate::bool::Any {
+        crate::bool::ANY
+    }
+}
+
+/// The canonical strategy for `T` (`any::<bool>()` et al.).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::{RngExt, Strategy, TestRng};
+
+    /// Uniform over `{true, false}`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.random::<bool>()
+        }
+    }
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use super::{RngExt, Strategy, TestRng};
+
+    /// Sizes accepted by [`vec`]: a fixed length or a range of lengths.
+    pub trait IntoSizeRange {
+        /// Draws a concrete length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    /// A `Vec` of values from `element`, sized by `size`.
+    pub fn vec<S: Strategy, Z: IntoSizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: IntoSizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample_len(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Strategies that sample from explicit value sets.
+pub mod sample {
+    use super::{RngExt, Strategy, TestRng};
+
+    /// Uniform choice from a non-empty vector of values.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select { options }
+    }
+
+    /// See [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.random_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+// ── String strategies (mini regex subset) ───────────────────────────────
+
+/// One parsed element of a string pattern: a set of candidate chars and a
+/// repetition count range.
+struct PatternPart {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_escape(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> char {
+    match chars.next().expect("dangling escape in string strategy") {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other, // \\ \- \] \[ etc: the char itself
+    }
+}
+
+/// Parses the supported pattern subset: literals and `[class]{min,max}`
+/// elements, where a class may contain ranges (`a-z`) and escapes.
+fn parse_pattern(pattern: &str) -> Vec<PatternPart> {
+    let mut parts = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let set: Vec<char> = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut pending: Option<char> = None;
+                loop {
+                    match chars.next().expect("unterminated character class") {
+                        ']' => {
+                            if let Some(p) = pending {
+                                set.push(p);
+                            }
+                            break;
+                        }
+                        '\\' => {
+                            if let Some(p) = pending.replace(parse_escape(&mut chars)) {
+                                set.push(p);
+                            }
+                        }
+                        '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                            let lo = pending.take().unwrap();
+                            let hi = match chars.next().unwrap() {
+                                '\\' => parse_escape(&mut chars),
+                                h => h,
+                            };
+                            assert!(lo <= hi, "inverted class range {lo}-{hi}");
+                            set.extend((lo as u32..=hi as u32).filter_map(char::from_u32));
+                        }
+                        other => {
+                            if let Some(p) = pending.replace(other) {
+                                set.push(p);
+                            }
+                        }
+                    }
+                }
+                assert!(!set.is_empty(), "empty character class");
+                set
+            }
+            '\\' => vec![parse_escape(&mut chars)],
+            other => vec![other],
+        };
+        // Optional {n} / {min,max} repetition suffix.
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for r in chars.by_ref() {
+                if r == '}' {
+                    break;
+                }
+                spec.push(r);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repetition lower bound"),
+                    hi.trim().parse().expect("bad repetition upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        parts.push(PatternPart {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    parts
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for part in parse_pattern(self) {
+            let n = rng.random_range(part.min..=part.max);
+            for _ in 0..n {
+                out.push(part.chars[rng.random_range(0..part.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Everything tests normally import, plus `prop` as an alias for this
+/// crate (so `prop::collection::vec` etc. resolve).
+pub mod prelude {
+    /// Alias for the crate root, matching proptest's prelude.
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+// ── Macros ──────────────────────────────────────────────────────────────
+
+/// Uniform choice between strategy expressions.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Fails the current test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current test case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), format!($($fmt)*), a, b
+        );
+    }};
+}
+
+/// Fails the current test case if both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a != b,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+}
+
+/// Skips the current case (without failing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` that runs `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rejected: u32 = 0;
+            for case in 0..config.cases {
+                let mut rng = $crate::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)*
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => {}
+                    ::core::result::Result::Err($crate::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        assert!(
+                            rejected < config.max_global_rejects,
+                            "too many rejected inputs in {}", stringify!($name),
+                        );
+                    }
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property '{}' failed at case {}: {}",
+                            stringify!($name), case, msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_generates_within_class() {
+        let strat = "[a-c]{2,5}";
+        let mut rng = crate::TestRng::for_test("string_pattern", 0);
+        for _ in 0..100 {
+            let s = crate::Strategy::generate(&strat, &mut rng);
+            assert!((2..=5).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn escape_classes_supported() {
+        let strat = "[ -~\\n\\t]{0,20}";
+        let mut rng = crate::TestRng::for_test("escape_classes", 1);
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&strat, &mut rng);
+            assert!(s.len() <= 20);
+            assert!(s
+                .chars()
+                .all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\t'));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..9, y in -2.0f32..2.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_maps(v in prop::collection::vec((0u8..4, any::<bool>()), 1..6)) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            for (n, _b) in v {
+                prop_assert!(n < 4);
+            }
+        }
+
+        #[test]
+        fn oneof_and_select(
+            pick in prop_oneof![Just(1i64), Just(2), 10i64..20],
+            tag in prop::sample::select(vec!["a", "b"]),
+        ) {
+            prop_assert!(pick == 1 || pick == 2 || (10..20).contains(&pick));
+            prop_assert!(tag == "a" || tag == "b");
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum T {
+            Leaf(i64),
+            Node(Box<T>, Box<T>),
+        }
+        fn size(t: &T) -> usize {
+            match t {
+                T::Leaf(v) => {
+                    assert!((0..10).contains(v), "leaf {v} outside its strategy range");
+                    1
+                }
+                T::Node(a, b) => 1 + size(a) + size(b),
+            }
+        }
+        let strat = (0i64..10)
+            .prop_map(T::Leaf)
+            .prop_recursive(4, 32, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
+            });
+        let mut rng = crate::TestRng::for_test("recursive", 0);
+        for _ in 0..200 {
+            let t = crate::Strategy::generate(&strat, &mut rng);
+            assert!(size(&t) >= 1);
+        }
+    }
+}

@@ -55,7 +55,11 @@ pub fn grad_check(
         f(&tape, &vars).0.value().item()
     };
 
-    let mut report = GradCheckReport { max_rel_error: 0.0, worst_input: 0, worst_coord: 0 };
+    let mut report = GradCheckReport {
+        max_rel_error: 0.0,
+        worst_input: 0,
+        worst_coord: 0,
+    };
     for (i, input) in inputs.iter().enumerate() {
         for c in 0..input.len() {
             let mut plus: Vec<Tensor> = inputs.to_vec();
@@ -67,7 +71,11 @@ pub fn grad_check(
             let denom = (a.abs() + numeric.abs()).max(1e-3);
             let rel = (a - numeric).abs() / denom;
             if rel > report.max_rel_error {
-                report = GradCheckReport { max_rel_error: rel, worst_input: i, worst_coord: c };
+                report = GradCheckReport {
+                    max_rel_error: rel,
+                    worst_input: i,
+                    worst_coord: c,
+                };
             }
         }
     }

@@ -28,10 +28,10 @@
 //! assert_eq!(grads.get(w).shape().dims(), &[2, 2]);
 //! ```
 
-mod shape;
-mod tensor;
-mod tape;
 mod grad_check;
+mod shape;
+mod tape;
+mod tensor;
 
 pub use grad_check::{grad_check, GradCheckReport, TapeScalar};
 pub use shape::Shape;

@@ -16,18 +16,27 @@ pub struct Shape {
 
 impl Shape {
     /// A scalar shape (rank 0, one element).
-    pub const SCALAR: Shape = Shape { dims: [1, 1], rank: 0 };
+    pub const SCALAR: Shape = Shape {
+        dims: [1, 1],
+        rank: 0,
+    };
 
     /// Creates a vector shape of length `n`.
     #[inline]
     pub fn vector(n: usize) -> Shape {
-        Shape { dims: [n, 1], rank: 1 }
+        Shape {
+            dims: [n, 1],
+            rank: 1,
+        }
     }
 
     /// Creates a matrix shape with `rows` rows and `cols` columns.
     #[inline]
     pub fn matrix(rows: usize, cols: usize) -> Shape {
-        Shape { dims: [rows, cols], rank: 2 }
+        Shape {
+            dims: [rows, cols],
+            rank: 2,
+        }
     }
 
     /// The rank of the shape: 0, 1 or 2.

@@ -80,7 +80,12 @@ impl Adjacency {
     fn apply(rows: &[Vec<(u32, f32)>], h: &Tensor) -> Tensor {
         let n = rows.len();
         let d = h.shape().cols();
-        assert_eq!(h.shape().rows(), n, "spmm: H has {} rows, adjacency has {n}", h.shape().rows());
+        assert_eq!(
+            h.shape().rows(),
+            n,
+            "spmm: H has {} rows, adjacency has {n}",
+            h.shape().rows()
+        );
         let src = h.as_slice();
         let mut out = vec![0.0f32; n * d];
         for (i, row) in rows.iter().enumerate() {
@@ -125,7 +130,11 @@ enum Op {
     /// `A · Bᵀ` without materialising the transpose (batched linear).
     MatMulNt(usize, usize),
     /// Fused `W·x (+ b)` — the hot path of every LSTM gate.
-    Linear { w: usize, x: usize, b: Option<usize> },
+    Linear {
+        w: usize,
+        x: usize,
+        b: Option<usize>,
+    },
     Sigmoid(usize),
     Tanh(usize),
     Relu(usize),
@@ -136,11 +145,23 @@ enum Op {
     AddN(Vec<usize>),
     Stack(Vec<usize>),
     Row(usize, usize),
-    Gather { table: usize, indices: Arc<Vec<usize>> },
-    SpMm { adj: Arc<Adjacency>, h: usize },
+    Gather {
+        table: usize,
+        indices: Arc<Vec<usize>>,
+    },
+    SpMm {
+        adj: Arc<Adjacency>,
+        h: usize,
+    },
     MeanRows(usize),
-    AddRowBroadcast { m: usize, v: usize },
-    BceWithLogits { logit: usize, target: f32 },
+    AddRowBroadcast {
+        m: usize,
+        v: usize,
+    },
+    BceWithLogits {
+        logit: usize,
+        target: f32,
+    },
 }
 
 struct Node {
@@ -201,7 +222,10 @@ impl Tape {
     fn push(&self, op: Op, value: Tensor) -> Var<'_> {
         let mut nodes = self.nodes.borrow_mut();
         nodes.push(Node { op, value });
-        Var { tape: self, id: nodes.len() - 1 }
+        Var {
+            tape: self,
+            id: nodes.len() - 1,
+        }
     }
 
     fn value_of(&self, id: usize) -> Tensor {
@@ -229,11 +253,18 @@ impl Tape {
         let mut data = Vec::new();
         for p in parts {
             let v = self.value_of(p.id);
-            assert!(v.shape().rank() <= 1, "concat expects vectors, got {}", v.shape());
+            assert!(
+                v.shape().rank() <= 1,
+                "concat expects vectors, got {}",
+                v.shape()
+            );
             data.extend_from_slice(v.as_slice());
         }
         let n = data.len();
-        self.push(Op::Concat(parts.iter().map(|p| p.id).collect()), Tensor::from_vec(data, [n]))
+        self.push(
+            Op::Concat(parts.iter().map(|p| p.id).collect()),
+            Tensor::from_vec(data, [n]),
+        )
     }
 
     /// Sums any number of same-shape variables.
@@ -271,7 +302,10 @@ impl Tape {
             data.extend_from_slice(v.as_slice());
         }
         let k = parts.len();
-        self.push(Op::Stack(parts.iter().map(|p| p.id).collect()), Tensor::from_vec(data, [k, d]))
+        self.push(
+            Op::Stack(parts.iter().map(|p| p.id).collect()),
+            Tensor::from_vec(data, [k, d]),
+        )
     }
 
     /// Gathers rows of an embedding `table` (`[v, d]`): output is `[k, d]`
@@ -286,15 +320,29 @@ impl Tape {
     pub fn gather<'t>(&'t self, table: Var<'t>, indices: impl Into<Arc<Vec<usize>>>) -> Var<'t> {
         let indices = indices.into();
         let t = self.value_of(table.id);
-        assert_eq!(t.shape().rank(), 2, "gather table must be rank 2, got {}", t.shape());
+        assert_eq!(
+            t.shape().rank(),
+            2,
+            "gather table must be rank 2, got {}",
+            t.shape()
+        );
         let (v, d) = (t.shape().rows(), t.shape().cols());
         let mut data = Vec::with_capacity(indices.len() * d);
         for &ix in indices.iter() {
-            assert!(ix < v, "gather index {ix} out of range for table with {v} rows");
+            assert!(
+                ix < v,
+                "gather index {ix} out of range for table with {v} rows"
+            );
             data.extend_from_slice(&t.as_slice()[ix * d..(ix + 1) * d]);
         }
         let k = indices.len();
-        self.push(Op::Gather { table: table.id, indices }, Tensor::from_vec(data, [k, d]))
+        self.push(
+            Op::Gather {
+                table: table.id,
+                indices,
+            },
+            Tensor::from_vec(data, [k, d]),
+        )
     }
 
     /// Sparse-dense product `Â · H` for graph convolutions.
@@ -316,9 +364,16 @@ impl Tape {
     /// Panics if `root` does not hold exactly one element or belongs to a
     /// different tape.
     pub fn backward(&self, root: Var<'_>) -> Gradients {
-        assert!(std::ptr::eq(root.tape, self), "backward: var from another tape");
+        assert!(
+            std::ptr::eq(root.tape, self),
+            "backward: var from another tape"
+        );
         let nodes = self.nodes.borrow();
-        assert_eq!(nodes[root.id].value.len(), 1, "backward root must be scalar");
+        assert_eq!(
+            nodes[root.id].value.len(),
+            1,
+            "backward root must be scalar"
+        );
         let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
         grads[root.id] = Some(Tensor::ones(nodes[root.id].value.shape()));
 
@@ -386,12 +441,22 @@ impl Tape {
                 }
                 Op::Sum(a) => {
                     let gi = g.item();
-                    accumulate(&mut grads, *a, Tensor::full(nodes[*a].value.shape(), gi), &nodes);
+                    accumulate(
+                        &mut grads,
+                        *a,
+                        Tensor::full(nodes[*a].value.shape(), gi),
+                        &nodes,
+                    );
                 }
                 Op::Mean(a) => {
                     let n = nodes[*a].value.len().max(1) as f32;
                     let gi = g.item() / n;
-                    accumulate(&mut grads, *a, Tensor::full(nodes[*a].value.shape(), gi), &nodes);
+                    accumulate(
+                        &mut grads,
+                        *a,
+                        Tensor::full(nodes[*a].value.shape(), gi),
+                        &nodes,
+                    );
                 }
                 Op::Dot(a, b) => {
                     let gi = g.item();
@@ -516,7 +581,10 @@ impl<'t> Var<'t> {
     }
 
     fn same_tape(&self, other: &Var<'t>) {
-        assert!(std::ptr::eq(self.tape, other.tape), "vars from different tapes");
+        assert!(
+            std::ptr::eq(self.tape, other.tape),
+            "vars from different tapes"
+        );
     }
 
     /// Elementwise sum.
@@ -524,6 +592,9 @@ impl<'t> Var<'t> {
     /// # Panics
     ///
     /// Panics if shapes differ or the variables come from different tapes.
+    // Named after the tensor ops rather than std::ops traits: operator
+    // impls cannot carry the tape lifetime bookkeeping these need.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Var<'t>) -> Var<'t> {
         self.same_tape(&other);
         let v = self.value().add(&other.value());
@@ -535,6 +606,7 @@ impl<'t> Var<'t> {
     /// # Panics
     ///
     /// Panics if shapes differ or the variables come from different tapes.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Var<'t>) -> Var<'t> {
         self.same_tape(&other);
         let v = self.value().sub(&other.value());
@@ -546,6 +618,7 @@ impl<'t> Var<'t> {
     /// # Panics
     ///
     /// Panics if shapes differ or the variables come from different tapes.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Var<'t>) -> Var<'t> {
         self.same_tape(&other);
         let v = self.value().mul(&other.value());
@@ -590,7 +663,14 @@ impl<'t> Var<'t> {
     pub fn matvec(self, x: Var<'t>) -> Var<'t> {
         self.same_tape(&x);
         let v = self.value().matvec(&x.value());
-        self.tape.push(Op::Linear { w: self.id, x: x.id, b: None }, v)
+        self.tape.push(
+            Op::Linear {
+                w: self.id,
+                x: x.id,
+                b: None,
+            },
+            v,
+        )
     }
 
     /// Fused affine map `self · x + b` — one node instead of two, the hot
@@ -603,7 +683,14 @@ impl<'t> Var<'t> {
         self.same_tape(&x);
         self.same_tape(&b);
         let v = self.value().matvec(&x.value()).add(&b.value());
-        self.tape.push(Op::Linear { w: self.id, x: x.id, b: Some(b.id) }, v)
+        self.tape.push(
+            Op::Linear {
+                w: self.id,
+                x: x.id,
+                b: Some(b.id),
+            },
+            v,
+        )
     }
 
     /// Elementwise logistic sigmoid.
@@ -667,7 +754,12 @@ impl<'t> Var<'t> {
         self.same_tape(&v);
         let m = self.value();
         let b = v.value();
-        assert_eq!(m.shape().rank(), 2, "add_row_broadcast lhs must be rank 2, got {}", m.shape());
+        assert_eq!(
+            m.shape().rank(),
+            2,
+            "add_row_broadcast lhs must be rank 2, got {}",
+            m.shape()
+        );
         assert_eq!(
             m.shape().cols(),
             b.len(),
@@ -683,7 +775,10 @@ impl<'t> Var<'t> {
             }
         }
         self.tape.push(
-            Op::AddRowBroadcast { m: self.id, v: v.id },
+            Op::AddRowBroadcast {
+                m: self.id,
+                v: v.id,
+            },
             Tensor::from_vec(out, [n, d]),
         )
     }
@@ -699,16 +794,19 @@ impl<'t> Var<'t> {
         assert_eq!(v.shape().rank(), 2, "mean_rows on {}", v.shape());
         let (n, d) = (v.shape().rows(), v.shape().cols());
         let mut out = vec![0.0f32; d];
-        for i in 0..n {
-            for j in 0..d {
-                out[j] += v.as_slice()[i * d + j];
+        if d > 0 {
+            for row in v.as_slice().chunks_exact(d).take(n) {
+                for (o, &x) in out.iter_mut().zip(row) {
+                    *o += x;
+                }
             }
         }
         let inv = 1.0 / n.max(1) as f32;
         for o in &mut out {
             *o *= inv;
         }
-        self.tape.push(Op::MeanRows(self.id), Tensor::from_vec(out, [d]))
+        self.tape
+            .push(Op::MeanRows(self.id), Tensor::from_vec(out, [d]))
     }
 
     /// Numerically stable binary cross-entropy between `sigmoid(self)` and a
@@ -723,7 +821,13 @@ impl<'t> Var<'t> {
     pub fn bce_with_logits(self, target: f32) -> Var<'t> {
         let z = self.value().item();
         let loss = z.max(0.0) - z * target + (1.0 + (-z.abs()).exp()).ln();
-        self.tape.push(Op::BceWithLogits { logit: self.id, target }, Tensor::scalar(loss))
+        self.tape.push(
+            Op::BceWithLogits {
+                logit: self.id,
+                target,
+            },
+            Tensor::scalar(loss),
+        )
     }
 }
 
@@ -745,7 +849,9 @@ impl Gradients {
     /// Like [`Gradients::get`] but returns zeros shaped like the variable's
     /// value when it received no gradient.
     pub fn get_or_zeros(&self, var: Var<'_>) -> Tensor {
-        self.grads[var.id].clone().unwrap_or_else(|| Tensor::zeros(var.value().shape()))
+        self.grads[var.id]
+            .clone()
+            .unwrap_or_else(|| Tensor::zeros(var.value().shape()))
     }
 
     /// Whether the variable received any gradient.

@@ -44,18 +44,27 @@ impl Tensor {
             "tensor data length {} does not match shape {shape}",
             data.len()
         );
-        Tensor { shape, data: Arc::new(data) }
+        Tensor {
+            shape,
+            data: Arc::new(data),
+        }
     }
 
     /// Creates a rank-0 tensor holding a single value.
     pub fn scalar(value: f32) -> Tensor {
-        Tensor { shape: Shape::SCALAR, data: Arc::new(vec![value]) }
+        Tensor {
+            shape: Shape::SCALAR,
+            data: Arc::new(vec![value]),
+        }
     }
 
     /// Creates a tensor of zeros.
     pub fn zeros(shape: impl Into<Shape>) -> Tensor {
         let shape = shape.into();
-        Tensor { shape, data: Arc::new(vec![0.0; shape.len()]) }
+        Tensor {
+            shape,
+            data: Arc::new(vec![0.0; shape.len()]),
+        }
     }
 
     /// Creates a tensor of ones.
@@ -66,7 +75,10 @@ impl Tensor {
     /// Creates a tensor filled with `value`.
     pub fn full(shape: impl Into<Shape>, value: f32) -> Tensor {
         let shape = shape.into();
-        Tensor { shape, data: Arc::new(vec![value; shape.len()]) }
+        Tensor {
+            shape,
+            data: Arc::new(vec![value; shape.len()]),
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -125,9 +137,18 @@ impl Tensor {
     /// Panics if the tensor is not rank 2 or indices are out of bounds.
     #[inline]
     pub fn at(&self, row: usize, col: usize) -> f32 {
-        assert_eq!(self.shape.rank(), 2, "at() on tensor of shape {}", self.shape);
+        assert_eq!(
+            self.shape.rank(),
+            2,
+            "at() on tensor of shape {}",
+            self.shape
+        );
         let cols = self.shape.cols();
-        assert!(row < self.shape.rows() && col < cols, "index ({row},{col}) out of bounds for {}", self.shape);
+        assert!(
+            row < self.shape.rows() && col < cols,
+            "index ({row},{col}) out of bounds for {}",
+            self.shape
+        );
         self.data[row * cols + col]
     }
 
@@ -137,9 +158,18 @@ impl Tensor {
     ///
     /// Panics if the tensor is not rank 2 or `r` is out of bounds.
     pub fn row(&self, r: usize) -> Tensor {
-        assert_eq!(self.shape.rank(), 2, "row() on tensor of shape {}", self.shape);
+        assert_eq!(
+            self.shape.rank(),
+            2,
+            "row() on tensor of shape {}",
+            self.shape
+        );
         let cols = self.shape.cols();
-        assert!(r < self.shape.rows(), "row {r} out of bounds for {}", self.shape);
+        assert!(
+            r < self.shape.rows(),
+            "row {r} out of bounds for {}",
+            self.shape
+        );
         Tensor::from_vec(self.data[r * cols..(r + 1) * cols].to_vec(), [cols])
     }
 
@@ -150,8 +180,16 @@ impl Tensor {
     /// Panics if the new shape has a different number of elements.
     pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
         let shape = shape.into();
-        assert_eq!(shape.len(), self.len(), "cannot reshape {} into {shape}", self.shape);
-        Tensor { shape, data: Arc::clone(&self.data) }
+        assert_eq!(
+            shape.len(),
+            self.len(),
+            "cannot reshape {} into {shape}",
+            self.shape
+        );
+        Tensor {
+            shape,
+            data: Arc::clone(&self.data),
+        }
     }
 
     /// Applies `f` elementwise, producing a new tensor.
@@ -168,10 +206,20 @@ impl Tensor {
     ///
     /// Panics if shapes differ.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
-        assert_eq!(self.shape, other.shape, "shape mismatch: {} vs {}", self.shape, other.shape);
+        assert_eq!(
+            self.shape, other.shape,
+            "shape mismatch: {} vs {}",
+            self.shape, other.shape
+        );
         Tensor {
             shape: self.shape,
-            data: Arc::new(self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect()),
+            data: Arc::new(
+                self.data
+                    .iter()
+                    .zip(other.data.iter())
+                    .map(|(&a, &b)| f(a, b))
+                    .collect(),
+            ),
         }
     }
 
@@ -213,7 +261,11 @@ impl Tensor {
     ///
     /// Panics if shapes differ.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
-        assert_eq!(self.shape, other.shape, "shape mismatch: {} vs {}", self.shape, other.shape);
+        assert_eq!(
+            self.shape, other.shape,
+            "shape mismatch: {} vs {}",
+            self.shape, other.shape
+        );
         let dst = Arc::make_mut(&mut self.data);
         for (d, &s) in dst.iter_mut().zip(other.data.iter()) {
             *d += alpha * s;
@@ -240,8 +292,18 @@ impl Tensor {
     ///
     /// Panics if lengths differ.
     pub fn dot(&self, other: &Tensor) -> f32 {
-        assert_eq!(self.len(), other.len(), "dot length mismatch: {} vs {}", self.shape, other.shape);
-        self.data.iter().zip(other.data.iter()).map(|(&a, &b)| a * b).sum()
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "dot length mismatch: {} vs {}",
+            self.shape,
+            other.shape
+        );
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| a * b)
+            .sum()
     }
 
     /// Euclidean (L2) norm of the flattened tensor.
@@ -276,11 +338,25 @@ impl Tensor {
     ///
     /// Panics unless `self` is `[m, k]` and `other` is `[k, n]`.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.shape.rank(), 2, "matmul lhs must be rank 2, got {}", self.shape);
-        assert_eq!(other.shape.rank(), 2, "matmul rhs must be rank 2, got {}", other.shape);
+        assert_eq!(
+            self.shape.rank(),
+            2,
+            "matmul lhs must be rank 2, got {}",
+            self.shape
+        );
+        assert_eq!(
+            other.shape.rank(),
+            2,
+            "matmul rhs must be rank 2, got {}",
+            other.shape
+        );
         let (m, k) = (self.shape.rows(), self.shape.cols());
         let (k2, n) = (other.shape.rows(), other.shape.cols());
-        assert_eq!(k, k2, "matmul inner dimension mismatch: {} vs {}", self.shape, other.shape);
+        assert_eq!(
+            k, k2,
+            "matmul inner dimension mismatch: {} vs {}",
+            self.shape, other.shape
+        );
         let a = &self.data;
         let b = &other.data;
         let mut out = vec![0.0f32; m * n];
@@ -307,14 +383,31 @@ impl Tensor {
     ///
     /// Panics unless `self` is `[m, k]` and `x` is a vector of length `k`.
     pub fn matvec(&self, x: &Tensor) -> Tensor {
-        assert_eq!(self.shape.rank(), 2, "matvec lhs must be rank 2, got {}", self.shape);
-        assert_eq!(x.shape.rank(), 1, "matvec rhs must be rank 1, got {}", x.shape);
+        assert_eq!(
+            self.shape.rank(),
+            2,
+            "matvec lhs must be rank 2, got {}",
+            self.shape
+        );
+        assert_eq!(
+            x.shape.rank(),
+            1,
+            "matvec rhs must be rank 1, got {}",
+            x.shape
+        );
         let (m, k) = (self.shape.rows(), self.shape.cols());
-        assert_eq!(k, x.len(), "matvec dimension mismatch: {} vs {}", self.shape, x.shape);
+        assert_eq!(
+            k,
+            x.len(),
+            "matvec dimension mismatch: {} vs {}",
+            self.shape,
+            x.shape
+        );
         let mut out = vec![0.0f32; m];
-        for i in 0..m {
-            let row = &self.data[i * k..(i + 1) * k];
-            out[i] = row.iter().zip(x.data.iter()).map(|(&a, &b)| a * b).sum();
+        if k > 0 {
+            for (o, row) in out.iter_mut().zip(self.data.chunks_exact(k)) {
+                *o = row.iter().zip(x.data.iter()).map(|(&a, &b)| a * b).sum();
+            }
         }
         Tensor::from_vec(out, [m])
     }
@@ -325,8 +418,18 @@ impl Tensor {
     ///
     /// Panics unless both tensors are rank 1.
     pub fn outer(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.shape.rank(), 1, "outer lhs must be rank 1, got {}", self.shape);
-        assert_eq!(other.shape.rank(), 1, "outer rhs must be rank 1, got {}", other.shape);
+        assert_eq!(
+            self.shape.rank(),
+            1,
+            "outer lhs must be rank 1, got {}",
+            self.shape
+        );
+        assert_eq!(
+            other.shape.rank(),
+            1,
+            "outer rhs must be rank 1, got {}",
+            other.shape
+        );
         let (m, n) = (self.len(), other.len());
         let mut out = vec![0.0f32; m * n];
         for i in 0..m {
@@ -347,7 +450,11 @@ impl Tensor {
     ///
     /// Panics if shapes differ.
     pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
-        assert_eq!(self.shape, other.shape, "shape mismatch: {} vs {}", self.shape, other.shape);
+        assert_eq!(
+            self.shape, other.shape,
+            "shape mismatch: {} vs {}",
+            self.shape, other.shape
+        );
         self.data
             .iter()
             .zip(other.data.iter())
@@ -372,7 +479,11 @@ impl fmt::Debug for Tensor {
             write!(
                 f,
                 "[{}, … ; {} elems]",
-                self.data[..4].iter().map(|x| format!("{x:.4}")).collect::<Vec<_>>().join(", "),
+                self.data[..4]
+                    .iter()
+                    .map(|x| format!("{x:.4}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
                 self.len()
             )
         }

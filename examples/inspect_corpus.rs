@@ -17,10 +17,16 @@ fn main() {
         spec.family.algorithms()
     );
     for s in &spec.strategies {
-        println!("  - {:<14} weight {:.2}  cost rank {}", s.name, s.weight, s.cost_rank);
+        println!(
+            "  - {:<14} weight {:.2}  cost rank {}",
+            s.name, s.weight, s.cost_rank
+        );
     }
 
-    let config = CorpusConfig { submissions_per_problem: 12, ..CorpusConfig::tiny(99) };
+    let config = CorpusConfig {
+        submissions_per_problem: 12,
+        ..CorpusConfig::tiny(99)
+    };
     let ds = ProblemDataset::generate(spec, &config).expect("corpus generation");
 
     // The fastest and slowest submission of this small batch.

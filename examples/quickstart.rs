@@ -16,7 +16,9 @@ fn main() {
     let mut config = PipelineConfig::default_experiment(7);
     config.corpus.submissions_per_problem = 60; // keep the example snappy
     config.train.epochs = 5;
-    let outcome = Pipeline::new(config).run_single(ProblemTag::E).expect("corpus generation");
+    let outcome = Pipeline::new(config)
+        .run_single(ProblemTag::E)
+        .expect("corpus generation");
     println!("held-out pair accuracy: {:.3}", outcome.test_accuracy);
     println!("ROC AUC:                {:.3}", outcome.eval.roc().auc);
 

@@ -46,7 +46,9 @@ fn main() {
     println!("training the gate model on problem H (DP) …");
     let mut config = PipelineConfig::default_experiment(23);
     config.corpus.submissions_per_problem = 60;
-    let outcome = Pipeline::new(config).run_single(ProblemTag::H).expect("corpus generation");
+    let outcome = Pipeline::new(config)
+        .run_single(ProblemTag::H)
+        .expect("corpus generation");
     println!("held-out pair accuracy: {:.3}\n", outcome.test_accuracy);
 
     let commits = history();
@@ -58,7 +60,11 @@ fn main() {
         println!(
             "  {:<48} P(slower)={p:.2}  {}",
             format!("'{prev_msg}' → '{msg}'"),
-            if flagged { "⚠ FLAG: likely regression" } else { "ok" }
+            if flagged {
+                "⚠ FLAG: likely regression"
+            } else {
+                "ok"
+            }
         );
     }
     println!(

@@ -10,8 +10,8 @@
 //! ```
 
 use ccsa::corpus::gen::Style;
-use ccsa::corpus::spec::{ProblemSpec, ProblemTag};
 use ccsa::corpus::problems;
+use ccsa::corpus::spec::{ProblemSpec, ProblemTag};
 use ccsa::cppast::print_program;
 use ccsa::model::pipeline::{Pipeline, PipelineConfig};
 
@@ -20,7 +20,9 @@ fn main() {
     let mut config = PipelineConfig::default_experiment(11);
     config.corpus.submissions_per_problem = 60;
     let pipeline = Pipeline::new(config);
-    let outcome = pipeline.run_single(ProblemTag::B).expect("corpus generation");
+    let outcome = pipeline
+        .run_single(ProblemTag::B)
+        .expect("corpus generation");
     println!("held-out pair accuracy: {:.3}\n", outcome.test_accuracy);
 
     // Three real alternative solutions from the family templates — the

@@ -2,20 +2,51 @@
 //!
 //! A Rust reproduction of *"Comparative Code Structure Analysis using Deep
 //! Learning for Performance Prediction"* (Ramadan, Islam, Phelps, Pinnow,
-//! Thiagarajan — ISPASS 2021, arXiv:2102.07660).
+//! Thiagarajan — ISPASS 2021, arXiv:2102.07660), grown into a system that
+//! also *serves* the trained models.
 //!
 //! Given two versions of a program, CCSA predicts **from the abstract
 //! syntax trees alone** whether the second will run faster or slower than
-//! the first on the same machine and inputs. The system comprises:
+//! the first on the same machine and inputs.
 //!
-//! * [`tensor`] — dense tensors + reverse-mode autograd (PyTorch substitute)
-//! * [`cppast`] — mini-C++ frontend producing ASTs (ROSE compiler substitute)
-//! * [`corpus`] — synthetic Codeforces-style corpus: program generator, a
-//!   cost-model interpreter and a judge producing runtime labels
-//! * [`nn`] — embeddings, child-sum tree-LSTM variants (uni-/bi-directional,
-//!   alternating), GCN baseline, optimizers
-//! * [`model`] — pair generation, training, evaluation (accuracy/ROC/AUC),
-//!   sensitivity analysis, t-SNE and hyper-parameter search
+//! ## Architecture
+//!
+//! The workspace is layered; each crate only depends on those above it:
+//!
+//! ```text
+//! ┌─────────────────────────────────────────────────────────────────┐
+//! │ tensor   dense tensors + reverse-mode autograd (PyTorch substitute)
+//! ├─────────────────────────────────────────────────────────────────┤
+//! │ cppast   mini-C++ lexer/parser/printer → AstGraph (ROSE substitute)
+//! │          + canonical structural hashing (serving cache keys)
+//! ├─────────────────────────────────────────────────────────────────┤
+//! │ corpus   synthetic Codeforces-style corpus: program generator,
+//! │          cost-model interpreter, judge → labelled submissions
+//! ├─────────────────────────────────────────────────────────────────┤
+//! │ nn       embeddings, child-sum tree-LSTM variants, GCN baseline,
+//! │          optimizers, data-parallel batching (batched encode entry)
+//! ├─────────────────────────────────────────────────────────────────┤
+//! │ model    pairs → training → evaluation → versioned persistence
+//! ├─────────────────────────────────────────────────────────────────┤
+//! │ serve    the inference engine: model registry, LRU embedding
+//! │          cache keyed by canonical AST hash, micro-batched encoder
+//! │          worker pool, K-way ranking API, JSON-lines `serve` binary
+//! └─────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! **Training path:** `corpus` generates structurally diverse correct
+//! solutions per problem, the interpreter + judge label each with a
+//! calibrated runtime, `model` samples labelled pairs (Eq. 1) and trains
+//! the shared-encoder comparator with BCE.
+//!
+//! **Serving path:** [`serve::ServeEngine`](ccsa_serve::ServeEngine)
+//! loads versioned artefacts (`model-v<N>.ccsm`) into a registry, parses
+//! incoming sources, reuses latent codes from an LRU cache keyed by
+//! [`AstGraph::canonical_hash`](ccsa_cppast::AstGraph::canonical_hash)
+//! (hits skip the encoder; only the 2·d classifier head runs), batches
+//! cache misses into fused encoder forward passes across a worker pool,
+//! and answers `compare` / `rank` / `stats` ops — in-process or over
+//! JSON-lines via the `serve` binary.
 //!
 //! ## Quickstart
 //!
@@ -28,6 +59,26 @@
 //! let config = PipelineConfig::tiny(7);
 //! let outcome = Pipeline::new(config).run_single(ProblemTag::H).unwrap();
 //! assert!(outcome.test_accuracy >= 0.0 && outcome.test_accuracy <= 1.0);
+//! ```
+//!
+//! ## Serving quickstart
+//!
+//! ```no_run
+//! use ccsa::model::pipeline::{Pipeline, PipelineConfig};
+//! use ccsa::corpus::spec::ProblemTag;
+//! use ccsa::serve::{ModelSelector, ServeConfig, ServeEngine};
+//!
+//! let outcome = Pipeline::new(PipelineConfig::tiny(7)).run_single(ProblemTag::H)?;
+//! let engine = ServeEngine::with_model(outcome.model, &ServeConfig::default());
+//! let verdict = engine.compare(
+//!     &ModelSelector::default(),
+//!     "int main() { int n; cin >> n; long long s = 0; \
+//!      for (int i = 0; i <= n; i++) for (int j = 0; j < i; j++) s++; \
+//!      cout << s; return 0; }",
+//!     "int main() { int n; cin >> n; cout << n * (n + 1) / 2; return 0; }",
+//! ).unwrap();
+//! println!("P(first slower) = {:.3}", verdict.prob_first_slower);
+//! # Ok::<(), ccsa::corpus::InterpError>(())
 //! ```
 
 /// Dense tensors and autograd. See [`ccsa_tensor`].
@@ -53,4 +104,9 @@ pub mod nn {
 /// The comparative performance-prediction pipeline. See [`ccsa_model`].
 pub mod model {
     pub use ccsa_model::*;
+}
+
+/// The batched, cache-backed inference serving engine. See [`ccsa_serve`].
+pub mod serve {
+    pub use ccsa_serve::*;
 }

@@ -3,8 +3,8 @@
 
 use ccsa::corpus::dataset::{CorpusConfig, ProblemDataset};
 use ccsa::corpus::spec::{ProblemSpec, ProblemTag};
-use ccsa::model::pipeline::{Pipeline, PipelineConfig};
 use ccsa::model::persist::{load_params, save_params};
+use ccsa::model::pipeline::{Pipeline, PipelineConfig};
 
 #[test]
 fn pipeline_beats_chance_on_every_curated_problem_family_smoke() {
@@ -12,12 +12,21 @@ fn pipeline_beats_chance_on_every_curated_problem_family_smoke() {
     // over three easy problems beats chance clearly, and each individual
     // run is no worse than slightly-below chance.
     let mut accs = Vec::new();
-    for (seed, tag) in [(1u64, ProblemTag::E), (2, ProblemTag::H), (3, ProblemTag::G)] {
-        let outcome = Pipeline::new(PipelineConfig::tiny(seed)).run_single(tag).unwrap();
+    for (seed, tag) in [
+        (1u64, ProblemTag::E),
+        (2, ProblemTag::H),
+        (3, ProblemTag::G),
+    ] {
+        let outcome = Pipeline::new(PipelineConfig::tiny(seed))
+            .run_single(tag)
+            .unwrap();
         accs.push(outcome.test_accuracy);
     }
     let mean = accs.iter().sum::<f64>() / accs.len() as f64;
-    assert!(mean > 0.55, "mean accuracy {mean} too close to chance: {accs:?}");
+    assert!(
+        mean > 0.55,
+        "mean accuracy {mean} too close to chance: {accs:?}"
+    );
     for (i, acc) in accs.iter().enumerate() {
         assert!(*acc >= 0.45, "run {i} collapsed below chance: {acc}");
     }
@@ -44,7 +53,9 @@ fn cross_problem_transfer_is_above_chance_between_related_problems() {
 
 #[test]
 fn model_roundtrips_through_persistence() {
-    let outcome = Pipeline::new(PipelineConfig::tiny(8)).run_single(ProblemTag::H).unwrap();
+    let outcome = Pipeline::new(PipelineConfig::tiny(8))
+        .run_single(ProblemTag::H)
+        .unwrap();
     let mut buf = Vec::new();
     save_params(&outcome.model.params, &mut buf).unwrap();
     let reloaded = load_params(buf.as_slice()).unwrap();
@@ -52,20 +63,23 @@ fn model_roundtrips_through_persistence() {
     // Same prediction from the reloaded parameters.
     let a = &outcome.dataset.submissions[0].graph;
     let b = &outcome.dataset.submissions[1].graph;
-    let before = outcome.model.comparator.predict(&outcome.model.params, a, b);
+    let before = outcome
+        .model
+        .comparator
+        .predict(&outcome.model.params, a, b);
     let after = outcome.model.comparator.predict(&reloaded, a, b);
-    assert!((before - after).abs() < 1e-6, "prediction changed after reload");
+    assert!(
+        (before - after).abs() < 1e-6,
+        "prediction changed after reload"
+    );
 }
 
 #[test]
 fn corpus_sources_flow_through_the_public_frontend() {
     // Every generated submission must parse with the public API and
     // produce the same AST graph recorded in the dataset.
-    let ds = ProblemDataset::generate(
-        ProblemSpec::curated(ProblemTag::C),
-        &CorpusConfig::tiny(13),
-    )
-    .unwrap();
+    let ds = ProblemDataset::generate(ProblemSpec::curated(ProblemTag::C), &CorpusConfig::tiny(13))
+        .unwrap();
     for sub in &ds.submissions {
         let program = ccsa::cppast::parse_program(&sub.source).expect("dataset source parses");
         let graph = ccsa::cppast::AstGraph::from_program(&program);
@@ -75,11 +89,8 @@ fn corpus_sources_flow_through_the_public_frontend() {
 
 #[test]
 fn runtime_labels_follow_strategy_cost_ranks_in_aggregate() {
-    let ds = ProblemDataset::generate(
-        ProblemSpec::curated(ProblemTag::F),
-        &CorpusConfig::tiny(17),
-    )
-    .unwrap();
+    let ds = ProblemDataset::generate(ProblemSpec::curated(ProblemTag::F), &CorpusConfig::tiny(17))
+        .unwrap();
     let mean_ms = |rank: u8| -> f64 {
         let xs: Vec<f64> = ds
             .submissions
@@ -89,7 +100,10 @@ fn runtime_labels_follow_strategy_cost_ranks_in_aggregate() {
             .collect();
         xs.iter().sum::<f64>() / xs.len().max(1) as f64
     };
-    assert!(mean_ms(0) < mean_ms(2), "rank-0 strategies must be faster than rank-2 on average");
+    assert!(
+        mean_ms(0) < mean_ms(2),
+        "rank-0 strategies must be faster than rank-2 on average"
+    );
 }
 
 #[test]
@@ -100,11 +114,8 @@ fn facade_reexports_are_usable_together() {
     let graph = ccsa::cppast::AstGraph::from_program(&program);
     let mut params = ccsa::nn::Params::new();
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
-    let enc = ccsa::nn::TreeLstmEncoder::new(
-        &ccsa::nn::TreeLstmConfig::small(4),
-        &mut params,
-        &mut rng,
-    );
+    let enc =
+        ccsa::nn::TreeLstmEncoder::new(&ccsa::nn::TreeLstmConfig::small(4), &mut params, &mut rng);
     let ctx = ccsa::nn::Ctx::new(&tape, &params);
     let z = enc.encode(&ctx, &graph);
     assert_eq!(z.value().len(), 4);

@@ -29,7 +29,18 @@ fn arb_style() -> impl Strategy<Value = Style> {
         (prop::bool::ANY, any::<bool>()),
     )
         .prop_map(
-            |(helper, extra, second, recompute, endl, temp, while_p, dead, dead_loops, (flip, pre))| Style {
+            |(
+                helper,
+                extra,
+                second,
+                recompute,
+                endl,
+                temp,
+                while_p,
+                dead,
+                dead_loops,
+                (flip, pre),
+            )| Style {
                 helper_fn: helper,
                 extra_scan: extra,
                 second_extra_scan: second,
