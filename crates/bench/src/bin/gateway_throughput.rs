@@ -1,0 +1,245 @@
+//! Gateway throughput benchmark: a multi-threaded load generator driving
+//! the TCP gateway over two weighted routes.
+//!
+//! The rig: one in-process `ServeEngine` serving `default` v1 and v2,
+//! fronted by a real `Gateway` on an ephemeral port with a 75/25 route
+//! split. N client threads hold keep-alive connections and replay a
+//! realistic mix (heavy source repetition, many distinct *virtual*
+//! clients multiplexed over the connections — each request carries a
+//! `"client"` key, which is what sticky routing hashes).
+//!
+//! Reports end-to-end requests/sec plus, per route, the gateway's own
+//! rolling stats (p50/p99 latency, cache hit rate) and the observed
+//! traffic split, which must land within 5 % of the configured weights.
+//! Writes `BENCH_gateway.json`.
+//!
+//! ```sh
+//! cargo run --release -p ccsa-bench --bin gateway_throughput -- --scale quick
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ccsa_bench::{header, rule, Cli, Scale};
+use ccsa_gateway::{Gateway, GatewayClient, GatewayConfig, Route, Router};
+use ccsa_model::pipeline::{Pipeline, PipelineConfig};
+use ccsa_serve::json::Json;
+use ccsa_serve::{BatchConfig, ModelRegistry, ModelSelector, ServeConfig, ServeEngine};
+
+/// Distinct sticky-routing identities in the workload. The observed
+/// split equals the hash-assignment split of these keys exactly when the
+/// request count divides evenly, so the tolerance check measures the
+/// router, not sampling noise.
+const VIRTUAL_CLIENTS: usize = 512;
+
+const WEIGHTS: [f64; 2] = [0.75, 0.25];
+const SPLIT_TOLERANCE: f64 = 0.05;
+
+fn main() {
+    let cli = Cli::parse();
+    header(
+        "gateway_throughput — TCP gateway with weighted A/B routes",
+        &cli,
+    );
+
+    let (clients, requests_per_client) = match cli.scale {
+        Scale::Quick => (4, 256),
+        Scale::Default => (8, 512),
+        Scale::Full => (16, 1024),
+    };
+    let total_requests = clients * requests_per_client;
+
+    // A tiny trained model (throughput does not depend on accuracy);
+    // registered twice so the two routes are distinct registrations with
+    // their own cache space and stats, like a real A/B pair.
+    let outcome = Pipeline::new(PipelineConfig::tiny(cli.seed))
+        .run_single(ccsa_corpus::ProblemTag::E)
+        .expect("corpus generation");
+    let sources: Vec<String> = outcome
+        .dataset
+        .submissions
+        .iter()
+        .map(|s| s.source.clone())
+        .collect();
+    let mut registry = ModelRegistry::new();
+    registry.register("default", 1, outcome.model.clone());
+    registry.register("default", 2, outcome.model);
+
+    let engine = Arc::new(ServeEngine::new(
+        registry,
+        &ServeConfig {
+            cache_capacity: 4096,
+            batch: BatchConfig {
+                workers: ccsa_nn::parallel::default_threads(),
+                max_batch: 16,
+            },
+        },
+    ));
+
+    let router = Router::new(
+        vec![
+            Route {
+                selector: ModelSelector {
+                    name: Some("default".into()),
+                    version: Some(1),
+                },
+                weight: WEIGHTS[0],
+            },
+            Route {
+                selector: ModelSelector {
+                    name: Some("default".into()),
+                    version: Some(2),
+                },
+                weight: WEIGHTS[1],
+            },
+        ],
+        None,
+    )
+    .expect("static table is valid");
+
+    let gateway = Gateway::spawn(
+        Arc::clone(&engine),
+        router,
+        GatewayConfig {
+            max_connections: clients + 4,
+            ..GatewayConfig::default()
+        },
+    )
+    .expect("gateway spawn");
+    let addr = gateway.addr();
+    println!(
+        "gateway on {addr}: {clients} client threads × {requests_per_client} requests, \
+         {VIRTUAL_CLIENTS} virtual clients, weights {:?}\n",
+        WEIGHTS
+    );
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let sources = &sources;
+                scope.spawn(move || {
+                    let mut client = GatewayClient::connect(addr).expect("connect");
+                    for j in 0..requests_per_client {
+                        let g = c * requests_per_client + j;
+                        let key = format!("vc{}", g % VIRTUAL_CLIENTS);
+                        let a = &sources[g % sources.len()];
+                        let b = &sources[(g * 7 + 3) % sources.len()];
+                        client
+                            .compare(a, b, Some(&key))
+                            .expect("compare over the wire");
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("client thread");
+        }
+    });
+    let elapsed = start.elapsed();
+    let rps = total_requests as f64 / elapsed.as_secs_f64();
+
+    // Per-route truth from the gateway itself.
+    let mut probe = GatewayClient::connect(addr).expect("stats connect");
+    let routes_doc = probe.routes().expect("routes verb");
+    let stats_doc = probe.stats().expect("stats verb");
+    gateway.shutdown_and_join().expect("clean drain");
+
+    let routes = routes_doc.get("routes").unwrap().as_arr().unwrap().to_vec();
+    let routed_total: u64 = routes
+        .iter()
+        .map(|r| r.get("requests").unwrap().as_u64().unwrap())
+        .sum();
+    assert_eq!(
+        routed_total, total_requests as u64,
+        "every request must be routed and counted"
+    );
+
+    println!(
+        "{:<10} {:>7} {:>9} {:>10} {:>10} {:>9} {:>9} {:>7}",
+        "route", "weight", "observed", "requests", "hit rate", "p50 ms", "p99 ms", "errors"
+    );
+    rule(80);
+    let mut split_ok = true;
+    let mut route_json = Vec::new();
+    for (ix, route) in routes.iter().enumerate() {
+        let requests = route.get("requests").unwrap().as_u64().unwrap();
+        let observed = requests as f64 / routed_total as f64;
+        let configured = route.get("share").unwrap().as_f64().unwrap();
+        let hit_rate = route.get("cache_hit_rate").unwrap().as_f64().unwrap();
+        let p50 = route.get("p50_ms").unwrap().as_f64().unwrap();
+        let p99 = route.get("p99_ms").unwrap().as_f64().unwrap();
+        let errors = route.get("errors").unwrap().as_u64().unwrap();
+        let within = (observed - configured).abs() <= SPLIT_TOLERANCE;
+        split_ok &= within && errors == 0;
+        println!(
+            "v{:<9} {:>6.0}% {:>8.1}% {:>10} {:>9.0}% {:>9.2} {:>9.2} {:>7}",
+            route.get("version").unwrap().as_u64().unwrap(),
+            configured * 100.0,
+            observed * 100.0,
+            requests,
+            hit_rate * 100.0,
+            p50,
+            p99,
+            errors
+        );
+        route_json.push(Json::obj(vec![
+            ("model", route.get("model").unwrap().clone()),
+            ("version", route.get("version").unwrap().clone()),
+            ("weight", Json::num(WEIGHTS[ix])),
+            ("share_configured", Json::num(configured)),
+            ("share_observed", Json::num(observed)),
+            ("requests", Json::num(requests as f64)),
+            ("errors", Json::num(errors as f64)),
+            ("cache_hit_rate", Json::num(hit_rate)),
+            ("p50_ms", Json::num(p50)),
+            ("p99_ms", Json::num(p99)),
+            ("split_within_tolerance", Json::Bool(within)),
+        ]));
+    }
+    rule(80);
+    println!(
+        "total: {total_requests} requests over {clients} connections in {:.1} ms → {rps:.0} req/s",
+        elapsed.as_secs_f64() * 1e3
+    );
+    println!(
+        "acceptance (≥4 concurrent clients, split within {:.0}%): {}",
+        SPLIT_TOLERANCE * 100.0,
+        if clients >= 4 && split_ok {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+
+    let doc = Json::obj(vec![
+        ("bench", Json::str("gateway_throughput")),
+        (
+            "scale",
+            Json::str(format!("{:?}", cli.scale).to_lowercase()),
+        ),
+        ("seed", Json::num(cli.seed as f64)),
+        ("clients", Json::num(clients as f64)),
+        ("virtual_clients", Json::num(VIRTUAL_CLIENTS as f64)),
+        ("requests", Json::num(total_requests as f64)),
+        ("distinct_sources", Json::num(sources.len() as f64)),
+        ("elapsed_ms", Json::num(elapsed.as_secs_f64() * 1e3)),
+        ("requests_per_sec", Json::num(rps)),
+        ("routes", Json::Arr(route_json)),
+        ("split_within_tolerance", Json::Bool(split_ok)),
+        (
+            "cache_hit_rate_global",
+            stats_doc.get("cache_hit_rate").unwrap().clone(),
+        ),
+        (
+            "mean_batch_size",
+            stats_doc.get("mean_batch_size").unwrap().clone(),
+        ),
+    ]);
+    let path = "BENCH_gateway.json";
+    std::fs::write(path, format!("{doc}\n")).expect("writing BENCH_gateway.json");
+    println!("\nwrote {path}");
+    if !(clients >= 4 && split_ok) {
+        std::process::exit(1);
+    }
+}

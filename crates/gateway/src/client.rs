@@ -1,0 +1,261 @@
+//! A small blocking client for the gateway's JSON-lines protocol.
+//!
+//! One `GatewayClient` is one keep-alive TCP session: requests go out as
+//! single lines, responses come back in order. The client is what the
+//! end-to-end tests, the load-generator bench, and the examples use; it
+//! is deliberately synchronous (one in-flight request per connection) —
+//! concurrency comes from opening more connections, which is also how
+//! the transport's connection cap is exercised.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use ccsa_serve::json::{self, Json};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (includes the server closing the session).
+    Io(std::io::Error),
+    /// The server's line was not valid protocol JSON.
+    BadResponse(String),
+    /// The server answered `ok:false` with this message.
+    Rejected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "gateway i/o error: {e}"),
+            ClientError::BadResponse(msg) => write!(f, "bad gateway response: {msg}"),
+            ClientError::Rejected(msg) => write!(f, "request rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// A parsed `compare` verdict.
+#[derive(Debug, Clone)]
+pub struct CompareReply {
+    /// Model probability that the first program is the slower one.
+    pub prob_first_slower: f64,
+    /// Resolved model name.
+    pub model: String,
+    /// Resolved model version.
+    pub version: u32,
+    /// Trees served from the embedding cache (0–2).
+    pub cache_hits: u64,
+}
+
+/// One blocking keep-alive session against a gateway (or any server
+/// speaking the serve protocol over TCP).
+pub struct GatewayClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl GatewayClient {
+    /// Connects.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<GatewayClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?; // request/response lines, not bulk
+        Ok(GatewayClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Bounds how long a single response may take (`None` = wait
+    /// forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-option failures.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.writer.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Sends one raw line and reads one response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Io`] when the session is gone and
+    /// [`ClientError::BadResponse`] when the reply is not protocol JSON
+    /// (`ok:false` replies come back `Ok` — they are protocol-level
+    /// outcomes, inspected by the caller).
+    pub fn request_line(&mut self, line: &str) -> Result<Json, ClientError> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the session",
+            )));
+        }
+        json::parse(response.trim_end())
+            .map_err(|e| ClientError::BadResponse(format!("{e} in {response:?}")))
+    }
+
+    /// Sends one request object and reads its response.
+    ///
+    /// # Errors
+    ///
+    /// See [`GatewayClient::request_line`].
+    pub fn request(&mut self, body: &Json) -> Result<Json, ClientError> {
+        self.request_line(&body.to_string())
+    }
+
+    /// Scores one pair, optionally as a named client (the gateway's
+    /// sticky-routing key).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Rejected`] when the gateway answers
+    /// `ok:false`, transport errors otherwise.
+    pub fn compare(
+        &mut self,
+        first: &str,
+        second: &str,
+        client_key: Option<&str>,
+    ) -> Result<CompareReply, ClientError> {
+        let mut fields = vec![
+            ("op", Json::str("compare")),
+            ("first", Json::str(first)),
+            ("second", Json::str(second)),
+        ];
+        if let Some(key) = client_key {
+            fields.push(("client", Json::str(key)));
+        }
+        let v = self.expect_ok(&Json::obj(fields))?;
+        Ok(CompareReply {
+            prob_first_slower: field_f64(&v, "prob_first_slower")?,
+            model: field_str(&v, "model")?,
+            version: field_f64(&v, "version")? as u32,
+            cache_hits: field_f64(&v, "cache_hits")? as u64,
+        })
+    }
+
+    /// Ranks candidates fastest-first, returning their original indices
+    /// in rank order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Rejected`] when the gateway answers
+    /// `ok:false`, transport errors otherwise.
+    pub fn rank(
+        &mut self,
+        candidates: &[&str],
+        client_key: Option<&str>,
+    ) -> Result<Vec<usize>, ClientError> {
+        let mut fields = vec![
+            ("op", Json::str("rank")),
+            (
+                "candidates",
+                Json::Arr(candidates.iter().map(|&c| Json::str(c)).collect()),
+            ),
+        ];
+        if let Some(key) = client_key {
+            fields.push(("client", Json::str(key)));
+        }
+        let v = self.expect_ok(&Json::obj(fields))?;
+        let ranking = v
+            .get("ranking")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ClientError::BadResponse("rank reply missing 'ranking'".into()))?;
+        ranking
+            .iter()
+            .map(|entry| {
+                entry
+                    .get("candidate")
+                    .and_then(Json::as_u64)
+                    .map(|ix| ix as usize)
+                    .ok_or_else(|| {
+                        ClientError::BadResponse("ranking entry missing 'candidate'".into())
+                    })
+            })
+            .collect()
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only.
+    pub fn ping(&mut self) -> Result<bool, ClientError> {
+        let v = self.request_line(r#"{"op":"ping"}"#)?;
+        Ok(v.get("ok").and_then(Json::as_bool).unwrap_or(false))
+    }
+
+    /// The engine + transport stats document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Rejected`] on `ok:false`.
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        self.expect_ok(&Json::obj(vec![("op", Json::str("stats"))]))
+    }
+
+    /// The routing table + per-route stats document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Rejected`] on `ok:false` (e.g. when
+    /// talking to a router-less server).
+    pub fn routes(&mut self) -> Result<Json, ClientError> {
+        self.expect_ok(&Json::obj(vec![("op", Json::str("routes"))]))
+    }
+
+    /// Asks the server to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Rejected`] on `ok:false`.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.expect_ok(&Json::obj(vec![("op", Json::str("shutdown"))]))?;
+        Ok(())
+    }
+
+    fn expect_ok(&mut self, body: &Json) -> Result<Json, ClientError> {
+        let v = self.request(body)?;
+        match v.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(v),
+            Some(false) => Err(ClientError::Rejected(
+                v.get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unspecified error")
+                    .to_string(),
+            )),
+            None => Err(ClientError::BadResponse(
+                "response carries no 'ok' field".into(),
+            )),
+        }
+    }
+}
+
+fn field_f64(v: &Json, name: &str) -> Result<f64, ClientError> {
+    v.get(name)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| ClientError::BadResponse(format!("reply missing numeric '{name}'")))
+}
+
+fn field_str(v: &Json, name: &str) -> Result<String, ClientError> {
+    v.get(name)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| ClientError::BadResponse(format!("reply missing string '{name}'")))
+}

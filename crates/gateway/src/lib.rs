@@ -1,0 +1,91 @@
+//! ccsa-gateway — the network front door for CCSA serving.
+//!
+//! [`ccsa_serve`](ccsa_serve) made trained comparators servable
+//! in-process and over stdio: one client, one model route. This crate
+//! lifts the same JSON-lines protocol onto TCP and adds the traffic
+//! layer a multi-user deployment needs: many keep-alive sessions,
+//! admission control, weighted A/B routing across the versioned model
+//! registry, shadow traffic for candidate models, per-route rolling
+//! stats, and graceful drain.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  clients (keep-alive TCP, JSON lines, optional "client" sticky key)
+//!    │ │ │
+//!  ┌─▼─▼─▼──────────────────────────────────────────────────────────┐
+//!  │ server   accept loop → session thread per connection           │
+//!  │          connection cap · idle timeout · 8 MiB line cap        │
+//!  │          graceful drain on SIGTERM / `shutdown` request        │
+//!  ├────────────────────────────────────────────────────────────────┤
+//!  │ router   deterministic sticky assignment: hash(client) →       │
+//!  │          weighted (model, version) route; shadow mirroring     │
+//!  ├────────────────────────────────────────────────────────────────┤
+//!  │ stats    per-route + shadow: requests, errors, cache hit rate, │
+//!  │          rolling p50/p99 latency → `routes` verb               │
+//!  ├────────────────────────────────────────────────────────────────┤
+//!  │ ccsa-serve ServeEngine   registry → LRU cache → EncodePool     │
+//!  │          (the encode queue is the shared backpressure point)   │
+//!  └────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! * [`router`] — the weighted table, sticky hashing, shadow sampling;
+//! * [`server`] — listener, sessions, admission, drain;
+//! * [`stats`] — per-route rolling counters and latency percentiles;
+//! * [`client`] — a small blocking [`GatewayClient`] for tests, benches
+//!   and examples;
+//! * [`signal`] — SIGTERM observation (two-line FFI, no `libc` crate).
+//!
+//! Protocol additions over plain `serve`: requests may carry a
+//! `"client"` key (the sticky-routing identity), the `routes` verb
+//! reports the table with live per-route stats, and `shutdown` drains
+//! the whole gateway instead of one stdio loop.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ccsa_gateway::{Gateway, GatewayClient, GatewayConfig, Router};
+//! use ccsa_serve::{ServeConfig, ServeEngine};
+//! use ccsa_model::comparator::{Comparator, EncoderConfig};
+//! use ccsa_model::pipeline::TrainedModel;
+//! use ccsa_nn::param::Params;
+//! use ccsa_nn::treelstm::{Direction, TreeLstmConfig};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // An engine serving one (untrained) comparator…
+//! let config = EncoderConfig::TreeLstm(TreeLstmConfig {
+//!     embed_dim: 6, hidden: 6, layers: 1,
+//!     direction: Direction::Uni, sigmoid_candidate: false,
+//! });
+//! let mut params = Params::new();
+//! let comparator = Comparator::new(&config, &mut params, &mut StdRng::seed_from_u64(0));
+//! let engine = Arc::new(ServeEngine::with_model(
+//!     TrainedModel { comparator, params },
+//!     &ServeConfig::default(),
+//! ));
+//!
+//! // …behind a TCP gateway on an ephemeral port.
+//! let gateway = Gateway::spawn(engine, Router::single_default(), GatewayConfig::default())?;
+//! let mut client = GatewayClient::connect(gateway.addr())?;
+//! let verdict = client.compare(
+//!     "int main() { for (int i = 0; i < 9; i++) { } return 0; }",
+//!     "int main() { return 0; }",
+//!     Some("doc-example"),
+//! )?;
+//! assert!((0.0..=1.0).contains(&verdict.prob_first_slower));
+//! gateway.shutdown_and_join()?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod client;
+pub mod router;
+pub mod server;
+pub mod signal;
+pub mod stats;
+
+pub use client::{ClientError, CompareReply, GatewayClient};
+pub use router::{Route, Router, RouterConfigError, ShadowRoute};
+pub use server::{Gateway, GatewayConfig, GatewayHandle, SpawnedGateway, MAX_LINE_BYTES};
+pub use stats::{RouteStats, RouteStatsSnapshot};

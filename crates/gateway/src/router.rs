@@ -1,0 +1,358 @@
+//! Weighted multi-model A/B routing with sticky client assignment and
+//! shadow traffic.
+//!
+//! The registry already versions models; the router decides *which*
+//! `(name, version)` coordinate answers a request that did not pin one
+//! itself. Assignment is **deterministic**: a client key hashes to a
+//! point in `[0, 1)` and the cumulative route weights partition that
+//! interval — so a client's requests are sticky (same key → same route,
+//! always) and the long-run traffic split converges to the configured
+//! weights as the client population grows. No RNG, no shared mutable
+//! state, no coordination between gateway replicas: two gateways with the
+//! same table route the same client identically.
+//!
+//! **Shadow mode** mirrors a configured fraction of routed requests to a
+//! candidate selector. The router only *decides* which requests mirror;
+//! the transport executes mirrors on a dedicated worker thread after the
+//! primary response is written, recording the outcome in the shadow's
+//! own stats slot and discarding the response — a slow or crashing
+//! shadow model can never corrupt a primary response or delay a client
+//! (an overloaded shadow queue drops mirrors instead). This is how a new
+//! version earns its traffic: shadow at 10%, watch its error rate and
+//! latency in `routes`, then promote it to a weighted route.
+
+use ccsa_serve::hash::{fnv1a, splitmix64};
+use ccsa_serve::ModelSelector;
+
+/// Salt folded into client hashes for *assignment* decisions.
+const ASSIGN_SALT: u64 = 0x5157_4d3e_9f2b_8c61;
+/// Salt folded into per-request hashes for *shadow* decisions, distinct
+/// from [`ASSIGN_SALT`] so the shadowed subset is uncorrelated with route
+/// assignment.
+const SHADOW_SALT: u64 = 0xd6e8_fe1c_37a4_55b9;
+
+/// One weighted traffic target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    /// Where matching traffic goes (name/version, `None` parts follow
+    /// registry defaults).
+    pub selector: ModelSelector,
+    /// Relative weight (> 0; weights need not sum to 1 — they are
+    /// normalised by the total).
+    pub weight: f64,
+}
+
+/// A mirror target receiving a fraction of routed traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShadowRoute {
+    /// The candidate selector to mirror onto.
+    pub selector: ModelSelector,
+    /// Fraction of routed requests mirrored, in `[0, 1]`.
+    pub fraction: f64,
+}
+
+/// Router construction failures.
+#[derive(Debug)]
+pub enum RouterConfigError {
+    /// The table has no routes.
+    NoRoutes,
+    /// A route weight was zero, negative, or non-finite.
+    BadWeight(f64),
+    /// The shadow fraction was outside `[0, 1]` or non-finite.
+    BadShadowFraction(f64),
+}
+
+impl std::fmt::Display for RouterConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouterConfigError::NoRoutes => write!(f, "router needs at least one route"),
+            RouterConfigError::BadWeight(w) => {
+                write!(f, "route weight must be finite and positive, got {w}")
+            }
+            RouterConfigError::BadShadowFraction(p) => {
+                write!(f, "shadow fraction must be within [0, 1], got {p}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouterConfigError {}
+
+/// The immutable routing table.
+#[derive(Debug)]
+pub struct Router {
+    routes: Vec<Route>,
+    /// Cumulative weight up to and including route `i`, pre-divided by
+    /// the total so lookups compare against a point in `[0, 1)`.
+    cumulative: Vec<f64>,
+    shadow: Option<ShadowRoute>,
+}
+
+impl Router {
+    /// Builds a validated router.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouterConfigError`] on an empty table, a non-positive or
+    /// non-finite weight, or an out-of-range shadow fraction.
+    pub fn new(
+        routes: Vec<Route>,
+        shadow: Option<ShadowRoute>,
+    ) -> Result<Router, RouterConfigError> {
+        if routes.is_empty() {
+            return Err(RouterConfigError::NoRoutes);
+        }
+        for route in &routes {
+            if !route.weight.is_finite() || route.weight <= 0.0 {
+                return Err(RouterConfigError::BadWeight(route.weight));
+            }
+        }
+        if let Some(shadow) = &shadow {
+            if !shadow.fraction.is_finite() || !(0.0..=1.0).contains(&shadow.fraction) {
+                return Err(RouterConfigError::BadShadowFraction(shadow.fraction));
+            }
+        }
+        let total: f64 = routes.iter().map(|r| r.weight).sum();
+        let mut acc = 0.0;
+        let cumulative = routes
+            .iter()
+            .map(|r| {
+                acc += r.weight / total;
+                acc
+            })
+            .collect();
+        Ok(Router {
+            routes,
+            cumulative,
+            shadow,
+        })
+    }
+
+    /// A single-route table sending everything to the registry default —
+    /// what a gateway without explicit `--route` flags runs.
+    pub fn single_default() -> Router {
+        Router::new(
+            vec![Route {
+                selector: ModelSelector::default(),
+                weight: 1.0,
+            }],
+            None,
+        )
+        .expect("one unit-weight route is always valid")
+    }
+
+    /// The configured routes, in table order.
+    pub fn routes(&self) -> &[Route] {
+        &self.routes
+    }
+
+    /// The shadow target, if any.
+    pub fn shadow(&self) -> Option<&ShadowRoute> {
+        self.shadow.as_ref()
+    }
+
+    /// Each route's normalised share of traffic (sums to 1).
+    pub fn shares(&self) -> Vec<f64> {
+        let mut prev = 0.0;
+        self.cumulative
+            .iter()
+            .map(|&c| {
+                let share = c - prev;
+                prev = c;
+                share
+            })
+            .collect()
+    }
+
+    /// Deterministic sticky assignment: the route index for `client_key`.
+    pub fn route_index(&self, client_key: &str) -> usize {
+        let point = unit_point(fnv1a(client_key.as_bytes()) ^ ASSIGN_SALT);
+        // The last cumulative value is 1.0 up to rounding; clamp by
+        // defaulting to the final route.
+        self.cumulative
+            .iter()
+            .position(|&c| point < c)
+            .unwrap_or(self.routes.len() - 1)
+    }
+
+    /// Deterministic sticky assignment: the route for `client_key`.
+    pub fn route_for(&self, client_key: &str) -> &Route {
+        &self.routes[self.route_index(client_key)]
+    }
+
+    /// Whether request number `seq` from `client_key` should also be
+    /// mirrored to the shadow target. Deterministic per (client, seq), so
+    /// a replayed request makes the same decision; uncorrelated with the
+    /// assignment hash, so shadow sampling is unbiased across routes.
+    pub fn shadow_for(&self, client_key: &str, seq: u64) -> Option<&ModelSelector> {
+        let shadow = self.shadow.as_ref()?;
+        let point = unit_point(splitmix64(
+            fnv1a(client_key.as_bytes()) ^ SHADOW_SALT ^ splitmix64(seq),
+        ));
+        (point < shadow.fraction).then_some(&shadow.selector)
+    }
+}
+
+/// Maps a hash to a point in `[0, 1)` using the top 53 bits (exactly
+/// representable in an `f64`). The hashes come from
+/// [`ccsa_serve::hash`] — stable across processes and platforms, so
+/// route assignment survives restarts and matches across replicas.
+fn unit_point(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn selector(name: &str, version: Option<u32>) -> ModelSelector {
+        ModelSelector {
+            name: Some(name.to_string()),
+            version,
+        }
+    }
+
+    fn two_routes(w1: f64, w2: f64) -> Router {
+        Router::new(
+            vec![
+                Route {
+                    selector: selector("default", Some(1)),
+                    weight: w1,
+                },
+                Route {
+                    selector: selector("default", Some(2)),
+                    weight: w2,
+                },
+            ],
+            None,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn assignment_is_sticky() {
+        let router = two_routes(0.5, 0.5);
+        for key in ["alice", "bob", "c-17", ""] {
+            let first = router.route_index(key);
+            for _ in 0..10 {
+                assert_eq!(router.route_index(key), first, "key {key:?} flapped");
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_tracks_weights() {
+        // 70/30 over a deterministic population of client keys: the
+        // observed split must converge to the configured weights.
+        let router = two_routes(0.7, 0.3);
+        let n = 20_000;
+        let hits = (0..n)
+            .filter(|i| router.route_index(&format!("client-{i}")) == 0)
+            .count();
+        let share = hits as f64 / n as f64;
+        assert!(
+            (share - 0.7).abs() < 0.02,
+            "observed share {share} too far from 0.7"
+        );
+    }
+
+    #[test]
+    fn weights_need_not_be_normalised() {
+        let a = two_routes(0.75, 0.25);
+        let b = two_routes(3.0, 1.0);
+        assert_eq!(a.shares(), b.shares());
+        for i in 0..200 {
+            let key = format!("k{i}");
+            assert_eq!(a.route_index(&key), b.route_index(&key));
+        }
+    }
+
+    #[test]
+    fn single_route_takes_everything() {
+        let router = Router::single_default();
+        for i in 0..100 {
+            assert_eq!(router.route_index(&format!("c{i}")), 0);
+        }
+        assert_eq!(router.shares(), vec![1.0]);
+    }
+
+    #[test]
+    fn invalid_tables_are_rejected() {
+        assert!(matches!(
+            Router::new(Vec::new(), None),
+            Err(RouterConfigError::NoRoutes)
+        ));
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                Router::new(
+                    vec![Route {
+                        selector: ModelSelector::default(),
+                        weight: bad,
+                    }],
+                    None,
+                ),
+                Err(RouterConfigError::BadWeight(_))
+            ));
+        }
+        for bad in [-0.1, 1.1, f64::NAN] {
+            assert!(matches!(
+                Router::new(
+                    vec![Route {
+                        selector: ModelSelector::default(),
+                        weight: 1.0,
+                    }],
+                    Some(ShadowRoute {
+                        selector: ModelSelector::default(),
+                        fraction: bad,
+                    }),
+                ),
+                Err(RouterConfigError::BadShadowFraction(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn shadow_sampling_matches_fraction() {
+        let router = Router::new(
+            vec![Route {
+                selector: ModelSelector::default(),
+                weight: 1.0,
+            }],
+            Some(ShadowRoute {
+                selector: selector("default", Some(2)),
+                fraction: 0.25,
+            }),
+        )
+        .unwrap();
+        let n = 20_000u64;
+        let mirrored = (0..n)
+            .filter(|&seq| router.shadow_for("load", seq).is_some())
+            .count();
+        let observed = mirrored as f64 / n as f64;
+        assert!(
+            (observed - 0.25).abs() < 0.02,
+            "observed shadow rate {observed} too far from 0.25"
+        );
+        // Fraction 0 never mirrors; fraction 1 always does.
+        let never = Router::new(
+            router.routes().to_vec(),
+            Some(ShadowRoute {
+                selector: ModelSelector::default(),
+                fraction: 0.0,
+            }),
+        )
+        .unwrap();
+        let always = Router::new(
+            router.routes().to_vec(),
+            Some(ShadowRoute {
+                selector: ModelSelector::default(),
+                fraction: 1.0,
+            }),
+        )
+        .unwrap();
+        for seq in 0..200 {
+            assert!(never.shadow_for("x", seq).is_none());
+            assert!(always.shadow_for("x", seq).is_some());
+        }
+    }
+}

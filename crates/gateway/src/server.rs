@@ -1,0 +1,773 @@
+//! The TCP transport: accept loop, per-connection sessions, admission
+//! control, and graceful shutdown.
+//!
+//! Each accepted connection gets a session thread speaking the JSON-lines
+//! protocol with keep-alive (the connection serves any number of requests
+//! until the client closes it, an idle timeout fires, or the gateway
+//! drains). Threads-per-connection is deliberate: the expensive work per
+//! request is encoder forward passes, which already funnel into the
+//! shared [`EncodePool`](ccsa_serve::EncodePool) queue — the pool is the
+//! real concurrency limiter and backpressure point, so session threads
+//! spend their lives blocked on I/O or on the pool, and a thread apiece
+//! keeps the transport trivial to reason about.
+//!
+//! Admission control is two-layered:
+//!
+//! * **connection cap** — beyond [`GatewayConfig::max_connections`], new
+//!   connections get one `ok:false` line and are closed immediately, so a
+//!   connection flood cannot exhaust threads;
+//! * **encode queue** — admitted requests enqueue their misses on the
+//!   `EncodePool`; its depth is the load signal (`stats.queue_depth`).
+//!
+//! Shutdown is cooperative: a SIGTERM (see [`crate::signal`]) or a
+//! `shutdown` request trips a flag; the accept loop stops admitting, and
+//! every session finishes its in-flight request before exiting (sessions
+//! poll the flag between reads, never mid-request).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ccsa_serve::json::Json;
+use ccsa_serve::proto::{self, Request};
+use ccsa_serve::{ModelSelector, ServeEngine, DEFAULT_MODEL};
+
+use crate::router::Router;
+use crate::signal;
+use crate::stats::RouteStats;
+
+/// The longest request line a session will buffer before failing the
+/// connection — one hostile client must not be able to balloon resident
+/// memory by streaming an endless line.
+pub const MAX_LINE_BYTES: usize = 8 << 20;
+
+/// Mirror requests waiting for the shadow worker. Shadow traffic is a
+/// statistical sample, so when the candidate cannot keep up the right
+/// behaviour is to *drop* mirrors (counted in `routes` as `dropped`),
+/// never to slow primary traffic down.
+const SHADOW_QUEUE_CAP: usize = 256;
+
+/// Transport construction settings.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Bind address, e.g. `127.0.0.1:0` (port 0 = ephemeral).
+    pub addr: String,
+    /// Concurrent session cap; connections beyond it are refused with an
+    /// `ok:false` line.
+    pub max_connections: usize,
+    /// How often blocked accept/read calls wake to poll the shutdown
+    /// flag. Bounds shutdown latency; does not bound request latency.
+    pub poll_interval: Duration,
+    /// Close a session after this much request-free silence (`None` =
+    /// keep alive forever).
+    pub idle_timeout: Option<Duration>,
+    /// Whether a process-level SIGTERM drains this gateway. The binary
+    /// sets this; tests leave it off so a stray signal flag from another
+    /// test cannot tear their gateway down.
+    pub honor_sigterm: bool,
+    /// Whether the `shutdown` verb is honoured from non-loopback peers.
+    /// Off by default: on a gateway bound beyond localhost, any client
+    /// that can open a connection must not be able to kill every other
+    /// client's service with one line.
+    pub allow_remote_shutdown: bool,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> GatewayConfig {
+        GatewayConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 64,
+            poll_interval: Duration::from_millis(15),
+            idle_timeout: None,
+            honor_sigterm: false,
+            allow_remote_shutdown: false,
+        }
+    }
+}
+
+/// State shared between the accept loop, session threads, and handles.
+struct Shared {
+    engine: Arc<ServeEngine>,
+    router: Router,
+    config: GatewayConfig,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    /// Sticky-routed requests, indexed like `router.routes()`.
+    route_stats: Vec<RouteStats>,
+    /// The shadow target's slot.
+    shadow_stats: RouteStats,
+    /// Hands mirror jobs to the shadow worker thread (set by `run` when
+    /// a shadow target is configured).
+    shadow_tx: OnceLock<mpsc::SyncSender<ShadowJob>>,
+    /// Mirrors dropped because the shadow queue was full.
+    shadow_dropped: AtomicU64,
+    /// Requests that pinned a model/version explicitly and bypassed the
+    /// router.
+    pinned: AtomicU64,
+}
+
+/// Work for the shadow worker thread.
+enum ShadowJob {
+    /// Replay one request against the shadow selector.
+    Mirror(ModelSelector, Request),
+    /// Drain and exit (sent once by `run` after every session joined).
+    Stop,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+            || (self.config.honor_sigterm && signal::sigterm_received())
+    }
+}
+
+/// A cloneable control handle onto a running gateway.
+#[derive(Clone)]
+pub struct GatewayHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+}
+
+impl GatewayHandle {
+    /// The bound address (with the resolved ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Starts a graceful drain: stop admitting, finish in-flight
+    /// requests, exit the accept loop.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Sessions currently open.
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound-but-not-yet-running gateway.
+pub struct Gateway {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+}
+
+/// A gateway running on a background thread (tests, benches, and
+/// in-process embedding).
+pub struct SpawnedGateway {
+    handle: GatewayHandle,
+    join: JoinHandle<std::io::Result<()>>,
+}
+
+impl SpawnedGateway {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.handle.addr()
+    }
+
+    /// A control handle.
+    pub fn handle(&self) -> GatewayHandle {
+        self.handle.clone()
+    }
+
+    /// Drains the gateway and waits for the accept loop and every
+    /// session to finish.
+    ///
+    /// # Errors
+    ///
+    /// Propagates an accept-loop I/O failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accept-loop thread itself panicked.
+    pub fn shutdown_and_join(self) -> std::io::Result<()> {
+        self.handle.shutdown();
+        self.join.join().expect("gateway accept loop panicked")
+    }
+}
+
+impl Gateway {
+    /// Binds the listener (resolving an ephemeral port immediately) but
+    /// does not accept yet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(
+        engine: Arc<ServeEngine>,
+        router: Router,
+        config: GatewayConfig,
+    ) -> std::io::Result<Gateway> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let route_stats = (0..router.routes().len())
+            .map(|_| RouteStats::new())
+            .collect();
+        let shared = Arc::new(Shared {
+            engine,
+            router,
+            config,
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            route_stats,
+            shadow_stats: RouteStats::new(),
+            shadow_tx: OnceLock::new(),
+            shadow_dropped: AtomicU64::new(0),
+            pinned: AtomicU64::new(0),
+        });
+        Ok(Gateway {
+            listener,
+            shared,
+            addr,
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A control handle (cloneable; usable from other threads).
+    pub fn handle(&self) -> GatewayHandle {
+        GatewayHandle {
+            shared: Arc::clone(&self.shared),
+            addr: self.addr,
+        }
+    }
+
+    /// Runs the accept loop on the calling thread until drained, then
+    /// joins every session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal listener failures (transient accept errors are
+    /// retried).
+    pub fn run(self) -> std::io::Result<()> {
+        let Gateway {
+            listener, shared, ..
+        } = self;
+        // The shadow worker: mirrors run here, off the session threads,
+        // so shadow cost never delays any client's next request. One
+        // worker is deliberate — shadow encodes funnel into the shared
+        // EncodePool anyway, and a single consumer keeps the mirror
+        // volume naturally bounded.
+        let shadow_worker = if shared.router.shadow().is_some() {
+            let (tx, rx) = mpsc::sync_channel::<ShadowJob>(SHADOW_QUEUE_CAP);
+            shared
+                .shadow_tx
+                .set(tx)
+                .unwrap_or_else(|_| unreachable!("run consumes the gateway"));
+            let worker_shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("ccsa-gw-shadow".to_string())
+                    .spawn(move || {
+                        while let Ok(ShadowJob::Mirror(selector, request)) = rx.recv() {
+                            run_shadow(&worker_shared, &selector, &request);
+                        }
+                    })?,
+            )
+        } else {
+            None
+        };
+        // Non-blocking + poll rather than a blocking accept: the loop
+        // must keep observing the shutdown flag even when nobody ever
+        // connects again, and must not depend on signals interrupting
+        // syscalls (glibc `signal` restarts them).
+        listener.set_nonblocking(true)?;
+        let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+        while !shared.draining() {
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    // Undo inherited non-blocking mode before handing the
+                    // stream to a session (inheritance is OS-dependent).
+                    let _ = stream.set_nonblocking(false);
+                    // Request/response lines, not bulk transfer: without
+                    // NODELAY, Nagle + delayed ACK turns every round trip
+                    // into a ~40 ms stall.
+                    let _ = stream.set_nodelay(true);
+                    if shared.active.load(Ordering::SeqCst) >= shared.config.max_connections {
+                        shared.rejected.fetch_add(1, Ordering::Relaxed);
+                        refuse(stream, shared.config.max_connections);
+                        continue;
+                    }
+                    shared.active.fetch_add(1, Ordering::SeqCst);
+                    let session_shared = Arc::clone(&shared);
+                    let session = std::thread::Builder::new()
+                        .name(format!("ccsa-gw-{peer}"))
+                        .spawn(move || {
+                            // Drop guard: the slot is released even if the
+                            // session panics, so a bug in one handler can
+                            // never wedge the connection cap shut.
+                            struct Slot<'a>(&'a AtomicUsize);
+                            impl Drop for Slot<'_> {
+                                fn drop(&mut self) {
+                                    self.0.fetch_sub(1, Ordering::SeqCst);
+                                }
+                            }
+                            let _slot = Slot(&session_shared.active);
+                            serve_connection(&session_shared, stream, peer);
+                        });
+                    match session {
+                        Ok(handle) => {
+                            // Counted only for sessions that actually
+                            // started: accepted and rejected partition
+                            // incoming connection attempts.
+                            shared.accepted.fetch_add(1, Ordering::Relaxed);
+                            sessions.push(handle);
+                        }
+                        Err(_) => {
+                            // Spawn failure (thread exhaustion): treat
+                            // like the cap — shed the connection.
+                            shared.active.fetch_sub(1, Ordering::SeqCst);
+                            shared.rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    sessions.retain(|s| !s.is_finished());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(shared.config.poll_interval);
+                    sessions.retain(|s| !s.is_finished());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                // Transient resource pressure (EMFILE and friends): back
+                // off rather than killing the gateway.
+                Err(_) => std::thread::sleep(shared.config.poll_interval),
+            }
+        }
+        for session in sessions {
+            let _ = session.join();
+        }
+        if let Some(worker) = shadow_worker {
+            // Sessions are gone, so no new mirrors can arrive; Stop lets
+            // the worker finish the queued backlog and exit.
+            if let Some(tx) = shared.shadow_tx.get() {
+                let _ = tx.send(ShadowJob::Stop);
+            }
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+
+    /// Binds and runs on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn(
+        engine: Arc<ServeEngine>,
+        router: Router,
+        config: GatewayConfig,
+    ) -> std::io::Result<SpawnedGateway> {
+        let gateway = Gateway::bind(engine, router, config)?;
+        let handle = gateway.handle();
+        let join = std::thread::Builder::new()
+            .name("ccsa-gw-accept".to_string())
+            .spawn(move || gateway.run())?;
+        Ok(SpawnedGateway { handle, join })
+    }
+}
+
+/// Refuses an over-cap connection with a single protocol line.
+fn refuse(mut stream: TcpStream, cap: usize) {
+    let line = proto::error_response(&format!(
+        "gateway at capacity ({cap} connections) — retry later"
+    ));
+    let _ = writeln!(stream, "{line}");
+}
+
+/// What must happen after a response line has been written.
+enum AfterResponse {
+    /// Nothing; read the next request.
+    KeepGoing,
+    /// Hand the request to the shadow worker for mirroring.
+    Shadow(ModelSelector, Request),
+    /// The client asked the gateway to drain.
+    Shutdown,
+}
+
+fn serve_connection(shared: &Shared, stream: TcpStream, peer: SocketAddr) {
+    if stream
+        .set_read_timeout(Some(shared.config.poll_interval))
+        .is_err()
+    {
+        return;
+    }
+    let mut reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    // The fallback sticky key when requests carry no "client" field: the
+    // peer host, so one machine's traffic stays on one route.
+    let fallback_key = peer.ip().to_string();
+    let mut line_buf: Vec<u8> = Vec::new();
+    let mut seq: u64 = 0;
+    // Idle tracking counts *progress* — a completed request or new bytes
+    // arriving — so a stalled half-sent request (slowloris) times out
+    // just like a silent connection and cannot pin a slot forever.
+    let mut last_progress = Instant::now();
+    let mut seen_len = 0usize;
+
+    loop {
+        if shared.draining() {
+            return; // between requests, never mid-request
+        }
+        // `take` bounds how much one line may buffer: a client streaming
+        // an endless newline-free request hits the budget, not the heap.
+        let budget = (MAX_LINE_BYTES + 1).saturating_sub(line_buf.len()) as u64;
+        match std::io::Read::take(&mut reader, budget).read_until(b'\n', &mut line_buf) {
+            Ok(0) if line_buf.len() > MAX_LINE_BYTES => {
+                let _ = writeln!(
+                    writer,
+                    "{}",
+                    proto::error_response("request line exceeds 8 MiB")
+                );
+                return;
+            }
+            // EOF: client closed (possibly mid-line — an abandoned
+            // partial request is dropped, not served).
+            Ok(0) => return,
+            Ok(_) => {
+                if line_buf.last() != Some(&b'\n') {
+                    continue; // partial read, EOF will follow
+                }
+                if line_buf.iter().all(|b| b.is_ascii_whitespace()) {
+                    line_buf.clear();
+                    continue;
+                }
+                let line = String::from_utf8(std::mem::take(&mut line_buf));
+                let (response, after) = match line {
+                    Ok(line) => {
+                        handle_line(shared, &line, &fallback_key, seq, peer.ip().is_loopback())
+                    }
+                    Err(_) => (
+                        proto::error_response("request line is not valid UTF-8"),
+                        AfterResponse::KeepGoing,
+                    ),
+                };
+                seq += 1;
+                last_progress = Instant::now();
+                seen_len = 0;
+                if writeln!(writer, "{response}")
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    return; // client went away while we were answering
+                }
+                match after {
+                    AfterResponse::KeepGoing => {}
+                    AfterResponse::Shadow(selector, request) => {
+                        enqueue_shadow(shared, selector, request);
+                    }
+                    AfterResponse::Shutdown => {
+                        shared.shutdown.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if line_buf.len() > seen_len {
+                    // Bytes trickled in before the timeout: progress.
+                    seen_len = line_buf.len();
+                    last_progress = Instant::now();
+                }
+                if let Some(idle) = shared.config.idle_timeout {
+                    if last_progress.elapsed() > idle {
+                        return;
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return, // reset, broken pipe, …
+        }
+    }
+}
+
+/// Decodes and serves one request line, returning the response and any
+/// post-response action.
+fn handle_line(
+    shared: &Shared,
+    line: &str,
+    fallback_key: &str,
+    seq: u64,
+    peer_is_loopback: bool,
+) -> (Json, AfterResponse) {
+    let value = match ccsa_serve::json::parse(line) {
+        Ok(v) => v,
+        Err(e) => {
+            return (
+                proto::error_response(&e.to_string()),
+                AfterResponse::KeepGoing,
+            )
+        }
+    };
+    // The sticky-routing key: explicit per-request "client" beats the
+    // connection's peer host.
+    let client_key = value
+        .get("client")
+        .and_then(Json::as_str)
+        .unwrap_or(fallback_key)
+        .to_string();
+    let request = match proto::parse_request_value(&value) {
+        Ok(r) => r,
+        Err(message) => return (proto::error_response(&message), AfterResponse::KeepGoing),
+    };
+    match request {
+        Request::Shutdown => {
+            if !peer_is_loopback && !shared.config.allow_remote_shutdown {
+                return (
+                    proto::error_response(
+                        "shutdown is only accepted from loopback \
+                         (start the gateway with remote shutdown enabled to change this)",
+                    ),
+                    AfterResponse::KeepGoing,
+                );
+            }
+            (
+                Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("op", Json::str("shutdown")),
+                    ("draining", Json::Bool(true)),
+                ]),
+                AfterResponse::Shutdown,
+            )
+        }
+        Request::Routes => (routes_response(shared), AfterResponse::KeepGoing),
+        Request::Stats => (gateway_stats_response(shared), AfterResponse::KeepGoing),
+        Request::Ping => (
+            proto::dispatch(&shared.engine, Request::Ping),
+            AfterResponse::KeepGoing,
+        ),
+        Request::Compare { .. } | Request::Rank { .. } => {
+            serve_scored(shared, request, &client_key, seq)
+        }
+    }
+}
+
+/// Serves a compare/rank request through the router, recording per-route
+/// stats and deciding shadow mirroring.
+fn serve_scored(
+    shared: &Shared,
+    request: Request,
+    client_key: &str,
+    seq: u64,
+) -> (Json, AfterResponse) {
+    let selector = match &request {
+        Request::Compare { selector, .. } | Request::Rank { selector, .. } => selector.clone(),
+        _ => unreachable!("serve_scored only sees compare/rank"),
+    };
+    // An explicitly pinned model/version bypasses A/B routing: the
+    // client asked for *that* model, and experiments must not second-
+    // guess debugging.
+    let pinned = selector.name.is_some() || selector.version.is_some();
+    let (route_ix, effective) = if pinned {
+        shared.pinned.fetch_add(1, Ordering::Relaxed);
+        (None, selector)
+    } else {
+        let ix = shared.router.route_index(client_key);
+        (Some(ix), shared.router.routes()[ix].selector.clone())
+    };
+
+    let start = Instant::now();
+    let (response, hits, lookups, ok) = execute(&shared.engine, &effective, &request);
+    let latency_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let after = match route_ix {
+        None => AfterResponse::KeepGoing,
+        Some(ix) => {
+            if ok {
+                shared.route_stats[ix].record_success(latency_ms, hits, lookups);
+            } else {
+                shared.route_stats[ix].record_error();
+            }
+            match shared.router.shadow_for(client_key, seq) {
+                Some(shadow_selector) => AfterResponse::Shadow(shadow_selector.clone(), request),
+                None => AfterResponse::KeepGoing,
+            }
+        }
+    };
+    (response, after)
+}
+
+/// Runs one request against a selector, returning the response plus
+/// cache attribution: (response, cache hits, cache lookups, success).
+fn execute(
+    engine: &ServeEngine,
+    selector: &ModelSelector,
+    request: &Request,
+) -> (Json, u64, u64, bool) {
+    match request {
+        Request::Compare { first, second, .. } => match engine.compare(selector, first, second) {
+            Ok(outcome) => {
+                let hits = outcome.cache_hits as u64;
+                (proto::compare_response(&outcome), hits, 2, true)
+            }
+            Err(e) => (proto::error_response(&e.to_string()), 0, 0, false),
+        },
+        Request::Rank { candidates, .. } => {
+            let refs: Vec<&str> = candidates.iter().map(String::as_str).collect();
+            match engine.rank(selector, &refs) {
+                Ok(outcome) => {
+                    let hits = outcome.cache_hits as u64;
+                    let lookups = candidates.len() as u64;
+                    (proto::rank_response(&outcome), hits, lookups, true)
+                }
+                Err(e) => (proto::error_response(&e.to_string()), 0, 0, false),
+            }
+        }
+        _ => unreachable!("execute only sees compare/rank"),
+    }
+}
+
+/// Hands a mirror job to the shadow worker; a full queue drops the
+/// mirror (counted) rather than slowing the session down.
+fn enqueue_shadow(shared: &Shared, selector: ModelSelector, request: Request) {
+    match shared.shadow_tx.get() {
+        Some(tx) => {
+            if tx.try_send(ShadowJob::Mirror(selector, request)).is_err() {
+                shared.shadow_dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // No worker can only mean the router has no shadow — and then
+        // shadow_for never returns a selector — but losing a mirror is
+        // always safe, so degrade to counting rather than panicking.
+        None => {
+            shared.shadow_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Mirrors a request to the shadow selector: outcome recorded, response
+/// discarded. Runs on the dedicated shadow worker thread, so shadow
+/// latency never reaches any client — not in its response, and not in
+/// the same connection's next request.
+fn run_shadow(shared: &Shared, selector: &ModelSelector, request: &Request) {
+    let start = Instant::now();
+    let (_, hits, lookups, ok) = execute(&shared.engine, selector, request);
+    let latency_ms = start.elapsed().as_secs_f64() * 1e3;
+    if ok {
+        shared
+            .shadow_stats
+            .record_success(latency_ms, hits, lookups);
+    } else {
+        shared.shadow_stats.record_error();
+    }
+}
+
+/// Renders one selector as (model, version) JSON fields.
+fn selector_fields(selector: &ModelSelector) -> Vec<(&'static str, Json)> {
+    vec![
+        (
+            "model",
+            Json::str(
+                selector
+                    .name
+                    .clone()
+                    .unwrap_or_else(|| DEFAULT_MODEL.to_string()),
+            ),
+        ),
+        (
+            "version",
+            match selector.version {
+                Some(v) => Json::num(v as f64),
+                None => Json::str("latest"),
+            },
+        ),
+    ]
+}
+
+/// The `routes` verb: the table, its live traffic shares, and per-route
+/// rolling stats.
+fn routes_response(shared: &Shared) -> Json {
+    let shares = shared.router.shares();
+    let routes: Vec<Json> = shared
+        .router
+        .routes()
+        .iter()
+        .zip(&shares)
+        .zip(&shared.route_stats)
+        .map(|((route, &share), stats)| {
+            let snap = stats.snapshot();
+            let mut fields = selector_fields(&route.selector);
+            fields.extend([
+                ("weight", Json::num(route.weight)),
+                ("share", Json::num(share)),
+                ("requests", Json::num(snap.requests as f64)),
+                ("errors", Json::num(snap.errors as f64)),
+                ("cache_hit_rate", Json::num(snap.cache_hit_rate)),
+                ("p50_ms", Json::num(snap.p50_ms)),
+                ("p99_ms", Json::num(snap.p99_ms)),
+                ("latency_window", Json::num(snap.window_len as f64)),
+            ]);
+            Json::obj(fields)
+        })
+        .collect();
+    let shadow = match shared.router.shadow() {
+        None => Json::Null,
+        Some(shadow) => {
+            let snap = shared.shadow_stats.snapshot();
+            let mut fields = selector_fields(&shadow.selector);
+            fields.extend([
+                ("fraction", Json::num(shadow.fraction)),
+                ("requests", Json::num(snap.requests as f64)),
+                ("errors", Json::num(snap.errors as f64)),
+                (
+                    "dropped",
+                    Json::num(shared.shadow_dropped.load(Ordering::Relaxed) as f64),
+                ),
+                ("cache_hit_rate", Json::num(snap.cache_hit_rate)),
+                ("p50_ms", Json::num(snap.p50_ms)),
+                ("p99_ms", Json::num(snap.p99_ms)),
+            ]);
+            Json::obj(fields)
+        }
+    };
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("op", Json::str("routes")),
+        ("routes", Json::Arr(routes)),
+        ("shadow", shadow),
+        (
+            "pinned_requests",
+            Json::num(shared.pinned.load(Ordering::Relaxed) as f64),
+        ),
+    ])
+}
+
+/// The `stats` verb: engine stats plus transport-level gauges.
+fn gateway_stats_response(shared: &Shared) -> Json {
+    let mut response = proto::stats_response(&shared.engine.stats());
+    if let Json::Obj(members) = &mut response {
+        members.extend([
+            (
+                "active_connections".to_string(),
+                Json::num(shared.active.load(Ordering::SeqCst) as f64),
+            ),
+            (
+                "max_connections".to_string(),
+                Json::num(shared.config.max_connections as f64),
+            ),
+            (
+                "accepted_connections".to_string(),
+                Json::num(shared.accepted.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "rejected_at_capacity".to_string(),
+                Json::num(shared.rejected.load(Ordering::Relaxed) as f64),
+            ),
+        ]);
+    }
+    response
+}

@@ -1,0 +1,201 @@
+//! Per-route rolling statistics: request counts, cache attribution, and
+//! latency percentiles over a sliding window.
+//!
+//! Counters are atomics (hot path pays one `fetch_add` each); latencies
+//! go into a fixed-size ring buffer behind a mutex held only for the
+//! append (the O(n log n) sort happens at snapshot time, on the `routes`
+//! request path, not the serving path). A rolling window rather than
+//! all-time aggregates: a ramping model's p99 should reflect the last few
+//! thousand requests, not the cold-start spike from an hour ago.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Latencies kept per route. 4096 × 8 bytes per route is trivial memory,
+/// and at that depth p99 rests on ~41 samples — enough to be stable.
+const LATENCY_WINDOW: usize = 4096;
+
+/// A fixed-size ring of recent latency samples (milliseconds).
+struct LatencyWindow {
+    samples: Vec<f64>,
+    next: usize,
+}
+
+impl LatencyWindow {
+    fn new() -> LatencyWindow {
+        LatencyWindow {
+            samples: Vec::with_capacity(LATENCY_WINDOW),
+            next: 0,
+        }
+    }
+
+    fn record(&mut self, ms: f64) {
+        if self.samples.len() < LATENCY_WINDOW {
+            self.samples.push(ms);
+        } else {
+            self.samples[self.next] = ms;
+        }
+        self.next = (self.next + 1) % LATENCY_WINDOW;
+    }
+}
+
+impl Default for LatencyWindow {
+    fn default() -> LatencyWindow {
+        LatencyWindow::new()
+    }
+}
+
+/// Live accumulator for one route (or the shadow slot).
+#[derive(Default)]
+pub struct RouteStats {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_lookups: AtomicU64,
+    latencies: Mutex<LatencyWindow>,
+}
+
+impl RouteStats {
+    /// A zeroed accumulator.
+    pub fn new() -> RouteStats {
+        RouteStats::default()
+    }
+
+    /// Records one served request: its latency and how many of its
+    /// `lookups` source trees came from the embedding cache.
+    pub fn record_success(&self, latency_ms: f64, hits: u64, lookups: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        self.cache_lookups.fetch_add(lookups, Ordering::Relaxed);
+        self.latencies
+            .lock()
+            .expect("latency window poisoned")
+            .record(latency_ms);
+    }
+
+    /// Records a request that failed (parse error, unknown model, encoder
+    /// failure). Errors count as requests but contribute no latency
+    /// sample — percentiles describe *served* traffic.
+    pub fn record_error(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent point-in-time copy with computed percentiles.
+    pub fn snapshot(&self) -> RouteStatsSnapshot {
+        let (p50_ms, p99_ms, window_len) = {
+            let window = self.latencies.lock().expect("latency window poisoned");
+            let mut sorted = window.samples.clone();
+            drop(window);
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+            (
+                percentile(&sorted, 0.50),
+                percentile(&sorted, 0.99),
+                sorted.len(),
+            )
+        };
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let lookups = self.cache_lookups.load(Ordering::Relaxed);
+        RouteStatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            cache_hits: hits,
+            cache_lookups: lookups,
+            cache_hit_rate: if lookups == 0 {
+                0.0
+            } else {
+                hits as f64 / lookups as f64
+            },
+            p50_ms,
+            p99_ms,
+            window_len,
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice (0 when empty).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// A point-in-time copy of one route's stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteStatsSnapshot {
+    /// Requests routed here (including failed ones).
+    pub requests: u64,
+    /// Requests that produced an `ok:false` outcome.
+    pub errors: u64,
+    /// Source trees served from the embedding cache.
+    pub cache_hits: u64,
+    /// Source trees looked up in the cache.
+    pub cache_lookups: u64,
+    /// `cache_hits / cache_lookups` (0 when idle).
+    pub cache_hit_rate: f64,
+    /// Median latency over the rolling window, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile latency over the rolling window, milliseconds.
+    pub p99_ms: f64,
+    /// Samples currently in the rolling window.
+    pub window_len: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_hit_rate() {
+        let s = RouteStats::new();
+        s.record_success(1.0, 2, 2);
+        s.record_success(2.0, 0, 2);
+        s.record_error();
+        let snap = s.snapshot();
+        assert_eq!(snap.requests, 3);
+        assert_eq!(snap.errors, 1);
+        assert_eq!(snap.cache_hits, 2);
+        assert_eq!(snap.cache_lookups, 4);
+        assert!((snap.cache_hit_rate - 0.5).abs() < 1e-12);
+        assert_eq!(snap.window_len, 2);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let s = RouteStats::new();
+        for i in 1..=100 {
+            s.record_success(i as f64, 0, 1);
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.p50_ms, 50.0);
+        assert_eq!(snap.p99_ms, 99.0);
+        assert_eq!(snap.window_len, 100);
+    }
+
+    #[test]
+    fn window_rolls_over() {
+        let s = RouteStats::new();
+        // Fill beyond capacity: early (slow) samples must age out.
+        for _ in 0..LATENCY_WINDOW {
+            s.record_success(1000.0, 0, 1);
+        }
+        for _ in 0..LATENCY_WINDOW {
+            s.record_success(1.0, 0, 1);
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.window_len, LATENCY_WINDOW);
+        assert_eq!(snap.p99_ms, 1.0, "old samples must have been displaced");
+        assert_eq!(snap.requests, 2 * LATENCY_WINDOW as u64);
+    }
+
+    #[test]
+    fn empty_stats_snapshot_is_zeroed() {
+        let snap = RouteStats::new().snapshot();
+        assert_eq!(snap.requests, 0);
+        assert_eq!(snap.p50_ms, 0.0);
+        assert_eq!(snap.p99_ms, 0.0);
+        assert_eq!(snap.cache_hit_rate, 0.0);
+    }
+}

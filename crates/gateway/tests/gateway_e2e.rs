@@ -1,0 +1,594 @@
+//! End-to-end gateway tests: real sockets, concurrent clients, routing,
+//! shadow traffic, disconnects, admission control, and graceful drain.
+//!
+//! The load-bearing invariant throughout: the TCP/routing layer is
+//! **score-preserving** — every probability a client reads over the wire
+//! is bit-identical to what the in-process [`ServeEngine`] produces for
+//! the same (model, version) selector.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use ccsa_gateway::{signal, Gateway, GatewayClient, GatewayConfig, Route, Router, ShadowRoute};
+use ccsa_model::comparator::{Comparator, EncoderConfig};
+use ccsa_model::pipeline::TrainedModel;
+use ccsa_nn::param::Params;
+use ccsa_nn::treelstm::{Direction, TreeLstmConfig};
+use ccsa_serve::json::Json;
+use ccsa_serve::{BatchConfig, ModelRegistry, ModelSelector, ServeConfig, ServeEngine};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const FAST: &str = "int main() { int n; cin >> n; cout << n * (n + 1) / 2; return 0; }";
+const SLOW: &str = "int main() { int n; cin >> n; long long s = 0; \
+                    for (int i = 0; i <= n; i++) for (int j = 0; j < i; j++) s++; \
+                    cout << s; return 0; }";
+const MID: &str = "int main() { int n; cin >> n; long long s = 0; \
+                   for (int i = 0; i < n; i++) s += i; cout << s; return 0; }";
+const PAIRS: [(&str, &str); 3] = [(SLOW, FAST), (FAST, MID), (MID, SLOW)];
+
+fn tiny_model(seed: u64) -> TrainedModel {
+    let config = EncoderConfig::TreeLstm(TreeLstmConfig {
+        embed_dim: 6,
+        hidden: 6,
+        layers: 1,
+        direction: Direction::Uni,
+        sigmoid_candidate: false,
+    });
+    let mut params = Params::new();
+    let comparator = Comparator::new(&config, &mut params, &mut StdRng::seed_from_u64(seed));
+    TrainedModel { comparator, params }
+}
+
+/// An engine serving `default` v1 and v2 with *different* weights, so a
+/// misrouted request is detectable by its score.
+fn two_version_engine() -> Arc<ServeEngine> {
+    let mut registry = ModelRegistry::new();
+    registry.register("default", 1, tiny_model(1));
+    registry.register("default", 2, tiny_model(2));
+    Arc::new(ServeEngine::new(
+        registry,
+        &ServeConfig {
+            cache_capacity: 512,
+            batch: BatchConfig {
+                workers: 2,
+                max_batch: 8,
+            },
+        },
+    ))
+}
+
+fn versioned(version: u32) -> ModelSelector {
+    ModelSelector {
+        name: Some("default".to_string()),
+        version: Some(version),
+    }
+}
+
+fn split_router(w1: f64, w2: f64) -> Router {
+    Router::new(
+        vec![
+            Route {
+                selector: versioned(1),
+                weight: w1,
+            },
+            Route {
+                selector: versioned(2),
+                weight: w2,
+            },
+        ],
+        None,
+    )
+    .unwrap()
+}
+
+fn connect(addr: SocketAddr) -> GatewayClient {
+    let mut client = GatewayClient::connect(addr).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    client
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_scores() {
+    // ≥4 concurrent keep-alive clients against a 50/50 two-route table:
+    // every reply must match the in-process engine bit for bit under the
+    // (model, version) the reply itself claims, and each client must be
+    // sticky to one version.
+    let engine = two_version_engine();
+    // In-process references, computed on the same engine the gateway
+    // serves from.
+    let expected: Vec<Vec<f32>> = (1..=2u32)
+        .map(|v| {
+            PAIRS
+                .iter()
+                .map(|(a, b)| {
+                    engine
+                        .compare(&versioned(v), a, b)
+                        .unwrap()
+                        .prob_first_slower
+                })
+                .collect()
+        })
+        .collect();
+
+    let gateway = Gateway::spawn(
+        Arc::clone(&engine),
+        split_router(0.5, 0.5),
+        GatewayConfig::default(),
+    )
+    .unwrap();
+    let addr = gateway.addr();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6)
+            .map(|t| {
+                let expected = &expected;
+                scope.spawn(move || {
+                    let mut client = connect(addr);
+                    let key = format!("client-{t}");
+                    let mut seen_version = None;
+                    for round in 0..8 {
+                        let (a, b) = PAIRS[round % PAIRS.len()];
+                        let reply = client.compare(a, b, Some(&key)).unwrap();
+                        assert_eq!(reply.model, "default");
+                        let v = reply.version;
+                        assert!(v == 1 || v == 2, "unknown version {v}");
+                        // Sticky: one client key never changes route.
+                        assert_eq!(*seen_version.get_or_insert(v), v, "client {key} flapped");
+                        assert_eq!(
+                            reply.prob_first_slower as f32,
+                            expected[(v - 1) as usize][round % PAIRS.len()],
+                            "wire score diverged from in-process engine"
+                        );
+                    }
+                    seen_version.unwrap()
+                })
+            })
+            .collect();
+        let versions: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(versions.len(), 6);
+    });
+
+    // Ranking over the wire agrees with in-process ranking too.
+    let mut client = connect(addr);
+    let reply_order = client
+        .rank(&[FAST, SLOW, MID], Some("rank-client"))
+        .unwrap();
+    let route_version = split_router(0.5, 0.5)
+        .route_for("rank-client")
+        .selector
+        .clone();
+    let direct = engine.rank(&route_version, &[FAST, SLOW, MID]).unwrap();
+    let direct_order: Vec<usize> = direct.ranking.iter().map(|r| r.index).collect();
+    assert_eq!(reply_order, direct_order);
+
+    gateway.shutdown_and_join().unwrap();
+}
+
+#[test]
+fn mid_request_disconnects_leave_the_gateway_healthy() {
+    let engine = two_version_engine();
+    let gateway = Gateway::spawn(
+        Arc::clone(&engine),
+        Router::single_default(),
+        GatewayConfig::default(),
+    )
+    .unwrap();
+    let addr = gateway.addr();
+    let handle = gateway.handle();
+
+    let mut healthy = connect(addr);
+    let before = healthy.compare(SLOW, FAST, Some("healthy")).unwrap();
+
+    // A client that dies mid-line: partial request, no newline, gone.
+    {
+        use std::io::Write as _;
+        let mut dead = TcpStream::connect(addr).unwrap();
+        dead.write_all(br#"{"op":"compare","first":"int main"#)
+            .unwrap();
+        dead.shutdown(std::net::Shutdown::Both).unwrap();
+    }
+    // A client that sends a full request but vanishes before reading the
+    // response: the server's write fails, nobody else cares.
+    {
+        use std::io::Write as _;
+        let mut rude = TcpStream::connect(addr).unwrap();
+        writeln!(
+            rude,
+            r#"{{"op":"compare","first":{},"second":{}}}"#,
+            Json::str(SLOW),
+            Json::str(FAST)
+        )
+        .unwrap();
+        drop(rude);
+    }
+
+    // The surviving session keeps working and scores stay identical.
+    let after = healthy.compare(SLOW, FAST, Some("healthy")).unwrap();
+    assert_eq!(after.prob_first_slower, before.prob_first_slower);
+    assert!(healthy.ping().unwrap());
+
+    // The dead sessions get reaped (bounded wait; reaping needs the
+    // session threads to notice EOF).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.active_connections() > 1 {
+        assert!(
+            Instant::now() < deadline,
+            "dead connections were never reaped: {} active",
+            handle.active_connections()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    gateway.shutdown_and_join().unwrap();
+}
+
+#[test]
+fn stalled_partial_requests_hit_the_idle_timeout() {
+    // Slowloris: a client that sends half a request and then stalls must
+    // be reaped by the idle timeout just like a silent one — otherwise
+    // max_connections such clients pin the gateway at capacity forever.
+    let engine = two_version_engine();
+    let gateway = Gateway::spawn(
+        Arc::clone(&engine),
+        Router::single_default(),
+        GatewayConfig {
+            idle_timeout: Some(Duration::from_millis(200)),
+            ..GatewayConfig::default()
+        },
+    )
+    .unwrap();
+    let handle = gateway.handle();
+
+    use std::io::Write as _;
+    let mut stalled = TcpStream::connect(gateway.addr()).unwrap();
+    stalled.write_all(br#"{"op":"compare","first":"#).unwrap();
+    let mut silent = TcpStream::connect(gateway.addr()).unwrap();
+    silent.write_all(b" ").unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.active_connections() > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "stalled connections never timed out: {} active",
+            handle.active_connections()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // Both sockets were closed server-side.
+    drop(stalled);
+    drop(silent);
+    gateway.shutdown_and_join().unwrap();
+}
+
+#[test]
+fn connection_cap_refuses_politely() {
+    let engine = two_version_engine();
+    let gateway = Gateway::spawn(
+        Arc::clone(&engine),
+        Router::single_default(),
+        GatewayConfig {
+            max_connections: 2,
+            ..GatewayConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = gateway.addr();
+
+    let mut first = connect(addr);
+    let mut second = connect(addr);
+    assert!(first.ping().unwrap());
+    assert!(second.ping().unwrap());
+
+    // The third connection gets one unsolicited ok:false line, then EOF
+    // (read it without writing: the refusal arrives regardless).
+    {
+        use std::io::BufRead as _;
+        let refused = TcpStream::connect(addr).unwrap();
+        refused
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut reader = std::io::BufReader::new(refused);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let response = ccsa_serve::json::parse(line.trim_end()).unwrap();
+        assert_eq!(response.get("ok"), Some(&Json::Bool(false)));
+        assert!(response
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("capacity"));
+        let mut rest = String::new();
+        assert_eq!(reader.read_line(&mut rest).unwrap(), 0, "then EOF");
+    }
+
+    // Freeing a slot re-admits new clients.
+    drop(first);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut retry = connect(addr);
+        if retry.ping().unwrap_or(false) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "slot never freed");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    gateway.shutdown_and_join().unwrap();
+}
+
+#[test]
+fn shutdown_verb_drains_every_session() {
+    let engine = two_version_engine();
+    let gateway = Gateway::spawn(
+        Arc::clone(&engine),
+        Router::single_default(),
+        GatewayConfig::default(),
+    )
+    .unwrap();
+    let addr = gateway.addr();
+
+    let mut bystander = connect(addr);
+    assert!(bystander.ping().unwrap());
+
+    let mut terminator = connect(addr);
+    terminator.shutdown().unwrap();
+
+    // The accept loop exits and all sessions close; join must complete.
+    gateway.shutdown_and_join().unwrap();
+
+    // The bystander's session was closed between requests…
+    assert!(bystander.ping().is_err(), "drained session must be closed");
+    // …and the port no longer accepts.
+    assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err());
+}
+
+#[test]
+fn sigterm_flag_drains_a_watching_gateway() {
+    let engine = two_version_engine();
+    let gateway = Gateway::spawn(
+        Arc::clone(&engine),
+        Router::single_default(),
+        GatewayConfig {
+            honor_sigterm: true,
+            ..GatewayConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = connect(gateway.addr());
+    assert!(client.ping().unwrap());
+
+    signal::simulate_sigterm();
+    // No handle.shutdown() — the signal flag alone must drain it.
+    gateway.shutdown_and_join().unwrap();
+}
+
+#[test]
+fn cache_snapshot_warms_a_restarted_gateway() {
+    let dir = std::env::temp_dir().join(format!("ccsa-gw-warm-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&dir);
+    let snapshot = dir.join("cache.ccsc");
+    let sel = ModelSelector::default();
+
+    // First life: serve traffic, spill the cache at shutdown.
+    let engine1 = Arc::new(ServeEngine::with_model(
+        tiny_model(5),
+        &ServeConfig::default(),
+    ));
+    let gw1 = Gateway::spawn(
+        Arc::clone(&engine1),
+        Router::single_default(),
+        GatewayConfig::default(),
+    )
+    .unwrap();
+    let mut client = connect(gw1.addr());
+    let cold = client.compare(SLOW, FAST, None).unwrap();
+    assert_eq!(cold.cache_hits, 0);
+    gw1.shutdown_and_join().unwrap();
+    assert_eq!(engine1.snapshot_cache(&sel, &snapshot).unwrap(), 2);
+
+    // Second life: same weights, fresh process state, warm start.
+    let engine2 = Arc::new(ServeEngine::with_model(
+        tiny_model(5),
+        &ServeConfig::default(),
+    ));
+    assert_eq!(engine2.warm_cache(&sel, &snapshot).unwrap(), 2);
+    let gw2 = Gateway::spawn(
+        Arc::clone(&engine2),
+        Router::single_default(),
+        GatewayConfig::default(),
+    )
+    .unwrap();
+    let mut client = connect(gw2.addr());
+    let warm = client.compare(SLOW, FAST, None).unwrap();
+    assert_eq!(warm.cache_hits, 2, "restart must start warm");
+    assert_eq!(warm.prob_first_slower, cold.prob_first_slower);
+    assert_eq!(
+        engine2.stats().batch.jobs,
+        0,
+        "no re-encoding after warm start"
+    );
+    gw2.shutdown_and_join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shadow_traffic_reaches_the_candidate_and_is_reported() {
+    let engine = two_version_engine();
+    let router = Router::new(
+        vec![Route {
+            selector: versioned(1),
+            weight: 1.0,
+        }],
+        Some(ShadowRoute {
+            selector: versioned(2),
+            fraction: 1.0, // mirror everything: the strongest case
+        }),
+    )
+    .unwrap();
+    let gateway = Gateway::spawn(Arc::clone(&engine), router, GatewayConfig::default()).unwrap();
+    let mut client = connect(gateway.addr());
+
+    let expected_v1 = engine
+        .compare(&versioned(1), SLOW, FAST)
+        .unwrap()
+        .prob_first_slower;
+    for i in 0..6 {
+        let reply = client.compare(SLOW, FAST, Some(&format!("s{i}"))).unwrap();
+        // Every response comes from the primary, never the shadow.
+        assert_eq!(reply.version, 1);
+        assert_eq!(reply.prob_first_slower as f32, expected_v1);
+    }
+
+    // Mirrors run asynchronously on the shadow worker; wait for all six
+    // to land (bounded), then assert the full accounting.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let routes = loop {
+        let routes = client.routes().unwrap();
+        let mirrored = routes
+            .get("shadow")
+            .and_then(|s| s.get("requests"))
+            .and_then(Json::as_u64)
+            .unwrap();
+        if mirrored == 6 {
+            break routes;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "only {mirrored}/6 mirrors arrived (fraction 1.0 must mirror every routed request)"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let primary = &routes.get("routes").unwrap().as_arr().unwrap()[0];
+    assert_eq!(primary.get("requests").unwrap().as_u64(), Some(6));
+    assert_eq!(primary.get("errors").unwrap().as_u64(), Some(0));
+    let shadow = routes.get("shadow").unwrap();
+    assert_eq!(shadow.get("version").unwrap().as_u64(), Some(2));
+    assert_eq!(shadow.get("errors").unwrap().as_u64(), Some(0));
+    assert_eq!(shadow.get("dropped").unwrap().as_u64(), Some(0));
+
+    // The candidate really ran: its registration shows cache lookups.
+    let v2_lookups: u64 = engine
+        .stats()
+        .model_cache
+        .iter()
+        .filter(|m| m.version == 2)
+        .map(|m| m.hits + m.misses)
+        .sum();
+    assert!(v2_lookups > 0, "shadow model never saw traffic");
+
+    gateway.shutdown_and_join().unwrap();
+}
+
+/// Two persistent gateways over one engine: `plain` routes everything to
+/// v1 with no shadow; `shadowed` routes identically but mirrors 100% of
+/// traffic to v2. Shared across property-test cases (the gateways are
+/// leaked; the process exit reaps them).
+fn shadow_rig() -> (SocketAddr, SocketAddr) {
+    static RIG: OnceLock<(SocketAddr, SocketAddr)> = OnceLock::new();
+    *RIG.get_or_init(|| {
+        let engine = two_version_engine();
+        let plain = Gateway::spawn(
+            Arc::clone(&engine),
+            Router::new(
+                vec![Route {
+                    selector: versioned(1),
+                    weight: 1.0,
+                }],
+                None,
+            )
+            .unwrap(),
+            GatewayConfig::default(),
+        )
+        .unwrap();
+        let shadowed = Gateway::spawn(
+            engine,
+            Router::new(
+                vec![Route {
+                    selector: versioned(1),
+                    weight: 1.0,
+                }],
+                Some(ShadowRoute {
+                    selector: versioned(2),
+                    fraction: 1.0,
+                }),
+            )
+            .unwrap(),
+            GatewayConfig::default(),
+        )
+        .unwrap();
+        let addrs = (plain.addr(), shadowed.addr());
+        std::mem::forget(plain);
+        std::mem::forget(shadowed);
+        addrs
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Observed route assignment over a deterministic client population
+    /// converges to any valid weight configuration (satellite: "observed
+    /// route distribution converges to configured weights").
+    #[test]
+    fn route_distribution_converges_to_weights(
+        raw_weights in prop::collection::vec(0.05f64..1.0, 2..5),
+        key_space in 0u64..1000,
+    ) {
+        let routes: Vec<Route> = raw_weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| Route {
+                selector: versioned(i as u32 + 1),
+                weight: w,
+            })
+            .collect();
+        let router = Router::new(routes, None).unwrap();
+        let n = 4000usize;
+        let mut counts = vec![0usize; raw_weights.len()];
+        for i in 0..n {
+            counts[router.route_index(&format!("pop{key_space}-{i}"))] += 1;
+        }
+        let total: f64 = raw_weights.iter().sum();
+        for (ix, &w) in raw_weights.iter().enumerate() {
+            let observed = counts[ix] as f64 / n as f64;
+            let configured = w / total;
+            prop_assert!(
+                (observed - configured).abs() < 0.05,
+                "route {}: observed {:.3} vs configured {:.3}",
+                ix, observed, configured
+            );
+        }
+    }
+
+    /// Shadow traffic never alters the primary response: for any request
+    /// and client key, a gateway mirroring 100% of traffic answers byte-
+    /// for-byte like one with no shadow at all.
+    #[test]
+    fn shadow_never_alters_primary_responses(
+        pair_ix in 0usize..3,
+        key in 0u64..10_000,
+        do_rank in proptest::bool::ANY,
+    ) {
+        let (plain_addr, shadowed_addr) = shadow_rig();
+        let mut plain = connect(plain_addr);
+        let mut shadowed = connect(shadowed_addr);
+        let client_key = format!("prop-{key}");
+        if do_rank {
+            let a = plain.rank(&[FAST, SLOW, MID], Some(&client_key)).unwrap();
+            let b = shadowed.rank(&[FAST, SLOW, MID], Some(&client_key)).unwrap();
+            prop_assert_eq!(a, b);
+        } else {
+            let (x, y) = PAIRS[pair_ix];
+            let a = plain.compare(x, y, Some(&client_key)).unwrap();
+            let b = shadowed.compare(x, y, Some(&client_key)).unwrap();
+            prop_assert_eq!(a.prob_first_slower, b.prob_first_slower);
+            prop_assert_eq!(a.version, b.version);
+            prop_assert_eq!(a.model, b.model);
+        }
+    }
+}

@@ -137,6 +137,19 @@ impl EncodePool {
         }
     }
 
+    /// Trees currently waiting in the queue (instantaneous, not a
+    /// counter). This is the admission backpressure signal: every pending
+    /// encode across all connections queues here, so a growing depth
+    /// means requests arrive faster than the workers drain them.
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .expect("encode queue poisoned")
+            .jobs
+            .len()
+    }
+
     /// Encodes `graphs` under `model`, blocking until every latent code is
     /// ready. Results come back in input order.
     ///

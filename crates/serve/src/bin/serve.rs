@@ -45,7 +45,8 @@ fn usage_abort(msg: &str) -> ! {
          trains a small comparator on the given curated problem and saves\n\
          it into DIR (or serves it directly when no DIR is given).\n\
          Protocol: one JSON request per stdin line, one JSON response per\n\
-         stdout line; ops: compare, rank, stats, ping."
+         stdout line; ops: compare, rank, stats, ping, shutdown.\n\
+         (TCP transport + A/B routing: see the `gateway` binary.)"
     );
     std::process::exit(2);
 }
@@ -192,12 +193,21 @@ fn main() {
         if line.trim().is_empty() {
             continue;
         }
-        let response = proto::handle_line(&engine, &line);
+        let request = proto::parse_request(&line);
+        let is_shutdown = matches!(request, Ok(proto::Request::Shutdown));
+        let response = match request {
+            Ok(request) => proto::dispatch(&engine, request),
+            Err(message) => proto::error_response(&message),
+        };
         if writeln!(out, "{response}")
             .and_then(|()| out.flush())
             .is_err()
         {
             break; // downstream closed
+        }
+        if is_shutdown {
+            eprintln!("[serve] shutdown requested — exiting");
+            break;
         }
     }
 }

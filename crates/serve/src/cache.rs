@@ -11,15 +11,42 @@
 //! Implementation: a slab of entries threaded onto an intrusive
 //! doubly-linked recency list, plus a `HashMap` from key to slab index.
 //! `get`, `insert` and eviction are all O(1).
+//!
+//! # Persistence
+//!
+//! Canonical AST hashes are stable across processes, so a cache can be
+//! spilled to disk ([`EmbeddingCache::snapshot_to`]) and reloaded into a
+//! fresh process ([`EmbeddingCache::load_from`]) to start warm. Cache
+//! *keys* are salted per model registration (see the engine), which is
+//! process-local — so both calls take the salt and store the *unsalted*
+//! canonical hash on disk, plus a caller-chosen `tag` identifying which
+//! model's entries to spill (entries are tagged at insert time via
+//! [`EmbeddingCache::insert_tagged`]). A latent code is only meaningful
+//! for the weights that produced it, so every snapshot carries a weights
+//! `digest` and loading verifies it: a snapshot from a retrained model
+//! is refused ([`SnapshotError::WrongModel`]) instead of silently
+//! serving stale embeddings.
 
 use std::collections::HashMap;
+use std::io::{Read, Write};
 
 use ccsa_tensor::Tensor;
 
 const NIL: usize = usize::MAX;
 
+/// Magic prefix of a cache snapshot file.
+const SNAPSHOT_MAGIC: &[u8; 4] = b"CCSC";
+/// Snapshot format version.
+const SNAPSHOT_VERSION: u32 = 1;
+/// Upper bounds on snapshot contents: snapshots may come from disk that
+/// rotted or was tampered with, so implausible sizes are rejected instead
+/// of allocated.
+const MAX_SNAPSHOT_ENTRIES: u32 = 16_000_000;
+const MAX_CODE_LEN: u32 = 1 << 20;
+
 struct Entry {
     key: u64,
+    tag: u64,
     code: Tensor,
     prev: usize,
     next: usize,
@@ -130,14 +157,25 @@ impl EmbeddingCache {
     }
 
     /// Inserts (or refreshes) a code, evicting the least-recently-used
-    /// entry if the cache is at capacity.
+    /// entry if the cache is at capacity. The entry carries tag 0 ("no
+    /// particular owner"); use [`EmbeddingCache::insert_tagged`] when the
+    /// entry should be attributable for snapshotting.
     pub fn insert(&mut self, key: u64, code: Tensor) {
+        self.insert_tagged(key, 0, code);
+    }
+
+    /// Inserts (or refreshes) a code under an owner `tag` — typically the
+    /// registration uid of the model that produced it — so
+    /// [`EmbeddingCache::snapshot_to`] can later spill exactly that
+    /// model's entries.
+    pub fn insert_tagged(&mut self, key: u64, tag: u64, code: Tensor) {
         if self.capacity == 0 {
             return;
         }
         if let Some(&ix) = self.map.get(&key) {
-            // Refresh: replace payload, promote.
+            // Refresh: replace payload and owner, promote.
             self.slab[ix].code = code;
+            self.slab[ix].tag = tag;
             self.detach(ix);
             self.attach_front(ix);
             return;
@@ -154,6 +192,7 @@ impl EmbeddingCache {
             Some(ix) => {
                 self.slab[ix] = Entry {
                     key,
+                    tag,
                     code,
                     prev: NIL,
                     next: NIL,
@@ -163,6 +202,7 @@ impl EmbeddingCache {
             None => {
                 self.slab.push(Entry {
                     key,
+                    tag,
                     code,
                     prev: NIL,
                     next: NIL,
@@ -184,6 +224,77 @@ impl EmbeddingCache {
             ix = self.slab[ix].next;
         }
         keys
+    }
+
+    /// Extracts every entry tagged `tag` as (canonical hash, latent
+    /// code) pairs, least- to most-recently used. `salt` is the
+    /// process-local key salt the entries were inserted under: keys are
+    /// un-salted (XOR is involutive) so the pairs carry the stable
+    /// canonical hashes, valid in any future process.
+    ///
+    /// This is the cheap, in-memory half of snapshotting: callers that
+    /// hold this cache behind a lock extract under the lock and hand the
+    /// pairs to [`write_snapshot`] *after* releasing it, so disk I/O
+    /// never stalls serving traffic.
+    pub fn tagged_entries(&self, tag: u64, salt: u64) -> Vec<(u64, Tensor)> {
+        let mut entries = Vec::new();
+        let mut ix = self.tail;
+        while ix != NIL {
+            let entry = &self.slab[ix];
+            if entry.tag == tag {
+                entries.push((entry.key ^ salt, entry.code.clone()));
+            }
+            ix = entry.prev;
+        }
+        entries
+    }
+
+    /// Spills every entry tagged `tag` to `w` (see [`tagged_entries`](
+    /// EmbeddingCache::tagged_entries) and [`write_snapshot`]), returning
+    /// how many were written. `digest` identifies the weights that
+    /// produced the codes; [`EmbeddingCache::load_from`] refuses a
+    /// snapshot whose digest does not match.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer I/O failures.
+    pub fn snapshot_to<W: Write>(
+        &self,
+        w: W,
+        tag: u64,
+        salt: u64,
+        digest: u64,
+    ) -> Result<usize, SnapshotError> {
+        write_snapshot(w, digest, &self.tagged_entries(tag, salt))
+    }
+
+    /// Loads a snapshot written by [`EmbeddingCache::snapshot_to`],
+    /// re-salting every stored canonical hash with `salt` and inserting
+    /// the codes under `tag`. Returns how many entries were inserted
+    /// (capacity eviction applies as usual, so a small cache keeps only
+    /// the most-recently-used suffix of a large snapshot).
+    ///
+    /// Loading is all-or-nothing: a snapshot that fails to read — I/O
+    /// error, corruption, or a `expected_digest` mismatch (codes from
+    /// different weights) — inserts nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] on I/O failure, malformed content, or a
+    /// weights-digest mismatch.
+    pub fn load_from<R: Read>(
+        &mut self,
+        r: R,
+        tag: u64,
+        salt: u64,
+        expected_digest: u64,
+    ) -> Result<usize, SnapshotError> {
+        let entries = read_snapshot(r, expected_digest)?;
+        let count = entries.len();
+        for (canonical, code) in entries {
+            self.insert_tagged(canonical ^ salt, tag, code);
+        }
+        Ok(count)
     }
 
     fn detach(&mut self, ix: usize) {
@@ -212,6 +323,168 @@ impl EmbeddingCache {
         if self.tail == NIL {
             self.tail = ix;
         }
+    }
+}
+
+/// Writes (canonical hash, latent code) pairs as a snapshot document.
+/// `digest` identifies the weights that produced the codes (see
+/// [`SnapshotError::WrongModel`]). Returns the number of entries
+/// written.
+///
+/// # Errors
+///
+/// Propagates writer I/O failures.
+pub fn write_snapshot<W: Write>(
+    mut w: W,
+    digest: u64,
+    entries: &[(u64, Tensor)],
+) -> Result<usize, SnapshotError> {
+    w.write_all(SNAPSHOT_MAGIC)?;
+    w.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
+    w.write_all(&digest.to_le_bytes())?;
+    w.write_all(&(entries.len() as u32).to_le_bytes())?;
+    // Entry payloads are framed into one buffer per entry (bulk writes,
+    // not one syscall-layer call per float) and run through a checksum:
+    // the trailing value lets the reader reject bit rot in the body, not
+    // just a damaged header.
+    let mut checksum = crate::hash::Fnv1a::new();
+    let mut frame: Vec<u8> = Vec::new();
+    for (canonical, code) in entries {
+        frame.clear();
+        frame.extend_from_slice(&canonical.to_le_bytes());
+        let data = code.as_slice();
+        frame.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        for &v in data {
+            frame.extend_from_slice(&v.to_le_bytes());
+        }
+        checksum.write(&frame);
+        w.write_all(&frame)?;
+    }
+    w.write_all(&checksum.finish().to_le_bytes())?;
+    Ok(entries.len())
+}
+
+/// Reads a snapshot document back into (canonical hash, latent code)
+/// pairs, verifying the stored weights digest against
+/// `expected_digest`.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError`] on I/O failure, malformed content, or a
+/// digest mismatch.
+pub fn read_snapshot<R: Read>(
+    mut r: R,
+    expected_digest: u64,
+) -> Result<Vec<(u64, Tensor)>, SnapshotError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::Corrupt(
+            "not a CCSA cache snapshot".to_string(),
+        ));
+    }
+    let version = read_u32(&mut r)?;
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::Corrupt(format!(
+            "unsupported snapshot version {version}"
+        )));
+    }
+    let mut digest = [0u8; 8];
+    r.read_exact(&mut digest)?;
+    let found = u64::from_le_bytes(digest);
+    if found != expected_digest {
+        return Err(SnapshotError::WrongModel {
+            expected: expected_digest,
+            found,
+        });
+    }
+    let count = read_u32(&mut r)?;
+    if count > MAX_SNAPSHOT_ENTRIES {
+        return Err(SnapshotError::Corrupt(format!(
+            "implausible entry count {count}"
+        )));
+    }
+    let mut checksum = crate::hash::Fnv1a::new();
+    let mut entries = Vec::with_capacity(count.min(4096) as usize);
+    for _ in 0..count {
+        let mut head = [0u8; 12];
+        r.read_exact(&mut head)?;
+        checksum.write(&head);
+        let canonical = u64::from_le_bytes(head[..8].try_into().expect("8-byte slice"));
+        let len = u32::from_le_bytes(head[8..].try_into().expect("4-byte slice"));
+        if len > MAX_CODE_LEN {
+            return Err(SnapshotError::Corrupt(format!(
+                "implausible code length {len}"
+            )));
+        }
+        let mut raw = vec![0u8; len as usize * 4];
+        r.read_exact(&mut raw)?;
+        checksum.write(&raw);
+        let data: Vec<f32> = raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+            .collect();
+        entries.push((canonical, Tensor::from_vec(data, [len as usize])));
+    }
+    let mut stored = [0u8; 8];
+    r.read_exact(&mut stored)?;
+    if u64::from_le_bytes(stored) != checksum.finish() {
+        return Err(SnapshotError::Corrupt(
+            "body checksum mismatch (bit rot or tampering)".to_string(),
+        ));
+    }
+    Ok(entries)
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, SnapshotError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Why a cache snapshot failed to write or load.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structurally invalid snapshot content.
+    Corrupt(String),
+    /// The snapshot was written under different model weights — loading
+    /// it would serve another model's embeddings.
+    WrongModel {
+        /// The digest of the weights being warmed.
+        expected: u64,
+        /// The digest stored in the snapshot.
+        found: u64,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "cache snapshot i/o error: {e}"),
+            SnapshotError::Corrupt(msg) => write!(f, "corrupt cache snapshot: {msg}"),
+            SnapshotError::WrongModel { expected, found } => write!(
+                f,
+                "cache snapshot was written under different model weights \
+                 (digest {found:016x}, expected {expected:016x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            SnapshotError::Corrupt(_) | SnapshotError::WrongModel { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> SnapshotError {
+        SnapshotError::Io(e)
     }
 }
 
@@ -282,6 +555,125 @@ mod tests {
         c.insert(1, code(1.0));
         assert!(c.is_empty());
         assert!(c.get(1).is_none());
+    }
+
+    #[test]
+    fn snapshot_roundtrips_tagged_entries_with_resalting() {
+        let mut c = EmbeddingCache::new(8);
+        let (old_salt, new_salt, tag) = (0xAAAA_BBBB_CCCC_DDDD, 0x1111_2222_3333_4444, 7);
+        // Three entries for `tag`, one foreign entry that must not spill.
+        c.insert_tagged(10 ^ old_salt, tag, code(1.0));
+        c.insert_tagged(20 ^ old_salt, tag, code(2.0));
+        c.insert_tagged(30 ^ old_salt, tag, code(3.0));
+        c.insert_tagged(99, 5, code(9.0));
+        // Touch 10 so recency is 10 > 30 > 20 within the tag.
+        assert!(c.get(10 ^ old_salt).is_some());
+
+        let mut buf = Vec::new();
+        assert_eq!(c.snapshot_to(&mut buf, tag, old_salt, 0xD1).unwrap(), 3);
+
+        // A fresh process: new cache, new salt for the same model.
+        let mut fresh = EmbeddingCache::new(8);
+        assert_eq!(
+            fresh
+                .load_from(buf.as_slice(), tag, new_salt, 0xD1)
+                .unwrap(),
+            3
+        );
+        assert_eq!(fresh.len(), 3);
+        assert_eq!(
+            fresh.peek(10 ^ new_salt).unwrap().as_slice(),
+            &[1.0, 2.0],
+            "canonical hash must resolve under the new salt"
+        );
+        assert!(fresh.peek(99).is_none(), "foreign tag must not leak");
+        // Recency order survived: MRU first.
+        assert_eq!(
+            fresh.recency_keys(),
+            vec![10 ^ new_salt, 30 ^ new_salt, 20 ^ new_salt]
+        );
+    }
+
+    #[test]
+    fn snapshot_load_respects_capacity() {
+        let mut c = EmbeddingCache::new(16);
+        for k in 0..10u64 {
+            c.insert_tagged(k, 1, code(k as f32));
+        }
+        let mut buf = Vec::new();
+        assert_eq!(c.snapshot_to(&mut buf, 1, 0, 0).unwrap(), 10);
+        // A smaller cache keeps only the most-recent suffix.
+        let mut small = EmbeddingCache::new(4);
+        assert_eq!(small.load_from(buf.as_slice(), 1, 0, 0).unwrap(), 10);
+        assert_eq!(small.len(), 4);
+        for k in 6..10u64 {
+            assert!(small.peek(k).is_some(), "key {k} should have survived");
+        }
+    }
+
+    #[test]
+    fn snapshot_load_rejects_garbage() {
+        let mut c = EmbeddingCache::new(4);
+        assert!(matches!(
+            c.load_from(&b"NOPE"[..], 0, 0, 0),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        assert!(c.load_from(&b"CC"[..], 0, 0, 0).is_err());
+        // Truncated snapshot: error, nothing inserted (all-or-nothing).
+        let mut full = EmbeddingCache::new(4);
+        full.insert_tagged(1, 1, code(1.0));
+        full.insert_tagged(2, 1, code(2.0));
+        let mut buf = Vec::new();
+        full.snapshot_to(&mut buf, 1, 0, 0).unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut partial = EmbeddingCache::new(4);
+        assert!(partial.load_from(buf.as_slice(), 1, 0, 0).is_err());
+        assert!(partial.is_empty(), "a bad snapshot must insert nothing");
+    }
+
+    #[test]
+    fn snapshot_load_rejects_flipped_body_bits() {
+        // The trailing checksum covers the body: single-bit rot in a
+        // stored code (or key) must be refused, not silently served.
+        let mut c = EmbeddingCache::new(4);
+        c.insert_tagged(1, 1, code(1.0));
+        c.insert_tagged(2, 1, code(2.0));
+        let mut buf = Vec::new();
+        c.snapshot_to(&mut buf, 1, 0, 0).unwrap();
+        let mut rotted = buf.clone();
+        let mid = 24 + (rotted.len() - 24 - 8) / 2; // inside the body
+        rotted[mid] ^= 0x10;
+        let mut fresh = EmbeddingCache::new(4);
+        let err = fresh.load_from(rotted.as_slice(), 1, 0, 0).unwrap_err();
+        assert!(
+            matches!(&err, SnapshotError::Corrupt(m) if m.contains("checksum")),
+            "{err}"
+        );
+        assert!(fresh.is_empty());
+        // The pristine copy still loads.
+        assert_eq!(fresh.load_from(buf.as_slice(), 1, 0, 0).unwrap(), 2);
+    }
+
+    #[test]
+    fn snapshot_load_rejects_wrong_weights_digest() {
+        // A snapshot from one set of weights must never warm another:
+        // latent codes are only meaningful under the weights that
+        // produced them.
+        let mut c = EmbeddingCache::new(4);
+        c.insert_tagged(1, 1, code(1.0));
+        let mut buf = Vec::new();
+        c.snapshot_to(&mut buf, 1, 0, 0xAAAA).unwrap();
+        let mut fresh = EmbeddingCache::new(4);
+        assert!(matches!(
+            fresh.load_from(buf.as_slice(), 1, 0, 0xBBBB),
+            Err(SnapshotError::WrongModel {
+                expected: 0xBBBB,
+                found: 0xAAAA
+            })
+        ));
+        assert!(fresh.is_empty());
+        // The right digest still loads.
+        assert_eq!(fresh.load_from(buf.as_slice(), 1, 0, 0xAAAA).unwrap(), 1);
     }
 
     #[test]

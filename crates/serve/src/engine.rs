@@ -19,6 +19,7 @@
 //! tree — duplicated work, never wrong results (encoders are pure).
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -26,7 +27,7 @@ use ccsa_cppast::{parse_program, AstGraph, ParseError};
 use ccsa_tensor::Tensor;
 
 use crate::batch::{BatchConfig, BatchStats, EncodeError, EncodePool};
-use crate::cache::{CacheStats, EmbeddingCache};
+use crate::cache::{CacheStats, EmbeddingCache, SnapshotError};
 use crate::rank::{rank_from_matrix, RankedCandidate};
 use crate::registry::{ModelRegistry, ModelSelector, RegistryError, ServeModel, DEFAULT_MODEL};
 
@@ -71,6 +72,8 @@ pub enum ServeError {
     /// The encoder failed (panicked) in the worker pool — typically a
     /// corrupt model artefact.
     Encode(EncodeError),
+    /// Writing or loading an embedding-cache snapshot failed.
+    Cache(SnapshotError),
 }
 
 impl std::fmt::Display for ServeError {
@@ -88,6 +91,7 @@ impl std::fmt::Display for ServeError {
                 )
             }
             ServeError::Encode(e) => write!(f, "{e}"),
+            ServeError::Cache(e) => write!(f, "{e}"),
         }
     }
 }
@@ -103,6 +107,12 @@ impl From<RegistryError> for ServeError {
 impl From<EncodeError> for ServeError {
     fn from(e: EncodeError) -> ServeError {
         ServeError::Encode(e)
+    }
+}
+
+impl From<SnapshotError> for ServeError {
+    fn from(e: SnapshotError) -> ServeError {
+        ServeError::Cache(e)
     }
 }
 
@@ -142,6 +152,32 @@ pub struct RankOutcome {
     pub encoded: usize,
 }
 
+/// One registration's share of the embedding cache (see
+/// [`EngineStats::model_cache`]).
+#[derive(Debug, Clone)]
+pub struct ModelCacheStats {
+    /// Registry name.
+    pub model: String,
+    /// Version within the name.
+    pub version: u32,
+    /// Lookups under this registration that hit.
+    pub hits: u64,
+    /// Lookups under this registration that missed.
+    pub misses: u64,
+}
+
+impl ModelCacheStats {
+    /// Hit fraction over this registration's lookups (0 when untouched).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// Engine-level counters plus component snapshots.
 #[derive(Debug, Clone)]
 pub struct EngineStats {
@@ -159,8 +195,14 @@ pub struct EngineStats {
     pub cache_len: usize,
     /// Worker-pool counters.
     pub batch: BatchStats,
+    /// Trees waiting in the encode queue right now (the admission
+    /// backpressure signal).
+    pub queue_depth: usize,
     /// Registered models: `(name, versions)`.
     pub models: Vec<(String, Vec<u32>)>,
+    /// Per-registration embedding-cache counters, ordered by
+    /// (name, version).
+    pub model_cache: Vec<ModelCacheStats>,
 }
 
 /// The in-process serving engine.
@@ -326,22 +368,102 @@ impl ServeEngine {
 
     /// Counter and component snapshot.
     pub fn stats(&self) -> EngineStats {
-        let cache = self.cache.lock().expect("cache poisoned");
+        let (cache, cache_len) = {
+            let cache = self.cache.lock().expect("cache poisoned");
+            (cache.stats(), cache.len())
+        };
+        let registry = self.registry.lock().expect("registry poisoned");
+        let model_cache = registry
+            .entries()
+            .iter()
+            .map(|m| {
+                let (hits, misses) = m.cache_lookups();
+                ModelCacheStats {
+                    model: m.name.clone(),
+                    version: m.version,
+                    hits,
+                    misses,
+                }
+            })
+            .collect();
         EngineStats {
             compares: self.compares.load(Ordering::Relaxed),
             rankings: self.rankings.load(Ordering::Relaxed),
             parses: self.parses.load(Ordering::Relaxed),
             parse_failures: self.parse_failures.load(Ordering::Relaxed),
-            cache: cache.stats(),
-            cache_len: cache.len(),
+            cache,
+            cache_len,
             batch: self.pool.stats(),
-            models: self.registry.lock().expect("registry poisoned").list(),
+            queue_depth: self.pool.queue_depth(),
+            models: registry.list(),
+            model_cache,
         }
     }
 
     /// Drops all cached embeddings (telemetry counters survive).
     pub fn clear_cache(&self) {
         self.cache.lock().expect("cache poisoned").clear();
+    }
+
+    /// Spills the selected model's cached embeddings to `path` so the
+    /// next process can [`ServeEngine::warm_cache`] from it. Returns the
+    /// number of entries written. The snapshot stores stable canonical
+    /// AST hashes (un-salted) plus a digest of the model weights, so it
+    /// is valid across restarts but refuses to warm different weights.
+    ///
+    /// The cache lock is held only while the entries are copied out —
+    /// the file write happens unlocked, so snapshotting a live engine
+    /// does not stall serving traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] on model-resolution or I/O failure.
+    pub fn snapshot_cache(
+        &self,
+        selector: &ModelSelector,
+        path: &Path,
+    ) -> Result<usize, ServeError> {
+        let model = self.resolve(selector)?;
+        let entries = self
+            .cache
+            .lock()
+            .expect("cache poisoned")
+            .tagged_entries(model.uid(), model_salt(&model));
+        let file = std::fs::File::create(path).map_err(SnapshotError::Io)?;
+        let mut w = std::io::BufWriter::new(file);
+        let written = crate::cache::write_snapshot(&mut w, model_digest(&model), &entries)?;
+        use std::io::Write as _;
+        w.flush().map_err(SnapshotError::Io)?;
+        Ok(written)
+    }
+
+    /// Loads a cache snapshot written by [`ServeEngine::snapshot_cache`]
+    /// into the selected model's key space, so its first requests hit the
+    /// cache instead of the encoder. Returns the number of entries read.
+    ///
+    /// A snapshot encodes latent codes of the weights that produced it,
+    /// so loading verifies the stored weights digest: warming a
+    /// *different* model (e.g. retrained weights at the same coordinate)
+    /// fails with [`SnapshotError::WrongModel`] instead of silently
+    /// serving stale embeddings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] on model-resolution failure, I/O failure,
+    /// a malformed snapshot, or a weights mismatch.
+    pub fn warm_cache(&self, selector: &ModelSelector, path: &Path) -> Result<usize, ServeError> {
+        let model = self.resolve(selector)?;
+        let file = std::fs::File::open(path).map_err(SnapshotError::Io)?;
+        // Read and verify outside the lock; insert under it.
+        let entries =
+            crate::cache::read_snapshot(std::io::BufReader::new(file), model_digest(&model))?;
+        let count = entries.len();
+        let salt = model_salt(&model);
+        let mut cache = self.cache.lock().expect("cache poisoned");
+        for (canonical, code) in entries {
+            cache.insert_tagged(canonical ^ salt, model.uid(), code);
+        }
+        Ok(count)
     }
 
     fn resolve(&self, selector: &ModelSelector) -> Result<Arc<ServeModel>, RegistryError> {
@@ -406,12 +528,15 @@ impl ServeEngine {
             }
         }
 
+        let hit_count = hit.iter().filter(|&&h| h).count() as u64;
+        model.note_cache_lookups(hit_count, graphs.len() as u64 - hit_count);
+
         let encoded = miss_graphs.len();
         if !miss_graphs.is_empty() {
             let fresh = self.pool.encode(model, &miss_graphs)?;
             let mut cache = self.cache.lock().expect("cache poisoned");
             for (&key, &slot) in &miss_slots {
-                cache.insert(key, fresh[slot].clone());
+                cache.insert_tagged(key, model.uid(), fresh[slot].clone());
             }
             drop(cache);
             for (ix, &key) in keys.iter().enumerate() {
@@ -432,16 +557,30 @@ impl ServeEngine {
     }
 }
 
+/// A content digest of a model's weights (FNV-1a over parameter names,
+/// shapes and raw f32 bits). Stamped into cache snapshots so a snapshot
+/// can only ever warm the exact weights that produced it — unlike the
+/// [`model_salt`], this is stable across processes and registrations.
+fn model_digest(model: &ServeModel) -> u64 {
+    let mut h = crate::hash::Fnv1a::new();
+    for (name, tensor) in model.model.params.iter() {
+        h.write(name.as_bytes());
+        for &d in tensor.shape().dims() {
+            h.write(&(d as u64).to_le_bytes());
+        }
+        for &v in tensor.as_slice() {
+            h.write(&v.to_le_bytes());
+        }
+    }
+    h.finish()
+}
+
 /// A per-registration salt folded into cache keys so no two model
 /// instances ever share embedding slots — not different (name, version)
 /// coordinates, and not two registrations replacing each other at the
 /// same coordinate (the [`ServeModel::uid`] is process-unique).
 fn model_salt(model: &ServeModel) -> u64 {
-    // SplitMix64 avalanche of the registration uid.
-    let mut z = model.uid().wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
+    crate::hash::splitmix64(model.uid())
 }
 
 #[cfg(test)]
@@ -742,6 +881,90 @@ mod tests {
             p_default, p_other,
             "different weights must score differently"
         );
+    }
+
+    #[test]
+    fn cache_snapshot_warms_a_restarted_engine() {
+        // "Restart": two engines with the same weights but distinct
+        // registrations (distinct uids → distinct salts). A snapshot from
+        // the first must warm the second: first compare all hits, scores
+        // bit-identical.
+        let dir = std::env::temp_dir().join(format!(
+            "ccsa-warm-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("cache.ccsc");
+        let sel = ModelSelector::default();
+
+        let before = engine(64);
+        let cold = before.compare(&sel, SLOW, FAST).unwrap();
+        assert_eq!(before.snapshot_cache(&sel, &path).unwrap(), 2);
+
+        let after = engine(64); // same tiny_model(1) weights, new uid
+        assert_eq!(after.warm_cache(&sel, &path).unwrap(), 2);
+        let warm = after.compare(&sel, SLOW, FAST).unwrap();
+        assert_eq!(warm.cache_hits, 2, "warm start must hit immediately");
+        assert_eq!(warm.prob_first_slower, cold.prob_first_slower);
+        let stats = after.stats();
+        assert_eq!(stats.batch.jobs, 0, "nothing should have been encoded");
+        // Per-model attribution saw 2 hits, 0 misses.
+        assert_eq!(stats.model_cache.len(), 1);
+        assert_eq!(stats.model_cache[0].hits, 2);
+        assert_eq!(stats.model_cache[0].misses, 0);
+        assert_eq!(stats.model_cache[0].hit_rate(), 1.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_cache_rejects_snapshots_from_different_weights() {
+        // tiny_model(1) spilled, tiny_model(9) warming: the digest check
+        // must refuse — otherwise the new model would serve the old
+        // model's embeddings.
+        let dir = std::env::temp_dir().join(format!(
+            "ccsa-warm-reject-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("cache.ccsc");
+        let sel = ModelSelector::default();
+
+        let old = engine(64);
+        old.compare(&sel, SLOW, FAST).unwrap();
+        assert_eq!(old.snapshot_cache(&sel, &path).unwrap(), 2);
+
+        let retrained = ServeEngine::with_model(
+            tiny_model(9),
+            &ServeConfig {
+                cache_capacity: 64,
+                batch: BatchConfig {
+                    workers: 2,
+                    max_batch: 8,
+                },
+            },
+        );
+        assert!(matches!(
+            retrained.warm_cache(&sel, &path),
+            Err(ServeError::Cache(SnapshotError::WrongModel { .. }))
+        ));
+        // Nothing leaked into the cache; the first compare is cold.
+        let cold = retrained.compare(&sel, SLOW, FAST).unwrap();
+        assert_eq!(cold.cache_hits, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_cache_reports_missing_file_as_error() {
+        let e = engine(8);
+        assert!(matches!(
+            e.warm_cache(
+                &ModelSelector::default(),
+                Path::new("/nonexistent/ccsa-cache.ccsc")
+            ),
+            Err(ServeError::Cache(SnapshotError::Io(_)))
+        ));
     }
 
     #[test]

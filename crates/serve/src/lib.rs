@@ -9,7 +9,10 @@
 //! # Architecture
 //!
 //! ```text
-//!            requests (compare / rank / stats)
+//!      stdio `serve` bin          TCP `gateway` bin (ccsa-gateway):
+//!      (one client)               sessions · A/B routes · shadow
+//!                 │                 │
+//!            requests (compare / rank / stats / routes / shutdown)
 //!                          │
 //!                    ┌─────▼──────┐
 //!                    │ ServeEngine│  parse → canonical AST hash
@@ -17,28 +20,33 @@
 //!        cache hit ┌───▼───┐ ┌─▼──────────┐ cache miss
 //!                  │  LRU  │ │ EncodePool │  micro-batched encoder
 //!                  │ cache │ │  (workers) │  forward passes
-//!                  └───┬───┘ └─▲────┬─────┘
-//!                      │  fill │    │
-//!                      └───────┘    │ latent codes
-//!                    ┌──────────────▼─┐
-//!                    │ classifier head│  2·d weights — cheap
-//!                    └──────┬─────────┘
-//!                           │ probabilities → ranking tournament
+//!                  └─┬─▲─┬─┘ └─▲────┬─────┘
+//!     snapshot_to/   │ │ │fill │    │
+//!     load_from ◄────┘ │ └─────┘    │ latent codes
+//!     (warm restarts)  │ ┌──────────▼─────┐
+//!                      │ │ classifier head│  2·d weights — cheap
+//!                      │ └──────┬─────────┘
+//!                      │        │ probabilities → ranking tournament
 //! ```
 //!
 //! * [`registry`] — named, versioned models ([`ModelRegistry`]), loaded
-//!   from `model-v<N>.ccsm` directories or registered in-process;
+//!   from `model-v<N>.ccsm` directories or registered in-process; each
+//!   registration carries its own cache hit/miss counters so A/B routes
+//!   are observable separately;
 //! * [`cache`] — an O(1) LRU from canonical AST hash to latent code
 //!   ([`EmbeddingCache`]): structurally identical resubmissions skip the
-//!   encoder and pay only the classifier head;
+//!   encoder and pay only the classifier head; snapshot/load spills it
+//!   to disk so restarts begin warm;
 //! * [`batch`] — the micro-batching queue and persistent worker pool
 //!   ([`EncodePool`]): pending trees across all in-flight requests fuse
-//!   into batched encoder forward passes;
+//!   into batched encoder forward passes, and the queue depth is the
+//!   transport's admission backpressure signal;
 //! * [`rank`] — K-candidate round-robin tournaments with
 //!   transitivity-aware tie-breaking and cycle flagging;
 //! * [`engine`] — the [`ServeEngine`] front door tying the above together;
-//! * [`proto`] + [`json`] — the JSON-lines wire protocol of the `serve`
-//!   binary.
+//! * [`proto`] + [`json`] — the JSON-lines wire protocol shared by the
+//!   `serve` binary and the `ccsa-gateway` TCP transport (which adds
+//!   weighted sticky A/B routing and per-route rolling stats on top).
 //!
 //! # Example
 //!
@@ -75,16 +83,17 @@
 pub mod batch;
 pub mod cache;
 pub mod engine;
+pub mod hash;
 pub mod json;
 pub mod proto;
 pub mod rank;
 pub mod registry;
 
 pub use batch::{BatchConfig, BatchStats, EncodeError, EncodePool};
-pub use cache::{CacheStats, EmbeddingCache};
+pub use cache::{CacheStats, EmbeddingCache, SnapshotError};
 pub use engine::{
-    CompareOutcome, EngineStats, RankOutcome, ServeConfig, ServeEngine, ServeError,
-    MAX_RANK_CANDIDATES,
+    CompareOutcome, EngineStats, ModelCacheStats, RankOutcome, ServeConfig, ServeEngine,
+    ServeError, MAX_RANK_CANDIDATES,
 };
 pub use rank::{rank_from_matrix, RankedCandidate};
 pub use registry::{ModelRegistry, ModelSelector, RegistryError, ServeModel, DEFAULT_MODEL};

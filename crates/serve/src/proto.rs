@@ -8,11 +8,20 @@
 //! {"op":"rank","candidates":["<src>", ...]}
 //! {"op":"stats"}
 //! {"op":"ping"}
+//! {"op":"routes"}
+//! {"op":"shutdown"}
 //! ```
 //!
 //! Responses always carry `"ok"`: `true` with op-specific fields, or
 //! `false` with an `"error"` string. Protocol errors (bad JSON, unknown
 //! op) are also `ok:false` responses — the connection stays usable.
+//!
+//! Two verbs are *transport-level*: `routes` reports the gateway's
+//! weighted A/B routing table (the plain stdio `serve` binary has no
+//! router and answers `ok:false`), and `shutdown` asks the process to
+//! drain and exit (both binaries honour it). Requests may also carry a
+//! `"client"` string, the gateway's sticky-routing key; the engine
+//! itself ignores it.
 
 use crate::engine::{CompareOutcome, EngineStats, RankOutcome, ServeEngine};
 use crate::json::{self, Json};
@@ -41,6 +50,10 @@ pub enum Request {
     Stats,
     /// Liveness probe.
     Ping,
+    /// The routing table and per-route stats (gateway only).
+    Routes,
+    /// Drain and exit.
+    Shutdown,
 }
 
 /// Decodes one request line.
@@ -51,6 +64,18 @@ pub enum Request {
 /// `op`, or missing operands.
 pub fn parse_request(line: &str) -> Result<Request, String> {
     let v = json::parse(line).map_err(|e| e.to_string())?;
+    parse_request_value(&v)
+}
+
+/// Decodes an already-parsed request object (transports that inspect the
+/// raw JSON themselves — e.g. the gateway reading the `"client"` routing
+/// key — use this to avoid parsing twice).
+///
+/// # Errors
+///
+/// Returns a human-readable message for a missing/unknown `op` or missing
+/// operands.
+pub fn parse_request_value(v: &Json) -> Result<Request, String> {
     let op = v
         .get("op")
         .and_then(Json::as_str)
@@ -109,6 +134,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }
         "stats" => Ok(Request::Stats),
         "ping" => Ok(Request::Ping),
+        "routes" => Ok(Request::Routes),
+        "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown op '{other}'")),
     }
 }
@@ -170,6 +197,19 @@ pub fn stats_response(stats: &EngineStats) -> Json {
             ])
         })
         .collect();
+    let model_cache: Vec<Json> = stats
+        .model_cache
+        .iter()
+        .map(|m| {
+            Json::obj(vec![
+                ("model", Json::str(m.model.clone())),
+                ("version", Json::num(m.version as f64)),
+                ("cache_hits", Json::num(m.hits as f64)),
+                ("cache_misses", Json::num(m.misses as f64)),
+                ("cache_hit_rate", Json::num(m.hit_rate())),
+            ])
+        })
+        .collect();
     Json::obj(vec![
         ("ok", Json::Bool(true)),
         ("op", Json::str("stats")),
@@ -185,7 +225,9 @@ pub fn stats_response(stats: &EngineStats) -> Json {
         ("encode_batches", Json::num(stats.batch.batches as f64)),
         ("encode_jobs", Json::num(stats.batch.jobs as f64)),
         ("mean_batch_size", Json::num(stats.batch.mean_batch_size())),
+        ("queue_depth", Json::num(stats.queue_depth as f64)),
         ("models", Json::Arr(models)),
+        ("model_cache", Json::Arr(model_cache)),
     ])
 }
 
@@ -221,6 +263,18 @@ pub fn dispatch(engine: &ServeEngine, request: Request) -> Json {
         }
         Request::Stats => stats_response(&engine.stats()),
         Request::Ping => Json::obj(vec![("ok", Json::Bool(true)), ("op", Json::str("ping"))]),
+        // `routes` is answered by the gateway's router, which intercepts
+        // it before dispatch; a bare engine has no routing table.
+        Request::Routes => {
+            error_response("no router: 'routes' is served by the ccsa-gateway binary")
+        }
+        // Acknowledging is all the engine can do — the transport owning
+        // the engine (stdio loop, TCP gateway) watches for this request
+        // and stops reading afterwards.
+        Request::Shutdown => Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("op", Json::str("shutdown")),
+        ]),
     }
 }
 
@@ -282,6 +336,27 @@ mod tests {
         );
         assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
         assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(
+            parse_request(r#"{"op":"routes"}"#).unwrap(),
+            Request::Routes
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn transport_verbs_answer_without_a_router() {
+        let engine = test_engine();
+        // Shutdown is acknowledged (the transport loop acts on it).
+        let v = crate::json::parse(&handle_line(&engine, r#"{"op":"shutdown"}"#)).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("op").unwrap().as_str(), Some("shutdown"));
+        // Routes needs a gateway router; a bare engine declines.
+        let v = crate::json::parse(&handle_line(&engine, r#"{"op":"routes"}"#)).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(false)));
+        assert!(v.get("error").unwrap().as_str().unwrap().contains("router"));
     }
 
     #[test]
@@ -356,5 +431,17 @@ mod tests {
         assert_eq!(v.get("parses").unwrap().as_u64(), Some(2));
         let models = v.get("models").unwrap().as_arr().unwrap();
         assert_eq!(models[0].get("name").unwrap().as_str(), Some("default"));
+        // Admission backpressure signal: present, and idle by now.
+        assert_eq!(v.get("queue_depth").unwrap().as_u64(), Some(0));
+        // Per-model cache attribution: one compare = 2 cold lookups.
+        let per_model = v.get("model_cache").unwrap().as_arr().unwrap();
+        assert_eq!(per_model.len(), 1);
+        assert_eq!(per_model[0].get("model").unwrap().as_str(), Some("default"));
+        assert_eq!(per_model[0].get("version").unwrap().as_u64(), Some(1));
+        assert_eq!(per_model[0].get("cache_misses").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            per_model[0].get("cache_hit_rate").unwrap().as_f64(),
+            Some(0.0)
+        );
     }
 }

@@ -22,6 +22,12 @@ pub const DEFAULT_MODEL: &str = "default";
 static NEXT_UID: AtomicU64 = AtomicU64::new(1);
 
 /// An immutable, serving-ready model: what worker threads share.
+///
+/// "Immutable" applies to the weights; the struct also carries this
+/// registration's embedding-cache counters (atomics, updated by the
+/// engine on every lookup) so hit rates are attributable per model — a
+/// shadow candidate warming up looks different from the incumbent it
+/// mirrors, and the `stats` verb can report both.
 #[derive(Debug)]
 pub struct ServeModel {
     /// Registry name.
@@ -35,12 +41,30 @@ pub struct ServeModel {
     /// stay correct even when a coordinate is hot-swapped while requests
     /// against the old weights are still in flight.
     uid: u64,
+    /// Embedding-cache lookups under this registration that hit.
+    cache_hits: AtomicU64,
+    /// Embedding-cache lookups under this registration that missed.
+    cache_misses: AtomicU64,
 }
 
 impl ServeModel {
     /// The process-unique registration id.
     pub fn uid(&self) -> u64 {
         self.uid
+    }
+
+    /// Adds to this registration's embedding-cache counters.
+    pub fn note_cache_lookups(&self, hits: u64, misses: u64) {
+        self.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        self.cache_misses.fetch_add(misses, Ordering::Relaxed);
+    }
+
+    /// `(hits, misses)` accumulated so far for this registration.
+    pub fn cache_lookups(&self) -> (u64, u64) {
+        (
+            self.cache_hits.load(Ordering::Relaxed),
+            self.cache_misses.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -105,6 +129,8 @@ impl ModelRegistry {
             version,
             model,
             uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
         });
         self.models
             .entry(name.to_string())
@@ -178,6 +204,17 @@ impl ModelRegistry {
     /// Total number of registered (name, version) entries.
     pub fn entry_count(&self) -> usize {
         self.models.values().map(BTreeMap::len).sum()
+    }
+
+    /// Every registered model handle, ordered by (name, version).
+    pub fn entries(&self) -> Vec<Arc<ServeModel>> {
+        let mut out: Vec<Arc<ServeModel>> = self
+            .models
+            .values()
+            .flat_map(|versions| versions.values().cloned())
+            .collect();
+        out.sort_by(|a, b| (a.name.as_str(), a.version).cmp(&(b.name.as_str(), b.version)));
+        out
     }
 }
 

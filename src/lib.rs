@@ -29,8 +29,14 @@
 //! │ model    pairs → training → evaluation → versioned persistence
 //! ├─────────────────────────────────────────────────────────────────┤
 //! │ serve    the inference engine: model registry, LRU embedding
-//! │          cache keyed by canonical AST hash, micro-batched encoder
-//! │          worker pool, K-way ranking API, JSON-lines `serve` binary
+//! │          cache keyed by canonical AST hash (disk-snapshottable for
+//! │          warm restarts), micro-batched encoder worker pool, K-way
+//! │          ranking API, JSON-lines `serve` binary
+//! ├─────────────────────────────────────────────────────────────────┤
+//! │ gateway  the TCP front door: keep-alive JSON-lines sessions,
+//! │          connection caps, weighted sticky A/B routing across
+//! │          registry versions, shadow traffic, per-route p50/p99 +
+//! │          hit-rate stats, graceful drain — `gateway` binary
 //! └─────────────────────────────────────────────────────────────────┘
 //! ```
 //!
@@ -45,8 +51,10 @@
 //! [`AstGraph::canonical_hash`](ccsa_cppast::AstGraph::canonical_hash)
 //! (hits skip the encoder; only the 2·d classifier head runs), batches
 //! cache misses into fused encoder forward passes across a worker pool,
-//! and answers `compare` / `rank` / `stats` ops — in-process or over
-//! JSON-lines via the `serve` binary.
+//! and answers `compare` / `rank` / `stats` ops — in-process, over
+//! JSON-lines via the `serve` binary, or over TCP via the `gateway`
+//! binary, which adds `routes` (the weighted A/B table with per-route
+//! rolling stats) and graceful `shutdown`.
 //!
 //! ## Quickstart
 //!
@@ -109,4 +117,10 @@ pub mod model {
 /// The batched, cache-backed inference serving engine. See [`ccsa_serve`].
 pub mod serve {
     pub use ccsa_serve::*;
+}
+
+/// The TCP serving gateway with weighted A/B routing. See
+/// [`ccsa_gateway`].
+pub mod gateway {
+    pub use ccsa_gateway::*;
 }
