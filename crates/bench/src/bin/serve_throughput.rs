@@ -1,5 +1,7 @@
 //! Serving throughput benchmark: batched vs. unbatched, cache-warm vs.
-//! cold, against the naive one-at-a-time baseline — on one workload.
+//! cold, against the naive one-at-a-time baseline — on one workload —
+//! plus a head-to-head of the level-fused encoder against the per-node
+//! reference path on cold batches.
 //!
 //! The workload replays a realistic serving mix: a corpus of generated
 //! submissions compared pairwise, with heavy source repetition (the same
@@ -16,9 +18,33 @@
 use std::time::Instant;
 
 use ccsa_bench::{header, rule, Cli, Scale};
+use ccsa_cppast::{parse_program, AstGraph};
 use ccsa_model::pipeline::{Pipeline, PipelineConfig, TrainedModel};
 use ccsa_serve::json::Json;
 use ccsa_serve::{BatchConfig, ModelSelector, ServeConfig, ServeEngine};
+
+/// Cold-cache encode throughput of one path over repeated batches.
+fn encode_trees_per_sec(
+    model: &TrainedModel,
+    batches: &[Vec<&AstGraph>],
+    reps: usize,
+    fused: bool,
+) -> f64 {
+    let trees: usize = batches.iter().map(Vec::len).sum();
+    let start = Instant::now();
+    for _ in 0..reps {
+        for batch in batches {
+            if fused {
+                let _ = model.comparator.encode_codes(&model.params, batch);
+            } else {
+                let _ = model
+                    .comparator
+                    .encode_codes_sequential(&model.params, batch);
+            }
+        }
+    }
+    (trees * reps) as f64 / start.elapsed().as_secs_f64()
+}
 
 struct ModeResult {
     name: &'static str,
@@ -127,6 +153,60 @@ fn main() {
         sources.len()
     );
 
+    // ── Level-fused vs. per-node encode, cold batches ────────────────
+    // The tentpole measurement: same trees, same tape amortisation, the
+    // only difference is cross-tree level fusion (batched matmuls per
+    // level) versus one matvec chain per node.
+    let encode_batch_size = 16usize;
+    let distinct: Vec<AstGraph> = sources
+        .iter()
+        .map(|s| AstGraph::from_program(&parse_program(s).expect("corpus source parses")))
+        .collect();
+    let batches: Vec<Vec<&AstGraph>> = distinct
+        .chunks(encode_batch_size)
+        .map(|c| c.iter().collect())
+        .collect();
+    let encode_reps = match cli.scale {
+        Scale::Quick => 30,
+        Scale::Default => 80,
+        Scale::Full => 250,
+    };
+    // Equivalence sanity: the two paths must agree before we time them.
+    {
+        let refs: Vec<&AstGraph> = distinct.iter().take(encode_batch_size).collect();
+        let fused = model.comparator.encode_codes(&model.params, &refs);
+        let sequential = model
+            .comparator
+            .encode_codes_sequential(&model.params, &refs);
+        let worst = fused
+            .iter()
+            .zip(&sequential)
+            .map(|(f, s)| f.max_abs_diff(s))
+            .fold(0.0f32, f32::max);
+        assert!(
+            worst <= 1e-5,
+            "fused encode diverged from per-node path by {worst}"
+        );
+        println!("fused vs per-node equivalence: max |Δ| = {worst:.2e} (≤ 1e-5)");
+    }
+    // Warm both paths once (page in code/allocator), then measure.
+    let _ = encode_trees_per_sec(&model, &batches, 1, true);
+    let _ = encode_trees_per_sec(&model, &batches, 1, false);
+    let pernode_tps = encode_trees_per_sec(&model, &batches, encode_reps, false);
+    let fused_tps = encode_trees_per_sec(&model, &batches, encode_reps, true);
+    let fused_speedup = fused_tps / pernode_tps;
+    println!(
+        "cold encode, batch {encode_batch_size}: fused {fused_tps:.0} trees/s vs per-node {pernode_tps:.0} trees/s ({fused_speedup:.2}×)"
+    );
+    println!(
+        "fused_not_slower: {}",
+        if fused_speedup >= 1.0 { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "acceptance (fused ≥ 2× per-node, batch ≥ 8): {}\n",
+        if fused_speedup >= 2.0 { "PASS" } else { "FAIL" }
+    );
+
     // Baseline: parse + full encoder forward per pair, one at a time.
     let start = Instant::now();
     for (a, b) in &pairs {
@@ -214,6 +294,15 @@ fn main() {
         ("modes", Json::Arr(mode_json)),
         ("speedup_batched_cold_vs_naive", Json::num(cold_speedup)),
         ("speedup_batched_warm_vs_naive", Json::num(warm_speedup)),
+        (
+            "encode",
+            Json::obj(vec![
+                ("batch_size", Json::num(encode_batch_size as f64)),
+                ("fused_trees_per_sec", Json::num(fused_tps)),
+                ("pernode_trees_per_sec", Json::num(pernode_tps)),
+                ("speedup_fused_vs_pernode", Json::num(fused_speedup)),
+            ]),
+        ),
     ]);
     let path = "BENCH_serve.json";
     std::fs::write(path, format!("{doc}\n")).expect("writing BENCH_serve.json");

@@ -52,12 +52,38 @@ impl Encoder {
         }
     }
 
-    /// Batched forward entry point: encodes every graph on the same
-    /// tape/context so parameter binding is paid once per batch.
+    /// Batched forward entry point: level-fused across every graph in
+    /// the batch — one matmul per level per gate instead of per-node
+    /// matvecs, parameters bound once.
     pub fn encode_batch<'t>(&self, ctx: &Ctx<'t, '_>, graphs: &[&AstGraph]) -> Vec<Var<'t>> {
         match self {
             Encoder::TreeLstm(e) => e.encode_batch(ctx, graphs),
             Encoder::Gcn(e) => e.encode_batch(ctx, graphs),
+        }
+    }
+
+    /// [`Encoder::encode_batch`] plus fused-width telemetry.
+    pub fn encode_batch_with_stats<'t>(
+        &self,
+        ctx: &Ctx<'t, '_>,
+        graphs: &[&AstGraph],
+    ) -> (Vec<Var<'t>>, ccsa_nn::FusedStats) {
+        match self {
+            Encoder::TreeLstm(e) => e.encode_batch_with_stats(ctx, graphs),
+            Encoder::Gcn(e) => e.encode_batch_with_stats(ctx, graphs),
+        }
+    }
+
+    /// The per-node reference path (shared tape, no cross-tree fusion) —
+    /// kept for equivalence tests and fused-vs-sequential benchmarks.
+    pub fn encode_batch_sequential<'t>(
+        &self,
+        ctx: &Ctx<'t, '_>,
+        graphs: &[&AstGraph],
+    ) -> Vec<Var<'t>> {
+        match self {
+            Encoder::TreeLstm(e) => e.encode_batch_sequential(ctx, graphs),
+            Encoder::Gcn(e) => e.encode_batch_sequential(ctx, graphs),
         }
     }
 
@@ -129,10 +155,33 @@ impl Comparator {
     /// through [`Comparator::predict_from_codes`], skipping the encoder
     /// entirely on cache hits.
     pub fn encode_codes(&self, params: &Params, graphs: &[&AstGraph]) -> Vec<Tensor> {
+        self.encode_codes_with_stats(params, graphs).0
+    }
+
+    /// [`Comparator::encode_codes`] plus level-fusion telemetry: how many
+    /// fused level matmuls the pass ran and how many node rows they
+    /// covered. The serving pool aggregates this into its `stats` output
+    /// so the fused width is observable under live traffic.
+    pub fn encode_codes_with_stats(
+        &self,
+        params: &Params,
+        graphs: &[&AstGraph],
+    ) -> (Vec<Tensor>, ccsa_nn::FusedStats) {
+        let tape = Tape::new();
+        let ctx = Ctx::new(&tape, params);
+        let (codes, stats) = self.encoder.encode_batch_with_stats(&ctx, graphs);
+        (codes.into_iter().map(|v| v.value()).collect(), stats)
+    }
+
+    /// Reference inference path that still runs one matvec per node
+    /// (tape/parameter binding shared, nothing fused). Benchmarks compare
+    /// this against [`Comparator::encode_codes`] to measure the fusion
+    /// win; tests pin the two paths to equal results.
+    pub fn encode_codes_sequential(&self, params: &Params, graphs: &[&AstGraph]) -> Vec<Tensor> {
         let tape = Tape::new();
         let ctx = Ctx::new(&tape, params);
         self.encoder
-            .encode_batch(&ctx, graphs)
+            .encode_batch_sequential(&ctx, graphs)
             .into_iter()
             .map(|v| v.value())
             .collect()

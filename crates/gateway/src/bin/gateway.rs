@@ -22,7 +22,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use ccsa_corpus::ProblemTag;
-use ccsa_gateway::{signal, Gateway, GatewayConfig, Route, Router, ShadowRoute};
+use ccsa_gateway::{signal, Gateway, GatewayConfig, RateLimit, Route, Router, ShadowRoute};
 use ccsa_model::pipeline::{Pipeline, PipelineConfig};
 use ccsa_serve::{
     BatchConfig, ModelRegistry, ModelSelector, ServeConfig, ServeEngine, DEFAULT_MODEL,
@@ -42,6 +42,7 @@ struct Options {
     idle_timeout_secs: u64,
     routes: Vec<Route>,
     shadow: Option<ShadowRoute>,
+    rate_limits: Vec<RateLimit>,
     cache_snapshot: Option<PathBuf>,
     allow_remote_shutdown: bool,
 }
@@ -56,6 +57,7 @@ fn usage_abort(msg: &str) -> ! {
          \x20              [--cache N] [--workers N] [--max-batch N]\n\
          \x20              [--max-conns N] [--idle-timeout SECS]\n\
          \x20              [--route NAME[@vN]=WEIGHT]... [--shadow NAME[@vN]=FRACTION]\n\
+         \x20              [--rate-limit NAME[@vN]=RPS]...\n\
          \x20              [--cache-snapshot PATH] [--allow-remote-shutdown]\n\
          \n\
          TCP serving gateway: JSON-lines protocol over keep-alive\n\
@@ -63,6 +65,9 @@ fn usage_abort(msg: &str) -> ! {
          versions, shadow traffic, per-route stats ('routes' op), and\n\
          graceful drain on SIGTERM or a 'shutdown' request.\n\
          --port 0 binds an ephemeral port (written to --port-file).\n\
+         --rate-limit caps a route's sustained requests/second with a\n\
+         token bucket; over-limit requests get a polite ok:false and a\n\
+         'rate_limited' counter in the 'routes' stats.\n\
          --cache-snapshot warms the embedding cache at boot and spills\n\
          it at shutdown, one file per route/shadow selector\n\
          (<PATH>.<model>.<version>); a snapshot from different weights\n\
@@ -113,6 +118,7 @@ fn parse_options() -> Options {
         idle_timeout_secs: 0,
         routes: Vec::new(),
         shadow: None,
+        rate_limits: Vec::new(),
         cache_snapshot: None,
         allow_remote_shutdown: false,
     };
@@ -183,6 +189,16 @@ fn parse_options() -> Options {
                 let spec = value(&mut i);
                 let (selector, fraction) = parse_target(&spec, "--shadow");
                 opts.shadow = Some(ShadowRoute { selector, fraction });
+            }
+            "--rate-limit" => {
+                let spec = value(&mut i);
+                let (selector, rps) = parse_target(&spec, "--rate-limit");
+                if !rps.is_finite() || rps <= 0.0 {
+                    usage_abort(&format!(
+                        "--rate-limit '{spec}' needs a positive requests/second"
+                    ));
+                }
+                opts.rate_limits.push(RateLimit { selector, rps });
             }
             "--cache-snapshot" => opts.cache_snapshot = Some(PathBuf::from(value(&mut i))),
             "--allow-remote-shutdown" => opts.allow_remote_shutdown = true,
@@ -273,6 +289,32 @@ fn main() {
             std::process::exit(2);
         }
     }
+    // Same fail-fast for rate limits: a limit naming an absent route
+    // would silently never fire, and a duplicated limit would only be
+    // rejected by Gateway::bind after the engine is already built.
+    for (i, limit) in opts.rate_limits.iter().enumerate() {
+        if !router
+            .routes()
+            .iter()
+            .any(|r| ccsa_gateway::selectors_match(&r.selector, &limit.selector))
+        {
+            eprintln!(
+                "error: --rate-limit target {} matches no configured route",
+                selector_label(&limit.selector)
+            );
+            std::process::exit(2);
+        }
+        if opts.rate_limits[..i]
+            .iter()
+            .any(|prev| ccsa_gateway::selectors_match(&prev.selector, &limit.selector))
+        {
+            eprintln!(
+                "error: duplicate --rate-limit for route {}",
+                selector_label(&limit.selector)
+            );
+            std::process::exit(2);
+        }
+    }
 
     let workers = if opts.workers == 0 {
         ccsa_nn::parallel::default_threads()
@@ -302,6 +344,13 @@ fn main() {
             "[gateway] shadow {} fraction {:.1}%",
             selector_label(&shadow.selector),
             shadow.fraction * 100.0
+        );
+    }
+    for limit in &opts.rate_limits {
+        eprintln!(
+            "[gateway] rate limit {} at {} req/s",
+            selector_label(&limit.selector),
+            limit.rps
         );
     }
 
@@ -339,6 +388,7 @@ fn main() {
             .then(|| Duration::from_secs(opts.idle_timeout_secs)),
         honor_sigterm: true,
         allow_remote_shutdown: opts.allow_remote_shutdown,
+        rate_limits: opts.rate_limits.clone(),
         ..GatewayConfig::default()
     };
     let gateway = match Gateway::bind(Arc::clone(&engine), router, config) {

@@ -21,6 +21,9 @@
 //!  │ router   deterministic sticky assignment: hash(client) →       │
 //!  │          weighted (model, version) route; shadow mirroring     │
 //!  ├────────────────────────────────────────────────────────────────┤
+//!  │ limit    per-route token buckets: over-limit requests shed     │
+//!  │          with ok:false before reaching the encode queue        │
+//!  ├────────────────────────────────────────────────────────────────┤
 //!  │ stats    per-route + shadow: requests, errors, cache hit rate, │
 //!  │          rolling p50/p99 latency → `routes` verb               │
 //!  ├────────────────────────────────────────────────────────────────┤
@@ -30,6 +33,7 @@
 //! ```
 //!
 //! * [`router`] — the weighted table, sticky hashing, shadow sampling;
+//! * [`limit`] — per-route token-bucket rate limiting;
 //! * [`server`] — listener, sessions, admission, drain;
 //! * [`stats`] — per-route rolling counters and latency percentiles;
 //! * [`client`] — a small blocking [`GatewayClient`] for tests, benches
@@ -80,12 +84,14 @@
 //! ```
 
 pub mod client;
+pub mod limit;
 pub mod router;
 pub mod server;
 pub mod signal;
 pub mod stats;
 
 pub use client::{ClientError, CompareReply, GatewayClient};
-pub use router::{Route, Router, RouterConfigError, ShadowRoute};
+pub use limit::{RateLimit, TokenBucket};
+pub use router::{selectors_match, Route, Router, RouterConfigError, ShadowRoute};
 pub use server::{Gateway, GatewayConfig, GatewayHandle, SpawnedGateway, MAX_LINE_BYTES};
 pub use stats::{RouteStats, RouteStatsSnapshot};

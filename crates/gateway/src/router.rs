@@ -22,7 +22,18 @@
 //! latency in `routes`, then promote it to a weighted route.
 
 use ccsa_serve::hash::{fnv1a, splitmix64};
-use ccsa_serve::ModelSelector;
+use ccsa_serve::{ModelSelector, DEFAULT_MODEL};
+
+/// Whether two selectors name the same route. An absent name means the
+/// registry default, so `default@latest` and the implicit default route
+/// match each other (the registry resolves them identically); an absent
+/// *version* stays distinct from a pinned one, because `latest` can
+/// move. Used wherever configuration (rate limits, flags) must be
+/// matched against the routing table.
+pub fn selectors_match(a: &ModelSelector, b: &ModelSelector) -> bool {
+    a.name.as_deref().unwrap_or(DEFAULT_MODEL) == b.name.as_deref().unwrap_or(DEFAULT_MODEL)
+        && a.version == b.version
+}
 
 /// Salt folded into client hashes for *assignment* decisions.
 const ASSIGN_SALT: u64 = 0x5157_4d3e_9f2b_8c61;

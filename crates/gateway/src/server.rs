@@ -27,7 +27,7 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, OnceLock};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -35,7 +35,8 @@ use ccsa_serve::json::Json;
 use ccsa_serve::proto::{self, Request};
 use ccsa_serve::{ModelSelector, ServeEngine, DEFAULT_MODEL};
 
-use crate::router::Router;
+use crate::limit::{RateLimit, TokenBucket};
+use crate::router::{selectors_match, Router};
 use crate::signal;
 use crate::stats::RouteStats;
 
@@ -73,6 +74,10 @@ pub struct GatewayConfig {
     /// that can open a connection must not be able to kill every other
     /// client's service with one line.
     pub allow_remote_shutdown: bool,
+    /// Per-route token-bucket limits (empty = unlimited). Each entry's
+    /// selector must match a route in the table handed to
+    /// [`Gateway::bind`], which fails fast otherwise.
+    pub rate_limits: Vec<RateLimit>,
 }
 
 impl Default for GatewayConfig {
@@ -84,6 +89,7 @@ impl Default for GatewayConfig {
             idle_timeout: None,
             honor_sigterm: false,
             allow_remote_shutdown: false,
+            rate_limits: Vec::new(),
         }
     }
 }
@@ -99,6 +105,12 @@ struct Shared {
     rejected: AtomicU64,
     /// Sticky-routed requests, indexed like `router.routes()`.
     route_stats: Vec<RouteStats>,
+    /// Per-route token buckets, indexed like `router.routes()` (`None` =
+    /// unlimited). The mutex is held for a handful of float ops per
+    /// admission — never across serving work.
+    route_limits: Vec<Option<Mutex<TokenBucket>>>,
+    /// The configured RPS per route, for the `routes` report.
+    route_limit_rps: Vec<Option<f64>>,
     /// The shadow target's slot.
     shadow_stats: RouteStats,
     /// Hands mirror jobs to the shadow worker thread (set by `run` when
@@ -198,12 +210,47 @@ impl Gateway {
     ///
     /// # Errors
     ///
-    /// Propagates bind failures.
+    /// Propagates bind failures; rejects a rate limit whose selector
+    /// matches no route, a duplicate limit for one route, or a
+    /// non-positive/non-finite RPS (`InvalidInput`).
     pub fn bind(
         engine: Arc<ServeEngine>,
         router: Router,
         config: GatewayConfig,
     ) -> std::io::Result<Gateway> {
+        let mut route_limit_rps: Vec<Option<f64>> = vec![None; router.routes().len()];
+        for limit in &config.rate_limits {
+            let invalid =
+                |message: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, message);
+            if !limit.rps.is_finite() || limit.rps <= 0.0 {
+                return Err(invalid(format!(
+                    "rate limit must be finite and positive, got {}",
+                    limit.rps
+                )));
+            }
+            let ix = router
+                .routes()
+                .iter()
+                .position(|r| selectors_match(&r.selector, &limit.selector))
+                .ok_or_else(|| {
+                    invalid(format!(
+                        "rate limit selector {:?} matches no configured route",
+                        limit.selector
+                    ))
+                })?;
+            if route_limit_rps[ix].is_some() {
+                return Err(invalid(format!(
+                    "duplicate rate limit for route {:?}",
+                    limit.selector
+                )));
+            }
+            route_limit_rps[ix] = Some(limit.rps);
+        }
+        let route_limits = route_limit_rps
+            .iter()
+            .map(|rps| rps.map(|rps| Mutex::new(TokenBucket::new(rps))))
+            .collect();
+
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let route_stats = (0..router.routes().len())
@@ -218,6 +265,8 @@ impl Gateway {
             accepted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             route_stats,
+            route_limits,
+            route_limit_rps,
             shadow_stats: RouteStats::new(),
             shadow_tx: OnceLock::new(),
             shadow_dropped: AtomicU64::new(0),
@@ -580,6 +629,29 @@ fn serve_scored(
         (Some(ix), shared.router.routes()[ix].selector.clone())
     };
 
+    // Token-bucket admission: an over-limit request is shed here with a
+    // polite refusal — before it can occupy the shared encode queue.
+    if let Some(ix) = route_ix {
+        if let Some(bucket) = &shared.route_limits[ix] {
+            let admitted = bucket.lock().expect("token bucket poisoned").try_acquire();
+            if !admitted {
+                shared.route_stats[ix].record_rate_limited();
+                let response = Json::obj(vec![
+                    ("ok", Json::Bool(false)),
+                    (
+                        "error",
+                        Json::str(format!(
+                            "rate limit exceeded for route {} — retry later",
+                            route_label(&shared.router.routes()[ix].selector)
+                        )),
+                    ),
+                    ("rate_limited", Json::Bool(true)),
+                ]);
+                return (response, AfterResponse::KeepGoing);
+            }
+        }
+    }
+
     let start = Instant::now();
     let (response, hits, lookups, ok) = execute(&shared.engine, &effective, &request);
     let latency_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -666,6 +738,18 @@ fn run_shadow(shared: &Shared, selector: &ModelSelector, request: &Request) {
     }
 }
 
+/// `name@vN` / `name@latest` for error messages.
+fn route_label(selector: &ModelSelector) -> String {
+    format!(
+        "{}@{}",
+        selector.name.as_deref().unwrap_or(DEFAULT_MODEL),
+        selector
+            .version
+            .map(|v| format!("v{v}"))
+            .unwrap_or_else(|| "latest".to_string())
+    )
+}
+
 /// Renders one selector as (model, version) JSON fields.
 fn selector_fields(selector: &ModelSelector) -> Vec<(&'static str, Json)> {
     vec![
@@ -697,8 +781,8 @@ fn routes_response(shared: &Shared) -> Json {
         .routes()
         .iter()
         .zip(&shares)
-        .zip(&shared.route_stats)
-        .map(|((route, &share), stats)| {
+        .zip(shared.route_stats.iter().zip(&shared.route_limit_rps))
+        .map(|((route, &share), (stats, limit))| {
             let snap = stats.snapshot();
             let mut fields = selector_fields(&route.selector);
             fields.extend([
@@ -706,6 +790,14 @@ fn routes_response(shared: &Shared) -> Json {
                 ("share", Json::num(share)),
                 ("requests", Json::num(snap.requests as f64)),
                 ("errors", Json::num(snap.errors as f64)),
+                (
+                    "rate_limit_rps",
+                    match limit {
+                        Some(rps) => Json::num(*rps),
+                        None => Json::Null,
+                    },
+                ),
+                ("rate_limited", Json::num(snap.rate_limited as f64)),
                 ("cache_hit_rate", Json::num(snap.cache_hit_rate)),
                 ("p50_ms", Json::num(snap.p50_ms)),
                 ("p99_ms", Json::num(snap.p99_ms)),

@@ -50,6 +50,7 @@ impl Default for LatencyWindow {
 pub struct RouteStats {
     requests: AtomicU64,
     errors: AtomicU64,
+    rate_limited: AtomicU64,
     cache_hits: AtomicU64,
     cache_lookups: AtomicU64,
     latencies: Mutex<LatencyWindow>,
@@ -81,6 +82,14 @@ impl RouteStats {
         self.errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a request shed by the route's token bucket. Rate-limited
+    /// requests are counted on their own — they were refused at
+    /// admission, so they are neither served traffic (no latency sample)
+    /// nor serving errors.
+    pub fn record_rate_limited(&self) {
+        self.rate_limited.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent point-in-time copy with computed percentiles.
     pub fn snapshot(&self) -> RouteStatsSnapshot {
         let (p50_ms, p99_ms, window_len) = {
@@ -99,6 +108,7 @@ impl RouteStats {
         RouteStatsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            rate_limited: self.rate_limited.load(Ordering::Relaxed),
             cache_hits: hits,
             cache_lookups: lookups,
             cache_hit_rate: if lookups == 0 {
@@ -125,10 +135,13 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 /// A point-in-time copy of one route's stats.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RouteStatsSnapshot {
-    /// Requests routed here (including failed ones).
+    /// Requests routed here (including failed ones, excluding
+    /// rate-limited ones).
     pub requests: u64,
     /// Requests that produced an `ok:false` outcome.
     pub errors: u64,
+    /// Requests shed by the route's token bucket before serving.
+    pub rate_limited: u64,
     /// Source trees served from the embedding cache.
     pub cache_hits: u64,
     /// Source trees looked up in the cache.
@@ -153,9 +166,12 @@ mod tests {
         s.record_success(1.0, 2, 2);
         s.record_success(2.0, 0, 2);
         s.record_error();
+        s.record_rate_limited();
+        s.record_rate_limited();
         let snap = s.snapshot();
-        assert_eq!(snap.requests, 3);
+        assert_eq!(snap.requests, 3, "rate-limited sheds are not requests");
         assert_eq!(snap.errors, 1);
+        assert_eq!(snap.rate_limited, 2);
         assert_eq!(snap.cache_hits, 2);
         assert_eq!(snap.cache_lookups, 4);
         assert!((snap.cache_hit_rate - 0.5).abs() < 1e-12);

@@ -348,6 +348,103 @@ fn shutdown_verb_drains_every_session() {
 }
 
 #[test]
+fn rate_limited_route_sheds_politely_and_counts() {
+    use ccsa_gateway::RateLimit;
+
+    let engine = two_version_engine();
+    let router = Router::new(
+        vec![Route {
+            selector: versioned(1),
+            weight: 1.0,
+        }],
+        None,
+    )
+    .unwrap();
+    let gateway = Gateway::spawn(
+        Arc::clone(&engine),
+        router,
+        GatewayConfig {
+            rate_limits: vec![RateLimit {
+                selector: versioned(1),
+                rps: 0.5, // burst floor of 1 token, ~2 s per refill
+            }],
+            ..GatewayConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = connect(gateway.addr());
+
+    let line =
+        format!(r#"{{"op":"compare","client":"limited","first":"{SLOW}","second":"{FAST}"}}"#);
+    let mut admitted = 0u64;
+    let mut limited = 0u64;
+    for _ in 0..10 {
+        let v = client.request_line(&line).unwrap();
+        if v.get("ok") == Some(&Json::Bool(true)) {
+            admitted += 1;
+            assert!(v.get("rate_limited").is_none());
+        } else {
+            assert_eq!(
+                v.get("rate_limited"),
+                Some(&Json::Bool(true)),
+                "refusal must be marked rate_limited: {v}"
+            );
+            let error = v.get("error").unwrap().as_str().unwrap();
+            assert!(error.contains("rate limit"), "polite error, got {error}");
+            limited += 1;
+        }
+    }
+    assert!(admitted >= 1, "the burst token must admit something");
+    assert!(limited >= 1, "10 rapid requests at 0.5 RPS must shed");
+    assert_eq!(admitted + limited, 10);
+
+    // The connection survives shedding, and pinned requests bypass the
+    // route bucket (they are not routed traffic).
+    assert!(client.ping().unwrap());
+    let pinned = format!(
+        r#"{{"op":"compare","model":"default","version":2,"first":"{SLOW}","second":"{FAST}"}}"#
+    );
+    for _ in 0..3 {
+        let v = client.request_line(&pinned).unwrap();
+        assert_eq!(
+            v.get("ok"),
+            Some(&Json::Bool(true)),
+            "pinned traffic must never be route-limited: {v}"
+        );
+    }
+
+    // The `routes` verb reports the configured limit and the shed count.
+    let routes = client.routes().unwrap();
+    let route = &routes.get("routes").unwrap().as_arr().unwrap()[0];
+    assert_eq!(route.get("rate_limit_rps").unwrap().as_f64(), Some(0.5));
+    assert_eq!(route.get("rate_limited").unwrap().as_u64(), Some(limited));
+    assert_eq!(route.get("requests").unwrap().as_u64(), Some(admitted));
+    gateway.shutdown_and_join().unwrap();
+}
+
+#[test]
+fn rate_limit_for_unknown_route_fails_bind() {
+    use ccsa_gateway::RateLimit;
+
+    let engine = two_version_engine();
+    let result = Gateway::bind(
+        engine,
+        Router::single_default(),
+        GatewayConfig {
+            rate_limits: vec![RateLimit {
+                selector: versioned(2), // not in the single-default table
+                rps: 10.0,
+            }],
+            ..GatewayConfig::default()
+        },
+    );
+    match result {
+        Ok(_) => panic!("a limit naming no route must fail fast"),
+        Err(err) => assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput),
+    }
+}
+
+#[test]
 fn sigterm_flag_drains_a_watching_gateway() {
     let engine = two_version_engine();
     let gateway = Gateway::spawn(

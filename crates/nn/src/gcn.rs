@@ -133,11 +133,80 @@ impl GcnEncoder {
         self.encode_with_adjacency(ctx, graph, GcnEncoder::adjacency(graph))
     }
 
-    /// Batched forward entry point: encodes every graph on the same
-    /// tape/context (parameters bound once). See
-    /// [`TreeLstmEncoder::encode_batch`](crate::treelstm::TreeLstmEncoder::encode_batch).
+    /// Batched forward entry point: the whole mini-batch is encoded as
+    /// one block-diagonal disjoint-union graph — a single embedding
+    /// gather, one fused spmm + linear per layer over every node of
+    /// every tree, and a per-graph segment-mean readout. Normalised
+    /// adjacency is component-local, so the union is exactly the
+    /// block-diagonal of the per-graph operators and the fused result
+    /// matches [`GcnEncoder::encode`] row for row.
     pub fn encode_batch<'t>(&self, ctx: &Ctx<'t, '_>, graphs: &[&AstGraph]) -> Vec<Var<'t>> {
+        self.encode_batch_with_stats(ctx, graphs).0
+    }
+
+    /// The reference per-graph batched path (shared tape, per-graph
+    /// spmm). Kept for fused-vs-sequential equivalence tests.
+    pub fn encode_batch_sequential<'t>(
+        &self,
+        ctx: &Ctx<'t, '_>,
+        graphs: &[&AstGraph],
+    ) -> Vec<Var<'t>> {
         graphs.iter().map(|g| self.encode(ctx, g)).collect()
+    }
+
+    /// [`GcnEncoder::encode_batch`] plus fused-width telemetry.
+    pub fn encode_batch_with_stats<'t>(
+        &self,
+        ctx: &Ctx<'t, '_>,
+        graphs: &[&AstGraph],
+    ) -> (Vec<Var<'t>>, crate::FusedStats) {
+        let mut stats = crate::FusedStats::default();
+        if graphs.is_empty() {
+            return (Vec::new(), stats);
+        }
+        let mut offsets = Vec::with_capacity(graphs.len() + 1);
+        let mut all_ids: Vec<u16> = Vec::new();
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        let mut total = 0usize;
+        for g in graphs {
+            offsets.push(total);
+            all_ids.extend((0..g.node_count() as u32).map(|ix| g.kind_id(ix)));
+            edges.extend(
+                g.edges()
+                    .iter()
+                    .map(|&(a, b)| (a + total as u32, b + total as u32)),
+            );
+            total += g.node_count();
+        }
+        offsets.push(total);
+        let adj = Arc::new(Adjacency::normalized_from_edges(total, &edges));
+
+        let mut h = self.embedding.lookup(ctx, &all_ids);
+        for conv in &self.convs {
+            let mixed = ctx.tape.spmm(Arc::clone(&adj), h);
+            let pre = conv.forward_rows(ctx, mixed);
+            h = match self.config.activation {
+                Activation::Relu => pre.relu(),
+                Activation::Tanh => pre.tanh(),
+            };
+            stats.levels += 1;
+            stats.rows += total as u64;
+        }
+
+        // Per-graph mean readout: segment sums scaled by 1/n_g (a
+        // constant leaf — no gradient flows to it).
+        let sums = ctx.tape.segment_sum(h, offsets.clone());
+        let mut inv = Vec::with_capacity(graphs.len() * self.config.hidden);
+        for g in graphs {
+            let scale = 1.0 / g.node_count().max(1) as f32;
+            inv.extend(std::iter::repeat(scale).take(self.config.hidden));
+        }
+        let inv = ctx.tape.leaf(ccsa_tensor::Tensor::from_vec(
+            inv,
+            [graphs.len(), self.config.hidden],
+        ));
+        let means = sums.mul(inv);
+        ((0..graphs.len()).map(|g| means.row(g)).collect(), stats)
     }
 
     /// Like [`GcnEncoder::encode`] with a precomputed adjacency (avoids
@@ -256,6 +325,56 @@ mod tests {
             ccsa_tensor::TapeScalar(enc.encode(&ctx, &g).tanh().sum())
         });
         assert!(report.passes(3e-2), "GCN gradient check failed: {report:?}");
+    }
+
+    #[test]
+    fn fused_batch_matches_sequential() {
+        let sources = [
+            "int main() { return 1 + 2; }",
+            "int main() { int s = 0; for (int i = 0; i < 9; i++) s += i; return s; }",
+            "int main() { return 0; }",
+        ];
+        let graphs: Vec<AstGraph> = sources.iter().map(|s| graph(s)).collect();
+        let refs: Vec<&AstGraph> = graphs.iter().collect();
+        for activation in [Activation::Relu, Activation::Tanh] {
+            let config = GcnConfig {
+                embed_dim: 5,
+                hidden: 4,
+                layers: 3,
+                activation,
+            };
+            let mut params = Params::new();
+            let mut rng = StdRng::seed_from_u64(6);
+            let enc = GcnEncoder::new(&config, &mut params, &mut rng);
+            let tape = Tape::new();
+            let ctx = Ctx::new(&tape, &params);
+            let (fused, stats) = enc.encode_batch_with_stats(&ctx, &refs);
+            let sequential = enc.encode_batch_sequential(&ctx, &refs);
+            assert_eq!(stats.levels, 3);
+            for (g, (f, s)) in fused.iter().zip(&sequential).enumerate() {
+                let diff = f.value().max_abs_diff(&s.value());
+                assert!(diff < 1e-6, "graph {g}: fused GCN diverged by {diff}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_batch_gradients_reach_all_parameters() {
+        let config = GcnConfig::small(4);
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let enc = GcnEncoder::new(&config, &mut params, &mut rng);
+        let tape = Tape::new();
+        let ctx = Ctx::new(&tape, &params);
+        let g1 = graph("int main() { int x = 2; return x * x; }");
+        let g2 = graph("int main() { return 1; }");
+        let codes = enc.encode_batch(&ctx, &[&g1, &g2]);
+        let loss = tape.stack(&codes).sum();
+        let grads = tape.backward(loss);
+        let store = ctx.grads(&grads);
+        for name in params.names() {
+            assert!(store.get(name).is_some(), "no fused gradient for {name}");
+        }
     }
 
     #[test]

@@ -49,3 +49,36 @@ pub use layers::{Embedding, Linear};
 pub use optim::{Adam, GradClip, Sgd};
 pub use param::{Ctx, GradStore, Params};
 pub use treelstm::{Direction, TreeLstmConfig, TreeLstmEncoder};
+
+/// Telemetry from a level-fused batched forward pass.
+///
+/// The fused encoders bucket same-level nodes *across every graph in the
+/// batch* and run one matmul per level per gate instead of per-node
+/// matvecs. `rows / levels` is therefore the mean number of node rows
+/// each fused matmul covered — the width that actually hits the
+/// hardware, as opposed to the trees-per-batch count the serving pool
+/// reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FusedStats {
+    /// Fused level steps executed (one per level per pass per layer).
+    pub levels: u64,
+    /// Node rows processed across all fused level steps.
+    pub rows: u64,
+}
+
+impl FusedStats {
+    /// Accumulates another pass's counters into this one.
+    pub fn merge(&mut self, other: FusedStats) {
+        self.levels += other.levels;
+        self.rows += other.rows;
+    }
+
+    /// Mean node rows per fused level matmul (0 when nothing ran).
+    pub fn mean_width(&self) -> f64 {
+        if self.levels == 0 {
+            0.0
+        } else {
+            self.rows as f64 / self.levels as f64
+        }
+    }
+}

@@ -208,6 +208,40 @@ impl CellParams {
     }
 }
 
+/// The batch's global node numbering: graph `g`'s node `ix` lives at
+/// global id `offsets[g] + ix`; `offsets` carries a final end sentinel.
+struct BatchLayout<'g> {
+    graphs: &'g [&'g AstGraph],
+    offsets: Vec<usize>,
+}
+
+impl BatchLayout<'_> {
+    fn total(&self) -> usize {
+        *self.offsets.last().expect("offsets include the end")
+    }
+
+    /// The global ids a node aggregates from: its children for the
+    /// upward pass, its parent (none for a root) for the downward pass.
+    fn incoming(&self, node: usize, up: bool) -> Vec<usize> {
+        // The owning graph: the last offset ≤ node.
+        let g = self.offsets.partition_point(|&o| o <= node) - 1;
+        let base = self.offsets[g];
+        let ix = (node - base) as u32;
+        let graph = self.graphs[g];
+        if up {
+            graph
+                .children(ix)
+                .iter()
+                .map(|&c| base + c as usize)
+                .collect()
+        } else if ix == graph.root() {
+            Vec::new()
+        } else {
+            vec![base + graph.parent(ix) as usize]
+        }
+    }
+}
+
 /// A pass within one layer.
 // The variant payloads are name bundles of very different sizes; only a
 // handful of LayerKind values exist per encoder, so boxing the large
@@ -300,13 +334,229 @@ impl TreeLstmEncoder {
         &self.config
     }
 
-    /// Batched forward entry point: encodes every graph on the *same*
-    /// tape/context, so parameters are bound once and downstream consumers
-    /// (classifier heads, serving engines) can combine the resulting codes
-    /// without re-binding. This is the serving hot path — per-call tape
-    /// and binding overhead is amortised over the whole mini-batch.
+    /// Batched forward entry point — the serving hot path.
+    ///
+    /// Level-fused: nodes are bucketed by level *across every graph in
+    /// the batch* and each gate runs one `[rows, d] · [d, h]` matmul per
+    /// level instead of a matvec per node, so the whole mini-batch
+    /// becomes a handful of large tensor ops per tree level. Parameters
+    /// are bound once for the batch, and the fused ops all carry
+    /// backward passes, so this path is differentiable end to end.
+    ///
+    /// The per-node path survives as
+    /// [`TreeLstmEncoder::encode_batch_sequential`]; the two agree to
+    /// f32 equality (the fused ops reproduce the sequential accumulation
+    /// order), which the equivalence property tests pin down.
     pub fn encode_batch<'t>(&self, ctx: &Ctx<'t, '_>, graphs: &[&AstGraph]) -> Vec<Var<'t>> {
+        self.encode_batch_with_stats(ctx, graphs).0
+    }
+
+    /// The reference per-node batched path: every node still runs its own
+    /// matvecs, only tape/parameter binding is shared. Kept for
+    /// fused-vs-sequential equivalence tests and benchmarks.
+    pub fn encode_batch_sequential<'t>(
+        &self,
+        ctx: &Ctx<'t, '_>,
+        graphs: &[&AstGraph],
+    ) -> Vec<Var<'t>> {
         graphs.iter().map(|g| self.encode(ctx, g)).collect()
+    }
+
+    /// [`TreeLstmEncoder::encode_batch`] plus fused-width telemetry (how
+    /// many level matmuls ran and how many node rows they covered).
+    pub fn encode_batch_with_stats<'t>(
+        &self,
+        ctx: &Ctx<'t, '_>,
+        graphs: &[&AstGraph],
+    ) -> (Vec<Var<'t>>, crate::FusedStats) {
+        let mut stats = crate::FusedStats::default();
+        if graphs.is_empty() {
+            return (Vec::new(), stats);
+        }
+        // Global node numbering: graph g's node ix lives at
+        // offsets[g] + ix. One embedding gather covers the whole batch.
+        let mut offsets = Vec::with_capacity(graphs.len() + 1);
+        let mut all_ids: Vec<u16> = Vec::new();
+        let mut total = 0usize;
+        for g in graphs {
+            offsets.push(total);
+            total += g.node_count();
+            all_ids.extend((0..g.node_count() as u32).map(|ix| g.kind_id(ix)));
+        }
+        offsets.push(total);
+        let layout = BatchLayout { graphs, offsets };
+
+        let mut x = self.embedding.lookup(ctx, &all_ids);
+        let mut last = None;
+        for layer in &self.layers {
+            match layer {
+                LayerKind::Up(cell) => {
+                    let h = self.fused_pass(ctx, &layout, cell, x, true, &mut stats);
+                    last = Some(h);
+                    x = h;
+                }
+                LayerKind::Down(cell) => {
+                    let h = self.fused_pass(ctx, &layout, cell, x, false, &mut stats);
+                    last = Some(h);
+                    x = h;
+                }
+                LayerKind::UpDown(up, down) => {
+                    let hu = self.fused_pass(ctx, &layout, up, x, true, &mut stats);
+                    let hd = self.fused_pass(ctx, &layout, down, x, false, &mut stats);
+                    last = Some(hu);
+                    x = hu.concat_cols(hd);
+                }
+            }
+        }
+        // The code vector per graph: its root's hidden state in the final
+        // pass (roots sit at each graph's global offset).
+        let roots: Vec<usize> = layout.offsets[..graphs.len()].to_vec();
+        let root_rows = last.expect("at least one layer").index_rows(roots);
+        let codes = (0..graphs.len()).map(|g| root_rows.row(g)).collect();
+        (codes, stats)
+    }
+
+    /// One level-scheduled pass (upward when `up`, else downward) over
+    /// every graph in the batch. `x` is `[N, x_dim]` in global node
+    /// order; the result is `[N, hidden]` in the same order.
+    fn fused_pass<'t>(
+        &self,
+        ctx: &Ctx<'t, '_>,
+        layout: &BatchLayout<'_>,
+        cell: &CellParams,
+        x: Var<'t>,
+        up: bool,
+        stats: &mut crate::FusedStats,
+    ) -> Var<'t> {
+        let total = layout.total();
+        let hidden = self.config.hidden;
+        // Schedule: upward levels are node heights (leaves first), so a
+        // node runs only after all its children; downward levels are
+        // depths (roots first), so a node runs only after its parent.
+        let mut level = vec![0usize; total];
+        let mut max_level = 0usize;
+        for (g, graph) in layout.graphs.iter().enumerate() {
+            let base = layout.offsets[g];
+            let n = graph.node_count();
+            if up {
+                // Children have higher indices than their parent
+                // (construction invariant), so a reverse scan sees them
+                // first.
+                for ix in (0..n).rev() {
+                    let mut h = 0usize;
+                    for &c in graph.children(ix as u32) {
+                        h = h.max(level[base + c as usize] + 1);
+                    }
+                    level[base + ix] = h;
+                    max_level = max_level.max(h);
+                }
+            } else {
+                for ix in 1..n {
+                    let d = level[base + graph.parent(ix as u32) as usize] + 1;
+                    level[base + ix] = d;
+                    max_level = max_level.max(d);
+                }
+            }
+        }
+        let mut levels: Vec<Vec<usize>> = vec![Vec::new(); max_level + 1];
+        for node in 0..total {
+            levels[level[node]].push(node);
+        }
+
+        // proc_row[node]: the node's row in the processing-order state
+        // matrices (levels are appended via stack_rows as they complete).
+        let mut proc_row = vec![usize::MAX; total];
+        let mut h_sofar: Option<Var<'t>> = None;
+        let mut c_sofar: Option<Var<'t>> = None;
+        let mut done = 0usize;
+
+        for sel in &levels {
+            let width = sel.len();
+            let xl = x.index_rows(sel.clone());
+
+            // Aggregated incoming state h̃: the child-sum for the upward
+            // pass, the single parent state for the downward pass.
+            let mut agg_rows: Vec<usize> = Vec::new();
+            let mut agg_offsets: Vec<usize> = Vec::with_capacity(width + 1);
+            agg_offsets.push(0);
+            for &node in sel {
+                for src in layout.incoming(node, up) {
+                    debug_assert_ne!(proc_row[src], usize::MAX, "level order violated");
+                    agg_rows.push(proc_row[src]);
+                }
+                agg_offsets.push(agg_rows.len());
+            }
+            let h_tilde = if agg_rows.is_empty() {
+                ctx.tape.zeros([width, hidden])
+            } else {
+                let hc = h_sofar.expect("sources already processed");
+                ctx.tape
+                    .segment_sum(hc.index_rows(agg_rows.clone()), agg_offsets.clone())
+            };
+
+            let gate = |w: &str, u: &str, b: &str| {
+                xl.matmul_nt(ctx.param(w))
+                    .add_row_broadcast(ctx.param(b))
+                    .add(h_tilde.matmul_nt(ctx.param(u)))
+            };
+            let i = gate(&cell.w_i, &cell.u_i, &cell.b_i).sigmoid();
+            let o = gate(&cell.w_o, &cell.u_o, &cell.b_o).sigmoid();
+            let u_pre = gate(&cell.w_u, &cell.u_u, &cell.b_u);
+            let u = if self.config.sigmoid_candidate {
+                u_pre.sigmoid()
+            } else {
+                u_pre.tanh()
+            };
+            let iu = i.mul(u);
+
+            // Forget edges: one σ(W_f x_j + U_f h_src + b_f) ⊙ c_src per
+            // incoming edge, folded into c starting from i⊙u (the same
+            // left-to-right association as the sequential cell).
+            let c_l = if agg_rows.is_empty() {
+                iu
+            } else {
+                let mut edge_parent: Vec<usize> = Vec::with_capacity(agg_rows.len());
+                for (local, window) in agg_offsets.windows(2).enumerate() {
+                    edge_parent.extend(std::iter::repeat(local).take(window[1] - window[0]));
+                }
+                let xf = xl.index_rows(edge_parent);
+                let hk = h_sofar.expect("checked above").index_rows(agg_rows.clone());
+                let ck = c_sofar.expect("checked above").index_rows(agg_rows);
+                let f = xf
+                    .matmul_nt(ctx.param(&cell.w_f))
+                    .add_row_broadcast(ctx.param(&cell.b_f))
+                    .add(hk.matmul_nt(ctx.param(&cell.u_f)))
+                    .sigmoid();
+                ctx.tape.segment_sum_init(iu, f.mul(ck), agg_offsets)
+            };
+            let h_l = o.mul(c_l.tanh());
+
+            for (local, &node) in sel.iter().enumerate() {
+                proc_row[node] = done + local;
+            }
+            done += width;
+            // Growing the cross-level state by re-stacking copies the
+            // prefix every level: O(levels · N · h) memcpy and tape
+            // memory per pass. That is deliberate — it keeps child
+            // gathers a single index_rows over one matrix, and for real
+            // ASTs (depth ≲ the parser's nesting cap of 128) the level
+            // matmuls dominate; an incremental/multi-source gather is
+            // the follow-on if very deep trees ever matter.
+            h_sofar = Some(match h_sofar {
+                None => h_l,
+                Some(prev) => ctx.tape.stack_rows(&[prev, h_l]),
+            });
+            c_sofar = Some(match c_sofar {
+                None => c_l,
+                Some(prev) => ctx.tape.stack_rows(&[prev, c_l]),
+            });
+            stats.levels += 1;
+            stats.rows += width as u64;
+        }
+
+        // Back to global node order for the next layer / root readout.
+        let perm: Vec<usize> = proc_row;
+        h_sofar.expect("at least one level").index_rows(perm)
     }
 
     /// Encodes an AST into its code vector (the root hidden state of the
@@ -561,6 +811,103 @@ mod tests {
             9,
         );
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fused_batch_matches_sequential_all_variants() {
+        let sources = [
+            "int main() { return 1 + 2 * 3; }",
+            "int main() { int s = 0; for (int i = 0; i < 9; i++) s += i; return s; }",
+            "int f(int x) { if (x > 0) { return x; } return -x; } int main() { return f(3); }",
+            "int main() { return 0; }",
+        ];
+        let graphs: Vec<AstGraph> = sources.iter().map(|s| graph(s)).collect();
+        let refs: Vec<&AstGraph> = graphs.iter().collect();
+        for direction in [Direction::Uni, Direction::Bi, Direction::Alternating] {
+            for layers in 1..=3 {
+                for sigmoid_candidate in [false, true] {
+                    let config = TreeLstmConfig {
+                        embed_dim: 5,
+                        hidden: 4,
+                        layers,
+                        direction,
+                        sigmoid_candidate,
+                    };
+                    let mut params = Params::new();
+                    let mut rng = StdRng::seed_from_u64(13);
+                    let enc = TreeLstmEncoder::new(&config, &mut params, &mut rng);
+                    let tape = Tape::new();
+                    let ctx = Ctx::new(&tape, &params);
+                    let (fused, stats) = enc.encode_batch_with_stats(&ctx, &refs);
+                    let sequential = enc.encode_batch_sequential(&ctx, &refs);
+                    assert!(stats.levels > 0 && stats.rows > 0);
+                    for (g, (f, s)) in fused.iter().zip(&sequential).enumerate() {
+                        let diff = f.value().max_abs_diff(&s.value());
+                        assert!(
+                            diff < 1e-6,
+                            "{direction} {layers}-layer sc={sigmoid_candidate} graph {g}: \
+                             fused diverged by {diff}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_batch_gradients_flow_to_all_parameters() {
+        let config = TreeLstmConfig {
+            embed_dim: 4,
+            hidden: 4,
+            layers: 3,
+            direction: Direction::Alternating,
+            sigmoid_candidate: false,
+        };
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(21);
+        let enc = TreeLstmEncoder::new(&config, &mut params, &mut rng);
+        let tape = Tape::new();
+        let ctx = Ctx::new(&tape, &params);
+        let g1 = graph("int main() { int x = 1; while (x < 5) x++; return x; }");
+        let g2 = graph("int main() { return 2; }");
+        let codes = enc.encode_batch(&ctx, &[&g1, &g2]);
+        let loss = ctx.tape.stack(&codes).sum();
+        let grads = tape.backward(loss);
+        let store = ctx.grads(&grads);
+        for name in params.names() {
+            assert!(
+                store.get(name).is_some(),
+                "parameter {name} received no gradient through the fused path"
+            );
+        }
+    }
+
+    #[test]
+    fn gradcheck_fused_batch_encoder() {
+        // Finite-difference check of the whole fused path — two graphs on
+        // one tape so cross-tree level fusion is actually exercised.
+        let g1 = graph("int main() { return 1 + 2; }");
+        let g2 = graph("int main() { return 0; }");
+        let config = TreeLstmConfig {
+            embed_dim: 3,
+            hidden: 3,
+            layers: 2,
+            direction: Direction::Alternating,
+            sigmoid_candidate: false,
+        };
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let enc = TreeLstmEncoder::new(&config, &mut params, &mut rng);
+        let tensors: Vec<ccsa_tensor::Tensor> = params.iter().map(|(_, t)| t.clone()).collect();
+        let report = ccsa_tensor::grad_check(&tensors, 1e-2, |tape, vars| {
+            let ctx = Ctx::with_bound(tape, &params, vars);
+            let codes = enc.encode_batch(&ctx, &[&g1, &g2]);
+            ccsa_tensor::TapeScalar(tape.stack(&codes).tanh().sum())
+        });
+        assert!(
+            report.passes(3e-2),
+            "fused tree-LSTM gradient check failed: {report:?}"
+        );
     }
 
     #[test]

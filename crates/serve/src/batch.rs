@@ -11,7 +11,10 @@
 //! The effect: per-pass setup cost is amortised across the batch, trees
 //! from *different* concurrent requests coalesce into shared passes, and
 //! a K-candidate ranking request fans its K encodes out across the pool
-//! instead of encoding serially.
+//! instead of encoding serially. Since the encoders went level-fused,
+//! coalescing is a tensor-shape win, not just bookkeeping: every tree a
+//! worker adds to a pass widens the per-level matmuls (observable as
+//! [`BatchStats::mean_fused_width`]).
 //!
 //! Results return to callers over per-request channels, so a caller
 //! blocks only on its own trees, never on the whole queue.
@@ -51,15 +54,36 @@ pub struct BatchStats {
     pub batches: u64,
     /// Trees encoded.
     pub jobs: u64,
+    /// Fused level matmuls executed across all forward passes.
+    pub fused_levels: u64,
+    /// Node rows those fused level matmuls covered.
+    pub fused_rows: u64,
 }
 
 impl BatchStats {
     /// Mean trees per forward pass (0 when idle).
+    ///
+    /// Counts *trees*, not work: a 1-tree flush of a deep tree and an
+    /// 8-tree flush of shallow ones can cost the same. The tensor-level
+    /// signal is [`BatchStats::mean_fused_width`], which reports how wide
+    /// the fused per-level matmuls actually ran.
     pub fn mean_batch_size(&self) -> f64 {
         if self.batches == 0 {
             0.0
         } else {
             self.jobs as f64 / self.batches as f64
+        }
+    }
+
+    /// Mean node rows per fused level matmul (0 when idle) — the true
+    /// fused width the level-scheduled encoder achieved. Cross-tree
+    /// fusion shows up here: the same trees encoded in one pass instead
+    /// of eight produce proportionally wider levels.
+    pub fn mean_fused_width(&self) -> f64 {
+        if self.fused_levels == 0 {
+            0.0
+        } else {
+            self.fused_rows as f64 / self.fused_levels as f64
         }
     }
 }
@@ -76,6 +100,8 @@ struct Shared {
     available: Condvar,
     batches: AtomicU64,
     jobs: AtomicU64,
+    fused_levels: AtomicU64,
+    fused_rows: AtomicU64,
 }
 
 struct QueueState {
@@ -101,6 +127,8 @@ impl EncodePool {
             available: Condvar::new(),
             batches: AtomicU64::new(0),
             jobs: AtomicU64::new(0),
+            fused_levels: AtomicU64::new(0),
+            fused_rows: AtomicU64::new(0),
         });
         let max_batch = config.max_batch.max(1);
         let workers = (0..config.workers.max(1))
@@ -134,6 +162,8 @@ impl EncodePool {
         BatchStats {
             batches: self.shared.batches.load(Ordering::Relaxed),
             jobs: self.shared.jobs.load(Ordering::Relaxed),
+            fused_levels: self.shared.fused_levels.load(Ordering::Relaxed),
+            fused_rows: self.shared.fused_rows.load(Ordering::Relaxed),
         }
     }
 
@@ -264,12 +294,18 @@ fn worker_loop(shared: &Shared, max_batch: usize) {
         // message, keep serving. Encoders are pure functions of
         // (params, graph), so no shared state can be left inconsistent.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            model.comparator.encode_codes(&model.params, &graphs)
+            model
+                .comparator
+                .encode_codes_with_stats(&model.params, &graphs)
         }));
         shared.batches.fetch_add(1, Ordering::Relaxed);
         shared.jobs.fetch_add(batch.len() as u64, Ordering::Relaxed);
         match outcome {
-            Ok(codes) => {
+            Ok((codes, fused)) => {
+                shared
+                    .fused_levels
+                    .fetch_add(fused.levels, Ordering::Relaxed);
+                shared.fused_rows.fetch_add(fused.rows, Ordering::Relaxed);
                 for (job, code) in batch.into_iter().zip(codes) {
                     // A disappeared caller is not an error; drop its result.
                     let _ = job.tx.send((job.index, Ok(code)));
@@ -376,6 +412,49 @@ mod tests {
             "at least one forward pass must have run"
         );
         assert!(stats.mean_batch_size() >= 1.0);
+        // The fused encoder must have reported its level telemetry: every
+        // node row of every tree passes through exactly one fused level
+        // matmul per pass (1-layer tree-LSTM ⇒ rows == total nodes).
+        let total_nodes: u64 = graphs.iter().map(|g| g.node_count() as u64).sum();
+        assert_eq!(stats.fused_rows, total_nodes);
+        assert!(stats.fused_levels > 0);
+        assert!(
+            stats.mean_fused_width() >= 1.0,
+            "fused width {}",
+            stats.mean_fused_width()
+        );
+    }
+
+    #[test]
+    fn wider_batches_report_wider_fused_levels() {
+        // The same trees encoded in ONE pass must fuse wider levels than
+        // when forced through one-tree passes — the signal
+        // mean_batch_size cannot show (this is the "true fused width"
+        // fix: 1-tree and 8-tree flushes differ by ~8× here).
+        let model = tiny_serve_model(7);
+        let graphs = sample_graphs(8);
+
+        let fused_pool = EncodePool::new(&BatchConfig {
+            workers: 1,
+            max_batch: 8,
+        });
+        let _ = fused_pool.encode(&model, &graphs).unwrap();
+        let wide = fused_pool.stats();
+
+        let narrow_pool = EncodePool::new(&BatchConfig {
+            workers: 1,
+            max_batch: 1,
+        });
+        let _ = narrow_pool.encode(&model, &graphs).unwrap();
+        let narrow = narrow_pool.stats();
+
+        assert_eq!(wide.fused_rows, narrow.fused_rows, "same total node work");
+        assert!(
+            wide.mean_fused_width() > 2.0 * narrow.mean_fused_width(),
+            "cross-tree fusion invisible: wide {} vs narrow {}",
+            wide.mean_fused_width(),
+            narrow.mean_fused_width()
+        );
     }
 
     #[test]

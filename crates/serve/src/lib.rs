@@ -39,7 +39,10 @@
 //!   to disk so restarts begin warm;
 //! * [`batch`] — the micro-batching queue and persistent worker pool
 //!   ([`EncodePool`]): pending trees across all in-flight requests fuse
-//!   into batched encoder forward passes, and the queue depth is the
+//!   into *level-fused* encoder forward passes (same-level nodes of
+//!   every tree in a batch run as one matmul per gate — see
+//!   `ccsa_nn::FusedStats`), the achieved fused width is surfaced via
+//!   [`BatchStats::mean_fused_width`], and the queue depth is the
 //!   transport's admission backpressure signal;
 //! * [`rank`] — K-candidate round-robin tournaments with
 //!   transitivity-aware tie-breaking and cycle flagging;

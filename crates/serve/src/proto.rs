@@ -225,6 +225,12 @@ pub fn stats_response(stats: &EngineStats) -> Json {
         ("encode_batches", Json::num(stats.batch.batches as f64)),
         ("encode_jobs", Json::num(stats.batch.jobs as f64)),
         ("mean_batch_size", Json::num(stats.batch.mean_batch_size())),
+        ("fused_levels", Json::num(stats.batch.fused_levels as f64)),
+        ("fused_rows", Json::num(stats.batch.fused_rows as f64)),
+        (
+            "mean_fused_width",
+            Json::num(stats.batch.mean_fused_width()),
+        ),
         ("queue_depth", Json::num(stats.queue_depth as f64)),
         ("models", Json::Arr(models)),
         ("model_cache", Json::Arr(model_cache)),

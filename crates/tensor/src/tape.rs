@@ -144,6 +144,18 @@ enum Op {
     Concat(Vec<usize>),
     AddN(Vec<usize>),
     Stack(Vec<usize>),
+    /// Row-concatenation of matrices: `[n_i, d]` parts → `[Σn_i, d]`.
+    StackRows(Vec<usize>),
+    /// Column-concatenation of two matrices: `[n, da] ++ [n, db]` → `[n, da+db]`.
+    ConcatCols(usize, usize),
+    /// Per-segment row sums with an optional per-segment initial row —
+    /// the child-sum / forget-sum aggregation of the level-fused
+    /// tree-LSTM.
+    SegmentSum {
+        m: usize,
+        offsets: Arc<Vec<usize>>,
+        init: Option<usize>,
+    },
     Row(usize, usize),
     Gather {
         table: usize,
@@ -305,6 +317,125 @@ impl Tape {
         self.push(
             Op::Stack(parts.iter().map(|p| p.id).collect()),
             Tensor::from_vec(data, [k, d]),
+        )
+    }
+
+    /// Stacks matrices (or single row vectors) along the row axis:
+    /// `[n_i, d]` matrix parts and `[d]` vector parts (one row each)
+    /// become one `[Σn_i, d]` matrix. This is how the level-fused tree
+    /// encoders grow the cross-tree hidden-state matrix one level at a
+    /// time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty, a part has rank > 2, or row widths
+    /// disagree.
+    pub fn stack_rows(&self, parts: &[Var<'_>]) -> Var<'_> {
+        assert!(!parts.is_empty(), "stack_rows of zero parts");
+        let d = stacked_rows_shape(&self.value_of(parts[0].id)).1;
+        let mut rows = 0;
+        let mut data = Vec::new();
+        for p in parts {
+            let v = self.value_of(p.id);
+            let (r, c) = stacked_rows_shape(&v);
+            assert_eq!(c, d, "stack_rows width mismatch: {} vs {d} cols", v.shape());
+            rows += r;
+            data.extend_from_slice(v.as_slice());
+        }
+        self.push(
+            Op::StackRows(parts.iter().map(|p| p.id).collect()),
+            Tensor::from_vec(data, [rows, d]),
+        )
+    }
+
+    /// Sums contiguous row segments of a `[rows, d]` matrix `m`:
+    /// `offsets` holds `S + 1` ascending cut points and the result is
+    /// `[S, d]` with `out[s] = Σ m[offsets[s]..offsets[s+1]]` (an empty
+    /// segment yields a zero row). The backward pass broadcasts each
+    /// output row's gradient over its segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not rank 2, `offsets` is empty/non-ascending, or
+    /// the final offset is not `m`'s row count.
+    pub fn segment_sum<'t>(&'t self, m: Var<'t>, offsets: impl Into<Arc<Vec<usize>>>) -> Var<'t> {
+        self.segment_sum_impl(m, offsets.into(), None)
+    }
+
+    /// Like [`Tape::segment_sum`] but every segment starts from the
+    /// matching row of `init` (`[S, d]`) instead of zero, and rows are
+    /// added in order: `out[s] = (…(init[s] + r_0) + r_1)…`. The left
+    /// association exactly matches per-node sequential accumulation, so
+    /// the fused tree-LSTM cell reproduces the sequential path's f32
+    /// results.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`Tape::segment_sum`], or if
+    /// `init` does not have shape `[S, d]`.
+    pub fn segment_sum_init<'t>(
+        &'t self,
+        init: Var<'t>,
+        m: Var<'t>,
+        offsets: impl Into<Arc<Vec<usize>>>,
+    ) -> Var<'t> {
+        self.segment_sum_impl(m, offsets.into(), Some(init))
+    }
+
+    fn segment_sum_impl<'t>(
+        &'t self,
+        m: Var<'t>,
+        offsets: Arc<Vec<usize>>,
+        init: Option<Var<'t>>,
+    ) -> Var<'t> {
+        let mv = self.value_of(m.id);
+        assert_eq!(
+            mv.shape().rank(),
+            2,
+            "segment_sum input must be rank 2, got {}",
+            mv.shape()
+        );
+        let (rows, d) = (mv.shape().rows(), mv.shape().cols());
+        assert!(!offsets.is_empty(), "segment_sum needs at least one offset");
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "segment offsets must be ascending"
+        );
+        assert_eq!(
+            *offsets.last().expect("non-empty"),
+            rows,
+            "final segment offset must equal the row count"
+        );
+        let segments = offsets.len() - 1;
+        let mut out = match init {
+            Some(iv) => {
+                let t = self.value_of(iv.id);
+                assert_eq!(
+                    t.shape().dims(),
+                    &[segments, d],
+                    "segment_sum init must be [{segments}, {d}], got {}",
+                    t.shape()
+                );
+                t.as_slice().to_vec()
+            }
+            None => vec![0.0f32; segments * d],
+        };
+        let src = mv.as_slice();
+        for s in 0..segments {
+            let dst = &mut out[s * d..(s + 1) * d];
+            for r in offsets[s]..offsets[s + 1] {
+                for (o, &v) in dst.iter_mut().zip(&src[r * d..(r + 1) * d]) {
+                    *o += v;
+                }
+            }
+        }
+        self.push(
+            Op::SegmentSum {
+                m: m.id,
+                offsets,
+                init: init.map(|v| v.id),
+            },
+            Tensor::from_vec(out, [segments, d]),
         )
     }
 
@@ -490,6 +621,48 @@ impl Tape {
                         accumulate(&mut grads, p, part, &nodes);
                     }
                 }
+                Op::StackRows(parts) => {
+                    let gs = g.as_slice();
+                    let d = node.value.shape().cols();
+                    let mut off = 0;
+                    for &p in parts {
+                        let shape = nodes[p].value.shape();
+                        let (rows, _) = stacked_rows_shape(&nodes[p].value);
+                        let part = Tensor::from_vec(gs[off * d..(off + rows) * d].to_vec(), shape);
+                        accumulate(&mut grads, p, part, &nodes);
+                        off += rows;
+                    }
+                }
+                Op::ConcatCols(a, b) => {
+                    let (sa, sb) = (nodes[*a].value.shape(), nodes[*b].value.shape());
+                    let (n, da, db) = (sa.rows(), sa.cols(), sb.cols());
+                    let gs = g.as_slice();
+                    let mut ga = vec![0.0f32; n * da];
+                    let mut gb = vec![0.0f32; n * db];
+                    for i in 0..n {
+                        let row = &gs[i * (da + db)..(i + 1) * (da + db)];
+                        ga[i * da..(i + 1) * da].copy_from_slice(&row[..da]);
+                        gb[i * db..(i + 1) * db].copy_from_slice(&row[da..]);
+                    }
+                    accumulate(&mut grads, *a, Tensor::from_vec(ga, sa), &nodes);
+                    accumulate(&mut grads, *b, Tensor::from_vec(gb, sb), &nodes);
+                }
+                Op::SegmentSum { m, offsets, init } => {
+                    if let Some(init) = init {
+                        accumulate(&mut grads, *init, g.clone(), &nodes);
+                    }
+                    let shape = nodes[*m].value.shape();
+                    let d = shape.cols();
+                    let gs = g.as_slice();
+                    let mut gm = vec![0.0f32; shape.len()];
+                    for s in 0..offsets.len() - 1 {
+                        let grow = &gs[s * d..(s + 1) * d];
+                        for r in offsets[s]..offsets[s + 1] {
+                            gm[r * d..(r + 1) * d].copy_from_slice(grow);
+                        }
+                    }
+                    accumulate(&mut grads, *m, Tensor::from_vec(gm, shape), &nodes);
+                }
                 Op::Row(a, r) => {
                     let shape = nodes[*a].value.shape();
                     let cols = shape.cols();
@@ -553,6 +726,22 @@ impl Tape {
         }
 
         Gradients { grads }
+    }
+}
+
+/// How a [`Tape::stack_rows`] part contributes rows: a matrix as its
+/// `[rows, cols]`, a vector as one row of its length, a scalar as `[1, 1]`.
+///
+/// # Panics
+///
+/// Panics if the part has rank > 2.
+fn stacked_rows_shape(v: &Tensor) -> (usize, usize) {
+    let shape = v.shape();
+    match shape.rank() {
+        0 => (1, 1),
+        1 => (1, v.len()),
+        2 => (shape.rows(), shape.cols()),
+        _ => panic!("stack_rows expects rows/matrices, got {shape}"),
     }
 }
 
@@ -742,6 +931,61 @@ impl<'t> Var<'t> {
     pub fn row(self, r: usize) -> Var<'t> {
         let v = self.value().row(r);
         self.tape.push(Op::Row(self.id, r), v)
+    }
+
+    /// Selects rows of a rank-2 matrix by (repeatable) indices, producing
+    /// `[k, d]` for `k` indices — the gather half of the level-fused tree
+    /// encoders. The backward pass scatter-adds each output row's
+    /// gradient into its source row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not rank 2 or an index is out of range.
+    pub fn index_rows(self, indices: impl Into<Arc<Vec<usize>>>) -> Var<'t> {
+        self.tape.gather(self, indices)
+    }
+
+    /// Concatenates two matrices column-wise: `[n, da]` ++ `[n, db]` →
+    /// `[n, da + db]` (the per-node up/down state concatenation of
+    /// bidirectional stacks, fused across all nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are rank 2 with equal row counts.
+    pub fn concat_cols(self, other: Var<'t>) -> Var<'t> {
+        self.same_tape(&other);
+        let a = self.value();
+        let b = other.value();
+        assert_eq!(
+            a.shape().rank(),
+            2,
+            "concat_cols lhs must be rank 2, got {}",
+            a.shape()
+        );
+        assert_eq!(
+            b.shape().rank(),
+            2,
+            "concat_cols rhs must be rank 2, got {}",
+            b.shape()
+        );
+        assert_eq!(
+            a.shape().rows(),
+            b.shape().rows(),
+            "concat_cols row mismatch: {} vs {}",
+            a.shape(),
+            b.shape()
+        );
+        let (n, da, db) = (a.shape().rows(), a.shape().cols(), b.shape().cols());
+        let (sa, sb) = (a.as_slice(), b.as_slice());
+        let mut out = Vec::with_capacity(n * (da + db));
+        for i in 0..n {
+            out.extend_from_slice(&sa[i * da..(i + 1) * da]);
+            out.extend_from_slice(&sb[i * db..(i + 1) * db]);
+        }
+        self.tape.push(
+            Op::ConcatCols(self.id, other.id),
+            Tensor::from_vec(out, [n, da + db]),
+        )
     }
 
     /// Adds a `[d]` vector to every row of a `[n, d]` matrix — the bias
@@ -1009,6 +1253,108 @@ mod tests {
         let g = tape.backward(r.sum());
         assert_eq!(g.get(a).as_slice(), &[0.0, 0.0]);
         assert_eq!(g.get(b).as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn stack_rows_forward_and_backward() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]));
+        let b = tape.leaf(Tensor::from_vec(vec![5.0, 6.0], [1, 2]));
+        let s = tape.stack_rows(&[a, b]);
+        assert_eq!(s.value().shape().dims(), &[3, 2]);
+        assert_eq!(s.value().as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        // Weight row 2 so the split is visible in gradients.
+        let w = tape.leaf(Tensor::from_vec(
+            vec![1.0; 4].into_iter().chain([7.0, 7.0]).collect(),
+            [3, 2],
+        ));
+        let g = tape.backward(s.mul(w).sum());
+        assert_eq!(g.get(a).as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(g.get(b).as_slice(), &[7.0, 7.0]);
+    }
+
+    #[test]
+    fn stack_rows_accepts_vectors_as_single_rows() {
+        let tape = Tape::new();
+        let m = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]));
+        let v = tape.leaf(Tensor::from_vec(vec![5.0, 6.0], [2]));
+        // A rank-1 [2] part is one row of width 2, not a [2, 1] column.
+        let s = tape.stack_rows(&[m, v, m.row(0)]);
+        assert_eq!(s.value().shape().dims(), &[4, 2]);
+        assert_eq!(
+            s.value().as_slice(),
+            &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 1.0, 2.0]
+        );
+        let w = tape.leaf(Tensor::from_vec(
+            vec![1.0, 1.0, 1.0, 1.0, 3.0, 5.0, 7.0, 7.0],
+            [4, 2],
+        ));
+        let g = tape.backward(s.mul(w).sum());
+        assert_eq!(g.get(v).shape().dims(), &[2], "vector grad keeps rank 1");
+        assert_eq!(g.get(v).as_slice(), &[3.0, 5.0]);
+        // m is read directly (rows 0–1) and via row(0) (row 3's weights).
+        assert_eq!(g.get(m).as_slice(), &[8.0, 8.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn index_rows_selects_and_scatters() {
+        let tape = Tape::new();
+        let m = tape.leaf(Tensor::from_vec((0..8).map(|x| x as f32).collect(), [4, 2]));
+        let sel = m.index_rows(vec![3usize, 1, 3]);
+        assert_eq!(sel.value().as_slice(), &[6.0, 7.0, 2.0, 3.0, 6.0, 7.0]);
+        let g = tape.backward(sel.sum());
+        // Row 3 hit twice, row 1 once.
+        assert_eq!(
+            g.get(m).as_slice(),
+            &[0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 2.0, 2.0]
+        );
+    }
+
+    #[test]
+    fn segment_sum_handles_empty_segments() {
+        let tape = Tape::new();
+        let m = tape.leaf(Tensor::from_vec((0..6).map(|x| x as f32).collect(), [3, 2]));
+        // Segments: [0..2), [2..2) empty, [2..3).
+        let s = tape.segment_sum(m, vec![0usize, 2, 2, 3]);
+        assert_eq!(s.value().shape().dims(), &[3, 2]);
+        assert_eq!(s.value().as_slice(), &[2.0, 4.0, 0.0, 0.0, 4.0, 5.0]);
+        let g = tape.backward(s.sum());
+        assert_eq!(g.get(m).as_slice(), &[1.0; 6]);
+    }
+
+    #[test]
+    fn segment_sum_init_matches_sequential_accumulation() {
+        let tape = Tape::new();
+        let init = tape.leaf(Tensor::from_vec(vec![10.0, 20.0, 30.0, 40.0], [2, 2]));
+        let m = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]));
+        // Both contribution rows land in segment 0; segment 1 keeps init.
+        let s = tape.segment_sum_init(init, m, vec![0usize, 2, 2]);
+        assert_eq!(s.value().as_slice(), &[14.0, 26.0, 30.0, 40.0]);
+        let g = tape.backward(s.sum());
+        assert_eq!(g.get(init).as_slice(), &[1.0; 4]);
+        assert_eq!(g.get(m).as_slice(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn concat_cols_forward_and_backward() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]));
+        let b = tape.leaf(Tensor::from_vec(vec![5.0, 6.0], [2, 1]));
+        let c = a.concat_cols(b);
+        assert_eq!(c.value().shape().dims(), &[2, 3]);
+        assert_eq!(c.value().as_slice(), &[1.0, 2.0, 5.0, 3.0, 4.0, 6.0]);
+        let w = tape.leaf(Tensor::from_vec(vec![1.0, 1.0, 9.0, 1.0, 1.0, 9.0], [2, 3]));
+        let g = tape.backward(c.mul(w).sum());
+        assert_eq!(g.get(a).as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(g.get(b).as_slice(), &[9.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "final segment offset")]
+    fn segment_sum_rejects_bad_offsets() {
+        let tape = Tape::new();
+        let m = tape.leaf(Tensor::zeros([3, 2]));
+        let _ = tape.segment_sum(m, vec![0usize, 2]);
     }
 
     #[test]

@@ -107,6 +107,53 @@ proptest! {
         prop_assert!(report.passes(2e-2), "{report:?}");
     }
 
+    #[test]
+    fn stack_rows_index_rows_gradcheck(a in arb_vec(6), b in arb_vec(3)) {
+        let a = Tensor::from_vec(a, [2, 3]);
+        let b = Tensor::from_vec(b, [1, 3]);
+        let report = grad_check(&[a, b], 1e-2, |tape, vars| {
+            let stacked = tape.stack_rows(&[vars[0], vars[1], vars[0]]);
+            let picked = stacked.index_rows(vec![4usize, 0, 2, 0]);
+            TapeScalar(picked.tanh().sum())
+        });
+        prop_assert!(report.passes(3e-2), "{report:?}");
+    }
+
+    #[test]
+    fn segment_sum_gradcheck(m in arb_vec(8), init in arb_vec(4)) {
+        let m = Tensor::from_vec(m, [4, 2]);
+        let init = Tensor::from_vec(init, [2, 2]);
+        let report = grad_check(&[m, init], 1e-2, |tape, vars| {
+            // Uneven segments including the fold-from-init variant.
+            let plain = tape.segment_sum(vars[0], vec![0usize, 1, 4]);
+            let folded = tape.segment_sum_init(vars[1], vars[0], vec![0usize, 3, 4]);
+            TapeScalar(plain.tanh().sum().add(folded.sigmoid().sum()))
+        });
+        prop_assert!(report.passes(3e-2), "{report:?}");
+    }
+
+    #[test]
+    fn concat_cols_gradcheck(a in arb_vec(6), b in arb_vec(9)) {
+        let a = Tensor::from_vec(a, [3, 2]);
+        let b = Tensor::from_vec(b, [3, 3]);
+        let report = grad_check(&[a, b], 1e-2, |_tape, vars| {
+            TapeScalar(vars[0].concat_cols(vars[1]).tanh().sum())
+        });
+        prop_assert!(report.passes(3e-2), "{report:?}");
+    }
+
+    #[test]
+    fn segment_sum_matches_add_n(rows in arb_vec(12)) {
+        // The fused child-sum must agree with the sequential add_n path.
+        let m = Tensor::from_vec(rows, [4, 3]);
+        let tape = Tape::new();
+        let vm = tape.leaf(m.clone());
+        let fused = tape.segment_sum(vm, vec![0usize, 4]).value();
+        let parts: Vec<_> = (0..4).map(|r| tape.leaf(m.row(r))).collect();
+        let seq = tape.add_n(&parts).value();
+        prop_assert!(fused.reshape([3]).max_abs_diff(&seq) < 1e-6);
+    }
+
     // ── Tensor algebra ───────────────────────────────────────────────
 
     #[test]

@@ -24,19 +24,24 @@
 //! │          cost-model interpreter, judge → labelled submissions
 //! ├─────────────────────────────────────────────────────────────────┤
 //! │ nn       embeddings, child-sum tree-LSTM variants, GCN baseline,
-//! │          optimizers, data-parallel batching (batched encode entry)
+//! │          optimizers, data-parallel batching; level-fused batched
+//! │          encode: same-level nodes across every tree in a batch run
+//! │          as one matmul per gate (per-node path kept for equivalence)
 //! ├─────────────────────────────────────────────────────────────────┤
 //! │ model    pairs → training → evaluation → versioned persistence
 //! ├─────────────────────────────────────────────────────────────────┤
 //! │ serve    the inference engine: model registry, LRU embedding
 //! │          cache keyed by canonical AST hash (disk-snapshottable for
-//! │          warm restarts), micro-batched encoder worker pool, K-way
-//! │          ranking API, JSON-lines `serve` binary
+//! │          warm restarts), micro-batched encoder worker pool (misses
+//! │          from concurrent requests coalesce into one level-fused
+//! │          forward; fused width visible in `stats`), K-way ranking
+//! │          API, JSON-lines `serve` binary
 //! ├─────────────────────────────────────────────────────────────────┤
 //! │ gateway  the TCP front door: keep-alive JSON-lines sessions,
-//! │          connection caps, weighted sticky A/B routing across
-//! │          registry versions, shadow traffic, per-route p50/p99 +
-//! │          hit-rate stats, graceful drain — `gateway` binary
+//! │          connection caps, per-route token-bucket rate limiting,
+//! │          weighted sticky A/B routing across registry versions,
+//! │          shadow traffic, per-route p50/p99 + hit-rate stats,
+//! │          graceful drain — `gateway` binary
 //! └─────────────────────────────────────────────────────────────────┘
 //! ```
 //!
@@ -50,11 +55,14 @@
 //! incoming sources, reuses latent codes from an LRU cache keyed by
 //! [`AstGraph::canonical_hash`](ccsa_cppast::AstGraph::canonical_hash)
 //! (hits skip the encoder; only the 2·d classifier head runs), batches
-//! cache misses into fused encoder forward passes across a worker pool,
-//! and answers `compare` / `rank` / `stats` ops — in-process, over
-//! JSON-lines via the `serve` binary, or over TCP via the `gateway`
-//! binary, which adds `routes` (the weighted A/B table with per-route
-//! rolling stats) and graceful `shutdown`.
+//! cache misses into *level-fused* encoder forward passes across a
+//! worker pool — nodes at the same tree level across every tree in the
+//! batch run as one `[rows, d] · [d, h]` matmul per gate instead of
+//! per-node matvecs — and answers `compare` / `rank` / `stats` ops —
+//! in-process, over JSON-lines via the `serve` binary, or over TCP via
+//! the `gateway` binary, which adds `routes` (the weighted A/B table
+//! with per-route rolling stats), per-route token-bucket rate limits,
+//! and graceful `shutdown`.
 //!
 //! ## Quickstart
 //!
