@@ -32,7 +32,8 @@ fn main() {
         .collect();
     // MP pool: scaled-down version of the paper's 100×100.
     let (mp_problems, mp_per) = match cli.scale {
-        ccsa_bench::Scale::Quick => (6u16, 16usize),
+        ccsa_bench::Scale::Tiny => (4u16, 12usize),
+        ccsa_bench::Scale::Quick => (6, 16),
         ccsa_bench::Scale::Default => (12, 24),
         ccsa_bench::Scale::Full => (100, 100),
     };

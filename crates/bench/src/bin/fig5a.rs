@@ -22,7 +22,8 @@ fn main() {
     );
 
     let max_subs = match cli.scale {
-        Scale::Quick => 128usize,
+        Scale::Tiny => 64usize,
+        Scale::Quick => 128,
         Scale::Default => 256,
         Scale::Full => 4096,
     };

@@ -22,7 +22,8 @@ fn main() {
     );
 
     let train_subs = match cli.scale {
-        Scale::Quick => 64usize,
+        Scale::Tiny => 32usize,
+        Scale::Quick => 64,
         Scale::Default => 128,
         Scale::Full => 2048, // the paper's setting
     };

@@ -43,6 +43,7 @@ fn main() {
     );
 
     let (clients, requests_per_client) = match cli.scale {
+        Scale::Tiny => (2, 64),
         Scale::Quick => (4, 256),
         Scale::Default => (8, 512),
         Scale::Full => (16, 1024),

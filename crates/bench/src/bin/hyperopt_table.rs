@@ -22,6 +22,7 @@ fn main() {
     let ds = cache.curated(ProblemTag::C, &corpus).clone();
 
     let trials = match cli.scale {
+        Scale::Tiny => 4,
         Scale::Quick => 6,
         Scale::Default => 12,
         Scale::Full => 40,

@@ -136,6 +136,7 @@ fn main() {
         .collect();
 
     let n_pairs = match cli.scale {
+        Scale::Tiny => 60,
         Scale::Quick => 150,
         Scale::Default => 400,
         Scale::Full => 1500,
@@ -167,6 +168,7 @@ fn main() {
         .map(|c| c.iter().collect())
         .collect();
     let encode_reps = match cli.scale {
+        Scale::Tiny => 10,
         Scale::Quick => 30,
         Scale::Default => 80,
         Scale::Full => 250,

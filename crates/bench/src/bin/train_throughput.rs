@@ -1,0 +1,240 @@
+//! Training throughput benchmark: the fused per-batch training path
+//! against the per-pair baseline, on the same workload.
+//!
+//! The fused path encodes *all* graphs of a worker shard's pairs in one
+//! level-fused `encode_batch` call per tape ([`ccsa_model::trainer::TrainPath::FusedBatch`]);
+//! the baseline builds one tape per pair and runs the node-by-node cell
+//! ([`ccsa_model::trainer::TrainPath::PerPair`]). Both run single-threaded
+//! here so the number measures the path itself, not scheduling.
+//!
+//! Before timing, the two paths are parity-checked on one mini-batch:
+//! loss and every parameter gradient must agree to ≤ 1e-5 (relative for
+//! gradients — the two paths sum identical per-pair contributions in
+//! different orders). The results land in `BENCH_train.json`.
+//!
+//! ```sh
+//! cargo run --release --bin train_throughput -- --scale quick
+//! ```
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ccsa_bench::{header, rule, Cli, Scale};
+use ccsa_corpus::{ProblemDataset, ProblemSpec, ProblemTag};
+use ccsa_cppast::AstGraph;
+use ccsa_model::comparator::{Comparator, EncoderConfig};
+use ccsa_model::pair::{sample_pairs, Pair, PairConfig};
+use ccsa_model::trainer::{train_with_path, TrainConfig, TrainPath};
+use ccsa_nn::param::{Ctx, GradStore, Params};
+use ccsa_serve::json::Json;
+use ccsa_tensor::Tape;
+
+const BATCH: usize = 16;
+
+/// Loss + summed parameter gradients for one mini-batch, through either
+/// path — the reference computation the parity gate compares.
+fn batch_loss_and_grads(
+    model: &Comparator,
+    params: &Params,
+    subs: &[ccsa_corpus::Submission],
+    batch: &[Pair],
+    fused: bool,
+) -> (f64, GradStore) {
+    let run_tape = |pairs: &[Pair]| -> (f64, GradStore) {
+        let tape = Tape::new();
+        let ctx = Ctx::new(&tape, params);
+        let graphs: Vec<(&AstGraph, &AstGraph)> = pairs
+            .iter()
+            .map(|p| (&subs[p.a].graph, &subs[p.b].graph))
+            .collect();
+        let logits = if fused {
+            model.logit_batch(&ctx, &graphs)
+        } else {
+            graphs
+                .iter()
+                .map(|&(a, b)| model.logit(&ctx, a, b))
+                .collect()
+        };
+        let losses: Vec<_> = logits
+            .into_iter()
+            .zip(pairs)
+            .map(|(logit, pair)| logit.sum().bce_with_logits(pair.label))
+            .collect();
+        let total = ctx.tape.add_n(&losses);
+        let loss = total.value().item() as f64;
+        let grads = tape.backward(total);
+        (loss, ctx.grads(&grads))
+    };
+    if fused {
+        run_tape(batch)
+    } else {
+        // One tape per pair, gradients summed — the historical baseline.
+        let mut loss = 0.0;
+        let mut grads = GradStore::new();
+        for pair in batch {
+            let (l, g) = run_tape(std::slice::from_ref(pair));
+            loss += l;
+            grads.merge(g);
+        }
+        (loss, grads)
+    }
+}
+
+fn main() {
+    let cli = Cli::parse();
+    header(
+        "train_throughput — fused-batch training vs per-pair baseline",
+        &cli,
+    );
+
+    let dataset =
+        ProblemDataset::generate(ProblemSpec::curated(ProblemTag::E), &cli.corpus_config())
+            .expect("corpus generation");
+    let subs = &dataset.submissions;
+    let n_pairs = match cli.scale {
+        Scale::Tiny => 4 * BATCH,
+        Scale::Quick => 10 * BATCH,
+        Scale::Default => 20 * BATCH,
+        Scale::Full => 60 * BATCH,
+    };
+    let pair_cfg = PairConfig {
+        max_pairs: n_pairs,
+        symmetric: true,
+        exclude_self: true,
+    };
+    let pairs = sample_pairs(
+        subs,
+        &(0..subs.len()).collect::<Vec<_>>(),
+        &pair_cfg,
+        cli.seed,
+    );
+    let epochs = match cli.scale {
+        Scale::Tiny => 1,
+        Scale::Quick => 2,
+        Scale::Default => 3,
+        Scale::Full => 4,
+    };
+    // The paper's best architecture shape at this scale: 3-layer
+    // alternating — every fused code path (up/down, gate fusion,
+    // incremental gather) is on the clock.
+    let encoder = EncoderConfig::TreeLstm(cli.treelstm_config());
+    let fresh_model = || {
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(cli.seed ^ 0x0de1);
+        let model = Comparator::new(&encoder, &mut params, &mut rng);
+        (model, params)
+    };
+    println!(
+        "workload: {} pairs over {} submissions, batch {BATCH}, {epochs} timed epoch(s), 1 thread\n",
+        pairs.len(),
+        subs.len()
+    );
+
+    // ── Parity gate: one mini-batch, loss + grads both paths ─────────
+    let (model, params) = fresh_model();
+    let batch = &pairs[..BATCH.min(pairs.len())];
+    let (fused_loss, fused_grads) = batch_loss_and_grads(&model, &params, subs, batch, true);
+    let (base_loss, base_grads) = batch_loss_and_grads(&model, &params, subs, batch, false);
+    let loss_diff = (fused_loss - base_loss).abs();
+    let mut grad_rel_diff = 0.0f32;
+    for name in params.names() {
+        let f = fused_grads.get(name).expect("fused gradient");
+        let b = base_grads.get(name).expect("baseline gradient");
+        let scale = b.as_slice().iter().fold(1.0f32, |m, &x| m.max(x.abs()));
+        grad_rel_diff = grad_rel_diff.max(f.max_abs_diff(b) / scale);
+    }
+    assert!(
+        loss_diff <= 1e-5 && grad_rel_diff <= 1e-5,
+        "fused training diverged from the per-pair baseline: \
+         loss Δ {loss_diff:.2e}, grad Δ {grad_rel_diff:.2e}"
+    );
+    println!(
+        "parity, batch {BATCH}: loss |Δ| = {loss_diff:.2e}, grad rel |Δ| = {grad_rel_diff:.2e} (≤ 1e-5)"
+    );
+
+    // ── Timed training runs (identical init, single thread) ──────────
+    let config = TrainConfig {
+        epochs,
+        batch_size: BATCH,
+        lr: 0.01,
+        clip: 5.0,
+        threads: 1,
+        seed: cli.seed,
+    };
+    let timed = |path: TrainPath| {
+        let (model, mut params) = fresh_model();
+        // Warm one untimed mini-batch (page in code paths/allocator).
+        let warm = TrainConfig {
+            epochs: 1,
+            ..config.clone()
+        };
+        let _ = train_with_path(
+            &model,
+            &mut params.clone(),
+            subs,
+            &pairs[..BATCH],
+            &warm,
+            path,
+        );
+        let start = Instant::now();
+        let report = train_with_path(&model, &mut params, subs, &pairs, &config, path);
+        let elapsed = start.elapsed().as_secs_f64();
+        ((pairs.len() * epochs) as f64 / elapsed, elapsed, report)
+    };
+    let (base_pps, base_secs, base_report) = timed(TrainPath::PerPair);
+    let (fused_pps, fused_secs, fused_report) = timed(TrainPath::FusedBatch);
+    let speedup = fused_pps / base_pps;
+
+    println!(
+        "\n{:<24} {:>12} {:>10} {:>14}",
+        "path", "pairs/sec", "total s", "final loss"
+    );
+    rule(64);
+    for (name, pps, secs, report) in [
+        ("per_pair_baseline", base_pps, base_secs, &base_report),
+        ("fused_batch", fused_pps, fused_secs, &fused_report),
+    ] {
+        println!(
+            "{name:<24} {pps:>12.1} {secs:>10.2} {:>14.4}",
+            report.epoch_loss.last().copied().unwrap_or(f64::NAN)
+        );
+    }
+    rule(64);
+    println!("fused vs per-pair: {speedup:.2}×");
+    println!(
+        "fused_train_not_slower: {}",
+        if speedup >= 1.0 { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "acceptance (fused ≥ 2× per-pair, batch {BATCH}): {}",
+        if speedup >= 2.0 { "PASS" } else { "FAIL" }
+    );
+
+    let doc = Json::obj(vec![
+        ("bench", Json::str("train_throughput")),
+        (
+            "scale",
+            Json::str(format!("{:?}", cli.scale).to_lowercase()),
+        ),
+        ("seed", Json::num(cli.seed as f64)),
+        ("batch_size", Json::num(BATCH as f64)),
+        ("pairs", Json::num(pairs.len() as f64)),
+        ("epochs", Json::num(epochs as f64)),
+        ("threads", Json::num(1.0)),
+        ("fused_pairs_per_sec", Json::num(fused_pps)),
+        ("perpair_pairs_per_sec", Json::num(base_pps)),
+        ("speedup_fused_vs_perpair", Json::num(speedup)),
+        (
+            "parity",
+            Json::obj(vec![
+                ("batch_loss_abs_diff", Json::num(loss_diff)),
+                ("grad_rel_diff", Json::num(grad_rel_diff as f64)),
+            ]),
+        ),
+    ]);
+    let path = "BENCH_train.json";
+    std::fs::write(path, format!("{doc}\n")).expect("writing BENCH_train.json");
+    println!("\nwrote {path}");
+}

@@ -24,6 +24,9 @@ use ccsa_nn::treelstm::{Direction, TreeLstmConfig};
 /// Experiment size selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
+    /// CI-test scale (seconds end to end, even in debug builds) — used
+    /// by the pipeline smoke test that pins the sweep path.
+    Tiny,
     /// Smoke-test scale (tens of seconds end to end).
     Quick,
     /// The documented default (minutes).
@@ -36,6 +39,7 @@ impl Scale {
     /// Submissions generated per problem.
     pub fn submissions(self) -> usize {
         match self {
+            Scale::Tiny => 32,
             Scale::Quick => 48,
             Scale::Default => 110,
             Scale::Full => 300,
@@ -45,6 +49,7 @@ impl Scale {
     /// Training pairs sampled per model.
     pub fn pairs(self) -> usize {
         match self {
+            Scale::Tiny => 200,
             Scale::Quick => 500,
             Scale::Default => 900,
             Scale::Full => 3000,
@@ -54,6 +59,7 @@ impl Scale {
     /// Training epochs.
     pub fn epochs(self) -> usize {
         match self {
+            Scale::Tiny => 4,
             Scale::Quick => 6,
             Scale::Default => 6,
             Scale::Full => 10,
@@ -63,6 +69,7 @@ impl Scale {
     /// Tree-LSTM/GCN hidden width.
     pub fn hidden(self) -> usize {
         match self {
+            Scale::Tiny => 8,
             Scale::Quick => 12,
             Scale::Default => 16,
             Scale::Full => 100,
@@ -72,6 +79,7 @@ impl Scale {
     /// Embedding dimensionality λ.
     pub fn embed(self) -> usize {
         match self {
+            Scale::Tiny => 8,
             Scale::Quick => 12,
             Scale::Default => 16,
             Scale::Full => 120,
@@ -81,6 +89,7 @@ impl Scale {
     /// Judge test cases per submission.
     pub fn test_cases(self) -> usize {
         match self {
+            Scale::Tiny => 2,
             Scale::Quick => 2,
             Scale::Default => 3,
             Scale::Full => 5,
@@ -114,6 +123,7 @@ impl Cli {
                 "--scale" => {
                     i += 1;
                     cli.scale = match args.get(i).map(String::as_str) {
+                        Some("tiny") => Scale::Tiny,
                         Some("quick") => Scale::Quick,
                         Some("default") => Scale::Default,
                         Some("full") => Scale::Full,
@@ -205,7 +215,7 @@ fn usage_abort(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: <bin> [--scale quick|default|full] [--seed N] [--threads N]");
+    eprintln!("usage: <bin> [--scale tiny|quick|default|full] [--seed N] [--threads N]");
     std::process::exit(2);
 }
 

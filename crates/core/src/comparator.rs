@@ -136,6 +136,40 @@ impl Comparator {
         self.classifier.forward(ctx, zab)
     }
 
+    /// Batched training forward: one logit per pair, with *all* graphs
+    /// of the batch — both sides of every pair — encoded in a single
+    /// level-fused [`Encoder::encode_batch`] call on the shared tape, so
+    /// same-level nodes across the whole pair batch coalesce into the
+    /// same per-level matmuls. The classifier then runs once as a
+    /// `[pairs, 2d]` batched linear.
+    ///
+    /// Each returned logit is a one-element tensor that agrees with the
+    /// per-pair [`Comparator::logit`] bit-for-bit (the fused encoder
+    /// reproduces the sequential accumulation order), which the trainer
+    /// parity tests pin down.
+    pub fn logit_batch<'t>(
+        &self,
+        ctx: &Ctx<'t, '_>,
+        pairs: &[(&AstGraph, &AstGraph)],
+    ) -> Vec<Var<'t>> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        let mut graphs: Vec<&AstGraph> = Vec::with_capacity(pairs.len() * 2);
+        for &(a, b) in pairs {
+            graphs.push(a);
+            graphs.push(b);
+        }
+        let codes = self.encoder.encode_batch(ctx, &graphs);
+        let zabs: Vec<Var<'t>> = codes
+            .chunks_exact(2)
+            .map(|pair| ctx.tape.concat(&[pair[0], pair[1]]))
+            .collect();
+        let stacked = ctx.tape.stack(&zabs);
+        let logits = self.classifier.forward_rows(ctx, stacked);
+        (0..pairs.len()).map(|p| logits.row(p)).collect()
+    }
+
     /// Scalar BCE training loss for one labelled pair.
     pub fn loss<'t>(&self, ctx: &Ctx<'t, '_>, a: &AstGraph, b: &AstGraph, label: f32) -> Var<'t> {
         self.logit(ctx, a, b).sum().bce_with_logits(label)
@@ -310,6 +344,61 @@ mod tests {
             (direct_ba - cached_ba).abs() < 1e-6,
             "{direct_ba} vs {cached_ba}"
         );
+    }
+
+    #[test]
+    fn logit_batch_matches_per_pair_logit() {
+        // The fused training forward must sit on the same loss surface:
+        // per-pair logits computed by one batched encode + one batched
+        // classifier matmul agree with the sequential per-pair path.
+        for config in [
+            tiny_tree_config(),
+            EncoderConfig::TreeLstm(TreeLstmConfig {
+                embed_dim: 5,
+                hidden: 4,
+                layers: 3,
+                direction: Direction::Alternating,
+                sigmoid_candidate: false,
+            }),
+            EncoderConfig::Gcn(GcnConfig::small(5)),
+        ] {
+            let mut params = Params::new();
+            let mut rng = StdRng::seed_from_u64(17);
+            let model = Comparator::new(&config, &mut params, &mut rng);
+            let graphs = [
+                graph("int main() { return 0; }"),
+                graph("int main() { for (int i = 0; i < 7; i++) { } return 1; }"),
+                graph("int f(int x) { return x * x; } int main() { return f(4); }"),
+            ];
+            let pairs: Vec<(&AstGraph, &AstGraph)> = vec![
+                (&graphs[0], &graphs[1]),
+                (&graphs[2], &graphs[0]),
+                (&graphs[1], &graphs[1]),
+            ];
+            let tape = Tape::new();
+            let ctx = Ctx::new(&tape, &params);
+            let batched = model.logit_batch(&ctx, &pairs);
+            assert_eq!(batched.len(), pairs.len());
+            for (p, (a, b)) in pairs.iter().enumerate() {
+                let single = model.logit(&ctx, a, b).value().item();
+                let fused = batched[p].value().item();
+                assert!(
+                    (single - fused).abs() <= 1e-6,
+                    "{} pair {p}: {single} vs {fused}",
+                    config.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn logit_batch_empty_is_empty() {
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = Comparator::new(&tiny_tree_config(), &mut params, &mut rng);
+        let tape = Tape::new();
+        let ctx = Ctx::new(&tape, &params);
+        assert!(model.logit_batch(&ctx, &[]).is_empty());
     }
 
     #[test]

@@ -1,15 +1,26 @@
 //! Mini-batch training and evaluation of comparators.
 //!
+//! The default forward/backward runs on the **level-fused batched
+//! encoder**: each worker shard builds one tape for its whole slice of
+//! the mini-batch and encodes every graph of those pairs in a single
+//! [`Comparator::logit_batch`] call, so same-level nodes across all
+//! trees coalesce into one matmul per level per projection. The
+//! historical one-tape-per-pair path survives as
+//! [`TrainPath::PerPair`] for parity tests and benchmarks.
+//!
 //! Gradients are accumulated data-parallel across CPU threads (see
 //! [`ccsa_nn::parallel`]) and applied with Adam + global-norm clipping.
 //! Results are deterministic for a fixed seed and thread-stable because
-//! shard gradients are summed before the optimizer step.
+//! shard gradients are summed before the optimizer step; the fused path
+//! keeps gradient averaging, clipping, and Adam semantics of the
+//! per-pair baseline (parity pinned to ≤ 1e-5 by tests).
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use ccsa_corpus::Submission;
+use ccsa_cppast::AstGraph;
 use ccsa_nn::optim::{Adam, GradClip};
 use ccsa_nn::parallel::{parallel_batch, BatchResult};
 use ccsa_nn::param::{Ctx, Params};
@@ -18,6 +29,17 @@ use ccsa_tensor::Tape;
 use crate::comparator::Comparator;
 use crate::metrics::EvalResult;
 use crate::pair::Pair;
+
+/// Which forward/backward implementation the trainer drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrainPath {
+    /// One tape per worker shard; all graphs of the shard's pairs run
+    /// through one level-fused `encode_batch` call (the default).
+    #[default]
+    FusedBatch,
+    /// The reference baseline: one tape per pair, node-by-node cell.
+    PerPair,
+}
 
 /// Training-loop hyper-parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,13 +95,27 @@ pub struct TrainReport {
 }
 
 /// Trains `model` on labelled `pairs` over `subs`, updating `params` in
-/// place.
+/// place, on the fused batched path ([`TrainPath::FusedBatch`]).
 pub fn train(
     model: &Comparator,
     params: &mut Params,
     subs: &[Submission],
     pairs: &[Pair],
     config: &TrainConfig,
+) -> TrainReport {
+    train_with_path(model, params, subs, pairs, config, TrainPath::FusedBatch)
+}
+
+/// [`train`] with an explicit forward/backward implementation — the
+/// per-pair baseline exists for parity tests and the `train_throughput`
+/// benchmark.
+pub fn train_with_path(
+    model: &Comparator,
+    params: &mut Params,
+    subs: &[Submission],
+    pairs: &[Pair],
+    config: &TrainConfig,
+    path: TrainPath,
 ) -> TrainReport {
     let threads = if config.threads == 0 {
         ccsa_nn::parallel::default_threads()
@@ -105,24 +141,20 @@ pub fn train(
         for batch_ixs in order.chunks(config.batch_size.max(1)) {
             let batch: Vec<Pair> = batch_ixs.iter().map(|&i| pairs[i]).collect();
             let shared: &Params = params;
-            let mut result = parallel_batch(&batch, threads, |pair| {
-                let tape = Tape::new();
-                let ctx = Ctx::new(&tape, shared);
-                let a = &subs[pair.a].graph;
-                let b = &subs[pair.b].graph;
-                let logit = model.logit(&ctx, a, b).sum();
-                let loss = logit.bce_with_logits(pair.label);
-                let loss_value = loss.value().item() as f64;
-                let predicted_slower = logit.value().item() >= 0.0;
-                let correct = predicted_slower == (pair.label >= 0.5);
-                let grads = tape.backward(loss);
-                BatchResult {
-                    grads: ctx.grads(&grads),
-                    loss: loss_value,
-                    correct: correct as usize,
-                    count: 1,
+            let mut result = match path {
+                TrainPath::PerPair => parallel_batch(&batch, threads, |pair| {
+                    batch_forward_backward(model, shared, subs, std::slice::from_ref(pair), false)
+                }),
+                TrainPath::FusedBatch => {
+                    // Shard the batch across workers; each shard runs one
+                    // fused tape over all of its pairs' graphs.
+                    let shards: Vec<&[Pair]> =
+                        batch.chunks(batch.len().div_ceil(threads.max(1))).collect();
+                    parallel_batch(&shards, threads, |shard| {
+                        batch_forward_backward(model, shared, subs, shard, true)
+                    })
                 }
-            });
+            };
             epoch_loss += result.loss;
             epoch_correct += result.correct;
             epoch_count += result.count;
@@ -138,6 +170,52 @@ pub fn train(
             .push(epoch_correct as f64 / epoch_count.max(1) as f64);
     }
     report
+}
+
+/// One tape over `shard`: forward (fused `logit_batch` or sequential
+/// per-pair `logit`), summed BCE loss, one backward. The gradients are
+/// *sums* over the shard's pairs — the caller divides by the full batch
+/// size, exactly as the per-pair baseline does.
+fn batch_forward_backward(
+    model: &Comparator,
+    params: &Params,
+    subs: &[Submission],
+    shard: &[Pair],
+    fused: bool,
+) -> BatchResult {
+    let tape = Tape::new();
+    let ctx = Ctx::new(&tape, params);
+    let graphs: Vec<(&AstGraph, &AstGraph)> = shard
+        .iter()
+        .map(|pair| (&subs[pair.a].graph, &subs[pair.b].graph))
+        .collect();
+    let logits = if fused {
+        model.logit_batch(&ctx, &graphs)
+    } else {
+        graphs
+            .iter()
+            .map(|&(a, b)| model.logit(&ctx, a, b))
+            .collect()
+    };
+    let mut loss_sum = 0.0f64;
+    let mut correct = 0usize;
+    let mut losses = Vec::with_capacity(shard.len());
+    for (logit, pair) in logits.into_iter().zip(shard) {
+        let logit = logit.sum();
+        let loss = logit.bce_with_logits(pair.label);
+        loss_sum += loss.value().item() as f64;
+        let predicted_slower = logit.value().item() >= 0.0;
+        correct += (predicted_slower == (pair.label >= 0.5)) as usize;
+        losses.push(loss);
+    }
+    let total = ctx.tape.add_n(&losses);
+    let grads = tape.backward(total);
+    BatchResult {
+        grads: ctx.grads(&grads),
+        loss: loss_sum,
+        correct,
+        count: shard.len(),
+    }
 }
 
 /// Scores `pairs` with a trained model (no parameter updates).
@@ -236,6 +314,116 @@ mod tests {
 
         let (_report2, eval2) = run(7);
         assert_eq!(eval.accuracy, eval2.accuracy, "same seed must reproduce");
+    }
+
+    #[test]
+    fn fused_batch_matches_per_pair_baseline_loss_and_grads() {
+        // The ISSUE-4 parity gate: one mini-batch, forward + backward on
+        // the fused per-batch tape vs one tape per pair — loss and every
+        // parameter gradient agree to ≤ 1e-5.
+        let ds =
+            ProblemDataset::generate(ProblemSpec::curated(ProblemTag::E), &CorpusConfig::tiny(11))
+                .unwrap();
+        let subs = &ds.submissions;
+        let pair_cfg = PairConfig {
+            max_pairs: 16,
+            symmetric: true,
+            exclude_self: true,
+        };
+        let pairs = sample_pairs(subs, &(0..subs.len()).collect::<Vec<_>>(), &pair_cfg, 5);
+        assert!(pairs.len() >= 8, "need a real batch, got {}", pairs.len());
+
+        // A 3-layer alternating stack so every fused code path
+        // (up/down passes, gate fusion, incremental gather) is active.
+        let encoder = EncoderConfig::TreeLstm(TreeLstmConfig {
+            embed_dim: 6,
+            hidden: 6,
+            layers: 3,
+            direction: Direction::Alternating,
+            sigmoid_candidate: false,
+        });
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(23);
+        let model = Comparator::new(&encoder, &mut params, &mut rng);
+
+        let fused = super::batch_forward_backward(&model, &params, subs, &pairs, true);
+        let mut per_pair = ccsa_nn::parallel::BatchResult::default();
+        for pair in &pairs {
+            per_pair.merge(super::batch_forward_backward(
+                &model,
+                &params,
+                subs,
+                std::slice::from_ref(pair),
+                false,
+            ));
+        }
+
+        assert_eq!(fused.count, per_pair.count);
+        assert_eq!(fused.correct, per_pair.correct);
+        assert!(
+            (fused.loss - per_pair.loss).abs() <= 1e-5,
+            "loss diverged: {} vs {}",
+            fused.loss,
+            per_pair.loss
+        );
+        for name in params.names() {
+            let f = fused.grads.get(name).unwrap_or_else(|| {
+                panic!("fused path produced no gradient for {name}");
+            });
+            let s = per_pair.grads.get(name).unwrap_or_else(|| {
+                panic!("per-pair path produced no gradient for {name}");
+            });
+            // ≤ 1e-5 relative to the gradient's own scale: the two paths
+            // sum identical per-pair contributions in different orders,
+            // so the budget is f32 reassociation noise, not a fixed
+            // absolute (a summed-over-16-pairs gradient of magnitude ~10
+            // carries ~1e-5 of legitimate rounding).
+            let scale = s.as_slice().iter().fold(1.0f32, |m, &x| m.max(x.abs()));
+            let diff = f.max_abs_diff(s) / scale;
+            assert!(
+                diff <= 1e-5,
+                "gradient for {name} diverged by {diff} (relative)"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_and_per_pair_training_reports_agree() {
+        // Whole training runs on both paths: identical accuracy
+        // trajectories and near-identical losses (grad reassociation can
+        // drift parameters by f32 noise over epochs).
+        let ds =
+            ProblemDataset::generate(ProblemSpec::curated(ProblemTag::E), &CorpusConfig::tiny(31))
+                .unwrap();
+        let subs = &ds.submissions;
+        let pair_cfg = PairConfig {
+            max_pairs: 96,
+            symmetric: true,
+            exclude_self: true,
+        };
+        let pairs = sample_pairs(subs, &(0..subs.len()).collect::<Vec<_>>(), &pair_cfg, 9);
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 16,
+            lr: 0.02,
+            clip: 5.0,
+            threads: 2,
+            seed: 3,
+        };
+        let run = |path: TrainPath| {
+            let mut params = Params::new();
+            let mut rng = StdRng::seed_from_u64(41);
+            let model = Comparator::new(&tiny_encoder(), &mut params, &mut rng);
+            train_with_path(&model, &mut params, subs, &pairs, &cfg, path)
+        };
+        let fused = run(TrainPath::FusedBatch);
+        let per_pair = run(TrainPath::PerPair);
+        for (f, s) in fused.epoch_loss.iter().zip(&per_pair.epoch_loss) {
+            assert!((f - s).abs() <= 1e-3, "epoch loss diverged: {f} vs {s}");
+        }
+        for (f, s) in fused.epoch_accuracy.iter().zip(&per_pair.epoch_accuracy) {
+            assert!((f - s).abs() <= 0.05, "epoch accuracy diverged: {f} vs {s}");
+        }
     }
 
     #[test]

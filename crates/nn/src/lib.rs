@@ -7,7 +7,9 @@
 //!   [`layers::Linear`] maps;
 //! * [`treelstm`] — the child-sum tree-LSTM (§III-B, Eq. 4) with the
 //!   paper's three multi-layer variants: uni-directional, bi-directional
-//!   and alternating (§IV-C, Figure 2);
+//!   and alternating (§IV-C, Figure 2); the four gate projections are
+//!   fused into single `[4h, d]` / `[4h, h]` parameters so each fused
+//!   level runs one matmul per projection instead of four;
 //! * [`gcn`] — the graph-convolutional baseline (§V-B);
 //! * [`optim`] — SGD and Adam with gradient clipping;
 //! * [`parallel`] — scoped-thread data-parallel gradient accumulation

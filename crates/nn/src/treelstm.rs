@@ -30,6 +30,14 @@
 //! Note on Eq. (3)/(4): the paper's text writes `u = σ(…)`, while the
 //! original Tai et al. formulation uses `tanh`. [`TreeLstmConfig::sigmoid_candidate`]
 //! selects the paper-literal variant; the default follows Tai et al.
+//!
+//! The four gate projections of each cell are stored **fused**: one
+//! `[4h, x_dim]` input matrix, one `[4h, h]` hidden matrix and one
+//! `[4h]` bias, with gate row blocks ordered by [`GATE_ORDER`]. Both
+//! the per-node cell and the level-fused batched pass compute a single
+//! pre-activation per projection and split it per gate afterwards —
+//! bit-identical to four separate projections, at a quarter of the
+//! matmul launches.
 
 use rand::rngs::StdRng;
 
@@ -100,21 +108,47 @@ impl TreeLstmConfig {
     }
 }
 
-/// One direction's gate parameters for one layer.
+/// Row-block order of the fused gate tensors: input, output, candidate,
+/// forget. The forget block sits last so the i/o/u blocks the child-sum
+/// pre-activation needs are one contiguous prefix.
+pub const GATE_ORDER: [char; 4] = ['i', 'o', 'u', 'f'];
+
+/// Concatenates four equal-width per-gate matrices (or vectors) into the
+/// fused row-block layout of [`GATE_ORDER`]: `[h, d]` parts become
+/// `[4h, d]`, `[h]` parts become `[4h]`.
+///
+/// Exposed so checkpoint migration can fold pre-fusion per-gate tensors
+/// into the fused layout bit-exactly.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or parts are not all rank 1 or all rank 2.
+pub fn fuse_gate_blocks(parts: [&ccsa_tensor::Tensor; 4]) -> ccsa_tensor::Tensor {
+    let shape = parts[0].shape();
+    let mut data = Vec::with_capacity(shape.len() * 4);
+    for p in parts {
+        assert_eq!(p.shape(), shape, "gate block shape mismatch");
+        data.extend_from_slice(p.as_slice());
+    }
+    match shape.rank() {
+        1 => ccsa_tensor::Tensor::from_vec(data, [4 * shape.len()]),
+        2 => ccsa_tensor::Tensor::from_vec(data, [4 * shape.rows(), shape.cols()]),
+        _ => panic!("gate blocks must be vectors or matrices, got {shape}"),
+    }
+}
+
+/// One direction's gate parameters for one layer, fused: the four gate
+/// projections live in single tensors (row blocks ordered by
+/// [`GATE_ORDER`]) so each level runs one matmul per projection instead
+/// of four.
 #[derive(Debug, Clone)]
 struct CellParams {
-    w_i: String,
-    u_i: String,
-    b_i: String,
-    w_f: String,
-    u_f: String,
-    b_f: String,
-    w_o: String,
-    u_o: String,
-    b_o: String,
-    w_u: String,
-    u_u: String,
-    b_u: String,
+    /// `[4h, x_dim]` input projections (W row blocks).
+    w: String,
+    /// `[4h, h]` hidden projections (U row blocks).
+    u: String,
+    /// `[4h]` biases (forget block initialised to 1).
+    b: String,
 }
 
 impl CellParams {
@@ -125,44 +159,32 @@ impl CellParams {
         params: &mut Params,
         rng: &mut StdRng,
     ) -> CellParams {
-        let mut reg = |gate: &str, rows: usize, cols: usize, rng: &mut StdRng| {
-            let name = format!("{prefix}.{gate}");
-            params.insert(&name, init::xavier(rows, cols, rng));
-            name
-        };
-        let w_i = reg("w_i", hidden, x_dim, rng);
-        let u_i = reg("u_i", hidden, hidden, rng);
-        let w_f = reg("w_f", hidden, x_dim, rng);
-        let u_f = reg("u_f", hidden, hidden, rng);
-        let w_o = reg("w_o", hidden, x_dim, rng);
-        let u_o = reg("u_o", hidden, hidden, rng);
-        let w_u = reg("w_u", hidden, x_dim, rng);
-        let u_u = reg("u_u", hidden, hidden, rng);
-        let mut bias = |gate: &str, value: f32| {
-            let name = format!("{prefix}.{gate}");
-            params.insert(&name, ccsa_tensor::Tensor::full([hidden], value));
-            name
-        };
-        let b_i = bias("b_i", 0.0);
-        // Positive forget bias: standard LSTM practice, keeps early
-        // training from zeroing child states.
-        let b_f = bias("b_f", 1.0);
-        let b_o = bias("b_o", 0.0);
-        let b_u = bias("b_u", 0.0);
-        CellParams {
-            w_i,
-            u_i,
-            b_i,
-            w_f,
-            u_f,
-            b_f,
-            w_o,
-            u_o,
-            b_o,
-            w_u,
-            u_u,
-            b_u,
+        // Draw the per-gate blocks in the historical registration order
+        // (w_i, u_i, w_f, u_f, w_o, u_o, w_u, u_u) with per-gate Xavier
+        // bounds, so the random stream — and therefore every seeded run
+        // and previously trained checkpoint — is bit-identical to the
+        // unfused layout.
+        let w_i = init::xavier(hidden, x_dim, rng);
+        let u_i = init::xavier(hidden, hidden, rng);
+        let w_f = init::xavier(hidden, x_dim, rng);
+        let u_f = init::xavier(hidden, hidden, rng);
+        let w_o = init::xavier(hidden, x_dim, rng);
+        let u_o = init::xavier(hidden, hidden, rng);
+        let w_u = init::xavier(hidden, x_dim, rng);
+        let u_u = init::xavier(hidden, hidden, rng);
+        let w = format!("{prefix}.w");
+        let u = format!("{prefix}.u");
+        let b = format!("{prefix}.b");
+        params.insert(&w, fuse_gate_blocks([&w_i, &w_o, &w_u, &w_f]));
+        params.insert(&u, fuse_gate_blocks([&u_i, &u_o, &u_u, &u_f]));
+        // Positive forget bias (last block): standard LSTM practice,
+        // keeps early training from zeroing child states.
+        let mut bias = vec![0.0f32; 4 * hidden];
+        for v in &mut bias[3 * hidden..] {
+            *v = 1.0;
         }
+        params.insert(&b, ccsa_tensor::Tensor::from_vec(bias, [4 * hidden]));
+        CellParams { w, u, b }
     }
 
     /// Applies the child-sum cell to one node. `children` supplies the
@@ -183,15 +205,18 @@ impl CellParams {
             ctx.tape.add_n(&hs)
         };
 
-        let gate = |w: &str, u: &str, b: &str, against: Var<'t>| {
-            ctx.param(w)
-                .affine(x, ctx.param(b))
-                .add(ctx.param(u).matvec(against))
-        };
-
-        let i = gate(&self.w_i, &self.u_i, &self.b_i, h_sum).sigmoid();
-        let o = gate(&self.w_o, &self.u_o, &self.b_o, h_sum).sigmoid();
-        let u_pre = gate(&self.w_u, &self.u_u, &self.b_u, h_sum);
+        // One fused matvec per projection ([4h, d]·x + b, [4h, h]·h̃),
+        // split into the gate blocks afterwards. Per-element arithmetic
+        // is identical to four separate gate matvecs, so results match
+        // the unfused cell bit-for-bit. The h̃ matvec includes the unused
+        // forget block: avoiding it would need a per-node [3h, h] prefix
+        // gather that costs more than the h² madds it saves (the fused
+        // pass hoists that gather per *pass*, where it does pay off).
+        let wxb = ctx.param(&self.w).affine(x, ctx.param(&self.b));
+        let pre = wxb.add(ctx.param(&self.u).matvec(h_sum));
+        let i = pre.slice_cols(0, hidden).sigmoid();
+        let o = pre.slice_cols(hidden, hidden).sigmoid();
+        let u_pre = pre.slice_cols(2 * hidden, hidden);
         let u = if sigmoid_candidate {
             u_pre.sigmoid()
         } else {
@@ -199,9 +224,18 @@ impl CellParams {
         };
 
         let mut c = i.mul(u);
-        for &(h_k, c_k) in children {
-            let f_k = gate(&self.w_f, &self.u_f, &self.b_f, h_k).sigmoid();
-            c = c.add(f_k.mul(c_k));
+        if !children.is_empty() {
+            // The forget gate aggregates per child: W_f x + b_f is the
+            // fused pre-activation's last block, U_f the last row block
+            // of the fused hidden projection.
+            let fx = wxb.slice_cols(3 * hidden, hidden);
+            let u_f = ctx
+                .param(&self.u)
+                .index_rows((3 * hidden..4 * hidden).collect::<Vec<usize>>());
+            for &(h_k, c_k) in children {
+                let f_k = fx.add(u_f.matvec(h_k)).sigmoid();
+                c = c.add(f_k.mul(c_k));
+            }
         }
         let h = o.mul(c.tanh());
         (h, c)
@@ -463,19 +497,36 @@ impl TreeLstmEncoder {
             levels[level[node]].push(node);
         }
 
-        // proc_row[node]: the node's row in the processing-order state
-        // matrices (levels are appended via stack_rows as they complete).
+        // proc_row[node]: the node's row in processing order (levels are
+        // appended as they complete). Each completed level stays its own
+        // tensor in `level_h` / `level_c`; child/parent reads gather from
+        // the level list directly (`gather_rows_multi`), so deep trees no
+        // longer pay the old O(levels · N · h) per-level re-stacking copy.
         let mut proc_row = vec![usize::MAX; total];
-        let mut h_sofar: Option<Var<'t>> = None;
-        let mut c_sofar: Option<Var<'t>> = None;
+        let mut level_h: Vec<Var<'t>> = Vec::new();
+        let mut level_c: Vec<Var<'t>> = Vec::new();
         let mut done = 0usize;
+
+        // Bound once per pass: the i/o/u prefix (first 3h rows) of the
+        // fused `[4h, h]` hidden projection — the forget block never
+        // multiplies h̃, so projecting against the prefix saves a quarter
+        // of the level matmul — and the forget block (last h rows) for
+        // the per-edge forget gate.
+        let u_iou = ctx
+            .param(&cell.u)
+            .index_rows((0..3 * hidden).collect::<Vec<usize>>());
+        let u_f = ctx
+            .param(&cell.u)
+            .index_rows((3 * hidden..4 * hidden).collect::<Vec<usize>>());
 
         for sel in &levels {
             let width = sel.len();
             let xl = x.index_rows(sel.clone());
 
             // Aggregated incoming state h̃: the child-sum for the upward
-            // pass, the single parent state for the downward pass.
+            // pass, the single parent state for the downward pass. The
+            // gathered source rows (`hk`) are shared with the forget
+            // edges below.
             let mut agg_rows: Vec<usize> = Vec::new();
             let mut agg_offsets: Vec<usize> = Vec::with_capacity(width + 1);
             agg_offsets.push(0);
@@ -486,22 +537,29 @@ impl TreeLstmEncoder {
                 }
                 agg_offsets.push(agg_rows.len());
             }
-            let h_tilde = if agg_rows.is_empty() {
-                ctx.tape.zeros([width, hidden])
+            let hk = if agg_rows.is_empty() {
+                None
             } else {
-                let hc = h_sofar.expect("sources already processed");
-                ctx.tape
-                    .segment_sum(hc.index_rows(agg_rows.clone()), agg_offsets.clone())
+                Some(ctx.tape.gather_rows_multi(&level_h, agg_rows.clone()))
+            };
+            let h_tilde = match hk {
+                None => ctx.tape.zeros([width, hidden]),
+                Some(hk) => ctx.tape.segment_sum(hk, agg_offsets.clone()),
             };
 
-            let gate = |w: &str, u: &str, b: &str| {
-                xl.matmul_nt(ctx.param(w))
-                    .add_row_broadcast(ctx.param(b))
-                    .add(h_tilde.matmul_nt(ctx.param(u)))
-            };
-            let i = gate(&cell.w_i, &cell.u_i, &cell.b_i).sigmoid();
-            let o = gate(&cell.w_o, &cell.u_o, &cell.b_o).sigmoid();
-            let u_pre = gate(&cell.w_u, &cell.u_u, &cell.b_u);
+            // One matmul per projection for all four gates: the fused
+            // `[width, d] · [d, 4h]` input projection (+ bias) and the
+            // `[width, h] · [h, 3h]` hidden projection (i/o/u prefix),
+            // sliced into gate blocks afterwards. Per-element arithmetic
+            // matches the per-gate matmuls (and the sequential cell)
+            // bit-for-bit.
+            let wxb = xl
+                .matmul_nt(ctx.param(&cell.w))
+                .add_row_broadcast(ctx.param(&cell.b));
+            let pre = wxb.slice_cols(0, 3 * hidden).add(h_tilde.matmul_nt(u_iou));
+            let i = pre.slice_cols(0, hidden).sigmoid();
+            let o = pre.slice_cols(hidden, hidden).sigmoid();
+            let u_pre = pre.slice_cols(2 * hidden, hidden);
             let u = if self.config.sigmoid_candidate {
                 u_pre.sigmoid()
             } else {
@@ -511,23 +569,21 @@ impl TreeLstmEncoder {
 
             // Forget edges: one σ(W_f x_j + U_f h_src + b_f) ⊙ c_src per
             // incoming edge, folded into c starting from i⊙u (the same
-            // left-to-right association as the sequential cell).
-            let c_l = if agg_rows.is_empty() {
-                iu
-            } else {
-                let mut edge_parent: Vec<usize> = Vec::with_capacity(agg_rows.len());
-                for (local, window) in agg_offsets.windows(2).enumerate() {
-                    edge_parent.extend(std::iter::repeat(local).take(window[1] - window[0]));
+            // left-to-right association as the sequential cell). The
+            // W_f x + b_f part is the fused pre-activation's last block,
+            // computed once per node and gathered per edge.
+            let c_l = match hk {
+                None => iu,
+                Some(hk) => {
+                    let mut edge_parent: Vec<usize> = Vec::with_capacity(agg_rows.len());
+                    for (local, window) in agg_offsets.windows(2).enumerate() {
+                        edge_parent.extend(std::iter::repeat(local).take(window[1] - window[0]));
+                    }
+                    let fx = wxb.slice_cols(3 * hidden, hidden).index_rows(edge_parent);
+                    let ck = ctx.tape.gather_rows_multi(&level_c, agg_rows);
+                    let f = fx.add(hk.matmul_nt(u_f)).sigmoid();
+                    ctx.tape.segment_sum_init(iu, f.mul(ck), agg_offsets)
                 }
-                let xf = xl.index_rows(edge_parent);
-                let hk = h_sofar.expect("checked above").index_rows(agg_rows.clone());
-                let ck = c_sofar.expect("checked above").index_rows(agg_rows);
-                let f = xf
-                    .matmul_nt(ctx.param(&cell.w_f))
-                    .add_row_broadcast(ctx.param(&cell.b_f))
-                    .add(hk.matmul_nt(ctx.param(&cell.u_f)))
-                    .sigmoid();
-                ctx.tape.segment_sum_init(iu, f.mul(ck), agg_offsets)
             };
             let h_l = o.mul(c_l.tanh());
 
@@ -535,28 +591,15 @@ impl TreeLstmEncoder {
                 proc_row[node] = done + local;
             }
             done += width;
-            // Growing the cross-level state by re-stacking copies the
-            // prefix every level: O(levels · N · h) memcpy and tape
-            // memory per pass. That is deliberate — it keeps child
-            // gathers a single index_rows over one matrix, and for real
-            // ASTs (depth ≲ the parser's nesting cap of 128) the level
-            // matmuls dominate; an incremental/multi-source gather is
-            // the follow-on if very deep trees ever matter.
-            h_sofar = Some(match h_sofar {
-                None => h_l,
-                Some(prev) => ctx.tape.stack_rows(&[prev, h_l]),
-            });
-            c_sofar = Some(match c_sofar {
-                None => c_l,
-                Some(prev) => ctx.tape.stack_rows(&[prev, c_l]),
-            });
+            level_h.push(h_l);
+            level_c.push(c_l);
             stats.levels += 1;
             stats.rows += width as u64;
         }
 
         // Back to global node order for the next layer / root readout.
         let perm: Vec<usize> = proc_row;
-        h_sofar.expect("at least one level").index_rows(perm)
+        ctx.tape.gather_rows_multi(&level_h, perm)
     }
 
     /// Encodes an AST into its code vector (the root hidden state of the

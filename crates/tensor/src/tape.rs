@@ -148,6 +148,19 @@ enum Op {
     StackRows(Vec<usize>),
     /// Column-concatenation of two matrices: `[n, da] ++ [n, db]` → `[n, da+db]`.
     ConcatCols(usize, usize),
+    /// Contiguous column slice `[n, d] → [n, len]` (or element slice of a
+    /// vector) — how the fused 4-gate pre-activation splits per gate.
+    SliceCols {
+        src: usize,
+        start: usize,
+    },
+    /// Row gather from the *virtual* row-concatenation of several source
+    /// matrices — the incremental replacement for re-stacking the
+    /// cross-level state matrix every level.
+    GatherRowsMulti {
+        sources: Vec<usize>,
+        indices: Arc<Vec<usize>>,
+    },
     /// Per-segment row sums with an optional per-segment initial row —
     /// the child-sum / forget-sum aggregation of the level-fused
     /// tree-LSTM.
@@ -345,6 +358,78 @@ impl Tape {
         self.push(
             Op::StackRows(parts.iter().map(|p| p.id).collect()),
             Tensor::from_vec(data, [rows, d]),
+        )
+    }
+
+    /// Gathers rows from the *virtual* row-concatenation of `sources`
+    /// (each `[n_s, d]`, equal widths) without materialising the stacked
+    /// matrix: index `ix` addresses row `ix - Σ n_{<s}` of the owning
+    /// source `s`. Output is `[k, d]` for `k` indices; the backward pass
+    /// scatter-adds each output row's gradient into its source row (a
+    /// source no index touches receives no gradient, matching
+    /// [`Var::index_rows`] on an untouched matrix).
+    ///
+    /// This is how the level-fused tree encoders read child/parent state:
+    /// each completed level stays its own tensor and gathers pull from
+    /// the level list directly, instead of re-stacking an O(N·h) prefix
+    /// matrix every level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` is empty, a source is not rank 2, widths
+    /// disagree, or an index is out of range.
+    pub fn gather_rows_multi<'t>(
+        &'t self,
+        sources: &[Var<'t>],
+        indices: impl Into<Arc<Vec<usize>>>,
+    ) -> Var<'t> {
+        assert!(!sources.is_empty(), "gather_rows_multi of zero sources");
+        let indices = indices.into();
+        let vals: Vec<Tensor> = sources.iter().map(|s| self.value_of(s.id)).collect();
+        let d = {
+            let first = vals[0].shape();
+            assert_eq!(
+                first.rank(),
+                2,
+                "gather_rows_multi sources must be rank 2, got {first}"
+            );
+            first.cols()
+        };
+        let mut offsets = Vec::with_capacity(vals.len() + 1);
+        let mut total = 0usize;
+        for v in &vals {
+            let shape = v.shape();
+            assert_eq!(
+                shape.rank(),
+                2,
+                "gather_rows_multi sources must be rank 2, got {shape}"
+            );
+            assert_eq!(
+                shape.cols(),
+                d,
+                "gather_rows_multi width mismatch: {shape} vs {d} cols"
+            );
+            offsets.push(total);
+            total += shape.rows();
+        }
+        offsets.push(total);
+        let mut data = Vec::with_capacity(indices.len() * d);
+        for &ix in indices.iter() {
+            assert!(
+                ix < total,
+                "gather_rows_multi index {ix} out of range for {total} virtual rows"
+            );
+            let s = offsets.partition_point(|&o| o <= ix) - 1;
+            let local = ix - offsets[s];
+            data.extend_from_slice(&vals[s].as_slice()[local * d..(local + 1) * d]);
+        }
+        let k = indices.len();
+        self.push(
+            Op::GatherRowsMulti {
+                sources: sources.iter().map(|s| s.id).collect(),
+                indices,
+            },
+            Tensor::from_vec(data, [k, d]),
         )
     }
 
@@ -646,6 +731,55 @@ impl Tape {
                     }
                     accumulate(&mut grads, *a, Tensor::from_vec(ga, sa), &nodes);
                     accumulate(&mut grads, *b, Tensor::from_vec(gb, sb), &nodes);
+                }
+                Op::SliceCols { src, start } => {
+                    let shape = nodes[*src].value.shape();
+                    let mut scatter = Tensor::zeros(shape);
+                    let gs = g.as_slice();
+                    {
+                        let dst = scatter.make_mut();
+                        match shape.rank() {
+                            1 => dst[*start..*start + gs.len()].copy_from_slice(gs),
+                            _ => {
+                                let (n, d) = (shape.rows(), shape.cols());
+                                let len = node.value.shape().cols();
+                                for i in 0..n {
+                                    dst[i * d + start..i * d + start + len]
+                                        .copy_from_slice(&gs[i * len..(i + 1) * len]);
+                                }
+                            }
+                        }
+                    }
+                    accumulate(&mut grads, *src, scatter, &nodes);
+                }
+                Op::GatherRowsMulti { sources, indices } => {
+                    let d = node.value.shape().cols();
+                    let gs = g.as_slice();
+                    let mut offsets = Vec::with_capacity(sources.len() + 1);
+                    let mut total = 0usize;
+                    for &s in sources {
+                        offsets.push(total);
+                        total += nodes[s].value.shape().rows();
+                    }
+                    offsets.push(total);
+                    // Scatter lazily: only sources actually gathered from
+                    // allocate (and receive) a gradient tensor.
+                    let mut scatters: Vec<Option<Tensor>> = vec![None; sources.len()];
+                    for (kth, &ix) in indices.iter().enumerate() {
+                        let s = offsets.partition_point(|&o| o <= ix) - 1;
+                        let local = ix - offsets[s];
+                        let t = scatters[s]
+                            .get_or_insert_with(|| Tensor::zeros(nodes[sources[s]].value.shape()));
+                        let dst = &mut t.make_mut()[local * d..(local + 1) * d];
+                        for (o, &v) in dst.iter_mut().zip(&gs[kth * d..(kth + 1) * d]) {
+                            *o += v;
+                        }
+                    }
+                    for (s, t) in scatters.into_iter().enumerate() {
+                        if let Some(t) = t {
+                            accumulate(&mut grads, sources[s], t, &nodes);
+                        }
+                    }
                 }
                 Op::SegmentSum { m, offsets, init } => {
                     if let Some(init) = init {
@@ -986,6 +1120,63 @@ impl<'t> Var<'t> {
             Op::ConcatCols(self.id, other.id),
             Tensor::from_vec(out, [n, da + db]),
         )
+    }
+
+    /// Contiguous column slice: `[n, d] → [n, len]` taking columns
+    /// `start..start + len` of a matrix, or elements `start..start + len`
+    /// of a vector. The backward pass scatters the gradient back into
+    /// the sliced region (zeros elsewhere).
+    ///
+    /// This is how the fused 4-gate tree-LSTM splits its `[rows, 4h]`
+    /// pre-activation into the i/o/u/f gate blocks after a single matmul.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is rank 0, `len == 0`, or the slice exceeds the
+    /// row width.
+    pub fn slice_cols(self, start: usize, len: usize) -> Var<'t> {
+        let v = self.value();
+        assert!(len > 0, "slice_cols of zero width");
+        match v.shape().rank() {
+            1 => {
+                assert!(
+                    start + len <= v.len(),
+                    "slice_cols {start}..{} out of range for {}",
+                    start + len,
+                    v.shape()
+                );
+                let out = v.as_slice()[start..start + len].to_vec();
+                self.tape.push(
+                    Op::SliceCols {
+                        src: self.id,
+                        start,
+                    },
+                    Tensor::from_vec(out, [len]),
+                )
+            }
+            2 => {
+                let (n, d) = (v.shape().rows(), v.shape().cols());
+                assert!(
+                    start + len <= d,
+                    "slice_cols {start}..{} out of range for {}",
+                    start + len,
+                    v.shape()
+                );
+                let src = v.as_slice();
+                let mut out = Vec::with_capacity(n * len);
+                for i in 0..n {
+                    out.extend_from_slice(&src[i * d + start..i * d + start + len]);
+                }
+                self.tape.push(
+                    Op::SliceCols {
+                        src: self.id,
+                        start,
+                    },
+                    Tensor::from_vec(out, [n, len]),
+                )
+            }
+            _ => panic!("slice_cols on tensor of shape {}", v.shape()),
+        }
     }
 
     /// Adds a `[d]` vector to every row of a `[n, d]` matrix — the bias
@@ -1333,6 +1524,102 @@ mod tests {
         let g = tape.backward(s.sum());
         assert_eq!(g.get(init).as_slice(), &[1.0; 4]);
         assert_eq!(g.get(m).as_slice(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn slice_cols_matrix_forward_and_backward() {
+        let tape = Tape::new();
+        let m = tape.leaf(Tensor::from_vec((0..8).map(|x| x as f32).collect(), [2, 4]));
+        let s = m.slice_cols(1, 2);
+        assert_eq!(s.value().shape().dims(), &[2, 2]);
+        assert_eq!(s.value().as_slice(), &[1.0, 2.0, 5.0, 6.0]);
+        let w = tape.leaf(Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], [2, 2]));
+        let g = tape.backward(s.mul(w).sum());
+        assert_eq!(
+            g.get(m).as_slice(),
+            &[0.0, 1.0, 3.0, 0.0, 0.0, 5.0, 7.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn slice_cols_vector_forward_and_backward() {
+        let tape = Tape::new();
+        let v = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [4]));
+        let s = v.slice_cols(2, 2);
+        assert_eq!(s.value().shape().dims(), &[2]);
+        assert_eq!(s.value().as_slice(), &[3.0, 4.0]);
+        let w = tape.leaf(Tensor::from_vec(vec![5.0, 9.0], [2]));
+        let g = tape.backward(s.mul(w).sum());
+        assert_eq!(g.get(v).as_slice(), &[0.0, 0.0, 5.0, 9.0]);
+    }
+
+    #[test]
+    fn slice_cols_reused_slices_accumulate() {
+        // Two overlapping slices of the same source: gradients add.
+        let tape = Tape::new();
+        let m = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0], [1, 3]));
+        let a = m.slice_cols(0, 2);
+        let b = m.slice_cols(1, 2);
+        let g = tape.backward(a.sum().add(b.sum()));
+        assert_eq!(g.get(m).as_slice(), &[1.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_cols_rejects_overflow() {
+        let tape = Tape::new();
+        let m = tape.leaf(Tensor::zeros([2, 3]));
+        let _ = m.slice_cols(2, 2);
+    }
+
+    #[test]
+    fn gather_rows_multi_selects_across_sources() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]));
+        let b = tape.leaf(Tensor::from_vec(vec![5.0, 6.0], [1, 2]));
+        let c = tape.leaf(Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0], [2, 2]));
+        // Virtual rows: 0,1 from a; 2 from b; 3,4 from c.
+        let g = tape.gather_rows_multi(&[a, b, c], vec![4usize, 0, 2, 4]);
+        assert_eq!(g.value().shape().dims(), &[4, 2]);
+        assert_eq!(
+            g.value().as_slice(),
+            &[9.0, 10.0, 1.0, 2.0, 5.0, 6.0, 9.0, 10.0]
+        );
+        // Matches index_rows over the materialised stack bit-for-bit.
+        let stacked = tape.stack_rows(&[a, b, c]);
+        let via_stack = stacked.index_rows(vec![4usize, 0, 2, 4]);
+        assert_eq!(g.value().as_slice(), via_stack.value().as_slice());
+    }
+
+    #[test]
+    fn gather_rows_multi_scatters_gradients_per_source() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]));
+        let b = tape.leaf(Tensor::from_vec(vec![5.0, 6.0], [1, 2]));
+        // Row 2 (b's row) gathered twice, row 1 once; a's row 0 untouched.
+        let g = tape.gather_rows_multi(&[a, b], vec![2usize, 1, 2]);
+        let grads = tape.backward(g.sum());
+        assert_eq!(grads.get(a).as_slice(), &[0.0, 0.0, 1.0, 1.0]);
+        assert_eq!(grads.get(b).as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn gather_rows_multi_untouched_source_gets_no_gradient() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::ones([2, 2]));
+        let b = tape.leaf(Tensor::ones([1, 2]));
+        let g = tape.gather_rows_multi(&[a, b], vec![0usize]);
+        let grads = tape.backward(g.sum());
+        assert!(grads.contains(a));
+        assert!(!grads.contains(b), "source b was never gathered");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gather_rows_multi_rejects_bad_index() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::zeros([2, 2]));
+        let _ = tape.gather_rows_multi(&[a], vec![2usize]);
     }
 
     #[test]

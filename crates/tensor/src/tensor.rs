@@ -360,19 +360,65 @@ impl Tensor {
         let a = &self.data;
         let b = &other.data;
         let mut out = vec![0.0f32; m * n];
-        // i-k-j loop order: streams through `b` rows, good cache behaviour.
-        for i in 0..m {
+        // Blocked i-k-j kernel: output rows are processed in chunks of
+        // four so every streamed `b` row is reused by four accumulator
+        // rows while it is hot, and the j loop is 4-unrolled to keep
+        // independent FMA chains in flight. Accumulation over k stays
+        // ascending per output element, so results are bit-identical to
+        // `matvec`'s dot products — and there is deliberately no
+        // zero-skip: `0 · NaN` and `0 · ∞` must produce NaN (IEEE-754),
+        // not silently vanish.
+        let mut i = 0;
+        while i + 4 <= m {
+            let (r01, r23) = out[i * n..(i + 4) * n].split_at_mut(2 * n);
+            let (r0, r1) = r01.split_at_mut(n);
+            let (r2, r3) = r23.split_at_mut(n);
+            for kk in 0..k {
+                let a0 = a[i * k + kk];
+                let a1 = a[(i + 1) * k + kk];
+                let a2 = a[(i + 2) * k + kk];
+                let a3 = a[(i + 3) * k + kk];
+                let brow = &b[kk * n..(kk + 1) * n];
+                let mut j = 0;
+                while j + 4 <= n {
+                    let (b0, b1, b2, b3) = (brow[j], brow[j + 1], brow[j + 2], brow[j + 3]);
+                    r0[j] += a0 * b0;
+                    r0[j + 1] += a0 * b1;
+                    r0[j + 2] += a0 * b2;
+                    r0[j + 3] += a0 * b3;
+                    r1[j] += a1 * b0;
+                    r1[j + 1] += a1 * b1;
+                    r1[j + 2] += a1 * b2;
+                    r1[j + 3] += a1 * b3;
+                    r2[j] += a2 * b0;
+                    r2[j + 1] += a2 * b1;
+                    r2[j + 2] += a2 * b2;
+                    r2[j + 3] += a2 * b3;
+                    r3[j] += a3 * b0;
+                    r3[j + 1] += a3 * b1;
+                    r3[j + 2] += a3 * b2;
+                    r3[j + 3] += a3 * b3;
+                    j += 4;
+                }
+                while j < n {
+                    let bv = brow[j];
+                    r0[j] += a0 * bv;
+                    r1[j] += a1 * bv;
+                    r2[j] += a2 * bv;
+                    r3[j] += a3 * bv;
+                    j += 1;
+                }
+            }
+            i += 4;
+        }
+        // Remainder rows (m not a multiple of 4): single-row unrolled axpy.
+        while i < m {
             let arow = &a[i * k..(i + 1) * k];
             let orow = &mut out[i * n..(i + 1) * n];
             for (kk, &aik) in arow.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let brow = &b[kk * n..(kk + 1) * n];
-                for (o, &bkj) in orow.iter_mut().zip(brow.iter()) {
-                    *o += aik * bkj;
-                }
+                axpy_unrolled(orow, aik, &b[kk * n..(kk + 1) * n]);
             }
+            i += 1;
         }
         Tensor::from_vec(out, [m, n])
     }
@@ -432,11 +478,9 @@ impl Tensor {
         );
         let (m, n) = (self.len(), other.len());
         let mut out = vec![0.0f32; m * n];
+        // No zero-skip: 0 · NaN / 0 · ∞ must stay NaN (IEEE-754).
         for i in 0..m {
             let a = self.data[i];
-            if a == 0.0 {
-                continue;
-            }
             for j in 0..n {
                 out[i * n + j] = a * other.data[j];
             }
@@ -460,6 +504,24 @@ impl Tensor {
             .zip(other.data.iter())
             .map(|(&a, &b)| (a - b).abs())
             .fold(0.0, f32::max)
+    }
+}
+
+/// `dst[j] += a * src[j]`, 4-unrolled over column chunks (remainder
+/// handled elementwise). The k-ascending call order in [`Tensor::matmul`]
+/// keeps per-element accumulation identical to [`Tensor::matvec`].
+#[inline(always)]
+fn axpy_unrolled(dst: &mut [f32], a: f32, src: &[f32]) {
+    let mut d = dst.chunks_exact_mut(4);
+    let mut s = src.chunks_exact(4);
+    for (dd, ss) in d.by_ref().zip(s.by_ref()) {
+        dd[0] += a * ss[0];
+        dd[1] += a * ss[1];
+        dd[2] += a * ss[2];
+        dd[3] += a * ss[3];
+    }
+    for (dd, &sv) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *dd += a * sv;
     }
 }
 
@@ -533,6 +595,90 @@ mod tests {
         let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), [3, 4]);
         assert_eq!(a.matmul(&Tensor::eye(4)).as_slice(), a.as_slice());
         assert_eq!(Tensor::eye(3).matmul(&a).as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn matmul_matches_reference_kernel_all_block_shapes() {
+        // The blocked kernel must agree bit-for-bit with a naive i-k-j
+        // triple loop (same k-ascending accumulation order), across row
+        // counts that hit the 4-row blocks, the remainder rows, and
+        // column counts that hit the unrolled and remainder j paths.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (4, 4, 4),
+            (5, 3, 7),
+            (3, 5, 2),
+            (8, 6, 9),
+            (9, 2, 5),
+            (6, 7, 4),
+        ] {
+            let a = Tensor::from_vec(
+                (0..m * k)
+                    .map(|x| ((x * 37 % 17) as f32 - 8.0) * 0.37)
+                    .collect(),
+                [m, k],
+            );
+            let b = Tensor::from_vec(
+                (0..k * n)
+                    .map(|x| ((x * 23 % 13) as f32 - 6.0) * 0.59)
+                    .collect(),
+                [k, n],
+            );
+            let c = a.matmul(&b);
+            let mut expect = vec![0.0f32; m * n];
+            for i in 0..m {
+                for kk in 0..k {
+                    let aik = a.as_slice()[i * k + kk];
+                    for j in 0..n {
+                        expect[i * n + j] += aik * b.as_slice()[kk * n + j];
+                    }
+                }
+            }
+            assert_eq!(c.as_slice(), &expect[..], "({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn matmul_propagates_nan_and_inf() {
+        // Regression: the old kernel skipped k-terms where a[i][k] == 0,
+        // silently converting 0·NaN and 0·∞ into 0 — so a NaN escaping
+        // one gate was masked instead of reaching the loss. Either
+        // operand's non-finite values must reach the output.
+        let a = Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0], [2, 2]);
+        let b = Tensor::from_vec(vec![f32::NAN, 4.0, 5.0, 6.0], [2, 2]);
+        let c = a.matmul(&b);
+        assert!(c.at(0, 0).is_nan(), "0·NaN must propagate, got {c:?}");
+        assert!(c.at(1, 0).is_nan());
+        assert!(c.at(0, 1).is_finite());
+
+        let a_nan = Tensor::from_vec(vec![f32::NAN, 0.0], [1, 2]);
+        let fin = Tensor::from_vec(vec![0.0, 2.0, 3.0, 4.0], [2, 2]);
+        let c = a_nan.matmul(&fin);
+        assert!(c.at(0, 0).is_nan() && c.at(0, 1).is_nan());
+
+        let zero = Tensor::from_vec(vec![0.0], [1, 1]);
+        let inf = Tensor::from_vec(vec![f32::INFINITY], [1, 1]);
+        assert!(zero.matmul(&inf).item().is_nan(), "0·∞ must be NaN");
+        assert!(inf.matmul(&zero).item().is_nan());
+
+        // And matmul must agree with matvec on the same poisoned data.
+        let w = Tensor::from_vec(vec![0.0, 1.0, 2.0, 0.0], [2, 2]);
+        let x = Tensor::from_vec(vec![f32::NAN, 1.0], [2]);
+        let mv = w.matvec(&x);
+        let mm = w.matmul(&x.reshape([2, 1]));
+        for (a, b) in mv.as_slice().iter().zip(mm.as_slice()) {
+            assert_eq!(a.is_nan(), b.is_nan(), "matmul/matvec IEEE divergence");
+        }
+        assert!(mv.as_slice()[0].is_nan(), "0·NaN row must be NaN");
+    }
+
+    #[test]
+    fn outer_propagates_nan_through_zero() {
+        let a = Tensor::from_vec(vec![0.0, 1.0], [2]);
+        let b = Tensor::from_vec(vec![f32::NAN, 2.0], [2]);
+        let o = a.outer(&b);
+        assert!(o.at(0, 0).is_nan());
+        assert!(o.at(1, 1) == 2.0);
     }
 
     #[test]

@@ -133,6 +133,56 @@ proptest! {
     }
 
     #[test]
+    fn slice_cols_gradcheck(m in arb_vec(12), v in arb_vec(5)) {
+        let m = Tensor::from_vec(m, [3, 4]);
+        let v = Tensor::from_vec(v, [5]);
+        let report = grad_check(&[m, v], 1e-2, |_tape, vars| {
+            // Matrix slice, overlapping matrix slice, and a vector slice.
+            let a = vars[0].slice_cols(1, 2).tanh().sum();
+            let b = vars[0].slice_cols(0, 3).sigmoid().sum();
+            let c = vars[1].slice_cols(2, 3).tanh().sum();
+            TapeScalar(a.add(b).add(c))
+        });
+        prop_assert!(report.passes(3e-2), "{report:?}");
+    }
+
+    #[test]
+    fn gather_rows_multi_gradcheck(a in arb_vec(6), b in arb_vec(3), c in arb_vec(6)) {
+        let a = Tensor::from_vec(a, [2, 3]);
+        let b = Tensor::from_vec(b, [1, 3]);
+        let c = Tensor::from_vec(c, [2, 3]);
+        let report = grad_check(&[a, b, c], 1e-2, |tape, vars| {
+            // Repeated rows across sources; source c partly untouched.
+            let picked = tape.gather_rows_multi(
+                &[vars[0], vars[1], vars[2]],
+                vec![3usize, 0, 2, 3, 1],
+            );
+            TapeScalar(picked.tanh().sum())
+        });
+        prop_assert!(report.passes(3e-2), "{report:?}");
+    }
+
+    #[test]
+    fn gather_rows_multi_matches_stack_then_index(a in arb_vec(8), b in arb_vec(4)) {
+        // The incremental gather must equal the materialised
+        // stack_rows + index_rows path bit-for-bit, forward and backward.
+        let a = Tensor::from_vec(a, [2, 4]);
+        let b = Tensor::from_vec(b, [1, 4]);
+        let indices = vec![2usize, 0, 2, 1];
+        let tape = Tape::new();
+        let (va, vb) = (tape.leaf(a.clone()), tape.leaf(b.clone()));
+        let multi = tape.gather_rows_multi(&[va, vb], indices.clone());
+        let gm = tape.backward(multi.tanh().sum());
+        let tape2 = Tape::new();
+        let (wa, wb) = (tape2.leaf(a), tape2.leaf(b));
+        let stacked = tape2.stack_rows(&[wa, wb]).index_rows(indices);
+        let gs = tape2.backward(stacked.tanh().sum());
+        prop_assert!(multi.value().max_abs_diff(&stacked.value()) == 0.0);
+        prop_assert!(gm.get(va).max_abs_diff(&gs.get(wa)) == 0.0);
+        prop_assert!(gm.get(vb).max_abs_diff(&gs.get(wb)) == 0.0);
+    }
+
+    #[test]
     fn concat_cols_gradcheck(a in arb_vec(6), b in arb_vec(9)) {
         let a = Tensor::from_vec(a, [3, 2]);
         let b = Tensor::from_vec(b, [3, 3]);

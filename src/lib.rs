@@ -15,7 +15,8 @@
 //!
 //! ```text
 //! ┌─────────────────────────────────────────────────────────────────┐
-//! │ tensor   dense tensors + reverse-mode autograd (PyTorch substitute)
+//! │ tensor   dense tensors + reverse-mode autograd (PyTorch substitute);
+//! │          blocked IEEE-strict matmul kernel (4-row blocks, unrolled)
 //! ├─────────────────────────────────────────────────────────────────┤
 //! │ cppast   mini-C++ lexer/parser/printer → AstGraph (ROSE substitute)
 //! │          + canonical structural hashing (serving cache keys)
@@ -25,10 +26,14 @@
 //! ├─────────────────────────────────────────────────────────────────┤
 //! │ nn       embeddings, child-sum tree-LSTM variants, GCN baseline,
 //! │          optimizers, data-parallel batching; level-fused batched
-//! │          encode: same-level nodes across every tree in a batch run
-//! │          as one matmul per gate (per-node path kept for equivalence)
+//! │          encode with the four gate projections fused into single
+//! │          [4h, d] parameters: same-level nodes across every tree in
+//! │          a batch run as one matmul per projection (per-node path
+//! │          kept for equivalence)
 //! ├─────────────────────────────────────────────────────────────────┤
-//! │ model    pairs → training → evaluation → versioned persistence
+//! │ model    pairs → training → evaluation → versioned persistence;
+//! │          training runs on the fused batched encoder (one tape per
+//! │          worker shard, logit_batch) with a per-pair parity baseline
 //! ├─────────────────────────────────────────────────────────────────┤
 //! │ serve    the inference engine: model registry, LRU embedding
 //! │          cache keyed by canonical AST hash (disk-snapshottable for
