@@ -70,9 +70,11 @@ fn main() {
         registry,
         &ServeConfig {
             cache_capacity: 4096,
+            cache_stripes: 0,
             batch: BatchConfig {
                 workers: ccsa_nn::parallel::default_threads(),
                 max_batch: 16,
+                ..BatchConfig::default()
             },
         },
     ));

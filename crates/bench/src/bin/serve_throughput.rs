@@ -66,9 +66,11 @@ fn run_engine_mode(
         model.clone(),
         &ServeConfig {
             cache_capacity: 4096,
+            cache_stripes: 0,
             batch: BatchConfig {
                 workers: ccsa_nn::parallel::default_threads(),
                 max_batch,
+                ..BatchConfig::default()
             },
         },
     );
@@ -250,6 +252,59 @@ fn main() {
     }
     rule(72);
 
+    // ── Multi-threaded section ───────────────────────────────────────
+    // The single-thread modes above can never show lock contention; this
+    // section replays the warm batched workload from 4 concurrent client
+    // threads through one engine (striped cache + sharded pool), so
+    // BENCH_serve.json tracks multi-threaded scaling over time.
+    let mt_threads = 4usize;
+    let mt_engine = ServeEngine::with_model(
+        model.clone(),
+        &ServeConfig {
+            cache_capacity: 4096,
+            cache_stripes: 0,
+            batch: BatchConfig {
+                workers: ccsa_nn::parallel::default_threads(),
+                max_batch: 16,
+                ..BatchConfig::default()
+            },
+        },
+    );
+    let sel = ModelSelector::default();
+    let run_threaded = |threads: usize| {
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let engine = &mt_engine;
+                let pairs = &pairs;
+                let sel = &sel;
+                scope.spawn(move || {
+                    let share: Vec<_> = pairs.iter().skip(t).step_by(threads).collect();
+                    for block in share.chunks(16) {
+                        let refs: Vec<(&str, &str)> = block
+                            .iter()
+                            .map(|(a, b)| (a.as_str(), b.as_str()))
+                            .collect();
+                        engine.compare_batch(sel, &refs).expect("serving failed");
+                    }
+                });
+            }
+        });
+        pairs.len() as f64 / start.elapsed().as_secs_f64()
+    };
+    let _ = run_threaded(mt_threads); // warm the cache, untimed
+    let single_warm_pps = modes
+        .iter()
+        .find(|m| m.name == "engine_batched_warm")
+        .unwrap()
+        .pairs_per_sec;
+    let mt_pps = (0..2).map(|_| run_threaded(mt_threads)).fold(0.0, f64::max);
+    println!(
+        "\nwarm batched at {mt_threads} client threads: {mt_pps:.0} pairs/s \
+         ({:.2}× the 1-thread warm mode)",
+        mt_pps / single_warm_pps
+    );
+
     let naive_pps = modes[0].pairs_per_sec;
     let batched_cold = modes
         .iter()
@@ -294,6 +349,18 @@ fn main() {
             Json::num(ccsa_nn::parallel::default_threads() as f64),
         ),
         ("modes", Json::Arr(mode_json)),
+        (
+            "multi_thread",
+            Json::obj(vec![
+                ("threads", Json::num(mt_threads as f64)),
+                ("mode", Json::str("engine_batched_warm")),
+                ("pairs_per_sec", Json::num(mt_pps)),
+                (
+                    "speedup_vs_single_thread",
+                    Json::num(mt_pps / single_warm_pps),
+                ),
+            ]),
+        ),
         ("speedup_batched_cold_vs_naive", Json::num(cold_speedup)),
         ("speedup_batched_warm_vs_naive", Json::num(warm_speedup)),
         (

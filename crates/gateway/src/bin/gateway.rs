@@ -36,6 +36,7 @@ struct Options {
     train: Option<ProblemTag>,
     train_seed: u64,
     cache: usize,
+    cache_stripes: usize,
     workers: usize,
     max_batch: usize,
     max_conns: usize,
@@ -54,7 +55,8 @@ fn usage_abort(msg: &str) -> ! {
     eprintln!(
         "usage: gateway [--addr HOST] [--port N] [--port-file PATH]\n\
          \x20              [--model-dir DIR] [--train A..I] [--seed N]\n\
-         \x20              [--cache N] [--workers N] [--max-batch N]\n\
+         \x20              [--cache N] [--cache-stripes N] [--workers N]\n\
+         \x20              [--max-batch N]\n\
          \x20              [--max-conns N] [--idle-timeout SECS]\n\
          \x20              [--route NAME[@vN]=WEIGHT]... [--shadow NAME[@vN]=FRACTION]\n\
          \x20              [--rate-limit NAME[@vN]=RPS]...\n\
@@ -112,6 +114,7 @@ fn parse_options() -> Options {
         train: None,
         train_seed: 42,
         cache: 4096,
+        cache_stripes: 0,
         workers: 0,
         max_batch: 16,
         max_conns: 64,
@@ -159,6 +162,11 @@ fn parse_options() -> Options {
                 opts.cache = value(&mut i)
                     .parse()
                     .unwrap_or_else(|_| usage_abort("bad --cache"))
+            }
+            "--cache-stripes" => {
+                opts.cache_stripes = value(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage_abort("bad --cache-stripes"))
             }
             "--workers" => {
                 opts.workers = value(&mut i)
@@ -325,9 +333,11 @@ fn main() {
         registry,
         &ServeConfig {
             cache_capacity: opts.cache,
+            cache_stripes: opts.cache_stripes,
             batch: BatchConfig {
                 workers,
                 max_batch: opts.max_batch,
+                ..BatchConfig::default()
             },
         },
     ));

@@ -25,10 +25,13 @@
 //!  │          with ok:false before reaching the encode queue        │
 //!  ├────────────────────────────────────────────────────────────────┤
 //!  │ stats    per-route + shadow: requests, errors, cache hit rate, │
-//!  │          rolling p50/p99 latency → `routes` verb               │
+//!  │          rolling p50/p99 latency, encode-shard queue depth     │
+//!  │          → `routes` verb                                       │
 //!  ├────────────────────────────────────────────────────────────────┤
-//!  │ ccsa-serve ServeEngine   registry → LRU cache → EncodePool     │
-//!  │          (the encode queue is the shared backpressure point)   │
+//!  │ ccsa-serve ServeEngine   RwLock registry → striped LRU cache   │
+//!  │          → per-model encode shards with work stealing (each    │
+//!  │          route's bounded sub-queue is its backpressure point;  │
+//!  │          per-shard depths + steals surface in `stats`)         │
 //!  └────────────────────────────────────────────────────────────────┘
 //! ```
 //!

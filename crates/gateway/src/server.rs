@@ -33,7 +33,7 @@ use std::time::{Duration, Instant};
 
 use ccsa_serve::json::Json;
 use ccsa_serve::proto::{self, Request};
-use ccsa_serve::{ModelSelector, ServeEngine, DEFAULT_MODEL};
+use ccsa_serve::{ModelSelector, ServeEngine, ServeError, DEFAULT_MODEL};
 
 use crate::limit::{RateLimit, TokenBucket};
 use crate::router::{selectors_match, Router};
@@ -653,16 +653,16 @@ fn serve_scored(
     }
 
     let start = Instant::now();
-    let (response, hits, lookups, ok) = execute(&shared.engine, &effective, &request);
+    let (response, hits, lookups, outcome) = execute(&shared.engine, &effective, &request);
     let latency_ms = start.elapsed().as_secs_f64() * 1e3;
 
     let after = match route_ix {
         None => AfterResponse::KeepGoing,
         Some(ix) => {
-            if ok {
-                shared.route_stats[ix].record_success(latency_ms, hits, lookups);
-            } else {
-                shared.route_stats[ix].record_error();
+            match outcome {
+                Outcome::Served => shared.route_stats[ix].record_success(latency_ms, hits, lookups),
+                Outcome::Failed => shared.route_stats[ix].record_error(),
+                Outcome::Shed => shared.route_stats[ix].record_queue_shed(),
             }
             match shared.router.shadow_for(client_key, seq) {
                 Some(shadow_selector) => AfterResponse::Shadow(shadow_selector.clone(), request),
@@ -673,20 +673,50 @@ fn serve_scored(
     (response, after)
 }
 
+/// How one executed request ended, for stats attribution.
+enum Outcome {
+    /// Served successfully.
+    Served,
+    /// Failed (parse error, unknown model, encoder panic).
+    Failed,
+    /// Shed by the model's encode-shard capacity bound — intentional
+    /// backpressure, not a serving error.
+    Shed,
+}
+
+/// Builds the error response for a failed/shed request; sheds carry a
+/// machine-readable `shed:true` so clients can back off instead of
+/// treating the refusal as a hard failure (mirroring `rate_limited`).
+fn failure_response(e: &ServeError) -> (Json, Outcome) {
+    let shed = matches!(e, ServeError::Encode(enc) if enc.is_shed());
+    let mut response = proto::error_response(&e.to_string());
+    if shed {
+        if let Json::Obj(members) = &mut response {
+            members.push(("shed".to_string(), Json::Bool(true)));
+        }
+        (response, Outcome::Shed)
+    } else {
+        (response, Outcome::Failed)
+    }
+}
+
 /// Runs one request against a selector, returning the response plus
-/// cache attribution: (response, cache hits, cache lookups, success).
+/// cache attribution: (response, cache hits, cache lookups, outcome).
 fn execute(
     engine: &ServeEngine,
     selector: &ModelSelector,
     request: &Request,
-) -> (Json, u64, u64, bool) {
+) -> (Json, u64, u64, Outcome) {
     match request {
         Request::Compare { first, second, .. } => match engine.compare(selector, first, second) {
             Ok(outcome) => {
                 let hits = outcome.cache_hits as u64;
-                (proto::compare_response(&outcome), hits, 2, true)
+                (proto::compare_response(&outcome), hits, 2, Outcome::Served)
             }
-            Err(e) => (proto::error_response(&e.to_string()), 0, 0, false),
+            Err(e) => {
+                let (response, outcome) = failure_response(&e);
+                (response, 0, 0, outcome)
+            }
         },
         Request::Rank { candidates, .. } => {
             let refs: Vec<&str> = candidates.iter().map(String::as_str).collect();
@@ -694,9 +724,17 @@ fn execute(
                 Ok(outcome) => {
                     let hits = outcome.cache_hits as u64;
                     let lookups = candidates.len() as u64;
-                    (proto::rank_response(&outcome), hits, lookups, true)
+                    (
+                        proto::rank_response(&outcome),
+                        hits,
+                        lookups,
+                        Outcome::Served,
+                    )
                 }
-                Err(e) => (proto::error_response(&e.to_string()), 0, 0, false),
+                Err(e) => {
+                    let (response, outcome) = failure_response(&e);
+                    (response, 0, 0, outcome)
+                }
             }
         }
         _ => unreachable!("execute only sees compare/rank"),
@@ -727,14 +765,14 @@ fn enqueue_shadow(shared: &Shared, selector: ModelSelector, request: Request) {
 /// the same connection's next request.
 fn run_shadow(shared: &Shared, selector: &ModelSelector, request: &Request) {
     let start = Instant::now();
-    let (_, hits, lookups, ok) = execute(&shared.engine, selector, request);
+    let (_, hits, lookups, outcome) = execute(&shared.engine, selector, request);
     let latency_ms = start.elapsed().as_secs_f64() * 1e3;
-    if ok {
-        shared
+    match outcome {
+        Outcome::Served => shared
             .shadow_stats
-            .record_success(latency_ms, hits, lookups);
-    } else {
-        shared.shadow_stats.record_error();
+            .record_success(latency_ms, hits, lookups),
+        Outcome::Failed => shared.shadow_stats.record_error(),
+        Outcome::Shed => shared.shadow_stats.record_queue_shed(),
     }
 }
 
@@ -773,8 +811,27 @@ fn selector_fields(selector: &ModelSelector) -> Vec<(&'static str, Json)> {
 }
 
 /// The `routes` verb: the table, its live traffic shares, and per-route
-/// rolling stats.
+/// rolling stats — including each route's encode-shard queue depth, so
+/// a starving or flooded A/B arm is visible per route, not just in the
+/// engine-wide aggregate.
 fn routes_response(shared: &Shared) -> Json {
+    let engine_stats = shared.engine.stats();
+    let shard_depth = |selector: &ModelSelector| -> Json {
+        // A route names a (name, version) coordinate; its shard (if it
+        // has encoded anything yet) is labelled `name@vN`.
+        match shared.engine.resolve_coordinates(selector) {
+            Ok((name, version)) => {
+                let label = format!("{name}@v{version}");
+                let depth = engine_stats
+                    .queue_depths
+                    .iter()
+                    .find(|(l, _)| *l == label)
+                    .map_or(0, |(_, d)| *d);
+                Json::num(depth as f64)
+            }
+            Err(_) => Json::Null,
+        }
+    };
     let shares = shared.router.shares();
     let routes: Vec<Json> = shared
         .router
@@ -788,6 +845,7 @@ fn routes_response(shared: &Shared) -> Json {
             fields.extend([
                 ("weight", Json::num(route.weight)),
                 ("share", Json::num(share)),
+                ("queue_depth", shard_depth(&route.selector)),
                 ("requests", Json::num(snap.requests as f64)),
                 ("errors", Json::num(snap.errors as f64)),
                 (
@@ -798,6 +856,7 @@ fn routes_response(shared: &Shared) -> Json {
                     },
                 ),
                 ("rate_limited", Json::num(snap.rate_limited as f64)),
+                ("queue_shed", Json::num(snap.queue_shed as f64)),
                 ("cache_hit_rate", Json::num(snap.cache_hit_rate)),
                 ("p50_ms", Json::num(snap.p50_ms)),
                 ("p99_ms", Json::num(snap.p99_ms)),
@@ -813,12 +872,14 @@ fn routes_response(shared: &Shared) -> Json {
             let mut fields = selector_fields(&shadow.selector);
             fields.extend([
                 ("fraction", Json::num(shadow.fraction)),
+                ("queue_depth", shard_depth(&shadow.selector)),
                 ("requests", Json::num(snap.requests as f64)),
                 ("errors", Json::num(snap.errors as f64)),
                 (
                     "dropped",
                     Json::num(shared.shadow_dropped.load(Ordering::Relaxed) as f64),
                 ),
+                ("queue_shed", Json::num(snap.queue_shed as f64)),
                 ("cache_hit_rate", Json::num(snap.cache_hit_rate)),
                 ("p50_ms", Json::num(snap.p50_ms)),
                 ("p99_ms", Json::num(snap.p99_ms)),

@@ -51,6 +51,7 @@ pub struct RouteStats {
     requests: AtomicU64,
     errors: AtomicU64,
     rate_limited: AtomicU64,
+    queue_shed: AtomicU64,
     cache_hits: AtomicU64,
     cache_lookups: AtomicU64,
     latencies: Mutex<LatencyWindow>,
@@ -90,6 +91,14 @@ impl RouteStats {
         self.rate_limited.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a request shed by its encode shard's capacity bound.
+    /// Like rate-limit sheds, these are intentional backpressure — not
+    /// serving errors — but they come from the queue, not the token
+    /// bucket, so they get their own counter.
+    pub fn record_queue_shed(&self) {
+        self.queue_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent point-in-time copy with computed percentiles.
     pub fn snapshot(&self) -> RouteStatsSnapshot {
         let (p50_ms, p99_ms, window_len) = {
@@ -109,6 +118,7 @@ impl RouteStats {
             requests: self.requests.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             rate_limited: self.rate_limited.load(Ordering::Relaxed),
+            queue_shed: self.queue_shed.load(Ordering::Relaxed),
             cache_hits: hits,
             cache_lookups: lookups,
             cache_hit_rate: if lookups == 0 {
@@ -142,6 +152,8 @@ pub struct RouteStatsSnapshot {
     pub errors: u64,
     /// Requests shed by the route's token bucket before serving.
     pub rate_limited: u64,
+    /// Requests shed by the route's encode-shard capacity bound.
+    pub queue_shed: u64,
     /// Source trees served from the embedding cache.
     pub cache_hits: u64,
     /// Source trees looked up in the cache.
@@ -168,10 +180,12 @@ mod tests {
         s.record_error();
         s.record_rate_limited();
         s.record_rate_limited();
+        s.record_queue_shed();
         let snap = s.snapshot();
-        assert_eq!(snap.requests, 3, "rate-limited sheds are not requests");
-        assert_eq!(snap.errors, 1);
+        assert_eq!(snap.requests, 3, "sheds are not requests");
+        assert_eq!(snap.errors, 1, "sheds are not errors");
         assert_eq!(snap.rate_limited, 2);
+        assert_eq!(snap.queue_shed, 1);
         assert_eq!(snap.cache_hits, 2);
         assert_eq!(snap.cache_lookups, 4);
         assert!((snap.cache_hit_rate - 0.5).abs() < 1e-12);

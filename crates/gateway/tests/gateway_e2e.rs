@@ -52,9 +52,11 @@ fn two_version_engine() -> Arc<ServeEngine> {
         registry,
         &ServeConfig {
             cache_capacity: 512,
+            cache_stripes: 0,
             batch: BatchConfig {
                 workers: 2,
                 max_batch: 8,
+                ..BatchConfig::default()
             },
         },
     ))
@@ -413,12 +415,14 @@ fn rate_limited_route_sheds_politely_and_counts() {
         );
     }
 
-    // The `routes` verb reports the configured limit and the shed count.
+    // The `routes` verb reports the configured limit and the shed count,
+    // plus the route's encode-shard queue depth (idle here).
     let routes = client.routes().unwrap();
     let route = &routes.get("routes").unwrap().as_arr().unwrap()[0];
     assert_eq!(route.get("rate_limit_rps").unwrap().as_f64(), Some(0.5));
     assert_eq!(route.get("rate_limited").unwrap().as_u64(), Some(limited));
     assert_eq!(route.get("requests").unwrap().as_u64(), Some(admitted));
+    assert_eq!(route.get("queue_depth").unwrap().as_u64(), Some(0));
     gateway.shutdown_and_join().unwrap();
 }
 

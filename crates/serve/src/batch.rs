@@ -1,33 +1,67 @@
-//! Micro-batching encode queue over a persistent worker pool.
+//! Sharded micro-batching encode queues over a persistent worker pool.
 //!
 //! Serving's hot cost is the encoder forward pass. Rather than encoding
 //! each request's trees ad hoc on the caller's thread, every pending tree
-//! becomes a job in a shared queue; workers drain the queue in *batches*
-//! (up to [`BatchConfig::max_batch`] consecutive jobs for the same model)
-//! and run one batched forward pass per batch via
+//! becomes a job in a queue; workers drain queues in *batches* (up to
+//! [`BatchConfig::max_batch`] consecutive jobs for the same model) and
+//! run one batched forward pass per batch via
 //! [`Comparator::encode_codes`](ccsa_model::comparator::Comparator::encode_codes),
 //! which binds model parameters to a single tape for the whole batch.
 //!
-//! The effect: per-pass setup cost is amortised across the batch, trees
-//! from *different* concurrent requests coalesce into shared passes, and
-//! a K-candidate ranking request fans its K encodes out across the pool
-//! instead of encoding serially. Since the encoders went level-fused,
-//! coalescing is a tensor-shape win, not just bookkeeping: every tree a
-//! worker adds to a pass widens the per-level matmuls (observable as
-//! [`BatchStats::mean_fused_width`]).
+//! # Sharding
+//!
+//! The queue is *sharded per registered model* (default,
+//! [`PoolSharding::PerModel`]): each (name, version) registration gets
+//! its own bounded sub-queue, keyed by the registration's process-unique
+//! uid, created lazily on its first encode. Shard `i` is *preferred* by
+//! worker `i % workers`; an idle worker first drains its preferred
+//! shards (round-robin, so one busy shard cannot monopolise it), then
+//! **steals** from any other non-empty shard. The effect:
+//!
+//! * enqueueing locks only the target model's shard — concurrent
+//!   requests for different models never contend on one global mutex;
+//! * a hot A/B arm can no longer starve the others: the cold arm's
+//!   shard is visited every scan rotation instead of its jobs queueing
+//!   behind the hot arm's backlog in FIFO order;
+//! * batches trivially never mix models (a shard holds one model's
+//!   jobs), preserving the one-parameter-set-per-pass invariant.
+//!
+//! [`PoolSharding::Single`] keeps the old single-FIFO behaviour (all
+//! models in one shard, same-model runs batched) — the contention
+//! baseline the `shard_contention` bench measures against.
+//!
+//! Each shard is bounded ([`BatchConfig::shard_capacity`]): a request
+//! that would push a shard past its capacity is refused up front with a
+//! typed error instead of growing the queue without limit — admission
+//! backpressure is enforced per shard, so one flooded model sheds its
+//! own traffic while the other shards keep admitting.
 //!
 //! Results return to callers over per-request channels, so a caller
-//! blocks only on its own trees, never on the whole queue.
+//! blocks only on its own trees, never on the whole queue. Encoder
+//! panics are caught per batch (`catch_unwind`), failing only that
+//! batch's callers — per shard, exactly as the unsharded pool did
+//! globally.
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 
 use ccsa_cppast::AstGraph;
 use ccsa_tensor::Tensor;
 
 use crate::registry::ServeModel;
+
+/// How the encode queue is split into shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolSharding {
+    /// One bounded sub-queue per registered model (by registration uid):
+    /// the contention-free default.
+    PerModel,
+    /// One queue for everything — the pre-sharding behaviour, kept as a
+    /// measurable baseline and for single-model embedders.
+    Single,
+}
 
 /// Worker-pool shape.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +70,12 @@ pub struct BatchConfig {
     pub workers: usize,
     /// Maximum trees fused into one forward pass.
     pub max_batch: usize,
+    /// Queue sharding mode.
+    pub sharding: PoolSharding,
+    /// Per-shard pending-job bound (0 = unbounded). A request that
+    /// would overflow its model's shard is refused with a typed error —
+    /// the admission backpressure limit.
+    pub shard_capacity: usize,
 }
 
 impl Default for BatchConfig {
@@ -43,6 +83,8 @@ impl Default for BatchConfig {
         BatchConfig {
             workers: ccsa_nn::parallel::default_threads(),
             max_batch: 16,
+            sharding: PoolSharding::PerModel,
+            shard_capacity: 4096,
         }
     }
 }
@@ -58,6 +100,9 @@ pub struct BatchStats {
     pub fused_levels: u64,
     /// Node rows those fused level matmuls covered.
     pub fused_rows: u64,
+    /// Batches taken by a worker from a shard it does not prefer — the
+    /// work-stealing traffic that keeps cold shards from starving.
+    pub steals: u64,
 }
 
 impl BatchStats {
@@ -95,24 +140,83 @@ struct Job {
     tx: mpsc::Sender<(usize, Result<Tensor, String>)>,
 }
 
+/// One bounded sub-queue. In [`PoolSharding::PerModel`] mode a shard
+/// holds exactly one registration's jobs; in `Single` mode shard 0
+/// holds everything.
+struct Shard {
+    /// `name@vN` of the owning registration (`all` in `Single` mode).
+    label: String,
+    /// Position in the shard table; `index % workers` is the preferred
+    /// worker.
+    index: usize,
+    queue: Mutex<VecDeque<Job>>,
+    /// Pending jobs, maintained outside the queue mutex so scans and
+    /// admission checks are lock-free. Incremented *before* the push
+    /// (admission reserves the slots), decremented as jobs are popped.
+    depth: AtomicUsize,
+    /// Batches non-preferred workers took from this shard.
+    steals: AtomicU64,
+}
+
+/// Append-only: a hot-swapped registration leaves its (drained, empty)
+/// predecessor shard behind — a label string and an empty queue per
+/// swap, scanned but never popped. Pruning needs the registry to report
+/// retired uids; tracked as a ROADMAP follow-on.
+#[derive(Default)]
+struct ShardTable {
+    shards: Vec<Arc<Shard>>,
+    by_uid: HashMap<u64, usize>,
+}
+
 struct Shared {
-    queue: Mutex<QueueState>,
+    shards: RwLock<ShardTable>,
+    /// `Single` mode has exactly one shard that every worker legitimately
+    /// drains — taking from it is not stealing, so the steal pass and its
+    /// counters are disabled there.
+    single: bool,
+    /// Parking lot for idle workers. The mutex guards nothing but the
+    /// condvar protocol; enqueuers skip it entirely unless `sleepers`
+    /// says someone is actually waiting, so the hot enqueue path never
+    /// touches a global lock.
+    park: Mutex<()>,
     available: Condvar,
+    sleepers: AtomicUsize,
+    shutdown: AtomicBool,
     batches: AtomicU64,
     jobs: AtomicU64,
     fused_levels: AtomicU64,
     fused_rows: AtomicU64,
+    steals: AtomicU64,
 }
 
-struct QueueState {
-    jobs: VecDeque<Job>,
-    shutdown: bool,
+impl Shared {
+    /// Any shard with pending jobs? (Lock-free scan of depth gauges.)
+    fn has_pending(&self) -> bool {
+        self.shards
+            .read()
+            .expect("shard table poisoned")
+            .shards
+            .iter()
+            .any(|s| s.depth.load(Ordering::SeqCst) > 0)
+    }
+
+    /// Wakes sleeping workers — only takes the park lock when at least
+    /// one worker is actually asleep (SeqCst pairs with the sleeper's
+    /// depth re-check, so a worker can never sleep through this).
+    fn wake(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.park.lock().expect("park lock poisoned");
+            self.available.notify_all();
+        }
+    }
 }
 
 /// The persistent encoder worker pool.
 pub struct EncodePool {
     shared: Arc<Shared>,
     max_batch: usize,
+    sharding: PoolSharding,
+    shard_capacity: usize,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -120,29 +224,34 @@ impl EncodePool {
     /// Spawns `config.workers` threads (at least one).
     pub fn new(config: &BatchConfig) -> EncodePool {
         let shared = Arc::new(Shared {
-            queue: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
-                shutdown: false,
-            }),
+            shards: RwLock::new(ShardTable::default()),
+            single: config.sharding == PoolSharding::Single,
+            park: Mutex::new(()),
             available: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
             batches: AtomicU64::new(0),
             jobs: AtomicU64::new(0),
             fused_levels: AtomicU64::new(0),
             fused_rows: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
         });
         let max_batch = config.max_batch.max(1);
-        let workers = (0..config.workers.max(1))
+        let worker_count = config.workers.max(1);
+        let workers = (0..worker_count)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("ccsa-encode-{i}"))
-                    .spawn(move || worker_loop(&shared, max_batch))
+                    .spawn(move || worker_loop(&shared, i, worker_count, max_batch))
                     .expect("failed to spawn encode worker")
             })
             .collect();
         EncodePool {
             shared,
             max_batch,
+            sharding: config.sharding,
+            shard_capacity: config.shard_capacity,
             workers,
         }
     }
@@ -157,6 +266,11 @@ impl EncodePool {
         self.max_batch
     }
 
+    /// The sharding mode.
+    pub fn sharding(&self) -> PoolSharding {
+        self.sharding
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> BatchStats {
         BatchStats {
@@ -164,20 +278,95 @@ impl EncodePool {
             jobs: self.shared.jobs.load(Ordering::Relaxed),
             fused_levels: self.shared.fused_levels.load(Ordering::Relaxed),
             fused_rows: self.shared.fused_rows.load(Ordering::Relaxed),
+            steals: self.shared.steals.load(Ordering::Relaxed),
         }
     }
 
-    /// Trees currently waiting in the queue (instantaneous, not a
-    /// counter). This is the admission backpressure signal: every pending
-    /// encode across all connections queues here, so a growing depth
-    /// means requests arrive faster than the workers drain them.
+    /// Trees currently waiting across all shards (instantaneous, not a
+    /// counter). This is the aggregate admission backpressure signal:
+    /// every pending encode across all connections queues here, so a
+    /// growing depth means requests arrive faster than the workers
+    /// drain them.
     pub fn queue_depth(&self) -> usize {
         self.shared
-            .queue
-            .lock()
-            .expect("encode queue poisoned")
-            .jobs
+            .shards
+            .read()
+            .expect("shard table poisoned")
+            .shards
+            .iter()
+            .map(|s| s.depth.load(Ordering::SeqCst))
+            .sum()
+    }
+
+    /// Pending jobs per shard label (`name@vN`, or `all` in `Single`
+    /// mode), aggregated over shards sharing a label (a hot-swapped
+    /// coordinate leaves its drained predecessor shard behind) and
+    /// sorted by label.
+    pub fn shard_depths(&self) -> Vec<(String, usize)> {
+        self.shard_snapshot().0
+    }
+
+    /// One consistent view of the shard table: per-label pending depths
+    /// (as in [`EncodePool::shard_depths`]) plus the materialised shard
+    /// count, all under a single table read — so a stats snapshot's
+    /// aggregate can never disagree with its own breakdown.
+    pub fn shard_snapshot(&self) -> (Vec<(String, usize)>, usize) {
+        let table = self.shared.shards.read().expect("shard table poisoned");
+        let mut by_label: HashMap<&str, usize> = HashMap::new();
+        for shard in &table.shards {
+            *by_label.entry(shard.label.as_str()).or_default() +=
+                shard.depth.load(Ordering::SeqCst);
+        }
+        let mut depths: Vec<(String, usize)> = by_label
+            .into_iter()
+            .map(|(label, depth)| (label.to_string(), depth))
+            .collect();
+        depths.sort();
+        (depths, table.shards.len())
+    }
+
+    /// Shards currently materialised (lazily, one per model that has
+    /// encoded; exactly 1 in `Single` mode).
+    pub fn shard_count(&self) -> usize {
+        self.shared
+            .shards
+            .read()
+            .expect("shard table poisoned")
+            .shards
             .len()
+    }
+
+    /// The shard for `model`, creating it on first use.
+    fn shard_for(&self, model: &Arc<ServeModel>) -> Arc<Shard> {
+        let uid = match self.sharding {
+            PoolSharding::PerModel => model.uid(),
+            PoolSharding::Single => 0,
+        };
+        {
+            let table = self.shared.shards.read().expect("shard table poisoned");
+            if let Some(&ix) = table.by_uid.get(&uid) {
+                return Arc::clone(&table.shards[ix]);
+            }
+        }
+        let mut table = self.shared.shards.write().expect("shard table poisoned");
+        if let Some(&ix) = table.by_uid.get(&uid) {
+            return Arc::clone(&table.shards[ix]);
+        }
+        let index = table.shards.len();
+        let label = match self.sharding {
+            PoolSharding::PerModel => format!("{}@v{}", model.name, model.version),
+            PoolSharding::Single => "all".to_string(),
+        };
+        let shard = Arc::new(Shard {
+            label,
+            index,
+            queue: Mutex::new(VecDeque::new()),
+            depth: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
+        });
+        table.shards.push(Arc::clone(&shard));
+        table.by_uid.insert(uid, index);
+        shard
     }
 
     /// Encodes `graphs` under `model`, blocking until every latent code is
@@ -185,11 +374,12 @@ impl EncodePool {
     ///
     /// # Errors
     ///
-    /// Returns [`EncodeError`] when the encoder panicked on this batch
-    /// (e.g. a corrupt model whose parameter shapes do not match its
-    /// architecture). The pool survives: the panic is caught in the
-    /// worker, every affected caller gets the error, and subsequent
-    /// requests are served normally.
+    /// Returns [`EncodeError`] when the model's shard is at capacity
+    /// (admission backpressure — nothing was enqueued, the caller should
+    /// shed or retry) or when the encoder panicked on this batch (e.g. a
+    /// corrupt model whose parameter shapes do not match its
+    /// architecture). The pool survives either way: subsequent requests
+    /// are served normally.
     pub fn encode(
         &self,
         model: &Arc<ServeModel>,
@@ -198,12 +388,38 @@ impl EncodePool {
         if graphs.is_empty() {
             return Ok(Vec::new());
         }
+        assert!(
+            !self.shared.shutdown.load(Ordering::SeqCst),
+            "encode pool already shut down"
+        );
+        let shard = self.shard_for(model);
+        // Admission: reserve the slots before queueing anything, so a
+        // request either fits entirely or is refused without partial
+        // enqueue. The reservation is visible to scanning workers
+        // slightly before the jobs are — they treat a reserved-but-empty
+        // queue as "nothing yet" and rescan.
+        let n = graphs.len();
+        if self.shard_capacity != 0 && n > self.shard_capacity {
+            // Larger than the bound itself: retrying can never help, so
+            // say so instead of sending the caller into a retry loop.
+            return Err(EncodeError::Shed(format!(
+                "request of {n} trees exceeds the {} encode-shard capacity {} — split it",
+                shard.label, self.shard_capacity
+            )));
+        }
+        let queued = shard.depth.fetch_add(n, Ordering::SeqCst);
+        if self.shard_capacity != 0 && queued + n > self.shard_capacity {
+            shard.depth.fetch_sub(n, Ordering::SeqCst);
+            return Err(EncodeError::Shed(format!(
+                "encode queue for {} is full ({queued} pending, capacity {}) — retry later",
+                shard.label, self.shard_capacity
+            )));
+        }
         let (tx, rx) = mpsc::channel();
         {
-            let mut state = self.shared.queue.lock().expect("encode queue poisoned");
-            assert!(!state.shutdown, "encode pool already shut down");
+            let mut queue = shard.queue.lock().expect("shard queue poisoned");
             for (index, graph) in graphs.iter().enumerate() {
-                state.jobs.push_back(Job {
+                queue.push_back(Job {
                     model: Arc::clone(model),
                     graph: Arc::clone(graph),
                     index,
@@ -211,16 +427,16 @@ impl EncodePool {
                 });
             }
         }
-        self.shared.available.notify_all();
+        self.shared.wake();
         drop(tx); // workers hold the only remaining senders
 
         let mut codes: Vec<Option<Tensor>> = vec![None; graphs.len()];
         let mut received = 0;
         while received < graphs.len() {
             let (index, code) = rx.recv().map_err(|_| {
-                EncodeError("encode worker exited before delivering results".into())
+                EncodeError::Failed("encode worker exited before delivering results".into())
             })?;
-            let code = code.map_err(EncodeError)?;
+            let code = code.map_err(EncodeError::Failed)?;
             debug_assert!(codes[index].is_none(), "duplicate result for job {index}");
             codes[index] = Some(code);
             received += 1;
@@ -232,13 +448,39 @@ impl EncodePool {
     }
 }
 
-/// An encoder forward pass failed (panicked) in the worker pool.
+/// An encode request failed. The two variants are operationally very
+/// different and transports are expected to tell them apart: a shed is
+/// intentional backpressure (retryable, or splittable when the request
+/// alone exceeds the shard bound), while a failure means the encoder
+/// panicked on this batch.
 #[derive(Debug, Clone)]
-pub struct EncodeError(pub String);
+pub enum EncodeError {
+    /// Admission refused before anything was enqueued.
+    Shed(String),
+    /// An encoder forward pass panicked in the worker pool.
+    Failed(String),
+}
+
+impl EncodeError {
+    /// `true` when this was admission backpressure, not a broken model.
+    pub fn is_shed(&self) -> bool {
+        matches!(self, EncodeError::Shed(_))
+    }
+
+    /// The human-readable detail.
+    pub fn message(&self) -> &str {
+        match self {
+            EncodeError::Shed(m) | EncodeError::Failed(m) => m,
+        }
+    }
+}
 
 impl std::fmt::Display for EncodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "encoder failure: {}", self.0)
+        match self {
+            EncodeError::Shed(m) => write!(f, "encode admission refused: {m}"),
+            EncodeError::Failed(m) => write!(f, "encoder failure: {m}"),
+        }
     }
 }
 
@@ -246,77 +488,144 @@ impl std::error::Error for EncodeError {}
 
 impl Drop for EncodePool {
     fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
         {
-            let mut state = self.shared.queue.lock().expect("encode queue poisoned");
-            state.shutdown = true;
+            let _guard = self.shared.park.lock().expect("park lock poisoned");
+            self.shared.available.notify_all();
         }
-        self.shared.available.notify_all();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
     }
 }
 
-fn worker_loop(shared: &Shared, max_batch: usize) {
+/// Pops one micro-batch from `shard`: the front job plus up to
+/// `max_batch − 1` consecutive jobs for the *same* model instance. In
+/// per-model shards the same-model check is vacuous (a shard holds one
+/// registration); in `Single` mode it is what keeps parameter sets from
+/// mixing within a pass.
+fn pop_batch(shard: &Shard, max_batch: usize) -> Vec<Job> {
+    let mut queue = shard.queue.lock().expect("shard queue poisoned");
+    let mut batch: Vec<Job> = Vec::new();
+    while batch.len() < max_batch {
+        let same_model = match (queue.front(), batch.first()) {
+            (None, _) => false,
+            (Some(_), None) => true,
+            (Some(next), Some(first)) => Arc::ptr_eq(&next.model, &first.model),
+        };
+        if !same_model {
+            break;
+        }
+        batch.push(queue.pop_front().expect("checked non-empty"));
+    }
+    drop(queue);
+    if !batch.is_empty() {
+        shard.depth.fetch_sub(batch.len(), Ordering::SeqCst);
+    }
+    batch
+}
+
+/// Finds the next batch for `worker_ix`: preferred shards first
+/// (rotating through them from `cursor`, so one busy shard cannot
+/// monopolise its worker), then a steal pass over everyone else's.
+fn grab_batch(
+    shared: &Shared,
+    worker_ix: usize,
+    worker_count: usize,
+    cursor: &mut usize,
+    max_batch: usize,
+) -> Option<Vec<Job>> {
+    let table = shared.shards.read().expect("shard table poisoned");
+    let n = table.shards.len();
+    if n == 0 {
+        return None;
+    }
+    for steal_pass in [false, true] {
+        for offset in 0..n {
+            let ix = (*cursor + offset) % n;
+            let shard = &table.shards[ix];
+            let preferred = shared.single || shard.index % worker_count == worker_ix;
+            if preferred == steal_pass {
+                continue;
+            }
+            if shard.depth.load(Ordering::SeqCst) == 0 {
+                continue;
+            }
+            let batch = pop_batch(shard, max_batch);
+            if batch.is_empty() {
+                continue; // reservation raced ahead of the push; rescan
+            }
+            *cursor = (ix + 1) % n;
+            if steal_pass {
+                shard.steals.fetch_add(1, Ordering::Relaxed);
+                shared.steals.fetch_add(1, Ordering::Relaxed);
+            }
+            return Some(batch);
+        }
+    }
+    None
+}
+
+fn worker_loop(shared: &Shared, worker_ix: usize, worker_count: usize, max_batch: usize) {
+    // Per-worker rotation cursor; workers start offset from each other
+    // so they fan out over the shard table instead of convoying.
+    let mut cursor = worker_ix;
     loop {
-        let batch = {
-            let mut state = shared.queue.lock().expect("encode queue poisoned");
-            loop {
-                if !state.jobs.is_empty() {
-                    break;
-                }
-                if state.shutdown {
+        match grab_batch(shared, worker_ix, worker_count, &mut cursor, max_batch) {
+            Some(batch) => run_batch(shared, batch),
+            None => {
+                // Sleep protocol: advertise the intent to sleep, then
+                // re-check for work *under the park lock*. An enqueuer
+                // increments a shard depth before checking `sleepers`
+                // (both SeqCst), so either this re-check sees its jobs
+                // or it sees this sleeper and notifies.
+                shared.sleepers.fetch_add(1, Ordering::SeqCst);
+                let guard = shared.park.lock().expect("park lock poisoned");
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    shared.sleepers.fetch_sub(1, Ordering::SeqCst);
                     return;
                 }
-                state = shared.available.wait(state).expect("encode queue poisoned");
-            }
-            // Micro-batch: the front job plus consecutive jobs for the
-            // *same* model instance (one parameter set per forward pass).
-            let first = state.jobs.pop_front().expect("checked non-empty");
-            let mut batch = vec![first];
-            while batch.len() < max_batch {
-                let same_model = state
-                    .jobs
-                    .front()
-                    .is_some_and(|next| Arc::ptr_eq(&next.model, &batch[0].model));
-                if !same_model {
-                    break;
+                if !shared.has_pending() {
+                    let _guard = shared.available.wait(guard).expect("park lock poisoned");
                 }
-                batch.push(state.jobs.pop_front().expect("checked non-empty"));
+                shared.sleepers.fetch_sub(1, Ordering::SeqCst);
             }
-            batch
-        };
+        }
+    }
+}
 
-        let model = &batch[0].model.model;
-        let graphs: Vec<&AstGraph> = batch.iter().map(|job| job.graph.as_ref()).collect();
-        // A panicking forward pass (corrupt model, shape mismatch) must
-        // not kill the worker: catch it, fail this batch's callers with a
-        // message, keep serving. Encoders are pure functions of
-        // (params, graph), so no shared state can be left inconsistent.
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            model
-                .comparator
-                .encode_codes_with_stats(&model.params, &graphs)
-        }));
-        shared.batches.fetch_add(1, Ordering::Relaxed);
-        shared.jobs.fetch_add(batch.len() as u64, Ordering::Relaxed);
-        match outcome {
-            Ok((codes, fused)) => {
-                shared
-                    .fused_levels
-                    .fetch_add(fused.levels, Ordering::Relaxed);
-                shared.fused_rows.fetch_add(fused.rows, Ordering::Relaxed);
-                for (job, code) in batch.into_iter().zip(codes) {
-                    // A disappeared caller is not an error; drop its result.
-                    let _ = job.tx.send((job.index, Ok(code)));
-                }
+/// Runs one popped batch: a single fused forward pass, results fanned
+/// back to each job's caller. A panicking pass (corrupt model, shape
+/// mismatch) must not kill the worker: it is caught, this batch's
+/// callers get the error, and the worker keeps serving. Encoders are
+/// pure functions of (params, graph), so no shared state can be left
+/// inconsistent.
+fn run_batch(shared: &Shared, batch: Vec<Job>) {
+    let model = &batch[0].model.model;
+    let graphs: Vec<&AstGraph> = batch.iter().map(|job| job.graph.as_ref()).collect();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        model
+            .comparator
+            .encode_codes_with_stats(&model.params, &graphs)
+    }));
+    shared.batches.fetch_add(1, Ordering::Relaxed);
+    shared.jobs.fetch_add(batch.len() as u64, Ordering::Relaxed);
+    match outcome {
+        Ok((codes, fused)) => {
+            shared
+                .fused_levels
+                .fetch_add(fused.levels, Ordering::Relaxed);
+            shared.fused_rows.fetch_add(fused.rows, Ordering::Relaxed);
+            for (job, code) in batch.into_iter().zip(codes) {
+                // A disappeared caller is not an error; drop its result.
+                let _ = job.tx.send((job.index, Ok(code)));
             }
-            Err(panic) => {
-                // `&*panic`: downcast the payload, not the Box around it.
-                let message = panic_message(&*panic);
-                for job in batch {
-                    let _ = job.tx.send((job.index, Err(message.clone())));
-                }
+        }
+        Err(panic) => {
+            // `&*panic`: downcast the payload, not the Box around it.
+            let message = panic_message(&*panic);
+            for job in batch {
+                let _ = job.tx.send((job.index, Err(message.clone())));
             }
         }
     }
@@ -345,6 +654,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn tiny_serve_model(seed: u64) -> Arc<ServeModel> {
+        named_serve_model("t", seed)
+    }
+
+    fn named_serve_model(name: &str, seed: u64) -> Arc<ServeModel> {
         let config = EncoderConfig::TreeLstm(TreeLstmConfig {
             embed_dim: 6,
             hidden: 6,
@@ -355,9 +668,9 @@ mod tests {
         let mut params = Params::new();
         let comparator = Comparator::new(&config, &mut params, &mut StdRng::seed_from_u64(seed));
         let mut reg = ModelRegistry::new();
-        reg.register("t", 1, TrainedModel { comparator, params });
+        reg.register(name, 1, TrainedModel { comparator, params });
         reg.resolve(&crate::registry::ModelSelector {
-            name: Some("t".into()),
+            name: Some(name.into()),
             version: None,
         })
         .unwrap()
@@ -382,14 +695,33 @@ mod tests {
             .collect()
     }
 
+    /// Graphs whose encode is deliberately slow (deep statement chains)
+    /// so saturation/stealing windows are wide enough to observe.
+    fn heavy_graphs(n: usize) -> Vec<Arc<AstGraph>> {
+        (0..n)
+            .map(|i| {
+                let mut body = String::from("int s = 0;");
+                for k in 0..24 + (i % 3) {
+                    body.push_str(&format!(" for (int j{k} = 0; j{k} < 3; j{k}++) s += j{k};"));
+                }
+                graph(&format!("int main() {{ {body} return s; }}"))
+            })
+            .collect()
+    }
+
+    fn pool(workers: usize, max_batch: usize) -> EncodePool {
+        EncodePool::new(&BatchConfig {
+            workers,
+            max_batch,
+            ..BatchConfig::default()
+        })
+    }
+
     #[test]
     fn pool_matches_direct_encoding_in_order() {
         let model = tiny_serve_model(1);
         let graphs = sample_graphs(9);
-        let pool = EncodePool::new(&BatchConfig {
-            workers: 3,
-            max_batch: 4,
-        });
+        let pool = pool(3, 4);
         let pooled = pool.encode(&model, &graphs).unwrap();
 
         let refs: Vec<&AstGraph> = graphs.iter().map(|g| g.as_ref()).collect();
@@ -423,6 +755,9 @@ mod tests {
             "fused width {}",
             stats.mean_fused_width()
         );
+        // One model encoded ⇒ one materialised shard, labelled name@vN.
+        assert_eq!(pool.shard_count(), 1);
+        assert_eq!(pool.shard_depths(), vec![("t@v1".to_string(), 0)]);
     }
 
     #[test]
@@ -434,17 +769,11 @@ mod tests {
         let model = tiny_serve_model(7);
         let graphs = sample_graphs(8);
 
-        let fused_pool = EncodePool::new(&BatchConfig {
-            workers: 1,
-            max_batch: 8,
-        });
+        let fused_pool = pool(1, 8);
         let _ = fused_pool.encode(&model, &graphs).unwrap();
         let wide = fused_pool.stats();
 
-        let narrow_pool = EncodePool::new(&BatchConfig {
-            workers: 1,
-            max_batch: 1,
-        });
+        let narrow_pool = pool(1, 1);
         let _ = narrow_pool.encode(&model, &graphs).unwrap();
         let narrow = narrow_pool.stats();
 
@@ -460,10 +789,7 @@ mod tests {
     #[test]
     fn concurrent_callers_share_the_pool() {
         let model = tiny_serve_model(2);
-        let pool = Arc::new(EncodePool::new(&BatchConfig {
-            workers: 2,
-            max_batch: 8,
-        }));
+        let pool = Arc::new(pool(2, 8));
         let graphs = sample_graphs(6);
         let refs: Vec<&AstGraph> = graphs.iter().map(|g| g.as_ref()).collect();
         let direct = model
@@ -493,45 +819,53 @@ mod tests {
     #[test]
     fn batches_never_mix_models() {
         // Two distinct models queued interleaved: every result must match
-        // its own model's direct encoding.
-        let m1 = tiny_serve_model(3);
-        let m2 = tiny_serve_model(4);
-        let graphs = sample_graphs(5);
-        let refs: Vec<&AstGraph> = graphs.iter().map(|g| g.as_ref()).collect();
-        let d1 = m1.model.comparator.encode_codes(&m1.model.params, &refs);
-        let d2 = m2.model.comparator.encode_codes(&m2.model.params, &refs);
-        // Sanity: the two models disagree, otherwise the test is vacuous.
-        assert_ne!(d1[0].as_slice(), d2[0].as_slice());
+        // its own model's direct encoding — in BOTH sharding modes (per-
+        // model shards separate them structurally; the single queue must
+        // split batches at model boundaries like the pre-sharding pool).
+        for sharding in [PoolSharding::PerModel, PoolSharding::Single] {
+            let m1 = tiny_serve_model(3);
+            let m2 = tiny_serve_model(4);
+            let graphs = sample_graphs(5);
+            let refs: Vec<&AstGraph> = graphs.iter().map(|g| g.as_ref()).collect();
+            let d1 = m1.model.comparator.encode_codes(&m1.model.params, &refs);
+            let d2 = m2.model.comparator.encode_codes(&m2.model.params, &refs);
+            // Sanity: the two models disagree, otherwise the test is vacuous.
+            assert_ne!(d1[0].as_slice(), d2[0].as_slice());
 
-        let pool = Arc::new(EncodePool::new(&BatchConfig {
-            workers: 2,
-            max_batch: 16,
-        }));
-        std::thread::scope(|scope| {
-            let p1 = Arc::clone(&pool);
-            let g1 = graphs.clone();
-            let h1 = scope.spawn(move || p1.encode(&m1, &g1).unwrap());
-            let p2 = Arc::clone(&pool);
-            let g2 = graphs.clone();
-            let h2 = scope.spawn(move || p2.encode(&m2, &g2).unwrap());
-            let r1 = h1.join().unwrap();
-            let r2 = h2.join().unwrap();
-            for (g, d) in r1.iter().zip(&d1) {
-                assert_eq!(g.as_slice(), d.as_slice());
-            }
-            for (g, d) in r2.iter().zip(&d2) {
-                assert_eq!(g.as_slice(), d.as_slice());
-            }
-        });
+            let pool = Arc::new(EncodePool::new(&BatchConfig {
+                workers: 2,
+                max_batch: 16,
+                sharding,
+                ..BatchConfig::default()
+            }));
+            std::thread::scope(|scope| {
+                let p1 = Arc::clone(&pool);
+                let g1 = graphs.clone();
+                let h1 = scope.spawn(move || p1.encode(&m1, &g1).unwrap());
+                let p2 = Arc::clone(&pool);
+                let g2 = graphs.clone();
+                let h2 = scope.spawn(move || p2.encode(&m2, &g2).unwrap());
+                let r1 = h1.join().unwrap();
+                let r2 = h2.join().unwrap();
+                for (g, d) in r1.iter().zip(&d1) {
+                    assert_eq!(g.as_slice(), d.as_slice());
+                }
+                for (g, d) in r2.iter().zip(&d2) {
+                    assert_eq!(g.as_slice(), d.as_slice());
+                }
+            });
+            let expected_shards = match sharding {
+                PoolSharding::PerModel => 2,
+                PoolSharding::Single => 1,
+            };
+            assert_eq!(pool.shard_count(), expected_shards);
+        }
     }
 
     #[test]
     fn empty_request_returns_immediately() {
         let model = tiny_serve_model(5);
-        let pool = EncodePool::new(&BatchConfig {
-            workers: 1,
-            max_batch: 4,
-        });
+        let pool = pool(1, 4);
         assert!(pool.encode(&model, &[]).unwrap().is_empty());
         assert_eq!(pool.stats().jobs, 0);
     }
@@ -541,10 +875,7 @@ mod tests {
         let model = tiny_serve_model(6);
         let graphs = sample_graphs(10);
         // One worker, cap 3 → at least ceil(10/3) = 4 passes.
-        let pool = EncodePool::new(&BatchConfig {
-            workers: 1,
-            max_batch: 3,
-        });
+        let pool = pool(1, 3);
         let _ = pool.encode(&model, &graphs).unwrap();
         let stats = pool.stats();
         assert_eq!(stats.jobs, 10);
@@ -586,14 +917,12 @@ mod tests {
             })
             .unwrap();
 
-        let pool = EncodePool::new(&BatchConfig {
-            workers: 1,
-            max_batch: 2,
-        });
+        let pool = pool(1, 2);
         let graphs = sample_graphs(5);
         let err = pool.encode(&corrupt, &graphs).unwrap_err();
+        assert!(!err.is_shed(), "a panic is a failure, not backpressure");
         assert!(
-            err.0.contains("unknown parameter"),
+            err.message().contains("unknown parameter"),
             "panic payload should surface: {err}"
         );
 
@@ -601,5 +930,134 @@ mod tests {
         let healthy = tiny_serve_model(9);
         let codes = pool.encode(&healthy, &graphs).unwrap();
         assert_eq!(codes.len(), 5);
+        // The panicked shard drained fully — nothing left pending.
+        assert_eq!(pool.queue_depth(), 0);
+    }
+
+    #[test]
+    fn shard_capacity_sheds_oversized_requests_without_queueing() {
+        let model = tiny_serve_model(11);
+        let pool = EncodePool::new(&BatchConfig {
+            workers: 1,
+            max_batch: 4,
+            sharding: PoolSharding::PerModel,
+            shard_capacity: 4,
+        });
+        // Over-capacity request: refused atomically, nothing enqueued —
+        // and since 5 > 4 can never fit, the message must say "split",
+        // not invite a futile retry.
+        let err = pool.encode(&model, &sample_graphs(5)).unwrap_err();
+        assert!(err.is_shed(), "admission refusal must be a shed: {err}");
+        assert!(err.message().contains("split"), "got {err}");
+        assert_eq!(pool.queue_depth(), 0, "refusal must not leave jobs behind");
+        assert_eq!(pool.stats().jobs, 0);
+        // At-capacity request: admitted and served.
+        assert_eq!(pool.encode(&model, &sample_graphs(4)).unwrap().len(), 4);
+        // capacity 0 = unbounded.
+        let unbounded = EncodePool::new(&BatchConfig {
+            workers: 1,
+            max_batch: 4,
+            sharding: PoolSharding::PerModel,
+            shard_capacity: 0,
+        });
+        assert_eq!(
+            unbounded.encode(&model, &sample_graphs(9)).unwrap().len(),
+            9
+        );
+    }
+
+    #[test]
+    fn full_shard_sheds_retryable_requests() {
+        // A request that WOULD fit an empty shard but not the current
+        // backlog is shed with a retry hint (unlike the never-fits case,
+        // which says "split"). One worker chewing 1-tree batches of
+        // heavy graphs keeps the backlog ≥ 3 long enough to observe.
+        let model = tiny_serve_model(15);
+        let pool = Arc::new(EncodePool::new(&BatchConfig {
+            workers: 1,
+            max_batch: 1,
+            sharding: PoolSharding::PerModel,
+            shard_capacity: 4,
+        }));
+        std::thread::scope(|scope| {
+            let bg_pool = Arc::clone(&pool);
+            let bg_model = Arc::clone(&model);
+            let backlog = heavy_graphs(4);
+            scope.spawn(move || bg_pool.encode(&bg_model, &backlog).unwrap());
+            while pool.queue_depth() < 3 {
+                std::thread::yield_now();
+            }
+            let err = pool.encode(&model, &sample_graphs(3)).unwrap_err();
+            assert!(err.is_shed(), "{err}");
+            assert!(err.message().contains("retry later"), "got {err}");
+        });
+    }
+
+    #[test]
+    fn idle_workers_steal_from_a_saturated_shard() {
+        // One hot model, two workers: worker 0 prefers the only shard,
+        // worker 1 has no preferred work and must steal from it to help
+        // drain the backlog.
+        let model = tiny_serve_model(12);
+        let pool = Arc::new(pool(2, 4));
+        let graphs = heavy_graphs(24);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = graphs
+                .chunks(8)
+                .map(|chunk| {
+                    let pool = Arc::clone(&pool);
+                    let model = Arc::clone(&model);
+                    let chunk = chunk.to_vec();
+                    scope.spawn(move || pool.encode(&model, &chunk).unwrap())
+                })
+                .collect();
+            for h in handles {
+                let _ = h.join().unwrap();
+            }
+        });
+        let stats = pool.stats();
+        assert_eq!(stats.jobs, 24);
+        assert!(
+            stats.steals >= 1,
+            "worker 1 should have stolen from the hot shard (steals = {})",
+            stats.steals
+        );
+    }
+
+    #[test]
+    fn cold_shard_is_not_starved_by_a_hot_backlog() {
+        // The starvation story the sharding exists for: a single worker,
+        // a hot model with a deep backlog, and one cold request arriving
+        // after it. In FIFO order the cold request would wait for the
+        // whole hot drain; with per-model shards and rotation it is
+        // served after at most one in-flight batch — i.e. it must
+        // complete while the hot backlog is still being chewed.
+        use std::sync::atomic::AtomicBool;
+        let hot = named_serve_model("hot", 13);
+        let cold = named_serve_model("cold", 14);
+        let pool = Arc::new(pool(1, 4));
+        let hot_done = Arc::new(AtomicBool::new(false));
+        let hot_backlog = heavy_graphs(40);
+        let cold_graphs = sample_graphs(1);
+        std::thread::scope(|scope| {
+            let hot_pool = Arc::clone(&pool);
+            let hot_model = Arc::clone(&hot);
+            let done = Arc::clone(&hot_done);
+            scope.spawn(move || {
+                let _ = hot_pool.encode(&hot_model, &hot_backlog).unwrap();
+                done.store(true, Ordering::SeqCst);
+            });
+            // Let the hot backlog enqueue and the worker sink its teeth in.
+            while pool.stats().batches == 0 {
+                std::thread::yield_now();
+            }
+            let cold_codes = pool.encode(&cold, &cold_graphs).unwrap();
+            assert_eq!(cold_codes.len(), 1);
+            assert!(
+                !hot_done.load(Ordering::SeqCst),
+                "cold request should finish while the hot backlog is still draining \
+                 (it waited for the full hot queue — starvation)"
+            );
+        });
     }
 }

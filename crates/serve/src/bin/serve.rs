@@ -29,6 +29,7 @@ struct Options {
     train: Option<ProblemTag>,
     train_seed: u64,
     cache: usize,
+    cache_stripes: usize,
     workers: usize,
     max_batch: usize,
 }
@@ -39,7 +40,8 @@ fn usage_abort(msg: &str) -> ! {
     }
     eprintln!(
         "usage: serve [--model-dir DIR] [--train A..I] [--seed N]\n\
-         \x20            [--cache N] [--workers N] [--max-batch N]\n\
+         \x20            [--cache N] [--cache-stripes N] [--workers N]\n\
+         \x20            [--max-batch N]\n\
          \n\
          Loads every model version in DIR (name 'default'); --train first\n\
          trains a small comparator on the given curated problem and saves\n\
@@ -57,6 +59,7 @@ fn parse_options() -> Options {
         train: None,
         train_seed: 42,
         cache: 4096,
+        cache_stripes: 0,
         workers: 0,
         max_batch: 16,
     };
@@ -90,6 +93,11 @@ fn parse_options() -> Options {
                 opts.cache = value(&mut i)
                     .parse()
                     .unwrap_or_else(|_| usage_abort("bad --cache"))
+            }
+            "--cache-stripes" => {
+                opts.cache_stripes = value(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage_abort("bad --cache-stripes"))
             }
             "--workers" => {
                 opts.workers = value(&mut i)
@@ -168,9 +176,11 @@ fn main() {
         registry,
         &ServeConfig {
             cache_capacity: opts.cache,
+            cache_stripes: opts.cache_stripes,
             batch: BatchConfig {
                 workers,
                 max_batch: opts.max_batch,
+                ..BatchConfig::default()
             },
         },
     );

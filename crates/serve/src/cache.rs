@@ -29,10 +29,14 @@
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
+use std::sync::Mutex;
 
 use ccsa_tensor::Tensor;
 
 const NIL: usize = usize::MAX;
+
+/// Stripe count [`ShardedCache`] uses when a config leaves it at 0.
+pub const DEFAULT_CACHE_STRIPES: usize = 16;
 
 /// Magic prefix of a cache snapshot file.
 const SNAPSHOT_MAGIC: &[u8; 4] = b"CCSC";
@@ -323,6 +327,208 @@ impl EmbeddingCache {
         if self.tail == NIL {
             self.tail = ix;
         }
+    }
+}
+
+/// An N-way striped [`EmbeddingCache`]: the serving-side cache.
+///
+/// One global `Mutex<EmbeddingCache>` serializes every lookup across
+/// every connection — on a loaded engine the lock, not the hash map,
+/// becomes the hot path. Striping splits the key space over N
+/// independent per-stripe LRUs, each behind its own mutex, so
+/// concurrent lookups for different keys proceed in parallel and a
+/// contended lock only ever serializes 1/N of the traffic.
+///
+/// Keys are already salted canonical hashes; the stripe selector
+/// re-mixes them ([`crate::hash::splitmix64`]) so even an adversarial
+/// salt cannot alias the whole key space onto one stripe. The
+/// configured capacity is split as evenly as possible and totals
+/// *exactly* the configured capacity (the stripe count is capped at the
+/// capacity, so no stripe is ever left slotless), and total memory
+/// matches the unsharded cache.
+///
+/// Snapshot compatibility: [`ShardedCache::snapshot_to`] /
+/// [`ShardedCache::load_from`] speak the exact CCSC format of
+/// [`EmbeddingCache`] — the stripe count is a process-local layout
+/// choice that never reaches disk, so a snapshot written with 1 stripe
+/// loads into 8 and vice versa.
+pub struct ShardedCache {
+    stripes: Vec<Mutex<EmbeddingCache>>,
+    capacity: usize,
+}
+
+impl ShardedCache {
+    /// A cache of `capacity` total codes split over `stripes` stripes
+    /// (0 stripes → [`DEFAULT_CACHE_STRIPES`]). Capacity 0 disables
+    /// caching entirely, as with [`EmbeddingCache::new`].
+    pub fn new(capacity: usize, stripes: usize) -> ShardedCache {
+        let requested = if stripes == 0 {
+            DEFAULT_CACHE_STRIPES
+        } else {
+            stripes
+        };
+        // Per-stripe capacities sum to exactly `capacity`: floor split
+        // with the remainder spread over the first stripes, and the
+        // stripe count capped at the capacity so a tiny cache over many
+        // stripes never leaves a stripe slotless (capacity 0 keeps the
+        // requested count — every stripe disabled, as unsharded).
+        let n = if capacity == 0 {
+            requested
+        } else {
+            requested.min(capacity)
+        };
+        ShardedCache {
+            stripes: (0..n)
+                .map(|i| {
+                    let per = if capacity == 0 {
+                        0
+                    } else {
+                        capacity / n + usize::from(i < capacity % n)
+                    };
+                    Mutex::new(EmbeddingCache::new(per))
+                })
+                .collect(),
+            capacity,
+        }
+    }
+
+    fn stripe_for(&self, key: u64) -> &Mutex<EmbeddingCache> {
+        let ix = (crate::hash::splitmix64(key) % self.stripes.len() as u64) as usize;
+        &self.stripes[ix]
+    }
+
+    /// Number of stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// The configured total capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total cached codes across all stripes.
+    pub fn len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("cache stripe poisoned").len())
+            .sum()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot, aggregated over stripes.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for stripe in &self.stripes {
+            let s = stripe.lock().expect("cache stripe poisoned").stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+            total.insertions += s.insertions;
+        }
+        total
+    }
+
+    /// Drops every entry (telemetry counters survive).
+    pub fn clear(&self) {
+        for stripe in &self.stripes {
+            stripe.lock().expect("cache stripe poisoned").clear();
+        }
+    }
+
+    /// Looks a code up, promoting it within its stripe's LRU. Only the
+    /// owning stripe is locked.
+    pub fn get(&self, key: u64) -> Option<Tensor> {
+        self.stripe_for(key)
+            .lock()
+            .expect("cache stripe poisoned")
+            .get(key)
+    }
+
+    /// Peeks without touching recency or counters.
+    pub fn peek(&self, key: u64) -> Option<Tensor> {
+        self.stripe_for(key)
+            .lock()
+            .expect("cache stripe poisoned")
+            .peek(key)
+            .cloned()
+    }
+
+    /// Inserts (or refreshes) a code under an owner `tag` (see
+    /// [`EmbeddingCache::insert_tagged`]). Only the owning stripe is
+    /// locked.
+    pub fn insert_tagged(&self, key: u64, tag: u64, code: Tensor) {
+        self.stripe_for(key)
+            .lock()
+            .expect("cache stripe poisoned")
+            .insert_tagged(key, tag, code);
+    }
+
+    /// Extracts every entry tagged `tag`, un-salted, stripe by stripe
+    /// (within a stripe: least- to most-recently used, like
+    /// [`EmbeddingCache::tagged_entries`]). Locks one stripe at a time,
+    /// so a live snapshot never stalls the whole cache.
+    pub fn tagged_entries(&self, tag: u64, salt: u64) -> Vec<(u64, Tensor)> {
+        let mut entries = Vec::new();
+        for stripe in &self.stripes {
+            entries.extend(
+                stripe
+                    .lock()
+                    .expect("cache stripe poisoned")
+                    .tagged_entries(tag, salt),
+            );
+        }
+        entries
+    }
+
+    /// Inserts already-read snapshot entries, routing each key to its
+    /// stripe. The shared loading half of [`ShardedCache::load_from`]
+    /// and the engine's warm path.
+    pub fn insert_entries(&self, entries: Vec<(u64, Tensor)>, tag: u64, salt: u64) {
+        for (canonical, code) in entries {
+            self.insert_tagged(canonical ^ salt, tag, code);
+        }
+    }
+
+    /// Spills every entry tagged `tag` to `w` in the CCSC format —
+    /// byte-compatible with [`EmbeddingCache::snapshot_to`] regardless
+    /// of stripe count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer I/O failures.
+    pub fn snapshot_to<W: Write>(
+        &self,
+        w: W,
+        tag: u64,
+        salt: u64,
+        digest: u64,
+    ) -> Result<usize, SnapshotError> {
+        write_snapshot(w, digest, &self.tagged_entries(tag, salt))
+    }
+
+    /// Loads a CCSC snapshot (written by either cache type, with any
+    /// stripe count), re-salting and re-striping every entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] on I/O failure, malformed content, or
+    /// a weights-digest mismatch; a failed load inserts nothing.
+    pub fn load_from<R: Read>(
+        &self,
+        r: R,
+        tag: u64,
+        salt: u64,
+        expected_digest: u64,
+    ) -> Result<usize, SnapshotError> {
+        let entries = read_snapshot(r, expected_digest)?;
+        let count = entries.len();
+        self.insert_entries(entries, tag, salt);
+        Ok(count)
     }
 }
 
@@ -674,6 +880,180 @@ mod tests {
         assert!(fresh.is_empty());
         // The right digest still loads.
         assert_eq!(fresh.load_from(buf.as_slice(), 1, 0, 0xAAAA).unwrap(), 1);
+    }
+
+    #[test]
+    fn sharded_cache_basic_ops_and_capacity_split() {
+        let c = ShardedCache::new(64, 4);
+        assert_eq!(c.stripe_count(), 4);
+        assert_eq!(c.capacity(), 64);
+        assert!(c.is_empty());
+        for k in 0..6u64 {
+            c.insert_tagged(k, 1, code(k as f32));
+        }
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.get(3).unwrap().as_slice(), &[3.0, 4.0]);
+        assert!(c.get(99).is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 6));
+        c.clear();
+        assert!(c.is_empty());
+        // Zero capacity disables storage; zero stripes falls back to the
+        // default stripe count rather than panicking on modulo 0.
+        let off = ShardedCache::new(0, 0);
+        assert_eq!(off.stripe_count(), DEFAULT_CACHE_STRIPES);
+        off.insert_tagged(1, 1, code(1.0));
+        assert!(off.is_empty());
+    }
+
+    #[test]
+    fn sharded_cache_evicts_per_stripe_under_pressure() {
+        // 1000 inserts into capacity 16 over 4 stripes: the per-stripe
+        // capacities sum to exactly the configured budget, so the total
+        // length can never exceed it.
+        let c = ShardedCache::new(16, 4);
+        for k in 0..1000u64 {
+            c.insert_tagged(k, 1, code(k as f32));
+        }
+        assert!(c.len() <= 16, "len {} exceeds configured capacity", c.len());
+        assert!(c.stats().evictions >= 1000 - 16);
+        // A capacity smaller than the stripe count shrinks the stripe
+        // count instead of over-allocating (16 stripes × ≥1 slot would
+        // quadruple a budget of 4).
+        let tiny = ShardedCache::new(4, 16);
+        assert_eq!(tiny.stripe_count(), 4);
+        for k in 0..100u64 {
+            tiny.insert_tagged(k, 1, code(k as f32));
+        }
+        assert!(tiny.len() <= 4, "tiny len {}", tiny.len());
+    }
+
+    #[test]
+    fn sharded_snapshot_roundtrips_across_stripe_counts() {
+        // Stripe count is process-local layout: a snapshot written with
+        // one stripe must load into eight (and back) byte-for-byte, and
+        // must equally load into a plain EmbeddingCache.
+        let (old_salt, new_salt, tag, digest) = (0xAAAA, 0x1111, 7u64, 0xD1u64);
+        let single = ShardedCache::new(64, 1);
+        for k in 0..10u64 {
+            single.insert_tagged((k * 1_000_003) ^ old_salt, tag, code(k as f32));
+        }
+        let mut buf1 = Vec::new();
+        assert_eq!(
+            single
+                .snapshot_to(&mut buf1, tag, old_salt, digest)
+                .unwrap(),
+            10
+        );
+
+        let striped = ShardedCache::new(64, 8);
+        assert_eq!(
+            striped
+                .load_from(buf1.as_slice(), tag, new_salt, digest)
+                .unwrap(),
+            10
+        );
+        assert_eq!(striped.len(), 10);
+        for k in 0..10u64 {
+            assert_eq!(
+                striped.get((k * 1_000_003) ^ new_salt).unwrap().as_slice(),
+                &[k as f32, k as f32 + 1.0],
+                "entry {k} must survive re-striping"
+            );
+        }
+
+        // And back: 8 stripes → 1 stripe → plain EmbeddingCache.
+        let mut buf8 = Vec::new();
+        assert_eq!(
+            striped
+                .snapshot_to(&mut buf8, tag, new_salt, digest)
+                .unwrap(),
+            10
+        );
+        let back = ShardedCache::new(64, 1);
+        assert_eq!(back.load_from(buf8.as_slice(), tag, 0, digest).unwrap(), 10);
+        let mut flat = EmbeddingCache::new(64);
+        assert_eq!(flat.load_from(buf8.as_slice(), tag, 0, digest).unwrap(), 10);
+        for k in 0..10u64 {
+            assert_eq!(
+                back.peek(k * 1_000_003).unwrap().as_slice(),
+                flat.peek(k * 1_000_003).unwrap().as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_load_enforces_weights_digest_and_all_or_nothing() {
+        let c = ShardedCache::new(8, 4);
+        c.insert_tagged(1, 1, code(1.0));
+        c.insert_tagged(2, 1, code(2.0));
+        let mut buf = Vec::new();
+        c.snapshot_to(&mut buf, 1, 0, 0xAAAA).unwrap();
+
+        let fresh = ShardedCache::new(8, 8);
+        assert!(matches!(
+            fresh.load_from(buf.as_slice(), 1, 0, 0xBBBB),
+            Err(SnapshotError::WrongModel {
+                expected: 0xBBBB,
+                found: 0xAAAA
+            })
+        ));
+        assert!(fresh.is_empty(), "digest refusal must insert nothing");
+        let mut truncated = buf.clone();
+        truncated.truncate(buf.len() - 3);
+        assert!(fresh.load_from(truncated.as_slice(), 1, 0, 0xAAAA).is_err());
+        assert!(fresh.is_empty(), "truncation must insert nothing");
+        assert_eq!(fresh.load_from(buf.as_slice(), 1, 0, 0xAAAA).unwrap(), 2);
+    }
+
+    #[test]
+    fn sharded_cache_concurrent_salted_access_never_serves_stale_entries() {
+        // The tentpole safety property under concurrency: 8 threads
+        // hammering get/insert with two different registration salts
+        // (two "models") must never observe another salt's code — the
+        // payload of every entry encodes (salt id, canonical hash), so a
+        // cross-salt or cross-key leak is detectable on every get.
+        use std::sync::Arc;
+        let cache = Arc::new(ShardedCache::new(256, 8));
+        let salts = [0x1111_2222_3333_4444u64, 0xAAAA_BBBB_CCCC_DDDDu64];
+        std::thread::scope(|scope| {
+            for t in 0..8usize {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    let which = t % 2;
+                    let salt = salts[which];
+                    for i in 0..2000u64 {
+                        let canonical = (t as u64 * 10_000) + (i % 97);
+                        let key = canonical ^ salt;
+                        cache.insert_tagged(
+                            key,
+                            which as u64 + 1,
+                            Tensor::from_vec(vec![which as f32, canonical as f32], [2]),
+                        );
+                        // Probe a key from OUR salt space drawn across all
+                        // threads' canonical ranges.
+                        let probe_canonical = ((i * 31) % 97) + (i % 8) * 10_000;
+                        if let Some(code) = cache.get(probe_canonical ^ salt) {
+                            let got = code.as_slice();
+                            assert_eq!(
+                                got[0], which as f32,
+                                "salt {which} observed a code inserted under the other salt"
+                            );
+                            assert_eq!(
+                                got[1], probe_canonical as f32,
+                                "key {probe_canonical} served another key's code"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        // Both salt spaces saw traffic: every thread's 97 distinct keys
+        // were freshly inserted at least once (repeat inserts are
+        // refreshes, which the insertion counter does not count).
+        let s = cache.stats();
+        assert!(s.insertions >= 8 * 97, "insertions {}", s.insertions);
+        assert!(s.hits + s.misses > 0);
     }
 
     #[test]

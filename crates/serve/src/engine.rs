@@ -14,20 +14,25 @@
 //!    cached/fresh latent codes produces the slower-probability for every
 //!    requested pair, or the full round-robin matrix for a ranking.
 //!
-//! Concurrency: the cache lock is held only around lookups/inserts, never
-//! across encoding. Two racing requests may both encode the same fresh
-//! tree — duplicated work, never wrong results (encoders are pure).
+//! Concurrency: no global lock sits on the hot path. The embedding
+//! cache is an N-way striped LRU ([`ShardedCache`]) — a lookup locks
+//! only its key's stripe, and only around the lookup itself, never
+//! across encoding. The encode queue is sharded per model with work
+//! stealing (see [`crate::batch`]), and the read-mostly registry sits
+//! behind an `RwLock` (writes only on register/hot-swap). Two racing
+//! requests may both encode the same fresh tree — duplicated work,
+//! never wrong results (encoders are pure).
 
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, RwLock};
 
 use ccsa_cppast::{parse_program, AstGraph, ParseError};
 use ccsa_tensor::Tensor;
 
 use crate::batch::{BatchConfig, BatchStats, EncodeError, EncodePool};
-use crate::cache::{CacheStats, EmbeddingCache, SnapshotError};
+use crate::cache::{CacheStats, ShardedCache, SnapshotError};
 use crate::rank::{rank_from_matrix, RankedCandidate};
 use crate::registry::{ModelRegistry, ModelSelector, RegistryError, ServeModel, DEFAULT_MODEL};
 
@@ -36,6 +41,10 @@ use crate::registry::{ModelRegistry, ModelSelector, RegistryError, ServeModel, D
 pub struct ServeConfig {
     /// LRU capacity in latent codes (0 disables caching).
     pub cache_capacity: usize,
+    /// Cache stripe count (0 = [`crate::cache::DEFAULT_CACHE_STRIPES`]).
+    /// Capacity is split evenly across stripes; 1 reproduces the old
+    /// single-lock cache.
+    pub cache_stripes: usize,
     /// Worker-pool shape.
     pub batch: BatchConfig,
 }
@@ -44,6 +53,7 @@ impl Default for ServeConfig {
     fn default() -> ServeConfig {
         ServeConfig {
             cache_capacity: 4096,
+            cache_stripes: 0,
             batch: BatchConfig::default(),
         }
     }
@@ -195,9 +205,16 @@ pub struct EngineStats {
     pub cache_len: usize,
     /// Worker-pool counters.
     pub batch: BatchStats,
-    /// Trees waiting in the encode queue right now (the admission
-    /// backpressure signal).
+    /// Trees waiting across all encode shards right now (the aggregate
+    /// admission backpressure signal).
     pub queue_depth: usize,
+    /// Pending trees per encode shard, keyed `name@vN` (`all` when the
+    /// pool runs unsharded), sorted by label.
+    pub queue_depths: Vec<(String, usize)>,
+    /// Encode shards currently materialised.
+    pub shard_count: usize,
+    /// Embedding-cache stripes.
+    pub cache_stripes: usize,
     /// Registered models: `(name, versions)`.
     pub models: Vec<(String, Vec<u32>)>,
     /// Per-registration embedding-cache counters, ordered by
@@ -207,8 +224,10 @@ pub struct EngineStats {
 
 /// The in-process serving engine.
 pub struct ServeEngine {
-    registry: Mutex<ModelRegistry>,
-    cache: Mutex<EmbeddingCache>,
+    /// Read-mostly: every request takes a read lock to resolve its
+    /// selector; only register/hot-swap takes the write lock.
+    registry: RwLock<ModelRegistry>,
+    cache: ShardedCache,
     pool: EncodePool,
     compares: AtomicU64,
     rankings: AtomicU64,
@@ -220,8 +239,8 @@ impl ServeEngine {
     /// Builds an engine around an existing registry.
     pub fn new(registry: ModelRegistry, config: &ServeConfig) -> ServeEngine {
         ServeEngine {
-            registry: Mutex::new(registry),
-            cache: Mutex::new(EmbeddingCache::new(config.cache_capacity)),
+            registry: RwLock::new(registry),
+            cache: ShardedCache::new(config.cache_capacity, config.cache_stripes),
             pool: EncodePool::new(&config.batch),
             compares: AtomicU64::new(0),
             rankings: AtomicU64::new(0),
@@ -249,7 +268,7 @@ impl ServeEngine {
     /// age out of the LRU).
     pub fn register(&self, name: &str, version: u32, model: ccsa_model::pipeline::TrainedModel) {
         self.registry
-            .lock()
+            .write()
             .expect("registry poisoned")
             .register(name, version, model);
     }
@@ -368,11 +387,11 @@ impl ServeEngine {
 
     /// Counter and component snapshot.
     pub fn stats(&self) -> EngineStats {
-        let (cache, cache_len) = {
-            let cache = self.cache.lock().expect("cache poisoned");
-            (cache.stats(), cache.len())
-        };
-        let registry = self.registry.lock().expect("registry poisoned");
+        // One shard-table snapshot feeds all three queue fields, so the
+        // scalar depth always equals the sum of its own breakdown.
+        let (queue_depths, shard_count) = self.pool.shard_snapshot();
+        let queue_depth = queue_depths.iter().map(|(_, d)| d).sum();
+        let registry = self.registry.read().expect("registry poisoned");
         let model_cache = registry
             .entries()
             .iter()
@@ -391,10 +410,13 @@ impl ServeEngine {
             rankings: self.rankings.load(Ordering::Relaxed),
             parses: self.parses.load(Ordering::Relaxed),
             parse_failures: self.parse_failures.load(Ordering::Relaxed),
-            cache,
-            cache_len,
+            cache: self.cache.stats(),
+            cache_len: self.cache.len(),
             batch: self.pool.stats(),
-            queue_depth: self.pool.queue_depth(),
+            queue_depth,
+            queue_depths,
+            shard_count,
+            cache_stripes: self.cache.stripe_count(),
             models: registry.list(),
             model_cache,
         }
@@ -402,7 +424,24 @@ impl ServeEngine {
 
     /// Drops all cached embeddings (telemetry counters survive).
     pub fn clear_cache(&self) {
-        self.cache.lock().expect("cache poisoned").clear();
+        self.cache.clear();
+    }
+
+    /// Resolves a selector to its concrete `(name, version)` coordinate
+    /// without touching caches or counters — transports use this to
+    /// label per-route telemetry (e.g. matching a routing-table entry to
+    /// its encode-shard queue depth).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Registry`] when the selector matches
+    /// nothing.
+    pub fn resolve_coordinates(
+        &self,
+        selector: &ModelSelector,
+    ) -> Result<(String, u32), ServeError> {
+        let model = self.resolve(selector)?;
+        Ok((model.name.clone(), model.version))
     }
 
     /// Spills the selected model's cached embeddings to `path` so the
@@ -424,14 +463,14 @@ impl ServeEngine {
         path: &Path,
     ) -> Result<usize, ServeError> {
         let model = self.resolve(selector)?;
-        let entries = self
-            .cache
-            .lock()
-            .expect("cache poisoned")
-            .tagged_entries(model.uid(), model_salt(&model));
         let file = std::fs::File::create(path).map_err(SnapshotError::Io)?;
         let mut w = std::io::BufWriter::new(file);
-        let written = crate::cache::write_snapshot(&mut w, model_digest(&model), &entries)?;
+        let written = self.cache.snapshot_to(
+            &mut w,
+            model.uid(),
+            model_salt(&model),
+            model_digest(&model),
+        )?;
         use std::io::Write as _;
         w.flush().map_err(SnapshotError::Io)?;
         Ok(written)
@@ -454,21 +493,19 @@ impl ServeEngine {
     pub fn warm_cache(&self, selector: &ModelSelector, path: &Path) -> Result<usize, ServeError> {
         let model = self.resolve(selector)?;
         let file = std::fs::File::open(path).map_err(SnapshotError::Io)?;
-        // Read and verify outside the lock; insert under it.
-        let entries =
-            crate::cache::read_snapshot(std::io::BufReader::new(file), model_digest(&model))?;
-        let count = entries.len();
-        let salt = model_salt(&model);
-        let mut cache = self.cache.lock().expect("cache poisoned");
-        for (canonical, code) in entries {
-            cache.insert_tagged(canonical ^ salt, model.uid(), code);
-        }
-        Ok(count)
+        // load_from reads and verifies before touching any stripe, and a
+        // failed load inserts nothing.
+        Ok(self.cache.load_from(
+            std::io::BufReader::new(file),
+            model.uid(),
+            model_salt(&model),
+            model_digest(&model),
+        )?)
     }
 
     fn resolve(&self, selector: &ModelSelector) -> Result<Arc<ServeModel>, RegistryError> {
         self.registry
-            .lock()
+            .read()
             .expect("registry poisoned")
             .resolve(selector)
     }
@@ -513,18 +550,15 @@ impl ServeEngine {
         // O(1) dedup and fill on the serving hot path.
         let mut miss_slots: HashMap<u64, usize> = HashMap::new();
         let mut miss_graphs: Vec<Arc<AstGraph>> = Vec::new();
-        {
-            let mut cache = self.cache.lock().expect("cache poisoned");
-            for (ix, &key) in keys.iter().enumerate() {
-                if let Some(code) = cache.get(key) {
-                    codes[ix] = Some(code);
-                    hit[ix] = true;
-                } else if let std::collections::hash_map::Entry::Vacant(slot) =
-                    miss_slots.entry(key)
-                {
-                    slot.insert(miss_graphs.len());
-                    miss_graphs.push(Arc::clone(&graphs[ix]));
-                }
+        // Each lookup locks only its key's stripe: concurrent requests
+        // proceed in parallel instead of convoying on one cache mutex.
+        for (ix, &key) in keys.iter().enumerate() {
+            if let Some(code) = self.cache.get(key) {
+                codes[ix] = Some(code);
+                hit[ix] = true;
+            } else if let std::collections::hash_map::Entry::Vacant(slot) = miss_slots.entry(key) {
+                slot.insert(miss_graphs.len());
+                miss_graphs.push(Arc::clone(&graphs[ix]));
             }
         }
 
@@ -534,11 +568,10 @@ impl ServeEngine {
         let encoded = miss_graphs.len();
         if !miss_graphs.is_empty() {
             let fresh = self.pool.encode(model, &miss_graphs)?;
-            let mut cache = self.cache.lock().expect("cache poisoned");
             for (&key, &slot) in &miss_slots {
-                cache.insert_tagged(key, model.uid(), fresh[slot].clone());
+                self.cache
+                    .insert_tagged(key, model.uid(), fresh[slot].clone());
             }
-            drop(cache);
             for (ix, &key) in keys.iter().enumerate() {
                 if codes[ix].is_none() {
                     let slot = *miss_slots.get(&key).expect("miss was queued");
@@ -611,9 +644,11 @@ mod tests {
             tiny_model(1),
             &ServeConfig {
                 cache_capacity,
+                cache_stripes: 0,
                 batch: BatchConfig {
                     workers: 2,
                     max_batch: 8,
+                    ..BatchConfig::default()
                 },
             },
         )
@@ -651,6 +686,47 @@ mod tests {
         assert_eq!(cold.cache_hits, 0);
         assert_eq!(warm.cache_hits, 2);
         assert_eq!(uncached.cache_hits, 0);
+    }
+
+    #[test]
+    fn striped_engine_matches_global_lock_engine_bitwise() {
+        // The sharding refactor is a locking change, not a numeric one:
+        // an engine with 1 cache stripe + the single-queue pool (the old
+        // global-lock layout) and an engine with striped cache + per-
+        // model shards must produce bit-identical probabilities for the
+        // same request stream, cold and warm.
+        use crate::batch::PoolSharding;
+        let global = ServeEngine::with_model(
+            tiny_model(1),
+            &ServeConfig {
+                cache_capacity: 64,
+                cache_stripes: 1,
+                batch: BatchConfig {
+                    workers: 2,
+                    max_batch: 8,
+                    sharding: PoolSharding::Single,
+                    ..BatchConfig::default()
+                },
+            },
+        );
+        let striped = engine(64); // default stripes, per-model shards
+        let sel = ModelSelector::default();
+        for _pass in 0..2 {
+            for (a, b) in [(SLOW, FAST), (FAST, MID), (MID, SLOW), (SLOW, SLOW)] {
+                let pg = global.compare(&sel, a, b).unwrap();
+                let ps = striped.compare(&sel, a, b).unwrap();
+                assert_eq!(pg.prob_first_slower, ps.prob_first_slower);
+                assert_eq!(pg.cache_hits, ps.cache_hits);
+            }
+        }
+        // The new observability surface reports the sharded layout.
+        let s = striped.stats();
+        assert!(s.cache_stripes >= 1);
+        assert_eq!(s.shard_count, 1);
+        assert_eq!(s.queue_depths, vec![("default@v1".to_string(), 0)]);
+        let g = global.stats();
+        assert_eq!(g.cache_stripes, 1);
+        assert_eq!(g.queue_depths, vec![("all".to_string(), 0)]);
     }
 
     #[test]
@@ -939,9 +1015,11 @@ mod tests {
             tiny_model(9),
             &ServeConfig {
                 cache_capacity: 64,
+                cache_stripes: 0,
                 batch: BatchConfig {
                     workers: 2,
                     max_batch: 8,
+                    ..BatchConfig::default()
                 },
             },
         );

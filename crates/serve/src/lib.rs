@@ -16,16 +16,19 @@
 //!                          │
 //!                    ┌─────▼──────┐
 //!                    │ ServeEngine│  parse → canonical AST hash
-//!                    └─┬───────┬──┘
-//!        cache hit ┌───▼───┐ ┌─▼──────────┐ cache miss
-//!                  │  LRU  │ │ EncodePool │  micro-batched encoder
-//!                  │ cache │ │  (workers) │  forward passes
-//!                  └─┬─▲─┬─┘ └─▲────┬─────┘
-//!     snapshot_to/   │ │ │fill │    │
-//!     load_from ◄────┘ │ └─────┘    │ latent codes
-//!     (warm restarts)  │ ┌──────────▼─────┐
-//!                      │ │ classifier head│  2·d weights — cheap
-//!                      │ └──────┬─────────┘
+//!                    └─┬───────┬──┘  (registry behind RwLock: reads only)
+//!        cache hit ┌───▼─────┐ ┌▼─────────────┐ cache miss
+//!                  │ striped │ │  EncodePool  │  per-model shard queues
+//!                  │  LRU    │ │ ┌──┐┌──┐┌──┐ │  (bounded sub-queue per
+//!                  │ ░│░│░│░ │ │ │m1││m2││m3│ │   name@vN registration)
+//!                  │ (N locks│ │ └┬─┘└┬─┘└┬─┘ │
+//!                  │ 1/stripe│ │  ▼   ▼   ▼   │  workers prefer their
+//!                  └─┬─▲─┬───┘ │ workers+steal│  shards, steal when idle
+//!     snapshot_to/   │ │ │fill └─▲────┬───────┘
+//!     load_from ◄────┘ │ └───────┘    │ latent codes
+//!     (warm restarts,  │ ┌────────────▼───┐
+//!      stripe-count    │ │ classifier head│  2·d weights — cheap
+//!      agnostic)       │ └──────┬─────────┘
 //!                      │        │ probabilities → ranking tournament
 //! ```
 //!
@@ -33,17 +36,22 @@
 //!   from `model-v<N>.ccsm` directories or registered in-process; each
 //!   registration carries its own cache hit/miss counters so A/B routes
 //!   are observable separately;
-//! * [`cache`] — an O(1) LRU from canonical AST hash to latent code
-//!   ([`EmbeddingCache`]): structurally identical resubmissions skip the
+//! * [`cache`] — an O(1) LRU from canonical AST hash to latent code,
+//!   served striped ([`ShardedCache`]: N per-stripe LRUs, one lock per
+//!   stripe, capacity split evenly) so concurrent lookups never convoy
+//!   on a global mutex: structurally identical resubmissions skip the
 //!   encoder and pay only the classifier head; snapshot/load spills it
-//!   to disk so restarts begin warm;
-//! * [`batch`] — the micro-batching queue and persistent worker pool
-//!   ([`EncodePool`]): pending trees across all in-flight requests fuse
-//!   into *level-fused* encoder forward passes (same-level nodes of
-//!   every tree in a batch run as one matmul per gate — see
-//!   `ccsa_nn::FusedStats`), the achieved fused width is surfaced via
-//!   [`BatchStats::mean_fused_width`], and the queue depth is the
-//!   transport's admission backpressure signal;
+//!   to disk so restarts begin warm, byte-compatible across stripe
+//!   counts;
+//! * [`batch`] — the sharded micro-batching queues and persistent
+//!   worker pool ([`EncodePool`]): each registered model gets its own
+//!   bounded sub-queue with preferred workers, idle workers steal from
+//!   other shards (so a hot A/B arm cannot starve a cold one), and
+//!   pending trees fuse into *level-fused* encoder forward passes
+//!   (same-level nodes of every tree in a batch run as one matmul per
+//!   gate — see `ccsa_nn::FusedStats`), the achieved fused width is
+//!   surfaced via [`BatchStats::mean_fused_width`], and the per-shard
+//!   queue depths are the transport's admission backpressure signal;
 //! * [`rank`] — K-candidate round-robin tournaments with
 //!   transitivity-aware tie-breaking and cycle flagging;
 //! * [`engine`] — the [`ServeEngine`] front door tying the above together;
@@ -92,8 +100,8 @@ pub mod proto;
 pub mod rank;
 pub mod registry;
 
-pub use batch::{BatchConfig, BatchStats, EncodeError, EncodePool};
-pub use cache::{CacheStats, EmbeddingCache, SnapshotError};
+pub use batch::{BatchConfig, BatchStats, EncodeError, EncodePool, PoolSharding};
+pub use cache::{CacheStats, EmbeddingCache, ShardedCache, SnapshotError, DEFAULT_CACHE_STRIPES};
 pub use engine::{
     CompareOutcome, EngineStats, ModelCacheStats, RankOutcome, ServeConfig, ServeEngine,
     ServeError, MAX_RANK_CANDIDATES,

@@ -231,7 +231,22 @@ pub fn stats_response(stats: &EngineStats) -> Json {
             "mean_fused_width",
             Json::num(stats.batch.mean_fused_width()),
         ),
+        // The scalar depth predates sharding and is kept for dashboard
+        // compatibility; `queue_depths` breaks it down per encode shard.
         ("queue_depth", Json::num(stats.queue_depth as f64)),
+        (
+            "queue_depths",
+            Json::Obj(
+                stats
+                    .queue_depths
+                    .iter()
+                    .map(|(label, depth)| (label.clone(), Json::num(*depth as f64)))
+                    .collect(),
+            ),
+        ),
+        ("shard_count", Json::num(stats.shard_count as f64)),
+        ("steals", Json::num(stats.batch.steals as f64)),
+        ("cache_stripes", Json::num(stats.cache_stripes as f64)),
         ("models", Json::Arr(models)),
         ("model_cache", Json::Arr(model_cache)),
     ])
@@ -437,8 +452,16 @@ mod tests {
         assert_eq!(v.get("parses").unwrap().as_u64(), Some(2));
         let models = v.get("models").unwrap().as_arr().unwrap();
         assert_eq!(models[0].get("name").unwrap().as_str(), Some("default"));
-        // Admission backpressure signal: present, and idle by now.
+        // Admission backpressure signals: the legacy scalar plus the
+        // per-shard breakdown, both present and idle by now.
         assert_eq!(v.get("queue_depth").unwrap().as_u64(), Some(0));
+        let depths = v.get("queue_depths").unwrap();
+        assert_eq!(depths.get("default@v1").unwrap().as_u64(), Some(0));
+        assert_eq!(v.get("shard_count").unwrap().as_u64(), Some(1));
+        // Presence only: on a multi-worker pool, whichever worker grabs
+        // the batch first may legitimately record a steal.
+        assert!(v.get("steals").unwrap().as_u64().is_some());
+        assert!(v.get("cache_stripes").unwrap().as_u64().unwrap() >= 1);
         // Per-model cache attribution: one compare = 2 cold lookups.
         let per_model = v.get("model_cache").unwrap().as_arr().unwrap();
         assert_eq!(per_model.len(), 1);

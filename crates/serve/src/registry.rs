@@ -6,6 +6,11 @@
 //! [`ServeModel`] shared across worker threads via `Arc`. Versions load
 //! from [`ccsa_model::persist`]'s `model-v<N>.ccsm` directory layout or
 //! register directly from an in-process training run.
+//!
+//! The registry is read-mostly: every request resolves its selector,
+//! while writes happen only on register/hot-swap — so the engine holds
+//! it behind an `RwLock`, and concurrent resolutions never serialize on
+//! each other the way the original `Mutex` made them.
 
 use std::collections::{BTreeMap, HashMap};
 use std::path::Path;

@@ -41,9 +41,11 @@ fn main() {
         registry,
         &ServeConfig {
             cache_capacity: 256,
+            cache_stripes: 0,
             batch: BatchConfig {
                 workers: 2,
                 max_batch: 8,
+                ..BatchConfig::default()
             },
         },
     );

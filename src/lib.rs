@@ -35,12 +35,17 @@
 //! │          training runs on the fused batched encoder (one tape per
 //! │          worker shard, logit_batch) with a per-pair parity baseline
 //! ├─────────────────────────────────────────────────────────────────┤
-//! │ serve    the inference engine: model registry, LRU embedding
-//! │          cache keyed by canonical AST hash (disk-snapshottable for
-//! │          warm restarts), micro-batched encoder worker pool (misses
-//! │          from concurrent requests coalesce into one level-fused
-//! │          forward; fused width visible in `stats`), K-way ranking
-//! │          API, JSON-lines `serve` binary
+//! │ serve    the inference engine: model registry behind an RwLock,
+//! │          N-way *striped* LRU embedding cache keyed by canonical
+//! │          AST hash (one lock per stripe; disk-snapshottable for
+//! │          warm restarts, byte-compatible across stripe counts),
+//! │          per-model *sharded* encoder worker pool — bounded
+//! │          sub-queue per name@vN, preferred workers, idle-worker
+//! │          stealing, so a hot model cannot starve a cold one (misses
+//! │          from concurrent requests still coalesce into one
+//! │          level-fused forward; fused width, per-shard depths and
+//! │          steals visible in `stats`), K-way ranking API, JSON-lines
+//! │          `serve` binary
 //! ├─────────────────────────────────────────────────────────────────┤
 //! │ gateway  the TCP front door: keep-alive JSON-lines sessions,
 //! │          connection caps, per-route token-bucket rate limiting,
@@ -57,13 +62,16 @@
 //!
 //! **Serving path:** [`serve::ServeEngine`](ccsa_serve::ServeEngine)
 //! loads versioned artefacts (`model-v<N>.ccsm`) into a registry, parses
-//! incoming sources, reuses latent codes from an LRU cache keyed by
-//! [`AstGraph::canonical_hash`](ccsa_cppast::AstGraph::canonical_hash)
-//! (hits skip the encoder; only the 2·d classifier head runs), batches
-//! cache misses into *level-fused* encoder forward passes across a
-//! worker pool — nodes at the same tree level across every tree in the
-//! batch run as one `[rows, d] · [d, h]` matmul per gate instead of
-//! per-node matvecs — and answers `compare` / `rank` / `stats` ops —
+//! incoming sources, reuses latent codes from a striped LRU cache keyed
+//! by [`AstGraph::canonical_hash`](ccsa_cppast::AstGraph::canonical_hash)
+//! (hits skip the encoder; only the 2·d classifier head runs — and only
+//! the key's stripe is locked, so concurrent requests never convoy),
+//! batches cache misses into *level-fused* encoder forward passes
+//! across a per-model sharded worker pool with work stealing — nodes at
+//! the same tree level across every tree in the batch run as one
+//! `[rows, d] · [d, h]` matmul per gate instead of per-node matvecs,
+//! and one model's backlog never starves another's requests — and
+//! answers `compare` / `rank` / `stats` ops —
 //! in-process, over JSON-lines via the `serve` binary, or over TCP via
 //! the `gateway` binary, which adds `routes` (the weighted A/B table
 //! with per-route rolling stats), per-route token-bucket rate limits,

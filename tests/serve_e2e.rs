@@ -75,9 +75,11 @@ fn serving_stack_is_score_preserving_end_to_end() {
         registry,
         &ServeConfig {
             cache_capacity: 32,
+            cache_stripes: 0,
             batch: BatchConfig {
                 workers: 2,
                 max_batch: 4,
+                ..BatchConfig::default()
             },
         },
     );
@@ -113,9 +115,11 @@ fn engine_ranks_generated_candidates_and_respects_round_robin() {
         model,
         &ServeConfig {
             cache_capacity: 64,
+            cache_stripes: 0,
             batch: BatchConfig {
                 workers: 2,
                 max_batch: 8,
+                ..BatchConfig::default()
             },
         },
     );
@@ -196,9 +200,11 @@ fn concurrent_clients_get_consistent_scores() {
         model,
         &ServeConfig {
             cache_capacity: 16,
+            cache_stripes: 0,
             batch: BatchConfig {
                 workers: 3,
                 max_batch: 4,
+                ..BatchConfig::default()
             },
         },
     ));
