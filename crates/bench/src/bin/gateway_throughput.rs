@@ -1,17 +1,23 @@
 //! Gateway throughput benchmark: a multi-threaded load generator driving
-//! the TCP gateway over two weighted routes.
+//! the gateway over two weighted routes — first over the TCP JSON-lines
+//! fast path, then the identical workload over the HTTP/1.1 front door
+//! (keep-alive `POST /v1/compare`).
 //!
 //! The rig: one in-process `ServeEngine` serving `default` v1 and v2,
-//! fronted by a real `Gateway` on an ephemeral port with a 75/25 route
+//! fronted by a real `Gateway` on ephemeral ports with a 75/25 route
 //! split. N client threads hold keep-alive connections and replay a
 //! realistic mix (heavy source repetition, many distinct *virtual*
 //! clients multiplexed over the connections — each request carries a
-//! `"client"` key, which is what sticky routing hashes).
+//! `"client"` key, which is what sticky routing hashes). The embedding
+//! cache is warmed before either timed phase so the two transports face
+//! the same engine state and the comparison measures transport framing,
+//! not cache luck.
 //!
-//! Reports end-to-end requests/sec plus, per route, the gateway's own
-//! rolling stats (p50/p99 latency, cache hit rate) and the observed
-//! traffic split, which must land within 5 % of the configured weights.
-//! Writes `BENCH_gateway.json`.
+//! Reports end-to-end requests/sec per transport (HTTP must hold ≥ 0.7×
+//! TCP) plus, per route, the gateway's own rolling stats (p50/p99
+//! latency, cache hit rate) and the observed traffic split, which must
+//! land within 5 % of the configured weights. Writes
+//! `BENCH_gateway.json` with the two transports side by side.
 //!
 //! ```sh
 //! cargo run --release -p ccsa-bench --bin gateway_throughput -- --scale quick
@@ -21,7 +27,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use ccsa_bench::{header, rule, Cli, Scale};
-use ccsa_gateway::{Gateway, GatewayClient, GatewayConfig, Route, Router};
+use ccsa_gateway::{Gateway, GatewayClient, GatewayConfig, HttpGatewayClient, Route, Router};
 use ccsa_model::pipeline::{Pipeline, PipelineConfig};
 use ccsa_serve::json::Json;
 use ccsa_serve::{BatchConfig, ModelRegistry, ModelSelector, ServeConfig, ServeEngine};
@@ -35,10 +41,14 @@ const VIRTUAL_CLIENTS: usize = 512;
 const WEIGHTS: [f64; 2] = [0.75, 0.25];
 const SPLIT_TOLERANCE: f64 = 0.05;
 
+/// The HTTP front door must hold at least this fraction of the TCP
+/// fast path's throughput on the same warm workload.
+const HTTP_RATIO_FLOOR: f64 = 0.7;
+
 fn main() {
     let cli = Cli::parse();
     header(
-        "gateway_throughput — TCP gateway with weighted A/B routes",
+        "gateway_throughput — weighted A/B gateway, TCP vs HTTP front door",
         &cli,
     );
 
@@ -105,18 +115,34 @@ fn main() {
         router,
         GatewayConfig {
             max_connections: clients + 4,
+            http_addr: Some("127.0.0.1:0".to_string()),
             ..GatewayConfig::default()
         },
     )
     .expect("gateway spawn");
     let addr = gateway.addr();
+    let http_addr = gateway.http_addr().expect("http front door bound");
     println!(
-        "gateway on {addr}: {clients} client threads × {requests_per_client} requests, \
-         {VIRTUAL_CLIENTS} virtual clients, weights {:?}\n",
+        "gateway on {addr} (http {http_addr}): {clients} client threads × \
+         {requests_per_client} requests per transport, {VIRTUAL_CLIENTS} virtual clients, \
+         weights {:?}\n",
         WEIGHTS
     );
 
-    let start = Instant::now();
+    // Warm the embedding cache over every source once, so the TCP and
+    // HTTP phases run against the same engine state and the ratio below
+    // compares transports, not cache luck.
+    {
+        let mut warm = GatewayClient::connect(addr).expect("warmup connect");
+        for (i, a) in sources.iter().enumerate() {
+            let b = &sources[(i + 1) % sources.len()];
+            let key = format!("vc{}", i % VIRTUAL_CLIENTS);
+            warm.compare(a, b, Some(&key)).expect("warmup compare");
+        }
+    }
+    let warmup_requests = sources.len();
+
+    let tcp_start = Instant::now();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
@@ -139,8 +165,44 @@ fn main() {
             handle.join().expect("client thread");
         }
     });
-    let elapsed = start.elapsed();
-    let rps = total_requests as f64 / elapsed.as_secs_f64();
+    let tcp_elapsed = tcp_start.elapsed();
+    let tcp_rps = total_requests as f64 / tcp_elapsed.as_secs_f64();
+
+    // The identical workload over keep-alive HTTP.
+    let http_start = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let sources = &sources;
+                scope.spawn(move || {
+                    let mut client = HttpGatewayClient::connect(http_addr).expect("http connect");
+                    for j in 0..requests_per_client {
+                        let g = c * requests_per_client + j;
+                        let key = format!("vc{}", g % VIRTUAL_CLIENTS);
+                        let a = &sources[g % sources.len()];
+                        let b = &sources[(g * 7 + 3) % sources.len()];
+                        let body = Json::obj(vec![
+                            ("first", Json::str(a.as_str())),
+                            ("second", Json::str(b.as_str())),
+                            ("client", Json::str(key)),
+                        ])
+                        .to_string();
+                        let reply = client
+                            .post("/v1/compare", &body, None)
+                            .expect("compare over http");
+                        assert_eq!(reply.status, 200, "http compare failed: {}", reply.body);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("http client thread");
+        }
+    });
+    let http_elapsed = http_start.elapsed();
+    let http_rps = total_requests as f64 / http_elapsed.as_secs_f64();
+    let http_ratio = http_rps / tcp_rps;
+    let http_ok = http_ratio >= HTTP_RATIO_FLOOR;
 
     // Per-route truth from the gateway itself.
     let mut probe = GatewayClient::connect(addr).expect("stats connect");
@@ -154,8 +216,9 @@ fn main() {
         .map(|r| r.get("requests").unwrap().as_u64().unwrap())
         .sum();
     assert_eq!(
-        routed_total, total_requests as u64,
-        "every request must be routed and counted"
+        routed_total,
+        (warmup_requests + 2 * total_requests) as u64,
+        "every request (warmup + TCP + HTTP) must be routed and counted"
     );
 
     println!(
@@ -202,13 +265,20 @@ fn main() {
     }
     rule(80);
     println!(
-        "total: {total_requests} requests over {clients} connections in {:.1} ms → {rps:.0} req/s",
-        elapsed.as_secs_f64() * 1e3
+        "tcp:  {total_requests} requests over {clients} connections in {:.1} ms → {tcp_rps:.0} req/s",
+        tcp_elapsed.as_secs_f64() * 1e3
     );
     println!(
-        "acceptance (≥4 concurrent clients, split within {:.0}%): {}",
+        "http: {total_requests} requests over {clients} connections in {:.1} ms → {http_rps:.0} req/s \
+         ({:.0}% of tcp)",
+        http_elapsed.as_secs_f64() * 1e3,
+        http_ratio * 100.0
+    );
+    println!(
+        "acceptance (≥4 concurrent clients, split within {:.0}%, http ≥ {:.0}% of tcp): {}",
         SPLIT_TOLERANCE * 100.0,
-        if clients >= 4 && split_ok {
+        HTTP_RATIO_FLOOR * 100.0,
+        if clients >= 4 && split_ok && http_ok {
             "PASS"
         } else {
             "FAIL"
@@ -224,10 +294,19 @@ fn main() {
         ("seed", Json::num(cli.seed as f64)),
         ("clients", Json::num(clients as f64)),
         ("virtual_clients", Json::num(VIRTUAL_CLIENTS as f64)),
-        ("requests", Json::num(total_requests as f64)),
+        ("requests_per_transport", Json::num(total_requests as f64)),
+        ("warmup_requests", Json::num(warmup_requests as f64)),
         ("distinct_sources", Json::num(sources.len() as f64)),
-        ("elapsed_ms", Json::num(elapsed.as_secs_f64() * 1e3)),
-        ("requests_per_sec", Json::num(rps)),
+        ("tcp_elapsed_ms", Json::num(tcp_elapsed.as_secs_f64() * 1e3)),
+        ("tcp_requests_per_sec", Json::num(tcp_rps)),
+        (
+            "http_elapsed_ms",
+            Json::num(http_elapsed.as_secs_f64() * 1e3),
+        ),
+        ("http_requests_per_sec", Json::num(http_rps)),
+        ("http_vs_tcp_ratio", Json::num(http_ratio)),
+        ("http_ratio_floor", Json::num(HTTP_RATIO_FLOOR)),
+        ("http_within_ratio_floor", Json::Bool(http_ok)),
         ("routes", Json::Arr(route_json)),
         ("split_within_tolerance", Json::Bool(split_ok)),
         (
@@ -242,7 +321,7 @@ fn main() {
     let path = "BENCH_gateway.json";
     std::fs::write(path, format!("{doc}\n")).expect("writing BENCH_gateway.json");
     println!("\nwrote {path}");
-    if !(clients >= 4 && split_ok) {
+    if !(clients >= 4 && split_ok && http_ok) {
         std::process::exit(1);
     }
 }

@@ -32,6 +32,11 @@ struct Options {
     addr: String,
     port: u16,
     port_file: Option<PathBuf>,
+    http_port: Option<u16>,
+    http_port_file: Option<PathBuf>,
+    drain_grace_secs: u64,
+    trace_log: Option<PathBuf>,
+    trace_sample: f64,
     model_dir: Option<PathBuf>,
     train: Option<ProblemTag>,
     train_seed: u64,
@@ -54,6 +59,9 @@ fn usage_abort(msg: &str) -> ! {
     }
     eprintln!(
         "usage: gateway [--addr HOST] [--port N] [--port-file PATH]\n\
+         \x20              [--http-port N] [--http-port-file PATH]\n\
+         \x20              [--drain-grace SECS]\n\
+         \x20              [--trace-log PATH] [--trace-sample PCT]\n\
          \x20              [--model-dir DIR] [--train A..I] [--seed N]\n\
          \x20              [--cache N] [--cache-stripes N] [--workers N]\n\
          \x20              [--max-batch N]\n\
@@ -67,6 +75,16 @@ fn usage_abort(msg: &str) -> ! {
          versions, shadow traffic, per-route stats ('routes' op), and\n\
          graceful drain on SIGTERM or a 'shutdown' request.\n\
          --port 0 binds an ephemeral port (written to --port-file).\n\
+         --http-port additionally serves an HTTP/1.1 front door on the\n\
+         same host: GET /healthz, /readyz (503 while draining),\n\
+         /metrics (Prometheus text), /v1/stats, /v1/routes, and\n\
+         POST /v1/compare + /v1/rank (responses bit-identical to the\n\
+         TCP transport's; rank streams chunked). --drain-grace keeps\n\
+         the HTTP probes answering that long after a drain begins, so\n\
+         load balancers observe the 503 before the socket goes away.\n\
+         --trace-log appends one JSON line per sampled request\n\
+         (--trace-sample percent, deterministic on the request ID) with\n\
+         its route, status, latency, and per-stage timing split.\n\
          --rate-limit caps a route's sustained requests/second with a\n\
          token bucket; over-limit requests get a polite ok:false and a\n\
          'rate_limited' counter in the 'routes' stats.\n\
@@ -110,6 +128,11 @@ fn parse_options() -> Options {
         addr: "127.0.0.1".to_string(),
         port: 7171,
         port_file: None,
+        http_port: None,
+        http_port_file: None,
+        drain_grace_secs: 0,
+        trace_log: None,
+        trace_sample: 100.0,
         model_dir: None,
         train: None,
         train_seed: 42,
@@ -142,6 +165,29 @@ fn parse_options() -> Options {
                     .unwrap_or_else(|_| usage_abort("bad --port"))
             }
             "--port-file" => opts.port_file = Some(PathBuf::from(value(&mut i))),
+            "--http-port" => {
+                opts.http_port = Some(
+                    value(&mut i)
+                        .parse()
+                        .unwrap_or_else(|_| usage_abort("bad --http-port")),
+                )
+            }
+            "--http-port-file" => opts.http_port_file = Some(PathBuf::from(value(&mut i))),
+            "--drain-grace" => {
+                opts.drain_grace_secs = value(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage_abort("bad --drain-grace"))
+            }
+            "--trace-log" => opts.trace_log = Some(PathBuf::from(value(&mut i))),
+            "--trace-sample" => {
+                let pct: f64 = value(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage_abort("bad --trace-sample"));
+                if !pct.is_finite() || !(0.0..=100.0).contains(&pct) {
+                    usage_abort("--trace-sample must be a percentage in [0, 100]");
+                }
+                opts.trace_sample = pct;
+            }
             "--model-dir" => opts.model_dir = Some(PathBuf::from(value(&mut i))),
             "--train" => {
                 let tag = value(&mut i);
@@ -399,6 +445,10 @@ fn main() {
         honor_sigterm: true,
         allow_remote_shutdown: opts.allow_remote_shutdown,
         rate_limits: opts.rate_limits.clone(),
+        http_addr: opts.http_port.map(|port| format!("{}:{}", opts.addr, port)),
+        drain_grace: Duration::from_secs(opts.drain_grace_secs),
+        trace_log: opts.trace_log.clone(),
+        trace_sample_percent: opts.trace_sample,
         ..GatewayConfig::default()
     };
     let gateway = match Gateway::bind(Arc::clone(&engine), router, config) {
@@ -414,6 +464,15 @@ fn main() {
             eprintln!("error: writing --port-file failed: {e}");
             std::process::exit(1);
         }
+    }
+    if let Some(http_addr) = gateway.http_addr() {
+        if let Some(http_port_file) = &opts.http_port_file {
+            if let Err(e) = std::fs::write(http_port_file, format!("{}\n", http_addr.port())) {
+                eprintln!("error: writing --http-port-file failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        eprintln!("[gateway] http front door on {http_addr} (healthz/readyz/metrics/v1)");
     }
     eprintln!(
         "[gateway] listening on {addr} (cache={} workers={} max_batch={} max_conns={})",

@@ -7,7 +7,7 @@
 //! concurrency comes from opening more connections, which is also how
 //! the transport's connection cap is exercised.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -244,6 +244,186 @@ impl GatewayClient {
                 "response carries no 'ok' field".into(),
             )),
         }
+    }
+}
+
+/// One parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct HttpReply {
+    /// Status code (200, 429, 503, …).
+    pub status: u16,
+    /// The echoed `X-Request-Id`, when the endpoint sets one.
+    pub request_id: Option<String>,
+    /// The decoded body (chunked transfer-encoding already reassembled).
+    pub body: String,
+}
+
+/// One blocking keep-alive session against the gateway's HTTP front
+/// door. Minimal on purpose: enough HTTP/1.1 for the tests, benches,
+/// and smoke scripts (Content-Length bodies out, Content-Length or
+/// chunked bodies back).
+pub struct HttpGatewayClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl HttpGatewayClient {
+    /// Connects.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<HttpGatewayClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(HttpGatewayClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Bounds how long a single response may take (`None` = wait
+    /// forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-option failures.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.writer.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// `GET path` on the keep-alive session.
+    ///
+    /// # Errors
+    ///
+    /// Transport/framing errors; HTTP error statuses come back `Ok`
+    /// (the status is the caller's to inspect).
+    pub fn get(&mut self, path: &str) -> Result<HttpReply, ClientError> {
+        self.request("GET", path, None, None)
+    }
+
+    /// `POST path` with a JSON body, optionally tagged with an
+    /// `X-Request-Id`.
+    ///
+    /// # Errors
+    ///
+    /// Transport/framing errors; HTTP error statuses come back `Ok`.
+    pub fn post(
+        &mut self,
+        path: &str,
+        body: &str,
+        request_id: Option<&str>,
+    ) -> Result<HttpReply, ClientError> {
+        self.request("POST", path, Some(body), request_id)
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        request_id: Option<&str>,
+    ) -> Result<HttpReply, ClientError> {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: gateway\r\n");
+        if let Some(id) = request_id {
+            head.push_str(&format!("X-Request-Id: {id}\r\n"));
+        }
+        match body {
+            Some(body) => {
+                head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+                self.writer.write_all(head.as_bytes())?;
+                self.writer.write_all(body.as_bytes())?;
+            }
+            None => {
+                head.push_str("\r\n");
+                self.writer.write_all(head.as_bytes())?;
+            }
+        }
+        self.writer.flush()?;
+        self.read_reply()
+    }
+
+    fn read_reply(&mut self) -> Result<HttpReply, ClientError> {
+        let bad = |msg: String| ClientError::BadResponse(msg);
+        let status_line = self.read_line()?;
+        let status = status_line
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| bad(format!("malformed status line {status_line:?}")))?;
+        let mut content_length: Option<usize> = None;
+        let mut chunked = false;
+        let mut request_id = None;
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(bad(format!("malformed header line {line:?}")));
+            };
+            let value = value.trim();
+            match name.trim().to_ascii_lowercase().as_str() {
+                "content-length" => {
+                    content_length = Some(
+                        value
+                            .parse()
+                            .map_err(|_| bad(format!("bad Content-Length {value:?}")))?,
+                    );
+                }
+                "transfer-encoding" => chunked = value.eq_ignore_ascii_case("chunked"),
+                "x-request-id" => request_id = Some(value.to_string()),
+                _ => {}
+            }
+        }
+        let body = if chunked {
+            let mut body = Vec::new();
+            loop {
+                let size_line = self.read_line()?;
+                let size = usize::from_str_radix(size_line.trim(), 16)
+                    .map_err(|_| bad(format!("bad chunk size {size_line:?}")))?;
+                if size == 0 {
+                    // Trailer section: read through the final blank line.
+                    while !self.read_line()?.is_empty() {}
+                    break;
+                }
+                let start = body.len();
+                body.resize(start + size, 0);
+                self.reader.read_exact(&mut body[start..])?;
+                let crlf = self.read_line()?;
+                if !crlf.is_empty() {
+                    return Err(bad(format!("chunk not CRLF-terminated: {crlf:?}")));
+                }
+            }
+            body
+        } else {
+            let mut body = vec![0u8; content_length.unwrap_or(0)];
+            self.reader.read_exact(&mut body)?;
+            body
+        };
+        Ok(HttpReply {
+            status,
+            request_id,
+            body: String::from_utf8(body)
+                .map_err(|_| bad("response body is not valid UTF-8".to_string()))?,
+        })
+    }
+
+    /// One CRLF-terminated line, without the terminator.
+    fn read_line(&mut self) -> Result<String, ClientError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
     }
 }
 

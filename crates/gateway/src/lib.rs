@@ -11,36 +11,51 @@
 //! # Architecture
 //!
 //! ```text
-//!  clients (keep-alive TCP, JSON lines, optional "client" sticky key)
-//!    │ │ │
-//!  ┌─▼─▼─▼──────────────────────────────────────────────────────────┐
-//!  │ server   accept loop → session thread per connection           │
-//!  │          connection cap · idle timeout · 8 MiB line cap        │
-//!  │          graceful drain on SIGTERM / `shutdown` request        │
-//!  ├────────────────────────────────────────────────────────────────┤
-//!  │ router   deterministic sticky assignment: hash(client) →       │
-//!  │          weighted (model, version) route; shadow mirroring     │
-//!  ├────────────────────────────────────────────────────────────────┤
-//!  │ limit    per-route token buckets: over-limit requests shed     │
-//!  │          with ok:false before reaching the encode queue        │
-//!  ├────────────────────────────────────────────────────────────────┤
-//!  │ stats    per-route + shadow: requests, errors, cache hit rate, │
-//!  │          rolling p50/p99 latency, encode-shard queue depth     │
-//!  │          → `routes` verb                                       │
-//!  ├────────────────────────────────────────────────────────────────┤
-//!  │ ccsa-serve ServeEngine   RwLock registry → striped LRU cache   │
-//!  │          → per-model encode shards with work stealing (each    │
-//!  │          route's bounded sub-queue is its backpressure point;  │
-//!  │          per-shard depths + steals surface in `stats`)         │
-//!  └────────────────────────────────────────────────────────────────┘
+//!  JSON-lines clients (keep-alive     HTTP clients (curl, LBs,
+//!  TCP, "client" sticky key)          Prometheus)
+//!    │ │ │                              │ │ │
+//!  ┌─▼─▼─▼──────────────────────┐    ┌──▼─▼─▼─────────────────────┐
+//!  │ server   accept loop →     │    │ http   /healthz /readyz    │
+//!  │   session thread per conn  │    │   /metrics  POST /v1/…     │
+//!  │   conn cap · idle timeout  │    │   keep-alive · chunked     │
+//!  │   8 MiB line cap · drain   │    │   rank · 503 on drain,     │
+//!  │   on SIGTERM / `shutdown`  │    │   outlives TCP by grace    │
+//!  └──────────┬─────────────────┘    └─────┬────────────────┬─────┘
+//!             │  serve_scored(request_id)  │                │scrape
+//!  ┌──────────▼────────────────────────────▼─────────┐ ┌────▼──────┐
+//!  │ router   sticky hash(client) → weighted route;  │ │ metrics   │
+//!  │          shadow mirroring                       │ │ registry  │
+//!  ├─────────────────────────────────────────────────┤ │ (in ccsa- │
+//!  │ limit    per-route token buckets: shed before   │ │  serve)   │
+//!  │          the encode queue                       │ │ counters· │
+//!  ├─────────────────────────────────────────────────┤ │ gauges·   │
+//!  │ stats    per-route + shadow: requests, errors,  ◄─► histo-    │
+//!  │          cache hit rate, rolling p50/p99,       │ │ grams·    │
+//!  │          queue depth → `routes` verb — counters │ │ collect-  │
+//!  │          ARE registry series (one atomics set)  │ │ ors       │
+//!  ├─────────────────────────────────────────────────┤ │           │
+//!  │ trace    request IDs · sampled JSON-lines sink  │ │           │
+//!  │          with per-stage latency split           │ │           │
+//!  ├─────────────────────────────────────────────────┤ │           │
+//!  │ ccsa-serve ServeEngine   RwLock registry →      ◄─►(stage     │
+//!  │          striped LRU cache → per-model encode   │ │ histograms│
+//!  │          shards with work stealing              │ │ + stats   │
+//!  └─────────────────────────────────────────────────┘ │ collector)│
+//!                                                      └───────────┘
 //! ```
 //!
 //! * [`router`] — the weighted table, sticky hashing, shadow sampling;
 //! * [`limit`] — per-route token-bucket rate limiting;
-//! * [`server`] — listener, sessions, admission, drain;
-//! * [`stats`] — per-route rolling counters and latency percentiles;
-//! * [`client`] — a small blocking [`GatewayClient`] for tests, benches
-//!   and examples;
+//! * [`server`] — TCP listener, sessions, admission, drain, and the
+//!   transport-shared scored path ([`server::Gateway`]);
+//! * [`http`] — the HTTP/1.1 front door: probes, `GET /metrics`
+//!   (Prometheus text exposition), and the scored verbs with responses
+//!   bit-identical to TCP's;
+//! * [`stats`] — per-route rolling counters and latency percentiles,
+//!   backed by registry series;
+//! * [`trace`] — request IDs and the sampled JSON-lines trace sink;
+//! * [`client`] — small blocking [`GatewayClient`] /
+//!   [`HttpGatewayClient`] for tests, benches and examples;
 //! * [`signal`] — SIGTERM observation (two-line FFI, no `libc` crate).
 //!
 //! Protocol additions over plain `serve`: requests may carry a
@@ -87,14 +102,17 @@
 //! ```
 
 pub mod client;
+pub mod http;
 pub mod limit;
 pub mod router;
 pub mod server;
 pub mod signal;
 pub mod stats;
+pub mod trace;
 
-pub use client::{ClientError, CompareReply, GatewayClient};
+pub use client::{ClientError, CompareReply, GatewayClient, HttpGatewayClient};
 pub use limit::{RateLimit, TokenBucket};
 pub use router::{selectors_match, Route, Router, RouterConfigError, ShadowRoute};
 pub use server::{Gateway, GatewayConfig, GatewayHandle, SpawnedGateway, MAX_LINE_BYTES};
 pub use stats::{RouteStats, RouteStatsSnapshot};
+pub use trace::{generate_request_id, TraceRecord, TraceSink};

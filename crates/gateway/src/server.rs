@@ -26,19 +26,24 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::sync::{mpsc, Arc, Mutex, OnceLock, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ccsa_serve::json::Json;
 use ccsa_serve::proto::{self, Request};
-use ccsa_serve::{ModelSelector, ServeEngine, ServeError, DEFAULT_MODEL};
+use ccsa_serve::{
+    Counter, MetricKind, MetricsRegistry, ModelSelector, Sample, SampleFamily, ServeEngine,
+    ServeError, StageTimings, DEFAULT_MODEL,
+};
 
 use crate::limit::{RateLimit, TokenBucket};
 use crate::router::{selectors_match, Router};
 use crate::signal;
 use crate::stats::RouteStats;
+use crate::trace::{generate_request_id, TraceRecord, TraceSink};
 
 /// The longest request line a session will buffer before failing the
 /// connection — one hostile client must not be able to balloon resident
@@ -78,6 +83,20 @@ pub struct GatewayConfig {
     /// selector must match a route in the table handed to
     /// [`Gateway::bind`], which fails fast otherwise.
     pub rate_limits: Vec<RateLimit>,
+    /// Bind address for the HTTP/1.1 front door (`None` = TCP
+    /// JSON-lines only). Serves `POST /v1/compare`, `POST /v1/rank`,
+    /// `GET /healthz`, `GET /readyz`, and `GET /metrics`.
+    pub http_addr: Option<String>,
+    /// How long the HTTP front door keeps answering probes *after* a
+    /// drain begins, so load balancers can observe `/readyz` flip to
+    /// 503 before the process exits. Zero = stop with the TCP loop.
+    pub drain_grace: Duration,
+    /// JSON-lines trace sink path (`None` = tracing off).
+    pub trace_log: Option<PathBuf>,
+    /// Percent of requests traced end-to-end (deterministic on the
+    /// request ID; clamped to [0, 100]). Only meaningful with
+    /// `trace_log`.
+    pub trace_sample_percent: f64,
 }
 
 impl Default for GatewayConfig {
@@ -90,41 +109,134 @@ impl Default for GatewayConfig {
             honor_sigterm: false,
             allow_remote_shutdown: false,
             rate_limits: Vec::new(),
+            http_addr: None,
+            drain_grace: Duration::ZERO,
+            trace_log: None,
+            trace_sample_percent: 100.0,
         }
     }
 }
 
-/// State shared between the accept loop, session threads, and handles.
-struct Shared {
-    engine: Arc<ServeEngine>,
-    router: Router,
-    config: GatewayConfig,
-    shutdown: AtomicBool,
-    active: AtomicUsize,
-    accepted: AtomicU64,
-    rejected: AtomicU64,
+/// State shared between the accept loops (TCP and HTTP), session
+/// threads, and handles.
+pub(crate) struct Shared {
+    pub(crate) engine: Arc<ServeEngine>,
+    pub(crate) router: Router,
+    pub(crate) config: GatewayConfig,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) active: AtomicUsize,
+    pub(crate) accepted: AtomicU64,
+    pub(crate) rejected: AtomicU64,
     /// Sticky-routed requests, indexed like `router.routes()`.
-    route_stats: Vec<RouteStats>,
+    pub(crate) route_stats: Vec<RouteStats>,
     /// Per-route token buckets, indexed like `router.routes()` (`None` =
     /// unlimited). The mutex is held for a handful of float ops per
     /// admission — never across serving work.
-    route_limits: Vec<Option<Mutex<TokenBucket>>>,
+    pub(crate) route_limits: Vec<Option<Mutex<TokenBucket>>>,
     /// The configured RPS per route, for the `routes` report.
-    route_limit_rps: Vec<Option<f64>>,
+    pub(crate) route_limit_rps: Vec<Option<f64>>,
     /// The shadow target's slot.
-    shadow_stats: RouteStats,
+    pub(crate) shadow_stats: Option<RouteStats>,
     /// Hands mirror jobs to the shadow worker thread (set by `run` when
     /// a shadow target is configured).
-    shadow_tx: OnceLock<mpsc::SyncSender<ShadowJob>>,
+    pub(crate) shadow_tx: OnceLock<mpsc::SyncSender<ShadowJob>>,
     /// Mirrors dropped because the shadow queue was full.
-    shadow_dropped: AtomicU64,
+    pub(crate) shadow_dropped: AtomicU64,
     /// Requests that pinned a model/version explicitly and bypassed the
     /// router.
-    pinned: AtomicU64,
+    pub(crate) pinned: AtomicU64,
+    /// The unified metrics registry behind `GET /metrics` — every
+    /// route/transport counter above is a handle into it.
+    pub(crate) metrics: Arc<MetricsRegistry>,
+    /// Pre-created `ccsa_gateway_requests_total{verb,status}` handles
+    /// for the scored hot path.
+    pub(crate) request_counters: RequestCounters,
+    /// Sampled JSON-lines trace sink (`--trace-log`).
+    pub(crate) trace: Option<TraceSink>,
+    /// When the current drain began — stamped by the first `draining()`
+    /// observation, read by the HTTP loop to honour `drain_grace`.
+    pub(crate) drain_since: Mutex<Option<Instant>>,
+    /// Tells the HTTP accept loop to exit (set after `drain_grace` has
+    /// elapsed, so probes can observe the 503 first).
+    pub(crate) http_stop: AtomicBool,
+}
+
+/// Pre-created request-total counter handles, one per (verb, status):
+/// the hot path records by array index, never through the registry's
+/// family lock.
+pub(crate) struct RequestCounters {
+    compare: [Counter; 4],
+    rank: [Counter; 4],
+}
+
+/// How a scored request ended, as a metric/trace label.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum ReqStatus {
+    /// Served successfully.
+    Ok,
+    /// Failed (parse error, unknown model, encoder panic).
+    Error,
+    /// Shed by the encode queue's capacity bound.
+    Shed,
+    /// Refused by the route's token bucket.
+    RateLimited,
+}
+
+impl ReqStatus {
+    pub(crate) fn label(self) -> &'static str {
+        match self {
+            ReqStatus::Ok => "ok",
+            ReqStatus::Error => "error",
+            ReqStatus::Shed => "shed",
+            ReqStatus::RateLimited => "rate_limited",
+        }
+    }
+
+    fn ix(self) -> usize {
+        match self {
+            ReqStatus::Ok => 0,
+            ReqStatus::Error => 1,
+            ReqStatus::Shed => 2,
+            ReqStatus::RateLimited => 3,
+        }
+    }
+}
+
+impl RequestCounters {
+    fn new(registry: &MetricsRegistry) -> RequestCounters {
+        let counter = |verb: &str, status: ReqStatus| {
+            registry.counter(
+                "ccsa_gateway_requests_total",
+                "Scored requests handled by the gateway, by verb and status \
+                 (TCP and HTTP transports combined).",
+                &[("verb", verb), ("status", status.label())],
+            )
+        };
+        let all = |verb: &str| {
+            [
+                counter(verb, ReqStatus::Ok),
+                counter(verb, ReqStatus::Error),
+                counter(verb, ReqStatus::Shed),
+                counter(verb, ReqStatus::RateLimited),
+            ]
+        };
+        RequestCounters {
+            compare: all("compare"),
+            rank: all("rank"),
+        }
+    }
+
+    pub(crate) fn record(&self, verb: &'static str, status: ReqStatus) {
+        let set = match verb {
+            "compare" => &self.compare,
+            _ => &self.rank,
+        };
+        set[status.ix()].inc();
+    }
 }
 
 /// Work for the shadow worker thread.
-enum ShadowJob {
+pub(crate) enum ShadowJob {
     /// Replay one request against the shadow selector.
     Mirror(ModelSelector, Request),
     /// Drain and exit (sent once by `run` after every session joined).
@@ -132,9 +244,28 @@ enum ShadowJob {
 }
 
 impl Shared {
-    fn draining(&self) -> bool {
-        self.shutdown.load(Ordering::SeqCst)
-            || (self.config.honor_sigterm && signal::sigterm_received())
+    pub(crate) fn draining(&self) -> bool {
+        let draining = self.shutdown.load(Ordering::SeqCst)
+            || (self.config.honor_sigterm && signal::sigterm_received());
+        if draining {
+            // Stamp the drain start once: the HTTP loop's grace period
+            // is measured from the first observation, wherever it came
+            // from (shutdown verb, handle, SIGTERM).
+            let mut since = self.drain_since.lock().expect("drain stamp poisoned");
+            if since.is_none() {
+                *since = Some(Instant::now());
+            }
+        }
+        draining
+    }
+
+    /// Threads a trace record through the sampling gate.
+    pub(crate) fn trace_request(&self, record: &TraceRecord<'_>) {
+        if let Some(sink) = &self.trace {
+            if sink.should_sample(record.request_id) {
+                sink.record(record);
+            }
+        }
     }
 }
 
@@ -143,12 +274,25 @@ impl Shared {
 pub struct GatewayHandle {
     shared: Arc<Shared>,
     addr: SocketAddr,
+    http_addr: Option<SocketAddr>,
 }
 
 impl GatewayHandle {
-    /// The bound address (with the resolved ephemeral port).
+    /// The bound TCP JSON-lines address (with the resolved ephemeral
+    /// port).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound HTTP front-door address, when one is configured.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http_addr
+    }
+
+    /// The unified metrics registry behind `GET /metrics` — also
+    /// renderable in-process (tests, embedding).
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.shared.metrics)
     }
 
     /// Starts a graceful drain: stop admitting, finish in-flight
@@ -166,8 +310,10 @@ impl GatewayHandle {
 /// A bound-but-not-yet-running gateway.
 pub struct Gateway {
     listener: TcpListener,
+    http_listener: Option<TcpListener>,
     shared: Arc<Shared>,
     addr: SocketAddr,
+    http_addr: Option<SocketAddr>,
 }
 
 /// A gateway running on a background thread (tests, benches, and
@@ -178,9 +324,14 @@ pub struct SpawnedGateway {
 }
 
 impl SpawnedGateway {
-    /// The bound address.
+    /// The bound TCP address.
     pub fn addr(&self) -> SocketAddr {
         self.handle.addr()
+    }
+
+    /// The bound HTTP front-door address, when one is configured.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.handle.http_addr()
     }
 
     /// A control handle.
@@ -253,9 +404,38 @@ impl Gateway {
 
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let route_stats = (0..router.routes().len())
-            .map(|_| RouteStats::new())
+        let (http_listener, http_addr) = match &config.http_addr {
+            Some(addr) => {
+                let l = TcpListener::bind(addr)?;
+                let resolved = l.local_addr()?;
+                (Some(l), Some(resolved))
+            }
+            None => (None, None),
+        };
+
+        // The unified registry: every per-route counter below is a
+        // handle into it, the engine attaches its stage histograms and
+        // stats collector, and a gateway collector exports the
+        // transport gauges — so `/metrics`, `stats`, and `routes` all
+        // read the same atomics.
+        let metrics = Arc::new(MetricsRegistry::new());
+        engine.attach_metrics(&metrics);
+        let request_counters = RequestCounters::new(&metrics);
+        let route_stats = router
+            .routes()
+            .iter()
+            .map(|r| RouteStats::new(&metrics, &route_label(&r.selector)))
             .collect();
+        // The shadow slot gets a `shadow:`-prefixed label so its series
+        // can never collide with a same-named primary route.
+        let shadow_stats = router
+            .shadow()
+            .map(|s| RouteStats::new(&metrics, &shadow_metric_label(&s.selector)));
+        let trace = match &config.trace_log {
+            Some(path) => Some(TraceSink::open(path, config.trace_sample_percent)?),
+            None => None,
+        };
+
         let shared = Arc::new(Shared {
             engine,
             router,
@@ -267,15 +447,29 @@ impl Gateway {
             route_stats,
             route_limits,
             route_limit_rps,
-            shadow_stats: RouteStats::new(),
+            shadow_stats,
             shadow_tx: OnceLock::new(),
             shadow_dropped: AtomicU64::new(0),
             pinned: AtomicU64::new(0),
+            metrics,
+            request_counters,
+            trace,
+            drain_since: Mutex::new(None),
+            http_stop: AtomicBool::new(false),
         });
+        // Weak: the registry lives inside Shared, so a strong capture
+        // would be a reference cycle. A handle outliving the gateway
+        // scrapes the built-ins only.
+        let collector_shared = Arc::downgrade(&shared);
+        shared
+            .metrics
+            .register_collector(move || gateway_metric_families(&collector_shared));
         Ok(Gateway {
             listener,
+            http_listener,
             shared,
             addr,
+            http_addr,
         })
     }
 
@@ -284,11 +478,17 @@ impl Gateway {
         self.addr
     }
 
+    /// The bound HTTP front-door address, when one is configured.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http_addr
+    }
+
     /// A control handle (cloneable; usable from other threads).
     pub fn handle(&self) -> GatewayHandle {
         GatewayHandle {
             shared: Arc::clone(&self.shared),
             addr: self.addr,
+            http_addr: self.http_addr,
         }
     }
 
@@ -301,8 +501,25 @@ impl Gateway {
     /// retried).
     pub fn run(self) -> std::io::Result<()> {
         let Gateway {
-            listener, shared, ..
+            listener,
+            http_listener,
+            shared,
+            ..
         } = self;
+        // The HTTP front door runs its own accept loop so health
+        // probes and scrapes never queue behind JSON-lines sessions —
+        // and so it can outlive the TCP loop by `drain_grace`.
+        let http_worker = match http_listener {
+            Some(l) => {
+                let http_shared = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name("ccsa-gw-http".to_string())
+                        .spawn(move || crate::http::run_http_loop(&http_shared, &l))?,
+                )
+            }
+            None => None,
+        };
         // The shadow worker: mirrors run here, off the session threads,
         // so shadow cost never delays any client's next request. One
         // worker is deliberate — shadow encodes funnel into the shared
@@ -403,6 +620,24 @@ impl Gateway {
             }
             let _ = worker.join();
         }
+        if let Some(worker) = http_worker {
+            // Keep the front door answering probes until `drain_grace`
+            // has elapsed since the drain began: a load balancer must
+            // be able to observe `/readyz` = 503 before the socket
+            // disappears.
+            let since = shared
+                .drain_since
+                .lock()
+                .expect("drain stamp poisoned")
+                .unwrap_or_else(Instant::now);
+            let grace = shared.config.drain_grace;
+            let elapsed = since.elapsed();
+            if elapsed < grace {
+                std::thread::sleep(grace - elapsed);
+            }
+            shared.http_stop.store(true, Ordering::SeqCst);
+            let _ = worker.join();
+        }
         Ok(())
     }
 
@@ -434,7 +669,7 @@ fn refuse(mut stream: TcpStream, cap: usize) {
 }
 
 /// What must happen after a response line has been written.
-enum AfterResponse {
+pub(crate) enum AfterResponse {
     /// Nothing; read the next request.
     KeepGoing,
     /// Hand the request to the shadow worker for mirroring.
@@ -569,6 +804,13 @@ fn handle_line(
         .and_then(Json::as_str)
         .unwrap_or(fallback_key)
         .to_string();
+    // The trace key: clients may send their own (as HTTP clients do via
+    // X-Request-Id); anonymous requests get a generated one.
+    let request_id = value
+        .get("request_id")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .unwrap_or_else(generate_request_id);
     let request = match proto::parse_request_value(&value) {
         Ok(r) => r,
         Err(message) => return (proto::error_response(&message), AfterResponse::KeepGoing),
@@ -600,22 +842,30 @@ fn handle_line(
             AfterResponse::KeepGoing,
         ),
         Request::Compare { .. } | Request::Rank { .. } => {
-            serve_scored(shared, request, &client_key, seq)
+            serve_scored(shared, request, &client_key, seq, &request_id, "tcp")
         }
     }
 }
 
 /// Serves a compare/rank request through the router, recording per-route
-/// stats and deciding shadow mirroring.
-fn serve_scored(
+/// stats, verb/status totals, sampled traces, and deciding shadow
+/// mirroring. Shared verbatim by the TCP and HTTP transports, which is
+/// what makes their responses bit-identical.
+pub(crate) fn serve_scored(
     shared: &Shared,
     request: Request,
     client_key: &str,
     seq: u64,
+    request_id: &str,
+    transport: &'static str,
 ) -> (Json, AfterResponse) {
     let selector = match &request {
         Request::Compare { selector, .. } | Request::Rank { selector, .. } => selector.clone(),
         _ => unreachable!("serve_scored only sees compare/rank"),
+    };
+    let verb: &'static str = match &request {
+        Request::Compare { .. } => "compare",
+        _ => "rank",
     };
     // An explicitly pinned model/version bypasses A/B routing: the
     // client asked for *that* model, and experiments must not second-
@@ -628,6 +878,7 @@ fn serve_scored(
         let ix = shared.router.route_index(client_key);
         (Some(ix), shared.router.routes()[ix].selector.clone())
     };
+    let route_lbl = route_label(&effective);
 
     // Token-bucket admission: an over-limit request is shed here with a
     // polite refusal — before it can occupy the shared encode queue.
@@ -636,6 +887,16 @@ fn serve_scored(
             let admitted = bucket.lock().expect("token bucket poisoned").try_acquire();
             if !admitted {
                 shared.route_stats[ix].record_rate_limited();
+                shared.request_counters.record(verb, ReqStatus::RateLimited);
+                shared.trace_request(&TraceRecord {
+                    request_id,
+                    transport,
+                    verb,
+                    route: &route_lbl,
+                    status: ReqStatus::RateLimited.label(),
+                    latency_ms: 0.0,
+                    stages: None,
+                });
                 let response = Json::obj(vec![
                     ("ok", Json::Bool(false)),
                     (
@@ -653,8 +914,24 @@ fn serve_scored(
     }
 
     let start = Instant::now();
-    let (response, hits, lookups, outcome) = execute(&shared.engine, &effective, &request);
+    let (response, hits, lookups, outcome, stages) = execute(&shared.engine, &effective, &request);
     let latency_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let status = match outcome {
+        Outcome::Served => ReqStatus::Ok,
+        Outcome::Failed => ReqStatus::Error,
+        Outcome::Shed => ReqStatus::Shed,
+    };
+    shared.request_counters.record(verb, status);
+    shared.trace_request(&TraceRecord {
+        request_id,
+        transport,
+        verb,
+        route: &route_lbl,
+        status: status.label(),
+        latency_ms,
+        stages,
+    });
 
     let after = match route_ix {
         None => AfterResponse::KeepGoing,
@@ -701,27 +978,38 @@ fn failure_response(e: &ServeError) -> (Json, Outcome) {
 }
 
 /// Runs one request against a selector, returning the response plus
-/// cache attribution: (response, cache hits, cache lookups, outcome).
+/// cache attribution and the engine's stage split: (response, cache
+/// hits, cache lookups, outcome, stages). Stages are `None` for
+/// requests that failed before reaching the stage pipeline.
 fn execute(
     engine: &ServeEngine,
     selector: &ModelSelector,
     request: &Request,
-) -> (Json, u64, u64, Outcome) {
+) -> (Json, u64, u64, Outcome, Option<StageTimings>) {
     match request {
-        Request::Compare { first, second, .. } => match engine.compare(selector, first, second) {
-            Ok(outcome) => {
-                let hits = outcome.cache_hits as u64;
-                (proto::compare_response(&outcome), hits, 2, Outcome::Served)
+        Request::Compare { first, second, .. } => {
+            match engine.compare_batch_traced(selector, &[(first, second)]) {
+                Ok((outcomes, stages)) => {
+                    let outcome = outcomes.into_iter().next().expect("one pair in, one out");
+                    let hits = outcome.cache_hits as u64;
+                    (
+                        proto::compare_response(&outcome),
+                        hits,
+                        2,
+                        Outcome::Served,
+                        Some(stages),
+                    )
+                }
+                Err(e) => {
+                    let (response, outcome) = failure_response(&e);
+                    (response, 0, 0, outcome, None)
+                }
             }
-            Err(e) => {
-                let (response, outcome) = failure_response(&e);
-                (response, 0, 0, outcome)
-            }
-        },
+        }
         Request::Rank { candidates, .. } => {
             let refs: Vec<&str> = candidates.iter().map(String::as_str).collect();
-            match engine.rank(selector, &refs) {
-                Ok(outcome) => {
+            match engine.rank_traced(selector, &refs) {
+                Ok((outcome, stages)) => {
                     let hits = outcome.cache_hits as u64;
                     let lookups = candidates.len() as u64;
                     (
@@ -729,11 +1017,12 @@ fn execute(
                         hits,
                         lookups,
                         Outcome::Served,
+                        Some(stages),
                     )
                 }
                 Err(e) => {
                     let (response, outcome) = failure_response(&e);
-                    (response, 0, 0, outcome)
+                    (response, 0, 0, outcome, None)
                 }
             }
         }
@@ -743,7 +1032,7 @@ fn execute(
 
 /// Hands a mirror job to the shadow worker; a full queue drops the
 /// mirror (counted) rather than slowing the session down.
-fn enqueue_shadow(shared: &Shared, selector: ModelSelector, request: Request) {
+pub(crate) fn enqueue_shadow(shared: &Shared, selector: ModelSelector, request: Request) {
     match shared.shadow_tx.get() {
         Some(tx) => {
             if tx.try_send(ShadowJob::Mirror(selector, request)).is_err() {
@@ -765,19 +1054,21 @@ fn enqueue_shadow(shared: &Shared, selector: ModelSelector, request: Request) {
 /// the same connection's next request.
 fn run_shadow(shared: &Shared, selector: &ModelSelector, request: &Request) {
     let start = Instant::now();
-    let (_, hits, lookups, outcome) = execute(&shared.engine, selector, request);
+    let (_, hits, lookups, outcome, _stages) = execute(&shared.engine, selector, request);
     let latency_ms = start.elapsed().as_secs_f64() * 1e3;
+    let Some(stats) = &shared.shadow_stats else {
+        return; // mirrors only exist when a shadow is configured
+    };
     match outcome {
-        Outcome::Served => shared
-            .shadow_stats
-            .record_success(latency_ms, hits, lookups),
-        Outcome::Failed => shared.shadow_stats.record_error(),
-        Outcome::Shed => shared.shadow_stats.record_queue_shed(),
+        Outcome::Served => stats.record_success(latency_ms, hits, lookups),
+        Outcome::Failed => stats.record_error(),
+        Outcome::Shed => stats.record_queue_shed(),
     }
 }
 
-/// `name@vN` / `name@latest` for error messages.
-fn route_label(selector: &ModelSelector) -> String {
+/// `name@vN` / `name@latest`: the stable per-route metric label (and
+/// the label in error messages).
+pub(crate) fn route_label(selector: &ModelSelector) -> String {
     format!(
         "{}@{}",
         selector.name.as_deref().unwrap_or(DEFAULT_MODEL),
@@ -786,6 +1077,12 @@ fn route_label(selector: &ModelSelector) -> String {
             .map(|v| format!("v{v}"))
             .unwrap_or_else(|| "latest".to_string())
     )
+}
+
+/// The shadow slot's metric label: `shadow:<selector>`, so its
+/// Prometheus series never collide with a same-named primary route.
+pub(crate) fn shadow_metric_label(selector: &ModelSelector) -> String {
+    format!("shadow:{}", route_label(selector))
 }
 
 /// Renders one selector as (model, version) JSON fields.
@@ -814,7 +1111,7 @@ fn selector_fields(selector: &ModelSelector) -> Vec<(&'static str, Json)> {
 /// rolling stats — including each route's encode-shard queue depth, so
 /// a starving or flooded A/B arm is visible per route, not just in the
 /// engine-wide aggregate.
-fn routes_response(shared: &Shared) -> Json {
+pub(crate) fn routes_response(shared: &Shared) -> Json {
     let engine_stats = shared.engine.stats();
     let shard_depth = |selector: &ModelSelector| -> Json {
         // A route names a (name, version) coordinate; its shard (if it
@@ -843,6 +1140,9 @@ fn routes_response(shared: &Shared) -> Json {
             let snap = stats.snapshot();
             let mut fields = selector_fields(&route.selector);
             fields.extend([
+                // The Prometheus label this route's series carry
+                // (`ccsa_route_*_total{route="<metric_label>"}`).
+                ("metric_label", Json::str(route_label(&route.selector))),
                 ("weight", Json::num(route.weight)),
                 ("share", Json::num(share)),
                 ("queue_depth", shard_depth(&route.selector)),
@@ -865,12 +1165,20 @@ fn routes_response(shared: &Shared) -> Json {
             Json::obj(fields)
         })
         .collect();
-    let shadow = match shared.router.shadow() {
-        None => Json::Null,
-        Some(shadow) => {
-            let snap = shared.shadow_stats.snapshot();
+    let shadow = match (shared.router.shadow(), &shared.shadow_stats) {
+        (Some(shadow), Some(stats)) => {
+            let snap = stats.snapshot();
             let mut fields = selector_fields(&shadow.selector);
             fields.extend([
+                // An explicit marker plus the collision-proof metric
+                // label: a shadow entry can share (model, version) with
+                // a primary route, and both consumers of this verb and
+                // Prometheus need to tell the two apart.
+                ("shadow", Json::Bool(true)),
+                (
+                    "metric_label",
+                    Json::str(shadow_metric_label(&shadow.selector)),
+                ),
                 ("fraction", Json::num(shadow.fraction)),
                 ("queue_depth", shard_depth(&shadow.selector)),
                 ("requests", Json::num(snap.requests as f64)),
@@ -886,6 +1194,7 @@ fn routes_response(shared: &Shared) -> Json {
             ]);
             Json::obj(fields)
         }
+        _ => Json::Null,
     };
     Json::obj(vec![
         ("ok", Json::Bool(true)),
@@ -899,8 +1208,73 @@ fn routes_response(shared: &Shared) -> Json {
     ])
 }
 
+/// Scrape-time families for the transport-level gauges and counters —
+/// the same atomics `gateway_stats_response` reports. Holds a weak
+/// `Shared` reference: the registry lives inside `Shared`, so a strong
+/// capture would leak the gateway.
+fn gateway_metric_families(shared: &Weak<Shared>) -> Vec<SampleFamily> {
+    use MetricKind::{Counter, Gauge};
+    let Some(shared) = shared.upgrade() else {
+        return Vec::new();
+    };
+    let scalar = |name: &str, help: &str, kind: MetricKind, v: f64| {
+        SampleFamily::new(name, help, kind, vec![Sample::value(v)])
+    };
+    // Read the raw flags, not `draining()`: a scrape must never stamp
+    // the drain clock.
+    let draining = shared.shutdown.load(Ordering::SeqCst)
+        || (shared.config.honor_sigterm && signal::sigterm_received());
+    vec![
+        scalar(
+            "ccsa_gateway_active_connections",
+            "TCP sessions currently open.",
+            Gauge,
+            shared.active.load(Ordering::SeqCst) as f64,
+        ),
+        scalar(
+            "ccsa_gateway_max_connections",
+            "Configured concurrent-session cap.",
+            Gauge,
+            shared.config.max_connections as f64,
+        ),
+        SampleFamily::new(
+            "ccsa_gateway_connections_total",
+            "Connection attempts, by admission result.",
+            Counter,
+            vec![
+                Sample::new(
+                    &[("result", "accepted")],
+                    shared.accepted.load(Ordering::Relaxed) as f64,
+                ),
+                Sample::new(
+                    &[("result", "rejected")],
+                    shared.rejected.load(Ordering::Relaxed) as f64,
+                ),
+            ],
+        ),
+        scalar(
+            "ccsa_gateway_shadow_dropped_total",
+            "Shadow mirrors dropped because the mirror queue was full.",
+            Counter,
+            shared.shadow_dropped.load(Ordering::Relaxed) as f64,
+        ),
+        scalar(
+            "ccsa_gateway_pinned_requests_total",
+            "Requests that pinned a model/version and bypassed A/B routing.",
+            Counter,
+            shared.pinned.load(Ordering::Relaxed) as f64,
+        ),
+        scalar(
+            "ccsa_gateway_draining",
+            "1 while the gateway is draining (readyz returns 503), else 0.",
+            Gauge,
+            f64::from(draining),
+        ),
+    ]
+}
+
 /// The `stats` verb: engine stats plus transport-level gauges.
-fn gateway_stats_response(shared: &Shared) -> Json {
+pub(crate) fn gateway_stats_response(shared: &Shared) -> Json {
     let mut response = proto::stats_response(&shared.engine.stats());
     if let Json::Obj(members) = &mut response {
         members.extend([

@@ -1,15 +1,24 @@
 //! Per-route rolling statistics: request counts, cache attribution, and
 //! latency percentiles over a sliding window.
 //!
-//! Counters are atomics (hot path pays one `fetch_add` each); latencies
-//! go into a fixed-size ring buffer behind a mutex held only for the
-//! append (the O(n log n) sort happens at snapshot time, on the `routes`
-//! request path, not the serving path). A rolling window rather than
-//! all-time aggregates: a ramping model's p99 should reflect the last few
-//! thousand requests, not the cold-start spike from an hour ago.
+//! Since the unified-registry refactor the counters *are* Prometheus
+//! series: every [`RouteStats`] counter is a handle into the gateway's
+//! [`MetricsRegistry`] (`ccsa_route_*_total{route}`), and latencies
+//! additionally feed the fixed-bucket `ccsa_route_latency_seconds`
+//! histogram. The `routes` verb and `GET /metrics` therefore read the
+//! *same atomics* — one source of truth, pinned by the e2e tests. The
+//! hot path still pays one lock-free `fetch_add` per counter.
+//!
+//! The rolling-percentile window survives alongside the histogram
+//! because they answer different questions: the histogram is the
+//! scrape-friendly cumulative distribution, the ring buffer gives the
+//! `routes` verb an exact p50/p99 over the last few thousand requests —
+//! a ramping model's p99 should reflect recent traffic, not the
+//! cold-start spike from an hour ago (and not a bucket lower bound).
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+use ccsa_serve::{Counter, MetricsRegistry, LATENCY_BUCKETS_S};
 
 /// Latencies kept per route. 4096 × 8 bytes per route is trivial memory,
 /// and at that depth p99 rests on ~41 samples — enough to be stable.
@@ -39,36 +48,69 @@ impl LatencyWindow {
     }
 }
 
-impl Default for LatencyWindow {
-    fn default() -> LatencyWindow {
-        LatencyWindow::new()
-    }
-}
-
-/// Live accumulator for one route (or the shadow slot).
-#[derive(Default)]
+/// Live accumulator for one route (or the shadow slot), backed by
+/// registry series labelled `{route="<label>"}`.
 pub struct RouteStats {
-    requests: AtomicU64,
-    errors: AtomicU64,
-    rate_limited: AtomicU64,
-    queue_shed: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_lookups: AtomicU64,
+    requests: Counter,
+    errors: Counter,
+    rate_limited: Counter,
+    queue_shed: Counter,
+    cache_hits: Counter,
+    cache_lookups: Counter,
+    latency: ccsa_serve::Histogram,
     latencies: Mutex<LatencyWindow>,
 }
 
 impl RouteStats {
-    /// A zeroed accumulator.
-    pub fn new() -> RouteStats {
-        RouteStats::default()
+    /// An accumulator whose counters are registered under
+    /// `{route="<route>"}`. Shadow slots use the `shadow:<selector>`
+    /// label so their series can never collide with a same-named
+    /// primary route.
+    pub fn new(registry: &MetricsRegistry, route: &str) -> RouteStats {
+        let labels = [("route", route)];
+        let counter = |name: &str, help: &str| registry.counter(name, help, &labels);
+        RouteStats {
+            requests: counter(
+                "ccsa_route_requests_total",
+                "Requests routed to a route, including failed ones, excluding sheds.",
+            ),
+            errors: counter(
+                "ccsa_route_errors_total",
+                "Routed requests that produced an ok:false outcome.",
+            ),
+            rate_limited: counter(
+                "ccsa_route_rate_limited_total",
+                "Requests shed by the route's token bucket at admission.",
+            ),
+            queue_shed: counter(
+                "ccsa_route_queue_shed_total",
+                "Requests shed by the route's encode-shard capacity bound.",
+            ),
+            cache_hits: counter(
+                "ccsa_route_cache_hits_total",
+                "Source trees served from the embedding cache on this route.",
+            ),
+            cache_lookups: counter(
+                "ccsa_route_cache_lookups_total",
+                "Source trees looked up in the embedding cache on this route.",
+            ),
+            latency: registry.histogram(
+                "ccsa_route_latency_seconds",
+                "Served-request latency per route, in seconds.",
+                &labels,
+                &LATENCY_BUCKETS_S,
+            ),
+            latencies: Mutex::new(LatencyWindow::new()),
+        }
     }
 
     /// Records one served request: its latency and how many of its
     /// `lookups` source trees came from the embedding cache.
     pub fn record_success(&self, latency_ms: f64, hits: u64, lookups: u64) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.cache_hits.fetch_add(hits, Ordering::Relaxed);
-        self.cache_lookups.fetch_add(lookups, Ordering::Relaxed);
+        self.requests.inc();
+        self.cache_hits.add(hits);
+        self.cache_lookups.add(lookups);
+        self.latency.observe(latency_ms / 1e3);
         self.latencies
             .lock()
             .expect("latency window poisoned")
@@ -79,8 +121,8 @@ impl RouteStats {
     /// failure). Errors count as requests but contribute no latency
     /// sample — percentiles describe *served* traffic.
     pub fn record_error(&self) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.requests.inc();
+        self.errors.inc();
     }
 
     /// Records a request shed by the route's token bucket. Rate-limited
@@ -88,7 +130,7 @@ impl RouteStats {
     /// admission, so they are neither served traffic (no latency sample)
     /// nor serving errors.
     pub fn record_rate_limited(&self) {
-        self.rate_limited.fetch_add(1, Ordering::Relaxed);
+        self.rate_limited.inc();
     }
 
     /// Records a request shed by its encode shard's capacity bound.
@@ -96,10 +138,11 @@ impl RouteStats {
     /// serving errors — but they come from the queue, not the token
     /// bucket, so they get their own counter.
     pub fn record_queue_shed(&self) {
-        self.queue_shed.fetch_add(1, Ordering::Relaxed);
+        self.queue_shed.inc();
     }
 
-    /// A consistent point-in-time copy with computed percentiles.
+    /// A consistent point-in-time copy with computed percentiles, read
+    /// from the very registry counters `/metrics` scrapes.
     pub fn snapshot(&self) -> RouteStatsSnapshot {
         let (p50_ms, p99_ms, window_len) = {
             let window = self.latencies.lock().expect("latency window poisoned");
@@ -112,13 +155,13 @@ impl RouteStats {
                 sorted.len(),
             )
         };
-        let hits = self.cache_hits.load(Ordering::Relaxed);
-        let lookups = self.cache_lookups.load(Ordering::Relaxed);
+        let hits = self.cache_hits.get();
+        let lookups = self.cache_lookups.get();
         RouteStatsSnapshot {
-            requests: self.requests.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            rate_limited: self.rate_limited.load(Ordering::Relaxed),
-            queue_shed: self.queue_shed.load(Ordering::Relaxed),
+            requests: self.requests.get(),
+            errors: self.errors.get(),
+            rate_limited: self.rate_limited.get(),
+            queue_shed: self.queue_shed.get(),
             cache_hits: hits,
             cache_lookups: lookups,
             cache_hit_rate: if lookups == 0 {
@@ -174,7 +217,8 @@ mod tests {
 
     #[test]
     fn counters_and_hit_rate() {
-        let s = RouteStats::new();
+        let registry = MetricsRegistry::new();
+        let s = RouteStats::new(&registry, "default@v1");
         s.record_success(1.0, 2, 2);
         s.record_success(2.0, 0, 2);
         s.record_error();
@@ -193,8 +237,27 @@ mod tests {
     }
 
     #[test]
+    fn counters_are_registry_series() {
+        // The snapshot and the scrape read the same atomics: what the
+        // routes verb reports is literally what Prometheus collects.
+        let registry = MetricsRegistry::new();
+        let s = RouteStats::new(&registry, "exp@v2");
+        s.record_success(5.0, 1, 2);
+        s.record_error();
+        let text = registry.render();
+        assert!(text.contains("ccsa_route_requests_total{route=\"exp@v2\"} 2"));
+        assert!(text.contains("ccsa_route_errors_total{route=\"exp@v2\"} 1"));
+        assert!(text.contains("ccsa_route_cache_hits_total{route=\"exp@v2\"} 1"));
+        // One latency observation landed in the histogram.
+        assert!(text.contains("ccsa_route_latency_seconds_count{route=\"exp@v2\"} 1"));
+        // 5 ms is recorded in seconds (the 0.005 sum confirms the unit).
+        assert!(text.contains("ccsa_route_latency_seconds_sum{route=\"exp@v2\"} 0.005"));
+    }
+
+    #[test]
     fn percentiles_are_nearest_rank() {
-        let s = RouteStats::new();
+        let registry = MetricsRegistry::new();
+        let s = RouteStats::new(&registry, "default@v1");
         for i in 1..=100 {
             s.record_success(i as f64, 0, 1);
         }
@@ -206,7 +269,8 @@ mod tests {
 
     #[test]
     fn window_rolls_over() {
-        let s = RouteStats::new();
+        let registry = MetricsRegistry::new();
+        let s = RouteStats::new(&registry, "default@v1");
         // Fill beyond capacity: early (slow) samples must age out.
         for _ in 0..LATENCY_WINDOW {
             s.record_success(1000.0, 0, 1);
@@ -222,7 +286,8 @@ mod tests {
 
     #[test]
     fn empty_stats_snapshot_is_zeroed() {
-        let snap = RouteStats::new().snapshot();
+        let registry = MetricsRegistry::new();
+        let snap = RouteStats::new(&registry, "default@v1").snapshot();
         assert_eq!(snap.requests, 0);
         assert_eq!(snap.p50_ms, 0.0);
         assert_eq!(snap.p99_ms, 0.0);

@@ -1,0 +1,229 @@
+//! Sampled per-request tracing: request IDs and an optional JSON-lines
+//! sink.
+//!
+//! Every scored request gets a request ID — taken from the client
+//! (`X-Request-Id` on HTTP, `"request_id"` on the JSON-lines protocol)
+//! or generated — which is threaded through routing and serving and
+//! echoed back in the response, so one slow request can be chased
+//! across client logs, the trace sink, and the gateway's stage
+//! histograms with a single key.
+//!
+//! The sink ([`TraceSink`]) appends one JSON object per traced request
+//! with the route decision, outcome, and the engine's per-stage
+//! wall-clock split ([`ccsa_serve::StageTimings`]). Sampling is
+//! *deterministic* on the request ID (FNV-1a → unit interval < N%): the
+//! same request ID is always either traced or not, on every gateway in
+//! a fleet, so a client retrying with its own ID produces a complete
+//! trace or none — never a partial one.
+
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use ccsa_serve::json::Json;
+use ccsa_serve::StageTimings;
+
+/// Salt for generated request IDs, so they cannot collide with the
+/// sequence numbers they derive from.
+const REQUEST_ID_SALT: u64 = 0x6363_7361_5f69_645f; // "ccsa_id_"
+
+static NEXT_REQUEST: AtomicU64 = AtomicU64::new(1);
+
+/// A process-unique request ID (16 lowercase hex digits), for requests
+/// that did not bring their own.
+pub fn generate_request_id() -> String {
+    let seq = NEXT_REQUEST.fetch_add(1, Ordering::Relaxed);
+    format!(
+        "{:016x}",
+        ccsa_serve::hash::splitmix64(seq ^ REQUEST_ID_SALT)
+    )
+}
+
+/// A JSON-lines trace sink sampling a deterministic fraction of
+/// requests.
+pub struct TraceSink {
+    writer: Mutex<std::io::BufWriter<std::fs::File>>,
+    /// Sampled fraction in [0, 1].
+    fraction: f64,
+    written: AtomicU64,
+}
+
+/// One request's trace record, assembled by the transport.
+pub struct TraceRecord<'a> {
+    /// The request ID (client-provided or generated).
+    pub request_id: &'a str,
+    /// `"tcp"` or `"http"`.
+    pub transport: &'static str,
+    /// `"compare"` or `"rank"`.
+    pub verb: &'static str,
+    /// The route label the request landed on (`name@vN`, `pinned`, or
+    /// `shadow:<selector>`).
+    pub route: &'a str,
+    /// `"ok"`, `"error"`, `"shed"`, or `"rate_limited"`.
+    pub status: &'static str,
+    /// End-to-end transport-side latency.
+    pub latency_ms: f64,
+    /// The engine's per-stage split (absent for refused requests that
+    /// never reached the engine).
+    pub stages: Option<StageTimings>,
+}
+
+impl TraceSink {
+    /// Opens (appends to) `path`. `sample_percent` is clamped to
+    /// [0, 100].
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-open failures.
+    pub fn open(path: &Path, sample_percent: f64) -> std::io::Result<TraceSink> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(TraceSink {
+            writer: Mutex::new(std::io::BufWriter::new(file)),
+            fraction: (sample_percent / 100.0).clamp(0.0, 1.0),
+            written: AtomicU64::new(0),
+        })
+    }
+
+    /// Whether this request ID falls inside the sampled fraction.
+    /// Deterministic: FNV-1a of the ID mapped to [0, 1).
+    pub fn should_sample(&self, request_id: &str) -> bool {
+        if self.fraction >= 1.0 {
+            return true;
+        }
+        if self.fraction <= 0.0 {
+            return false;
+        }
+        let mut h = ccsa_serve::hash::Fnv1a::new();
+        h.write(request_id.as_bytes());
+        // Top 53 bits → an exact f64 in [0, 1).
+        let unit = (h.finish() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < self.fraction
+    }
+
+    /// Appends one record (caller has already passed
+    /// [`TraceSink::should_sample`]). Each line is flushed so tails and
+    /// tests see records immediately; traced traffic is a sample, so
+    /// the flush cost never touches most requests.
+    pub fn record(&self, record: &TraceRecord<'_>) {
+        let mut fields = vec![
+            ("request_id", Json::str(record.request_id)),
+            ("transport", Json::str(record.transport)),
+            ("verb", Json::str(record.verb)),
+            ("route", Json::str(record.route)),
+            ("status", Json::str(record.status)),
+            ("latency_ms", Json::num(record.latency_ms)),
+        ];
+        if let Some(stages) = &record.stages {
+            fields.push((
+                "stages_ms",
+                Json::obj(vec![
+                    ("parse", Json::num(stages.parse_s * 1e3)),
+                    ("cache", Json::num(stages.cache_s * 1e3)),
+                    ("encode", Json::num(stages.encode_s * 1e3)),
+                    ("classify", Json::num(stages.classify_s * 1e3)),
+                ]),
+            ));
+        }
+        let line = Json::obj(fields).to_string();
+        let mut w = self.writer.lock().expect("trace sink poisoned");
+        if writeln!(w, "{line}").and_then(|()| w.flush()).is_ok() {
+            self.written.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records successfully written so far.
+    pub fn written(&self) -> u64 {
+        self.written.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "ccsa-trace-{tag}-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn generated_ids_are_unique_hex() {
+        let a = generate_request_id();
+        let b = generate_request_id();
+        assert_ne!(a, b);
+        assert_eq!(a.len(), 16);
+        assert!(a.bytes().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_proportional() {
+        let path = temp_path("sample");
+        let sink = TraceSink::open(&path, 50.0).unwrap();
+        let ids: Vec<String> = (0..2000).map(|_| generate_request_id()).collect();
+        let first: Vec<bool> = ids.iter().map(|id| sink.should_sample(id)).collect();
+        let second: Vec<bool> = ids.iter().map(|id| sink.should_sample(id)).collect();
+        assert_eq!(first, second, "same ID must always sample the same way");
+        let hits = first.iter().filter(|&&s| s).count();
+        assert!(
+            (700..1300).contains(&hits),
+            "~50% of 2000 ids should sample, got {hits}"
+        );
+        let all = TraceSink::open(&path, 100.0).unwrap();
+        let none = TraceSink::open(&path, 0.0).unwrap();
+        assert!(ids.iter().all(|id| all.should_sample(id)));
+        assert!(!ids.iter().any(|id| none.should_sample(id)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn records_are_json_lines_with_stages() {
+        let path = temp_path("record");
+        let sink = TraceSink::open(&path, 100.0).unwrap();
+        sink.record(&TraceRecord {
+            request_id: "abc123",
+            transport: "tcp",
+            verb: "compare",
+            route: "default@v1",
+            status: "ok",
+            latency_ms: 1.25,
+            stages: Some(StageTimings {
+                parse_s: 0.001,
+                cache_s: 0.0002,
+                encode_s: 0.003,
+                classify_s: 0.0001,
+            }),
+        });
+        sink.record(&TraceRecord {
+            request_id: "def456",
+            transport: "http",
+            verb: "rank",
+            route: "exp@v2",
+            status: "rate_limited",
+            latency_ms: 0.01,
+            stages: None,
+        });
+        assert_eq!(sink.written(), 2);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let v = ccsa_serve::json::parse(lines[0]).unwrap();
+        assert_eq!(v.get("request_id").unwrap().as_str(), Some("abc123"));
+        assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+        let stages = v.get("stages_ms").unwrap();
+        assert_eq!(stages.get("parse").unwrap().as_f64(), Some(1.0));
+        assert_eq!(stages.get("encode").unwrap().as_f64(), Some(3.0));
+        let v = ccsa_serve::json::parse(lines[1]).unwrap();
+        assert!(
+            v.get("stages_ms").is_none(),
+            "refused requests carry no stages"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -10,7 +10,9 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-use ccsa_gateway::{signal, Gateway, GatewayClient, GatewayConfig, Route, Router, ShadowRoute};
+use ccsa_gateway::{
+    signal, Gateway, GatewayClient, GatewayConfig, HttpGatewayClient, Route, Router, ShadowRoute,
+};
 use ccsa_model::comparator::{Comparator, EncoderConfig};
 use ccsa_model::pipeline::TrainedModel;
 use ccsa_nn::param::Params;
@@ -583,6 +585,416 @@ fn shadow_traffic_reaches_the_candidate_and_is_reported() {
     assert!(v2_lookups > 0, "shadow model never saw traffic");
 
     gateway.shutdown_and_join().unwrap();
+}
+
+/// A gateway config with the HTTP front door on an ephemeral port.
+fn http_config() -> GatewayConfig {
+    GatewayConfig {
+        http_addr: Some("127.0.0.1:0".to_string()),
+        ..GatewayConfig::default()
+    }
+}
+
+fn http_connect(addr: SocketAddr) -> HttpGatewayClient {
+    let mut client = HttpGatewayClient::connect(addr).expect("http connect");
+    client
+        .set_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    client
+}
+
+/// The value of one series in a Prometheus text exposition, located by
+/// its exact `name{labels}` prefix.
+fn metric_value(text: &str, series: &str) -> f64 {
+    text.lines()
+        .find(|l| {
+            l.strip_prefix(series)
+                .is_some_and(|rest| rest.starts_with(' '))
+        })
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("series {series:?} not found in scrape"))
+}
+
+#[test]
+fn http_and_tcp_scored_responses_are_bit_identical() {
+    // The acceptance invariant for the front door: the same request body
+    // over HTTP and over JSON-lines produces byte-identical response
+    // JSON — same scores, same fields, same serialization.
+    let engine = two_version_engine();
+    let gateway = Gateway::spawn(engine, split_router(0.5, 0.5), http_config()).unwrap();
+    let mut tcp = connect(gateway.addr());
+    let mut http = http_connect(gateway.http_addr().unwrap());
+
+    // Warm the embedding cache for every tree the comparisons below
+    // use: `cache_hits` is engine state, and both transports must see
+    // the *same* state to produce the same bytes.
+    tcp.compare(SLOW, FAST, Some("twin")).unwrap();
+    tcp.rank(&[FAST, SLOW, MID, FAST], Some("twin")).unwrap();
+
+    // Same sticky key on both transports → same route, same model.
+    let compare_body = Json::obj(vec![
+        ("first", Json::str(SLOW)),
+        ("second", Json::str(FAST)),
+        ("client", Json::str("twin")),
+    ])
+    .to_string();
+    let tcp_reply = tcp
+        .request_line(&format!(
+            r#"{{"op":"compare","first":{first},"second":{second},"client":"twin"}}"#,
+            first = Json::str(SLOW),
+            second = Json::str(FAST),
+        ))
+        .unwrap();
+    let http_reply = http
+        .post("/v1/compare", &compare_body, Some("req-compare-1"))
+        .unwrap();
+    assert_eq!(http_reply.status, 200);
+    assert_eq!(http_reply.request_id.as_deref(), Some("req-compare-1"));
+    assert_eq!(
+        http_reply.body.trim_end(),
+        tcp_reply.to_string(),
+        "HTTP and TCP compare responses diverged"
+    );
+
+    // Rank streams chunked; the reassembled body must still match.
+    let candidates = Json::Arr(
+        [FAST, SLOW, MID, FAST]
+            .iter()
+            .map(|&c| Json::str(c))
+            .collect(),
+    );
+    let rank_body = Json::obj(vec![
+        ("candidates", candidates.clone()),
+        ("client", Json::str("twin")),
+    ])
+    .to_string();
+    let tcp_rank = tcp
+        .request(&Json::obj(vec![
+            ("op", Json::str("rank")),
+            ("candidates", candidates),
+            ("client", Json::str("twin")),
+        ]))
+        .unwrap();
+    let http_rank = http.post("/v1/rank", &rank_body, None).unwrap();
+    assert_eq!(http_rank.status, 200);
+    // Anonymous requests still get a (generated) ID echoed back.
+    assert!(http_rank.request_id.is_some());
+    assert_eq!(
+        http_rank.body.trim_end(),
+        tcp_rank.to_string(),
+        "HTTP and TCP rank responses diverged"
+    );
+
+    // Spot-check the front door's error contract on the same session.
+    assert_eq!(http.get("/nope").unwrap().status, 404);
+    assert_eq!(http.get("/v1/compare").unwrap().status, 405);
+    let mismatched = http
+        .post("/v1/compare", r#"{"op":"rank","candidates":[]}"#, None)
+        .unwrap();
+    assert_eq!(mismatched.status, 400);
+
+    gateway.shutdown_and_join().unwrap();
+}
+
+#[test]
+fn readyz_flips_to_503_through_the_drain_grace_window() {
+    let engine = two_version_engine();
+    let config = GatewayConfig {
+        drain_grace: Duration::from_millis(1500),
+        ..http_config()
+    };
+    let gateway = Gateway::spawn(engine, Router::single_default(), config).unwrap();
+    let handle = gateway.handle();
+    let http_addr = gateway.http_addr().unwrap();
+
+    let mut http = http_connect(http_addr);
+    assert_eq!(http.get("/healthz").unwrap().status, 200);
+    let ready = http.get("/readyz").unwrap();
+    assert_eq!(ready.status, 200);
+    assert_eq!(ready.body, "ready\n");
+
+    handle.shutdown();
+    // The TCP loop exits immediately, but the front door must keep
+    // answering — with readiness flipped — for the whole grace window.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let reply = http.get("/readyz").unwrap();
+        if reply.status == 503 {
+            assert_eq!(reply.body, "draining\n");
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "readyz never flipped to 503 after shutdown"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // Liveness stays green while draining; scored traffic is refused
+    // with an explicit marker.
+    assert_eq!(http.get("/healthz").unwrap().status, 200);
+    let refused = http
+        .post(
+            "/v1/compare",
+            &Json::obj(vec![
+                ("first", Json::str(FAST)),
+                ("second", Json::str(SLOW)),
+            ])
+            .to_string(),
+            None,
+        )
+        .unwrap();
+    assert_eq!(refused.status, 503);
+    let refused_json = ccsa_serve::json::parse(refused.body.trim_end()).unwrap();
+    assert_eq!(
+        refused_json.get("draining").and_then(Json::as_bool),
+        Some(true)
+    );
+    // The scrape keeps working during the grace window and reports the
+    // drain.
+    let scrape = http.get("/metrics").unwrap();
+    assert_eq!(scrape.status, 200);
+    assert_eq!(metric_value(&scrape.body, "ccsa_gateway_draining"), 1.0);
+
+    gateway.shutdown_and_join().unwrap();
+}
+
+#[test]
+fn metrics_scrape_is_rich_and_agrees_with_the_verbs() {
+    let engine = two_version_engine();
+    let gateway = Gateway::spawn(engine, split_router(0.5, 0.5), http_config()).unwrap();
+    let mut tcp = connect(gateway.addr());
+    let mut http = http_connect(gateway.http_addr().unwrap());
+
+    // Traffic over both transports.
+    for _ in 0..3 {
+        tcp.compare(SLOW, FAST, Some("scraped")).unwrap();
+    }
+    let body = Json::obj(vec![
+        ("first", Json::str(FAST)),
+        ("second", Json::str(MID)),
+        ("client", Json::str("scraped")),
+    ])
+    .to_string();
+    assert_eq!(http.post("/v1/compare", &body, None).unwrap().status, 200);
+
+    let stats = tcp.stats().unwrap();
+    let routes = tcp.routes().unwrap();
+    let scrape = http.get("/metrics").unwrap();
+    assert_eq!(scrape.status, 200);
+    let text = &scrape.body;
+
+    // ≥ 12 metric families, every one typed.
+    let families: Vec<&str> = text
+        .lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .filter_map(|l| l.split_ascii_whitespace().next())
+        .collect();
+    assert!(
+        families.len() >= 12,
+        "scrape exposes only {} families: {families:?}",
+        families.len()
+    );
+    for must in [
+        "ccsa_uptime_seconds",
+        "ccsa_build_info",
+        "ccsa_compares_total",
+        "ccsa_stage_duration_seconds",
+        "ccsa_route_requests_total",
+        "ccsa_route_latency_seconds",
+        "ccsa_gateway_requests_total",
+        "ccsa_gateway_active_connections",
+        "ccsa_http_requests_total",
+    ] {
+        assert!(families.contains(&must), "scrape is missing {must}");
+    }
+
+    // The verbs and the scrape read the same atomics: the numbers the
+    // JSON-lines protocol reports are the numbers Prometheus collects.
+    let compares = stats.get("compares").and_then(Json::as_f64).unwrap();
+    assert_eq!(metric_value(text, "ccsa_compares_total"), compares);
+    assert_eq!(compares, 4.0, "3 TCP + 1 HTTP compares");
+    let route_entries = routes.get("routes").and_then(Json::as_arr).unwrap();
+    for entry in route_entries {
+        let label = entry.get("metric_label").and_then(Json::as_str).unwrap();
+        let requests = entry.get("requests").and_then(Json::as_f64).unwrap();
+        assert_eq!(
+            metric_value(
+                text,
+                &format!("ccsa_route_requests_total{{route=\"{label}\"}}")
+            ),
+            requests,
+            "routes verb and scrape disagree for {label}"
+        );
+    }
+    // All four requests used one sticky key, so one route carries 4.
+    let per_route: Vec<f64> = route_entries
+        .iter()
+        .map(|e| e.get("requests").and_then(Json::as_f64).unwrap())
+        .collect();
+    assert_eq!(per_route.iter().sum::<f64>(), 4.0);
+    // The HTTP request log covers both the scored call and this scrape.
+    assert_eq!(
+        metric_value(
+            text,
+            "ccsa_http_requests_total{path=\"/v1/compare\",code=\"200\"}"
+        ),
+        1.0
+    );
+    assert!(metric_value(text, "ccsa_uptime_seconds") >= 0.0);
+
+    gateway.shutdown_and_join().unwrap();
+}
+
+#[test]
+fn routes_verb_marks_shadow_entries_and_their_metric_labels() {
+    let engine = two_version_engine();
+    let router = Router::new(
+        vec![Route {
+            selector: versioned(1),
+            weight: 1.0,
+        }],
+        Some(ShadowRoute {
+            selector: versioned(2),
+            fraction: 1.0,
+        }),
+    )
+    .unwrap();
+    let gateway = Gateway::spawn(engine, router, http_config()).unwrap();
+    let mut tcp = connect(gateway.addr());
+    let mut http = http_connect(gateway.http_addr().unwrap());
+
+    tcp.compare(SLOW, FAST, Some("shadow-label")).unwrap();
+    // The mirror runs on the shadow worker; wait until it lands.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let shadow = loop {
+        let routes = tcp.routes().unwrap();
+        let shadow = routes.get("shadow").unwrap().clone();
+        if shadow.get("requests").and_then(Json::as_f64) == Some(1.0) {
+            break shadow;
+        }
+        assert!(Instant::now() < deadline, "shadow mirror never landed");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+
+    // The explicit marker and the collision-proof label (satellite a).
+    assert_eq!(shadow.get("shadow").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        shadow.get("metric_label").and_then(Json::as_str),
+        Some("shadow:default@v2")
+    );
+    // Primary entries carry their own label and no shadow marker.
+    let routes = tcp.routes().unwrap();
+    let primary = &routes.get("routes").and_then(Json::as_arr).unwrap()[0];
+    assert_eq!(
+        primary.get("metric_label").and_then(Json::as_str),
+        Some("default@v1")
+    );
+    assert!(primary.get("shadow").is_none());
+    // And the scrape carries the shadow's series under that label.
+    let text = http.get("/metrics").unwrap().body;
+    assert_eq!(
+        metric_value(
+            &text,
+            "ccsa_route_requests_total{route=\"shadow:default@v2\"}"
+        ),
+        1.0
+    );
+
+    gateway.shutdown_and_join().unwrap();
+}
+
+#[test]
+fn stats_verb_reports_uptime_and_build_info() {
+    let engine = two_version_engine();
+    let gateway = Gateway::spawn(engine, Router::single_default(), http_config()).unwrap();
+    let mut tcp = connect(gateway.addr());
+
+    let stats = tcp.stats().unwrap();
+    assert!(stats.get("uptime_seconds").and_then(Json::as_f64).unwrap() >= 0.0);
+    let build = stats.get("build").unwrap();
+    let version = build.get("version").and_then(Json::as_str).unwrap();
+    assert!(!version.is_empty());
+    assert!(build.get("revision").and_then(Json::as_str).is_some());
+
+    // The same identity appears on the scrape as a build-info gauge.
+    let mut http = http_connect(gateway.http_addr().unwrap());
+    let text = http.get("/metrics").unwrap().body;
+    let info_line = text
+        .lines()
+        .find(|l| l.starts_with("ccsa_build_info{"))
+        .expect("scrape carries ccsa_build_info");
+    assert!(info_line.contains(&format!("version=\"{version}\"")));
+    assert!(info_line.ends_with(" 1"));
+
+    gateway.shutdown_and_join().unwrap();
+}
+
+#[test]
+fn trace_log_captures_both_transports_with_stage_splits() {
+    let trace_path = std::env::temp_dir().join(format!(
+        "ccsa-e2e-trace-{}-{:?}.jsonl",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&trace_path);
+    let engine = two_version_engine();
+    let config = GatewayConfig {
+        trace_log: Some(trace_path.clone()),
+        trace_sample_percent: 100.0,
+        ..http_config()
+    };
+    let gateway = Gateway::spawn(engine, Router::single_default(), config).unwrap();
+    let mut tcp = connect(gateway.addr());
+    let mut http = http_connect(gateway.http_addr().unwrap());
+
+    // A TCP request carrying its own ID, and an HTTP request tagged via
+    // the header.
+    tcp.request(&Json::obj(vec![
+        ("op", Json::str("compare")),
+        ("first", Json::str(SLOW)),
+        ("second", Json::str(FAST)),
+        ("request_id", Json::str("trace-tcp-1")),
+    ]))
+    .unwrap();
+    let body = Json::obj(vec![("first", Json::str(FAST)), ("second", Json::str(MID))]).to_string();
+    let reply = http
+        .post("/v1/compare", &body, Some("trace-http-1"))
+        .unwrap();
+    assert_eq!(reply.status, 200);
+    gateway.shutdown_and_join().unwrap();
+
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let records: Vec<Json> = text
+        .lines()
+        .map(|l| ccsa_serve::json::parse(l).unwrap())
+        .collect();
+    let find = |id: &str| {
+        records
+            .iter()
+            .find(|r| r.get("request_id").and_then(Json::as_str) == Some(id))
+            .unwrap_or_else(|| panic!("no trace record for {id}"))
+    };
+    let tcp_rec = find("trace-tcp-1");
+    assert_eq!(tcp_rec.get("transport").and_then(Json::as_str), Some("tcp"));
+    assert_eq!(tcp_rec.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(
+        tcp_rec.get("route").and_then(Json::as_str),
+        Some("default@latest")
+    );
+    let http_rec = find("trace-http-1");
+    assert_eq!(
+        http_rec.get("transport").and_then(Json::as_str),
+        Some("http")
+    );
+    for rec in [tcp_rec, http_rec] {
+        assert!(rec.get("latency_ms").and_then(Json::as_f64).unwrap() >= 0.0);
+        let stages = rec.get("stages_ms").expect("served requests carry stages");
+        for stage in ["parse", "cache", "encode", "classify"] {
+            assert!(stages.get(stage).and_then(Json::as_f64).unwrap() >= 0.0);
+        }
+    }
+    let _ = std::fs::remove_file(&trace_path);
 }
 
 /// Two persistent gateways over one engine: `plain` routes everything to

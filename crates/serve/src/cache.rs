@@ -433,6 +433,21 @@ impl ShardedCache {
         total
     }
 
+    /// Per-stripe counter snapshots plus current entry counts, in
+    /// stripe order — the observability surface for skew diagnosis
+    /// (one hot stripe shows up here long before the aggregate
+    /// hit-rate moves). Each stripe is locked once, independently; no
+    /// cross-stripe lock is ever held.
+    pub fn stripe_stats(&self) -> Vec<(CacheStats, usize)> {
+        self.stripes
+            .iter()
+            .map(|stripe| {
+                let guard = stripe.lock().expect("cache stripe poisoned");
+                (guard.stats(), guard.len())
+            })
+            .collect()
+    }
+
     /// Drops every entry (telemetry counters survive).
     pub fn clear(&self) {
         for stripe in &self.stripes {

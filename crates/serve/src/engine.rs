@@ -26,13 +26,17 @@
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
 
 use ccsa_cppast::{parse_program, AstGraph, ParseError};
 use ccsa_tensor::Tensor;
 
 use crate::batch::{BatchConfig, BatchStats, EncodeError, EncodePool};
 use crate::cache::{CacheStats, ShardedCache, SnapshotError};
+use crate::metrics::{
+    Histogram, MetricKind, MetricsRegistry, Sample, SampleFamily, LATENCY_BUCKETS_S,
+};
 use crate::rank::{rank_from_matrix, RankedCandidate};
 use crate::registry::{ModelRegistry, ModelSelector, RegistryError, ServeModel, DEFAULT_MODEL};
 
@@ -126,6 +130,30 @@ impl From<SnapshotError> for ServeError {
     }
 }
 
+/// Wall-clock seconds one request spent in each engine stage.
+/// Returned by the `_traced` request variants so transports can record
+/// per-stage latency histograms and per-request trace entries; the
+/// engine also observes them into `ccsa_stage_duration_seconds{stage}`
+/// when a registry is attached ([`ServeEngine::attach_metrics`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimings {
+    /// Parsing and AST flattening.
+    pub parse_s: f64,
+    /// Cache lookups plus post-encode cache fill.
+    pub cache_s: f64,
+    /// Blocking wait on the encode pool (queueing + forward passes).
+    pub encode_s: f64,
+    /// Classifier-head passes on the caller's thread.
+    pub classify_s: f64,
+}
+
+impl StageTimings {
+    /// Total engine-side seconds (excludes transport parse/serialise).
+    pub fn total_s(&self) -> f64 {
+        self.parse_s + self.cache_s + self.encode_s + self.classify_s
+    }
+}
+
 /// The verdict for one compared pair.
 #[derive(Debug, Clone)]
 pub struct CompareOutcome {
@@ -199,10 +227,15 @@ pub struct EngineStats {
     pub parses: u64,
     /// Sources rejected by the parser.
     pub parse_failures: u64,
-    /// Embedding-cache counters.
+    /// Embedding-cache counters, aggregated over stripes (always the
+    /// exact sum of [`EngineStats::stripe_cache`] — one snapshot feeds
+    /// both, so the scalar never drifts from its own breakdown).
     pub cache: CacheStats,
     /// Cached codes currently held.
     pub cache_len: usize,
+    /// Per-stripe cache counters plus entry counts, in stripe order —
+    /// the skew diagnostic behind `ccsa_cache_hits_total{stripe}`.
+    pub stripe_cache: Vec<(CacheStats, usize)>,
     /// Worker-pool counters.
     pub batch: BatchStats,
     /// Trees waiting across all encode shards right now (the aggregate
@@ -220,6 +253,8 @@ pub struct EngineStats {
     /// Per-registration embedding-cache counters, ordered by
     /// (name, version).
     pub model_cache: Vec<ModelCacheStats>,
+    /// Seconds since the engine was constructed.
+    pub uptime_seconds: f64,
 }
 
 /// The in-process serving engine.
@@ -233,6 +268,35 @@ pub struct ServeEngine {
     rankings: AtomicU64,
     parses: AtomicU64,
     parse_failures: AtomicU64,
+    started: Instant,
+    /// Stage histograms, present once a registry is attached. Handles
+    /// are cloned atomics into the registry — observing them is
+    /// lock-free and the registry renders them at scrape time.
+    stage_hists: OnceLock<StageHistograms>,
+}
+
+/// Per-stage latency histogram handles (see
+/// [`ServeEngine::attach_metrics`]).
+struct StageHistograms {
+    parse: Histogram,
+    cache: Histogram,
+    encode: Histogram,
+    classify: Histogram,
+}
+
+/// Latent codes resolved for one request, with the cache/encode time
+/// split ([`ServeEngine::codes_for`]).
+struct ResolvedCodes {
+    /// One code per input graph, input order.
+    codes: Vec<Tensor>,
+    /// Per-input cache-hit flag.
+    hit: Vec<bool>,
+    /// Distinct trees encoded fresh.
+    encoded: usize,
+    /// Seconds in cache lookups and fills.
+    cache_s: f64,
+    /// Seconds blocked on the encode pool.
+    encode_s: f64,
 }
 
 impl ServeEngine {
@@ -246,6 +310,8 @@ impl ServeEngine {
             rankings: AtomicU64::new(0),
             parses: AtomicU64::new(0),
             parse_failures: AtomicU64::new(0),
+            started: Instant::now(),
+            stage_hists: OnceLock::new(),
         }
     }
 
@@ -300,33 +366,59 @@ impl ServeEngine {
         selector: &ModelSelector,
         pairs: &[(&str, &str)],
     ) -> Result<Vec<CompareOutcome>, ServeError> {
+        Ok(self.compare_batch_traced(selector, pairs)?.0)
+    }
+
+    /// [`ServeEngine::compare_batch`] plus the per-stage wall-clock
+    /// breakdown — transports thread the timings into stage histograms
+    /// and sampled per-request trace records.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeEngine::compare_batch`].
+    pub fn compare_batch_traced(
+        &self,
+        selector: &ModelSelector,
+        pairs: &[(&str, &str)],
+    ) -> Result<(Vec<CompareOutcome>, StageTimings), ServeError> {
         let model = self.resolve(selector)?;
         let mut sources = Vec::with_capacity(pairs.len() * 2);
         for (a, b) in pairs {
             sources.push(*a);
             sources.push(*b);
         }
+        let t = Instant::now();
         let parsed = self.parse_all(&sources)?;
-        let (codes, per_source_hit, _encoded) = self.codes_for(&model, &parsed)?;
+        let parse_s = t.elapsed().as_secs_f64();
+        let resolved = self.codes_for(&model, &parsed)?;
 
         self.compares
             .fetch_add(pairs.len() as u64, Ordering::Relaxed);
         let trained = &model.model;
-        Ok((0..pairs.len())
+        let t = Instant::now();
+        let outcomes = (0..pairs.len())
             .map(|p| {
                 let (ia, ib) = (2 * p, 2 * p + 1);
                 CompareOutcome {
                     prob_first_slower: trained.comparator.predict_from_codes(
                         &trained.params,
-                        &codes[ia],
-                        &codes[ib],
+                        &resolved.codes[ia],
+                        &resolved.codes[ib],
                     ),
                     model: model.name.clone(),
                     version: model.version,
-                    cache_hits: per_source_hit[ia] as usize + per_source_hit[ib] as usize,
+                    cache_hits: resolved.hit[ia] as usize + resolved.hit[ib] as usize,
                 }
             })
-            .collect())
+            .collect();
+        let stages = StageTimings {
+            parse_s,
+            cache_s: resolved.cache_s,
+            encode_s: resolved.encode_s,
+            classify_s: t.elapsed().as_secs_f64(),
+        };
+        self.observe_stages(&stages);
+        Ok((outcomes, stages))
     }
 
     /// Ranks K candidate sources fastest-first by full round-robin
@@ -342,6 +434,20 @@ impl ServeEngine {
         selector: &ModelSelector,
         candidates: &[&str],
     ) -> Result<RankOutcome, ServeError> {
+        Ok(self.rank_traced(selector, candidates)?.0)
+    }
+
+    /// [`ServeEngine::rank`] plus the per-stage wall-clock breakdown
+    /// (see [`ServeEngine::compare_batch_traced`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeEngine::rank`].
+    pub fn rank_traced(
+        &self,
+        selector: &ModelSelector,
+        candidates: &[&str],
+    ) -> Result<(RankOutcome, StageTimings), ServeError> {
         if candidates.len() < 2 {
             return Err(ServeError::TooFewCandidates(candidates.len()));
         }
@@ -349,11 +455,15 @@ impl ServeEngine {
             return Err(ServeError::TooManyCandidates(candidates.len()));
         }
         let model = self.resolve(selector)?;
+        let t = Instant::now();
         let parsed = self.parse_all(candidates)?;
-        let (codes, per_source_hit, encoded) = self.codes_for(&model, &parsed)?;
+        let parse_s = t.elapsed().as_secs_f64();
+        let resolved = self.codes_for(&model, &parsed)?;
+        let codes = &resolved.codes;
 
         let k = candidates.len();
         let trained = &model.model;
+        let t = Instant::now();
         // Symmetrised round-robin: both orderings of every unordered pair,
         // since the learned classifier is not exactly antisymmetric.
         let mut p_slower = vec![vec![0.5f64; k]; k];
@@ -375,14 +485,22 @@ impl ServeEngine {
         self.rankings.fetch_add(1, Ordering::Relaxed);
         self.compares
             .fetch_add((k * (k - 1) / 2) as u64, Ordering::Relaxed);
-        let hits = per_source_hit.iter().filter(|&&h| h).count();
-        Ok(RankOutcome {
+        let hits = resolved.hit.iter().filter(|&&h| h).count();
+        let outcome = RankOutcome {
             ranking: rank_from_matrix(&p_slower),
             model: model.name.clone(),
             version: model.version,
             cache_hits: hits,
-            encoded,
-        })
+            encoded: resolved.encoded,
+        };
+        let stages = StageTimings {
+            parse_s,
+            cache_s: resolved.cache_s,
+            encode_s: resolved.encode_s,
+            classify_s: t.elapsed().as_secs_f64(),
+        };
+        self.observe_stages(&stages);
+        Ok((outcome, stages))
     }
 
     /// Counter and component snapshot.
@@ -405,13 +523,27 @@ impl ServeEngine {
                 }
             })
             .collect();
+        // One per-stripe snapshot feeds both the aggregate and the
+        // breakdown, so `cache`/`cache_len` always equal the sums of
+        // `stripe_cache` — the same invariant the queue fields keep.
+        let stripe_cache = self.cache.stripe_stats();
+        let mut cache = CacheStats::default();
+        let mut cache_len = 0;
+        for (s, len) in &stripe_cache {
+            cache.hits += s.hits;
+            cache.misses += s.misses;
+            cache.evictions += s.evictions;
+            cache.insertions += s.insertions;
+            cache_len += len;
+        }
         EngineStats {
             compares: self.compares.load(Ordering::Relaxed),
             rankings: self.rankings.load(Ordering::Relaxed),
             parses: self.parses.load(Ordering::Relaxed),
             parse_failures: self.parse_failures.load(Ordering::Relaxed),
-            cache: self.cache.stats(),
-            cache_len: self.cache.len(),
+            cache,
+            cache_len,
+            stripe_cache,
             batch: self.pool.stats(),
             queue_depth,
             queue_depths,
@@ -419,6 +551,47 @@ impl ServeEngine {
             cache_stripes: self.cache.stripe_count(),
             models: registry.list(),
             model_cache,
+            uptime_seconds: self.started.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Wires the engine into a [`MetricsRegistry`]: per-stage latency
+    /// histograms (`ccsa_stage_duration_seconds{stage}`) observed on
+    /// every request, plus a scrape-time collector exporting the full
+    /// [`EngineStats`] snapshot — the exact atomics the `stats` verb
+    /// reads, so `/metrics` and the JSON verbs can never disagree.
+    ///
+    /// The collector holds only a [`std::sync::Weak`] engine reference:
+    /// a registry outliving its engine scrapes empty rather than
+    /// keeping the worker pool alive.
+    pub fn attach_metrics(self: &Arc<Self>, registry: &MetricsRegistry) {
+        let hist = |stage: &str| {
+            registry.histogram(
+                "ccsa_stage_duration_seconds",
+                "Engine stage latency per request, in seconds.",
+                &[("stage", stage)],
+                &LATENCY_BUCKETS_S,
+            )
+        };
+        let _ = self.stage_hists.set(StageHistograms {
+            parse: hist("parse"),
+            cache: hist("cache"),
+            encode: hist("encode"),
+            classify: hist("classify"),
+        });
+        let engine = Arc::downgrade(self);
+        registry.register_collector(move || match engine.upgrade() {
+            Some(engine) => engine_metric_families(&engine.stats()),
+            None => Vec::new(),
+        });
+    }
+
+    fn observe_stages(&self, stages: &StageTimings) {
+        if let Some(h) = self.stage_hists.get() {
+            h.parse.observe(stages.parse_s);
+            h.cache.observe(stages.cache_s);
+            h.encode.observe(stages.encode_s);
+            h.classify.observe(stages.classify_s);
         }
     }
 
@@ -529,8 +702,9 @@ impl ServeEngine {
 
     /// Resolves one latent code per input graph: cache hits first, one
     /// deduplicated batched encode for the misses, then cache fill.
-    /// Returns the codes (input order), a per-input hit flag, and the
-    /// number of distinct trees encoded fresh.
+    /// The returned [`ResolvedCodes`] carries the codes (input order),
+    /// per-input hit flags, the distinct-tree encode count, and the
+    /// cache/encode wall-clock split for stage telemetry.
     ///
     /// # Errors
     ///
@@ -539,12 +713,15 @@ impl ServeEngine {
         &self,
         model: &Arc<ServeModel>,
         graphs: &[Arc<AstGraph>],
-    ) -> Result<(Vec<Tensor>, Vec<bool>, usize), ServeError> {
+    ) -> Result<ResolvedCodes, ServeError> {
         let salt = model_salt(model);
         let keys: Vec<u64> = graphs.iter().map(|g| g.canonical_hash() ^ salt).collect();
 
         let mut codes: Vec<Option<Tensor>> = vec![None; graphs.len()];
         let mut hit = vec![false; graphs.len()];
+        let mut cache_s = 0.0;
+        let mut encode_s = 0.0;
+        let t = Instant::now();
         // Distinct missing keys, first occurrence wins (dedup within the
         // request: K identical candidates encode once). The map gives
         // O(1) dedup and fill on the serving hot path.
@@ -562,12 +739,17 @@ impl ServeEngine {
             }
         }
 
+        cache_s += t.elapsed().as_secs_f64();
+
         let hit_count = hit.iter().filter(|&&h| h).count() as u64;
         model.note_cache_lookups(hit_count, graphs.len() as u64 - hit_count);
 
         let encoded = miss_graphs.len();
         if !miss_graphs.is_empty() {
+            let t = Instant::now();
             let fresh = self.pool.encode(model, &miss_graphs)?;
+            encode_s = t.elapsed().as_secs_f64();
+            let t = Instant::now();
             for (&key, &slot) in &miss_slots {
                 self.cache
                     .insert_tagged(key, model.uid(), fresh[slot].clone());
@@ -578,16 +760,179 @@ impl ServeEngine {
                     codes[ix] = Some(fresh[slot].clone());
                 }
             }
+            cache_s += t.elapsed().as_secs_f64();
         }
-        Ok((
-            codes
+        Ok(ResolvedCodes {
+            codes: codes
                 .into_iter()
                 .map(|c| c.expect("every input resolved"))
                 .collect(),
             hit,
             encoded,
-        ))
+            cache_s,
+            encode_s,
+        })
     }
+}
+
+/// Renders an [`EngineStats`] snapshot as Prometheus sample families —
+/// the scrape-time half of [`ServeEngine::attach_metrics`]. Exposed so
+/// tests can pin `/metrics` output against the `stats` verb: both read
+/// the same snapshot shape, so a number shown by one is the number
+/// shown by the other.
+pub fn engine_metric_families(stats: &EngineStats) -> Vec<SampleFamily> {
+    use MetricKind::{Counter, Gauge};
+    let scalar = |name: &str, help: &str, kind: MetricKind, v: f64| {
+        SampleFamily::new(name, help, kind, vec![Sample::value(v)])
+    };
+    let mut out = vec![
+        scalar(
+            "ccsa_compares_total",
+            "Compare pairs scored (ranking round-robins included).",
+            Counter,
+            stats.compares as f64,
+        ),
+        scalar(
+            "ccsa_rankings_total",
+            "Ranking requests served.",
+            Counter,
+            stats.rankings as f64,
+        ),
+        scalar(
+            "ccsa_parses_total",
+            "Sources parsed.",
+            Counter,
+            stats.parses as f64,
+        ),
+        scalar(
+            "ccsa_parse_failures_total",
+            "Sources rejected by the parser.",
+            Counter,
+            stats.parse_failures as f64,
+        ),
+        scalar(
+            "ccsa_cache_stripes",
+            "Embedding-cache stripe count.",
+            Gauge,
+            stats.cache_stripes as f64,
+        ),
+        scalar(
+            "ccsa_encode_shards",
+            "Encode shards currently materialised.",
+            Gauge,
+            stats.shard_count as f64,
+        ),
+        scalar(
+            "ccsa_encode_batches_total",
+            "Fused encoder forward passes executed.",
+            Counter,
+            stats.batch.batches as f64,
+        ),
+        scalar(
+            "ccsa_encode_jobs_total",
+            "Trees encoded.",
+            Counter,
+            stats.batch.jobs as f64,
+        ),
+        scalar(
+            "ccsa_encode_steals_total",
+            "Batches taken by a worker from a non-preferred shard.",
+            Counter,
+            stats.batch.steals as f64,
+        ),
+        scalar(
+            "ccsa_fused_levels_total",
+            "Fused level matmuls executed across all forward passes.",
+            Counter,
+            stats.batch.fused_levels as f64,
+        ),
+        scalar(
+            "ccsa_fused_rows_total",
+            "Node rows covered by fused level matmuls.",
+            Counter,
+            stats.batch.fused_rows as f64,
+        ),
+        scalar(
+            "ccsa_fused_width_mean",
+            "Mean node rows per fused level matmul.",
+            Gauge,
+            stats.batch.mean_fused_width(),
+        ),
+    ];
+
+    // Per-stripe cache counters: the aggregate is the label-sum, so a
+    // hot stripe is visible without a second metric family.
+    let mut hits = Vec::new();
+    let mut misses = Vec::new();
+    let mut evictions = Vec::new();
+    let mut entries = Vec::new();
+    for (ix, (s, len)) in stats.stripe_cache.iter().enumerate() {
+        let stripe = ix.to_string();
+        let labels = [("stripe", stripe.as_str())];
+        hits.push(Sample::new(&labels, s.hits as f64));
+        misses.push(Sample::new(&labels, s.misses as f64));
+        evictions.push(Sample::new(&labels, s.evictions as f64));
+        entries.push(Sample::new(&labels, *len as f64));
+    }
+    out.push(SampleFamily::new(
+        "ccsa_cache_hits_total",
+        "Embedding-cache hits, per stripe.",
+        Counter,
+        hits,
+    ));
+    out.push(SampleFamily::new(
+        "ccsa_cache_misses_total",
+        "Embedding-cache misses, per stripe.",
+        Counter,
+        misses,
+    ));
+    out.push(SampleFamily::new(
+        "ccsa_cache_evictions_total",
+        "Embedding-cache evictions, per stripe.",
+        Counter,
+        evictions,
+    ));
+    out.push(SampleFamily::new(
+        "ccsa_cache_entries",
+        "Cached latent codes currently held, per stripe.",
+        Gauge,
+        entries,
+    ));
+
+    // Per-registration cache attribution (A/B arms separately).
+    let mut model_hits = Vec::new();
+    let mut model_misses = Vec::new();
+    for m in &stats.model_cache {
+        let version = m.version.to_string();
+        let labels = [("model", m.model.as_str()), ("version", version.as_str())];
+        model_hits.push(Sample::new(&labels, m.hits as f64));
+        model_misses.push(Sample::new(&labels, m.misses as f64));
+    }
+    out.push(SampleFamily::new(
+        "ccsa_model_cache_hits_total",
+        "Embedding-cache hits attributed to a model registration.",
+        Counter,
+        model_hits,
+    ));
+    out.push(SampleFamily::new(
+        "ccsa_model_cache_misses_total",
+        "Embedding-cache misses attributed to a model registration.",
+        Counter,
+        model_misses,
+    ));
+
+    // Per-shard admission backpressure, the signal transports shed on.
+    out.push(SampleFamily::new(
+        "ccsa_encode_queue_depth",
+        "Trees waiting in an encode shard's queue right now.",
+        Gauge,
+        stats
+            .queue_depths
+            .iter()
+            .map(|(shard, depth)| Sample::new(&[("shard", shard.as_str())], *depth as f64))
+            .collect(),
+    ));
+    out
 }
 
 /// A content digest of a model's weights (FNV-1a over parameter names,
@@ -1043,6 +1388,109 @@ mod tests {
             ),
             Err(ServeError::Cache(SnapshotError::Io(_)))
         ));
+    }
+
+    #[test]
+    fn traced_requests_split_stage_timings() {
+        let e = engine(64);
+        let sel = ModelSelector::default();
+        let (outcomes, cold) = e.compare_batch_traced(&sel, &[(SLOW, FAST)]).unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert!(cold.encode_s > 0.0, "cold request must really encode");
+        assert!(cold.total_s() >= cold.parse_s + cold.encode_s);
+        // Fully warm: nothing reaches the encoder, so that stage is
+        // exactly zero rather than merely small.
+        let (_, warm) = e.compare_batch_traced(&sel, &[(SLOW, FAST)]).unwrap();
+        assert_eq!(warm.encode_s, 0.0);
+        let (ranked, stages) = e.rank_traced(&sel, &[FAST, SLOW, MID]).unwrap();
+        assert_eq!(ranked.ranking.len(), 3);
+        assert!(stages.classify_s > 0.0);
+    }
+
+    #[test]
+    fn stats_stripe_breakdown_sums_to_aggregate() {
+        let e = engine(64);
+        let sel = ModelSelector::default();
+        e.compare(&sel, SLOW, FAST).unwrap();
+        e.compare(&sel, SLOW, MID).unwrap();
+        let s = e.stats();
+        assert_eq!(s.stripe_cache.len(), s.cache_stripes);
+        let hits: u64 = s.stripe_cache.iter().map(|(c, _)| c.hits).sum();
+        let misses: u64 = s.stripe_cache.iter().map(|(c, _)| c.misses).sum();
+        let len: usize = s.stripe_cache.iter().map(|(_, l)| l).sum();
+        assert_eq!(hits, s.cache.hits);
+        assert_eq!(misses, s.cache.misses);
+        assert_eq!(len, s.cache_len);
+        assert!(s.uptime_seconds >= 0.0);
+    }
+
+    #[test]
+    fn attached_registry_scrapes_the_same_numbers_as_stats() {
+        let e = Arc::new(engine(64));
+        let registry = crate::metrics::MetricsRegistry::new();
+        e.attach_metrics(&registry);
+        let sel = ModelSelector::default();
+        e.compare(&sel, SLOW, FAST).unwrap();
+        e.rank(&sel, &[FAST, SLOW, MID]).unwrap();
+
+        let text = registry.render();
+        // Every engine family (plus the registry built-ins and stage
+        // histograms) is present on one scrape.
+        for family in [
+            "ccsa_compares_total",
+            "ccsa_rankings_total",
+            "ccsa_parses_total",
+            "ccsa_parse_failures_total",
+            "ccsa_cache_hits_total",
+            "ccsa_cache_misses_total",
+            "ccsa_cache_evictions_total",
+            "ccsa_cache_entries",
+            "ccsa_cache_stripes",
+            "ccsa_model_cache_hits_total",
+            "ccsa_model_cache_misses_total",
+            "ccsa_encode_queue_depth",
+            "ccsa_encode_shards",
+            "ccsa_encode_batches_total",
+            "ccsa_encode_jobs_total",
+            "ccsa_encode_steals_total",
+            "ccsa_fused_levels_total",
+            "ccsa_fused_rows_total",
+            "ccsa_fused_width_mean",
+            "ccsa_stage_duration_seconds",
+            "ccsa_uptime_seconds",
+            "ccsa_build_info",
+        ] {
+            assert!(
+                text.contains(&format!("# TYPE {family} ")),
+                "family {family} missing from scrape:\n{text}"
+            );
+        }
+        // Single source of truth: the scrape shows the exact counters
+        // the stats verb reads (4 pairs compared: 1 + C(3,2)).
+        let stats = e.stats();
+        assert_eq!(stats.compares, 4);
+        assert!(text.contains(&format!("ccsa_compares_total {}", stats.compares)));
+        assert!(text.contains(&format!("ccsa_rankings_total {}", stats.rankings)));
+        assert!(text.contains(&format!("ccsa_parses_total {}", stats.parses)));
+        // Stage histograms observed one count per request.
+        assert!(text.contains("ccsa_stage_duration_seconds_count{stage=\"parse\"} 2"));
+        assert!(text.contains("ccsa_stage_duration_seconds_count{stage=\"encode\"} 2"));
+        // Per-model attribution is labelled by coordinate.
+        assert!(text.contains("ccsa_model_cache_hits_total{model=\"default\",version=\"1\"}"));
+    }
+
+    #[test]
+    fn dropping_the_engine_empties_its_collector() {
+        // The collector holds a Weak engine reference: once the engine
+        // is gone the scrape must not keep it alive or panic.
+        let registry = crate::metrics::MetricsRegistry::new();
+        let e = Arc::new(engine(8));
+        e.attach_metrics(&registry);
+        assert!(registry.render().contains("# TYPE ccsa_compares_total"));
+        drop(e);
+        let text = registry.render();
+        assert!(!text.contains("ccsa_compares_total"));
+        assert!(text.contains("ccsa_uptime_seconds"), "built-ins survive");
     }
 
     #[test]

@@ -9,14 +9,23 @@
 //! # Architecture
 //!
 //! ```text
-//!      stdio `serve` bin          TCP `gateway` bin (ccsa-gateway):
-//!      (one client)               sessions · A/B routes · shadow
-//!                 │                 │
+//!      stdio `serve` bin       TCP `gateway` bin (ccsa-gateway)
+//!      (one client)            JSON-lines │ HTTP/1.1 front door:
+//!                 │            sessions · │ /v1/compare · /v1/rank
+//!                 │            A/B routes │ /healthz · /readyz
+//!                 │            · shadow   │ /metrics (Prometheus)
+//!                 │                 │     │
 //!            requests (compare / rank / stats / routes / shutdown)
 //!                          │
-//!                    ┌─────▼──────┐
-//!                    │ ServeEngine│  parse → canonical AST hash
-//!                    └─┬───────┬──┘  (registry behind RwLock: reads only)
+//!                    ┌─────▼──────┐      ┌─────────────────┐
+//!                    │ ServeEngine│◄─────┤ MetricsRegistry │
+//!                    └─┬───────┬──┘scrape│ counters·gauges │
+//!                      │       │  -time  │ ·histograms     │
+//!                      │       │  collect│ (lock-free; one │
+//!                      │       │         │  source for     │
+//!                      │       │         │  stats/routes/  │
+//!                      │       │         │  /metrics)      │
+//!                      │       │         └─────────────────┘
 //!        cache hit ┌───▼─────┐ ┌▼─────────────┐ cache miss
 //!                  │ striped │ │  EncodePool  │  per-model shard queues
 //!                  │  LRU    │ │ ┌──┐┌──┐┌──┐ │  (bounded sub-queue per
@@ -55,9 +64,17 @@
 //! * [`rank`] — K-candidate round-robin tournaments with
 //!   transitivity-aware tie-breaking and cycle flagging;
 //! * [`engine`] — the [`ServeEngine`] front door tying the above together;
+//! * [`metrics`] — the unified [`MetricsRegistry`]: lock-free atomic
+//!   counters/gauges/histograms plus scrape-time collectors, rendered as
+//!   Prometheus text 0.0.4 by [`MetricsRegistry::render`]; the gateway's
+//!   per-route counters and the engine's cache/queue/batch numbers live
+//!   here, so the `stats`/`routes` verbs and a `/metrics` scrape always
+//!   agree ([`engine_metric_families`] wires an engine in);
 //! * [`proto`] + [`json`] — the JSON-lines wire protocol shared by the
 //!   `serve` binary and the `ccsa-gateway` TCP transport (which adds
-//!   weighted sticky A/B routing and per-route rolling stats on top).
+//!   weighted sticky A/B routing, per-route rolling stats, and an
+//!   HTTP/1.1 front door with health probes and per-request tracing on
+//!   top).
 //!
 //! # Example
 //!
@@ -96,6 +113,7 @@ pub mod cache;
 pub mod engine;
 pub mod hash;
 pub mod json;
+pub mod metrics;
 pub mod proto;
 pub mod rank;
 pub mod registry;
@@ -103,8 +121,11 @@ pub mod registry;
 pub use batch::{BatchConfig, BatchStats, EncodeError, EncodePool, PoolSharding};
 pub use cache::{CacheStats, EmbeddingCache, ShardedCache, SnapshotError, DEFAULT_CACHE_STRIPES};
 pub use engine::{
-    CompareOutcome, EngineStats, ModelCacheStats, RankOutcome, ServeConfig, ServeEngine,
-    ServeError, MAX_RANK_CANDIDATES,
+    engine_metric_families, CompareOutcome, EngineStats, ModelCacheStats, RankOutcome, ServeConfig,
+    ServeEngine, ServeError, StageTimings, MAX_RANK_CANDIDATES,
+};
+pub use metrics::{
+    Counter, Gauge, Histogram, MetricKind, MetricsRegistry, Sample, SampleFamily, LATENCY_BUCKETS_S,
 };
 pub use rank::{rank_from_matrix, RankedCandidate};
 pub use registry::{ModelRegistry, ModelSelector, RegistryError, ServeModel, DEFAULT_MODEL};

@@ -247,8 +247,21 @@ pub fn stats_response(stats: &EngineStats) -> Json {
         ("shard_count", Json::num(stats.shard_count as f64)),
         ("steals", Json::num(stats.batch.steals as f64)),
         ("cache_stripes", Json::num(stats.cache_stripes as f64)),
+        ("uptime_seconds", Json::num(stats.uptime_seconds)),
+        ("build", build_info_json()),
         ("models", Json::Arr(models)),
         ("model_cache", Json::Arr(model_cache)),
+    ])
+}
+
+/// The build stamp shared by the `stats` verb and the `ccsa_build_info`
+/// gauge on `/metrics` — same [`crate::metrics::build_info`] source, so
+/// the two surfaces can never report different builds.
+pub fn build_info_json() -> Json {
+    let (version, revision) = crate::metrics::build_info();
+    Json::obj(vec![
+        ("version", Json::str(version)),
+        ("revision", Json::str(revision)),
     ])
 }
 
@@ -472,5 +485,11 @@ mod tests {
             per_model[0].get("cache_hit_rate").unwrap().as_f64(),
             Some(0.0)
         );
+        // Uptime and build stamp ride along for probes/dashboards.
+        assert!(v.get("uptime_seconds").unwrap().as_f64().unwrap() >= 0.0);
+        let build = v.get("build").unwrap();
+        let (version, revision) = crate::metrics::build_info();
+        assert_eq!(build.get("version").unwrap().as_str(), Some(version));
+        assert_eq!(build.get("revision").unwrap().as_str(), Some(revision));
     }
 }
