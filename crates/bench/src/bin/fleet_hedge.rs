@@ -1,0 +1,339 @@
+//! Fleet hedging benchmark: does a p99-deadline hedge actually cut the
+//! tail when one replica straggles?
+//!
+//! The rig: two identical in-process gateways; one is fronted by a
+//! delay proxy that holds every response for a fixed straggler delay
+//! (the classic "one slow machine" tail scenario the fleet's hedging is
+//! for). The same sticky workload — half its client keys land on the
+//! straggler — runs twice through a fleet: once with hedging off, once
+//! with the hedge deadline set well below the straggler delay (as an
+//! operator would derive it from the healthy replicas' p99). First
+//! answer wins; the straggler's late responses are discarded.
+//!
+//! Acceptance (CI-gated): hedging must cut the end-to-end p99 to at
+//! most [`HEDGE_P99_RATIO`] of the unhedged run — the bench prints
+//! `hedge_p99_improved: PASS` and writes `BENCH_fleet.json`.
+//!
+//! ```sh
+//! cargo run --release -p ccsa-bench --bin fleet_hedge -- --scale quick
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ccsa_bench::{header, rule, Cli, Scale};
+use ccsa_fleet::{Fleet, FleetConfig, ReplicaConfig, SpawnedFleet};
+use ccsa_gateway::{Gateway, GatewayConfig, Route, Router};
+use ccsa_model::comparator::{Comparator, EncoderConfig};
+use ccsa_model::pipeline::TrainedModel;
+use ccsa_nn::param::Params;
+use ccsa_nn::treelstm::{Direction, TreeLstmConfig};
+use ccsa_serve::json::Json;
+use ccsa_serve::{BatchConfig, ModelRegistry, ModelSelector, ServeConfig, ServeEngine};
+
+/// How long the straggler proxy sits on every response.
+const STRAGGLE: Duration = Duration::from_millis(25);
+/// The hedge deadline — far below the straggler delay, a bit above the
+/// healthy replica's typical latency (how an operator derives it from
+/// the fleet's own p99 stats).
+const HEDGE_AFTER: Duration = Duration::from_millis(8);
+/// Hedging must cut p99 to at most this fraction of the unhedged run.
+const HEDGE_P99_RATIO: f64 = 0.8;
+
+const FAST_SRC: &str = "int main() { int n; cin >> n; cout << n * (n + 1) / 2; return 0; }";
+const SLOW_SRC: &str = "int main() { int n; cin >> n; long long s = 0; \
+                        for (int i = 0; i <= n; i++) for (int j = 0; j < i; j++) s++; \
+                        cout << s; return 0; }";
+
+fn tiny_engine(seed: u64) -> Arc<ServeEngine> {
+    let config = EncoderConfig::TreeLstm(TreeLstmConfig {
+        embed_dim: 6,
+        hidden: 6,
+        layers: 1,
+        direction: Direction::Uni,
+        sigmoid_candidate: false,
+    });
+    let mut params = Params::new();
+    let comparator = Comparator::new(
+        &config,
+        &mut params,
+        &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed),
+    );
+    let mut registry = ModelRegistry::new();
+    registry.register("default", 1, TrainedModel { comparator, params });
+    Arc::new(ServeEngine::new(
+        registry,
+        &ServeConfig {
+            cache_capacity: 512,
+            cache_stripes: 0,
+            batch: BatchConfig {
+                workers: 2,
+                max_batch: 8,
+                ..BatchConfig::default()
+            },
+        },
+    ))
+}
+
+fn spawn_gateway(seed: u64) -> ccsa_gateway::SpawnedGateway {
+    let router = Router::new(
+        vec![Route {
+            selector: ModelSelector {
+                name: Some("default".into()),
+                version: Some(1),
+            },
+            weight: 1.0,
+        }],
+        None,
+    )
+    .expect("static table is valid");
+    Gateway::spawn(
+        tiny_engine(seed),
+        router,
+        GatewayConfig {
+            http_addr: Some("127.0.0.1:0".to_string()),
+            ..GatewayConfig::default()
+        },
+    )
+    .expect("gateway spawn")
+}
+
+/// A line-oriented TCP proxy that relays requests immediately but sits
+/// on every response for `delay` — a replica whose *answers* straggle
+/// while its socket stays perfectly healthy.
+fn spawn_delay_proxy(upstream: SocketAddr, delay: Duration) -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("proxy bind");
+    let addr = listener.local_addr().expect("proxy addr");
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(client) = stream else { return };
+            std::thread::spawn(move || {
+                let Ok(up) = TcpStream::connect(upstream) else {
+                    return;
+                };
+                let _ = up.set_nodelay(true);
+                let _ = client.set_nodelay(true);
+                let Ok(up_clone) = up.try_clone() else { return };
+                let Ok(client_clone) = client.try_clone() else {
+                    return;
+                };
+                let mut client_reader = BufReader::new(client_clone);
+                let mut client_writer = client;
+                let mut up_reader = BufReader::new(up_clone);
+                let mut up_writer = up;
+                loop {
+                    let mut line = String::new();
+                    if client_reader.read_line(&mut line).unwrap_or(0) == 0 {
+                        return;
+                    }
+                    if up_writer
+                        .write_all(line.as_bytes())
+                        .and_then(|()| up_writer.flush())
+                        .is_err()
+                    {
+                        return;
+                    }
+                    let mut response = String::new();
+                    if up_reader.read_line(&mut response).unwrap_or(0) == 0 {
+                        return;
+                    }
+                    std::thread::sleep(delay);
+                    if client_writer
+                        .write_all(response.as_bytes())
+                        .and_then(|()| client_writer.flush())
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    addr
+}
+
+fn spawn_fleet(replicas: Vec<ReplicaConfig>, hedge: Option<Duration>) -> SpawnedFleet {
+    Fleet::spawn(
+        replicas,
+        FleetConfig {
+            hedge_after: hedge,
+            probe_interval: None, // both replicas stay on the ring
+            forward_timeout: Duration::from_secs(5),
+            ..FleetConfig::default()
+        },
+    )
+    .expect("fleet spawn")
+}
+
+/// Runs the sticky workload sequentially and returns per-request
+/// latencies in milliseconds.
+fn run_workload(addr: SocketAddr, requests: usize) -> Vec<f64> {
+    let mut stream = TcpStream::connect(addr).expect("fleet connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut latencies = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let line = Json::obj(vec![
+            ("op", Json::str("compare")),
+            ("client", Json::str(format!("client-{i}"))),
+            ("first", Json::str(SLOW_SRC)),
+            ("second", Json::str(FAST_SRC)),
+        ])
+        .to_string();
+        let start = Instant::now();
+        writeln!(stream, "{line}").expect("write");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("read");
+        latencies.push(start.elapsed().as_secs_f64() * 1e3);
+        assert!(
+            response.contains("\"ok\":true"),
+            "request {i} failed: {response}"
+        );
+    }
+    latencies
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let ix = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[ix]
+}
+
+fn fleet_counter(addr: SocketAddr, name: &str) -> f64 {
+    let mut stream = TcpStream::connect(addr).expect("stats connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    stream.write_all(b"{\"op\":\"fleet\"}\n").expect("write");
+    let mut response = String::new();
+    BufReader::new(stream)
+        .read_line(&mut response)
+        .expect("read");
+    ccsa_serve::json::parse(&response)
+        .expect("fleet stats json")
+        .get(name)
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0)
+}
+
+fn main() {
+    let cli = Cli::parse();
+    header(
+        "fleet_hedge — tail hedging through the fleet vs a straggling replica",
+        &cli,
+    );
+
+    let requests = match cli.scale {
+        Scale::Tiny => 80,
+        Scale::Quick => 200,
+        Scale::Default => 500,
+        Scale::Full => 1000,
+    };
+
+    let fast_gw = spawn_gateway(cli.seed);
+    let slow_gw = spawn_gateway(cli.seed);
+    let proxy_addr = spawn_delay_proxy(slow_gw.addr(), STRAGGLE);
+    let replicas = vec![
+        ReplicaConfig {
+            id: "gw-straggler".to_string(),
+            addr: proxy_addr,
+            http_addr: slow_gw.http_addr().expect("http addr"),
+        },
+        ReplicaConfig {
+            id: "gw-fast".to_string(),
+            addr: fast_gw.addr(),
+            http_addr: fast_gw.http_addr().expect("http addr"),
+        },
+    ];
+    println!(
+        "two replicas, one behind a {:.0} ms delay proxy; {requests} sticky requests per run, \
+         hedge deadline {:.0} ms\n",
+        STRAGGLE.as_secs_f64() * 1e3,
+        HEDGE_AFTER.as_secs_f64() * 1e3
+    );
+
+    // Warm both engines directly so the timed runs measure transport +
+    // straggle, not first-encode cost.
+    for gw in [&fast_gw, &slow_gw] {
+        let mut warm = ccsa_gateway::GatewayClient::connect(gw.addr()).expect("warm connect");
+        warm.compare(SLOW_SRC, FAST_SRC, Some("warm"))
+            .expect("warm compare");
+    }
+
+    // Run 1: hedging off — straggler keys eat the full delay.
+    let fleet_off = spawn_fleet(replicas.clone(), None);
+    let mut off = run_workload(fleet_off.addr(), requests);
+    fleet_off.shutdown_and_join().expect("fleet drain");
+    off.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    // Run 2: hedging on — the identical workload.
+    let fleet_on = spawn_fleet(replicas.clone(), Some(HEDGE_AFTER));
+    let mut on = run_workload(fleet_on.addr(), requests);
+    let hedges = fleet_counter(fleet_on.addr(), "hedges");
+    let hedge_wins = fleet_counter(fleet_on.addr(), "hedge_wins");
+    fleet_on.shutdown_and_join().expect("fleet drain");
+    on.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    let (off_p50, off_p99) = (percentile(&off, 0.50), percentile(&off, 0.99));
+    let (on_p50, on_p99) = (percentile(&on, 0.50), percentile(&on, 0.99));
+    println!(
+        "{:<14} {:>9} {:>9} {:>9} {:>9}",
+        "run", "p50 ms", "p99 ms", "hedges", "wins"
+    );
+    rule(60);
+    println!(
+        "{:<14} {off_p50:>9.2} {off_p99:>9.2} {:>9} {:>9}",
+        "hedge off", 0, 0
+    );
+    println!(
+        "{:<14} {on_p50:>9.2} {on_p99:>9.2} {:>9.0} {:>9.0}",
+        "hedge on", hedges, hedge_wins
+    );
+    rule(60);
+
+    let ratio = on_p99 / off_p99;
+    let improved = ratio <= HEDGE_P99_RATIO && hedges >= 1.0 && hedge_wins >= 1.0;
+    println!(
+        "p99 with hedging is {:.0}% of the unhedged p99 (must be ≤ {:.0}%)",
+        ratio * 100.0,
+        HEDGE_P99_RATIO * 100.0
+    );
+    println!(
+        "hedge_p99_improved: {}",
+        if improved { "PASS" } else { "FAIL" }
+    );
+
+    let doc = Json::obj(vec![
+        ("bench", Json::str("fleet_hedge")),
+        (
+            "scale",
+            Json::str(format!("{:?}", cli.scale).to_lowercase()),
+        ),
+        ("seed", Json::num(cli.seed as f64)),
+        ("requests_per_run", Json::num(requests as f64)),
+        ("straggle_ms", Json::num(STRAGGLE.as_secs_f64() * 1e3)),
+        ("hedge_after_ms", Json::num(HEDGE_AFTER.as_secs_f64() * 1e3)),
+        ("p50_ms_hedge_off", Json::num(off_p50)),
+        ("p99_ms_hedge_off", Json::num(off_p99)),
+        ("p50_ms_hedge_on", Json::num(on_p50)),
+        ("p99_ms_hedge_on", Json::num(on_p99)),
+        ("p99_ratio", Json::num(ratio)),
+        ("p99_ratio_ceiling", Json::num(HEDGE_P99_RATIO)),
+        ("hedges", Json::num(hedges)),
+        ("hedge_wins", Json::num(hedge_wins)),
+        ("hedge_p99_improved", Json::Bool(improved)),
+    ]);
+    let path = "BENCH_fleet.json";
+    std::fs::write(path, format!("{doc}\n")).expect("writing BENCH_fleet.json");
+    println!("\nwrote {path}");
+
+    fast_gw.shutdown_and_join().expect("gateway drain");
+    slow_gw.shutdown_and_join().expect("gateway drain");
+    if !improved {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,331 @@
+//! The automated canary controller: watch the shadow arm's deltas,
+//! ramp a healthy candidate into real traffic, roll an unhealthy one
+//! back — all by rewriting the routing table, never by restarting a
+//! process.
+//!
+//! The paper's thesis is that *relative* judgments are the robust
+//! signal, and the controller applies it to model versions themselves:
+//! it never asks "is the candidate fast?" in absolute terms, only "how
+//! does the shadow arm compare to the primary serving the same
+//! traffic?" — the `delta_p50_ms` / `delta_p99_ms` /
+//! `delta_error_rate` block each gateway computes over its rolling
+//! windows. Decisions:
+//!
+//! | state        | observation                      | action |
+//! |--------------|----------------------------------|--------|
+//! | `Observing`  | deltas healthy for `bake_ticks`  | promote to 1% weight |
+//! | `Ramping(k)` | deltas healthy for `bake_ticks`  | promote to next step (1%→10%→50%→100%) |
+//! | any          | deltas unhealthy `rollback_after` consecutive ticks | zero the candidate, record why |
+//! | any          | deltas absent / scrape failed    | hold (no bake credit) |
+//! | `Promoted` / `RolledBack` | —                   | terminal |
+//!
+//! The final promotion step makes the candidate the sole route and
+//! drops the shadow entry; a rollback keeps the candidate in the table
+//! at weight 0 as the visible record of what was tried.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The weight ramp a promoting candidate walks through.
+pub const RAMP: [f64; 4] = [0.01, 0.10, 0.50, 1.00];
+
+/// Controller tuning.
+#[derive(Debug, Clone)]
+pub struct CanaryConfig {
+    /// Seconds between scrape/decide ticks.
+    pub interval: Duration,
+    /// Consecutive healthy ticks required before each promotion step —
+    /// the bake time, in ticks.
+    pub bake_ticks: u32,
+    /// Consecutive unhealthy ticks that trigger a rollback (more than
+    /// one, so a single noisy window cannot kill a good candidate).
+    pub rollback_after: u32,
+    /// Largest tolerable shadow-minus-primary p99 delta (ms).
+    pub max_delta_p99_ms: f64,
+    /// Largest tolerable shadow-minus-primary error-rate delta.
+    pub max_delta_error_rate: f64,
+}
+
+impl Default for CanaryConfig {
+    fn default() -> CanaryConfig {
+        CanaryConfig {
+            interval: Duration::from_secs(5),
+            bake_ticks: 3,
+            rollback_after: 2,
+            max_delta_p99_ms: 250.0,
+            max_delta_error_rate: 0.02,
+        }
+    }
+}
+
+/// Where the candidate currently stands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CanaryPhase {
+    /// Shadow-only: mirrored traffic, no real weight yet.
+    Observing,
+    /// Serving real traffic at `RAMP[step]` of the total weight.
+    Ramping(usize),
+    /// Fully promoted: the candidate is the table.
+    Promoted,
+    /// Zeroed, with the recorded reason.
+    RolledBack(String),
+}
+
+impl CanaryPhase {
+    /// The phase as a stats-verb string.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CanaryPhase::Observing => "observing",
+            CanaryPhase::Ramping(_) => "ramping",
+            CanaryPhase::Promoted => "promoted",
+            CanaryPhase::RolledBack(_) => "rolled_back",
+        }
+    }
+}
+
+/// One aggregated delta observation (worst replica per tick — a
+/// candidate must be healthy *everywhere* to earn traffic).
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaSample {
+    /// Shadow-minus-primary p50 latency (ms).
+    pub delta_p50_ms: f64,
+    /// Shadow-minus-primary p99 latency (ms).
+    pub delta_p99_ms: f64,
+    /// Shadow-minus-primary error rate.
+    pub delta_error_rate: f64,
+}
+
+/// What one tick decided.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decision {
+    /// Advance the ramp (the payload is the candidate's new weight
+    /// share; 1.0 means full promotion).
+    Promote(f64),
+    /// Not enough evidence yet, or mid-bake.
+    Hold,
+    /// Zero the candidate for this recorded reason.
+    Rollback(String),
+}
+
+impl Decision {
+    /// The decision as a metric label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Decision::Promote(_) => "promote",
+            Decision::Hold => "hold",
+            Decision::Rollback(_) => "rollback",
+        }
+    }
+}
+
+/// The controller's mutable state. Pure decision logic — scraping and
+/// table rewriting live in the server, so this part is directly
+/// testable without sockets.
+pub struct Canary {
+    config: CanaryConfig,
+    state: Mutex<CanaryState>,
+    /// Decisions taken, by kind, for `ccsa_fleet_canary_decisions_total`.
+    pub promotes: AtomicU64,
+    pub holds: AtomicU64,
+    pub rollbacks: AtomicU64,
+}
+
+struct CanaryState {
+    phase: CanaryPhase,
+    healthy_streak: u32,
+    unhealthy_streak: u32,
+}
+
+impl Canary {
+    /// A fresh controller in `Observing`.
+    pub fn new(config: CanaryConfig) -> Canary {
+        Canary {
+            config,
+            state: Mutex::new(CanaryState {
+                phase: CanaryPhase::Observing,
+                healthy_streak: 0,
+                unhealthy_streak: 0,
+            }),
+            promotes: AtomicU64::new(0),
+            holds: AtomicU64::new(0),
+            rollbacks: AtomicU64::new(0),
+        }
+    }
+
+    /// The scrape/decide cadence.
+    pub fn interval(&self) -> Duration {
+        self.config.interval
+    }
+
+    /// The current phase (cloned; the reason string rides along).
+    pub fn phase(&self) -> CanaryPhase {
+        self.state
+            .lock()
+            .expect("canary state poisoned")
+            .phase
+            .clone()
+    }
+
+    /// Whether the controller still has decisions to make.
+    pub fn active(&self) -> bool {
+        matches!(
+            self.phase(),
+            CanaryPhase::Observing | CanaryPhase::Ramping(_)
+        )
+    }
+
+    /// Feeds one tick's observation (or `None` when the deltas were
+    /// unavailable) and returns the decision. The caller applies
+    /// `Promote`/`Rollback` to the routing table.
+    pub fn tick(&self, sample: Option<DeltaSample>) -> Decision {
+        let mut state = self.state.lock().expect("canary state poisoned");
+        if matches!(
+            state.phase,
+            CanaryPhase::Promoted | CanaryPhase::RolledBack(_)
+        ) {
+            return Decision::Hold;
+        }
+        let decision = match sample {
+            None => {
+                // No evidence is not evidence of health: the bake clock
+                // pauses, but an unhealthy streak is also not extended.
+                state.healthy_streak = 0;
+                Decision::Hold
+            }
+            Some(s) => {
+                let unhealthy = s.delta_p99_ms > self.config.max_delta_p99_ms
+                    || s.delta_error_rate > self.config.max_delta_error_rate;
+                if unhealthy {
+                    state.healthy_streak = 0;
+                    state.unhealthy_streak += 1;
+                    if state.unhealthy_streak >= self.config.rollback_after {
+                        let reason = format!(
+                            "delta_p99_ms={:.2} (max {:.2}), delta_error_rate={:.4} (max {:.4}) \
+                             for {} consecutive ticks",
+                            s.delta_p99_ms,
+                            self.config.max_delta_p99_ms,
+                            s.delta_error_rate,
+                            self.config.max_delta_error_rate,
+                            state.unhealthy_streak,
+                        );
+                        state.phase = CanaryPhase::RolledBack(reason.clone());
+                        Decision::Rollback(reason)
+                    } else {
+                        Decision::Hold
+                    }
+                } else {
+                    state.unhealthy_streak = 0;
+                    state.healthy_streak += 1;
+                    if state.healthy_streak >= self.config.bake_ticks {
+                        state.healthy_streak = 0;
+                        let next = match state.phase {
+                            CanaryPhase::Observing => 0,
+                            CanaryPhase::Ramping(step) => step + 1,
+                            _ => unreachable!("terminal phases returned above"),
+                        };
+                        if next + 1 >= RAMP.len() {
+                            state.phase = CanaryPhase::Promoted;
+                            Decision::Promote(1.0)
+                        } else {
+                            state.phase = CanaryPhase::Ramping(next);
+                            Decision::Promote(RAMP[next])
+                        }
+                    } else {
+                        Decision::Hold
+                    }
+                }
+            }
+        };
+        match &decision {
+            Decision::Promote(_) => self.promotes.fetch_add(1, Ordering::Relaxed),
+            Decision::Hold => self.holds.fetch_add(1, Ordering::Relaxed),
+            Decision::Rollback(_) => self.rollbacks.fetch_add(1, Ordering::Relaxed),
+        };
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> CanaryConfig {
+        CanaryConfig {
+            interval: Duration::from_millis(10),
+            bake_ticks: 2,
+            rollback_after: 2,
+            max_delta_p99_ms: 100.0,
+            max_delta_error_rate: 0.02,
+        }
+    }
+
+    fn healthy() -> Option<DeltaSample> {
+        Some(DeltaSample {
+            delta_p50_ms: 1.0,
+            delta_p99_ms: 5.0,
+            delta_error_rate: 0.0,
+        })
+    }
+
+    fn unhealthy() -> Option<DeltaSample> {
+        Some(DeltaSample {
+            delta_p50_ms: 1.0,
+            delta_p99_ms: 5.0,
+            delta_error_rate: 0.5,
+        })
+    }
+
+    #[test]
+    fn promotes_through_the_full_ramp() {
+        let canary = Canary::new(config());
+        let mut weights = Vec::new();
+        for _ in 0..20 {
+            if let Decision::Promote(w) = canary.tick(healthy()) {
+                weights.push(w);
+            }
+            if !canary.active() {
+                break;
+            }
+        }
+        assert_eq!(weights, vec![0.01, 0.10, 0.50, 1.0]);
+        assert_eq!(canary.phase(), CanaryPhase::Promoted);
+        // Terminal: further ticks are inert holds.
+        assert_eq!(canary.tick(healthy()), Decision::Hold);
+        assert_eq!(canary.phase(), CanaryPhase::Promoted);
+    }
+
+    #[test]
+    fn rolls_back_after_consecutive_unhealthy_ticks() {
+        let canary = Canary::new(config());
+        assert_eq!(canary.tick(unhealthy()), Decision::Hold);
+        let decision = canary.tick(unhealthy());
+        assert!(matches!(decision, Decision::Rollback(_)));
+        match canary.phase() {
+            CanaryPhase::RolledBack(reason) => {
+                assert!(reason.contains("delta_error_rate"), "reason: {reason}");
+            }
+            other => panic!("expected rollback, got {other:?}"),
+        }
+        assert_eq!(canary.rollbacks.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn single_bad_tick_does_not_kill_a_candidate() {
+        let canary = Canary::new(config());
+        assert_eq!(canary.tick(healthy()), Decision::Hold); // bake 1/2
+        assert_eq!(canary.tick(unhealthy()), Decision::Hold); // streak reset
+        assert_eq!(canary.tick(healthy()), Decision::Hold); // bake 1/2 again
+        assert_eq!(canary.tick(healthy()), Decision::Promote(0.01));
+        assert_eq!(canary.phase(), CanaryPhase::Ramping(0));
+    }
+
+    #[test]
+    fn missing_deltas_pause_the_bake_clock() {
+        let canary = Canary::new(config());
+        assert_eq!(canary.tick(healthy()), Decision::Hold);
+        assert_eq!(canary.tick(None), Decision::Hold); // scrape failed
+        assert_eq!(canary.tick(healthy()), Decision::Hold); // restart bake
+        assert_eq!(canary.tick(healthy()), Decision::Promote(0.01));
+    }
+}

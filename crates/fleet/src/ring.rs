@@ -1,0 +1,163 @@
+//! The consistent-hash replica ring.
+//!
+//! Sticky client keys must land on the *same replica* across fleet
+//! processes and across ring rebuilds — a replica keeps a client's
+//! embeddings warm in its cache, and reshuffling everyone on every
+//! membership change would throw that locality away. Classic consistent
+//! hashing gives exactly the bound we want: each replica owns
+//! [`VNODES`] pseudo-random arcs of the hash circle, a key belongs to
+//! the first point clockwise from its own hash, and removing one of `N`
+//! replicas only reassigns the keys whose owning arc vanished —
+//! expected `1/N` of them, every other key untouched.
+//!
+//! Determinism is load-bearing: points are derived from the replica
+//! *id string* with the same FNV/splitmix primitives the gateway router
+//! uses for sticky assignment, never from memory addresses or
+//! insertion order. Two fleet processes configured with the same
+//! replica set build bit-identical rings and route every key
+//! identically — the same replica-stability argument the router makes
+//! for routes, one tier up.
+
+use ccsa_serve::hash::{fnv1a, Fnv1a};
+
+/// Virtual nodes per replica. More vnodes = smoother key distribution
+/// (relative imbalance shrinks roughly with `1/sqrt(VNODES)`); 64 keeps
+/// build cost trivial while holding skew to a few percent.
+pub const VNODES: usize = 64;
+
+/// An immutable consistent-hash ring over replica indices. Rebuilt from
+/// the healthy subset on every membership flip and swapped whole — a
+/// lookup never observes a half-updated ring.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// `(point, replica index)` sorted by point; a key binary-searches
+    /// for the first point at or after its own hash (wrapping).
+    points: Vec<(u64, usize)>,
+    /// Distinct replicas on the ring.
+    members: usize,
+}
+
+impl Ring {
+    /// Builds a ring from `(replica index, replica id)` members. The
+    /// index is the caller's stable handle (position in the full
+    /// replica list); the id string is what the points are derived
+    /// from, so a replica's arcs never move as *other* replicas come
+    /// and go.
+    pub fn new<'a, I>(members: I) -> Ring
+    where
+        I: IntoIterator<Item = (usize, &'a str)>,
+    {
+        let mut points = Vec::new();
+        let mut count = 0usize;
+        for (index, id) in members {
+            count += 1;
+            for vnode in 0..VNODES {
+                let mut h = Fnv1a::new();
+                h.write(id.as_bytes());
+                h.write(&(vnode as u64).to_le_bytes());
+                points.push((fnv1a(&h.finish().to_le_bytes()), index));
+            }
+        }
+        points.sort_unstable();
+        Ring {
+            points,
+            members: count,
+        }
+    }
+
+    /// Distinct replicas on the ring.
+    pub fn members(&self) -> usize {
+        self.members
+    }
+
+    /// Whether the ring has any members at all.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The owning replica index for a sticky client key, or `None` on
+    /// an empty ring.
+    pub fn replica_for(&self, client_key: &str) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = fnv1a(client_key.as_bytes());
+        let at = self.points.partition_point(|&(p, _)| p < h);
+        let at = if at == self.points.len() { 0 } else { at };
+        Some(self.points[at].1)
+    }
+
+    /// The next *distinct* replica clockwise from the key's owner — the
+    /// hedge/failover target. `None` when fewer than two replicas are
+    /// on the ring.
+    pub fn next_replica(&self, client_key: &str, owner: usize) -> Option<usize> {
+        if self.members < 2 {
+            return None;
+        }
+        let h = fnv1a(client_key.as_bytes());
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let n = self.points.len();
+        (0..n)
+            .map(|step| self.points[(start + step) % n].1)
+            .find(|&ix| ix != owner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("replica-{i}")).collect()
+    }
+
+    fn ring_of(ids: &[String]) -> Ring {
+        Ring::new(ids.iter().enumerate().map(|(ix, id)| (ix, id.as_str())))
+    }
+
+    #[test]
+    fn lookup_is_deterministic_and_total() {
+        let ids = ids(4);
+        let ring = ring_of(&ids);
+        for i in 0..1000 {
+            let key = format!("client-{i}");
+            let first = ring.replica_for(&key).unwrap();
+            assert!(first < 4);
+            assert_eq!(ring.replica_for(&key), Some(first));
+        }
+        assert!(Ring::new(std::iter::empty()).replica_for("x").is_none());
+    }
+
+    #[test]
+    fn distribution_is_roughly_balanced() {
+        let ids = ids(4);
+        let ring = ring_of(&ids);
+        let mut counts = [0usize; 4];
+        let n = 40_000;
+        for i in 0..n {
+            counts[ring.replica_for(&format!("client-{i}")).unwrap()] += 1;
+        }
+        for (ix, &c) in counts.iter().enumerate() {
+            let share = c as f64 / n as f64;
+            assert!(
+                (share - 0.25).abs() < 0.08,
+                "replica {ix} owns share {share}, expected ~0.25"
+            );
+        }
+    }
+
+    #[test]
+    fn next_replica_differs_from_owner() {
+        let ids = ids(3);
+        let ring = ring_of(&ids);
+        for i in 0..500 {
+            let key = format!("client-{i}");
+            let owner = ring.replica_for(&key).unwrap();
+            let next = ring.next_replica(&key, owner).unwrap();
+            assert_ne!(next, owner);
+        }
+        // A single-member ring has no distinct neighbour.
+        let solo = ring_of(&ids[..1]);
+        assert!(solo.next_replica("x", 0).is_none());
+    }
+}

@@ -1,0 +1,1392 @@
+//! The fleet front tier: TCP/HTTP data plane, health prober, routing
+//! table watcher, and the canary driver — everything that runs.
+//!
+//! The data plane is deliberately *transparent*: a request line is
+//! forwarded to its replica as raw bytes and the response line returned
+//! verbatim, so a compare/rank through the fleet is byte-identical to
+//! one against the replica directly. The fleet only ever parses a
+//! request to decide *where* it goes (the sticky `client` key) and
+//! whether it is one of the two verbs answered locally (`fleet` stats,
+//! `shutdown`).
+//!
+//! Reliability is layered:
+//!
+//! * **failover** — an attempt that fails at the socket level is
+//!   retried transparently on the next healthy replica; scoring is
+//!   idempotent, so the client sees one answer and zero errors while a
+//!   replica dies;
+//! * **hedging** — a scored request still unanswered at the hedge
+//!   deadline gets a second attempt on the next distinct replica;
+//!   whichever answers first wins. Only `compare`/`rank` are hedged —
+//!   duplicating a mutating verb like `reload_routes` would apply it
+//!   somewhere arbitrary;
+//! * **health** — a background prober walks each replica's `/readyz`
+//!   with rise/fall hysteresis and rebuilds the consistent-hash ring on
+//!   every flip, so draining or dead replicas stop receiving new keys.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ccsa_serve::json::{self, Json};
+use ccsa_serve::proto;
+use ccsa_serve::{Counter, MetricKind, MetricsRegistry, Sample, SampleFamily};
+
+use crate::canary::{Canary, CanaryConfig, CanaryPhase, Decision, DeltaSample};
+use crate::replica::{Replica, ReplicaConfig};
+use crate::ring::Ring;
+use crate::table::{self, TableSpec};
+
+/// The longest request line a session will buffer (same bound as the
+/// gateway: one hostile client must not balloon resident memory).
+const MAX_LINE_BYTES: usize = 8 << 20;
+
+/// Fleet construction settings.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Bind address for the JSON-lines front (port 0 = ephemeral).
+    pub addr: String,
+    /// Bind address for the HTTP front (`None` = TCP only).
+    pub http_addr: Option<String>,
+    /// Concurrent session cap across both fronts.
+    pub max_connections: usize,
+    /// Accept-loop poll cadence (bounds shutdown latency).
+    pub poll_interval: Duration,
+    /// Hedge deadline for scored requests (`None` = hedging off).
+    /// Operationally this is derived from the replica p99 — a hedge
+    /// should fire only for requests already slower than almost all.
+    pub hedge_after: Option<Duration>,
+    /// Per-attempt connect/read timeout on forwarded requests.
+    pub forward_timeout: Duration,
+    /// Probe cadence (`None` = prober off; replicas stay as they
+    /// start, healthy).
+    pub probe_interval: Option<Duration>,
+    /// Consecutive probe successes before an ejected replica rejoins.
+    pub probe_rise: u32,
+    /// Consecutive probe failures before a replica is ejected.
+    pub probe_fall: u32,
+    /// Per-probe timeout.
+    pub probe_timeout: Duration,
+    /// The hot-reloadable routing-table file (`None` = control plane
+    /// off).
+    pub routes_file: Option<PathBuf>,
+    /// How often the table file is polled for changes.
+    pub table_poll: Duration,
+    /// Canary controller tuning (`None` = controller off; it also
+    /// stays idle until the table has a shadow entry).
+    pub canary: Option<CanaryConfig>,
+    /// Whether `shutdown` is honoured from non-loopback peers.
+    pub allow_remote_shutdown: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            addr: "127.0.0.1:0".to_string(),
+            http_addr: None,
+            max_connections: 128,
+            poll_interval: Duration::from_millis(15),
+            hedge_after: None,
+            forward_timeout: Duration::from_secs(5),
+            probe_interval: Some(Duration::from_millis(500)),
+            probe_rise: 2,
+            probe_fall: 2,
+            probe_timeout: Duration::from_secs(1),
+            routes_file: None,
+            table_poll: Duration::from_millis(200),
+            canary: None,
+            allow_remote_shutdown: false,
+        }
+    }
+}
+
+/// State shared between the accept loops, session threads, background
+/// workers, and handles.
+pub(crate) struct FleetState {
+    pub(crate) replicas: Vec<Arc<Replica>>,
+    /// The consistent-hash ring over currently-healthy replicas.
+    /// Rebuilt and swapped whole on every health flip.
+    ring: RwLock<Arc<Ring>>,
+    pub(crate) config: FleetConfig,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    tcp_accepting: AtomicBool,
+    http_accepting: AtomicBool,
+    metrics: Arc<MetricsRegistry>,
+    /// Per-replica forwarded-request counters
+    /// (`ccsa_fleet_requests_total{replica=<id>}`), indexed like
+    /// `replicas`.
+    request_counters: Vec<Counter>,
+    hedges: Counter,
+    hedge_wins: Counter,
+    failovers: Counter,
+    ejections: Counter,
+    restores: Counter,
+    canary_promotes: Counter,
+    canary_holds: Counter,
+    canary_rollbacks: Counter,
+    /// Routing tables successfully pushed to replicas since boot.
+    table_generation: AtomicU64,
+    /// The last table validation/push error, for the stats verb.
+    table_error: Mutex<Option<String>>,
+    /// The current table (as last pushed), for rewrites and stats.
+    current_table: Mutex<Option<TableSpec>>,
+    pub(crate) canary: Option<Canary>,
+}
+
+impl FleetState {
+    fn ring(&self) -> Arc<Ring> {
+        Arc::clone(&self.ring.read().expect("ring poisoned"))
+    }
+
+    /// Rebuilds the ring from the currently-healthy replica subset.
+    fn rebuild_ring(&self) {
+        let next = Ring::new(
+            self.replicas
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.is_healthy())
+                .map(|(ix, r)| (ix, r.config.id.as_str())),
+        );
+        *self.ring.write().expect("ring poisoned") = Arc::new(next);
+    }
+
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn accepting(&self) -> bool {
+        self.tcp_accepting.load(Ordering::SeqCst)
+            && (self.config.http_addr.is_none() || self.http_accepting.load(Ordering::SeqCst))
+    }
+
+    fn record_request(&self, ix: usize) {
+        self.replicas[ix].requests.fetch_add(1, Ordering::Relaxed);
+        self.request_counters[ix].inc();
+    }
+
+    /// Pushes a table to one replica via `reload_routes`; best-effort.
+    fn push_table_to(&self, spec: &TableSpec, ix: usize) -> Result<(), String> {
+        let line = spec.reload_request().to_string();
+        match self.replicas[ix].exchange(&line, self.config.forward_timeout) {
+            Ok(response) => {
+                let v = json::parse(&response).map_err(|e| e.to_string())?;
+                match v.get("ok").and_then(Json::as_bool) {
+                    Some(true) => Ok(()),
+                    _ => Err(v
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("reload_routes refused")
+                        .to_string()),
+                }
+            }
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    /// Validates, persists (when a table file is configured), and
+    /// pushes a table to every replica. Partial push failures are
+    /// recorded but do not roll the table back — the prober re-pushes
+    /// when a replica recovers.
+    pub(crate) fn apply_table(&self, spec: &TableSpec, persist: bool) -> Result<(), String> {
+        if persist {
+            if let Some(path) = &self.config.routes_file {
+                table::write_atomic(path, spec).map_err(|e| e.to_string())?;
+            }
+        }
+        let mut errors = Vec::new();
+        for (ix, replica) in self.replicas.iter().enumerate() {
+            if !replica.is_healthy() {
+                continue;
+            }
+            if let Err(e) = self.push_table_to(spec, ix) {
+                errors.push(format!("{}: {e}", replica.config.id));
+            }
+        }
+        *self.current_table.lock().expect("table poisoned") = Some(spec.clone());
+        self.table_generation.fetch_add(1, Ordering::SeqCst);
+        let error = (!errors.is_empty()).then(|| errors.join("; "));
+        let failed = error.is_some();
+        *self.table_error.lock().expect("table error poisoned") = error;
+        if failed {
+            Err("push incomplete".to_string())
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// A cloneable control handle onto a running fleet.
+#[derive(Clone)]
+pub struct FleetHandle {
+    state: Arc<FleetState>,
+    addr: SocketAddr,
+    http_addr: Option<SocketAddr>,
+}
+
+impl FleetHandle {
+    /// The bound JSON-lines address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The bound HTTP address, when configured.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http_addr
+    }
+
+    /// The fleet metrics registry (`ccsa_fleet_*`).
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.state.metrics)
+    }
+
+    /// Starts a graceful drain.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether every configured accept loop is live (the port-file /
+    /// readiness gate, as on the gateway).
+    pub fn accepting(&self) -> bool {
+        self.state.accepting()
+    }
+
+    /// Routing tables pushed since boot.
+    pub fn table_generation(&self) -> u64 {
+        self.state.table_generation.load(Ordering::SeqCst)
+    }
+
+    /// The canary's current phase label, when a controller is running.
+    pub fn canary_phase(&self) -> Option<CanaryPhase> {
+        self.state.canary.as_ref().map(Canary::phase)
+    }
+}
+
+/// A bound-but-not-yet-running fleet.
+pub struct Fleet {
+    listener: TcpListener,
+    http_listener: Option<TcpListener>,
+    state: Arc<FleetState>,
+    addr: SocketAddr,
+    http_addr: Option<SocketAddr>,
+}
+
+/// A fleet running on a background thread (tests and embedding).
+pub struct SpawnedFleet {
+    handle: FleetHandle,
+    join: JoinHandle<std::io::Result<()>>,
+}
+
+impl SpawnedFleet {
+    /// The bound JSON-lines address.
+    pub fn addr(&self) -> SocketAddr {
+        self.handle.addr()
+    }
+
+    /// The bound HTTP address, when configured.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.handle.http_addr()
+    }
+
+    /// A control handle.
+    pub fn handle(&self) -> FleetHandle {
+        self.handle.clone()
+    }
+
+    /// Drains the fleet and joins every worker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates an accept-loop I/O failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accept-loop thread itself panicked.
+    pub fn shutdown_and_join(self) -> std::io::Result<()> {
+        self.handle.shutdown();
+        self.join.join().expect("fleet accept loop panicked")
+    }
+}
+
+impl Fleet {
+    /// Binds the listeners; does not accept yet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures; rejects an empty replica set or
+    /// duplicate replica ids (`InvalidInput`).
+    pub fn bind(replicas: Vec<ReplicaConfig>, config: FleetConfig) -> std::io::Result<Fleet> {
+        let invalid =
+            |message: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, message);
+        if replicas.is_empty() {
+            return Err(invalid("fleet needs at least one replica".to_string()));
+        }
+        for (ix, replica) in replicas.iter().enumerate() {
+            if replicas[..ix].iter().any(|r| r.id == replica.id) {
+                return Err(invalid(format!("duplicate replica id {:?}", replica.id)));
+            }
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let (http_listener, http_addr) = match &config.http_addr {
+            Some(addr) => {
+                let l = TcpListener::bind(addr)?;
+                let resolved = l.local_addr()?;
+                (Some(l), Some(resolved))
+            }
+            None => (None, None),
+        };
+
+        let metrics = Arc::new(MetricsRegistry::new());
+        let request_counters = replicas
+            .iter()
+            .map(|r| {
+                metrics.counter(
+                    "ccsa_fleet_requests_total",
+                    "Requests forwarded through the fleet, by replica.",
+                    &[("replica", r.id.as_str())],
+                )
+            })
+            .collect();
+        let scalar = |name: &str, help: &str| metrics.counter(name, help, &[]);
+        let decision = |kind: &str| {
+            metrics.counter(
+                "ccsa_fleet_canary_decisions_total",
+                "Canary controller decisions, by kind.",
+                &[("decision", kind)],
+            )
+        };
+        let replicas: Vec<Arc<Replica>> = replicas
+            .into_iter()
+            .map(|c| Arc::new(Replica::new(c)))
+            .collect();
+        let ring = Ring::new(
+            replicas
+                .iter()
+                .enumerate()
+                .map(|(ix, r)| (ix, r.config.id.as_str())),
+        );
+        let state = Arc::new(FleetState {
+            replicas,
+            ring: RwLock::new(Arc::new(ring)),
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            tcp_accepting: AtomicBool::new(false),
+            http_accepting: AtomicBool::new(false),
+            request_counters,
+            hedges: scalar(
+                "ccsa_fleet_hedges_total",
+                "Second attempts fired because the first passed the hedge deadline.",
+            ),
+            hedge_wins: scalar(
+                "ccsa_fleet_hedge_wins_total",
+                "Hedged requests where the second attempt answered first.",
+            ),
+            failovers: scalar(
+                "ccsa_fleet_failovers_total",
+                "Requests transparently retried on another replica after a failure.",
+            ),
+            ejections: scalar(
+                "ccsa_fleet_ejections_total",
+                "Replicas ejected from the ring by the health prober.",
+            ),
+            restores: scalar(
+                "ccsa_fleet_restores_total",
+                "Ejected replicas restored to the ring on recovery.",
+            ),
+            canary_promotes: decision("promote"),
+            canary_holds: decision("hold"),
+            canary_rollbacks: decision("rollback"),
+            table_generation: AtomicU64::new(0),
+            table_error: Mutex::new(None),
+            current_table: Mutex::new(None),
+            canary: config.canary.clone().map(Canary::new),
+            config,
+            metrics,
+        });
+        let collector_state = Arc::downgrade(&state);
+        state
+            .metrics
+            .register_collector(move || fleet_metric_families(&collector_state));
+        Ok(Fleet {
+            listener,
+            http_listener,
+            state,
+            addr,
+            http_addr,
+        })
+    }
+
+    /// The bound JSON-lines address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The bound HTTP address, when configured.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http_addr
+    }
+
+    /// A control handle.
+    pub fn handle(&self) -> FleetHandle {
+        FleetHandle {
+            state: Arc::clone(&self.state),
+            addr: self.addr,
+            http_addr: self.http_addr,
+        }
+    }
+
+    /// Runs the accept loop on the calling thread until drained.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal listener failures.
+    pub fn run(self) -> std::io::Result<()> {
+        let Fleet {
+            listener,
+            http_listener,
+            state,
+            ..
+        } = self;
+        let mut workers: Vec<JoinHandle<()>> = Vec::new();
+        if let Some(l) = http_listener {
+            let http_state = Arc::clone(&state);
+            workers.push(
+                std::thread::Builder::new()
+                    .name("ccsa-fleet-http".to_string())
+                    .spawn(move || run_http_loop(&http_state, &l))?,
+            );
+        }
+        if state.config.probe_interval.is_some() {
+            let probe_state = Arc::clone(&state);
+            workers.push(
+                std::thread::Builder::new()
+                    .name("ccsa-fleet-probe".to_string())
+                    .spawn(move || run_prober(&probe_state))?,
+            );
+        }
+        if state.config.routes_file.is_some() {
+            let table_state = Arc::clone(&state);
+            workers.push(
+                std::thread::Builder::new()
+                    .name("ccsa-fleet-table".to_string())
+                    .spawn(move || run_table_watcher(&table_state))?,
+            );
+        }
+        if state.canary.is_some() {
+            let canary_state = Arc::clone(&state);
+            workers.push(
+                std::thread::Builder::new()
+                    .name("ccsa-fleet-canary".to_string())
+                    .spawn(move || run_canary(&canary_state))?,
+            );
+        }
+        listener.set_nonblocking(true)?;
+        state.tcp_accepting.store(true, Ordering::SeqCst);
+        let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+        while !state.draining() {
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    let _ = stream.set_nonblocking(false);
+                    let _ = stream.set_nodelay(true);
+                    if state.active.load(Ordering::SeqCst) >= state.config.max_connections {
+                        let mut stream = stream;
+                        let line = proto::error_response(&format!(
+                            "fleet at capacity ({} connections) — retry later",
+                            state.config.max_connections
+                        ));
+                        let _ = writeln!(stream, "{line}");
+                        continue;
+                    }
+                    state.active.fetch_add(1, Ordering::SeqCst);
+                    let session_state = Arc::clone(&state);
+                    let session = std::thread::Builder::new()
+                        .name(format!("ccsa-fleet-{peer}"))
+                        .spawn(move || {
+                            struct Slot<'a>(&'a AtomicUsize);
+                            impl Drop for Slot<'_> {
+                                fn drop(&mut self) {
+                                    self.0.fetch_sub(1, Ordering::SeqCst);
+                                }
+                            }
+                            let _slot = Slot(&session_state.active);
+                            serve_connection(&session_state, stream, peer);
+                        });
+                    match session {
+                        Ok(handle) => sessions.push(handle),
+                        Err(_) => {
+                            state.active.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    }
+                    sessions.retain(|s| !s.is_finished());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(state.config.poll_interval);
+                    sessions.retain(|s| !s.is_finished());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => std::thread::sleep(state.config.poll_interval),
+            }
+        }
+        for session in sessions {
+            let _ = session.join();
+        }
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+
+    /// Binds and runs on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn(
+        replicas: Vec<ReplicaConfig>,
+        config: FleetConfig,
+    ) -> std::io::Result<SpawnedFleet> {
+        let fleet = Fleet::bind(replicas, config)?;
+        let handle = fleet.handle();
+        let join = std::thread::Builder::new()
+            .name("ccsa-fleet-accept".to_string())
+            .spawn(move || fleet.run())?;
+        Ok(SpawnedFleet { handle, join })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Data plane
+// ---------------------------------------------------------------------
+
+fn serve_connection(state: &Arc<FleetState>, stream: TcpStream, peer: SocketAddr) {
+    if stream
+        .set_read_timeout(Some(state.config.poll_interval))
+        .is_err()
+    {
+        return;
+    }
+    let mut reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    let fallback_key = peer.ip().to_string();
+    let mut line_buf: Vec<u8> = Vec::new();
+    loop {
+        if state.draining() {
+            return;
+        }
+        let budget = (MAX_LINE_BYTES + 1).saturating_sub(line_buf.len()) as u64;
+        match std::io::Read::take(&mut reader, budget).read_until(b'\n', &mut line_buf) {
+            Ok(0) if line_buf.len() > MAX_LINE_BYTES => {
+                let _ = writeln!(
+                    writer,
+                    "{}",
+                    proto::error_response("request line exceeds 8 MiB")
+                );
+                return;
+            }
+            Ok(0) => return,
+            Ok(_) => {
+                if line_buf.last() != Some(&b'\n') {
+                    continue;
+                }
+                if line_buf.iter().all(|b| b.is_ascii_whitespace()) {
+                    line_buf.clear();
+                    continue;
+                }
+                let Ok(line) = String::from_utf8(std::mem::take(&mut line_buf)) else {
+                    let _ = writeln!(
+                        writer,
+                        "{}",
+                        proto::error_response("request line is not valid UTF-8")
+                    );
+                    continue;
+                };
+                let line = line.trim_end_matches(['\n', '\r']);
+                let (response, drain) =
+                    handle_line(state, line, &fallback_key, peer.ip().is_loopback());
+                if writeln!(writer, "{response}")
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    return;
+                }
+                if drain {
+                    state.shutdown.store(true, Ordering::SeqCst);
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Routes one request line: local verbs answered here, everything else
+/// forwarded raw. Returns `(response line, drain?)`.
+fn handle_line(
+    state: &Arc<FleetState>,
+    line: &str,
+    fallback_key: &str,
+    peer_is_loopback: bool,
+) -> (String, bool) {
+    // Peek at op/client; an unparseable line is still forwarded — the
+    // replica's protocol error is the canonical one, and answering
+    // locally would break transparency.
+    let parsed = json::parse(line).ok();
+    let op = parsed
+        .as_ref()
+        .and_then(|v| v.get("op"))
+        .and_then(Json::as_str)
+        .unwrap_or("");
+    match op {
+        "fleet" => (fleet_stats_response(state).to_string(), false),
+        "shutdown" => {
+            if !peer_is_loopback && !state.config.allow_remote_shutdown {
+                return (
+                    proto::error_response(
+                        "shutdown is only accepted from loopback \
+                         (start the fleet with remote shutdown enabled to change this)",
+                    )
+                    .to_string(),
+                    false,
+                );
+            }
+            (
+                Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("op", Json::str("shutdown")),
+                    ("draining", Json::Bool(true)),
+                ])
+                .to_string(),
+                true,
+            )
+        }
+        _ => {
+            let client_key = parsed
+                .as_ref()
+                .and_then(|v| v.get("client"))
+                .and_then(Json::as_str)
+                .unwrap_or(fallback_key)
+                .to_string();
+            let hedgeable = matches!(op, "compare" | "rank");
+            (forward(state, &client_key, line, hedgeable), false)
+        }
+    }
+}
+
+/// Forwards one raw request line to its sticky replica, hedging scored
+/// requests and failing over on socket errors. Always returns a
+/// response line (an `ok:false` one when every replica is gone).
+pub(crate) fn forward(
+    state: &Arc<FleetState>,
+    client_key: &str,
+    line: &str,
+    hedgeable: bool,
+) -> String {
+    let ring = state.ring();
+    let Some(primary) = ring.replica_for(client_key) else {
+        return proto::error_response("no healthy replicas — retry later").to_string();
+    };
+    let hedge = state
+        .config
+        .hedge_after
+        .filter(|_| hedgeable)
+        .and_then(|deadline| {
+            ring.next_replica(client_key, primary)
+                .map(|second| (deadline, second))
+        });
+    let answered = match hedge {
+        None => forward_sequential(state, attempt_order(state, primary, &[]), line, false),
+        Some((deadline, second)) => forward_hedged(state, primary, second, line, deadline),
+    };
+    answered.unwrap_or_else(|| {
+        proto::error_response("no replica answered — all attempts failed").to_string()
+    })
+}
+
+/// The replica indices to try, primary first, then every other healthy
+/// replica (excluding `exclude`).
+fn attempt_order(state: &FleetState, primary: usize, exclude: &[usize]) -> Vec<usize> {
+    let mut order = vec![primary];
+    for (ix, replica) in state.replicas.iter().enumerate() {
+        if ix != primary && !exclude.contains(&ix) && replica.is_healthy() {
+            order.push(ix);
+        }
+    }
+    order
+}
+
+/// Tries replicas in order until one answers; successes after the first
+/// failure count as failovers. Returns `None` when nobody answered.
+fn forward_sequential(
+    state: &Arc<FleetState>,
+    order: Vec<usize>,
+    line: &str,
+    already_failed: bool,
+) -> Option<String> {
+    let mut failed = already_failed;
+    for ix in order {
+        match state.replicas[ix].exchange(line, state.config.forward_timeout) {
+            Ok(response) => {
+                state.record_request(ix);
+                if failed {
+                    state.failovers.inc();
+                }
+                return Some(response);
+            }
+            Err(_) => failed = true,
+        }
+    }
+    None
+}
+
+/// The hedged path: first attempt on `primary`; if it has not answered
+/// by `deadline`, a second attempt on `second` races it; the first
+/// answer wins. Socket failures fall back to sequential failover over
+/// the remaining healthy replicas.
+fn forward_hedged(
+    state: &Arc<FleetState>,
+    primary: usize,
+    second: usize,
+    line: &str,
+    deadline: Duration,
+) -> Option<String> {
+    let (tx, rx) = mpsc::channel::<(usize, std::io::Result<String>)>();
+    spawn_attempt(state, primary, line, &tx);
+    match rx.recv_timeout(deadline) {
+        Ok((ix, Ok(response))) => {
+            state.record_request(ix);
+            Some(response)
+        }
+        Ok((_, Err(_))) => {
+            // The primary failed outright before the hedge deadline:
+            // plain failover, no hedge fired.
+            forward_sequential(state, attempt_order(state, primary, &[primary]), line, true)
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            state.hedges.inc();
+            spawn_attempt(state, second, line, &tx);
+            let mut pending = 2;
+            while pending > 0 {
+                // Generous bound: each attempt's socket already times
+                // out at `forward_timeout`.
+                match rx.recv_timeout(state.config.forward_timeout + deadline) {
+                    Ok((ix, Ok(response))) => {
+                        if ix == second {
+                            state.hedge_wins.inc();
+                        }
+                        state.record_request(ix);
+                        return Some(response);
+                    }
+                    Ok((_, Err(_))) => pending -= 1,
+                    Err(_) => break,
+                }
+            }
+            forward_sequential(
+                state,
+                attempt_order(state, primary, &[primary, second]),
+                line,
+                true,
+            )
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => None,
+    }
+}
+
+/// Runs one forwarding attempt on its own thread, reporting into the
+/// hedge channel. Detached: a slow loser finishes its exchange (and
+/// returns its pooled connection) in the background.
+fn spawn_attempt(
+    state: &Arc<FleetState>,
+    ix: usize,
+    line: &str,
+    tx: &mpsc::Sender<(usize, std::io::Result<String>)>,
+) {
+    let state = Arc::clone(state);
+    let line = line.to_string();
+    let tx = tx.clone();
+    let _ = std::thread::Builder::new()
+        .name("ccsa-fleet-hedge".to_string())
+        .spawn(move || {
+            let result = state.replicas[ix].exchange(&line, state.config.forward_timeout);
+            let _ = tx.send((ix, result));
+        });
+}
+
+// ---------------------------------------------------------------------
+// Background workers
+// ---------------------------------------------------------------------
+
+/// The health prober: walks every replica's `/readyz` with rise/fall
+/// hysteresis, rebuilding the ring on flips and re-pushing the current
+/// routing table to replicas that recover.
+fn run_prober(state: &Arc<FleetState>) {
+    let Some(interval) = state.config.probe_interval else {
+        return;
+    };
+    while !state.draining() {
+        for (ix, replica) in state.replicas.iter().enumerate() {
+            let ok = probe_readyz(replica.config.http_addr, state.config.probe_timeout);
+            let flipped = if ok {
+                let rose = replica.probe_success(state.config.probe_rise);
+                if rose {
+                    state.restores.inc();
+                    // A recovered replica may have missed table pushes.
+                    let table = state.current_table.lock().expect("table poisoned").clone();
+                    if let Some(spec) = table {
+                        let _ = state.push_table_to(&spec, ix);
+                    }
+                }
+                rose
+            } else {
+                let fell = replica.probe_failure(state.config.probe_fall);
+                if fell {
+                    state.ejections.inc();
+                }
+                fell
+            };
+            if flipped {
+                state.rebuild_ring();
+            }
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// One `/readyz` probe: connect, GET, expect 200.
+fn probe_readyz(addr: SocketAddr, timeout: Duration) -> bool {
+    let Ok(stream) = TcpStream::connect_timeout(&addr, timeout) else {
+        return false;
+    };
+    if stream.set_read_timeout(Some(timeout)).is_err() || stream.set_nodelay(true).is_err() {
+        return false;
+    }
+    let mut stream = stream;
+    if stream
+        .write_all(b"GET /readyz HTTP/1.1\r\nHost: fleet-probe\r\nConnection: close\r\n\r\n")
+        .is_err()
+    {
+        return false;
+    }
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    if reader.read_line(&mut status_line).is_err() {
+        return false;
+    }
+    status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        == Some(200)
+}
+
+/// The table watcher: polls the routing-table file and, when its
+/// content changes, validates and pushes it. Invalid tables are
+/// recorded and skipped — the last good table keeps serving.
+fn run_table_watcher(state: &Arc<FleetState>) {
+    let Some(path) = state.config.routes_file.clone() else {
+        return;
+    };
+    let mut last_hash: Option<u64> = None;
+    while !state.draining() {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let hash = ccsa_serve::hash::fnv1a(text.as_bytes());
+                if last_hash != Some(hash) {
+                    last_hash = Some(hash);
+                    match table::parse(&text) {
+                        Ok(spec) => {
+                            let _ = state.apply_table(&spec, false);
+                        }
+                        Err(e) => {
+                            *state.table_error.lock().expect("table error poisoned") =
+                                Some(format!("{}: {e}", path.display()));
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                *state.table_error.lock().expect("table error poisoned") =
+                    Some(format!("reading {}: {e}", path.display()));
+            }
+        }
+        std::thread::sleep(state.config.table_poll);
+    }
+}
+
+/// The canary driver: scrapes every healthy replica's `routes` verb,
+/// aggregates the worst shadow deltas, feeds the controller, and
+/// applies its promote/rollback decisions as table rewrites.
+fn run_canary(state: &Arc<FleetState>) {
+    let Some(canary) = &state.canary else {
+        return;
+    };
+    while !state.draining() && canary.active() {
+        std::thread::sleep(canary.interval());
+        if state.draining() {
+            return;
+        }
+        let Some(current) = state.current_table.lock().expect("table poisoned").clone() else {
+            continue; // no table yet — nothing to ramp
+        };
+        let Some((candidate, _fraction)) = current.shadow.clone() else {
+            continue; // no shadow arm — nothing to watch
+        };
+        let sample = scrape_worst_delta(state);
+        let decision = canary.tick(sample);
+        match &decision {
+            Decision::Promote(_) => state.canary_promotes.inc(),
+            Decision::Hold => state.canary_holds.inc(),
+            Decision::Rollback(_) => state.canary_rollbacks.inc(),
+        }
+        match decision {
+            Decision::Hold => {}
+            Decision::Promote(weight) => {
+                let next = promote_table(&current, &candidate, weight);
+                let _ = state.apply_table(&next, true);
+            }
+            Decision::Rollback(_reason) => {
+                let next = rollback_table(&current, &candidate);
+                let _ = state.apply_table(&next, true);
+            }
+        }
+    }
+}
+
+/// Scrapes every healthy replica's `routes` verb and returns the worst
+/// (largest) shadow deltas seen, or `None` when any replica's deltas
+/// were unavailable — the controller treats that as "not enough
+/// evidence" and holds.
+fn scrape_worst_delta(state: &Arc<FleetState>) -> Option<DeltaSample> {
+    let mut worst: Option<DeltaSample> = None;
+    for replica in state.replicas.iter().filter(|r| r.is_healthy()) {
+        let response = replica
+            .exchange(r#"{"op":"routes"}"#, state.config.forward_timeout)
+            .ok()?;
+        let v = json::parse(&response).ok()?;
+        let shadow = v.get("shadow")?;
+        let delta = |name: &str| shadow.get(name).and_then(Json::as_f64);
+        let sample = DeltaSample {
+            delta_p50_ms: delta("delta_p50_ms")?,
+            delta_p99_ms: delta("delta_p99_ms")?,
+            delta_error_rate: delta("delta_error_rate")?,
+        };
+        worst = Some(match worst {
+            None => sample,
+            Some(w) => DeltaSample {
+                delta_p50_ms: w.delta_p50_ms.max(sample.delta_p50_ms),
+                delta_p99_ms: w.delta_p99_ms.max(sample.delta_p99_ms),
+                delta_error_rate: w.delta_error_rate.max(sample.delta_error_rate),
+            },
+        });
+    }
+    worst
+}
+
+/// The table after one promotion step: primaries scaled to `1 - weight`
+/// of traffic, the candidate at `weight`. At full weight the candidate
+/// becomes the sole route and the shadow entry is dropped.
+fn promote_table(
+    current: &TableSpec,
+    candidate: &ccsa_serve::ModelSelector,
+    weight: f64,
+) -> TableSpec {
+    if weight >= 1.0 {
+        return TableSpec {
+            routes: vec![(candidate.clone(), 1.0)],
+            shadow: None,
+        };
+    }
+    let base: Vec<(ccsa_serve::ModelSelector, f64)> = current
+        .routes
+        .iter()
+        .filter(|(selector, w)| *w > 0.0 && !same_selector(selector, candidate))
+        .cloned()
+        .collect();
+    let total: f64 = base.iter().map(|(_, w)| w).sum();
+    let mut routes: Vec<(ccsa_serve::ModelSelector, f64)> = base
+        .iter()
+        .map(|(selector, w)| (selector.clone(), w / total * (1.0 - weight)))
+        .collect();
+    routes.push((candidate.clone(), weight));
+    TableSpec {
+        routes,
+        shadow: current.shadow.clone(),
+    }
+}
+
+/// The table after a rollback: primaries restored to their full
+/// weights, the candidate kept at weight 0 as the visible record, the
+/// shadow entry dropped so mirroring stops.
+fn rollback_table(current: &TableSpec, candidate: &ccsa_serve::ModelSelector) -> TableSpec {
+    let mut routes: Vec<(ccsa_serve::ModelSelector, f64)> = current
+        .routes
+        .iter()
+        .filter(|(selector, w)| *w > 0.0 && !same_selector(selector, candidate))
+        .cloned()
+        .collect();
+    routes.push((candidate.clone(), 0.0));
+    TableSpec {
+        routes,
+        shadow: None,
+    }
+}
+
+fn same_selector(a: &ccsa_serve::ModelSelector, b: &ccsa_serve::ModelSelector) -> bool {
+    a.name.as_deref().unwrap_or(ccsa_serve::DEFAULT_MODEL)
+        == b.name.as_deref().unwrap_or(ccsa_serve::DEFAULT_MODEL)
+        && a.version == b.version
+}
+
+// ---------------------------------------------------------------------
+// Stats + metrics
+// ---------------------------------------------------------------------
+
+/// The `fleet` verb: replica/ring/hedge/canary state as one document.
+pub(crate) fn fleet_stats_response(state: &FleetState) -> Json {
+    let replicas: Vec<Json> = state
+        .replicas
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("id", Json::str(r.config.id.clone())),
+                ("addr", Json::str(r.config.addr.to_string())),
+                ("http_addr", Json::str(r.config.http_addr.to_string())),
+                ("healthy", Json::Bool(r.is_healthy())),
+                (
+                    "requests",
+                    Json::num(r.requests.load(Ordering::Relaxed) as f64),
+                ),
+                ("pooled_connections", Json::num(r.pooled() as f64)),
+            ])
+        })
+        .collect();
+    let counter = |c: &Counter| Json::num(c.get() as f64);
+    let canary = match &state.canary {
+        None => Json::Null,
+        Some(canary) => {
+            let phase = canary.phase();
+            let (step, reason) = match &phase {
+                CanaryPhase::Ramping(step) => (Json::num(*step as f64), Json::Null),
+                CanaryPhase::RolledBack(reason) => (Json::Null, Json::str(reason.clone())),
+                _ => (Json::Null, Json::Null),
+            };
+            Json::obj(vec![
+                ("phase", Json::str(phase.label())),
+                ("step", step),
+                ("reason", reason),
+            ])
+        }
+    };
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("op", Json::str("fleet")),
+        ("replicas", Json::Arr(replicas)),
+        ("ring_members", Json::num(state.ring().members() as f64)),
+        ("hedges", counter(&state.hedges)),
+        ("hedge_wins", counter(&state.hedge_wins)),
+        ("failovers", counter(&state.failovers)),
+        ("ejections", counter(&state.ejections)),
+        ("restores", counter(&state.restores)),
+        (
+            "table_generation",
+            Json::num(state.table_generation.load(Ordering::SeqCst) as f64),
+        ),
+        (
+            "table_error",
+            match &*state.table_error.lock().expect("table error poisoned") {
+                Some(e) => Json::str(e.clone()),
+                None => Json::Null,
+            },
+        ),
+        ("canary", canary),
+    ])
+}
+
+/// Scrape-time gauges for ring/table state.
+fn fleet_metric_families(state: &std::sync::Weak<FleetState>) -> Vec<SampleFamily> {
+    use MetricKind::Gauge;
+    let Some(state) = state.upgrade() else {
+        return Vec::new();
+    };
+    let scalar = |name: &str, help: &str, v: f64| {
+        SampleFamily::new(name, help, Gauge, vec![Sample::value(v)])
+    };
+    vec![
+        scalar(
+            "ccsa_fleet_ring_members",
+            "Replicas currently on the consistent-hash ring.",
+            state.ring().members() as f64,
+        ),
+        scalar(
+            "ccsa_fleet_replicas",
+            "Configured replicas, healthy or not.",
+            state.replicas.len() as f64,
+        ),
+        scalar(
+            "ccsa_fleet_table_generation",
+            "Routing tables pushed to replicas since boot.",
+            state.table_generation.load(Ordering::SeqCst) as f64,
+        ),
+        scalar(
+            "ccsa_fleet_active_connections",
+            "Fleet sessions currently open.",
+            state.active.load(Ordering::SeqCst) as f64,
+        ),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// HTTP front
+// ---------------------------------------------------------------------
+
+/// The minimal HTTP/1.1 front: probes, metrics, the fleet stats
+/// document, and the scored verbs forwarded through the same data
+/// plane as TCP.
+fn run_http_loop(state: &Arc<FleetState>, listener: &TcpListener) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    state.http_accepting.store(true, Ordering::SeqCst);
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    while !state.draining() {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_nodelay(true);
+                let worker_state = Arc::clone(state);
+                if let Ok(handle) = std::thread::Builder::new()
+                    .name(format!("ccsa-fleet-http-{peer}"))
+                    .spawn(move || serve_http_connection(&worker_state, stream, peer))
+                {
+                    workers.push(handle);
+                }
+                workers.retain(|w| !w.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(state.config.poll_interval);
+                workers.retain(|w| !w.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => std::thread::sleep(state.config.poll_interval),
+        }
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+}
+
+fn serve_http_connection(state: &Arc<FleetState>, stream: TcpStream, peer: SocketAddr) {
+    if stream
+        .set_read_timeout(Some(state.config.poll_interval))
+        .is_err()
+    {
+        return;
+    }
+    let mut reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    let fallback_key = peer.ip().to_string();
+    loop {
+        if state.draining() {
+            return;
+        }
+        match read_http_request(&mut reader) {
+            Ok(Some((method, path, body))) => {
+                let (status, reason, content_type, response_body) =
+                    route_http(state, &method, &path, &body, &fallback_key);
+                let head = format!(
+                    "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+                     Content-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+                    response_body.len()
+                );
+                if writer
+                    .write_all(head.as_bytes())
+                    .and_then(|()| writer.write_all(response_body.as_bytes()))
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            Ok(None) => return, // clean EOF between requests
+            Err(HttpReadError::Idle) => {}
+            Err(HttpReadError::Fatal) => return,
+        }
+    }
+}
+
+enum HttpReadError {
+    /// Read timeout with nothing buffered — poll the drain flag again.
+    Idle,
+    /// Malformed request or dead socket.
+    Fatal,
+}
+
+/// Reads one request: `(method, path, body)`. `Ok(None)` on clean EOF.
+fn read_http_request(
+    reader: &mut BufReader<TcpStream>,
+) -> Result<Option<(String, String, String)>, HttpReadError> {
+    let mut request_line = String::new();
+    match reader.read_line(&mut request_line) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            return Err(HttpReadError::Idle)
+        }
+        Err(_) => return Err(HttpReadError::Fatal),
+    }
+    let mut parts = request_line.split_ascii_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Err(HttpReadError::Fatal);
+    };
+    let (method, path) = (method.to_string(), path.to_string());
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Err(HttpReadError::Fatal),
+            Ok(_) => {}
+            // Mid-request timeouts are fatal: we cannot resume a
+            // half-read head.
+            Err(_) => return Err(HttpReadError::Fatal),
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| HttpReadError::Fatal)?;
+            }
+        }
+    }
+    if content_length > MAX_LINE_BYTES {
+        return Err(HttpReadError::Fatal);
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|_| HttpReadError::Fatal)?;
+    let body = String::from_utf8(body).map_err(|_| HttpReadError::Fatal)?;
+    Ok(Some((method, path, body)))
+}
+
+/// Routes one HTTP request: `(status, reason, content type, body)`.
+fn route_http(
+    state: &Arc<FleetState>,
+    method: &str,
+    path: &str,
+    body: &str,
+    fallback_key: &str,
+) -> (u16, &'static str, &'static str, String) {
+    let path = path.split('?').next().unwrap_or("");
+    match (method, path) {
+        ("GET", "/healthz") => (200, "OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        ("GET", "/readyz") => {
+            if state.draining() {
+                (
+                    503,
+                    "Service Unavailable",
+                    "text/plain; charset=utf-8",
+                    "draining\n".to_string(),
+                )
+            } else if !state.accepting() {
+                (
+                    503,
+                    "Service Unavailable",
+                    "text/plain; charset=utf-8",
+                    "starting\n".to_string(),
+                )
+            } else {
+                (
+                    200,
+                    "OK",
+                    "text/plain; charset=utf-8",
+                    "ready\n".to_string(),
+                )
+            }
+        }
+        ("GET", "/metrics") => (
+            200,
+            "OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            state.metrics.render(),
+        ),
+        ("GET", "/v1/fleet") => (
+            200,
+            "OK",
+            "application/json",
+            fleet_stats_response(state).to_string(),
+        ),
+        ("POST", "/v1/compare") => forward_http(state, "compare", body, fallback_key),
+        ("POST", "/v1/rank") => forward_http(state, "rank", body, fallback_key),
+        _ => (
+            404,
+            "Not Found",
+            "application/json",
+            proto::error_response(&format!("no such endpoint {path}")).to_string(),
+        ),
+    }
+}
+
+/// Forwards one HTTP scored request through the TCP data plane: the
+/// body gains its `op` (the path is the op, as on the gateway) and the
+/// replica's response line is the HTTP body — byte-identical to the
+/// replica's own HTTP body for the same request.
+fn forward_http(
+    state: &Arc<FleetState>,
+    op: &str,
+    body: &str,
+    fallback_key: &str,
+) -> (u16, &'static str, &'static str, String) {
+    let Ok(parsed) = json::parse(body) else {
+        return (
+            400,
+            "Bad Request",
+            "application/json",
+            proto::error_response("request body is not valid JSON").to_string(),
+        );
+    };
+    let client_key = parsed
+        .get("client")
+        .and_then(Json::as_str)
+        .unwrap_or(fallback_key)
+        .to_string();
+    let line = match &parsed {
+        Json::Obj(members) if parsed.get("op").is_none() => {
+            let mut fields = vec![("op".to_string(), Json::str(op))];
+            fields.extend(members.clone());
+            Json::Obj(fields).to_string()
+        }
+        _ => body.trim().to_string(),
+    };
+    let mut response = forward(state, &client_key, &line, true);
+    let ok = json::parse(&response)
+        .ok()
+        .and_then(|v| v.get("ok").and_then(Json::as_bool))
+        .unwrap_or(false);
+    // The gateway's HTTP bodies end with the protocol line's newline;
+    // match it so fleet-routed bodies stay byte-identical.
+    response.push('\n');
+    if ok {
+        (200, "OK", "application/json", response)
+    } else {
+        (502, "Bad Gateway", "application/json", response)
+    }
+}

@@ -1,0 +1,256 @@
+//! The hot-reloadable routing table: a JSON file on disk, validated
+//! before use, rewritten atomically, and pushed to every replica via
+//! the gateway's `reload_routes` verb.
+//!
+//! The file is the control plane's single source of truth — the canary
+//! controller rewrites it, the watcher pushes it, and an operator can
+//! edit it by hand; all three go through the same validate-then-swap
+//! path, so a malformed table can never reach a replica. Format:
+//!
+//! ```json
+//! {
+//!   "routes": [{"model": "default", "version": 1, "weight": 1.0}],
+//!   "shadow": {"model": "default", "version": 2, "fraction": 0.1}
+//! }
+//! ```
+//!
+//! `model`/`version` are optional exactly as in the wire protocol
+//! (absent = registry default / latest). A route with `weight: 0` is a
+//! *zeroed* entry: it stays in the file as the record of a rolled-back
+//! candidate but is filtered out of what replicas receive (the gateway
+//! router rejects non-positive weights, deliberately).
+
+use std::path::Path;
+
+use ccsa_serve::json::{self, Json};
+use ccsa_serve::ModelSelector;
+
+/// One parsed, validated routing table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSpec {
+    /// Weighted routes (weight ≥ 0; zero-weight entries are kept in the
+    /// file but not pushed).
+    pub routes: Vec<(ModelSelector, f64)>,
+    /// Optional shadow target and its mirror fraction.
+    pub shadow: Option<(ModelSelector, f64)>,
+}
+
+impl TableSpec {
+    /// The routes replicas actually receive: zero-weight entries
+    /// filtered out.
+    pub fn live_routes(&self) -> Vec<(ModelSelector, f64)> {
+        self.routes
+            .iter()
+            .filter(|(_, w)| *w > 0.0)
+            .cloned()
+            .collect()
+    }
+
+    /// The `reload_routes` request line for this table.
+    pub fn reload_request(&self) -> Json {
+        let routes: Vec<Json> = self
+            .live_routes()
+            .iter()
+            .map(|(selector, weight)| {
+                let mut fields = selector_json(selector);
+                fields.push(("weight", Json::num(*weight)));
+                Json::obj(fields)
+            })
+            .collect();
+        let shadow = match &self.shadow {
+            Some((selector, fraction)) => {
+                let mut fields = selector_json(selector);
+                fields.push(("fraction", Json::num(*fraction)));
+                Json::obj(fields)
+            }
+            None => Json::Null,
+        };
+        Json::obj(vec![
+            ("op", Json::str("reload_routes")),
+            ("routes", Json::Arr(routes)),
+            ("shadow", shadow),
+        ])
+    }
+
+    /// Renders the table back to its file form.
+    pub fn render(&self) -> String {
+        let routes: Vec<Json> = self
+            .routes
+            .iter()
+            .map(|(selector, weight)| {
+                let mut fields = selector_json(selector);
+                fields.push(("weight", Json::num(*weight)));
+                Json::obj(fields)
+            })
+            .collect();
+        let shadow = match &self.shadow {
+            Some((selector, fraction)) => {
+                let mut fields = selector_json(selector);
+                fields.push(("fraction", Json::num(*fraction)));
+                Json::obj(fields)
+            }
+            None => Json::Null,
+        };
+        let mut text =
+            Json::obj(vec![("routes", Json::Arr(routes)), ("shadow", shadow)]).to_string();
+        text.push('\n');
+        text
+    }
+}
+
+fn selector_json(selector: &ModelSelector) -> Vec<(&'static str, Json)> {
+    let mut fields = Vec::new();
+    if let Some(name) = &selector.name {
+        fields.push(("model", Json::str(name.clone())));
+    }
+    if let Some(version) = selector.version {
+        fields.push(("version", Json::num(version as f64)));
+    }
+    fields
+}
+
+/// Parses and validates one routing-table document.
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed JSON, a missing or
+/// empty route list, a negative/non-finite weight, an all-zero table,
+/// or an out-of-range shadow fraction.
+pub fn parse(text: &str) -> Result<TableSpec, String> {
+    let v = json::parse(text).map_err(|e| e.to_string())?;
+    let arr = v
+        .get("routes")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "routing table needs array field 'routes'".to_string())?;
+    if arr.is_empty() {
+        return Err("routing table needs at least one route".to_string());
+    }
+    let mut routes = Vec::with_capacity(arr.len());
+    for route in arr {
+        let weight = route
+            .get("weight")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| "each route needs numeric field 'weight'".to_string())?;
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(format!(
+                "route weight must be finite and >= 0, got {weight}"
+            ));
+        }
+        routes.push((selector_of(route)?, weight));
+    }
+    if !routes.iter().any(|(_, w)| *w > 0.0) {
+        return Err("routing table needs at least one positive-weight route".to_string());
+    }
+    let shadow = match v.get("shadow") {
+        None | Some(Json::Null) => None,
+        Some(s) => {
+            let fraction = s
+                .get("fraction")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| "shadow needs numeric field 'fraction'".to_string())?;
+            if !fraction.is_finite() || !(0.0..=1.0).contains(&fraction) {
+                return Err(format!(
+                    "shadow fraction must be within [0, 1], got {fraction}"
+                ));
+            }
+            Some((selector_of(s)?, fraction))
+        }
+    };
+    Ok(TableSpec { routes, shadow })
+}
+
+fn selector_of(v: &Json) -> Result<ModelSelector, String> {
+    let name = match v.get("model") {
+        None => None,
+        Some(m) => Some(
+            m.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| "'model' must be a string".to_string())?,
+        ),
+    };
+    let version = match v.get("version") {
+        None => None,
+        Some(n) => Some(
+            n.as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| "'version' must be an integer within u32 range".to_string())?,
+        ),
+    };
+    Ok(ModelSelector { name, version })
+}
+
+/// Reads and validates the table file.
+///
+/// # Errors
+///
+/// I/O failures and validation failures, as one message.
+pub fn load(path: &Path) -> Result<TableSpec, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    parse(&text)
+}
+
+/// Writes the table atomically: full content to a sibling temp file,
+/// then a rename over the target. A watcher (this process's or another
+/// fleet's) can never observe a half-written table.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_atomic(path: &Path, spec: &TableSpec) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, spec.render())?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_round_trips() {
+        let text = r#"{"routes":[{"model":"default","version":1,"weight":0.9},{"model":"default","version":2,"weight":0.1}],"shadow":{"model":"default","version":3,"fraction":0.25}}"#;
+        let spec = parse(text).unwrap();
+        assert_eq!(spec.routes.len(), 2);
+        assert_eq!(spec.shadow.as_ref().unwrap().1, 0.25);
+        let again = parse(&spec.render()).unwrap();
+        assert_eq!(spec, again);
+    }
+
+    #[test]
+    fn zero_weight_routes_are_kept_but_not_pushed() {
+        let text = r#"{"routes":[{"version":1,"weight":1.0},{"version":2,"weight":0}]}"#;
+        let spec = parse(text).unwrap();
+        assert_eq!(spec.routes.len(), 2);
+        assert_eq!(spec.live_routes().len(), 1);
+        let request = spec.reload_request();
+        assert_eq!(request.get("routes").unwrap().as_arr().unwrap().len(), 1);
+        assert_eq!(request.get("shadow"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn rejects_invalid_tables() {
+        for bad in [
+            "not json",
+            r#"{"routes":[]}"#,
+            r#"{"routes":[{"weight":-1}]}"#,
+            r#"{"routes":[{"weight":0}]}"#,
+            r#"{"routes":[{"version":"two","weight":1}]}"#,
+            r#"{"routes":[{"weight":1}],"shadow":{"fraction":1.5}}"#,
+            r#"{"routes":[{"weight":1}],"shadow":{}}"#,
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn atomic_write_round_trips_through_load() {
+        let dir = std::env::temp_dir().join(format!("ccsa-table-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("routes.json");
+        let spec = parse(r#"{"routes":[{"model":"m","version":4,"weight":2.0}]}"#).unwrap();
+        write_atomic(&path, &spec).unwrap();
+        assert_eq!(load(&path).unwrap(), spec);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

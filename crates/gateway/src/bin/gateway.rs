@@ -459,25 +459,44 @@ fn main() {
         }
     };
     let addr = gateway.local_addr();
-    if let Some(port_file) = &opts.port_file {
-        if let Err(e) = std::fs::write(port_file, format!("{}\n", addr.port())) {
-            eprintln!("error: writing --port-file failed: {e}");
-            std::process::exit(1);
-        }
-    }
     if let Some(http_addr) = gateway.http_addr() {
-        if let Some(http_port_file) = &opts.http_port_file {
-            if let Err(e) = std::fs::write(http_port_file, format!("{}\n", http_addr.port())) {
-                eprintln!("error: writing --http-port-file failed: {e}");
-                std::process::exit(1);
-            }
-        }
         eprintln!("[gateway] http front door on {http_addr} (healthz/readyz/metrics/v1)");
     }
     eprintln!(
         "[gateway] listening on {addr} (cache={} workers={} max_batch={} max_conns={})",
         opts.cache, workers, opts.max_batch, opts.max_conns
     );
+
+    // Port files are the "come probe me" signal for supervisors, so they
+    // must not be written at bind time: a probe racing the accept loops
+    // could connect to a bound-but-not-accepting listener and hang. A
+    // helper thread waits for every accept loop to go live first (the
+    // same condition `readyz` reports as `starting`). Detached: if an
+    // accept loop never comes up the gateway is exiting anyway, and a
+    // drain must not block on this thread.
+    {
+        let handle = gateway.handle();
+        let port_file = opts.port_file.clone();
+        let http_port_file = opts.http_port_file.clone();
+        let http_port = gateway.http_addr().map(|a| a.port());
+        let _detached = std::thread::spawn(move || {
+            while !handle.accepting() {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            if let Some(path) = &port_file {
+                if let Err(e) = std::fs::write(path, format!("{}\n", addr.port())) {
+                    eprintln!("error: writing --port-file failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+            if let (Some(path), Some(port)) = (&http_port_file, http_port) {
+                if let Err(e) = std::fs::write(path, format!("{port}\n")) {
+                    eprintln!("error: writing --http-port-file failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        });
+    }
 
     if let Err(e) = gateway.run() {
         eprintln!("error: gateway failed: {e}");

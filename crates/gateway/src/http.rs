@@ -5,7 +5,8 @@
 //! Endpoints:
 //!
 //! * `GET /healthz` — liveness: 200 whenever the process can answer;
-//! * `GET /readyz` — readiness: 200 while admitting, **503 once a drain
+//! * `GET /readyz` — readiness: 200 while admitting, **503 `starting`
+//!   until every configured accept loop is live**, **503 once a drain
 //!   begins** (and for [`GatewayConfig::drain_grace`](crate::GatewayConfig)
 //!   after the TCP loop exits, so load balancers observe the flip before
 //!   the socket disappears);
@@ -136,6 +137,9 @@ pub(crate) fn run_http_loop(shared: &Arc<Shared>, listener: &TcpListener) {
     if listener.set_nonblocking(true).is_err() {
         return;
     }
+    // The loop below now owns the socket and will accept: open the
+    // readiness/port-file gate (see `Shared::accepting`).
+    shared.http_accepting.store(true, Ordering::SeqCst);
     let mut workers: Vec<JoinHandle<()>> = Vec::new();
     while !shared.http_stop.load(Ordering::SeqCst) {
         match listener.accept() {
@@ -456,6 +460,10 @@ fn handle_request(
         ("GET", "/readyz") => {
             if shared.draining() {
                 plain(HttpResponse::text(503, "Service Unavailable", "draining\n"))
+            } else if !shared.accepting() {
+                // Bound but an accept loop is not live yet: a connection
+                // could still sit unaccepted, so readiness waits.
+                plain(HttpResponse::text(503, "Service Unavailable", "starting\n"))
             } else {
                 plain(HttpResponse::text(200, "OK", "ready\n"))
             }

@@ -6,11 +6,19 @@
 //! layer a multi-user deployment needs: many keep-alive sessions,
 //! admission control, weighted A/B routing across the versioned model
 //! registry, shadow traffic for candidate models, per-route rolling
-//! stats, and graceful drain.
+//! stats, and graceful drain. One process is one replica; `ccsa-fleet`
+//! stacks N of them behind a single front tier (consistent-hash ring,
+//! failover + hedging, `/readyz` ejection) and drives the
+//! `reload_routes` table swaps from its canary controller.
 //!
 //! # Architecture
 //!
 //! ```text
+//!          ┌────────────────────────────────────────────────┐
+//!          │ ccsa-fleet front tier (optional): ring · hedge │
+//!          │ · /readyz prober · reload_routes table pushes  │
+//!          └──────┬───────────────────────────┬─────────────┘
+//!    direct │     │ raw lines     direct │    │ POSTs
 //!  JSON-lines clients (keep-alive     HTTP clients (curl, LBs,
 //!  TCP, "client" sticky key)          Prometheus)
 //!    │ │ │                              │ │ │

@@ -28,7 +28,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex, OnceLock, Weak};
+use std::sync::{mpsc, Arc, Mutex, OnceLock, RwLock, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -40,9 +40,9 @@ use ccsa_serve::{
 };
 
 use crate::limit::{RateLimit, TokenBucket};
-use crate::router::{selectors_match, Router};
+use crate::router::{selectors_match, Route, Router, ShadowRoute};
 use crate::signal;
-use crate::stats::RouteStats;
+use crate::stats::{RouteStats, RouteStatsSnapshot};
 use crate::trace::{generate_request_id, TraceRecord, TraceSink};
 
 /// The longest request line a session will buffer before failing the
@@ -117,18 +117,16 @@ impl Default for GatewayConfig {
     }
 }
 
-/// State shared between the accept loops (TCP and HTTP), session
-/// threads, and handles.
-pub(crate) struct Shared {
-    pub(crate) engine: Arc<ServeEngine>,
+/// One immutable routing generation: the table plus every per-route
+/// accumulator indexed alongside it. Swapped atomically as a unit by the
+/// `reload_routes` verb, so a request always sees stats/limits that
+/// match the router it was assigned by.
+pub(crate) struct RoutingState {
     pub(crate) router: Router,
-    pub(crate) config: GatewayConfig,
-    pub(crate) shutdown: AtomicBool,
-    pub(crate) active: AtomicUsize,
-    pub(crate) accepted: AtomicU64,
-    pub(crate) rejected: AtomicU64,
-    /// Sticky-routed requests, indexed like `router.routes()`.
-    pub(crate) route_stats: Vec<RouteStats>,
+    /// Sticky-routed requests, indexed like `router.routes()`. `Arc` so
+    /// a reload can carry a surviving route's rolling window across
+    /// generations instead of resetting it.
+    pub(crate) route_stats: Vec<Arc<RouteStats>>,
     /// Per-route token buckets, indexed like `router.routes()` (`None` =
     /// unlimited). The mutex is held for a handful of float ops per
     /// admission — never across serving work.
@@ -136,9 +134,101 @@ pub(crate) struct Shared {
     /// The configured RPS per route, for the `routes` report.
     pub(crate) route_limit_rps: Vec<Option<f64>>,
     /// The shadow target's slot.
-    pub(crate) shadow_stats: Option<RouteStats>,
-    /// Hands mirror jobs to the shadow worker thread (set by `run` when
-    /// a shadow target is configured).
+    pub(crate) shadow_stats: Option<Arc<RouteStats>>,
+}
+
+impl RoutingState {
+    /// Builds the per-route accumulators for `router`, carrying stats
+    /// over from `previous` wherever a route's metric label survives the
+    /// swap (the registry would hand back the same counter cells anyway;
+    /// carrying the instance also preserves the rolling latency window).
+    /// Rate limits that match no route in the new table are skipped —
+    /// `Gateway::bind` validates them strictly up front, and a reload
+    /// must not fail because a limited route left the table.
+    fn build(
+        metrics: &MetricsRegistry,
+        router: Router,
+        rate_limits: &[RateLimit],
+        previous: Option<&RoutingState>,
+    ) -> RoutingState {
+        let carried = |label: &str| -> Option<Arc<RouteStats>> {
+            let prev = previous?;
+            prev.router
+                .routes()
+                .iter()
+                .position(|r| route_label(&r.selector) == label)
+                .map(|ix| Arc::clone(&prev.route_stats[ix]))
+        };
+        let route_stats: Vec<Arc<RouteStats>> = router
+            .routes()
+            .iter()
+            .map(|r| {
+                let label = route_label(&r.selector);
+                carried(&label).unwrap_or_else(|| Arc::new(RouteStats::new(metrics, &label)))
+            })
+            .collect();
+        let mut route_limit_rps: Vec<Option<f64>> = vec![None; router.routes().len()];
+        for limit in rate_limits {
+            if let Some(ix) = router
+                .routes()
+                .iter()
+                .position(|r| selectors_match(&r.selector, &limit.selector))
+            {
+                route_limit_rps[ix] = Some(limit.rps);
+            }
+        }
+        let route_limits = route_limit_rps
+            .iter()
+            .map(|rps| rps.map(|rps| Mutex::new(TokenBucket::new(rps))))
+            .collect();
+        // The shadow slot gets a `shadow:`-prefixed label so its series
+        // can never collide with a same-named primary route.
+        let shadow_stats = router.shadow().map(|s| {
+            let label = shadow_metric_label(&s.selector);
+            previous
+                .and_then(|prev| {
+                    let stats = prev.shadow_stats.as_ref()?;
+                    let prev_shadow = prev.router.shadow()?;
+                    (shadow_metric_label(&prev_shadow.selector) == label).then(|| Arc::clone(stats))
+                })
+                .unwrap_or_else(|| Arc::new(RouteStats::new(metrics, &label)))
+        });
+        RoutingState {
+            router,
+            route_stats,
+            route_limits,
+            route_limit_rps,
+            shadow_stats,
+        }
+    }
+}
+
+/// State shared between the accept loops (TCP and HTTP), session
+/// threads, and handles.
+pub(crate) struct Shared {
+    pub(crate) engine: Arc<ServeEngine>,
+    /// The current routing generation. Readers clone the `Arc` once per
+    /// request; `reload_routes` swaps the whole bundle under the write
+    /// lock.
+    pub(crate) routing: RwLock<Arc<RoutingState>>,
+    /// Routing-table swaps applied since boot (the `reload_generation`
+    /// field of the `routes` verb — controllers watch it to confirm a
+    /// reload landed).
+    pub(crate) reloads: AtomicU64,
+    pub(crate) config: GatewayConfig,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) active: AtomicUsize,
+    pub(crate) accepted: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    /// Set once the TCP accept loop is live. Port files and readiness
+    /// wait on this, so a probe can never race a bound-but-not-accepting
+    /// listener.
+    pub(crate) tcp_accepting: AtomicBool,
+    /// Set once the HTTP accept loop is live (meaningless without an
+    /// HTTP listener — see [`Shared::accepting`]).
+    pub(crate) http_accepting: AtomicBool,
+    /// Hands mirror jobs to the shadow worker thread (set by `run`;
+    /// always present so a reload can introduce a shadow at runtime).
     pub(crate) shadow_tx: OnceLock<mpsc::SyncSender<ShadowJob>>,
     /// Mirrors dropped because the shadow queue was full.
     pub(crate) shadow_dropped: AtomicU64,
@@ -244,6 +334,19 @@ pub(crate) enum ShadowJob {
 }
 
 impl Shared {
+    /// The current routing generation (one `Arc` clone per call).
+    pub(crate) fn routing(&self) -> Arc<RoutingState> {
+        Arc::clone(&self.routing.read().expect("routing state poisoned"))
+    }
+
+    /// Whether every configured listener's accept loop is live. Until
+    /// then the process is *starting*: bound, but a connection could
+    /// still sit unaccepted, so readiness and port files wait.
+    pub(crate) fn accepting(&self) -> bool {
+        self.tcp_accepting.load(Ordering::SeqCst)
+            && (self.config.http_addr.is_none() || self.http_accepting.load(Ordering::SeqCst))
+    }
+
     pub(crate) fn draining(&self) -> bool {
         let draining = self.shutdown.load(Ordering::SeqCst)
             || (self.config.honor_sigterm && signal::sigterm_received());
@@ -304,6 +407,18 @@ impl GatewayHandle {
     /// Sessions currently open.
     pub fn active_connections(&self) -> usize {
         self.shared.active.load(Ordering::SeqCst)
+    }
+
+    /// Whether every configured listener's accept loop is live — the
+    /// signal the binary waits for before writing port files, and what
+    /// `/readyz` reports as `starting` until then.
+    pub fn accepting(&self) -> bool {
+        self.shared.accepting()
+    }
+
+    /// Routing-table swaps applied via `reload_routes` since boot.
+    pub fn reload_generation(&self) -> u64 {
+        self.shared.reloads.load(Ordering::SeqCst)
     }
 }
 
@@ -369,7 +484,7 @@ impl Gateway {
         router: Router,
         config: GatewayConfig,
     ) -> std::io::Result<Gateway> {
-        let mut route_limit_rps: Vec<Option<f64>> = vec![None; router.routes().len()];
+        let mut seen: Vec<&ModelSelector> = Vec::new();
         for limit in &config.rate_limits {
             let invalid =
                 |message: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, message);
@@ -379,28 +494,27 @@ impl Gateway {
                     limit.rps
                 )));
             }
-            let ix = router
+            if !router
                 .routes()
                 .iter()
-                .position(|r| selectors_match(&r.selector, &limit.selector))
-                .ok_or_else(|| {
-                    invalid(format!(
-                        "rate limit selector {:?} matches no configured route",
-                        limit.selector
-                    ))
-                })?;
-            if route_limit_rps[ix].is_some() {
+                .any(|r| selectors_match(&r.selector, &limit.selector))
+            {
+                return Err(invalid(format!(
+                    "rate limit selector {:?} matches no configured route",
+                    limit.selector
+                )));
+            }
+            if seen
+                .iter()
+                .any(|prev| selectors_match(prev, &limit.selector))
+            {
                 return Err(invalid(format!(
                     "duplicate rate limit for route {:?}",
                     limit.selector
                 )));
             }
-            route_limit_rps[ix] = Some(limit.rps);
+            seen.push(&limit.selector);
         }
-        let route_limits = route_limit_rps
-            .iter()
-            .map(|rps| rps.map(|rps| Mutex::new(TokenBucket::new(rps))))
-            .collect();
 
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
@@ -421,16 +535,7 @@ impl Gateway {
         let metrics = Arc::new(MetricsRegistry::new());
         engine.attach_metrics(&metrics);
         let request_counters = RequestCounters::new(&metrics);
-        let route_stats = router
-            .routes()
-            .iter()
-            .map(|r| RouteStats::new(&metrics, &route_label(&r.selector)))
-            .collect();
-        // The shadow slot gets a `shadow:`-prefixed label so its series
-        // can never collide with a same-named primary route.
-        let shadow_stats = router
-            .shadow()
-            .map(|s| RouteStats::new(&metrics, &shadow_metric_label(&s.selector)));
+        let routing = RoutingState::build(&metrics, router, &config.rate_limits, None);
         let trace = match &config.trace_log {
             Some(path) => Some(TraceSink::open(path, config.trace_sample_percent)?),
             None => None,
@@ -438,16 +543,15 @@ impl Gateway {
 
         let shared = Arc::new(Shared {
             engine,
-            router,
+            routing: RwLock::new(Arc::new(routing)),
+            reloads: AtomicU64::new(0),
             config,
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             accepted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
-            route_stats,
-            route_limits,
-            route_limit_rps,
-            shadow_stats,
+            tcp_accepting: AtomicBool::new(false),
+            http_accepting: AtomicBool::new(false),
             shadow_tx: OnceLock::new(),
             shadow_dropped: AtomicU64::new(0),
             pinned: AtomicU64::new(0),
@@ -524,31 +628,31 @@ impl Gateway {
         // so shadow cost never delays any client's next request. One
         // worker is deliberate — shadow encodes funnel into the shared
         // EncodePool anyway, and a single consumer keeps the mirror
-        // volume naturally bounded.
-        let shadow_worker = if shared.router.shadow().is_some() {
+        // volume naturally bounded. Spawned unconditionally: a
+        // `reload_routes` swap may introduce a shadow target at runtime.
+        let shadow_worker = {
             let (tx, rx) = mpsc::sync_channel::<ShadowJob>(SHADOW_QUEUE_CAP);
             shared
                 .shadow_tx
                 .set(tx)
                 .unwrap_or_else(|_| unreachable!("run consumes the gateway"));
             let worker_shared = Arc::clone(&shared);
-            Some(
-                std::thread::Builder::new()
-                    .name("ccsa-gw-shadow".to_string())
-                    .spawn(move || {
-                        while let Ok(ShadowJob::Mirror(selector, request)) = rx.recv() {
-                            run_shadow(&worker_shared, &selector, &request);
-                        }
-                    })?,
-            )
-        } else {
-            None
+            std::thread::Builder::new()
+                .name("ccsa-gw-shadow".to_string())
+                .spawn(move || {
+                    while let Ok(ShadowJob::Mirror(selector, request)) = rx.recv() {
+                        run_shadow(&worker_shared, &selector, &request);
+                    }
+                })?
         };
         // Non-blocking + poll rather than a blocking accept: the loop
         // must keep observing the shutdown flag even when nobody ever
         // connects again, and must not depend on signals interrupting
         // syscalls (glibc `signal` restarts them).
         listener.set_nonblocking(true)?;
+        // From here the loop below owns the socket and will accept — the
+        // readiness/port-file gate (see `Shared::accepting`) can open.
+        shared.tcp_accepting.store(true, Ordering::SeqCst);
         let mut sessions: Vec<JoinHandle<()>> = Vec::new();
         while !shared.draining() {
             match listener.accept() {
@@ -612,14 +716,12 @@ impl Gateway {
         for session in sessions {
             let _ = session.join();
         }
-        if let Some(worker) = shadow_worker {
-            // Sessions are gone, so no new mirrors can arrive; Stop lets
-            // the worker finish the queued backlog and exit.
-            if let Some(tx) = shared.shadow_tx.get() {
-                let _ = tx.send(ShadowJob::Stop);
-            }
-            let _ = worker.join();
+        // Sessions are gone, so no new mirrors can arrive; Stop lets
+        // the worker finish the queued backlog and exit.
+        if let Some(tx) = shared.shadow_tx.get() {
+            let _ = tx.send(ShadowJob::Stop);
         }
+        let _ = shadow_worker.join();
         if let Some(worker) = http_worker {
             // Keep the front door answering probes until `drain_grace`
             // has elapsed since the drain began: a load balancer must
@@ -836,6 +938,24 @@ fn handle_line(
             )
         }
         Request::Routes => (routes_response(shared), AfterResponse::KeepGoing),
+        Request::ReloadRoutes { routes, shadow } => {
+            // Gated exactly like shutdown: on a gateway bound beyond
+            // localhost, any client that can open a connection must not
+            // be able to repoint every other client's traffic.
+            if !peer_is_loopback && !shared.config.allow_remote_shutdown {
+                return (
+                    proto::error_response(
+                        "reload_routes is only accepted from loopback \
+                         (start the gateway with remote shutdown enabled to change this)",
+                    ),
+                    AfterResponse::KeepGoing,
+                );
+            }
+            (
+                apply_reload(shared, routes, shadow),
+                AfterResponse::KeepGoing,
+            )
+        }
         Request::Stats => (gateway_stats_response(shared), AfterResponse::KeepGoing),
         Request::Ping => (
             proto::dispatch(&shared.engine, Request::Ping),
@@ -845,6 +965,57 @@ fn handle_line(
             serve_scored(shared, request, &client_key, seq, &request_id, "tcp")
         }
     }
+}
+
+/// Validates and applies a new routing table, swapping the whole
+/// [`RoutingState`] generation atomically. Rejected tables leave the
+/// current generation untouched: the router constructor checks weights
+/// and shadow fraction, and every selector must resolve against the
+/// registry *now* — a reload must never install a route that can only
+/// fail.
+pub(crate) fn apply_reload(
+    shared: &Shared,
+    routes: Vec<(ModelSelector, f64)>,
+    shadow: Option<(ModelSelector, f64)>,
+) -> Json {
+    let routes: Vec<Route> = routes
+        .into_iter()
+        .map(|(selector, weight)| Route { selector, weight })
+        .collect();
+    for selector in routes
+        .iter()
+        .map(|r| &r.selector)
+        .chain(shadow.iter().map(|(s, _)| s))
+    {
+        if let Err(e) = shared.engine.resolve_coordinates(selector) {
+            return proto::error_response(&format!("reload_routes rejected: {e}"));
+        }
+    }
+    let shadow = shadow.map(|(selector, fraction)| ShadowRoute { selector, fraction });
+    let router = match Router::new(routes, shadow) {
+        Ok(router) => router,
+        Err(e) => return proto::error_response(&format!("reload_routes rejected: {e}")),
+    };
+    let route_count = router.routes().len();
+    let generation = {
+        let mut slot = shared.routing.write().expect("routing state poisoned");
+        let next = RoutingState::build(
+            &shared.metrics,
+            router,
+            &shared.config.rate_limits,
+            Some(&**slot),
+        );
+        *slot = Arc::new(next);
+        // Bumped under the write lock, so generation N always refers to
+        // the N-th table a reader can actually observe.
+        shared.reloads.fetch_add(1, Ordering::SeqCst) + 1
+    };
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("op", Json::str("reload_routes")),
+        ("reload_generation", Json::num(generation as f64)),
+        ("routes", Json::num(route_count as f64)),
+    ])
 }
 
 /// Serves a compare/rank request through the router, recording per-route
@@ -867,6 +1038,10 @@ pub(crate) fn serve_scored(
         Request::Compare { .. } => "compare",
         _ => "rank",
     };
+    // One routing generation per request: assignment, admission, and
+    // stats attribution all read the same snapshot even if a reload
+    // swaps the table mid-request.
+    let routing = shared.routing();
     // An explicitly pinned model/version bypasses A/B routing: the
     // client asked for *that* model, and experiments must not second-
     // guess debugging.
@@ -875,18 +1050,18 @@ pub(crate) fn serve_scored(
         shared.pinned.fetch_add(1, Ordering::Relaxed);
         (None, selector)
     } else {
-        let ix = shared.router.route_index(client_key);
-        (Some(ix), shared.router.routes()[ix].selector.clone())
+        let ix = routing.router.route_index(client_key);
+        (Some(ix), routing.router.routes()[ix].selector.clone())
     };
     let route_lbl = route_label(&effective);
 
     // Token-bucket admission: an over-limit request is shed here with a
     // polite refusal — before it can occupy the shared encode queue.
     if let Some(ix) = route_ix {
-        if let Some(bucket) = &shared.route_limits[ix] {
+        if let Some(bucket) = &routing.route_limits[ix] {
             let admitted = bucket.lock().expect("token bucket poisoned").try_acquire();
             if !admitted {
-                shared.route_stats[ix].record_rate_limited();
+                routing.route_stats[ix].record_rate_limited();
                 shared.request_counters.record(verb, ReqStatus::RateLimited);
                 shared.trace_request(&TraceRecord {
                     request_id,
@@ -903,7 +1078,7 @@ pub(crate) fn serve_scored(
                         "error",
                         Json::str(format!(
                             "rate limit exceeded for route {} — retry later",
-                            route_label(&shared.router.routes()[ix].selector)
+                            route_label(&routing.router.routes()[ix].selector)
                         )),
                     ),
                     ("rate_limited", Json::Bool(true)),
@@ -937,11 +1112,13 @@ pub(crate) fn serve_scored(
         None => AfterResponse::KeepGoing,
         Some(ix) => {
             match outcome {
-                Outcome::Served => shared.route_stats[ix].record_success(latency_ms, hits, lookups),
-                Outcome::Failed => shared.route_stats[ix].record_error(),
-                Outcome::Shed => shared.route_stats[ix].record_queue_shed(),
+                Outcome::Served => {
+                    routing.route_stats[ix].record_success(latency_ms, hits, lookups);
+                }
+                Outcome::Failed => routing.route_stats[ix].record_error(),
+                Outcome::Shed => routing.route_stats[ix].record_queue_shed(),
             }
-            match shared.router.shadow_for(client_key, seq) {
+            match routing.router.shadow_for(client_key, seq) {
                 Some(shadow_selector) => AfterResponse::Shadow(shadow_selector.clone(), request),
                 None => AfterResponse::KeepGoing,
             }
@@ -1056,7 +1233,8 @@ fn run_shadow(shared: &Shared, selector: &ModelSelector, request: &Request) {
     let start = Instant::now();
     let (_, hits, lookups, outcome, _stages) = execute(&shared.engine, selector, request);
     let latency_ms = start.elapsed().as_secs_f64() * 1e3;
-    let Some(stats) = &shared.shadow_stats else {
+    let routing = shared.routing();
+    let Some(stats) = &routing.shadow_stats else {
         return; // mirrors only exist when a shadow is configured
     };
     match outcome {
@@ -1112,6 +1290,7 @@ fn selector_fields(selector: &ModelSelector) -> Vec<(&'static str, Json)> {
 /// a starving or flooded A/B arm is visible per route, not just in the
 /// engine-wide aggregate.
 pub(crate) fn routes_response(shared: &Shared) -> Json {
+    let routing = shared.routing();
     let engine_stats = shared.engine.stats();
     let shard_depth = |selector: &ModelSelector| -> Json {
         // A route names a (name, version) coordinate; its shard (if it
@@ -1129,13 +1308,13 @@ pub(crate) fn routes_response(shared: &Shared) -> Json {
             Err(_) => Json::Null,
         }
     };
-    let shares = shared.router.shares();
-    let routes: Vec<Json> = shared
+    let shares = routing.router.shares();
+    let routes: Vec<Json> = routing
         .router
         .routes()
         .iter()
         .zip(&shares)
-        .zip(shared.route_stats.iter().zip(&shared.route_limit_rps))
+        .zip(routing.route_stats.iter().zip(&routing.route_limit_rps))
         .map(|((route, &share), (stats, limit))| {
             let snap = stats.snapshot();
             let mut fields = selector_fields(&route.selector);
@@ -1165,9 +1344,13 @@ pub(crate) fn routes_response(shared: &Shared) -> Json {
             Json::obj(fields)
         })
         .collect();
-    let shadow = match (shared.router.shadow(), &shared.shadow_stats) {
+    let shadow = match (routing.router.shadow(), &routing.shadow_stats) {
         (Some(shadow), Some(stats)) => {
             let snap = stats.snapshot();
+            let delta = shadow_delta(&routing);
+            let delta_field = |pick: fn(&(f64, f64, f64)) -> f64| -> Json {
+                delta.as_ref().map_or(Json::Null, |d| Json::num(pick(d)))
+            };
             let mut fields = selector_fields(&shadow.selector);
             fields.extend([
                 // An explicit marker plus the collision-proof metric
@@ -1191,6 +1374,12 @@ pub(crate) fn routes_response(shared: &Shared) -> Json {
                 ("cache_hit_rate", Json::num(snap.cache_hit_rate)),
                 ("p50_ms", Json::num(snap.p50_ms)),
                 ("p99_ms", Json::num(snap.p99_ms)),
+                // Shadow-minus-primary deltas over the rolling windows —
+                // the canary controller's promote/rollback signal. Null
+                // until both arms have observed traffic.
+                ("delta_p50_ms", delta_field(|d| d.0)),
+                ("delta_p99_ms", delta_field(|d| d.1)),
+                ("delta_error_rate", delta_field(|d| d.2)),
             ]);
             Json::obj(fields)
         }
@@ -1202,10 +1391,47 @@ pub(crate) fn routes_response(shared: &Shared) -> Json {
         ("routes", Json::Arr(routes)),
         ("shadow", shadow),
         (
+            "reload_generation",
+            Json::num(shared.reloads.load(Ordering::SeqCst) as f64),
+        ),
+        (
             "pinned_requests",
             Json::num(shared.pinned.load(Ordering::Relaxed) as f64),
         ),
     ])
+}
+
+/// Shadow-vs-primary rolling deltas: `(delta_p50_ms, delta_p99_ms,
+/// delta_error_rate)`, shadow minus primary. The primary reference is
+/// the requests-weighted mean of the per-route window percentiles plus
+/// the pooled error rate across routes. `None` until both arms have
+/// observed at least one request — a delta against nothing is noise,
+/// and the canary controller must hold rather than act on it.
+pub(crate) fn shadow_delta(routing: &RoutingState) -> Option<(f64, f64, f64)> {
+    let shadow = routing.shadow_stats.as_ref()?.snapshot();
+    if shadow.requests == 0 {
+        return None;
+    }
+    let snaps: Vec<RouteStatsSnapshot> = routing.route_stats.iter().map(|s| s.snapshot()).collect();
+    let total: u64 = snaps.iter().map(|s| s.requests).sum();
+    if total == 0 {
+        return None;
+    }
+    let weighted = |pick: fn(&RouteStatsSnapshot) -> f64| -> f64 {
+        snaps
+            .iter()
+            .map(|s| pick(s) * s.requests as f64)
+            .sum::<f64>()
+            / total as f64
+    };
+    let primary_errors: u64 = snaps.iter().map(|s| s.errors).sum();
+    let primary_error_rate = primary_errors as f64 / total as f64;
+    let shadow_error_rate = shadow.errors as f64 / shadow.requests as f64;
+    Some((
+        shadow.p50_ms - weighted(|s| s.p50_ms),
+        shadow.p99_ms - weighted(|s| s.p99_ms),
+        shadow_error_rate - primary_error_rate,
+    ))
 }
 
 /// Scrape-time families for the transport-level gauges and counters —
@@ -1224,7 +1450,7 @@ fn gateway_metric_families(shared: &Weak<Shared>) -> Vec<SampleFamily> {
     // the drain clock.
     let draining = shared.shutdown.load(Ordering::SeqCst)
         || (shared.config.honor_sigterm && signal::sigterm_received());
-    vec![
+    let mut families = vec![
         scalar(
             "ccsa_gateway_active_connections",
             "TCP sessions currently open.",
@@ -1270,7 +1496,43 @@ fn gateway_metric_families(shared: &Weak<Shared>) -> Vec<SampleFamily> {
             Gauge,
             f64::from(draining),
         ),
-    ]
+        scalar(
+            "ccsa_gateway_reloads_total",
+            "Routing-table swaps applied via the reload_routes verb.",
+            Counter,
+            shared.reloads.load(Ordering::SeqCst) as f64,
+        ),
+    ];
+    // Shadow-vs-primary deltas, exported only once both arms have
+    // traffic (absent series beat misleading zeros on a fresh gateway).
+    let routing = shared.routing();
+    if let (Some(shadow), Some((d50, d99, derr))) =
+        (routing.router.shadow(), shadow_delta(&routing))
+    {
+        let label = shadow_metric_label(&shadow.selector);
+        let labelled = |v: f64| vec![Sample::new(&[("route", label.as_str())], v)];
+        families.extend([
+            SampleFamily::new(
+                "ccsa_route_shadow_delta_p50_ms",
+                "Shadow-minus-primary rolling p50 latency delta (ms).",
+                Gauge,
+                labelled(d50),
+            ),
+            SampleFamily::new(
+                "ccsa_route_shadow_delta_p99_ms",
+                "Shadow-minus-primary rolling p99 latency delta (ms).",
+                Gauge,
+                labelled(d99),
+            ),
+            SampleFamily::new(
+                "ccsa_route_shadow_delta_error_rate",
+                "Shadow-minus-primary pooled error-rate delta.",
+                Gauge,
+                labelled(derr),
+            ),
+        ]);
+    }
+    families
 }
 
 /// The `stats` verb: engine stats plus transport-level gauges.

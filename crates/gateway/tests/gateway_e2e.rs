@@ -1105,3 +1105,160 @@ proptest! {
         }
     }
 }
+
+#[test]
+fn reload_routes_swaps_the_table_live_and_carries_surviving_stats() {
+    // A 50/50 v1/v2 gateway hot-swapped to v2-only over an open client
+    // session: no reconnect, no restart, and the surviving route keeps
+    // its rolling request window across the swap.
+    let engine = two_version_engine();
+    let gateway = Gateway::spawn(
+        Arc::clone(&engine),
+        split_router(1.0, 1.0),
+        GatewayConfig::default(),
+    )
+    .unwrap();
+    let mut client = connect(gateway.addr());
+
+    // Deterministically pick keys per route with the same construction
+    // the gateway uses, so the pre-swap v2 traffic count is exact.
+    let reference = split_router(1.0, 1.0);
+    let keys_for = |route_ix: usize, n: usize| -> Vec<String> {
+        (0..)
+            .map(|i| format!("swap-{i}"))
+            .filter(|k| reference.route_index(k) == route_ix)
+            .take(n)
+            .collect::<Vec<_>>()
+    };
+    for key in keys_for(0, 3).iter().chain(keys_for(1, 3).iter()) {
+        client.compare(SLOW, FAST, Some(key)).unwrap();
+    }
+    let before = client.routes().unwrap();
+    assert_eq!(
+        before.get("reload_generation").and_then(Json::as_u64),
+        Some(0)
+    );
+
+    // A bad table is rejected whole: unknown version, nothing swapped.
+    let rejected = client
+        .request_line(
+            r#"{"op":"reload_routes","routes":[{"model":"default","version":9,"weight":1.0}]}"#,
+        )
+        .unwrap();
+    assert_eq!(rejected.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(
+        client
+            .routes()
+            .unwrap()
+            .get("reload_generation")
+            .and_then(Json::as_u64),
+        Some(0)
+    );
+
+    let reply = client
+        .request_line(
+            r#"{"op":"reload_routes","routes":[{"model":"default","version":2,"weight":1.0}],"shadow":null}"#,
+        )
+        .unwrap();
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "reply: {reply}");
+    assert_eq!(
+        reply.get("reload_generation").and_then(Json::as_u64),
+        Some(1)
+    );
+
+    // Same session, new table: every request now scores under v2.
+    let expected_v2 = engine
+        .compare(&versioned(2), SLOW, FAST)
+        .unwrap()
+        .prob_first_slower;
+    for key in keys_for(0, 2).iter().chain(keys_for(1, 2).iter()) {
+        let reply = client.compare(SLOW, FAST, Some(key)).unwrap();
+        assert_eq!(reply.version, 2);
+        assert_eq!(reply.prob_first_slower as f32, expected_v2);
+    }
+
+    let after = client.routes().unwrap();
+    assert_eq!(
+        after.get("reload_generation").and_then(Json::as_u64),
+        Some(1)
+    );
+    let table = after.get("routes").and_then(Json::as_arr).unwrap();
+    assert_eq!(table.len(), 1, "routes: {after}");
+    assert_eq!(table[0].get("version").and_then(Json::as_u64), Some(2));
+    // 3 pre-swap requests on v2 + 4 post-swap: the window survived the
+    // reload because the route's metric label did.
+    assert_eq!(table[0].get("requests").and_then(Json::as_u64), Some(7));
+
+    gateway.shutdown_and_join().unwrap();
+}
+
+#[test]
+fn shadow_delta_block_compares_shadow_against_primary() {
+    // With a shadow mirroring all traffic, the `routes` verb grows a
+    // delta block (shadow minus primary) and the scrape grows matching
+    // gauges under the shadow's metric label.
+    let engine = two_version_engine();
+    let router = Router::new(
+        vec![Route {
+            selector: versioned(1),
+            weight: 1.0,
+        }],
+        Some(ShadowRoute {
+            selector: versioned(2),
+            fraction: 1.0,
+        }),
+    )
+    .unwrap();
+    let gateway = Gateway::spawn(engine, router, http_config()).unwrap();
+    let mut tcp = connect(gateway.addr());
+    let mut http = http_connect(gateway.http_addr().unwrap());
+
+    // Before any traffic the deltas are null — a delta of nothing vs
+    // nothing must not read as "candidate is healthy".
+    let empty = tcp.routes().unwrap();
+    assert_eq!(
+        empty.get("shadow").unwrap().get("delta_p99_ms"),
+        Some(&Json::Null)
+    );
+
+    for i in 0..6 {
+        tcp.compare(SLOW, FAST, Some(&format!("delta-{i}")))
+            .unwrap();
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let shadow = loop {
+        let routes = tcp.routes().unwrap();
+        let shadow = routes.get("shadow").unwrap().clone();
+        if shadow.get("requests").and_then(Json::as_f64) == Some(6.0) {
+            break shadow;
+        }
+        assert!(Instant::now() < deadline, "shadow mirrors never landed");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+
+    for field in ["delta_p50_ms", "delta_p99_ms", "delta_error_rate"] {
+        assert!(
+            shadow.get(field).and_then(Json::as_f64).is_some(),
+            "{field} should be numeric once both arms have traffic"
+        );
+    }
+    // Both arms served the same requests without errors.
+    assert_eq!(
+        shadow.get("delta_error_rate").and_then(Json::as_f64),
+        Some(0.0)
+    );
+
+    let text = http.get("/metrics").unwrap().body;
+    for gauge in [
+        "ccsa_route_shadow_delta_p50_ms{route=\"shadow:default@v2\"}",
+        "ccsa_route_shadow_delta_p99_ms{route=\"shadow:default@v2\"}",
+        "ccsa_route_shadow_delta_error_rate{route=\"shadow:default@v2\"}",
+    ] {
+        assert!(
+            text.lines().any(|l| l.starts_with(gauge)),
+            "scrape missing {gauge}"
+        );
+    }
+
+    gateway.shutdown_and_join().unwrap();
+}

@@ -156,12 +156,18 @@ struct Shard {
     depth: AtomicUsize,
     /// Batches non-preferred workers took from this shard.
     steals: AtomicU64,
+    /// Tombstone set by [`EncodePool::prune_retired`] just before the
+    /// shard leaves the table. An enqueuer that raced the prune (it
+    /// resolved this shard before the sweep) observes the flag after
+    /// reserving its slots and re-resolves instead of queueing jobs no
+    /// worker will ever scan again.
+    retired: AtomicBool,
 }
 
-/// Append-only: a hot-swapped registration leaves its (drained, empty)
-/// predecessor shard behind — a label string and an empty queue per
-/// swap, scanned but never popped. Pruning needs the registry to report
-/// retired uids; tracked as a ROADMAP follow-on.
+/// Grows lazily as models encode; [`EncodePool::prune_retired`] sweeps
+/// out shards whose registration uid the registry no longer reports
+/// (hot-swap leftovers), once drained — so the table tracks the set of
+/// live registrations instead of growing monotonically across swaps.
 #[derive(Default)]
 struct ShardTable {
     shards: Vec<Arc<Shard>>,
@@ -363,10 +369,56 @@ impl EncodePool {
             queue: Mutex::new(VecDeque::new()),
             depth: AtomicUsize::new(0),
             steals: AtomicU64::new(0),
+            retired: AtomicBool::new(false),
         });
         table.shards.push(Arc::clone(&shard));
         table.by_uid.insert(uid, index);
         shard
+    }
+
+    /// Sweeps out shards whose registration uid is not in `live_uids` —
+    /// the GC for hot-swap-orphaned shards. A dead shard still holding
+    /// jobs is left to drain (a later sweep collects it); `Single` mode's
+    /// one shard is shared by every model and never pruned. Returns how
+    /// many shards were dropped.
+    ///
+    /// Safe against concurrent enqueues: the sweep tombstones a shard
+    /// *before* checking its depth, and [`EncodePool::encode`] re-checks
+    /// the tombstone after reserving its slots — so either the sweep sees
+    /// the reservation and keeps the shard, or the enqueuer sees the
+    /// tombstone and re-resolves onto a fresh shard.
+    pub fn prune_retired(&self, live_uids: &[u64]) -> usize {
+        if self.shared.single {
+            return 0;
+        }
+        let mut table = self.shared.shards.write().expect("shard table poisoned");
+        let uid_of: HashMap<usize, u64> =
+            table.by_uid.iter().map(|(&uid, &ix)| (ix, uid)).collect();
+        let before = table.shards.len();
+        let mut shards = Vec::with_capacity(before);
+        let mut by_uid = HashMap::with_capacity(before);
+        for (ix, shard) in table.shards.iter().enumerate() {
+            let uid = uid_of.get(&ix).copied();
+            let live = uid.is_some_and(|u| live_uids.contains(&u));
+            if !live {
+                // Tombstone first, then read the depth: an enqueuer's
+                // slot reservation is ordered against this pair (both
+                // SeqCst), so a reservation this sweep misses implies the
+                // enqueuer observes the tombstone.
+                shard.retired.store(true, Ordering::SeqCst);
+                if shard.depth.load(Ordering::SeqCst) == 0 {
+                    continue; // dead and drained: dropped
+                }
+                shard.retired.store(false, Ordering::SeqCst); // still draining
+            }
+            if let Some(uid) = uid {
+                by_uid.insert(uid, shards.len());
+            }
+            shards.push(Arc::clone(shard));
+        }
+        table.shards = shards;
+        table.by_uid = by_uid;
+        before - table.shards.len()
     }
 
     /// Encodes `graphs` under `model`, blocking until every latent code is
@@ -392,40 +444,51 @@ impl EncodePool {
             !self.shared.shutdown.load(Ordering::SeqCst),
             "encode pool already shut down"
         );
-        let shard = self.shard_for(model);
-        // Admission: reserve the slots before queueing anything, so a
-        // request either fits entirely or is refused without partial
-        // enqueue. The reservation is visible to scanning workers
-        // slightly before the jobs are — they treat a reserved-but-empty
-        // queue as "nothing yet" and rescan.
         let n = graphs.len();
-        if self.shard_capacity != 0 && n > self.shard_capacity {
-            // Larger than the bound itself: retrying can never help, so
-            // say so instead of sending the caller into a retry loop.
-            return Err(EncodeError::Shed(format!(
-                "request of {n} trees exceeds the {} encode-shard capacity {} — split it",
-                shard.label, self.shard_capacity
-            )));
-        }
-        let queued = shard.depth.fetch_add(n, Ordering::SeqCst);
-        if self.shard_capacity != 0 && queued + n > self.shard_capacity {
-            shard.depth.fetch_sub(n, Ordering::SeqCst);
-            return Err(EncodeError::Shed(format!(
-                "encode queue for {} is full ({queued} pending, capacity {}) — retry later",
-                shard.label, self.shard_capacity
-            )));
-        }
         let (tx, rx) = mpsc::channel();
-        {
-            let mut queue = shard.queue.lock().expect("shard queue poisoned");
-            for (index, graph) in graphs.iter().enumerate() {
-                queue.push_back(Job {
-                    model: Arc::clone(model),
-                    graph: Arc::clone(graph),
-                    index,
-                    tx: tx.clone(),
-                });
+        loop {
+            let shard = self.shard_for(model);
+            // Admission: reserve the slots before queueing anything, so a
+            // request either fits entirely or is refused without partial
+            // enqueue. The reservation is visible to scanning workers
+            // slightly before the jobs are — they treat a reserved-but-empty
+            // queue as "nothing yet" and rescan.
+            if self.shard_capacity != 0 && n > self.shard_capacity {
+                // Larger than the bound itself: retrying can never help, so
+                // say so instead of sending the caller into a retry loop.
+                return Err(EncodeError::Shed(format!(
+                    "request of {n} trees exceeds the {} encode-shard capacity {} — split it",
+                    shard.label, self.shard_capacity
+                )));
             }
+            let queued = shard.depth.fetch_add(n, Ordering::SeqCst);
+            if self.shard_capacity != 0 && queued + n > self.shard_capacity {
+                shard.depth.fetch_sub(n, Ordering::SeqCst);
+                return Err(EncodeError::Shed(format!(
+                    "encode queue for {} is full ({queued} pending, capacity {}) — retry later",
+                    shard.label, self.shard_capacity
+                )));
+            }
+            if shard.retired.load(Ordering::SeqCst) {
+                // Raced a prune sweep: this shard just left the table, so
+                // no worker would ever scan these jobs. Release the
+                // reservation and re-resolve (the lookup recreates a live
+                // shard for this registration).
+                shard.depth.fetch_sub(n, Ordering::SeqCst);
+                continue;
+            }
+            {
+                let mut queue = shard.queue.lock().expect("shard queue poisoned");
+                for (index, graph) in graphs.iter().enumerate() {
+                    queue.push_back(Job {
+                        model: Arc::clone(model),
+                        graph: Arc::clone(graph),
+                        index,
+                        tx: tx.clone(),
+                    });
+                }
+            }
+            break;
         }
         self.shared.wake();
         drop(tx); // workers hold the only remaining senders
@@ -860,6 +923,49 @@ mod tests {
             };
             assert_eq!(pool.shard_count(), expected_shards);
         }
+    }
+
+    #[test]
+    fn prune_drops_only_dead_empty_shards() {
+        let alive = named_serve_model("alive", 21);
+        let dead = named_serve_model("dead", 22);
+        let pool = pool(2, 4);
+        let _ = pool.encode(&alive, &sample_graphs(3)).unwrap();
+        let _ = pool.encode(&dead, &sample_graphs(3)).unwrap();
+        assert_eq!(pool.shard_count(), 2);
+
+        // Both uids live: nothing to collect.
+        assert_eq!(pool.prune_retired(&[alive.uid(), dead.uid()]), 0);
+        assert_eq!(pool.shard_count(), 2);
+
+        // One registration retired: its drained shard goes, the live one
+        // stays and keeps serving under its original uid mapping.
+        assert_eq!(pool.prune_retired(&[alive.uid()]), 1);
+        assert_eq!(pool.shard_count(), 1);
+        assert_eq!(pool.shard_depths(), vec![("alive@v1".to_string(), 0)]);
+        let codes = pool.encode(&alive, &sample_graphs(2)).unwrap();
+        assert_eq!(codes.len(), 2);
+        assert_eq!(pool.shard_count(), 1, "live shard must not be recreated");
+
+        // A late request against the pruned registration recreates its
+        // shard lazily — prune must never make encoding fail.
+        let codes = pool.encode(&dead, &sample_graphs(1)).unwrap();
+        assert_eq!(codes.len(), 1);
+        assert_eq!(pool.shard_count(), 2);
+    }
+
+    #[test]
+    fn single_mode_is_never_pruned() {
+        let model = tiny_serve_model(23);
+        let pool = EncodePool::new(&BatchConfig {
+            workers: 1,
+            max_batch: 4,
+            sharding: PoolSharding::Single,
+            ..BatchConfig::default()
+        });
+        let _ = pool.encode(&model, &sample_graphs(2)).unwrap();
+        assert_eq!(pool.prune_retired(&[]), 0);
+        assert_eq!(pool.shard_count(), 1);
     }
 
     #[test]

@@ -333,10 +333,16 @@ impl ServeEngine {
     /// weights can never be served for the new ones (stale entries simply
     /// age out of the LRU).
     pub fn register(&self, name: &str, version: u32, model: ccsa_model::pipeline::TrainedModel) {
-        self.registry
-            .write()
-            .expect("registry poisoned")
-            .register(name, version, model);
+        let live: Vec<u64> = {
+            let mut registry = self.registry.write().expect("registry poisoned");
+            registry.register(name, version, model);
+            registry.entries().iter().map(|m| m.uid()).collect()
+        };
+        // A replaced registration's encode shard is unreachable from now
+        // on (new requests resolve the new uid); collect it once drained
+        // so repeated hot swaps cannot grow the shard table without
+        // bound.
+        self.pool.prune_retired(&live);
     }
 
     /// Scores one pair of sources: is the first slower than the second?
@@ -1268,6 +1274,33 @@ mod tests {
         assert_eq!(
             swapped.cache_hits, 0,
             "old registration's codes must not hit"
+        );
+    }
+
+    #[test]
+    fn hot_swapping_twice_returns_shard_count_to_steady_state() {
+        // Each swap retires the previous registration; its drained encode
+        // shard must be collected, not accumulate — two swaps with
+        // traffic in between land back at one shard, not three.
+        let e = engine(64);
+        let sel = ModelSelector::default();
+        let _ = e.compare(&sel, SLOW, FAST).unwrap();
+        assert_eq!(e.stats().shard_count, 1);
+
+        e.register(crate::registry::DEFAULT_MODEL, 1, tiny_model(31));
+        let _ = e.compare(&sel, SLOW, FAST).unwrap();
+        e.register(crate::registry::DEFAULT_MODEL, 1, tiny_model(32));
+        let _ = e.compare(&sel, SLOW, FAST).unwrap();
+
+        // The swapped-out shards are empty (compare blocks until its
+        // encodes finish), so the sweep at the *next* registration drops
+        // them; assert the table is back at steady state afterwards.
+        e.register("other", 1, tiny_model(33));
+        let stats = e.stats();
+        assert_eq!(
+            stats.shard_count, 1,
+            "hot-swap leftovers survived GC: {:?}",
+            stats.queue_depths
         );
     }
 

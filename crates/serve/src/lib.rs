@@ -9,6 +9,10 @@
 //! # Architecture
 //!
 //! ```text
+//!                              ccsa-fleet front tier: N gateway
+//!                              replicas (consistent-hash ring ·
+//!                              hedging · canary table control)
+//!                                        │
 //!      stdio `serve` bin       TCP `gateway` bin (ccsa-gateway)
 //!      (one client)            JSON-lines │ HTTP/1.1 front door:
 //!                 │            sessions · │ /v1/compare · /v1/rank

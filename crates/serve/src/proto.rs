@@ -9,6 +9,7 @@
 //! {"op":"stats"}
 //! {"op":"ping"}
 //! {"op":"routes"}
+//! {"op":"reload_routes","routes":[{"model":"m","version":2,"weight":1.0}]}
 //! {"op":"shutdown"}
 //! ```
 //!
@@ -16,12 +17,13 @@
 //! `false` with an `"error"` string. Protocol errors (bad JSON, unknown
 //! op) are also `ok:false` responses — the connection stays usable.
 //!
-//! Two verbs are *transport-level*: `routes` reports the gateway's
+//! Three verbs are *transport-level*: `routes` reports the gateway's
 //! weighted A/B routing table (the plain stdio `serve` binary has no
-//! router and answers `ok:false`), and `shutdown` asks the process to
-//! drain and exit (both binaries honour it). Requests may also carry a
-//! `"client"` string, the gateway's sticky-routing key; the engine
-//! itself ignores it.
+//! router and answers `ok:false`), `reload_routes` swaps that table in
+//! place (gateway only, loopback-gated like `shutdown`), and `shutdown`
+//! asks the process to drain and exit (both binaries honour it).
+//! Requests may also carry a `"client"` string, the gateway's
+//! sticky-routing key; the engine itself ignores it.
 
 use crate::engine::{CompareOutcome, EngineStats, RankOutcome, ServeEngine};
 use crate::json::{self, Json};
@@ -52,6 +54,14 @@ pub enum Request {
     Ping,
     /// The routing table and per-route stats (gateway only).
     Routes,
+    /// Swap the routing table in place (gateway only; loopback-gated
+    /// like [`Request::Shutdown`]).
+    ReloadRoutes {
+        /// The new weighted table, as `(selector, weight)` pairs.
+        routes: Vec<(ModelSelector, f64)>,
+        /// Optional shadow target, as `(selector, fraction)`.
+        shadow: Option<(ModelSelector, f64)>,
+    },
     /// Drain and exit.
     Shutdown,
 }
@@ -80,26 +90,7 @@ pub fn parse_request_value(v: &Json) -> Result<Request, String> {
         .get("op")
         .and_then(Json::as_str)
         .ok_or_else(|| "missing string field 'op'".to_string())?;
-    // A present-but-invalid selector field is an error, never a silent
-    // fallback: "version": 2^32+1 must not truncate onto a real version,
-    // and "version": "two" must not quietly mean "latest".
-    let name = match v.get("model") {
-        None => None,
-        Some(m) => Some(
-            m.as_str()
-                .map(str::to_string)
-                .ok_or_else(|| "'model' must be a string".to_string())?,
-        ),
-    };
-    let version = match v.get("version") {
-        None => None,
-        Some(n) => Some(
-            n.as_u64()
-                .and_then(|n| u32::try_from(n).ok())
-                .ok_or_else(|| "'version' must be an integer within u32 range".to_string())?,
-        ),
-    };
-    let selector = ModelSelector { name, version };
+    let selector = selector_of(v)?;
     match op {
         "compare" => {
             let field = |name: &str| {
@@ -135,9 +126,60 @@ pub fn parse_request_value(v: &Json) -> Result<Request, String> {
         "stats" => Ok(Request::Stats),
         "ping" => Ok(Request::Ping),
         "routes" => Ok(Request::Routes),
+        "reload_routes" => {
+            let arr = v
+                .get("routes")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| "reload_routes needs array field 'routes'".to_string())?;
+            let routes = arr
+                .iter()
+                .map(|route| {
+                    let weight = route
+                        .get("weight")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| "each route needs numeric field 'weight'".to_string())?;
+                    Ok((selector_of(route)?, weight))
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            let shadow = match v.get("shadow") {
+                None | Some(Json::Null) => None,
+                Some(s) => {
+                    let fraction = s
+                        .get("fraction")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| "shadow needs numeric field 'fraction'".to_string())?;
+                    Some((selector_of(s)?, fraction))
+                }
+            };
+            Ok(Request::ReloadRoutes { routes, shadow })
+        }
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown op '{other}'")),
     }
+}
+
+/// Reads the optional `model`/`version` selector fields of one JSON
+/// object. A present-but-invalid field is an error, never a silent
+/// fallback: `"version": 2^32+1` must not truncate onto a real version,
+/// and `"version": "two"` must not quietly mean "latest".
+fn selector_of(v: &Json) -> Result<ModelSelector, String> {
+    let name = match v.get("model") {
+        None => None,
+        Some(m) => Some(
+            m.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| "'model' must be a string".to_string())?,
+        ),
+    };
+    let version = match v.get("version") {
+        None => None,
+        Some(n) => Some(
+            n.as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| "'version' must be an integer within u32 range".to_string())?,
+        ),
+    };
+    Ok(ModelSelector { name, version })
 }
 
 /// Encodes a compare outcome.
@@ -297,10 +339,14 @@ pub fn dispatch(engine: &ServeEngine, request: Request) -> Json {
         }
         Request::Stats => stats_response(&engine.stats()),
         Request::Ping => Json::obj(vec![("ok", Json::Bool(true)), ("op", Json::str("ping"))]),
-        // `routes` is answered by the gateway's router, which intercepts
-        // it before dispatch; a bare engine has no routing table.
+        // `routes`/`reload_routes` are answered by the gateway's router,
+        // which intercepts them before dispatch; a bare engine has no
+        // routing table.
         Request::Routes => {
             error_response("no router: 'routes' is served by the ccsa-gateway binary")
+        }
+        Request::ReloadRoutes { .. } => {
+            error_response("no router: 'reload_routes' is served by the ccsa-gateway binary")
         }
         // Acknowledging is all the engine can do — the transport owning
         // the engine (stdio loop, TCP gateway) watches for this request
@@ -378,6 +424,36 @@ mod tests {
             parse_request(r#"{"op":"shutdown"}"#).unwrap(),
             Request::Shutdown
         );
+        let r = parse_request(
+            r#"{"op":"reload_routes","routes":[{"model":"m","version":1,"weight":0.9},{"weight":0.1}],"shadow":{"model":"m","version":2,"fraction":0.5}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            r,
+            Request::ReloadRoutes {
+                routes: vec![
+                    (
+                        ModelSelector {
+                            name: Some("m".into()),
+                            version: Some(1)
+                        },
+                        0.9
+                    ),
+                    (ModelSelector::default(), 0.1),
+                ],
+                shadow: Some((
+                    ModelSelector {
+                        name: Some("m".into()),
+                        version: Some(2)
+                    },
+                    0.5
+                )),
+            }
+        );
+        // A null shadow means "no shadow", same as an absent field.
+        let r = parse_request(r#"{"op":"reload_routes","routes":[{"weight":1}],"shadow":null}"#)
+            .unwrap();
+        assert!(matches!(r, Request::ReloadRoutes { shadow: None, .. }));
     }
 
     #[test]
@@ -387,8 +463,16 @@ mod tests {
         let v = crate::json::parse(&handle_line(&engine, r#"{"op":"shutdown"}"#)).unwrap();
         assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
         assert_eq!(v.get("op").unwrap().as_str(), Some("shutdown"));
-        // Routes needs a gateway router; a bare engine declines.
+        // Routes/reload_routes need a gateway router; a bare engine
+        // declines both.
         let v = crate::json::parse(&handle_line(&engine, r#"{"op":"routes"}"#)).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(false)));
+        assert!(v.get("error").unwrap().as_str().unwrap().contains("router"));
+        let v = crate::json::parse(&handle_line(
+            &engine,
+            r#"{"op":"reload_routes","routes":[{"weight":1}]}"#,
+        ))
+        .unwrap();
         assert_eq!(v.get("ok"), Some(&Json::Bool(false)));
         assert!(v.get("error").unwrap().as_str().unwrap().contains("router"));
     }
@@ -407,6 +491,9 @@ mod tests {
             r#"{"op":"stats","version":"two"}"#,
             r#"{"op":"stats","version":-3}"#,
             r#"{"op":"stats","model":7}"#,
+            r#"{"op":"reload_routes"}"#,
+            r#"{"op":"reload_routes","routes":[{"model":"m"}]}"#,
+            r#"{"op":"reload_routes","routes":[{"weight":1}],"shadow":{}}"#,
         ] {
             assert!(parse_request(bad).is_err(), "accepted {bad:?}");
         }

@@ -52,6 +52,15 @@
 //! │          weighted sticky A/B routing across registry versions,
 //! │          shadow traffic, per-route p50/p99 + hit-rate stats,
 //! │          graceful drain — `gateway` binary
+//! ├─────────────────────────────────────────────────────────────────┤
+//! │ fleet    the front tier + control plane over N gateway replicas:
+//! │          consistent-hash ring on the sticky client key (vnodes,
+//! │          ~1/N remap), transparent failover + tail hedging at a
+//! │          p99 deadline, /readyz prober with rise/fall ejection,
+//! │          hot-reloadable routing tables pushed via `reload_routes`,
+//! │          automated canary controller ramping a shadow candidate
+//! │          1%→10%→50%→100% (or zeroing it) from observed
+//! │          shadow-vs-primary deltas — `fleet` binary
 //! └─────────────────────────────────────────────────────────────────┘
 //! ```
 //!
