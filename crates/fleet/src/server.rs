@@ -6,8 +6,11 @@
 //! verbatim, so a compare/rank through the fleet is byte-identical to
 //! one against the replica directly. The fleet only ever parses a
 //! request to decide *where* it goes (the sticky `client` key) and
-//! whether it is one of the two verbs answered locally (`fleet` stats,
-//! `shutdown`).
+//! whether it is one of the verbs answered locally: `fleet` stats,
+//! `shutdown`, and `reload_routes` — the last applied through the
+//! control plane (validate, persist, push to *every* replica) rather
+//! than forwarded, because a raw forward would repoint one sticky
+//! replica and silently desync it from the fleet's table.
 //!
 //! Reliability is layered:
 //!
@@ -133,6 +136,9 @@ pub(crate) struct FleetState {
     table_generation: AtomicU64,
     /// The last table validation/push error, for the stats verb.
     table_error: Mutex<Option<String>>,
+    /// Set while the last table push left at least one healthy replica
+    /// behind; the table watcher keeps retrying until it clears.
+    push_incomplete: AtomicBool,
     /// The current table (as last pushed), for rewrites and stats.
     current_table: Mutex<Option<TableSpec>>,
     pub(crate) canary: Option<Canary>,
@@ -188,16 +194,22 @@ impl FleetState {
         }
     }
 
-    /// Validates, persists (when a table file is configured), and
-    /// pushes a table to every replica. Partial push failures are
-    /// recorded but do not roll the table back — the prober re-pushes
-    /// when a replica recovers.
+    /// Persists (when a table file is configured) and pushes a table to
+    /// every healthy replica. Partial push failures are recorded but do
+    /// not roll the table back — the table watcher keeps retrying until
+    /// every healthy replica has it, and the prober re-pushes when a
+    /// replica recovers. `table_generation` counts only fully-delivered
+    /// pushes.
     pub(crate) fn apply_table(&self, spec: &TableSpec, persist: bool) -> Result<(), String> {
         if persist {
             if let Some(path) = &self.config.routes_file {
                 table::write_atomic(path, spec).map_err(|e| e.to_string())?;
             }
         }
+        // Installed before the pushes so the watcher, seeing this
+        // fleet's own persisted rewrite appear in the file, recognises
+        // it as already applied instead of pushing it a second time.
+        *self.current_table.lock().expect("table poisoned") = Some(spec.clone());
         let mut errors = Vec::new();
         for (ix, replica) in self.replicas.iter().enumerate() {
             if !replica.is_healthy() {
@@ -207,15 +219,16 @@ impl FleetState {
                 errors.push(format!("{}: {e}", replica.config.id));
             }
         }
-        *self.current_table.lock().expect("table poisoned") = Some(spec.clone());
-        self.table_generation.fetch_add(1, Ordering::SeqCst);
         let error = (!errors.is_empty()).then(|| errors.join("; "));
-        let failed = error.is_some();
-        *self.table_error.lock().expect("table error poisoned") = error;
-        if failed {
-            Err("push incomplete".to_string())
-        } else {
-            Ok(())
+        self.push_incomplete
+            .store(error.is_some(), Ordering::SeqCst);
+        if error.is_none() {
+            self.table_generation.fetch_add(1, Ordering::SeqCst);
+        }
+        *self.table_error.lock().expect("table error poisoned") = error.clone();
+        match error {
+            None => Ok(()),
+            Some(e) => Err(e),
         }
     }
 }
@@ -403,6 +416,7 @@ impl Fleet {
             canary_rollbacks: decision("rollback"),
             table_generation: AtomicU64::new(0),
             table_error: Mutex::new(None),
+            push_incomplete: AtomicBool::new(false),
             current_table: Mutex::new(None),
             canary: config.canary.clone().map(Canary::new),
             config,
@@ -671,6 +685,40 @@ fn handle_line(
                 true,
             )
         }
+        "reload_routes" => {
+            // Gated exactly like shutdown — and applied through the
+            // control plane rather than forwarded: a raw forward would
+            // repoint one sticky replica (which would see the fleet's
+            // own address as the peer, waving the verb past its
+            // loopback gate) and silently desync it from the fleet's
+            // current table.
+            if !peer_is_loopback && !state.config.allow_remote_shutdown {
+                return (
+                    proto::error_response(
+                        "reload_routes is only accepted from loopback \
+                         (start the fleet with remote shutdown enabled to change this)",
+                    )
+                    .to_string(),
+                    false,
+                );
+            }
+            let request = parsed.as_ref().expect("op was read from this value");
+            let response = match table::from_json(request) {
+                Err(e) => proto::error_response(&format!("reload_routes rejected: {e}")),
+                Ok(spec) => match state.apply_table(&spec, true) {
+                    Ok(()) => Json::obj(vec![
+                        ("ok", Json::Bool(true)),
+                        ("op", Json::str("reload_routes")),
+                        (
+                            "table_generation",
+                            Json::num(state.table_generation.load(Ordering::SeqCst) as f64),
+                        ),
+                    ]),
+                    Err(e) => proto::error_response(&format!("reload_routes push incomplete: {e}")),
+                },
+            };
+            (response.to_string(), false)
+        }
         _ => {
             let client_key = parsed
                 .as_ref()
@@ -706,7 +754,12 @@ pub(crate) fn forward(
                 .map(|second| (deadline, second))
         });
     let answered = match hedge {
-        None => forward_sequential(state, attempt_order(state, primary, &[]), line, false),
+        None => forward_sequential(
+            state,
+            attempt_order(&state.replicas, primary, &[]),
+            line,
+            false,
+        ),
         Some((deadline, second)) => forward_hedged(state, primary, second, line, deadline),
     };
     answered.unwrap_or_else(|| {
@@ -714,11 +767,16 @@ pub(crate) fn forward(
     })
 }
 
-/// The replica indices to try, primary first, then every other healthy
-/// replica (excluding `exclude`).
-fn attempt_order(state: &FleetState, primary: usize, exclude: &[usize]) -> Vec<usize> {
-    let mut order = vec![primary];
-    for (ix, replica) in state.replicas.iter().enumerate() {
+/// The replica indices to try: the primary first — unless it is in
+/// `exclude` because an attempt on it already failed, in which case
+/// retrying it would only add a known-dead round trip ahead of the
+/// survivors — then every other healthy replica not in `exclude`.
+fn attempt_order(replicas: &[Arc<Replica>], primary: usize, exclude: &[usize]) -> Vec<usize> {
+    let mut order = Vec::new();
+    if !exclude.contains(&primary) {
+        order.push(primary);
+    }
+    for (ix, replica) in replicas.iter().enumerate() {
         if ix != primary && !exclude.contains(&ix) && replica.is_healthy() {
             order.push(ix);
         }
@@ -771,7 +829,12 @@ fn forward_hedged(
         Ok((_, Err(_))) => {
             // The primary failed outright before the hedge deadline:
             // plain failover, no hedge fired.
-            forward_sequential(state, attempt_order(state, primary, &[primary]), line, true)
+            forward_sequential(
+                state,
+                attempt_order(&state.replicas, primary, &[primary]),
+                line,
+                true,
+            )
         }
         Err(mpsc::RecvTimeoutError::Timeout) => {
             state.hedges.inc();
@@ -794,7 +857,7 @@ fn forward_hedged(
             }
             forward_sequential(
                 state,
-                attempt_order(state, primary, &[primary, second]),
+                attempt_order(&state.replicas, primary, &[primary, second]),
                 line,
                 true,
             )
@@ -890,14 +953,23 @@ fn probe_readyz(addr: SocketAddr, timeout: Duration) -> bool {
         == Some(200)
 }
 
+/// Poll ticks between re-push attempts while the last table push left
+/// a healthy replica behind.
+const TABLE_RETRY_TICKS: u32 = 5;
+
 /// The table watcher: polls the routing-table file and, when its
 /// content changes, validates and pushes it. Invalid tables are
-/// recorded and skipped — the last good table keeps serving.
+/// recorded and skipped — the last good table keeps serving. A file
+/// change whose parsed spec matches the already-pushed table (the
+/// canary persists its own rewrites through [`FleetState::apply_table`])
+/// is not pushed again; a push that left a healthy replica behind is
+/// retried every few ticks rather than waiting for the next file edit.
 fn run_table_watcher(state: &Arc<FleetState>) {
     let Some(path) = state.config.routes_file.clone() else {
         return;
     };
     let mut last_hash: Option<u64> = None;
+    let mut ticks_until_retry = TABLE_RETRY_TICKS;
     while !state.draining() {
         match std::fs::read_to_string(&path) {
             Ok(text) => {
@@ -906,13 +978,29 @@ fn run_table_watcher(state: &Arc<FleetState>) {
                     last_hash = Some(hash);
                     match table::parse(&text) {
                         Ok(spec) => {
-                            let _ = state.apply_table(&spec, false);
+                            let already_applied = !state.push_incomplete.load(Ordering::SeqCst)
+                                && state.current_table.lock().expect("table poisoned").as_ref()
+                                    == Some(&spec);
+                            if !already_applied {
+                                let _ = state.apply_table(&spec, false);
+                            }
                         }
                         Err(e) => {
                             *state.table_error.lock().expect("table error poisoned") =
                                 Some(format!("{}: {e}", path.display()));
                         }
                     }
+                } else if state.push_incomplete.load(Ordering::SeqCst) {
+                    ticks_until_retry -= 1;
+                    if ticks_until_retry == 0 {
+                        let current = state.current_table.lock().expect("table poisoned").clone();
+                        if let Some(spec) = current {
+                            let _ = state.apply_table(&spec, false);
+                        }
+                    }
+                }
+                if ticks_until_retry == 0 || !state.push_incomplete.load(Ordering::SeqCst) {
+                    ticks_until_retry = TABLE_RETRY_TICKS;
                 }
             }
             Err(e) => {
@@ -1013,6 +1101,16 @@ fn promote_table(
         .filter(|(selector, w)| *w > 0.0 && !same_selector(selector, candidate))
         .cloned()
         .collect();
+    if base.is_empty() {
+        // Route weights are relative: with no other positive route to
+        // hold the remaining (1 - weight) share, a lone fractional
+        // candidate would silently mean 100% of traffic — make the full
+        // promotion explicit instead of implying it.
+        return TableSpec {
+            routes: vec![(candidate.clone(), 1.0)],
+            shadow: None,
+        };
+    }
     let total: f64 = base.iter().map(|(_, w)| w).sum();
     let mut routes: Vec<(ccsa_serve::ModelSelector, f64)> = base
         .iter()
@@ -1368,13 +1466,32 @@ fn forward_http(
         .and_then(Json::as_str)
         .unwrap_or(fallback_key)
         .to_string();
-    let line = match &parsed {
-        Json::Obj(members) if parsed.get("op").is_none() => {
-            let mut fields = vec![("op".to_string(), Json::str(op))];
-            fields.extend(members.clone());
-            Json::Obj(fields).to_string()
+    // The path *is* the op, as on the gateway. A body naming a
+    // different op must not ride a scored endpoint into the data plane:
+    // it would reach a replica from the fleet's own address (waving a
+    // mutating verb like `shutdown` or `reload_routes` past the
+    // replica's loopback gate) and be hedged — duplicated — on top.
+    let line = match parsed.get("op") {
+        Some(body_op) if body_op.as_str() == Some(op) => body.trim().to_string(),
+        Some(body_op) => {
+            return (
+                400,
+                "Bad Request",
+                "application/json",
+                proto::error_response(&format!(
+                    "body op {body_op} does not match endpoint op \"{op}\""
+                ))
+                .to_string(),
+            )
         }
-        _ => body.trim().to_string(),
+        None => match &parsed {
+            Json::Obj(members) => {
+                let mut fields = vec![("op".to_string(), Json::str(op))];
+                fields.extend(members.clone());
+                Json::Obj(fields).to_string()
+            }
+            _ => body.trim().to_string(),
+        },
     };
     let mut response = forward(state, &client_key, &line, true);
     let ok = json::parse(&response)
@@ -1388,5 +1505,86 @@ fn forward_http(
         (200, "OK", "application/json", response)
     } else {
         (502, "Bad Gateway", "application/json", response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn replica_set(n: usize) -> Vec<Arc<Replica>> {
+        (0..n)
+            .map(|i| {
+                Arc::new(Replica::new(ReplicaConfig {
+                    id: format!("gw-{i}"),
+                    addr: "127.0.0.1:1".parse().unwrap(),
+                    http_addr: "127.0.0.1:1".parse().unwrap(),
+                }))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn attempt_order_puts_the_primary_first() {
+        let replicas = replica_set(3);
+        assert_eq!(attempt_order(&replicas, 1, &[]), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn attempt_order_never_retries_an_excluded_primary() {
+        // The failover paths exclude the attempt that just failed; the
+        // primary must not sneak back in ahead of the survivors.
+        let replicas = replica_set(3);
+        assert_eq!(attempt_order(&replicas, 1, &[1]), vec![0, 2]);
+        assert_eq!(attempt_order(&replicas, 1, &[1, 2]), vec![0]);
+    }
+
+    #[test]
+    fn attempt_order_skips_unhealthy_followers() {
+        let replicas = replica_set(3);
+        replicas[2].probe_failure(1);
+        assert_eq!(attempt_order(&replicas, 0, &[0]), vec![1]);
+    }
+
+    fn versioned(version: u32) -> ccsa_serve::ModelSelector {
+        ccsa_serve::ModelSelector {
+            name: None,
+            version: Some(version),
+        }
+    }
+
+    #[test]
+    fn promote_table_scales_base_routes_to_the_remaining_share() {
+        let current = TableSpec {
+            routes: vec![(versioned(1), 1.0), (versioned(2), 0.0)],
+            shadow: Some((versioned(2), 1.0)),
+        };
+        let next = promote_table(&current, &versioned(2), 0.1);
+        assert_eq!(next.routes.len(), 2);
+        let weight_of = |v: u32| {
+            next.routes
+                .iter()
+                .find(|(s, _)| s.version == Some(v))
+                .map(|(_, w)| *w)
+                .unwrap()
+        };
+        assert!((weight_of(1) - 0.9).abs() < 1e-12);
+        assert!((weight_of(2) - 0.1).abs() < 1e-12);
+        assert!(next.shadow.is_some());
+    }
+
+    #[test]
+    fn promote_table_with_no_base_routes_is_an_explicit_full_promotion() {
+        // The only positive-weight route already IS the candidate.
+        // Weights are relative, so a lone candidate at 0.1 would mean
+        // 100% of traffic anyway — the rewrite must say so rather than
+        // imply it with a fractional weight.
+        let current = TableSpec {
+            routes: vec![(versioned(2), 1.0)],
+            shadow: Some((versioned(2), 1.0)),
+        };
+        let next = promote_table(&current, &versioned(2), 0.1);
+        assert_eq!(next.routes, vec![(versioned(2), 1.0)]);
+        assert!(next.shadow.is_none());
     }
 }

@@ -118,6 +118,18 @@ fn selector_json(selector: &ModelSelector) -> Vec<(&'static str, Json)> {
 /// or an out-of-range shadow fraction.
 pub fn parse(text: &str) -> Result<TableSpec, String> {
     let v = json::parse(text).map_err(|e| e.to_string())?;
+    from_json(&v)
+}
+
+/// Validates a routing-table document already decoded from JSON. The
+/// file form and the `reload_routes` request body share this shape
+/// (extra fields like `op` are ignored), so an operator pushing a table
+/// at the fleet goes through exactly the file watcher's validation.
+///
+/// # Errors
+///
+/// As [`parse`], minus the JSON decode step.
+pub fn from_json(v: &Json) -> Result<TableSpec, String> {
     let arr = v
         .get("routes")
         .and_then(Json::as_arr)

@@ -342,6 +342,26 @@ fn http_front_serves_probes_metrics_and_scored_verbs() {
     assert_eq!(through_fleet.status, 200);
     assert_eq!(direct.body, through_fleet.body);
 
+    // A body naming a different op must not ride the scored endpoint
+    // into the data plane: it would reach a replica from the fleet's
+    // own (loopback) address, waving a mutating verb past the
+    // replica's loopback gate — and hedged on top.
+    let smuggled = http
+        .post("/v1/compare", r#"{"op":"shutdown"}"#, None)
+        .expect("smuggled op");
+    assert_eq!(smuggled.status, 400, "body: {}", smuggled.body);
+    // A body that names the endpoint's own op is still fine, and
+    // neither the replica nor the fleet drained.
+    let explicit_op = format!(
+        r#"{{"op":"compare",{}"#,
+        body.strip_prefix('{').expect("object body")
+    );
+    let explicit = http
+        .post("/v1/compare", &explicit_op, None)
+        .expect("explicit op");
+    assert_eq!(explicit.status, 200, "body: {}", explicit.body);
+    assert_eq!(explicit.body, direct.body);
+
     let stats = http.get("/v1/fleet").expect("fleet stats");
     assert_eq!(stats.status, 200);
     let stats = json::parse(&stats.body).expect("stats json");
@@ -529,6 +549,61 @@ fn hedge_fires_at_the_deadline_and_the_fast_replica_wins() {
 // ---------------------------------------------------------------------
 // Control plane
 // ---------------------------------------------------------------------
+
+#[test]
+fn reload_routes_at_the_fleet_reaches_every_replica_not_one() {
+    // The fleet answers reload_routes itself, through the control
+    // plane: validate once, push to ALL replicas. Forwarded raw it
+    // would repoint only the sender's sticky replica, desyncing the
+    // set.
+    let mut gateways = Vec::new();
+    let mut replicas = Vec::new();
+    for i in 0..2 {
+        let engine = engine_with(vec![(1, tiny_model(1)), (2, tiny_model(2))]);
+        let (gateway, replica) =
+            spawn_gateway(engine, single_route_router(1, None), &format!("gw-{i}"));
+        gateways.push(gateway);
+        replicas.push(replica);
+    }
+    let replica_addrs: Vec<SocketAddr> = replicas.iter().map(|r| r.addr).collect();
+    let fleet = Fleet::spawn(replicas, default_fleet_config()).expect("spawn fleet");
+
+    let response = raw_exchange(
+        fleet.addr(),
+        r#"{"op":"reload_routes","routes":[{"model":"default","version":2,"weight":1.0}],"shadow":null}"#,
+    );
+    let v = json::parse(&response).expect("reload json");
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "response: {response}");
+    assert_eq!(
+        v.get("table_generation").and_then(Json::as_f64),
+        Some(1.0),
+        "response: {response}"
+    );
+
+    for addr in replica_addrs {
+        let routes = json::parse(&raw_exchange(addr, r#"{"op":"routes"}"#)).expect("routes json");
+        let table = routes.get("routes").and_then(Json::as_arr).unwrap();
+        assert_eq!(table.len(), 1, "routes: {routes}");
+        assert_eq!(
+            table[0].get("version").and_then(Json::as_f64),
+            Some(2.0),
+            "routes: {routes}"
+        );
+    }
+
+    // An invalid table is rejected by the fleet's own validation before
+    // any replica sees it.
+    let rejected = raw_exchange(fleet.addr(), r#"{"op":"reload_routes","routes":[]}"#);
+    assert!(
+        rejected.contains("reload_routes rejected"),
+        "response: {rejected}"
+    );
+
+    fleet.shutdown_and_join().expect("fleet drain");
+    for gateway in gateways {
+        gateway.shutdown_and_join().expect("gateway drain");
+    }
+}
 
 struct CanaryRig {
     fleet: SpawnedFleet,
