@@ -68,6 +68,7 @@ fn tiny_engine(seed: u64) -> Arc<ServeEngine> {
         &ServeConfig {
             cache_capacity: 512,
             cache_stripes: 0,
+            cache_precision: Default::default(),
             batch: BatchConfig {
                 workers: 2,
                 max_batch: 8,

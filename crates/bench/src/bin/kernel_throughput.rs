@@ -1,0 +1,414 @@
+//! Kernel throughput benchmark: the explicit-SIMD dispatch layer
+//! (`ccsa_tensor::kernels`) measured against the blocked scalar
+//! reference at the encoder's real working shapes, plus the quantized
+//! embedding cache's read-latency/capacity trade-off.
+//!
+//! Three sections:
+//!
+//! 1. **matmul / matvec / segment-sum GFLOP/s** per backend at the
+//!    level-fused encoder shapes — `[rows, h] × [h, 4h]` gate
+//!    projections for h ∈ {64, 128} — with the `simd_not_slower`
+//!    acceptance line CI greps for.
+//! 2. **Prefetch before/after**: the blocked scalar kernel ships with a
+//!    paced `_mm_prefetch` of the next A-row block; this bench keeps a
+//!    local copy of the identical kernel *without* the prefetch so the
+//!    delta stays measured, not folklore.
+//! 3. **Quantized cache reads**: ns/read and bytes/entry for f32, f16
+//!    and int8 cache precisions at a serving-sized embedding width.
+//!
+//! Reports aligned text and writes `BENCH_kernels.json` so future
+//! kernel changes have a perf trajectory to compare against.
+//!
+//! ```sh
+//! cargo run --release --bin kernel_throughput -- --scale quick
+//! ```
+
+use std::time::Instant;
+
+use ccsa_bench::{header, rule, Cli, Scale};
+use ccsa_serve::json::Json;
+use ccsa_serve::{CachePrecision, EmbeddingCache};
+use ccsa_tensor::kernels::{self, KernelBackend, MatmulFn};
+use ccsa_tensor::Tensor;
+
+/// Deterministic data fill (xorshift64*) — no RNG dependency, and the
+/// same inputs on every run so numbers are comparable across builds.
+fn fill(data: &mut [f32], mut state: u64) {
+    for v in data.iter_mut() {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let bits = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as u32;
+        *v = (bits as f32 / (1u32 << 24) as f32) - 0.5;
+    }
+}
+
+/// The blocked scalar kernel with the prefetch hints stripped — the
+/// "before" side of the prefetch measurement. Must stay structurally
+/// identical to `kernels::scalar` matmul apart from the prefetch call.
+fn scalar_matmul_noprefetch(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let mut i = 0;
+    while i + 4 <= m {
+        let (r01, r23) = out[i * n..(i + 4) * n].split_at_mut(2 * n);
+        let (r0, r1) = r01.split_at_mut(n);
+        let (r2, r3) = r23.split_at_mut(n);
+        for kk in 0..k {
+            let a0 = a[i * k + kk];
+            let a1 = a[(i + 1) * k + kk];
+            let a2 = a[(i + 2) * k + kk];
+            let a3 = a[(i + 3) * k + kk];
+            let brow = &b[kk * n..(kk + 1) * n];
+            let mut j = 0;
+            while j + 4 <= n {
+                let (b0, b1, b2, b3) = (brow[j], brow[j + 1], brow[j + 2], brow[j + 3]);
+                r0[j] += a0 * b0;
+                r0[j + 1] += a0 * b1;
+                r0[j + 2] += a0 * b2;
+                r0[j + 3] += a0 * b3;
+                r1[j] += a1 * b0;
+                r1[j + 1] += a1 * b1;
+                r1[j + 2] += a1 * b2;
+                r1[j + 3] += a1 * b3;
+                r2[j] += a2 * b0;
+                r2[j + 1] += a2 * b1;
+                r2[j + 2] += a2 * b2;
+                r2[j + 3] += a2 * b3;
+                r3[j] += a3 * b0;
+                r3[j + 1] += a3 * b1;
+                r3[j + 2] += a3 * b2;
+                r3[j + 3] += a3 * b3;
+                j += 4;
+            }
+            while j < n {
+                let bv = brow[j];
+                r0[j] += a0 * bv;
+                r1[j] += a1 * bv;
+                r2[j] += a2 * bv;
+                r3[j] += a3 * bv;
+                j += 1;
+            }
+        }
+        i += 4;
+    }
+    while i < m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &aik) in arow.iter().enumerate() {
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += aik * bv;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// GFLOP/s of one matmul fn at `(m, k, n)` over `reps` repetitions.
+fn matmul_gflops(f: MatmulFn, m: usize, k: usize, n: usize, reps: usize) -> f64 {
+    let mut a = vec![0.0f32; m * k];
+    let mut b = vec![0.0f32; k * n];
+    let mut out = vec![0.0f32; m * n];
+    fill(&mut a, 0x9E37_79B9_7F4A_7C15);
+    fill(&mut b, 0xD1B5_4A32_D192_ED03);
+    f(&a, &b, &mut out, m, k, n); // warm: page in + branch-train
+    let start = Instant::now();
+    for _ in 0..reps {
+        out.fill(0.0);
+        f(&a, &b, &mut out, m, k, n);
+    }
+    let flops = 2.0 * (m * k * n) as f64 * reps as f64;
+    flops / start.elapsed().as_secs_f64() / 1e9
+}
+
+/// GFLOP/s of one backend's matvec at `(m, k)` over `reps` repetitions.
+fn matvec_gflops(backend: &'static kernels::Kernels, m: usize, k: usize, reps: usize) -> f64 {
+    let mut a = vec![0.0f32; m * k];
+    let mut x = vec![0.0f32; k];
+    let mut out = vec![0.0f32; m];
+    fill(&mut a, 0xA076_1D64_78BD_642F);
+    fill(&mut x, 0xE703_7ED1_A0B4_28DB);
+    (backend.matvec)(&a, &x, &mut out, m, k);
+    let start = Instant::now();
+    for _ in 0..reps {
+        (backend.matvec)(&a, &x, &mut out, m, k);
+    }
+    let flops = 2.0 * (m * k) as f64 * reps as f64;
+    flops / start.elapsed().as_secs_f64() / 1e9
+}
+
+/// GFLOP/s of one backend's segment-sum row accumulation: `rows` rows
+/// of width `d` folded into one accumulator, `reps` times.
+fn seg_accum_gflops(backend: &'static kernels::Kernels, rows: usize, d: usize, reps: usize) -> f64 {
+    let mut src = vec![0.0f32; rows * d];
+    let mut dst = vec![0.0f32; d];
+    fill(&mut src, 0x2B1F_56DD_4C1A_33D7);
+    let start = Instant::now();
+    for _ in 0..reps {
+        dst.fill(0.0);
+        for r in 0..rows {
+            (backend.seg_accum)(&mut dst, &src[r * d..(r + 1) * d]);
+        }
+    }
+    let flops = (rows * d) as f64 * reps as f64;
+    flops / start.elapsed().as_secs_f64() / 1e9
+}
+
+struct CacheRead {
+    precision: CachePrecision,
+    ns_per_read: f64,
+    bytes: usize,
+}
+
+/// Mean `get` latency and at-rest footprint of a warm cache holding
+/// `entries` codes of width `d` at the given precision.
+fn cache_read_bench(
+    precision: CachePrecision,
+    entries: usize,
+    d: usize,
+    reads: usize,
+) -> CacheRead {
+    let mut cache = EmbeddingCache::with_precision(entries, precision);
+    let mut code = vec![0.0f32; d];
+    for key in 0..entries as u64 {
+        fill(&mut code, 0xC0FF_EE00 + key);
+        cache.insert(key, Tensor::from_vec(code.clone(), [d]));
+    }
+    let bytes = cache.bytes();
+    let mut sink = 0.0f32;
+    let start = Instant::now();
+    for i in 0..reads {
+        let key = ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) % entries as u64;
+        let t = cache.get(key).expect("warm cache read");
+        sink += t.as_slice()[0];
+    }
+    let elapsed = start.elapsed();
+    std::hint::black_box(sink);
+    CacheRead {
+        precision,
+        ns_per_read: elapsed.as_secs_f64() * 1e9 / reads as f64,
+        bytes,
+    }
+}
+
+fn main() {
+    let cli = Cli::parse();
+    header(
+        "kernel_throughput — SIMD dispatch vs scalar reference",
+        &cli,
+    );
+
+    let reps = match cli.scale {
+        Scale::Tiny => 4,
+        Scale::Quick => 12,
+        Scale::Default => 50,
+        Scale::Full => 200,
+    };
+    let scalar = kernels::kernels_for(KernelBackend::Scalar).expect("scalar backend");
+    let dispatched = kernels::active();
+    println!(
+        "dispatched backend: {} (avx2 supported: {}, CCSA_KERNEL={})\n",
+        dispatched.backend,
+        kernels::avx2_supported(),
+        std::env::var("CCSA_KERNEL").unwrap_or_else(|_| "unset".to_string()),
+    );
+
+    // ── matmul at the level-fused encoder shapes ─────────────────────
+    // The fused encoder's hot matmul is [rows, h] × [h, 4h]: all gate
+    // pre-activations for one tree level in one call. rows=256 models a
+    // well-batched level; h is the hidden width.
+    let mut simd_ratios: Vec<f64> = Vec::new();
+    let mut matmul_json: Vec<Json> = Vec::new();
+    println!(
+        "{:<26} {:>14} {:>14} {:>9}",
+        "matmul shape", "scalar GF/s", "dispatch GF/s", "ratio"
+    );
+    rule(68);
+    for &h in &[64usize, 128] {
+        let (m, k, n) = (256, h, 4 * h);
+        let s = matmul_gflops(scalar.matmul, m, k, n, reps);
+        let d = matmul_gflops(dispatched.matmul, m, k, n, reps);
+        let ratio = d / s;
+        simd_ratios.push(ratio);
+        println!(
+            "{:<26} {:>14.2} {:>14.2} {:>8.2}×",
+            format!("[{m},{k}]x[{k},{n}] (h={h})"),
+            s,
+            d,
+            ratio
+        );
+        matmul_json.push(Json::obj(vec![
+            ("m", Json::num(m as f64)),
+            ("k", Json::num(k as f64)),
+            ("n", Json::num(n as f64)),
+            ("scalar_gflops", Json::num(s)),
+            ("dispatched_gflops", Json::num(d)),
+            ("speedup", Json::num(ratio)),
+        ]));
+    }
+    rule(68);
+
+    // ── matvec + segment-sum at serving shapes ───────────────────────
+    // matvec is the single-tree gate projection ([4h, h] · [h]);
+    // segment-sum is the child-state fold (64 children rows of width h).
+    let mut other_json: Vec<(&str, Json)> = Vec::new();
+    for &h in &[64usize, 128] {
+        let mv_s = matvec_gflops(scalar, 4 * h, h, reps * 64);
+        let mv_d = matvec_gflops(dispatched, 4 * h, h, reps * 64);
+        let sa_s = seg_accum_gflops(scalar, 64, h, reps * 64);
+        let sa_d = seg_accum_gflops(dispatched, 64, h, reps * 64);
+        simd_ratios.push(mv_d / mv_s);
+        println!(
+            "matvec [{m},{h}]·[{h}]  scalar {mv_s:.2} vs dispatched {mv_d:.2} GF/s ({:.2}×)",
+            mv_d / mv_s,
+            m = 4 * h,
+        );
+        println!(
+            "segsum 64×[{h}]      scalar {sa_s:.2} vs dispatched {sa_d:.2} GF/s ({:.2}×)",
+            sa_d / sa_s
+        );
+        other_json.push((
+            if h == 64 { "matvec_h64" } else { "matvec_h128" },
+            Json::obj(vec![
+                ("scalar_gflops", Json::num(mv_s)),
+                ("dispatched_gflops", Json::num(mv_d)),
+                ("speedup", Json::num(mv_d / mv_s)),
+            ]),
+        ));
+        other_json.push((
+            if h == 64 {
+                "seg_accum_h64"
+            } else {
+                "seg_accum_h128"
+            },
+            Json::obj(vec![
+                ("scalar_gflops", Json::num(sa_s)),
+                ("dispatched_gflops", Json::num(sa_d)),
+                ("speedup", Json::num(sa_d / sa_s)),
+            ]),
+        ));
+    }
+
+    // The acceptance gate: geometric mean of the dispatched/scalar
+    // ratios, with a small noise floor so a tie (no AVX2 host, or
+    // CCSA_KERNEL=scalar) still passes — "not slower", not "faster".
+    let geomean =
+        (simd_ratios.iter().map(|r| r.ln()).sum::<f64>() / simd_ratios.len() as f64).exp();
+    let simd_pass = geomean >= 0.95;
+    println!("\ndispatched vs scalar geomean: {geomean:.2}×");
+    println!(
+        "simd_not_slower: {}",
+        if simd_pass { "PASS" } else { "FAIL" }
+    );
+
+    // ── prefetch before/after (scalar kernel only) ───────────────────
+    // Same blocked kernel, identical arithmetic, prefetch stripped.
+    // Two regimes: the encoder shape (operands L2-resident — the hint
+    // should be ~free) and a larger-than-L2 shape (streaming A rows —
+    // where the hint can actually pay).
+    let mut prefetch_json: Vec<Json> = Vec::new();
+    println!();
+    for (label, pm, pk, pn, r) in [
+        ("encoder shape", 256usize, 128usize, 512usize, reps),
+        ("streaming shape", 512, 1024, 512, reps.div_ceil(4)),
+    ] {
+        let pre_off = matmul_gflops(scalar_matmul_noprefetch, pm, pk, pn, r);
+        let pre_on = matmul_gflops(scalar.matmul, pm, pk, pn, r);
+        println!(
+            "prefetch {label} (scalar [{pm},{pk}]x[{pk},{pn}]): off {pre_off:.2} → on {pre_on:.2} GF/s ({:.2}×)",
+            pre_on / pre_off
+        );
+        prefetch_json.push(Json::obj(vec![
+            ("shape", Json::str(format!("[{pm},{pk}]x[{pk},{pn}]"))),
+            ("off_gflops", Json::num(pre_off)),
+            ("on_gflops", Json::num(pre_on)),
+            ("speedup", Json::num(pre_on / pre_off)),
+        ]));
+    }
+
+    // ── quantized cache reads ────────────────────────────────────────
+    let (entries, d) = (2048usize, 128usize);
+    let reads = match cli.scale {
+        Scale::Tiny => 20_000,
+        Scale::Quick => 50_000,
+        Scale::Default => 200_000,
+        Scale::Full => 1_000_000,
+    };
+    let cache_runs: Vec<CacheRead> = [
+        CachePrecision::F32,
+        CachePrecision::F16,
+        CachePrecision::Int8,
+    ]
+    .into_iter()
+    .map(|p| cache_read_bench(p, entries, d, reads))
+    .collect();
+    let f32_bytes = cache_runs[0].bytes as f64;
+    let f32_ns = cache_runs[0].ns_per_read;
+    println!("\ncache reads ({entries} codes × {d} dims, {reads} reads):");
+    println!(
+        "{:<10} {:>12} {:>12} {:>16}",
+        "precision", "ns/read", "bytes", "capacity ratio"
+    );
+    rule(54);
+    for r in &cache_runs {
+        println!(
+            "{:<10} {:>12.0} {:>12} {:>15.2}×",
+            r.precision.to_string(),
+            r.ns_per_read,
+            r.bytes,
+            f32_bytes / r.bytes as f64
+        );
+    }
+    rule(54);
+
+    let doc = Json::obj(vec![
+        ("bench", Json::str("kernel_throughput")),
+        (
+            "scale",
+            Json::str(format!("{:?}", cli.scale).to_lowercase()),
+        ),
+        ("seed", Json::num(cli.seed as f64)),
+        (
+            "dispatched_backend",
+            Json::str(dispatched.backend.to_string()),
+        ),
+        ("avx2_supported", Json::Bool(kernels::avx2_supported())),
+        ("matmul", Json::Arr(matmul_json)),
+        (
+            "simd_vs_scalar",
+            Json::obj(
+                other_json
+                    .into_iter()
+                    .chain([("geomean_speedup", Json::num(geomean))])
+                    .collect(),
+            ),
+        ),
+        (
+            "simd_not_slower",
+            Json::str(if simd_pass { "PASS" } else { "FAIL" }),
+        ),
+        ("prefetch", Json::Arr(prefetch_json)),
+        (
+            "cache_reads",
+            Json::Arr(
+                cache_runs
+                    .iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("precision", Json::str(r.precision.to_string())),
+                            ("ns_per_read", Json::num(r.ns_per_read)),
+                            ("bytes", Json::num(r.bytes as f64)),
+                            ("latency_vs_f32", Json::num(r.ns_per_read / f32_ns)),
+                            (
+                                "capacity_ratio_vs_f32",
+                                Json::num(f32_bytes / r.bytes as f64),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let path = "BENCH_kernels.json";
+    std::fs::write(path, format!("{doc}\n")).expect("writing BENCH_kernels.json");
+    println!("\nwrote {path}");
+}

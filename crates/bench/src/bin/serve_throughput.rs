@@ -67,6 +67,7 @@ fn run_engine_mode(
         &ServeConfig {
             cache_capacity: 4096,
             cache_stripes: 0,
+            cache_precision: Default::default(),
             batch: BatchConfig {
                 workers: ccsa_nn::parallel::default_threads(),
                 max_batch,
@@ -263,6 +264,7 @@ fn main() {
         &ServeConfig {
             cache_capacity: 4096,
             cache_stripes: 0,
+            cache_precision: Default::default(),
             batch: BatchConfig {
                 workers: ccsa_nn::parallel::default_threads(),
                 max_batch: 16,

@@ -104,6 +104,7 @@ fn build_engine(layout: &Layout, cache_capacity: usize, workers: usize) -> Arc<S
         &ServeConfig {
             cache_capacity,
             cache_stripes: layout.cache_stripes,
+            cache_precision: Default::default(),
             batch: BatchConfig {
                 workers,
                 max_batch: 8,

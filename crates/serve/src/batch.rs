@@ -1076,8 +1076,12 @@ mod tests {
     fn full_shard_sheds_retryable_requests() {
         // A request that WOULD fit an empty shard but not the current
         // backlog is shed with a retry hint (unlike the never-fits case,
-        // which says "split"). One worker chewing 1-tree batches of
-        // heavy graphs keeps the backlog ≥ 3 long enough to observe.
+        // which says "split"). One worker chews 1-tree batches of heavy
+        // graphs; while ≥ 2 of the 4-job backlog remains, a 3-tree
+        // request cannot fit the capacity-4 shard. On a loaded box the
+        // observer can lose the scheduling race and find the backlog
+        // already drained — re-arm with a fresh backlog instead of
+        // spinning on a depth that will never rise again.
         let model = tiny_serve_model(15);
         let pool = Arc::new(EncodePool::new(&BatchConfig {
             workers: 1,
@@ -1085,18 +1089,40 @@ mod tests {
             sharding: PoolSharding::PerModel,
             shard_capacity: 4,
         }));
-        std::thread::scope(|scope| {
-            let bg_pool = Arc::clone(&pool);
-            let bg_model = Arc::clone(&model);
-            let backlog = heavy_graphs(4);
-            scope.spawn(move || bg_pool.encode(&bg_model, &backlog).unwrap());
-            while pool.queue_depth() < 3 {
-                std::thread::yield_now();
+        let shed = std::thread::scope(|scope| {
+            for _attempt in 0..20 {
+                let bg_pool = Arc::clone(&pool);
+                let bg_model = Arc::clone(&model);
+                let backlog = heavy_graphs(4);
+                let handle = scope.spawn(move || bg_pool.encode(&bg_model, &backlog).unwrap());
+                // Give the background enqueue a bounded window to show
+                // up before probing (never an unbounded spin: on a
+                // 1-core box the worker may drain first and the depth
+                // would then never rise again this attempt).
+                for _ in 0..1000 {
+                    if pool.queue_depth() >= 2 {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                let mut observed = None;
+                if pool.queue_depth() >= 2 {
+                    // An Ok here means the backlog drained between the
+                    // depth check and admission: attempt lost, re-arm.
+                    if let Err(e) = pool.encode(&model, &sample_graphs(3)) {
+                        observed = Some(e);
+                    }
+                }
+                handle.join().unwrap();
+                if observed.is_some() {
+                    return observed;
+                }
             }
-            let err = pool.encode(&model, &sample_graphs(3)).unwrap_err();
-            assert!(err.is_shed(), "{err}");
-            assert!(err.message().contains("retry later"), "got {err}");
+            None
         });
+        let err = shed.expect("never observed a full shard in 20 attempts");
+        assert!(err.is_shed(), "{err}");
+        assert!(err.message().contains("retry later"), "got {err}");
     }
 
     #[test]

@@ -12,6 +12,17 @@
 //! doubly-linked recency list, plus a `HashMap` from key to slab index.
 //! `get`, `insert` and eviction are all O(1).
 //!
+//! # Quantized storage
+//!
+//! At millions of entries the cache is the process's memory bill, and
+//! latent codes are tanh-bounded — ideal for narrow formats. A cache
+//! can be configured ([`CachePrecision`]) to hold codes as f16 bits
+//! (2× capacity per byte) or per-code affine int8 (≈4×): codes are
+//! quantized once on insert ([`StoredCode::encode`]) and dequantized on
+//! every read, so the classifier head always runs in f32. Each stripe
+//! tracks its at-rest payload bytes ([`EmbeddingCache::bytes`]), the
+//! number behind the `ccsa_cache_bytes` gauge.
+//!
 //! # Persistence
 //!
 //! Canonical AST hashes are stable across processes, so a cache can be
@@ -29,7 +40,8 @@
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
-use std::sync::Mutex;
+use std::str::FromStr;
+use std::sync::{Arc, Mutex};
 
 use ccsa_tensor::Tensor;
 
@@ -40,18 +52,290 @@ pub const DEFAULT_CACHE_STRIPES: usize = 16;
 
 /// Magic prefix of a cache snapshot file.
 const SNAPSHOT_MAGIC: &[u8; 4] = b"CCSC";
-/// Snapshot format version.
-const SNAPSHOT_VERSION: u32 = 1;
+/// Current snapshot format version. v1 (f32 only, no precision tag) is
+/// still read; v2 adds one precision byte after the weights digest and
+/// per-precision entry payloads.
+const SNAPSHOT_VERSION: u32 = 2;
 /// Upper bounds on snapshot contents: snapshots may come from disk that
 /// rotted or was tampered with, so implausible sizes are rejected instead
 /// of allocated.
 const MAX_SNAPSHOT_ENTRIES: u32 = 16_000_000;
 const MAX_CODE_LEN: u32 = 1 << 20;
 
+/// How a cache stores latent codes at rest.
+///
+/// Latent codes are tanh-bounded (every element in (-1, 1)), which is
+/// the friendliest possible regime for narrow formats: `F16` keeps
+/// ~3 decimal digits (max element error 2⁻¹¹ on that range, half the
+/// memory), `Int8` keeps ~2 digits (max element error `scale/2` with a
+/// per-code affine scale, a quarter of the memory). `F32` is lossless.
+/// The classifier head always runs in f32 — narrow codes are
+/// dequantized on read — so quantization trades a bounded embedding
+/// perturbation for 2–4× effective cache capacity at the same byte
+/// budget. `F16` additionally preserves NaN/∞; `Int8` assumes finite
+/// codes (non-finite elements clamp instead of poisoning the code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CachePrecision {
+    /// Full-precision storage (lossless; 4 bytes/element).
+    #[default]
+    F32,
+    /// IEEE-754 binary16 bits (2 bytes/element, round-to-nearest-even).
+    F16,
+    /// Per-code affine u8 quantization (1 byte/element + 8 bytes of
+    /// scale/offset per code).
+    Int8,
+}
+
+impl CachePrecision {
+    /// Storage bytes per code element (excluding per-code constants).
+    pub fn bytes_per_element(self) -> usize {
+        match self {
+            CachePrecision::F32 => 4,
+            CachePrecision::F16 => 2,
+            CachePrecision::Int8 => 1,
+        }
+    }
+
+    fn tag_byte(self) -> u8 {
+        match self {
+            CachePrecision::F32 => 0,
+            CachePrecision::F16 => 1,
+            CachePrecision::Int8 => 2,
+        }
+    }
+
+    fn from_tag_byte(tag: u8) -> Option<CachePrecision> {
+        match tag {
+            0 => Some(CachePrecision::F32),
+            1 => Some(CachePrecision::F16),
+            2 => Some(CachePrecision::Int8),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for CachePrecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CachePrecision::F32 => "f32",
+            CachePrecision::F16 => "f16",
+            CachePrecision::Int8 => "int8",
+        })
+    }
+}
+
+impl FromStr for CachePrecision {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<CachePrecision, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "f32" | "fp32" => Ok(CachePrecision::F32),
+            "f16" | "fp16" | "half" => Ok(CachePrecision::F16),
+            "int8" | "i8" | "u8" => Ok(CachePrecision::Int8),
+            other => Err(format!(
+                "unknown cache precision '{other}' (expected f32, f16 or int8)"
+            )),
+        }
+    }
+}
+
+/// f32 → IEEE-754 binary16 bits, round-to-nearest-even (hand-rolled:
+/// the build is hermetic, so no `half` crate). Overflow goes to ±∞,
+/// NaN stays NaN (quieted, payload truncated), subnormals are exact.
+pub fn f32_to_f16_bits(value: f32) -> u16 {
+    use std::cmp::Ordering;
+    let bits = value.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let abs = bits & 0x7fff_ffff;
+    if abs >= 0x7f80_0000 {
+        // ∞ or NaN.
+        return if abs > 0x7f80_0000 {
+            sign | 0x7e00
+        } else {
+            sign | 0x7c00
+        };
+    }
+    let exp = ((abs >> 23) as i32) - 127 + 15;
+    let mant = abs & 0x007f_ffff;
+    if exp >= 31 {
+        return sign | 0x7c00; // overflow → ±∞
+    }
+    if exp <= 0 {
+        if exp < -10 {
+            return sign; // underflow → ±0
+        }
+        // Subnormal result: implicit leading 1, shifted into 10 bits.
+        let m = mant | 0x0080_0000;
+        let shift = (14 - exp) as u32;
+        let half = m >> shift;
+        let rem = m & ((1u32 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let rounded = match rem.cmp(&halfway) {
+            Ordering::Greater => half + 1,
+            Ordering::Equal => half + (half & 1),
+            Ordering::Less => half,
+        };
+        return sign | rounded as u16;
+    }
+    let mut h = ((exp as u32) << 10) | (mant >> 13);
+    match (mant & 0x1fff).cmp(&0x1000) {
+        // A mantissa carry rolls into the exponent, which is exactly
+        // the right behavior (including rounding up to ∞).
+        Ordering::Greater => h += 1,
+        Ordering::Equal => h += h & 1,
+        Ordering::Less => {}
+    }
+    sign | h as u16
+}
+
+/// IEEE-754 binary16 bits → f32 (exact: every f16 value is
+/// representable in f32).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = (h >> 10) & 0x1f;
+    let mant = (h & 0x3ff) as u32;
+    match exp {
+        0 => {
+            // ±0 or subnormal: mant × 2⁻²⁴, exact in f32.
+            let v = mant as f32 * f32::from_bits(0x3380_0000);
+            if sign != 0 {
+                -v
+            } else {
+                v
+            }
+        }
+        31 => f32::from_bits(sign | 0x7f80_0000 | (mant << 13)),
+        _ => f32::from_bits(sign | ((exp as u32 + 112) << 23) | (mant << 13)),
+    }
+}
+
+/// A latent code at rest, in one of the [`CachePrecision`] formats.
+///
+/// Narrow variants share their payload behind an [`Arc`] so cloning an
+/// entry out of the cache (get, snapshot extraction) never copies the
+/// quantized bytes. Snapshots store this exact representation, so a
+/// quantize → snapshot → load round-trip is bit-exact (no re-quantize
+/// drift).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoredCode {
+    /// Lossless f32 (the tensor's buffer is already `Arc`-backed).
+    F32(Tensor),
+    /// binary16 bits per element.
+    F16(Arc<Vec<u16>>),
+    /// Affine u8: `value = min + q · scale`.
+    Int8 {
+        /// Quantized elements.
+        q: Arc<Vec<u8>>,
+        /// Step between adjacent quantization levels.
+        scale: f32,
+        /// Value of level 0.
+        min: f32,
+    },
+}
+
+impl StoredCode {
+    /// Quantizes a code for storage at `precision`.
+    pub fn encode(code: &Tensor, precision: CachePrecision) -> StoredCode {
+        match precision {
+            CachePrecision::F32 => StoredCode::F32(code.clone()),
+            CachePrecision::F16 => StoredCode::F16(Arc::new(
+                code.as_slice()
+                    .iter()
+                    .map(|&v| f32_to_f16_bits(v))
+                    .collect(),
+            )),
+            CachePrecision::Int8 => {
+                let data = code.as_slice();
+                // f32::min/max skip NaN operands, so a poisoned element
+                // degrades to a clamped level instead of a NaN range.
+                let mut lo = f32::INFINITY;
+                let mut hi = f32::NEG_INFINITY;
+                for &v in data {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+                let (min, scale) = if lo.is_finite() && hi.is_finite() && hi > lo {
+                    (lo, (hi - lo) / 255.0)
+                } else if lo.is_finite() {
+                    (lo, 0.0) // constant code (or empty): one level
+                } else {
+                    (0.0, 0.0)
+                };
+                let q = data
+                    .iter()
+                    .map(|&v| {
+                        if scale == 0.0 {
+                            0
+                        } else {
+                            // NaN clamps to 0.0 (NaN comparisons are
+                            // false), then casts to level 0.
+                            ((v - min) / scale).round().clamp(0.0, 255.0) as u8
+                        }
+                    })
+                    .collect();
+                StoredCode::Int8 {
+                    q: Arc::new(q),
+                    scale,
+                    min,
+                }
+            }
+        }
+    }
+
+    /// Dequantizes back to an f32 tensor for the classifier head.
+    pub fn decode(&self) -> Tensor {
+        match self {
+            StoredCode::F32(t) => t.clone(),
+            StoredCode::F16(bits) => Tensor::from_vec(
+                bits.iter().map(|&h| f16_bits_to_f32(h)).collect(),
+                [bits.len()],
+            ),
+            StoredCode::Int8 { q, scale, min } => Tensor::from_vec(
+                q.iter().map(|&level| min + level as f32 * scale).collect(),
+                [q.len()],
+            ),
+        }
+    }
+
+    /// Which precision this payload is stored at.
+    pub fn precision(&self) -> CachePrecision {
+        match self {
+            StoredCode::F32(_) => CachePrecision::F32,
+            StoredCode::F16(_) => CachePrecision::F16,
+            StoredCode::Int8 { .. } => CachePrecision::Int8,
+        }
+    }
+
+    /// Element count of the stored code.
+    pub fn len(&self) -> usize {
+        match self {
+            StoredCode::F32(t) => t.len(),
+            StoredCode::F16(bits) => bits.len(),
+            StoredCode::Int8 { q, .. } => q.len(),
+        }
+    }
+
+    /// `true` when the code has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Payload bytes this code occupies at rest (the number the
+    /// `ccsa_cache_bytes` gauge sums; per-entry bookkeeping overhead is
+    /// identical across precisions and excluded).
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            StoredCode::F32(t) => t.len() * 4,
+            StoredCode::F16(bits) => bits.len() * 2,
+            StoredCode::Int8 { q, .. } => q.len() + 8,
+        }
+    }
+}
+
 struct Entry {
     key: u64,
     tag: u64,
-    code: Tensor,
+    code: StoredCode,
     prev: usize,
     next: usize,
 }
@@ -85,27 +369,50 @@ impl CacheStats {
 /// A least-recently-used map from canonical AST hash to latent code.
 pub struct EmbeddingCache {
     capacity: usize,
+    precision: CachePrecision,
     map: HashMap<u64, usize>,
     slab: Vec<Entry>,
     free: Vec<usize>,
     head: usize, // most recently used
     tail: usize, // least recently used
     stats: CacheStats,
+    bytes: usize, // payload bytes at rest, maintained incrementally
 }
 
 impl EmbeddingCache {
-    /// A cache holding at most `capacity` codes. Capacity 0 disables
-    /// caching (every lookup misses, nothing is stored).
+    /// A cache holding at most `capacity` codes at full (f32)
+    /// precision. Capacity 0 disables caching (every lookup misses,
+    /// nothing is stored).
     pub fn new(capacity: usize) -> EmbeddingCache {
+        EmbeddingCache::with_precision(capacity, CachePrecision::F32)
+    }
+
+    /// A cache holding at most `capacity` codes stored at `precision`
+    /// (quantized on insert, dequantized on read).
+    pub fn with_precision(capacity: usize, precision: CachePrecision) -> EmbeddingCache {
         EmbeddingCache {
             capacity,
+            precision,
             map: HashMap::with_capacity(capacity.min(1 << 20)),
             slab: Vec::new(),
             free: Vec::new(),
             head: NIL,
             tail: NIL,
             stats: CacheStats::default(),
+            bytes: 0,
         }
+    }
+
+    /// The storage precision codes are held at.
+    pub fn precision(&self) -> CachePrecision {
+        self.precision
+    }
+
+    /// Payload bytes currently at rest (see
+    /// [`StoredCode::payload_bytes`]). O(1): maintained on every
+    /// insert, refresh, eviction and clear.
+    pub fn bytes(&self) -> usize {
+        self.bytes
     }
 
     /// Number of cached codes.
@@ -136,16 +443,19 @@ impl EmbeddingCache {
         self.free.clear();
         self.head = NIL;
         self.tail = NIL;
+        self.bytes = 0;
     }
 
     /// Looks a code up, promoting the entry to most-recently-used.
+    /// Quantized entries are dequantized here — the classifier head
+    /// always sees f32.
     pub fn get(&mut self, key: u64) -> Option<Tensor> {
         match self.map.get(&key).copied() {
             Some(ix) => {
                 self.stats.hits += 1;
                 self.detach(ix);
                 self.attach_front(ix);
-                Some(self.slab[ix].code.clone())
+                Some(self.slab[ix].code.decode())
             }
             None => {
                 self.stats.misses += 1;
@@ -155,9 +465,9 @@ impl EmbeddingCache {
     }
 
     /// Peeks without touching recency or counters (used by tests and
-    /// diagnostics).
-    pub fn peek(&self, key: u64) -> Option<&Tensor> {
-        self.map.get(&key).map(|&ix| &self.slab[ix].code)
+    /// diagnostics). Dequantizes like [`EmbeddingCache::get`].
+    pub fn peek(&self, key: u64) -> Option<Tensor> {
+        self.map.get(&key).map(|&ix| self.slab[ix].code.decode())
     }
 
     /// Inserts (or refreshes) a code, evicting the least-recently-used
@@ -171,13 +481,31 @@ impl EmbeddingCache {
     /// Inserts (or refreshes) a code under an owner `tag` — typically the
     /// registration uid of the model that produced it — so
     /// [`EmbeddingCache::snapshot_to`] can later spill exactly that
-    /// model's entries.
+    /// model's entries. The code is quantized to the cache's precision
+    /// here, on the insert path, so reads only ever pay dequantization.
     pub fn insert_tagged(&mut self, key: u64, tag: u64, code: Tensor) {
+        self.insert_stored(key, tag, StoredCode::encode(&code, self.precision));
+    }
+
+    /// Inserts an already-encoded payload (snapshot warm path: the
+    /// stored bytes are inserted exactly, no re-quantization drift).
+    /// Callers must match the cache precision — [`EmbeddingCache::
+    /// load_from`] refuses mismatched snapshots before getting here —
+    /// so a stray mismatched payload is re-encoded through f32 rather
+    /// than stored heterogeneously.
+    fn insert_stored(&mut self, key: u64, tag: u64, code: StoredCode) {
         if self.capacity == 0 {
             return;
         }
+        let code = if code.precision() == self.precision {
+            code
+        } else {
+            StoredCode::encode(&code.decode(), self.precision)
+        };
+        self.bytes += code.payload_bytes();
         if let Some(&ix) = self.map.get(&key) {
             // Refresh: replace payload and owner, promote.
+            self.bytes -= self.slab[ix].code.payload_bytes();
             self.slab[ix].code = code;
             self.slab[ix].tag = tag;
             self.detach(ix);
@@ -189,6 +517,7 @@ impl EmbeddingCache {
             debug_assert_ne!(lru, NIL);
             self.detach(lru);
             self.map.remove(&self.slab[lru].key);
+            self.bytes -= self.slab[lru].code.payload_bytes();
             self.free.push(lru);
             self.stats.evictions += 1;
         }
@@ -239,8 +568,10 @@ impl EmbeddingCache {
     /// This is the cheap, in-memory half of snapshotting: callers that
     /// hold this cache behind a lock extract under the lock and hand the
     /// pairs to [`write_snapshot`] *after* releasing it, so disk I/O
-    /// never stalls serving traffic.
-    pub fn tagged_entries(&self, tag: u64, salt: u64) -> Vec<(u64, Tensor)> {
+    /// never stalls serving traffic. Entries are extracted in their
+    /// stored (possibly quantized) representation — cloning is O(1) per
+    /// entry, and the snapshot preserves the exact at-rest bytes.
+    pub fn tagged_entries(&self, tag: u64, salt: u64) -> Vec<(u64, StoredCode)> {
         let mut entries = Vec::new();
         let mut ix = self.tail;
         while ix != NIL {
@@ -269,7 +600,7 @@ impl EmbeddingCache {
         salt: u64,
         digest: u64,
     ) -> Result<usize, SnapshotError> {
-        write_snapshot(w, digest, &self.tagged_entries(tag, salt))
+        write_snapshot(w, digest, self.precision, &self.tagged_entries(tag, salt))
     }
 
     /// Loads a snapshot written by [`EmbeddingCache::snapshot_to`],
@@ -278,14 +609,20 @@ impl EmbeddingCache {
     /// (capacity eviction applies as usual, so a small cache keeps only
     /// the most-recently-used suffix of a large snapshot).
     ///
+    /// The snapshot's precision must match the cache's: codes are
+    /// inserted byte-exact, and silently re-quantizing (f32 → int8) or
+    /// pretending to un-quantize (int8 → f32) would change serving
+    /// behavior behind the operator's back. Cross-precision warming
+    /// requires the explicit [`transcode_snapshot`] step.
+    ///
     /// Loading is all-or-nothing: a snapshot that fails to read — I/O
-    /// error, corruption, or a `expected_digest` mismatch (codes from
-    /// different weights) — inserts nothing.
+    /// error, corruption, an `expected_digest` mismatch (codes from
+    /// different weights), or a precision mismatch — inserts nothing.
     ///
     /// # Errors
     ///
-    /// Returns [`SnapshotError`] on I/O failure, malformed content, or a
-    /// weights-digest mismatch.
+    /// Returns [`SnapshotError`] on I/O failure, malformed content, a
+    /// weights-digest mismatch, or a precision mismatch.
     pub fn load_from<R: Read>(
         &mut self,
         r: R,
@@ -293,10 +630,16 @@ impl EmbeddingCache {
         salt: u64,
         expected_digest: u64,
     ) -> Result<usize, SnapshotError> {
-        let entries = read_snapshot(r, expected_digest)?;
+        let (precision, entries) = read_snapshot(r, expected_digest)?;
+        if precision != self.precision {
+            return Err(SnapshotError::PrecisionMismatch {
+                snapshot: precision,
+                cache: self.precision,
+            });
+        }
         let count = entries.len();
         for (canonical, code) in entries {
-            self.insert_tagged(canonical ^ salt, tag, code);
+            self.insert_stored(canonical ^ salt, tag, code);
         }
         Ok(count)
     }
@@ -355,13 +698,25 @@ impl EmbeddingCache {
 pub struct ShardedCache {
     stripes: Vec<Mutex<EmbeddingCache>>,
     capacity: usize,
+    precision: CachePrecision,
 }
 
 impl ShardedCache {
     /// A cache of `capacity` total codes split over `stripes` stripes
-    /// (0 stripes → [`DEFAULT_CACHE_STRIPES`]). Capacity 0 disables
-    /// caching entirely, as with [`EmbeddingCache::new`].
+    /// (0 stripes → [`DEFAULT_CACHE_STRIPES`]) at full (f32) precision.
+    /// Capacity 0 disables caching entirely, as with
+    /// [`EmbeddingCache::new`].
     pub fn new(capacity: usize, stripes: usize) -> ShardedCache {
+        ShardedCache::with_precision(capacity, stripes, CachePrecision::F32)
+    }
+
+    /// Like [`ShardedCache::new`], with codes stored at `precision`
+    /// (every stripe quantizes on insert, dequantizes on read).
+    pub fn with_precision(
+        capacity: usize,
+        stripes: usize,
+        precision: CachePrecision,
+    ) -> ShardedCache {
         let requested = if stripes == 0 {
             DEFAULT_CACHE_STRIPES
         } else {
@@ -385,11 +740,26 @@ impl ShardedCache {
                     } else {
                         capacity / n + usize::from(i < capacity % n)
                     };
-                    Mutex::new(EmbeddingCache::new(per))
+                    Mutex::new(EmbeddingCache::with_precision(per, precision))
                 })
                 .collect(),
             capacity,
+            precision,
         }
+    }
+
+    /// The storage precision every stripe holds codes at.
+    pub fn precision(&self) -> CachePrecision {
+        self.precision
+    }
+
+    /// Total payload bytes at rest across all stripes. Each stripe is
+    /// locked once, independently (its counter is O(1)).
+    pub fn bytes(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("cache stripe poisoned").bytes())
+            .sum()
     }
 
     fn stripe_for(&self, key: u64) -> &Mutex<EmbeddingCache> {
@@ -433,17 +803,17 @@ impl ShardedCache {
         total
     }
 
-    /// Per-stripe counter snapshots plus current entry counts, in
-    /// stripe order — the observability surface for skew diagnosis
-    /// (one hot stripe shows up here long before the aggregate
-    /// hit-rate moves). Each stripe is locked once, independently; no
-    /// cross-stripe lock is ever held.
-    pub fn stripe_stats(&self) -> Vec<(CacheStats, usize)> {
+    /// Per-stripe counter snapshots plus current entry counts and
+    /// payload bytes, in stripe order — the observability surface for
+    /// skew diagnosis (one hot stripe shows up here long before the
+    /// aggregate hit-rate moves). Each stripe is locked once,
+    /// independently; no cross-stripe lock is ever held.
+    pub fn stripe_stats(&self) -> Vec<(CacheStats, usize, usize)> {
         self.stripes
             .iter()
             .map(|stripe| {
                 let guard = stripe.lock().expect("cache stripe poisoned");
-                (guard.stats(), guard.len())
+                (guard.stats(), guard.len(), guard.bytes())
             })
             .collect()
     }
@@ -470,7 +840,6 @@ impl ShardedCache {
             .lock()
             .expect("cache stripe poisoned")
             .peek(key)
-            .cloned()
     }
 
     /// Inserts (or refreshes) a code under an owner `tag` (see
@@ -487,7 +856,7 @@ impl ShardedCache {
     /// (within a stripe: least- to most-recently used, like
     /// [`EmbeddingCache::tagged_entries`]). Locks one stripe at a time,
     /// so a live snapshot never stalls the whole cache.
-    pub fn tagged_entries(&self, tag: u64, salt: u64) -> Vec<(u64, Tensor)> {
+    pub fn tagged_entries(&self, tag: u64, salt: u64) -> Vec<(u64, StoredCode)> {
         let mut entries = Vec::new();
         for stripe in &self.stripes {
             entries.extend(
@@ -502,10 +871,16 @@ impl ShardedCache {
 
     /// Inserts already-read snapshot entries, routing each key to its
     /// stripe. The shared loading half of [`ShardedCache::load_from`]
-    /// and the engine's warm path.
-    pub fn insert_entries(&self, entries: Vec<(u64, Tensor)>, tag: u64, salt: u64) {
+    /// and the engine's warm path. Payloads matching the cache
+    /// precision are stored byte-exact; mismatches are re-encoded
+    /// through f32 (prefer [`transcode_snapshot`] + a matching load,
+    /// which makes the conversion explicit).
+    pub fn insert_entries(&self, entries: Vec<(u64, StoredCode)>, tag: u64, salt: u64) {
         for (canonical, code) in entries {
-            self.insert_tagged(canonical ^ salt, tag, code);
+            self.stripe_for(canonical ^ salt)
+                .lock()
+                .expect("cache stripe poisoned")
+                .insert_stored(canonical ^ salt, tag, code);
         }
     }
 
@@ -523,16 +898,20 @@ impl ShardedCache {
         salt: u64,
         digest: u64,
     ) -> Result<usize, SnapshotError> {
-        write_snapshot(w, digest, &self.tagged_entries(tag, salt))
+        write_snapshot(w, digest, self.precision, &self.tagged_entries(tag, salt))
     }
 
     /// Loads a CCSC snapshot (written by either cache type, with any
-    /// stripe count), re-salting and re-striping every entry.
+    /// stripe count), re-salting and re-striping every entry. The
+    /// snapshot precision must match the cache precision (see
+    /// [`EmbeddingCache::load_from`]); use [`transcode_snapshot`] for
+    /// explicit conversion.
     ///
     /// # Errors
     ///
-    /// Returns [`SnapshotError`] on I/O failure, malformed content, or
-    /// a weights-digest mismatch; a failed load inserts nothing.
+    /// Returns [`SnapshotError`] on I/O failure, malformed content, a
+    /// weights-digest mismatch, or a precision mismatch; a failed load
+    /// inserts nothing.
     pub fn load_from<R: Read>(
         &self,
         r: R,
@@ -540,14 +919,21 @@ impl ShardedCache {
         salt: u64,
         expected_digest: u64,
     ) -> Result<usize, SnapshotError> {
-        let entries = read_snapshot(r, expected_digest)?;
+        let (precision, entries) = read_snapshot(r, expected_digest)?;
+        if precision != self.precision {
+            return Err(SnapshotError::PrecisionMismatch {
+                snapshot: precision,
+                cache: self.precision,
+            });
+        }
         let count = entries.len();
         self.insert_entries(entries, tag, salt);
         Ok(count)
     }
 }
 
-/// Writes (canonical hash, latent code) pairs as a snapshot document.
+/// Writes (canonical hash, stored code) pairs as a snapshot document
+/// at `precision` (which every payload must already be encoded at).
 /// `digest` identifies the weights that produced the codes (see
 /// [`SnapshotError::WrongModel`]). Returns the number of entries
 /// written.
@@ -558,11 +944,13 @@ impl ShardedCache {
 pub fn write_snapshot<W: Write>(
     mut w: W,
     digest: u64,
-    entries: &[(u64, Tensor)],
+    precision: CachePrecision,
+    entries: &[(u64, StoredCode)],
 ) -> Result<usize, SnapshotError> {
     w.write_all(SNAPSHOT_MAGIC)?;
     w.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
     w.write_all(&digest.to_le_bytes())?;
+    w.write_all(&[precision.tag_byte()])?;
     w.write_all(&(entries.len() as u32).to_le_bytes())?;
     // Entry payloads are framed into one buffer per entry (bulk writes,
     // not one syscall-layer call per float) and run through a checksum:
@@ -571,12 +959,26 @@ pub fn write_snapshot<W: Write>(
     let mut checksum = crate::hash::Fnv1a::new();
     let mut frame: Vec<u8> = Vec::new();
     for (canonical, code) in entries {
+        debug_assert_eq!(code.precision(), precision, "heterogeneous snapshot");
         frame.clear();
         frame.extend_from_slice(&canonical.to_le_bytes());
-        let data = code.as_slice();
-        frame.extend_from_slice(&(data.len() as u32).to_le_bytes());
-        for &v in data {
-            frame.extend_from_slice(&v.to_le_bytes());
+        frame.extend_from_slice(&(code.len() as u32).to_le_bytes());
+        match code {
+            StoredCode::F32(t) => {
+                for &v in t.as_slice() {
+                    frame.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            StoredCode::F16(bits) => {
+                for &h in bits.iter() {
+                    frame.extend_from_slice(&h.to_le_bytes());
+                }
+            }
+            StoredCode::Int8 { q, scale, min } => {
+                frame.extend_from_slice(&scale.to_le_bytes());
+                frame.extend_from_slice(&min.to_le_bytes());
+                frame.extend_from_slice(q);
+            }
         }
         checksum.write(&frame);
         w.write_all(&frame)?;
@@ -585,18 +987,42 @@ pub fn write_snapshot<W: Write>(
     Ok(entries.len())
 }
 
-/// Reads a snapshot document back into (canonical hash, latent code)
-/// pairs, verifying the stored weights digest against
-/// `expected_digest`.
+/// Reads a snapshot document back into its precision and (canonical
+/// hash, stored code) pairs, verifying the stored weights digest
+/// against `expected_digest`. v1 documents (written before the
+/// precision tag existed) read as [`CachePrecision::F32`].
 ///
 /// # Errors
 ///
 /// Returns [`SnapshotError`] on I/O failure, malformed content, or a
 /// digest mismatch.
 pub fn read_snapshot<R: Read>(
-    mut r: R,
+    r: R,
     expected_digest: u64,
-) -> Result<Vec<(u64, Tensor)>, SnapshotError> {
+) -> Result<(CachePrecision, Vec<(u64, StoredCode)>), SnapshotError> {
+    let (_, precision, entries) = read_snapshot_impl(r, Some(expected_digest))?;
+    Ok((precision, entries))
+}
+
+/// A fully decoded snapshot: (weights digest, storage precision,
+/// `(canonical hash, stored code)` entries).
+pub type SnapshotContents = (u64, CachePrecision, Vec<(u64, StoredCode)>);
+
+/// Reads a snapshot document without a digest expectation, returning
+/// the stored digest alongside the contents — the read half of
+/// [`transcode_snapshot`], which must preserve the original digest.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError`] on I/O failure or malformed content.
+pub fn read_snapshot_any<R: Read>(r: R) -> Result<SnapshotContents, SnapshotError> {
+    read_snapshot_impl(r, None)
+}
+
+fn read_snapshot_impl<R: Read>(
+    mut r: R,
+    expected_digest: Option<u64>,
+) -> Result<SnapshotContents, SnapshotError> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != SNAPSHOT_MAGIC {
@@ -605,7 +1031,7 @@ pub fn read_snapshot<R: Read>(
         ));
     }
     let version = read_u32(&mut r)?;
-    if version != SNAPSHOT_VERSION {
+    if version == 0 || version > SNAPSHOT_VERSION {
         return Err(SnapshotError::Corrupt(format!(
             "unsupported snapshot version {version}"
         )));
@@ -613,12 +1039,20 @@ pub fn read_snapshot<R: Read>(
     let mut digest = [0u8; 8];
     r.read_exact(&mut digest)?;
     let found = u64::from_le_bytes(digest);
-    if found != expected_digest {
-        return Err(SnapshotError::WrongModel {
-            expected: expected_digest,
-            found,
-        });
+    if let Some(expected) = expected_digest {
+        if found != expected {
+            return Err(SnapshotError::WrongModel { expected, found });
+        }
     }
+    // v1 predates quantized storage: no precision byte, f32 payloads.
+    let precision = if version == 1 {
+        CachePrecision::F32
+    } else {
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        CachePrecision::from_tag_byte(tag[0])
+            .ok_or_else(|| SnapshotError::Corrupt(format!("unknown precision tag {}", tag[0])))?
+    };
     let count = read_u32(&mut r)?;
     if count > MAX_SNAPSHOT_ENTRIES {
         return Err(SnapshotError::Corrupt(format!(
@@ -638,14 +1072,45 @@ pub fn read_snapshot<R: Read>(
                 "implausible code length {len}"
             )));
         }
-        let mut raw = vec![0u8; len as usize * 4];
-        r.read_exact(&mut raw)?;
-        checksum.write(&raw);
-        let data: Vec<f32> = raw
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
-            .collect();
-        entries.push((canonical, Tensor::from_vec(data, [len as usize])));
+        let len = len as usize;
+        let code = match precision {
+            CachePrecision::F32 => {
+                let mut raw = vec![0u8; len * 4];
+                r.read_exact(&mut raw)?;
+                checksum.write(&raw);
+                let data: Vec<f32> = raw
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+                    .collect();
+                StoredCode::F32(Tensor::from_vec(data, [len]))
+            }
+            CachePrecision::F16 => {
+                let mut raw = vec![0u8; len * 2];
+                r.read_exact(&mut raw)?;
+                checksum.write(&raw);
+                let bits: Vec<u16> = raw
+                    .chunks_exact(2)
+                    .map(|c| u16::from_le_bytes(c.try_into().expect("2-byte chunk")))
+                    .collect();
+                StoredCode::F16(Arc::new(bits))
+            }
+            CachePrecision::Int8 => {
+                let mut params = [0u8; 8];
+                r.read_exact(&mut params)?;
+                checksum.write(&params);
+                let scale = f32::from_le_bytes(params[..4].try_into().expect("4-byte slice"));
+                let min = f32::from_le_bytes(params[4..].try_into().expect("4-byte slice"));
+                let mut q = vec![0u8; len];
+                r.read_exact(&mut q)?;
+                checksum.write(&q);
+                StoredCode::Int8 {
+                    q: Arc::new(q),
+                    scale,
+                    min,
+                }
+            }
+        };
+        entries.push((canonical, code));
     }
     let mut stored = [0u8; 8];
     r.read_exact(&mut stored)?;
@@ -654,7 +1119,31 @@ pub fn read_snapshot<R: Read>(
             "body checksum mismatch (bit rot or tampering)".to_string(),
         ));
     }
-    Ok(entries)
+    Ok((found, precision, entries))
+}
+
+/// Explicitly converts a snapshot to `target` precision, preserving
+/// the stored weights digest — the only supported way to warm a cache
+/// whose precision differs from the snapshot's. The conversion routes
+/// through f32, so narrowing (f32 → f16/int8) loses exactly the
+/// quantization error and widening (int8 → f32) recovers only the
+/// dequantized values, not the originals. Returns the entry count.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError`] on read failure, malformed content, or
+/// writer I/O failure.
+pub fn transcode_snapshot<R: Read, W: Write>(
+    r: R,
+    w: W,
+    target: CachePrecision,
+) -> Result<usize, SnapshotError> {
+    let (digest, _, entries) = read_snapshot_any(r)?;
+    let converted: Vec<(u64, StoredCode)> = entries
+        .into_iter()
+        .map(|(canonical, code)| (canonical, StoredCode::encode(&code.decode(), target)))
+        .collect();
+    write_snapshot(w, digest, target, &converted)
 }
 
 fn read_u32<R: Read>(r: &mut R) -> Result<u32, SnapshotError> {
@@ -678,6 +1167,16 @@ pub enum SnapshotError {
         /// The digest stored in the snapshot.
         found: u64,
     },
+    /// The snapshot stores codes at a different precision than the
+    /// cache being warmed — loading would either silently re-quantize
+    /// or silently widen; use [`transcode_snapshot`] to convert
+    /// explicitly.
+    PrecisionMismatch {
+        /// Precision stored in the snapshot.
+        snapshot: CachePrecision,
+        /// Precision of the cache refusing it.
+        cache: CachePrecision,
+    },
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -690,6 +1189,12 @@ impl std::fmt::Display for SnapshotError {
                 "cache snapshot was written under different model weights \
                  (digest {found:016x}, expected {expected:016x})"
             ),
+            SnapshotError::PrecisionMismatch { snapshot, cache } => write!(
+                f,
+                "cache snapshot stores {snapshot} codes but the cache is \
+                 configured for {cache}; transcode the snapshot explicitly \
+                 to warm across precisions"
+            ),
         }
     }
 }
@@ -698,7 +1203,9 @@ impl std::error::Error for SnapshotError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SnapshotError::Io(e) => Some(e),
-            SnapshotError::Corrupt(_) | SnapshotError::WrongModel { .. } => None,
+            SnapshotError::Corrupt(_)
+            | SnapshotError::WrongModel { .. }
+            | SnapshotError::PrecisionMismatch { .. } => None,
         }
     }
 }
@@ -1081,5 +1588,337 @@ mod tests {
         assert_eq!(c.stats().hits, 1);
         c.insert(2, code(2.0));
         assert_eq!(c.get(2).unwrap().as_slice(), &[2.0, 3.0]);
+    }
+
+    // ---- quantized storage ------------------------------------------
+
+    #[test]
+    fn f16_bit_conversion_edge_cases() {
+        // Values exactly representable in binary16 survive unchanged.
+        for v in [
+            0.0f32,
+            1.0,
+            -1.0,
+            0.5,
+            2.0,
+            1.0 - 2f32.powi(-11),
+            65504.0,
+            -65504.0,
+        ] {
+            assert_eq!(f16_bits_to_f32(f32_to_f16_bits(v)), v, "exact value {v}");
+        }
+        // Signed zero keeps its sign bit.
+        assert_eq!(f32_to_f16_bits(-0.0), 0x8000);
+        // Round-to-nearest-even: 1 + 2⁻¹¹ sits exactly halfway between
+        // 1.0 and 1 + 2⁻¹⁰; the tie goes to the even mantissa (1.0).
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1.0 + 2f32.powi(-11))), 1.0);
+        // Just above the tie rounds up.
+        assert_eq!(
+            f16_bits_to_f32(f32_to_f16_bits(1.0 + 2f32.powi(-11) + 2f32.powi(-13))),
+            1.0 + 2f32.powi(-10)
+        );
+        // Subnormals (multiples of 2⁻²⁴ below 2⁻¹⁴) convert exactly.
+        let sub = 3.0 * 2f32.powi(-24);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(sub)), sub);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(-sub)), -sub);
+        // Underflow flushes to zero, overflow saturates to ±∞.
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1e-10)), 0.0);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1e9)), f32::INFINITY);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(-1e9)), f32::NEG_INFINITY);
+        // Specials survive; NaN is quieted but stays NaN.
+        assert_eq!(f32_to_f16_bits(f32::INFINITY), 0x7c00);
+        assert_eq!(f32_to_f16_bits(f32::NEG_INFINITY), 0xfc00);
+        assert_eq!(f32_to_f16_bits(f32::NAN) & 0x7fff, 0x7e00);
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn stored_code_quantization_error_is_bounded() {
+        // A spread of tanh-range values, the regime cached codes live in.
+        let n = 257usize;
+        let vals: Vec<f32> = (0..n)
+            .map(|i| {
+                let t = i as f32 / (n - 1) as f32;
+                (2.0 * (2.0 * t - 1.0) + (i as f32 * 0.37).sin() * 0.01).tanh()
+            })
+            .collect();
+        let t = Tensor::from_vec(vals.clone(), [n]);
+
+        // f16: relative error ≤ 2⁻¹¹ (half-ulp), plus the subnormal floor.
+        let f16 = StoredCode::encode(&t, CachePrecision::F16);
+        assert_eq!(f16.precision(), CachePrecision::F16);
+        assert_eq!(f16.payload_bytes(), n * 2);
+        for (&v, &d) in vals.iter().zip(f16.decode().as_slice()) {
+            assert!(
+                (v - d).abs() <= v.abs() * 2f32.powi(-11) + 2f32.powi(-24),
+                "f16 error for {v}: got {d}"
+            );
+        }
+
+        // int8: affine error ≤ scale/2 with scale = (max − min)/255.
+        let int8 = StoredCode::encode(&t, CachePrecision::Int8);
+        assert_eq!(int8.precision(), CachePrecision::Int8);
+        assert_eq!(int8.payload_bytes(), n + 8);
+        let (lo, hi) = vals
+            .iter()
+            .fold((f32::MAX, f32::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        let scale = (hi - lo) / 255.0;
+        for (&v, &d) in vals.iter().zip(int8.decode().as_slice()) {
+            assert!(
+                (v - d).abs() <= scale / 2.0 + 1e-7,
+                "int8 error for {v}: got {d} (scale {scale})"
+            );
+        }
+
+        // f32 is lossless and the endpoints of the int8 range are exact.
+        let f32c = StoredCode::encode(&t, CachePrecision::F32);
+        assert_eq!(f32c.payload_bytes(), n * 4);
+        assert_eq!(f32c.decode().as_slice(), &vals[..]);
+        let deq = int8.decode();
+        let deq = deq.as_slice();
+        let lo_idx = vals.iter().position(|&v| v == lo).unwrap();
+        let hi_idx = vals.iter().position(|&v| v == hi).unwrap();
+        assert_eq!(deq[lo_idx], lo);
+        assert!((deq[hi_idx] - hi).abs() <= 1e-6);
+
+        // Constant codes collapse to one level (scale 0) and are exact.
+        let c = Tensor::from_vec(vec![0.75; 16], [16]);
+        let stored = StoredCode::encode(&c, CachePrecision::Int8);
+        assert_eq!(stored.decode().as_slice(), c.as_slice());
+        // Empty codes survive every precision.
+        let empty = Tensor::from_vec(Vec::new(), [0]);
+        for p in [
+            CachePrecision::F32,
+            CachePrecision::F16,
+            CachePrecision::Int8,
+        ] {
+            let s = StoredCode::encode(&empty, p);
+            assert!(s.is_empty());
+            assert_eq!(s.decode().len(), 0);
+        }
+    }
+
+    #[test]
+    fn f16_preserves_specials_and_int8_degrades_them_finitely() {
+        let t = Tensor::from_vec(vec![f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 0.5], [4]);
+        let d = StoredCode::encode(&t, CachePrecision::F16).decode();
+        assert!(d.as_slice()[0].is_nan());
+        assert_eq!(d.as_slice()[1], f32::INFINITY);
+        assert_eq!(d.as_slice()[2], f32::NEG_INFINITY);
+        assert_eq!(d.as_slice()[3], 0.5);
+        // int8 assumes finite codes: a non-finite range collapses to one
+        // level at 0.0 instead of poisoning every element with NaN.
+        let d = StoredCode::encode(&t, CachePrecision::Int8).decode();
+        assert!(d.as_slice().iter().all(|v| v.is_finite()));
+        // NaN elements among finite neighbors clamp to the minimum level.
+        let t = Tensor::from_vec(vec![f32::NAN, 1.0, 3.0], [3]);
+        let d = StoredCode::encode(&t, CachePrecision::Int8).decode();
+        assert_eq!(d.as_slice()[0], 1.0);
+        assert_eq!(d.as_slice()[1], 1.0);
+        assert!((d.as_slice()[2] - 3.0).abs() <= 1e-6);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_bit_exact_per_precision() {
+        for precision in [
+            CachePrecision::F32,
+            CachePrecision::F16,
+            CachePrecision::Int8,
+        ] {
+            let mut c = EmbeddingCache::with_precision(32, precision);
+            assert_eq!(c.precision(), precision);
+            for k in 0..12u64 {
+                c.insert_tagged(
+                    k * 7 + 1,
+                    3,
+                    Tensor::from_vec(
+                        (0..5).map(|i| ((k * 5 + i) as f32 * 0.631).sin()).collect(),
+                        [5],
+                    ),
+                );
+            }
+            let mut buf = Vec::new();
+            assert_eq!(c.snapshot_to(&mut buf, 3, 0, 99).unwrap(), 12);
+            let mut back = EmbeddingCache::with_precision(32, precision);
+            assert_eq!(back.load_from(buf.as_slice(), 3, 0, 99).unwrap(), 12);
+            // Snapshots persist the stored (already-quantized) payload,
+            // so the round trip is bit-exact — no re-quantization drift.
+            for k in 0..12u64 {
+                let key = k * 7 + 1;
+                let a = c.peek(key).expect("source entry");
+                let b = back.peek(key).expect("restored entry");
+                let (a, b) = (a.as_slice(), b.as_slice());
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "precision {precision} key {key}");
+                }
+            }
+            // The sharded cache restores the same snapshot identically.
+            let sharded = ShardedCache::with_precision(32, 4, precision);
+            assert_eq!(sharded.load_from(buf.as_slice(), 3, 0, 99).unwrap(), 12);
+            let a = c.peek(8).unwrap();
+            let b = sharded.peek(8).unwrap();
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn snapshot_refuses_cross_precision_loads() {
+        let mut f16 = EmbeddingCache::with_precision(8, CachePrecision::F16);
+        f16.insert_tagged(1, 1, code(1.0));
+        f16.insert_tagged(2, 1, code(2.0));
+        let mut buf = Vec::new();
+        f16.snapshot_to(&mut buf, 1, 0, 7).unwrap();
+
+        let mut flat = EmbeddingCache::new(8); // f32 default
+        assert!(matches!(
+            flat.load_from(buf.as_slice(), 1, 0, 7),
+            Err(SnapshotError::PrecisionMismatch {
+                snapshot: CachePrecision::F16,
+                cache: CachePrecision::F32,
+            })
+        ));
+        assert!(flat.is_empty(), "precision refusal must insert nothing");
+
+        let sharded = ShardedCache::with_precision(8, 2, CachePrecision::Int8);
+        assert!(matches!(
+            sharded.load_from(buf.as_slice(), 1, 0, 7),
+            Err(SnapshotError::PrecisionMismatch {
+                snapshot: CachePrecision::F16,
+                cache: CachePrecision::Int8,
+            })
+        ));
+        assert!(sharded.is_empty(), "precision refusal must insert nothing");
+        // The digest gate still runs before the precision gate.
+        assert!(matches!(
+            flat.load_from(buf.as_slice(), 1, 0, 8),
+            Err(SnapshotError::WrongModel { .. })
+        ));
+    }
+
+    /// Hand-builds a version-1 snapshot (pre-quantization format: no
+    /// precision tag byte, f32 payloads) and checks the back-compat
+    /// path: an f32 cache loads it, narrow caches refuse it.
+    #[test]
+    fn v1_snapshot_loads_into_f32_caches_only() {
+        let digest = 0x5150u64;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"CCSC");
+        buf.extend_from_slice(&1u32.to_le_bytes()); // version 1
+        buf.extend_from_slice(&digest.to_le_bytes());
+        buf.extend_from_slice(&2u32.to_le_bytes()); // entry count
+        let mut checksum = crate::hash::Fnv1a::new();
+        for (key, vals) in [(11u64, [0.25f32, -0.5]), (12u64, [1.5f32, 2.5])] {
+            let mut frame = Vec::new();
+            frame.extend_from_slice(&key.to_le_bytes());
+            frame.extend_from_slice(&2u32.to_le_bytes());
+            for v in vals {
+                frame.extend_from_slice(&v.to_le_bytes());
+            }
+            checksum.write(&frame);
+            buf.extend_from_slice(&frame);
+        }
+        buf.extend_from_slice(&checksum.finish().to_le_bytes());
+
+        let mut flat = EmbeddingCache::new(8);
+        assert_eq!(flat.load_from(buf.as_slice(), 0, 0, digest).unwrap(), 2);
+        assert_eq!(flat.peek(11).unwrap().as_slice(), &[0.25, -0.5]);
+        assert_eq!(flat.peek(12).unwrap().as_slice(), &[1.5, 2.5]);
+
+        let mut f16 = EmbeddingCache::with_precision(8, CachePrecision::F16);
+        assert!(matches!(
+            f16.load_from(buf.as_slice(), 0, 0, digest),
+            Err(SnapshotError::PrecisionMismatch {
+                snapshot: CachePrecision::F32,
+                cache: CachePrecision::F16,
+            })
+        ));
+    }
+
+    #[test]
+    fn transcode_snapshot_preserves_digest_and_bounds_error() {
+        let digest = 0xD1CEu64;
+        let mut f32c = EmbeddingCache::new(16);
+        for k in 0..6u64 {
+            f32c.insert_tagged(
+                k + 1,
+                2,
+                Tensor::from_vec(
+                    (0..4)
+                        .map(|i| ((k * 4 + i) as f32 * 0.417).cos() * 0.9)
+                        .collect(),
+                    [4],
+                ),
+            );
+        }
+        let mut wide = Vec::new();
+        f32c.snapshot_to(&mut wide, 2, 0, digest).unwrap();
+
+        // f32 → int8: digest survives, values move by at most scale/2.
+        let mut narrow = Vec::new();
+        assert_eq!(
+            transcode_snapshot(wide.as_slice(), &mut narrow, CachePrecision::Int8).unwrap(),
+            6
+        );
+        let (found, precision, _) = read_snapshot_any(narrow.as_slice()).unwrap();
+        assert_eq!(found, digest);
+        assert_eq!(precision, CachePrecision::Int8);
+        let mut int8 = EmbeddingCache::with_precision(16, CachePrecision::Int8);
+        assert_eq!(int8.load_from(narrow.as_slice(), 2, 0, digest).unwrap(), 6);
+        for k in 0..6u64 {
+            let orig = f32c.peek(k + 1).unwrap();
+            let deq = int8.peek(k + 1).unwrap();
+            let (orig, deq) = (orig.as_slice(), deq.as_slice());
+            let (lo, hi) = orig
+                .iter()
+                .fold((f32::MAX, f32::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+            let bound = (hi - lo) / 255.0 / 2.0 + 1e-7;
+            for (a, b) in orig.iter().zip(deq) {
+                assert!((a - b).abs() <= bound, "key {}: {a} vs {b}", k + 1);
+            }
+        }
+
+        // int8 → f32: widening recovers the dequantized values exactly
+        // and the result loads into a default-precision cache.
+        let mut widened = Vec::new();
+        assert_eq!(
+            transcode_snapshot(narrow.as_slice(), &mut widened, CachePrecision::F32).unwrap(),
+            6
+        );
+        let mut back = EmbeddingCache::new(16);
+        assert_eq!(back.load_from(widened.as_slice(), 2, 0, digest).unwrap(), 6);
+        assert_eq!(
+            back.peek(3).unwrap().as_slice(),
+            int8.peek(3).unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn cache_bytes_tracks_insert_refresh_evict_and_clear() {
+        let mut c = EmbeddingCache::with_precision(2, CachePrecision::Int8);
+        assert_eq!(c.bytes(), 0);
+        c.insert(1, Tensor::from_vec(vec![0.1; 6], [6])); // 6 + 8
+        assert_eq!(c.bytes(), 14);
+        c.insert(2, Tensor::from_vec(vec![0.2; 10], [10])); // + 10 + 8
+        assert_eq!(c.bytes(), 32);
+        // Refreshing a key with a different-length code re-accounts it.
+        c.insert(1, Tensor::from_vec(vec![0.3; 2], [2])); // 6+8 → 2+8
+        assert_eq!(c.bytes(), 28);
+        // Eviction releases the displaced entry's bytes (key 2 is LRU).
+        c.insert(3, Tensor::from_vec(vec![0.4; 4], [4]));
+        assert_eq!(c.bytes(), 10 + 12);
+        c.clear();
+        assert_eq!(c.bytes(), 0);
+        // The sharded aggregate equals the sum over stripes, and f16
+        // storage costs exactly half of f32.
+        let s16 = ShardedCache::with_precision(64, 4, CachePrecision::F16);
+        let s32 = ShardedCache::with_precision(64, 4, CachePrecision::F32);
+        for k in 0..16u64 {
+            let t = Tensor::from_vec(vec![k as f32 * 0.01; 8], [8]);
+            s16.insert_tagged(k, 0, t.clone());
+            s32.insert_tagged(k, 0, t);
+        }
+        assert_eq!(s16.bytes() * 2, s32.bytes());
+        assert_eq!(s32.bytes(), 16 * 8 * 4);
     }
 }

@@ -33,7 +33,7 @@ use ccsa_cppast::{parse_program, AstGraph, ParseError};
 use ccsa_tensor::Tensor;
 
 use crate::batch::{BatchConfig, BatchStats, EncodeError, EncodePool};
-use crate::cache::{CacheStats, ShardedCache, SnapshotError};
+use crate::cache::{CachePrecision, CacheStats, ShardedCache, SnapshotError};
 use crate::metrics::{
     Histogram, MetricKind, MetricsRegistry, Sample, SampleFamily, LATENCY_BUCKETS_S,
 };
@@ -49,6 +49,11 @@ pub struct ServeConfig {
     /// Capacity is split evenly across stripes; 1 reproduces the old
     /// single-lock cache.
     pub cache_stripes: usize,
+    /// Storage precision for cached latent codes (f32 lossless; f16 and
+    /// int8 quantize on insert and dequantize on classifier read,
+    /// trading a bounded embedding perturbation for 2–4× capacity per
+    /// byte).
+    pub cache_precision: CachePrecision,
     /// Worker-pool shape.
     pub batch: BatchConfig,
 }
@@ -58,6 +63,7 @@ impl Default for ServeConfig {
         ServeConfig {
             cache_capacity: 4096,
             cache_stripes: 0,
+            cache_precision: CachePrecision::F32,
             batch: BatchConfig::default(),
         }
     }
@@ -233,9 +239,15 @@ pub struct EngineStats {
     pub cache: CacheStats,
     /// Cached codes currently held.
     pub cache_len: usize,
-    /// Per-stripe cache counters plus entry counts, in stripe order —
-    /// the skew diagnostic behind `ccsa_cache_hits_total{stripe}`.
-    pub stripe_cache: Vec<(CacheStats, usize)>,
+    /// Payload bytes at rest across all stripes (always the exact sum
+    /// of the per-stripe byte counts in [`EngineStats::stripe_cache`]).
+    pub cache_bytes: usize,
+    /// Storage precision of cached codes.
+    pub cache_precision: CachePrecision,
+    /// Per-stripe cache counters plus entry counts and payload bytes,
+    /// in stripe order — the skew diagnostic behind
+    /// `ccsa_cache_hits_total{stripe}`.
+    pub stripe_cache: Vec<(CacheStats, usize, usize)>,
     /// Worker-pool counters.
     pub batch: BatchStats,
     /// Trees waiting across all encode shards right now (the aggregate
@@ -304,7 +316,11 @@ impl ServeEngine {
     pub fn new(registry: ModelRegistry, config: &ServeConfig) -> ServeEngine {
         ServeEngine {
             registry: RwLock::new(registry),
-            cache: ShardedCache::new(config.cache_capacity, config.cache_stripes),
+            cache: ShardedCache::with_precision(
+                config.cache_capacity,
+                config.cache_stripes,
+                config.cache_precision,
+            ),
             pool: EncodePool::new(&config.batch),
             compares: AtomicU64::new(0),
             rankings: AtomicU64::new(0),
@@ -535,12 +551,14 @@ impl ServeEngine {
         let stripe_cache = self.cache.stripe_stats();
         let mut cache = CacheStats::default();
         let mut cache_len = 0;
-        for (s, len) in &stripe_cache {
+        let mut cache_bytes = 0;
+        for (s, len, bytes) in &stripe_cache {
             cache.hits += s.hits;
             cache.misses += s.misses;
             cache.evictions += s.evictions;
             cache.insertions += s.insertions;
             cache_len += len;
+            cache_bytes += bytes;
         }
         EngineStats {
             compares: self.compares.load(Ordering::Relaxed),
@@ -549,6 +567,8 @@ impl ServeEngine {
             parse_failures: self.parse_failures.load(Ordering::Relaxed),
             cache,
             cache_len,
+            cache_bytes,
+            cache_precision: self.cache.precision(),
             stripe_cache,
             batch: self.pool.stats(),
             queue_depth,
@@ -866,19 +886,32 @@ pub fn engine_metric_families(stats: &EngineStats) -> Vec<SampleFamily> {
         ),
     ];
 
+    // The precision is exposed Prometheus-style: a constant-1 info
+    // gauge whose label carries the value, so dashboards can join on
+    // it without parsing strings out of sample values.
+    let precision = stats.cache_precision.to_string();
+    out.push(SampleFamily::new(
+        "ccsa_cache_precision_info",
+        "Storage precision of cached latent codes (label `precision`).",
+        Gauge,
+        vec![Sample::new(&[("precision", precision.as_str())], 1.0)],
+    ));
+
     // Per-stripe cache counters: the aggregate is the label-sum, so a
     // hot stripe is visible without a second metric family.
     let mut hits = Vec::new();
     let mut misses = Vec::new();
     let mut evictions = Vec::new();
     let mut entries = Vec::new();
-    for (ix, (s, len)) in stats.stripe_cache.iter().enumerate() {
+    let mut bytes = Vec::new();
+    for (ix, (s, len, stripe_bytes)) in stats.stripe_cache.iter().enumerate() {
         let stripe = ix.to_string();
         let labels = [("stripe", stripe.as_str())];
         hits.push(Sample::new(&labels, s.hits as f64));
         misses.push(Sample::new(&labels, s.misses as f64));
         evictions.push(Sample::new(&labels, s.evictions as f64));
         entries.push(Sample::new(&labels, *len as f64));
+        bytes.push(Sample::new(&labels, *stripe_bytes as f64));
     }
     out.push(SampleFamily::new(
         "ccsa_cache_hits_total",
@@ -903,6 +936,14 @@ pub fn engine_metric_families(stats: &EngineStats) -> Vec<SampleFamily> {
         "Cached latent codes currently held, per stripe.",
         Gauge,
         entries,
+    ));
+    out.push(SampleFamily::new(
+        "ccsa_cache_bytes",
+        "Payload bytes of cached codes at rest, per stripe (the \
+         quantization win shows up here: f16 halves it, int8 quarters \
+         it, at the same entry count).",
+        Gauge,
+        bytes,
     ));
 
     // Per-registration cache attribution (A/B arms separately).
@@ -991,11 +1032,16 @@ mod tests {
     }
 
     fn engine(cache_capacity: usize) -> ServeEngine {
+        engine_with_precision(cache_capacity, CachePrecision::F32)
+    }
+
+    fn engine_with_precision(cache_capacity: usize, precision: CachePrecision) -> ServeEngine {
         ServeEngine::with_model(
             tiny_model(1),
             &ServeConfig {
                 cache_capacity,
                 cache_stripes: 0,
+                cache_precision: precision,
                 batch: BatchConfig {
                     workers: 2,
                     max_batch: 8,
@@ -1052,6 +1098,7 @@ mod tests {
             &ServeConfig {
                 cache_capacity: 64,
                 cache_stripes: 1,
+                cache_precision: CachePrecision::F32,
                 batch: BatchConfig {
                     workers: 2,
                     max_batch: 8,
@@ -1394,6 +1441,7 @@ mod tests {
             &ServeConfig {
                 cache_capacity: 64,
                 cache_stripes: 0,
+                cache_precision: CachePrecision::F32,
                 batch: BatchConfig {
                     workers: 2,
                     max_batch: 8,
@@ -1424,6 +1472,112 @@ mod tests {
     }
 
     #[test]
+    fn quantized_cache_pins_probability_drift_and_rank_agreement() {
+        // The accuracy contract for narrow cache precisions: the cold
+        // path (fresh encodes) is bit-identical to f32, the warm path
+        // (dequantized codes) drifts by at most the quantization bound,
+        // and rank decisions agree with the f32 engine.
+        let sel = ModelSelector::default();
+        let baseline = engine(64);
+        let pairs = [(SLOW, FAST), (FAST, MID), (MID, SLOW)];
+        for (a, b) in pairs {
+            baseline.compare(&sel, a, b).unwrap(); // warm the f32 cache
+        }
+        let reference: Vec<f32> = pairs
+            .iter()
+            .map(|&(a, b)| baseline.compare(&sel, a, b).unwrap().prob_first_slower)
+            .collect();
+        let base_order: Vec<usize> = baseline
+            .rank(&sel, &[FAST, MID, SLOW])
+            .unwrap()
+            .ranking
+            .iter()
+            .map(|r| r.index)
+            .collect();
+
+        for (precision, bound) in [
+            (CachePrecision::F16, 1e-3f32),
+            (CachePrecision::Int8, 2e-2f32),
+        ] {
+            // A fresh engine per pair keeps the cold pass genuinely
+            // cold (pairs share sources, so one engine would hit).
+            for (&(a, b), &want) in pairs.iter().zip(&reference) {
+                let e = engine_with_precision(64, precision);
+                // Cold: misses are scored from the freshly encoded f32
+                // codes, so quantization cannot perturb a first touch.
+                let cold = e.compare(&sel, a, b).unwrap();
+                assert_eq!(cold.cache_hits, 0);
+                assert_eq!(
+                    cold.prob_first_slower, want,
+                    "{precision} cold path must match f32 bitwise"
+                );
+                // Warm: codes come back dequantized; drift is bounded.
+                let warm = e.compare(&sel, a, b).unwrap();
+                assert_eq!(warm.cache_hits, 2);
+                let drift = (warm.prob_first_slower - want).abs();
+                assert!(
+                    drift <= bound,
+                    "{precision} warm drift {drift} exceeds bound {bound}"
+                );
+            }
+            // The ranking verb reaches the same fastest-first order
+            // from fully quantized (warm) codes.
+            let e = engine_with_precision(64, precision);
+            e.rank(&sel, &[FAST, MID, SLOW]).unwrap(); // warm the cache
+            let order: Vec<usize> = e
+                .rank(&sel, &[FAST, MID, SLOW])
+                .unwrap()
+                .ranking
+                .iter()
+                .map(|r| r.index)
+                .collect();
+            assert_eq!(order, base_order, "{precision} rank decision changed");
+        }
+    }
+
+    #[test]
+    fn engine_snapshots_carry_precision_and_refuse_cross_precision_warm() {
+        let dir = std::env::temp_dir().join(format!(
+            "ccsa-warm-precision-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("cache.ccsc");
+        let sel = ModelSelector::default();
+
+        let f16 = engine_with_precision(64, CachePrecision::F16);
+        let cold = f16.compare(&sel, SLOW, FAST).unwrap();
+        assert_eq!(f16.snapshot_cache(&sel, &path).unwrap(), 2);
+        assert_eq!(f16.stats().cache_precision, CachePrecision::F16);
+        assert!(f16.stats().cache_bytes > 0);
+
+        // Same precision warms; probabilities match the restored codes'
+        // dequantized values exactly (snapshots are bit-exact at rest).
+        let twin = engine_with_precision(64, CachePrecision::F16);
+        assert_eq!(twin.warm_cache(&sel, &path).unwrap(), 2);
+        let warm = twin.compare(&sel, SLOW, FAST).unwrap();
+        assert_eq!(warm.cache_hits, 2);
+        let f16_warm = f16.compare(&sel, SLOW, FAST).unwrap();
+        assert_eq!(warm.prob_first_slower, f16_warm.prob_first_slower);
+        // Cold (fresh-encode) and warm (dequantized) may differ — but
+        // only inside the f16 error envelope.
+        assert!((warm.prob_first_slower - cold.prob_first_slower).abs() <= 1e-3);
+
+        // A different precision refuses the snapshot and stays empty.
+        let wide = engine(64);
+        assert!(matches!(
+            wide.warm_cache(&sel, &path),
+            Err(ServeError::Cache(SnapshotError::PrecisionMismatch {
+                snapshot: CachePrecision::F16,
+                cache: CachePrecision::F32,
+            }))
+        ));
+        assert_eq!(wide.compare(&sel, SLOW, FAST).unwrap().cache_hits, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn traced_requests_split_stage_timings() {
         let e = engine(64);
         let sel = ModelSelector::default();
@@ -1448,12 +1602,15 @@ mod tests {
         e.compare(&sel, SLOW, MID).unwrap();
         let s = e.stats();
         assert_eq!(s.stripe_cache.len(), s.cache_stripes);
-        let hits: u64 = s.stripe_cache.iter().map(|(c, _)| c.hits).sum();
-        let misses: u64 = s.stripe_cache.iter().map(|(c, _)| c.misses).sum();
-        let len: usize = s.stripe_cache.iter().map(|(_, l)| l).sum();
+        let hits: u64 = s.stripe_cache.iter().map(|(c, _, _)| c.hits).sum();
+        let misses: u64 = s.stripe_cache.iter().map(|(c, _, _)| c.misses).sum();
+        let len: usize = s.stripe_cache.iter().map(|(_, l, _)| l).sum();
+        let bytes: usize = s.stripe_cache.iter().map(|(_, _, b)| b).sum();
         assert_eq!(hits, s.cache.hits);
         assert_eq!(misses, s.cache.misses);
         assert_eq!(len, s.cache_len);
+        assert_eq!(bytes, s.cache_bytes);
+        assert!(s.cache_bytes > 0, "two cached codes must occupy bytes");
         assert!(s.uptime_seconds >= 0.0);
     }
 

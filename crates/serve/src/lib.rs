@@ -123,7 +123,10 @@ pub mod rank;
 pub mod registry;
 
 pub use batch::{BatchConfig, BatchStats, EncodeError, EncodePool, PoolSharding};
-pub use cache::{CacheStats, EmbeddingCache, ShardedCache, SnapshotError, DEFAULT_CACHE_STRIPES};
+pub use cache::{
+    CachePrecision, CacheStats, EmbeddingCache, ShardedCache, SnapshotError, StoredCode,
+    DEFAULT_CACHE_STRIPES,
+};
 pub use engine::{
     engine_metric_families, CompareOutcome, EngineStats, ModelCacheStats, RankOutcome, ServeConfig,
     ServeEngine, ServeError, StageTimings, MAX_RANK_CANDIDATES,

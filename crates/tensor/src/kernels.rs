@@ -1,0 +1,659 @@
+//! Explicit SIMD kernels with runtime dispatch for the three hot loops.
+//!
+//! Everything above this module (fused encode, tape backward, serving)
+//! funnels its FLOPs through `matmul`, `matvec`, and `segment_sum`'s
+//! row accumulation. This module provides two interchangeable backends
+//! for those loops and resolves which one runs **once**, at first use:
+//!
+//! * [`KernelBackend::Scalar`] — the blocked, IEEE-strict reference
+//!   kernels (plain `mul` + `add`, k-ascending accumulation). Portable
+//!   to every target; this is the semantics the test suite pins
+//!   bit-for-bit against naive triple loops.
+//! * [`KernelBackend::Avx2`] — x86_64 AVX2+FMA kernels built on
+//!   `std::arch` intrinsics, selected only when
+//!   `is_x86_feature_detected!` confirms both features at runtime.
+//!   No nightly features, no new dependencies.
+//!
+//! # Numerical contract
+//!
+//! The repo pins two bitwise invariants that SIMD must not break:
+//! `matvec ≡ matmul` on the same data, and fused batched encode ≡
+//! sequential per-node encode. Both hold because **within a backend**
+//! every output element is the same k-ascending accumulation chain:
+//!
+//! * scalar: `acc ← acc + a·b` (two roundings per term) — unchanged
+//!   from the pre-dispatch kernel, still the portable reference;
+//! * avx2: `acc ← fma(a, b, acc)` (one rounding per term), whether the
+//!   element was computed in a 8/16-wide vector lane or in a scalar
+//!   remainder chain — `f32::mul_add` guarantees fused semantics, so
+//!   vector body and remainder agree bit-for-bit.
+//!
+//! Across backends results differ in final ulps (FMA rounds once), so
+//! cross-backend comparisons get the same ≤1e-5 tolerance the fused
+//! encode parity tests already use. Neither backend zero-skips:
+//! `0 · NaN` and `0 · ∞` produce NaN on both paths (IEEE-754), which
+//! the PR 4 regression suite checks against each backend here.
+//!
+//! # Dispatch
+//!
+//! [`active`] resolves the backend once into a `&'static` [`Kernels`]
+//! (a struct of function pointers) behind a [`OnceLock`]:
+//!
+//! | `CCSA_KERNEL` | resolved backend                                  |
+//! |---------------|---------------------------------------------------|
+//! | unset         | `avx2` if the CPU has AVX2+FMA, else `scalar`     |
+//! | `scalar`      | `scalar` (forced; bit-exactness debugging, CI)    |
+//! | `avx2`        | `avx2`, or `scalar` + warning if unsupported      |
+//!
+//! Tests and benches that need *both* backends in one process bypass
+//! the environment and ask [`kernels_for`] directly.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Which kernel implementation a [`Kernels`] table contains.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KernelBackend {
+    /// Blocked scalar loops: portable, IEEE-strict `mul`+`add` reference.
+    Scalar,
+    /// x86_64 AVX2+FMA intrinsics (single-rounding fused accumulate).
+    Avx2,
+}
+
+impl fmt::Display for KernelBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            KernelBackend::Scalar => "scalar",
+            KernelBackend::Avx2 => "avx2",
+        })
+    }
+}
+
+/// `out[i*n+j] = Σ_k a[i*k+kk]·b[kk*n+j]`; `out` arrives zeroed.
+pub type MatmulFn = fn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize);
+/// `out[i] = Σ_k a[i*k+kk]·x[kk]`; `out` arrives zeroed.
+pub type MatvecFn = fn(a: &[f32], x: &[f32], out: &mut [f32], m: usize, k: usize);
+/// `dst[j] += src[j]` elementwise (`segment_sum` row accumulation).
+pub type SegAccumFn = fn(dst: &mut [f32], src: &[f32]);
+
+/// A resolved table of kernel function pointers.
+///
+/// Obtained from [`active`] (the process-wide dispatched table) or
+/// [`kernels_for`] (a specific backend, for A/B tests and benches).
+pub struct Kernels {
+    /// The backend these pointers implement.
+    pub backend: KernelBackend,
+    /// Matrix–matrix product kernel.
+    pub matmul: MatmulFn,
+    /// Matrix–vector product kernel.
+    pub matvec: MatvecFn,
+    /// Row-accumulation kernel (`dst += src`).
+    pub seg_accum: SegAccumFn,
+}
+
+static SCALAR: Kernels = Kernels {
+    backend: KernelBackend::Scalar,
+    matmul: scalar_matmul,
+    matvec: scalar_matvec,
+    seg_accum: scalar_seg_accum,
+};
+
+#[cfg(target_arch = "x86_64")]
+static AVX2: Kernels = Kernels {
+    backend: KernelBackend::Avx2,
+    matmul: avx2::matmul,
+    matvec: avx2::matvec,
+    seg_accum: avx2::seg_accum,
+};
+
+/// `true` when the running CPU supports the AVX2+FMA backend.
+pub fn avx2_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The kernel table for a specific backend, if the host supports it.
+///
+/// Returns `None` for [`KernelBackend::Avx2`] on hosts without
+/// AVX2+FMA (including non-x86_64 targets). Used by tests and the
+/// kernel bench to exercise both backends in one process regardless of
+/// the `CCSA_KERNEL` override.
+pub fn kernels_for(backend: KernelBackend) -> Option<&'static Kernels> {
+    match backend {
+        KernelBackend::Scalar => Some(&SCALAR),
+        KernelBackend::Avx2 => {
+            #[cfg(target_arch = "x86_64")]
+            if avx2_supported() {
+                return Some(&AVX2);
+            }
+            None
+        }
+    }
+}
+
+fn resolve(requested: Option<&str>) -> &'static Kernels {
+    let auto = || kernels_for(KernelBackend::Avx2).unwrap_or(&SCALAR);
+    match requested.map(str::trim) {
+        Some("scalar") => &SCALAR,
+        Some("avx2") => kernels_for(KernelBackend::Avx2).unwrap_or_else(|| {
+            eprintln!(
+                "[ccsa-tensor] warning: CCSA_KERNEL=avx2 but this CPU lacks \
+                 AVX2+FMA; falling back to scalar kernels"
+            );
+            &SCALAR
+        }),
+        Some(other) if !other.is_empty() => {
+            eprintln!(
+                "[ccsa-tensor] warning: unknown CCSA_KERNEL='{other}' \
+                 (expected 'scalar' or 'avx2'); auto-detecting"
+            );
+            auto()
+        }
+        _ => auto(),
+    }
+}
+
+/// The process-wide kernel table, resolved once at first use.
+///
+/// Honors the `CCSA_KERNEL=scalar|avx2` environment override (read
+/// exactly once — changing the variable after the first kernel call has
+/// no effect; use [`kernels_for`] for in-process A/B).
+pub fn active() -> &'static Kernels {
+    static ACTIVE: OnceLock<&'static Kernels> = OnceLock::new();
+    ACTIVE.get_or_init(|| resolve(std::env::var("CCSA_KERNEL").ok().as_deref()))
+}
+
+// ---------------------------------------------------------------------------
+// Scalar backend: the blocked, IEEE-strict reference kernels.
+// ---------------------------------------------------------------------------
+
+/// Prefetch the next 4-row A block at column `kk`, one cache line per
+/// row, paced by the caller to every 16th k-step (16 f32 = one line).
+/// The streamed `b` rows dominate the bandwidth; this hides the A-block
+/// switch latency at block boundaries. No-op off x86_64.
+#[inline(always)]
+fn prefetch_a_block(a: &[f32], row: usize, kk: usize, k: usize, m: usize) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        let end = (row + 4).min(m);
+        for r in row..end {
+            // In bounds: r < m and kk < k, so r*k + kk < m*k = a.len().
+            unsafe { _mm_prefetch(a.as_ptr().add(r * k + kk).cast::<i8>(), _MM_HINT_T0) };
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (a, row, kk, k, m);
+    }
+}
+
+/// Blocked i-k-j kernel: output rows are processed in chunks of four so
+/// every streamed `b` row is reused by four accumulator rows while it
+/// is hot, and the j loop is 4-unrolled to keep independent multiply
+/// chains in flight. Accumulation over k stays ascending per output
+/// element, so results are bit-identical to [`scalar_matvec`]'s dot
+/// products — and there is deliberately no zero-skip: `0 · NaN` and
+/// `0 · ∞` must produce NaN (IEEE-754), not silently vanish.
+fn scalar_matmul(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let mut i = 0;
+    while i + 4 <= m {
+        let (r01, r23) = out[i * n..(i + 4) * n].split_at_mut(2 * n);
+        let (r0, r1) = r01.split_at_mut(n);
+        let (r2, r3) = r23.split_at_mut(n);
+        for kk in 0..k {
+            if kk % 16 == 0 {
+                prefetch_a_block(a, i + 4, kk, k, m);
+            }
+            let a0 = a[i * k + kk];
+            let a1 = a[(i + 1) * k + kk];
+            let a2 = a[(i + 2) * k + kk];
+            let a3 = a[(i + 3) * k + kk];
+            let brow = &b[kk * n..(kk + 1) * n];
+            let mut j = 0;
+            while j + 4 <= n {
+                let (b0, b1, b2, b3) = (brow[j], brow[j + 1], brow[j + 2], brow[j + 3]);
+                r0[j] += a0 * b0;
+                r0[j + 1] += a0 * b1;
+                r0[j + 2] += a0 * b2;
+                r0[j + 3] += a0 * b3;
+                r1[j] += a1 * b0;
+                r1[j + 1] += a1 * b1;
+                r1[j + 2] += a1 * b2;
+                r1[j + 3] += a1 * b3;
+                r2[j] += a2 * b0;
+                r2[j + 1] += a2 * b1;
+                r2[j + 2] += a2 * b2;
+                r2[j + 3] += a2 * b3;
+                r3[j] += a3 * b0;
+                r3[j + 1] += a3 * b1;
+                r3[j + 2] += a3 * b2;
+                r3[j + 3] += a3 * b3;
+                j += 4;
+            }
+            while j < n {
+                let bv = brow[j];
+                r0[j] += a0 * bv;
+                r1[j] += a1 * bv;
+                r2[j] += a2 * bv;
+                r3[j] += a3 * bv;
+                j += 1;
+            }
+        }
+        i += 4;
+    }
+    // Remainder rows (m not a multiple of 4): single-row unrolled axpy.
+    while i < m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &aik) in arow.iter().enumerate() {
+            axpy_unrolled(orow, aik, &b[kk * n..(kk + 1) * n]);
+        }
+        i += 1;
+    }
+}
+
+/// `dst[j] += a * src[j]`, 4-unrolled over column chunks (remainder
+/// handled elementwise). The k-ascending call order in [`scalar_matmul`]
+/// keeps per-element accumulation identical to [`scalar_matvec`].
+#[inline(always)]
+fn axpy_unrolled(dst: &mut [f32], a: f32, src: &[f32]) {
+    let mut d = dst.chunks_exact_mut(4);
+    let mut s = src.chunks_exact(4);
+    for (dd, ss) in d.by_ref().zip(s.by_ref()) {
+        dd[0] += a * ss[0];
+        dd[1] += a * ss[1];
+        dd[2] += a * ss[2];
+        dd[3] += a * ss[3];
+    }
+    for (dd, &sv) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *dd += a * sv;
+    }
+}
+
+/// Per-row k-ascending dot products — the same accumulation order and
+/// rounding (`mul` then `add`) as [`scalar_matmul`], hence bit-equal.
+fn scalar_matvec(a: &[f32], x: &[f32], out: &mut [f32], _m: usize, k: usize) {
+    if k == 0 {
+        return;
+    }
+    for (o, row) in out.iter_mut().zip(a.chunks_exact(k)) {
+        *o = row.iter().zip(x.iter()).map(|(&av, &xv)| av * xv).sum();
+    }
+}
+
+/// `dst += src`, elementwise, in index order.
+fn scalar_seg_accum(dst: &mut [f32], src: &[f32]) {
+    for (o, &v) in dst.iter_mut().zip(src) {
+        *o += v;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2+FMA backend.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::*;
+
+    // Safe shims: the `Kernels` table for this module is only handed out
+    // after `is_x86_feature_detected!("avx2")` && `("fma")`, so the
+    // target-feature contract of the inner functions is always met.
+
+    pub(super) fn matmul(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        debug_assert!(super::avx2_supported());
+        unsafe { matmul_fma(a, b, out, m, k, n) }
+    }
+
+    pub(super) fn matvec(a: &[f32], x: &[f32], out: &mut [f32], m: usize, k: usize) {
+        debug_assert!(super::avx2_supported());
+        unsafe { matvec_fma(a, x, out, m, k) }
+    }
+
+    pub(super) fn seg_accum(dst: &mut [f32], src: &[f32]) {
+        debug_assert!(super::avx2_supported());
+        unsafe { seg_accum_avx2(dst, src) }
+    }
+
+    /// 4×16 register-tiled FMA micro-kernel with 4×8 / scalar-chain
+    /// fallthrough. Every output element — vector lane or remainder —
+    /// is a k-ascending single-rounding FMA chain, so the whole matrix
+    /// agrees bit-for-bit with [`matvec_fma`] and with a naive
+    /// `f32::mul_add` triple loop.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn matmul_fma(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut i = 0;
+        while i + 4 <= m {
+            let mut j = 0;
+            // 4 rows × 16 columns: 8 ymm accumulators live across the
+            // whole k loop; two b loads and one broadcast per (k, row).
+            while j + 16 <= n {
+                let mut acc = [[_mm256_setzero_ps(); 2]; 4];
+                for kk in 0..k {
+                    let b0 = unsafe { _mm256_loadu_ps(bp.add(kk * n + j)) };
+                    let b1 = unsafe { _mm256_loadu_ps(bp.add(kk * n + j + 8)) };
+                    for (r, accr) in acc.iter_mut().enumerate() {
+                        let av = unsafe { _mm256_set1_ps(*ap.add((i + r) * k + kk)) };
+                        accr[0] = _mm256_fmadd_ps(av, b0, accr[0]);
+                        accr[1] = _mm256_fmadd_ps(av, b1, accr[1]);
+                    }
+                }
+                for (r, accr) in acc.iter().enumerate() {
+                    unsafe {
+                        _mm256_storeu_ps(op.add((i + r) * n + j), accr[0]);
+                        _mm256_storeu_ps(op.add((i + r) * n + j + 8), accr[1]);
+                    }
+                }
+                j += 16;
+            }
+            while j + 8 <= n {
+                let mut acc = [_mm256_setzero_ps(); 4];
+                for kk in 0..k {
+                    let bv = unsafe { _mm256_loadu_ps(bp.add(kk * n + j)) };
+                    for (r, accr) in acc.iter_mut().enumerate() {
+                        let av = unsafe { _mm256_set1_ps(*ap.add((i + r) * k + kk)) };
+                        *accr = _mm256_fmadd_ps(av, bv, *accr);
+                    }
+                }
+                for (r, accr) in acc.iter().enumerate() {
+                    unsafe { _mm256_storeu_ps(op.add((i + r) * n + j), *accr) };
+                }
+                j += 8;
+            }
+            while j < n {
+                for r in 0..4 {
+                    out[(i + r) * n + j] = dot_chain(a, b, (i + r) * k, j, k, n);
+                }
+                j += 1;
+            }
+            i += 4;
+        }
+        // Remainder rows: single-row, j-vectorized.
+        while i < m {
+            let mut j = 0;
+            while j + 8 <= n {
+                let mut acc = _mm256_setzero_ps();
+                for kk in 0..k {
+                    let av = unsafe { _mm256_set1_ps(*ap.add(i * k + kk)) };
+                    let bv = unsafe { _mm256_loadu_ps(bp.add(kk * n + j)) };
+                    acc = _mm256_fmadd_ps(av, bv, acc);
+                }
+                unsafe { _mm256_storeu_ps(op.add(i * n + j), acc) };
+                j += 8;
+            }
+            while j < n {
+                out[i * n + j] = dot_chain(a, b, i * k, j, k, n);
+                j += 1;
+            }
+            i += 1;
+        }
+    }
+
+    /// Scalar k-ascending FMA chain for remainder columns. Inside an
+    /// FMA-enabled function `f32::mul_add` lowers to `vfmadd`, matching
+    /// the vector lanes' rounding exactly.
+    #[inline(always)]
+    fn dot_chain(a: &[f32], b: &[f32], arow: usize, j: usize, k: usize, n: usize) -> f32 {
+        let mut acc = 0.0f32;
+        for kk in 0..k {
+            acc = a[arow + kk].mul_add(b[kk * n + j], acc);
+        }
+        acc
+    }
+
+    /// 4-row-unrolled k-ascending FMA chains: four independent
+    /// accumulators in flight, one chain per output element — the same
+    /// per-element semantics as [`matmul_fma`], so `matvec ≡ matmul`
+    /// stays bitwise under this backend too.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn matvec_fma(a: &[f32], x: &[f32], out: &mut [f32], m: usize, k: usize) {
+        let mut i = 0;
+        while i + 4 <= m {
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for (kk, &xv) in x.iter().enumerate().take(k) {
+                s0 = a[i * k + kk].mul_add(xv, s0);
+                s1 = a[(i + 1) * k + kk].mul_add(xv, s1);
+                s2 = a[(i + 2) * k + kk].mul_add(xv, s2);
+                s3 = a[(i + 3) * k + kk].mul_add(xv, s3);
+            }
+            out[i] = s0;
+            out[i + 1] = s1;
+            out[i + 2] = s2;
+            out[i + 3] = s3;
+            i += 4;
+        }
+        while i < m {
+            let mut s = 0.0f32;
+            for (kk, &xv) in x.iter().enumerate().take(k) {
+                s = a[i * k + kk].mul_add(xv, s);
+            }
+            out[i] = s;
+            i += 1;
+        }
+    }
+
+    /// `dst += src` with 8-wide `vaddps`. Per-element add order is
+    /// unchanged, so this is bit-identical to the scalar backend.
+    #[target_feature(enable = "avx2")]
+    unsafe fn seg_accum_avx2(dst: &mut [f32], src: &[f32]) {
+        let len = dst.len().min(src.len());
+        let dp = dst.as_mut_ptr();
+        let sp = src.as_ptr();
+        let mut j = 0;
+        while j + 8 <= len {
+            unsafe {
+                let d = _mm256_loadu_ps(dp.add(j));
+                let s = _mm256_loadu_ps(sp.add(j));
+                _mm256_storeu_ps(dp.add(j), _mm256_add_ps(d, s));
+            }
+            j += 8;
+        }
+        while j < len {
+            dst[j] += src[j];
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(len: usize, mul: usize, modulus: usize, off: f32, scale: f32) -> Vec<f32> {
+        (0..len)
+            .map(|x| ((x * mul % modulus) as f32 - off) * scale)
+            .collect()
+    }
+
+    /// Shapes covering every kernel path: 4-row blocks + remainder rows,
+    /// 16-wide, 8-wide, 4-wide and scalar column tails.
+    const SHAPES: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (4, 4, 4),
+        (5, 3, 7),
+        (3, 5, 2),
+        (8, 6, 9),
+        (9, 2, 5),
+        (6, 7, 4),
+        (4, 9, 16),
+        (7, 5, 19),
+        (8, 16, 33),
+        (5, 32, 40),
+    ];
+
+    fn backends() -> Vec<&'static Kernels> {
+        let mut v = vec![kernels_for(KernelBackend::Scalar).expect("scalar always present")];
+        match kernels_for(KernelBackend::Avx2) {
+            Some(k) => v.push(k),
+            None => eprintln!("[kernels test] host lacks AVX2+FMA; scalar only"),
+        }
+        v
+    }
+
+    /// Naive i-k-j triple loop with the backend's per-term rounding:
+    /// mul+add for scalar, single-rounding `mul_add` for avx2. Each
+    /// backend must match its reference bit-for-bit.
+    fn reference_matmul(
+        backend: KernelBackend,
+        a: &[f32],
+        b: &[f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                let aik = a[i * k + kk];
+                for j in 0..n {
+                    let cur = out[i * n + j];
+                    out[i * n + j] = match backend {
+                        KernelBackend::Scalar => cur + aik * b[kk * n + j],
+                        KernelBackend::Avx2 => aik.mul_add(b[kk * n + j], cur),
+                    };
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_matches_per_backend_reference_bitwise() {
+        for kern in backends() {
+            for &(m, k, n) in SHAPES {
+                let a = fill(m * k, 37, 17, 8.0, 0.37);
+                let b = fill(k * n, 23, 13, 6.0, 0.59);
+                let mut out = vec![0.0f32; m * n];
+                (kern.matmul)(&a, &b, &mut out, m, k, n);
+                let expect = reference_matmul(kern.backend, &a, &b, m, k, n);
+                assert_eq!(out, expect, "{} ({m},{k},{n})", kern.backend);
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_matches_matmul_bitwise_per_backend() {
+        for kern in backends() {
+            for &(m, k, _) in SHAPES {
+                let a = fill(m * k, 31, 19, 9.0, 0.21);
+                let x = fill(k, 29, 11, 5.0, 0.43);
+                let mut mv = vec![0.0f32; m];
+                let mut mm = vec![0.0f32; m];
+                (kern.matvec)(&a, &x, &mut mv, m, k);
+                (kern.matmul)(&a, &x, &mut mm, m, k, 1);
+                assert_eq!(
+                    mv.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    mm.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "{} m={m} k={k}",
+                    kern.backend
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_backend_parity_within_tolerance() {
+        // FMA rounds once per term, so backends differ in last ulps but
+        // must stay inside the fused-encode parity budget.
+        let Some(avx2) = kernels_for(KernelBackend::Avx2) else {
+            eprintln!("[kernels test] host lacks AVX2+FMA; skipping");
+            return;
+        };
+        for &(m, k, n) in SHAPES {
+            let a = fill(m * k, 41, 23, 11.0, 0.17);
+            let b = fill(k * n, 43, 29, 14.0, 0.13);
+            let mut s = vec![0.0f32; m * n];
+            let mut v = vec![0.0f32; m * n];
+            scalar_matmul(&a, &b, &mut s, m, k, n);
+            (avx2.matmul)(&a, &b, &mut v, m, k, n);
+            for (x, y) in s.iter().zip(&v) {
+                assert!((x - y).abs() <= 1e-5, "({m},{k},{n}): {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn nan_and_inf_propagate_on_every_backend() {
+        // PR 4 regression suite, run against each kernel table: no
+        // zero-skip means 0·NaN and 0·∞ must reach the output.
+        for kern in backends() {
+            let a = [0.0, 1.0, 2.0, 3.0];
+            let b = [f32::NAN, 4.0, 5.0, 6.0];
+            let mut c = vec![0.0f32; 4];
+            (kern.matmul)(&a, &b, &mut c, 2, 2, 2);
+            assert!(c[0].is_nan(), "{}: 0·NaN must propagate", kern.backend);
+            assert!(c[2].is_nan(), "{}", kern.backend);
+            assert!(c[1].is_finite(), "{}", kern.backend);
+
+            let mut c = vec![0.0f32; 1];
+            (kern.matmul)(&[0.0], &[f32::INFINITY], &mut c, 1, 1, 1);
+            assert!(c[0].is_nan(), "{}: 0·∞ must be NaN", kern.backend);
+            let mut c = vec![0.0f32; 1];
+            (kern.matvec)(&[f32::INFINITY], &[0.0], &mut c, 1, 1);
+            assert!(c[0].is_nan(), "{}: matvec 0·∞ must be NaN", kern.backend);
+
+            let mut dst = [0.0f32, 1.0];
+            (kern.seg_accum)(&mut dst, &[f32::NAN, 1.0]);
+            assert!(dst[0].is_nan() && dst[1] == 2.0, "{}", kern.backend);
+        }
+    }
+
+    #[test]
+    fn seg_accum_bitwise_identical_across_backends() {
+        for len in [0usize, 1, 3, 7, 8, 9, 16, 31, 64, 129] {
+            let src = fill(len, 53, 31, 15.0, 0.29);
+            let base = fill(len, 59, 37, 18.0, 0.31);
+            let mut per_backend: Vec<Vec<u32>> = Vec::new();
+            for kern in backends() {
+                let mut dst = base.clone();
+                (kern.seg_accum)(&mut dst, &src);
+                per_backend.push(dst.iter().map(|v| v.to_bits()).collect());
+            }
+            for w in per_backend.windows(2) {
+                assert_eq!(w[0], w[1], "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn env_override_resolution() {
+        // `resolve` is pure in its argument, so this avoids mutating the
+        // process environment (racy under the parallel test harness).
+        assert_eq!(resolve(Some("scalar")).backend, KernelBackend::Scalar);
+        let auto = resolve(None).backend;
+        assert_eq!(resolve(Some("")).backend, auto);
+        assert_eq!(resolve(Some("turbo")).backend, auto);
+        if avx2_supported() {
+            assert_eq!(resolve(Some("avx2")).backend, KernelBackend::Avx2);
+            assert_eq!(auto, KernelBackend::Avx2);
+        } else {
+            assert_eq!(resolve(Some("avx2")).backend, KernelBackend::Scalar);
+            assert_eq!(auto, KernelBackend::Scalar);
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_shapes() {
+        for kern in backends() {
+            let mut out = vec![0.0f32; 0];
+            (kern.matmul)(&[], &[], &mut out, 0, 0, 0);
+            let mut out = vec![0.0f32; 3];
+            (kern.matmul)(&[], &[], &mut out, 3, 0, 1);
+            assert_eq!(out, [0.0; 3], "{}: k=0 must leave zeros", kern.backend);
+            let mut out = vec![0.0f32; 2];
+            (kern.matvec)(&[], &[], &mut out, 2, 0);
+            assert_eq!(out, [0.0; 2], "{}", kern.backend);
+            (kern.seg_accum)(&mut [], &[]);
+        }
+    }
+}

@@ -14,6 +14,11 @@
 //!   has a different shape, so the tree-LSTM circuit differs per example.
 //! * [`grad_check`] — central-finite-difference gradient verification used
 //!   throughout the test suite.
+//! * [`kernels`] — the explicit SIMD layer underneath it all: blocked
+//!   scalar reference kernels plus AVX2+FMA implementations of
+//!   matmul / matvec / segment-sum row accumulation, resolved once at
+//!   first use via runtime feature detection (`CCSA_KERNEL=scalar|avx2`
+//!   overrides for A/B testing).
 //!
 //! # Example
 //!
@@ -29,11 +34,13 @@
 //! ```
 
 mod grad_check;
+pub mod kernels;
 mod shape;
 mod tape;
 mod tensor;
 
 pub use grad_check::{grad_check, GradCheckReport, TapeScalar};
+pub use kernels::{KernelBackend, Kernels};
 pub use shape::Shape;
 pub use tape::{Adjacency, Gradients, Tape, Var};
 pub use tensor::Tensor;

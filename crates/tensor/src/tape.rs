@@ -506,12 +506,14 @@ impl Tape {
             None => vec![0.0f32; segments * d],
         };
         let src = mv.as_slice();
+        // Row accumulation goes through the dispatched kernel layer
+        // (AVX2 `vaddps` when available); per-element add order is
+        // unchanged, so backends are bit-identical here.
+        let accum = crate::kernels::active().seg_accum;
         for s in 0..segments {
             let dst = &mut out[s * d..(s + 1) * d];
             for r in offsets[s]..offsets[s + 1] {
-                for (o, &v) in dst.iter_mut().zip(&src[r * d..(r + 1) * d]) {
-                    *o += v;
-                }
+                accum(dst, &src[r * d..(r + 1) * d]);
             }
         }
         self.push(

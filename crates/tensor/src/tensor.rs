@@ -3,6 +3,7 @@
 use std::fmt;
 use std::sync::Arc;
 
+use crate::kernels;
 use crate::Shape;
 
 /// A dense, row-major, immutable-by-default `f32` tensor of rank ≤ 2.
@@ -357,69 +358,14 @@ impl Tensor {
             "matmul inner dimension mismatch: {} vs {}",
             self.shape, other.shape
         );
-        let a = &self.data;
-        let b = &other.data;
         let mut out = vec![0.0f32; m * n];
-        // Blocked i-k-j kernel: output rows are processed in chunks of
-        // four so every streamed `b` row is reused by four accumulator
-        // rows while it is hot, and the j loop is 4-unrolled to keep
-        // independent FMA chains in flight. Accumulation over k stays
-        // ascending per output element, so results are bit-identical to
-        // `matvec`'s dot products — and there is deliberately no
-        // zero-skip: `0 · NaN` and `0 · ∞` must produce NaN (IEEE-754),
-        // not silently vanish.
-        let mut i = 0;
-        while i + 4 <= m {
-            let (r01, r23) = out[i * n..(i + 4) * n].split_at_mut(2 * n);
-            let (r0, r1) = r01.split_at_mut(n);
-            let (r2, r3) = r23.split_at_mut(n);
-            for kk in 0..k {
-                let a0 = a[i * k + kk];
-                let a1 = a[(i + 1) * k + kk];
-                let a2 = a[(i + 2) * k + kk];
-                let a3 = a[(i + 3) * k + kk];
-                let brow = &b[kk * n..(kk + 1) * n];
-                let mut j = 0;
-                while j + 4 <= n {
-                    let (b0, b1, b2, b3) = (brow[j], brow[j + 1], brow[j + 2], brow[j + 3]);
-                    r0[j] += a0 * b0;
-                    r0[j + 1] += a0 * b1;
-                    r0[j + 2] += a0 * b2;
-                    r0[j + 3] += a0 * b3;
-                    r1[j] += a1 * b0;
-                    r1[j + 1] += a1 * b1;
-                    r1[j + 2] += a1 * b2;
-                    r1[j + 3] += a1 * b3;
-                    r2[j] += a2 * b0;
-                    r2[j + 1] += a2 * b1;
-                    r2[j + 2] += a2 * b2;
-                    r2[j + 3] += a2 * b3;
-                    r3[j] += a3 * b0;
-                    r3[j + 1] += a3 * b1;
-                    r3[j + 2] += a3 * b2;
-                    r3[j + 3] += a3 * b3;
-                    j += 4;
-                }
-                while j < n {
-                    let bv = brow[j];
-                    r0[j] += a0 * bv;
-                    r1[j] += a1 * bv;
-                    r2[j] += a2 * bv;
-                    r3[j] += a3 * bv;
-                    j += 1;
-                }
-            }
-            i += 4;
-        }
-        // Remainder rows (m not a multiple of 4): single-row unrolled axpy.
-        while i < m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (kk, &aik) in arow.iter().enumerate() {
-                axpy_unrolled(orow, aik, &b[kk * n..(kk + 1) * n]);
-            }
-            i += 1;
-        }
+        // Dispatched kernel (see [`crate::kernels`]): blocked IEEE-strict
+        // scalar loops or AVX2+FMA, resolved once at first use. Both
+        // backends accumulate k-ascending per output element, so results
+        // are bit-identical to `matvec`'s dot products under the same
+        // backend — and neither zero-skips: `0 · NaN` and `0 · ∞` must
+        // produce NaN (IEEE-754), not silently vanish.
+        (kernels::active().matmul)(&self.data, &other.data, &mut out, m, k, n);
         Tensor::from_vec(out, [m, n])
     }
 
@@ -450,11 +396,7 @@ impl Tensor {
             x.shape
         );
         let mut out = vec![0.0f32; m];
-        if k > 0 {
-            for (o, row) in out.iter_mut().zip(self.data.chunks_exact(k)) {
-                *o = row.iter().zip(x.data.iter()).map(|(&a, &b)| a * b).sum();
-            }
-        }
+        (kernels::active().matvec)(&self.data, &x.data, &mut out, m, k);
         Tensor::from_vec(out, [m])
     }
 
@@ -504,24 +446,6 @@ impl Tensor {
             .zip(other.data.iter())
             .map(|(&a, &b)| (a - b).abs())
             .fold(0.0, f32::max)
-    }
-}
-
-/// `dst[j] += a * src[j]`, 4-unrolled over column chunks (remainder
-/// handled elementwise). The k-ascending call order in [`Tensor::matmul`]
-/// keeps per-element accumulation identical to [`Tensor::matvec`].
-#[inline(always)]
-fn axpy_unrolled(dst: &mut [f32], a: f32, src: &[f32]) {
-    let mut d = dst.chunks_exact_mut(4);
-    let mut s = src.chunks_exact(4);
-    for (dd, ss) in d.by_ref().zip(s.by_ref()) {
-        dd[0] += a * ss[0];
-        dd[1] += a * ss[1];
-        dd[2] += a * ss[2];
-        dd[3] += a * ss[3];
-    }
-    for (dd, &sv) in d.into_remainder().iter_mut().zip(s.remainder()) {
-        *dd += a * sv;
     }
 }
 
@@ -599,10 +523,12 @@ mod tests {
 
     #[test]
     fn matmul_matches_reference_kernel_all_block_shapes() {
-        // The blocked kernel must agree bit-for-bit with a naive i-k-j
-        // triple loop (same k-ascending accumulation order), across row
-        // counts that hit the 4-row blocks, the remainder rows, and
-        // column counts that hit the unrolled and remainder j paths.
+        // The dispatched kernel must agree bit-for-bit with a naive i-k-j
+        // triple loop in the active backend's per-term rounding (mul+add
+        // for scalar, single-rounding `mul_add` for avx2), across row
+        // counts that hit the blocked/vector paths, the remainder rows,
+        // and column counts that hit the unrolled and remainder j paths.
+        let backend = kernels::active().backend;
         for &(m, k, n) in &[
             (1usize, 1usize, 1usize),
             (4, 4, 4),
@@ -611,6 +537,9 @@ mod tests {
             (8, 6, 9),
             (9, 2, 5),
             (6, 7, 4),
+            (4, 9, 16),
+            (7, 5, 19),
+            (8, 16, 33),
         ] {
             let a = Tensor::from_vec(
                 (0..m * k)
@@ -630,11 +559,16 @@ mod tests {
                 for kk in 0..k {
                     let aik = a.as_slice()[i * k + kk];
                     for j in 0..n {
-                        expect[i * n + j] += aik * b.as_slice()[kk * n + j];
+                        let term = b.as_slice()[kk * n + j];
+                        let cur = expect[i * n + j];
+                        expect[i * n + j] = match backend {
+                            kernels::KernelBackend::Scalar => cur + aik * term,
+                            kernels::KernelBackend::Avx2 => aik.mul_add(term, cur),
+                        };
                     }
                 }
             }
-            assert_eq!(c.as_slice(), &expect[..], "({m},{k},{n})");
+            assert_eq!(c.as_slice(), &expect[..], "({m},{k},{n}) [{backend}]");
         }
     }
 
