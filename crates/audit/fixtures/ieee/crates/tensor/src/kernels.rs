@@ -1,0 +1,14 @@
+//! Seeded violations: the exact zero-skip and NaN-masking patterns the
+//! `ieee` rule regression-proofs against reappearing in the kernels.
+
+pub fn scale(a: &[f32], out: &mut [f32]) {
+    for (i, &x) in a.iter().enumerate() {
+        if x == 0.0 {
+            continue;
+        }
+        if x.is_nan() {
+            continue;
+        }
+        out[i] = x * 2.0;
+    }
+}

@@ -1,0 +1,24 @@
+//! Seeded violation: two functions acquiring the same pair of locks in
+//! opposite orders — the AB-BA deadlock shape the `lockorder` rule's
+//! acquisition graph must report as a cycle.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    first: Mutex<u32>,
+    second: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let a = self.first.lock().expect("first poisoned");
+        let b = self.second.lock().expect("second poisoned");
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u32 {
+        let b = self.second.lock().expect("second poisoned");
+        let a = self.first.lock().expect("first poisoned");
+        *a - *b
+    }
+}

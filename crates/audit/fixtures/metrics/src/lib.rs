@@ -1,0 +1,11 @@
+//! Seeded violations: one `ccsa_*` literal that is not a legal
+//! Prometheus metric name, and one declared at two different sites.
+
+pub fn register(families: &mut Vec<(String, f64)>) {
+    families.push(("ccsa_fixture_bad-name".to_string(), 1.0));
+    families.push(("ccsa_fixture_dup_total".to_string(), 1.0));
+}
+
+pub fn register_again(families: &mut Vec<(String, f64)>) {
+    families.push(("ccsa_fixture_dup_total".to_string(), 2.0));
+}

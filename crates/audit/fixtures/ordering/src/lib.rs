@@ -1,0 +1,10 @@
+//! Seeded violation: an explicit `Ordering::SeqCst` with no
+//! justification comment on or above the line.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub static BUMPS: AtomicUsize = AtomicUsize::new(0);
+
+pub fn bump() -> usize {
+    BUMPS.fetch_add(1, Ordering::SeqCst)
+}

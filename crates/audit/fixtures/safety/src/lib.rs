@@ -1,0 +1,6 @@
+//! Seeded violation: an `unsafe` block with no `// SAFETY:` comment.
+
+pub fn first_byte(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,10 @@
+//! Seeded violations: `unwrap()` and `expect()` on an untrusted
+//! request-parse path, where malformed input must become a typed error.
+
+pub fn parse_len(text: &str) -> usize {
+    text.trim().parse::<usize>().unwrap()
+}
+
+pub fn first(bytes: &[u8]) -> u8 {
+    bytes.first().copied().expect("empty payload")
+}

@@ -1,0 +1,8 @@
+//! Seeded violation: `restart` is gated but not mutating — a stale or
+//! misspelled gate entry.
+
+const LOOPBACK_GATED_VERBS: &[&str] = &["shutdown", "reload_routes", "restart"];
+
+pub fn gated(verb: &str) -> bool {
+    LOOPBACK_GATED_VERBS.contains(&verb)
+}

@@ -1,0 +1,8 @@
+//! Seeded violation: the gate list is missing `reload_routes`, leaving
+//! a mutating verb remotely callable.
+
+const LOOPBACK_GATED_VERBS: &[&str] = &["shutdown"];
+
+pub fn gated(verb: &str) -> bool {
+    LOOPBACK_GATED_VERBS.contains(&verb)
+}

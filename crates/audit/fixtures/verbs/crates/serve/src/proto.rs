@@ -1,0 +1,3 @@
+//! Fixture source of truth: two mutating verbs.
+
+pub const MUTATING_VERBS: &[&str] = &["shutdown", "reload_routes"];

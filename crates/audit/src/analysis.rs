@@ -1,0 +1,229 @@
+//! Shared structural helpers the rules build on: test-region detection,
+//! comment-justification lookup, and function/body spans reconstructed
+//! from the token stream.
+
+use crate::lexer::{SourceFile, TokKind, Token};
+
+/// Inclusive 1-based line ranges covered by `#[cfg(test)] mod … { … }`
+/// blocks (including the attribute line itself).
+pub fn test_line_ranges(file: &SourceFile) -> Vec<(usize, usize)> {
+    let toks = &file.tokens;
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('['))
+            && toks.get(i + 2).is_some_and(|t| t.is_ident("cfg"))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct('('))
+        {
+            let attr_line = toks[i].line;
+            // Scan the cfg predicate for a bare `test` ident.
+            let mut j = i + 4;
+            let mut depth = 1usize;
+            let mut is_test_cfg = false;
+            while j < toks.len() && depth > 0 {
+                if toks[j].is_punct('(') {
+                    depth += 1;
+                } else if toks[j].is_punct(')') {
+                    depth -= 1;
+                } else if toks[j].is_ident("test") {
+                    is_test_cfg = true;
+                }
+                j += 1;
+            }
+            // Expect `]`, optional further attributes, then `mod name {`.
+            if j < toks.len() && toks[j].is_punct(']') {
+                j += 1;
+                while toks.get(j).is_some_and(|t| t.is_punct('#'))
+                    && toks.get(j + 1).is_some_and(|t| t.is_punct('['))
+                {
+                    let mut d = 0usize;
+                    j += 1;
+                    loop {
+                        match toks.get(j) {
+                            Some(t) if t.is_punct('[') => d += 1,
+                            Some(t) if t.is_punct(']') => {
+                                d -= 1;
+                                if d == 0 {
+                                    j += 1;
+                                    break;
+                                }
+                            }
+                            Some(_) => {}
+                            None => break,
+                        }
+                        j += 1;
+                    }
+                }
+            }
+            if is_test_cfg && toks.get(j).is_some_and(|t| t.is_ident("mod")) {
+                // Find the opening brace (a `mod name;` has none).
+                let mut k = j + 1;
+                while k < toks.len() && !toks[k].is_punct('{') && !toks[k].is_punct(';') {
+                    k += 1;
+                }
+                if toks.get(k).is_some_and(|t| t.is_punct('{')) {
+                    if let Some(close) = matching_brace(toks, k) {
+                        ranges.push((attr_line, toks[close].line));
+                        i = close;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// Whether the whole file is test/bench-only code (integration tests,
+/// benches, examples).
+pub fn is_test_file(path: &str) -> bool {
+    path.starts_with("tests/")
+        || path.contains("/tests/")
+        || path.contains("/benches/")
+        || path.starts_with("examples/")
+        || path.contains("/examples/")
+}
+
+/// Whether 1-based `line` falls inside a `#[cfg(test)]` region of `file`
+/// (precomputed `ranges` from [`test_line_ranges`]).
+pub fn in_ranges(ranges: &[(usize, usize)], line: usize) -> bool {
+    ranges.iter().any(|&(a, b)| (a..=b).contains(&line))
+}
+
+/// The token index of the `}` matching the `{` at `open`, tracking
+/// nesting. Returns `None` on unbalanced input.
+pub fn matching_brace(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (ix, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(ix);
+            }
+        }
+    }
+    None
+}
+
+/// Whether a justification comment containing `needle` (case-sensitive)
+/// exists on `line` itself or in the contiguous comment/attribute block
+/// directly above it. Attribute lines (`#[…]`) and the `}` -free
+/// continuation lines of the attribute may sit between the comment and
+/// the code (e.g. a doc comment above `#[target_feature]` + `unsafe fn`).
+pub fn comment_block_contains(file: &SourceFile, line: usize, needle: &str) -> bool {
+    if file.comment_on(line).contains(needle) {
+        return true;
+    }
+    let mut n = line;
+    let mut walked = 0usize;
+    while n > 1 && walked < 40 {
+        n -= 1;
+        walked += 1;
+        let trimmed = file.line(n).trim();
+        if file.is_comment_only(n) {
+            if file.comment_on(n).contains(needle) {
+                return true;
+            }
+            continue;
+        }
+        // Attribute lines (and their multi-line continuations, which end
+        // in `]` or contain only attribute args) are transparent.
+        if trimmed.starts_with("#[") || trimmed.starts_with("#![") {
+            continue;
+        }
+        break;
+    }
+    false
+}
+
+/// One `fn` item (or nested fn/closure-owning fn) with its body token
+/// span (`{`..=`}` indices into `file.tokens`).
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Token index of the opening `{`.
+    pub body_open: usize,
+    /// Token index of the closing `}`.
+    pub body_close: usize,
+}
+
+/// Every function body in the file, in source order. Trait/extern fn
+/// declarations without bodies are skipped. Nested functions produce
+/// their own span in addition to being covered by the outer one.
+pub fn fn_spans(file: &SourceFile) -> Vec<FnSpan> {
+    let toks = &file.tokens;
+    let mut spans = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("fn") {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokKind::Ident {
+            continue;
+        }
+        // Walk to the body `{`, skipping the signature. Generic bounds
+        // can nest `<`…`>` but never braces; a `;` first means no body.
+        let mut j = i + 2;
+        while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+            j += 1;
+        }
+        if toks.get(j).is_some_and(|t| t.is_punct('{')) {
+            if let Some(close) = matching_brace(toks, j) {
+                spans.push(FnSpan {
+                    name: name_tok.text.clone(),
+                    line: toks[i].line,
+                    body_open: j,
+                    body_close: close,
+                });
+            }
+        }
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::SourceFile;
+
+    #[test]
+    fn finds_cfg_test_ranges() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() {}\n}\nfn c() {}\n";
+        let f = SourceFile::lex("crates/x/src/lib.rs", src);
+        let r = test_line_ranges(&f);
+        assert_eq!(r, vec![(2, 5)]);
+        assert!(in_ranges(&r, 4));
+        assert!(!in_ranges(&r, 6));
+    }
+
+    #[test]
+    fn finds_cfg_all_test_ranges() {
+        let src = "#[cfg(all(test, unix))]\nmod tests {\n  fn b() {}\n}\n";
+        let f = SourceFile::lex("crates/x/src/lib.rs", src);
+        assert_eq!(test_line_ranges(&f), vec![(1, 4)]);
+    }
+
+    #[test]
+    fn comment_block_lookup_skips_attributes() {
+        let src = "\n// SAFETY: fine\n#[target_feature(enable = \"avx2\")]\nunsafe fn f() {}\n";
+        let f = SourceFile::lex("crates/x/src/lib.rs", src);
+        assert!(comment_block_contains(&f, 4, "SAFETY"));
+        assert!(!comment_block_contains(&f, 4, "NOPE"));
+    }
+
+    #[test]
+    fn fn_spans_cover_bodies() {
+        let src = "fn outer() { let x = 1; }\ntrait T { fn decl(&self); }\n";
+        let f = SourceFile::lex("crates/x/src/lib.rs", src);
+        let spans = fn_spans(&f);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "outer");
+    }
+}

@@ -1,0 +1,561 @@
+//! A minimal Rust lexer: just enough token structure for the audit
+//! rules, in the same hand-rolled style as the mini-C++ frontend in
+//! `ccsa-cppast`.
+//!
+//! The lexer's one job is to make rule matching *token-accurate*: an
+//! `unsafe` inside a string literal or a doc comment must never count
+//! as an unsafe site, and a `// SAFETY:` inside a string must never
+//! count as a justification. It therefore separates the character
+//! stream into
+//!
+//! * **tokens** — identifiers, string/char/number literals, lifetimes,
+//!   and single-character punctuation, each carrying its 1-based line;
+//! * **comments** — a per-line map of all comment text visible on that
+//!   line (line comments, doc comments, and every line a block comment
+//!   spans), which is what the "justification comment" rules read.
+//!
+//! It does not parse: brace depths, item boundaries and statement
+//! boundaries are reconstructed by the rules that need them. Raw
+//! strings (any `#` depth), nested block comments, byte strings, char
+//! literals vs. lifetimes, and float literals are all handled, because
+//! the workspace uses all of them.
+
+use std::collections::HashMap;
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// String literal (`text` holds the *raw contents*, quotes and
+    /// prefixes stripped, escapes left as written).
+    Str,
+    /// Char literal.
+    Char,
+    /// Number literal (integer or float, suffix included).
+    Num,
+    /// A lifetime such as `'a`.
+    Lifetime,
+    /// One punctuation character.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for what Str stores).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// Whether this token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// A lexed source file.
+pub struct SourceFile {
+    /// Repo-relative path, forward slashes.
+    pub path: String,
+    /// The raw lines (1-based access via [`SourceFile::line`]).
+    pub lines: Vec<String>,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// Comment text per 1-based line: every comment fragment visible on
+    /// that line, joined with `\n`. Block comments contribute their full
+    /// text to every line they span.
+    pub comments: HashMap<usize, String>,
+    /// Lines whose only non-whitespace content is comment text.
+    pub comment_only: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Lexes `source` under the given repo-relative path.
+    pub fn lex(path: &str, source: &str) -> SourceFile {
+        Lexer::new(source).run(path)
+    }
+
+    /// The 1-based line `n`, or "" past EOF.
+    pub fn line(&self, n: usize) -> &str {
+        self.lines
+            .get(n.wrapping_sub(1))
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+
+    /// All comment text on line `n` ("" when none).
+    pub fn comment_on(&self, n: usize) -> &str {
+        self.comments.get(&n).map(String::as_str).unwrap_or("")
+    }
+
+    /// Whether line `n` holds only comment text (and whitespace).
+    pub fn is_comment_only(&self, n: usize) -> bool {
+        *self.comment_only.get(n.wrapping_sub(1)).unwrap_or(&false)
+    }
+
+    /// The crate name this file belongs to (`crates/<name>/…`), or
+    /// "root" for the top-level `src`/`tests` trees.
+    pub fn crate_name(&self) -> &str {
+        let mut parts = self.path.split('/');
+        if parts.next() == Some("crates") {
+            if let Some(name) = parts.next() {
+                return name;
+            }
+        }
+        "root"
+    }
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    tokens: Vec<Token>,
+    comments: HashMap<usize, String>,
+    /// Lines on which at least one token starts.
+    token_lines: Vec<usize>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Lexer<'a> {
+        Lexer {
+            bytes: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            tokens: Vec::new(),
+            comments: HashMap::new(),
+            token_lines: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    /// Advances one byte, tracking newlines.
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: usize) {
+        self.token_lines.push(line);
+        self.tokens.push(Token { kind, text, line });
+    }
+
+    fn add_comment(&mut self, line: usize, text: &str) {
+        let slot = self.comments.entry(line).or_default();
+        if !slot.is_empty() {
+            slot.push('\n');
+        }
+        slot.push_str(text);
+    }
+
+    fn run(mut self, path: &str) -> SourceFile {
+        while let Some(b) = self.peek() {
+            let line = self.line;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek_at(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek_at(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(line, 0),
+                b'r' | b'b' => {
+                    if !self.maybe_prefixed_literal(line) {
+                        self.ident(line);
+                    }
+                }
+                b'\'' => self.char_or_lifetime(line),
+                b'0'..=b'9' => self.number(line),
+                b if b == b'_' || b.is_ascii_alphabetic() => self.ident(line),
+                _ => {
+                    self.bump();
+                    // Multibyte UTF-8 (only ever appears in comments or
+                    // strings in this tree, but stay robust): consume
+                    // continuation bytes silently.
+                    if b < 0x80 {
+                        self.push(TokKind::Punct, (b as char).to_string(), line);
+                    }
+                }
+            }
+        }
+        let lines: Vec<String> = std::str::from_utf8(self.bytes)
+            .unwrap_or("")
+            .lines()
+            .map(str::to_string)
+            .collect();
+        let mut comment_only = vec![false; lines.len()];
+        for (ix, flag) in comment_only.iter_mut().enumerate() {
+            let n = ix + 1;
+            let has_comment = self.comments.contains_key(&n);
+            let has_token = self.token_lines.contains(&n);
+            *flag = has_comment && !has_token;
+        }
+        SourceFile {
+            path: path.replace('\\', "/"),
+            lines,
+            tokens: self.tokens,
+            comments: self.comments,
+            comment_only,
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let start_line = self.line;
+        let begin = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.bytes[begin..self.pos])
+            .unwrap_or("")
+            .to_string();
+        self.add_comment(start_line, &text);
+    }
+
+    fn block_comment(&mut self) {
+        let begin = self.pos;
+        let first_line = self.line;
+        self.bump();
+        self.bump(); // consume /*
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[begin..self.pos]).unwrap_or("");
+        for line in first_line..=self.line {
+            self.add_comment(line, text);
+        }
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'` — returns
+    /// false if this is actually just an identifier starting with r/b.
+    fn maybe_prefixed_literal(&mut self, line: usize) -> bool {
+        let mut off = 1; // past the r/b
+        let first = self.peek().unwrap_or(b'_');
+        let mut saw_r = first == b'r';
+        if first == b'b' {
+            match self.peek_at(1) {
+                Some(b'\'') => {
+                    // byte char literal b'x'
+                    self.bump(); // b
+                    self.char_or_lifetime(line);
+                    return true;
+                }
+                Some(b'r') => {
+                    saw_r = true;
+                    off = 2;
+                }
+                Some(b'"') => {
+                    self.bump(); // b
+                    self.string(line, 0);
+                    return true;
+                }
+                _ => return false,
+            }
+        }
+        if !saw_r {
+            return false;
+        }
+        // raw string: r[#...]" — count hashes.
+        let mut hashes = 0usize;
+        while self.peek_at(off + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if self.peek_at(off + hashes) != Some(b'"') {
+            return false; // identifier like `r` or `row`, or raw ident r#x
+        }
+        for _ in 0..off + hashes {
+            self.bump();
+        }
+        self.string(line, hashes);
+        true
+    }
+
+    /// Lexes a (raw) string body; `hashes` > 0 means raw-string rules
+    /// (no escapes, terminated by `"` + hashes). `pos` sits on the `"`.
+    fn string(&mut self, line: usize, hashes: usize) {
+        self.bump(); // opening quote
+        let begin = self.pos;
+        let mut end;
+        loop {
+            match self.peek() {
+                None => {
+                    end = self.pos;
+                    break;
+                }
+                Some(b'"') => {
+                    end = self.pos;
+                    if hashes == 0 {
+                        self.bump();
+                        break;
+                    }
+                    let mut ok = true;
+                    for h in 0..hashes {
+                        if self.peek_at(1 + h) != Some(b'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    self.bump();
+                    if ok {
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        break;
+                    }
+                }
+                Some(b'\\') if hashes == 0 => {
+                    self.bump();
+                    self.bump(); // the escaped byte (newline handled by bump)
+                }
+                Some(_) => {
+                    self.bump();
+                }
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[begin..end])
+            .unwrap_or("")
+            .to_string();
+        self.push(TokKind::Str, text, line);
+    }
+
+    fn char_or_lifetime(&mut self, line: usize) {
+        self.bump(); // opening '
+                     // Lifetime: 'ident not closed by '. Char: anything else.
+        let is_lifetime = match self.peek() {
+            Some(c) if c == b'_' || c.is_ascii_alphabetic() => {
+                // scan the ident run; lifetime iff not followed by '
+                let mut off = 0;
+                while matches!(self.peek_at(off), Some(c) if c == b'_' || c.is_ascii_alphanumeric())
+                {
+                    off += 1;
+                }
+                self.peek_at(off) != Some(b'\'')
+            }
+            _ => false,
+        };
+        if is_lifetime {
+            let begin = self.pos;
+            while matches!(self.peek(), Some(c) if c == b'_' || c.is_ascii_alphanumeric()) {
+                self.bump();
+            }
+            let text = std::str::from_utf8(&self.bytes[begin..self.pos])
+                .unwrap_or("")
+                .to_string();
+            self.push(TokKind::Lifetime, text, line);
+            return;
+        }
+        // Char literal: consume until closing quote, honoring escapes.
+        let begin = self.pos;
+        loop {
+            match self.peek() {
+                None => break,
+                Some(b'\\') => {
+                    self.bump();
+                    self.bump();
+                }
+                Some(b'\'') => {
+                    break;
+                }
+                Some(_) => {
+                    self.bump();
+                }
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[begin..self.pos])
+            .unwrap_or("")
+            .to_string();
+        self.bump(); // closing '
+        self.push(TokKind::Char, text, line);
+    }
+
+    fn number(&mut self, line: usize) {
+        let begin = self.pos;
+        // Hex/octal/binary prefixes take the alnum+underscore run.
+        if self.peek() == Some(b'0') && matches!(self.peek_at(1), Some(b'x' | b'o' | b'b')) {
+            self.bump();
+            self.bump();
+            while matches!(self.peek(), Some(c) if c == b'_' || c.is_ascii_alphanumeric()) {
+                self.bump();
+            }
+        } else {
+            while matches!(self.peek(), Some(c) if c == b'_' || c.is_ascii_digit()) {
+                self.bump();
+            }
+            // Fraction: '.' followed by a digit (so `0..n` stays a range)
+            // or a bare trailing `0.` (followed by non-ident, e.g. `0.`).
+            if self.peek() == Some(b'.') {
+                let after = self.peek_at(1);
+                let fraction = match after {
+                    Some(c) if c.is_ascii_digit() => true,
+                    // `1.` before `)`/`,`/operator is a float; `1.x` or
+                    // `1..` is field access / range.
+                    Some(b'.') => false,
+                    Some(c) if c == b'_' || c.is_ascii_alphabetic() => false,
+                    _ => true,
+                };
+                if fraction {
+                    self.bump();
+                    while matches!(self.peek(), Some(c) if c == b'_' || c.is_ascii_digit()) {
+                        self.bump();
+                    }
+                }
+            }
+            // Exponent.
+            if matches!(self.peek(), Some(b'e' | b'E'))
+                && matches!(self.peek_at(1), Some(c) if c.is_ascii_digit() || c == b'+' || c == b'-')
+            {
+                // Only when followed by digits / sign+digits (else `3e`
+                // would swallow an ident — not valid Rust anyway).
+                self.bump();
+                if matches!(self.peek(), Some(b'+' | b'-')) {
+                    self.bump();
+                }
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == b'_') {
+                    self.bump();
+                }
+            }
+        }
+        // Type suffix (f32, u64, usize…).
+        while matches!(self.peek(), Some(c) if c == b'_' || c.is_ascii_alphanumeric()) {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.bytes[begin..self.pos])
+            .unwrap_or("")
+            .to_string();
+        self.push(TokKind::Num, text, line);
+    }
+
+    fn ident(&mut self, line: usize) {
+        let begin = self.pos;
+        while matches!(self.peek(), Some(c) if c == b'_' || c.is_ascii_alphanumeric()) {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.bytes[begin..self.pos])
+            .unwrap_or("")
+            .to_string();
+        self.push(TokKind::Ident, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_do_not_leak_tokens() {
+        let src = r##"
+// unsafe in a comment
+let x = "unsafe { Ordering::SeqCst }"; // trailing
+let r = r#"also "unsafe" here"#;
+/* block unsafe
+   spanning lines */
+unsafe { work() }
+"##;
+        let f = SourceFile::lex("crates/x/src/lib.rs", src);
+        let unsafe_tokens: Vec<_> = f.tokens.iter().filter(|t| t.is_ident("unsafe")).collect();
+        assert_eq!(unsafe_tokens.len(), 1, "only the real unsafe block");
+        assert_eq!(unsafe_tokens[0].line, 7);
+        assert!(f.comment_on(2).contains("unsafe in a comment"));
+        assert!(f.comment_on(3).contains("trailing"));
+        assert!(f.comment_on(5).contains("block unsafe"));
+        assert!(f.comment_on(6).contains("spanning lines"));
+        assert!(f.is_comment_only(2));
+        assert!(!f.is_comment_only(3));
+        let strs: Vec<_> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(strs.len(), 2);
+        assert!(strs[1].contains("also \"unsafe\" here"));
+    }
+
+    #[test]
+    fn floats_chars_lifetimes() {
+        let src = "fn f<'a>(x: &'a f32) { if *x == 0.0 { } let c = 'x'; let r = 0..3; }";
+        let f = SourceFile::lex("crates/x/src/lib.rs", src);
+        assert!(f
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "0.0"));
+        assert!(f
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        assert!(f
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text == "x"));
+        // The range endpoints lex as two integer tokens, not a float.
+        assert!(f
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "0"));
+        assert!(f
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "3"));
+    }
+
+    #[test]
+    fn ordering_tokens_found() {
+        let src = "x.store(true, Ordering::SeqCst);";
+        let f = SourceFile::lex("crates/x/src/lib.rs", src);
+        let ix = f
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("Ordering"))
+            .unwrap();
+        assert!(f.tokens[ix + 1].is_punct(':'));
+        assert!(f.tokens[ix + 2].is_punct(':'));
+        assert!(f.tokens[ix + 3].is_ident("SeqCst"));
+    }
+
+    #[test]
+    fn crate_name_derivation() {
+        assert_eq!(
+            SourceFile::lex("crates/serve/src/batch.rs", "").crate_name(),
+            "serve"
+        );
+        assert_eq!(SourceFile::lex("src/lib.rs", "").crate_name(), "root");
+    }
+}

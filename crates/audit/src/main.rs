@@ -1,0 +1,144 @@
+//! `ccsa-audit` — run the workspace invariant rules over a source tree.
+//!
+//! ```text
+//! ccsa-audit [--root DIR] [--allowlist FILE] [--rules a,b,c] [--list]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings (or stale allowlist entries),
+//! `2` usage / IO error. The allowlist defaults to `<root>/audit.allow`
+//! when that file exists; pass `--allowlist none` to ignore it.
+
+use ccsa_audit::{run, Allowlist, Workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    allowlist: Option<PathBuf>,
+    rules: Option<Vec<String>>,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        allowlist: None,
+        rules: None,
+        list: false,
+    };
+    let mut no_allowlist = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--root" => args.root = PathBuf::from(value("--root")?),
+            "--allowlist" => {
+                let v = value("--allowlist")?;
+                if v == "none" {
+                    no_allowlist = true;
+                } else {
+                    args.allowlist = Some(PathBuf::from(v));
+                }
+            }
+            "--rules" => {
+                args.rules = Some(value("--rules")?.split(',').map(str::to_string).collect())
+            }
+            "--list" => args.list = true,
+            "--help" | "-h" => {
+                return Err("usage: ccsa-audit [--root DIR] [--allowlist FILE|none] \
+                            [--rules a,b,c] [--list]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    if args.allowlist.is_none() && !no_allowlist {
+        let default = args.root.join("audit.allow");
+        if default.is_file() {
+            args.allowlist = Some(default);
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("ccsa-audit: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list {
+        for rule in ccsa_audit::rules::all() {
+            println!("{:<10} {}", rule.name, rule.help);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(names) = &args.rules {
+        for name in names {
+            if !ccsa_audit::rules::all().iter().any(|r| r.name == *name) {
+                eprintln!("ccsa-audit: unknown rule {name:?} (see --list)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let workspace = match Workspace::discover(&args.root) {
+        Ok(ws) => ws,
+        Err(msg) => {
+            eprintln!("ccsa-audit: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut allowlist = match &args.allowlist {
+        None => Allowlist::default(),
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("ccsa-audit: read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            match Allowlist::parse(&text) {
+                Ok(a) => a,
+                Err((line, msg)) => {
+                    eprintln!("ccsa-audit: {}:{line}: {msg}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let (findings, suppressed) = run(&workspace, &mut allowlist, args.rules.as_deref());
+    for finding in &findings {
+        println!("{finding}");
+    }
+    // Stale allowlist entries only count against a full run — a
+    // `--rules` subset legitimately leaves other rules' entries unused.
+    let stale = if args.rules.is_none() {
+        allowlist.unused()
+    } else {
+        Vec::new()
+    };
+    for entry in &stale {
+        eprintln!(
+            "ccsa-audit: stale allowlist entry at line {}: {} {} {} — no finding matches; remove it",
+            entry.source_line,
+            entry.rule,
+            entry.path,
+            entry.line.map_or("*".to_string(), |l| l.to_string()),
+        );
+    }
+    eprintln!(
+        "ccsa-audit: {} file(s), {} finding(s), {} suppressed, {} stale allowlist entr(ies)",
+        workspace.files.len(),
+        findings.len(),
+        suppressed,
+        stale.len()
+    );
+    if findings.is_empty() && stale.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

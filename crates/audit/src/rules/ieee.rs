@@ -1,0 +1,137 @@
+//! `ieee`: the kernel module must stay IEEE-strict. PR 4 removed a
+//! `aik == 0.0` sparsity skip from `matmul` that silently converted
+//! `0·NaN` / `0·∞` to `0`, masking diverged models before the loss
+//! could see them. This rule regression-proofs that class of bug at the
+//! source level: inside the kernel files, non-test code may not
+//!
+//! * compare against a floating-point zero (`== 0.0` / `!= 0.0`) — the
+//!   zero-skip pattern (integer zero guards like `k == 0` stay legal);
+//! * call `is_nan()` / `is_finite()` / `is_infinite()` — NaN-masking
+//!   belongs in callers that own a policy, never in the kernels.
+
+use crate::analysis::{in_ranges, test_line_ranges};
+use crate::lexer::TokKind;
+use crate::{Finding, Workspace};
+
+/// Path suffixes this rule applies to.
+const KERNEL_PATHS: &[&str] = &["crates/tensor/src/kernels.rs"];
+
+const NAN_MASKS: &[&str] = &["is_nan", "is_finite", "is_infinite"];
+
+/// Whether a number token is a floating-point zero (`0.0`, `0.`,
+/// `0f32`, `0.0f64`, `0_0.0`…). Integer zeros return false.
+fn is_float_zero(text: &str) -> bool {
+    let t = text.replace('_', "");
+    let (mantissa, is_float) = match (t.strip_suffix("f32"), t.strip_suffix("f64")) {
+        (Some(m), _) => (m.to_string(), true),
+        (_, Some(m)) => (m.to_string(), true),
+        _ => (
+            t.clone(),
+            t.contains('.') || t.contains('e') || t.contains('E'),
+        ),
+    };
+    if !is_float && !mantissa.contains('.') {
+        return false;
+    }
+    mantissa.parse::<f64>() == Ok(0.0)
+}
+
+pub(super) fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in &ws.files {
+        if !KERNEL_PATHS.iter().any(|p| file.path.ends_with(p)) {
+            continue;
+        }
+        let test_ranges = test_line_ranges(file);
+        let toks = &file.tokens;
+        for ix in 0..toks.len() {
+            let line = toks[ix].line;
+            if in_ranges(&test_ranges, line) {
+                continue;
+            }
+            // `== 0.0` / `!= 0.0` (either operand order).
+            let is_eq_op = (toks[ix].is_punct('=') || toks[ix].is_punct('!'))
+                && toks.get(ix + 1).is_some_and(|t| t.is_punct('='));
+            if is_eq_op {
+                let rhs_zero = toks
+                    .get(ix + 2)
+                    .is_some_and(|t| t.kind == TokKind::Num && is_float_zero(&t.text));
+                let lhs_zero = ix > 0
+                    && toks[ix - 1].kind == TokKind::Num
+                    && is_float_zero(&toks[ix - 1].text);
+                // Exclude `!=`'s bang being the second char of `!=`… the
+                // token stream has '!' then '=' then '='? No: `!=` lexes
+                // as '!' '=', `==` as '=' '='. Both start the two-token
+                // window matched above.
+                if rhs_zero || lhs_zero {
+                    findings.push(Finding {
+                        rule: "ieee",
+                        path: file.path.clone(),
+                        line,
+                        message: "floating-point zero comparison in kernel code \
+                                  (zero-skip guards mask 0·NaN / 0·∞; keep kernels IEEE-strict)"
+                            .to_string(),
+                    });
+                }
+            }
+            // `.is_nan()` and friends.
+            if ix > 0
+                && toks[ix - 1].is_punct('.')
+                && NAN_MASKS.iter().any(|m| toks[ix].is_ident(m))
+            {
+                findings.push(Finding {
+                    rule: "ieee",
+                    path: file.path.clone(),
+                    line,
+                    message: format!(
+                        "{}() in kernel code — NaN classification/masking belongs in \
+                         callers, kernels must propagate",
+                        toks[ix].text
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_zero_skip_and_nan_mask_outside_tests() {
+        let src = "fn k(a: f32) {\n\
+                   if a == 0.0 { return; }\n\
+                   if 0.0 != a { }\n\
+                   if a.is_nan() { }\n\
+                   let n = 0; if n == 0 { }\n\
+                   }\n\
+                   #[cfg(test)]\nmod tests {\n fn t(c: f32) { assert!(c.is_nan()); let z = c == 0.0; }\n}\n";
+        let ws = Workspace::from_sources(&[("crates/tensor/src/kernels.rs", src)]);
+        let f = check(&ws);
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[1].line, 3);
+        assert_eq!(f[2].line, 4);
+    }
+
+    #[test]
+    fn other_files_are_out_of_scope() {
+        let ws = Workspace::from_sources(&[(
+            "crates/serve/src/json.rs",
+            "fn f(n: f64) -> bool { n.fract() == 0.0 }\n",
+        )]);
+        assert!(check(&ws).is_empty());
+    }
+
+    #[test]
+    fn float_zero_classifier() {
+        for z in ["0.0", "0.", "0f32", "0.0f64", "0_0.0", "0e0"] {
+            assert!(is_float_zero(z), "{z}");
+        }
+        for nz in ["0", "1.0", "0x0", "0usize", "10", "0.5"] {
+            assert!(!is_float_zero(nz), "{nz}");
+        }
+    }
+}

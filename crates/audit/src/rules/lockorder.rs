@@ -1,0 +1,341 @@
+//! `lockorder`: extract which locks are acquired while another guard is
+//! in scope, build the acquisition graph, and fail on cycles.
+//!
+//! The analysis is syntactic, per function body:
+//!
+//! * an **acquisition** is a no-argument `.lock()` / `.read()` /
+//!   `.write()` / `.try_*()` call; its **lock class** is the receiver's
+//!   final field/variable/function name, qualified by crate
+//!   (`serve:park`, `gateway:routing`) so unrelated crates never merge;
+//! * a `let`-bound acquisition produces a guard that lives until its
+//!   enclosing block closes or an explicit `drop(name)`;
+//! * an unbound (temporary) acquisition lives until the end of the
+//!   statement (next `;`);
+//! * every acquisition performed while guards are live adds edges
+//!   `held-class → new-class` into one workspace-wide digraph.
+//!
+//! A cycle in that graph — including a self-loop, i.e. acquiring a
+//! class while already holding it — is the classic deadlock shape, and
+//! each distinct cycle is reported once with the edge sites. Test code
+//! is exempt: tests lock ad hoc and their false-positive cost is high,
+//! while the runtime lockdep shim (ccsa-serve `lockdep`) covers them
+//! dynamically.
+
+use crate::analysis::{fn_spans, in_ranges, is_test_file, test_line_ranges};
+use crate::lexer::{SourceFile, TokKind};
+use crate::{Finding, Workspace};
+use std::collections::BTreeMap;
+
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write", "try_lock", "try_read", "try_write"];
+
+/// One `held → acquired` observation.
+#[derive(Debug, Clone)]
+struct Edge {
+    path: String,
+    line: usize,
+}
+
+struct Guard {
+    class: String,
+    /// Brace depth (relative to fn body) at which the guard's block
+    /// lives; popped when the depth drops below it.
+    depth: usize,
+    /// Bound name for `drop(name)` tracking, `None` for temporaries.
+    name: Option<String>,
+    /// Temporaries die at the next `;`.
+    temp: bool,
+}
+
+pub(super) fn check(ws: &Workspace) -> Vec<Finding> {
+    // held-class → acquired-class → first example site.
+    let mut graph: BTreeMap<String, BTreeMap<String, Edge>> = BTreeMap::new();
+    for file in &ws.files {
+        if is_test_file(&file.path) {
+            continue;
+        }
+        scan_file(file, &mut graph);
+    }
+    report_cycles(&graph)
+}
+
+fn scan_file(file: &SourceFile, graph: &mut BTreeMap<String, BTreeMap<String, Edge>>) {
+    let test_ranges = test_line_ranges(file);
+    let toks = &file.tokens;
+    for span in fn_spans(file) {
+        if in_ranges(&test_ranges, span.line) {
+            continue;
+        }
+        let mut guards: Vec<Guard> = Vec::new();
+        let mut depth = 0usize;
+        // A pending `let NAME =` binder; cleared at `;` or block open.
+        let mut pending_let: Option<String> = None;
+        let mut i = span.body_open;
+        while i <= span.body_close {
+            let t = &toks[i];
+            if t.is_punct('{') {
+                depth += 1;
+                pending_let = None;
+            } else if t.is_punct('}') {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+            } else if t.is_punct(';') {
+                guards.retain(|g| !g.temp);
+                pending_let = None;
+            } else if t.is_ident("let") {
+                // `let [mut] NAME` or `let PATTERN` — take the first
+                // identifier of the pattern as the binder name.
+                let mut j = i + 1;
+                while toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                    j += 1;
+                }
+                if let Some(name) = toks.get(j).filter(|t| t.kind == TokKind::Ident) {
+                    pending_let = Some(name.text.clone());
+                }
+            } else if t.is_ident("drop")
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+                && toks.get(i + 3).is_some_and(|t| t.is_punct(')'))
+            {
+                if let Some(name) = toks.get(i + 2).filter(|t| t.kind == TokKind::Ident) {
+                    guards.retain(|g| g.name.as_deref() != Some(&name.text));
+                }
+            } else if is_acquisition(file, i) {
+                let class = format!("{}:{}", file.crate_name(), receiver_class(file, i - 1));
+                for held in &guards {
+                    graph
+                        .entry(held.class.clone())
+                        .or_default()
+                        .entry(class.clone())
+                        .or_insert_with(|| Edge {
+                            path: file.path.clone(),
+                            line: t.line,
+                        });
+                }
+                guards.push(Guard {
+                    class,
+                    depth,
+                    name: pending_let.clone(),
+                    temp: pending_let.is_none(),
+                });
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Whether token `i` is the method name of a no-arg acquisition call
+/// (`recv.lock()` — the empty parens exclude `io::Read::read(&mut buf)`
+/// and friends).
+fn is_acquisition(file: &SourceFile, i: usize) -> bool {
+    let toks = &file.tokens;
+    i > 0
+        && toks[i - 1].is_punct('.')
+        && ACQUIRE_METHODS.iter().any(|m| toks[i].is_ident(m))
+        && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(')'))
+}
+
+/// The lock-class name of the receiver whose final `.` sits at token
+/// `dot`: the nearest identifier to the left — through one level of
+/// `(...)` call or `[...]` index if present (`self.stripes[i].lock()` →
+/// `stripes`, `self.stripe_for(k).lock()` → `stripe_for`).
+fn receiver_class(file: &SourceFile, dot: usize) -> String {
+    let toks = &file.tokens;
+    let mut j = dot;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        if t.kind == TokKind::Ident {
+            return t.text.clone();
+        }
+        let close = if t.is_punct(')') {
+            Some(('(', ')'))
+        } else if t.is_punct(']') {
+            Some(('[', ']'))
+        } else {
+            None
+        };
+        match close {
+            Some((open, shut)) => {
+                // Walk back over the balanced group.
+                let mut depth = 1usize;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    if toks[j].is_punct(shut) {
+                        depth += 1;
+                    } else if toks[j].is_punct(open) {
+                        depth -= 1;
+                    }
+                }
+            }
+            None => break,
+        }
+    }
+    "<expr>".to_string()
+}
+
+/// Finds every elementary cycle reachable in the graph and reports each
+/// once (smallest-class-first canonical form).
+fn report_cycles(graph: &BTreeMap<String, BTreeMap<String, Edge>>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut reported: Vec<Vec<String>> = Vec::new();
+    for start in graph.keys() {
+        let mut stack = vec![start.clone()];
+        dfs(graph, start, &mut stack, &mut reported, &mut findings);
+    }
+    findings
+}
+
+fn dfs(
+    graph: &BTreeMap<String, BTreeMap<String, Edge>>,
+    node: &str,
+    stack: &mut Vec<String>,
+    reported: &mut Vec<Vec<String>>,
+    findings: &mut Vec<Finding>,
+) {
+    let Some(nexts) = graph.get(node) else {
+        return;
+    };
+    for (next, edge) in nexts {
+        if let Some(pos) = stack.iter().position(|n| n == next) {
+            let cycle: Vec<String> = stack[pos..].to_vec();
+            let mut canon = cycle.clone();
+            canon.sort();
+            if reported.contains(&canon) {
+                continue;
+            }
+            reported.push(canon);
+            let mut path = cycle.clone();
+            path.push(next.clone());
+            let sites: Vec<String> = cycle
+                .iter()
+                .zip(path.iter().skip(1))
+                .filter_map(|(a, b)| {
+                    graph
+                        .get(a)
+                        .and_then(|m| m.get(b))
+                        .map(|e| format!("{}→{} at {}:{}", a, b, e.path, e.line))
+                })
+                .collect();
+            findings.push(Finding {
+                rule: "lockorder",
+                path: edge.path.clone(),
+                line: edge.line,
+                message: format!(
+                    "lock acquisition cycle {} ({})",
+                    path.join(" → "),
+                    sites.join("; ")
+                ),
+            });
+            continue;
+        }
+        if stack.len() < 16 {
+            stack.push(next.clone());
+            dfs(graph, next, stack, reported, findings);
+            stack.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposite_order_in_two_fns_is_a_cycle() {
+        let src = "fn ab(s: &S) {\n\
+                   let a = s.alpha.lock();\n\
+                   let b = s.beta.lock();\n\
+                   }\n\
+                   fn ba(s: &S) {\n\
+                   let b = s.beta.lock();\n\
+                   let a = s.alpha.lock();\n\
+                   }\n";
+        let ws = Workspace::from_sources(&[("crates/x/src/lib.rs", src)]);
+        let f = check(&ws);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("x:alpha"));
+        assert!(f[0].message.contains("x:beta"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = "fn ab(s: &S) { let a = s.alpha.lock(); let b = s.beta.lock(); }\n\
+                   fn ab2(s: &S) { let a = s.alpha.lock(); let b = s.beta.lock(); }\n";
+        let ws = Workspace::from_sources(&[("crates/x/src/lib.rs", src)]);
+        assert!(check(&ws).is_empty());
+    }
+
+    #[test]
+    fn self_loop_is_reported() {
+        let src = "fn f(s: &S) { let a = s.stripe.lock(); let b = s.stripe.lock(); }\n";
+        let ws = Workspace::from_sources(&[("crates/x/src/lib.rs", src)]);
+        let f = check(&ws);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("x:stripe → x:stripe"));
+    }
+
+    #[test]
+    fn block_scope_and_drop_release_guards() {
+        let src = "fn f(s: &S) {\n\
+                   { let a = s.alpha.lock(); }\n\
+                   let b = s.beta.lock();\n\
+                   }\n\
+                   fn g(s: &S) {\n\
+                   let b = s.beta.lock();\n\
+                   drop(b);\n\
+                   let a = s.alpha.lock();\n\
+                   }\n";
+        let ws = Workspace::from_sources(&[("crates/x/src/lib.rs", src)]);
+        assert!(check(&ws).is_empty(), "{:?}", check(&ws));
+    }
+
+    #[test]
+    fn temporaries_live_to_end_of_statement() {
+        // One statement takes beta while alpha's temporary guard is
+        // still live; the reverse order in g() completes the cycle.
+        let src = "fn f(s: &S) { use_both(s.alpha.lock().val, s.beta.lock().val); }\n\
+                   fn g(s: &S) { let b = s.beta.lock(); let a = s.alpha.lock(); }\n";
+        let ws = Workspace::from_sources(&[("crates/x/src/lib.rs", src)]);
+        let f = check(&ws);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn io_read_with_args_is_not_an_acquisition() {
+        let src = "fn f(mut s: TcpStream, b: &mut [u8]) { s.read(b).unwrap(); }\n";
+        let ws = Workspace::from_sources(&[("crates/x/src/lib.rs", src)]);
+        assert!(check(&ws).is_empty());
+    }
+
+    #[test]
+    fn crates_do_not_merge_classes() {
+        let ws = Workspace::from_sources(&[
+            (
+                "crates/x/src/lib.rs",
+                "fn f(s: &S) { let a = s.alpha.lock(); let b = s.beta.lock(); }\n",
+            ),
+            (
+                "crates/y/src/lib.rs",
+                "fn f(s: &S) { let b = s.beta.lock(); let a = s.alpha.lock(); }\n",
+            ),
+        ]);
+        assert!(check(&ws).is_empty());
+    }
+
+    #[test]
+    fn indexed_and_call_receivers_get_field_classes() {
+        let src = "fn f(s: &S, i: usize, k: u64) {\n\
+                   let a = s.stripes[i].lock();\n\
+                   let b = s.stripe_for(k).lock();\n\
+                   }\n\
+                   fn g(s: &S, i: usize, k: u64) {\n\
+                   let b = s.stripe_for(k).lock();\n\
+                   let a = s.stripes[i].lock();\n\
+                   }\n";
+        let ws = Workspace::from_sources(&[("crates/x/src/lib.rs", src)]);
+        let f = check(&ws);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("stripes"));
+        assert!(f[0].message.contains("stripe_for"));
+    }
+}

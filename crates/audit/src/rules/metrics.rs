@@ -1,0 +1,144 @@
+//! `metrics`: every `ccsa_*` string literal in non-test code is a
+//! metric-family declaration (the registries and exposition closures
+//! all take the name as a literal first argument), so two invariants
+//! are checked over them:
+//!
+//! * the name matches the Prometheus data-model regex
+//!   `[a-zA-Z_:][a-zA-Z0-9_:]*`;
+//! * each name is declared **exactly once** across the workspace —
+//!   two declaration sites for one family means either a copy-paste
+//!   divergence waiting to happen (help text / label sets drifting
+//!   apart) or a double registration.
+//!
+//! Test code is exempt (tests *reference* names to assert scrape
+//! output), as is `crates/audit` itself (its `ccsa_*` literals are
+//! lint patterns and fixtures, not registrations).
+
+use crate::analysis::{in_ranges, is_test_file, test_line_ranges};
+use crate::lexer::TokKind;
+use crate::{Finding, Workspace};
+use std::collections::BTreeMap;
+
+fn is_prometheus_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let first_ok = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
+    first_ok && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+pub(super) fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    // name → declaration sites (path, line).
+    let mut decls: BTreeMap<String, Vec<(String, usize)>> = BTreeMap::new();
+    for file in &ws.files {
+        if is_test_file(&file.path) || file.path.contains("crates/audit/") {
+            continue;
+        }
+        let test_ranges = test_line_ranges(file);
+        for tok in &file.tokens {
+            if tok.kind != TokKind::Str
+                || !tok.text.starts_with("ccsa_")
+                || in_ranges(&test_ranges, tok.line)
+            {
+                continue;
+            }
+            if !is_prometheus_name(&tok.text) {
+                findings.push(Finding {
+                    rule: "metrics",
+                    path: file.path.clone(),
+                    line: tok.line,
+                    message: format!(
+                        "metric name `{}` is not a legal Prometheus name \
+                         ([a-zA-Z_:][a-zA-Z0-9_:]*)",
+                        tok.text
+                    ),
+                });
+                continue;
+            }
+            decls
+                .entry(tok.text.clone())
+                .or_default()
+                .push((file.path.clone(), tok.line));
+        }
+    }
+    for (name, sites) in &decls {
+        if sites.len() > 1 {
+            let all: Vec<String> = sites.iter().map(|(p, l)| format!("{p}:{l}")).collect();
+            for (path, line) in sites {
+                findings.push(Finding {
+                    rule: "metrics",
+                    path: path.clone(),
+                    line: *line,
+                    message: format!(
+                        "metric family `{}` declared {} times ({}); each family \
+                         needs exactly one declaration site",
+                        name,
+                        sites.len(),
+                        all.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bad_name_is_flagged() {
+        let ws = Workspace::from_sources(&[(
+            "crates/x/src/lib.rs",
+            "fn f(r: &R) { r.counter(\"ccsa_bad-name\", \"help\", &[]); }\n",
+        )]);
+        let f = check(&ws);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("not a legal Prometheus name"));
+    }
+
+    #[test]
+    fn duplicate_declaration_is_flagged_at_both_sites() {
+        let ws = Workspace::from_sources(&[
+            (
+                "crates/x/src/lib.rs",
+                "fn f(r: &R) { r.counter(\"ccsa_requests_total\", \"a\", &[]); }\n",
+            ),
+            (
+                "crates/x/src/other.rs",
+                "fn g(r: &R) { r.counter(\"ccsa_requests_total\", \"b\", &[]); }\n",
+            ),
+        ]);
+        let f = check(&ws);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f[0].message.contains("declared 2 times"));
+    }
+
+    #[test]
+    fn tests_and_unique_declarations_are_clean() {
+        let ws = Workspace::from_sources(&[
+            (
+                "crates/x/src/lib.rs",
+                "fn f(r: &R) { r.counter(\"ccsa_requests_total\", \"a\", &[]); }\n\
+                 #[cfg(test)]\nmod tests {\n fn t(s: &str) { assert!(s.contains(\"ccsa_requests_total\")); }\n}\n",
+            ),
+            (
+                "crates/x/tests/e2e.rs",
+                "fn t(s: &str) { assert!(s.contains(\"ccsa_requests_total\")); }\n",
+            ),
+        ]);
+        assert!(check(&ws).is_empty(), "{:?}", check(&ws));
+    }
+
+    #[test]
+    fn prometheus_name_grammar() {
+        for good in ["ccsa_requests_total", "ccsa_ns:sub", "ccsa_A9"] {
+            assert!(is_prometheus_name(good), "{good}");
+        }
+        for bad in ["ccsa_bad-name", "ccsa_sp ace", "ccsa_é", "ccsa_x."] {
+            assert!(!is_prometheus_name(bad), "{bad}");
+        }
+    }
+}

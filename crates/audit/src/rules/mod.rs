@@ -1,0 +1,63 @@
+//! The rule registry. Each rule is a pure function over the lexed
+//! workspace returning findings; the driver applies the allowlist.
+
+mod ieee;
+mod lockorder;
+mod metrics;
+mod ordering;
+mod safety;
+mod unwrap;
+mod verbs;
+
+use crate::{Finding, Workspace};
+
+/// One registered rule.
+pub struct Rule {
+    /// Stable id, used in findings and allowlist entries.
+    pub name: &'static str,
+    /// One-line description for `--list`.
+    pub help: &'static str,
+    /// The check itself.
+    pub check: fn(&Workspace) -> Vec<Finding>,
+}
+
+/// Every rule, in reporting order.
+pub fn all() -> &'static [Rule] {
+    &[
+        Rule {
+            name: "safety",
+            help: "every `unsafe` block/fn must carry a `// SAFETY:` comment",
+            check: safety::check,
+        },
+        Rule {
+            name: "ordering",
+            help: "every explicit `Ordering::…` use must carry an ordering-justification comment",
+            check: ordering::check,
+        },
+        Rule {
+            name: "ieee",
+            help: "no `== 0.0` zero-skip guards or NaN-masking inside the tensor kernels",
+            check: ieee::check,
+        },
+        Rule {
+            name: "lockorder",
+            help: "the lock acquisition graph (guard held while acquiring) must be acyclic",
+            check: lockorder::check,
+        },
+        Rule {
+            name: "metrics",
+            help: "every `ccsa_*` literal is a legal Prometheus name and registered exactly once",
+            check: metrics::check,
+        },
+        Rule {
+            name: "verbs",
+            help: "every mutating proto verb appears in the gateway and fleet loopback gates",
+            check: verbs::check,
+        },
+        Rule {
+            name: "unwrap",
+            help: "no unwrap()/expect() on the untrusted request-parse paths",
+            check: unwrap::check,
+        },
+    ]
+}

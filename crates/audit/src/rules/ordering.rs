@@ -1,0 +1,143 @@
+//! `ordering`: every explicit `Ordering::{SeqCst,Acquire,Release,
+//! AcqRel,Relaxed}` use must carry an ordering-justification comment —
+//! a comment that names the ordering (e.g. "Relaxed: stats counter,
+//! read only at scrape time") or the word "ordering", on the same line
+//! or within the three lines above. A justified site also covers
+//! further `Ordering::` uses on the next two lines, so one comment can
+//! head a tight block of related atomic ops. Test regions are exempt
+//! (test atomics assert behaviour, they don't implement protocols);
+//! whole-file module-doc coverage goes through the allowlist instead.
+
+use crate::analysis::{in_ranges, is_test_file, test_line_ranges};
+use crate::{Finding, Workspace};
+
+const ORDERINGS: &[&str] = &["SeqCst", "Acquire", "Release", "AcqRel", "Relaxed"];
+
+/// How many lines above a use a justification comment may sit.
+const WINDOW_UP: usize = 3;
+/// How many lines below a justified use the justification still covers.
+const CHAIN_DOWN: usize = 2;
+
+pub(super) fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in &ws.files {
+        if is_test_file(&file.path) {
+            continue;
+        }
+        let test_ranges = test_line_ranges(file);
+        // (line, ordering name) per use, in source order.
+        let mut uses: Vec<(usize, &str)> = Vec::new();
+        for (ix, tok) in file.tokens.iter().enumerate() {
+            if tok.is_ident("Ordering")
+                && file.tokens.get(ix + 1).is_some_and(|t| t.is_punct(':'))
+                && file.tokens.get(ix + 2).is_some_and(|t| t.is_punct(':'))
+            {
+                if let Some(ord) = file.tokens.get(ix + 3) {
+                    if let Some(&name) = ORDERINGS.iter().find(|&&o| ord.is_ident(o)) {
+                        uses.push((ord.line, name));
+                    }
+                }
+            }
+        }
+        let mut last_justified: Option<usize> = None;
+        for (line, ord) in uses {
+            if in_ranges(&test_ranges, line) {
+                continue;
+            }
+            let keyword_hit = (line.saturating_sub(WINDOW_UP)..=line).any(|n| {
+                let c = file.comment_on(n);
+                !c.is_empty() && mentions_ordering(c, ord)
+            });
+            let chained = last_justified.is_some_and(|prev| line - prev <= CHAIN_DOWN);
+            if keyword_hit || chained {
+                last_justified = Some(line);
+            } else {
+                findings.push(Finding {
+                    rule: "ordering",
+                    path: file.path.clone(),
+                    line,
+                    message: format!(
+                        "Ordering::{ord} without a justification comment \
+                         (mention '{ord}' or 'ordering' on or above the line)"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+fn mentions_ordering(comment: &str, ord: &str) -> bool {
+    comment.contains(ord)
+        || comment.to_ascii_lowercase().contains("ordering")
+        || ORDERINGS.iter().any(|o| comment.contains(o))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_bare_use_and_accepts_justified() {
+        let ws = Workspace::from_sources(&[(
+            "crates/x/src/lib.rs",
+            "fn f(a: &A) {\n\
+             a.x.store(1, Ordering::SeqCst);\n\
+             // SeqCst: pairs with the load in g(); see module doc.\n\
+             a.y.store(1, Ordering::SeqCst);\n\
+             a.z.load(Ordering::Relaxed); // Relaxed: monotonic counter\n\
+             }\n",
+        )]);
+        let f = check(&ws);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn one_comment_covers_a_tight_block() {
+        let ws = Workspace::from_sources(&[(
+            "crates/x/src/lib.rs",
+            "fn f(a: &A) {\n\
+             // Relaxed: independent stats counters, scrape-time reads.\n\
+             let b = a.batches.load(Ordering::Relaxed);\n\
+             let j = a.jobs.load(Ordering::Relaxed);\n\
+             let s = a.steals.load(Ordering::Relaxed);\n\
+             let t = a.extra.load(Ordering::Relaxed);\n\
+             }\n",
+        )]);
+        assert!(check(&ws).is_empty(), "{:?}", check(&ws));
+    }
+
+    #[test]
+    fn chain_breaks_after_a_gap() {
+        let ws = Workspace::from_sources(&[(
+            "crates/x/src/lib.rs",
+            "fn f(a: &A) {\n\
+             // Relaxed: counter.\n\
+             a.x.load(Ordering::Relaxed);\n\
+             let y = 1;\n\
+             let z = 2;\n\
+             let w = 3;\n\
+             a.y.load(Ordering::Relaxed);\n\
+             }\n",
+        )]);
+        let f = check(&ws);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 7);
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let ws = Workspace::from_sources(&[
+            (
+                "crates/x/src/lib.rs",
+                "#[cfg(test)]\nmod tests {\n fn t(a: &A) { a.x.store(1, Ordering::SeqCst); }\n}\n",
+            ),
+            (
+                "crates/x/tests/e2e.rs",
+                "fn t(a: &A) { a.x.store(1, Ordering::SeqCst); }\n",
+            ),
+        ]);
+        assert!(check(&ws).is_empty());
+    }
+}

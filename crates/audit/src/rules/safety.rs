@@ -1,0 +1,77 @@
+//! `safety`: every `unsafe` block, function, impl, or trait must be
+//! preceded by a `// SAFETY:` comment (same line, or in the contiguous
+//! comment/attribute block directly above). Applies to test code too —
+//! a test that raises a signal or calls FFI needs the same obligation
+//! discharge as production code.
+
+use crate::analysis::comment_block_contains;
+use crate::{Finding, Workspace};
+
+pub(super) fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in &ws.files {
+        for (ix, tok) in file.tokens.iter().enumerate() {
+            if !tok.is_ident("unsafe") {
+                continue;
+            }
+            let kind = match file.tokens.get(ix + 1) {
+                Some(t) if t.is_punct('{') => "block",
+                Some(t) if t.is_ident("fn") => "fn",
+                Some(t) if t.is_ident("impl") => "impl",
+                Some(t) if t.is_ident("trait") => "trait",
+                Some(t) if t.is_ident("extern") => "extern block",
+                // `unsafe` inside attribute args (`#![forbid(unsafe_code)]`
+                // lexes `unsafe_code` as one ident, so that never lands
+                // here) or stray keyword uses: not a site.
+                _ => continue,
+            };
+            if !comment_block_contains(file, tok.line, "SAFETY") {
+                findings.push(Finding {
+                    rule: "safety",
+                    path: file.path.clone(),
+                    line: tok.line,
+                    message: format!("unsafe {kind} without a `// SAFETY:` comment"),
+                });
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_uncommented_unsafe_and_accepts_commented() {
+        let ws = Workspace::from_sources(&[(
+            "crates/x/src/lib.rs",
+            "fn f() {\n    unsafe { work() }\n}\n\
+             // SAFETY: bounds checked above.\nfn g() { unsafe { work() } }\n\
+             fn h() { unsafe { work() } } // SAFETY: trailing is fine\n",
+        )]);
+        let f = check(&ws);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+        assert!(f[0].message.contains("unsafe block"));
+    }
+
+    #[test]
+    fn attribute_between_comment_and_fn_is_transparent() {
+        let ws = Workspace::from_sources(&[(
+            "crates/x/src/lib.rs",
+            "/// Docs.\n///\n/// SAFETY: caller checked cpuid.\n\
+             #[target_feature(enable = \"avx2\")]\nunsafe fn k() {}\n",
+        )]);
+        assert!(check(&ws).is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_strings_and_comments_is_not_a_site() {
+        let ws = Workspace::from_sources(&[(
+            "crates/x/src/lib.rs",
+            "// unsafe { } in prose\nfn f() { let s = \"unsafe { }\"; }\n",
+        )]);
+        assert!(check(&ws).is_empty());
+    }
+}

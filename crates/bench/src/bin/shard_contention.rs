@@ -228,6 +228,7 @@ fn run_skew(layout: &Layout, flood_requests: usize) -> SkewResult {
             let done = Arc::clone(&flood_done);
             scope.spawn(move || {
                 let mut maxima = std::collections::HashMap::new();
+                // SeqCst: the flood-done flag, stored once by the driver.
                 while !done.load(Ordering::SeqCst) {
                     for (label, depth) in engine.stats().queue_depths {
                         let slot = maxima.entry(label).or_insert(0usize);
@@ -254,7 +255,7 @@ fn run_skew(layout: &Layout, flood_requests: usize) -> SkewResult {
                 break;
             }
         }
-        flood_done.store(true, Ordering::SeqCst);
+        flood_done.store(true, Ordering::SeqCst); // SeqCst: stop the sampler
         for f in flooders {
             f.join().expect("flooder panicked");
         }

@@ -237,6 +237,7 @@ impl Canary {
                 }
             }
         };
+        // Relaxed: stats counters, read only at snapshot time.
         match &decision {
             Decision::Promote(_) => self.promotes.fetch_add(1, Ordering::Relaxed),
             Decision::Hold => self.holds.fetch_add(1, Ordering::Relaxed),

@@ -72,12 +72,16 @@ impl Replica {
 
     /// Whether the replica is currently on the ring.
     pub fn is_healthy(&self) -> bool {
+        // SeqCst: health flips must be totally ordered with the streak
+        // counters the prober updates (see probe_success/probe_failure).
         self.healthy.load(Ordering::SeqCst)
     }
 
     /// Records one probe success; returns `true` when this flip crossed
     /// the rise threshold and the replica just became healthy.
     pub fn probe_success(&self, rise: u32) -> bool {
+        // SeqCst throughout: streak resets, streak bumps, and the health
+        // flip must appear in one total order to every observer.
         self.streak_down.store(0, Ordering::SeqCst);
         let up = self.streak_up.fetch_add(1, Ordering::SeqCst) + 1;
         if up >= rise && !self.healthy.swap(true, Ordering::SeqCst) {
@@ -89,6 +93,7 @@ impl Replica {
     /// Records one probe failure; returns `true` when this flip crossed
     /// the fall threshold and the replica just got ejected.
     pub fn probe_failure(&self, fall: u32) -> bool {
+        // SeqCst throughout, mirroring probe_success's ordering.
         self.streak_up.store(0, Ordering::SeqCst);
         let down = self.streak_down.fetch_add(1, Ordering::SeqCst) + 1;
         if down >= fall && self.healthy.swap(false, Ordering::SeqCst) {

@@ -48,6 +48,34 @@ use crate::table::{self, TableSpec};
 /// gateway: one hostile client must not balloon resident memory).
 const MAX_LINE_BYTES: usize = 8 << 20;
 
+/// The wire verbs this fleet front refuses off-loopback unless
+/// `allow_remote_shutdown` is set. A literal copy of
+/// `ccsa_serve::proto::MUTATING_VERBS` on purpose — `ccsa-audit`'s
+/// `verbs` rule diffs the lists, so a new mutating verb without a gate
+/// entry here fails CI instead of being transparently forwarded to
+/// replicas by the match below's default arm.
+const LOOPBACK_GATED_VERBS: &[&str] = &["shutdown", "reload_routes"];
+
+/// The refusal response for a gated verb arriving from a non-loopback
+/// peer, or `None` when the request may proceed.
+fn refuse_remote_admin(verb: &str, peer_is_loopback: bool, state: &FleetState) -> Option<String> {
+    debug_assert!(LOOPBACK_GATED_VERBS.contains(&verb));
+    if LOOPBACK_GATED_VERBS.contains(&verb)
+        && !peer_is_loopback
+        && !state.config.allow_remote_shutdown
+    {
+        Some(
+            proto::error_response(&format!(
+                "{verb} is only accepted from loopback \
+                 (start the fleet with remote shutdown enabled to change this)"
+            ))
+            .to_string(),
+        )
+    } else {
+        None
+    }
+}
+
 /// Fleet construction settings.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
@@ -162,15 +190,19 @@ impl FleetState {
     }
 
     fn draining(&self) -> bool {
+        // SeqCst: lifecycle flags use the strongest ordering so the
+        // accept loops and admin verbs agree on shutdown state.
         self.shutdown.load(Ordering::SeqCst)
     }
 
     fn accepting(&self) -> bool {
+        // SeqCst: readiness flags, same lifecycle discipline as above.
         self.tcp_accepting.load(Ordering::SeqCst)
             && (self.config.http_addr.is_none() || self.http_accepting.load(Ordering::SeqCst))
     }
 
     fn record_request(&self, ix: usize) {
+        // Relaxed: per-replica stats counter, read at snapshot time.
         self.replicas[ix].requests.fetch_add(1, Ordering::Relaxed);
         self.request_counters[ix].inc();
     }
@@ -220,6 +252,8 @@ impl FleetState {
             }
         }
         let error = (!errors.is_empty()).then(|| errors.join("; "));
+        // SeqCst: the incomplete flag and generation bump must be seen
+        // in a consistent order by status readers.
         self.push_incomplete
             .store(error.is_some(), Ordering::SeqCst);
         if error.is_none() {
@@ -259,6 +293,7 @@ impl FleetHandle {
 
     /// Starts a graceful drain.
     pub fn shutdown(&self) {
+        // SeqCst: lifecycle flag, pairs with draining().
         self.state.shutdown.store(true, Ordering::SeqCst);
     }
 
@@ -270,6 +305,7 @@ impl FleetHandle {
 
     /// Routing tables pushed since boot.
     pub fn table_generation(&self) -> u64 {
+        // SeqCst: pairs with the push path's generation bump.
         self.state.table_generation.load(Ordering::SeqCst)
     }
 
@@ -500,6 +536,7 @@ impl Fleet {
             );
         }
         listener.set_nonblocking(true)?;
+        // SeqCst: readiness flag flip, ordered with the port file write.
         state.tcp_accepting.store(true, Ordering::SeqCst);
         let mut sessions: Vec<JoinHandle<()>> = Vec::new();
         while !state.draining() {
@@ -507,6 +544,8 @@ impl Fleet {
                 Ok((stream, peer)) => {
                     let _ = stream.set_nonblocking(false);
                     let _ = stream.set_nodelay(true);
+                    // SeqCst: admission gauge — check, take, and release
+                    // all use the same ordering.
                     if state.active.load(Ordering::SeqCst) >= state.config.max_connections {
                         let mut stream = stream;
                         let line = proto::error_response(&format!(
@@ -516,7 +555,7 @@ impl Fleet {
                         let _ = writeln!(stream, "{line}");
                         continue;
                     }
-                    state.active.fetch_add(1, Ordering::SeqCst);
+                    state.active.fetch_add(1, Ordering::SeqCst); // SeqCst: take the slot
                     let session_state = Arc::clone(&state);
                     let session = std::thread::Builder::new()
                         .name(format!("ccsa-fleet-{peer}"))
@@ -524,6 +563,7 @@ impl Fleet {
                             struct Slot<'a>(&'a AtomicUsize);
                             impl Drop for Slot<'_> {
                                 fn drop(&mut self) {
+                                    // SeqCst: release the admission slot.
                                     self.0.fetch_sub(1, Ordering::SeqCst);
                                 }
                             }
@@ -533,6 +573,7 @@ impl Fleet {
                     match session {
                         Ok(handle) => sessions.push(handle),
                         Err(_) => {
+                            // SeqCst: spawn failed — give the slot back.
                             state.active.fetch_sub(1, Ordering::SeqCst);
                         }
                     }
@@ -632,6 +673,7 @@ fn serve_connection(state: &Arc<FleetState>, stream: TcpStream, peer: SocketAddr
                     return;
                 }
                 if drain {
+                    // SeqCst: lifecycle flag, pairs with draining().
                     state.shutdown.store(true, Ordering::SeqCst);
                     return;
                 }
@@ -665,15 +707,8 @@ fn handle_line(
     match op {
         "fleet" => (fleet_stats_response(state).to_string(), false),
         "shutdown" => {
-            if !peer_is_loopback && !state.config.allow_remote_shutdown {
-                return (
-                    proto::error_response(
-                        "shutdown is only accepted from loopback \
-                         (start the fleet with remote shutdown enabled to change this)",
-                    )
-                    .to_string(),
-                    false,
-                );
+            if let Some(refusal) = refuse_remote_admin("shutdown", peer_is_loopback, state) {
+                return (refusal, false);
             }
             (
                 Json::obj(vec![
@@ -692,15 +727,8 @@ fn handle_line(
             // own address as the peer, waving the verb past its
             // loopback gate) and silently desync it from the fleet's
             // current table.
-            if !peer_is_loopback && !state.config.allow_remote_shutdown {
-                return (
-                    proto::error_response(
-                        "reload_routes is only accepted from loopback \
-                         (start the fleet with remote shutdown enabled to change this)",
-                    )
-                    .to_string(),
-                    false,
-                );
+            if let Some(refusal) = refuse_remote_admin("reload_routes", peer_is_loopback, state) {
+                return (refusal, false);
             }
             let request = parsed.as_ref().expect("op was read from this value");
             let response = match table::from_json(request) {
@@ -711,6 +739,7 @@ fn handle_line(
                         ("op", Json::str("reload_routes")),
                         (
                             "table_generation",
+                            // SeqCst: pairs with apply_table's bump.
                             Json::num(state.table_generation.load(Ordering::SeqCst) as f64),
                         ),
                     ]),
@@ -978,6 +1007,8 @@ fn run_table_watcher(state: &Arc<FleetState>) {
                     last_hash = Some(hash);
                     match table::parse(&text) {
                         Ok(spec) => {
+                            // SeqCst: pairs with apply_table's store of
+                            // the incomplete flag.
                             let already_applied = !state.push_incomplete.load(Ordering::SeqCst)
                                 && state.current_table.lock().expect("table poisoned").as_ref()
                                     == Some(&spec);
@@ -990,6 +1021,7 @@ fn run_table_watcher(state: &Arc<FleetState>) {
                                 Some(format!("{}: {e}", path.display()));
                         }
                     }
+                // SeqCst: same flag, same pairing as above.
                 } else if state.push_incomplete.load(Ordering::SeqCst) {
                     ticks_until_retry -= 1;
                     if ticks_until_retry == 0 {
@@ -999,6 +1031,7 @@ fn run_table_watcher(state: &Arc<FleetState>) {
                         }
                     }
                 }
+                // SeqCst: same flag, same pairing as above.
                 if ticks_until_retry == 0 || !state.push_incomplete.load(Ordering::SeqCst) {
                     ticks_until_retry = TABLE_RETRY_TICKS;
                 }
@@ -1163,6 +1196,7 @@ pub(crate) fn fleet_stats_response(state: &FleetState) -> Json {
                 ("healthy", Json::Bool(r.is_healthy())),
                 (
                     "requests",
+                    // Relaxed: stats counter read at snapshot time.
                     Json::num(r.requests.load(Ordering::Relaxed) as f64),
                 ),
                 ("pooled_connections", Json::num(r.pooled() as f64)),
@@ -1198,6 +1232,7 @@ pub(crate) fn fleet_stats_response(state: &FleetState) -> Json {
         ("restores", counter(&state.restores)),
         (
             "table_generation",
+            // SeqCst: pairs with apply_table's bump.
             Json::num(state.table_generation.load(Ordering::SeqCst) as f64),
         ),
         (
@@ -1234,11 +1269,13 @@ fn fleet_metric_families(state: &std::sync::Weak<FleetState>) -> Vec<SampleFamil
         scalar(
             "ccsa_fleet_table_generation",
             "Routing tables pushed to replicas since boot.",
+            // SeqCst: pairs with apply_table's bump.
             state.table_generation.load(Ordering::SeqCst) as f64,
         ),
         scalar(
             "ccsa_fleet_active_connections",
             "Fleet sessions currently open.",
+            // SeqCst: the admission gauge, read with its own ordering.
             state.active.load(Ordering::SeqCst) as f64,
         ),
     ]
@@ -1255,6 +1292,7 @@ fn run_http_loop(state: &Arc<FleetState>, listener: &TcpListener) {
     if listener.set_nonblocking(true).is_err() {
         return;
     }
+    // SeqCst: readiness flag flip, same discipline as tcp_accepting.
     state.http_accepting.store(true, Ordering::SeqCst);
     let mut workers: Vec<JoinHandle<()>> = Vec::new();
     while !state.draining() {
@@ -1522,6 +1560,13 @@ mod tests {
                 }))
             })
             .collect()
+    }
+
+    #[test]
+    fn gate_list_matches_protocol_mutating_verbs() {
+        // ccsa-audit's `verbs` rule checks this lexically; this end
+        // checks it at link level so a unit-test run catches drift too.
+        assert_eq!(LOOPBACK_GATED_VERBS, proto::MUTATING_VERBS);
     }
 
     #[test]

@@ -138,22 +138,25 @@ pub(crate) fn run_http_loop(shared: &Arc<Shared>, listener: &TcpListener) {
         return;
     }
     // The loop below now owns the socket and will accept: open the
-    // readiness/port-file gate (see `Shared::accepting`).
+    // readiness/port-file gate (see `Shared::accepting`). SeqCst, like
+    // every lifecycle flag on this server.
     shared.http_accepting.store(true, Ordering::SeqCst);
     let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    // SeqCst: lifecycle flag, pairs with the shutdown path's store.
     while !shared.http_stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, peer)) => {
                 let _ = stream.set_nonblocking(false);
                 let _ = stream.set_nodelay(true);
                 // One cap across both front doors: HTTP connections and
-                // TCP sessions draw from the same budget.
+                // TCP sessions draw from the same budget. SeqCst: the
+                // admission gauge; Relaxed: the shed stats counter.
                 if shared.active.load(Ordering::SeqCst) >= shared.config.max_connections {
                     shared.rejected.fetch_add(1, Ordering::Relaxed);
                     refuse_http(stream, shared.config.max_connections);
                     continue;
                 }
-                shared.active.fetch_add(1, Ordering::SeqCst);
+                shared.active.fetch_add(1, Ordering::SeqCst); // SeqCst: take the slot
                 let conn_shared = Arc::clone(shared);
                 let worker = std::thread::Builder::new()
                     .name(format!("ccsa-http-{peer}"))
@@ -161,6 +164,7 @@ pub(crate) fn run_http_loop(shared: &Arc<Shared>, listener: &TcpListener) {
                         struct Slot<'a>(&'a std::sync::atomic::AtomicUsize);
                         impl Drop for Slot<'_> {
                             fn drop(&mut self) {
+                                // SeqCst: release the admission slot.
                                 self.0.fetch_sub(1, Ordering::SeqCst);
                             }
                         }
@@ -169,10 +173,13 @@ pub(crate) fn run_http_loop(shared: &Arc<Shared>, listener: &TcpListener) {
                     });
                 match worker {
                     Ok(handle) => {
+                        // Relaxed: stats counter.
                         shared.accepted.fetch_add(1, Ordering::Relaxed);
                         workers.push(handle);
                     }
                     Err(_) => {
+                        // SeqCst: spawn failed — give the slot back;
+                        // Relaxed: the shed stats counter.
                         shared.active.fetch_sub(1, Ordering::SeqCst);
                         shared.rejected.fetch_add(1, Ordering::Relaxed);
                     }
@@ -220,6 +227,7 @@ fn serve_http_connection(shared: &Shared, stream: TcpStream, peer: SocketAddr) {
     let fallback_key = peer.ip().to_string();
     let mut seq: u64 = 0;
     loop {
+        // SeqCst: lifecycle flag, checked between requests.
         if shared.http_stop.load(Ordering::SeqCst) {
             return; // between requests, never mid-request
         }
@@ -235,6 +243,7 @@ fn serve_http_connection(shared: &Shared, stream: TcpStream, peer: SocketAddr) {
                 return;
             }
         };
+        // SeqCst: lifecycle flag — a stop seen here closes after reply.
         let close = shared.http_stop.load(Ordering::SeqCst) || request.wants_close();
         let (response, shadow) = handle_request(shared, &request, &fallback_key, seq);
         seq += 1;
@@ -274,6 +283,7 @@ fn read_request(
     let mut last_progress = Instant::now();
     // Head: accumulate lines until the blank terminator line.
     loop {
+        // SeqCst: lifecycle flag.
         if shared.http_stop.load(Ordering::SeqCst) {
             return ReadOutcome::Closed;
         }
@@ -381,6 +391,7 @@ fn read_request(
     let mut filled = 0usize;
     let mut last_progress = Instant::now();
     while filled < content_length {
+        // SeqCst: lifecycle flag.
         if shared.http_stop.load(Ordering::SeqCst) {
             return ReadOutcome::Closed;
         }

@@ -28,7 +28,9 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex, OnceLock, RwLock, Weak};
+use std::sync::{mpsc, Arc, OnceLock, Weak};
+
+use ccsa_serve::lockdep::{DMutex, DRwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -55,6 +57,31 @@ pub const MAX_LINE_BYTES: usize = 8 << 20;
 /// behaviour is to *drop* mirrors (counted in `routes` as `dropped`),
 /// never to slow primary traffic down.
 const SHADOW_QUEUE_CAP: usize = 256;
+
+/// The wire verbs this gateway refuses off-loopback unless
+/// `allow_remote_shutdown` is set. Deliberately a literal copy of
+/// `ccsa_serve::proto::MUTATING_VERBS` rather than a re-export:
+/// `ccsa-audit`'s `verbs` rule diffs the two lists, so a new mutating
+/// verb that lands in the protocol without a matching gate entry here
+/// fails CI.
+const LOOPBACK_GATED_VERBS: &[&str] = &["shutdown", "reload_routes"];
+
+/// The refusal response for a gated verb arriving from a non-loopback
+/// peer, or `None` when the request may proceed.
+fn refuse_remote_admin(verb: &str, peer_is_loopback: bool, shared: &Shared) -> Option<Json> {
+    debug_assert!(LOOPBACK_GATED_VERBS.contains(&verb));
+    if LOOPBACK_GATED_VERBS.contains(&verb)
+        && !peer_is_loopback
+        && !shared.config.allow_remote_shutdown
+    {
+        Some(proto::error_response(&format!(
+            "{verb} is only accepted from loopback \
+             (start the gateway with remote shutdown enabled to change this)"
+        )))
+    } else {
+        None
+    }
+}
 
 /// Transport construction settings.
 #[derive(Debug, Clone)]
@@ -130,7 +157,7 @@ pub(crate) struct RoutingState {
     /// Per-route token buckets, indexed like `router.routes()` (`None` =
     /// unlimited). The mutex is held for a handful of float ops per
     /// admission — never across serving work.
-    pub(crate) route_limits: Vec<Option<Mutex<TokenBucket>>>,
+    pub(crate) route_limits: Vec<Option<DMutex<TokenBucket>>>,
     /// The configured RPS per route, for the `routes` report.
     pub(crate) route_limit_rps: Vec<Option<f64>>,
     /// The shadow target's slot.
@@ -179,7 +206,7 @@ impl RoutingState {
         }
         let route_limits = route_limit_rps
             .iter()
-            .map(|rps| rps.map(|rps| Mutex::new(TokenBucket::new(rps))))
+            .map(|rps| rps.map(|rps| DMutex::new("gateway.route_limit", TokenBucket::new(rps))))
             .collect();
         // The shadow slot gets a `shadow:`-prefixed label so its series
         // can never collide with a same-named primary route.
@@ -210,7 +237,7 @@ pub(crate) struct Shared {
     /// The current routing generation. Readers clone the `Arc` once per
     /// request; `reload_routes` swaps the whole bundle under the write
     /// lock.
-    pub(crate) routing: RwLock<Arc<RoutingState>>,
+    pub(crate) routing: DRwLock<Arc<RoutingState>>,
     /// Routing-table swaps applied since boot (the `reload_generation`
     /// field of the `routes` verb — controllers watch it to confirm a
     /// reload landed).
@@ -245,7 +272,7 @@ pub(crate) struct Shared {
     pub(crate) trace: Option<TraceSink>,
     /// When the current drain began — stamped by the first `draining()`
     /// observation, read by the HTTP loop to honour `drain_grace`.
-    pub(crate) drain_since: Mutex<Option<Instant>>,
+    pub(crate) drain_since: DMutex<Option<Instant>>,
     /// Tells the HTTP accept loop to exit (set after `drain_grace` has
     /// elapsed, so probes can observe the 503 first).
     pub(crate) http_stop: AtomicBool,
@@ -343,11 +370,15 @@ impl Shared {
     /// then the process is *starting*: bound, but a connection could
     /// still sit unaccepted, so readiness and port files wait.
     pub(crate) fn accepting(&self) -> bool {
+        // SeqCst: simple lifecycle flags; contention is nil, so the
+        // strongest ordering buys freedom from reasoning about races.
         self.tcp_accepting.load(Ordering::SeqCst)
             && (self.config.http_addr.is_none() || self.http_accepting.load(Ordering::SeqCst))
     }
 
     pub(crate) fn draining(&self) -> bool {
+        // SeqCst: the drain flag gates admission in every transport;
+        // all observers must agree on the flip order.
         let draining = self.shutdown.load(Ordering::SeqCst)
             || (self.config.honor_sigterm && signal::sigterm_received());
         if draining {
@@ -401,11 +432,13 @@ impl GatewayHandle {
     /// Starts a graceful drain: stop admitting, finish in-flight
     /// requests, exit the accept loop.
     pub fn shutdown(&self) {
+        // SeqCst: pairs with the accept loops' draining() checks.
         self.shared.shutdown.store(true, Ordering::SeqCst);
     }
 
     /// Sessions currently open.
     pub fn active_connections(&self) -> usize {
+        // SeqCst: same ordering as the admission check it mirrors.
         self.shared.active.load(Ordering::SeqCst)
     }
 
@@ -418,6 +451,8 @@ impl GatewayHandle {
 
     /// Routing-table swaps applied via `reload_routes` since boot.
     pub fn reload_generation(&self) -> u64 {
+        // SeqCst: generation reads must not reorder around the table
+        // swap they version (see apply_reload).
         self.shared.reloads.load(Ordering::SeqCst)
     }
 }
@@ -543,7 +578,7 @@ impl Gateway {
 
         let shared = Arc::new(Shared {
             engine,
-            routing: RwLock::new(Arc::new(routing)),
+            routing: DRwLock::new("gateway.routing", Arc::new(routing)),
             reloads: AtomicU64::new(0),
             config,
             shutdown: AtomicBool::new(false),
@@ -558,7 +593,7 @@ impl Gateway {
             metrics,
             request_counters,
             trace,
-            drain_since: Mutex::new(None),
+            drain_since: DMutex::new("gateway.drain_since", None),
             http_stop: AtomicBool::new(false),
         });
         // Weak: the registry lives inside Shared, so a strong capture
@@ -652,6 +687,7 @@ impl Gateway {
         listener.set_nonblocking(true)?;
         // From here the loop below owns the socket and will accept — the
         // readiness/port-file gate (see `Shared::accepting`) can open.
+        // SeqCst: matches every other lifecycle-flag access.
         shared.tcp_accepting.store(true, Ordering::SeqCst);
         let mut sessions: Vec<JoinHandle<()>> = Vec::new();
         while !shared.draining() {
@@ -664,12 +700,14 @@ impl Gateway {
                     // NODELAY, Nagle + delayed ACK turns every round trip
                     // into a ~40 ms stall.
                     let _ = stream.set_nodelay(true);
+                    // SeqCst for the connection gauge (admission
+                    // decisions), Relaxed for the shed counter (stats).
                     if shared.active.load(Ordering::SeqCst) >= shared.config.max_connections {
                         shared.rejected.fetch_add(1, Ordering::Relaxed);
                         refuse(stream, shared.config.max_connections);
                         continue;
                     }
-                    shared.active.fetch_add(1, Ordering::SeqCst);
+                    shared.active.fetch_add(1, Ordering::SeqCst); // SeqCst: take the slot
                     let session_shared = Arc::clone(&shared);
                     let session = std::thread::Builder::new()
                         .name(format!("ccsa-gw-{peer}"))
@@ -680,6 +718,8 @@ impl Gateway {
                             struct Slot<'a>(&'a AtomicUsize);
                             impl Drop for Slot<'_> {
                                 fn drop(&mut self) {
+                                    // SeqCst: releases the admission
+                                    // slot taken by the accept loop.
                                     self.0.fetch_sub(1, Ordering::SeqCst);
                                 }
                             }
@@ -690,13 +730,15 @@ impl Gateway {
                         Ok(handle) => {
                             // Counted only for sessions that actually
                             // started: accepted and rejected partition
-                            // incoming connection attempts.
+                            // incoming connection attempts. Relaxed:
+                            // stats counter.
                             shared.accepted.fetch_add(1, Ordering::Relaxed);
                             sessions.push(handle);
                         }
                         Err(_) => {
                             // Spawn failure (thread exhaustion): treat
                             // like the cap — shed the connection.
+                            // SeqCst gauge release; Relaxed stats.
                             shared.active.fetch_sub(1, Ordering::SeqCst);
                             shared.rejected.fetch_add(1, Ordering::Relaxed);
                         }
@@ -737,6 +779,7 @@ impl Gateway {
             if elapsed < grace {
                 std::thread::sleep(grace - elapsed);
             }
+            // SeqCst: lifecycle flag, same ordering as its readers.
             shared.http_stop.store(true, Ordering::SeqCst);
             let _ = worker.join();
         }
@@ -855,6 +898,8 @@ fn serve_connection(shared: &Shared, stream: TcpStream, peer: SocketAddr) {
                         enqueue_shadow(shared, selector, request);
                     }
                     AfterResponse::Shutdown => {
+                        // SeqCst: trips the drain flag every accept
+                        // loop polls.
                         shared.shutdown.store(true, Ordering::SeqCst);
                         return;
                     }
@@ -919,14 +964,8 @@ fn handle_line(
     };
     match request {
         Request::Shutdown => {
-            if !peer_is_loopback && !shared.config.allow_remote_shutdown {
-                return (
-                    proto::error_response(
-                        "shutdown is only accepted from loopback \
-                         (start the gateway with remote shutdown enabled to change this)",
-                    ),
-                    AfterResponse::KeepGoing,
-                );
+            if let Some(refusal) = refuse_remote_admin("shutdown", peer_is_loopback, shared) {
+                return (refusal, AfterResponse::KeepGoing);
             }
             (
                 Json::obj(vec![
@@ -942,14 +981,8 @@ fn handle_line(
             // Gated exactly like shutdown: on a gateway bound beyond
             // localhost, any client that can open a connection must not
             // be able to repoint every other client's traffic.
-            if !peer_is_loopback && !shared.config.allow_remote_shutdown {
-                return (
-                    proto::error_response(
-                        "reload_routes is only accepted from loopback \
-                         (start the gateway with remote shutdown enabled to change this)",
-                    ),
-                    AfterResponse::KeepGoing,
-                );
+            if let Some(refusal) = refuse_remote_admin("reload_routes", peer_is_loopback, shared) {
+                return (refusal, AfterResponse::KeepGoing);
             }
             (
                 apply_reload(shared, routes, shadow),
@@ -1006,8 +1039,8 @@ pub(crate) fn apply_reload(
             Some(&**slot),
         );
         *slot = Arc::new(next);
-        // Bumped under the write lock, so generation N always refers to
-        // the N-th table a reader can actually observe.
+        // Bumped under the write lock (SeqCst), so generation N always
+        // refers to the N-th table a reader can actually observe.
         shared.reloads.fetch_add(1, Ordering::SeqCst) + 1
     };
     Json::obj(vec![
@@ -1047,7 +1080,7 @@ pub(crate) fn serve_scored(
     // guess debugging.
     let pinned = selector.name.is_some() || selector.version.is_some();
     let (route_ix, effective) = if pinned {
-        shared.pinned.fetch_add(1, Ordering::Relaxed);
+        shared.pinned.fetch_add(1, Ordering::Relaxed); // Relaxed: stats
         (None, selector)
     } else {
         let ix = routing.router.route_index(client_key);
@@ -1213,6 +1246,7 @@ pub(crate) fn enqueue_shadow(shared: &Shared, selector: ModelSelector, request: 
     match shared.shadow_tx.get() {
         Some(tx) => {
             if tx.try_send(ShadowJob::Mirror(selector, request)).is_err() {
+                // Relaxed: stats counter.
                 shared.shadow_dropped.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -1220,6 +1254,7 @@ pub(crate) fn enqueue_shadow(shared: &Shared, selector: ModelSelector, request: 
         // shadow_for never returns a selector — but losing a mirror is
         // always safe, so degrade to counting rather than panicking.
         None => {
+            // Relaxed: stats counter.
             shared.shadow_dropped.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -1368,6 +1403,7 @@ pub(crate) fn routes_response(shared: &Shared) -> Json {
                 ("errors", Json::num(snap.errors as f64)),
                 (
                     "dropped",
+                    // Relaxed: stats counter.
                     Json::num(shared.shadow_dropped.load(Ordering::Relaxed) as f64),
                 ),
                 ("queue_shed", Json::num(snap.queue_shed as f64)),
@@ -1392,10 +1428,13 @@ pub(crate) fn routes_response(shared: &Shared) -> Json {
         ("shadow", shadow),
         (
             "reload_generation",
+            // SeqCst: versioned with the table swap; Relaxed below is
+            // a stats counter.
             Json::num(shared.reloads.load(Ordering::SeqCst) as f64),
         ),
         (
             "pinned_requests",
+            // Relaxed: stats counter.
             Json::num(shared.pinned.load(Ordering::Relaxed) as f64),
         ),
     ])
@@ -1446,8 +1485,8 @@ fn gateway_metric_families(shared: &Weak<Shared>) -> Vec<SampleFamily> {
     let scalar = |name: &str, help: &str, kind: MetricKind, v: f64| {
         SampleFamily::new(name, help, kind, vec![Sample::value(v)])
     };
-    // Read the raw flags, not `draining()`: a scrape must never stamp
-    // the drain clock.
+    // Read the raw flags (SeqCst, like all lifecycle flags), not
+    // `draining()`: a scrape must never stamp the drain clock.
     let draining = shared.shutdown.load(Ordering::SeqCst)
         || (shared.config.honor_sigterm && signal::sigterm_received());
     let mut families = vec![
@@ -1455,6 +1494,7 @@ fn gateway_metric_families(shared: &Weak<Shared>) -> Vec<SampleFamily> {
             "ccsa_gateway_active_connections",
             "TCP sessions currently open.",
             Gauge,
+            // SeqCst: the admission gauge, read with its own ordering.
             shared.active.load(Ordering::SeqCst) as f64,
         ),
         scalar(
@@ -1470,10 +1510,12 @@ fn gateway_metric_families(shared: &Weak<Shared>) -> Vec<SampleFamily> {
             vec![
                 Sample::new(
                     &[("result", "accepted")],
+                    // Relaxed: stats counters, scrape-time reads.
                     shared.accepted.load(Ordering::Relaxed) as f64,
                 ),
                 Sample::new(
                     &[("result", "rejected")],
+                    // Relaxed: stats counter.
                     shared.rejected.load(Ordering::Relaxed) as f64,
                 ),
             ],
@@ -1482,12 +1524,14 @@ fn gateway_metric_families(shared: &Weak<Shared>) -> Vec<SampleFamily> {
             "ccsa_gateway_shadow_dropped_total",
             "Shadow mirrors dropped because the mirror queue was full.",
             Counter,
+            // Relaxed: stats counter.
             shared.shadow_dropped.load(Ordering::Relaxed) as f64,
         ),
         scalar(
             "ccsa_gateway_pinned_requests_total",
             "Requests that pinned a model/version and bypassed A/B routing.",
             Counter,
+            // Relaxed: stats counter.
             shared.pinned.load(Ordering::Relaxed) as f64,
         ),
         scalar(
@@ -1500,6 +1544,7 @@ fn gateway_metric_families(shared: &Weak<Shared>) -> Vec<SampleFamily> {
             "ccsa_gateway_reloads_total",
             "Routing-table swaps applied via the reload_routes verb.",
             Counter,
+            // SeqCst: versioned with the table swap it counts.
             shared.reloads.load(Ordering::SeqCst) as f64,
         ),
     ];
@@ -1542,6 +1587,7 @@ pub(crate) fn gateway_stats_response(shared: &Shared) -> Json {
         members.extend([
             (
                 "active_connections".to_string(),
+                // SeqCst: admission gauge.
                 Json::num(shared.active.load(Ordering::SeqCst) as f64),
             ),
             (
@@ -1550,13 +1596,27 @@ pub(crate) fn gateway_stats_response(shared: &Shared) -> Json {
             ),
             (
                 "accepted_connections".to_string(),
+                // Relaxed: stats counters read at snapshot time.
                 Json::num(shared.accepted.load(Ordering::Relaxed) as f64),
             ),
             (
                 "rejected_at_capacity".to_string(),
+                // Relaxed: stats counter.
                 Json::num(shared.rejected.load(Ordering::Relaxed) as f64),
             ),
         ]);
     }
     response
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_list_matches_protocol_mutating_verbs() {
+        // ccsa-audit's `verbs` rule checks this lexically; this end
+        // checks it at link level so a unit-test run catches drift too.
+        assert_eq!(LOOPBACK_GATED_VERBS, proto::MUTATING_VERBS);
+    }
 }

@@ -30,6 +30,7 @@ extern "C" {
 #[cfg(unix)]
 extern "C" fn on_sigterm(_signum: i32) {
     // Only async-signal-safe work is allowed here; an atomic store is.
+    // SeqCst: the shutdown flag must be visible to the accept loop.
     SIGTERM_RECEIVED.store(true, Ordering::SeqCst);
 }
 
@@ -39,9 +40,9 @@ extern "C" fn on_sigterm(_signum: i32) {
 pub fn install_sigterm_handler() -> bool {
     #[cfg(unix)]
     {
+        let handler = on_sigterm as extern "C" fn(i32) as usize;
         // SAFETY: `on_sigterm` is an `extern "C" fn(i32)` matching the
         // sighandler_t ABI, and it only performs an atomic store.
-        let handler = on_sigterm as extern "C" fn(i32) as usize;
         let previous = unsafe { signal(SIGTERM, handler) };
         previous != usize::MAX // SIG_ERR
     }
@@ -53,12 +54,14 @@ pub fn install_sigterm_handler() -> bool {
 
 /// Whether SIGTERM has been observed.
 pub fn sigterm_received() -> bool {
+    // SeqCst: pairs with the handler's store.
     SIGTERM_RECEIVED.load(Ordering::SeqCst)
 }
 
 /// Trips the flag as if SIGTERM had arrived — used by tests and by
 /// transports that want "act like we were told to die" semantics.
 pub fn simulate_sigterm() {
+    // SeqCst: same ordering the real handler uses.
     SIGTERM_RECEIVED.store(true, Ordering::SeqCst);
 }
 

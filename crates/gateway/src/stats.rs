@@ -16,7 +16,7 @@
 //! a ramping model's p99 should reflect recent traffic, not the
 //! cold-start spike from an hour ago (and not a bucket lower bound).
 
-use std::sync::Mutex;
+use ccsa_serve::lockdep::DMutex;
 
 use ccsa_serve::{Counter, MetricsRegistry, LATENCY_BUCKETS_S};
 
@@ -58,7 +58,7 @@ pub struct RouteStats {
     cache_hits: Counter,
     cache_lookups: Counter,
     latency: ccsa_serve::Histogram,
-    latencies: Mutex<LatencyWindow>,
+    latencies: DMutex<LatencyWindow>,
 }
 
 impl RouteStats {
@@ -100,7 +100,7 @@ impl RouteStats {
                 &labels,
                 &LATENCY_BUCKETS_S,
             ),
-            latencies: Mutex::new(LatencyWindow::new()),
+            latencies: DMutex::new("gateway.route_latencies", LatencyWindow::new()),
         }
     }
 

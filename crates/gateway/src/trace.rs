@@ -16,10 +16,10 @@
 //! a fleet, so a client retrying with its own ID produces a complete
 //! trace or none — never a partial one.
 
+use ccsa_serve::lockdep::DMutex;
 use std::io::Write;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 use ccsa_serve::json::Json;
 use ccsa_serve::StageTimings;
@@ -33,6 +33,8 @@ static NEXT_REQUEST: AtomicU64 = AtomicU64::new(1);
 /// A process-unique request ID (16 lowercase hex digits), for requests
 /// that did not bring their own.
 pub fn generate_request_id() -> String {
+    // Relaxed: only uniqueness matters, and fetch_add is atomic under
+    // any ordering.
     let seq = NEXT_REQUEST.fetch_add(1, Ordering::Relaxed);
     format!(
         "{:016x}",
@@ -43,7 +45,7 @@ pub fn generate_request_id() -> String {
 /// A JSON-lines trace sink sampling a deterministic fraction of
 /// requests.
 pub struct TraceSink {
-    writer: Mutex<std::io::BufWriter<std::fs::File>>,
+    writer: DMutex<std::io::BufWriter<std::fs::File>>,
     /// Sampled fraction in [0, 1].
     fraction: f64,
     written: AtomicU64,
@@ -82,7 +84,7 @@ impl TraceSink {
             .append(true)
             .open(path)?;
         Ok(TraceSink {
-            writer: Mutex::new(std::io::BufWriter::new(file)),
+            writer: DMutex::new("gateway.trace_sink", std::io::BufWriter::new(file)),
             fraction: (sample_percent / 100.0).clamp(0.0, 1.0),
             written: AtomicU64::new(0),
         })
@@ -131,12 +133,14 @@ impl TraceSink {
         let line = Json::obj(fields).to_string();
         let mut w = self.writer.lock().expect("trace sink poisoned");
         if writeln!(w, "{line}").and_then(|()| w.flush()).is_ok() {
+            // Relaxed: stats counter.
             self.written.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Records successfully written so far.
     pub fn written(&self) -> u64 {
+        // Relaxed: stats counter, read at snapshot time.
         self.written.load(Ordering::Relaxed)
     }
 }

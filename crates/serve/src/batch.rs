@@ -44,7 +44,9 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+
+use crate::lockdep::{DMutex, DRwLock};
 use std::thread::JoinHandle;
 
 use ccsa_cppast::AstGraph;
@@ -149,7 +151,7 @@ struct Shard {
     /// Position in the shard table; `index % workers` is the preferred
     /// worker.
     index: usize,
-    queue: Mutex<VecDeque<Job>>,
+    queue: DMutex<VecDeque<Job>>,
     /// Pending jobs, maintained outside the queue mutex so scans and
     /// admission checks are lock-free. Incremented *before* the push
     /// (admission reserves the slots), decremented as jobs are popped.
@@ -175,7 +177,7 @@ struct ShardTable {
 }
 
 struct Shared {
-    shards: RwLock<ShardTable>,
+    shards: DRwLock<ShardTable>,
     /// `Single` mode has exactly one shard that every worker legitimately
     /// drains — taking from it is not stealing, so the steal pass and its
     /// counters are disabled there.
@@ -196,14 +198,16 @@ struct Shared {
 }
 
 impl Shared {
-    /// Any shard with pending jobs? (Lock-free scan of depth gauges.)
+    /// Any shard with pending jobs? (Lock-free scan of depth gauges;
+    /// SeqCst loads pair with the enqueuer's SeqCst reservation, see
+    /// the sleep protocol in `worker_loop`.)
     fn has_pending(&self) -> bool {
         self.shards
             .read()
             .expect("shard table poisoned")
             .shards
             .iter()
-            .any(|s| s.depth.load(Ordering::SeqCst) > 0)
+            .any(|s| s.depth.load(Ordering::SeqCst) > 0) // SeqCst: see doc
     }
 
     /// Wakes sleeping workers — only takes the park lock when at least
@@ -230,7 +234,7 @@ impl EncodePool {
     /// Spawns `config.workers` threads (at least one).
     pub fn new(config: &BatchConfig) -> EncodePool {
         let shared = Arc::new(Shared {
-            shards: RwLock::new(ShardTable::default()),
+            shards: DRwLock::new("serve.batch.shards", ShardTable::default()),
             single: config.sharding == PoolSharding::Single,
             park: Mutex::new(()),
             available: Condvar::new(),
@@ -280,6 +284,8 @@ impl EncodePool {
     /// Counter snapshot.
     pub fn stats(&self) -> BatchStats {
         BatchStats {
+            // Relaxed: independent monotonic counters read at snapshot
+            // time; no cross-counter consistency is promised.
             batches: self.shared.batches.load(Ordering::Relaxed),
             jobs: self.shared.jobs.load(Ordering::Relaxed),
             fused_levels: self.shared.fused_levels.load(Ordering::Relaxed),
@@ -300,6 +306,7 @@ impl EncodePool {
             .expect("shard table poisoned")
             .shards
             .iter()
+            // SeqCst: same gauge the admission/sleep protocol orders.
             .map(|s| s.depth.load(Ordering::SeqCst))
             .sum()
     }
@@ -320,6 +327,7 @@ impl EncodePool {
         let table = self.shared.shards.read().expect("shard table poisoned");
         let mut by_label: HashMap<&str, usize> = HashMap::new();
         for shard in &table.shards {
+            // SeqCst: same gauge the admission/sleep protocol orders.
             *by_label.entry(shard.label.as_str()).or_default() +=
                 shard.depth.load(Ordering::SeqCst);
         }
@@ -366,7 +374,7 @@ impl EncodePool {
         let shard = Arc::new(Shard {
             label,
             index,
-            queue: Mutex::new(VecDeque::new()),
+            queue: DMutex::new("serve.batch.shard_queue", VecDeque::new()),
             depth: AtomicUsize::new(0),
             steals: AtomicU64::new(0),
             retired: AtomicBool::new(false),
@@ -406,10 +414,12 @@ impl EncodePool {
                 // SeqCst), so a reservation this sweep misses implies the
                 // enqueuer observes the tombstone.
                 shard.retired.store(true, Ordering::SeqCst);
+                // SeqCst: the read half of the pair described above.
                 if shard.depth.load(Ordering::SeqCst) == 0 {
                     continue; // dead and drained: dropped
                 }
-                shard.retired.store(false, Ordering::SeqCst); // still draining
+                // SeqCst: still draining — untombstone for enqueuers.
+                shard.retired.store(false, Ordering::SeqCst);
             }
             if let Some(uid) = uid {
                 by_uid.insert(uid, shards.len());
@@ -441,6 +451,7 @@ impl EncodePool {
             return Ok(Vec::new());
         }
         assert!(
+            // SeqCst: pairs with Drop's shutdown store.
             !self.shared.shutdown.load(Ordering::SeqCst),
             "encode pool already shut down"
         );
@@ -461,6 +472,9 @@ impl EncodePool {
                     shard.label, self.shard_capacity
                 )));
             }
+            // SeqCst: the reservation is ordered against the workers'
+            // depth scans, the sleep protocol's sleepers check, and the
+            // prune sweep's retired/depth pair.
             let queued = shard.depth.fetch_add(n, Ordering::SeqCst);
             if self.shard_capacity != 0 && queued + n > self.shard_capacity {
                 shard.depth.fetch_sub(n, Ordering::SeqCst);
@@ -469,6 +483,8 @@ impl EncodePool {
                     shard.label, self.shard_capacity
                 )));
             }
+            // SeqCst: reads the tombstone the prune sweep stores before
+            // its drained check, closing the reserve-vs-retire race.
             if shard.retired.load(Ordering::SeqCst) {
                 // Raced a prune sweep: this shard just left the table, so
                 // no worker would ever scan these jobs. Release the
@@ -551,6 +567,8 @@ impl std::error::Error for EncodeError {}
 
 impl Drop for EncodePool {
     fn drop(&mut self) {
+        // SeqCst: workers re-check this flag under the park lock; the
+        // store must not reorder past the notify below.
         self.shared.shutdown.store(true, Ordering::SeqCst);
         {
             let _guard = self.shared.park.lock().expect("park lock poisoned");
@@ -583,6 +601,7 @@ fn pop_batch(shard: &Shard, max_batch: usize) -> Vec<Job> {
     }
     drop(queue);
     if !batch.is_empty() {
+        // SeqCst: releases the admission reservation taken in encode().
         shard.depth.fetch_sub(batch.len(), Ordering::SeqCst);
     }
     batch
@@ -611,6 +630,7 @@ fn grab_batch(
             if preferred == steal_pass {
                 continue;
             }
+            // SeqCst: pairs with the enqueuer's reservation fetch_add.
             if shard.depth.load(Ordering::SeqCst) == 0 {
                 continue;
             }
@@ -620,6 +640,7 @@ fn grab_batch(
             }
             *cursor = (ix + 1) % n;
             if steal_pass {
+                // Relaxed: stats counters, read only at snapshot time.
                 shard.steals.fetch_add(1, Ordering::Relaxed);
                 shared.steals.fetch_add(1, Ordering::Relaxed);
             }
@@ -651,6 +672,8 @@ fn worker_loop(shared: &Shared, worker_ix: usize, worker_count: usize, max_batch
                 if !shared.has_pending() {
                     let _guard = shared.available.wait(guard).expect("park lock poisoned");
                 }
+                // SeqCst: retract the sleep advertisement (symmetric
+                // with the fetch_add opening this protocol).
                 shared.sleepers.fetch_sub(1, Ordering::SeqCst);
             }
         }
@@ -671,10 +694,12 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
             .comparator
             .encode_codes_with_stats(&model.params, &graphs)
     }));
+    // Relaxed: stats counters, read only at snapshot time.
     shared.batches.fetch_add(1, Ordering::Relaxed);
     shared.jobs.fetch_add(batch.len() as u64, Ordering::Relaxed);
     match outcome {
         Ok((codes, fused)) => {
+            // Relaxed: stats counters, read only at snapshot time.
             shared
                 .fused_levels
                 .fetch_add(fused.levels, Ordering::Relaxed);

@@ -41,7 +41,9 @@
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::str::FromStr;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use crate::lockdep::DMutex;
 
 use ccsa_tensor::Tensor;
 
@@ -696,7 +698,7 @@ impl EmbeddingCache {
 /// choice that never reaches disk, so a snapshot written with 1 stripe
 /// loads into 8 and vice versa.
 pub struct ShardedCache {
-    stripes: Vec<Mutex<EmbeddingCache>>,
+    stripes: Vec<DMutex<EmbeddingCache>>,
     capacity: usize,
     precision: CachePrecision,
 }
@@ -740,7 +742,10 @@ impl ShardedCache {
                     } else {
                         capacity / n + usize::from(i < capacity % n)
                     };
-                    Mutex::new(EmbeddingCache::with_precision(per, precision))
+                    DMutex::new(
+                        "serve.cache.stripe",
+                        EmbeddingCache::with_precision(per, precision),
+                    )
                 })
                 .collect(),
             capacity,
@@ -762,7 +767,7 @@ impl ShardedCache {
             .sum()
     }
 
-    fn stripe_for(&self, key: u64) -> &Mutex<EmbeddingCache> {
+    fn stripe_for(&self, key: u64) -> &DMutex<EmbeddingCache> {
         let ix = (crate::hash::splitmix64(key) % self.stripes.len() as u64) as usize;
         &self.stripes[ix]
     }
@@ -1696,6 +1701,29 @@ mod tests {
             assert!(s.is_empty());
             assert_eq!(s.decode().len(), 0);
         }
+    }
+
+    #[test]
+    fn int8_affine_quantization_roundtrip_is_a_projection() {
+        // Quantize → dequantize → quantize must be a fixed point: the
+        // second pass may not move any value (idempotence is what makes
+        // repeated snapshot/restore cycles safe at Int8 precision).
+        // Pinned for the Miri job: this exercises the unsafe-free but
+        // cast-heavy affine path end to end under the interpreter.
+        let vals: Vec<f32> = (0..64)
+            .map(|i| ((i as f32) * 0.193).sin() * 1.7 - 0.3)
+            .collect();
+        let t = Tensor::from_vec(vals, [64]);
+        let once = StoredCode::encode(&t, CachePrecision::Int8).decode();
+        let twice = StoredCode::encode(&once, CachePrecision::Int8).decode();
+        assert_eq!(once.as_slice(), twice.as_slice());
+        // And the re-encoded payload is byte-identical in size/precision.
+        let again = StoredCode::encode(&once, CachePrecision::Int8);
+        assert_eq!(again.precision(), CachePrecision::Int8);
+        assert_eq!(
+            again.payload_bytes(),
+            StoredCode::encode(&t, CachePrecision::Int8).payload_bytes()
+        );
     }
 
     #[test]

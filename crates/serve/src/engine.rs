@@ -26,7 +26,9 @@
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock};
+
+use crate::lockdep::DRwLock;
 use std::time::Instant;
 
 use ccsa_cppast::{parse_program, AstGraph, ParseError};
@@ -273,7 +275,7 @@ pub struct EngineStats {
 pub struct ServeEngine {
     /// Read-mostly: every request takes a read lock to resolve its
     /// selector; only register/hot-swap takes the write lock.
-    registry: RwLock<ModelRegistry>,
+    registry: DRwLock<ModelRegistry>,
     cache: ShardedCache,
     pool: EncodePool,
     compares: AtomicU64,
@@ -315,7 +317,7 @@ impl ServeEngine {
     /// Builds an engine around an existing registry.
     pub fn new(registry: ModelRegistry, config: &ServeConfig) -> ServeEngine {
         ServeEngine {
-            registry: RwLock::new(registry),
+            registry: DRwLock::new("serve.engine.registry", registry),
             cache: ShardedCache::with_precision(
                 config.cache_capacity,
                 config.cache_stripes,
@@ -414,6 +416,7 @@ impl ServeEngine {
         let parse_s = t.elapsed().as_secs_f64();
         let resolved = self.codes_for(&model, &parsed)?;
 
+        // Relaxed: stats counter, read only by stats().
         self.compares
             .fetch_add(pairs.len() as u64, Ordering::Relaxed);
         let trained = &model.model;
@@ -504,6 +507,7 @@ impl ServeEngine {
                 p_slower[j][i] = 1.0 - sym;
             }
         }
+        // Relaxed: stats counters, read only by stats().
         self.rankings.fetch_add(1, Ordering::Relaxed);
         self.compares
             .fetch_add((k * (k - 1) / 2) as u64, Ordering::Relaxed);
@@ -561,6 +565,7 @@ impl ServeEngine {
             cache_bytes += bytes;
         }
         EngineStats {
+            // Relaxed: independent stats counters read at snapshot time.
             compares: self.compares.load(Ordering::Relaxed),
             rankings: self.rankings.load(Ordering::Relaxed),
             parses: self.parses.load(Ordering::Relaxed),
@@ -714,10 +719,12 @@ impl ServeEngine {
             .iter()
             .enumerate()
             .map(|(ix, src)| {
+                // Relaxed: stats counters (here and the failure below).
                 self.parses.fetch_add(1, Ordering::Relaxed);
                 match parse_program(src) {
                     Ok(program) => Ok(Arc::new(AstGraph::from_program(&program))),
                     Err(e) => {
+                        // Relaxed: stats counter.
                         self.parse_failures.fetch_add(1, Ordering::Relaxed);
                         Err(ServeError::Parse(ix, e))
                     }

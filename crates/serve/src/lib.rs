@@ -117,6 +117,7 @@ pub mod cache;
 pub mod engine;
 pub mod hash;
 pub mod json;
+pub mod lockdep;
 pub mod metrics;
 pub mod proto;
 pub mod rank;

@@ -26,7 +26,9 @@
 //! histogram.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
+
+use crate::lockdep::DRwLock;
 use std::time::Instant;
 
 /// Build identity baked in at compile time: the crate version and the
@@ -80,19 +82,22 @@ impl MetricKind {
 pub struct Counter(Arc<AtomicU64>);
 
 impl Counter {
+    // Relaxed throughout: metric cells are independent monotonic
+    // counters; scrapes tolerate torn cross-metric views.
+
     /// Adds one.
     pub fn inc(&self) {
-        self.0.fetch_add(1, Ordering::Relaxed);
+        self.0.fetch_add(1, Ordering::Relaxed); // Relaxed: see above
     }
 
     /// Adds `n`.
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        self.0.fetch_add(n, Ordering::Relaxed); // Relaxed: see above
     }
 
     /// The current value.
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.load(Ordering::Relaxed) // Relaxed: see above
     }
 }
 
@@ -107,13 +112,17 @@ impl Default for Gauge {
 }
 
 impl Gauge {
+    // Relaxed throughout: a gauge is one independent cell read at
+    // scrape time; no cross-cell ordering is needed.
+
     /// Sets the value.
     pub fn set(&self, v: f64) {
-        self.0.store(v.to_bits(), Ordering::Relaxed);
+        self.0.store(v.to_bits(), Ordering::Relaxed); // Relaxed: see above
     }
 
     /// Adds `delta` (CAS loop; gauges are low-frequency).
     pub fn add(&self, delta: f64) {
+        // Relaxed on both the update and the failure reload: see above.
         let _ = self
             .0
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
@@ -123,7 +132,7 @@ impl Gauge {
 
     /// The current value.
     pub fn get(&self) -> f64 {
-        f64::from_bits(self.0.load(Ordering::Relaxed))
+        f64::from_bits(self.0.load(Ordering::Relaxed)) // Relaxed: see above
     }
 }
 
@@ -166,10 +175,13 @@ impl Histogram {
             .iter()
             .position(|&b| v <= b)
             .unwrap_or(core.bounds.len());
+        // Relaxed throughout: histogram cells tolerate scrape-time skew
+        // between buckets, count, and sum.
         core.buckets[ix].fetch_add(1, Ordering::Relaxed);
         core.count.fetch_add(1, Ordering::Relaxed);
         let _ = core
             .sum_bits
+            // Relaxed on both the update and the failure reload.
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
                 Some((f64::from_bits(bits) + v).to_bits())
             });
@@ -184,12 +196,14 @@ impl Histogram {
             .iter()
             .enumerate()
             .map(|(i, &b)| {
+                // Relaxed: scrape-time reads, per the doc above.
                 cumulative += core.buckets[i].load(Ordering::Relaxed);
                 (b, cumulative)
             })
             .collect();
         HistogramSnapshot {
             buckets,
+            // Relaxed: scrape-time reads, per the doc above.
             count: core.count.load(Ordering::Relaxed),
             sum: f64::from_bits(core.sum_bits.load(Ordering::Relaxed)),
         }
@@ -274,8 +288,8 @@ type Collector = Box<dyn Fn() -> Vec<SampleFamily> + Send + Sync>;
 /// The process-wide metric registry: registered families plus
 /// scrape-time collectors, rendered as Prometheus exposition text.
 pub struct MetricsRegistry {
-    families: RwLock<Vec<Family>>,
-    collectors: RwLock<Vec<Collector>>,
+    families: DRwLock<Vec<Family>>,
+    collectors: DRwLock<Vec<Collector>>,
     started: Instant,
 }
 
@@ -290,8 +304,8 @@ impl MetricsRegistry {
     /// `ccsa_build_info` families).
     pub fn new() -> MetricsRegistry {
         let registry = MetricsRegistry {
-            families: RwLock::new(Vec::new()),
-            collectors: RwLock::new(Vec::new()),
+            families: DRwLock::new("serve.metrics.families", Vec::new()),
+            collectors: DRwLock::new("serve.metrics.collectors", Vec::new()),
             started: Instant::now(),
         };
         let started = registry.started;

@@ -66,6 +66,16 @@ pub enum Request {
     Shutdown,
 }
 
+/// The verbs that mutate server state, as wire `op` strings. This is
+/// the source of truth the front doors gate on: every verb listed here
+/// must appear in the `LOOPBACK_GATED_VERBS` const of each network
+/// transport (gateway and fleet), which refuses it off-loopback unless
+/// remote administration was explicitly enabled. The lists are kept as
+/// separate literals on purpose — `ccsa-audit`'s `verbs` rule checks
+/// them against each other, so adding a verb here and forgetting a gate
+/// fails CI instead of shipping a remotely callable admin op.
+pub const MUTATING_VERBS: &[&str] = &["shutdown", "reload_routes"];
+
 /// Decodes one request line.
 ///
 /// # Errors
@@ -394,6 +404,23 @@ mod tests {
         let mut params = Params::new();
         let comparator = Comparator::new(&config, &mut params, &mut StdRng::seed_from_u64(1));
         ServeEngine::with_model(TrainedModel { comparator, params }, &ServeConfig::default())
+    }
+
+    #[test]
+    fn mutating_verbs_are_recognized_ops() {
+        // The gate lists in the gateway and fleet are checked against
+        // MUTATING_VERBS by ccsa-audit; this end anchors the const to
+        // the parser so a renamed op can't silently orphan its gate.
+        for verb in MUTATING_VERBS {
+            let line = format!("{{\"op\":{:?}}}", verb);
+            match parse_request(&line) {
+                Ok(_) => {}
+                Err(e) => assert!(
+                    !e.contains("unknown"),
+                    "mutating verb {verb:?} is not a parser op: {e}"
+                ),
+            }
+        }
     }
 
     #[test]

@@ -60,6 +60,7 @@ impl ServeModel {
 
     /// Adds to this registration's embedding-cache counters.
     pub fn note_cache_lookups(&self, hits: u64, misses: u64) {
+        // Relaxed: stats counters, read only at snapshot time.
         self.cache_hits.fetch_add(hits, Ordering::Relaxed);
         self.cache_misses.fetch_add(misses, Ordering::Relaxed);
     }
@@ -67,6 +68,7 @@ impl ServeModel {
     /// `(hits, misses)` accumulated so far for this registration.
     pub fn cache_lookups(&self) -> (u64, u64) {
         (
+            // Relaxed: stats counters read at snapshot time.
             self.cache_hits.load(Ordering::Relaxed),
             self.cache_misses.load(Ordering::Relaxed),
         )
@@ -133,6 +135,7 @@ impl ModelRegistry {
             name: name.to_string(),
             version,
             model,
+            // Relaxed: only uniqueness matters for the uid sequence.
             uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),

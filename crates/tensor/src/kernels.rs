@@ -184,7 +184,8 @@ fn prefetch_a_block(a: &[f32], row: usize, kk: usize, k: usize, m: usize) {
         use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
         let end = (row + 4).min(m);
         for r in row..end {
-            // In bounds: r < m and kk < k, so r*k + kk < m*k = a.len().
+            // SAFETY: in bounds — r < m and kk < k, so r*k + kk <
+            // m*k = a.len(); prefetch also never faults on any address.
             unsafe { _mm_prefetch(a.as_ptr().add(r * k + kk).cast::<i8>(), _MM_HINT_T0) };
         }
     }
@@ -309,16 +310,22 @@ mod avx2 {
 
     pub(super) fn matmul(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
         debug_assert!(super::avx2_supported());
+        // SAFETY: this table entry is only installed after runtime
+        // avx2+fma detection, so the target-feature contract holds.
         unsafe { matmul_fma(a, b, out, m, k, n) }
     }
 
     pub(super) fn matvec(a: &[f32], x: &[f32], out: &mut [f32], m: usize, k: usize) {
         debug_assert!(super::avx2_supported());
+        // SAFETY: as above — table installed only after avx2+fma
+        // detection.
         unsafe { matvec_fma(a, x, out, m, k) }
     }
 
     pub(super) fn seg_accum(dst: &mut [f32], src: &[f32]) {
         debug_assert!(super::avx2_supported());
+        // SAFETY: as above — table installed only after avx2+fma
+        // detection.
         unsafe { seg_accum_avx2(dst, src) }
     }
 
@@ -327,6 +334,11 @@ mod avx2 {
     /// is a k-ascending single-rounding FMA chain, so the whole matrix
     /// agrees bit-for-bit with [`matvec_fma`] and with a naive
     /// `f32::mul_add` triple loop.
+    ///
+    /// SAFETY contract: caller verified avx2+fma at runtime (the safe
+    /// shims above are the only callers) and sized the slices as
+    /// `a: m×k`, `b: k×n`, `out: m×n`, which every pointer offset
+    /// below stays inside.
     #[target_feature(enable = "avx2,fma")]
     unsafe fn matmul_fma(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
         let ap = a.as_ptr();
@@ -340,15 +352,22 @@ mod avx2 {
             while j + 16 <= n {
                 let mut acc = [[_mm256_setzero_ps(); 2]; 4];
                 for kk in 0..k {
+                    // SAFETY: j+16 <= n and kk < k, so both 8-lane
+                    // loads end at kk*n + j + 16 <= k*n = b.len().
                     let b0 = unsafe { _mm256_loadu_ps(bp.add(kk * n + j)) };
+                    // SAFETY: as above.
                     let b1 = unsafe { _mm256_loadu_ps(bp.add(kk * n + j + 8)) };
                     for (r, accr) in acc.iter_mut().enumerate() {
+                        // SAFETY: i+4 <= m and r < 4, so (i+r)*k + kk
+                        // < m*k = a.len().
                         let av = unsafe { _mm256_set1_ps(*ap.add((i + r) * k + kk)) };
                         accr[0] = _mm256_fmadd_ps(av, b0, accr[0]);
                         accr[1] = _mm256_fmadd_ps(av, b1, accr[1]);
                     }
                 }
                 for (r, accr) in acc.iter().enumerate() {
+                    // SAFETY: i+r < m and j+16 <= n, so both stores
+                    // end at (i+r)*n + j + 16 <= m*n = out.len().
                     unsafe {
                         _mm256_storeu_ps(op.add((i + r) * n + j), accr[0]);
                         _mm256_storeu_ps(op.add((i + r) * n + j + 8), accr[1]);
@@ -359,13 +378,19 @@ mod avx2 {
             while j + 8 <= n {
                 let mut acc = [_mm256_setzero_ps(); 4];
                 for kk in 0..k {
+                    // SAFETY: j+8 <= n and kk < k, so the load ends at
+                    // kk*n + j + 8 <= k*n = b.len().
                     let bv = unsafe { _mm256_loadu_ps(bp.add(kk * n + j)) };
                     for (r, accr) in acc.iter_mut().enumerate() {
+                        // SAFETY: i+4 <= m and r < 4, so (i+r)*k + kk
+                        // < m*k = a.len().
                         let av = unsafe { _mm256_set1_ps(*ap.add((i + r) * k + kk)) };
                         *accr = _mm256_fmadd_ps(av, bv, *accr);
                     }
                 }
                 for (r, accr) in acc.iter().enumerate() {
+                    // SAFETY: i+r < m and j+8 <= n — store ends inside
+                    // out's m*n elements.
                     unsafe { _mm256_storeu_ps(op.add((i + r) * n + j), *accr) };
                 }
                 j += 8;
@@ -384,10 +409,16 @@ mod avx2 {
             while j + 8 <= n {
                 let mut acc = _mm256_setzero_ps();
                 for kk in 0..k {
+                    // SAFETY: i < m and kk < k — the broadcast reads
+                    // one f32 inside a's m*k elements.
                     let av = unsafe { _mm256_set1_ps(*ap.add(i * k + kk)) };
+                    // SAFETY: j+8 <= n and kk < k — the load ends
+                    // inside b's k*n elements.
                     let bv = unsafe { _mm256_loadu_ps(bp.add(kk * n + j)) };
                     acc = _mm256_fmadd_ps(av, bv, acc);
                 }
+                // SAFETY: i < m and j+8 <= n — the store ends inside
+                // out's m*n elements.
                 unsafe { _mm256_storeu_ps(op.add(i * n + j), acc) };
                 j += 8;
             }
@@ -415,6 +446,10 @@ mod avx2 {
     /// accumulators in flight, one chain per output element — the same
     /// per-element semantics as [`matmul_fma`], so `matvec ≡ matmul`
     /// stays bitwise under this backend too.
+    ///
+    /// SAFETY contract: caller verified avx2+fma at runtime (the safe
+    /// shim above is the only caller); all indexing below is checked
+    /// slice access.
     #[target_feature(enable = "avx2,fma")]
     unsafe fn matvec_fma(a: &[f32], x: &[f32], out: &mut [f32], m: usize, k: usize) {
         let mut i = 0;
@@ -444,6 +479,10 @@ mod avx2 {
 
     /// `dst += src` with 8-wide `vaddps`. Per-element add order is
     /// unchanged, so this is bit-identical to the scalar backend.
+    ///
+    /// SAFETY contract: caller verified avx2 at runtime (the safe shim
+    /// above is the only caller); loads/stores are bounded by
+    /// `len = min(dst.len(), src.len())`.
     #[target_feature(enable = "avx2")]
     unsafe fn seg_accum_avx2(dst: &mut [f32], src: &[f32]) {
         let len = dst.len().min(src.len());
@@ -451,6 +490,8 @@ mod avx2 {
         let sp = src.as_ptr();
         let mut j = 0;
         while j + 8 <= len {
+            // SAFETY: j+8 <= len <= dst.len() and src.len(), so the
+            // 8-lane load/store window stays inside both slices.
             unsafe {
                 let d = _mm256_loadu_ps(dp.add(j));
                 let s = _mm256_loadu_ps(sp.add(j));
