@@ -1,0 +1,34 @@
+//! Seeded violations: raw f32 buffer allocations in a tape forward
+//! path — the allocation-churn patterns the `pool` rule keeps out of
+//! the pooled steady state.
+
+pub fn relu_forward(x: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0f32; x.len()];
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o = v.max(0.0);
+    }
+    out
+}
+
+pub fn concat_forward(a: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut out: Vec<f32> = Vec::with_capacity(a.len() + b.len());
+    out.extend_from_slice(a);
+    out.extend_from_slice(b);
+    out
+}
+
+pub fn identity_backward(upstream: &[f32]) -> Vec<f32> {
+    upstream.to_vec()
+}
+
+pub fn offsets(sources: &[usize]) -> Vec<usize> {
+    // pool-exempt: usize offset table, not an f32 tensor buffer.
+    let mut out = Vec::with_capacity(sources.len() + 1);
+    let mut total = 0usize;
+    for &s in sources {
+        out.push(total);
+        total += s;
+    }
+    out.push(total);
+    out
+}

@@ -5,6 +5,7 @@ mod ieee;
 mod lockorder;
 mod metrics;
 mod ordering;
+mod pool;
 mod safety;
 mod unwrap;
 mod verbs;
@@ -53,6 +54,11 @@ pub fn all() -> &'static [Rule] {
             name: "verbs",
             help: "every mutating proto verb appears in the gateway and fleet loopback gates",
             check: verbs::check,
+        },
+        Rule {
+            name: "pool",
+            help: "tape forward paths draw f32 buffers from the pool — no raw Vec allocs",
+            check: pool::check,
         },
         Rule {
             name: "unwrap",

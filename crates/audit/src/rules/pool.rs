@@ -1,0 +1,151 @@
+//! `pool`: tape op forward paths must draw f32 buffers from the
+//! buffer pool. PR 10 routed every op output, backward scratch, and
+//! gradient accumulator through `ccsa_tensor::pool`; a single raw
+//! `vec![0.0; n]` / `Vec::with_capacity` / `.to_vec()` sneaking back
+//! into a hot forward path silently reintroduces steady-state
+//! allocation churn that no test catches (the counting-allocator
+//! harness only covers the serve encode path). This rule pins the
+//! invariant at the source level: inside the tape/tensor files,
+//! non-test code may not allocate raw f32 buffers.
+//!
+//! Cold or non-f32 sites (adjacency structure vecs, usize offset
+//! tables, one-element scalars) opt out with a `// pool-exempt: …`
+//! comment on the same line or in the contiguous comment block above —
+//! the allowlist mechanism for paths that are genuinely not on the
+//! steady-state encode/backward route.
+
+use crate::analysis::{comment_block_contains, in_ranges, test_line_ranges};
+use crate::lexer::TokKind;
+use crate::{Finding, Workspace};
+
+/// Path suffixes this rule applies to: the tape op implementations and
+/// the tensor constructors they call.
+const FORWARD_PATHS: &[&str] = &["crates/tensor/src/tape.rs", "crates/tensor/src/tensor.rs"];
+
+/// Whether a number token spells a floating-point zero (`0.0`, `0.`,
+/// `0f32`…) — the `vec![0.0; n]` zero-fill idiom the pool replaces.
+fn is_float_zero(text: &str) -> bool {
+    let t = text.replace('_', "");
+    let (mantissa, is_float) = match (t.strip_suffix("f32"), t.strip_suffix("f64")) {
+        (Some(m), _) => (m.to_string(), true),
+        (_, Some(m)) => (m.to_string(), true),
+        _ => (
+            t.clone(),
+            t.contains('.') || t.contains('e') || t.contains('E'),
+        ),
+    };
+    if !is_float && !mantissa.contains('.') {
+        return false;
+    }
+    mantissa.parse::<f64>() == Ok(0.0)
+}
+
+pub(super) fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in &ws.files {
+        if !FORWARD_PATHS.iter().any(|p| file.path.ends_with(p)) {
+            continue;
+        }
+        let test_ranges = test_line_ranges(file);
+        let toks = &file.tokens;
+        for ix in 0..toks.len() {
+            let line = toks[ix].line;
+            if in_ranges(&test_ranges, line) {
+                continue;
+            }
+            // `Vec::with_capacity(...)` — raw growth buffer.
+            let with_capacity = toks[ix].is_ident("Vec")
+                && toks.get(ix + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(ix + 2).is_some_and(|t| t.is_punct(':'))
+                && toks
+                    .get(ix + 3)
+                    .is_some_and(|t| t.is_ident("with_capacity"));
+            // `vec![0.0; n]` — raw zero-filled f32 buffer.
+            let vec_zero = toks[ix].is_ident("vec")
+                && toks.get(ix + 1).is_some_and(|t| t.is_punct('!'))
+                && toks.get(ix + 2).is_some_and(|t| t.is_punct('['))
+                && toks
+                    .get(ix + 3)
+                    .is_some_and(|t| t.kind == TokKind::Num && is_float_zero(&t.text));
+            // `.to_vec()` — a full copy the pool's `take_copy` replaces.
+            let to_vec = toks[ix].is_ident("to_vec") && ix > 0 && toks[ix - 1].is_punct('.');
+            let what = if with_capacity {
+                "Vec::with_capacity"
+            } else if vec_zero {
+                "vec![0.0; …]"
+            } else if to_vec {
+                ".to_vec()"
+            } else {
+                continue;
+            };
+            if comment_block_contains(file, line, "pool-exempt") {
+                continue;
+            }
+            findings.push(Finding {
+                rule: "pool",
+                path: file.path.clone(),
+                line,
+                message: format!(
+                    "raw {what} in a tape forward path — draw f32 buffers from \
+                     `pool::take_*` (or mark a cold/non-f32 site `// pool-exempt: <why>`)"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_raw_allocs_outside_tests() {
+        let src = "fn op(xs: &[f32]) -> Vec<f32> {\n\
+                   let mut out = vec![0.0f32; xs.len()];\n\
+                   let mut grow: Vec<f32> = Vec::with_capacity(xs.len());\n\
+                   grow.extend_from_slice(xs);\n\
+                   let copy = xs.to_vec();\n\
+                   out.extend(copy);\n\
+                   out\n\
+                   }\n\
+                   #[cfg(test)]\nmod tests {\n fn t() { let _ = vec![0.0; 4]; let _: Vec<f32> = Vec::with_capacity(4); }\n}\n";
+        let ws = Workspace::from_sources(&[("crates/tensor/src/tape.rs", src)]);
+        let f = check(&ws);
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[1].line, 3);
+        assert_eq!(f[2].line, 5);
+    }
+
+    #[test]
+    fn pool_exempt_comment_opts_a_site_out() {
+        let src = "fn adj(n: usize) {\n\
+                   // pool-exempt: adjacency structure, usize payload, built once per graph\n\
+                   let mut rows: Vec<usize> = Vec::with_capacity(n);\n\
+                   let also = Vec::<u32>::with_capacity(n); // pool-exempt: index list\n\
+                   rows.extend(also.iter().map(|&x| x as usize));\n\
+                   }\n";
+        let ws = Workspace::from_sources(&[("crates/tensor/src/tape.rs", src)]);
+        assert!(check(&ws).is_empty());
+    }
+
+    #[test]
+    fn integer_vec_macro_is_legal() {
+        let src = "fn f(n: usize) { let a = vec![0usize; n]; let b = vec![Vec::new(); n]; let _ = (a, b); }\n";
+        let ws = Workspace::from_sources(&[("crates/tensor/src/tape.rs", src)]);
+        assert!(
+            check(&ws).is_empty(),
+            "integer/new fills are not f32 buffers"
+        );
+    }
+
+    #[test]
+    fn other_files_are_out_of_scope() {
+        let ws = Workspace::from_sources(&[(
+            "crates/serve/src/json.rs",
+            "fn f(xs: &[f32]) -> Vec<f32> { xs.to_vec() }\n",
+        )]);
+        assert!(check(&ws).is_empty());
+    }
+}

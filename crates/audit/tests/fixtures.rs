@@ -100,6 +100,18 @@ fn unwrap_fixture_fires() {
 }
 
 #[test]
+fn pool_fixture_fires_on_all_three_patterns() {
+    let f = findings_for("pool", "pool");
+    assert_eq!(
+        f.len(),
+        3,
+        "pool rule must flag vec![0.0], Vec::with_capacity and .to_vec() \
+         while honouring the pool-exempt site, got {f:?}"
+    );
+    assert!(f.iter().all(|x| x.rule == "pool"));
+}
+
+#[test]
 fn clean_fixture_is_silent_across_all_rules() {
     let ws = Workspace::discover(&fixture_root("clean")).expect("discover clean fixture");
     let mut allow = Allowlist::default();

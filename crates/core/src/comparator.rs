@@ -74,6 +74,21 @@ impl Encoder {
         }
     }
 
+    /// [`Encoder::encode_batch_with_stats`] drawing scheduling buffers
+    /// from a caller-owned [`ccsa_nn::SchedBufs`] — the steady-state
+    /// serving entry (see [`ccsa_nn::EncodeScratch`]).
+    pub fn encode_batch_with_stats_in<'t>(
+        &self,
+        ctx: &Ctx<'t, '_>,
+        graphs: &[&AstGraph],
+        sched: &mut ccsa_nn::SchedBufs,
+    ) -> (Vec<Var<'t>>, ccsa_nn::FusedStats) {
+        match self {
+            Encoder::TreeLstm(e) => e.encode_batch_with_stats_in(ctx, graphs, sched),
+            Encoder::Gcn(e) => e.encode_batch_with_stats_in(ctx, graphs, sched),
+        }
+    }
+
     /// The per-node reference path (shared tape, no cross-tree fusion) —
     /// kept for equivalence tests and fused-vs-sequential benchmarks.
     pub fn encode_batch_sequential<'t>(
@@ -207,6 +222,25 @@ impl Comparator {
         (codes.into_iter().map(|v| v.value()).collect(), stats)
     }
 
+    /// [`Comparator::encode_codes_with_stats`] running on a worker-owned
+    /// [`ccsa_nn::EncodeScratch`]: the tape and scheduling buffers are
+    /// recycled batch to batch, so a warmed worker encodes with ~0 heap
+    /// allocations (tensor buffers come from the
+    /// [pool](ccsa_tensor::pool)). Results are identical to the fresh-
+    /// tape path — the scratch only changes where memory comes from.
+    pub fn encode_codes_with_scratch(
+        &self,
+        params: &Params,
+        graphs: &[&AstGraph],
+        scratch: &mut ccsa_nn::EncodeScratch,
+    ) -> (Vec<Tensor>, ccsa_nn::FusedStats) {
+        scratch.reset();
+        let (tape, sched) = scratch.parts();
+        let ctx = Ctx::new(tape, params);
+        let (codes, stats) = self.encoder.encode_batch_with_stats_in(&ctx, graphs, sched);
+        (codes.into_iter().map(|v| v.value()).collect(), stats)
+    }
+
     /// Reference inference path that still runs one matvec per node
     /// (tape/parameter binding shared, nothing fused). Benchmarks compare
     /// this against [`Comparator::encode_codes`] to measure the fusion
@@ -232,13 +266,19 @@ impl Comparator {
         let d = self.encoder.output_dim();
         assert_eq!(za.len(), d, "first latent code has wrong dimensionality");
         assert_eq!(zb.len(), d, "second latent code has wrong dimensionality");
-        let tape = Tape::new();
-        let ctx = Ctx::new(&tape, params);
-        let va = tape.leaf(za.clone());
-        let vb = tape.leaf(zb.clone());
-        let zab = tape.concat(&[va, vb]);
-        let z = self.classifier.forward(&ctx, zab).value().item();
-        sigmoid(z)
+        // Tape-free: concatenate into a pooled scratch buffer and run
+        // the classifier head through `Linear::forward_into`. The
+        // arithmetic chain (concat → matvec → bias add → sigmoid) is
+        // exactly what the old tape path recorded, so probabilities are
+        // bit-identical — and the warm serving path performs zero heap
+        // allocations once the pool is primed.
+        let mut zab = ccsa_tensor::pool::take_cap(2 * d);
+        zab.extend_from_slice(za.as_slice());
+        zab.extend_from_slice(zb.as_slice());
+        let mut logit = [0.0f32];
+        self.classifier.forward_into(params, &zab, &mut logit);
+        ccsa_tensor::pool::put(zab);
+        sigmoid(logit[0])
     }
 }
 

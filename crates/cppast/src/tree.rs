@@ -7,6 +7,8 @@
 //! the function-definition subtrees survive, hung as children of a
 //! synthetic [`NodeKind::Root`].
 
+use std::sync::OnceLock;
+
 use crate::ast::*;
 use crate::vocab::NodeKind;
 
@@ -24,23 +26,33 @@ use crate::vocab::NodeKind;
 /// assert_eq!(g.kind(g.children(g.root())[0]), NodeKind::FunctionDef);
 /// # Ok::<(), ccsa_cppast::ParseError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct AstGraph {
     kinds: Vec<u16>,
     children: Vec<Vec<u32>>,
     parent: Vec<u32>, // parent[root] == root
+    /// Memoized [`AstGraph::canonical_hash`] — the serving cache key is
+    /// asked for on every request, the structure never changes after
+    /// construction, and computing it walks the whole tree.
+    hash: OnceLock<u64>,
 }
+
+// Equality is structural only: the lazily memoized hash is derived state
+// and must not make an un-hashed graph differ from a hashed equal one.
+impl PartialEq for AstGraph {
+    fn eq(&self, other: &AstGraph) -> bool {
+        self.kinds == other.kinds && self.children == other.children && self.parent == other.parent
+    }
+}
+
+impl Eq for AstGraph {}
 
 impl AstGraph {
     /// Flattens a parsed program, keeping only function-definition subtrees
     /// under a synthetic root (the paper's ROSE pruning step).
     pub fn from_program(program: &Program) -> AstGraph {
         let mut b = Builder {
-            g: AstGraph {
-                kinds: Vec::new(),
-                children: Vec::new(),
-                parent: Vec::new(),
-            },
+            g: AstGraph::default(),
         };
         let root = b.push(NodeKind::Root, u32::MAX);
         for func in &program.functions {
@@ -159,6 +171,13 @@ impl AstGraph {
     /// encoders are pure functions of the graph, so equal hashes mean the
     /// latent code can be reused.
     pub fn canonical_hash(&self) -> u64 {
+        // Memoized: the first call walks the tree, every later call is a
+        // load — the warm serving path computes no hash and allocates
+        // nothing.
+        *self.hash.get_or_init(|| self.compute_canonical_hash())
+    }
+
+    fn compute_canonical_hash(&self) -> u64 {
         // Bottom-up Merkle-style combine (children before parents, which
         // index order guarantees): hash(node) folds the node's kind over
         // its children's hashes in source order.

@@ -160,17 +160,33 @@ impl GcnEncoder {
         ctx: &Ctx<'t, '_>,
         graphs: &[&AstGraph],
     ) -> (Vec<Var<'t>>, crate::FusedStats) {
+        self.encode_batch_with_stats_in(ctx, graphs, &mut crate::SchedBufs::default())
+    }
+
+    /// [`GcnEncoder::encode_batch_with_stats`] drawing reusable buffers
+    /// from a caller-owned [`crate::SchedBufs`] (the steady-state
+    /// serving entry; see [`crate::EncodeScratch`]). The adjacency
+    /// matrix is still built per batch — it is structural, not a flat
+    /// buffer, and the GCN path is not the serving default.
+    pub fn encode_batch_with_stats_in<'t>(
+        &self,
+        ctx: &Ctx<'t, '_>,
+        graphs: &[&AstGraph],
+        sched: &mut crate::SchedBufs,
+    ) -> (Vec<Var<'t>>, crate::FusedStats) {
         let mut stats = crate::FusedStats::default();
         if graphs.is_empty() {
             return (Vec::new(), stats);
         }
+        sched.clear();
         let mut offsets = Vec::with_capacity(graphs.len() + 1);
-        let mut all_ids: Vec<u16> = Vec::new();
         let mut edges: Vec<(u32, u32)> = Vec::new();
         let mut total = 0usize;
         for g in graphs {
             offsets.push(total);
-            all_ids.extend((0..g.node_count() as u32).map(|ix| g.kind_id(ix)));
+            sched
+                .ids
+                .extend((0..g.node_count() as u32).map(|ix| g.kind_id(ix)));
             edges.extend(
                 g.edges()
                     .iter()
@@ -181,7 +197,7 @@ impl GcnEncoder {
         offsets.push(total);
         let adj = Arc::new(Adjacency::normalized_from_edges(total, &edges));
 
-        let mut h = self.embedding.lookup(ctx, &all_ids);
+        let mut h = self.embedding.lookup(ctx, &sched.ids);
         for conv in &self.convs {
             let mixed = ctx.tape.spmm(Arc::clone(&adj), h);
             let pre = conv.forward_rows(ctx, mixed);

@@ -107,6 +107,28 @@ impl Linear {
         x.matmul_nt(ctx.param(&self.w))
             .add_row_broadcast(ctx.param(&self.b))
     }
+
+    /// Tape-free inference: writes `W·x + b` into `out` through the
+    /// dispatched kernels — the same matvec-then-bias-add chain
+    /// [`Linear::forward`] records, so the result is bit-identical to
+    /// the tape path. No tape, no gradients, and (given a warmed buffer
+    /// pool upstream) no allocations: this is the warm-serving
+    /// classifier head.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `x.len() == in_dim` and `out.len() == out_dim`.
+    pub fn forward_into(&self, params: &Params, x: &[f32], out: &mut [f32]) {
+        assert_eq!(x.len(), self.in_dim, "forward_into input width");
+        assert_eq!(out.len(), self.out_dim, "forward_into output width");
+        let w = params.get(&self.w);
+        let b = params.get(&self.b);
+        out.fill(0.0);
+        (ccsa_tensor::kernels::active().matvec)(w.as_slice(), x, out, self.out_dim, self.in_dim);
+        for (o, &bv) in out.iter_mut().zip(b.as_slice()) {
+            *o += bv;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -44,12 +44,14 @@ pub mod layers;
 pub mod optim;
 pub mod parallel;
 pub mod param;
+pub mod scratch;
 pub mod treelstm;
 
 pub use gcn::{Activation, GcnConfig, GcnEncoder};
 pub use layers::{Embedding, Linear};
 pub use optim::{Adam, GradClip, Sgd};
 pub use param::{Ctx, GradStore, Params};
+pub use scratch::{EncodeScratch, SchedBufs};
 pub use treelstm::{Direction, TreeLstmConfig, TreeLstmEncoder};
 
 /// Telemetry from a level-fused batched forward pass.

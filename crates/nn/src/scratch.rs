@@ -1,0 +1,110 @@
+//! Reusable per-worker encode scratch.
+//!
+//! A batched encode pass needs a tape (thousands of nodes for a real
+//! batch) and several scheduling buffers (per-node level numbers, level
+//! bucket lists, flattened kind ids). Building these fresh per batch
+//! makes the allocator the steady-state bottleneck once tensor buffers
+//! themselves are pooled. [`EncodeScratch`] keeps them alive across
+//! batches: the tape spine and every scheduling vector retain their
+//! capacity, so a warmed worker re-runs the whole encode with ~0 heap
+//! allocations (the residual is the per-op `Arc<Vec<usize>>` index
+//! lists the tape ops take ownership of — small, and bounded by the
+//! number of ops, not the number of nodes).
+//!
+//! Each [`EncodePool`] worker owns one `EncodeScratch` for its whole
+//! life; training code can keep using plain per-batch tapes.
+//!
+//! [`EncodePool`]: https://docs.rs/ccsa-serve
+
+use ccsa_tensor::Tape;
+
+/// Reusable scheduling buffers for one batched encode pass.
+///
+/// All fields are cleared (capacity kept) by [`EncodeScratch::reset`];
+/// encoders treat the *contents* as garbage on entry.
+#[derive(Debug, Default)]
+pub struct SchedBufs {
+    /// Flattened node-kind ids across the whole batch.
+    pub ids: Vec<u16>,
+    /// Per-node level number (height or depth) in global node order.
+    pub level: Vec<usize>,
+    /// Level buckets: `levels[l]` lists the global node ids at level
+    /// `l`. Outer and inner capacities both survive reuse.
+    pub levels: Vec<Vec<usize>>,
+}
+
+impl SchedBufs {
+    /// Clears every buffer, keeping capacity. Inner level buckets are
+    /// kept allocated too — a batch with fewer levels than the last one
+    /// simply ignores the tail.
+    pub fn clear(&mut self) {
+        self.ids.clear();
+        self.level.clear();
+        for bucket in &mut self.levels {
+            bucket.clear();
+        }
+    }
+}
+
+/// A worker-owned arena for steady-state batched encoding: one
+/// long-lived [`Tape`] plus the scheduling buffers, recycled batch to
+/// batch.
+///
+/// ```
+/// use ccsa_nn::EncodeScratch;
+///
+/// let mut scratch = EncodeScratch::new();
+/// let (tape, _sched) = scratch.parts();
+/// assert!(tape.is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct EncodeScratch {
+    tape: Tape,
+    sched: SchedBufs,
+}
+
+impl EncodeScratch {
+    /// An empty scratch; buffers grow to steady-state size over the
+    /// first few batches and then stop allocating.
+    pub fn new() -> EncodeScratch {
+        EncodeScratch::default()
+    }
+
+    /// Prepares the scratch for a new batch: resets the tape (dropping
+    /// the previous batch's node tensors back into the buffer pool,
+    /// keeping the node spine's capacity) and clears the scheduling
+    /// buffers. Any `Var` from a previous batch is invalidated.
+    pub fn reset(&mut self) {
+        self.tape.reset();
+        self.sched.clear();
+    }
+
+    /// Split access: the tape (shared, for `Ctx`/`Var` recording) and
+    /// the scheduling buffers (mutable, for the encoder's level
+    /// bookkeeping).
+    pub fn parts(&mut self) -> (&Tape, &mut SchedBufs) {
+        (&self.tape, &mut self.sched)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_keeps_capacity() {
+        let mut s = EncodeScratch::new();
+        s.sched.ids.extend_from_slice(&[1, 2, 3]);
+        s.sched.level.extend_from_slice(&[0, 1, 1]);
+        s.sched.levels.push(vec![0]);
+        s.sched.levels.push(vec![1, 2]);
+        let id_cap = s.sched.ids.capacity();
+        let bucket_cap = s.sched.levels[1].capacity();
+        s.reset();
+        assert!(s.sched.ids.is_empty());
+        assert!(s.sched.level.is_empty());
+        assert!(s.sched.levels.iter().all(Vec::is_empty));
+        assert_eq!(s.sched.ids.capacity(), id_cap);
+        assert_eq!(s.sched.levels[1].capacity(), bucket_cap);
+    }
+}

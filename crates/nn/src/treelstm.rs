@@ -403,40 +403,56 @@ impl TreeLstmEncoder {
         ctx: &Ctx<'t, '_>,
         graphs: &[&AstGraph],
     ) -> (Vec<Var<'t>>, crate::FusedStats) {
+        self.encode_batch_with_stats_in(ctx, graphs, &mut crate::SchedBufs::default())
+    }
+
+    /// [`TreeLstmEncoder::encode_batch_with_stats`] drawing its
+    /// scheduling buffers from a caller-owned [`crate::SchedBufs`] —
+    /// the steady-state serving entry, where a pool worker reuses one
+    /// scratch across every batch it ever runs (see
+    /// [`crate::EncodeScratch`]).
+    pub fn encode_batch_with_stats_in<'t>(
+        &self,
+        ctx: &Ctx<'t, '_>,
+        graphs: &[&AstGraph],
+        sched: &mut crate::SchedBufs,
+    ) -> (Vec<Var<'t>>, crate::FusedStats) {
         let mut stats = crate::FusedStats::default();
         if graphs.is_empty() {
             return (Vec::new(), stats);
         }
+        sched.clear();
         // Global node numbering: graph g's node ix lives at
         // offsets[g] + ix. One embedding gather covers the whole batch.
         let mut offsets = Vec::with_capacity(graphs.len() + 1);
-        let mut all_ids: Vec<u16> = Vec::new();
         let mut total = 0usize;
         for g in graphs {
             offsets.push(total);
             total += g.node_count();
-            all_ids.extend((0..g.node_count() as u32).map(|ix| g.kind_id(ix)));
+            sched
+                .ids
+                .extend((0..g.node_count() as u32).map(|ix| g.kind_id(ix)));
         }
         offsets.push(total);
         let layout = BatchLayout { graphs, offsets };
 
-        let mut x = self.embedding.lookup(ctx, &all_ids);
+        let mut x = self.embedding.lookup(ctx, &sched.ids);
         let mut last = None;
         for layer in &self.layers {
             match layer {
                 LayerKind::Up(cell) => {
-                    let h = self.fused_pass(ctx, &layout, cell, x, true, &mut stats);
+                    let h = self.fused_pass(ctx, &layout, cell, x, true, &mut stats, sched);
                     last = Some(h);
                     x = h;
                 }
                 LayerKind::Down(cell) => {
-                    let h = self.fused_pass(ctx, &layout, cell, x, false, &mut stats);
+                    let h = self.fused_pass(ctx, &layout, cell, x, false, &mut stats, sched);
                     last = Some(h);
                     x = h;
                 }
                 LayerKind::UpDown(up, down) => {
-                    let hu = self.fused_pass(ctx, &layout, up, x, true, &mut stats);
-                    let hd = self.fused_pass(ctx, &layout, down, x, false, &mut stats);
+                    let hu = self.fused_pass(ctx, &layout, up, x, true, &mut stats, sched);
+                    let hd = self.fused_pass(ctx, &layout, down, x, false, &mut stats, sched);
                     last = Some(hu);
                     x = hu.concat_cols(hd);
                 }
@@ -453,6 +469,7 @@ impl TreeLstmEncoder {
     /// One level-scheduled pass (upward when `up`, else downward) over
     /// every graph in the batch. `x` is `[N, x_dim]` in global node
     /// order; the result is `[N, hidden]` in the same order.
+    #[allow(clippy::too_many_arguments)]
     fn fused_pass<'t>(
         &self,
         ctx: &Ctx<'t, '_>,
@@ -461,13 +478,18 @@ impl TreeLstmEncoder {
         x: Var<'t>,
         up: bool,
         stats: &mut crate::FusedStats,
+        sched: &mut crate::SchedBufs,
     ) -> Var<'t> {
         let total = layout.total();
         let hidden = self.config.hidden;
         // Schedule: upward levels are node heights (leaves first), so a
         // node runs only after all its children; downward levels are
         // depths (roots first), so a node runs only after its parent.
-        let mut level = vec![0usize; total];
+        // The level array and buckets live in the worker scratch —
+        // capacity survives across batches.
+        let level = &mut sched.level;
+        level.clear();
+        level.resize(total, 0);
         let mut max_level = 0usize;
         for (g, graph) in layout.graphs.iter().enumerate() {
             let base = layout.offsets[g];
@@ -492,10 +514,16 @@ impl TreeLstmEncoder {
                 }
             }
         }
-        let mut levels: Vec<Vec<usize>> = vec![Vec::new(); max_level + 1];
-        for node in 0..total {
-            levels[level[node]].push(node);
+        if sched.levels.len() < max_level + 1 {
+            sched.levels.resize_with(max_level + 1, Vec::new);
         }
+        for bucket in &mut sched.levels {
+            bucket.clear();
+        }
+        for (node, &l) in level.iter().enumerate().take(total) {
+            sched.levels[l].push(node);
+        }
+        let levels = &sched.levels[..max_level + 1];
 
         // proc_row[node]: the node's row in processing order (levels are
         // appended as they complete). Each completed level stays its own
@@ -519,7 +547,7 @@ impl TreeLstmEncoder {
             .param(&cell.u)
             .index_rows((3 * hidden..4 * hidden).collect::<Vec<usize>>());
 
-        for sel in &levels {
+        for sel in levels {
             let width = sel.len();
             let xl = x.index_rows(sel.clone());
 

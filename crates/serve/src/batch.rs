@@ -654,9 +654,14 @@ fn worker_loop(shared: &Shared, worker_ix: usize, worker_count: usize, max_batch
     // Per-worker rotation cursor; workers start offset from each other
     // so they fan out over the shard table instead of convoying.
     let mut cursor = worker_ix;
+    // Worker-owned encode arena: the tape and scheduling buffers live
+    // for the worker's whole life, so steady-state batches allocate ~0
+    // (tensor buffers come from the thread-local pool tier, which this
+    // thread also keeps warm).
+    let mut scratch = ccsa_nn::EncodeScratch::new();
     loop {
         match grab_batch(shared, worker_ix, worker_count, &mut cursor, max_batch) {
-            Some(batch) => run_batch(shared, batch),
+            Some(batch) => run_batch(shared, batch, &mut scratch),
             None => {
                 // Sleep protocol: advertise the intent to sleep, then
                 // re-check for work *under the park lock*. An enqueuer
@@ -686,13 +691,16 @@ fn worker_loop(shared: &Shared, worker_ix: usize, worker_count: usize, max_batch
 /// callers get the error, and the worker keeps serving. Encoders are
 /// pure functions of (params, graph), so no shared state can be left
 /// inconsistent.
-fn run_batch(shared: &Shared, batch: Vec<Job>) {
+fn run_batch(shared: &Shared, batch: Vec<Job>, scratch: &mut ccsa_nn::EncodeScratch) {
     let model = &batch[0].model.model;
     let graphs: Vec<&AstGraph> = batch.iter().map(|job| job.graph.as_ref()).collect();
+    // A panicking pass may leave half-recorded nodes on the scratch
+    // tape; `encode_codes_with_scratch` resets it on entry, so the next
+    // batch starts clean either way.
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         model
             .comparator
-            .encode_codes_with_stats(&model.params, &graphs)
+            .encode_codes_with_scratch(&model.params, &graphs, scratch)
     }));
     // Relaxed: stats counters, read only at snapshot time.
     shared.batches.fetch_add(1, Ordering::Relaxed);

@@ -41,7 +41,7 @@
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::str::FromStr;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::lockdep::DMutex;
 
@@ -190,8 +190,33 @@ pub fn f32_to_f16_bits(value: f32) -> u16 {
     sign | h as u16
 }
 
+/// The dequantize-on-read lookup table: all 65536 f16 bit patterns
+/// expanded to f32, built once on first use (256 KiB — smaller than one
+/// cached batch of codes). The branchy [`f16_bits_to_f32`] converter
+/// cost ~4.6× an f32 read per element on the cache-hit path
+/// (`BENCH_kernels.json`, PR 8); a table read is one indexed load.
+/// [`f16_bits_to_f32`] remains the reference — an exhaustive test pins
+/// the table to it over every bit pattern.
+fn f16_table() -> &'static [f32; 65536] {
+    static TABLE: OnceLock<Box<[f32; 65536]>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = vec![0.0f32; 65536].into_boxed_slice();
+        for (h, slot) in t.iter_mut().enumerate() {
+            *slot = f16_bits_to_f32(h as u16);
+        }
+        t.try_into().expect("65536 entries")
+    })
+}
+
+/// Table-driven f16 → f32 for the read path (see [`f16_table`]).
+#[inline]
+pub fn f16_bits_to_f32_lut(h: u16) -> f32 {
+    f16_table()[h as usize]
+}
+
 /// IEEE-754 binary16 bits → f32 (exact: every f16 value is
-/// representable in f32).
+/// representable in f32). Reference converter; the hot read path uses
+/// [`f16_bits_to_f32_lut`].
 pub fn f16_bits_to_f32(h: u16) -> f32 {
     let sign = ((h & 0x8000) as u32) << 16;
     let exp = (h >> 10) & 0x1f;
@@ -288,14 +313,20 @@ impl StoredCode {
     pub fn decode(&self) -> Tensor {
         match self {
             StoredCode::F32(t) => t.clone(),
-            StoredCode::F16(bits) => Tensor::from_vec(
-                bits.iter().map(|&h| f16_bits_to_f32(h)).collect(),
-                [bits.len()],
-            ),
-            StoredCode::Int8 { q, scale, min } => Tensor::from_vec(
-                q.iter().map(|&level| min + level as f32 * scale).collect(),
-                [q.len()],
-            ),
+            StoredCode::F16(bits) => {
+                // Table lookup per element (not the branchy converter)
+                // into a pooled buffer: a warm cache hit allocates
+                // nothing.
+                let table = f16_table();
+                let mut out = ccsa_tensor::pool::take_cap(bits.len());
+                out.extend(bits.iter().map(|&h| table[h as usize]));
+                Tensor::from_vec(out, [bits.len()])
+            }
+            StoredCode::Int8 { q, scale, min } => {
+                let mut out = ccsa_tensor::pool::take_cap(q.len());
+                out.extend(q.iter().map(|&level| min + level as f32 * scale));
+                Tensor::from_vec(out, [q.len()])
+            }
         }
     }
 
@@ -1635,6 +1666,20 @@ mod tests {
         assert_eq!(f32_to_f16_bits(f32::NEG_INFINITY), 0xfc00);
         assert_eq!(f32_to_f16_bits(f32::NAN) & 0x7fff, 0x7e00);
         assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn lut_matches_reference_converter_for_every_bit_pattern() {
+        // The read path is table-driven; the branchy converter is the
+        // reference. Exhaustive: all 65536 f16 bit patterns, compared
+        // by bits so NaN payloads and signed zeros must agree too.
+        for h in 0u16..=u16::MAX {
+            assert_eq!(
+                f16_bits_to_f32_lut(h).to_bits(),
+                f16_bits_to_f32(h).to_bits(),
+                "bit pattern {h:#06x}"
+            );
+        }
     }
 
     #[test]

@@ -182,6 +182,27 @@ impl CompareOutcome {
     }
 }
 
+/// The outcome of [`ServeEngine::compare_graphs`] — like
+/// [`CompareOutcome`] minus the owned model name, so producing one
+/// performs no heap allocation (the zero-alloc steady-state contract;
+/// use [`ServeEngine::resolve_coordinates`] when the name is needed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompareScore {
+    /// Model probability that the *first* program is the slower one.
+    pub prob_first_slower: f32,
+    /// Resolved model version.
+    pub version: u32,
+    /// How many of the pair's trees came from the embedding cache (0–2).
+    pub cache_hits: usize,
+}
+
+impl CompareScore {
+    /// `true` when the model believes the first program is the slower one.
+    pub fn first_is_slower(&self) -> bool {
+        self.prob_first_slower >= 0.5
+    }
+}
+
 /// The result of ranking K candidates.
 #[derive(Debug, Clone)]
 pub struct RankOutcome {
@@ -267,6 +288,10 @@ pub struct EngineStats {
     /// Per-registration embedding-cache counters, ordered by
     /// (name, version).
     pub model_cache: Vec<ModelCacheStats>,
+    /// Tensor buffer-pool counters (process-wide): how often encode
+    /// buffers were recycled vs freshly allocated, and what is parked
+    /// in each tier right now.
+    pub pool: ccsa_tensor::PoolStats,
     /// Seconds since the engine was constructed.
     pub uptime_seconds: f64,
 }
@@ -391,6 +416,97 @@ impl ServeEngine {
         pairs: &[(&str, &str)],
     ) -> Result<Vec<CompareOutcome>, ServeError> {
         Ok(self.compare_batch_traced(selector, pairs)?.0)
+    }
+
+    /// Scores one pre-parsed pair — the steady-state fast path. With
+    /// both codes cached (the warm case) this performs **zero heap
+    /// allocations**: the memoized canonical hashes key the cache, F32
+    /// hits hand back `Arc` clones (F16/int8 decode into pooled
+    /// buffers), and the classifier head runs tape-free on a pooled
+    /// scratch buffer. An integration test pins the zero-alloc claim
+    /// with a counting global allocator. Scores are bit-identical to
+    /// [`ServeEngine::compare`] on the same sources.
+    ///
+    /// Cache misses fall back to the batched encode pool (cold path —
+    /// allocations allowed there).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] on model-resolution or encode failure.
+    pub fn compare_graphs(
+        &self,
+        selector: &ModelSelector,
+        first: &Arc<AstGraph>,
+        second: &Arc<AstGraph>,
+    ) -> Result<CompareScore, ServeError> {
+        let model = self.resolve(selector)?;
+        let salt = model_salt(&model);
+        let t = Instant::now();
+        let ka = first.canonical_hash() ^ salt;
+        let kb = second.canonical_hash() ^ salt;
+        let ca = self.cache.get(ka);
+        let cb = self.cache.get(kb);
+        let cache_hits = ca.is_some() as usize + cb.is_some() as usize;
+        model.note_cache_lookups(cache_hits as u64, 2 - cache_hits as u64);
+        let cache_s = t.elapsed().as_secs_f64();
+
+        let mut encode_s = 0.0;
+        let (za, zb) = match (ca, cb) {
+            (Some(za), Some(zb)) => (za, zb),
+            (ca, cb) => {
+                // Cold path: encode the misses through the worker pool
+                // (deduplicated when both sides are the same tree).
+                let t = Instant::now();
+                let mut miss: Vec<Arc<AstGraph>> = Vec::with_capacity(2);
+                if ca.is_none() {
+                    miss.push(Arc::clone(first));
+                }
+                if cb.is_none() && kb != ka {
+                    miss.push(Arc::clone(second));
+                }
+                let fresh = self.pool.encode(&model, &miss)?;
+                let mut fresh = fresh.into_iter();
+                let za = match ca {
+                    Some(z) => z,
+                    None => {
+                        let z = fresh.next().expect("one code per missed tree");
+                        self.cache.insert_tagged(ka, model.uid(), z.clone());
+                        z
+                    }
+                };
+                let zb = match cb {
+                    Some(z) => z,
+                    None if kb == ka => za.clone(),
+                    None => {
+                        let z = fresh.next().expect("one code per missed tree");
+                        self.cache.insert_tagged(kb, model.uid(), z.clone());
+                        z
+                    }
+                };
+                encode_s = t.elapsed().as_secs_f64();
+                (za, zb)
+            }
+        };
+
+        // Relaxed: stats counter, read only by stats().
+        self.compares.fetch_add(1, Ordering::Relaxed);
+        let trained = &model.model;
+        let t = Instant::now();
+        let prob_first_slower = trained
+            .comparator
+            .predict_from_codes(&trained.params, &za, &zb);
+        let stages = StageTimings {
+            parse_s: 0.0,
+            cache_s,
+            encode_s,
+            classify_s: t.elapsed().as_secs_f64(),
+        };
+        self.observe_stages(&stages);
+        Ok(CompareScore {
+            prob_first_slower,
+            version: model.version,
+            cache_hits,
+        })
     }
 
     /// [`ServeEngine::compare_batch`] plus the per-stage wall-clock
@@ -567,6 +683,7 @@ impl ServeEngine {
         EngineStats {
             // Relaxed: independent stats counters read at snapshot time.
             compares: self.compares.load(Ordering::Relaxed),
+            pool: ccsa_tensor::pool::stats(),
             rankings: self.rankings.load(Ordering::Relaxed),
             parses: self.parses.load(Ordering::Relaxed),
             parse_failures: self.parse_failures.load(Ordering::Relaxed),
@@ -973,6 +1090,43 @@ pub fn engine_metric_families(stats: &EngineStats) -> Vec<SampleFamily> {
         "Embedding-cache misses attributed to a model registration.",
         Counter,
         model_misses,
+    ));
+
+    // Tensor buffer pool: steady state is hits ≫ misses with stable
+    // tier gauges; rising misses mean the pool tiers are too small for
+    // the live batch shapes.
+    out.push(SampleFamily::new(
+        "ccsa_pool_hits_total",
+        "Buffer-pool takes served from a free list, by tier.",
+        Counter,
+        vec![
+            Sample::new(&[("tier", "local")], stats.pool.local_hits as f64),
+            Sample::new(&[("tier", "shared")], stats.pool.shared_hits as f64),
+        ],
+    ));
+    out.push(SampleFamily::new(
+        "ccsa_pool_misses_total",
+        "Buffer-pool takes that fell through to the global allocator.",
+        Counter,
+        vec![Sample::value(stats.pool.misses as f64)],
+    ));
+    out.push(SampleFamily::new(
+        "ccsa_pool_buffers",
+        "Buffers currently parked for reuse, by tier.",
+        Gauge,
+        vec![
+            Sample::new(&[("tier", "local")], stats.pool.local_buffers as f64),
+            Sample::new(&[("tier", "shared")], stats.pool.shared_buffers as f64),
+        ],
+    ));
+    out.push(SampleFamily::new(
+        "ccsa_pool_bytes",
+        "Capacity bytes parked for reuse, by tier.",
+        Gauge,
+        vec![
+            Sample::new(&[("tier", "local")], stats.pool.local_bytes as f64),
+            Sample::new(&[("tier", "shared")], stats.pool.shared_bytes as f64),
+        ],
     ));
 
     // Per-shard admission backpressure, the signal transports shed on.

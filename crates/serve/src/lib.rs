@@ -129,8 +129,8 @@ pub use cache::{
     DEFAULT_CACHE_STRIPES,
 };
 pub use engine::{
-    engine_metric_families, CompareOutcome, EngineStats, ModelCacheStats, RankOutcome, ServeConfig,
-    ServeEngine, ServeError, StageTimings, MAX_RANK_CANDIDATES,
+    engine_metric_families, CompareOutcome, CompareScore, EngineStats, ModelCacheStats,
+    RankOutcome, ServeConfig, ServeEngine, ServeError, StageTimings, MAX_RANK_CANDIDATES,
 };
 pub use metrics::{
     Counter, Gauge, Histogram, MetricKind, MetricsRegistry, Sample, SampleFamily, LATENCY_BUCKETS_S,

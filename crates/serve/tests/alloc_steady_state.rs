@@ -1,0 +1,185 @@
+//! Pins the PR's headline claim with a counting global allocator:
+//! once the cache and buffer pool are warm, `ServeEngine::compare_graphs`
+//! performs **zero** heap allocations per request. The cold request is
+//! allowed to allocate (cache fill, pool growth, lazy histograms); every
+//! request after the second must be allocation-free.
+//!
+//! The harness swaps in a `#[global_allocator]` that counts every
+//! `alloc`/`realloc`/`alloc_zeroed`, so a single stray `Vec` or `Arc`
+//! anywhere on the warm path fails the test rather than silently
+//! re-introducing steady-state allocator churn.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ccsa_cppast::tree::AstGraph;
+use ccsa_model::comparator::{Comparator, EncoderConfig};
+use ccsa_model::pipeline::TrainedModel;
+use ccsa_nn::param::Params;
+use ccsa_nn::treelstm::{Direction, TreeLstmConfig};
+use ccsa_serve::cache::CachePrecision;
+use ccsa_serve::{BatchConfig, ModelSelector, ServeConfig, ServeEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Counts allocation events; frees are uncounted (returning a pooled
+/// buffer must not be scored as churn).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation unchanged to `System`, which
+// upholds the `GlobalAlloc` contract; the counter is a side effect.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: trait-required unsafe fn; delegates to `System.alloc`.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // Relaxed: a monotonic event counter read only after the
+        // measured section joins; no ordering with other memory needed.
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same layout obligations as our own caller's.
+        unsafe { System.alloc(layout) }
+    }
+
+    // SAFETY: trait-required unsafe fn; delegates to `System.dealloc`.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` come from a matching `alloc` above.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    // SAFETY: trait-required unsafe fn; delegates to `System.alloc_zeroed`.
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        // Relaxed: monotonic event counter, as above.
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same layout obligations as our own caller's.
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    // SAFETY: trait-required unsafe fn; delegates to `System.realloc`.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // Relaxed: monotonic event counter, as above.
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded unchanged from our caller's obligations.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    // Relaxed: reading the counter between single-threaded phases.
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+fn tiny_model(seed: u64) -> TrainedModel {
+    let config = EncoderConfig::TreeLstm(TreeLstmConfig {
+        embed_dim: 6,
+        hidden: 6,
+        layers: 1,
+        direction: Direction::Uni,
+        sigmoid_candidate: false,
+    });
+    let mut params = Params::new();
+    let comparator = Comparator::new(&config, &mut params, &mut StdRng::seed_from_u64(seed));
+    TrainedModel { comparator, params }
+}
+
+const FAST: &str = "int main() { int n; cin >> n; cout << n * (n + 1) / 2; return 0; }";
+const SLOW: &str = "int main() { int n; cin >> n; long long s = 0; \
+                    for (int i = 0; i <= n; i++) for (int j = 0; j < i; j++) s++; \
+                    cout << s; return 0; }";
+
+#[test]
+fn warm_compare_requests_allocate_nothing() {
+    let engine = ServeEngine::with_model(
+        tiny_model(7),
+        &ServeConfig {
+            cache_capacity: 64,
+            cache_stripes: 1,
+            cache_precision: CachePrecision::F32,
+            batch: BatchConfig {
+                workers: 1,
+                max_batch: 8,
+                ..BatchConfig::default()
+            },
+        },
+    );
+    let a = Arc::new(AstGraph::from_program(
+        &ccsa_cppast::parse_program(SLOW).expect("parse slow"),
+    ));
+    let b = Arc::new(AstGraph::from_program(
+        &ccsa_cppast::parse_program(FAST).expect("parse fast"),
+    ));
+    let selector = ModelSelector::default();
+
+    // Cold + first-warm requests: fill the cache, memoize the canonical
+    // hashes, grow the classifier's pool buffers and the lazy stage
+    // histograms. Allocation is expected and legal here.
+    let cold = engine
+        .compare_graphs(&selector, &a, &b)
+        .expect("cold compare");
+    assert_eq!(cold.cache_hits, 0, "first request must be a double miss");
+    let first_warm = engine
+        .compare_graphs(&selector, &a, &b)
+        .expect("first warm compare");
+    assert_eq!(first_warm.cache_hits, 2);
+
+    // Steady state: second and later warm requests. Zero allocations,
+    // and bit-identical scores to the cold pass.
+    let before = allocs();
+    let mut last = first_warm;
+    for _ in 0..32 {
+        last = engine
+            .compare_graphs(&selector, &a, &b)
+            .expect("warm compare");
+    }
+    let after = allocs();
+    assert_eq!(last.cache_hits, 2, "steady state must stay fully cached");
+    assert_eq!(
+        last.prob_first_slower.to_bits(),
+        cold.prob_first_slower.to_bits(),
+        "warm score must be bit-identical to the cold score"
+    );
+    assert_eq!(
+        after - before,
+        0,
+        "warm compare_graphs allocated {} time(s) over 32 requests",
+        after - before
+    );
+}
+
+#[test]
+fn swapped_operands_stay_alloc_free_once_both_codes_are_cached() {
+    let engine = ServeEngine::with_model(
+        tiny_model(11),
+        &ServeConfig {
+            cache_capacity: 64,
+            cache_stripes: 1,
+            cache_precision: CachePrecision::F32,
+            batch: BatchConfig {
+                workers: 1,
+                max_batch: 8,
+                ..BatchConfig::default()
+            },
+        },
+    );
+    let a = Arc::new(AstGraph::from_program(
+        &ccsa_cppast::parse_program(SLOW).expect("parse slow"),
+    ));
+    let b = Arc::new(AstGraph::from_program(
+        &ccsa_cppast::parse_program(FAST).expect("parse fast"),
+    ));
+    let selector = ModelSelector::default();
+    engine.compare_graphs(&selector, &a, &b).expect("cold");
+    engine.compare_graphs(&selector, &b, &a).expect("warm-up");
+    engine.compare_graphs(&selector, &a, &a).expect("warm-up");
+
+    let before = allocs();
+    for _ in 0..8 {
+        engine.compare_graphs(&selector, &b, &a).expect("warm");
+        engine.compare_graphs(&selector, &a, &a).expect("warm self");
+    }
+    let after = allocs();
+    assert_eq!(after - before, 0, "operand order must not break pooling");
+}

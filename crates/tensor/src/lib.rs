@@ -35,12 +35,15 @@
 
 mod grad_check;
 pub mod kernels;
+pub mod par;
+pub mod pool;
 mod shape;
 mod tape;
 mod tensor;
 
 pub use grad_check::{grad_check, GradCheckReport, TapeScalar};
 pub use kernels::{KernelBackend, Kernels};
+pub use pool::PoolStats;
 pub use shape::Shape;
 pub use tape::{Adjacency, Gradients, Tape, Var};
 pub use tensor::Tensor;

@@ -1,0 +1,457 @@
+//! The tensor buffer pool: size-class free lists of `Vec<f32>`.
+//!
+//! Steady-state serving throughput is bounded by allocator churn: every
+//! tape op output, backward scratch buffer, and gradient accumulator
+//! used to be a fresh `Vec<f32>` handed to the global allocator and
+//! freed a few microseconds later. The pool short-circuits that cycle:
+//!
+//! ```text
+//!            take_zeroed / take_cap            drop (PoolBuf) / put
+//!   op ───────────────┐                               │
+//!                     ▼                               ▼
+//!   ┌──────────────────────────────┐   spill   ┌──────────────────┐
+//!   │ tier "local": thread-local   │ ────────► │ tier "shared":   │
+//!   │ free lists, one per size     │ ◄──────── │ mutex-guarded    │
+//!   │ class (no locking)           │  refill   │ spill lists      │
+//!   └──────────────────────────────┘           └──────────────────┘
+//!                     │ (both empty)
+//!                     ▼
+//!              global allocator (a pool *miss*)
+//! ```
+//!
+//! * **Size classes** are powers of two from 8 to 4 Mi floats. A
+//!   request takes from the smallest class that fits; a returned buffer
+//!   files under the largest class its capacity covers, so a recycled
+//!   buffer always satisfies the length it is handed out for.
+//! * **Tier "local"** is a `thread_local!` free list — the fast path is
+//!   lock-free and allocation-free. Encode-pool workers therefore reach
+//!   a private warm pool in steady state.
+//! * **Tier "shared"** is a small mutex-guarded spill: buffers
+//!   overflowing a full local class land there, and a thread whose
+//!   local class is empty refills from it. This is what lets buffers
+//!   freed on one thread (e.g. a caller dropping a response tensor) be
+//!   reused by another (an encode worker).
+//!
+//! Recycled buffers are always handed out either zeroed
+//! ([`take_zeroed`]) or empty ([`take_cap`]), so stale values from a
+//! previous tensor can never leak into a new one (property-tested in
+//! `crates/tensor/tests`).
+//!
+//! Counters ([`stats`]) feed the `ccsa_pool_*` metric families in
+//! `ccsa-serve`. [`set_bypass`] turns the pool into a pass-through to
+//! the global allocator — benches use it to measure the pre-pool
+//! baseline in-process.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// log2 of the smallest pooled capacity (8 floats). Anything smaller is
+/// cheaper to allocate than to track.
+const MIN_SHIFT: u32 = 3;
+/// Number of size classes: 8, 16, … 4 Mi floats (16 MiB). Larger
+/// buffers bypass the pool entirely.
+const NUM_CLASSES: usize = 20;
+/// Max buffers one thread parks per class before spilling to the
+/// shared tier.
+const LOCAL_CAP_PER_CLASS: usize = 16;
+/// Max buffers the shared tier holds per class before dropping to the
+/// allocator.
+const SHARED_CAP_PER_CLASS: usize = 64;
+
+/// Floats in class `c`.
+#[inline]
+fn class_size(c: usize) -> usize {
+    1usize << (MIN_SHIFT + c as u32)
+}
+
+/// Smallest class whose size covers `len` (None: oversize).
+#[inline]
+fn class_for_len(len: usize) -> Option<usize> {
+    let mut class = 0usize;
+    while class < NUM_CLASSES && class_size(class) < len {
+        class += 1;
+    }
+    (class < NUM_CLASSES).then_some(class)
+}
+
+/// Largest class whose size is covered by `cap` (None: below minimum).
+#[inline]
+fn class_for_cap(cap: usize) -> Option<usize> {
+    if cap < class_size(0) {
+        return None;
+    }
+    let mut class = NUM_CLASSES - 1;
+    while class_size(class) > cap {
+        class -= 1;
+    }
+    Some(class)
+}
+
+// Counters are Relaxed throughout this module: each is an independent
+// monotonic statistic (or gauge) read only by stats()/scrape paths that
+// tolerate torn cross-counter views — no ordering with the buffers
+// themselves is needed (ownership transfer is by value / under the
+// shared-tier mutex).
+static LOCAL_HITS: AtomicU64 = AtomicU64::new(0);
+static SHARED_HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static RETURNS: AtomicU64 = AtomicU64::new(0);
+static DROPS: AtomicU64 = AtomicU64::new(0);
+static LOCAL_BUFFERS: AtomicU64 = AtomicU64::new(0);
+static SHARED_BUFFERS: AtomicU64 = AtomicU64::new(0);
+static LOCAL_BYTES: AtomicU64 = AtomicU64::new(0);
+static SHARED_BYTES: AtomicU64 = AtomicU64::new(0);
+static BYPASS: AtomicBool = AtomicBool::new(false);
+
+/// One thread's free lists. On thread exit the parked buffers are
+/// handed back to the allocator; `Drop` keeps the gauges honest.
+struct Local {
+    classes: [Vec<Vec<f32>>; NUM_CLASSES],
+}
+
+impl Local {
+    fn new() -> Local {
+        Local {
+            classes: std::array::from_fn(|_| Vec::new()),
+        }
+    }
+}
+
+impl Drop for Local {
+    fn drop(&mut self) {
+        let mut buffers = 0u64;
+        let mut bytes = 0u64;
+        for class in &self.classes {
+            buffers += class.len() as u64;
+            bytes += class.iter().map(|v| 4 * v.capacity() as u64).sum::<u64>();
+        }
+        // Relaxed: gauge bookkeeping, see module-level comment.
+        LOCAL_BUFFERS.fetch_sub(buffers, Ordering::Relaxed);
+        LOCAL_BYTES.fetch_sub(bytes, Ordering::Relaxed);
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<Local> = RefCell::new(Local::new());
+}
+
+/// The shared spill tier. A plain leaf mutex: nothing is ever acquired
+/// while it is held.
+static SHARED: Mutex<Option<Vec<Vec<Vec<f32>>>>> = Mutex::new(None);
+
+fn with_shared<R>(f: impl FnOnce(&mut Vec<Vec<Vec<f32>>>) -> R) -> R {
+    let mut guard = SHARED.lock().expect("buffer pool spill tier poisoned");
+    let tier = guard.get_or_insert_with(|| (0..NUM_CLASSES).map(|_| Vec::new()).collect());
+    f(tier)
+}
+
+/// Pops a recycled buffer with capacity ≥ `min_cap`, or None on a pool
+/// miss (empty classes, oversize request, or bypass).
+fn take_recycled(min_cap: usize) -> Option<Vec<f32>> {
+    // Relaxed: an independent on/off flag; a stale read only routes one
+    // request to the other allocation path.
+    if BYPASS.load(Ordering::Relaxed) || min_cap == 0 {
+        return None;
+    }
+    let class = class_for_len(min_cap)?;
+    let local = LOCAL
+        .try_with(|l| {
+            let mut l = l.borrow_mut();
+            // Take the smallest non-empty class that fits; settling for a
+            // larger class beats a fresh allocation.
+            for c in class..NUM_CLASSES {
+                if let Some(v) = l.classes[c].pop() {
+                    return Some(v);
+                }
+            }
+            None
+        })
+        .ok()
+        .flatten();
+    if let Some(v) = local {
+        // Relaxed: statistics, see module-level comment.
+        LOCAL_HITS.fetch_add(1, Ordering::Relaxed);
+        LOCAL_BUFFERS.fetch_sub(1, Ordering::Relaxed);
+        LOCAL_BYTES.fetch_sub(4 * v.capacity() as u64, Ordering::Relaxed);
+        return Some(v);
+    }
+    let shared = with_shared(|tier| tier[class..].iter_mut().find_map(Vec::pop));
+    if let Some(ref v) = shared {
+        // Relaxed: statistics, see module-level comment.
+        SHARED_HITS.fetch_add(1, Ordering::Relaxed);
+        SHARED_BUFFERS.fetch_sub(1, Ordering::Relaxed);
+        SHARED_BYTES.fetch_sub(4 * v.capacity() as u64, Ordering::Relaxed);
+    }
+    shared
+}
+
+/// A zeroed buffer of exactly `len` floats, recycled when possible.
+pub fn take_zeroed(len: usize) -> Vec<f32> {
+    match take_recycled(len) {
+        Some(mut v) => {
+            v.clear();
+            v.resize(len, 0.0);
+            v
+        }
+        None => {
+            // Relaxed: statistics, see module-level comment.
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            vec![0.0; len]
+        }
+    }
+}
+
+/// An empty buffer with capacity ≥ `min_cap`, recycled when possible.
+/// The caller fills it (`extend_from_slice`, `push`, …) — it never
+/// exposes recycled contents.
+pub fn take_cap(min_cap: usize) -> Vec<f32> {
+    match take_recycled(min_cap) {
+        Some(mut v) => {
+            v.clear();
+            v
+        }
+        None => {
+            // Relaxed: statistics, see module-level comment.
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            Vec::with_capacity(min_cap)
+        }
+    }
+}
+
+/// A buffer of `len` floats all equal to `value`, recycled when
+/// possible.
+pub fn take_filled(len: usize, value: f32) -> Vec<f32> {
+    let mut v = take_cap(len);
+    v.resize(len, value);
+    v
+}
+
+/// A recycled (or fresh) copy of `src`.
+pub fn take_copy(src: &[f32]) -> Vec<f32> {
+    let mut v = take_cap(src.len());
+    v.extend_from_slice(src);
+    v
+}
+
+/// Returns a buffer to the pool: local tier first, spilling to the
+/// shared tier when the local class is full, dropping to the allocator
+/// when both are. Tiny and oversize buffers go straight to the
+/// allocator.
+pub fn put(mut v: Vec<f32>) {
+    // Relaxed: an independent on/off flag (see take_recycled).
+    if BYPASS.load(Ordering::Relaxed) {
+        return;
+    }
+    let Some(class) = class_for_cap(v.capacity()) else {
+        return; // below the minimum class: not worth tracking
+    };
+    if v.capacity() > class_size(NUM_CLASSES - 1) {
+        return; // oversize: give the pages back
+    }
+    v.clear();
+    let bytes = 4 * v.capacity() as u64;
+    let spill = LOCAL.try_with(|l| {
+        let mut l = l.borrow_mut();
+        if l.classes[class].len() < LOCAL_CAP_PER_CLASS {
+            l.classes[class].push(std::mem::take(&mut v));
+            false
+        } else {
+            true
+        }
+    });
+    match spill {
+        Ok(false) => {
+            // Relaxed: statistics, see module-level comment.
+            RETURNS.fetch_add(1, Ordering::Relaxed);
+            LOCAL_BUFFERS.fetch_add(1, Ordering::Relaxed);
+            LOCAL_BYTES.fetch_add(bytes, Ordering::Relaxed);
+        }
+        // Local class full, or the thread is tearing down its TLS:
+        // spill to the shared tier.
+        Ok(true) | Err(_) => {
+            let parked = with_shared(|tier| {
+                if tier[class].len() < SHARED_CAP_PER_CLASS {
+                    tier[class].push(std::mem::take(&mut v));
+                    true
+                } else {
+                    false
+                }
+            });
+            if parked {
+                // Relaxed: statistics, see module-level comment.
+                RETURNS.fetch_add(1, Ordering::Relaxed);
+                SHARED_BUFFERS.fetch_add(1, Ordering::Relaxed);
+                SHARED_BYTES.fetch_add(bytes, Ordering::Relaxed);
+            } else {
+                // Relaxed: statistics, see module-level comment.
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// A point-in-time snapshot of the pool counters — the source for the
+/// `ccsa_pool_*` metric families in `ccsa-serve`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Takes served from the calling thread's free lists.
+    pub local_hits: u64,
+    /// Takes served from the shared spill tier.
+    pub shared_hits: u64,
+    /// Takes that fell through to the global allocator.
+    pub misses: u64,
+    /// Buffers successfully parked for reuse.
+    pub returns: u64,
+    /// Buffers dropped because both tiers were full.
+    pub drops: u64,
+    /// Buffers currently parked in thread-local lists (all threads).
+    pub local_buffers: u64,
+    /// Buffers currently parked in the shared spill tier.
+    pub shared_buffers: u64,
+    /// Capacity bytes parked in thread-local lists.
+    pub local_bytes: u64,
+    /// Capacity bytes parked in the shared spill tier.
+    pub shared_bytes: u64,
+}
+
+impl PoolStats {
+    /// All takes (hits + misses).
+    pub fn takes(&self) -> u64 {
+        self.local_hits + self.shared_hits + self.misses
+    }
+
+    /// Fraction of takes served without touching the allocator
+    /// (0 when untouched).
+    pub fn hit_rate(&self) -> f64 {
+        let takes = self.takes();
+        if takes == 0 {
+            0.0
+        } else {
+            (self.local_hits + self.shared_hits) as f64 / takes as f64
+        }
+    }
+}
+
+/// Reads the pool counters.
+pub fn stats() -> PoolStats {
+    // Relaxed: statistics snapshot, see module-level comment.
+    PoolStats {
+        local_hits: LOCAL_HITS.load(Ordering::Relaxed),
+        shared_hits: SHARED_HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        returns: RETURNS.load(Ordering::Relaxed),
+        drops: DROPS.load(Ordering::Relaxed),
+        local_buffers: LOCAL_BUFFERS.load(Ordering::Relaxed),
+        shared_buffers: SHARED_BUFFERS.load(Ordering::Relaxed),
+        local_bytes: LOCAL_BYTES.load(Ordering::Relaxed),
+        shared_bytes: SHARED_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// Turns the pool into a pass-through to the global allocator (`true`)
+/// or back on (`false`). Benches use this to measure the pre-pool
+/// baseline in the same process; buffers already parked stay parked and
+/// keep being valid to return.
+pub fn set_bypass(bypass: bool) {
+    // Relaxed: an independent on/off flag (see take_recycled).
+    BYPASS.store(bypass, Ordering::Relaxed);
+}
+
+/// Whether the pool is currently bypassed.
+pub fn bypassed() -> bool {
+    // Relaxed: an independent on/off flag (see take_recycled).
+    BYPASS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_classes_cover_and_round() {
+        assert_eq!(class_for_len(1), Some(0));
+        assert_eq!(class_for_len(8), Some(0));
+        assert_eq!(class_for_len(9), Some(1));
+        assert_eq!(
+            class_for_len(class_size(NUM_CLASSES - 1)),
+            Some(NUM_CLASSES - 1)
+        );
+        assert_eq!(class_for_len(class_size(NUM_CLASSES - 1) + 1), None);
+        assert_eq!(class_for_cap(7), None);
+        assert_eq!(class_for_cap(8), Some(0));
+        assert_eq!(class_for_cap(100), Some(3)); // 64 ≤ 100 < 128
+        for len in [1usize, 5, 8, 33, 100, 4096, 70_000] {
+            let c = class_for_len(len).unwrap();
+            assert!(class_size(c) >= len);
+            if c > 0 {
+                assert!(class_size(c - 1) < len);
+            }
+        }
+    }
+
+    #[test]
+    fn recycle_roundtrip_is_zeroed() {
+        let mut v = take_zeroed(100);
+        v.iter_mut().for_each(|x| *x = f32::NAN);
+        let cap = v.capacity();
+        put(v);
+        // The recycled buffer must come back zeroed, never with the NaNs.
+        let v2 = take_zeroed(90);
+        assert!(v2.capacity() >= 90);
+        assert_eq!(v2.len(), 90);
+        assert!(v2.iter().all(|&x| x == 0.0), "stale data leaked");
+        let _ = cap;
+        put(v2);
+    }
+
+    #[test]
+    fn take_cap_is_empty() {
+        let mut v = take_cap(64);
+        v.extend_from_slice(&[1.0; 64]);
+        put(v);
+        let v2 = take_cap(32);
+        assert!(v2.is_empty());
+        assert!(v2.capacity() >= 32);
+        put(v2);
+    }
+
+    #[test]
+    fn stats_advance_on_hit_and_miss() {
+        let before = stats();
+        let v = take_zeroed(1024);
+        put(v);
+        let _v2 = take_zeroed(1000); // same class: must be a hit
+        let after = stats();
+        assert!(after.takes() > before.takes());
+        assert!(
+            after.local_hits + after.shared_hits > before.local_hits + before.shared_hits,
+            "recycle was not a hit: {after:?} vs {before:?}"
+        );
+    }
+
+    #[test]
+    fn bypass_goes_straight_through() {
+        set_bypass(true);
+        let before = stats();
+        let v = take_zeroed(512);
+        put(v);
+        let after = stats();
+        set_bypass(false);
+        assert_eq!(after.local_hits, before.local_hits);
+        assert_eq!(after.shared_hits, before.shared_hits);
+        assert_eq!(after.returns, before.returns);
+    }
+
+    #[test]
+    fn tiny_and_oversize_buffers_are_not_pooled() {
+        let before = stats();
+        put(Vec::with_capacity(2)); // below the minimum class
+        let huge_len = class_size(NUM_CLASSES - 1) + 1;
+        assert!(class_for_len(huge_len).is_none());
+        let v = take_zeroed(huge_len);
+        assert_eq!(v.len(), huge_len);
+        let after = stats();
+        assert_eq!(after.returns, before.returns);
+    }
+}

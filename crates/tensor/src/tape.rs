@@ -52,8 +52,11 @@ impl Adjacency {
         }
         // Self-loops: degree = |neighbours| + 1.
         let deg: Vec<f32> = neigh.iter().map(|ns| (ns.len() + 1) as f32).collect();
+        // pool-exempt: adjacency structure of (u32, f32) pairs, built once
+        // per graph at parse time — not an f32 tensor buffer.
         let mut rows: Vec<Vec<(u32, f32)>> = Vec::with_capacity(n);
         for i in 0..n {
+            // pool-exempt: same adjacency structure, per-row.
             let mut row = Vec::with_capacity(neigh[i].len() + 1);
             row.push((i as u32, 1.0 / deg[i]));
             for &j in &neigh[i] {
@@ -87,7 +90,7 @@ impl Adjacency {
             h.shape().rows()
         );
         let src = h.as_slice();
-        let mut out = vec![0.0f32; n * d];
+        let mut out = crate::pool::take_zeroed(n * d);
         for (i, row) in rows.iter().enumerate() {
             let dst = &mut out[i * d..(i + 1) * d];
             for &(j, w) in row {
@@ -244,6 +247,21 @@ impl Tape {
         self.len() == 0
     }
 
+    /// Clears every recorded node while keeping the node list's
+    /// capacity, so a long-lived scratch tape can run one forward/
+    /// backward pass per batch without reallocating its spine. Dropping
+    /// the node tensors returns their buffers to the
+    /// [buffer pool](crate::pool) — `reset` is the arena-recycle point
+    /// of the steady-state encode path.
+    ///
+    /// Any [`Var`] handed out before the reset is invalidated; using
+    /// one afterwards panics (id out of range) or silently refers to a
+    /// new node, exactly as with a fresh tape the borrow checker can't
+    /// see. Callers own that discipline (the encode scratch types do).
+    pub fn reset(&self) {
+        self.nodes.borrow_mut().clear();
+    }
+
     fn push(&self, op: Op, value: Tensor) -> Var<'_> {
         let mut nodes = self.nodes.borrow_mut();
         nodes.push(Node { op, value });
@@ -275,7 +293,8 @@ impl Tape {
     /// Panics if `parts` is empty or any part is not rank ≤ 1.
     pub fn concat(&self, parts: &[Var<'_>]) -> Var<'_> {
         assert!(!parts.is_empty(), "concat of zero parts");
-        let mut data = Vec::new();
+        let total: usize = parts.iter().map(|p| self.value_of(p.id).len()).sum();
+        let mut data = crate::pool::take_cap(total);
         for p in parts {
             let v = self.value_of(p.id);
             assert!(
@@ -300,7 +319,7 @@ impl Tape {
     pub fn add_n(&self, parts: &[Var<'_>]) -> Var<'_> {
         assert!(!parts.is_empty(), "add_n of zero parts");
         let first = self.value_of(parts[0].id);
-        let mut acc = first.as_slice().to_vec();
+        let mut acc = crate::pool::take_copy(first.as_slice());
         for p in &parts[1..] {
             let v = self.value_of(p.id);
             assert_eq!(v.shape(), first.shape(), "add_n shape mismatch");
@@ -320,7 +339,7 @@ impl Tape {
     pub fn stack(&self, parts: &[Var<'_>]) -> Var<'_> {
         assert!(!parts.is_empty(), "stack of zero parts");
         let d = self.value_of(parts[0].id).len();
-        let mut data = Vec::with_capacity(parts.len() * d);
+        let mut data = crate::pool::take_cap(parts.len() * d);
         for p in parts {
             let v = self.value_of(p.id);
             assert_eq!(v.len(), d, "stack length mismatch");
@@ -346,8 +365,12 @@ impl Tape {
     pub fn stack_rows(&self, parts: &[Var<'_>]) -> Var<'_> {
         assert!(!parts.is_empty(), "stack_rows of zero parts");
         let d = stacked_rows_shape(&self.value_of(parts[0].id)).1;
+        let total: usize = parts
+            .iter()
+            .map(|p| stacked_rows_shape(&self.value_of(p.id)).0)
+            .sum();
         let mut rows = 0;
-        let mut data = Vec::new();
+        let mut data = crate::pool::take_cap(total * d);
         for p in parts {
             let v = self.value_of(p.id);
             let (r, c) = stacked_rows_shape(&v);
@@ -395,6 +418,7 @@ impl Tape {
             );
             first.cols()
         };
+        // pool-exempt: usize offset table, bounded by op fan-in not node count.
         let mut offsets = Vec::with_capacity(vals.len() + 1);
         let mut total = 0usize;
         for v in &vals {
@@ -413,7 +437,7 @@ impl Tape {
             total += shape.rows();
         }
         offsets.push(total);
-        let mut data = Vec::with_capacity(indices.len() * d);
+        let mut data = crate::pool::take_cap(indices.len() * d);
         for &ix in indices.iter() {
             assert!(
                 ix < total,
@@ -501,9 +525,9 @@ impl Tape {
                     "segment_sum init must be [{segments}, {d}], got {}",
                     t.shape()
                 );
-                t.as_slice().to_vec()
+                crate::pool::take_copy(t.as_slice())
             }
-            None => vec![0.0f32; segments * d],
+            None => crate::pool::take_zeroed(segments * d),
         };
         let src = mv.as_slice();
         // Row accumulation goes through the dispatched kernel layer
@@ -545,7 +569,7 @@ impl Tape {
             t.shape()
         );
         let (v, d) = (t.shape().rows(), t.shape().cols());
-        let mut data = Vec::with_capacity(indices.len() * d);
+        let mut data = crate::pool::take_cap(indices.len() * d);
         for &ix in indices.iter() {
             assert!(
                 ix < v,
@@ -612,10 +636,10 @@ impl Tape {
                     accumulate(&mut grads, *b, g.scale(-1.0), &nodes);
                 }
                 Op::Mul(a, b) => {
-                    let av = nodes[*a].value.clone();
-                    let bv = nodes[*b].value.clone();
-                    accumulate(&mut grads, *a, g.mul(&bv), &nodes);
-                    accumulate(&mut grads, *b, g.mul(&av), &nodes);
+                    let av = &nodes[*a].value;
+                    let bv = &nodes[*b].value;
+                    accumulate(&mut grads, *a, g.mul(bv), &nodes);
+                    accumulate(&mut grads, *b, g.mul(av), &nodes);
                 }
                 Op::Scale(a, s) => {
                     accumulate(&mut grads, *a, g.scale(*s), &nodes);
@@ -678,8 +702,8 @@ impl Tape {
                 }
                 Op::Dot(a, b) => {
                     let gi = g.item();
-                    let av = nodes[*a].value.clone();
-                    let bv = nodes[*b].value.clone();
+                    let av = &nodes[*a].value;
+                    let bv = &nodes[*b].value;
                     accumulate(&mut grads, *a, bv.scale(gi), &nodes);
                     accumulate(&mut grads, *b, av.scale(gi), &nodes);
                 }
@@ -689,7 +713,8 @@ impl Tape {
                     for &p in parts {
                         let len = nodes[p].value.len();
                         let shape = nodes[p].value.shape();
-                        let part = Tensor::from_vec(gs[off..off + len].to_vec(), shape);
+                        let part =
+                            Tensor::from_vec(crate::pool::take_copy(&gs[off..off + len]), shape);
                         accumulate(&mut grads, p, part, &nodes);
                         off += len;
                     }
@@ -704,7 +729,10 @@ impl Tape {
                     let gs = g.as_slice();
                     for (k, &p) in parts.iter().enumerate() {
                         let shape = nodes[p].value.shape();
-                        let part = Tensor::from_vec(gs[k * d..(k + 1) * d].to_vec(), shape);
+                        let part = Tensor::from_vec(
+                            crate::pool::take_copy(&gs[k * d..(k + 1) * d]),
+                            shape,
+                        );
                         accumulate(&mut grads, p, part, &nodes);
                     }
                 }
@@ -715,7 +743,10 @@ impl Tape {
                     for &p in parts {
                         let shape = nodes[p].value.shape();
                         let (rows, _) = stacked_rows_shape(&nodes[p].value);
-                        let part = Tensor::from_vec(gs[off * d..(off + rows) * d].to_vec(), shape);
+                        let part = Tensor::from_vec(
+                            crate::pool::take_copy(&gs[off * d..(off + rows) * d]),
+                            shape,
+                        );
                         accumulate(&mut grads, p, part, &nodes);
                         off += rows;
                     }
@@ -724,8 +755,8 @@ impl Tape {
                     let (sa, sb) = (nodes[*a].value.shape(), nodes[*b].value.shape());
                     let (n, da, db) = (sa.rows(), sa.cols(), sb.cols());
                     let gs = g.as_slice();
-                    let mut ga = vec![0.0f32; n * da];
-                    let mut gb = vec![0.0f32; n * db];
+                    let mut ga = crate::pool::take_zeroed(n * da);
+                    let mut gb = crate::pool::take_zeroed(n * db);
                     for i in 0..n {
                         let row = &gs[i * (da + db)..(i + 1) * (da + db)];
                         ga[i * da..(i + 1) * da].copy_from_slice(&row[..da]);
@@ -757,6 +788,7 @@ impl Tape {
                 Op::GatherRowsMulti { sources, indices } => {
                     let d = node.value.shape().cols();
                     let gs = g.as_slice();
+                    // pool-exempt: usize offset table, bounded by op fan-in.
                     let mut offsets = Vec::with_capacity(sources.len() + 1);
                     let mut total = 0usize;
                     for &s in sources {
@@ -790,7 +822,7 @@ impl Tape {
                     let shape = nodes[*m].value.shape();
                     let d = shape.cols();
                     let gs = g.as_slice();
-                    let mut gm = vec![0.0f32; shape.len()];
+                    let mut gm = crate::pool::take_zeroed(shape.len());
                     for s in 0..offsets.len() - 1 {
                         let grow = &gs[s * d..(s + 1) * d];
                         for r in offsets[s]..offsets[s + 1] {
@@ -831,7 +863,7 @@ impl Tape {
                     let shape = nodes[*m].value.shape();
                     let (n, d) = (shape.rows(), shape.cols());
                     let gs = g.as_slice();
-                    let mut dv = vec![0.0f32; d];
+                    let mut dv = crate::pool::take_zeroed(d);
                     for i in 0..n {
                         for j in 0..d {
                             dv[j] += gs[i * d + j];
@@ -843,7 +875,7 @@ impl Tape {
                     let shape = nodes[*a].value.shape();
                     let (n, d) = (shape.rows(), shape.cols());
                     let gs = g.as_slice();
-                    let mut out = vec![0.0f32; n * d];
+                    let mut out = crate::pool::take_zeroed(n * d);
                     let inv = 1.0 / n.max(1) as f32;
                     for i in 0..n {
                         for j in 0..d {
@@ -1113,7 +1145,7 @@ impl<'t> Var<'t> {
         );
         let (n, da, db) = (a.shape().rows(), a.shape().cols(), b.shape().cols());
         let (sa, sb) = (a.as_slice(), b.as_slice());
-        let mut out = Vec::with_capacity(n * (da + db));
+        let mut out = crate::pool::take_cap(n * (da + db));
         for i in 0..n {
             out.extend_from_slice(&sa[i * da..(i + 1) * da]);
             out.extend_from_slice(&sb[i * db..(i + 1) * db]);
@@ -1147,7 +1179,7 @@ impl<'t> Var<'t> {
                     start + len,
                     v.shape()
                 );
-                let out = v.as_slice()[start..start + len].to_vec();
+                let out = crate::pool::take_copy(&v.as_slice()[start..start + len]);
                 self.tape.push(
                     Op::SliceCols {
                         src: self.id,
@@ -1165,7 +1197,7 @@ impl<'t> Var<'t> {
                     v.shape()
                 );
                 let src = v.as_slice();
-                let mut out = Vec::with_capacity(n * len);
+                let mut out = crate::pool::take_cap(n * len);
                 for i in 0..n {
                     out.extend_from_slice(&src[i * d + start..i * d + start + len]);
                 }
@@ -1205,7 +1237,7 @@ impl<'t> Var<'t> {
             b.shape()
         );
         let (n, d) = (m.shape().rows(), m.shape().cols());
-        let mut out = m.as_slice().to_vec();
+        let mut out = crate::pool::take_copy(m.as_slice());
         for i in 0..n {
             for (o, &bv) in out[i * d..(i + 1) * d].iter_mut().zip(b.as_slice()) {
                 *o += bv;
@@ -1230,7 +1262,7 @@ impl<'t> Var<'t> {
         let v = self.value();
         assert_eq!(v.shape().rank(), 2, "mean_rows on {}", v.shape());
         let (n, d) = (v.shape().rows(), v.shape().cols());
-        let mut out = vec![0.0f32; d];
+        let mut out = crate::pool::take_zeroed(d);
         if d > 0 {
             for row in v.as_slice().chunks_exact(d).take(n) {
                 for (o, &x) in out.iter_mut().zip(row) {

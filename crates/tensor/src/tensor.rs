@@ -1,10 +1,64 @@
 //! The dense `f32` tensor type.
 
 use std::fmt;
+use std::ops::Deref;
 use std::sync::Arc;
 
 use crate::kernels;
-use crate::Shape;
+use crate::{pool, Shape};
+
+/// The pooled backing store behind every [`Tensor`]: a plain `Vec<f32>`
+/// whose storage returns to the [`crate::pool`] free lists when the
+/// last `Arc` handle drops. Copy-on-write clones (via
+/// [`Arc::make_mut`]) also draw their new buffer from the pool, so in
+/// steady state tensor traffic never touches the global allocator.
+pub(crate) struct PoolBuf(Vec<f32>);
+
+impl PoolBuf {
+    #[inline]
+    fn new(data: Vec<f32>) -> PoolBuf {
+        PoolBuf(data)
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.0
+    }
+}
+
+impl Deref for PoolBuf {
+    type Target = [f32];
+
+    #[inline]
+    fn deref(&self) -> &[f32] {
+        &self.0
+    }
+}
+
+impl std::ops::DerefMut for PoolBuf {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [f32] {
+        &mut self.0
+    }
+}
+
+impl Clone for PoolBuf {
+    fn clone(&self) -> PoolBuf {
+        PoolBuf(pool::take_copy(&self.0))
+    }
+}
+
+impl Drop for PoolBuf {
+    fn drop(&mut self) {
+        pool::put(std::mem::take(&mut self.0));
+    }
+}
+
+impl PartialEq for PoolBuf {
+    fn eq(&self, other: &PoolBuf) -> bool {
+        self.0 == other.0
+    }
+}
 
 /// A dense, row-major, immutable-by-default `f32` tensor of rank ≤ 2.
 ///
@@ -27,7 +81,7 @@ use crate::Shape;
 #[derive(Clone, PartialEq)]
 pub struct Tensor {
     shape: Shape,
-    data: Arc<Vec<f32>>,
+    data: Arc<PoolBuf>,
 }
 
 impl Tensor {
@@ -47,7 +101,7 @@ impl Tensor {
         );
         Tensor {
             shape,
-            data: Arc::new(data),
+            data: Arc::new(PoolBuf::new(data)),
         }
     }
 
@@ -55,16 +109,16 @@ impl Tensor {
     pub fn scalar(value: f32) -> Tensor {
         Tensor {
             shape: Shape::SCALAR,
-            data: Arc::new(vec![value]),
+            data: Arc::new(PoolBuf::new(vec![value])),
         }
     }
 
-    /// Creates a tensor of zeros.
+    /// Creates a tensor of zeros (buffer drawn from the pool).
     pub fn zeros(shape: impl Into<Shape>) -> Tensor {
         let shape = shape.into();
         Tensor {
             shape,
-            data: Arc::new(vec![0.0; shape.len()]),
+            data: Arc::new(PoolBuf::new(pool::take_zeroed(shape.len()))),
         }
     }
 
@@ -73,18 +127,18 @@ impl Tensor {
         Tensor::full(shape, 1.0)
     }
 
-    /// Creates a tensor filled with `value`.
+    /// Creates a tensor filled with `value` (buffer drawn from the pool).
     pub fn full(shape: impl Into<Shape>, value: f32) -> Tensor {
         let shape = shape.into();
         Tensor {
             shape,
-            data: Arc::new(vec![value; shape.len()]),
+            data: Arc::new(PoolBuf::new(pool::take_filled(shape.len(), value))),
         }
     }
 
     /// Creates the `n × n` identity matrix.
     pub fn eye(n: usize) -> Tensor {
-        let mut data = vec![0.0; n * n];
+        let mut data = pool::take_zeroed(n * n);
         for i in 0..n {
             data[i * n + i] = 1.0;
         }
@@ -118,6 +172,8 @@ impl Tensor {
     /// Mutable access to the elements, copying the buffer first if it is
     /// shared (copy-on-write).
     pub fn make_mut(&mut self) -> &mut [f32] {
+        // `Arc::make_mut` clones through `PoolBuf::clone` when shared,
+        // so even the CoW copy is a pooled buffer.
         Arc::make_mut(&mut self.data).as_mut_slice()
     }
 
@@ -171,7 +227,10 @@ impl Tensor {
             "row {r} out of bounds for {}",
             self.shape
         );
-        Tensor::from_vec(self.data[r * cols..(r + 1) * cols].to_vec(), [cols])
+        Tensor::from_vec(
+            pool::take_copy(&self.data[r * cols..(r + 1) * cols]),
+            [cols],
+        )
     }
 
     /// Reshapes without copying element data.
@@ -193,11 +252,13 @@ impl Tensor {
         }
     }
 
-    /// Applies `f` elementwise, producing a new tensor.
+    /// Applies `f` elementwise, producing a new tensor (pooled buffer).
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let mut out = pool::take_cap(self.len());
+        out.extend(self.data.iter().map(|&x| f(x)));
         Tensor {
             shape: self.shape,
-            data: Arc::new(self.data.iter().map(|&x| f(x)).collect()),
+            data: Arc::new(PoolBuf::new(out)),
         }
     }
 
@@ -212,15 +273,16 @@ impl Tensor {
             "shape mismatch: {} vs {}",
             self.shape, other.shape
         );
+        let mut out = pool::take_cap(self.len());
+        out.extend(
+            self.data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b)),
+        );
         Tensor {
             shape: self.shape,
-            data: Arc::new(
-                self.data
-                    .iter()
-                    .zip(other.data.iter())
-                    .map(|(&a, &b)| f(a, b))
-                    .collect(),
-            ),
+            data: Arc::new(PoolBuf::new(out)),
         }
     }
 
@@ -322,7 +384,7 @@ impl Tensor {
             1 => self.reshape([1, self.len()]),
             _ => {
                 let (r, c) = (self.shape.rows(), self.shape.cols());
-                let mut out = vec![0.0; r * c];
+                let mut out = pool::take_zeroed(r * c);
                 for i in 0..r {
                     for j in 0..c {
                         out[j * r + i] = self.data[i * c + j];
@@ -358,14 +420,26 @@ impl Tensor {
             "matmul inner dimension mismatch: {} vs {}",
             self.shape, other.shape
         );
-        let mut out = vec![0.0f32; m * n];
+        let mut out = pool::take_zeroed(m * n);
         // Dispatched kernel (see [`crate::kernels`]): blocked IEEE-strict
         // scalar loops or AVX2+FMA, resolved once at first use. Both
         // backends accumulate k-ascending per output element, so results
         // are bit-identical to `matvec`'s dot products under the same
         // backend — and neither zero-skips: `0 · NaN` and `0 · ∞` must
-        // produce NaN (IEEE-754), not silently vanish.
-        (kernels::active().matmul)(&self.data, &other.data, &mut out, m, k, n);
+        // produce NaN (IEEE-754), not silently vanish. Above a measured
+        // row threshold the product row-splits across the persistent
+        // worker set (see [`crate::par`]) — each output row still runs
+        // the same kernel over the same data, so every element keeps its
+        // single ascending-k chain bit-identically.
+        crate::par::matmul(
+            kernels::active().matmul,
+            &self.data,
+            &other.data,
+            &mut out,
+            m,
+            k,
+            n,
+        );
         Tensor::from_vec(out, [m, n])
     }
 
@@ -395,7 +469,7 @@ impl Tensor {
             self.shape,
             x.shape
         );
-        let mut out = vec![0.0f32; m];
+        let mut out = pool::take_zeroed(m);
         (kernels::active().matvec)(&self.data, &x.data, &mut out, m, k);
         Tensor::from_vec(out, [m])
     }
@@ -419,7 +493,7 @@ impl Tensor {
             other.shape
         );
         let (m, n) = (self.len(), other.len());
-        let mut out = vec![0.0f32; m * n];
+        let mut out = pool::take_zeroed(m * n);
         // No zero-skip: 0 · NaN / 0 · ∞ must stay NaN (IEEE-754).
         for i in 0..m {
             let a = self.data[i];

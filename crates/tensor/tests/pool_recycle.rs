@@ -1,0 +1,79 @@
+//! Property test (seeded xorshift, no external proptest dep):
+//! pool-recycled buffers never leak stale data. Buffers are taken at
+//! randomized sizes, filled with recognizable garbage, returned, and
+//! re-taken — every re-take must come back either all-zero
+//! (`take_zeroed`) or empty (`take_cap`), and tensor ops built on top
+//! of recycled buffers must compute the same values as on a cold pool.
+
+use ccsa_tensor::{pool, Tensor};
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+#[test]
+fn recycled_buffers_never_leak_stale_data() {
+    let mut rng = XorShift(0x9e3779b97f4a7c15);
+    for round in 0..200 {
+        let len = (1 + rng.below(5000)) as usize;
+        // Poison a buffer of this size and return it to the pool.
+        let mut poison = pool::take_cap(len);
+        poison.resize(len, f32::from_bits(0xdead_beef));
+        pool::put(poison);
+
+        // A zeroed take of any size that lands in the same size class
+        // must be scrubbed.
+        let redo = (1 + rng.below(5000)) as usize;
+        let z = pool::take_zeroed(redo);
+        assert_eq!(z.len(), redo);
+        assert!(
+            z.iter().all(|&v| v.to_bits() == 0),
+            "round {round}: take_zeroed({redo}) leaked stale bytes after put({len})"
+        );
+        pool::put(z);
+
+        // A capacity take must come back logically empty.
+        let c = pool::take_cap(redo);
+        assert!(
+            c.is_empty(),
+            "round {round}: take_cap({redo}) returned {} stale element(s)",
+            c.len()
+        );
+        pool::put(c);
+    }
+}
+
+#[test]
+fn tensor_ops_on_a_dirty_pool_match_fresh_values() {
+    let mut rng = XorShift(42);
+    for _ in 0..50 {
+        let n = (1 + rng.below(300)) as usize;
+        // Dirty the pool with a dropped garbage tensor of the same size.
+        let garbage: Vec<f32> = (0..n).map(|i| (i as f32) - 7.5).collect();
+        drop(Tensor::from_vec(garbage, [n]));
+
+        // zeros() drawn from the now-dirty pool must still be zeros…
+        let z = Tensor::zeros([n]);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+
+        // …and a real computation must see only its own inputs.
+        let vals: Vec<f32> = (0..n).map(|i| i as f32 * 0.5).collect();
+        let t = Tensor::from_vec(vals.clone(), [n]);
+        for (i, &v) in t.as_slice().iter().enumerate() {
+            assert_eq!(v, vals[i]);
+        }
+    }
+}
